@@ -1,0 +1,49 @@
+//! Cache-simulator throughput: trace-driven execution of one Jacobi step
+//! and one Tomcatv iteration through the two machine hierarchies.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use wavefront_cache::{power_challenge_node, t3e_node, CacheSim};
+use wavefront_core::prelude::*;
+
+fn bench_machines(c: &mut Criterion) {
+    for machine in [t3e_node(), power_challenge_node()] {
+        let lo = wavefront_kernels::tomcatv::build(66).unwrap();
+        let compiled = compile(&lo.program).unwrap();
+        let mut init = Store::new(&lo.program);
+        wavefront_kernels::tomcatv::init(&lo, &mut init);
+        let sim0 = CacheSim::new(&lo.program, machine.hierarchy.clone(), machine.flop_cycles, 64);
+        let name = machine.name.replace(' ', "_");
+        c.bench_function(&format!("cache/tomcatv_n66_{name}"), |b| {
+            b.iter_batched(
+                || (init.clone(), sim0.clone()),
+                |(mut store, mut sim)| {
+                    run_with_sink(&compiled, &mut store, &mut sim);
+                    sim.cycles()
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+}
+
+fn bench_raw_cache(c: &mut Criterion) {
+    use wavefront_cache::{Cache, CacheConfig};
+    c.bench_function("cache/raw_access_stream_64k", |b| {
+        b.iter_batched(
+            || Cache::new(CacheConfig { size_bytes: 8 << 10, line_bytes: 32, assoc: 1 }),
+            |mut cache| {
+                let mut misses = 0u64;
+                for i in 0..65536u64 {
+                    if !cache.access(i * 8) {
+                        misses += 1;
+                    }
+                }
+                misses
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_machines, bench_raw_cache);
+criterion_main!(benches);

@@ -1,0 +1,169 @@
+//! Figure 6: potential uniprocessor speedup due to scan blocks from
+//! improved cache behaviour.
+//!
+//! Runs each benchmark twice through the trace-driven cache simulator:
+//! once in the scan-block formulation (fused, interchanged loops — the
+//! inner loop walks the contiguous column-major dimension) and once in
+//! the Fortran 90 slice formulation of Figure 1(b) (per-slice array
+//! statements striding through memory). Reports the modeled-cycle
+//! speedup for each wavefront component and for the whole program, on
+//! T3E-like and PowerChallenge-like cache hierarchies. The paper's
+//! shape: wavefront-only speedups up to ~8.5× on the T3E and up to ~4×
+//! on the PowerChallenge; whole-program ~3× for Tomcatv and ~7% for
+//! SIMPLE. Run with `cargo run --release -p wavefront-bench --bin fig6`.
+
+use wavefront_bench::{f2, Table};
+use wavefront_cache::machines::CacheMachine;
+use wavefront_cache::{power_challenge_node, t3e_node, CacheSim};
+use wavefront_core::exec::{run_nest_with_sink, run_reduce_with_sink, CompiledOp};
+use wavefront_core::prelude::{compile, Store};
+use wavefront_lang::Lowered;
+
+/// Phase classification of one program op.
+#[derive(Clone, Copy, PartialEq)]
+enum Phase {
+    Wf1,
+    Wf2,
+    Other,
+}
+
+/// Run a whole program through the cache simulator, accumulating modeled
+/// cycles per phase.
+fn run_phased(
+    lowered: &Lowered<2>,
+    machine: &CacheMachine,
+    classify: &dyn Fn(usize, &CompiledOp<2>) -> Phase,
+    init: &dyn Fn(&Lowered<2>, &mut Store<2>),
+) -> (f64, f64, f64) {
+    let compiled = compile(&lowered.program).expect("program compiles");
+    let mut store = Store::new(&lowered.program);
+    init(lowered, &mut store);
+    let mut sim = CacheSim::new(
+        &lowered.program,
+        machine.hierarchy.clone(),
+        machine.flop_cycles,
+        64,
+    );
+    let (mut wf1, mut wf2) = (0.0, 0.0);
+    for (i, op) in compiled.ops.iter().enumerate() {
+        let before = sim.cycles();
+        match op {
+            CompiledOp::Block(b) => {
+                for nest in &b.nests {
+                    run_nest_with_sink(nest, &mut store, &mut sim);
+                }
+            }
+            CompiledOp::Reduce(r) => run_reduce_with_sink(r, &mut store, &mut sim),
+        }
+        let delta = sim.cycles() - before;
+        match classify(i, op) {
+            Phase::Wf1 => wf1 += delta,
+            Phase::Wf2 => wf2 += delta,
+            Phase::Other => {}
+        }
+    }
+    (wf1, wf2, sim.cycles())
+}
+
+fn single_extent_dim(op: &CompiledOp<2>) -> Option<usize> {
+    if let CompiledOp::Block(b) = op {
+        let r = b.nests.first()?.region;
+        for k in 0..2 {
+            if r.extent(k) == 1 && r.extent(1 - k) > 1 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+fn main() {
+    let n = 257i64; // the SPEC Tomcatv mesh size
+    println!("## Figure 6: uniprocessor speedup due to scan blocks (cache behaviour)");
+    println!("   n = {n}, modeled cycles from the trace-driven cache simulator\n");
+
+    for machine in [t3e_node(), power_challenge_node()] {
+        let mut table = Table::new(&[
+            "benchmark",
+            "wavefront 1",
+            "wavefront 2",
+            "whole program",
+        ]);
+
+        // --- Tomcatv ---------------------------------------------------
+        let scan = wavefront_kernels::tomcatv::build(n).expect("tomcatv builds");
+        let noscan = wavefront_kernels::tomcatv::build_noscan(n).expect("tomcatv builds");
+        // Scan formulation: the scan nests are ops 1 and 2.
+        let scan_classify = |_i: usize, op: &CompiledOp<2>| -> Phase {
+            static_phase_by_scan(op)
+        };
+        let rows = (n - 3) as usize; // rows 2..=n-2 per sweep
+        let noscan_classify = move |i: usize, op: &CompiledOp<2>| -> Phase {
+            if single_extent_dim(op) == Some(0) {
+                // Row-slice ops: the first `rows` are sweep 1.
+                if i <= rows {
+                    Phase::Wf1
+                } else {
+                    Phase::Wf2
+                }
+            } else {
+                Phase::Other
+            }
+        };
+        let s = run_phased(&scan, &machine, &scan_classify, &|l, st| {
+            wavefront_kernels::tomcatv::init(l, st)
+        });
+        let x = run_phased(&noscan, &machine, &noscan_classify, &|l, st| {
+            wavefront_kernels::tomcatv::init(l, st)
+        });
+        table.row(&[
+            "Tomcatv".into(),
+            f2(x.0 / s.0),
+            f2(x.1 / s.1),
+            f2(x.2 / s.2),
+        ]);
+
+        // --- SIMPLE ----------------------------------------------------
+        let scan = wavefront_kernels::simple::build(n).expect("simple builds");
+        let noscan = wavefront_kernels::simple::build_noscan(n).expect("simple builds");
+        let noscan_classify = |_i: usize, op: &CompiledOp<2>| -> Phase {
+            match single_extent_dim(op) {
+                Some(1) => Phase::Wf1, // column slices: west→east sweep
+                Some(0) => Phase::Wf2, // row slices: north→south sweep
+                _ => Phase::Other,
+            }
+        };
+        let s = run_phased(&scan, &machine, &scan_classify, &|l, st| {
+            wavefront_kernels::simple::init(l, st)
+        });
+        let x = run_phased(&noscan, &machine, &noscan_classify, &|l, st| {
+            wavefront_kernels::simple::init(l, st)
+        });
+        table.row(&[
+            "SIMPLE".into(),
+            f2(x.0 / s.0),
+            f2(x.1 / s.1),
+            f2(x.2 / s.2),
+        ]);
+
+        println!("  --- {} ---", machine.name);
+        table.print();
+        println!();
+    }
+    println!("  (values are speedups of the scan-block formulation over the");
+    println!("   Fortran 90 slice formulation; >1 means scan blocks win)");
+}
+
+/// In the scan formulation, the first scan nest is wavefront 1, the
+/// second wavefront 2.
+fn static_phase_by_scan(op: &CompiledOp<2>) -> Phase {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static SEEN: AtomicUsize = AtomicUsize::new(0);
+    if let CompiledOp::Block(b) = op {
+        if b.nests.iter().any(|x| x.is_scan) {
+            let k = SEEN.fetch_add(1, Ordering::Relaxed) % 2;
+            return if k == 0 { Phase::Wf1 } else { Phase::Wf2 };
+        }
+    }
+    Phase::Other
+}

@@ -1,0 +1,49 @@
+//! Extension experiment: pipelined scaling of a SWEEP3D-style transport
+//! sweep (the wavefront application the paper's introduction highlights;
+//! the target paper's benchmark-suite future work).
+//!
+//! One octant's sweep over an n³ grid, arrays distributed along the
+//! first sweep dimension, pipelined over blocks of the second dimension.
+//! Run with `cargo run --release -p wavefront-bench --bin fig_sweep`.
+
+use wavefront_bench::{f2, Table};
+use wavefront_core::prelude::compile;
+use wavefront_kernels::sweep3d;
+use wavefront_machine::{cray_t3e, sgi_power_challenge};
+use wavefront_pipeline::{simulate_nest, BlockPolicy};
+
+fn main() {
+    let n = 64i64;
+    println!("## Extension: SWEEP3D-style octant sweep, pipelined scaling");
+    println!("   n = {n} (grid n^3), one octant, distribution along dimension 0\n");
+
+    let lo = sweep3d::build_octant(n, [-1, -1, -1]).expect("sweep builds");
+    let compiled = compile(&lo.program).expect("sweep compiles");
+    let nest = compiled.nest(0);
+
+    for params in [cray_t3e(), sgi_power_challenge()] {
+        println!("  --- {} ---", params.name);
+        let mut table = Table::new(&[
+            "p",
+            "pipelined speedup",
+            "naive speedup",
+            "efficiency",
+            "b (Model2)",
+        ]);
+        let serial = simulate_nest(nest, 1, 0, &BlockPolicy::FullPortion, &params).time;
+        for p in [2usize, 4, 8, 16, 32] {
+            let pipe = simulate_nest(nest, p, 0, &BlockPolicy::Model2, &params);
+            let naive = simulate_nest(nest, p, 0, &BlockPolicy::FullPortion, &params);
+            table.row(&[
+                p.to_string(),
+                f2(serial / pipe.time),
+                f2(serial / naive.time),
+                f2(serial / pipe.time / p as f64),
+                pipe.block.map_or("-".into(), |b| b.to_string()),
+            ]);
+        }
+        table.print();
+        println!();
+    }
+    println!("  (naive speedup stays near 1: without pipelining the sweep is serialized)");
+}

@@ -1,0 +1,52 @@
+//! Optimal-block-size table: Equation (1) and its variants versus the
+//! brute-force numeric optimum of the analytic model and the optimum
+//! probed on the task-graph simulator, across machines, problem sizes,
+//! and processor counts.
+//!
+//! Run with `cargo run --release -p wavefront-bench --bin table_optb`.
+
+use wavefront_bench::Table;
+use wavefront_machine::{
+    cray_t3e, fig5a_t3e, fig5b_hypothetical, sgi_power_challenge, MachineParams,
+};
+use wavefront_model::PipeModel;
+use wavefront_pipeline::probe_block;
+
+fn main() {
+    println!("## Optimal block size: closed forms vs numeric vs simulator probe\n");
+    let mut table = Table::new(&[
+        "machine",
+        "n",
+        "p",
+        "Eq.(1)",
+        "approx",
+        "exact",
+        "numeric",
+        "probe",
+    ]);
+    let machines: [MachineParams; 4] =
+        [cray_t3e(), sgi_power_challenge(), fig5a_t3e(), fig5b_hypothetical()];
+    for m in machines {
+        for (n, p) in [(64usize, 4usize), (256, 8), (256, 16), (1024, 16)] {
+            let model = PipeModel::new(n, p, m.alpha, m.beta);
+            let candidates: Vec<usize> = (1..=n).collect();
+            let probed = probe_block(&candidates, n, n, p, 1.0, &m);
+            table.row(&[
+                m.name.into(),
+                n.to_string(),
+                p.to_string(),
+                format!("{:.1}", model.optimal_b_eq1()),
+                format!("{:.1}", model.optimal_b_approx()),
+                format!("{:.1}", model.optimal_b_exact()),
+                model.optimal_b_numeric().to_string(),
+                probed.to_string(),
+            ]);
+        }
+    }
+    table.print();
+    println!("\n  Eq.(1)  = paper's closed form sqrt(alpha*n*p/((p*beta+n)(p-1)))");
+    println!("  approx  = paper's sqrt(alpha*n/(p*beta+n))");
+    println!("  exact   = true stationary point of T_pipe");
+    println!("  numeric = integer argmin of the analytic T_pipe");
+    println!("  probe   = argmin of the task-graph simulator's makespan");
+}

@@ -1,0 +1,56 @@
+//! Communication-model ablation: blocking receives (the paper's model)
+//! versus ideal communication/computation overlap.
+//!
+//! Shows why Equation (1) fits the paper's machines: with blocking
+//! receives the per-message cost sits on the critical path and a
+//! moderate block size wins; with ideal overlap the steady-state message
+//! cost vanishes and ever-smaller blocks win. Run with
+//! `cargo run --release -p wavefront-bench --bin table_overlap`.
+
+use wavefront_bench::{f2, Table};
+use wavefront_machine::{pipeline_dag, simulate_with_mode, CommMode, MachineParams};
+
+fn main() {
+    let n = 256usize;
+    let p = 8usize;
+    println!("## Communication-model ablation: blocking vs overlapped receives");
+    println!("   square sweep n = {n}, p = {p}\n");
+
+    for params in [
+        MachineParams::custom("alpha-heavy (alpha=400, beta=1)", 400.0, 1.0),
+        MachineParams::custom("beta-heavy (alpha=50, beta=20)", 50.0, 20.0),
+    ] {
+        println!("  --- {} ---", params.name);
+        let mut table =
+            Table::new(&["b", "blocking speedup", "overlapped speedup"]);
+        let time = |b: usize, mode: CommMode| {
+            let rows = n as f64 / p as f64;
+            let tasks = pipeline_dag(p, n.div_ceil(b), rows * b as f64, b);
+            simulate_with_mode(&tasks, &params, p, mode).makespan
+        };
+        let naive_b = time(n, CommMode::Blocking);
+        let naive_o = time(n, CommMode::Overlapped);
+        let mut best = (0usize, 0.0, 0usize, 0.0);
+        for b in [1usize, 2, 4, 8, 16, 32, 64, 128, 256] {
+            let sb = naive_b / time(b, CommMode::Blocking);
+            let so = naive_o / time(b, CommMode::Overlapped);
+            if sb > best.1 {
+                best.0 = b;
+                best.1 = sb;
+            }
+            if so > best.3 {
+                best.2 = b;
+                best.3 = so;
+            }
+            table.row(&[b.to_string(), f2(sb), f2(so)]);
+        }
+        table.print();
+        println!(
+            "  best blocking b = {} ({:.2}x), best overlapped b = {} ({:.2}x)\n",
+            best.0, best.1, best.2, best.3
+        );
+    }
+    println!("  (with ideal overlap the optimum collapses toward b = 1: only the");
+    println!("   pipeline fill matters; blocking receives make Equation (1)'s");
+    println!("   trade-off real)");
+}

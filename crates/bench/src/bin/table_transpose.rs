@@ -1,0 +1,71 @@
+//! Transpose vs. pipeline — the design decision the paper's Section 2.2
+//! summary walks through: a programmer facing both north-south and
+//! east-west wavefronts "may opt to distribute only one dimension and
+//! perform a transposition between each north-south and east-west
+//! wavefront, eliminating the need for pipelining. This may be much
+//! slower than a fully pipelined solution."
+//!
+//! Using SIMPLE's misaligned conduction wavefront (travels along the
+//! distributed dimension), compares: (a) pipelining it in place
+//! (Model2 block size, simulated), vs (b) transposing the live arrays,
+//! sweeping fully parallel, and transposing back. Run with
+//! `cargo run --release -p wavefront-bench --bin table_transpose`.
+
+use wavefront_bench::{f2, Table};
+use wavefront_core::prelude::compile;
+use wavefront_machine::{cray_t3e, sgi_power_challenge};
+use wavefront_model::t_transpose_strategy;
+use wavefront_pipeline::{simulate_nest, BlockPolicy};
+
+fn main() {
+    println!("## Transpose vs pipeline for a misaligned wavefront (SIMPLE conduction)\n");
+    for params in [cray_t3e(), sgi_power_challenge()] {
+        println!("  --- {} ---", params.name);
+        let mut table = Table::new(&[
+            "n",
+            "p",
+            "pipelined (sim)",
+            "transpose strategy",
+            "pipeline wins by",
+        ]);
+        for (n, p) in [(128i64, 8usize), (257, 8), (257, 16), (513, 16), (513, 32)] {
+            let lo = wavefront_kernels::simple::build(n).expect("simple builds");
+            let compiled = compile(&lo.program).expect("compiles");
+            // The second conduction wavefront travels along dimension 0
+            // (the distributed one in the paper's setup).
+            let nest = compiled
+                .nests()
+                .find(|x| x.is_scan && x.structure.wavefront_dims == vec![0])
+                .expect("has a dim-0 wavefront");
+            let work = nest
+                .stmts
+                .iter()
+                .map(|s| s.rhs.flop_count())
+                .sum::<usize>() as f64;
+            let pipe = simulate_nest(nest, p, 0, &BlockPolicy::Model2, &params);
+            // Live arrays crossing the transpose: the sweep reads/writes
+            // tsum, t, wrk, kap, dcoef → 5 arrays each way.
+            let arrays = 5usize;
+            let transpose = t_transpose_strategy(
+                n as usize,
+                p,
+                arrays,
+                params.alpha,
+                params.beta,
+                work,
+            );
+            table.row(&[
+                n.to_string(),
+                p.to_string(),
+                format!("{:.0}", pipe.time),
+                format!("{transpose:.0}"),
+                f2(transpose / pipe.time),
+            ]);
+        }
+        table.print();
+        println!();
+    }
+    println!("  (values > 1 in the last column mean the fully pipelined solution");
+    println!("   beats the double transpose, as the paper predicts; the margin");
+    println!("   grows with beta because the transpose moves O(n^2) elements)");
+}

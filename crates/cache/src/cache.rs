@@ -1,0 +1,179 @@
+//! A set-associative, LRU, write-allocate cache model.
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: usize,
+    /// Associativity (1 = direct mapped).
+    pub assoc: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (self.line_bytes * self.assoc)
+    }
+}
+
+/// One cache level with LRU replacement.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    /// Per set: resident line tags, most recently used first.
+    sets: Vec<Vec<u64>>,
+    /// Total accesses.
+    pub accesses: u64,
+    /// Total misses.
+    pub misses: u64,
+}
+
+impl Cache {
+    /// An empty cache.
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(config.line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(config.assoc >= 1);
+        let sets = config.sets();
+        assert!(sets >= 1, "cache too small for its line size and associativity");
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            config,
+            sets: vec![Vec::with_capacity(config.assoc); sets],
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    /// The geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Access the byte at `addr`; returns `true` on hit. Misses allocate
+    /// the line (write-allocate, no distinction between loads and
+    /// stores — the paper's effect is load-dominated).
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.accesses += 1;
+        let line = addr / self.config.line_bytes as u64;
+        let set = (line % self.sets.len() as u64) as usize;
+        let tag = line / self.sets.len() as u64;
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&t| t == tag) {
+            let t = ways.remove(pos);
+            ways.insert(0, t);
+            true
+        } else {
+            self.misses += 1;
+            if ways.len() == self.config.assoc {
+                ways.pop();
+            }
+            ways.insert(0, tag);
+            false
+        }
+    }
+
+    /// Miss ratio so far (0 when no accesses).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Drop all resident lines and statistics.
+    pub fn reset(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        self.accesses = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets × 2 ways × 16B lines = 128 B.
+        Cache::new(CacheConfig { size_bytes: 128, line_bytes: 16, assoc: 2 })
+    }
+
+    #[test]
+    fn first_touch_misses_second_hits() {
+        let mut c = tiny();
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(8)); // same 16-byte line
+        assert!(!c.access(16)); // next line
+        assert_eq!(c.accesses, 4);
+        assert_eq!(c.misses, 2);
+    }
+
+    #[test]
+    fn direct_mapped_conflict() {
+        // 2 sets × 1 way × 16B = 32 B: addresses 0 and 32 collide.
+        let mut c = Cache::new(CacheConfig { size_bytes: 32, line_bytes: 16, assoc: 1 });
+        assert!(!c.access(0));
+        assert!(!c.access(32));
+        assert!(!c.access(0)); // evicted by 32
+        assert_eq!(c.misses, 3);
+    }
+
+    #[test]
+    fn two_way_avoids_that_conflict() {
+        // 1 set × 2 ways × 16B = 32 B.
+        let mut c = Cache::new(CacheConfig { size_bytes: 32, line_bytes: 16, assoc: 2 });
+        assert!(!c.access(0));
+        assert!(!c.access(32));
+        assert!(c.access(0));
+        assert!(c.access(32));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // 1 set × 2 ways: touch A, B, A, then C evicts B.
+        let mut c = Cache::new(CacheConfig { size_bytes: 32, line_bytes: 16, assoc: 2 });
+        c.access(0); // A
+        c.access(32); // B
+        c.access(0); // A (now MRU)
+        c.access(64); // C evicts B
+        assert!(c.access(0), "A must survive");
+        assert!(!c.access(32), "B must have been evicted");
+    }
+
+    #[test]
+    fn sequential_scan_misses_once_per_line() {
+        let mut c = Cache::new(CacheConfig { size_bytes: 8192, line_bytes: 32, assoc: 2 });
+        for i in 0..256u64 {
+            c.access(i * 8);
+        }
+        assert_eq!(c.misses, 256 * 8 / 32);
+    }
+
+    #[test]
+    fn strided_scan_misses_every_access() {
+        let mut c = Cache::new(CacheConfig { size_bytes: 8192, line_bytes: 32, assoc: 1 });
+        // Stride of 4 KiB over 1 MiB: every access a new line, many
+        // conflicts.
+        for i in 0..256u64 {
+            c.access(i * 4096);
+        }
+        assert_eq!(c.misses, 256);
+    }
+
+    #[test]
+    fn miss_ratio_and_reset() {
+        let mut c = tiny();
+        c.access(0);
+        c.access(0);
+        assert_eq!(c.miss_ratio(), 0.5);
+        c.reset();
+        assert_eq!(c.accesses, 0);
+        assert_eq!(c.miss_ratio(), 0.0);
+        assert!(!c.access(0), "reset must empty the cache");
+    }
+}

@@ -1,0 +1,122 @@
+//! Multi-level cache hierarchies and the modeled-time cost function.
+
+use crate::cache::{Cache, CacheConfig};
+
+/// A cache hierarchy: an ordered list of levels, each with the extra
+/// latency (in cycles) paid when the level *misses* and the request moves
+/// outward. The final entry's penalty is the memory latency.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    levels: Vec<(Cache, f64)>,
+    /// Cycles per access that hits in the first level.
+    pub hit_cycles: f64,
+}
+
+impl Hierarchy {
+    /// Build from `(config, miss_penalty_cycles)` pairs, innermost first.
+    pub fn new(levels: Vec<(CacheConfig, f64)>, hit_cycles: f64) -> Self {
+        assert!(!levels.is_empty(), "a hierarchy needs at least one level");
+        Hierarchy {
+            levels: levels.into_iter().map(|(c, p)| (Cache::new(c), p)).collect(),
+            hit_cycles,
+        }
+    }
+
+    /// Access `addr`, updating every level the request reaches. Returns
+    /// the number of levels missed (0 = L1 hit).
+    pub fn access(&mut self, addr: u64) -> usize {
+        let mut missed = 0;
+        for (cache, _) in &mut self.levels {
+            if cache.access(addr) {
+                break;
+            }
+            missed += 1;
+        }
+        missed
+    }
+
+    /// Total accesses observed at the first level.
+    pub fn accesses(&self) -> u64 {
+        self.levels[0].0.accesses
+    }
+
+    /// Misses at level `i` (0-based).
+    pub fn misses(&self, i: usize) -> u64 {
+        self.levels[i].0.misses
+    }
+
+    /// Number of levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Modeled memory time in cycles: every access pays `hit_cycles`, and
+    /// every miss at level `i` additionally pays that level's penalty.
+    pub fn memory_cycles(&self) -> f64 {
+        let mut t = self.accesses() as f64 * self.hit_cycles;
+        for (cache, penalty) in &self.levels {
+            t += cache.misses as f64 * penalty;
+        }
+        t
+    }
+
+    /// Reset all levels.
+    pub fn reset(&mut self) {
+        for (cache, _) in &mut self.levels {
+            cache.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_level() -> Hierarchy {
+        Hierarchy::new(
+            vec![
+                (CacheConfig { size_bytes: 256, line_bytes: 32, assoc: 1 }, 10.0),
+                (CacheConfig { size_bytes: 4096, line_bytes: 64, assoc: 2 }, 100.0),
+            ],
+            1.0,
+        )
+    }
+
+    #[test]
+    fn l1_hit_touches_nothing_else() {
+        let mut h = two_level();
+        assert_eq!(h.access(0), 2); // cold: misses both levels
+        assert_eq!(h.access(0), 0); // L1 hit
+        assert_eq!(h.misses(0), 1);
+        assert_eq!(h.misses(1), 1);
+    }
+
+    #[test]
+    fn l1_miss_l2_hit() {
+        let mut h = two_level();
+        h.access(0);
+        // Evict line 0 from the tiny direct-mapped L1 (256 B, 8 sets):
+        // address 256 maps to set 0 like address 0.
+        h.access(256);
+        assert_eq!(h.access(0), 1, "should miss L1 but hit L2");
+    }
+
+    #[test]
+    fn memory_cycles_accounts_all_levels() {
+        let mut h = two_level();
+        h.access(0); // 1 access, 1 L1 miss, 1 L2 miss
+        h.access(0); // 1 access, hit
+        let expect = 2.0 * 1.0 + 1.0 * 10.0 + 1.0 * 100.0;
+        assert_eq!(h.memory_cycles(), expect);
+    }
+
+    #[test]
+    fn reset_clears_all_levels() {
+        let mut h = two_level();
+        h.access(0);
+        h.reset();
+        assert_eq!(h.accesses(), 0);
+        assert_eq!(h.misses(1), 0);
+        assert_eq!(h.access(0), 2);
+    }
+}

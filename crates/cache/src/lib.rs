@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! # wavefront-cache
+//!
+//! Trace-driven cache simulation for the uniprocessor experiments of the
+//! paper's Section 5.1 (Figure 6): the scan-block formulation lets the
+//! compiler fuse the wavefront statements into one nest and interchange
+//! the loops so the inner loop walks the contiguous (column-major)
+//! storage dimension; without it, the slice-by-slice array statements
+//! stride through memory. This crate models set-associative LRU caches
+//! ([`cache`]), multi-level hierarchies ([`hierarchy`]), an
+//! [`trace::CacheSim`] sink that the core executor drives directly, and
+//! per-machine presets ([`machines`]).
+
+pub mod cache;
+pub mod hierarchy;
+pub mod machines;
+pub mod trace;
+
+pub use cache::{Cache, CacheConfig};
+pub use hierarchy::Hierarchy;
+pub use machines::{power_challenge_node, t3e_node, CacheMachine};
+pub use trace::{CacheSim, ELEM_BYTES};

@@ -1,0 +1,82 @@
+//! Per-machine cache hierarchy presets for the Figure 6 experiments.
+//!
+//! The shapes matter more than the absolute constants: the Cray T3E's
+//! DEC Alpha 21164 is a fast, cache-starved processor (8 KB direct-mapped
+//! L1, 96 KB 3-way on-chip L2) whose relative miss cost is large, while
+//! the SGI PowerChallenge's R10000 is much slower (32 KB 2-way L1, big
+//! board-level L2), so "the relative cost of a cache miss is less" and
+//! performance is less sensitive to cache behaviour — the paper's
+//! explanation for the smaller PowerChallenge speedups.
+
+use crate::cache::CacheConfig;
+use crate::hierarchy::Hierarchy;
+
+/// Cache hierarchy plus scalar cost parameters of one machine.
+#[derive(Debug, Clone)]
+pub struct CacheMachine {
+    /// Machine name.
+    pub name: &'static str,
+    /// The cache hierarchy (fresh, empty).
+    pub hierarchy: Hierarchy,
+    /// Cycles per scalar flop.
+    pub flop_cycles: f64,
+}
+
+/// Cray T3E node (Alpha 21164): 8 KB direct-mapped L1 with 32-byte
+/// lines, 96 KB 3-way L2 with 64-byte lines; misses are expensive
+/// relative to the fast core.
+pub fn t3e_node() -> CacheMachine {
+    CacheMachine {
+        name: "Cray T3E",
+        hierarchy: Hierarchy::new(
+            vec![
+                (CacheConfig { size_bytes: 8 << 10, line_bytes: 32, assoc: 1 }, 15.0),
+                // The 21164's true 96KB 3-way S-cache: 96K/(64·3) = 512
+                // sets, a power of two.
+                (CacheConfig { size_bytes: 96 << 10, line_bytes: 64, assoc: 3 }, 150.0),
+            ],
+            1.0,
+        ),
+        flop_cycles: 0.5,
+    }
+}
+
+/// SGI PowerChallenge node (MIPS R10000): 32 KB 2-way L1 with 32-byte
+/// lines, 1 MB 2-way L2; the slower clock makes the *relative* miss
+/// penalty much smaller.
+pub fn power_challenge_node() -> CacheMachine {
+    CacheMachine {
+        name: "SGI PowerChallenge",
+        hierarchy: Hierarchy::new(
+            vec![
+                (CacheConfig { size_bytes: 32 << 10, line_bytes: 32, assoc: 2 }, 12.0),
+                (CacheConfig { size_bytes: 2 << 20, line_bytes: 128, assoc: 2 }, 40.0),
+            ],
+            1.0,
+        ),
+        flop_cycles: 1.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_construct() {
+        assert_eq!(t3e_node().hierarchy.depth(), 2);
+        assert_eq!(power_challenge_node().hierarchy.depth(), 2);
+    }
+
+    #[test]
+    fn t3e_misses_are_relatively_dearer() {
+        // Relative to flop speed, a full miss on the T3E costs more
+        // flop-equivalents than on the PowerChallenge — the paper's
+        // stated reason for the larger T3E speedups.
+        let t = t3e_node();
+        let p = power_challenge_node();
+        let t_rel = (15.0 + 150.0) / t.flop_cycles;
+        let p_rel = (12.0 + 40.0) / p.flop_cycles;
+        assert!(t_rel > 3.0 * p_rel);
+    }
+}

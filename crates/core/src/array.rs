@@ -1,0 +1,239 @@
+//! Dense rank-`R` arrays of `f64` declared over a [`Region`].
+//!
+//! ZPL arrays are declared over a region and may be read/written at any
+//! index of that region. The physical [`Layout`] (row- vs column-major)
+//! does not affect semantics but drives the address traces consumed by the
+//! cache simulator — Fortran arrays (the paper's benchmarks) are
+//! column-major, which is what makes loop interchange matter in Figure 6.
+
+use crate::index::{Offset, Point};
+use crate::region::Region;
+
+/// Physical storage order of an array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layout {
+    /// Last dimension contiguous (C order).
+    RowMajor,
+    /// First dimension contiguous (Fortran order).
+    ColMajor,
+}
+
+/// A dense array of `f64` over a rectangular region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseArray<const R: usize> {
+    bounds: Region<R>,
+    layout: Layout,
+    data: Vec<f64>,
+}
+
+impl<const R: usize> DenseArray<R> {
+    /// Allocate an array over `bounds`, zero-filled, row-major.
+    pub fn zeros(bounds: Region<R>) -> Self {
+        Self::filled(bounds, 0.0)
+    }
+
+    /// Allocate an array over `bounds` filled with `v`, row-major.
+    pub fn filled(bounds: Region<R>, v: f64) -> Self {
+        DenseArray { bounds, layout: Layout::RowMajor, data: vec![v; bounds.len()] }
+    }
+
+    /// Allocate with an explicit layout.
+    pub fn with_layout(bounds: Region<R>, layout: Layout, v: f64) -> Self {
+        DenseArray { bounds, layout, data: vec![v; bounds.len()] }
+    }
+
+    /// Build from a function of the index.
+    pub fn from_fn(bounds: Region<R>, mut f: impl FnMut(Point<R>) -> f64) -> Self {
+        let mut a = Self::zeros(bounds);
+        for p in bounds.iter() {
+            a.set(p, f(p));
+        }
+        a
+    }
+
+    /// The array's declared bounds.
+    pub fn bounds(&self) -> Region<R> {
+        self.bounds
+    }
+
+    /// The array's physical layout.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    /// Linear element offset of index `p` under the array's layout.
+    ///
+    /// Panics in debug builds if `p` is out of bounds.
+    pub fn linear_offset(&self, p: Point<R>) -> usize {
+        debug_assert!(
+            self.bounds.contains(p),
+            "index {p} out of bounds {}",
+            self.bounds
+        );
+        let lo = self.bounds.lo();
+        let ext = self.bounds.extents();
+        match self.layout {
+            Layout::RowMajor => {
+                let mut off = 0usize;
+                for k in 0..R {
+                    off = off * ext[k] as usize + (p[k] - lo[k]) as usize;
+                }
+                off
+            }
+            Layout::ColMajor => {
+                let mut off = 0usize;
+                for k in (0..R).rev() {
+                    off = off * ext[k] as usize + (p[k] - lo[k]) as usize;
+                }
+                off
+            }
+        }
+    }
+
+    /// Read the element at `p`.
+    pub fn get(&self, p: Point<R>) -> f64 {
+        self.data[self.linear_offset(p)]
+    }
+
+    /// Write the element at `p`.
+    pub fn set(&mut self, p: Point<R>, v: f64) {
+        let off = self.linear_offset(p);
+        self.data[off] = v;
+    }
+
+    /// Read at `p + d` (the shift operator's access pattern).
+    pub fn get_shifted(&self, p: Point<R>, d: Offset<R>) -> f64 {
+        self.get(p + d)
+    }
+
+    /// Fill the whole array with `v`.
+    pub fn fill(&mut self, v: f64) {
+        self.data.fill(v);
+    }
+
+    /// Raw data slice (layout order).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw data slice (layout order).
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Copy the values of `src` over `region` into `self`. Both arrays must
+    /// contain `region`.
+    pub fn copy_region_from(&mut self, src: &DenseArray<R>, region: Region<R>) {
+        debug_assert!(self.bounds.contains_region(&region));
+        debug_assert!(src.bounds.contains_region(&region));
+        for p in region.iter() {
+            self.set(p, src.get(p));
+        }
+    }
+
+    /// Maximum absolute difference from `other` over `region`.
+    pub fn max_abs_diff(&self, other: &DenseArray<R>, region: Region<R>) -> f64 {
+        region
+            .iter()
+            .map(|p| (self.get(p) - other.get(p)).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Exact equality over a region (bitwise on f64 values).
+    pub fn region_eq(&self, other: &DenseArray<R>, region: Region<R>) -> bool {
+        region
+            .iter()
+            .all(|p| self.get(p).to_bits() == other.get(p).to_bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_fill() {
+        let r = Region::rect([1, 1], [3, 3]);
+        let mut a = DenseArray::zeros(r);
+        assert_eq!(a.get(Point([2, 2])), 0.0);
+        a.fill(7.5);
+        assert_eq!(a.get(Point([1, 3])), 7.5);
+    }
+
+    #[test]
+    fn set_get_round_trip_every_index() {
+        let r = Region::rect([-1, 0], [1, 2]);
+        let mut a = DenseArray::zeros(r);
+        for (i, p) in r.iter().enumerate() {
+            a.set(p, i as f64);
+        }
+        for (i, p) in r.iter().enumerate() {
+            assert_eq!(a.get(p), i as f64);
+        }
+    }
+
+    #[test]
+    fn row_major_offsets_are_contiguous_in_last_dim() {
+        let r = Region::rect([0, 0], [2, 3]);
+        let a = DenseArray::zeros(r);
+        let o1 = a.linear_offset(Point([1, 1]));
+        let o2 = a.linear_offset(Point([1, 2]));
+        assert_eq!(o2, o1 + 1);
+        let o3 = a.linear_offset(Point([2, 1]));
+        assert_eq!(o3, o1 + 4); // extent of dim 1 is 4
+    }
+
+    #[test]
+    fn col_major_offsets_are_contiguous_in_first_dim() {
+        let r = Region::rect([0, 0], [2, 3]);
+        let a = DenseArray::with_layout(r, Layout::ColMajor, 0.0);
+        let o1 = a.linear_offset(Point([1, 1]));
+        let o2 = a.linear_offset(Point([2, 1]));
+        assert_eq!(o2, o1 + 1);
+        let o3 = a.linear_offset(Point([1, 2]));
+        assert_eq!(o3, o1 + 3); // extent of dim 0 is 3
+    }
+
+    #[test]
+    fn offsets_are_a_bijection() {
+        let r = Region::rect([2, -1, 0], [4, 1, 2]);
+        for layout in [Layout::RowMajor, Layout::ColMajor] {
+            let a = DenseArray::with_layout(r, layout, 0.0);
+            let mut seen = vec![false; r.len()];
+            for p in r.iter() {
+                let off = a.linear_offset(p);
+                assert!(!seen[off], "offset {off} reused at {p}");
+                seen[off] = true;
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn shifted_reads() {
+        let r = Region::rect([0, 0], [4, 4]);
+        let a = DenseArray::from_fn(r, |p| (p[0] * 10 + p[1]) as f64);
+        assert_eq!(a.get_shifted(Point([2, 2]), Offset([-1, 0])), 12.0);
+        assert_eq!(a.get_shifted(Point([2, 2]), Offset([0, 1])), 23.0);
+    }
+
+    #[test]
+    fn copy_region_and_compare() {
+        let r = Region::rect([0, 0], [3, 3]);
+        let a = DenseArray::from_fn(r, |p| (p[0] + p[1]) as f64);
+        let mut b = DenseArray::zeros(r);
+        let inner = Region::rect([1, 1], [2, 2]);
+        b.copy_region_from(&a, inner);
+        assert!(a.region_eq(&b, inner));
+        assert!(!a.region_eq(&b, r));
+        assert_eq!(a.max_abs_diff(&b, inner), 0.0);
+        assert!(a.max_abs_diff(&b, r) > 0.0);
+    }
+
+    #[test]
+    fn from_fn_visits_every_point() {
+        let r = Region::rect([0], [9]);
+        let a = DenseArray::from_fn(r, |p| p[0] as f64 * 2.0);
+        assert_eq!(a.get(Point([9])), 18.0);
+    }
+}

@@ -1,0 +1,325 @@
+//! Array contraction — the optimization the paper leans on for the
+//! promoted scalar `r` in Tomcatv ("the scalar variable r is promoted to
+//! an array in the array codes; we have previously demonstrated compiler
+//! techniques by which this overhead may be eliminated via array
+//! contraction", citing Lewis, Lin & Snyder PLDI'98).
+//!
+//! An array is *contractible* within a fused nest when every one of its
+//! reads in that nest observes a value written earlier in the same
+//! iteration (unshifted, unprimed, dominated by a prior statement's
+//! write) and the array is dead afterwards. The executor then carries
+//! the value in a scalar register instead of storing a whole array —
+//! eliminating its memory traffic entirely, which the cache experiments
+//! can measure.
+
+use crate::exec::{CompiledOp, CompiledProgram};
+use crate::expr::ArrayId;
+use crate::program::{Program, ProgramOp};
+
+/// Mark contractible arrays in every nest of `compiled`.
+///
+/// `preserve` lists arrays whose final values the host still needs (they
+/// are never contracted). Returns the ids that were contracted anywhere.
+pub fn contract_program<const R: usize>(
+    program: &Program<R>,
+    compiled: &mut CompiledProgram<R>,
+    preserve: &[ArrayId],
+) -> Vec<ArrayId> {
+    // Arrays read by each op (for liveness).
+    let op_reads = |op: &CompiledOp<R>| -> Vec<ArrayId> {
+        match op {
+            CompiledOp::Block(b) => b
+                .nests
+                .iter()
+                .flat_map(|n| n.stmts.iter())
+                .flat_map(|s| s.rhs.reads())
+                .map(|r| r.id)
+                .collect(),
+            CompiledOp::Reduce(r) => r.src.reads().iter().map(|x| x.id).collect(),
+        }
+    };
+    let all_reads: Vec<Vec<ArrayId>> = compiled.ops.iter().map(op_reads).collect();
+
+    let mut contracted_anywhere = Vec::new();
+    let nops = compiled.ops.len();
+    for i in 0..nops {
+        let read_later: Vec<ArrayId> =
+            all_reads[(i + 1)..].iter().flatten().copied().collect();
+        let CompiledOp::Block(block) = &mut compiled.ops[i] else { continue };
+        let nnests = block.nests.len();
+        for ni in 0..nnests {
+            // Reads in later nests of the same block also keep an array
+            // live.
+            let read_in_later_nests: Vec<ArrayId> = block.nests[(ni + 1)..]
+                .iter()
+                .flat_map(|n| n.stmts.iter())
+                .flat_map(|s| s.rhs.reads())
+                .map(|r| r.id)
+                .collect();
+            let nest = &mut block.nests[ni];
+            if !nest.buffered.is_empty() {
+                continue;
+            }
+            let mut candidates: Vec<ArrayId> =
+                nest.stmts.iter().map(|s| s.lhs).collect();
+            candidates.sort_unstable();
+            candidates.dedup();
+            candidates.retain(|&x| {
+                if preserve.contains(&x)
+                    || read_later.contains(&x)
+                    || read_in_later_nests.contains(&x)
+                {
+                    return false;
+                }
+                // Every read of x must be unshifted, unprimed, and
+                // dominated by a write in an earlier statement of the
+                // nest body — and there must be at least one such read
+                // (contracting a write-only array would silently discard
+                // the host-visible result, which is dead-code
+                // elimination, not contraction).
+                let mut reads = 0usize;
+                for (s, stmt) in nest.stmts.iter().enumerate() {
+                    for r in stmt.rhs.reads() {
+                        if r.id != x {
+                            continue;
+                        }
+                        if r.primed || !r.shift.is_zero() {
+                            return false;
+                        }
+                        let dominated = nest.stmts[..s].iter().any(|t| t.lhs == x);
+                        if !dominated {
+                            return false;
+                        }
+                        reads += 1;
+                    }
+                }
+                reads > 0
+            });
+            if !candidates.is_empty() {
+                contracted_anywhere.extend(candidates.iter().copied());
+                nest.contracted = candidates;
+            }
+        }
+    }
+    let _ = program;
+    contracted_anywhere.sort_unstable();
+    contracted_anywhere.dedup();
+    contracted_anywhere
+}
+
+/// Convenience: compile `program` and contract everything except
+/// `preserve`.
+pub fn compile_contracted<const R: usize>(
+    program: &Program<R>,
+    preserve: &[ArrayId],
+) -> crate::error::Result<CompiledProgram<R>> {
+    let mut compiled = crate::exec::compile(program)?;
+    contract_program(program, &mut compiled, preserve);
+    Ok(compiled)
+}
+
+/// Arrays that are pure nest-local temporaries across the whole program:
+/// contracted by [`compile_contracted`] when not preserved. Exposed for
+/// diagnostics.
+pub fn contractible_ids<const R: usize>(program: &Program<R>) -> Vec<ArrayId> {
+    let mut compiled = match crate::exec::compile(program) {
+        Ok(c) => c,
+        Err(_) => return vec![],
+    };
+    contract_program(program, &mut compiled, &[])
+}
+
+/// True when `op` never touches `id` (helper for liveness reasoning in
+/// tests).
+pub fn op_touches<const R: usize>(op: &ProgramOp<R>, id: ArrayId) -> bool {
+    match op {
+        ProgramOp::Block(b) => b.stmts.iter().any(|s| {
+            s.lhs == id || s.rhs.reads().iter().any(|r| r.id == id)
+        }),
+        ProgramOp::Reduce(r) => {
+            r.dest == id || r.src.reads().iter().any(|x| x.id == id)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{run_with_sink, CompiledOp};
+    use crate::prelude::*;
+
+    /// Tomcatv-shaped scan: r is a classic contraction target.
+    fn tomcatv_like() -> (Program<2>, ArrayId, ArrayId, ArrayId) {
+        let n = 12i64;
+        let mut p = Program::<2>::new();
+        let bounds = Region::rect([1, 1], [n, n]);
+        let r = p.array("r", bounds);
+        let aa = p.array("aa", bounds);
+        let d = p.array("d", bounds);
+        let region = Region::rect([2, 1], [n, n]);
+        p.scan(
+            region,
+            vec![
+                Statement::new(r, Expr::read(aa) * Expr::read_primed_at(d, [-1, 0])),
+                Statement::new(d, Expr::read(aa) - Expr::read(r)),
+            ],
+        );
+        (p, r, aa, d)
+    }
+
+    fn init(p: &Program<2>) -> Store<2> {
+        let mut store = Store::new(p);
+        for id in 0..store.len() {
+            let bounds = store.get(id).bounds();
+            *store.get_mut(id) =
+                DenseArray::from_fn(bounds, |q| 1.0 + 0.01 * ((q[0] * 7 + q[1]) % 13) as f64);
+        }
+        store
+    }
+
+    #[test]
+    fn r_is_contracted_in_tomcatv_like_scan() {
+        let (p, r, _aa, _d) = tomcatv_like();
+        let contracted = contractible_ids(&p);
+        assert_eq!(contracted, vec![r]);
+    }
+
+    #[test]
+    fn contraction_preserves_all_other_arrays() {
+        let (p, r, _aa, d) = tomcatv_like();
+        let plain = compile(&p).unwrap();
+        let contracted = compile_contracted(&p, &[]).unwrap();
+        let mut s1 = init(&p);
+        let mut s2 = init(&p);
+        run_with_sink(&plain, &mut s1, &mut NoSink);
+        run_with_sink(&contracted, &mut s2, &mut NoSink);
+        let region = Region::rect([2, 1], [12, 12]);
+        assert!(s1.get(d).region_eq(s2.get(d), region), "d must be unchanged");
+        // r itself is stale in the contracted run — that is the point.
+        let _ = r;
+    }
+
+    #[test]
+    fn contraction_eliminates_memory_traffic() {
+        let (p, _r, _aa, _d) = tomcatv_like();
+        let plain = compile(&p).unwrap();
+        let contracted = compile_contracted(&p, &[]).unwrap();
+        let (mut c1, mut c2) = (CountingSink::default(), CountingSink::default());
+        run_with_sink(&plain, &mut init(&p), &mut c1);
+        run_with_sink(&contracted, &mut init(&p), &mut c2);
+        let pts = Region::rect([2, 1], [12, 12]).len();
+        // One write and one read of r per point disappear.
+        assert_eq!(c1.writes - c2.writes, pts);
+        assert_eq!(c1.reads - c2.reads, pts);
+        assert_eq!(c1.flops, c2.flops);
+    }
+
+    #[test]
+    fn preserve_blocks_contraction() {
+        let (p, r, _aa, _d) = tomcatv_like();
+        let mut compiled = compile(&p).unwrap();
+        let out = contract_program(&p, &mut compiled, &[r]);
+        assert!(out.is_empty());
+        let CompiledOp::Block(b) = &compiled.ops[0] else { panic!() };
+        assert!(b.nests[0].contracted.is_empty());
+    }
+
+    #[test]
+    fn later_reads_block_contraction() {
+        let (mut p, r, aa, _d) = tomcatv_like();
+        // A later op reads r → not contractible.
+        p.stmt(Region::rect([2, 1], [12, 12]), aa, Expr::read(r) + Expr::lit(1.0));
+        assert!(contractible_ids(&p).is_empty());
+    }
+
+    #[test]
+    fn shifted_or_primed_reads_block_contraction() {
+        let n = 8i64;
+        let bounds = Region::rect([1, 1], [n, n]);
+        let region = Region::rect([2, 2], [n, n]);
+        // r read shifted.
+        let mut p = Program::<2>::new();
+        let r = p.array("r", bounds);
+        let a = p.array("a", bounds);
+        p.scan(
+            region,
+            vec![
+                Statement::new(r, Expr::read(a) + Expr::lit(1.0)),
+                Statement::new(a, Expr::read_at(r, [0, -1])),
+            ],
+        );
+        assert!(contractible_ids(&p).is_empty());
+        // r read primed.
+        let mut p = Program::<2>::new();
+        let r = p.array("r", bounds);
+        let a = p.array("a", bounds);
+        p.scan(
+            region,
+            vec![
+                Statement::new(r, Expr::read(a) + Expr::lit(1.0)),
+                Statement::new(a, Expr::read_primed_at(r, [-1, 0])),
+            ],
+        );
+        assert!(contractible_ids(&p).is_empty());
+    }
+
+    #[test]
+    fn read_before_first_write_blocks_contraction() {
+        let n = 8i64;
+        let bounds = Region::rect([1, 1], [n, n]);
+        let mut p = Program::<2>::new();
+        let r = p.array("r", bounds);
+        let a = p.array("a", bounds);
+        // r := r + a : reads its own pre-iteration value.
+        p.push_block(Block::scan(
+            Region::rect([2, 1], [n, n]),
+            vec![
+                Statement::new(r, Expr::read(r) + Expr::read(a)),
+                Statement::new(a, Expr::read_primed_at(a, [-1, 0]) + Expr::read(r)),
+            ],
+        ));
+        assert!(contractible_ids(&p).is_empty());
+    }
+
+    #[test]
+    fn real_tomcatv_contracts_r() {
+        let lo = wavefront_lang_free_tomcatv();
+        let r = lo.0;
+        let contracted = contractible_ids(&lo.1);
+        assert!(contracted.contains(&r), "tomcatv's r must contract");
+    }
+
+    /// Build the Figure 2(b) Tomcatv fragment directly (without the lang
+    /// crate, which core cannot depend on).
+    fn wavefront_lang_free_tomcatv() -> (ArrayId, Program<2>) {
+        let n = 16i64;
+        let bounds = Region::rect([1, 1], [n, n]);
+        let mut p = Program::<2>::new();
+        let r = p.array("r", bounds);
+        let aa = p.array("aa", bounds);
+        let d = p.array("d", bounds);
+        let dd = p.array("dd", bounds);
+        let rx = p.array("rx", bounds);
+        let ry = p.array("ry", bounds);
+        let north = [-1i64, 0];
+        p.scan(
+            Region::rect([2, 2], [n - 2, n - 1]),
+            vec![
+                Statement::new(r, Expr::read(aa) * Expr::read_primed_at(d, north)),
+                Statement::new(
+                    d,
+                    (Expr::read(dd) - Expr::read_at(aa, north) * Expr::read(r)).recip(),
+                ),
+                Statement::new(
+                    rx,
+                    Expr::read(rx) - Expr::read_primed_at(rx, north) * Expr::read(r),
+                ),
+                Statement::new(
+                    ry,
+                    Expr::read(ry) - Expr::read_primed_at(ry, north) * Expr::read(r),
+                ),
+            ],
+        );
+        (r, p)
+    }
+}

@@ -1,0 +1,331 @@
+//! Dependence extraction: unconstrained distance vectors.
+//!
+//! Because array statements are implemented by a loop nest in which a
+//! single loop iterates over the same dimension of all arrays, dependences
+//! can be characterized by array dimensions rather than loop dimensions —
+//! the paper's *unconstrained distance vectors* (Section 3.1). Each
+//! reference contributes a constraint vector that must be made
+//! lexicographically positive by the chosen loop structure:
+//!
+//! * a **primed** reference `a'@d` is a loop-carried *true* dependence;
+//!   its unconstrained distance vector is the negated direction `-d`
+//!   ("the unconstrained distance vectors associated with primed array
+//!   references are simply negated");
+//! * an **unprimed** shifted reference `a@d` to an array written by the
+//!   same or a later statement of the nest is an *anti* dependence with
+//!   vector `d` (the read must observe pre-nest values);
+//! * an **unprimed** shifted reference to an array written by a lexically
+//!   *earlier* statement of a scan block must observe the new values
+//!   ("a non-primed reference refers to values written by lexically
+//!   preceding statements"), a *flow* dependence with vector `-d`.
+
+use crate::error::{Error, Result};
+use crate::expr::ArrayId;
+use crate::index::Offset;
+use crate::stmt::{Block, BlockKind, Statement};
+
+/// The kind of a dependence constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DepKind {
+    /// Loop-carried true dependence from a primed reference.
+    True,
+    /// Anti dependence: the read must see pre-nest values.
+    Anti,
+    /// Flow dependence between statements of a scan block: the read must
+    /// see values the nest has already produced.
+    Flow,
+}
+
+impl DepKind {
+    /// True and flow dependences carry *values forward* through the nest;
+    /// they are what makes a dimension a wavefront dimension.
+    pub fn carries_values(self) -> bool {
+        matches!(self, DepKind::True | DepKind::Flow)
+    }
+}
+
+/// One dependence constraint: `vector` must be lexicographically positive
+/// in the transformed (permuted and sign-flipped) iteration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepConstraint<const R: usize> {
+    /// The oriented unconstrained distance vector.
+    pub vector: Offset<R>,
+    /// What kind of dependence produced the constraint.
+    pub kind: DepKind,
+    /// The array involved.
+    pub array: ArrayId,
+    /// Index of the statement containing the read.
+    pub stmt: usize,
+}
+
+/// Extract the constraint set of a fused loop nest implementing `block`.
+///
+/// For scan blocks this enforces legality condition (i) (primed arrays
+/// must be defined in the block) and rejects primed references with a zero
+/// direction. For plain blocks only single statements are fused (each
+/// statement is its own nest), so call this per single-statement block.
+pub fn block_constraints<const R: usize>(
+    block: &Block<R>,
+    array_name: impl Fn(ArrayId) -> String,
+) -> Result<Vec<DepConstraint<R>>> {
+    match block.kind {
+        BlockKind::Scan => scan_constraints(block, array_name),
+        BlockKind::Plain => {
+            // Plain blocks are executed one statement per nest; the
+            // constraints of each nest are independent. This function is
+            // only meaningful per statement, so concatenate for callers
+            // that want a summary view.
+            let mut out = Vec::new();
+            for (s, stmt) in block.stmts.iter().enumerate() {
+                out.extend(plain_stmt_constraints(stmt, s));
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Constraints of a single ordinary array statement implemented as its own
+/// loop nest: self-reads with a non-zero shift are anti dependences.
+/// (Primed references are not meaningful outside scan blocks; a primed
+/// self-reference in a plain statement is treated as a one-statement scan
+/// block by the program builder, not here.)
+pub fn plain_stmt_constraints<const R: usize>(
+    stmt: &Statement<R>,
+    stmt_index: usize,
+) -> Vec<DepConstraint<R>> {
+    let mut out = Vec::new();
+    for r in stmt.reads() {
+        if r.id != stmt.lhs || r.shift.is_zero() {
+            continue;
+        }
+        let (vector, kind) = if r.primed {
+            (-r.shift, DepKind::True)
+        } else {
+            (r.shift, DepKind::Anti)
+        };
+        out.push(DepConstraint { vector, kind, array: r.id, stmt: stmt_index });
+    }
+    dedup(out)
+}
+
+fn scan_constraints<const R: usize>(
+    block: &Block<R>,
+    array_name: impl Fn(ArrayId) -> String,
+) -> Result<Vec<DepConstraint<R>>> {
+    let written = block.written();
+    let writes_of = |id: ArrayId| -> Vec<usize> {
+        block
+            .stmts
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.lhs == id)
+            .map(|(t, _)| t)
+            .collect()
+    };
+
+    let mut out = Vec::new();
+    for (s, stmt) in block.stmts.iter().enumerate() {
+        for r in stmt.reads() {
+            if r.primed {
+                if r.shift.is_zero() {
+                    return Err(Error::PrimedZeroDirection { array: array_name(r.id) });
+                }
+                if !written.contains(&r.id) {
+                    return Err(Error::PrimedNotDefined { array: array_name(r.id) });
+                }
+                out.push(DepConstraint {
+                    vector: -r.shift,
+                    kind: DepKind::True,
+                    array: r.id,
+                    stmt: s,
+                });
+            } else if !r.shift.is_zero() && written.contains(&r.id) {
+                let writers = writes_of(r.id);
+                if writers.iter().any(|&t| t < s) {
+                    out.push(DepConstraint {
+                        vector: -r.shift,
+                        kind: DepKind::Flow,
+                        array: r.id,
+                        stmt: s,
+                    });
+                }
+                if writers.iter().any(|&t| t >= s) {
+                    out.push(DepConstraint {
+                        vector: r.shift,
+                        kind: DepKind::Anti,
+                        array: r.id,
+                        stmt: s,
+                    });
+                }
+            }
+        }
+    }
+    Ok(dedup(out))
+}
+
+fn dedup<const R: usize>(mut v: Vec<DepConstraint<R>>) -> Vec<DepConstraint<R>> {
+    // Constraints are few; quadratic dedup keeps derive requirements small.
+    let mut out: Vec<DepConstraint<R>> = Vec::with_capacity(v.len());
+    for c in v.drain(..) {
+        if !out
+            .iter()
+            .any(|o| o.vector == c.vector && o.kind == c.kind && o.array == c.array)
+        {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::region::Region;
+
+    fn reg() -> Region<2> {
+        Region::rect([2, 1], [8, 8])
+    }
+
+    fn name(id: ArrayId) -> String {
+        format!("a{id}")
+    }
+
+    #[test]
+    fn primed_self_reference_negates_vector() {
+        // a := 2 * a'@north  (Figure 3(d))
+        let b = Block::scan(
+            reg(),
+            vec![Statement::new(0, Expr::lit(2.0) * Expr::read_primed_at(0, [-1, 0]))],
+        );
+        let cs = block_constraints(&b, name).unwrap();
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].vector, Offset([1, 0]));
+        assert_eq!(cs[0].kind, DepKind::True);
+    }
+
+    #[test]
+    fn unprimed_self_reference_is_anti() {
+        // a := 2 * a@north  (Figure 3(a)): anti dependence, vector = d.
+        let b = Block::stmt(reg(), 0, Expr::lit(2.0) * Expr::read_at(0, [-1, 0]));
+        let cs = block_constraints(&b, name).unwrap();
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].vector, Offset([-1, 0]));
+        assert_eq!(cs[0].kind, DepKind::Anti);
+    }
+
+    #[test]
+    fn primed_requires_definition_in_block() {
+        // b is never written in the block → legality (i) violation.
+        let b = Block::scan(
+            reg(),
+            vec![Statement::new(0, Expr::read_primed_at(1, [-1, 0]))],
+        );
+        let err = block_constraints(&b, name).unwrap_err();
+        assert_eq!(err, Error::PrimedNotDefined { array: "a1".into() });
+    }
+
+    #[test]
+    fn primed_zero_direction_rejected() {
+        let b = Block::scan(reg(), vec![Statement::new(0, Expr::read_primed_at(0, [0, 0]))]);
+        let err = block_constraints(&b, name).unwrap_err();
+        assert_eq!(err, Error::PrimedZeroDirection { array: "a0".into() });
+    }
+
+    #[test]
+    fn tomcatv_scan_block_constraints() {
+        // r = aa * d'@north
+        // d = 1/(dd - aa@north * r)
+        // rx = rx - rx'@north * r
+        // Arrays: 0=r, 1=aa, 2=d, 3=dd, 4=rx.
+        let north = [-1i64, 0];
+        let b = Block::scan(
+            reg(),
+            vec![
+                Statement::new(0, Expr::read(1) * Expr::read_primed_at(2, north)),
+                Statement::new(
+                    2,
+                    (Expr::read(3) - Expr::read_at(1, north) * Expr::read(0)).recip(),
+                ),
+                Statement::new(
+                    4,
+                    Expr::read(4) - Expr::read_primed_at(4, north) * Expr::read(0),
+                ),
+            ],
+        );
+        let cs = block_constraints(&b, name).unwrap();
+        // Two true deps (d', rx'), both with vector (1,0); aa@north is a
+        // read of an array never written in the block → no constraint;
+        // unshifted reads of r → no constraint.
+        assert_eq!(cs.len(), 2);
+        assert!(cs.iter().all(|c| c.vector == Offset([1, 0]) && c.kind == DepKind::True));
+        let arrays: Vec<_> = cs.iter().map(|c| c.array).collect();
+        assert!(arrays.contains(&2) && arrays.contains(&4));
+    }
+
+    #[test]
+    fn unprimed_shifted_read_of_earlier_write_is_flow() {
+        // s0: a := b;  s1: c := a@north  — a@north must see s0's values.
+        let b = Block::scan(
+            reg(),
+            vec![
+                Statement::new(0, Expr::read(1)),
+                Statement::new(2, Expr::read_at(0, [-1, 0])),
+            ],
+        );
+        let cs = block_constraints(&b, name).unwrap();
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].kind, DepKind::Flow);
+        assert_eq!(cs[0].vector, Offset([1, 0]));
+    }
+
+    #[test]
+    fn unprimed_shifted_read_of_later_write_is_anti() {
+        // s0: c := a@north;  s1: a := b — c's read must see old a values.
+        let b = Block::scan(
+            reg(),
+            vec![
+                Statement::new(2, Expr::read_at(0, [-1, 0])),
+                Statement::new(0, Expr::read(1)),
+            ],
+        );
+        let cs = block_constraints(&b, name).unwrap();
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].kind, DepKind::Anti);
+        assert_eq!(cs[0].vector, Offset([-1, 0]));
+    }
+
+    #[test]
+    fn duplicate_constraints_are_deduplicated() {
+        let b = Block::scan(
+            reg(),
+            vec![Statement::new(
+                0,
+                Expr::read_primed_at(0, [-1, 0]) + Expr::read_primed_at(0, [-1, 0]),
+            )],
+        );
+        let cs = block_constraints(&b, name).unwrap();
+        assert_eq!(cs.len(), 1);
+    }
+
+    #[test]
+    fn unshifted_cross_statement_reads_are_unconstrained() {
+        // s0: r := aa;  s1: d := r  (loop-independent, body order).
+        let b = Block::scan(
+            reg(),
+            vec![
+                Statement::new(0, Expr::read(1)),
+                Statement::new(2, Expr::read(0)),
+            ],
+        );
+        let cs = block_constraints(&b, name).unwrap();
+        assert!(cs.is_empty());
+    }
+
+    #[test]
+    fn carries_values_classification() {
+        assert!(DepKind::True.carries_values());
+        assert!(DepKind::Flow.carries_values());
+        assert!(!DepKind::Anti.carries_values());
+    }
+}

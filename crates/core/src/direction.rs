@@ -1,0 +1,140 @@
+//! Named directions — ZPL's programmer-defined offset vectors.
+//!
+//! In ZPL a *direction* is a named constant offset used with the shift
+//! operator `@`. The canonical 2-D cardinals are `north = (-1,0)`,
+//! `south = (1,0)`, `west = (0,-1)`, `east = (0,1)` (row index grows
+//! southward, column index grows eastward, matching the paper).
+
+use crate::index::Offset;
+
+/// A named offset vector.
+///
+/// The name is retained purely for diagnostics and pretty-printing; two
+/// directions with the same offset and different names compare equal on
+/// [`Direction::offset`] but not on [`PartialEq`] (which includes the name),
+/// so use [`Direction::offset`] for semantic comparisons.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Direction<const R: usize> {
+    name: String,
+    offset: Offset<R>,
+}
+
+impl<const R: usize> Direction<R> {
+    /// Create a named direction from its offset components.
+    pub fn new(name: impl Into<String>, offset: impl Into<Offset<R>>) -> Self {
+        Direction { name: name.into(), offset: offset.into() }
+    }
+
+    /// Create an unnamed direction (name is the display form of the offset).
+    pub fn anon(offset: impl Into<Offset<R>>) -> Self {
+        let offset = offset.into();
+        Direction { name: offset.to_string(), offset }
+    }
+
+    /// The direction's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying offset vector.
+    pub fn offset(&self) -> Offset<R> {
+        self.offset
+    }
+
+    /// True when this is a *cardinal* direction: exactly one non-zero
+    /// component (the paper's definition).
+    pub fn is_cardinal(&self) -> bool {
+        self.offset.0.iter().filter(|&&c| c != 0).count() == 1
+    }
+
+    /// The reverse direction, named `-<name>`.
+    pub fn reversed(&self) -> Self {
+        Direction { name: format!("-{}", self.name), offset: -self.offset }
+    }
+}
+
+/// The four 2-D cardinal directions used throughout the paper.
+pub mod cardinal {
+    use super::Direction;
+
+    /// `north = (-1, 0)`: toward smaller row indices.
+    pub fn north() -> Direction<2> {
+        Direction::new("north", [-1, 0])
+    }
+
+    /// `south = (1, 0)`: toward larger row indices.
+    pub fn south() -> Direction<2> {
+        Direction::new("south", [1, 0])
+    }
+
+    /// `west = (0, -1)`: toward smaller column indices.
+    pub fn west() -> Direction<2> {
+        Direction::new("west", [0, -1])
+    }
+
+    /// `east = (0, 1)`: toward larger column indices.
+    pub fn east() -> Direction<2> {
+        Direction::new("east", [0, 1])
+    }
+
+    /// `northwest = (-1, -1)`.
+    pub fn northwest() -> Direction<2> {
+        Direction::new("northwest", [-1, -1])
+    }
+
+    /// `northeast = (-1, 1)`.
+    pub fn northeast() -> Direction<2> {
+        Direction::new("northeast", [-1, 1])
+    }
+
+    /// `southwest = (1, -1)`.
+    pub fn southwest() -> Direction<2> {
+        Direction::new("southwest", [1, -1])
+    }
+
+    /// `southeast = (1, 1)`.
+    pub fn southeast() -> Direction<2> {
+        Direction::new("southeast", [1, 1])
+    }
+}
+
+impl<const R: usize> std::fmt::Display for Direction<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}={}", self.name, self.offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::cardinal::*;
+    use super::*;
+
+    #[test]
+    fn cardinals_match_paper_vectors() {
+        assert_eq!(north().offset(), Offset([-1, 0]));
+        assert_eq!(south().offset(), Offset([1, 0]));
+        assert_eq!(west().offset(), Offset([0, -1]));
+        assert_eq!(east().offset(), Offset([0, 1]));
+    }
+
+    #[test]
+    fn cardinality_predicate() {
+        assert!(north().is_cardinal());
+        assert!(east().is_cardinal());
+        assert!(!northwest().is_cardinal());
+        assert!(!Direction::<2>::anon([0, 0]).is_cardinal());
+        assert!(Direction::<2>::anon([-2, 0]).is_cardinal());
+    }
+
+    #[test]
+    fn reversed_negates_offset() {
+        assert_eq!(north().reversed().offset(), south().offset());
+        assert_eq!(northwest().reversed().offset(), southeast().offset());
+    }
+
+    #[test]
+    fn anon_name_is_offset_display() {
+        let d = Direction::<3>::anon([1, 0, -1]);
+        assert_eq!(d.name(), "(1,0,-1)");
+    }
+}

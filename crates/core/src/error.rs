@@ -1,0 +1,165 @@
+//! Error types for the wavefront array-language core.
+
+use std::fmt;
+
+/// Errors produced by legality checking, program construction, and execution.
+///
+/// The variants mirror the statically checked legality conditions of the
+/// paper (Section 2.2, "Legality", conditions (i)–(v)) plus the runtime
+/// errors an embedded-DSL host can trigger (unknown identifiers, shape
+/// mismatches, out-of-bounds regions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// Condition (i): a primed array in a scan block is never defined
+    /// (written) in that block.
+    PrimedNotDefined {
+        /// The primed array's name.
+        array: String,
+    },
+    /// Condition (ii): the directions on primed references over-constrain
+    /// the wavefront — no loop nest can respect all implied dependences.
+    OverConstrained {
+        /// Which dependence vectors clash.
+        detail: String,
+    },
+    /// Condition (iii): statements of differing rank in one scan block.
+    MixedRank {
+        /// Rank of the enclosing program.
+        expected: usize,
+        /// Rank of the offending construct.
+        found: usize,
+    },
+    /// Condition (iv): statements in a scan block covered by different
+    /// regions.
+    MixedRegion {
+        /// Which regions differ.
+        detail: String,
+    },
+    /// Condition (v): a parallel operator other than shift applied to a
+    /// primed operand.
+    PrimedParallelOperand {
+        /// Which operand is primed.
+        detail: String,
+    },
+    /// A primed reference with a zero direction: `a'@(0,…,0)` would read a
+    /// value written in the *same* iteration, which is meaningless.
+    PrimedZeroDirection {
+        /// The primed array's name.
+        array: String,
+    },
+    /// An identifier was referenced but never declared.
+    UnknownArray {
+        /// The unresolved name.
+        name: String,
+    },
+    /// An array was declared twice.
+    DuplicateArray {
+        /// The redeclared name.
+        name: String,
+    },
+    /// A statement's covering region (possibly shifted by a direction)
+    /// escapes the bounds of an array it references.
+    RegionOutOfBounds {
+        /// The array whose bounds were exceeded.
+        array: String,
+        /// The offending region vs the bounds.
+        detail: String,
+    },
+    /// Rank mismatch between a region/direction and an array.
+    RankMismatch {
+        /// Expected rank.
+        expected: usize,
+        /// Found rank.
+        found: usize,
+    },
+    /// An ordinary (non-scan) array statement whose self-references cannot
+    /// be satisfied by any loop order, requiring the executor's temporary
+    /// buffer fallback — reported only when the caller forbids buffering.
+    NeedsBuffer {
+        /// The array that would need a snapshot.
+        array: String,
+    },
+    /// Generic execution failure.
+    Exec {
+        /// What went wrong.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::PrimedNotDefined { array } => write!(
+                f,
+                "legality (i): primed array `{array}` is not defined in the scan block"
+            ),
+            Error::OverConstrained { detail } => write!(
+                f,
+                "legality (ii): scan block is over-constrained: {detail}"
+            ),
+            Error::MixedRank { expected, found } => write!(
+                f,
+                "legality (iii): all statements in a scan block must have the same rank \
+                 (expected {expected}, found {found})"
+            ),
+            Error::MixedRegion { detail } => write!(
+                f,
+                "legality (iv): all statements in a scan block must be covered by the same \
+                 region: {detail}"
+            ),
+            Error::PrimedParallelOperand { detail } => write!(
+                f,
+                "legality (v): parallel operators other than shift may not take primed \
+                 operands: {detail}"
+            ),
+            Error::PrimedZeroDirection { array } => write!(
+                f,
+                "primed reference `{array}'` must carry a non-zero direction"
+            ),
+            Error::UnknownArray { name } => write!(f, "unknown array `{name}`"),
+            Error::DuplicateArray { name } => write!(f, "array `{name}` declared twice"),
+            Error::RegionOutOfBounds { array, detail } => {
+                write!(f, "region escapes bounds of array `{array}`: {detail}")
+            }
+            Error::RankMismatch { expected, found } => {
+                write!(f, "rank mismatch: expected {expected}, found {found}")
+            }
+            Error::NeedsBuffer { array } => write!(
+                f,
+                "statement requires a temporary copy of `{array}` (no loop order preserves \
+                 array semantics) and buffering was forbidden"
+            ),
+            Error::Exec { detail } => write!(f, "execution error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_condition_numbers() {
+        let e = Error::PrimedNotDefined { array: "a".into() };
+        assert!(e.to_string().contains("(i)"));
+        let e = Error::OverConstrained { detail: "x".into() };
+        assert!(e.to_string().contains("(ii)"));
+        let e = Error::MixedRank { expected: 2, found: 1 };
+        assert!(e.to_string().contains("(iii)"));
+        let e = Error::MixedRegion { detail: "r".into() };
+        assert!(e.to_string().contains("(iv)"));
+        let e = Error::PrimedParallelOperand { detail: "op".into() };
+        assert!(e.to_string().contains("(v)"));
+    }
+
+    #[test]
+    fn errors_are_clone_and_eq() {
+        let e = Error::UnknownArray { name: "zz".into() };
+        assert_eq!(e.clone(), e);
+    }
+}

@@ -1,0 +1,333 @@
+//! Array expressions: the right-hand sides of array statements.
+//!
+//! An expression is a tree over scalar constants, *array references*
+//! (optionally shifted by a direction with `@` and optionally *primed*),
+//! index variables, and arithmetic operators. The prime operator (`a'@d`)
+//! is the paper's extension: a primed reference reads values written by
+//! previous iterations of the loop nest that implements the statement's
+//! scan block, turning an apparent anti-dependence into a loop-carried
+//! true dependence.
+
+use crate::index::{Offset, Point};
+
+/// Identifier of a declared array inside a [`crate::program::Program`].
+pub type ArrayId = usize;
+
+/// Binary operators on `f64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Minimum of the operands.
+    Min,
+    /// Maximum of the operands.
+    Max,
+    /// `a.powf(b)`.
+    Pow,
+}
+
+impl BinOp {
+    /// Apply the operator.
+    pub fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            BinOp::Add => a + b,
+            BinOp::Sub => a - b,
+            BinOp::Mul => a * b,
+            BinOp::Div => a / b,
+            BinOp::Min => a.min(b),
+            BinOp::Max => a.max(b),
+            BinOp::Pow => a.powf(b),
+        }
+    }
+}
+
+/// Unary operators on `f64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Negation.
+    Neg,
+    /// Absolute value.
+    Abs,
+    /// Square root.
+    Sqrt,
+    /// Natural exponential.
+    Exp,
+    /// Natural logarithm.
+    Ln,
+    /// Reciprocal (`1/x`).
+    Recip,
+    /// Sine.
+    Sin,
+    /// Cosine.
+    Cos,
+}
+
+impl UnaryOp {
+    /// Apply the operator.
+    pub fn apply(self, a: f64) -> f64 {
+        match self {
+            UnaryOp::Neg => -a,
+            UnaryOp::Abs => a.abs(),
+            UnaryOp::Sqrt => a.sqrt(),
+            UnaryOp::Exp => a.exp(),
+            UnaryOp::Ln => a.ln(),
+            UnaryOp::Recip => 1.0 / a,
+            UnaryOp::Sin => a.sin(),
+            UnaryOp::Cos => a.cos(),
+        }
+    }
+}
+
+/// A single array reference inside an expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReadRef<const R: usize> {
+    /// The referenced array.
+    pub id: ArrayId,
+    /// The shift offset (zero when no `@` is applied).
+    pub shift: Offset<R>,
+    /// Whether the reference is primed (`a'@d`).
+    pub primed: bool,
+}
+
+/// An array expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr<const R: usize> {
+    /// A scalar constant, replicated over the covering region.
+    Const(f64),
+    /// An array reference, optionally shifted and/or primed.
+    Read(ReadRef<R>),
+    /// The `k`-th coordinate of the covering region's current index, as
+    /// `f64` (ZPL's `Index1`, `Index2`, … arrays).
+    IndexVar(usize),
+    /// Unary operator application.
+    Unary(UnaryOp, Box<Expr<R>>),
+    /// Binary operator application.
+    Binary(BinOp, Box<Expr<R>>, Box<Expr<R>>),
+}
+
+/// Values an expression evaluation reads from its environment.
+pub trait EvalCtx<const R: usize> {
+    /// Read array `id` at absolute index `p`. `primed` distinguishes
+    /// references that must observe values written by this loop nest from
+    /// ordinary references (the executor decides what storage each reads).
+    fn read(&mut self, id: ArrayId, p: Point<R>, primed: bool) -> f64;
+}
+
+impl<const R: usize> Expr<R> {
+    /// A constant expression.
+    pub fn lit(v: f64) -> Self {
+        Expr::Const(v)
+    }
+
+    /// An unshifted, unprimed reference to `id`.
+    pub fn read(id: ArrayId) -> Self {
+        Expr::Read(ReadRef { id, shift: Offset::zero(), primed: false })
+    }
+
+    /// `id @ d` — shifted reference.
+    pub fn read_at(id: ArrayId, d: impl Into<Offset<R>>) -> Self {
+        Expr::Read(ReadRef { id, shift: d.into(), primed: false })
+    }
+
+    /// `id' @ d` — primed shifted reference.
+    pub fn read_primed_at(id: ArrayId, d: impl Into<Offset<R>>) -> Self {
+        Expr::Read(ReadRef { id, shift: d.into(), primed: true })
+    }
+
+    /// Apply a unary operator.
+    pub fn unary(self, op: UnaryOp) -> Self {
+        Expr::Unary(op, Box::new(self))
+    }
+
+    /// `min(self, rhs)`.
+    pub fn min(self, rhs: Expr<R>) -> Self {
+        Expr::Binary(BinOp::Min, Box::new(self), Box::new(rhs))
+    }
+
+    /// `max(self, rhs)`.
+    pub fn max(self, rhs: Expr<R>) -> Self {
+        Expr::Binary(BinOp::Max, Box::new(self), Box::new(rhs))
+    }
+
+    /// `sqrt(self)`.
+    pub fn sqrt(self) -> Self {
+        self.unary(UnaryOp::Sqrt)
+    }
+
+    /// `1/self`.
+    pub fn recip(self) -> Self {
+        self.unary(UnaryOp::Recip)
+    }
+
+    /// Collect every [`ReadRef`] in the tree (pre-order).
+    pub fn reads(&self) -> Vec<ReadRef<R>> {
+        let mut out = Vec::new();
+        self.collect_reads(&mut out);
+        out
+    }
+
+    fn collect_reads(&self, out: &mut Vec<ReadRef<R>>) {
+        match self {
+            Expr::Const(_) | Expr::IndexVar(_) => {}
+            Expr::Read(r) => out.push(*r),
+            Expr::Unary(_, e) => e.collect_reads(out),
+            Expr::Binary(_, a, b) => {
+                a.collect_reads(out);
+                b.collect_reads(out);
+            }
+        }
+    }
+
+    /// Evaluate at covering index `p` against `ctx`, left-to-right.
+    pub fn eval<C: EvalCtx<R>>(&self, p: Point<R>, ctx: &mut C) -> f64 {
+        match self {
+            Expr::Const(v) => *v,
+            Expr::IndexVar(k) => p[*k] as f64,
+            Expr::Read(r) => ctx.read(r.id, p + r.shift, r.primed),
+            Expr::Unary(op, e) => op.apply(e.eval(p, ctx)),
+            Expr::Binary(op, a, b) => {
+                let va = a.eval(p, ctx);
+                let vb = b.eval(p, ctx);
+                op.apply(va, vb)
+            }
+        }
+    }
+
+    /// Number of scalar floating-point operations one evaluation performs
+    /// (used by cost models and the machine simulator).
+    pub fn flop_count(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Read(_) | Expr::IndexVar(_) => 0,
+            Expr::Unary(_, e) => 1 + e.flop_count(),
+            Expr::Binary(_, a, b) => 1 + a.flop_count() + b.flop_count(),
+        }
+    }
+}
+
+impl<const R: usize> std::ops::Add for Expr<R> {
+    type Output = Expr<R>;
+    fn add(self, rhs: Expr<R>) -> Expr<R> {
+        Expr::Binary(BinOp::Add, Box::new(self), Box::new(rhs))
+    }
+}
+
+impl<const R: usize> std::ops::Sub for Expr<R> {
+    type Output = Expr<R>;
+    fn sub(self, rhs: Expr<R>) -> Expr<R> {
+        Expr::Binary(BinOp::Sub, Box::new(self), Box::new(rhs))
+    }
+}
+
+impl<const R: usize> std::ops::Mul for Expr<R> {
+    type Output = Expr<R>;
+    fn mul(self, rhs: Expr<R>) -> Expr<R> {
+        Expr::Binary(BinOp::Mul, Box::new(self), Box::new(rhs))
+    }
+}
+
+impl<const R: usize> std::ops::Div for Expr<R> {
+    type Output = Expr<R>;
+    fn div(self, rhs: Expr<R>) -> Expr<R> {
+        Expr::Binary(BinOp::Div, Box::new(self), Box::new(rhs))
+    }
+}
+
+impl<const R: usize> std::ops::Neg for Expr<R> {
+    type Output = Expr<R>;
+    fn neg(self) -> Expr<R> {
+        Expr::Unary(UnaryOp::Neg, Box::new(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct MapCtx(std::collections::HashMap<(ArrayId, [i64; 2], bool), f64>);
+
+    impl EvalCtx<2> for MapCtx {
+        fn read(&mut self, id: ArrayId, p: Point<2>, primed: bool) -> f64 {
+            *self.0.get(&(id, p.0, primed)).unwrap_or(&f64::NAN)
+        }
+    }
+
+    #[test]
+    fn binop_semantics() {
+        assert_eq!(BinOp::Add.apply(2.0, 3.0), 5.0);
+        assert_eq!(BinOp::Sub.apply(2.0, 3.0), -1.0);
+        assert_eq!(BinOp::Mul.apply(2.0, 3.0), 6.0);
+        assert_eq!(BinOp::Div.apply(3.0, 2.0), 1.5);
+        assert_eq!(BinOp::Min.apply(2.0, 3.0), 2.0);
+        assert_eq!(BinOp::Max.apply(2.0, 3.0), 3.0);
+        assert_eq!(BinOp::Pow.apply(2.0, 3.0), 8.0);
+    }
+
+    #[test]
+    fn unaryop_semantics() {
+        assert_eq!(UnaryOp::Neg.apply(2.0), -2.0);
+        assert_eq!(UnaryOp::Abs.apply(-2.0), 2.0);
+        assert_eq!(UnaryOp::Sqrt.apply(9.0), 3.0);
+        assert_eq!(UnaryOp::Recip.apply(4.0), 0.25);
+        assert!((UnaryOp::Exp.apply(0.0) - 1.0).abs() < 1e-15);
+        assert!((UnaryOp::Ln.apply(1.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn eval_reads_through_ctx_with_shift_and_prime() {
+        let mut m = std::collections::HashMap::new();
+        m.insert((0, [1, 2], false), 10.0);
+        m.insert((0, [0, 2], true), 100.0);
+        let mut ctx = MapCtx(m);
+        // a + a'@north at (1,2)
+        let e = Expr::read(0) + Expr::read_primed_at(0, [-1, 0]);
+        assert_eq!(e.eval(Point([1, 2]), &mut ctx), 110.0);
+    }
+
+    #[test]
+    fn index_var_evaluates_to_coordinate() {
+        let mut ctx = MapCtx(Default::default());
+        let e = Expr::<2>::IndexVar(0) * Expr::lit(10.0) + Expr::IndexVar(1);
+        assert_eq!(e.eval(Point([3, 7]), &mut ctx), 37.0);
+    }
+
+    #[test]
+    fn reads_collects_all_references_in_order() {
+        let e: Expr<2> = Expr::read_at(1, [-1, 0]) * Expr::read(2)
+            + Expr::read_primed_at(1, [0, -1]);
+        let rs = e.reads();
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs[0].id, 1);
+        assert_eq!(rs[0].shift, Offset([-1, 0]));
+        assert!(!rs[0].primed);
+        assert_eq!(rs[1].id, 2);
+        assert!(rs[2].primed);
+        assert_eq!(rs[2].shift, Offset([0, -1]));
+    }
+
+    #[test]
+    fn flop_count_counts_operators() {
+        let e: Expr<2> = (Expr::read(0) + Expr::read(1)) * Expr::lit(2.0);
+        assert_eq!(e.flop_count(), 2);
+        let e = -(Expr::<2>::read(0).sqrt());
+        assert_eq!(e.flop_count(), 2);
+        assert_eq!(Expr::<2>::lit(1.0).flop_count(), 0);
+    }
+
+    #[test]
+    fn operator_overloads_build_expected_tree() {
+        let e: Expr<2> = Expr::lit(1.0) - Expr::lit(2.0);
+        match e {
+            Expr::Binary(BinOp::Sub, a, b) => {
+                assert_eq!(*a, Expr::Const(1.0));
+                assert_eq!(*b, Expr::Const(2.0));
+            }
+            other => panic!("unexpected tree {other:?}"),
+        }
+    }
+}

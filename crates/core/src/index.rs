@@ -1,0 +1,226 @@
+//! Index points and offsets for rank-`R` index spaces.
+//!
+//! ZPL regions and arrays are rectangular index sets over `Z^R`; a [`Point`]
+//! names one index and an [`Offset`] is the difference of two points (the
+//! payload of a *direction*).
+
+use std::ops::{Add, Index, IndexMut, Neg, Sub};
+
+/// A point in a rank-`R` integer index space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Point<const R: usize>(pub [i64; R]);
+
+/// A displacement between two [`Point`]s. Directions (`north`, `south`, …)
+/// are named offsets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Offset<const R: usize>(pub [i64; R]);
+
+impl<const R: usize> Point<R> {
+    /// The origin (all zeros).
+    pub const fn zero() -> Self {
+        Point([0; R])
+    }
+
+    /// Number of dimensions.
+    pub const fn rank(&self) -> usize {
+        R
+    }
+
+    /// Coordinates as a slice.
+    pub fn coords(&self) -> &[i64; R] {
+        &self.0
+    }
+}
+
+impl<const R: usize> Offset<R> {
+    /// The zero offset.
+    pub const fn zero() -> Self {
+        Offset([0; R])
+    }
+
+    /// Number of dimensions.
+    pub const fn rank(&self) -> usize {
+        R
+    }
+
+    /// True when every component is zero.
+    pub fn is_zero(&self) -> bool {
+        self.0.iter().all(|&c| c == 0)
+    }
+
+    /// Components as a slice.
+    pub fn components(&self) -> &[i64; R] {
+        &self.0
+    }
+
+    /// The L1 norm (total number of index steps).
+    pub fn l1(&self) -> i64 {
+        self.0.iter().map(|c| c.abs()).sum()
+    }
+}
+
+impl<const R: usize> From<[i64; R]> for Point<R> {
+    fn from(v: [i64; R]) -> Self {
+        Point(v)
+    }
+}
+
+impl<const R: usize> From<[i64; R]> for Offset<R> {
+    fn from(v: [i64; R]) -> Self {
+        Offset(v)
+    }
+}
+
+impl<const R: usize> Index<usize> for Point<R> {
+    type Output = i64;
+    fn index(&self, i: usize) -> &i64 {
+        &self.0[i]
+    }
+}
+
+impl<const R: usize> IndexMut<usize> for Point<R> {
+    fn index_mut(&mut self, i: usize) -> &mut i64 {
+        &mut self.0[i]
+    }
+}
+
+impl<const R: usize> Index<usize> for Offset<R> {
+    type Output = i64;
+    fn index(&self, i: usize) -> &i64 {
+        &self.0[i]
+    }
+}
+
+impl<const R: usize> IndexMut<usize> for Offset<R> {
+    fn index_mut(&mut self, i: usize) -> &mut i64 {
+        &mut self.0[i]
+    }
+}
+
+impl<const R: usize> Add<Offset<R>> for Point<R> {
+    type Output = Point<R>;
+    fn add(self, o: Offset<R>) -> Point<R> {
+        let mut out = self.0;
+        for k in 0..R {
+            out[k] += o.0[k];
+        }
+        Point(out)
+    }
+}
+
+impl<const R: usize> Sub<Offset<R>> for Point<R> {
+    type Output = Point<R>;
+    fn sub(self, o: Offset<R>) -> Point<R> {
+        let mut out = self.0;
+        for k in 0..R {
+            out[k] -= o.0[k];
+        }
+        Point(out)
+    }
+}
+
+impl<const R: usize> Sub<Point<R>> for Point<R> {
+    type Output = Offset<R>;
+    fn sub(self, p: Point<R>) -> Offset<R> {
+        let mut out = self.0;
+        for k in 0..R {
+            out[k] -= p.0[k];
+        }
+        Offset(out)
+    }
+}
+
+impl<const R: usize> Add<Offset<R>> for Offset<R> {
+    type Output = Offset<R>;
+    fn add(self, o: Offset<R>) -> Offset<R> {
+        let mut out = self.0;
+        for k in 0..R {
+            out[k] += o.0[k];
+        }
+        Offset(out)
+    }
+}
+
+impl<const R: usize> Neg for Offset<R> {
+    type Output = Offset<R>;
+    fn neg(self) -> Offset<R> {
+        let mut out = self.0;
+        for c in &mut out {
+            *c = -*c;
+        }
+        Offset(out)
+    }
+}
+
+impl<const R: usize> std::fmt::Display for Point<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (k, c) in self.0.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl<const R: usize> std::fmt::Display for Offset<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (k, c) in self.0.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_offset_arithmetic_round_trips() {
+        let p = Point([3, 5]);
+        let o = Offset([-1, 2]);
+        assert_eq!(p + o, Point([2, 7]));
+        assert_eq!((p + o) - o, p);
+        assert_eq!((p + o) - p, o);
+    }
+
+    #[test]
+    fn neg_inverts_every_component() {
+        let o = Offset([-1, 0, 7]);
+        assert_eq!(-o, Offset([1, 0, -7]));
+        assert_eq!(-(-o), o);
+    }
+
+    #[test]
+    fn zero_offset_is_zero() {
+        assert!(Offset::<3>::zero().is_zero());
+        assert!(!Offset([0, 1]).is_zero());
+    }
+
+    #[test]
+    fn l1_norm() {
+        assert_eq!(Offset([-2, 3]).l1(), 5);
+        assert_eq!(Offset::<4>::zero().l1(), 0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Point([1, -2]).to_string(), "(1,-2)");
+        assert_eq!(Offset([0, 4, 5]).to_string(), "(0,4,5)");
+    }
+
+    #[test]
+    fn indexing() {
+        let mut p = Point([9, 8]);
+        p[0] = 1;
+        assert_eq!(p[0], 1);
+        assert_eq!(p[1], 8);
+    }
+}

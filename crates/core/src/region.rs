@@ -1,0 +1,447 @@
+//! Regions — rectangular index sets, ZPL's central abstraction.
+//!
+//! A region is a dense rectangular subset of `Z^R` given by inclusive lower
+//! and upper bounds per dimension. Regions *cover* array statements,
+//! factoring the participating indices out of the statement text (Section
+//! 2.1 of the paper). This module provides the region algebra the executor
+//! and the distribution machinery need: membership, intersection, shifting
+//! by a direction, dimension-wise splitting, and iteration in an arbitrary
+//! loop order.
+
+use crate::index::{Offset, Point};
+
+/// A dense rectangular index set with inclusive bounds.
+///
+/// An *empty* region is represented canonically with `lo = [0;R]`,
+/// `hi = [-1;R]` so that all empty regions compare equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Region<const R: usize> {
+    lo: [i64; R],
+    hi: [i64; R],
+}
+
+impl<const R: usize> Region<R> {
+    /// A rectangular region `[lo_1..hi_1, …]` with inclusive bounds.
+    /// If any dimension is inverted (`lo > hi`) the region is empty.
+    pub fn rect(lo: [i64; R], hi: [i64; R]) -> Self {
+        if (0..R).any(|k| lo[k] > hi[k]) {
+            Self::empty()
+        } else {
+            Region { lo, hi }
+        }
+    }
+
+    /// The canonical empty region.
+    pub fn empty() -> Self {
+        Region { lo: [0; R], hi: [-1; R] }
+    }
+
+    /// True when the region contains no indices.
+    pub fn is_empty(&self) -> bool {
+        (0..R).any(|k| self.lo[k] > self.hi[k])
+    }
+
+    /// Inclusive lower bounds.
+    pub fn lo(&self) -> [i64; R] {
+        self.lo
+    }
+
+    /// Inclusive upper bounds.
+    pub fn hi(&self) -> [i64; R] {
+        self.hi
+    }
+
+    /// Extent (number of indices) of dimension `k`.
+    pub fn extent(&self, k: usize) -> i64 {
+        (self.hi[k] - self.lo[k] + 1).max(0)
+    }
+
+    /// Extents of all dimensions.
+    pub fn extents(&self) -> [i64; R] {
+        std::array::from_fn(|k| self.extent(k))
+    }
+
+    /// Total number of indices.
+    pub fn len(&self) -> usize {
+        if self.is_empty() {
+            return 0;
+        }
+        (0..R).map(|k| self.extent(k) as usize).product()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, p: Point<R>) -> bool {
+        (0..R).all(|k| self.lo[k] <= p[k] && p[k] <= self.hi[k])
+    }
+
+    /// True when `other` lies entirely inside `self`.
+    pub fn contains_region(&self, other: &Region<R>) -> bool {
+        other.is_empty()
+            || (0..R).all(|k| self.lo[k] <= other.lo[k] && other.hi[k] <= self.hi[k])
+    }
+
+    /// Translate the whole region by `d` (ZPL's `R@d` — the *at* operator on
+    /// regions). The shift operator on an array reads `A` at the covering
+    /// region translated by the direction.
+    pub fn translate(&self, d: Offset<R>) -> Self {
+        if self.is_empty() {
+            return *self;
+        }
+        let mut lo = self.lo;
+        let mut hi = self.hi;
+        for k in 0..R {
+            lo[k] += d[k];
+            hi[k] += d[k];
+        }
+        Region { lo, hi }
+    }
+
+    /// Intersection of two regions (also rectangular).
+    pub fn intersect(&self, other: &Region<R>) -> Self {
+        let mut lo = [0i64; R];
+        let mut hi = [0i64; R];
+        for k in 0..R {
+            lo[k] = self.lo[k].max(other.lo[k]);
+            hi[k] = self.hi[k].min(other.hi[k]);
+            if lo[k] > hi[k] {
+                return Self::empty();
+            }
+        }
+        Region { lo, hi }
+    }
+
+    /// Restrict dimension `k` to `[lo..hi]` (inclusive, clamped to the
+    /// region's own bounds).
+    pub fn slab(&self, k: usize, lo: i64, hi: i64) -> Self {
+        if self.is_empty() {
+            return *self;
+        }
+        let mut nlo = self.lo;
+        let mut nhi = self.hi;
+        nlo[k] = self.lo[k].max(lo);
+        nhi[k] = self.hi[k].min(hi);
+        if nlo[k] > nhi[k] {
+            Self::empty()
+        } else {
+            Region { lo: nlo, hi: nhi }
+        }
+    }
+
+    /// Partition dimension `k` into `parts` contiguous blocks, ZPL-style
+    /// block distribution: the first `extent % parts` blocks get one extra
+    /// index. Returns exactly `parts` regions (possibly empty when there
+    /// are more parts than indices).
+    pub fn block_split(&self, k: usize, parts: usize) -> Vec<Region<R>> {
+        assert!(parts > 0, "cannot split into zero parts");
+        let ext = self.extent(k).max(0) as usize;
+        let base = ext / parts;
+        let extra = ext % parts;
+        let mut out = Vec::with_capacity(parts);
+        let mut start = self.lo[k];
+        for i in 0..parts {
+            let sz = base + usize::from(i < extra);
+            if sz == 0 || self.is_empty() {
+                out.push(Self::empty());
+            } else {
+                out.push(self.slab(k, start, start + sz as i64 - 1));
+                start += sz as i64;
+            }
+        }
+        out
+    }
+
+    /// Split dimension `k` into consecutive chunks of at most `chunk`
+    /// indices — the tiling used by pipelined execution (block size `b`).
+    pub fn chunks(&self, k: usize, chunk: i64) -> Vec<Region<R>> {
+        assert!(chunk > 0, "chunk size must be positive");
+        if self.is_empty() {
+            return vec![];
+        }
+        let mut out = Vec::new();
+        let mut start = self.lo[k];
+        while start <= self.hi[k] {
+            let end = (start + chunk - 1).min(self.hi[k]);
+            out.push(self.slab(k, start, end));
+            start = end + 1;
+        }
+        out
+    }
+
+    /// Iterate the region in default order: dimension 0 outermost,
+    /// ascending in every dimension.
+    pub fn iter(&self) -> RegionIter<R> {
+        self.iter_with(&LoopStructureOrder::default_for_rank())
+    }
+
+    /// Iterate in an explicit loop order: `order[0]` is the outermost
+    /// dimension; `dirs[k]` gives the iteration direction of dimension `k`.
+    pub fn iter_with(&self, order: &LoopStructureOrder<R>) -> RegionIter<R> {
+        RegionIter::new(*self, order.clone())
+    }
+
+    /// The boundary slab of thickness `|d_k|` on the side of the region a
+    /// wavefront leaving in direction `-d` would send to its downstream
+    /// neighbour. Concretely: the indices of `self` whose translate by `d`
+    /// falls outside `self` in dimension `k`.
+    ///
+    /// Used by the runtime to compute which locally-owned values a
+    /// neighbouring processor's shifted reads need.
+    pub fn border(&self, k: usize, side_hi: bool, thickness: i64) -> Self {
+        if self.is_empty() || thickness <= 0 {
+            return Self::empty();
+        }
+        if side_hi {
+            self.slab(k, self.hi[k] - thickness + 1, self.hi[k])
+        } else {
+            self.slab(k, self.lo[k], self.lo[k] + thickness - 1)
+        }
+    }
+}
+
+/// Iteration order for a loop nest over a region: a permutation of the
+/// dimensions (outermost first) and a direction flag per dimension
+/// (`true` = ascending).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopStructureOrder<const R: usize> {
+    /// `order[0]` is the outermost loop's dimension index.
+    pub order: [usize; R],
+    /// `ascending[k]` is the direction of the loop over dimension `k`
+    /// (indexed by *dimension*, not by loop position).
+    pub ascending: [bool; R],
+}
+
+impl<const R: usize> LoopStructureOrder<R> {
+    /// Dimension 0 outermost, all ascending.
+    pub fn default_for_rank() -> Self {
+        LoopStructureOrder { order: std::array::from_fn(|k| k), ascending: [true; R] }
+    }
+
+    /// Validity: `order` must be a permutation of `0..R`.
+    pub fn is_valid(&self) -> bool {
+        let mut seen = [false; R];
+        for &d in &self.order {
+            if d >= R || seen[d] {
+                return false;
+            }
+            seen[d] = true;
+        }
+        true
+    }
+}
+
+/// Iterator over a region's points in a given loop order.
+#[derive(Debug, Clone)]
+pub struct RegionIter<const R: usize> {
+    region: Region<R>,
+    order: LoopStructureOrder<R>,
+    current: Point<R>,
+    done: bool,
+}
+
+impl<const R: usize> RegionIter<R> {
+    fn new(region: Region<R>, order: LoopStructureOrder<R>) -> Self {
+        debug_assert!(order.is_valid(), "invalid loop order");
+        let done = region.is_empty();
+        let mut current = Point::zero();
+        if !done {
+            for k in 0..R {
+                current[k] = if order.ascending[k] { region.lo[k] } else { region.hi[k] };
+            }
+        }
+        RegionIter { region, order, current, done }
+    }
+}
+
+impl<const R: usize> Iterator for RegionIter<R> {
+    type Item = Point<R>;
+
+    fn next(&mut self) -> Option<Point<R>> {
+        if self.done {
+            return None;
+        }
+        let out = self.current;
+        // Advance like an odometer, innermost loop (last in `order`) first.
+        for pos in (0..R).rev() {
+            let k = self.order.order[pos];
+            if self.order.ascending[k] {
+                if self.current[k] < self.region.hi[k] {
+                    self.current[k] += 1;
+                    return Some(out);
+                }
+                self.current[k] = self.region.lo[k];
+            } else {
+                if self.current[k] > self.region.lo[k] {
+                    self.current[k] -= 1;
+                    return Some(out);
+                }
+                self.current[k] = self.region.hi[k];
+            }
+        }
+        self.done = true;
+        Some(out)
+    }
+}
+
+impl<const R: usize> std::fmt::Display for Region<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_empty() {
+            return write!(f, "[empty]");
+        }
+        write!(f, "[")?;
+        for k in 0..R {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}..{}", self.lo[k], self.hi[k])?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_and_len() {
+        let r = Region::rect([2, 2], [4, 5]);
+        assert_eq!(r.len(), 3 * 4);
+        assert_eq!(r.extent(0), 3);
+        assert_eq!(r.extent(1), 4);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn inverted_bounds_are_empty_and_canonical() {
+        let r = Region::rect([5, 0], [3, 9]);
+        assert!(r.is_empty());
+        assert_eq!(r, Region::empty());
+        assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn contains_checks_all_dims() {
+        let r = Region::rect([1, 1], [3, 3]);
+        assert!(r.contains(Point([1, 3])));
+        assert!(!r.contains(Point([0, 2])));
+        assert!(!r.contains(Point([2, 4])));
+    }
+
+    #[test]
+    fn translate_shifts_bounds() {
+        let r = Region::rect([2, 2], [4, 4]).translate(Offset([-1, 0]));
+        assert_eq!(r, Region::rect([1, 2], [3, 4]));
+    }
+
+    #[test]
+    fn intersect_is_commutative_and_bounded() {
+        let a = Region::rect([0, 0], [5, 5]);
+        let b = Region::rect([3, -2], [8, 3]);
+        let i = a.intersect(&b);
+        assert_eq!(i, b.intersect(&a));
+        assert_eq!(i, Region::rect([3, 0], [5, 3]));
+        assert!(a.contains_region(&i));
+        assert!(b.contains_region(&i));
+    }
+
+    #[test]
+    fn disjoint_intersection_is_empty() {
+        let a = Region::rect([0], [2]);
+        let b = Region::rect([5], [9]);
+        assert!(a.intersect(&b).is_empty());
+    }
+
+    #[test]
+    fn block_split_covers_without_overlap() {
+        let r = Region::rect([1, 0], [10, 3]);
+        let parts = r.block_split(0, 3);
+        assert_eq!(parts.len(), 3);
+        // Extents 4, 3, 3.
+        assert_eq!(parts[0], Region::rect([1, 0], [4, 3]));
+        assert_eq!(parts[1], Region::rect([5, 0], [7, 3]));
+        assert_eq!(parts[2], Region::rect([8, 0], [10, 3]));
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        assert_eq!(total, r.len());
+    }
+
+    #[test]
+    fn block_split_more_parts_than_indices() {
+        let r = Region::rect([0], [1]);
+        let parts = r.block_split(0, 4);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts.iter().filter(|p| !p.is_empty()).count(), 2);
+    }
+
+    #[test]
+    fn chunks_tile_dimension() {
+        let r = Region::rect([0, 0], [3, 9]);
+        let tiles = r.chunks(1, 4);
+        assert_eq!(tiles.len(), 3);
+        assert_eq!(tiles[0].extent(1), 4);
+        assert_eq!(tiles[2].extent(1), 2);
+        let total: usize = tiles.iter().map(|t| t.len()).sum();
+        assert_eq!(total, r.len());
+    }
+
+    #[test]
+    fn default_iteration_is_row_major_ascending() {
+        let r = Region::rect([0, 0], [1, 1]);
+        let pts: Vec<_> = r.iter().collect();
+        assert_eq!(
+            pts,
+            vec![Point([0, 0]), Point([0, 1]), Point([1, 0]), Point([1, 1])]
+        );
+    }
+
+    #[test]
+    fn descending_outer_iteration() {
+        let r = Region::rect([0, 0], [1, 1]);
+        let order = LoopStructureOrder { order: [0, 1], ascending: [false, true] };
+        let pts: Vec<_> = r.iter_with(&order).collect();
+        assert_eq!(
+            pts,
+            vec![Point([1, 0]), Point([1, 1]), Point([0, 0]), Point([0, 1])]
+        );
+    }
+
+    #[test]
+    fn permuted_iteration_order() {
+        let r = Region::rect([0, 0], [1, 2]);
+        // Dimension 1 outermost.
+        let order = LoopStructureOrder { order: [1, 0], ascending: [true, true] };
+        let pts: Vec<_> = r.iter_with(&order).collect();
+        assert_eq!(
+            pts,
+            vec![
+                Point([0, 0]),
+                Point([1, 0]),
+                Point([0, 1]),
+                Point([1, 1]),
+                Point([0, 2]),
+                Point([1, 2])
+            ]
+        );
+    }
+
+    #[test]
+    fn iteration_count_matches_len() {
+        let r = Region::rect([-2, 3, 0], [1, 5, 2]);
+        assert_eq!(r.iter().count(), r.len());
+        assert_eq!(Region::<2>::empty().iter().count(), 0);
+    }
+
+    #[test]
+    fn border_slabs() {
+        let r = Region::rect([1, 1], [8, 8]);
+        assert_eq!(r.border(0, true, 1), Region::rect([8, 1], [8, 8]));
+        assert_eq!(r.border(0, false, 2), Region::rect([1, 1], [2, 8]));
+        assert!(r.border(0, true, 0).is_empty());
+    }
+
+    #[test]
+    fn slab_clamps() {
+        let r = Region::rect([0, 0], [9, 9]);
+        assert_eq!(r.slab(1, -5, 3), Region::rect([0, 0], [9, 3]));
+        assert!(r.slab(0, 20, 30).is_empty());
+    }
+}

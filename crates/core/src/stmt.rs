@@ -1,0 +1,196 @@
+//! Array statements and scan blocks.
+//!
+//! A [`Statement`] assigns an expression to an array over a covering
+//! region. A plain block is a sequence of ordinary array statements (each
+//! implemented by its own loop nest, with full array semantics). A *scan
+//! block* — the paper's new compound statement — fuses its statements into
+//! a single loop nest in which primed references read values produced by
+//! earlier iterations of that nest.
+
+use crate::expr::{ArrayId, Expr, ReadRef};
+use crate::index::Offset;
+use crate::region::Region;
+
+/// A full reduction operator (ZPL's `op<<`). Reductions are *parallel
+/// operators*: legality condition (v) forbids primed operands, and the
+/// compiler hoists them out of scan blocks into temporaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceOp {
+    /// `+<<` — sum.
+    Sum,
+    /// `min<<`.
+    Min,
+    /// `max<<`.
+    Max,
+}
+
+impl ReduceOp {
+    /// The identity element of the reduction.
+    pub fn identity(self) -> f64 {
+        match self {
+            ReduceOp::Sum => 0.0,
+            ReduceOp::Min => f64::INFINITY,
+            ReduceOp::Max => f64::NEG_INFINITY,
+        }
+    }
+
+    /// Combine an accumulator with a new value.
+    pub fn apply(self, acc: f64, v: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => acc + v,
+            ReduceOp::Min => acc.min(v),
+            ReduceOp::Max => acc.max(v),
+        }
+    }
+}
+
+/// One array assignment: `lhs := rhs` over the covering region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Statement<const R: usize> {
+    /// The array written (left-hand side references are unshifted).
+    pub lhs: ArrayId,
+    /// The right-hand side expression.
+    pub rhs: Expr<R>,
+}
+
+impl<const R: usize> Statement<R> {
+    /// Construct a statement.
+    pub fn new(lhs: ArrayId, rhs: Expr<R>) -> Self {
+        Statement { lhs, rhs }
+    }
+
+    /// All array references on the right-hand side.
+    pub fn reads(&self) -> Vec<ReadRef<R>> {
+        self.rhs.reads()
+    }
+}
+
+/// Whether a block is a plain statement sequence or a scan block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// Ordinary array statements: each statement is its own loop nest and
+    /// sees full array semantics (RHS evaluated entirely before the
+    /// assignment takes effect).
+    Plain,
+    /// A scan block: all statements fuse into one loop nest; primed
+    /// references read values written by previous iterations of that nest.
+    Scan,
+}
+
+/// A group of statements covered by a single region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block<const R: usize> {
+    /// The covering region (legality condition (iv): one region covers all
+    /// statements of a scan block).
+    pub region: Region<R>,
+    /// Plain or scan.
+    pub kind: BlockKind,
+    /// The statements, in lexical order.
+    pub stmts: Vec<Statement<R>>,
+}
+
+impl<const R: usize> Block<R> {
+    /// A plain block holding a single statement.
+    pub fn stmt(region: Region<R>, lhs: ArrayId, rhs: Expr<R>) -> Self {
+        Block { region, kind: BlockKind::Plain, stmts: vec![Statement::new(lhs, rhs)] }
+    }
+
+    /// A scan block.
+    pub fn scan(region: Region<R>, stmts: Vec<Statement<R>>) -> Self {
+        Block { region, kind: BlockKind::Scan, stmts }
+    }
+
+    /// A plain block of several statements.
+    pub fn plain(region: Region<R>, stmts: Vec<Statement<R>>) -> Self {
+        Block { region, kind: BlockKind::Plain, stmts }
+    }
+
+    /// The set of arrays written by this block.
+    pub fn written(&self) -> Vec<ArrayId> {
+        let mut out: Vec<ArrayId> = self.stmts.iter().map(|s| s.lhs).collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// The directions of every primed reference in the block.
+    pub fn primed_directions(&self) -> Vec<Offset<R>> {
+        let mut out = Vec::new();
+        for s in &self.stmts {
+            for r in s.reads() {
+                if r.primed {
+                    out.push(r.shift);
+                }
+            }
+        }
+        out
+    }
+
+    /// True when any reference in the block is primed.
+    pub fn has_primed(&self) -> bool {
+        self.stmts
+            .iter()
+            .any(|s| s.reads().iter().any(|r| r.primed))
+    }
+
+    /// Total scalar flops one full sweep of the block performs.
+    pub fn flops(&self) -> usize {
+        let per_point: usize = self.stmts.iter().map(|s| s.rhs.flop_count()).sum();
+        per_point * self.region.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r() -> Region<2> {
+        Region::rect([1, 1], [4, 4])
+    }
+
+    #[test]
+    fn written_deduplicates_and_sorts() {
+        let b = Block::plain(
+            r(),
+            vec![
+                Statement::new(3, Expr::lit(1.0)),
+                Statement::new(1, Expr::lit(2.0)),
+                Statement::new(3, Expr::lit(3.0)),
+            ],
+        );
+        assert_eq!(b.written(), vec![1, 3]);
+    }
+
+    #[test]
+    fn primed_directions_finds_only_primed() {
+        let b = Block::scan(
+            r(),
+            vec![Statement::new(
+                0,
+                Expr::read_primed_at(0, [-1, 0]) + Expr::read_at(1, [0, 1]),
+            )],
+        );
+        assert_eq!(b.primed_directions(), vec![Offset([-1, 0])]);
+        assert!(b.has_primed());
+    }
+
+    #[test]
+    fn plain_single_statement_constructor() {
+        let b = Block::stmt(r(), 0, Expr::read_at(0, [-1, 0]) * Expr::lit(2.0));
+        assert_eq!(b.kind, BlockKind::Plain);
+        assert_eq!(b.stmts.len(), 1);
+        assert!(!b.has_primed());
+    }
+
+    #[test]
+    fn flops_scale_with_region_and_statements() {
+        let b = Block::scan(
+            r(),
+            vec![
+                Statement::new(0, Expr::read(1) * Expr::lit(2.0)), // 1 flop
+                Statement::new(1, Expr::read(0) + Expr::read(1) + Expr::lit(1.0)), // 2 flops
+            ],
+        );
+        assert_eq!(b.flops(), 3 * 16);
+    }
+}

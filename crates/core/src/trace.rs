@@ -1,0 +1,117 @@
+//! Execution observation hooks.
+//!
+//! The executor reports every array element read and write to an
+//! [`AccessSink`]. The cache simulator crate drives its model off this
+//! trace; the counting sink below supports cost accounting and tests.
+
+use crate::expr::ArrayId;
+
+/// Observer of the executor's memory accesses.
+///
+/// `linear` is the element offset within the array under its declared
+/// layout (so a column-major array reports Fortran-order offsets). Sinks
+/// that model memory multiply by the element size and add a per-array
+/// base address.
+pub trait AccessSink {
+    /// An element of `id` was read.
+    fn read(&mut self, id: ArrayId, linear: usize);
+    /// An element of `id` was written.
+    fn write(&mut self, id: ArrayId, linear: usize);
+    /// `n` scalar floating-point operations were performed.
+    fn flops(&mut self, n: usize);
+}
+
+/// A sink that ignores everything (the fast path).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoSink;
+
+impl AccessSink for NoSink {
+    #[inline(always)]
+    fn read(&mut self, _: ArrayId, _: usize) {}
+    #[inline(always)]
+    fn write(&mut self, _: ArrayId, _: usize) {}
+    #[inline(always)]
+    fn flops(&mut self, _: usize) {}
+}
+
+/// A sink that counts accesses.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CountingSink {
+    /// Total element reads.
+    pub reads: usize,
+    /// Total element writes.
+    pub writes: usize,
+    /// Total scalar flops.
+    pub flops: usize,
+}
+
+impl AccessSink for CountingSink {
+    fn read(&mut self, _: ArrayId, _: usize) {
+        self.reads += 1;
+    }
+    fn write(&mut self, _: ArrayId, _: usize) {
+        self.writes += 1;
+    }
+    fn flops(&mut self, n: usize) {
+        self.flops += n;
+    }
+}
+
+/// A sink that forwards each access to a closure; handy for tests and for
+/// building address traces without a dedicated type.
+pub struct FnSink<F: FnMut(Access)> {
+    f: F,
+}
+
+/// One observed access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Element read: (array, linear offset).
+    Read(ArrayId, usize),
+    /// Element write: (array, linear offset).
+    Write(ArrayId, usize),
+}
+
+impl<F: FnMut(Access)> FnSink<F> {
+    /// Wrap a closure.
+    pub fn new(f: F) -> Self {
+        FnSink { f }
+    }
+}
+
+impl<F: FnMut(Access)> AccessSink for FnSink<F> {
+    fn read(&mut self, id: ArrayId, linear: usize) {
+        (self.f)(Access::Read(id, linear));
+    }
+    fn write(&mut self, id: ArrayId, linear: usize) {
+        (self.f)(Access::Write(id, linear));
+    }
+    fn flops(&mut self, _: usize) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_sink_accumulates() {
+        let mut s = CountingSink::default();
+        s.read(0, 1);
+        s.read(1, 2);
+        s.write(0, 3);
+        s.flops(4);
+        s.flops(1);
+        assert_eq!(s, CountingSink { reads: 2, writes: 1, flops: 5 });
+    }
+
+    #[test]
+    fn fn_sink_forwards_in_order() {
+        let mut log = Vec::new();
+        {
+            let mut s = FnSink::new(|a| log.push(a));
+            s.write(7, 9);
+            s.read(1, 0);
+        }
+        assert_eq!(log, vec![Access::Write(7, 9), Access::Read(1, 0)]);
+    }
+}

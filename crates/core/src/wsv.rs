@@ -1,0 +1,312 @@
+//! Wavefront summary vectors (WSV) — the programmer-facing legality and
+//! parallelism reasoning tool of Section 2.2.
+//!
+//! Given the set of directions appearing with primed references, each
+//! dimension is summarized by the sign function
+//!
+//! ```text
+//! f(i,j) = 0  if i = j = 0
+//!        = ±  if i·j < 0
+//!        = +  if i·j ≥ 0 and (i > 0 or j > 0)
+//!        = −  if i·j ≥ 0 and (i < 0 or j < 0)
+//! ```
+//!
+//! folded over all direction pairs. A WSV is *simple* when no component is
+//! `±`; simple WSVs are always legal (a wavefront can travel along any
+//! non-zero dimension, always referring to values "behind" it).
+
+use crate::index::Offset;
+
+/// The sign summary of one dimension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// All primed shifts are zero in this dimension.
+    Zero,
+    /// All non-zero shifts are positive.
+    Plus,
+    /// All non-zero shifts are negative.
+    Minus,
+    /// Mixed signs (`±`).
+    PlusMinus,
+}
+
+impl Sign {
+    /// The paper's `f(i, j)` on two scalars.
+    pub fn combine_scalars(i: i64, j: i64) -> Sign {
+        if i == 0 && j == 0 {
+            Sign::Zero
+        } else if i * j < 0 {
+            Sign::PlusMinus
+        } else if i > 0 || j > 0 {
+            Sign::Plus
+        } else {
+            Sign::Minus
+        }
+    }
+
+    /// Fold a new scalar into an existing summary.
+    pub fn fold(self, x: i64) -> Sign {
+        match (self, x.signum()) {
+            (s, 0) => s,
+            (Sign::Zero, 1) | (Sign::Plus, 1) => Sign::Plus,
+            (Sign::Zero, -1) | (Sign::Minus, -1) => Sign::Minus,
+            (Sign::Plus, -1) | (Sign::Minus, 1) | (Sign::PlusMinus, _) => Sign::PlusMinus,
+            _ => unreachable!("signum returns -1, 0, or 1"),
+        }
+    }
+}
+
+impl std::fmt::Display for Sign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Sign::Zero => write!(f, "0"),
+            Sign::Plus => write!(f, "+"),
+            Sign::Minus => write!(f, "-"),
+            Sign::PlusMinus => write!(f, "±"),
+        }
+    }
+}
+
+/// How a dimension participates in the parallel execution of a wavefront
+/// (Section 2.2, "Wavefront Dimensions and Parallelism").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DimParallelism {
+    /// No dependence component: the dimension is completely parallel.
+    FullyParallel,
+    /// A wavefront travels along this dimension; pipelining recovers
+    /// parallelism here.
+    Pipelined,
+    /// The dimension is serialized (no parallelism).
+    Serialized,
+}
+
+/// A wavefront summary vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Wsv<const R: usize>(pub [Sign; R]);
+
+impl<const R: usize> Wsv<R> {
+    /// Build the WSV of a set of primed-reference directions.
+    ///
+    /// An empty set yields the all-zero WSV (no wavefront).
+    pub fn from_directions<I>(dirs: I) -> Self
+    where
+        I: IntoIterator<Item = Offset<R>>,
+    {
+        let mut signs = [Sign::Zero; R];
+        for d in dirs {
+            for k in 0..R {
+                signs[k] = signs[k].fold(d[k]);
+            }
+        }
+        Wsv(signs)
+    }
+
+    /// True when no component is `±`.
+    pub fn is_simple(&self) -> bool {
+        self.0.iter().all(|s| *s != Sign::PlusMinus)
+    }
+
+    /// True when every component is zero (no wavefront at all).
+    pub fn is_trivial(&self) -> bool {
+        self.0.iter().all(|s| *s == Sign::Zero)
+    }
+
+    /// The programmer's approximation of per-dimension parallelism, using
+    /// the paper's three cases:
+    ///
+    /// * **(i)** the WSV contains at least one `0`: `+`/`−` dimensions are
+    ///   pipelined, `0` dimensions fully parallel, `±` dimensions
+    ///   serialized;
+    /// * **(ii)** no `0` and at least one `±`: all but the `±` dimensions
+    ///   are pipelined, `±` dimensions serialized;
+    /// * **(iii)** only `+`/`−` entries: one dimension (the leftmost by
+    ///   default, overridable with `wavefront_choice`) is the pipelined
+    ///   wavefront dimension and the rest are serialized.
+    pub fn classify(&self, wavefront_choice: Option<usize>) -> [DimParallelism; R] {
+        let has_zero = self.0.contains(&Sign::Zero);
+        let has_pm = self.0.contains(&Sign::PlusMinus);
+        let mut out = [DimParallelism::Serialized; R];
+        if has_zero {
+            for k in 0..R {
+                out[k] = match self.0[k] {
+                    Sign::Zero => DimParallelism::FullyParallel,
+                    Sign::Plus | Sign::Minus => DimParallelism::Pipelined,
+                    Sign::PlusMinus => DimParallelism::Serialized,
+                };
+            }
+        } else if has_pm {
+            for k in 0..R {
+                out[k] = match self.0[k] {
+                    Sign::PlusMinus => DimParallelism::Serialized,
+                    _ => DimParallelism::Pipelined,
+                };
+            }
+        } else {
+            // Case (iii): all + / −. One dimension carries the wavefront.
+            let chosen = wavefront_choice.unwrap_or(0).min(R - 1);
+            out[chosen] = DimParallelism::Pipelined;
+        }
+        out
+    }
+
+    /// Dimensions classified as pipelined wavefront dimensions.
+    pub fn wavefront_dims(&self, wavefront_choice: Option<usize>) -> Vec<usize> {
+        self.classify(wavefront_choice)
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c == DimParallelism::Pipelined)
+            .map(|(k, _)| k)
+            .collect()
+    }
+
+    /// Dimensions classified as completely parallel.
+    pub fn parallel_dims(&self) -> Vec<usize> {
+        self.classify(None)
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c == DimParallelism::FullyParallel)
+            .map(|(k, _)| k)
+            .collect()
+    }
+}
+
+impl<const R: usize> std::fmt::Display for Wsv<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (k, s) in self.0.iter().enumerate() {
+            if k > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wsv(dirs: &[[i64; 2]]) -> Wsv<2> {
+        Wsv::from_directions(dirs.iter().map(|d| Offset(*d)))
+    }
+
+    #[test]
+    fn f_matches_paper_definition() {
+        assert_eq!(Sign::combine_scalars(0, 0), Sign::Zero);
+        assert_eq!(Sign::combine_scalars(-1, 2), Sign::PlusMinus);
+        assert_eq!(Sign::combine_scalars(1, 2), Sign::Plus);
+        assert_eq!(Sign::combine_scalars(0, 3), Sign::Plus);
+        assert_eq!(Sign::combine_scalars(-1, -2), Sign::Minus);
+        assert_eq!(Sign::combine_scalars(-1, 0), Sign::Minus);
+    }
+
+    // The four worked WSV examples from Section 2.2 ("Assumptions and
+    // Definitions").
+    #[test]
+    fn paper_wsv_examples() {
+        assert_eq!(wsv(&[[-1, 0], [-2, 0]]).0, [Sign::Minus, Sign::Zero]);
+        assert_eq!(
+            wsv(&[[-1, 0], [-2, 0], [-1, 2]]).0,
+            [Sign::Minus, Sign::Plus]
+        );
+        assert_eq!(wsv(&[[-1, 0], [0, -1]]).0, [Sign::Minus, Sign::Minus]);
+        assert_eq!(
+            wsv(&[[-1, 0], [1, -2]]).0,
+            [Sign::PlusMinus, Sign::Minus]
+        );
+    }
+
+    #[test]
+    fn simplicity_matches_paper_examples() {
+        assert!(wsv(&[[-1, 0], [-2, 0]]).is_simple());
+        assert!(wsv(&[[-1, 0], [-2, 0], [-1, 2]]).is_simple());
+        assert!(wsv(&[[-1, 0], [0, -1]]).is_simple());
+        assert!(!wsv(&[[-1, 0], [1, -2]]).is_simple());
+    }
+
+    // Section 2.2 "Examples" 1–4 (classification part; exact legality is
+    // tested in the loops module).
+    #[test]
+    fn example_1_first_dim_wavefront_second_parallel() {
+        // d1 = d2 = (-1, 0) → WSV (-, 0), case (i).
+        let w = wsv(&[[-1, 0], [-1, 0]]);
+        assert_eq!(w.0, [Sign::Minus, Sign::Zero]);
+        let c = w.classify(None);
+        assert_eq!(c[0], DimParallelism::Pipelined);
+        assert_eq!(c[1], DimParallelism::FullyParallel);
+        assert_eq!(w.wavefront_dims(None), vec![0]);
+        assert_eq!(w.parallel_dims(), vec![1]);
+    }
+
+    #[test]
+    fn example_2_case_iii_choice() {
+        // d1 = (-1,0), d2 = (0,-1) → WSV (-,-), case (iii). The paper
+        // "defines it to travel along the second" dimension: pipelined
+        // parallelism in dim 1, dim 0 serialized.
+        let w = wsv(&[[-1, 0], [0, -1]]);
+        let c = w.classify(Some(1));
+        assert_eq!(c[0], DimParallelism::Serialized);
+        assert_eq!(c[1], DimParallelism::Pipelined);
+        // Default choice is the leftmost entry.
+        let c = w.classify(None);
+        assert_eq!(c[0], DimParallelism::Pipelined);
+        assert_eq!(c[1], DimParallelism::Serialized);
+    }
+
+    #[test]
+    fn example_3_case_ii() {
+        // d1 = (-1,0), d2 = (1,1) → WSV (±,+), case (ii): second dimension
+        // is the wavefront dimension, first serialized.
+        let w = wsv(&[[-1, 0], [1, 1]]);
+        assert_eq!(w.0, [Sign::PlusMinus, Sign::Plus]);
+        let c = w.classify(None);
+        assert_eq!(c[0], DimParallelism::Serialized);
+        assert_eq!(c[1], DimParallelism::Pipelined);
+        assert_eq!(w.wavefront_dims(None), vec![1]);
+    }
+
+    #[test]
+    fn example_4_not_simple() {
+        // d1 = (0,-1), d2 = (0,1) → WSV (0,±): not simple; dim 1 cannot be
+        // satisfied by any loop order (exact check lives in loops.rs).
+        let w = wsv(&[[0, -1], [0, 1]]);
+        assert_eq!(w.0, [Sign::Zero, Sign::PlusMinus]);
+        assert!(!w.is_simple());
+        let c = w.classify(None);
+        assert_eq!(c[0], DimParallelism::FullyParallel);
+        assert_eq!(c[1], DimParallelism::Serialized);
+    }
+
+    #[test]
+    fn tomcatv_trivial_wsv() {
+        // Only north appears primed in the Tomcatv fragment → WSV (-, 0).
+        let w = wsv(&[[-1, 0]]);
+        assert_eq!(w.to_string(), "(-,0)");
+        assert!(w.is_simple());
+        assert!(!w.is_trivial());
+        assert_eq!(w.wavefront_dims(None), vec![0]);
+        assert_eq!(w.parallel_dims(), vec![1]);
+    }
+
+    #[test]
+    fn empty_direction_set_is_trivial() {
+        let w = Wsv::<3>::from_directions(std::iter::empty());
+        assert!(w.is_trivial());
+        assert!(w.is_simple());
+        assert!(w.wavefront_dims(None).is_empty());
+    }
+
+    #[test]
+    fn fold_is_order_insensitive_for_sign_summary() {
+        let a = wsv(&[[-1, 0], [2, 0], [0, 5]]);
+        let b = wsv(&[[0, 5], [2, 0], [-1, 0]]);
+        assert_eq!(a, b);
+        assert_eq!(a.0, [Sign::PlusMinus, Sign::Plus]);
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        assert_eq!(wsv(&[[-1, 0], [1, -2]]).to_string(), "(±,-)");
+    }
+}

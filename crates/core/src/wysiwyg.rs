@@ -1,0 +1,221 @@
+//! ZPL's WYSIWYG performance model, applied to compiled programs.
+//!
+//! The paper grounds its communication assumptions in "ZPL's WYSIWYG
+//! performance model" (Chamberlain et al., HIPS'98): because all arrays
+//! are aligned and block distributed, the *syntax* of a statement tells
+//! the programmer its parallel cost class — element-wise statements are
+//! free of communication, each `@` may induce nearest-neighbour
+//! ("point-to-point") transfers, reductions cost a log-tree, and scan
+//! blocks serialize along their wavefront dimensions unless pipelined.
+//! This module computes those classes so tools (e.g. `wlc check`) can
+//! show the programmer exactly what the model promises.
+
+use crate::exec::{CompiledNest, CompiledOp, CompiledProgram};
+use crate::index::Offset;
+
+/// The communication class of one operation, ordered by cost.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum CostClass {
+    /// No shifts, no reduction: pure element-wise parallelism.
+    ElementWise,
+    /// Shift operators only: nearest-neighbour boundary exchange.
+    PointToPoint {
+        /// The distinct shift offsets involved (as component vectors).
+        shifts: Vec<Vec<i64>>,
+    },
+    /// A reduction: `O(log p)` combining tree plus broadcast.
+    LogTree,
+    /// A wavefront: serialized along its wavefront dimensions unless
+    /// pipelined.
+    Wavefront {
+        /// The wavefront dimensions.
+        dims: Vec<usize>,
+        /// Whether the runtime can pipeline (an orthogonal dimension
+        /// exists).
+        pipelinable: bool,
+    },
+}
+
+impl std::fmt::Display for CostClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CostClass::ElementWise => write!(f, "element-wise (no communication)"),
+            CostClass::PointToPoint { shifts } => {
+                write!(f, "point-to-point (shifts: ")?;
+                for (i, s) in shifts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "({})", s.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(","))?;
+                }
+                write!(f, ")")
+            }
+            CostClass::LogTree => write!(f, "reduction (log-tree + broadcast)"),
+            CostClass::Wavefront { dims, pipelinable } => write!(
+                f,
+                "wavefront along {dims:?} ({})",
+                if *pipelinable { "pipelinable" } else { "serial" }
+            ),
+        }
+    }
+}
+
+/// Classify one nest.
+pub fn classify_nest<const R: usize>(nest: &CompiledNest<R>) -> CostClass {
+    if !nest.structure.wavefront_dims.is_empty() {
+        let dims = nest.structure.wavefront_dims.clone();
+        // Pipelinable when some dimension is not a wavefront dimension
+        // (an orthogonal dimension to tile) and extends beyond one index.
+        let pipelinable = (0..R)
+            .any(|k| !dims.contains(&k) && nest.region.extent(k) > 1);
+        return CostClass::Wavefront { dims, pipelinable };
+    }
+    let mut shifts: Vec<Vec<i64>> = nest
+        .stmts
+        .iter()
+        .flat_map(|s| s.rhs.reads())
+        .filter(|r| !r.shift.is_zero())
+        .map(|r| r.shift.components().to_vec())
+        .collect();
+    shifts.sort();
+    shifts.dedup();
+    if shifts.is_empty() {
+        CostClass::ElementWise
+    } else {
+        CostClass::PointToPoint { shifts }
+    }
+}
+
+/// Classify every operation of a compiled program, in order. Blocks with
+/// several nests yield one class per nest.
+pub fn classify_program<const R: usize>(compiled: &CompiledProgram<R>) -> Vec<CostClass> {
+    let mut out = Vec::new();
+    for op in &compiled.ops {
+        match op {
+            CompiledOp::Block(b) => out.extend(b.nests.iter().map(classify_nest)),
+            CompiledOp::Reduce(_) => out.push(CostClass::LogTree),
+        }
+    }
+    out
+}
+
+/// Helper for diagnostics: the worst (most expensive) class present.
+pub fn worst_class<const R: usize>(compiled: &CompiledProgram<R>) -> Option<CostClass> {
+    classify_program(compiled).into_iter().max()
+}
+
+/// True when `shift` crosses a block boundary of a distribution along
+/// `dim` — i.e. when the WYSIWYG model predicts a message for it.
+pub fn shift_communicates<const R: usize>(shift: Offset<R>, dim: usize) -> bool {
+    shift[dim] != 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    fn classes(build: impl FnOnce(&mut Program<2>, ArrayId, ArrayId)) -> Vec<CostClass> {
+        let mut p = Program::<2>::new();
+        let bounds = Region::rect([0, 0], [9, 9]);
+        let a = p.array("a", bounds);
+        let b = p.array("b", bounds);
+        build(&mut p, a, b);
+        classify_program(&compile(&p).unwrap())
+    }
+
+    #[test]
+    fn element_wise_statements_are_free() {
+        let c = classes(|p, a, b| {
+            p.stmt(Region::rect([0, 0], [9, 9]), a, Expr::read(b) * Expr::lit(2.0));
+        });
+        assert_eq!(c, vec![CostClass::ElementWise]);
+    }
+
+    #[test]
+    fn shifts_are_point_to_point() {
+        let c = classes(|p, a, b| {
+            p.stmt(
+                Region::rect([1, 1], [8, 8]),
+                a,
+                Expr::read_at(b, [-1, 0]) + Expr::read_at(b, [0, 1]),
+            );
+        });
+        match &c[0] {
+            CostClass::PointToPoint { shifts } => {
+                assert_eq!(shifts.len(), 2);
+                assert!(shifts.contains(&vec![-1, 0]));
+                assert!(shifts.contains(&vec![0, 1]));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn reductions_are_log_tree() {
+        let c = classes(|p, a, b| {
+            p.reduce(
+                Region::rect([0, 0], [9, 9]),
+                ReduceOp::Sum,
+                Expr::read(b),
+                a,
+                Region::rect([0, 0], [0, 0]),
+            );
+        });
+        assert_eq!(c, vec![CostClass::LogTree]);
+    }
+
+    #[test]
+    fn scans_are_wavefronts_and_pipelinable_when_2d() {
+        let c = classes(|p, a, b| {
+            p.stmt(
+                Region::rect([1, 0], [9, 9]),
+                a,
+                Expr::read_primed_at(a, [-1, 0]) + Expr::read(b),
+            );
+        });
+        assert_eq!(
+            c,
+            vec![CostClass::Wavefront { dims: vec![0], pipelinable: true }]
+        );
+    }
+
+    #[test]
+    fn rank1_wavefront_is_serial() {
+        let mut p = Program::<1>::new();
+        let bounds = Region::rect([0], [9]);
+        let a = p.array("a", bounds);
+        p.stmt(
+            Region::rect([1], [9]),
+            a,
+            Expr::read_primed_at(a, [-1]) + Expr::lit(1.0),
+        );
+        let c = classify_program(&compile(&p).unwrap());
+        assert_eq!(
+            c,
+            vec![CostClass::Wavefront { dims: vec![0], pipelinable: false }]
+        );
+    }
+
+    #[test]
+    fn worst_class_ordering() {
+        let c = classes(|p, a, b| {
+            p.stmt(Region::rect([0, 0], [9, 9]), a, Expr::read(b));
+            p.stmt(
+                Region::rect([1, 0], [9, 9]),
+                a,
+                Expr::read_primed_at(a, [-1, 0]),
+            );
+        });
+        assert_eq!(c.len(), 2);
+        assert!(matches!(c.iter().max(), Some(CostClass::Wavefront { .. })));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let c = CostClass::Wavefront { dims: vec![0], pipelinable: true };
+        assert!(c.to_string().contains("pipelinable"));
+        let c = CostClass::PointToPoint { shifts: vec![vec![-1, 0]] };
+        assert!(c.to_string().contains("(-1,0)"));
+    }
+}

@@ -1,0 +1,109 @@
+//! The Jacobi iteration — the classic ZPL example and this suite's
+//! fully-parallel control kernel (no wavefront anywhere).
+
+use wavefront_core::array::Layout;
+use wavefront_core::index::Point;
+use wavefront_core::program::Store;
+use wavefront_lang::{compile_str, LangError, Lowered};
+
+/// One Jacobi step with convergence measure: the four-point stencil of
+/// the paper's Section 2.1 example.
+pub const SOURCE: &str = "
+    region Big   = [0..n+1, 0..n+1];
+    region Inner = [1..n, 1..n];
+    direction north = (-1, 0);
+    direction south = (1, 0);
+    direction west  = (0, -1);
+    direction east  = (0, 1);
+
+    var a, b  : [Big] float;
+    var delta : [1..1, 1..1] float;
+
+    [Inner] a := (b@north + b@south + b@west + b@east) / 4.0;
+    [Inner] delta := max<< abs(a - b);
+    [Inner] b := a;
+";
+
+/// Build one Jacobi step on an `(n+2)²` grid.
+pub fn build(n: i64) -> Result<Lowered<2>, LangError> {
+    assert!(n >= 1);
+    compile_str::<2>(SOURCE, &[("n", n)], Layout::ColMajor)
+}
+
+/// Hot west boundary, cold elsewhere.
+pub fn init(lowered: &Lowered<2>, store: &mut Store<2>) {
+    let big = lowered.region("Big").expect("Big exists");
+    let b = lowered.array("b").expect("b exists");
+    for p in big.iter() {
+        store.get_mut(b).set(p, if p[1] == 0 { 100.0 } else { 0.0 });
+    }
+}
+
+/// Run steps until `delta < tol` or `max_steps`, returning the step
+/// count.
+pub fn run_to_convergence(
+    lowered: &Lowered<2>,
+    store: &mut Store<2>,
+    tol: f64,
+    max_steps: usize,
+) -> usize {
+    let delta = lowered.array("delta").expect("delta exists");
+    for step in 1..=max_steps {
+        wavefront_core::exec::execute(&lowered.program, store).expect("jacobi executes");
+        if store.get(delta).get(Point([1, 1])) < tol {
+            return step;
+        }
+    }
+    max_steps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavefront_core::prelude::*;
+
+    #[test]
+    fn no_wavefront_anywhere() {
+        let lo = build(16).unwrap();
+        let compiled = compile(&lo.program).unwrap();
+        assert!(compiled.nests().all(|n| !n.is_scan));
+        assert!(compiled
+            .nests()
+            .all(|n| n.structure.wavefront_dims.is_empty()));
+    }
+
+    #[test]
+    fn heat_diffuses_from_the_hot_wall() {
+        let lo = build(8).unwrap();
+        let mut store = Store::new(&lo.program);
+        init(&lo, &mut store);
+        let steps = run_to_convergence(&lo, &mut store, 1e-3, 10_000);
+        assert!(steps < 10_000, "did not converge");
+        let b = lo.array("b").unwrap();
+        // Monotone decay away from the hot wall.
+        let mid = 4;
+        let near = store.get(b).get(Point([mid, 1]));
+        let far = store.get(b).get(Point([mid, 8]));
+        assert!(near > far, "near {near} far {far}");
+        assert!(near > 0.0 && near < 100.0);
+    }
+
+    #[test]
+    fn one_step_matches_hand_stencil() {
+        let lo = build(4).unwrap();
+        let mut store = Store::new(&lo.program);
+        init(&lo, &mut store);
+        let before = store.clone();
+        execute(&lo.program, &mut store).unwrap();
+        let a = lo.array("a").unwrap();
+        let b = lo.array("b").unwrap();
+        for p in lo.region("Inner").unwrap().iter() {
+            let expect = (before.get(b).get(p + Offset([-1, 0]))
+                + before.get(b).get(p + Offset([1, 0]))
+                + before.get(b).get(p + Offset([0, -1]))
+                + before.get(b).get(p + Offset([0, 1])))
+                / 4.0;
+            assert_eq!(store.get(a).get(p), expect, "at {p}");
+        }
+    }
+}

@@ -1,0 +1,19 @@
+#![warn(missing_docs)]
+
+//! # wavefront-kernels
+//!
+//! The benchmark applications of the paper's evaluation, written in the
+//! WL mini-language (plus hand-written references for validation):
+//! [`tomcatv`] and [`simple`] — the paper's two benchmarks, each with two
+//! wavefront components — and the wavefront suite the paper's future work
+//! calls for: a SWEEP3D-style transport sweep ([`sweep3d`]), Gauss–Seidel
+//! SOR ([`sor`]), Smith–Waterman dynamic programming
+//! ([`smith_waterman`]), and Jacobi as the fully-parallel control
+//! ([`jacobi`]).
+
+pub mod jacobi;
+pub mod simple;
+pub mod smith_waterman;
+pub mod sor;
+pub mod sweep3d;
+pub mod tomcatv;

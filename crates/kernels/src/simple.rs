@@ -1,0 +1,228 @@
+//! The SIMPLE benchmark (Crowley, Hendrickson & Luby, LLNL 1978), WL
+//! edition — the paper's second benchmark.
+//!
+//! SIMPLE is a 2-D Lagrangian hydrodynamics code with heat conduction.
+//! The hydro phases (velocity/position update, artificial viscosity,
+//! equation of state) are fully parallel stencils; the heat-conduction
+//! phase solves an implicit diffusion system whose alternating sweeps are
+//! the benchmark's **two wavefront components**: a west→east forward
+//! elimination and a north→south forward elimination (the alternating
+//! directions of an ADI-style solver).
+
+use wavefront_core::array::Layout;
+use wavefront_core::program::Store;
+use wavefront_lang::{compile_str, LangError, Lowered};
+
+/// The WL source of one SIMPLE timestep (`n` host-supplied).
+pub const SOURCE: &str = "
+    region Big   = [1..n, 1..n];
+    region Inner = [2..n-1, 2..n-1];
+    direction north = (-1, 0);
+    direction south = (1, 0);
+    direction west  = (0, -1);
+    direction east  = (0, 1);
+
+    -- State: velocities, coordinates, density, energy, pressure,
+    -- viscosity, temperature, conduction coefficients.
+    var u, v, xc, yc   : [Big] float;
+    var rho, e, p, q   : [Big] float;
+    var t, kap, dcoef  : [Big] float;
+    var wrk, tsum      : [Big] float;
+    var dtc            : [1..1, 1..1] float;
+
+    -- Phase 1 (parallel): pressure gradient accelerates the mesh.
+    [Inner] begin
+        u := u - 0.5 * (p@east - p@west + q@east - q@west);
+        v := v - 0.5 * (p@south - p@north + q@south - q@north);
+        xc := xc + 0.05 * u;
+        yc := yc + 0.05 * v;
+    end;
+
+    -- Phase 2 (parallel): artificial viscosity and EOS update.
+    [Inner] begin
+        q := 0.25 * abs(u@east - u@west) * abs(v@south - v@north) * rho;
+        rho := rho * (1.0 - 0.01 * (u@east - u@west + v@south - v@north));
+        e := e + 0.01 * p * (u@east - u@west + v@south - v@north);
+        p := 0.4 * rho * e + 0.001;
+        t := e / (0.1 + 0.4 * rho);
+        kap := 0.2 + 0.01 * t;
+    end;
+
+    -- Phase 3 (wavefront 1): heat-conduction forward elimination,
+    -- west to east.
+    [Inner] scan begin
+        dcoef := 1.0 / (2.0 + kap - kap * dcoef'@west);
+        wrk   := (t + kap * wrk'@west) * dcoef;
+    end;
+
+    -- Phase 4 (wavefront 2): the alternate-direction sweep, north to
+    -- south.
+    [Inner] scan begin
+        tsum := (wrk + kap * tsum'@north) * dcoef;
+        t    := 0.5 * t + 0.5 * tsum;
+    end;
+
+    -- Conduction-limited timestep estimate (reduction).
+    [Inner] dtc := min<< (rho / (kap + 0.0001));
+";
+
+/// Build one SIMPLE timestep for an `n × n` mesh.
+pub fn build(n: i64) -> Result<Lowered<2>, LangError> {
+    assert!(n >= 6, "simple needs n >= 6");
+    compile_str::<2>(SOURCE, &[("n", n)], Layout::ColMajor)
+}
+
+/// Build the *no-scan-block* formulation of the timestep: the two
+/// conduction wavefronts become explicit per-slice plain blocks (the
+/// Fortran 90 style of the paper's Figure 1(b)); all other phases are
+/// unchanged. Used by the Figure 6 cache experiment.
+pub fn build_noscan(n: i64) -> Result<Lowered<2>, LangError> {
+    assert!(n >= 6, "simple needs n >= 6");
+    let mut src = String::new();
+    src.push_str(
+        "
+        region Big   = [1..n, 1..n];
+        region Inner = [2..n-1, 2..n-1];
+        direction north = (-1, 0);
+        direction south = (1, 0);
+        direction west  = (0, -1);
+        direction east  = (0, 1);
+        var u, v, xc, yc   : [Big] float;
+        var rho, e, p, q   : [Big] float;
+        var t, kap, dcoef  : [Big] float;
+        var wrk, tsum      : [Big] float;
+        var dtc            : [1..1, 1..1] float;
+        [Inner] begin
+            u := u - 0.5 * (p@east - p@west + q@east - q@west);
+            v := v - 0.5 * (p@south - p@north + q@south - q@north);
+            xc := xc + 0.05 * u;
+            yc := yc + 0.05 * v;
+        end;
+        [Inner] begin
+            q := 0.25 * abs(u@east - u@west) * abs(v@south - v@north) * rho;
+            rho := rho * (1.0 - 0.01 * (u@east - u@west + v@south - v@north));
+            e := e + 0.01 * p * (u@east - u@west + v@south - v@north);
+            p := 0.4 * rho * e + 0.001;
+            t := e / (0.1 + 0.4 * rho);
+            kap := 0.2 + 0.01 * t;
+        end;
+        ",
+    );
+    // Wavefront 1 unrolled column-by-column (west → east): each slice's
+    // implicit loop walks dimension 0, which IS the contiguous dimension
+    // of the column-major arrays — so this sweep stays cheap, and the
+    // cache damage comes from wavefront 2, matching the asymmetric grey
+    // bars of Figure 6.
+    for j in 2..=(n - 1) {
+        src.push_str(&format!(
+            "[2..n-1, {j}..{j}] begin
+                dcoef := 1.0 / (2.0 + kap - kap * dcoef@west);
+                wrk   := (t + kap * wrk@west) * dcoef;
+            end;\n"
+        ));
+    }
+    // Wavefront 2 unrolled row-by-row (north → south): stride-n slices.
+    for i in 2..=(n - 1) {
+        src.push_str(&format!(
+            "[{i}..{i}, 2..n-1] begin
+                tsum := (wrk + kap * tsum@north) * dcoef;
+                t    := 0.5 * t + 0.5 * tsum;
+            end;\n"
+        ));
+    }
+    src.push_str("[Inner] dtc := min<< (rho / (kap + 0.0001));\n");
+    compile_str::<2>(&src, &[("n", n)], Layout::ColMajor)
+}
+
+/// Deterministic physically-flavoured initial state: a hot Gaussian spot
+/// in a quiescent gas.
+pub fn init(lowered: &Lowered<2>, store: &mut Store<2>) {
+    let big = lowered.region("Big").expect("Big exists");
+    let n = big.hi()[0] as f64;
+    let id = |name: &str| lowered.array(name).expect("declared");
+    for p in big.iter() {
+        let (i, j) = (p[0] as f64, p[1] as f64);
+        let (ci, cj) = ((i - n / 2.0) / n, (j - n / 2.0) / n);
+        let hot = (-(ci * ci + cj * cj) * 20.0).exp();
+        store.get_mut(id("rho")).set(p, 1.0 + 0.1 * hot);
+        store.get_mut(id("e")).set(p, 0.5 + 2.0 * hot);
+        store.get_mut(id("p")).set(p, 0.4 * (1.0 + 0.1 * hot) * (0.5 + 2.0 * hot));
+        store.get_mut(id("t")).set(p, 0.5 + hot);
+        store.get_mut(id("kap")).set(p, 0.2);
+        store.get_mut(id("xc")).set(p, j / n);
+        store.get_mut(id("yc")).set(p, i / n);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavefront_core::prelude::*;
+
+    #[test]
+    fn builds_with_two_orthogonal_wavefronts() {
+        let lo = build(16).unwrap();
+        let compiled = compile(&lo.program).unwrap();
+        let scans: Vec<_> = compiled.nests().filter(|n| n.is_scan).collect();
+        assert_eq!(scans.len(), 2);
+        // First wavefront travels along dimension 1 (west→east), the
+        // second along dimension 0 (north→south): the orthogonal pair
+        // that motivates distributing either dimension.
+        assert_eq!(scans[0].structure.wavefront_dims, vec![1]);
+        assert_eq!(scans[1].structure.wavefront_dims, vec![0]);
+    }
+
+    #[test]
+    fn executes_to_finite_state() {
+        let lo = build(20).unwrap();
+        let mut store = Store::new(&lo.program);
+        init(&lo, &mut store);
+        execute(&lo.program, &mut store).unwrap();
+        for name in ["u", "v", "rho", "e", "p", "t", "wrk", "tsum"] {
+            let id = lo.array(name).unwrap();
+            for p in lo.region("Inner").unwrap().iter() {
+                let v = store.get(id).get(p);
+                assert!(v.is_finite(), "{name}[{p}] = {v}");
+            }
+        }
+        let dtc = lo.array("dtc").unwrap();
+        let v = store.get(dtc).get(Point([1, 1]));
+        assert!(v.is_finite() && v > 0.0, "dtc = {v}");
+    }
+
+    #[test]
+    fn noscan_formulation_matches_scan_bitwise() {
+        let n = 12;
+        let scan = build(n).unwrap();
+        let noscan = build_noscan(n).unwrap();
+        let mut s1 = Store::new(&scan.program);
+        init(&scan, &mut s1);
+        let mut s2 = Store::new(&noscan.program);
+        init(&noscan, &mut s2);
+        execute(&scan.program, &mut s1).unwrap();
+        execute(&noscan.program, &mut s2).unwrap();
+        let inner = scan.region("Inner").unwrap();
+        for name in ["t", "wrk", "tsum", "dcoef", "rho", "e"] {
+            let a = scan.array(name).unwrap();
+            let b = noscan.array(name).unwrap();
+            assert!(
+                s1.get(a).region_eq(s2.get(b), inner),
+                "{name} differs between formulations"
+            );
+        }
+    }
+
+    #[test]
+    fn timestepping_is_stable_for_a_few_steps() {
+        let lo = build(16).unwrap();
+        let mut store = Store::new(&lo.program);
+        init(&lo, &mut store);
+        for _ in 0..5 {
+            execute(&lo.program, &mut store).unwrap();
+        }
+        let e = lo.array("e").unwrap();
+        for p in lo.region("Inner").unwrap().iter() {
+            assert!(store.get(e).get(p).is_finite());
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! A SWEEP3D-style discrete-ordinates transport sweep, WL edition.
+//!
+//! The ASCI SWEEP3D benchmark (Koch, Baker & Alcouffe) solves the
+//! first-order form of the 3-D discrete-ordinates transport equations:
+//! for each angular octant, a wavefront sweeps the whole grid from the
+//! inflow corner, each cell consuming the upwind fluxes of its three
+//! upstream neighbours. The paper's introduction singles this benchmark
+//! out: its Fortran+MPI core is 626 lines, only 179 fundamental — here
+//! each octant is a three-line scan block.
+
+use wavefront_core::array::Layout;
+use wavefront_core::index::{Offset, Point};
+use wavefront_core::program::Store;
+use wavefront_lang::{compile_str, LangError, Lowered};
+
+/// One octant's sweep: cell flux from the three upwind neighbours plus
+/// scattering source, then absorption into the scalar flux tally.
+pub const SOURCE_OCTANT: &str = "
+    region Grid  = [1..n, 1..n, 1..n];
+    region Cells = [2..n, 2..n, 2..n];
+    direction upi = (di, 0, 0);
+    direction upj = (0, dj, 0);
+    direction upk = (0, 0, dk);
+
+    var flux, src, sigt, phi : [Grid] float;
+
+    [Cells] scan begin
+        flux := (src + 0.3 * flux'@upi + 0.3 * flux'@upj + 0.3 * flux'@upk)
+                / (1.0 + sigt);
+        phi  := phi + 0.125 * flux;
+    end;
+";
+
+/// The eight octants as the sign pattern of the upwind directions.
+pub const OCTANTS: [[i64; 3]; 8] = [
+    [-1, -1, -1],
+    [-1, -1, 1],
+    [-1, 1, -1],
+    [-1, 1, 1],
+    [1, -1, -1],
+    [1, -1, 1],
+    [1, 1, -1],
+    [1, 1, 1],
+];
+
+/// Build the sweep for one octant of an `n³` grid. `octant` gives the
+/// upwind direction signs `(di, dj, dk)`.
+///
+/// The covering region is clipped so every upwind reference stays in
+/// bounds regardless of the octant's orientation.
+pub fn build_octant(n: i64, octant: [i64; 3]) -> Result<Lowered<3>, LangError> {
+    assert!(n >= 4, "sweep3d needs n >= 4");
+    assert!(octant.iter().all(|&d| d == 1 || d == -1), "octant signs must be ±1");
+    // Clip the region: an upwind shift of −1 needs lo ≥ 2; +1 needs
+    // hi ≤ n−1. Rewrite the Cells region per octant via host constants.
+    let src = SOURCE_OCTANT.replace(
+        "region Cells = [2..n, 2..n, 2..n];",
+        &format!(
+            "region Cells = [{}, {}, {}];",
+            clip(octant[0]),
+            clip(octant[1]),
+            clip(octant[2])
+        ),
+    );
+    compile_str::<3>(
+        &src,
+        &[("n", n), ("di", octant[0]), ("dj", octant[1]), ("dk", octant[2])],
+        Layout::ColMajor,
+    )
+}
+
+fn clip(sign: i64) -> &'static str {
+    if sign < 0 {
+        "2..n"
+    } else {
+        "1..n-1"
+    }
+}
+
+/// The rank-4 octant sweep with an explicit angle dimension — closer to
+/// the real benchmark, where each octant carries a batch of discrete
+/// ordinates and the implementation pipelines *angle blocks* through the
+/// processor mesh. Dimension 0 is the angle (fully parallel: each
+/// ordinate sweeps independently); dimensions 1–3 carry the wavefront.
+pub const SOURCE_ANGLES: &str = "
+    region Grid  = [1..na, 1..n, 1..n, 1..n];
+    region Cells = [1..na, 2..n, 2..n, 2..n];
+    direction upi = (0, -1, 0, 0);
+    direction upj = (0, 0, -1, 0);
+    direction upk = (0, 0, 0, -1);
+
+    var flux, src, sigt, phi : [Grid] float;
+
+    [Cells] scan begin
+        flux := (src + 0.3 * flux'@upi + 0.3 * flux'@upj + 0.3 * flux'@upk)
+                / (1.0 + sigt);
+        phi  := phi + 0.125 * flux;
+    end;
+";
+
+/// Build the rank-4 sweep: `na` angles over an `n³` grid (the `(-1,-1,-1)`
+/// octant; other octants follow by the same clipping as
+/// [`build_octant`]).
+pub fn build_octant_angles(n: i64, na: i64) -> Result<Lowered<4>, LangError> {
+    assert!(n >= 4 && na >= 1);
+    compile_str::<4>(SOURCE_ANGLES, &[("n", n), ("na", na)], Layout::ColMajor)
+}
+
+/// Initialize a uniform source and total cross-section.
+pub fn init(lowered: &Lowered<3>, store: &mut Store<3>) {
+    let grid = lowered.region("Grid").expect("Grid exists");
+    let src = lowered.array("src").expect("src exists");
+    let sigt = lowered.array("sigt").expect("sigt exists");
+    for p in grid.iter() {
+        store.get_mut(src).set(p, 1.0);
+        store.get_mut(sigt).set(p, 0.5 + 0.001 * ((p[0] + p[1] + p[2]) % 7) as f64);
+    }
+}
+
+/// Hand-written reference sweep for one octant (triple loop in upwind
+/// order) used to validate the 3-D scan-block semantics.
+pub fn reference_octant(lowered: &Lowered<3>, store: &mut Store<3>, octant: [i64; 3]) {
+    let cells = lowered.region("Cells").expect("Cells exists");
+    let id = |name: &str| lowered.array(name).expect("declared");
+    let (flux, src, sigt, phi) = (id("flux"), id("src"), id("sigt"), id("phi"));
+    let axis = |k: usize| -> Vec<i64> {
+        let r: Vec<i64> = (cells.lo()[k]..=cells.hi()[k]).collect();
+        if octant[k] < 0 {
+            r
+        } else {
+            r.into_iter().rev().collect()
+        }
+    };
+    for i in axis(0) {
+        for j in axis(1) {
+            for k in axis(2) {
+                let p = Point([i, j, k]);
+                let up = |d: [i64; 3]| store.get(flux).get(p + Offset(d));
+                let f = (store.get(src).get(p)
+                    + 0.3 * up([octant[0], 0, 0])
+                    + 0.3 * up([0, octant[1], 0])
+                    + 0.3 * up([0, 0, octant[2]]))
+                    / (1.0 + store.get(sigt).get(p));
+                store.get_mut(flux).set(p, f);
+                let ph = store.get(phi).get(p) + 0.125 * f;
+                store.get_mut(phi).set(p, ph);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavefront_core::prelude::*;
+
+    #[test]
+    fn octant_wavefront_spans_all_three_dimensions() {
+        let lo = build_octant(8, [-1, -1, -1]).unwrap();
+        let compiled = compile(&lo.program).unwrap();
+        let nest = compiled.nest(0);
+        assert!(nest.is_scan);
+        assert_eq!(nest.structure.wavefront_dims, vec![0, 1, 2]);
+        assert_eq!(nest.wsv.to_string(), "(-,-,-)");
+    }
+
+    #[test]
+    fn all_octants_compile_with_correct_orientations() {
+        for octant in OCTANTS {
+            let lo = build_octant(6, octant).unwrap();
+            let compiled = compile(&lo.program).unwrap();
+            let nest = compiled.nest(0);
+            for k in 0..3 {
+                // Upwind shift −1 ⇒ the loop ascends; +1 ⇒ descends.
+                assert_eq!(
+                    nest.structure.order.ascending[k],
+                    octant[k] < 0,
+                    "octant {octant:?} dim {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scan_matches_reference_for_every_octant() {
+        for octant in OCTANTS {
+            let lo = build_octant(7, octant).unwrap();
+            let mut scan_store = Store::new(&lo.program);
+            init(&lo, &mut scan_store);
+            let mut ref_store = scan_store.clone();
+            execute(&lo.program, &mut scan_store).unwrap();
+            reference_octant(&lo, &mut ref_store, octant);
+            let cells = lo.region("Cells").unwrap();
+            for name in ["flux", "phi"] {
+                let id = lo.array(name).unwrap();
+                assert!(
+                    scan_store.get(id).region_eq(ref_store.get(id), cells),
+                    "{name} differs for octant {octant:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rank4_angle_sweep_compiles_with_parallel_angle_dim() {
+        let lo = build_octant_angles(6, 4).unwrap();
+        let compiled = compile(&lo.program).unwrap();
+        let nest = compiled.nest(0);
+        assert!(nest.is_scan);
+        // Angles are fully parallel, the spatial dims carry the wave.
+        assert_eq!(nest.wsv.to_string(), "(0,-,-,-)");
+        assert_eq!(nest.structure.wavefront_dims, vec![1, 2, 3]);
+        assert_eq!(nest.wsv.parallel_dims(), vec![0]);
+    }
+
+    #[test]
+    fn rank4_angle_sweep_matches_per_angle_rank3_sweeps() {
+        // Each angle of the rank-4 sweep must equal an independent rank-3
+        // sweep (the angle dimension is embarrassingly parallel).
+        let (n, na) = (5i64, 3i64);
+        let lo4 = build_octant_angles(n, na).unwrap();
+        let mut s4 = Store::new(&lo4.program);
+        let grid4 = lo4.region("Grid").unwrap();
+        let id4 = |name: &str| lo4.array(name).unwrap();
+        for p in grid4.iter() {
+            s4.get_mut(id4("src")).set(p, 1.0 + 0.1 * (p[0] as f64));
+            s4.get_mut(id4("sigt")).set(p, 0.5 + 0.001 * ((p[1] + p[2] + p[3]) % 7) as f64);
+        }
+        execute(&lo4.program, &mut s4).unwrap();
+
+        for a in 1..=na {
+            let lo3 = build_octant(n, [-1, -1, -1]).unwrap();
+            let mut s3 = Store::new(&lo3.program);
+            let id3 = |name: &str| lo3.array(name).unwrap();
+            let grid3 = lo3.region("Grid").unwrap();
+            for p in grid3.iter() {
+                s3.get_mut(id3("src")).set(p, 1.0 + 0.1 * (a as f64));
+                s3.get_mut(id3("sigt"))
+                    .set(p, 0.5 + 0.001 * ((p[0] + p[1] + p[2]) % 7) as f64);
+            }
+            execute(&lo3.program, &mut s3).unwrap();
+            for p in lo3.region("Cells").unwrap().iter() {
+                let q = Point([a, p[0], p[1], p[2]]);
+                assert_eq!(
+                    s4.get(id4("flux")).get(q),
+                    s3.get(id3("flux")).get(p),
+                    "angle {a} flux at {p}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rank4_sweep_plans_angle_blocks() {
+        // On a 2-D mesh over (i, j), the planner should tile the ANGLE
+        // dimension (largest non-wave extent) — the real SWEEP3D's
+        // angle-block pipelining.
+        use wavefront_core::prelude::*;
+        let lo = build_octant_angles(6, 12).unwrap();
+        let compiled = compile(&lo.program).unwrap();
+        let nest = compiled.nest(0);
+        let plan = wavefront_plan2d(nest);
+        assert_eq!(plan.0, [1, 2]); // mesh dims
+        assert_eq!(plan.1, Some(0)); // tile dim = angles
+    }
+
+    /// Tiny helper: build a 2x2 mesh plan and return (wave_dims, tile_dim).
+    fn wavefront_plan2d(
+        nest: &wavefront_core::exec::CompiledNest<4>,
+    ) -> ([usize; 2], Option<usize>) {
+        // Inline to avoid a dev-dependency cycle on wavefront-pipeline:
+        // replicate the planner's selection rule for this assertion.
+        let dims = &nest.structure.wavefront_dims;
+        let wave = [dims[0], dims[1]];
+        let mut candidates: Vec<usize> = (0..4).filter(|k| !wave.contains(k)).collect();
+        candidates.sort_by_key(|&k| std::cmp::Reverse(nest.region.extent(k)));
+        (wave, candidates.first().copied())
+    }
+
+    #[test]
+    fn eight_octant_sweep_accumulates_phi() {
+        // Run all eight octants against one shared phi tally, SWEEP3D
+        // style (flux is per-octant scratch).
+        let n = 6;
+        let first = build_octant(n, OCTANTS[0]).unwrap();
+        let mut store = Store::new(&first.program);
+        init(&first, &mut store);
+        for octant in OCTANTS {
+            let lo = build_octant(n, octant).unwrap();
+            // Reset the flux scratch, keep src/sigt/phi.
+            store.get_mut(lo.array("flux").unwrap()).fill(0.0);
+            execute(&lo.program, &mut store).unwrap();
+        }
+        let phi = first.array("phi").unwrap();
+        let interior = Point([n / 2, n / 2, n / 2]);
+        let v = store.get(phi).get(interior);
+        assert!(v > 0.0 && v.is_finite());
+    }
+}

@@ -1,0 +1,181 @@
+//! The untyped AST of the WL mini-language.
+//!
+//! Rank is not fixed at parse time; semantic analysis checks that every
+//! region, direction, and statement agrees on one rank before lowering
+//! into the const-generic core representation.
+
+use crate::diag::Span;
+
+/// A compile-time integer expression (used in region bounds and
+/// direction components). Identifiers refer to `const` declarations or
+/// host-supplied constants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IntExpr {
+    /// Literal.
+    Lit(i64),
+    /// Named constant.
+    Const(String, Span),
+    /// Negation.
+    Neg(Box<IntExpr>),
+    /// Binary operator: one of `+ - * /`.
+    Bin(char, Box<IntExpr>, Box<IntExpr>),
+}
+
+/// One inclusive range `lo..hi` of a region literal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeAst {
+    /// Lower bound.
+    pub lo: IntExpr,
+    /// Upper bound.
+    pub hi: IntExpr,
+}
+
+/// A reference to a region: by name or as a literal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegionRef {
+    /// `[Inner]`
+    Named(String, Span),
+    /// `[2..n-1, 1..n]`
+    Lit(Vec<RangeAst>, Span),
+}
+
+impl RegionRef {
+    /// The reference's source location.
+    pub fn span(&self) -> Span {
+        match self {
+            RegionRef::Named(_, s) | RegionRef::Lit(_, s) => *s,
+        }
+    }
+}
+
+/// A value expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprAst {
+    /// Numeric literal.
+    Num(f64),
+    /// Array (or index-variable) reference, optionally primed and/or
+    /// shifted: `a`, `a@north`, `a'@north`.
+    Ref {
+        /// Identifier.
+        name: String,
+        /// Whether the reference is primed.
+        primed: bool,
+        /// Shift direction name, if any.
+        dir: Option<String>,
+        /// Location.
+        span: Span,
+    },
+    /// Unary negation.
+    Neg(Box<ExprAst>),
+    /// Binary operator: one of `+ - * /`.
+    Bin(char, Box<ExprAst>, Box<ExprAst>),
+    /// Intrinsic call: `sqrt(x)`, `min(a,b)`, `pow(a,b)`, …
+    Call {
+        /// Function name.
+        func: String,
+        /// Arguments.
+        args: Vec<ExprAst>,
+        /// Location.
+        span: Span,
+    },
+    /// Full reduction: `+<< e`, `min<< e`, `max<< e`.
+    Reduce {
+        /// `"+"`, `"min"`, or `"max"`.
+        op: String,
+        /// The reduced expression.
+        arg: Box<ExprAst>,
+        /// Location.
+        span: Span,
+    },
+}
+
+/// One assignment inside a block: `lhs := rhs ;`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssignAst {
+    /// Target array name.
+    pub lhs: String,
+    /// Right-hand side.
+    pub rhs: ExprAst,
+    /// Location.
+    pub span: Span,
+}
+
+/// A region-covered statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtAst {
+    /// `[R] lhs := rhs;`
+    Assign {
+        /// Covering region.
+        region: RegionRef,
+        /// The assignment.
+        assign: AssignAst,
+    },
+    /// `[R] scan begin … end;`
+    Scan {
+        /// Covering region (legality (iv): one region for the block).
+        region: RegionRef,
+        /// Body assignments.
+        body: Vec<AssignAst>,
+        /// Location.
+        span: Span,
+    },
+    /// `[R] begin … end;` — a plain statement sequence sharing a region.
+    Block {
+        /// Covering region.
+        region: RegionRef,
+        /// Body assignments.
+        body: Vec<AssignAst>,
+        /// Location.
+        span: Span,
+    },
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Item {
+    /// `const n = 512;`
+    Const {
+        /// Name.
+        name: String,
+        /// Value.
+        value: IntExpr,
+        /// Location.
+        span: Span,
+    },
+    /// `region Inner = [2..n-1, 2..n-1];`
+    Region {
+        /// Name.
+        name: String,
+        /// Bounds.
+        ranges: Vec<RangeAst>,
+        /// Location.
+        span: Span,
+    },
+    /// `direction north = (-1, 0);`
+    Direction {
+        /// Name.
+        name: String,
+        /// Components.
+        comps: Vec<IntExpr>,
+        /// Location.
+        span: Span,
+    },
+    /// `var a, b : [Big] float;`
+    Vars {
+        /// Declared names.
+        names: Vec<String>,
+        /// Bounds region.
+        region: RegionRef,
+        /// Location.
+        span: Span,
+    },
+    /// An executable statement.
+    Stmt(StmtAst),
+}
+
+/// A parsed program.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ProgramAst {
+    /// Items in source order.
+    pub items: Vec<Item>,
+}

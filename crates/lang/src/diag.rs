@@ -1,0 +1,82 @@
+//! Diagnostics for the WL front end.
+
+/// A source location (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Line number.
+    pub line: u32,
+    /// Column number.
+    pub col: u32,
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// An error from the lexer, parser, semantic analysis, or lowering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LangError {
+    /// Where (best effort).
+    pub span: Option<Span>,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl LangError {
+    /// Lexical error at a location.
+    pub fn lex(line: u32, col: u32, what: &str) -> Self {
+        LangError {
+            span: Some(Span { line, col }),
+            message: format!("unexpected input {what:?}"),
+        }
+    }
+
+    /// Error at a span.
+    pub fn at(span: Span, message: impl Into<String>) -> Self {
+        LangError { span: Some(span), message: message.into() }
+    }
+
+    /// Error without a precise location.
+    pub fn general(message: impl Into<String>) -> Self {
+        LangError { span: None, message: message.into() }
+    }
+}
+
+impl std::fmt::Display for LangError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.span {
+            Some(s) => write!(f, "{s}: {}", self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for LangError {}
+
+impl From<wavefront_core::error::Error> for LangError {
+    fn from(e: wavefront_core::error::Error) -> Self {
+        LangError::general(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_span() {
+        let e = LangError::at(Span { line: 3, col: 7 }, "boom");
+        assert_eq!(e.to_string(), "3:7: boom");
+        let e = LangError::general("boom");
+        assert_eq!(e.to_string(), "boom");
+    }
+
+    #[test]
+    fn core_errors_convert() {
+        let e: LangError =
+            wavefront_core::error::Error::UnknownArray { name: "x".into() }.into();
+        assert!(e.to_string().contains("x"));
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # wavefront-lang
+//!
+//! A textual front end for the paper's language extensions: **WL**, a
+//! small ZPL-flavoured array language with regions, named directions, the
+//! shift operator `@`, the **prime operator** (`a'@d`), **scan blocks**
+//! (`[R] scan begin … end;`), reductions (`+<<`, `min<<`, `max<<`), and
+//! index variables (`Index1`, `Index2`, …).
+//!
+//! ```text
+//! const n = 512;
+//! region Big   = [1..n, 1..n];
+//! region Inner = [2..n-2, 2..n-1];
+//! direction north = (-1, 0);
+//! var r, aa, d, dd, rx, ry : [Big] float;
+//!
+//! [Inner] scan begin
+//!     r  := aa * d'@north;
+//!     d  := 1.0 / (dd - aa@north * r);
+//!     rx := rx - rx'@north * r;
+//!     ry := ry - ry'@north * r;
+//! end;
+//! ```
+//!
+//! [`compile_str`] parses and lowers a WL source into a
+//! [`wavefront_core::program::Program`], hoisting reductions out of
+//! statements (and rejecting primed reduction operands — legality
+//! condition (v)).
+
+pub mod ast;
+pub mod diag;
+pub mod lower;
+pub mod parser;
+pub mod pretty;
+pub mod token;
+
+pub use diag::{LangError, Span};
+pub use lower::{compile_str, lower, Lowered};
+pub use parser::parse;
+pub use pretty::{print_expr, print_program};

@@ -1,0 +1,649 @@
+//! Semantic analysis and lowering of the WL AST into a
+//! [`wavefront_core::program::Program`].
+//!
+//! The rank `R` is chosen by the caller; every region, direction, and
+//! statement must agree with it (the source-level face of legality
+//! condition (iii)). Reductions — parallel operators — are hoisted out of
+//! statements into temporary arrays, exactly as the paper prescribes for
+//! scan blocks ("array operators are pulled out of the scan block during
+//! compilation"); a primed operand inside a reduction violates condition
+//! (v) and is rejected here.
+
+use std::collections::HashMap;
+
+use wavefront_core::array::Layout;
+use wavefront_core::expr::{ArrayId, Expr, UnaryOp};
+use wavefront_core::index::Offset;
+use wavefront_core::program::Program;
+use wavefront_core::region::Region;
+use wavefront_core::stmt::{ReduceOp, Statement};
+
+use crate::ast::*;
+use crate::diag::{LangError, Span};
+use crate::parser::parse;
+
+/// The result of lowering: the core program plus the name maps a host
+/// needs to initialize inputs and read outputs.
+#[derive(Debug, Clone)]
+pub struct Lowered<const R: usize> {
+    /// The lowered program.
+    pub program: Program<R>,
+    /// Array name → id (includes reduction temporaries named `__red<k>`).
+    pub arrays: HashMap<String, ArrayId>,
+    /// Region name → region.
+    pub regions: HashMap<String, Region<R>>,
+    /// Direction name → offset.
+    pub directions: HashMap<String, Offset<R>>,
+}
+
+impl<const R: usize> Lowered<R> {
+    /// Look up a declared array id by name.
+    pub fn array(&self, name: &str) -> Option<ArrayId> {
+        self.arrays.get(name).copied()
+    }
+
+    /// Look up a declared region by name.
+    pub fn region(&self, name: &str) -> Option<Region<R>> {
+        self.regions.get(name).copied()
+    }
+}
+
+/// Parse and lower `src` with host-supplied constants (which override
+/// same-named `const` declarations in the source). Arrays are laid out
+/// with `layout` (the paper's Fortran benchmarks are column-major).
+pub fn compile_str<const R: usize>(
+    src: &str,
+    consts: &[(&str, i64)],
+    layout: Layout,
+) -> Result<Lowered<R>, LangError> {
+    let ast = parse(src)?;
+    lower::<R>(&ast, consts, layout)
+}
+
+/// Lower a parsed program.
+pub fn lower<const R: usize>(
+    ast: &ProgramAst,
+    consts: &[(&str, i64)],
+    layout: Layout,
+) -> Result<Lowered<R>, LangError> {
+    let mut lo = Lowerer::<R> {
+        program: Program::new(),
+        arrays: HashMap::new(),
+        regions: HashMap::new(),
+        directions: HashMap::new(),
+        consts: consts.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
+        host_consts: consts.iter().map(|(n, _)| n.to_string()).collect(),
+        layout,
+        temp_counter: 0,
+    };
+    for item in &ast.items {
+        lo.item(item)?;
+    }
+    Ok(Lowered {
+        program: lo.program,
+        arrays: lo.arrays,
+        regions: lo.regions,
+        directions: lo.directions,
+    })
+}
+
+struct Lowerer<const R: usize> {
+    program: Program<R>,
+    arrays: HashMap<String, ArrayId>,
+    regions: HashMap<String, Region<R>>,
+    directions: HashMap<String, Offset<R>>,
+    consts: HashMap<String, i64>,
+    host_consts: Vec<String>,
+    layout: Layout,
+    temp_counter: usize,
+}
+
+impl<const R: usize> Lowerer<R> {
+    fn item(&mut self, item: &Item) -> Result<(), LangError> {
+        match item {
+            Item::Const { name, value, span } => {
+                // Host-supplied constants win (parameterization hook).
+                if !self.host_consts.iter().any(|h| h == name) {
+                    let v = self.int(value)?;
+                    if self.consts.insert(name.clone(), v).is_some() {
+                        return Err(LangError::at(*span, format!("const `{name}` redeclared")));
+                    }
+                }
+                Ok(())
+            }
+            Item::Region { name, ranges, span } => {
+                let region = self.region_from_ranges(ranges, *span)?;
+                if self.regions.insert(name.clone(), region).is_some() {
+                    return Err(LangError::at(*span, format!("region `{name}` redeclared")));
+                }
+                Ok(())
+            }
+            Item::Direction { name, comps, span } => {
+                if comps.len() != R {
+                    return Err(LangError::at(
+                        *span,
+                        format!(
+                            "direction `{name}` has rank {}, expected {R} (legality (iii))",
+                            comps.len()
+                        ),
+                    ));
+                }
+                let mut o = [0i64; R];
+                for (k, c) in comps.iter().enumerate() {
+                    o[k] = self.int(c)?;
+                }
+                if self.directions.insert(name.clone(), Offset(o)).is_some() {
+                    return Err(LangError::at(*span, format!("direction `{name}` redeclared")));
+                }
+                Ok(())
+            }
+            Item::Vars { names, region, span } => {
+                let bounds = self.resolve_region(region)?;
+                for name in names {
+                    if self.arrays.contains_key(name) {
+                        return Err(LangError::at(*span, format!("array `{name}` redeclared")));
+                    }
+                    let id = self.program.array_with_layout(name.clone(), bounds, self.layout);
+                    self.arrays.insert(name.clone(), id);
+                }
+                Ok(())
+            }
+            Item::Stmt(stmt) => self.stmt(stmt),
+        }
+    }
+
+    fn stmt(&mut self, stmt: &StmtAst) -> Result<(), LangError> {
+        match stmt {
+            StmtAst::Assign { region, assign } => {
+                let region = self.resolve_region(region)?;
+                // A bare reduction RHS lowers to a Reduce op directly
+                // (reduce over the covering region, flood the whole
+                // destination array — ZPL's scalar-and-broadcast).
+                if let ExprAst::Reduce { op, arg, span } = &assign.rhs {
+                    let dest = self.lookup_array(&assign.lhs, assign.span)?;
+                    let dest_region = self.program.arrays()[dest].bounds;
+                    let op = reduce_op(op, *span)?;
+                    let src = self.expr(arg, region, &[])?;
+                    self.check_reduce_operand(arg, &[], *span)?;
+                    self.program.reduce(region, op, src, dest, dest_region);
+                    return Ok(());
+                }
+                let lhs = self.lookup_array(&assign.lhs, assign.span)?;
+                let rhs = self.expr(&assign.rhs, region, &[])?;
+                self.program.stmt(region, lhs, rhs);
+                Ok(())
+            }
+            StmtAst::Block { region, body, .. } => {
+                // One plain block holding the whole sequence (each
+                // statement still compiles to its own loop nest).
+                let region = self.resolve_region(region)?;
+                let mut stmts = Vec::with_capacity(body.len());
+                for a in body {
+                    let lhs = self.lookup_array(&a.lhs, a.span)?;
+                    let rhs = self.expr(&a.rhs, region, &[])?;
+                    stmts.push(Statement::new(lhs, rhs));
+                }
+                self.program
+                    .push_block(wavefront_core::stmt::Block::plain(region, stmts));
+                Ok(())
+            }
+            StmtAst::Scan { region, body, span } => {
+                let region = self.resolve_region(region)?;
+                // Arrays written by the scan block: reductions hoisted out
+                // of it may not reference them (their pre-hoisting meaning
+                // would differ).
+                let written: Vec<String> = body.iter().map(|a| a.lhs.clone()).collect();
+                let mut stmts = Vec::with_capacity(body.len());
+                for a in body {
+                    let lhs = self.lookup_array(&a.lhs, a.span)?;
+                    let rhs = self.expr(&a.rhs, region, &written)?;
+                    stmts.push(Statement::new(lhs, rhs));
+                }
+                if stmts.is_empty() {
+                    return Err(LangError::at(*span, "empty scan block"));
+                }
+                self.program.scan(region, stmts);
+                Ok(())
+            }
+        }
+    }
+
+    /// Lower a value expression, hoisting reductions into temporaries.
+    /// `scan_written` is non-empty while lowering a scan-block body.
+    fn expr(
+        &mut self,
+        e: &ExprAst,
+        region: Region<R>,
+        scan_written: &[String],
+    ) -> Result<Expr<R>, LangError> {
+        match e {
+            ExprAst::Num(v) => Ok(Expr::lit(*v)),
+            ExprAst::Neg(a) => Ok(-self.expr(a, region, scan_written)?),
+            ExprAst::Bin(op, a, b) => {
+                let a = self.expr(a, region, scan_written)?;
+                let b = self.expr(b, region, scan_written)?;
+                Ok(match op {
+                    '+' => a + b,
+                    '-' => a - b,
+                    '*' => a * b,
+                    '/' => a / b,
+                    other => {
+                        return Err(LangError::general(format!("unknown operator `{other}`")))
+                    }
+                })
+            }
+            ExprAst::Call { func, args, span } => self.call(func, args, *span, region, scan_written),
+            ExprAst::Ref { name, primed, dir, span } => {
+                // Index variables: Index1 … IndexR.
+                if let Some(k) = index_var::<R>(name) {
+                    if *primed || dir.is_some() {
+                        return Err(LangError::at(
+                            *span,
+                            "index variables cannot be primed or shifted",
+                        ));
+                    }
+                    return Ok(Expr::IndexVar(k));
+                }
+                let id = self.lookup_array(name, *span)?;
+                let shift = match dir {
+                    Some(d) => *self.directions.get(d).ok_or_else(|| {
+                        LangError::at(*span, format!("unknown direction `{d}`"))
+                    })?,
+                    None => Offset::zero(),
+                };
+                if *primed {
+                    if dir.is_none() {
+                        return Err(LangError::at(
+                            *span,
+                            format!("primed reference `{name}'` requires a direction (`@d`)"),
+                        ));
+                    }
+                    Ok(Expr::read_primed_at(id, shift))
+                } else if dir.is_some() {
+                    Ok(Expr::read_at(id, shift))
+                } else {
+                    Ok(Expr::read(id))
+                }
+            }
+            ExprAst::Reduce { op, arg, span } => {
+                // Hoist: evaluate the reduction over the covering region
+                // into a fresh temporary before the enclosing statement.
+                self.check_reduce_operand(arg, scan_written, *span)?;
+                let op = reduce_op(op, *span)?;
+                let src = self.expr(arg, region, &[])?;
+                let temp_name = format!("__red{}", self.temp_counter);
+                self.temp_counter += 1;
+                let temp =
+                    self.program.array_with_layout(temp_name.clone(), region, self.layout);
+                self.arrays.insert(temp_name, temp);
+                self.program.reduce(region, op, src, temp, region);
+                Ok(Expr::read(temp))
+            }
+        }
+    }
+
+    fn call(
+        &mut self,
+        func: &str,
+        args: &[ExprAst],
+        span: Span,
+        region: Region<R>,
+        scan_written: &[String],
+    ) -> Result<Expr<R>, LangError> {
+        let unary = |op: UnaryOp, this: &mut Self, args: &[ExprAst]| {
+            if args.len() != 1 {
+                return Err(LangError::at(span, format!("`{func}` takes one argument")));
+            }
+            Ok(this.expr(&args[0], region, scan_written)?.unary(op))
+        };
+        match func {
+            "sqrt" => unary(UnaryOp::Sqrt, self, args),
+            "abs" => unary(UnaryOp::Abs, self, args),
+            "exp" => unary(UnaryOp::Exp, self, args),
+            "ln" => unary(UnaryOp::Ln, self, args),
+            "sin" => unary(UnaryOp::Sin, self, args),
+            "cos" => unary(UnaryOp::Cos, self, args),
+            "recip" => unary(UnaryOp::Recip, self, args),
+            "min" | "max" | "pow" => {
+                if args.len() != 2 {
+                    return Err(LangError::at(span, format!("`{func}` takes two arguments")));
+                }
+                let a = self.expr(&args[0], region, scan_written)?;
+                let b = self.expr(&args[1], region, scan_written)?;
+                Ok(match func {
+                    "min" => a.min(b),
+                    "max" => a.max(b),
+                    _ => Expr::Binary(
+                        wavefront_core::expr::BinOp::Pow,
+                        Box::new(a),
+                        Box::new(b),
+                    ),
+                })
+            }
+            other => Err(LangError::at(span, format!("unknown function `{other}`"))),
+        }
+    }
+
+    /// Legality condition (v) and the scan-hoisting restriction.
+    fn check_reduce_operand(
+        &self,
+        arg: &ExprAst,
+        scan_written: &[String],
+        span: Span,
+    ) -> Result<(), LangError> {
+        let mut err = None;
+        walk_refs(arg, &mut |name, primed, s| {
+            if err.is_some() {
+                return;
+            }
+            if primed {
+                err = Some(LangError::at(
+                    s,
+                    format!(
+                        "primed reference `{name}'` inside a reduction violates legality \
+                         condition (v): parallel operators' operands may not be primed"
+                    ),
+                ));
+            } else if scan_written.iter().any(|w| w == name) {
+                err = Some(LangError::at(
+                    span,
+                    format!(
+                        "reduction inside a scan block references `{name}`, which the scan \
+                         block writes; hoisting it out of the block would change its meaning"
+                    ),
+                ));
+            }
+        });
+        err.map_or(Ok(()), Err)
+    }
+
+    fn lookup_array(&self, name: &str, span: Span) -> Result<ArrayId, LangError> {
+        self.arrays
+            .get(name)
+            .copied()
+            .ok_or_else(|| LangError::at(span, format!("unknown array `{name}`")))
+    }
+
+    fn resolve_region(&mut self, r: &RegionRef) -> Result<Region<R>, LangError> {
+        match r {
+            RegionRef::Named(name, span) => self.regions.get(name).copied().ok_or_else(|| {
+                LangError::at(*span, format!("unknown region `{name}`"))
+            }),
+            RegionRef::Lit(ranges, span) => self.region_from_ranges(ranges, *span),
+        }
+    }
+
+    fn region_from_ranges(
+        &self,
+        ranges: &[RangeAst],
+        span: Span,
+    ) -> Result<Region<R>, LangError> {
+        if ranges.len() != R {
+            return Err(LangError::at(
+                span,
+                format!(
+                    "region has rank {}, expected {R} (legality (iii))",
+                    ranges.len()
+                ),
+            ));
+        }
+        let mut lo = [0i64; R];
+        let mut hi = [0i64; R];
+        for (k, rg) in ranges.iter().enumerate() {
+            lo[k] = self.int(&rg.lo)?;
+            hi[k] = self.int(&rg.hi)?;
+        }
+        Ok(Region::rect(lo, hi))
+    }
+
+    fn int(&self, e: &IntExpr) -> Result<i64, LangError> {
+        match e {
+            IntExpr::Lit(v) => Ok(*v),
+            IntExpr::Const(name, span) => self.consts.get(name).copied().ok_or_else(|| {
+                LangError::at(*span, format!("unknown constant `{name}`"))
+            }),
+            IntExpr::Neg(a) => Ok(-self.int(a)?),
+            IntExpr::Bin(op, a, b) => {
+                let a = self.int(a)?;
+                let b = self.int(b)?;
+                Ok(match op {
+                    '+' => a + b,
+                    '-' => a - b,
+                    '*' => a * b,
+                    '/' => {
+                        if b == 0 {
+                            return Err(LangError::general("division by zero in constant"));
+                        }
+                        a / b
+                    }
+                    _ => unreachable!("parser only produces + - * /"),
+                })
+            }
+        }
+    }
+}
+
+fn reduce_op(op: &str, span: Span) -> Result<ReduceOp, LangError> {
+    match op {
+        "+" => Ok(ReduceOp::Sum),
+        "min" => Ok(ReduceOp::Min),
+        "max" => Ok(ReduceOp::Max),
+        other => Err(LangError::at(span, format!("unknown reduction `{other}<<`"))),
+    }
+}
+
+fn index_var<const R: usize>(name: &str) -> Option<usize> {
+    let k: usize = name.strip_prefix("Index")?.parse().ok()?;
+    (1..=R).contains(&k).then(|| k - 1)
+}
+
+fn walk_refs(e: &ExprAst, f: &mut impl FnMut(&str, bool, Span)) {
+    match e {
+        ExprAst::Num(_) => {}
+        ExprAst::Ref { name, primed, span, .. } => f(name, *primed, *span),
+        ExprAst::Neg(a) => walk_refs(a, f),
+        ExprAst::Bin(_, a, b) => {
+            walk_refs(a, f);
+            walk_refs(b, f);
+        }
+        ExprAst::Call { args, .. } => {
+            for a in args {
+                walk_refs(a, f);
+            }
+        }
+        ExprAst::Reduce { arg, .. } => walk_refs(arg, f),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavefront_core::prelude::*;
+
+    const TOMCATV: &str = "
+        const n = 10;
+        region Big   = [1..n, 1..n];
+        region Inner = [2..n-2, 2..n-1];
+        direction north = (-1, 0);
+        var r, aa, d, dd, rx, ry : [Big] float;
+        [Inner] scan begin
+            r  := aa * d'@north;
+            d  := 1.0 / (dd - aa@north * r);
+            rx := rx - rx'@north * r;
+            ry := ry - ry'@north * r;
+        end;
+    ";
+
+    #[test]
+    fn tomcatv_lowers_and_compiles() {
+        let lo = compile_str::<2>(TOMCATV, &[], Layout::ColMajor).unwrap();
+        assert_eq!(lo.region("Inner"), Some(Region::rect([2, 2], [8, 9])));
+        assert!(lo.array("rx").is_some());
+        let compiled = compile(&lo.program).unwrap();
+        let nest = compiled.nest(0);
+        assert!(nest.is_scan);
+        assert_eq!(nest.stmts.len(), 4);
+        assert_eq!(nest.structure.wavefront_dims, vec![0]);
+        // Column-major + Tomcatv's (-,0) WSV ⇒ interchanged loops: dim 0
+        // innermost.
+        assert_eq!(nest.structure.order.order, [1, 0]);
+    }
+
+    #[test]
+    fn host_constants_override_source() {
+        let lo = compile_str::<2>(TOMCATV, &[("n", 20)], Layout::ColMajor).unwrap();
+        assert_eq!(lo.region("Big"), Some(Region::rect([1, 1], [20, 20])));
+    }
+
+    #[test]
+    fn lowered_program_executes_like_figure_3d() {
+        let src = "
+            const n = 5;
+            var a : [1..n, 1..n] float;
+            direction north = (-1, 0);
+            [2..n, 1..n] a := 2.0 * a'@north;
+        ";
+        let lo = compile_str::<2>(src, &[], Layout::RowMajor).unwrap();
+        let a = lo.array("a").unwrap();
+        let mut store = Store::new(&lo.program);
+        store.get_mut(a).fill(1.0);
+        execute(&lo.program, &mut store).unwrap();
+        assert_eq!(store.get(a).get(Point([5, 5])), 16.0);
+    }
+
+    #[test]
+    fn rank_mismatch_is_rejected() {
+        let src = "region R = [1..4];";
+        let err = compile_str::<2>(src, &[], Layout::RowMajor).unwrap_err();
+        assert!(err.message.contains("legality (iii)"), "{err}");
+        let src = "direction d = (1, 2, 3);";
+        let err = compile_str::<2>(src, &[], Layout::RowMajor).unwrap_err();
+        assert!(err.message.contains("legality (iii)"), "{err}");
+    }
+
+    #[test]
+    fn primed_reduction_operand_violates_condition_v() {
+        let src = "
+            var a, s : [1..8, 1..8] float;
+            direction north = (-1, 0);
+            [2..8, 1..8] s := +<< a'@north;
+        ";
+        let err = compile_str::<2>(src, &[], Layout::RowMajor).unwrap_err();
+        assert!(err.message.contains("condition (v)"), "{err}");
+    }
+
+    #[test]
+    fn reduction_inside_expression_is_hoisted() {
+        let src = "
+            var a, b : [1..8, 1..8] float;
+            [1..8, 1..8] a := b + max<< b;
+        ";
+        let lo = compile_str::<2>(src, &[], Layout::RowMajor).unwrap();
+        // One hoisted reduce op plus the block.
+        assert_eq!(lo.program.ops().len(), 2);
+        assert!(matches!(lo.program.ops()[0], ProgramOp::Reduce(_)));
+        let a = lo.array("a").unwrap();
+        let b = lo.array("b").unwrap();
+        let mut store = Store::new(&lo.program);
+        *store.get_mut(b) =
+            DenseArray::from_fn(Region::rect([1, 1], [8, 8]), |q| (q[0] + q[1]) as f64);
+        execute(&lo.program, &mut store).unwrap();
+        // max over b is 16; a = b + 16 everywhere.
+        assert_eq!(store.get(a).get(Point([1, 1])), 2.0 + 16.0);
+        assert_eq!(store.get(a).get(Point([8, 8])), 16.0 + 16.0);
+    }
+
+    #[test]
+    fn reduction_in_scan_over_written_array_is_rejected() {
+        let src = "
+            var a, b : [1..8, 1..8] float;
+            direction north = (-1, 0);
+            [2..8, 1..8] scan begin
+                a := a'@north + (+<< a);
+            end;
+        ";
+        let err = compile_str::<2>(src, &[], Layout::RowMajor).unwrap_err();
+        assert!(err.message.contains("hoisting"), "{err}");
+    }
+
+    #[test]
+    fn reduction_in_scan_over_other_array_is_hoisted() {
+        let src = "
+            var a, b : [1..8, 1..8] float;
+            direction north = (-1, 0);
+            [2..8, 1..8] scan begin
+                a := a'@north + (+<< b);
+            end;
+        ";
+        let lo = compile_str::<2>(src, &[], Layout::RowMajor).unwrap();
+        assert_eq!(lo.program.ops().len(), 2);
+        compile(&lo.program).unwrap();
+    }
+
+    #[test]
+    fn bare_reduction_assignment_floods_destination() {
+        let src = "
+            var a : [1..4, 1..4] float;
+            var s : [1..1, 1..1] float;
+            [1..4, 1..4] s := +<< a;
+        ";
+        let lo = compile_str::<2>(src, &[], Layout::RowMajor).unwrap();
+        let a = lo.array("a").unwrap();
+        let s = lo.array("s").unwrap();
+        let mut store = Store::new(&lo.program);
+        store.get_mut(a).fill(2.0);
+        execute(&lo.program, &mut store).unwrap();
+        assert_eq!(store.get(s).get(Point([1, 1])), 32.0);
+    }
+
+    #[test]
+    fn index_variables_lower() {
+        let src = "var a : [0..3, 0..3] float; [0..3, 0..3] a := Index1 * 10.0 + Index2;";
+        let lo = compile_str::<2>(src, &[], Layout::RowMajor).unwrap();
+        let a = lo.array("a").unwrap();
+        let mut store = Store::new(&lo.program);
+        execute(&lo.program, &mut store).unwrap();
+        assert_eq!(store.get(a).get(Point([2, 3])), 23.0);
+    }
+
+    #[test]
+    fn prime_without_direction_is_rejected() {
+        let src = "
+            var a : [1..4, 1..4] float;
+            [1..4, 1..4] a := a' + 1.0;
+        ";
+        let err = compile_str::<2>(src, &[], Layout::RowMajor).unwrap_err();
+        assert!(err.message.contains("requires a direction"), "{err}");
+    }
+
+    #[test]
+    fn unknown_names_are_diagnosed() {
+        for (src, what) in [
+            ("var a : [Missing] float;", "unknown region"),
+            ("var a : [1..4] float; [1..4] a := zz;", "unknown array"),
+            (
+                "var a : [1..4] float; [1..4] a := a@nowhere;",
+                "unknown direction",
+            ),
+            ("region R = [1..m];", "unknown constant"),
+        ] {
+            let err = compile_str::<1>(src, &[], Layout::RowMajor).unwrap_err();
+            assert!(err.message.contains(what), "{src}: {err}");
+        }
+    }
+
+    #[test]
+    fn over_constrained_scan_caught_at_core_compile() {
+        let src = "
+            var a : [1..8, 1..8] float;
+            direction north = (-1, 0);
+            direction south = (1, 0);
+            [2..7, 1..8] scan begin
+                a := a'@north + a'@south;
+            end;
+        ";
+        let lo = compile_str::<2>(src, &[], Layout::RowMajor).unwrap();
+        let err = compile(&lo.program).unwrap_err();
+        assert!(matches!(err, Error::OverConstrained { .. }));
+    }
+}

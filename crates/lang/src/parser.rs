@@ -1,0 +1,474 @@
+//! Recursive-descent parser for WL.
+
+use crate::ast::*;
+use crate::diag::{LangError, Span};
+use crate::token::{lex, Spanned, Tok};
+
+/// Parse a whole source file.
+pub fn parse(src: &str) -> Result<ProgramAst, LangError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn span(&self) -> Span {
+        self.toks[self.pos].span
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, tok: &Tok) -> Result<(), LangError> {
+        if self.peek() == tok {
+            self.bump();
+            Ok(())
+        } else {
+            Err(LangError::at(
+                self.span(),
+                format!("expected {tok}, found {}", self.peek()),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<(String, Span), LangError> {
+        let span = self.span();
+        match self.bump() {
+            Tok::Ident(s) => Ok((s, span)),
+            other => Err(LangError::at(span, format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn is_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn program(&mut self) -> Result<ProgramAst, LangError> {
+        let mut items = Vec::new();
+        while *self.peek() != Tok::Eof {
+            items.push(self.item()?);
+        }
+        Ok(ProgramAst { items })
+    }
+
+    fn item(&mut self) -> Result<Item, LangError> {
+        if self.is_kw("const") {
+            self.bump();
+            let (name, span) = self.ident()?;
+            self.expect(&Tok::Eq)?;
+            let value = self.int_expr()?;
+            self.expect(&Tok::Semi)?;
+            Ok(Item::Const { name, value, span })
+        } else if self.is_kw("region") {
+            self.bump();
+            let (name, span) = self.ident()?;
+            self.expect(&Tok::Eq)?;
+            self.expect(&Tok::LBracket)?;
+            let ranges = self.range_list()?;
+            self.expect(&Tok::RBracket)?;
+            self.expect(&Tok::Semi)?;
+            Ok(Item::Region { name, ranges, span })
+        } else if self.is_kw("direction") {
+            self.bump();
+            let (name, span) = self.ident()?;
+            self.expect(&Tok::Eq)?;
+            self.expect(&Tok::LParen)?;
+            let mut comps = vec![self.int_expr()?];
+            while *self.peek() == Tok::Comma {
+                self.bump();
+                comps.push(self.int_expr()?);
+            }
+            self.expect(&Tok::RParen)?;
+            self.expect(&Tok::Semi)?;
+            Ok(Item::Direction { name, comps, span })
+        } else if self.is_kw("var") {
+            self.bump();
+            let (first, span) = self.ident()?;
+            let mut names = vec![first];
+            while *self.peek() == Tok::Comma {
+                self.bump();
+                names.push(self.ident()?.0);
+            }
+            self.expect(&Tok::Colon)?;
+            let region = self.region_ref()?;
+            if self.is_kw("float") {
+                self.bump();
+            } else {
+                return Err(LangError::at(
+                    self.span(),
+                    format!("expected `float`, found {}", self.peek()),
+                ));
+            }
+            self.expect(&Tok::Semi)?;
+            Ok(Item::Vars { names, region, span })
+        } else if *self.peek() == Tok::LBracket {
+            Ok(Item::Stmt(self.stmt()?))
+        } else {
+            Err(LangError::at(
+                self.span(),
+                format!(
+                    "expected `const`, `region`, `direction`, `var`, or a `[region]` \
+                     statement, found {}",
+                    self.peek()
+                ),
+            ))
+        }
+    }
+
+    fn region_ref(&mut self) -> Result<RegionRef, LangError> {
+        let span = self.span();
+        self.expect(&Tok::LBracket)?;
+        // `[Name]` — a single identifier directly before `]`.
+        if let Tok::Ident(name) = self.peek().clone() {
+            if *self.peek2() == Tok::RBracket {
+                self.bump();
+                self.bump();
+                return Ok(RegionRef::Named(name, span));
+            }
+        }
+        let ranges = self.range_list()?;
+        self.expect(&Tok::RBracket)?;
+        Ok(RegionRef::Lit(ranges, span))
+    }
+
+    fn range_list(&mut self) -> Result<Vec<RangeAst>, LangError> {
+        let mut out = vec![self.range()?];
+        while *self.peek() == Tok::Comma {
+            self.bump();
+            out.push(self.range()?);
+        }
+        Ok(out)
+    }
+
+    fn range(&mut self) -> Result<RangeAst, LangError> {
+        let lo = self.int_expr()?;
+        self.expect(&Tok::DotDot)?;
+        let hi = self.int_expr()?;
+        Ok(RangeAst { lo, hi })
+    }
+
+    fn stmt(&mut self) -> Result<StmtAst, LangError> {
+        let region = self.region_ref()?;
+        if self.is_kw("scan") {
+            let span = self.span();
+            self.bump();
+            let body = self.begin_end()?;
+            Ok(StmtAst::Scan { region, body, span })
+        } else if self.is_kw("begin") {
+            let span = self.span();
+            let body = self.begin_end()?;
+            Ok(StmtAst::Block { region, body, span })
+        } else {
+            let assign = self.assign()?;
+            Ok(StmtAst::Assign { region, assign })
+        }
+    }
+
+    fn begin_end(&mut self) -> Result<Vec<AssignAst>, LangError> {
+        if self.is_kw("begin") {
+            self.bump();
+        } else {
+            return Err(LangError::at(
+                self.span(),
+                format!("expected `begin`, found {}", self.peek()),
+            ));
+        }
+        let mut body = Vec::new();
+        while !self.is_kw("end") {
+            body.push(self.assign()?);
+        }
+        self.bump(); // end
+        self.expect(&Tok::Semi)?;
+        Ok(body)
+    }
+
+    fn assign(&mut self) -> Result<AssignAst, LangError> {
+        let (lhs, span) = self.ident()?;
+        self.expect(&Tok::Assign)?;
+        let rhs = self.expr()?;
+        self.expect(&Tok::Semi)?;
+        Ok(AssignAst { lhs, rhs, span })
+    }
+
+    // ---- value expressions -------------------------------------------
+
+    fn expr(&mut self) -> Result<ExprAst, LangError> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => '+',
+                Tok::Minus => '-',
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.term()?;
+            lhs = ExprAst::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<ExprAst, LangError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => '*',
+                Tok::Slash => '/',
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary()?;
+            lhs = ExprAst::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<ExprAst, LangError> {
+        if *self.peek() == Tok::Minus {
+            self.bump();
+            return Ok(ExprAst::Neg(Box::new(self.unary()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<ExprAst, LangError> {
+        let span = self.span();
+        // `+<< e` — sum reduction.
+        if *self.peek() == Tok::Plus && *self.peek2() == Tok::Shl {
+            self.bump();
+            self.bump();
+            let arg = self.unary()?;
+            return Ok(ExprAst::Reduce { op: "+".into(), arg: Box::new(arg), span });
+        }
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(ExprAst::Num(v as f64))
+            }
+            Tok::Float(v) => {
+                self.bump();
+                Ok(ExprAst::Num(v))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                // `min<< e` / `max<< e`.
+                if (name == "min" || name == "max") && *self.peek2() == Tok::Shl {
+                    self.bump();
+                    self.bump();
+                    let arg = self.unary()?;
+                    return Ok(ExprAst::Reduce { op: name, arg: Box::new(arg), span });
+                }
+                // Intrinsic call.
+                if *self.peek2() == Tok::LParen {
+                    self.bump();
+                    self.bump();
+                    let mut args = vec![self.expr()?];
+                    while *self.peek() == Tok::Comma {
+                        self.bump();
+                        args.push(self.expr()?);
+                    }
+                    self.expect(&Tok::RParen)?;
+                    return Ok(ExprAst::Call { func: name, args, span });
+                }
+                // Plain / primed / shifted reference.
+                self.bump();
+                let mut primed = false;
+                if *self.peek() == Tok::Prime {
+                    self.bump();
+                    primed = true;
+                }
+                let mut dir = None;
+                if *self.peek() == Tok::At {
+                    self.bump();
+                    dir = Some(self.ident()?.0);
+                }
+                Ok(ExprAst::Ref { name, primed, dir, span })
+            }
+            other => Err(LangError::at(span, format!("expected an expression, found {other}"))),
+        }
+    }
+
+    // ---- integer expressions -----------------------------------------
+
+    fn int_expr(&mut self) -> Result<IntExpr, LangError> {
+        let mut lhs = self.int_term()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => '+',
+                Tok::Minus => '-',
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.int_term()?;
+            lhs = IntExpr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn int_term(&mut self) -> Result<IntExpr, LangError> {
+        let mut lhs = self.int_unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => '*',
+                Tok::Slash => '/',
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.int_unary()?;
+            lhs = IntExpr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn int_unary(&mut self) -> Result<IntExpr, LangError> {
+        let span = self.span();
+        match self.bump() {
+            Tok::Minus => Ok(IntExpr::Neg(Box::new(self.int_unary()?))),
+            Tok::Int(v) => Ok(IntExpr::Lit(v)),
+            Tok::Ident(name) => Ok(IntExpr::Const(name, span)),
+            Tok::LParen => {
+                let e = self.int_expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            other => Err(LangError::at(
+                span,
+                format!("expected an integer expression, found {other}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_declarations() {
+        let src = "
+            const n = 512;
+            region Big = [1..n, 1..n];
+            direction north = (-1, 0);
+            var aa, d : [Big] float;
+        ";
+        let ast = parse(src).unwrap();
+        assert_eq!(ast.items.len(), 4);
+        match &ast.items[0] {
+            Item::Const { name, .. } => assert_eq!(name, "n"),
+            other => panic!("{other:?}"),
+        }
+        match &ast.items[3] {
+            Item::Vars { names, .. } => assert_eq!(names, &["aa", "d"]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_scan_block() {
+        let src = "
+            region R = [2..6, 2..6];
+            direction north = (-1, 0);
+            var r, aa, d, dd : [1..8, 1..8] float;
+            [R] scan begin
+                r := aa * d'@north;
+                d := 1.0 / (dd - aa@north * r);
+            end;
+        ";
+        let ast = parse(src).unwrap();
+        let Item::Stmt(StmtAst::Scan { body, .. }) = &ast.items[3] else {
+            panic!("expected scan block");
+        };
+        assert_eq!(body.len(), 2);
+        let ExprAst::Bin('*', _, rhs) = &body[0].rhs else { panic!() };
+        assert_eq!(
+            **rhs,
+            ExprAst::Ref {
+                name: "d".into(),
+                primed: true,
+                dir: Some("north".into()),
+                span: crate::diag::Span { line: 6, col: 27 }
+            }
+        );
+    }
+
+    #[test]
+    fn parse_region_literal_statement() {
+        let ast = parse("var a : [1..4, 1..4] float; [2..4, 1..4] a := a@(0,0);");
+        // `@(0,0)` is not valid syntax (directions are named) — expect err.
+        assert!(ast.is_err());
+        let ast = parse(
+            "var a : [1..4, 1..4] float; direction n = (-1,0); [2..4, 1..4] a := a@n;",
+        )
+        .unwrap();
+        assert_eq!(ast.items.len(), 3);
+    }
+
+    #[test]
+    fn parse_reductions() {
+        let src = "var a, s : [1..4] float; [1..4] s := +<< a; [1..4] s := max<< abs(a);";
+        let ast = parse(src).unwrap();
+        let Item::Stmt(StmtAst::Assign { assign, .. }) = &ast.items[1] else { panic!() };
+        assert!(matches!(&assign.rhs, ExprAst::Reduce { op, .. } if op == "+"));
+        let Item::Stmt(StmtAst::Assign { assign, .. }) = &ast.items[2] else { panic!() };
+        let ExprAst::Reduce { op, arg, .. } = &assign.rhs else { panic!() };
+        assert_eq!(op, "max");
+        assert!(matches!(&**arg, ExprAst::Call { func, .. } if func == "abs"));
+    }
+
+    #[test]
+    fn min_call_vs_min_reduce() {
+        let src = "var a, b : [1..4] float; [1..4] a := min(a, b); [1..4] a := min<< b;";
+        let ast = parse(src).unwrap();
+        let Item::Stmt(StmtAst::Assign { assign, .. }) = &ast.items[1] else { panic!() };
+        assert!(matches!(&assign.rhs, ExprAst::Call { .. }));
+        let Item::Stmt(StmtAst::Assign { assign, .. }) = &ast.items[2] else { panic!() };
+        assert!(matches!(&assign.rhs, ExprAst::Reduce { .. }));
+    }
+
+    #[test]
+    fn precedence_and_parens() {
+        let src = "var a : [1..4] float; [1..4] a := 1 + 2 * 3;";
+        let ast = parse(src).unwrap();
+        let Item::Stmt(StmtAst::Assign { assign, .. }) = &ast.items[1] else { panic!() };
+        let ExprAst::Bin('+', l, r) = &assign.rhs else { panic!() };
+        assert_eq!(**l, ExprAst::Num(1.0));
+        assert!(matches!(&**r, ExprAst::Bin('*', _, _)));
+    }
+
+    #[test]
+    fn error_messages_carry_position() {
+        let err = parse("region R = [1..2;").unwrap_err();
+        assert!(err.span.is_some());
+        assert!(err.to_string().contains("expected"));
+    }
+
+    #[test]
+    fn named_region_in_statement_position() {
+        let src = "region R = [1..4]; var a : [R] float; [R] a := 1.0;";
+        let ast = parse(src).unwrap();
+        let Item::Stmt(StmtAst::Assign { region, .. }) = &ast.items[2] else { panic!() };
+        assert!(matches!(region, RegionRef::Named(n, _) if n == "R"));
+    }
+}

@@ -1,0 +1,292 @@
+//! Tokens and the lexer for the WL mini-language (a ZPL subset plus the
+//! paper's prime operator and scan blocks).
+
+use crate::diag::{LangError, Span};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are distinguished by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `:=`
+    Assign,
+    /// `=` (declarations)
+    Eq,
+    /// `..`
+    DotDot,
+    /// `@`
+    At,
+    /// `'` — the prime operator.
+    Prime,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `<<` — the reduction arrow (`+<<`, `min<<`, `max<<`).
+    Shl,
+    /// End of input.
+    Eof,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(v) => write!(f, "`{v}`"),
+            Tok::Float(v) => write!(f, "`{v}`"),
+            Tok::LBracket => write!(f, "`[`"),
+            Tok::RBracket => write!(f, "`]`"),
+            Tok::LParen => write!(f, "`(`"),
+            Tok::RParen => write!(f, "`)`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::Semi => write!(f, "`;`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::Assign => write!(f, "`:=`"),
+            Tok::Eq => write!(f, "`=`"),
+            Tok::DotDot => write!(f, "`..`"),
+            Tok::At => write!(f, "`@`"),
+            Tok::Prime => write!(f, "`'`"),
+            Tok::Plus => write!(f, "`+`"),
+            Tok::Minus => write!(f, "`-`"),
+            Tok::Star => write!(f, "`*`"),
+            Tok::Slash => write!(f, "`/`"),
+            Tok::Shl => write!(f, "`<<`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Its location.
+    pub span: Span,
+}
+
+/// Tokenize `src`. Supports `--` and `//` line comments.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LangError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! push {
+        ($tok:expr, $len:expr) => {{
+            out.push(Spanned { tok: $tok, span: Span { line, col } });
+            i += $len;
+            col += $len as u32;
+        }};
+    }
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let next = bytes.get(i + 1).map(|&b| b as char);
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            c if c.is_ascii_whitespace() => {
+                i += 1;
+                col += 1;
+            }
+            '-' if next == Some('-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if next == Some('/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '[' => push!(Tok::LBracket, 1),
+            ']' => push!(Tok::RBracket, 1),
+            '(' => push!(Tok::LParen, 1),
+            ')' => push!(Tok::RParen, 1),
+            ',' => push!(Tok::Comma, 1),
+            ';' => push!(Tok::Semi, 1),
+            '@' => push!(Tok::At, 1),
+            '\'' => push!(Tok::Prime, 1),
+            '+' => push!(Tok::Plus, 1),
+            '*' => push!(Tok::Star, 1),
+            '/' => push!(Tok::Slash, 1),
+            '-' => push!(Tok::Minus, 1),
+            '<' if next == Some('<') => push!(Tok::Shl, 2),
+            ':' if next == Some('=') => push!(Tok::Assign, 2),
+            ':' => push!(Tok::Colon, 1),
+            '=' => push!(Tok::Eq, 1),
+            '.' if next == Some('.') => push!(Tok::DotDot, 2),
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                // A '.' begins a fraction only when NOT followed by
+                // another '.' (which would be the range operator).
+                let mut is_float = false;
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1) != Some(&b'.')
+                {
+                    is_float = true;
+                    i += 1;
+                    while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    let mut j = i + 1;
+                    if j < bytes.len() && (bytes[j] == b'+' || bytes[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < bytes.len() && (bytes[j] as char).is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                            i += 1;
+                        }
+                    }
+                }
+                let text = &src[start..i];
+                let tok = if is_float {
+                    Tok::Float(text.parse().map_err(|_| LangError::lex(line, col, text))?)
+                } else {
+                    Tok::Int(text.parse().map_err(|_| LangError::lex(line, col, text))?)
+                };
+                out.push(Spanned { tok, span: Span { line, col } });
+                col += (i - start) as u32;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Spanned {
+                    tok: Tok::Ident(src[start..i].to_string()),
+                    span: Span { line, col },
+                });
+                col += (i - start) as u32;
+            }
+            other => return Err(LangError::lex(line, col, &other.to_string())),
+        }
+    }
+    out.push(Spanned { tok: Tok::Eof, span: Span { line, col } });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn symbols_and_idents() {
+        assert_eq!(
+            toks("a := b@north;"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Assign,
+                Tok::Ident("b".into()),
+                Tok::At,
+                Tok::Ident("north".into()),
+                Tok::Semi,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn prime_operator() {
+        assert_eq!(
+            toks("d'@north"),
+            vec![
+                Tok::Ident("d".into()),
+                Tok::Prime,
+                Tok::At,
+                Tok::Ident("north".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn range_vs_float() {
+        assert_eq!(toks("2..5"), vec![Tok::Int(2), Tok::DotDot, Tok::Int(5), Tok::Eof]);
+        assert_eq!(toks("2.5"), vec![Tok::Float(2.5), Tok::Eof]);
+        assert_eq!(toks("1.0/2"), vec![Tok::Float(1.0), Tok::Slash, Tok::Int(2), Tok::Eof]);
+    }
+
+    #[test]
+    fn scientific_notation() {
+        assert_eq!(toks("1e3"), vec![Tok::Float(1000.0), Tok::Eof]);
+        assert_eq!(toks("2.5e-2"), vec![Tok::Float(0.025), Tok::Eof]);
+    }
+
+    #[test]
+    fn reduction_arrows() {
+        assert_eq!(
+            toks("+<< a"),
+            vec![Tok::Plus, Tok::Shl, Tok::Ident("a".into()), Tok::Eof]
+        );
+        assert_eq!(
+            toks("max<< a"),
+            vec![Tok::Ident("max".into()), Tok::Shl, Tok::Ident("a".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(toks("a -- comment\n;"), vec![Tok::Ident("a".into()), Tok::Semi, Tok::Eof]);
+        assert_eq!(toks("// only comment"), vec![Tok::Eof]);
+    }
+
+    #[test]
+    fn negative_numbers_are_minus_then_literal() {
+        assert_eq!(toks("(-1, 0)").len(), 7 + 1 - 1); // ( - 1 , 0 ) eof
+    }
+
+    #[test]
+    fn spans_track_lines() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!(ts[0].span.line, 1);
+        assert_eq!(ts[1].span.line, 2);
+        assert_eq!(ts[1].span.col, 3);
+    }
+
+    #[test]
+    fn unknown_character_errors() {
+        assert!(lex("a ? b").is_err());
+    }
+}

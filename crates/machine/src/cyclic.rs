@@ -1,0 +1,241 @@
+//! Block-cyclic distributions — the extension the paper's Section 3.2
+//! points at ("There are obvious extensions for cyclic and block-cyclic
+//! distributions").
+//!
+//! A block-cyclic distribution deals contiguous chunks of `chunk`
+//! indices of one dimension to processors round-robin. Note what it
+//! does *not* buy: a single wavefront chain of chunks is still fully
+//! serial (chunk `i` waits for chunk `i−1` wherever it lives), so a
+//! cyclic wavefront needs the same orthogonal tiling as a block
+//! distribution to pipeline — see [`BlockCyclic::wavefront_dag_tiled`].
+//! What changes is the trade-off: smaller ownership stripes start the
+//! pipeline sooner but cross a processor boundary (a message) every
+//! `chunk` indices instead of every `n/p`.
+
+use wavefront_core::region::Region;
+
+use crate::des::{Dep, SimTask};
+
+/// A block-cyclic distribution of one dimension of a region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockCyclic<const R: usize> {
+    region: Region<R>,
+    dim: usize,
+    procs: usize,
+    chunk: i64,
+}
+
+impl<const R: usize> BlockCyclic<R> {
+    /// Deal `region`'s dimension `dim` to `procs` processors in chunks
+    /// of `chunk` indices.
+    pub fn new(region: Region<R>, dim: usize, procs: usize, chunk: i64) -> Self {
+        assert!(procs >= 1);
+        assert!(chunk >= 1);
+        BlockCyclic { region, dim, procs, chunk }
+    }
+
+    /// The distributed region.
+    pub fn region(&self) -> Region<R> {
+        self.region
+    }
+
+    /// Number of processors.
+    pub fn procs(&self) -> usize {
+        self.procs
+    }
+
+    /// The chunk slabs in index order, each with its owning processor.
+    pub fn chunks(&self) -> Vec<(Region<R>, usize)> {
+        self.region
+            .chunks(self.dim, self.chunk)
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| (r, i % self.procs))
+            .collect()
+    }
+
+    /// The owner of index-space point `p`, or `None` outside the region.
+    pub fn owner(&self, p: wavefront_core::index::Point<R>) -> Option<usize> {
+        if !self.region.contains(p) {
+            return None;
+        }
+        let off = p[self.dim] - self.region.lo()[self.dim];
+        Some(((off / self.chunk) as usize) % self.procs)
+    }
+
+    /// Elements owned by `rank`.
+    pub fn owned_len(&self, rank: usize) -> usize {
+        self.chunks()
+            .into_iter()
+            .filter(|&(_, r)| r == rank)
+            .map(|(c, _)| c.len())
+            .sum()
+    }
+
+    /// Build the *untiled* wavefront task DAG: chunks run in index
+    /// order; consecutive chunks on different processors exchange a
+    /// boundary of `boundary_elems` elements. The result is a serial
+    /// chain — no distribution alone parallelizes a single wavefront —
+    /// kept as the baseline that demonstrates exactly that.
+    pub fn wavefront_dag(&self, work: f64, boundary_elems: usize) -> Vec<SimTask> {
+        let chunks = self.chunks();
+        chunks
+            .iter()
+            .enumerate()
+            .map(|(i, (r, rank))| SimTask {
+                proc: *rank,
+                cost: r.len() as f64 * work,
+                deps: if i == 0 {
+                    vec![]
+                } else {
+                    vec![Dep { task: i - 1, elems: boundary_elems }]
+                },
+            })
+            .collect()
+    }
+
+    /// Build the *tiled* wavefront DAG: each chunk is additionally cut
+    /// into `n_tiles` tiles along an orthogonal dimension; task
+    /// `(chunk i, tile j)` depends on `(i−1, j)` (a message of
+    /// `boundary_per_tile` elements when the chunks live on different
+    /// processors) and on `(i, j−1)`. This is the pipelined execution a
+    /// cyclic distribution actually needs to exploit a wavefront.
+    pub fn wavefront_dag_tiled(
+        &self,
+        work: f64,
+        boundary_per_tile: usize,
+        n_tiles: usize,
+    ) -> Vec<SimTask> {
+        assert!(n_tiles >= 1);
+        let chunks = self.chunks();
+        let mut tasks = Vec::with_capacity(chunks.len() * n_tiles);
+        for (i, (r, rank)) in chunks.iter().enumerate() {
+            let tile_cost = r.len() as f64 * work / n_tiles as f64;
+            for j in 0..n_tiles {
+                let mut deps = Vec::new();
+                if j > 0 {
+                    deps.push(Dep { task: i * n_tiles + (j - 1), elems: 0 });
+                }
+                if i > 0 {
+                    deps.push(Dep {
+                        task: (i - 1) * n_tiles + j,
+                        elems: boundary_per_tile,
+                    });
+                }
+                tasks.push(SimTask { proc: *rank, cost: tile_cost, deps });
+            }
+        }
+        tasks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::des::simulate;
+    use crate::params::MachineParams;
+    use wavefront_core::index::Point;
+
+    #[test]
+    fn chunks_round_robin() {
+        let r = Region::rect([0, 0], [11, 3]);
+        let d = BlockCyclic::new(r, 0, 3, 2);
+        let chunks = d.chunks();
+        assert_eq!(chunks.len(), 6);
+        assert_eq!(chunks[0].1, 0);
+        assert_eq!(chunks[1].1, 1);
+        assert_eq!(chunks[2].1, 2);
+        assert_eq!(chunks[3].1, 0);
+        let total: usize = chunks.iter().map(|(c, _)| c.len()).sum();
+        assert_eq!(total, r.len());
+    }
+
+    #[test]
+    fn owner_matches_chunks() {
+        let r = Region::rect([2, 0], [13, 1]);
+        let d = BlockCyclic::new(r, 0, 4, 3);
+        for (chunk, rank) in d.chunks() {
+            for p in chunk.iter() {
+                assert_eq!(d.owner(p), Some(rank), "at {p}");
+            }
+        }
+        assert_eq!(d.owner(Point([1, 0])), None);
+    }
+
+    #[test]
+    fn owned_len_balances() {
+        let r = Region::rect([0], [99]);
+        let d = BlockCyclic::new(r, 0, 4, 5);
+        // 20 chunks of 5: each proc owns 5 chunks = 25 indices.
+        for rank in 0..4 {
+            assert_eq!(d.owned_len(rank), 25);
+        }
+    }
+
+    #[test]
+    fn untiled_cyclic_wavefront_is_still_serial() {
+        // Distribution alone cannot parallelize a wavefront: the chunk
+        // chain is serial, so the makespan is the whole computation plus
+        // every boundary message.
+        let r = Region::rect([0, 0], [255, 63]);
+        let d = BlockCyclic::new(r, 0, 4, 4);
+        let cheap = MachineParams::custom("cheap", 1.0, 0.01);
+        let tasks = d.wavefront_dag(1.0, 64);
+        let res = simulate(&tasks, &cheap, 4);
+        let total: f64 = tasks.iter().map(|t| t.cost).sum();
+        let msg = (tasks.len() - 1) as f64 * cheap.msg_cost(64);
+        assert!((res.makespan - total - msg).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tiled_cyclic_wavefront_pipelines() {
+        // With orthogonal tiling the cyclic stripes pipeline like the
+        // block distribution does.
+        let r = Region::rect([0, 0], [255, 63]);
+        let d = BlockCyclic::new(r, 0, 4, 4);
+        let cheap = MachineParams::custom("cheap", 1.0, 0.01);
+        let tasks = d.wavefront_dag_tiled(1.0, 8, 8);
+        let res = simulate(&tasks, &cheap, 4);
+        let total: f64 = d.wavefront_dag(1.0, 64).iter().map(|t| t.cost).sum();
+        assert!(
+            res.makespan < total / 2.5,
+            "tiled cyclic failed to overlap: {} vs total {}",
+            res.makespan,
+            total
+        );
+    }
+
+    #[test]
+    fn fine_stripes_fill_the_pipe_faster_when_messages_are_cheap() {
+        let r = Region::rect([0, 0], [255, 255]);
+        let cheap = MachineParams::custom("cheap", 2.0, 0.05);
+        let p = 8;
+        // Block distribution = cyclic with chunk n/p.
+        let block = BlockCyclic::new(r, 0, p, 32);
+        let fine = BlockCyclic::new(r, 0, p, 4);
+        let tiles = 16;
+        let t_block = simulate(&block.wavefront_dag_tiled(1.0, 16, tiles), &cheap, p);
+        let t_fine = simulate(&fine.wavefront_dag_tiled(1.0, 16, tiles), &cheap, p);
+        assert!(
+            t_fine.makespan < t_block.makespan,
+            "fine {} vs block {}",
+            t_fine.makespan,
+            t_block.makespan
+        );
+        assert!(t_fine.messages > t_block.messages);
+    }
+
+    #[test]
+    fn chunk_size_trades_messages_for_overlap() {
+        let r = Region::rect([0, 0], [255, 63]);
+        let m = MachineParams::custom("m", 100.0, 1.0);
+        let fine = BlockCyclic::new(r, 0, 4, 1);
+        let coarse = BlockCyclic::new(r, 0, 4, 64);
+        let t_fine = simulate(&fine.wavefront_dag(1.0, 64), &m, 4);
+        let t_coarse = simulate(&coarse.wavefront_dag(1.0, 64), &m, 4);
+        // Fine chunks send 255 messages; coarse only 3 — with expensive
+        // messages and a single wavefront the coarse choice wins here.
+        assert!(t_fine.messages > t_coarse.messages * 10);
+        assert!(t_coarse.makespan < t_fine.makespan);
+    }
+}

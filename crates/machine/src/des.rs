@@ -1,0 +1,370 @@
+//! Discrete-event cost simulation of distributed executions.
+//!
+//! An execution is a DAG of [`SimTask`]s: each task runs on one processor
+//! for a known cost, and may depend on tasks on other processors, in
+//! which case the dependence edge carries a message whose cost is the
+//! machine's `α + β·elems`. The simulator computes task finish times and
+//! the makespan under two rules:
+//!
+//! * a processor runs its tasks one at a time, in the order they appear
+//!   in the task list (program order);
+//! * a task may start once the processor is free, every local dependence
+//!   has finished, and every remote dependence has been *received*:
+//!   receiving a message of `m` elements occupies the receiving processor
+//!   for `α + β·m` (and cannot begin before the sender finished producing
+//!   the data).
+//!
+//! Charging the message cost to the receiving processor matches the
+//! paper's critical-path accounting — its `T_comm` counts every message a
+//! processor consumes serially with its computation ("each processor
+//! blocks, waiting to receive all the data it needs"), which is how
+//! blocking MPI receives behaved on the T3E-era machines. Sends are
+//! asynchronous. This engine is what the experiment harnesses call the
+//! *experimental* (simulated) time, as opposed to the closed-form
+//! Model1/Model2 predictions.
+
+use crate::params::MachineParams;
+
+/// A dependence of one task on another, possibly carrying a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dep {
+    /// Index of the prerequisite task (must precede the dependent task in
+    /// the task list).
+    pub task: usize,
+    /// Number of elements transferred if the tasks run on different
+    /// processors (ignored for same-processor dependences). A remote
+    /// dependence with `elems == 0` is treated as a pure ordering edge
+    /// (no message): schedulers use it for barrier/gating relations.
+    pub elems: usize,
+}
+
+/// One unit of work in the simulated execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimTask {
+    /// The processor that runs the task.
+    pub proc: usize,
+    /// Computation cost in normalized element-time units.
+    pub cost: f64,
+    /// Prerequisite tasks.
+    pub deps: Vec<Dep>,
+}
+
+/// The outcome of a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Completion time of the whole DAG.
+    pub makespan: f64,
+    /// Finish time per task.
+    pub finish: Vec<f64>,
+    /// Total busy time per processor (computation plus receive
+    /// overhead).
+    pub busy: Vec<f64>,
+    /// Number of messages sent (remote dependence edges).
+    pub messages: usize,
+    /// Total elements communicated.
+    pub elements_sent: usize,
+}
+
+/// How communication interacts with computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CommMode {
+    /// Receiving a message occupies the receiving processor for the full
+    /// `α + β·m` (blocking receives, no overlap) — the paper's model and
+    /// the behaviour of T3E-era MPI.
+    #[default]
+    Blocking,
+    /// Messages are pure latency: the receiver may compute while data is
+    /// in flight and pays nothing on arrival (ideal overlap, e.g. a DMA
+    /// engine with asynchronous progress).
+    Overlapped,
+}
+
+/// Simulate `tasks` on a machine with `params` and `procs` processors
+/// under the default [`CommMode::Blocking`] model.
+///
+/// Tasks must be listed so that every dependence refers to an earlier
+/// task, and tasks sharing a processor appear in the order that processor
+/// executes them.
+///
+/// # Panics
+///
+/// Panics if a dependence points forward or a processor index is out of
+/// range.
+pub fn simulate(tasks: &[SimTask], params: &MachineParams, procs: usize) -> SimResult {
+    simulate_with_mode(tasks, params, procs, CommMode::Blocking)
+}
+
+/// [`simulate`] with an explicit communication mode.
+pub fn simulate_with_mode(
+    tasks: &[SimTask],
+    params: &MachineParams,
+    procs: usize,
+    mode: CommMode,
+) -> SimResult {
+    let mut finish = vec![0.0f64; tasks.len()];
+    let mut proc_clock = vec![0.0f64; procs];
+    let mut busy = vec![0.0f64; procs];
+    let mut messages = 0usize;
+    let mut elements_sent = 0usize;
+
+    for (i, t) in tasks.iter().enumerate() {
+        assert!(t.proc < procs, "task {i} on processor {} of {procs}", t.proc);
+        // Local dependences gate the start; remote dependences are
+        // received one after another on this processor, each occupying it
+        // for the full message cost once the data is available.
+        let mut start = proc_clock[t.proc];
+        for d in &t.deps {
+            assert!(d.task < i, "task {i} depends on later task {}", d.task);
+            if tasks[d.task].proc == t.proc {
+                start = start.max(finish[d.task]);
+            }
+        }
+        for d in &t.deps {
+            if tasks[d.task].proc != t.proc {
+                if d.elems == 0 {
+                    // Pure ordering edge: no message.
+                    start = start.max(finish[d.task]);
+                    continue;
+                }
+                let cost = params.msg_cost(d.elems);
+                match mode {
+                    CommMode::Blocking => {
+                        start = start.max(finish[d.task]) + cost;
+                        busy[t.proc] += cost;
+                    }
+                    CommMode::Overlapped => {
+                        start = start.max(finish[d.task] + cost);
+                    }
+                }
+                messages += 1;
+                elements_sent += d.elems;
+            }
+        }
+        finish[i] = start + t.cost;
+        proc_clock[t.proc] = finish[i];
+        busy[t.proc] += t.cost;
+    }
+
+    let makespan = finish.iter().copied().fold(0.0, f64::max);
+    SimResult { makespan, finish, busy, messages, elements_sent }
+}
+
+/// Total computation in the DAG (the one-processor lower bound used as a
+/// speedup baseline).
+pub fn serial_time(tasks: &[SimTask]) -> f64 {
+    tasks.iter().map(|t| t.cost).sum()
+}
+
+/// Build the task DAG of a 1-D pipelined wavefront: `p` processors, each
+/// computing `nblocks` tiles of cost `block_cost`, where tile `j` of
+/// processor `i` needs tile `j` of processor `i−1` (a message of
+/// `msg_elems` elements) and tile `j−1` of processor `i` — the structure
+/// of Figure 4(b).
+pub fn pipeline_dag(
+    p: usize,
+    nblocks: usize,
+    block_cost: f64,
+    msg_elems: usize,
+) -> Vec<SimTask> {
+    let mut tasks = Vec::with_capacity(p * nblocks);
+    // Program order: processors interleaved by block index keeps each
+    // processor's tasks in its own execution order while satisfying the
+    // dependence-precedes rule.
+    for i in 0..p {
+        for j in 0..nblocks {
+            let mut deps = Vec::new();
+            if j > 0 {
+                deps.push(Dep { task: i * nblocks + (j - 1), elems: 0 });
+            }
+            if i > 0 {
+                deps.push(Dep { task: (i - 1) * nblocks + j, elems: msg_elems });
+            }
+            tasks.push(SimTask { proc: i, cost: block_cost, deps });
+        }
+    }
+    tasks
+}
+
+/// Build the task DAG of the *naive* (non-pipelined) wavefront of Figure
+/// 4(a): each processor computes its entire portion (cost `portion_cost`)
+/// only after the previous processor finished and sent its whole boundary
+/// (`boundary_elems` elements).
+pub fn naive_dag(p: usize, portion_cost: f64, boundary_elems: usize) -> Vec<SimTask> {
+    (0..p)
+        .map(|i| SimTask {
+            proc: i,
+            cost: portion_cost,
+            deps: if i == 0 {
+                vec![]
+            } else {
+                vec![Dep { task: i - 1, elems: boundary_elems }]
+            },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::MachineParams;
+
+    fn free_comm() -> MachineParams {
+        MachineParams::custom("free", 0.0, 0.0)
+    }
+
+    #[test]
+    fn single_task() {
+        let tasks = vec![SimTask { proc: 0, cost: 5.0, deps: vec![] }];
+        let r = simulate(&tasks, &free_comm(), 1);
+        assert_eq!(r.makespan, 5.0);
+        assert_eq!(r.busy, vec![5.0]);
+        assert_eq!(r.messages, 0);
+    }
+
+    #[test]
+    fn same_proc_tasks_serialize() {
+        let tasks = vec![
+            SimTask { proc: 0, cost: 2.0, deps: vec![] },
+            SimTask { proc: 0, cost: 3.0, deps: vec![] },
+        ];
+        let r = simulate(&tasks, &free_comm(), 1);
+        assert_eq!(r.makespan, 5.0);
+    }
+
+    #[test]
+    fn independent_tasks_on_distinct_procs_run_in_parallel() {
+        let tasks = vec![
+            SimTask { proc: 0, cost: 4.0, deps: vec![] },
+            SimTask { proc: 1, cost: 4.0, deps: vec![] },
+        ];
+        let r = simulate(&tasks, &free_comm(), 2);
+        assert_eq!(r.makespan, 4.0);
+    }
+
+    #[test]
+    fn remote_dependence_pays_message_cost() {
+        let m = MachineParams::custom("m", 10.0, 1.0);
+        let tasks = vec![
+            SimTask { proc: 0, cost: 1.0, deps: vec![] },
+            SimTask { proc: 1, cost: 1.0, deps: vec![Dep { task: 0, elems: 5 }] },
+        ];
+        let r = simulate(&tasks, &m, 2);
+        assert_eq!(r.makespan, 1.0 + (10.0 + 5.0) + 1.0);
+        assert_eq!(r.messages, 1);
+        assert_eq!(r.elements_sent, 5);
+    }
+
+    #[test]
+    fn local_dependence_is_free() {
+        let m = MachineParams::custom("m", 10.0, 1.0);
+        let tasks = vec![
+            SimTask { proc: 0, cost: 1.0, deps: vec![] },
+            SimTask { proc: 0, cost: 1.0, deps: vec![Dep { task: 0, elems: 5 }] },
+        ];
+        let r = simulate(&tasks, &m, 1);
+        assert_eq!(r.makespan, 2.0);
+        assert_eq!(r.messages, 0);
+    }
+
+    #[test]
+    fn pipeline_dag_matches_paper_comp_formula_with_free_comm() {
+        // With α = β = 0 the pipelined makespan is exactly
+        // T_comp = (nb/p)(p−1) + n²/p (the fill plus one processor's work).
+        let (n, p, b) = (240usize, 4usize, 20usize);
+        let block_cost = (n * b / p) as f64;
+        let nblocks = n / b;
+        let tasks = pipeline_dag(p, nblocks, block_cost, b);
+        let r = simulate(&tasks, &free_comm(), p);
+        let t_comp = block_cost * (p as f64 - 1.0) + (n * n / p) as f64;
+        assert!((r.makespan - t_comp).abs() < 1e-9, "{} vs {t_comp}", r.makespan);
+    }
+
+    #[test]
+    fn pipeline_dag_message_accounting() {
+        let p = 3;
+        let nblocks = 5;
+        let tasks = pipeline_dag(p, nblocks, 1.0, 7);
+        let r = simulate(&tasks, &free_comm(), p);
+        // (p−1) neighbour pairs × nblocks messages each.
+        assert_eq!(r.messages, (p - 1) * nblocks);
+        assert_eq!(r.elements_sent, (p - 1) * nblocks * 7);
+    }
+
+    #[test]
+    fn naive_dag_serializes_processors() {
+        let m = MachineParams::custom("m", 5.0, 1.0);
+        let p = 4;
+        let tasks = naive_dag(p, 100.0, 10);
+        let r = simulate(&tasks, &m, p);
+        // Fully serialized: p portions + (p−1) boundary messages.
+        assert_eq!(r.makespan, 4.0 * 100.0 + 3.0 * (5.0 + 10.0));
+    }
+
+    #[test]
+    fn pipelining_beats_naive_when_comm_is_cheap() {
+        let m = MachineParams::custom("m", 2.0, 0.1);
+        let (n, p, b) = (256usize, 8usize, 16usize);
+        let pipe = simulate(
+            &pipeline_dag(p, n / b, (n * b / p) as f64, b),
+            &m,
+            p,
+        );
+        let naive = simulate(&naive_dag(p, (n * n / p) as f64, n), &m, p);
+        assert!(
+            pipe.makespan < naive.makespan / 3.0,
+            "pipe {} naive {}",
+            pipe.makespan,
+            naive.makespan
+        );
+    }
+
+    #[test]
+    fn serial_time_sums_costs() {
+        let tasks = pipeline_dag(2, 3, 2.5, 1);
+        assert_eq!(serial_time(&tasks), 15.0);
+    }
+
+    #[test]
+    fn overlapped_mode_hides_latency_behind_compute() {
+        // Steady-state pipeline: with overlap the per-block message cost
+        // disappears from the critical path; blocking pays it per block.
+        let m = MachineParams::custom("m", 50.0, 1.0);
+        let p = 2;
+        let nblocks = 20;
+        let tasks = pipeline_dag(p, nblocks, 100.0, 10);
+        let blocking = simulate_with_mode(&tasks, &m, p, CommMode::Blocking);
+        let overlapped = simulate_with_mode(&tasks, &m, p, CommMode::Overlapped);
+        assert!(overlapped.makespan < blocking.makespan);
+        // Overlapped: fill (one block + one message) + remaining blocks.
+        let expect = 100.0 + (50.0 + 10.0) + (nblocks as f64) * 100.0;
+        assert!((overlapped.makespan - expect).abs() < 1e-9, "{}", overlapped.makespan);
+        // Blocking: the last processor pays every message serially.
+        let expect_b = 100.0 + (nblocks as f64) * (100.0 + 60.0);
+        assert!((blocking.makespan - expect_b).abs() < 1e-9, "{}", blocking.makespan);
+    }
+
+    #[test]
+    fn overlapped_busy_excludes_receive_overhead() {
+        let m = MachineParams::custom("m", 10.0, 1.0);
+        let tasks = vec![
+            SimTask { proc: 0, cost: 1.0, deps: vec![] },
+            SimTask { proc: 1, cost: 1.0, deps: vec![Dep { task: 0, elems: 5 }] },
+        ];
+        let b = simulate_with_mode(&tasks, &m, 2, CommMode::Blocking);
+        let o = simulate_with_mode(&tasks, &m, 2, CommMode::Overlapped);
+        assert_eq!(b.busy[1], 1.0 + 15.0);
+        assert_eq!(o.busy[1], 1.0);
+        // Same single-message latency on an otherwise idle receiver.
+        assert_eq!(b.makespan, o.makespan);
+    }
+
+    #[test]
+    #[should_panic(expected = "depends on later task")]
+    fn forward_dependences_panic() {
+        let tasks = vec![
+            SimTask { proc: 0, cost: 1.0, deps: vec![Dep { task: 1, elems: 0 }] },
+            SimTask { proc: 0, cost: 1.0, deps: vec![] },
+        ];
+        simulate(&tasks, &free_comm(), 1);
+    }
+}

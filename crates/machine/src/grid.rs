@@ -1,0 +1,234 @@
+//! Processor grids and block distributions.
+//!
+//! ZPL block-distributes every array dimension over a processor mesh and
+//! aligns all arrays (the basis of its WYSIWYG performance model), so
+//! communication is only required for the shift operator. A
+//! [`ProcGrid`] is an `R`-dimensional mesh of virtual processors; a
+//! [`Distribution`] assigns each processor the block of a region it owns.
+
+use wavefront_core::region::Region;
+
+/// An `R`-dimensional mesh of virtual processors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcGrid<const R: usize> {
+    dims: [usize; R],
+}
+
+impl<const R: usize> ProcGrid<R> {
+    /// A grid with `dims[k]` processors along dimension `k`. Every
+    /// dimension must be at least 1.
+    pub fn new(dims: [usize; R]) -> Self {
+        assert!(dims.iter().all(|&d| d >= 1), "grid dims must be >= 1");
+        ProcGrid { dims }
+    }
+
+    /// A 1-D distribution along dimension `k` of `p` processors (all other
+    /// dimensions undistributed) — the layout of the paper's Section 4
+    /// analysis and Figure 7 runs.
+    pub fn along(k: usize, p: usize) -> Self {
+        let mut dims = [1usize; R];
+        dims[k] = p;
+        Self::new(dims)
+    }
+
+    /// Extents of the grid.
+    pub fn dims(&self) -> [usize; R] {
+        self.dims
+    }
+
+    /// Total number of processors.
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// True for the degenerate single-processor grid.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Linear rank of grid coordinate `coord` (row-major over dims).
+    pub fn rank_of(&self, coord: [usize; R]) -> usize {
+        let mut r = 0usize;
+        for k in 0..R {
+            debug_assert!(coord[k] < self.dims[k]);
+            r = r * self.dims[k] + coord[k];
+        }
+        r
+    }
+
+    /// Grid coordinate of linear rank `rank`.
+    pub fn coord_of(&self, rank: usize) -> [usize; R] {
+        debug_assert!(rank < self.len());
+        let mut c = [0usize; R];
+        let mut r = rank;
+        for k in (0..R).rev() {
+            c[k] = r % self.dims[k];
+            r /= self.dims[k];
+        }
+        c
+    }
+
+    /// The neighbouring rank one step along dimension `k` (`+1` or `-1`),
+    /// or `None` at the mesh edge.
+    pub fn neighbor(&self, rank: usize, k: usize, step: i64) -> Option<usize> {
+        let mut c = self.coord_of(rank);
+        let nk = c[k] as i64 + step;
+        if nk < 0 || nk >= self.dims[k] as i64 {
+            return None;
+        }
+        c[k] = nk as usize;
+        Some(self.rank_of(c))
+    }
+
+    /// Iterate all ranks.
+    pub fn ranks(&self) -> impl Iterator<Item = usize> {
+        0..self.len()
+    }
+}
+
+/// A block distribution of a region over a processor grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Distribution<const R: usize> {
+    grid: ProcGrid<R>,
+    region: Region<R>,
+    /// Per dimension, the regions of the blocks along that dimension.
+    cuts: [Vec<(i64, i64)>; R],
+}
+
+impl<const R: usize> Distribution<R> {
+    /// Block-distribute `region` over `grid`.
+    pub fn block(region: Region<R>, grid: ProcGrid<R>) -> Self {
+        let cuts: [Vec<(i64, i64)>; R] = std::array::from_fn(|k| {
+            region
+                .block_split(k, grid.dims()[k])
+                .into_iter()
+                .map(|r| {
+                    if r.is_empty() {
+                        (0, -1)
+                    } else {
+                        (r.lo()[k], r.hi()[k])
+                    }
+                })
+                .collect()
+        });
+        Distribution { grid, region, cuts }
+    }
+
+    /// The grid.
+    pub fn grid(&self) -> ProcGrid<R> {
+        self.grid
+    }
+
+    /// The distributed region.
+    pub fn region(&self) -> Region<R> {
+        self.region
+    }
+
+    /// The sub-region owned by `rank` (possibly empty).
+    pub fn owned(&self, rank: usize) -> Region<R> {
+        let c = self.grid.coord_of(rank);
+        let mut lo = self.region.lo();
+        let mut hi = self.region.hi();
+        for k in 0..R {
+            let (l, h) = self.cuts[k][c[k]];
+            if l > h {
+                return Region::empty();
+            }
+            lo[k] = l;
+            hi[k] = h;
+        }
+        Region::rect(lo, hi)
+    }
+
+    /// The rank owning index-space coordinate `p`, or `None` if `p` is
+    /// outside the distributed region.
+    pub fn owner(&self, p: wavefront_core::index::Point<R>) -> Option<usize> {
+        let mut coord = [0usize; R];
+        for k in 0..R {
+            let pos = self.cuts[k]
+                .iter()
+                .position(|&(l, h)| l <= p[k] && p[k] <= h)?;
+            coord[k] = pos;
+        }
+        Some(self.grid.rank_of(coord))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wavefront_core::index::Point;
+
+    #[test]
+    fn rank_coord_round_trip() {
+        let g = ProcGrid::new([2, 3]);
+        assert_eq!(g.len(), 6);
+        for r in g.ranks() {
+            assert_eq!(g.rank_of(g.coord_of(r)), r);
+        }
+        assert_eq!(g.coord_of(0), [0, 0]);
+        assert_eq!(g.coord_of(5), [1, 2]);
+    }
+
+    #[test]
+    fn along_builds_1d_distribution() {
+        let g = ProcGrid::<2>::along(0, 4);
+        assert_eq!(g.dims(), [4, 1]);
+        assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    fn neighbors_respect_mesh_edges() {
+        let g = ProcGrid::new([2, 2]);
+        // Grid:  0=(0,0) 1=(0,1) 2=(1,0) 3=(1,1)
+        assert_eq!(g.neighbor(0, 0, 1), Some(2));
+        assert_eq!(g.neighbor(0, 1, 1), Some(1));
+        assert_eq!(g.neighbor(0, 0, -1), None);
+        assert_eq!(g.neighbor(3, 1, 1), None);
+        assert_eq!(g.neighbor(3, 0, -1), Some(1));
+    }
+
+    #[test]
+    fn block_distribution_partitions_region() {
+        let region = Region::rect([1, 1], [8, 8]);
+        let d = Distribution::block(region, ProcGrid::new([2, 2]));
+        let total: usize = (0..4).map(|r| d.owned(r).len()).sum();
+        assert_eq!(total, region.len());
+        assert_eq!(d.owned(0), Region::rect([1, 1], [4, 4]));
+        assert_eq!(d.owned(3), Region::rect([5, 5], [8, 8]));
+    }
+
+    #[test]
+    fn owner_matches_owned() {
+        let region = Region::rect([0, 0], [9, 9]);
+        let d = Distribution::block(region, ProcGrid::new([3, 2]));
+        for rank in d.grid().ranks() {
+            for p in d.owned(rank).iter() {
+                assert_eq!(d.owner(p), Some(rank), "at {p}");
+            }
+        }
+        assert_eq!(d.owner(Point([10, 0])), None);
+        assert_eq!(d.owner(Point([-1, 5])), None);
+    }
+
+    #[test]
+    fn uneven_split_gives_extra_to_leading_blocks() {
+        let region = Region::rect([0], [9]);
+        let d = Distribution::block(region, ProcGrid::<1>::new([4]));
+        // 10 = 3+3+2+2
+        assert_eq!(d.owned(0).len(), 3);
+        assert_eq!(d.owned(1).len(), 3);
+        assert_eq!(d.owned(2).len(), 2);
+        assert_eq!(d.owned(3).len(), 2);
+    }
+
+    #[test]
+    fn more_processors_than_rows() {
+        let region = Region::rect([0, 0], [1, 7]);
+        let d = Distribution::block(region, ProcGrid::<2>::along(0, 4));
+        assert!(!d.owned(0).is_empty());
+        assert!(!d.owned(1).is_empty());
+        assert!(d.owned(2).is_empty());
+        assert!(d.owned(3).is_empty());
+    }
+}

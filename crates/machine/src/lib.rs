@@ -1,0 +1,30 @@
+#![warn(missing_docs)]
+// Rank-generic code indexes several fixed-size arrays by dimension in
+// lockstep; iterator zips obscure that.
+#![allow(clippy::needless_range_loop)]
+
+//! # wavefront-machine
+//!
+//! The distributed-memory substrate the paper's evaluation ran on,
+//! rebuilt as a simulator: processor meshes and ZPL-style block
+//! distributions ([`grid`]), machine cost presets with the paper's linear
+//! `α + β·n` communication model ([`params`]), and a deterministic
+//! task-graph cost simulator ([`des`]) that plays the role of the Cray
+//! T3E / SGI PowerChallenge testbeds. Real multithreaded execution lives
+//! in `wavefront-pipeline`, which builds on these abstractions.
+
+pub mod cyclic;
+pub mod des;
+pub mod grid;
+pub mod params;
+
+pub use des::{
+    naive_dag, pipeline_dag, serial_time, simulate, simulate_with_mode, CommMode, Dep,
+    SimResult, SimTask,
+};
+pub use cyclic::BlockCyclic;
+pub use grid::{Distribution, ProcGrid};
+pub use params::{
+    cray_t3e, fig5a_problem, fig5a_t3e, fig5b_hypothetical, fig5b_problem,
+    sgi_power_challenge, MachineParams,
+};

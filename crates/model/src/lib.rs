@@ -1,0 +1,14 @@
+#![warn(missing_docs)]
+
+//! # wavefront-model
+//!
+//! The analytic performance models of the paper's Section 4: the
+//! pipelined-execution time decomposition (`T_comp`, `T_comm`), the
+//! optimal-block-size Equation (1), its constant-communication-cost
+//! specialization (**Model1**, Hiranandani et al.) and the full
+//! linear-cost model (**Model2**), plus speedup prediction against the
+//! serial and naive (non-pipelined) baselines.
+
+pub mod pipe;
+
+pub use pipe::{optimal_block_rect, t_transpose_strategy, transpose_cost, PipeModel};

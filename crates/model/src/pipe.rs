@@ -1,0 +1,369 @@
+//! The paper's analytic model of pipelined wavefront execution
+//! (Section 4).
+//!
+//! A wavefront moves along the first dimension of an `n × n` space block
+//! distributed across `p` processors in that dimension. With block size
+//! `b` and communication cost `α + β·m` for an `m`-element message:
+//!
+//! ```text
+//! T_comp = (nb/p)(p−1) + n²/p
+//! T_comm = (α + βb)(n/b + p − 2)
+//! ```
+//!
+//! Minimizing the sum over `b` yields the paper's Equation (1):
+//!
+//! ```text
+//! b = sqrt(αnp / ((pβ + n)(p − 1))) ≈ sqrt(αn / (pβ + n))
+//! ```
+//!
+//! **Model1** is the constant-communication-cost model of Hiranandani
+//! *et al.* (`β = 0`, reducing the optimum to `b = sqrt(α)`); **Model2**
+//! is the full linear-cost model.
+
+/// The pipelined-execution model for one wavefront sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipeModel {
+    /// Problem size (the data space is `n × n`).
+    pub n: f64,
+    /// Processors along the wavefront dimension.
+    pub p: f64,
+    /// Message startup cost (units: one element-computation).
+    pub alpha: f64,
+    /// Per-element communication cost (same units).
+    pub beta: f64,
+    /// Per-element computation work factor (1.0 = the canonical
+    /// normalization "all times normalized to the cost of computing a
+    /// single element").
+    pub work: f64,
+}
+
+impl PipeModel {
+    /// Model with unit work.
+    pub fn new(n: usize, p: usize, alpha: f64, beta: f64) -> Self {
+        PipeModel { n: n as f64, p: p as f64, alpha, beta, work: 1.0 }
+    }
+
+    /// The Model1 variant: identical but with `β = 0`.
+    pub fn model1(&self) -> Self {
+        PipeModel { beta: 0.0, ..*self }
+    }
+
+    /// `T_comp(b)`: pipeline fill of `p − 1` blocks of `nb/p` elements,
+    /// plus the last processor's `n²/p` elements.
+    pub fn t_comp(&self, b: f64) -> f64 {
+        (self.n * b / self.p) * (self.p - 1.0) * self.work
+            + (self.n * self.n / self.p) * self.work
+    }
+
+    /// `T_comm(b)`: `n/b + p − 2` messages of `b` elements on the
+    /// critical path.
+    pub fn t_comm(&self, b: f64) -> f64 {
+        (self.alpha + self.beta * b) * (self.n / b + self.p - 2.0)
+    }
+
+    /// Total predicted pipelined time.
+    pub fn t_pipe(&self, b: f64) -> f64 {
+        self.t_comp(b) + self.t_comm(b)
+    }
+
+    /// Serial (one-processor) time of the sweep: `n²`.
+    pub fn t_serial(&self) -> f64 {
+        self.n * self.n * self.work
+    }
+
+    /// Non-pipelined distributed time (Figure 4(a)): the computation is
+    /// fully serialized along the wavefront — `n²` of work plus `p − 1`
+    /// whole-boundary messages of `n` elements.
+    pub fn t_naive(&self) -> f64 {
+        self.t_serial() + (self.p - 1.0) * (self.alpha + self.beta * self.n)
+    }
+
+    /// Predicted speedup of the pipelined sweep over the serial sweep.
+    pub fn speedup(&self, b: f64) -> f64 {
+        self.t_serial() / self.t_pipe(b)
+    }
+
+    /// Predicted speedup over the naive (non-pipelined, distributed)
+    /// implementation — "speedup due to pipelining".
+    pub fn speedup_vs_naive(&self, b: f64) -> f64 {
+        self.t_naive() / self.t_pipe(b)
+    }
+
+    /// The paper's Equation (1): `b = sqrt(αnp/((pβ+n)(p−1)))`.
+    pub fn optimal_b_eq1(&self) -> f64 {
+        (self.alpha * self.n * self.p
+            / ((self.p * self.beta + self.n) * (self.p - 1.0)))
+            .sqrt()
+    }
+
+    /// The paper's approximate form: `b ≈ sqrt(αn/(pβ+n))`. With `β = 0`
+    /// this reduces to Hiranandani's `b = sqrt(α)`.
+    pub fn optimal_b_approx(&self) -> f64 {
+        (self.alpha * self.n / (self.p * self.beta + self.n)).sqrt()
+    }
+
+    /// The exact stationary point of `T_pipe` (the paper's derivative
+    /// before its `(p−2) ≈ (p−1)` simplification):
+    /// `b = sqrt(αn / (β(p−2) + n(p−1)/p))`.
+    pub fn optimal_b_exact(&self) -> f64 {
+        let denom = self.beta * (self.p - 2.0) + self.n * (self.p - 1.0) / self.p * self.work;
+        (self.alpha * self.n / denom).sqrt()
+    }
+
+    /// Brute-force integer minimizer of `T_pipe` over `1..=n`.
+    pub fn optimal_b_numeric(&self) -> usize {
+        let n = self.n as usize;
+        (1..=n.max(1))
+            .min_by(|&a, &b| {
+                self.t_pipe(a as f64)
+                    .partial_cmp(&self.t_pipe(b as f64))
+                    .expect("model times are finite")
+            })
+            .expect("non-empty range")
+    }
+
+    /// Sweep `b` over `values`, returning `(b, T_pipe, speedup-vs-naive)`
+    /// triples — one model curve of Figure 5.
+    pub fn sweep<'a>(
+        &'a self,
+        values: impl IntoIterator<Item = usize> + 'a,
+    ) -> impl Iterator<Item = (usize, f64, f64)> + 'a {
+        values
+            .into_iter()
+            .map(move |b| (b, self.t_pipe(b as f64), self.speedup_vs_naive(b as f64)))
+    }
+}
+
+/// Optimal block size for a rectangular sweep: the wavefront travels over
+/// `n_wave` indices distributed across `p` processors, the orthogonal
+/// dimension has `n_orth` indices tiled into blocks of `b`, and each
+/// element costs `work`. This is the stationary point of
+///
+/// ```text
+/// T(b) = (n_wave·b/p)(p−1)·work + (n_wave·n_orth/p)·work
+///      + (α + β·b)(n_orth/b + p − 2)
+/// ```
+///
+/// and reduces to [`PipeModel::optimal_b_exact`] for the paper's square
+/// unit-work case.
+pub fn optimal_block_rect(
+    n_wave: usize,
+    n_orth: usize,
+    p: usize,
+    alpha: f64,
+    beta: f64,
+    work: f64,
+) -> f64 {
+    let (nw, no, p) = (n_wave as f64, n_orth as f64, p as f64);
+    let denom = nw * (p - 1.0) * work / p + beta * (p - 2.0).max(0.0);
+    if denom <= 0.0 {
+        return no; // one processor: no pipelining needed, one "block"
+    }
+    (alpha * no / denom).sqrt().clamp(1.0, no)
+}
+
+/// Cost of transposing `arrays` distributed `n × n` arrays across `p`
+/// processors (the alternative to pipelining the paper's Section 2.2
+/// summary discusses): an all-to-all in which every processor exchanges
+/// an `n²/p²`-element block with each of the other `p − 1` processors,
+/// received serially under the blocking-communication model.
+pub fn transpose_cost(n: usize, p: usize, arrays: usize, alpha: f64, beta: f64) -> f64 {
+    if p <= 1 {
+        return 0.0;
+    }
+    let block = (n * n) as f64 / (p * p) as f64 * arrays as f64;
+    (p as f64 - 1.0) * (alpha + beta * block)
+}
+
+/// Total predicted time of the *transpose* strategy for one wavefront
+/// sweep: transpose the operands so the wave travels a local dimension,
+/// run it fully parallel, and transpose back.
+pub fn t_transpose_strategy(
+    n: usize,
+    p: usize,
+    arrays: usize,
+    alpha: f64,
+    beta: f64,
+    work: f64,
+) -> f64 {
+    2.0 * transpose_cost(n, p, arrays, alpha, beta) + (n * n) as f64 * work / p as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m() -> PipeModel {
+        PipeModel::new(256, 8, 100.0, 4.0)
+    }
+
+    #[test]
+    fn transpose_cost_shape() {
+        assert_eq!(transpose_cost(256, 1, 4, 100.0, 4.0), 0.0);
+        // Doubling the arrays doubles the bandwidth term only.
+        let one = transpose_cost(256, 8, 1, 100.0, 4.0);
+        let two = transpose_cost(256, 8, 2, 100.0, 4.0);
+        assert!(two > one);
+        assert!(two < 2.0 * one + 1e-9);
+        let alpha_term = 7.0 * 100.0;
+        assert!(((two - alpha_term) - 2.0 * (one - alpha_term)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transpose_loses_to_pipelining_on_beta_heavy_machines() {
+        // The paper's warning: with several live arrays and a
+        // beta-dominated machine, the double transpose is much slower
+        // than pipelining the sweep in place.
+        let (n, p) = (512usize, 16usize);
+        let model = PipeModel::new(n, p, 150.0, 6.0);
+        let b = model.optimal_b_numeric() as f64;
+        let pipe = model.t_pipe(b);
+        let transpose = t_transpose_strategy(n, p, 4, 150.0, 6.0, 1.0);
+        assert!(
+            transpose > 1.5 * pipe,
+            "transpose {transpose} should lose to pipelining {pipe}"
+        );
+    }
+
+    #[test]
+    fn rect_reduces_to_square_exact() {
+        let sq = m();
+        let rect = optimal_block_rect(256, 256, 8, 100.0, 4.0, 1.0);
+        assert!((rect - sq.optimal_b_exact()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rect_single_processor_returns_full_width() {
+        assert_eq!(optimal_block_rect(100, 300, 1, 100.0, 4.0, 1.0), 300.0);
+    }
+
+    #[test]
+    fn rect_heavier_work_smaller_blocks() {
+        let light = optimal_block_rect(256, 256, 8, 100.0, 4.0, 1.0);
+        let heavy = optimal_block_rect(256, 256, 8, 100.0, 4.0, 8.0);
+        assert!(heavy < light);
+    }
+
+    #[test]
+    fn rect_clamped_to_valid_range() {
+        let b = optimal_block_rect(4, 16, 2, 1e9, 0.0, 1.0);
+        assert!(b <= 16.0);
+        let b = optimal_block_rect(1024, 16, 32, 1e-9, 100.0, 1.0);
+        assert!(b >= 1.0);
+    }
+
+    #[test]
+    fn t_comp_matches_formula() {
+        let m = m();
+        let b = 16.0;
+        let expect = (256.0 * 16.0 / 8.0) * 7.0 + 256.0 * 256.0 / 8.0;
+        assert_eq!(m.t_comp(b), expect);
+    }
+
+    #[test]
+    fn t_comm_matches_formula() {
+        let m = m();
+        let b = 16.0;
+        let expect = (100.0 + 4.0 * 16.0) * (256.0 / 16.0 + 8.0 - 2.0);
+        assert_eq!(m.t_comm(b), expect);
+    }
+
+    #[test]
+    fn model1_drops_beta_only() {
+        let m1 = m().model1();
+        assert_eq!(m1.beta, 0.0);
+        assert_eq!(m1.alpha, 100.0);
+        assert_eq!(m1.n, 256.0);
+    }
+
+    #[test]
+    fn eq1_reduces_to_sqrt_alpha_when_beta_zero() {
+        // "Equation (1) reduces to the constant communication cost
+        // equation of Hiranandani et al. when we let β = 0 (i.e.,
+        // b = sqrt(α))."
+        let m1 = m().model1();
+        assert!((m1.optimal_b_approx() - 100.0f64.sqrt()).abs() < 1e-12);
+        // Eq (1) itself keeps the p/(p−1) factor.
+        let expect = (100.0f64 * 256.0 * 8.0 / (256.0 * 7.0)).sqrt();
+        assert!((m1.optimal_b_eq1() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn numeric_optimum_agrees_with_exact_stationary_point() {
+        for (n, p, alpha, beta) in [
+            (256usize, 8usize, 100.0, 4.0),
+            (512, 16, 1331.0, 60.0),
+            (64, 16, 400.0, 185.6),
+            (1024, 4, 50.0, 0.5),
+        ] {
+            let m = PipeModel::new(n, p, alpha, beta);
+            let num = m.optimal_b_numeric() as f64;
+            let exact = m.optimal_b_exact();
+            assert!(
+                (num - exact).abs() <= 1.0 + exact * 0.02,
+                "n={n} p={p}: numeric {num} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn alpha_grows_optimal_b_grows() {
+        // "as α grows, the optimal b grows".
+        let lo = PipeModel::new(256, 8, 50.0, 4.0).optimal_b_eq1();
+        let hi = PipeModel::new(256, 8, 500.0, 4.0).optimal_b_eq1();
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn beta_grows_optimal_b_shrinks() {
+        // "As β grows, the optimal b decreases".
+        let lo = PipeModel::new(256, 8, 100.0, 40.0).optimal_b_eq1();
+        let hi = PipeModel::new(256, 8, 100.0, 1.0).optimal_b_eq1();
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn p_grows_optimal_b_shrinks() {
+        // "As p grows, the optimal b decreases" (with β > 0).
+        let p4 = PipeModel::new(256, 4, 100.0, 4.0).optimal_b_eq1();
+        let p32 = PipeModel::new(256, 32, 100.0, 4.0).optimal_b_eq1();
+        assert!(p4 > p32);
+    }
+
+    #[test]
+    fn n_grows_b_less_sensitive() {
+        // "As n grows, the optimal b becomes less sensitive to the
+        // relative values of α, β, and p": the ratio between optima at
+        // β=1 and β=50 shrinks as n grows.
+        let ratio = |n: usize| {
+            PipeModel::new(n, 8, 100.0, 1.0).optimal_b_eq1()
+                / PipeModel::new(n, 8, 100.0, 50.0).optimal_b_eq1()
+        };
+        assert!(ratio(64) > ratio(4096));
+    }
+
+    #[test]
+    fn naive_is_slower_than_good_pipelining() {
+        let m = m();
+        let b = m.optimal_b_numeric() as f64;
+        assert!(m.t_pipe(b) < m.t_naive());
+        assert!(m.speedup_vs_naive(b) > 1.0);
+    }
+
+    #[test]
+    fn sweep_produces_curve() {
+        let m = m();
+        let pts: Vec<_> = m.sweep([1, 8, 64]).collect();
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[1].0, 8);
+        assert!(pts[1].2 > pts[0].2, "b=8 should beat b=1 here");
+    }
+
+    #[test]
+    fn work_scales_compute_not_comm() {
+        let base = m();
+        let heavy = PipeModel { work: 3.0, ..base };
+        assert_eq!(heavy.t_comp(8.0), 3.0 * base.t_comp(8.0));
+        assert_eq!(heavy.t_comm(8.0), base.t_comm(8.0));
+    }
+}

@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+// Rank-generic code indexes several fixed-size arrays by dimension in
+// lockstep; iterator zips obscure that.
+#![allow(clippy::needless_range_loop)]
+
+//! # wavefront-pipeline
+//!
+//! The parallel runtime of the reproduction: turns a compiled scan-block
+//! nest into a [`plan::WavefrontPlan`] (wavefront dimension distributed,
+//! orthogonal dimension tiled with block size `b`) and executes it three
+//! ways:
+//!
+//! * [`exec_sim`] — deterministic cost simulation on the machine model
+//!   (the "experimental" curves of the figure harnesses);
+//! * [`exec_seq`] — dependency-order sequential execution, the semantic
+//!   reference for the decomposition;
+//! * [`exec_threads`] — real OS threads passing boundary messages through
+//!   channels, the stand-in for the paper's hand-pipelined MPI codes.
+//!
+//! Block sizes come from [`schedule::BlockPolicy`]: fixed, Model1
+//! (constant-cost), Model2 (the paper's Equation (1)), naive
+//! (full-portion), or the probe-based dynamic selection the paper lists
+//! as future work.
+
+pub mod exec2d;
+pub mod exec_seq;
+pub mod exec_sim;
+pub mod exec_threads;
+pub mod plan;
+pub mod plan2d;
+pub mod schedule;
+
+pub use exec2d::{
+    execute_plan2d_sequential, execute_plan2d_threaded, plan2d_dag, simulate_plan2d,
+};
+pub use exec_seq::{execute_plan_sequential, execute_plan_sequential_with_sink};
+pub use exec_sim::{
+    plan_dag, simulate_nest, simulate_parallel_nest, simulate_plan, simulate_program,
+    simulate_program_fused, NestSim, ProgramSim,
+};
+pub use exec_threads::{execute_plan_threaded, ThreadReport};
+pub use plan::{PlanError, WavefrontPlan};
+pub use plan2d::WavefrontPlan2D;
+pub use schedule::{probe_block, BlockPolicy};

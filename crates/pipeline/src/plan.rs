@@ -1,0 +1,503 @@
+//! Wavefront execution plans.
+//!
+//! A [`WavefrontPlan`] fixes everything the runtimes need to execute one
+//! compiled scan-block nest in parallel: the wavefront dimension (block
+//! distributed across `p` processors), the orthogonal *tile* dimension
+//! (cut into blocks of `b` indices — the pipelining of Section 4), the
+//! ghost thickness, and which arrays must flow between neighbouring
+//! processors.
+
+use wavefront_core::exec::CompiledNest;
+use wavefront_core::expr::ArrayId;
+use wavefront_core::loops::satisfies;
+use wavefront_core::region::{LoopStructureOrder, Region};
+use wavefront_machine::{Distribution, MachineParams, ProcGrid};
+
+use crate::schedule::BlockPolicy;
+
+/// Why a plan could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The nest carries no value dependences: it is fully parallel and
+    /// needs no pipelining (use a parallel schedule instead).
+    NoWavefrontDim,
+    /// The requested distributed dimension is not one of the nest's
+    /// wavefront dimensions.
+    WaveNotDistributed {
+        /// The nest's wavefront dimensions.
+        wave_dims: Vec<usize>,
+        /// The dimension the caller wants distributed.
+        dist_dim: usize,
+    },
+    /// Some dependence points *against* the wavefront along this
+    /// dimension, so block-distributing it and sweeping processor by
+    /// processor would violate the dependence (e.g. primed directions
+    /// `(-1,0)` and `(1,1)`: legal sequentially — the paper's Example 3
+    /// — but not decomposable along dimension 0).
+    ConflictingDependences {
+        /// The dimension that cannot be distributed.
+        dim: usize,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanError::NoWavefrontDim => {
+                write!(f, "nest has no wavefront dimension; it is fully parallel")
+            }
+            PlanError::WaveNotDistributed { wave_dims, dist_dim } => write!(
+                f,
+                "distributed dimension {dist_dim} is not a wavefront dimension {wave_dims:?}"
+            ),
+            PlanError::ConflictingDependences { dim } => write!(
+                f,
+                "a dependence points against the wavefront along dimension {dim}; the nest \
+                 cannot be block-decomposed along it"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// A fully resolved plan for one nest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WavefrontPlan<const R: usize> {
+    /// The covering region.
+    pub region: Region<R>,
+    /// The dimension the wavefront travels along (block distributed).
+    pub wave_dim: usize,
+    /// Direction of travel along `wave_dim`.
+    pub wave_ascending: bool,
+    /// The tiled orthogonal dimension, or `None` when the nest cannot be
+    /// pipelined (rank 1, or tiling would violate a dependence).
+    pub tile_dim: Option<usize>,
+    /// Iteration direction along the tile dimension (may differ from the
+    /// sequential structure when flipping it is what makes tiling legal).
+    pub tile_ascending: bool,
+    /// Resolved block size `b` (indices of `tile_dim` per tile).
+    pub block: usize,
+    /// Processor count along the wavefront dimension.
+    pub p: usize,
+    /// The block distribution of the region.
+    pub dist: Distribution<R>,
+    /// Per-element computation cost (scalar flops, at least 1).
+    pub work: f64,
+    /// Arrays whose boundary values must flow downstream, each with its
+    /// own boundary thickness (the largest upstream shift it is read
+    /// with along the wavefront dimension).
+    pub comm_arrays: Vec<(ArrayId, i64)>,
+    /// Maximum ghost depth along the wavefront dimension over all
+    /// communicated arrays.
+    pub thickness: i64,
+    /// Global tile slabs in execution order (whole-region slabs along
+    /// `tile_dim`; single entry when `tile_dim` is `None`).
+    pub tiles: Vec<Region<R>>,
+    /// The loop order used inside each tile.
+    pub order: LoopStructureOrder<R>,
+}
+
+impl<const R: usize> WavefrontPlan<R> {
+    /// Build a plan for `nest` distributed along one of its wavefront
+    /// dimensions over `p` processors.
+    ///
+    /// * `dist_dim` — the dimension to distribute; `None` picks the
+    ///   nest's first wavefront dimension.
+    /// * `policy` — how to choose the block size; [`BlockPolicy::FullPortion`]
+    ///   yields the naive schedule.
+    pub fn build(
+        nest: &CompiledNest<R>,
+        p: usize,
+        dist_dim: Option<usize>,
+        policy: &BlockPolicy,
+        params: &MachineParams,
+    ) -> Result<Self, PlanError> {
+        assert!(p >= 1, "need at least one processor");
+        let wave_dims = &nest.structure.wavefront_dims;
+        if wave_dims.is_empty() {
+            return Err(PlanError::NoWavefrontDim);
+        }
+        // A dimension can be block-distributed only when every dependence
+        // points downstream along it (the staircase task DAG orders chunk
+        // (i', j') before (i, j) only when i' ≤ i AND j' ≤ j).
+        let decomposable = |k: usize| -> bool {
+            let sign = if nest.structure.order.ascending[k] { 1 } else { -1 };
+            nest.constraints.iter().all(|c| sign * c.vector[k] >= 0)
+        };
+        let wave_dim = match dist_dim {
+            Some(d) if wave_dims.contains(&d) && decomposable(d) => d,
+            Some(d) if wave_dims.contains(&d) => {
+                return Err(PlanError::ConflictingDependences { dim: d })
+            }
+            Some(d) => {
+                return Err(PlanError::WaveNotDistributed {
+                    wave_dims: wave_dims.clone(),
+                    dist_dim: d,
+                })
+            }
+            None => *wave_dims
+                .iter()
+                .find(|&&d| decomposable(d))
+                .ok_or(PlanError::ConflictingDependences { dim: wave_dims[0] })?,
+        };
+        let region = nest.region;
+        let wave_ascending = nest.structure.order.ascending[wave_dim];
+        let dist = Distribution::block(region, ProcGrid::<R>::along(wave_dim, p));
+
+        // Pick the tile dimension: the non-wave dimension with the largest
+        // extent for which strip-mining is legal (the tile loop becomes the
+        // outermost loop; flipping its direction is allowed if that is what
+        // makes tiling legal).
+        let mut tile_dim = None;
+        let mut tile_ascending = true;
+        let mut base_order = nest.structure.order.clone();
+        let mut candidates: Vec<usize> = (0..R).filter(|&k| k != wave_dim).collect();
+        candidates.sort_by_key(|&k| std::cmp::Reverse(region.extent(k)));
+        'outer: for k in candidates {
+            for asc in [nest.structure.order.ascending[k], !nest.structure.order.ascending[k]] {
+                let mut order = nest.structure.order.clone();
+                order.ascending[k] = asc;
+                // Move k to the outermost loop position.
+                let mut perm: Vec<usize> =
+                    order.order.iter().copied().filter(|&d| d != k).collect();
+                perm.insert(0, k);
+                for (pos, d) in perm.iter().enumerate() {
+                    order.order[pos] = *d;
+                }
+                if satisfies(&nest.constraints, &order) {
+                    tile_dim = Some(k);
+                    tile_ascending = asc;
+                    base_order = order;
+                    break 'outer;
+                }
+            }
+        }
+
+        let work = nest
+            .stmts
+            .iter()
+            .map(|s| s.rhs.flop_count())
+            .sum::<usize>()
+            .max(1) as f64;
+
+        // Arrays whose values must flow from the upstream neighbour: they
+        // are written in the nest and read with a shift pointing upstream
+        // along the wavefront dimension. Each carries its own thickness
+        // (the deepest such shift).
+        let written = {
+            let mut w: Vec<ArrayId> = nest.stmts.iter().map(|s| s.lhs).collect();
+            w.sort_unstable();
+            w.dedup();
+            w
+        };
+        let upstream_sign = if wave_ascending { -1 } else { 1 };
+        let mut comm_arrays: Vec<(ArrayId, i64)> = Vec::new();
+        for r in nest.stmts.iter().flat_map(|s| s.rhs.reads()) {
+            if written.contains(&r.id) && r.shift[wave_dim].signum() == upstream_sign {
+                let t = r.shift[wave_dim].abs();
+                match comm_arrays.iter_mut().find(|(id, _)| *id == r.id) {
+                    Some((_, t0)) => *t0 = (*t0).max(t),
+                    None => comm_arrays.push((r.id, t)),
+                }
+            }
+        }
+        comm_arrays.sort_unstable();
+        let thickness = comm_arrays.iter().map(|&(_, t)| t).max().unwrap_or(1).max(1);
+
+        let (block, tiles) = match tile_dim {
+            Some(k) => {
+                let n_orth = region.extent(k) as usize;
+                let n_wave = region.extent(wave_dim) as usize;
+                let b = policy.resolve(n_wave, n_orth, p, work, params).max(1);
+                let mut tiles = region.chunks(k, b as i64);
+                if !tile_ascending {
+                    tiles.reverse();
+                }
+                (b, tiles)
+            }
+            None => (region.extent(wave_dim).max(1) as usize, vec![region]),
+        };
+
+        Ok(WavefrontPlan {
+            region,
+            wave_dim,
+            wave_ascending,
+            tile_dim,
+            tile_ascending,
+            block,
+            p,
+            dist,
+            work,
+            comm_arrays,
+            thickness,
+            tiles,
+            order: base_order,
+        })
+    }
+
+    /// Processor ranks in wavefront order (upstream first).
+    pub fn ranks_in_wave_order(&self) -> Vec<usize> {
+        let ranks: Vec<usize> = self.dist.grid().ranks().collect();
+        if self.wave_ascending {
+            ranks
+        } else {
+            ranks.into_iter().rev().collect()
+        }
+    }
+
+    /// The upstream neighbour of `rank` in wave order (the rank whose
+    /// values `rank` consumes), if any.
+    pub fn upstream(&self, rank: usize) -> Option<usize> {
+        let step = if self.wave_ascending { -1 } else { 1 };
+        self.dist.grid().neighbor(rank, self.wave_dim, step)
+    }
+
+    /// The downstream neighbour of `rank` in wave order, if any.
+    pub fn downstream(&self, rank: usize) -> Option<usize> {
+        let step = if self.wave_ascending { 1 } else { -1 };
+        self.dist.grid().neighbor(rank, self.wave_dim, step)
+    }
+
+    /// Number of elements one boundary message for `tile` carries: the
+    /// tile's cross-section times each communicated array's thickness.
+    pub fn msg_elems(&self, tile: &Region<R>) -> usize {
+        if self.comm_arrays.is_empty() {
+            return 0;
+        }
+        let cross: usize = (0..R)
+            .filter(|&k| k != self.wave_dim)
+            .map(|k| tile.extent(k).max(0) as usize)
+            .product();
+        cross * self.comm_arrays.iter().map(|&(_, t)| t as usize).sum::<usize>()
+    }
+
+    /// The slab an array's boundary message covers when `owner` sends
+    /// downstream for `tile`: the `t` indices of the wavefront dimension
+    /// ending at `owner`'s downstream edge, clamped to the covering
+    /// region (NOT to `owner` — a processor owning fewer than `t` indices
+    /// relays ghost values it received from further upstream), restricted
+    /// to the tile's other dimensions.
+    pub fn boundary_slab(&self, owner: Region<R>, tile: &Region<R>, t: i64) -> Region<R> {
+        if owner.is_empty() || t <= 0 {
+            return Region::empty();
+        }
+        let w = self.wave_dim;
+        let slab = if self.wave_ascending {
+            self.region.slab(w, owner.hi()[w] - t + 1, owner.hi()[w])
+        } else {
+            self.region.slab(w, owner.lo()[w], owner.lo()[w] + t - 1)
+        };
+        let mut clipped = slab;
+        for k in 0..R {
+            if k != w {
+                clipped = clipped.slab(k, tile.lo()[k], tile.hi()[k]);
+            }
+        }
+        clipped
+    }
+
+    /// True when the plan actually pipelines (more than one tile).
+    pub fn is_pipelined(&self) -> bool {
+        self.tiles.len() > 1
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use wavefront_core::prelude::*;
+
+    /// The Tomcatv scan block of Figure 2(b) at size n, column-major.
+    pub fn tomcatv_nest(n: i64) -> (Program<2>, CompiledNest<2>) {
+        let mut p = Program::<2>::new();
+        let bounds = Region::rect([1, 1], [n, n]);
+        let mk = |p: &mut Program<2>, name: &str| {
+            p.array_with_layout(name, bounds, Layout::ColMajor)
+        };
+        let r = mk(&mut p, "r");
+        let aa = mk(&mut p, "aa");
+        let d = mk(&mut p, "d");
+        let dd = mk(&mut p, "dd");
+        let rx = mk(&mut p, "rx");
+        let ry = mk(&mut p, "ry");
+        let north = [-1i64, 0];
+        p.scan(
+            Region::rect([2, 2], [n - 2, n - 1]),
+            vec![
+                Statement::new(r, Expr::read(aa) * Expr::read_primed_at(d, north)),
+                Statement::new(
+                    d,
+                    (Expr::read(dd) - Expr::read_at(aa, north) * Expr::read(r)).recip(),
+                ),
+                Statement::new(
+                    rx,
+                    Expr::read(rx) - Expr::read_primed_at(rx, north) * Expr::read(r),
+                ),
+                Statement::new(
+                    ry,
+                    Expr::read(ry) - Expr::read_primed_at(ry, north) * Expr::read(r),
+                ),
+            ],
+        );
+        let compiled = compile(&p).unwrap();
+        let nest = compiled.nest(0).clone();
+        (p, nest)
+    }
+
+    fn t3e() -> MachineParams {
+        wavefront_machine::cray_t3e()
+    }
+
+    #[test]
+    fn tomcatv_plan_basics() {
+        let (_p, nest) = tomcatv_nest(66);
+        let plan =
+            WavefrontPlan::build(&nest, 4, None, &BlockPolicy::Fixed(8), &t3e()).unwrap();
+        assert_eq!(plan.wave_dim, 0);
+        assert!(plan.wave_ascending);
+        assert_eq!(plan.tile_dim, Some(1));
+        assert_eq!(plan.block, 8);
+        assert_eq!(plan.thickness, 1);
+        // d, rx, ry flow downstream; r and aa do not.
+        assert_eq!(plan.comm_arrays.len(), 3);
+        assert!(plan.is_pipelined());
+        // 64 columns in tiles of 8.
+        assert_eq!(plan.tiles.len(), 8);
+        let covered: usize = plan.tiles.iter().map(|t| t.len()).sum();
+        assert_eq!(covered, plan.region.len());
+    }
+
+    #[test]
+    fn msg_elems_counts_arrays_and_cross_section() {
+        let (_p, nest) = tomcatv_nest(66);
+        let plan =
+            WavefrontPlan::build(&nest, 4, None, &BlockPolicy::Fixed(8), &t3e()).unwrap();
+        let tile = &plan.tiles[0];
+        assert_eq!(plan.msg_elems(tile), 8 * 1 * 3);
+    }
+
+    #[test]
+    fn full_portion_policy_gives_single_tile() {
+        let (_p, nest) = tomcatv_nest(66);
+        let plan =
+            WavefrontPlan::build(&nest, 4, None, &BlockPolicy::FullPortion, &t3e()).unwrap();
+        assert_eq!(plan.tiles.len(), 1);
+        assert!(!plan.is_pipelined());
+    }
+
+    #[test]
+    fn no_wavefront_dim_is_an_error() {
+        let mut p = Program::<2>::new();
+        let bounds = Region::rect([1, 1], [8, 8]);
+        let a = p.array("a", bounds);
+        p.stmt(bounds, a, Expr::read(a) * Expr::lit(2.0));
+        let compiled = compile(&p).unwrap();
+        let err = WavefrontPlan::build(
+            compiled.nest(0),
+            4,
+            None,
+            &BlockPolicy::Fixed(4),
+            &t3e(),
+        )
+        .unwrap_err();
+        assert_eq!(err, PlanError::NoWavefrontDim);
+    }
+
+    #[test]
+    fn wrong_dist_dim_is_an_error() {
+        let (_p, nest) = tomcatv_nest(34);
+        let err =
+            WavefrontPlan::build(&nest, 4, Some(1), &BlockPolicy::Fixed(4), &t3e()).unwrap_err();
+        assert!(matches!(err, PlanError::WaveNotDistributed { .. }));
+    }
+
+    #[test]
+    fn upstream_downstream_chain() {
+        let (_p, nest) = tomcatv_nest(34);
+        let plan =
+            WavefrontPlan::build(&nest, 4, None, &BlockPolicy::Fixed(4), &t3e()).unwrap();
+        let order = plan.ranks_in_wave_order();
+        assert_eq!(order.len(), 4);
+        assert_eq!(plan.upstream(order[0]), None);
+        for w in order.windows(2) {
+            assert_eq!(plan.upstream(w[1]), Some(w[0]));
+            assert_eq!(plan.downstream(w[0]), Some(w[1]));
+        }
+        assert_eq!(plan.downstream(*order.last().unwrap()), None);
+    }
+
+    #[test]
+    fn southward_wave_reverses_rank_order() {
+        // A wavefront driven by a'@south travels north (descending rows).
+        let mut p = Program::<2>::new();
+        let bounds = Region::rect([1, 1], [16, 16]);
+        let a = p.array("a", bounds);
+        p.stmt(
+            Region::rect([1, 1], [15, 16]),
+            a,
+            Expr::read_primed_at(a, [1, 0]) + Expr::lit(1.0),
+        );
+        let compiled = compile(&p).unwrap();
+        let plan = WavefrontPlan::build(
+            compiled.nest(0),
+            4,
+            None,
+            &BlockPolicy::Fixed(4),
+            &t3e(),
+        )
+        .unwrap();
+        assert!(!plan.wave_ascending);
+        let order = plan.ranks_in_wave_order();
+        assert_eq!(order, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn diagonal_wavefront_tiles_with_flipped_direction_when_needed() {
+        // a := a'@d with d = (-1, 1): true vector (1,-1). The sequential
+        // structure wants dim 1 descending; tiling dim 1 outermost is only
+        // legal descending, which `build` must discover.
+        let mut p = Program::<2>::new();
+        let bounds = Region::rect([0, 0], [16, 16]);
+        let a = p.array("a", bounds);
+        p.stmt(
+            Region::rect([1, 0], [16, 15]),
+            a,
+            Expr::read_primed_at(a, [-1, 1]) + Expr::lit(1.0),
+        );
+        let compiled = compile(&p).unwrap();
+        let nest = compiled.nest(0);
+        let plan =
+            WavefrontPlan::build(nest, 2, Some(0), &BlockPolicy::Fixed(4), &t3e()).unwrap();
+        assert_eq!(plan.tile_dim, Some(1));
+        assert!(!plan.tile_ascending);
+        // Tiles must run from high columns to low.
+        let first = plan.tiles.first().unwrap();
+        let last = plan.tiles.last().unwrap();
+        assert!(first.lo()[1] > last.lo()[1]);
+    }
+
+    #[test]
+    fn rank1_wavefront_has_no_tiles() {
+        let mut p = Program::<1>::new();
+        let bounds = Region::rect([0], [63]);
+        let a = p.array("a", bounds);
+        p.stmt(
+            Region::rect([1], [63]),
+            a,
+            Expr::read_primed_at(a, [-1]) + Expr::lit(1.0),
+        );
+        let compiled = compile(&p).unwrap();
+        let plan = WavefrontPlan::build(
+            compiled.nest(0),
+            4,
+            None,
+            &BlockPolicy::Model2,
+            &t3e(),
+        )
+        .unwrap();
+        assert_eq!(plan.tile_dim, None);
+        assert_eq!(plan.tiles.len(), 1);
+        assert!(!plan.is_pipelined());
+    }
+}

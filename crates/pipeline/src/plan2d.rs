@@ -1,0 +1,478 @@
+//! Two-dimensional processor-grid wavefront plans — the SWEEP3D
+//! decomposition.
+//!
+//! SWEEP3D distributes the first two grid dimensions over a `p1 × p2`
+//! processor mesh and pipelines blocks of the third dimension: cell
+//! `(i, j, k)` needs its upwind neighbours in all three dimensions, so
+//! the wave enters at one corner of the mesh and sweeps diagonally
+//! across it, with each processor forwarding boundary faces east- and
+//! south-ward as it finishes each k-block. A [`WavefrontPlan2D`]
+//! captures that structure for any nest with two block-decomposable
+//! wavefront dimensions.
+
+use wavefront_core::exec::CompiledNest;
+use wavefront_core::expr::ArrayId;
+use wavefront_core::loops::satisfies;
+use wavefront_core::region::{LoopStructureOrder, Region};
+use wavefront_machine::{Distribution, MachineParams, ProcGrid};
+
+use crate::plan::PlanError;
+use crate::schedule::BlockPolicy;
+
+/// A plan distributing two wavefront dimensions over a processor mesh.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WavefrontPlan2D<const R: usize> {
+    /// The covering region.
+    pub region: Region<R>,
+    /// The two distributed wavefront dimensions.
+    pub wave_dims: [usize; 2],
+    /// Travel direction along each wavefront dimension.
+    pub wave_ascending: [bool; 2],
+    /// The pipelined (tiled) dimension, if any.
+    pub tile_dim: Option<usize>,
+    /// Iteration direction along the tile dimension.
+    pub tile_ascending: bool,
+    /// Block size along the tile dimension.
+    pub block: usize,
+    /// Mesh extents along the two wavefront dimensions.
+    pub procs: [usize; 2],
+    /// The block distribution over the mesh.
+    pub dist: Distribution<R>,
+    /// Per-element computation cost.
+    pub work: f64,
+    /// Arrays flowing along each wavefront dimension, with per-array
+    /// boundary thickness: `comm[0]` crosses `wave_dims[0]`, `comm[1]`
+    /// crosses `wave_dims[1]`.
+    pub comm: [Vec<(ArrayId, i64)>; 2],
+    /// Ghost margins of every referenced array (per dimension), used to
+    /// extend the first wavefront dimension's messages so corner values
+    /// relay correctly.
+    pub margins: Vec<[i64; R]>,
+    /// Global tile slabs in execution order.
+    pub tiles: Vec<Region<R>>,
+    /// Loop order used inside each tile.
+    pub order: LoopStructureOrder<R>,
+}
+
+impl<const R: usize> WavefrontPlan2D<R> {
+    /// Build a 2-D mesh plan for `nest` over a `procs[0] × procs[1]`
+    /// mesh along `wave_dims` (or the nest's first two decomposable
+    /// wavefront dimensions when `None`).
+    pub fn build(
+        nest: &CompiledNest<R>,
+        procs: [usize; 2],
+        wave_dims: Option<[usize; 2]>,
+        policy: &BlockPolicy,
+        params: &MachineParams,
+    ) -> Result<Self, PlanError> {
+        assert!(R >= 2, "a 2-D mesh plan needs rank >= 2");
+        assert!(procs[0] >= 1 && procs[1] >= 1);
+        let dims = &nest.structure.wavefront_dims;
+        let decomposable = |k: usize| -> bool {
+            let sign = if nest.structure.order.ascending[k] { 1 } else { -1 };
+            nest.constraints.iter().all(|c| sign * c.vector[k] >= 0)
+        };
+        let wave_dims = match wave_dims {
+            Some(w) => {
+                for d in w {
+                    if !dims.contains(&d) {
+                        return Err(PlanError::WaveNotDistributed {
+                            wave_dims: dims.clone(),
+                            dist_dim: d,
+                        });
+                    }
+                    if !decomposable(d) {
+                        return Err(PlanError::ConflictingDependences { dim: d });
+                    }
+                }
+                if w[0] == w[1] {
+                    return Err(PlanError::WaveNotDistributed {
+                        wave_dims: dims.clone(),
+                        dist_dim: w[1],
+                    });
+                }
+                w
+            }
+            None => {
+                let ok: Vec<usize> =
+                    dims.iter().copied().filter(|&d| decomposable(d)).collect();
+                if ok.len() < 2 {
+                    return Err(PlanError::NoWavefrontDim);
+                }
+                [ok[0], ok[1]]
+            }
+        };
+        let region = nest.region;
+        let wave_ascending = [
+            nest.structure.order.ascending[wave_dims[0]],
+            nest.structure.order.ascending[wave_dims[1]],
+        ];
+        let mut grid_dims = [1usize; R];
+        grid_dims[wave_dims[0]] = procs[0];
+        grid_dims[wave_dims[1]] = procs[1];
+        let dist = Distribution::block(region, ProcGrid::<R>::new(grid_dims));
+
+        // Tile dimension: largest non-wave dimension whose strip-mining
+        // (tile loop outermost) is legal.
+        let mut tile_dim = None;
+        let mut tile_ascending = true;
+        let mut base_order = nest.structure.order.clone();
+        let mut candidates: Vec<usize> =
+            (0..R).filter(|k| !wave_dims.contains(k)).collect();
+        candidates.sort_by_key(|&k| std::cmp::Reverse(region.extent(k)));
+        'outer: for k in candidates {
+            for asc in [nest.structure.order.ascending[k], !nest.structure.order.ascending[k]]
+            {
+                let mut order = nest.structure.order.clone();
+                order.ascending[k] = asc;
+                let mut perm: Vec<usize> =
+                    order.order.iter().copied().filter(|&d| d != k).collect();
+                perm.insert(0, k);
+                for (pos, d) in perm.iter().enumerate() {
+                    order.order[pos] = *d;
+                }
+                if satisfies(&nest.constraints, &order) {
+                    tile_dim = Some(k);
+                    tile_ascending = asc;
+                    base_order = order;
+                    break 'outer;
+                }
+            }
+        }
+
+        let work = nest
+            .stmts
+            .iter()
+            .map(|s| s.rhs.flop_count())
+            .sum::<usize>()
+            .max(1) as f64;
+
+        let written = {
+            let mut w: Vec<ArrayId> = nest.stmts.iter().map(|s| s.lhs).collect();
+            w.sort_unstable();
+            w.dedup();
+            w
+        };
+        let comm: [Vec<(ArrayId, i64)>; 2] = std::array::from_fn(|axis| {
+            let w = wave_dims[axis];
+            let upstream_sign = if wave_ascending[axis] { -1 } else { 1 };
+            let mut v: Vec<(ArrayId, i64)> = Vec::new();
+            for r in nest.stmts.iter().flat_map(|s| s.rhs.reads()) {
+                if written.contains(&r.id) && r.shift[w].signum() == upstream_sign {
+                    let t = r.shift[w].abs();
+                    match v.iter_mut().find(|(id, _)| *id == r.id) {
+                        Some((_, t0)) => *t0 = (*t0).max(t),
+                        None => v.push((r.id, t)),
+                    }
+                }
+            }
+            v.sort_unstable();
+            v
+        });
+
+        let max_id = nest
+            .stmts
+            .iter()
+            .flat_map(|s| s.rhs.reads().into_iter().map(|r| r.id).chain([s.lhs]))
+            .max()
+            .map_or(0, |m| m + 1);
+        let mut margins = vec![[0i64; R]; max_id];
+        for s in &nest.stmts {
+            for r in s.rhs.reads() {
+                for k in 0..R {
+                    margins[r.id][k] = margins[r.id][k].max(r.shift[k].abs());
+                }
+            }
+        }
+
+        let (block, tiles) = match tile_dim {
+            Some(k) => {
+                let n_orth = region.extent(k) as usize;
+                // The model's "p" is the mesh diameter driving the fill.
+                let p_eff = procs[0] + procs[1] - 1;
+                let n_wave =
+                    (region.extent(wave_dims[0]) * region.extent(wave_dims[1])) as usize;
+                let b = policy.resolve(n_wave, n_orth, p_eff.max(1), work, params).max(1);
+                let mut tiles = region.chunks(k, b as i64);
+                if !tile_ascending {
+                    tiles.reverse();
+                }
+                (b, tiles)
+            }
+            None => (1, vec![region]),
+        };
+
+        Ok(WavefrontPlan2D {
+            region,
+            wave_dims,
+            wave_ascending,
+            tile_dim,
+            tile_ascending,
+            block,
+            procs,
+            dist,
+            work,
+            comm,
+            margins,
+            tiles,
+            order: base_order,
+        })
+    }
+
+    /// Mesh coordinates in wavefront order: the processor at diagonal
+    /// `d` runs after everything on diagonals `< d`.
+    pub fn mesh_in_wave_order(&self) -> Vec<[usize; 2]> {
+        let mut coords: Vec<[usize; 2]> = (0..self.procs[0])
+            .flat_map(|i| (0..self.procs[1]).map(move |j| [i, j]))
+            .collect();
+        let key = |c: &[usize; 2]| {
+            let a = if self.wave_ascending[0] { c[0] } else { self.procs[0] - 1 - c[0] };
+            let b = if self.wave_ascending[1] { c[1] } else { self.procs[1] - 1 - c[1] };
+            (a + b, a)
+        };
+        coords.sort_by_key(key);
+        coords
+    }
+
+    /// The linear rank of mesh coordinate `c`.
+    pub fn rank_of(&self, c: [usize; 2]) -> usize {
+        let mut g = [0usize; R];
+        g[self.wave_dims[0]] = c[0];
+        g[self.wave_dims[1]] = c[1];
+        self.dist.grid().rank_of(g)
+    }
+
+    /// The owned region of mesh coordinate `c`.
+    pub fn owned(&self, c: [usize; 2]) -> Region<R> {
+        self.dist.owned(self.rank_of(c))
+    }
+
+    /// The upstream neighbour along mesh axis `axis` (0 or 1), if any.
+    pub fn upstream(&self, c: [usize; 2], axis: usize) -> Option<[usize; 2]> {
+        let step: i64 = if self.wave_ascending[axis] { -1 } else { 1 };
+        let n = c[axis] as i64 + step;
+        if n < 0 || n >= self.procs[axis] as i64 {
+            return None;
+        }
+        let mut out = c;
+        out[axis] = n as usize;
+        Some(out)
+    }
+
+    /// The downstream neighbour along mesh axis `axis`, if any.
+    pub fn downstream(&self, c: [usize; 2], axis: usize) -> Option<[usize; 2]> {
+        let step: i64 = if self.wave_ascending[axis] { 1 } else { -1 };
+        let n = c[axis] as i64 + step;
+        if n < 0 || n >= self.procs[axis] as i64 {
+            return None;
+        }
+        let mut out = c;
+        out[axis] = n as usize;
+        Some(out)
+    }
+
+    /// The slab one boundary message covers when `owner` sends
+    /// downstream along mesh `axis` for `tile`, for an array of
+    /// thickness `t` and margins `m`.
+    ///
+    /// Along the *other* wavefront dimension, axis-0 messages are
+    /// widened by the array's margin (clamped to the region) so corner
+    /// ghost values relay through the axis-0 path; axis-1 messages stay
+    /// within the owner's extent.
+    pub fn boundary_slab(
+        &self,
+        owner: Region<R>,
+        tile: &Region<R>,
+        axis: usize,
+        t: i64,
+        m: [i64; R],
+    ) -> Region<R> {
+        if owner.is_empty() || t <= 0 {
+            return Region::empty();
+        }
+        let w = self.wave_dims[axis];
+        // The boundary rows along the sending axis (region-clamped for
+        // relaying).
+        let mut slab = if self.wave_ascending[axis] {
+            self.region.slab(w, owner.hi()[w] - t + 1, owner.hi()[w])
+        } else {
+            self.region.slab(w, owner.lo()[w], owner.lo()[w] + t - 1)
+        };
+        // Restrict the remaining dimensions.
+        for k in 0..R {
+            if k == w {
+                continue;
+            }
+            if axis == 0 && k == self.wave_dims[1] {
+                // Widen by the margin so corners flow with the axis-0
+                // message (the sender's ghost columns are current).
+                slab = slab.slab(k, owner.lo()[k] - m[k], owner.hi()[k] + m[k]);
+            } else if k == self.wave_dims[0] || k == self.wave_dims[1] {
+                slab = slab.slab(k, owner.lo()[k], owner.hi()[k]);
+            } else {
+                slab = slab.slab(k, tile.lo()[k], tile.hi()[k]);
+            }
+        }
+        slab
+    }
+
+    /// Elements of one message along mesh `axis` for `tile`.
+    pub fn msg_elems(&self, owner: Region<R>, tile: &Region<R>, axis: usize) -> usize {
+        self.comm[axis]
+            .iter()
+            .map(|&(id, t)| {
+                self.boundary_slab(owner, tile, axis, t, self.margins[id]).len()
+            })
+            .sum()
+    }
+
+    /// True when the plan pipelines (more than one tile).
+    pub fn is_pipelined(&self) -> bool {
+        self.tiles.len() > 1
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use wavefront_core::prelude::*;
+
+    /// A SWEEP3D-like octant nest: flux from three upwind neighbours.
+    pub fn sweep_nest(n: i64) -> (Program<3>, CompiledNest<3>) {
+        let mut p = Program::<3>::new();
+        let bounds = Region::rect([1, 1, 1], [n, n, n]);
+        let flux = p.array("flux", bounds);
+        let src = p.array("src", bounds);
+        let cells = Region::rect([2, 2, 2], [n, n, n]);
+        p.scan(
+            cells,
+            vec![Statement::new(
+                flux,
+                Expr::read(src)
+                    + Expr::lit(0.3) * Expr::read_primed_at(flux, [-1, 0, 0])
+                    + Expr::lit(0.3) * Expr::read_primed_at(flux, [0, -1, 0])
+                    + Expr::lit(0.3) * Expr::read_primed_at(flux, [0, 0, -1]),
+            )],
+        );
+        let compiled = compile(&p).unwrap();
+        let nest = compiled.nest(0).clone();
+        (p, nest)
+    }
+
+    fn t3e() -> MachineParams {
+        wavefront_machine::cray_t3e()
+    }
+
+    #[test]
+    fn sweep_plan_basics() {
+        let (_p, nest) = sweep_nest(17);
+        let plan =
+            WavefrontPlan2D::build(&nest, [2, 3], None, &BlockPolicy::Fixed(4), &t3e())
+                .unwrap();
+        assert_eq!(plan.wave_dims, [0, 1]);
+        assert_eq!(plan.tile_dim, Some(2));
+        assert_eq!(plan.block, 4);
+        assert_eq!(plan.tiles.len(), 4);
+        assert!(plan.is_pipelined());
+        assert_eq!(plan.comm[0].len(), 1); // flux crosses both axes
+        assert_eq!(plan.comm[1].len(), 1);
+        // All 6 mesh cells partition the region.
+        let total: usize = (0..2)
+            .flat_map(|i| (0..3).map(move |j| [i, j]))
+            .map(|c| plan.owned(c).len())
+            .sum();
+        assert_eq!(total, plan.region.len());
+    }
+
+    #[test]
+    fn mesh_wave_order_respects_diagonals() {
+        let (_p, nest) = sweep_nest(9);
+        let plan =
+            WavefrontPlan2D::build(&nest, [3, 3], None, &BlockPolicy::Fixed(2), &t3e())
+                .unwrap();
+        let order = plan.mesh_in_wave_order();
+        assert_eq!(order[0], [0, 0]);
+        assert_eq!(*order.last().unwrap(), [2, 2]);
+        // Every coordinate appears after both its upstreams.
+        for (pos, c) in order.iter().enumerate() {
+            for axis in 0..2 {
+                if let Some(u) = plan.upstream(*c, axis) {
+                    let upos = order.iter().position(|x| *x == u).unwrap();
+                    assert!(upos < pos, "{u:?} must precede {c:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_slabs_cover_corners_via_axis0() {
+        let (_p, nest) = sweep_nest(17);
+        let plan =
+            WavefrontPlan2D::build(&nest, [2, 2], None, &BlockPolicy::Fixed(16), &t3e())
+                .unwrap();
+        let owner = plan.owned([0, 0]);
+        let tile = plan.tiles[0];
+        let flux = 0;
+        let slab = plan.boundary_slab(owner, &tile, 0, 1, plan.margins[flux]);
+        // Widened by margin 1 along dim 1 (but clamped to the region).
+        assert_eq!(slab.lo()[1], plan.region.lo()[1]);
+        assert_eq!(slab.hi()[1], owner.hi()[1] + 1);
+        // Axis-1 slabs stay within the owner's rows.
+        let slab = plan.boundary_slab(owner, &tile, 1, 1, plan.margins[flux]);
+        assert_eq!(slab.lo()[0], owner.lo()[0]);
+        assert_eq!(slab.hi()[0], owner.hi()[0]);
+    }
+
+    #[test]
+    fn conflicting_dimension_is_rejected() {
+        // Wave travels ascending in dims 0/1 but a dependence points
+        // against dim 1.
+        let mut p = Program::<3>::new();
+        let bounds = Region::rect([0, 0, 0], [9, 9, 9]);
+        let a = p.array("a", bounds);
+        // Dependences (1,0,0), (0,1,0) make both dims wavefront dims, but
+        // (1,-1,0) points against dimension 1, defeating its block
+        // decomposition.
+        p.stmt(
+            Region::rect([1, 1, 0], [9, 8, 9]),
+            a,
+            Expr::read_primed_at(a, [-1, 0, 0])
+                + Expr::read_primed_at(a, [0, -1, 0])
+                + Expr::read_primed_at(a, [-1, 1, 0]),
+        );
+        let compiled = compile(&p).unwrap();
+        let nest = compiled.nest(0);
+        assert!(nest.structure.wavefront_dims.contains(&1));
+        let err = WavefrontPlan2D::build(
+            nest,
+            [2, 2],
+            Some([0, 1]),
+            &BlockPolicy::Fixed(2),
+            &t3e(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, PlanError::ConflictingDependences { dim: 1 }));
+    }
+
+    #[test]
+    fn fewer_than_two_wave_dims_is_an_error() {
+        let mut p = Program::<3>::new();
+        let bounds = Region::rect([0, 0, 0], [9, 9, 9]);
+        let a = p.array("a", bounds);
+        p.stmt(
+            Region::rect([1, 0, 0], [9, 9, 9]),
+            a,
+            Expr::read_primed_at(a, [-1, 0, 0]),
+        );
+        let compiled = compile(&p).unwrap();
+        let err = WavefrontPlan2D::build(
+            compiled.nest(0),
+            [2, 2],
+            None,
+            &BlockPolicy::Fixed(2),
+            &t3e(),
+        )
+        .unwrap_err();
+        assert_eq!(err, PlanError::NoWavefrontDim);
+    }
+}

@@ -1,0 +1,199 @@
+//! Block-size policies and schedules.
+//!
+//! A wavefront nest can run *naively* (each processor computes its whole
+//! portion before forwarding boundary data — Figure 4(a)) or *pipelined*
+//! with block size `b` (Figure 4(b)). The block size may be fixed by the
+//! programmer or chosen by a model: **Model1** (constant communication
+//! cost, Hiranandani et al.), **Model2** (the paper's linear-cost
+//! Equation (1)), or — the paper's future-work item — a **dynamic probe**
+//! that evaluates candidate sizes and keeps the best.
+
+use wavefront_machine::MachineParams;
+use wavefront_model::optimal_block_rect;
+
+/// How to choose the pipeline block size `b`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BlockPolicy {
+    /// A programmer-specified block size.
+    Fixed(usize),
+    /// Constant-communication-cost model (`β` treated as 0).
+    Model1,
+    /// The paper's linear-cost model (Equation (1), rectangular form).
+    Model2,
+    /// No pipelining: one block spanning the whole orthogonal extent —
+    /// the naive schedule of Figure 4(a).
+    FullPortion,
+    /// Probe the given candidate block sizes with the cost simulator and
+    /// keep the fastest (the paper's "dynamic techniques for calculating
+    /// it" future-work direction).
+    Probe(Vec<usize>),
+}
+
+impl BlockPolicy {
+    /// The default probe candidates: powers of two plus the two model
+    /// predictions.
+    pub fn default_probe(n_orth: usize) -> BlockPolicy {
+        let mut cands: Vec<usize> = std::iter::successors(Some(1usize), |b| Some(b * 2))
+            .take_while(|&b| b <= n_orth)
+            .collect();
+        if !cands.contains(&n_orth) {
+            cands.push(n_orth);
+        }
+        BlockPolicy::Probe(cands)
+    }
+
+    /// Resolve the policy to a concrete block size for a sweep whose
+    /// wavefront spans `n_wave` indices over `p` processors with `n_orth`
+    /// orthogonal indices and `work` per-element cost.
+    ///
+    /// `Probe` is resolved by evaluating each candidate against the
+    /// machine's pipelined task DAG (see [`probe_block`]).
+    pub fn resolve(
+        &self,
+        n_wave: usize,
+        n_orth: usize,
+        p: usize,
+        work: f64,
+        params: &MachineParams,
+    ) -> usize {
+        let clamp = |b: f64| (b.round().max(1.0) as usize).min(n_orth.max(1));
+        match self {
+            BlockPolicy::Fixed(b) => (*b).clamp(1, n_orth.max(1)),
+            BlockPolicy::Model1 => {
+                clamp(optimal_block_rect(n_wave, n_orth, p, params.alpha, 0.0, work))
+            }
+            BlockPolicy::Model2 => clamp(optimal_block_rect(
+                n_wave,
+                n_orth,
+                p,
+                params.alpha,
+                params.beta,
+                work,
+            )),
+            BlockPolicy::FullPortion => n_orth.max(1),
+            BlockPolicy::Probe(cands) => probe_block(cands, n_wave, n_orth, p, work, params),
+        }
+    }
+}
+
+/// Evaluate candidate block sizes with the machine cost simulator and
+/// return the one with the smallest simulated makespan. Falls back to the
+/// Model2 prediction when `candidates` is empty.
+pub fn probe_block(
+    candidates: &[usize],
+    n_wave: usize,
+    n_orth: usize,
+    p: usize,
+    work: f64,
+    params: &MachineParams,
+) -> usize {
+    if candidates.is_empty() {
+        return BlockPolicy::Model2.resolve(n_wave, n_orth, p, work, params);
+    }
+    let rows = (n_wave as f64 / p as f64).ceil();
+    let mut best = (f64::INFINITY, candidates[0].clamp(1, n_orth.max(1)));
+    for &c in candidates {
+        let b = c.clamp(1, n_orth.max(1));
+        let nblocks = n_orth.div_ceil(b);
+        let tasks =
+            wavefront_machine::pipeline_dag(p, nblocks, rows * b as f64 * work, b);
+        let t = wavefront_machine::simulate(&tasks, params, p).makespan;
+        if t < best.0 {
+            best = (t, b);
+        }
+    }
+    best.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t3e() -> MachineParams {
+        wavefront_machine::cray_t3e()
+    }
+
+    #[test]
+    fn fixed_is_clamped() {
+        let p = t3e();
+        assert_eq!(BlockPolicy::Fixed(10).resolve(64, 64, 4, 1.0, &p), 10);
+        assert_eq!(BlockPolicy::Fixed(1000).resolve(64, 64, 4, 1.0, &p), 64);
+        assert_eq!(BlockPolicy::Fixed(0).resolve(64, 64, 4, 1.0, &p), 1);
+    }
+
+    #[test]
+    fn full_portion_spans_orthogonal_extent() {
+        assert_eq!(BlockPolicy::FullPortion.resolve(64, 300, 4, 1.0, &t3e()), 300);
+    }
+
+    #[test]
+    fn model1_ignores_beta() {
+        let a = MachineParams::custom("a", 100.0, 0.0);
+        let b = MachineParams::custom("b", 100.0, 50.0);
+        let m1a = BlockPolicy::Model1.resolve(256, 256, 8, 1.0, &a);
+        let m1b = BlockPolicy::Model1.resolve(256, 256, 8, 1.0, &b);
+        assert_eq!(m1a, m1b);
+    }
+
+    #[test]
+    fn model2_shrinks_block_when_beta_grows() {
+        let cheap = MachineParams::custom("cheap", 400.0, 1.0);
+        let dear = MachineParams::custom("dear", 400.0, 200.0);
+        let b_cheap = BlockPolicy::Model2.resolve(64, 64, 16, 1.0, &cheap);
+        let b_dear = BlockPolicy::Model2.resolve(64, 64, 16, 1.0, &dear);
+        assert!(b_dear < b_cheap, "{b_dear} !< {b_cheap}");
+    }
+
+    #[test]
+    fn fig5a_block_sizes_via_policies() {
+        let m = wavefront_machine::fig5a_t3e();
+        let (n, p) = wavefront_machine::fig5a_problem();
+        assert_eq!(BlockPolicy::Model1.resolve(n, n, p, 1.0, &m), 39);
+        // Model2's exact stationary point lands within a couple of
+        // elements of the paper's reported 23 (the paper applies an extra
+        // (p−2)≈(p−1) simplification).
+        let b2 = BlockPolicy::Model2.resolve(n, n, p, 1.0, &m);
+        assert!((22..=24).contains(&b2), "b2 = {b2}");
+    }
+
+    #[test]
+    fn probe_picks_minimum_of_candidates() {
+        let params = t3e();
+        let b = probe_block(&[1, 4, 16, 64, 256], 256, 256, 8, 1.0, &params);
+        // The probed choice must beat or match every other candidate.
+        let eval = |b: usize| {
+            let rows = 256.0 / 8.0;
+            let tasks = wavefront_machine::pipeline_dag(
+                8,
+                256usize.div_ceil(b),
+                rows * b as f64,
+                b,
+            );
+            wavefront_machine::simulate(&tasks, &params, 8).makespan
+        };
+        for c in [1usize, 4, 16, 64, 256] {
+            assert!(eval(b) <= eval(c), "probe chose {b} but {c} is faster");
+        }
+    }
+
+    #[test]
+    fn probe_on_empty_candidates_falls_back_to_model2() {
+        let params = t3e();
+        assert_eq!(
+            probe_block(&[], 256, 256, 8, 1.0, &params),
+            BlockPolicy::Model2.resolve(256, 256, 8, 1.0, &params)
+        );
+    }
+
+    #[test]
+    fn default_probe_includes_full_extent() {
+        match BlockPolicy::default_probe(100) {
+            BlockPolicy::Probe(c) => {
+                assert!(c.contains(&1));
+                assert!(c.contains(&64));
+                assert!(c.contains(&100));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Smith–Waterman local alignment as a wavefront computation: the
+//! dynamic-programming recurrence is a three-direction scan block whose
+//! WSV is `(-,-)` — the paper's Example 2 / case (iii) situation, where
+//! the wavefront may travel along either dimension.
+//!
+//! ```text
+//! cargo run --release --example alignment
+//! ```
+
+use wavefront::core::prelude::*;
+use wavefront::kernels::smith_waterman as sw;
+use wavefront::machine::cray_t3e;
+use wavefront::pipeline::{simulate_nest, BlockPolicy};
+
+fn main() {
+    let (n, m) = (48i64, 40i64);
+    let lo = sw::build(n, m).expect("aligner builds");
+    let mut store = Store::new(&lo.program);
+    let (a, b) = sw::init(&lo, &mut store, 20260706);
+    println!(
+        "Aligning two sequences ({} vs {} bases) with a planted motif:",
+        a.len(),
+        b.len()
+    );
+    println!("  A: {}", String::from_utf8_lossy(&a));
+    println!("  B: {}", String::from_utf8_lossy(&b));
+
+    let compiled = compile(&lo.program).expect("compiles");
+    let nest = compiled.nest(0);
+    println!(
+        "\nScan block: WSV {} (simple → legal); classification: {:?}",
+        nest.wsv,
+        nest.wsv.classify(None)
+    );
+
+    execute(&lo.program, &mut store).expect("DP executes");
+    let best = store.get(lo.array("best").unwrap()).get(Point([1, 1]));
+    let (_h, best_ref) = sw::reference(&a, &b);
+    println!("\nBest local alignment score: {best} (reference: {best_ref})");
+    assert_eq!(best, best_ref);
+
+    // Where is the optimum?
+    let h = lo.array("h").unwrap();
+    let cells = lo.region("Cells").unwrap();
+    let (mut bi, mut bj, mut bv) = (0i64, 0i64, f64::MIN);
+    for p in cells.iter() {
+        let v = store.get(h).get(p);
+        if v > bv {
+            (bi, bj, bv) = (p[0], p[1], v);
+        }
+    }
+    println!("Optimum ends at A[{bi}] / B[{bj}].");
+
+    // The DP wavefront also pipelines: both dimensions carry the wave.
+    let params = cray_t3e();
+    for dist_dim in [0usize, 1] {
+        let pipe = simulate_nest(nest, 4, dist_dim, &BlockPolicy::Model2, &params);
+        let naive = simulate_nest(nest, 4, dist_dim, &BlockPolicy::FullPortion, &params);
+        println!(
+            "Distributed along dim {dist_dim}: naive/pipelined = {:.2}x (b = {:?})",
+            naive.time / pipe.time,
+            pipe.block
+        );
+    }
+}

@@ -1,0 +1,321 @@
+//! `wlc` — the WL command-line driver.
+//!
+//! ```text
+//! wlc check <file.wf> [options]           parse, lower, analyze
+//! wlc run   <file.wf> [options]           execute sequentially, print arrays
+//! wlc plan  <file.wf> [options]           plan + simulate each wavefront
+//!
+//! options:
+//!   --rank N            program rank (1..=4; default 2)
+//!   -D name=value       set/override an integer constant
+//!   --fill name=V       fill an array with the constant V before running
+//!   --fill-coords name  fill an array with i*100 + j (+ k*10000)
+//!   --print name        print an array after running (repeatable)
+//!   --procs P           processors for `plan` (default 4)
+//!   --block POLICY      fixed:<b> | model1 | model2 | naive | probe
+//!   --machine M         t3e | powerchallenge (default t3e)
+//! ```
+
+use std::process::ExitCode;
+
+use wavefront::core::prelude::*;
+use wavefront::lang::{compile_str, Lowered};
+use wavefront::machine::{cray_t3e, sgi_power_challenge, MachineParams};
+use wavefront::pipeline::{simulate_plan, BlockPolicy, WavefrontPlan};
+
+struct Opts {
+    cmd: String,
+    file: String,
+    rank: usize,
+    consts: Vec<(String, i64)>,
+    fills: Vec<(String, f64)>,
+    fill_coords: Vec<String>,
+    prints: Vec<String>,
+    procs: usize,
+    block: BlockPolicy,
+    machine: MachineParams,
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: wlc <check|run|plan> <file.wf> [--rank N] [-D name=value]");
+    eprintln!("           [--fill name=V] [--fill-coords name] [--print name]");
+    eprintln!("           [--procs P] [--block fixed:<b>|model1|model2|naive|probe]");
+    eprintln!("           [--machine t3e|powerchallenge]");
+    ExitCode::from(2)
+}
+
+fn parse_args() -> std::result::Result<Opts, ExitCode> {
+    let mut args = std::env::args().skip(1);
+    let cmd = args.next().ok_or_else(usage)?;
+    let file = args.next().ok_or_else(usage)?;
+    let mut opts = Opts {
+        cmd,
+        file,
+        rank: 2,
+        consts: vec![],
+        fills: vec![],
+        fill_coords: vec![],
+        prints: vec![],
+        procs: 4,
+        block: BlockPolicy::Model2,
+        machine: cray_t3e(),
+    };
+    while let Some(a) = args.next() {
+        let mut need = |what: &str| -> std::result::Result<String, ExitCode> {
+            args.next().ok_or_else(|| {
+                eprintln!("missing value for {what}");
+                usage()
+            })
+        };
+        match a.as_str() {
+            "--rank" => opts.rank = need("--rank")?.parse().map_err(|_| usage())?,
+            "-D" => {
+                let kv = need("-D")?;
+                let (k, v) = kv.split_once('=').ok_or_else(usage)?;
+                opts.consts.push((k.to_string(), v.parse().map_err(|_| usage())?));
+            }
+            "--fill" => {
+                let kv = need("--fill")?;
+                let (k, v) = kv.split_once('=').ok_or_else(usage)?;
+                opts.fills.push((k.to_string(), v.parse().map_err(|_| usage())?));
+            }
+            "--fill-coords" => opts.fill_coords.push(need("--fill-coords")?),
+            "--print" => opts.prints.push(need("--print")?),
+            "--procs" => opts.procs = need("--procs")?.parse().map_err(|_| usage())?,
+            "--block" => {
+                let v = need("--block")?;
+                opts.block = match v.as_str() {
+                    "model1" => BlockPolicy::Model1,
+                    "model2" => BlockPolicy::Model2,
+                    "naive" => BlockPolicy::FullPortion,
+                    "probe" => BlockPolicy::default_probe(4096),
+                    other => match other.strip_prefix("fixed:") {
+                        Some(b) => BlockPolicy::Fixed(b.parse().map_err(|_| usage())?),
+                        None => return Err(usage()),
+                    },
+                };
+            }
+            "--machine" => {
+                let v = need("--machine")?;
+                opts.machine = match v.as_str() {
+                    "t3e" => cray_t3e(),
+                    "powerchallenge" | "pc" => sgi_power_challenge(),
+                    _ => return Err(usage()),
+                };
+            }
+            other => {
+                eprintln!("unknown option {other}");
+                return Err(usage());
+            }
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(code) => return code,
+    };
+    let src = match std::fs::read_to_string(&opts.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{}: {e}", opts.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    match opts.rank {
+        1 => drive::<1>(&opts, &src),
+        2 => drive::<2>(&opts, &src),
+        3 => drive::<3>(&opts, &src),
+        4 => drive::<4>(&opts, &src),
+        r => {
+            eprintln!("unsupported rank {r} (1..=4)");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn drive<const R: usize>(opts: &Opts, src: &str) -> ExitCode {
+    let consts: Vec<(&str, i64)> =
+        opts.consts.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let lowered = match compile_str::<R>(src, &consts, Layout::ColMajor) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("{}: {e}", opts.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let compiled = match compile(&lowered.program) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{}: legality error: {e}", opts.file);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match opts.cmd.as_str() {
+        "check" => check(&lowered, &compiled),
+        "run" => run(opts, &lowered, &compiled),
+        "plan" => plan::<R>(opts, &compiled),
+        other => {
+            eprintln!("unknown command {other}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check<const R: usize>(lowered: &Lowered<R>, compiled: &CompiledProgram<R>) -> ExitCode {
+    println!(
+        "ok: {} arrays, {} operations, {} loop nests",
+        lowered.program.arrays().len(),
+        compiled.ops.len(),
+        compiled.nests().count()
+    );
+    for (k, nest) in compiled.nests().enumerate() {
+        let kind = if nest.is_scan { "scan" } else { "plain" };
+        let dirs: Vec<&str> = nest
+            .structure
+            .order
+            .ascending
+            .iter()
+            .map(|&a| if a { "asc" } else { "desc" })
+            .collect();
+        println!(
+            "  nest {k}: {kind} over {}, WSV {}, loop order {:?} ({}), wavefront dims {:?}",
+            nest.region,
+            nest.wsv,
+            nest.structure.order.order,
+            dirs.join("/"),
+            nest.structure.wavefront_dims
+        );
+        println!("           WYSIWYG cost: {}", classify_nest(nest));
+    }
+    ExitCode::SUCCESS
+}
+
+fn run<const R: usize>(
+    opts: &Opts,
+    lowered: &Lowered<R>,
+    compiled: &CompiledProgram<R>,
+) -> ExitCode {
+    let mut store = Store::new(&lowered.program);
+    for (name, v) in &opts.fills {
+        match lowered.array(name) {
+            Some(id) => store.get_mut(id).fill(*v),
+            None => {
+                eprintln!("--fill: unknown array `{name}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    for name in &opts.fill_coords {
+        match lowered.array(name) {
+            Some(id) => {
+                let bounds = store.get(id).bounds();
+                *store.get_mut(id) = DenseArray::from_fn(bounds, |p| {
+                    (0..R).map(|k| p[k] as f64 * 100f64.powi(k as i32)).sum()
+                });
+            }
+            None => {
+                eprintln!("--fill-coords: unknown array `{name}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    run_with_sink(compiled, &mut store, &mut NoSink);
+    for name in &opts.prints {
+        let Some(id) = lowered.array(name) else {
+            eprintln!("--print: unknown array `{name}`");
+            return ExitCode::FAILURE;
+        };
+        print_array(name, store.get(id));
+    }
+    if opts.prints.is_empty() {
+        for (name, &id) in {
+            let mut v: Vec<_> = lowered.arrays.iter().collect();
+            v.sort();
+            v
+        } {
+            if name.starts_with("__") {
+                continue;
+            }
+            let arr = store.get(id);
+            let (mut lo, mut hi, mut sum) = (f64::INFINITY, f64::NEG_INFINITY, 0.0);
+            for p in arr.bounds().iter() {
+                let v = arr.get(p);
+                lo = lo.min(v);
+                hi = hi.max(v);
+                sum += v;
+            }
+            let n = arr.bounds().len().max(1) as f64;
+            println!("  {name}: {} min {lo:.4} max {hi:.4} mean {:.4}", arr.bounds(), sum / n);
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_array<const R: usize>(name: &str, arr: &DenseArray<R>) {
+    let b = arr.bounds();
+    println!("{name} = {b}");
+    if R == 2 && b.len() <= 400 {
+        for i in b.lo()[0]..=b.hi()[0] {
+            print!("   ");
+            for j in b.lo()[1]..=b.hi()[1] {
+                let mut p = Point::zero();
+                p[0] = i;
+                p[1] = j;
+                print!(" {:>8.3}", arr.get(p));
+            }
+            println!();
+        }
+    } else {
+        let shown: Vec<String> = b
+            .iter()
+            .take(12)
+            .map(|p| format!("{p}={:.4}", arr.get(p)))
+            .collect();
+        println!("   {}{}", shown.join(", "), if b.len() > 12 { ", …" } else { "" });
+    }
+}
+
+fn plan<const R: usize>(opts: &Opts, compiled: &CompiledProgram<R>) -> ExitCode {
+    let mut any = false;
+    for (k, nest) in compiled.nests().enumerate() {
+        if !nest.is_scan {
+            continue;
+        }
+        any = true;
+        match WavefrontPlan::build(nest, opts.procs, None, &opts.block, &opts.machine) {
+            Ok(plan) => {
+                let pipe = simulate_plan(&plan, &opts.machine).makespan;
+                let naive = WavefrontPlan::build(
+                    nest,
+                    opts.procs,
+                    None,
+                    &BlockPolicy::FullPortion,
+                    &opts.machine,
+                )
+                .map(|p| simulate_plan(&p, &opts.machine).makespan)
+                .unwrap_or(f64::NAN);
+                println!(
+                    "nest {k}: wave dim {}, b = {} ({} tiles), {} arrays downstream; \
+                     simulated {}: pipelined {:.0} vs naive {:.0} ({:.2}x)",
+                    plan.wave_dim,
+                    plan.block,
+                    plan.tiles.len(),
+                    plan.comm_arrays.len(),
+                    opts.machine.name,
+                    pipe,
+                    naive,
+                    naive / pipe
+                );
+            }
+            Err(e) => println!("nest {k}: not plannable: {e}"),
+        }
+    }
+    if !any {
+        println!("no wavefront nests (fully parallel program)");
+    }
+    ExitCode::SUCCESS
+}

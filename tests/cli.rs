@@ -1,0 +1,111 @@
+//! End-to-end tests of the `wlc` command-line driver.
+
+use std::process::Command;
+
+fn wlc() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_wlc"))
+}
+
+fn programs(rel: &str) -> String {
+    format!("{}/programs/{rel}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn check_reports_wavefront_analysis() {
+    let out = wlc()
+        .args(["check", &programs("fig3.wf")])
+        .output()
+        .expect("wlc runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("WSV (-,0)"), "{stdout}");
+    assert!(stdout.contains("wavefront dims [0]"), "{stdout}");
+}
+
+#[test]
+fn run_reproduces_figure_3f() {
+    let out = wlc()
+        .args(["run", &programs("fig3.wf"), "--fill", "a=1", "--print", "a"])
+        .output()
+        .expect("wlc runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("16.000"), "{stdout}");
+    // Rows double: 1, 2, 4, 8, 16.
+    let first_idx = stdout.find("1.000").unwrap();
+    let last_idx = stdout.rfind("16.000").unwrap();
+    assert!(first_idx < last_idx);
+}
+
+#[test]
+fn plan_reports_pipelining_win() {
+    let out = wlc()
+        .args([
+            "plan",
+            &programs("tomcatv.wf"),
+            "--procs",
+            "8",
+            "--block",
+            "model2",
+        ])
+        .output()
+        .expect("wlc runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("pipelined"), "{stdout}");
+    assert!(stdout.contains("wave dim 0"), "{stdout}");
+}
+
+#[test]
+fn rank3_program_checks() {
+    let out = wlc()
+        .args(["check", &programs("sweep_octant.wf"), "--rank", "3", "-D", "n=8"])
+        .output()
+        .expect("wlc runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("WSV (-,-,-)"), "{stdout}");
+}
+
+#[test]
+fn legality_errors_fail_with_diagnostics() {
+    let dir = std::env::temp_dir().join("wlc_test_bad.wf");
+    std::fs::write(
+        &dir,
+        "var a : [1..8, 1..8] float;
+         direction north = (-1, 0);
+         direction south = (1, 0);
+         [2..7, 1..8] scan begin
+             a := a'@north + a'@south;
+         end;",
+    )
+    .unwrap();
+    let out = wlc()
+        .args(["check", dir.to_str().unwrap()])
+        .output()
+        .expect("wlc runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("legality (ii)"), "{stderr}");
+}
+
+#[test]
+fn unknown_options_exit_2() {
+    let out = wlc()
+        .args(["check", &programs("fig3.wf"), "--bogus"])
+        .output()
+        .expect("wlc runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn run_without_print_summarizes_arrays() {
+    let out = wlc()
+        .args(["run", &programs("tomcatv.wf"), "-D", "n=16", "--fill", "d=1"])
+        .output()
+        .expect("wlc runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("rx:"), "{stdout}");
+    assert!(stdout.contains("mean"), "{stdout}");
+}

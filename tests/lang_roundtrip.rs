@@ -1,0 +1,113 @@
+//! Property test: the WL pretty-printer and parser round-trip — any
+//! printable expression reparses to the same tree, and lowering the
+//! reparsed program produces an identical core program.
+
+use proptest::prelude::*;
+use wavefront::lang::ast::{ExprAst, Item, ProgramAst, StmtAst};
+use wavefront::lang::{parse, print_program};
+
+fn leaf() -> impl Strategy<Value = ExprAst> {
+    let span = wavefront::lang::Span { line: 0, col: 0 };
+    prop_oneof![
+        (0u32..1000).prop_map(|v| ExprAst::Num(v as f64)),
+        (0u32..100, 0u32..100).prop_map(|(a, b)| ExprAst::Num(a as f64 + b as f64 / 100.0)),
+        prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(move |name| ExprAst::Ref {
+            name: name.to_string(),
+            primed: false,
+            dir: None,
+            span,
+        }),
+        (prop_oneof![Just("a"), Just("b")], any::<bool>()).prop_map(move |(name, primed)| {
+            ExprAst::Ref {
+                name: name.to_string(),
+                primed,
+                dir: Some("north".to_string()),
+                span,
+            }
+        }),
+        prop_oneof![Just(0usize), Just(1)].prop_map(move |k| ExprAst::Ref {
+            name: format!("Index{}", k + 1),
+            primed: false,
+            dir: None,
+            span,
+        }),
+    ]
+}
+
+fn expr_strategy() -> impl Strategy<Value = ExprAst> {
+    let span = wavefront::lang::Span { line: 0, col: 0 };
+    leaf().prop_recursive(4, 32, 3, move |inner| {
+        prop_oneof![
+            (prop_oneof![Just('+'), Just('-'), Just('*'), Just('/')], inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| ExprAst::Bin(op, Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| ExprAst::Neg(Box::new(a))),
+            (prop_oneof![Just("sqrt"), Just("abs"), Just("exp")], inner.clone()).prop_map(
+                move |(f, a)| ExprAst::Call { func: f.to_string(), args: vec![a], span }
+            ),
+            (prop_oneof![Just("min"), Just("max")], inner.clone(), inner.clone()).prop_map(
+                move |(f, a, b)| ExprAst::Call { func: f.to_string(), args: vec![a, b], span }
+            ),
+            (prop_oneof![Just("+"), Just("min"), Just("max")], inner).prop_map(
+                move |(op, a)| ExprAst::Reduce { op: op.to_string(), arg: Box::new(a), span }
+            ),
+        ]
+    })
+}
+
+/// Wrap an expression into a syntactically complete program AST.
+fn program_with(rhs: ExprAst) -> ProgramAst {
+    let span = wavefront::lang::Span { line: 0, col: 0 };
+    let src = "
+        const n = 8;
+        region Big = [0..n, 0..n];
+        direction north = (-1, 0);
+        var a, b, c : [Big] float;
+    ";
+    let mut ast = parse(src).expect("header parses");
+    ast.items.push(Item::Stmt(StmtAst::Assign {
+        region: wavefront::lang::ast::RegionRef::Lit(
+            vec![
+                wavefront::lang::ast::RangeAst {
+                    lo: wavefront::lang::ast::IntExpr::Lit(1),
+                    hi: wavefront::lang::ast::IntExpr::Lit(7),
+                },
+                wavefront::lang::ast::RangeAst {
+                    lo: wavefront::lang::ast::IntExpr::Lit(1),
+                    hi: wavefront::lang::ast::IntExpr::Lit(7),
+                },
+            ],
+            span,
+        ),
+        assign: wavefront::lang::ast::AssignAst { lhs: "c".to_string(), rhs, span },
+    }));
+    ast
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn print_parse_is_a_fixed_point(rhs in expr_strategy()) {
+        let ast = program_with(rhs);
+        let printed = print_program(&ast);
+        let reparsed = parse(&printed)
+            .map_err(|e| TestCaseError::fail(format!("printed program failed to parse: {e}\n{printed}")))?;
+        let reprinted = print_program(&reparsed);
+        prop_assert_eq!(&printed, &reprinted, "printer not a fixed point");
+    }
+
+    #[test]
+    fn reparsed_programs_lower_identically(rhs in expr_strategy()) {
+        let ast = program_with(rhs);
+        let printed = print_program(&ast);
+        let reparsed = parse(&printed).unwrap();
+        // Lower both; outcome (program or error message) must agree.
+        let l1 = wavefront::lang::lower::<2>(&ast, &[], wavefront::core::array::Layout::RowMajor);
+        let l2 = wavefront::lang::lower::<2>(&reparsed, &[], wavefront::core::array::Layout::RowMajor);
+        match (l1, l2) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a.program, b.program),
+            (Err(a), Err(b)) => prop_assert_eq!(a.message, b.message),
+            (a, b) => prop_assert!(false, "divergent lowering: {:?} vs {:?}", a.is_ok(), b.is_ok()),
+        }
+    }
+}

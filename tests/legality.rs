@@ -1,0 +1,170 @@
+//! End-to-end coverage of the five statically checked legality
+//! conditions of Section 2.2, through the WL front end and the core
+//! compiler.
+
+use wavefront::core::prelude::*;
+use wavefront::lang::compile_str;
+
+fn lower(
+    src: &str,
+) -> std::result::Result<wavefront::lang::Lowered<2>, wavefront::lang::LangError> {
+    compile_str::<2>(src, &[], Layout::RowMajor)
+}
+
+#[test]
+fn condition_i_primed_arrays_must_be_defined_in_the_block() {
+    // `b` is read primed but never written in the scan block.
+    let src = "
+        var a, b : [1..8, 1..8] float;
+        direction north = (-1, 0);
+        [2..8, 1..8] scan begin
+            a := b'@north;
+        end;
+    ";
+    let lo = lower(src).unwrap();
+    let err = compile(&lo.program).unwrap_err();
+    assert!(matches!(err, Error::PrimedNotDefined { .. }), "{err}");
+    assert!(err.to_string().contains("(i)"));
+
+    // Writing `b` in the block fixes it.
+    let src_ok = "
+        var a, b : [1..8, 1..8] float;
+        direction north = (-1, 0);
+        [2..8, 1..8] scan begin
+            b := a + 1.0;
+            a := b'@north;
+        end;
+    ";
+    let lo = lower(src_ok).unwrap();
+    compile(&lo.program).unwrap();
+}
+
+#[test]
+fn condition_ii_over_constrained_blocks_are_flagged() {
+    // Primed @north and @south imply contradictory wavefronts.
+    let src = "
+        var a : [1..8, 1..8] float;
+        direction north = (-1, 0);
+        direction south = (1, 0);
+        [2..7, 1..8] scan begin
+            a := a'@north + a'@south;
+        end;
+    ";
+    let lo = lower(src).unwrap();
+    let err = compile(&lo.program).unwrap_err();
+    assert!(matches!(err, Error::OverConstrained { .. }), "{err}");
+    assert!(err.to_string().contains("(ii)"));
+}
+
+#[test]
+fn condition_iii_rank_mismatch_is_a_source_error() {
+    // A rank-1 region in a rank-2 program.
+    let err = lower("region R = [1..4];").unwrap_err();
+    assert!(err.message.contains("legality (iii)"), "{err}");
+    // A rank-3 direction in a rank-2 program.
+    let err = lower("direction d = (1, 0, 0);").unwrap_err();
+    assert!(err.message.contains("legality (iii)"), "{err}");
+}
+
+#[test]
+fn condition_iv_scan_blocks_have_one_covering_region() {
+    // The grammar itself enforces condition (iv): a scan block is
+    // introduced by exactly one region. A second region prefix inside
+    // the block cannot parse.
+    let src = "
+        var a : [1..8, 1..8] float;
+        direction north = (-1, 0);
+        [2..8, 1..8] scan begin
+            a := a'@north;
+            [3..8, 1..8] a := a'@north;
+        end;
+    ";
+    assert!(lower(src).is_err());
+}
+
+#[test]
+fn condition_v_reduction_operands_may_not_be_primed() {
+    let src = "
+        var a, s : [1..8, 1..8] float;
+        direction north = (-1, 0);
+        [2..8, 1..8] scan begin
+            a := a'@north + (+<< a'@north);
+        end;
+    ";
+    let err = lower(src).unwrap_err();
+    assert!(err.message.contains("condition (v)"), "{err}");
+
+    // The same check guards the core API directly.
+    let mut p = Program::<2>::new();
+    let bounds = Region::rect([1, 1], [8, 8]);
+    let a = p.array("a", bounds);
+    let s = p.array("s", bounds);
+    p.reduce(
+        Region::rect([2, 1], [8, 8]),
+        ReduceOp::Sum,
+        Expr::read_primed_at(a, [-1, 0]),
+        s,
+        bounds,
+    );
+    assert!(matches!(
+        compile(&p).unwrap_err(),
+        Error::PrimedParallelOperand { .. }
+    ));
+}
+
+#[test]
+fn reductions_are_hoisted_out_of_scan_blocks() {
+    // Legal use: reduce over an array the block does not write. The
+    // lowering hoists it into a temporary before the block ("array
+    // operators are pulled out of the scan block during compilation").
+    let src = "
+        var a, b : [1..8, 1..8] float;
+        direction north = (-1, 0);
+        [2..8, 1..8] scan begin
+            a := a'@north + (max<< b);
+        end;
+    ";
+    let lo = lower(src).unwrap();
+    assert_eq!(lo.program.ops().len(), 2);
+    assert!(matches!(lo.program.ops()[0], ProgramOp::Reduce(_)));
+    assert!(matches!(lo.program.ops()[1], ProgramOp::Block(_)));
+
+    // And the hoisted program computes the right thing.
+    let a = lo.array("a").unwrap();
+    let b = lo.array("b").unwrap();
+    let mut store = Store::new(&lo.program);
+    *store.get_mut(b) = DenseArray::from_fn(Region::rect([1, 1], [8, 8]), |q| {
+        (q[0] * q[1]) as f64
+    });
+    execute(&lo.program, &mut store).unwrap();
+    // max over b = 64; a[2][j] = a[1][j] + 64 = 64.
+    assert_eq!(store.get(a).get(Point([2, 3])), 64.0);
+    assert_eq!(store.get(a).get(Point([4, 3])), 3.0 * 64.0);
+}
+
+#[test]
+fn zero_direction_prime_is_rejected() {
+    let mut p = Program::<2>::new();
+    let bounds = Region::rect([1, 1], [4, 4]);
+    let a = p.array("a", bounds);
+    p.stmt(bounds, a, Expr::read_primed_at(a, [0, 0]));
+    assert!(matches!(
+        compile(&p).unwrap_err(),
+        Error::PrimedZeroDirection { .. }
+    ));
+}
+
+#[test]
+fn bounds_violations_are_compile_errors() {
+    // Shift escapes the declared array bounds.
+    let src = "
+        var a : [1..8, 1..8] float;
+        direction north = (-1, 0);
+        [1..8, 1..8] a := a@north;
+    ";
+    let lo = lower(src).unwrap();
+    assert!(matches!(
+        compile(&lo.program).unwrap_err(),
+        Error::RegionOutOfBounds { .. }
+    ));
+}

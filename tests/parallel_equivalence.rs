@@ -1,0 +1,142 @@
+//! The central correctness property of the parallel runtimes: for any
+//! legal scan block and any processor count / block size, the
+//! dependency-order decomposed execution and the real threaded
+//! message-passing execution produce bit-identical results to the
+//! sequential executor.
+
+use proptest::prelude::*;
+use wavefront::core::prelude::*;
+use wavefront::machine::cray_t3e;
+use wavefront::pipeline::{
+    execute_plan_sequential, execute_plan_threaded, BlockPolicy, WavefrontPlan,
+};
+
+/// A small pool of interesting primed directions.
+const DIRS: [[i64; 2]; 6] = [[-1, 0], [1, 0], [-1, -1], [-1, 1], [1, 1], [-2, 0]];
+
+fn build_random_scan(
+    n: i64,
+    dir1: usize,
+    dir2: Option<usize>,
+    two_stmts: bool,
+) -> Option<(Program<2>, Region<2>)> {
+    let bounds = Region::rect([0, 0], [n + 1, n + 1]);
+    let inner = Region::rect([2, 2], [n - 1, n - 1]);
+    let mut p = Program::<2>::new();
+    let a = p.array("a", bounds);
+    let b = p.array("b", bounds);
+    let d1 = DIRS[dir1 % DIRS.len()];
+    let mut stmts = vec![Statement::new(
+        a,
+        Expr::lit(0.5) * Expr::read_primed_at(a, d1) + Expr::lit(0.125) * Expr::read(b)
+            + Expr::lit(1.0),
+    )];
+    if let Some(d2) = dir2 {
+        let d2 = DIRS[d2 % DIRS.len()];
+        let rhs = Expr::lit(0.25) * Expr::read_primed_at(a, d2) + Expr::read(b);
+        if two_stmts {
+            stmts.push(Statement::new(b, rhs));
+        } else {
+            let first = stmts[0].rhs.clone();
+            stmts[0] = Statement::new(a, first + rhs);
+        }
+    }
+    p.scan(inner, stmts);
+    Some((p, inner))
+}
+
+fn init_store(p: &Program<2>, seed: u64) -> Store<2> {
+    let mut store = Store::new(p);
+    for id in 0..store.len() {
+        let bounds = store.get(id).bounds();
+        *store.get_mut(id) = DenseArray::from_fn(bounds, |q| {
+            let h = (q[0] as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(q[1] as u64)
+                .wrapping_mul(seed | 1)
+                .wrapping_add(id as u64);
+            (h % 1009) as f64 / 1009.0
+        });
+    }
+    store
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn decomposed_and_threaded_match_sequential(
+        n in 8i64..20,
+        dir1 in 0usize..6,
+        dir2 in prop::option::of(0usize..6),
+        two_stmts in any::<bool>(),
+        p in 1usize..6,
+        b in 1usize..24,
+        seed in any::<u64>(),
+    ) {
+        let Some((program, region)) = build_random_scan(n, dir1, dir2, two_stmts) else {
+            return Ok(());
+        };
+        // Skip over-constrained combinations (they are a legality error,
+        // tested elsewhere).
+        let compiled = match compile(&program) {
+            Ok(c) => c,
+            Err(Error::OverConstrained { .. }) => return Ok(()),
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected: {e}"))),
+        };
+        let nest = compiled.nest(0);
+
+        let mut reference = init_store(&program, seed);
+        run_nest_with_sink(nest, &mut reference, &mut NoSink);
+
+        let params = cray_t3e();
+        let plan = match WavefrontPlan::build(nest, p, None, &BlockPolicy::Fixed(b), &params) {
+            Ok(plan) => plan,
+            Err(_) => return Ok(()), // no wavefront dim (can't happen here)
+        };
+
+        let mut dec = init_store(&program, seed);
+        execute_plan_sequential(nest, &plan, &mut dec);
+        let mut thr = init_store(&program, seed);
+        execute_plan_threaded(&program, nest, &plan, &mut thr);
+
+        for id in 0..reference.len() {
+            prop_assert!(
+                reference.get(id).region_eq(dec.get(id), region),
+                "decomposed array {} differs (n={} p={} b={} dirs {:?}/{:?})",
+                id, n, p, b, DIRS[dir1 % DIRS.len()], dir2.map(|d| DIRS[d % DIRS.len()])
+            );
+            prop_assert!(
+                reference.get(id).region_eq(thr.get(id), region),
+                "threaded array {} differs (n={} p={} b={} dirs {:?}/{:?})",
+                id, n, p, b, DIRS[dir1 % DIRS.len()], dir2.map(|d| DIRS[d % DIRS.len()])
+            );
+        }
+    }
+}
+
+/// Exhaustive sweep over small (p, b) for the canonical Tomcatv-style
+/// block — cheap and catches boundary bugs deterministically.
+#[test]
+fn exhaustive_small_grid() {
+    let (program, region) = build_random_scan(10, 0, Some(3), true).unwrap();
+    let compiled = compile(&program).unwrap();
+    let nest = compiled.nest(0);
+    let mut reference = init_store(&program, 7);
+    run_nest_with_sink(nest, &mut reference, &mut NoSink);
+    let params = cray_t3e();
+    for p in 1..=12 {
+        for b in 1..=10 {
+            let plan =
+                WavefrontPlan::build(nest, p, None, &BlockPolicy::Fixed(b), &params).unwrap();
+            let mut thr = init_store(&program, 7);
+            execute_plan_threaded(&program, nest, &plan, &mut thr);
+            for id in 0..reference.len() {
+                assert!(
+                    reference.get(id).region_eq(thr.get(id), region),
+                    "threaded mismatch at p={p} b={b} array {id}"
+                );
+            }
+        }
+    }
+}

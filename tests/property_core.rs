@@ -1,0 +1,203 @@
+//! Property-based tests of the core invariants: region algebra,
+//! wavefront summary vectors, loop-structure soundness, and
+//! array-statement semantics.
+
+use proptest::prelude::*;
+use wavefront::core::deps::{DepConstraint, DepKind};
+use wavefront::core::loops::{carrying_position, find_structure};
+use wavefront::core::prelude::*;
+
+fn region_strategy() -> impl Strategy<Value = Region<2>> {
+    (-8i64..8, -8i64..8, 0i64..10, 0i64..10)
+        .prop_map(|(lo0, lo1, e0, e1)| Region::rect([lo0, lo1], [lo0 + e0, lo1 + e1]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn intersection_is_contained_in_both(a in region_strategy(), b in region_strategy()) {
+        let i = a.intersect(&b);
+        prop_assert!(a.contains_region(&i));
+        prop_assert!(b.contains_region(&i));
+        // And every point of both is in the intersection.
+        for p in a.iter() {
+            prop_assert_eq!(i.contains(p), b.contains(p));
+        }
+    }
+
+    #[test]
+    fn block_split_partitions(r in region_strategy(), parts in 1usize..6, dim in 0usize..2) {
+        let blocks = r.block_split(dim, parts);
+        prop_assert_eq!(blocks.len(), parts);
+        let total: usize = blocks.iter().map(|b| b.len()).sum();
+        prop_assert_eq!(total, r.len());
+        // Pairwise disjoint.
+        for i in 0..blocks.len() {
+            for j in (i + 1)..blocks.len() {
+                prop_assert!(blocks[i].intersect(&blocks[j]).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn chunks_partition(r in region_strategy(), chunk in 1i64..7, dim in 0usize..2) {
+        let tiles = r.chunks(dim, chunk);
+        let total: usize = tiles.iter().map(|t| t.len()).sum();
+        prop_assert_eq!(total, r.len());
+        for t in &tiles {
+            prop_assert!(t.extent(dim) <= chunk);
+            prop_assert!(r.contains_region(t));
+        }
+    }
+
+    #[test]
+    fn translate_round_trips(r in region_strategy(), d0 in -5i64..5, d1 in -5i64..5) {
+        let d = Offset([d0, d1]);
+        prop_assert_eq!(r.translate(d).translate(-d), r);
+        prop_assert_eq!(r.translate(d).len(), r.len());
+    }
+
+    #[test]
+    fn iteration_visits_each_point_once(
+        r in region_strategy(),
+        perm in 0usize..2,
+        asc0 in any::<bool>(),
+        asc1 in any::<bool>(),
+    ) {
+        let order = LoopStructureOrder {
+            order: if perm == 0 { [0, 1] } else { [1, 0] },
+            ascending: [asc0, asc1],
+        };
+        let visited: Vec<_> = r.iter_with(&order).collect();
+        prop_assert_eq!(visited.len(), r.len());
+        let unique: std::collections::HashSet<_> = visited.iter().collect();
+        prop_assert_eq!(unique.len(), r.len());
+        for p in &visited {
+            prop_assert!(r.contains(*p));
+        }
+    }
+
+    #[test]
+    fn wsv_is_permutation_invariant(dirs in prop::collection::vec((-2i64..3, -2i64..3), 0..6)) {
+        let offsets: Vec<Offset<2>> = dirs.iter().map(|&(a, b)| Offset([a, b])).collect();
+        let w1 = Wsv::from_directions(offsets.clone());
+        let mut rev = offsets.clone();
+        rev.reverse();
+        let w2 = Wsv::from_directions(rev);
+        prop_assert_eq!(w1, w2);
+    }
+
+    #[test]
+    fn wsv_simple_iff_no_opposite_signs(dirs in prop::collection::vec((-2i64..3, -2i64..3), 1..6)) {
+        let offsets: Vec<Offset<2>> = dirs.iter().map(|&(a, b)| Offset([a, b])).collect();
+        let w = Wsv::from_directions(offsets.clone());
+        for k in 0..2 {
+            let has_pos = offsets.iter().any(|o| o[k] > 0);
+            let has_neg = offsets.iter().any(|o| o[k] < 0);
+            prop_assert_eq!(
+                w.0[k] == Sign::PlusMinus,
+                has_pos && has_neg,
+                "dim {} of {:?}", k, offsets
+            );
+        }
+    }
+
+    #[test]
+    fn found_structures_satisfy_every_constraint(
+        vecs in prop::collection::vec(((-2i64..3, -2i64..3), any::<bool>()), 1..5)
+    ) {
+        let constraints: Vec<DepConstraint<2>> = vecs
+            .iter()
+            .filter(|((a, b), _)| *a != 0 || *b != 0)
+            .map(|((a, b), anti)| DepConstraint {
+                vector: Offset([*a, *b]),
+                kind: if *anti { DepKind::Anti } else { DepKind::True },
+                array: 0,
+                stmt: 0,
+            })
+            .collect();
+        match find_structure(&constraints, None) {
+            Ok(s) => {
+                for c in &constraints {
+                    let pos = carrying_position(c.vector, &s.order);
+                    prop_assert!(pos.is_some(), "{:?} not carried by {:?}", c.vector, s.order);
+                }
+                // Wavefront dims are exactly the dims carrying
+                // value-carrying constraints.
+                for (c, dim) in constraints.iter().zip(&s.carried_by) {
+                    if c.kind.carries_values() {
+                        prop_assert!(s.wavefront_dims.contains(dim));
+                    }
+                }
+            }
+            Err(_) => {
+                // Over-constrained: verify no structure exists by brute
+                // force over the 8 possible (perm, signs) pairs.
+                for perm in [[0usize, 1], [1, 0]] {
+                    for asc in [[true, true], [true, false], [false, true], [false, false]] {
+                        let order = LoopStructureOrder { order: perm, ascending: asc };
+                        let ok = constraints
+                            .iter()
+                            .all(|c| carrying_position(c.vector, &order).is_some());
+                        prop_assert!(!ok, "claimed over-constrained but {:?} works", order);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plain_statement_semantics_match_snapshot_oracle(
+        seed in any::<u64>(),
+        d0 in -1i64..2,
+        d1 in -1i64..2,
+        e0 in -1i64..2,
+        e1 in -1i64..2,
+    ) {
+        // a := 0.5*a@d + 0.25*a@e + b : array semantics say both reads
+        // observe pre-statement values, whatever the shifts.
+        let n = 8i64;
+        let bounds = Region::rect([0, 0], [n, n]);
+        let inner = Region::rect([1, 1], [n - 1, n - 1]);
+        let mut p = Program::<2>::new();
+        let a = p.array("a", bounds);
+        let b = p.array("b", bounds);
+        p.stmt(
+            inner,
+            a,
+            Expr::lit(0.5) * Expr::read_at(a, [d0, d1])
+                + Expr::lit(0.25) * Expr::read_at(a, [e0, e1])
+                + Expr::read(b),
+        );
+        let mut store = Store::new(&p);
+        let mix = |q: Point<2>, s: u64| {
+            (((q[0] as u64).wrapping_mul(0x9E3779B9).wrapping_add(q[1] as u64)
+                .wrapping_mul(s | 1)) % 97) as f64 / 97.0
+        };
+        *store.get_mut(a) = DenseArray::from_fn(bounds, |q| mix(q, seed));
+        *store.get_mut(b) = DenseArray::from_fn(bounds, |q| mix(q, seed ^ 0xABCD));
+        let before_a = store.get(a).clone();
+        let before_b = store.get(b).clone();
+        execute(&p, &mut store).unwrap();
+        for q in inner.iter() {
+            let expect = 0.5 * before_a.get(q + Offset([d0, d1]))
+                + 0.25 * before_a.get(q + Offset([e0, e1]))
+                + before_b.get(q);
+            prop_assert_eq!(store.get(a).get(q), expect, "at {}", q);
+        }
+        // Outside the covering region, nothing changed.
+        for q in bounds.iter() {
+            if !inner.contains(q) {
+                prop_assert_eq!(store.get(a).get(q), before_a.get(q));
+            }
+        }
+    }
+}
+
+#[test]
+fn single_point_region_iterates_once() {
+    let r = Region::rect([3, 3], [3, 3]);
+    assert_eq!(r.iter().count(), 1);
+    assert_eq!(r.len(), 1);
+}

@@ -1,0 +1,177 @@
+//! End-to-end reproduction of the paper's Figure 3 and the Section 2.2
+//! worked examples, through the WL front end.
+
+use wavefront::core::prelude::*;
+use wavefront::lang::compile_str;
+
+fn run(src: &str, init: f64) -> (Store<2>, CompiledProgram<2>, ArrayId) {
+    let lo = compile_str::<2>(src, &[], Layout::RowMajor).expect("source compiles");
+    let a = lo.array("a").expect("array a");
+    let mut store = Store::new(&lo.program);
+    store.get_mut(a).fill(init);
+    let compiled = compile(&lo.program).expect("program compiles");
+    run_with_sink(&compiled, &mut store, &mut NoSink);
+    (store, compiled, a)
+}
+
+#[test]
+fn figure_3_abc_unprimed() {
+    // [2..n,1..n] a := 2 * a@north with all-1 input: rows 2..n become 2
+    // (Figure 3(c)), and the i-loop must run high→low (Figure 3(b)).
+    let (store, compiled, a) = run(
+        "const n = 5;
+         var a : [1..n, 1..n] float;
+         direction north = (-1, 0);
+         [2..n, 1..n] a := 2.0 * a@north;",
+        1.0,
+    );
+    let nest = compiled.nest(0);
+    assert!(!nest.structure.order.ascending[0], "i-loop must descend");
+    for j in 1..=5 {
+        assert_eq!(store.get(a).get(Point([1, j])), 1.0);
+        for i in 2..=5 {
+            assert_eq!(store.get(a).get(Point([i, j])), 2.0);
+        }
+    }
+}
+
+#[test]
+fn figure_3_def_primed() {
+    // [2..n,1..n] a := 2 * a'@north: the wavefront yields rows
+    // 1,2,4,8,16 (Figure 3(f)) with the i-loop running low→high
+    // (Figure 3(e)).
+    let (store, compiled, a) = run(
+        "const n = 5;
+         var a : [1..n, 1..n] float;
+         direction north = (-1, 0);
+         [2..n, 1..n] a := 2.0 * a'@north;",
+        1.0,
+    );
+    let nest = compiled.nest(0);
+    assert!(nest.structure.order.ascending[0], "i-loop must ascend");
+    for j in 1..=5 {
+        for i in 1..=5 {
+            assert_eq!(store.get(a).get(Point([i, j])), f64::powi(2.0, i as i32 - 1));
+        }
+    }
+}
+
+#[test]
+fn section_22_example_1() {
+    // d1 = d2 = (-1,0): WSV (-,0); dim 0 is the wavefront dimension, dim
+    // 1 completely parallel.
+    let src = "
+        const n = 6;
+        var a : [1..n, 1..n] float;
+        direction d1 = (-1, 0);
+        direction d2 = (-1, 0);
+        [2..n, 1..n] a := (a'@d1 + a'@d2) / 2.0;
+    ";
+    let lo = compile_str::<2>(src, &[], Layout::RowMajor).unwrap();
+    let compiled = compile(&lo.program).unwrap();
+    let nest = compiled.nest(0);
+    assert_eq!(nest.wsv.to_string(), "(-,0)");
+    assert!(nest.wsv.is_simple());
+    assert_eq!(nest.wsv.wavefront_dims(None), vec![0]);
+    assert_eq!(nest.wsv.parallel_dims(), vec![1]);
+}
+
+#[test]
+fn section_22_example_2() {
+    // d1 = (-1,0), d2 = (0,-1): WSV (-,-), legal; both dimensions carry.
+    let src = "
+        const n = 6;
+        var a : [0..n, 0..n] float;
+        direction d1 = (-1, 0);
+        direction d2 = (0, -1);
+        [1..n, 1..n] a := (a'@d1 + a'@d2) / 2.0;
+    ";
+    let lo = compile_str::<2>(src, &[], Layout::RowMajor).unwrap();
+    let compiled = compile(&lo.program).unwrap();
+    let nest = compiled.nest(0);
+    assert_eq!(nest.wsv.to_string(), "(-,-)");
+    assert!(nest.wsv.is_simple());
+    assert_eq!(nest.structure.wavefront_dims, vec![0, 1]);
+}
+
+#[test]
+fn section_22_example_3() {
+    // d1 = (-1,0), d2 = (1,1): WSV (±,+): not simple, yet legal; the
+    // second dimension is the wavefront dimension.
+    let src = "
+        const n = 6;
+        var a : [0..n+1, 0..n] float;
+        direction d1 = (-1, 0);
+        direction d2 = (1, 1);
+        [1..n, 1..n-1] a := (a'@d1 + a'@d2) / 2.0;
+    ";
+    let lo = compile_str::<2>(src, &[], Layout::RowMajor).unwrap();
+    let compiled = compile(&lo.program).unwrap();
+    let nest = compiled.nest(0);
+    assert_eq!(nest.wsv.to_string(), "(±,+)");
+    assert!(!nest.wsv.is_simple());
+    assert!(nest.structure.wavefront_dims.contains(&1));
+    // Classification rule (ii): all but the ± dimensions are pipelined.
+    assert_eq!(
+        nest.wsv.classify(None),
+        [DimParallelism::Serialized, DimParallelism::Pipelined]
+    );
+}
+
+#[test]
+fn section_22_example_4_rejected() {
+    // d1 = (0,-1), d2 = (0,1): WSV (0,±): over-constrained; the compiler
+    // must flag it.
+    let src = "
+        const n = 6;
+        var a : [0..n, 0..n+1] float;
+        direction d1 = (0, -1);
+        direction d2 = (0, 1);
+        [1..n, 1..n] a := (a'@d1 + a'@d2) / 2.0;
+    ";
+    let lo = compile_str::<2>(src, &[], Layout::RowMajor).unwrap();
+    let err = compile(&lo.program).unwrap_err();
+    assert!(matches!(err, Error::OverConstrained { .. }), "{err}");
+}
+
+#[test]
+fn example_2_values_match_hand_recurrence() {
+    // Execute Example 2's statement and check against the recurrence
+    // a[i][j] = (a[i-1][j] + a[i][j-1]) / 2 computed by hand.
+    let src = "
+        const n = 5;
+        var a : [0..n, 0..n] float;
+        direction d1 = (-1, 0);
+        direction d2 = (0, -1);
+        [1..n, 1..n] a := (a'@d1 + a'@d2) / 2.0;
+    ";
+    let lo = compile_str::<2>(src, &[], Layout::RowMajor).unwrap();
+    let a = lo.array("a").unwrap();
+    let mut store = Store::new(&lo.program);
+    // Boundary: a[0][j] = j, a[i][0] = i.
+    for k in 0..=5i64 {
+        store.get_mut(a).set(Point([0, k]), k as f64);
+        store.get_mut(a).set(Point([k, 0]), k as f64);
+    }
+    execute(&lo.program, &mut store).unwrap();
+
+    let mut expect = [[0.0f64; 6]; 6];
+    for k in 0..=5 {
+        expect[0][k] = k as f64;
+        expect[k][0] = k as f64;
+    }
+    for i in 1..=5 {
+        for j in 1..=5 {
+            expect[i][j] = (expect[i - 1][j] + expect[i][j - 1]) / 2.0;
+        }
+    }
+    for i in 0..=5i64 {
+        for j in 0..=5i64 {
+            assert_eq!(
+                store.get(a).get(Point([i, j])),
+                expect[i as usize][j as usize],
+                "a[{i}][{j}]"
+            );
+        }
+    }
+}
