@@ -1,7 +1,7 @@
 //! Front-end and compiler-analysis costs: lexing/parsing/lowering WL,
 //! loop-structure derivation, and plan construction.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use wavefront_bench::micro::Harness;
 use wavefront_core::deps::{DepConstraint, DepKind};
 use wavefront_core::index::Offset;
 use wavefront_core::loops::find_structure;
@@ -9,49 +9,44 @@ use wavefront_core::prelude::compile;
 use wavefront_machine::cray_t3e;
 use wavefront_pipeline::{BlockPolicy, WavefrontPlan};
 
-fn bench_frontend(c: &mut Criterion) {
-    c.bench_function("analysis/compile_str_tomcatv", |b| {
-        b.iter(|| wavefront_kernels::tomcatv::build(66).unwrap())
-    });
-    c.bench_function("analysis/core_compile_tomcatv", |b| {
-        let lo = wavefront_kernels::tomcatv::build(66).unwrap();
-        b.iter(|| compile(&lo.program).unwrap())
-    });
-}
+fn main() {
+    let mut h = Harness::from_args();
 
-fn bench_loop_structure(c: &mut Criterion) {
+    h.bench("analysis/compile_str_tomcatv", || {
+        wavefront_kernels::tomcatv::build(66).unwrap()
+    });
+    {
+        let lo = wavefront_kernels::tomcatv::build(66).unwrap();
+        h.bench("analysis/core_compile_tomcatv", || compile(&lo.program).unwrap());
+    }
+
     let cs2: Vec<DepConstraint<2>> = vec![
         DepConstraint { vector: Offset([1, 0]), kind: DepKind::True, array: 0, stmt: 0 },
         DepConstraint { vector: Offset([0, 1]), kind: DepKind::True, array: 1, stmt: 1 },
         DepConstraint { vector: Offset([1, -1]), kind: DepKind::Anti, array: 2, stmt: 0 },
     ];
-    c.bench_function("analysis/loop_structure_rank2", |b| {
-        b.iter(|| find_structure(&cs2, Some(0)).unwrap())
-    });
+    h.bench("analysis/loop_structure_rank2", || find_structure(&cs2, Some(0)).unwrap());
     let cs4: Vec<DepConstraint<4>> = vec![
         DepConstraint { vector: Offset([1, 0, 0, 0]), kind: DepKind::True, array: 0, stmt: 0 },
         DepConstraint { vector: Offset([0, 1, 0, 0]), kind: DepKind::True, array: 0, stmt: 0 },
         DepConstraint { vector: Offset([0, 0, 1, -1]), kind: DepKind::Anti, array: 1, stmt: 0 },
         DepConstraint { vector: Offset([0, 0, 0, 1]), kind: DepKind::Flow, array: 2, stmt: 1 },
     ];
-    c.bench_function("analysis/loop_structure_rank4", |b| {
-        b.iter(|| find_structure(&cs4, Some(3)).unwrap())
-    });
-}
+    h.bench("analysis/loop_structure_rank4", || find_structure(&cs4, Some(3)).unwrap());
 
-fn bench_plan(c: &mut Criterion) {
-    let lo = wavefront_kernels::tomcatv::build(258).unwrap();
-    let compiled = compile(&lo.program).unwrap();
-    let nest = compiled.nests().find(|x| x.is_scan).unwrap().clone();
-    let params = cray_t3e();
-    c.bench_function("analysis/wavefront_plan_model2", |b| {
-        b.iter(|| WavefrontPlan::build(&nest, 16, None, &BlockPolicy::Model2, &params).unwrap())
-    });
-    c.bench_function("analysis/wavefront_plan_probe", |b| {
+    {
+        let lo = wavefront_kernels::tomcatv::build(258).unwrap();
+        let compiled = compile(&lo.program).unwrap();
+        let nest = compiled.nests().find(|x| x.is_scan).unwrap().clone();
+        let params = cray_t3e();
+        h.bench("analysis/wavefront_plan_model2", || {
+            WavefrontPlan::build(&nest, 16, None, &BlockPolicy::Model2, &params).unwrap()
+        });
         let probe = BlockPolicy::default_probe(256);
-        b.iter(|| WavefrontPlan::build(&nest, 16, None, &probe, &params).unwrap())
-    });
-}
+        h.bench("analysis/wavefront_plan_probe", || {
+            WavefrontPlan::build(&nest, 16, None, &probe, &params).unwrap()
+        });
+    }
 
-criterion_group!(benches, bench_frontend, bench_loop_structure, bench_plan);
-criterion_main!(benches);
+    h.finish();
+}

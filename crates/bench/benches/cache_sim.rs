@@ -1,11 +1,13 @@
 //! Cache-simulator throughput: trace-driven execution of one Jacobi step
 //! and one Tomcatv iteration through the two machine hierarchies.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use wavefront_bench::micro::Harness;
 use wavefront_cache::{power_challenge_node, t3e_node, CacheSim};
 use wavefront_core::prelude::*;
 
-fn bench_machines(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_args();
+
     for machine in [t3e_node(), power_challenge_node()] {
         let lo = wavefront_kernels::tomcatv::build(66).unwrap();
         let compiled = compile(&lo.program).unwrap();
@@ -13,23 +15,20 @@ fn bench_machines(c: &mut Criterion) {
         wavefront_kernels::tomcatv::init(&lo, &mut init);
         let sim0 = CacheSim::new(&lo.program, machine.hierarchy.clone(), machine.flop_cycles, 64);
         let name = machine.name.replace(' ', "_");
-        c.bench_function(&format!("cache/tomcatv_n66_{name}"), |b| {
-            b.iter_batched(
-                || (init.clone(), sim0.clone()),
-                |(mut store, mut sim)| {
-                    run_with_sink(&compiled, &mut store, &mut sim);
-                    sim.cycles()
-                },
-                BatchSize::LargeInput,
-            )
-        });
+        h.bench_with_setup(
+            &format!("cache/tomcatv_n66_{name}"),
+            || (init.clone(), sim0.clone()),
+            |(mut store, mut sim)| {
+                run_with_sink(&compiled, &mut store, &mut sim);
+                sim.cycles()
+            },
+        );
     }
-}
 
-fn bench_raw_cache(c: &mut Criterion) {
-    use wavefront_cache::{Cache, CacheConfig};
-    c.bench_function("cache/raw_access_stream_64k", |b| {
-        b.iter_batched(
+    {
+        use wavefront_cache::{Cache, CacheConfig};
+        h.bench_with_setup(
+            "cache/raw_access_stream_64k",
             || Cache::new(CacheConfig { size_bytes: 8 << 10, line_bytes: 32, assoc: 1 }),
             |mut cache| {
                 let mut misses = 0u64;
@@ -40,10 +39,8 @@ fn bench_raw_cache(c: &mut Criterion) {
                 }
                 misses
             },
-            BatchSize::SmallInput,
-        )
-    });
-}
+        );
+    }
 
-criterion_group!(benches, bench_machines, bench_raw_cache);
-criterion_main!(benches);
+    h.finish();
+}

@@ -1,85 +1,71 @@
 //! Sequential-executor throughput on the kernel suite.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use wavefront_bench::micro::Harness;
 use wavefront_core::prelude::*;
 
-fn bench_tomcatv(c: &mut Criterion) {
-    let n = 66i64;
-    let lo = wavefront_kernels::tomcatv::build(n).unwrap();
-    let compiled = compile(&lo.program).unwrap();
-    let mut init = Store::new(&lo.program);
-    wavefront_kernels::tomcatv::init(&lo, &mut init);
-    c.bench_function("executor/tomcatv_iteration_n66", |b| {
-        b.iter_batched(
+fn main() {
+    let mut h = Harness::from_args();
+
+    {
+        let n = 66i64;
+        let lo = wavefront_kernels::tomcatv::build(n).unwrap();
+        let compiled = compile(&lo.program).unwrap();
+        let mut init = Store::new(&lo.program);
+        wavefront_kernels::tomcatv::init(&lo, &mut init);
+        h.bench_with_setup(
+            "executor/tomcatv_iteration_n66",
             || init.clone(),
             |mut store| run_with_sink(&compiled, &mut store, &mut NoSink),
-            BatchSize::LargeInput,
-        )
-    });
-}
+        );
+    }
 
-fn bench_jacobi(c: &mut Criterion) {
-    let lo = wavefront_kernels::jacobi::build(64).unwrap();
-    let compiled = compile(&lo.program).unwrap();
-    let mut init = Store::new(&lo.program);
-    wavefront_kernels::jacobi::init(&lo, &mut init);
-    c.bench_function("executor/jacobi_step_n64", |b| {
-        b.iter_batched(
+    {
+        let lo = wavefront_kernels::jacobi::build(64).unwrap();
+        let compiled = compile(&lo.program).unwrap();
+        let mut init = Store::new(&lo.program);
+        wavefront_kernels::jacobi::init(&lo, &mut init);
+        h.bench_with_setup(
+            "executor/jacobi_step_n64",
             || init.clone(),
             |mut store| run_with_sink(&compiled, &mut store, &mut NoSink),
-            BatchSize::LargeInput,
-        )
-    });
-}
+        );
+    }
 
-fn bench_sor(c: &mut Criterion) {
-    let lo = wavefront_kernels::sor::build(64).unwrap();
-    let compiled = compile(&lo.program).unwrap();
-    let mut init = Store::new(&lo.program);
-    wavefront_kernels::sor::init(&lo, &mut init);
-    c.bench_function("executor/sor_sweep_n64", |b| {
-        b.iter_batched(
+    {
+        let lo = wavefront_kernels::sor::build(64).unwrap();
+        let compiled = compile(&lo.program).unwrap();
+        let mut init = Store::new(&lo.program);
+        wavefront_kernels::sor::init(&lo, &mut init);
+        h.bench_with_setup(
+            "executor/sor_sweep_n64",
             || init.clone(),
             |mut store| run_with_sink(&compiled, &mut store, &mut NoSink),
-            BatchSize::LargeInput,
-        )
-    });
-}
+        );
+    }
 
-fn bench_smith_waterman(c: &mut Criterion) {
-    let lo = wavefront_kernels::smith_waterman::build(96, 96).unwrap();
-    let compiled = compile(&lo.program).unwrap();
-    let mut init = Store::new(&lo.program);
-    wavefront_kernels::smith_waterman::init(&lo, &mut init, 1);
-    c.bench_function("executor/smith_waterman_96x96", |b| {
-        b.iter_batched(
+    {
+        let lo = wavefront_kernels::smith_waterman::build(96, 96).unwrap();
+        let compiled = compile(&lo.program).unwrap();
+        let mut init = Store::new(&lo.program);
+        wavefront_kernels::smith_waterman::init(&lo, &mut init, 1);
+        h.bench_with_setup(
+            "executor/smith_waterman_96x96",
             || init.clone(),
             |mut store| run_with_sink(&compiled, &mut store, &mut NoSink),
-            BatchSize::LargeInput,
-        )
-    });
-}
+        );
+    }
 
-fn bench_sweep3d(c: &mut Criterion) {
-    let lo = wavefront_kernels::sweep3d::build_octant(20, [-1, -1, -1]).unwrap();
-    let compiled = compile(&lo.program).unwrap();
-    let mut init = Store::new(&lo.program);
-    wavefront_kernels::sweep3d::init(&lo, &mut init);
-    c.bench_function("executor/sweep3d_octant_20cubed", |b| {
-        b.iter_batched(
+    {
+        let lo = wavefront_kernels::sweep3d::build_octant(20, [-1, -1, -1]).unwrap();
+        let compiled = compile(&lo.program).unwrap();
+        let mut init = Store::new(&lo.program);
+        wavefront_kernels::sweep3d::init(&lo, &mut init);
+        h.bench_with_setup(
+            "executor/sweep3d_octant_20cubed",
             || init.clone(),
             |mut store| run_with_sink(&compiled, &mut store, &mut NoSink),
-            BatchSize::LargeInput,
-        )
-    });
-}
+        );
+    }
 
-criterion_group!(
-    benches,
-    bench_tomcatv,
-    bench_jacobi,
-    bench_sor,
-    bench_smith_waterman,
-    bench_sweep3d
-);
-criterion_main!(benches);
+    h.finish();
+}

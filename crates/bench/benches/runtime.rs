@@ -7,11 +7,12 @@
 //! and the simulator's throughput (the scaling results live in the DES
 //! harnesses, `fig7` and `fig_sweep`).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use wavefront_bench::micro::Harness;
 use wavefront_core::prelude::*;
 use wavefront_machine::cray_t3e;
 use wavefront_pipeline::{
-    execute_plan_sequential, execute_plan_threaded, plan_dag, BlockPolicy, WavefrontPlan,
+    execute_plan_sequential_collected, execute_plan_threaded_collected, plan_dag, BlockPolicy,
+    NoopCollector, WavefrontPlan,
 };
 
 fn setup() -> (wavefront_lang::Lowered<2>, CompiledNest<2>, Store<2>) {
@@ -23,86 +24,93 @@ fn setup() -> (wavefront_lang::Lowered<2>, CompiledNest<2>, Store<2>) {
     (lo, nest, store)
 }
 
-fn bench_des(c: &mut Criterion) {
-    let (_lo, nest, _store) = setup();
-    let params = cray_t3e();
-    let plan = WavefrontPlan::build(&nest, 16, None, &BlockPolicy::Fixed(4), &params).unwrap();
-    let tasks = plan_dag(&plan);
-    c.bench_function("runtime/des_simulate_512_tasks", |b| {
-        b.iter(|| wavefront_machine::simulate(&tasks, &params, 16))
-    });
-}
-
-fn bench_decomposed(c: &mut Criterion) {
-    let (_lo, nest, store) = setup();
-    let params = cray_t3e();
-    let plan = WavefrontPlan::build(&nest, 4, None, &BlockPolicy::Fixed(16), &params).unwrap();
-    c.bench_function("runtime/decomposed_sequential_p4_b16", |b| {
-        b.iter_batched(
-            || store.clone(),
-            |mut s| execute_plan_sequential(&nest, &plan, &mut s),
-            BatchSize::LargeInput,
-        )
-    });
-}
-
-fn bench_threaded(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_args();
     let (lo, nest, store) = setup();
     let params = cray_t3e();
+
+    {
+        let plan =
+            WavefrontPlan::build(&nest, 16, None, &BlockPolicy::Fixed(4), &params).unwrap();
+        let tasks = plan_dag(&plan);
+        h.bench("runtime/des_simulate_512_tasks", || {
+            wavefront_machine::simulate(&tasks, &params, 16)
+        });
+    }
+
+    {
+        let plan =
+            WavefrontPlan::build(&nest, 4, None, &BlockPolicy::Fixed(16), &params).unwrap();
+        h.bench_with_setup(
+            "runtime/decomposed_sequential_p4_b16",
+            || store.clone(),
+            |mut s| {
+                execute_plan_sequential_collected(&nest, &plan, &mut s, &mut NoopCollector)
+            },
+        );
+    }
+
     for (label, policy) in [
         ("naive", BlockPolicy::FullPortion),
         ("pipelined_b16", BlockPolicy::Fixed(16)),
     ] {
         let plan = WavefrontPlan::build(&nest, 4, None, &policy, &params).unwrap();
-        c.bench_function(&format!("runtime/threaded_p4_{label}"), |b| {
-            b.iter_batched(
-                || store.clone(),
-                |mut s| execute_plan_threaded(&lo.program, &nest, &plan, &mut s),
-                BatchSize::LargeInput,
-            )
-        });
-    }
-}
-
-fn bench_mesh2d(c: &mut Criterion) {
-    let lo = wavefront_kernels::sweep3d::build_octant(24, [-1, -1, -1]).unwrap();
-    let compiled = compile(&lo.program).unwrap();
-    let nest = compiled.nest(0).clone();
-    let params = cray_t3e();
-    let plan = wavefront_pipeline::WavefrontPlan2D::build(
-        &nest,
-        [4, 4],
-        None,
-        &BlockPolicy::Fixed(2),
-        &params,
-    )
-    .unwrap();
-    c.bench_function("runtime/mesh2d_dag_build_and_simulate", |b| {
-        b.iter(|| wavefront_pipeline::simulate_plan2d(&plan, &params).makespan)
-    });
-    let mut store = Store::new(&lo.program);
-    wavefront_kernels::sweep3d::init(&lo, &mut store);
-    c.bench_function("runtime/mesh2d_threaded_4x4", |b| {
-        b.iter_batched(
+        h.bench_with_setup(
+            &format!("runtime/threaded_p4_{label}"),
             || store.clone(),
-            |mut s| wavefront_pipeline::execute_plan2d_threaded(&lo.program, &nest, &plan, &mut s),
-            BatchSize::LargeInput,
-        )
-    });
-}
+            |mut s| {
+                execute_plan_threaded_collected(
+                    &lo.program,
+                    &nest,
+                    &plan,
+                    &mut s,
+                    &mut NoopCollector,
+                )
+            },
+        );
+    }
 
-fn bench_cyclic(c: &mut Criterion) {
-    use wavefront_core::region::Region;
-    let region = Region::rect([0i64, 0], [511, 511]);
-    let d = wavefront_machine::BlockCyclic::new(region, 0, 16, 4);
-    let params = cray_t3e();
-    c.bench_function("runtime/cyclic_tiled_dag_simulate", |b| {
-        b.iter(|| {
+    {
+        let lo = wavefront_kernels::sweep3d::build_octant(24, [-1, -1, -1]).unwrap();
+        let compiled = compile(&lo.program).unwrap();
+        let nest = compiled.nest(0).clone();
+        let plan = wavefront_pipeline::WavefrontPlan2D::build(
+            &nest,
+            [4, 4],
+            None,
+            &BlockPolicy::Fixed(2),
+            &params,
+        )
+        .unwrap();
+        h.bench("runtime/mesh2d_dag_build_and_simulate", || {
+            wavefront_pipeline::simulate_plan2d(&plan, &params).makespan
+        });
+        let mut store = Store::new(&lo.program);
+        wavefront_kernels::sweep3d::init(&lo, &mut store);
+        h.bench_with_setup(
+            "runtime/mesh2d_threaded_4x4",
+            || store.clone(),
+            |mut s| {
+                wavefront_pipeline::execute_plan2d_threaded_collected(
+                    &lo.program,
+                    &nest,
+                    &plan,
+                    &mut s,
+                    &mut NoopCollector,
+                )
+            },
+        );
+    }
+
+    {
+        use wavefront_core::region::Region;
+        let region = Region::rect([0i64, 0], [511, 511]);
+        let d = wavefront_machine::BlockCyclic::new(region, 0, 16, 4);
+        h.bench("runtime/cyclic_tiled_dag_simulate", || {
             let tasks = d.wavefront_dag_tiled(1.0, 32, 16);
             wavefront_machine::simulate(&tasks, &params, 16).makespan
-        })
-    });
-}
+        });
+    }
 
-criterion_group!(benches, bench_des, bench_decomposed, bench_threaded, bench_mesh2d, bench_cyclic);
-criterion_main!(benches);
+    h.finish();
+}

@@ -15,9 +15,72 @@
 //! | `table_dynamic_b` | ablation of block-size policies (incl. the future-work dynamic probe) |
 //! | `table_loc`       | language-based vs explicit formulation code sizes |
 //!
-//! Criterion benches (under `benches/`) measure the real executor:
+//! Micro-benchmarks (under `benches/`, plain `main` harnesses so the
+//! build stays dependency-free and offline) measure the real executor:
 //! sequential interpretation, compilation/analysis, cache simulation, and
 //! the threaded message-passing runtime.
+//!
+//! Figure harnesses also drop machine-readable artifacts
+//! (`BENCH_<name>.json`) via [`write_artifact`], so runs can be diffed
+//! and plotted without scraping stdout.
+
+pub mod micro;
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Write a JSON artifact as `BENCH_<name>.json` under `$BENCH_OUT`
+/// (default `results/`), creating the directory if needed. Returns the
+/// path written, or `None` (with a note on stderr) if the filesystem
+/// refused — harnesses still print their tables either way.
+pub fn write_artifact(name: &str, json: &str) -> Option<PathBuf> {
+    let dir = std::env::var_os("BENCH_OUT").map_or_else(|| PathBuf::from("results"), PathBuf::from);
+    let path = dir.join(format!("BENCH_{name}.json"));
+    let attempt = std::fs::create_dir_all(&dir).and_then(|_| {
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(json.as_bytes())?;
+        if !json.ends_with('\n') {
+            f.write_all(b"\n")?;
+        }
+        Ok(())
+    });
+    match attempt {
+        Ok(()) => {
+            eprintln!("wrote {}", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("note: could not write {}: {e}", path.display());
+            None
+        }
+    }
+}
+
+/// Render `(key, value)` rows as one flat JSON object (keys must be
+/// unique). Values are emitted verbatim, so pass already-valid JSON
+/// fragments (numbers, strings with quotes, arrays).
+pub fn json_object(fields: &[(&str, String)]) -> String {
+    let body: Vec<String> =
+        fields.iter().map(|(k, v)| format!("  \"{k}\": {v}")).collect();
+    format!("{{\n{}\n}}", body.join(",\n"))
+}
+
+/// Quote and escape a string for embedding in JSON.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
 
 /// Minimal fixed-width table printer for harness output.
 pub struct Table {

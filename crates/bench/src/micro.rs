@@ -1,0 +1,139 @@
+//! Minimal micro-benchmark harness for the `benches/` targets.
+//!
+//! The benches used to run under criterion; the build must work fully
+//! offline, so this reimplements the small slice actually used: named
+//! benchmarks, setup closures cloned per iteration outside the timed
+//! region, automatic iteration-count calibration, and a name filter
+//! taken from the command line (`cargo bench -- <substr>`).
+
+use std::time::{Duration, Instant};
+
+/// Target accumulated measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(300);
+/// Hard cap on timed iterations (slow benches run at least once).
+const MAX_ITERS: u32 = 10_000;
+
+/// A named collection of benchmarks, printed as a table on [`finish`].
+///
+/// [`finish`]: Harness::finish
+pub struct Harness {
+    filter: Option<String>,
+    results: Vec<(String, Duration, u32)>,
+}
+
+impl Harness {
+    /// Build from `std::env::args`, skipping cargo's `--bench` flag;
+    /// the first free argument becomes a substring filter.
+    pub fn from_args() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Harness { filter, results: Vec::new() }
+    }
+
+    fn selected(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Benchmark `f`, timing only the closure itself.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        self.bench_with_setup(name, || (), |()| f());
+    }
+
+    /// Benchmark `run` on a fresh value from `setup` per iteration; the
+    /// setup cost stays outside the timed region.
+    pub fn bench_with_setup<S, T>(
+        &mut self,
+        name: &str,
+        mut setup: impl FnMut() -> S,
+        mut run: impl FnMut(S) -> T,
+    ) {
+        if !self.selected(name) {
+            return;
+        }
+        // Warm up and calibrate: one probe iteration sizes the batch.
+        let probe_in = setup();
+        let t0 = Instant::now();
+        std::hint::black_box(run(probe_in));
+        let probe = t0.elapsed().max(Duration::from_nanos(50));
+        let iters = (TARGET.as_nanos() / probe.as_nanos()).clamp(1, MAX_ITERS as u128) as u32;
+
+        let inputs: Vec<S> = (0..iters).map(|_| setup()).collect();
+        let mut total = Duration::ZERO;
+        for input in inputs {
+            let t0 = Instant::now();
+            std::hint::black_box(run(input));
+            total += t0.elapsed();
+        }
+        self.results.push((name.to_string(), total / iters, iters));
+    }
+
+    /// Print one aligned line per benchmark. Returns the results for
+    /// callers that want to post-process.
+    pub fn finish(self) -> Vec<(String, Duration, u32)> {
+        let width = self.results.iter().map(|(n, _, _)| n.len()).max().unwrap_or(0);
+        for (name, mean, iters) in &self.results {
+            println!("{name:<width$}  {:>12}  ({iters} iters)", format_duration(*mean));
+        }
+        if self.results.is_empty() {
+            println!(
+                "no benchmarks matched{}",
+                self.filter.map_or(String::new(), |f| format!(" filter {f:?}"))
+            );
+            Vec::new()
+        } else {
+            self.results
+        }
+    }
+}
+
+/// Human-readable duration with an adaptive unit.
+pub fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut h = Harness { filter: None, results: Vec::new() };
+        let mut count = 0u64;
+        h.bench("demo/add", || {
+            count += 1;
+            count * 2
+        });
+        let results = h.finish();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].0, "demo/add");
+        assert!(results[0].2 >= 1);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching_names() {
+        let mut h = Harness { filter: Some("match".into()), results: Vec::new() };
+        h.bench("skipped/one", || 1);
+        h.bench("match/two", || 2);
+        let results = h.finish();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].0, "match/two");
+    }
+
+    #[test]
+    fn durations_format_with_adaptive_units() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(format_duration(Duration::from_micros(12)), "12.00 µs");
+        assert_eq!(format_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

@@ -12,6 +12,7 @@
 //! ([`jacobi`]).
 
 pub mod jacobi;
+pub mod rng;
 pub mod simple;
 pub mod smith_waterman;
 pub mod sor;

@@ -1,0 +1,73 @@
+//! Minimal deterministic PRNG for sequence/test-data generation.
+//!
+//! The crate used to pull in `rand` just to draw DNA letters; the build
+//! must work fully offline, so this is a dependency-free SplitMix64
+//! (Steele, Lea & Flood, OOPSLA 2014) — statistically solid for data
+//! seeding, stable across platforms, and trivially reproducible from a
+//! `u64` seed. Not suitable for cryptography.
+
+/// SplitMix64 generator state.
+#[derive(Debug, Clone)]
+pub struct SplitMix64(u64);
+
+impl SplitMix64 {
+    /// Create a generator from a seed; equal seeds yield equal streams.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)` via Lemire's multiply-shift
+    /// reduction (bias is negligible for the small bounds used here).
+    pub fn gen_range(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "empty range");
+        ((self.next_u64() as u128 * bound as u128) >> 64) as usize
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = { let mut r = SplitMix64::new(1); (0..4).map(|_| r.next_u64()).collect() };
+        let b: Vec<u64> = { let mut r = SplitMix64::new(1); (0..4).map(|_| r.next_u64()).collect() };
+        let c: Vec<u64> = { let mut r = SplitMix64::new(2); (0..4).map(|_| r.next_u64()).collect() };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn range_and_unit_draws_are_in_bounds() {
+        let mut r = SplitMix64::new(99);
+        for _ in 0..1000 {
+            assert!(r.gen_range(4) < 4);
+            let f = r.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn small_ranges_hit_every_value() {
+        let mut r = SplitMix64::new(7);
+        let mut seen = [false; 4];
+        for _ in 0..256 {
+            seen[r.gen_range(4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

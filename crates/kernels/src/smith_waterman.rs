@@ -6,8 +6,7 @@
 //! primed references along northwest, north, and west give the WSV
 //! `(-,-)` — legal, with pipelined parallelism along either dimension.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 use wavefront_core::array::Layout;
 use wavefront_core::program::Store;
 use wavefront_lang::{compile_str, LangError, Lowered};
@@ -44,8 +43,8 @@ pub fn build(n: i64, m: i64) -> Result<Lowered<2>, LangError> {
 pub fn init(lowered: &Lowered<2>, store: &mut Store<2>, seed: u64) -> (Vec<u8>, Vec<u8>) {
     let cells = lowered.region("Cells").expect("Cells exists");
     let (n, m) = (cells.hi()[0] as usize, cells.hi()[1] as usize);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let base = |r: &mut StdRng| b"ACGT"[r.gen_range(0..4)] ;
+    let mut rng = SplitMix64::new(seed);
+    let base = |r: &mut SplitMix64| b"ACGT"[r.gen_range(4)];
     let mut a: Vec<u8> = (0..n).map(|_| base(&mut rng)).collect();
     let mut b: Vec<u8> = (0..m).map(|_| base(&mut rng)).collect();
     // Plant a shared motif so a strong local alignment exists.

@@ -79,6 +79,51 @@ pub enum CommMode {
     Overlapped,
 }
 
+/// Observation hooks into a running simulation.
+///
+/// The simulator calls these as each scheduling decision is made; a
+/// telemetry layer (e.g. `wavefront-pipeline`'s collector) implements the
+/// trait to reconstruct per-processor timelines without re-deriving the
+/// scheduling rules. The default methods do nothing, so observers only
+/// override what they need.
+pub trait SimObserver {
+    /// A task was scheduled. `ready` is when its processor became free,
+    /// `start` is when computation began (after any blocking receives),
+    /// `finish = start + cost`, and `recv_cost` is the total receive
+    /// overhead charged to the processor between `ready` and `start`.
+    fn task(
+        &mut self,
+        _idx: usize,
+        _proc: usize,
+        _ready: f64,
+        _start: f64,
+        _finish: f64,
+        _recv_cost: f64,
+    ) {
+    }
+
+    /// A message crossed a remote dependence edge. `sent_at` is the time
+    /// the data became available at the sender; `recv_done` is when the
+    /// receiver finished consuming it.
+    #[allow(clippy::too_many_arguments)]
+    fn message(
+        &mut self,
+        _from_task: usize,
+        _to_task: usize,
+        _from_proc: usize,
+        _to_proc: usize,
+        _elems: usize,
+        _sent_at: f64,
+        _recv_done: f64,
+    ) {
+    }
+}
+
+/// An observer that ignores every event (the default instrumentation).
+pub struct NoopObserver;
+
+impl SimObserver for NoopObserver {}
+
 /// Simulate `tasks` on a machine with `params` and `procs` processors
 /// under the default [`CommMode::Blocking`] model.
 ///
@@ -101,6 +146,17 @@ pub fn simulate_with_mode(
     procs: usize,
     mode: CommMode,
 ) -> SimResult {
+    simulate_observed(tasks, params, procs, mode, &mut NoopObserver)
+}
+
+/// [`simulate_with_mode`] reporting every scheduling decision to `obs`.
+pub fn simulate_observed(
+    tasks: &[SimTask],
+    params: &MachineParams,
+    procs: usize,
+    mode: CommMode,
+    obs: &mut (impl SimObserver + ?Sized),
+) -> SimResult {
     let mut finish = vec![0.0f64; tasks.len()];
     let mut proc_clock = vec![0.0f64; procs];
     let mut busy = vec![0.0f64; procs];
@@ -112,7 +168,9 @@ pub fn simulate_with_mode(
         // Local dependences gate the start; remote dependences are
         // received one after another on this processor, each occupying it
         // for the full message cost once the data is available.
-        let mut start = proc_clock[t.proc];
+        let ready = proc_clock[t.proc];
+        let mut start = ready;
+        let mut recv_cost = 0.0f64;
         for d in &t.deps {
             assert!(d.task < i, "task {i} depends on later task {}", d.task);
             if tasks[d.task].proc == t.proc {
@@ -127,22 +185,36 @@ pub fn simulate_with_mode(
                     continue;
                 }
                 let cost = params.msg_cost(d.elems);
+                let recv_done;
                 match mode {
                     CommMode::Blocking => {
                         start = start.max(finish[d.task]) + cost;
                         busy[t.proc] += cost;
+                        recv_cost += cost;
+                        recv_done = start;
                     }
                     CommMode::Overlapped => {
                         start = start.max(finish[d.task] + cost);
+                        recv_done = finish[d.task] + cost;
                     }
                 }
                 messages += 1;
                 elements_sent += d.elems;
+                obs.message(
+                    d.task,
+                    i,
+                    tasks[d.task].proc,
+                    t.proc,
+                    d.elems,
+                    finish[d.task],
+                    recv_done,
+                );
             }
         }
         finish[i] = start + t.cost;
         proc_clock[t.proc] = finish[i];
         busy[t.proc] += t.cost;
+        obs.task(i, t.proc, ready, start, finish[i], recv_cost);
     }
 
     let makespan = finish.iter().copied().fold(0.0, f64::max);
@@ -356,6 +428,51 @@ mod tests {
         assert_eq!(o.busy[1], 1.0);
         // Same single-message latency on an otherwise idle receiver.
         assert_eq!(b.makespan, o.makespan);
+    }
+
+    #[test]
+    fn observer_sees_every_task_and_message() {
+        struct Count {
+            tasks: usize,
+            msgs: usize,
+            elems: usize,
+            compute: f64,
+            recv: f64,
+        }
+        impl SimObserver for Count {
+            fn task(&mut self, _i: usize, _p: usize, ready: f64, start: f64, finish: f64, rc: f64) {
+                assert!(ready <= start && start <= finish);
+                assert!(rc >= 0.0 && start - ready >= rc - 1e-12);
+                self.tasks += 1;
+                self.compute += finish - start;
+                self.recv += rc;
+            }
+            fn message(
+                &mut self,
+                _ft: usize,
+                _tt: usize,
+                _fp: usize,
+                _tp: usize,
+                elems: usize,
+                sent_at: f64,
+                recv_done: f64,
+            ) {
+                assert!(sent_at <= recv_done);
+                self.msgs += 1;
+                self.elems += elems;
+            }
+        }
+        let m = MachineParams::custom("m", 5.0, 1.0);
+        let (p, nblocks) = (3usize, 4usize);
+        let tasks = pipeline_dag(p, nblocks, 2.0, 7);
+        let mut obs = Count { tasks: 0, msgs: 0, elems: 0, compute: 0.0, recv: 0.0 };
+        let r = simulate_observed(&tasks, &m, p, CommMode::Blocking, &mut obs);
+        assert_eq!(obs.tasks, tasks.len());
+        assert_eq!(obs.msgs, r.messages);
+        assert_eq!(obs.elems, r.elements_sent);
+        // Busy time = compute + receive overhead, exactly as observed.
+        let busy: f64 = r.busy.iter().sum();
+        assert!((obs.compute + obs.recv - busy).abs() < 1e-9);
     }
 
     #[test]

@@ -19,8 +19,8 @@ pub mod grid;
 pub mod params;
 
 pub use des::{
-    naive_dag, pipeline_dag, serial_time, simulate, simulate_with_mode, CommMode, Dep,
-    SimResult, SimTask,
+    naive_dag, pipeline_dag, serial_time, simulate, simulate_observed, simulate_with_mode,
+    CommMode, Dep, NoopObserver, SimObserver, SimResult, SimTask,
 };
 pub use cyclic::BlockCyclic;
 pub use grid::{Distribution, ProcGrid};

@@ -2,22 +2,30 @@
 //! dependency-order sequential execution, and real threads.
 
 use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::time::Instant;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use wavefront_core::array::DenseArray;
 use wavefront_core::exec::{run_nest_region_with_sink, CompiledNest};
 use wavefront_core::expr::ArrayId;
 use wavefront_core::program::{Program, Store};
 use wavefront_core::region::Region;
 use wavefront_core::trace::NoSink;
-use wavefront_machine::{simulate, Dep, MachineParams, SimResult, SimTask};
+use wavefront_machine::{
+    simulate, simulate_observed, CommMode, Dep, MachineParams, SimObserver, SimResult, SimTask,
+};
 
 use crate::exec_threads::ThreadReport;
 use crate::plan2d::WavefrontPlan2D;
+use crate::telemetry::{
+    BlockEvent, Collector, EngineKind, MessageEvent, NoopCollector, RunMeta, TimeUnit, WaitEvent,
+};
 
 /// Build the task DAG of a 2-D mesh plan: task `(c, t)` is mesh cell `c`
 /// computing tile `t`, depending on its own tile `t−1` and on both
-/// upstream neighbours' tile `t` (each a boundary-face message).
+/// upstream neighbours' tile `t` (each a boundary-face message). Edges
+/// touching a cell that owns no data degrade to pure ordering edges,
+/// matching the threaded engine (which excludes such cells).
 pub fn plan2d_dag<const R: usize>(plan: &WavefrontPlan2D<R>) -> Vec<SimTask> {
     let coords = plan.mesh_in_wave_order();
     let nt = plan.tiles.len();
@@ -33,7 +41,14 @@ pub fn plan2d_dag<const R: usize>(plan: &WavefrontPlan2D<R>) -> Vec<SimTask> {
             }
             for axis in 0..2 {
                 if let Some(u) = plan.upstream(c, axis) {
-                    let elems = plan.msg_elems(plan.owned(u), tile, axis);
+                    // A cell that owns no data neither computes nor
+                    // relays, so edges into it are pure ordering edges
+                    // (edges out of it already carry zero elements).
+                    let elems = if owned.is_empty() {
+                        0
+                    } else {
+                        plan.msg_elems(plan.owned(u), tile, axis)
+                    };
                     deps.push(Dep { task: index[&u] * nt + t, elems });
                 }
             }
@@ -56,8 +71,102 @@ pub fn simulate_plan2d<const R: usize>(
     simulate(&plan2d_dag(plan), params, procs)
 }
 
+/// Translates DES observer callbacks of a mesh simulation into
+/// [`Collector`] events. Task processors are wave-order mesh positions;
+/// `proc_map` turns them into stable linear ranks.
+struct MeshAdapter<'a> {
+    collector: &'a mut dyn Collector,
+    proc_map: Vec<usize>,
+    elems: Vec<usize>,
+    nt: usize,
+}
+
+impl SimObserver for MeshAdapter<'_> {
+    fn task(&mut self, idx: usize, proc: usize, ready: f64, start: f64, finish: f64, recv: f64) {
+        let wait = start - ready - recv;
+        if wait > 1e-12 {
+            self.collector.wait(WaitEvent {
+                proc: self.proc_map[proc],
+                start: ready,
+                end: ready + wait,
+            });
+        }
+        if self.elems[idx] > 0 {
+            self.collector.block(BlockEvent {
+                proc: self.proc_map[proc],
+                tile: idx % self.nt,
+                start,
+                end: finish,
+                elems: self.elems[idx],
+            });
+        }
+    }
+    fn message(
+        &mut self,
+        _from_task: usize,
+        to_task: usize,
+        from_proc: usize,
+        to_proc: usize,
+        elems: usize,
+        sent_at: f64,
+        recv_done: f64,
+    ) {
+        self.collector.message(MessageEvent {
+            from: self.proc_map[from_proc],
+            to: self.proc_map[to_proc],
+            tile: to_task % self.nt,
+            elems,
+            sent_at,
+            recv_at: recv_done,
+        });
+    }
+}
+
+/// [`simulate_plan2d`] reporting telemetry to `collector`.
+pub fn simulate_plan2d_collected<const R: usize>(
+    plan: &WavefrontPlan2D<R>,
+    params: &MachineParams,
+    collector: &mut dyn Collector,
+) -> SimResult {
+    let procs = plan.procs[0] * plan.procs[1];
+    let tasks = plan2d_dag(plan);
+    if !collector.enabled() {
+        return simulate(&tasks, params, procs);
+    }
+    let coords = plan.mesh_in_wave_order();
+    let nt = plan.tiles.len();
+    let proc_map: Vec<usize> = coords.iter().map(|&c| plan.rank_of(c)).collect();
+    let mut elems = Vec::with_capacity(tasks.len());
+    for &c in &coords {
+        let owned = plan.owned(c);
+        for tile in &plan.tiles {
+            elems.push(owned.intersect(tile).len());
+        }
+    }
+    collector.begin(&RunMeta {
+        engine: EngineKind::Sim,
+        procs,
+        active: plan.active_cells().iter().map(|&c| plan.rank_of(c)).collect(),
+        tiles: nt,
+        block: plan.block,
+        pipelined: plan.is_pipelined(),
+        machine: params.name.to_string(),
+        time_unit: TimeUnit::ModelUnits,
+        predicted: plan.predicted_traffic(),
+    });
+    let mut adapter = MeshAdapter { collector, proc_map, elems, nt };
+    let result = simulate_observed(&tasks, params, procs, CommMode::Blocking, &mut adapter);
+    adapter.collector.end(result.makespan);
+    result
+}
+
 /// Execute the plan against a shared store, mesh cells in wave order —
 /// the semantic reference for the threaded engine.
+#[deprecated(
+    since = "0.2.0",
+    note = "use wavefront_pipeline::Session2D::run(EngineKind::Seq) or \
+            execute_plan2d_sequential_collected"
+)]
 pub fn execute_plan2d_sequential<const R: usize>(
     nest: &CompiledNest<R>,
     plan: &WavefrontPlan2D<R>,
@@ -76,6 +185,56 @@ pub fn execute_plan2d_sequential<const R: usize>(
             }
         }
     }
+}
+
+/// [`execute_plan2d_sequential`] reporting telemetry to `collector`:
+/// one block event per (cell, tile), timed on the wall clock. No
+/// messages — the sequential engine shares one store.
+pub fn execute_plan2d_sequential_collected<const R: usize>(
+    nest: &CompiledNest<R>,
+    plan: &WavefrontPlan2D<R>,
+    store: &mut Store<R>,
+    collector: &mut dyn Collector,
+) {
+    debug_assert!(nest.buffered.is_empty());
+    if !collector.enabled() {
+        #[allow(deprecated)]
+        execute_plan2d_sequential(nest, plan, store);
+        return;
+    }
+    let active = plan.active_cells();
+    collector.begin(&RunMeta {
+        engine: EngineKind::Seq,
+        procs: plan.procs[0] * plan.procs[1],
+        active: active.iter().map(|&c| plan.rank_of(c)).collect(),
+        tiles: plan.tiles.len(),
+        block: plan.block,
+        pipelined: plan.is_pipelined(),
+        machine: "host".to_string(),
+        time_unit: TimeUnit::Seconds,
+        predicted: crate::telemetry::Prediction::default(),
+    });
+    let epoch = Instant::now();
+    for c in active {
+        let owned = plan.owned(c);
+        let rank = plan.rank_of(c);
+        for (ti, tile) in plan.tiles.iter().enumerate() {
+            let sub = owned.intersect(tile);
+            if sub.is_empty() {
+                continue;
+            }
+            let start = epoch.elapsed().as_secs_f64();
+            run_nest_region_with_sink(nest, sub, &plan.order, store, &mut NoSink);
+            collector.block(BlockEvent {
+                proc: rank,
+                tile: ti,
+                start,
+                end: epoch.elapsed().as_secs_f64(),
+                elems: sub.len(),
+            });
+        }
+    }
+    collector.end(epoch.elapsed().as_secs_f64());
 }
 
 fn build_local<const R: usize>(
@@ -156,22 +315,62 @@ fn decode<const R: usize>(
     debug_assert!(it.next().is_none(), "long 2-D boundary message");
 }
 
+/// One worker-side telemetry record of the 2-D engine, stamped in
+/// seconds since the run's epoch (see `exec_threads` for the replay
+/// strategy).
+enum WorkerEv2 {
+    Block { tile: usize, start: f64, end: f64, elems: usize },
+    Sent { axis: usize, tile: usize, elems: usize, at: f64 },
+    Recv { axis: usize, wait_start: f64, at: f64 },
+}
+
 /// Execute the plan with one thread per active mesh cell, passing
 /// boundary faces through channels along both mesh axes. Results are
 /// bit-identical to the sequential executor.
+#[deprecated(
+    since = "0.2.0",
+    note = "use wavefront_pipeline::Session2D::run(EngineKind::Threads) or \
+            execute_plan2d_threaded_collected"
+)]
 pub fn execute_plan2d_threaded<const R: usize>(
     program: &Program<R>,
     nest: &CompiledNest<R>,
     plan: &WavefrontPlan2D<R>,
     store: &mut Store<R>,
 ) -> ThreadReport {
+    execute_plan2d_threaded_collected(program, nest, plan, store, &mut NoopCollector)
+}
+
+/// [`execute_plan2d_threaded`] reporting telemetry to `collector`.
+/// Workers buffer events locally and the stream is replayed after the
+/// join; a disabled collector adds no work to the workers.
+pub fn execute_plan2d_threaded_collected<const R: usize>(
+    program: &Program<R>,
+    nest: &CompiledNest<R>,
+    plan: &WavefrontPlan2D<R>,
+    store: &mut Store<R>,
+    collector: &mut dyn Collector,
+) -> ThreadReport {
     assert!(nest.buffered.is_empty());
-    let coords: Vec<[usize; 2]> = plan
-        .mesh_in_wave_order()
-        .into_iter()
-        .filter(|&c| !plan.owned(c).is_empty())
-        .collect();
+    let enabled = collector.enabled();
+    let coords: Vec<[usize; 2]> = plan.active_cells();
+    if enabled {
+        collector.begin(&RunMeta {
+            engine: EngineKind::Threads,
+            procs: plan.procs[0] * plan.procs[1],
+            active: coords.iter().map(|&c| plan.rank_of(c)).collect(),
+            tiles: plan.tiles.len(),
+            block: plan.block,
+            pipelined: plan.is_pipelined(),
+            machine: "host".to_string(),
+            time_unit: TimeUnit::Seconds,
+            predicted: plan.predicted_traffic(),
+        });
+    }
     if coords.is_empty() {
+        if enabled {
+            collector.end(0.0);
+        }
         return ThreadReport { elapsed: std::time::Duration::ZERO, messages: 0 };
     }
     let active: std::collections::HashSet<[usize; 2]> = coords.iter().copied().collect();
@@ -181,7 +380,9 @@ pub fn execute_plan2d_threaded<const R: usize>(
         .map(|&c| build_local(program, nest, store, plan.owned(c), &plan.margins))
         .collect();
 
-    // Channels keyed by (receiver, axis).
+    // Channels keyed by (receiver, axis); each key has exactly one
+    // sender (the receiver's upstream on that axis), which takes the
+    // endpoint out of the map so hang-ups are detectable.
     let mut senders: HashMap<([usize; 2], usize), Sender<Vec<f64>>> = HashMap::new();
     let mut receivers: HashMap<([usize; 2], usize), Receiver<Vec<f64>>> = HashMap::new();
     for &c in &coords {
@@ -191,7 +392,7 @@ pub fn execute_plan2d_threaded<const R: usize>(
             }
             if let Some(d) = plan.downstream(c, axis) {
                 if active.contains(&d) {
-                    let (tx, rx) = unbounded();
+                    let (tx, rx) = channel();
                     senders.insert((d, axis), tx);
                     receivers.insert((d, axis), rx);
                 }
@@ -207,7 +408,8 @@ pub fn execute_plan2d_threaded<const R: usize>(
     };
 
     let mut message_count = 0usize;
-    let start = std::time::Instant::now();
+    let mut events: Vec<Vec<WorkerEv2>> = Vec::new();
+    let epoch = Instant::now();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(coords.len());
         for (&c, mut local) in coords.iter().zip(locals.drain(..)) {
@@ -218,7 +420,7 @@ pub fn execute_plan2d_threaded<const R: usize>(
                 .map(|axis| {
                     plan.downstream(c, axis)
                         .filter(|d| active.contains(d))
-                        .and_then(|d| senders.get(&(d, axis)).cloned())
+                        .and_then(|d| senders.remove(&(d, axis)))
                 })
                 .collect();
             let upstream_owned: Vec<Option<Region<R>>> = (0..2)
@@ -233,15 +435,26 @@ pub fn execute_plan2d_threaded<const R: usize>(
             let nest = &*nest;
             handles.push(scope.spawn(move || {
                 let mut sent = 0usize;
-                for tile in &plan.tiles {
+                let mut evs: Vec<WorkerEv2> = Vec::new();
+                for (ti, tile) in plan.tiles.iter().enumerate() {
                     for axis in 0..2 {
                         if let (Some(rx), Some(up)) = (&rx[axis], upstream_owned[axis]) {
+                            let wait_start =
+                                enabled.then(|| epoch.elapsed().as_secs_f64());
                             let data = rx.recv().expect("2-D upstream hung up");
+                            if let Some(ws) = wait_start {
+                                evs.push(WorkerEv2::Recv {
+                                    axis,
+                                    wait_start: ws,
+                                    at: epoch.elapsed().as_secs_f64(),
+                                });
+                            }
                             decode(plan, &mut local, up, tile, axis, &data);
                         }
                     }
                     let sub = owned.intersect(tile);
                     if !sub.is_empty() {
+                        let t0 = enabled.then(|| epoch.elapsed().as_secs_f64());
                         run_nest_region_with_sink(
                             nest,
                             sub,
@@ -249,28 +462,49 @@ pub fn execute_plan2d_threaded<const R: usize>(
                             &mut local,
                             &mut NoSink,
                         );
+                        if let Some(t0) = t0 {
+                            evs.push(WorkerEv2::Block {
+                                tile: ti,
+                                start: t0,
+                                end: epoch.elapsed().as_secs_f64(),
+                                elems: sub.len(),
+                            });
+                        }
                     }
                     for axis in 0..2 {
                         if let Some(tx) = &tx[axis] {
-                            tx.send(encode(plan, &local, owned, tile, axis))
-                                .expect("2-D downstream hung up");
+                            let data = encode(plan, &local, owned, tile, axis);
+                            if enabled {
+                                evs.push(WorkerEv2::Sent {
+                                    axis,
+                                    tile: ti,
+                                    elems: data.len(),
+                                    at: epoch.elapsed().as_secs_f64(),
+                                });
+                            }
+                            tx.send(data).expect("2-D downstream hung up");
                             sent += 1;
                         }
                     }
                 }
-                (local, sent)
+                (local, sent, evs)
             }));
         }
         locals = handles
             .into_iter()
             .map(|h| {
-                let (local, sent) = h.join().expect("2-D worker panicked");
+                let (local, sent, evs) = h.join().expect("2-D worker panicked");
                 message_count += sent;
+                events.push(evs);
                 local
             })
             .collect();
     });
-    let elapsed = start.elapsed();
+    let elapsed = epoch.elapsed();
+
+    if enabled {
+        replay2d(collector, plan, &coords, &events, elapsed.as_secs_f64());
+    }
 
     for (&c, local) in coords.iter().zip(&locals) {
         let owned = plan.owned(c);
@@ -279,6 +513,62 @@ pub fn execute_plan2d_threaded<const R: usize>(
         }
     }
     ThreadReport { elapsed, messages: message_count }
+}
+
+/// Replay buffered 2-D worker events: blocks and waits directly,
+/// messages by pairing each (cell, axis) send stream with the
+/// downstream cell's same-axis receive stream (both are in tile order).
+fn replay2d<const R: usize>(
+    collector: &mut dyn Collector,
+    plan: &WavefrontPlan2D<R>,
+    coords: &[[usize; 2]],
+    events: &[Vec<WorkerEv2>],
+    makespan: f64,
+) {
+    let pos: HashMap<[usize; 2], usize> =
+        coords.iter().enumerate().map(|(i, c)| (*c, i)).collect();
+    for (i, evs) in events.iter().enumerate() {
+        let rank = plan.rank_of(coords[i]);
+        for ev in evs {
+            match *ev {
+                WorkerEv2::Block { tile, start, end, elems } => {
+                    collector.block(BlockEvent { proc: rank, tile, start, end, elems });
+                }
+                WorkerEv2::Recv { wait_start, at, .. } => {
+                    collector.wait(WaitEvent { proc: rank, start: wait_start, end: at });
+                }
+                WorkerEv2::Sent { .. } => {}
+            }
+        }
+    }
+    for (i, &c) in coords.iter().enumerate() {
+        for axis in 0..2 {
+            let Some(d) = plan.downstream(c, axis).filter(|d| pos.contains_key(d)) else {
+                continue;
+            };
+            let sends = events[i].iter().filter_map(|e| match *e {
+                WorkerEv2::Sent { axis: a, tile, elems, at } if a == axis => {
+                    Some((tile, elems, at))
+                }
+                _ => None,
+            });
+            let recvs = events[pos[&d]].iter().filter_map(|e| match *e {
+                WorkerEv2::Recv { axis: a, at, .. } if a == axis => Some(at),
+                _ => None,
+            });
+            for ((tile, elems, sent_at), recv_at) in sends.zip(recvs) {
+                collector.message(MessageEvent {
+                    from: plan.rank_of(c),
+                    to: plan.rank_of(d),
+                    tile,
+                    elems,
+                    sent_at,
+                    recv_at,
+                });
+            }
+        }
+    }
+    collector.end(makespan);
 }
 
 #[cfg(test)]
@@ -320,7 +610,7 @@ mod tests {
             )
             .unwrap();
             let mut store = init_sweep(&program);
-            execute_plan2d_sequential(&nest, &plan, &mut store);
+            execute_plan2d_sequential_collected(&nest, &plan, &mut store, &mut NoopCollector);
             for id in 0..store.len() {
                 assert!(
                     store.get(id).region_eq(reference.get(id), nest.region),
@@ -345,7 +635,7 @@ mod tests {
             )
             .unwrap();
             let mut store = init_sweep(&program);
-            let report = execute_plan2d_threaded(&program, &nest, &plan, &mut store);
+            let report = execute_plan2d_threaded_collected(&program, &nest, &plan, &mut store, &mut NoopCollector);
             for id in 0..store.len() {
                 assert!(
                     store.get(id).region_eq(reference.get(id), nest.region),
@@ -390,7 +680,7 @@ mod tests {
             )
             .unwrap();
             let mut store = init_sweep(&p);
-            execute_plan2d_threaded(&p, &nest, &plan, &mut store);
+            execute_plan2d_threaded_collected(&p, &nest, &plan, &mut store, &mut NoopCollector);
             assert!(
                 store.get(a).region_eq(reference.get(a), cells),
                 "corner relay failed at {p1}x{p2} b={b}"
@@ -435,7 +725,7 @@ mod tests {
         )
         .unwrap();
         let mut store = init_sweep(&program);
-        execute_plan2d_threaded(&program, &nest, &plan, &mut store);
+        execute_plan2d_threaded_collected(&program, &nest, &plan, &mut store, &mut NoopCollector);
         let flux = 0;
         assert!(store.get(flux).region_eq(reference.get(flux), nest.region));
         let _ = Point([0, 0, 0]);

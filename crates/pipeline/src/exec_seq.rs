@@ -6,20 +6,79 @@
 //! the threaded runtime and a proof that the decomposition preserves the
 //! scan block's sequential semantics.
 
+use std::time::Instant;
+
 use wavefront_core::exec::{run_nest_region_with_sink, CompiledNest};
 use wavefront_core::program::Store;
 use wavefront_core::trace::{AccessSink, NoSink};
 
 use crate::plan::WavefrontPlan;
+use crate::telemetry::{BlockEvent, Collector, EngineKind, Prediction, RunMeta, TimeUnit};
 
 /// Execute `nest` under `plan` against `store`, visiting processors in
 /// wave order and tiles in tile order.
+#[deprecated(
+    since = "0.2.0",
+    note = "use wavefront_pipeline::Session::run(EngineKind::Seq) or \
+            execute_plan_sequential_collected"
+)]
 pub fn execute_plan_sequential<const R: usize>(
     nest: &CompiledNest<R>,
     plan: &WavefrontPlan<R>,
     store: &mut Store<R>,
 ) {
     execute_plan_sequential_with_sink(nest, plan, store, &mut NoSink);
+}
+
+/// [`execute_plan_sequential`] reporting telemetry to `collector`: one
+/// block event per (processor, tile) pair, timed on the wall clock.
+///
+/// The sequential engine works against a single shared store and sends
+/// no boundary messages, so its predicted traffic is zero by
+/// construction (the decomposition's traffic prediction belongs to the
+/// simulator and the threaded engine).
+pub fn execute_plan_sequential_collected<const R: usize>(
+    nest: &CompiledNest<R>,
+    plan: &WavefrontPlan<R>,
+    store: &mut Store<R>,
+    collector: &mut dyn Collector,
+) {
+    if !collector.enabled() {
+        execute_plan_sequential_with_sink(nest, plan, store, &mut NoSink);
+        return;
+    }
+    let active = plan.active_ranks();
+    collector.begin(&RunMeta {
+        engine: EngineKind::Seq,
+        procs: plan.p,
+        active: active.clone(),
+        tiles: plan.tiles.len(),
+        block: plan.block,
+        pipelined: plan.is_pipelined(),
+        machine: "host".to_string(),
+        time_unit: TimeUnit::Seconds,
+        predicted: Prediction::default(),
+    });
+    let epoch = Instant::now();
+    for rank in active {
+        let owned = plan.dist.owned(rank);
+        for (ti, tile) in plan.tiles.iter().enumerate() {
+            let sub = owned.intersect(tile);
+            if sub.is_empty() {
+                continue;
+            }
+            let start = epoch.elapsed().as_secs_f64();
+            run_nest_region_with_sink(nest, sub, &plan.order, store, &mut NoSink);
+            collector.block(BlockEvent {
+                proc: rank,
+                tile: ti,
+                start,
+                end: epoch.elapsed().as_secs_f64(),
+                elems: sub.len(),
+            });
+        }
+    }
+    collector.end(epoch.elapsed().as_secs_f64());
 }
 
 /// [`execute_plan_sequential`] with an access sink.
@@ -84,7 +143,7 @@ mod tests {
                     WavefrontPlan::build(&nest, p, None, &BlockPolicy::Fixed(b), &t3e())
                         .unwrap();
                 let mut store = init_tomcatv(&program);
-                execute_plan_sequential(&nest, &plan, &mut store);
+                execute_plan_sequential_with_sink(&nest, &plan, &mut store, &mut NoSink);
                 for id in 0..store.len() {
                     assert!(
                         store.get(id).region_eq(reference.get(id), nest.region),
@@ -119,7 +178,7 @@ mod tests {
                 WavefrontPlan::build(nest, p, None, &BlockPolicy::Fixed(b), &t3e()).unwrap();
             let mut store = Store::new(&prog);
             init(&mut store);
-            execute_plan_sequential(nest, &plan, &mut store);
+            execute_plan_sequential_with_sink(nest, &plan, &mut store, &mut NoSink);
             assert!(
                 store.get(a).region_eq(reference.get(a), region),
                 "p={p} b={b}"
@@ -136,7 +195,7 @@ mod tests {
         let plan =
             WavefrontPlan::build(&nest, 16, None, &BlockPolicy::Fixed(2), &t3e()).unwrap();
         let mut store = init_tomcatv(&program);
-        execute_plan_sequential(&nest, &plan, &mut store);
+        execute_plan_sequential_with_sink(&nest, &plan, &mut store, &mut NoSink);
         for id in 0..store.len() {
             assert!(store.get(id).region_eq(reference.get(id), nest.region));
         }

@@ -8,14 +8,25 @@
 
 use wavefront_core::exec::{CompiledNest, CompiledProgram};
 use wavefront_core::program::Program;
-use wavefront_machine::{simulate, Dep, MachineParams, SimResult, SimTask};
+use wavefront_machine::{
+    simulate, simulate_observed, CommMode, Dep, MachineParams, SimObserver, SimResult, SimTask,
+};
 
 use crate::plan::{PlanError, WavefrontPlan};
 use crate::schedule::BlockPolicy;
+use crate::telemetry::{
+    BlockEvent, Collector, EngineKind, MessageEvent, RunMeta, TimeUnit, WaitEvent,
+};
 
 /// Build the task DAG of a plan: task `(i, j)` is processor `i` (wave
 /// order) computing tile `j` of its portion; it depends on its own tile
 /// `j−1` and on the upstream processor's tile `j` (a boundary message).
+///
+/// Message edges carry exactly the elements the threaded engine
+/// serializes ([`WavefrontPlan::msg_elems_from`] of the sender's owned
+/// region); edges touching a rank that owns no data degrade to pure
+/// ordering edges, since such ranks neither compute nor relay in the
+/// real runtimes.
 pub fn plan_dag<const R: usize>(plan: &WavefrontPlan<R>) -> Vec<SimTask> {
     let ranks = plan.ranks_in_wave_order();
     let nt = plan.tiles.len();
@@ -29,7 +40,13 @@ pub fn plan_dag<const R: usize>(plan: &WavefrontPlan<R>) -> Vec<SimTask> {
                 deps.push(Dep { task: i * nt + (j - 1), elems: 0 });
             }
             if i > 0 {
-                deps.push(Dep { task: (i - 1) * nt + j, elems: plan.msg_elems(tile) });
+                let up_owned = plan.dist.owned(ranks[i - 1]);
+                let elems = if owned.is_empty() || up_owned.is_empty() {
+                    0
+                } else {
+                    plan.msg_elems_from(up_owned, tile)
+                };
+                deps.push(Dep { task: (i - 1) * nt + j, elems });
             }
             // The task runs on the actual grid rank (not the wave-order
             // position), so processor identities line up across stages
@@ -46,6 +63,91 @@ pub fn simulate_plan<const R: usize>(
     params: &MachineParams,
 ) -> SimResult {
     simulate(&plan_dag(plan), params, plan.p)
+}
+
+/// Translates the DES observer callbacks of one plan simulation into
+/// [`Collector`] events: task `(i, j)` becomes a block event for tile
+/// `j` on the rank that ran it, remote edges become message events, and
+/// the idle gap before each task (time neither computing nor receiving)
+/// becomes a wait event.
+struct DagAdapter<'a> {
+    collector: &'a mut dyn Collector,
+    elems: Vec<usize>,
+    nt: usize,
+}
+
+impl SimObserver for DagAdapter<'_> {
+    fn task(&mut self, idx: usize, proc: usize, ready: f64, start: f64, finish: f64, recv: f64) {
+        let wait = start - ready - recv;
+        if wait > 1e-12 {
+            self.collector.wait(WaitEvent { proc, start: ready, end: ready + wait });
+        }
+        if self.elems[idx] > 0 {
+            self.collector.block(BlockEvent {
+                proc,
+                tile: idx % self.nt,
+                start,
+                end: finish,
+                elems: self.elems[idx],
+            });
+        }
+    }
+    fn message(
+        &mut self,
+        _from_task: usize,
+        to_task: usize,
+        from_proc: usize,
+        to_proc: usize,
+        elems: usize,
+        sent_at: f64,
+        recv_done: f64,
+    ) {
+        self.collector.message(MessageEvent {
+            from: from_proc,
+            to: to_proc,
+            tile: to_task % self.nt,
+            elems,
+            sent_at,
+            recv_at: recv_done,
+        });
+    }
+}
+
+/// [`simulate_plan`] reporting telemetry to `collector`. Timelines are
+/// in the machine model's normalized element-time units.
+pub fn simulate_plan_collected<const R: usize>(
+    plan: &WavefrontPlan<R>,
+    params: &MachineParams,
+    collector: &mut dyn Collector,
+) -> SimResult {
+    let tasks = plan_dag(plan);
+    if !collector.enabled() {
+        return simulate(&tasks, params, plan.p);
+    }
+    let ranks = plan.ranks_in_wave_order();
+    let nt = plan.tiles.len();
+    let mut elems = Vec::with_capacity(tasks.len());
+    for &rank in &ranks {
+        let owned = plan.dist.owned(rank);
+        for tile in &plan.tiles {
+            elems.push(owned.intersect(tile).len());
+        }
+    }
+    collector.begin(&RunMeta {
+        engine: EngineKind::Sim,
+        procs: plan.p,
+        active: plan.active_ranks(),
+        tiles: nt,
+        block: plan.block,
+        pipelined: plan.is_pipelined(),
+        machine: params.name.to_string(),
+        time_unit: TimeUnit::ModelUnits,
+        predicted: plan.predicted_traffic(),
+    });
+    let mut adapter = DagAdapter { collector, elems, nt };
+    let result = simulate_observed(&tasks, params, plan.p, CommMode::Blocking, &mut adapter);
+    collector.end(result.makespan);
+    result
 }
 
 /// Outcome of simulating one nest of a program.

@@ -12,9 +12,9 @@
 //! codes: genuinely parallel execution with explicit communication, used
 //! by the benchmarks to demonstrate real wall-clock pipelining speedup.
 
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use wavefront_core::array::DenseArray;
 use wavefront_core::exec::{run_nest_region_with_sink, CompiledNest};
 use wavefront_core::expr::ArrayId;
@@ -23,6 +23,20 @@ use wavefront_core::region::Region;
 use wavefront_core::trace::NoSink;
 
 use crate::plan::WavefrontPlan;
+use crate::telemetry::{
+    BlockEvent, Collector, EngineKind, MessageEvent, NoopCollector, RunMeta, TimeUnit, WaitEvent,
+};
+
+/// One worker-side telemetry record, stamped in seconds since the run's
+/// epoch. Workers buffer these locally (only when a collector is
+/// enabled) and the main thread replays them after the join, so
+/// instrumentation never adds synchronization — and a disabled collector
+/// adds no work at all.
+enum WorkerEv {
+    Block { tile: usize, start: f64, end: f64, elems: usize },
+    Sent { tile: usize, elems: usize, at: f64 },
+    Recv { wait_start: f64, at: f64 },
+}
 
 /// Outcome of a threaded execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -142,24 +156,59 @@ fn build_local<const R: usize>(
 /// Execute `nest` under `plan` with real threads and channels, updating
 /// `store` in place. Results are bit-identical to the sequential
 /// executor.
+#[deprecated(
+    since = "0.2.0",
+    note = "use wavefront_pipeline::Session::run(EngineKind::Threads) or \
+            execute_plan_threaded_collected"
+)]
 pub fn execute_plan_threaded<const R: usize>(
     program: &Program<R>,
     nest: &CompiledNest<R>,
     plan: &WavefrontPlan<R>,
     store: &mut Store<R>,
 ) -> ThreadReport {
+    execute_plan_threaded_collected(program, nest, plan, store, &mut NoopCollector)
+}
+
+/// [`execute_plan_threaded`] reporting telemetry to `collector`.
+///
+/// Workers buffer events in thread-local vectors (timestamps relative to
+/// a shared epoch) and the stream is replayed into the collector after
+/// the join; with a disabled collector the workers do exactly what the
+/// uninstrumented engine did — in particular, no extra messages and no
+/// timer reads.
+pub fn execute_plan_threaded_collected<const R: usize>(
+    program: &Program<R>,
+    nest: &CompiledNest<R>,
+    plan: &WavefrontPlan<R>,
+    store: &mut Store<R>,
+    collector: &mut dyn Collector,
+) -> ThreadReport {
     assert!(
         nest.buffered.is_empty(),
         "buffered nests carry no wavefront and are never planned"
     );
+    let enabled = collector.enabled();
     // Only ranks owning data participate; they form a contiguous chain in
     // wave order (block_split puts empty blocks at the end).
-    let ranks: Vec<usize> = plan
-        .ranks_in_wave_order()
-        .into_iter()
-        .filter(|&r| !plan.dist.owned(r).is_empty())
-        .collect();
+    let ranks: Vec<usize> = plan.active_ranks();
+    if enabled {
+        collector.begin(&RunMeta {
+            engine: EngineKind::Threads,
+            procs: plan.p,
+            active: ranks.clone(),
+            tiles: plan.tiles.len(),
+            block: plan.block,
+            pipelined: plan.is_pipelined(),
+            machine: "host".to_string(),
+            time_unit: TimeUnit::Seconds,
+            predicted: plan.predicted_traffic(),
+        });
+    }
     if ranks.is_empty() {
+        if enabled {
+            collector.end(0.0);
+        }
         return ThreadReport { elapsed: Duration::ZERO, messages: 0 };
     }
 
@@ -171,9 +220,10 @@ pub fn execute_plan_threaded<const R: usize>(
 
     // One channel per adjacent pair in wave order.
     let mut senders: Vec<Option<Sender<Vec<f64>>>> = vec![None; ranks.len()];
-    let mut receivers: Vec<Option<Receiver<Vec<f64>>>> = vec![None; ranks.len()];
+    let mut receivers: Vec<Option<Receiver<Vec<f64>>>> =
+        (0..ranks.len()).map(|_| None).collect();
     for i in 0..ranks.len().saturating_sub(1) {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         senders[i] = Some(tx);
         receivers[i + 1] = Some(rx);
     }
@@ -186,7 +236,8 @@ pub fn execute_plan_threaded<const R: usize>(
     };
 
     let mut message_count = 0usize;
-    let start = Instant::now();
+    let mut events: Vec<Vec<WorkerEv>> = Vec::new();
+    let epoch = Instant::now();
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(ranks.len());
         for (i, (&rank, mut local)) in ranks.iter().zip(locals.drain(..)).enumerate() {
@@ -198,15 +249,25 @@ pub fn execute_plan_threaded<const R: usize>(
             let nest = &*nest;
             handles.push(scope.spawn(move || {
                 let mut sent = 0usize;
-                for tile in &plan.tiles {
+                let mut evs: Vec<WorkerEv> = Vec::new();
+                for (ti, tile) in plan.tiles.iter().enumerate() {
                     let sub = owned.intersect(tile);
                     if let (Some(rx), Some(up)) = (&rx, upstream_owned) {
                         if !plan.comm_arrays.is_empty() {
+                            let wait_start =
+                                enabled.then(|| epoch.elapsed().as_secs_f64());
                             let data = rx.recv().expect("upstream hung up mid-wave");
+                            if let Some(ws) = wait_start {
+                                evs.push(WorkerEv::Recv {
+                                    wait_start: ws,
+                                    at: epoch.elapsed().as_secs_f64(),
+                                });
+                            }
                             decode(plan, &mut local, up, tile, &data);
                         }
                     }
                     if !sub.is_empty() {
+                        let t0 = enabled.then(|| epoch.elapsed().as_secs_f64());
                         run_nest_region_with_sink(
                             nest,
                             sub,
@@ -214,28 +275,48 @@ pub fn execute_plan_threaded<const R: usize>(
                             &mut local,
                             &mut NoSink,
                         );
+                        if let Some(t0) = t0 {
+                            evs.push(WorkerEv::Block {
+                                tile: ti,
+                                start: t0,
+                                end: epoch.elapsed().as_secs_f64(),
+                                elems: sub.len(),
+                            });
+                        }
                     }
                     if let Some(tx) = &tx {
                         if !plan.comm_arrays.is_empty() {
-                            tx.send(encode(plan, &local, owned, tile))
-                                .expect("downstream hung up mid-wave");
+                            let data = encode(plan, &local, owned, tile);
+                            if enabled {
+                                evs.push(WorkerEv::Sent {
+                                    tile: ti,
+                                    elems: data.len(),
+                                    at: epoch.elapsed().as_secs_f64(),
+                                });
+                            }
+                            tx.send(data).expect("downstream hung up mid-wave");
                             sent += 1;
                         }
                     }
                 }
-                (local, sent)
+                (local, sent, evs)
             }));
         }
         locals = handles
             .into_iter()
             .map(|h| {
-                let (local, sent) = h.join().expect("worker panicked");
+                let (local, sent, evs) = h.join().expect("worker panicked");
                 message_count += sent;
+                events.push(evs);
                 local
             })
             .collect();
     });
-    let elapsed = start.elapsed();
+    let elapsed = epoch.elapsed();
+
+    if enabled {
+        replay(collector, &ranks, &events, elapsed.as_secs_f64());
+    }
 
     // Gather: copy each rank's owned portion of every written array back.
     for (&rank, local) in ranks.iter().zip(&locals) {
@@ -248,6 +329,52 @@ pub fn execute_plan_threaded<const R: usize>(
     ThreadReport { elapsed, messages: message_count }
 }
 
+/// Replay buffered worker events into the collector: blocks and waits
+/// directly, messages by pairing each link's sends with the downstream
+/// worker's receives (both are in tile order).
+fn replay(
+    collector: &mut dyn Collector,
+    ranks: &[usize],
+    events: &[Vec<WorkerEv>],
+    makespan: f64,
+) {
+    for (i, evs) in events.iter().enumerate() {
+        let rank = ranks[i];
+        for ev in evs {
+            match *ev {
+                WorkerEv::Block { tile, start, end, elems } => {
+                    collector.block(BlockEvent { proc: rank, tile, start, end, elems });
+                }
+                WorkerEv::Recv { wait_start, at } => {
+                    collector.wait(WaitEvent { proc: rank, start: wait_start, end: at });
+                }
+                WorkerEv::Sent { .. } => {}
+            }
+        }
+    }
+    for i in 0..ranks.len().saturating_sub(1) {
+        let sends = events[i].iter().filter_map(|e| match *e {
+            WorkerEv::Sent { tile, elems, at } => Some((tile, elems, at)),
+            _ => None,
+        });
+        let recvs = events[i + 1].iter().filter_map(|e| match *e {
+            WorkerEv::Recv { at, .. } => Some(at),
+            _ => None,
+        });
+        for ((tile, elems, sent_at), recv_at) in sends.zip(recvs) {
+            collector.message(MessageEvent {
+                from: ranks[i],
+                to: ranks[i + 1],
+                tile,
+                elems,
+                sent_at,
+                recv_at,
+            });
+        }
+    }
+    collector.end(makespan);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -258,6 +385,15 @@ mod tests {
 
     fn t3e() -> wavefront_machine::MachineParams {
         wavefront_machine::cray_t3e()
+    }
+
+    fn run(
+        program: &Program<2>,
+        nest: &CompiledNest<2>,
+        plan: &WavefrontPlan<2>,
+        store: &mut Store<2>,
+    ) -> ThreadReport {
+        execute_plan_threaded_collected(program, nest, plan, store, &mut NoopCollector)
     }
 
     fn init_tomcatv(program: &Program<2>) -> Store<2> {
@@ -284,7 +420,7 @@ mod tests {
                     WavefrontPlan::build(&nest, p, None, &BlockPolicy::Fixed(b), &t3e())
                         .unwrap();
                 let mut store = init_tomcatv(&program);
-                let report = execute_plan_threaded(&program, &nest, &plan, &mut store);
+                let report = run(&program, &nest, &plan, &mut store);
                 for id in 0..store.len() {
                     assert!(
                         store.get(id).region_eq(reference.get(id), nest.region),
@@ -304,7 +440,7 @@ mod tests {
         let plan =
             WavefrontPlan::build(&nest, 4, None, &BlockPolicy::Fixed(10), &t3e()).unwrap();
         let mut store = init_tomcatv(&program);
-        let report = execute_plan_threaded(&program, &nest, &plan, &mut store);
+        let report = run(&program, &nest, &plan, &mut store);
         // 39 columns of covering region in tiles of 10 → 4 tiles; 3 links.
         assert_eq!(report.messages, 4 * 3);
     }
@@ -315,7 +451,7 @@ mod tests {
         let plan =
             WavefrontPlan::build(&nest, 4, None, &BlockPolicy::FullPortion, &t3e()).unwrap();
         let mut store = init_tomcatv(&program);
-        let report = execute_plan_threaded(&program, &nest, &plan, &mut store);
+        let report = run(&program, &nest, &plan, &mut store);
         assert_eq!(report.messages, 3);
     }
 
@@ -342,7 +478,7 @@ mod tests {
                 WavefrontPlan::build(nest, p, None, &BlockPolicy::Fixed(b), &t3e()).unwrap();
             let mut store = Store::new(&prog);
             init(&mut store);
-            execute_plan_threaded(&prog, nest, &plan, &mut store);
+            run(&prog, nest, &plan, &mut store);
             assert!(
                 store.get(a).region_eq(reference.get(a), region),
                 "p={p} b={b}"
@@ -358,7 +494,7 @@ mod tests {
         let mut reference = init_tomcatv(&program);
         run_nest_with_sink(&nest, &mut reference, &mut NoSink);
         let mut store = init_tomcatv(&program);
-        execute_plan_threaded(&program, &nest, &plan, &mut store);
+        run(&program, &nest, &plan, &mut store);
         for id in 0..store.len() {
             assert!(store.get(id).region_eq(reference.get(id), nest.region));
         }
@@ -385,7 +521,7 @@ mod tests {
         assert!(!plan.wave_ascending);
         let mut store = Store::new(&prog);
         init(&mut store);
-        execute_plan_threaded(&prog, nest, &plan, &mut store);
+        run(&prog, nest, &plan, &mut store);
         assert!(store.get(a).region_eq(reference.get(a), region));
     }
 }

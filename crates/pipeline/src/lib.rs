@@ -29,16 +29,32 @@ pub mod exec_threads;
 pub mod plan;
 pub mod plan2d;
 pub mod schedule;
+pub mod session;
+pub mod telemetry;
 
+#[allow(deprecated)]
+pub use exec2d::{execute_plan2d_sequential, execute_plan2d_threaded};
 pub use exec2d::{
-    execute_plan2d_sequential, execute_plan2d_threaded, plan2d_dag, simulate_plan2d,
+    execute_plan2d_sequential_collected, execute_plan2d_threaded_collected, plan2d_dag,
+    simulate_plan2d, simulate_plan2d_collected,
 };
-pub use exec_seq::{execute_plan_sequential, execute_plan_sequential_with_sink};
+#[allow(deprecated)]
+pub use exec_seq::execute_plan_sequential;
+pub use exec_seq::{execute_plan_sequential_collected, execute_plan_sequential_with_sink};
 pub use exec_sim::{
-    plan_dag, simulate_nest, simulate_parallel_nest, simulate_plan, simulate_program,
-    simulate_program_fused, NestSim, ProgramSim,
+    plan_dag, simulate_nest, simulate_parallel_nest, simulate_plan, simulate_plan_collected,
+    simulate_program, simulate_program_fused, NestSim, ProgramSim,
 };
-pub use exec_threads::{execute_plan_threaded, ThreadReport};
+#[allow(deprecated)]
+pub use exec_threads::execute_plan_threaded;
+pub use exec_threads::{execute_plan_threaded_collected, ThreadReport};
 pub use plan::{PlanError, WavefrontPlan};
 pub use plan2d::WavefrontPlan2D;
 pub use schedule::{probe_block, BlockPolicy};
+pub use session::{
+    Engine, EngineCtx, RunOutcome, SeqEngine, Session, Session2D, SessionError, SimEngine,
+    ThreadsEngine,
+};
+pub use telemetry::{
+    Collector, EngineKind, ExecutionReport, NoopCollector, Prediction, RunMeta, TraceCollector,
+};

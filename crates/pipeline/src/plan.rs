@@ -272,6 +272,19 @@ impl<const R: usize> WavefrontPlan<R> {
         cross * self.comm_arrays.iter().map(|&(_, t)| t as usize).sum::<usize>()
     }
 
+    /// Exact elements of the boundary message `sender_owned` emits for
+    /// `tile`: the sum of every communicated array's
+    /// [`Self::boundary_slab`]. This is precisely what the threaded
+    /// engine serializes, so it can be smaller than [`Self::msg_elems`]
+    /// when the sender owns fewer wavefront indices than an array's
+    /// thickness.
+    pub fn msg_elems_from(&self, sender_owned: Region<R>, tile: &Region<R>) -> usize {
+        self.comm_arrays
+            .iter()
+            .map(|&(_, t)| self.boundary_slab(sender_owned, tile, t).len())
+            .sum()
+    }
+
     /// The slab an array's boundary message covers when `owner` sends
     /// downstream for `tile`: the `t` indices of the wavefront dimension
     /// ending at `owner`'s downstream edge, clamped to the covering
@@ -300,6 +313,40 @@ impl<const R: usize> WavefrontPlan<R> {
     /// True when the plan actually pipelines (more than one tile).
     pub fn is_pipelined(&self) -> bool {
         self.tiles.len() > 1
+    }
+
+    /// The ranks that own data, in wave order (most upstream first).
+    /// These are the processors that participate in execution; empty
+    /// ranks neither compute nor relay.
+    pub fn active_ranks(&self) -> Vec<usize> {
+        self.ranks_in_wave_order()
+            .into_iter()
+            .filter(|&r| !self.dist.owned(r).is_empty())
+            .collect()
+    }
+
+    /// The boundary traffic this plan predicts: one message per tile per
+    /// adjacent active pair, carrying exactly the elements of each
+    /// communicated array's [`Self::boundary_slab`]. The engines must
+    /// observe precisely these counts.
+    pub fn predicted_traffic(&self) -> crate::telemetry::Prediction {
+        let active = self.active_ranks();
+        if active.len() < 2 || self.comm_arrays.is_empty() {
+            return crate::telemetry::Prediction::default();
+        }
+        let links = active.len() - 1;
+        let mut elements = 0usize;
+        for &rank in &active[..links] {
+            let owned = self.dist.owned(rank);
+            for tile in &self.tiles {
+                elements += self.msg_elems_from(owned, tile);
+            }
+        }
+        crate::telemetry::Prediction {
+            messages: links * self.tiles.len(),
+            elements,
+            bytes: elements * std::mem::size_of::<f64>(),
+        }
     }
 }
 

@@ -330,6 +330,46 @@ impl<const R: usize> WavefrontPlan2D<R> {
     pub fn is_pipelined(&self) -> bool {
         self.tiles.len() > 1
     }
+
+    /// Mesh cells that own data, in wave order. Only these participate
+    /// in execution.
+    pub fn active_cells(&self) -> Vec<[usize; 2]> {
+        self.mesh_in_wave_order()
+            .into_iter()
+            .filter(|&c| !self.owned(c).is_empty())
+            .collect()
+    }
+
+    /// The boundary traffic this plan predicts: per tile, one message
+    /// along each mesh axis with communicated arrays from every active
+    /// cell whose downstream neighbour on that axis is also active.
+    pub fn predicted_traffic(&self) -> crate::telemetry::Prediction {
+        let active = self.active_cells();
+        let is_active =
+            |c: &[usize; 2]| active.contains(c);
+        let mut messages = 0usize;
+        let mut elements = 0usize;
+        for &c in &active {
+            let owned = self.owned(c);
+            for axis in 0..2 {
+                if self.comm[axis].is_empty() {
+                    continue;
+                }
+                if !self.downstream(c, axis).as_ref().is_some_and(is_active) {
+                    continue;
+                }
+                messages += self.tiles.len();
+                for tile in &self.tiles {
+                    elements += self.msg_elems(owned, tile, axis);
+                }
+            }
+        }
+        crate::telemetry::Prediction {
+            messages,
+            elements,
+            bytes: elements * std::mem::size_of::<f64>(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,547 @@
+//! Unified entry point across all wavefront runtimes.
+//!
+//! Historically each engine had its own free function with its own
+//! argument list (`simulate_plan`, `execute_plan_sequential`,
+//! `execute_plan_threaded`, …). A [`Session`] packages the common
+//! inputs once — program, compiled nest, processor count, block policy,
+//! machine model, optional [`Collector`] — builds the plan, and
+//! dispatches to any [`EngineKind`]:
+//!
+//! ```ignore
+//! let outcome = Session::new(&program, &nest)
+//!     .procs(8)
+//!     .block(BlockPolicy::Model2)
+//!     .machine(cray_t3e())
+//!     .collector(&mut trace)
+//!     .store(&mut store)
+//!     .run(EngineKind::Threads)?;
+//! ```
+//!
+//! [`Session2D`] is the analogue for 2-D processor meshes. Custom
+//! runtimes can implement [`Engine`] and run through
+//! [`Session::run_engine`], receiving the same prepared [`EngineCtx`].
+
+use std::fmt;
+use std::time::Instant;
+
+use wavefront_core::exec::CompiledNest;
+use wavefront_core::program::{Program, Store};
+use wavefront_machine::{cray_t3e, MachineParams};
+
+use crate::exec2d::{
+    execute_plan2d_sequential_collected, execute_plan2d_threaded_collected,
+    simulate_plan2d_collected,
+};
+use crate::exec_seq::execute_plan_sequential_collected;
+use crate::exec_sim::simulate_plan_collected;
+use crate::exec_threads::execute_plan_threaded_collected;
+use crate::plan::{PlanError, WavefrontPlan};
+use crate::plan2d::WavefrontPlan2D;
+use crate::schedule::BlockPolicy;
+use crate::telemetry::{Collector, EngineKind, NoopCollector, TimeUnit};
+
+/// Why a session could not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// The nest could not be decomposed into a wavefront plan.
+    Plan(PlanError),
+    /// The selected engine executes real data and needs a store
+    /// (see [`Session::store`]); only the simulator runs without one.
+    MissingStore,
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Plan(e) => write!(f, "planning failed: {e:?}"),
+            SessionError::MissingStore => {
+                write!(f, "engine executes real data but no store was attached")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<PlanError> for SessionError {
+    fn from(e: PlanError) -> Self {
+        SessionError::Plan(e)
+    }
+}
+
+/// What one engine run produced, in engine-independent terms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// Which engine ran.
+    pub engine: EngineKind,
+    /// Completion time: model units for the simulator, wall-clock
+    /// seconds for the executing engines (see `time_unit`).
+    pub makespan: f64,
+    /// Unit of `makespan`.
+    pub time_unit: TimeUnit,
+    /// Boundary messages actually sent (0 for the sequential engine,
+    /// which shares one store).
+    pub messages: usize,
+    /// Block size the plan chose.
+    pub block: usize,
+    /// Number of tiles along the orthogonal dimension.
+    pub tiles: usize,
+    /// Whether the plan pipelines (more than one tile and more than one
+    /// active processor).
+    pub pipelined: bool,
+}
+
+/// Everything an [`Engine`] needs, prepared by the session: the plan is
+/// already built and the collector defaulted to a no-op if none was
+/// attached.
+pub struct EngineCtx<'s, const R: usize> {
+    /// The source program (array declarations).
+    pub program: &'s Program<R>,
+    /// The compiled scan-block nest being executed.
+    pub nest: &'s CompiledNest<R>,
+    /// The wavefront decomposition.
+    pub plan: &'s WavefrontPlan<R>,
+    /// Machine cost parameters (simulator only; executing engines run
+    /// on the host).
+    pub params: &'s MachineParams,
+    /// Data store, when the caller attached one.
+    pub store: Option<&'s mut Store<R>>,
+    /// Telemetry sink (a [`NoopCollector`] when none was attached).
+    pub collector: &'s mut dyn Collector,
+}
+
+/// A wavefront runtime that can execute a prepared plan. The three
+/// built-in engines are selected by [`EngineKind`]; implement this to
+/// run a custom runtime through the same [`Session`] front end.
+pub trait Engine<const R: usize> {
+    /// Which kind this engine reports as.
+    fn kind(&self) -> EngineKind;
+    /// Execute the plan in `ctx`.
+    fn run(&self, ctx: EngineCtx<'_, R>) -> Result<RunOutcome, SessionError>;
+}
+
+fn outcome_base<const R: usize>(engine: EngineKind, plan: &WavefrontPlan<R>) -> RunOutcome {
+    RunOutcome {
+        engine,
+        makespan: 0.0,
+        time_unit: TimeUnit::Seconds,
+        messages: 0,
+        block: plan.block,
+        tiles: plan.tiles.len(),
+        pipelined: plan.is_pipelined(),
+    }
+}
+
+/// The deterministic cost simulator ([`EngineKind::Sim`]).
+pub struct SimEngine;
+
+impl<const R: usize> Engine<R> for SimEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Sim
+    }
+
+    fn run(&self, ctx: EngineCtx<'_, R>) -> Result<RunOutcome, SessionError> {
+        let r = simulate_plan_collected(ctx.plan, ctx.params, ctx.collector);
+        Ok(RunOutcome {
+            makespan: r.makespan,
+            time_unit: TimeUnit::ModelUnits,
+            messages: r.messages,
+            ..outcome_base(EngineKind::Sim, ctx.plan)
+        })
+    }
+}
+
+/// The dependency-order sequential reference ([`EngineKind::Seq`]).
+pub struct SeqEngine;
+
+impl<const R: usize> Engine<R> for SeqEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Seq
+    }
+
+    fn run(&self, ctx: EngineCtx<'_, R>) -> Result<RunOutcome, SessionError> {
+        let store = ctx.store.ok_or(SessionError::MissingStore)?;
+        let start = Instant::now();
+        execute_plan_sequential_collected(ctx.nest, ctx.plan, store, ctx.collector);
+        Ok(RunOutcome {
+            makespan: start.elapsed().as_secs_f64(),
+            ..outcome_base(EngineKind::Seq, ctx.plan)
+        })
+    }
+}
+
+/// The OS-thread runtime with channel messaging ([`EngineKind::Threads`]).
+pub struct ThreadsEngine;
+
+impl<const R: usize> Engine<R> for ThreadsEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Threads
+    }
+
+    fn run(&self, ctx: EngineCtx<'_, R>) -> Result<RunOutcome, SessionError> {
+        let store = ctx.store.ok_or(SessionError::MissingStore)?;
+        let r = execute_plan_threaded_collected(
+            ctx.program,
+            ctx.nest,
+            ctx.plan,
+            store,
+            ctx.collector,
+        );
+        Ok(RunOutcome {
+            makespan: r.elapsed.as_secs_f64(),
+            messages: r.messages,
+            ..outcome_base(EngineKind::Threads, ctx.plan)
+        })
+    }
+}
+
+/// Builder bundling everything needed to plan and run one nest on a 1-D
+/// processor line. See the module docs for the idiom.
+pub struct Session<'a, const R: usize> {
+    program: &'a Program<R>,
+    nest: &'a CompiledNest<R>,
+    procs: usize,
+    dist_dim: Option<usize>,
+    block: BlockPolicy,
+    machine: MachineParams,
+    collector: Option<&'a mut dyn Collector>,
+    store: Option<&'a mut Store<R>>,
+}
+
+impl<'a, const R: usize> Session<'a, R> {
+    /// Start a session for `nest` of `program`. Defaults: 1 processor,
+    /// automatic distribution dimension, [`BlockPolicy::Model2`],
+    /// [`cray_t3e`] cost parameters, no telemetry, no store.
+    pub fn new(program: &'a Program<R>, nest: &'a CompiledNest<R>) -> Self {
+        Session {
+            program,
+            nest,
+            procs: 1,
+            dist_dim: None,
+            block: BlockPolicy::Model2,
+            machine: cray_t3e(),
+            collector: None,
+            store: None,
+        }
+    }
+
+    /// Number of processors on the line.
+    pub fn procs(mut self, p: usize) -> Self {
+        self.procs = p;
+        self
+    }
+
+    /// Force the distributed dimension instead of letting the planner
+    /// choose.
+    pub fn dist_dim(mut self, dim: usize) -> Self {
+        self.dist_dim = Some(dim);
+        self
+    }
+
+    /// Block-size policy (Fixed / Model1 / Model2 / Naive / Probed).
+    pub fn block(mut self, policy: BlockPolicy) -> Self {
+        self.block = policy;
+        self
+    }
+
+    /// Machine cost parameters (block-size models and the simulator).
+    pub fn machine(mut self, params: MachineParams) -> Self {
+        self.machine = params;
+        self
+    }
+
+    /// Attach a telemetry collector; all engines report through it.
+    pub fn collector(mut self, c: &'a mut dyn Collector) -> Self {
+        self.collector = Some(c);
+        self
+    }
+
+    /// Attach the data store the executing engines read and write.
+    pub fn store(mut self, store: &'a mut Store<R>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Build the wavefront plan this session would run.
+    pub fn plan(&self) -> Result<WavefrontPlan<R>, PlanError> {
+        WavefrontPlan::build(self.nest, self.procs, self.dist_dim, &self.block, &self.machine)
+    }
+
+    /// Plan and run on one of the built-in engines.
+    pub fn run(self, kind: EngineKind) -> Result<RunOutcome, SessionError> {
+        match kind {
+            EngineKind::Sim => self.run_engine(&SimEngine),
+            EngineKind::Seq => self.run_engine(&SeqEngine),
+            EngineKind::Threads => self.run_engine(&ThreadsEngine),
+        }
+    }
+
+    /// Plan and run on a caller-provided engine.
+    pub fn run_engine(self, engine: &dyn Engine<R>) -> Result<RunOutcome, SessionError> {
+        let plan = self.plan()?;
+        let mut noop = NoopCollector;
+        let collector: &mut dyn Collector = match self.collector {
+            Some(c) => c,
+            None => &mut noop,
+        };
+        engine.run(EngineCtx {
+            program: self.program,
+            nest: self.nest,
+            plan: &plan,
+            params: &self.machine,
+            store: self.store,
+            collector,
+        })
+    }
+}
+
+/// [`Session`] for 2-D processor meshes: plans with
+/// [`WavefrontPlan2D`] and dispatches to the mesh variants of the same
+/// three engines.
+pub struct Session2D<'a, const R: usize> {
+    program: &'a Program<R>,
+    nest: &'a CompiledNest<R>,
+    mesh: [usize; 2],
+    wave_dims: Option<[usize; 2]>,
+    block: BlockPolicy,
+    machine: MachineParams,
+    collector: Option<&'a mut dyn Collector>,
+    store: Option<&'a mut Store<R>>,
+}
+
+impl<'a, const R: usize> Session2D<'a, R> {
+    /// Start a mesh session with a 1×1 mesh and the same defaults as
+    /// [`Session::new`].
+    pub fn new(program: &'a Program<R>, nest: &'a CompiledNest<R>) -> Self {
+        Session2D {
+            program,
+            nest,
+            mesh: [1, 1],
+            wave_dims: None,
+            block: BlockPolicy::Model2,
+            machine: cray_t3e(),
+            collector: None,
+            store: None,
+        }
+    }
+
+    /// Processor mesh shape (`[rows, cols]`).
+    pub fn mesh(mut self, mesh: [usize; 2]) -> Self {
+        self.mesh = mesh;
+        self
+    }
+
+    /// Force the two distributed dimensions.
+    pub fn wave_dims(mut self, dims: [usize; 2]) -> Self {
+        self.wave_dims = Some(dims);
+        self
+    }
+
+    /// Block-size policy.
+    pub fn block(mut self, policy: BlockPolicy) -> Self {
+        self.block = policy;
+        self
+    }
+
+    /// Machine cost parameters.
+    pub fn machine(mut self, params: MachineParams) -> Self {
+        self.machine = params;
+        self
+    }
+
+    /// Attach a telemetry collector.
+    pub fn collector(mut self, c: &'a mut dyn Collector) -> Self {
+        self.collector = Some(c);
+        self
+    }
+
+    /// Attach the data store.
+    pub fn store(mut self, store: &'a mut Store<R>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Build the 2-D wavefront plan this session would run.
+    pub fn plan(&self) -> Result<WavefrontPlan2D<R>, PlanError> {
+        WavefrontPlan2D::build(self.nest, self.mesh, self.wave_dims, &self.block, &self.machine)
+    }
+
+    /// Plan and run on one of the built-in mesh engines.
+    pub fn run(self, kind: EngineKind) -> Result<RunOutcome, SessionError> {
+        let plan = self.plan()?;
+        let mut noop = NoopCollector;
+        let collector: &mut dyn Collector = match self.collector {
+            Some(c) => c,
+            None => &mut noop,
+        };
+        let base = RunOutcome {
+            engine: kind,
+            makespan: 0.0,
+            time_unit: TimeUnit::Seconds,
+            messages: 0,
+            block: plan.block,
+            tiles: plan.tiles.len(),
+            pipelined: plan.is_pipelined(),
+        };
+        match kind {
+            EngineKind::Sim => {
+                let r = simulate_plan2d_collected(&plan, &self.machine, collector);
+                Ok(RunOutcome {
+                    makespan: r.makespan,
+                    time_unit: TimeUnit::ModelUnits,
+                    messages: r.messages,
+                    ..base
+                })
+            }
+            EngineKind::Seq => {
+                let store = self.store.ok_or(SessionError::MissingStore)?;
+                let start = Instant::now();
+                execute_plan2d_sequential_collected(self.nest, &plan, store, collector);
+                Ok(RunOutcome { makespan: start.elapsed().as_secs_f64(), ..base })
+            }
+            EngineKind::Threads => {
+                let store = self.store.ok_or(SessionError::MissingStore)?;
+                let r = execute_plan2d_threaded_collected(
+                    self.program,
+                    self.nest,
+                    &plan,
+                    store,
+                    collector,
+                );
+                Ok(RunOutcome {
+                    makespan: r.elapsed.as_secs_f64(),
+                    messages: r.messages,
+                    ..base
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::tests::tomcatv_nest;
+    use crate::telemetry::TraceCollector;
+    use wavefront_core::prelude::*;
+
+    fn init(program: &Program<2>) -> Store<2> {
+        let mut store = Store::new(program);
+        for id in 1..store.len() {
+            let bounds = store.get(id).bounds();
+            *store.get_mut(id) = DenseArray::from_fn(bounds, |q| {
+                1.0 + 0.01 * ((q[0] * 17 + q[1] * 29 + id as i64 * 7) % 97) as f64
+            });
+        }
+        store
+    }
+
+    #[test]
+    fn all_three_engines_run_through_one_session() {
+        let (program, nest) = tomcatv_nest(40);
+
+        let sim = Session::new(&program, &nest)
+            .procs(4)
+            .block(BlockPolicy::Fixed(8))
+            .run(EngineKind::Sim)
+            .unwrap();
+        assert_eq!(sim.engine, EngineKind::Sim);
+        assert_eq!(sim.time_unit, TimeUnit::ModelUnits);
+        assert!(sim.makespan > 0.0);
+        assert!(sim.pipelined);
+
+        let mut seq_store = init(&program);
+        let seq = Session::new(&program, &nest)
+            .procs(4)
+            .block(BlockPolicy::Fixed(8))
+            .store(&mut seq_store)
+            .run(EngineKind::Seq)
+            .unwrap();
+        assert_eq!(seq.messages, 0);
+
+        let mut thr_store = init(&program);
+        let thr = Session::new(&program, &nest)
+            .procs(4)
+            .block(BlockPolicy::Fixed(8))
+            .store(&mut thr_store)
+            .run(EngineKind::Threads)
+            .unwrap();
+        assert!(thr.messages > 0);
+
+        // Same decomposition everywhere…
+        assert_eq!(sim.block, thr.block);
+        assert_eq!(sim.tiles, thr.tiles);
+        // …and the engines agree on the data.
+        for id in 0..seq_store.len() {
+            assert!(seq_store.get(id).region_eq(thr_store.get(id), nest.region));
+        }
+    }
+
+    #[test]
+    fn engines_that_execute_data_require_a_store() {
+        let (program, nest) = tomcatv_nest(20);
+        for kind in [EngineKind::Seq, EngineKind::Threads] {
+            let err = Session::new(&program, &nest).procs(2).run(kind).unwrap_err();
+            assert_eq!(err, SessionError::MissingStore);
+        }
+        // The simulator does not.
+        assert!(Session::new(&program, &nest).procs(2).run(EngineKind::Sim).is_ok());
+    }
+
+    #[test]
+    fn plan_errors_surface_as_session_errors() {
+        let (program, nest) = tomcatv_nest(20);
+        // Dimension 7 is not a wavefront dimension of a rank-2 nest.
+        let err = Session::new(&program, &nest)
+            .procs(2)
+            .dist_dim(7)
+            .run(EngineKind::Sim)
+            .unwrap_err();
+        assert!(matches!(err, SessionError::Plan(_)));
+    }
+
+    #[test]
+    fn session_feeds_an_attached_collector() {
+        let (program, nest) = tomcatv_nest(32);
+        let mut trace = TraceCollector::default();
+        let mut store = init(&program);
+        let out = Session::new(&program, &nest)
+            .procs(3)
+            .block(BlockPolicy::Fixed(8))
+            .collector(&mut trace)
+            .store(&mut store)
+            .run(EngineKind::Threads)
+            .unwrap();
+        let report = trace.report();
+        assert_eq!(report.messages, out.messages);
+        assert_eq!(report.meta.predicted.messages, out.messages);
+        assert_eq!(report.per_proc.len(), 3);
+    }
+
+    #[test]
+    fn mesh_session_runs_and_matches_reference() {
+        let n = 12;
+        let (program, nest) = crate::plan2d::tests::sweep_nest(n);
+        let mut reference = Store::new(&program);
+        run_nest_with_sink(&nest, &mut reference, &mut NoSink);
+
+        let mut store = Store::new(&program);
+        let out = Session2D::new(&program, &nest)
+            .mesh([2, 2])
+            .block(BlockPolicy::Fixed(4))
+            .store(&mut store)
+            .run(EngineKind::Threads)
+            .unwrap();
+        assert!(out.messages > 0);
+        for id in 0..store.len() {
+            assert!(store.get(id).region_eq(reference.get(id), nest.region));
+        }
+
+        let sim = Session2D::new(&program, &nest)
+            .mesh([2, 2])
+            .block(BlockPolicy::Fixed(4))
+            .run(EngineKind::Sim)
+            .unwrap();
+        assert_eq!(sim.messages, out.messages);
+    }
+}

@@ -11,7 +11,7 @@ use wavefront::core::prelude::*;
 use wavefront::kernels::tomcatv;
 use wavefront::machine::cray_t3e;
 use wavefront::pipeline::{
-    execute_plan_sequential, execute_plan_threaded, simulate_plan, BlockPolicy, WavefrontPlan,
+    simulate_plan, BlockPolicy, EngineKind, Session, TraceCollector, WavefrontPlan,
 };
 
 /// Run program ops up to (but not including) the first scan block — the
@@ -74,15 +74,32 @@ fn main() {
     let mut thr = seq.clone();
     run_nest_with_sink(nest, &mut seq, &mut NoSink);
 
-    // Dependency-order decomposed execution (single thread).
-    execute_plan_sequential(nest, &plan, &mut dec);
+    // Dependency-order decomposed execution (single thread), through the
+    // unified session front end.
+    Session::new(&lo.program, nest)
+        .procs(p)
+        .block(BlockPolicy::Model2)
+        .machine(params)
+        .store(&mut dec)
+        .run(EngineKind::Seq)
+        .expect("decomposed run");
 
-    // Real threads + channels.
-    let report = execute_plan_threaded(&lo.program, nest, &plan, &mut thr);
+    // Real threads + channels, with the telemetry layer attached.
+    let mut trace = TraceCollector::default();
+    let outcome = Session::new(&lo.program, nest)
+        .procs(p)
+        .block(BlockPolicy::Model2)
+        .machine(params)
+        .collector(&mut trace)
+        .store(&mut thr)
+        .run(EngineKind::Threads)
+        .expect("threaded run");
     println!(
-        "Threaded run: {} boundary messages, parallel section {:?}",
-        report.messages, report.elapsed
+        "Threaded run: {} boundary messages, parallel section {:.3} ms",
+        outcome.messages,
+        outcome.makespan * 1e3
     );
+    println!("\nExecution report from the attached collector:\n{}", trace.report());
 
     for name in ["r", "d", "rx", "ry"] {
         let id = lo.array(name).unwrap();

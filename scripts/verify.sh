@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Full offline verification: build, test, check every WL program, and
+# smoke-test the telemetry trace path. No network access required.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --release --offline
+
+echo
+echo "== tests (offline) =="
+cargo test -q --offline
+
+WLC=target/release/wlc
+
+echo
+echo "== wlc check programs/*.wf =="
+"$WLC" check programs/fig3.wf
+"$WLC" check programs/tomcatv.wf
+"$WLC" check programs/sweep_octant.wf --rank 3 -D n=8
+
+echo
+echo "== wlc trace smoke (threads engine, JSON) =="
+out=$("$WLC" trace programs/tomcatv.wf --procs 8 --block model2 --machine t3e --json)
+for key in '"per_proc"' '"phases"' '"predicted"' '"messages"'; do
+    if ! grep -qF "$key" <<<"$out"; then
+        echo "trace output missing $key" >&2
+        exit 1
+    fi
+done
+echo "trace JSON contains per_proc / phases / predicted / messages ✔"
+
+echo
+echo "All verification steps passed."

@@ -4,6 +4,7 @@
 //! wlc check <file.wf> [options]           parse, lower, analyze
 //! wlc run   <file.wf> [options]           execute sequentially, print arrays
 //! wlc plan  <file.wf> [options]           plan + simulate each wavefront
+//! wlc trace <file.wf> [options]           run with telemetry, print report
 //!
 //! options:
 //!   --rank N            program rank (1..=4; default 2)
@@ -11,9 +12,12 @@
 //!   --fill name=V       fill an array with the constant V before running
 //!   --fill-coords name  fill an array with i*100 + j (+ k*10000)
 //!   --print name        print an array after running (repeatable)
-//!   --procs P           processors for `plan` (default 4)
+//!   --procs P           processors for `plan`/`trace` (default 4)
 //!   --block POLICY      fixed:<b> | model1 | model2 | naive | probe
 //!   --machine M         t3e | powerchallenge (default t3e)
+//!   --engine E          threads | seq | sim — runtime for `trace`
+//!                       (default threads)
+//!   --json              emit the `trace` report as JSON
 //! ```
 
 use std::process::ExitCode;
@@ -21,7 +25,9 @@ use std::process::ExitCode;
 use wavefront::core::prelude::*;
 use wavefront::lang::{compile_str, Lowered};
 use wavefront::machine::{cray_t3e, sgi_power_challenge, MachineParams};
-use wavefront::pipeline::{simulate_plan, BlockPolicy, WavefrontPlan};
+use wavefront::pipeline::{
+    simulate_plan, BlockPolicy, EngineKind, Session, TraceCollector, WavefrontPlan,
+};
 
 struct Opts {
     cmd: String,
@@ -34,13 +40,16 @@ struct Opts {
     procs: usize,
     block: BlockPolicy,
     machine: MachineParams,
+    engine: EngineKind,
+    json: bool,
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: wlc <check|run|plan> <file.wf> [--rank N] [-D name=value]");
+    eprintln!("usage: wlc <check|run|plan|trace> <file.wf> [--rank N] [-D name=value]");
     eprintln!("           [--fill name=V] [--fill-coords name] [--print name]");
     eprintln!("           [--procs P] [--block fixed:<b>|model1|model2|naive|probe]");
     eprintln!("           [--machine t3e|powerchallenge]");
+    eprintln!("           [--engine threads|seq|sim] [--json]");
     ExitCode::from(2)
 }
 
@@ -59,6 +68,8 @@ fn parse_args() -> std::result::Result<Opts, ExitCode> {
         procs: 4,
         block: BlockPolicy::Model2,
         machine: cray_t3e(),
+        engine: EngineKind::Threads,
+        json: false,
     };
     while let Some(a) = args.next() {
         let mut need = |what: &str| -> std::result::Result<String, ExitCode> {
@@ -103,6 +114,14 @@ fn parse_args() -> std::result::Result<Opts, ExitCode> {
                     _ => return Err(usage()),
                 };
             }
+            "--engine" => {
+                let v = need("--engine")?;
+                opts.engine = EngineKind::parse(&v).ok_or_else(|| {
+                    eprintln!("unknown engine {v}");
+                    usage()
+                })?;
+            }
+            "--json" => opts.json = true,
             other => {
                 eprintln!("unknown option {other}");
                 return Err(usage());
@@ -158,6 +177,7 @@ fn drive<const R: usize>(opts: &Opts, src: &str) -> ExitCode {
         "check" => check(&lowered, &compiled),
         "run" => run(opts, &lowered, &compiled),
         "plan" => plan::<R>(opts, &compiled),
+        "trace" => trace::<R>(opts, &lowered, &compiled),
         other => {
             eprintln!("unknown command {other}");
             ExitCode::from(2)
@@ -194,18 +214,18 @@ fn check<const R: usize>(lowered: &Lowered<R>, compiled: &CompiledProgram<R>) ->
     ExitCode::SUCCESS
 }
 
-fn run<const R: usize>(
+/// Build a store and apply the `--fill` / `--fill-coords` options.
+fn init_store<const R: usize>(
     opts: &Opts,
     lowered: &Lowered<R>,
-    compiled: &CompiledProgram<R>,
-) -> ExitCode {
+) -> std::result::Result<Store<R>, ExitCode> {
     let mut store = Store::new(&lowered.program);
     for (name, v) in &opts.fills {
         match lowered.array(name) {
             Some(id) => store.get_mut(id).fill(*v),
             None => {
                 eprintln!("--fill: unknown array `{name}`");
-                return ExitCode::FAILURE;
+                return Err(ExitCode::FAILURE);
             }
         }
     }
@@ -219,10 +239,22 @@ fn run<const R: usize>(
             }
             None => {
                 eprintln!("--fill-coords: unknown array `{name}`");
-                return ExitCode::FAILURE;
+                return Err(ExitCode::FAILURE);
             }
         }
     }
+    Ok(store)
+}
+
+fn run<const R: usize>(
+    opts: &Opts,
+    lowered: &Lowered<R>,
+    compiled: &CompiledProgram<R>,
+) -> ExitCode {
+    let mut store = match init_store(opts, lowered) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
     run_with_sink(compiled, &mut store, &mut NoSink);
     for name in &opts.prints {
         let Some(id) = lowered.array(name) else {
@@ -316,6 +348,66 @@ fn plan<const R: usize>(opts: &Opts, compiled: &CompiledProgram<R>) -> ExitCode 
     }
     if !any {
         println!("no wavefront nests (fully parallel program)");
+    }
+    ExitCode::SUCCESS
+}
+
+/// `wlc trace`: run every scan nest through a [`Session`] with a
+/// [`TraceCollector`] attached and print each nest's execution report —
+/// per-processor timelines, message counts and bytes, and the
+/// fill/steady/drain phase split.
+fn trace<const R: usize>(
+    opts: &Opts,
+    lowered: &Lowered<R>,
+    compiled: &CompiledProgram<R>,
+) -> ExitCode {
+    let mut json_nests: Vec<String> = Vec::new();
+    let mut any = false;
+    for (k, nest) in compiled.nests().enumerate() {
+        if !nest.is_scan {
+            continue;
+        }
+        any = true;
+        let mut store = match init_store(opts, lowered) {
+            Ok(s) => s,
+            Err(code) => return code,
+        };
+        let mut collector = TraceCollector::default();
+        let outcome = Session::new(&lowered.program, nest)
+            .procs(opts.procs)
+            .block(opts.block.clone())
+            .machine(opts.machine)
+            .collector(&mut collector)
+            .store(&mut store)
+            .run(opts.engine);
+        match outcome {
+            Ok(_) => {
+                let report = collector.report();
+                if opts.json {
+                    json_nests.push(format!("{{\"nest\": {k}, \"report\": {}}}", report.to_json()));
+                } else {
+                    println!("nest {k}:");
+                    println!("{report}");
+                }
+            }
+            Err(e) => {
+                if opts.json {
+                    eprintln!("nest {k}: {e}");
+                } else {
+                    println!("nest {k}: {e}");
+                }
+            }
+        }
+    }
+    if !any && !opts.json {
+        println!("no wavefront nests (fully parallel program)");
+    }
+    if opts.json {
+        println!(
+            "{{\"program\": \"{}\", \"nests\": [{}]}}",
+            opts.file.replace('\\', "\\\\").replace('"', "\\\""),
+            json_nests.join(", ")
+        );
     }
     ExitCode::SUCCESS
 }

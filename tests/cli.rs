@@ -57,6 +57,51 @@ fn plan_reports_pipelining_win() {
 }
 
 #[test]
+fn trace_emits_execution_report_json() {
+    let out = wlc()
+        .args([
+            "trace",
+            &programs("tomcatv.wf"),
+            "--procs",
+            "8",
+            "--block",
+            "model2",
+            "--machine",
+            "t3e",
+            "--json",
+        ])
+        .output()
+        .expect("wlc runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // One report per scan nest, wrapped in a program-level object.
+    for key in [
+        "\"program\"", "\"nests\"", "\"per_proc\"", "\"phases\"", "\"fill\"",
+        "\"steady\"", "\"drain\"", "\"messages\"", "\"bytes\"", "\"predicted\"",
+        "\"engine\"", "\"makespan\"",
+    ] {
+        assert!(stdout.contains(key), "missing {key} in {stdout}");
+    }
+    // Balanced braces — cheap well-formedness check without a JSON parser.
+    let opens = stdout.matches('{').count();
+    let closes = stdout.matches('}').count();
+    assert_eq!(opens, closes, "unbalanced JSON: {stdout}");
+}
+
+#[test]
+fn trace_human_output_reports_phases_and_traffic() {
+    let out = wlc()
+        .args(["trace", &programs("fig3.wf"), "--procs", "4", "--engine", "sim"])
+        .output()
+        .expect("wlc runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("phases:"), "{stdout}");
+    assert!(stdout.contains("messages"), "{stdout}");
+    assert!(stdout.contains("engine sim"), "{stdout}");
+}
+
+#[test]
 fn rank3_program_checks() {
     let out = wlc()
         .args(["check", &programs("sweep_octant.wf"), "--rank", "3", "-D", "n=8"])

@@ -1,57 +1,71 @@
 //! Property test: the WL pretty-printer and parser round-trip — any
 //! printable expression reparses to the same tree, and lowering the
 //! reparsed program produces an identical core program.
+//!
+//! Random expression trees are generated with [`SplitMix64`] (the build
+//! is fully offline, so no property-testing dependency); every run
+//! exercises the same tree set.
 
-use proptest::prelude::*;
+use wavefront::kernels::rng::SplitMix64;
 use wavefront::lang::ast::{ExprAst, Item, ProgramAst, StmtAst};
 use wavefront::lang::{parse, print_program};
 
-fn leaf() -> impl Strategy<Value = ExprAst> {
+fn leaf(rng: &mut SplitMix64) -> ExprAst {
     let span = wavefront::lang::Span { line: 0, col: 0 };
-    prop_oneof![
-        (0u32..1000).prop_map(|v| ExprAst::Num(v as f64)),
-        (0u32..100, 0u32..100).prop_map(|(a, b)| ExprAst::Num(a as f64 + b as f64 / 100.0)),
-        prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(move |name| ExprAst::Ref {
-            name: name.to_string(),
+    match rng.gen_range(5) {
+        0 => ExprAst::Num(rng.gen_range(1000) as f64),
+        1 => ExprAst::Num(rng.gen_range(100) as f64 + rng.gen_range(100) as f64 / 100.0),
+        2 => ExprAst::Ref {
+            name: ["a", "b", "c"][rng.gen_range(3)].to_string(),
             primed: false,
             dir: None,
             span,
-        }),
-        (prop_oneof![Just("a"), Just("b")], any::<bool>()).prop_map(move |(name, primed)| {
-            ExprAst::Ref {
-                name: name.to_string(),
-                primed,
-                dir: Some("north".to_string()),
-                span,
-            }
-        }),
-        prop_oneof![Just(0usize), Just(1)].prop_map(move |k| ExprAst::Ref {
-            name: format!("Index{}", k + 1),
+        },
+        3 => ExprAst::Ref {
+            name: ["a", "b"][rng.gen_range(2)].to_string(),
+            primed: rng.next_u64() & 1 == 0,
+            dir: Some("north".to_string()),
+            span,
+        },
+        _ => ExprAst::Ref {
+            name: format!("Index{}", rng.gen_range(2) + 1),
             primed: false,
             dir: None,
             span,
-        }),
-    ]
+        },
+    }
 }
 
-fn expr_strategy() -> impl Strategy<Value = ExprAst> {
+fn random_expr(rng: &mut SplitMix64, depth: usize) -> ExprAst {
     let span = wavefront::lang::Span { line: 0, col: 0 };
-    leaf().prop_recursive(4, 32, 3, move |inner| {
-        prop_oneof![
-            (prop_oneof![Just('+'), Just('-'), Just('*'), Just('/')], inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| ExprAst::Bin(op, Box::new(a), Box::new(b))),
-            inner.clone().prop_map(|a| ExprAst::Neg(Box::new(a))),
-            (prop_oneof![Just("sqrt"), Just("abs"), Just("exp")], inner.clone()).prop_map(
-                move |(f, a)| ExprAst::Call { func: f.to_string(), args: vec![a], span }
-            ),
-            (prop_oneof![Just("min"), Just("max")], inner.clone(), inner.clone()).prop_map(
-                move |(f, a, b)| ExprAst::Call { func: f.to_string(), args: vec![a, b], span }
-            ),
-            (prop_oneof![Just("+"), Just("min"), Just("max")], inner).prop_map(
-                move |(op, a)| ExprAst::Reduce { op: op.to_string(), arg: Box::new(a), span }
-            ),
-        ]
-    })
+    if depth == 0 {
+        return leaf(rng);
+    }
+    match rng.gen_range(6) {
+        0 => leaf(rng),
+        1 => {
+            let op = ['+', '-', '*', '/'][rng.gen_range(4)];
+            let a = random_expr(rng, depth - 1);
+            let b = random_expr(rng, depth - 1);
+            ExprAst::Bin(op, Box::new(a), Box::new(b))
+        }
+        2 => ExprAst::Neg(Box::new(random_expr(rng, depth - 1))),
+        3 => ExprAst::Call {
+            func: ["sqrt", "abs", "exp"][rng.gen_range(3)].to_string(),
+            args: vec![random_expr(rng, depth - 1)],
+            span,
+        },
+        4 => ExprAst::Call {
+            func: ["min", "max"][rng.gen_range(2)].to_string(),
+            args: vec![random_expr(rng, depth - 1), random_expr(rng, depth - 1)],
+            span,
+        },
+        _ => ExprAst::Reduce {
+            op: ["+", "min", "max"][rng.gen_range(3)].to_string(),
+            arg: Box::new(random_expr(rng, depth - 1)),
+            span,
+        },
+    }
 }
 
 /// Wrap an expression into a syntactically complete program AST.
@@ -83,31 +97,36 @@ fn program_with(rhs: ExprAst) -> ProgramAst {
     ast
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    #[test]
-    fn print_parse_is_a_fixed_point(rhs in expr_strategy()) {
+#[test]
+fn print_parse_is_a_fixed_point() {
+    let mut rng = SplitMix64::new(31);
+    for _ in 0..96 {
+        let rhs = random_expr(&mut rng, 4);
         let ast = program_with(rhs);
         let printed = print_program(&ast);
         let reparsed = parse(&printed)
-            .map_err(|e| TestCaseError::fail(format!("printed program failed to parse: {e}\n{printed}")))?;
+            .unwrap_or_else(|e| panic!("printed program failed to parse: {e}\n{printed}"));
         let reprinted = print_program(&reparsed);
-        prop_assert_eq!(&printed, &reprinted, "printer not a fixed point");
+        assert_eq!(&printed, &reprinted, "printer not a fixed point");
     }
+}
 
-    #[test]
-    fn reparsed_programs_lower_identically(rhs in expr_strategy()) {
+#[test]
+fn reparsed_programs_lower_identically() {
+    let mut rng = SplitMix64::new(32);
+    for _ in 0..96 {
+        let rhs = random_expr(&mut rng, 4);
         let ast = program_with(rhs);
         let printed = print_program(&ast);
         let reparsed = parse(&printed).unwrap();
         // Lower both; outcome (program or error message) must agree.
         let l1 = wavefront::lang::lower::<2>(&ast, &[], wavefront::core::array::Layout::RowMajor);
-        let l2 = wavefront::lang::lower::<2>(&reparsed, &[], wavefront::core::array::Layout::RowMajor);
+        let l2 =
+            wavefront::lang::lower::<2>(&reparsed, &[], wavefront::core::array::Layout::RowMajor);
         match (l1, l2) {
-            (Ok(a), Ok(b)) => prop_assert_eq!(a.program, b.program),
-            (Err(a), Err(b)) => prop_assert_eq!(a.message, b.message),
-            (a, b) => prop_assert!(false, "divergent lowering: {:?} vs {:?}", a.is_ok(), b.is_ok()),
+            (Ok(a), Ok(b)) => assert_eq!(a.program, b.program),
+            (Err(a), Err(b)) => assert_eq!(a.message, b.message),
+            (a, b) => panic!("divergent lowering: {:?} vs {:?}", a.is_ok(), b.is_ok()),
         }
     }
 }

@@ -5,7 +5,7 @@
 use wavefront::core::prelude::*;
 use wavefront::kernels::{simple, tomcatv};
 use wavefront::machine::cray_t3e;
-use wavefront::pipeline::{execute_plan_threaded, BlockPolicy, WavefrontPlan};
+use wavefront::pipeline::{execute_plan_threaded_collected, BlockPolicy, NoopCollector, WavefrontPlan};
 
 #[test]
 fn tomcatv_contracts_exactly_r() {
@@ -81,7 +81,7 @@ fn contracted_nest_still_decomposes_and_pipelines() {
         "contracted arrays must not be communicated"
     );
     let mut store = seed.clone();
-    execute_plan_threaded(&lo.program, nest, &plan, &mut store);
+    execute_plan_threaded_collected(&lo.program, nest, &plan, &mut store, &mut NoopCollector);
     for name in ["d", "rx", "ry"] {
         let id = lo.array(name).unwrap();
         assert!(

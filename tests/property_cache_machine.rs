@@ -1,28 +1,29 @@
-//! Property tests for the cache and machine substrates: LRU inclusion,
-//! trace determinism, simulator monotonicity, and distribution algebra.
+//! Property-style tests for the cache and machine substrates: LRU
+//! inclusion, trace determinism, simulator monotonicity, and
+//! distribution algebra. Cases are sampled deterministically with
+//! [`SplitMix64`] (no offline property-testing dependency).
 
-use proptest::prelude::*;
 use wavefront::cache::{Cache, CacheConfig, Hierarchy};
+use wavefront::core::region::Region;
+use wavefront::kernels::rng::SplitMix64;
 use wavefront::machine::{
     pipeline_dag, simulate, simulate_with_mode, BlockCyclic, CommMode, Distribution,
     MachineParams, ProcGrid,
 };
-use wavefront::core::region::Region;
 
-fn trace_strategy() -> impl Strategy<Value = Vec<u64>> {
-    prop::collection::vec(0u64..4096, 1..300).prop_map(|v| {
-        // Mix of strided and local accesses: multiply some by 8.
-        v.into_iter().map(|a| a * 8).collect()
-    })
+/// Mix of strided and local accesses: word addresses scaled by 8.
+fn random_trace(rng: &mut SplitMix64) -> Vec<u64> {
+    let len = 1 + rng.gen_range(299);
+    (0..len).map(|_| rng.gen_range(4096) as u64 * 8).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// LRU inclusion: an LRU cache of double the associativity (same
-    /// set count) never misses more on the same trace.
-    #[test]
-    fn lru_inclusion_in_associativity(trace in trace_strategy()) {
+/// LRU inclusion: an LRU cache of double the associativity (same
+/// set count) never misses more on the same trace.
+#[test]
+fn lru_inclusion_in_associativity() {
+    let mut rng = SplitMix64::new(21);
+    for _ in 0..64 {
+        let trace = random_trace(&mut rng);
         let small = CacheConfig { size_bytes: 2048, line_bytes: 32, assoc: 2 };
         let big = CacheConfig { size_bytes: 4096, line_bytes: 32, assoc: 4 };
         let mut c_small = Cache::new(small);
@@ -31,32 +32,46 @@ proptest! {
             c_small.access(a);
             c_big.access(a);
         }
-        prop_assert!(c_big.misses <= c_small.misses,
-            "bigger LRU missed more: {} > {}", c_big.misses, c_small.misses);
+        assert!(
+            c_big.misses <= c_small.misses,
+            "bigger LRU missed more: {} > {}",
+            c_big.misses,
+            c_small.misses
+        );
     }
+}
 
-    /// Misses never exceed accesses; replaying a trace twice halves the
-    /// miss *ratio* at worst (warm cache can only help).
-    #[test]
-    fn cache_counters_are_sane(trace in trace_strategy()) {
+/// Misses never exceed accesses; replaying a trace twice halves the
+/// miss *ratio* at worst (warm cache can only help).
+#[test]
+fn cache_counters_are_sane() {
+    let mut rng = SplitMix64::new(22);
+    for _ in 0..64 {
+        let trace = random_trace(&mut rng);
         let cfg = CacheConfig { size_bytes: 1024, line_bytes: 32, assoc: 2 };
         let mut cold = Cache::new(cfg);
         for &a in &trace {
             cold.access(a);
         }
-        prop_assert!(cold.misses <= cold.accesses);
+        assert!(cold.misses <= cold.accesses);
         let cold_misses = cold.misses;
         for &a in &trace {
             cold.access(a);
         }
-        prop_assert!(cold.misses - cold_misses <= cold_misses,
-            "second pass missed more than the first");
+        assert!(
+            cold.misses - cold_misses <= cold_misses,
+            "second pass missed more than the first"
+        );
     }
+}
 
-    /// Hierarchy miss counts are monotone: level i+1 misses ≤ level i
-    /// misses (requests only reach outward on a miss).
-    #[test]
-    fn hierarchy_outer_levels_see_fewer_misses(trace in trace_strategy()) {
+/// Hierarchy miss counts are monotone: level i+1 misses ≤ level i
+/// misses (requests only reach outward on a miss).
+#[test]
+fn hierarchy_outer_levels_see_fewer_misses() {
+    let mut rng = SplitMix64::new(23);
+    for _ in 0..64 {
+        let trace = random_trace(&mut rng);
         let mut h = Hierarchy::new(
             vec![
                 (CacheConfig { size_bytes: 512, line_bytes: 32, assoc: 1 }, 10.0),
@@ -67,21 +82,24 @@ proptest! {
         for &a in &trace {
             h.access(a);
         }
-        prop_assert!(h.misses(1) <= h.misses(0));
-        prop_assert!(h.memory_cycles() >= h.accesses() as f64);
+        assert!(h.misses(1) <= h.misses(0));
+        assert!(h.memory_cycles() >= h.accesses() as f64);
     }
+}
 
-    /// The simulator is monotone in communication cost: raising alpha or
-    /// beta never shortens the makespan, and overlap never lengthens it.
-    #[test]
-    fn simulator_monotonicity(
-        p in 1usize..6,
-        nblocks in 1usize..12,
-        cost in 1.0f64..50.0,
-        elems in 0usize..64,
-        alpha in 0.0f64..100.0,
-        beta in 0.0f64..10.0,
-    ) {
+/// The simulator is monotone in communication cost: raising alpha or
+/// beta never shortens the makespan, and overlap never lengthens it.
+#[test]
+fn simulator_monotonicity() {
+    let mut rng = SplitMix64::new(24);
+    for _ in 0..64 {
+        let p = 1 + rng.gen_range(5);
+        let nblocks = 1 + rng.gen_range(11);
+        let cost = 1.0 + 49.0 * rng.gen_f64();
+        let elems = rng.gen_range(64);
+        let alpha = 100.0 * rng.gen_f64();
+        let beta = 10.0 * rng.gen_f64();
+
         let tasks = pipeline_dag(p, nblocks, cost, elems);
         let base = simulate(&tasks, &MachineParams::custom("m", alpha, beta), p);
         let dearer = simulate(
@@ -89,38 +107,41 @@ proptest! {
             &MachineParams::custom("m", alpha * 2.0 + 1.0, beta * 2.0 + 0.1),
             p,
         );
-        prop_assert!(dearer.makespan >= base.makespan);
+        assert!(dearer.makespan >= base.makespan);
         let overlapped = simulate_with_mode(
             &tasks,
             &MachineParams::custom("m", alpha, beta),
             p,
             CommMode::Overlapped,
         );
-        prop_assert!(overlapped.makespan <= base.makespan + 1e-9);
+        assert!(overlapped.makespan <= base.makespan + 1e-9);
         // Makespan is at least the critical chain of computation.
-        prop_assert!(base.makespan + 1e-9 >= cost * nblocks as f64);
+        assert!(base.makespan + 1e-9 >= cost * nblocks as f64);
     }
+}
 
-    /// Block and block-cyclic distributions both partition the region.
-    #[test]
-    fn distributions_partition(
-        ext0 in 1i64..40,
-        ext1 in 1i64..10,
-        p in 1usize..7,
-        chunk in 1i64..9,
-    ) {
+/// Block and block-cyclic distributions both partition the region.
+#[test]
+fn distributions_partition() {
+    let mut rng = SplitMix64::new(25);
+    for _ in 0..64 {
+        let ext0 = 1 + rng.gen_range(39) as i64;
+        let ext1 = 1 + rng.gen_range(9) as i64;
+        let p = 1 + rng.gen_range(6);
+        let chunk = 1 + rng.gen_range(8) as i64;
+
         let region = Region::rect([0, 0], [ext0 - 1, ext1 - 1]);
         let block = Distribution::block(region, ProcGrid::<2>::along(0, p));
         let total: usize = (0..p).map(|r| block.owned(r).len()).sum();
-        prop_assert_eq!(total, region.len());
+        assert_eq!(total, region.len());
 
         let cyc = BlockCyclic::new(region, 0, p, chunk);
         let total: usize = (0..p).map(|r| cyc.owned_len(r)).sum();
-        prop_assert_eq!(total, region.len());
+        assert_eq!(total, region.len());
         // Owners agree with chunks for every point.
         for (c, rank) in cyc.chunks() {
             for q in c.iter() {
-                prop_assert_eq!(cyc.owner(q), Some(rank));
+                assert_eq!(cyc.owner(q), Some(rank));
             }
         }
     }

@@ -1,118 +1,166 @@
-//! Property-based tests of the core invariants: region algebra,
+//! Property-style tests of the core invariants: region algebra,
 //! wavefront summary vectors, loop-structure soundness, and
 //! array-statement semantics.
+//!
+//! Cases are sampled deterministically with the crate's [`SplitMix64`]
+//! (the build is fully offline, so no property-testing dependency);
+//! each test replays the same case set on every run.
 
-use proptest::prelude::*;
 use wavefront::core::deps::{DepConstraint, DepKind};
 use wavefront::core::loops::{carrying_position, find_structure};
 use wavefront::core::prelude::*;
+use wavefront::kernels::rng::SplitMix64;
 
-fn region_strategy() -> impl Strategy<Value = Region<2>> {
-    (-8i64..8, -8i64..8, 0i64..10, 0i64..10)
-        .prop_map(|(lo0, lo1, e0, e1)| Region::rect([lo0, lo1], [lo0 + e0, lo1 + e1]))
+fn random_region(rng: &mut SplitMix64) -> Region<2> {
+    let lo0 = rng.gen_range(16) as i64 - 8;
+    let lo1 = rng.gen_range(16) as i64 - 8;
+    let e0 = rng.gen_range(10) as i64;
+    let e1 = rng.gen_range(10) as i64;
+    Region::rect([lo0, lo1], [lo0 + e0, lo1 + e1])
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn intersection_is_contained_in_both(a in region_strategy(), b in region_strategy()) {
+#[test]
+fn intersection_is_contained_in_both() {
+    let mut rng = SplitMix64::new(11);
+    for _ in 0..128 {
+        let a = random_region(&mut rng);
+        let b = random_region(&mut rng);
         let i = a.intersect(&b);
-        prop_assert!(a.contains_region(&i));
-        prop_assert!(b.contains_region(&i));
+        assert!(a.contains_region(&i));
+        assert!(b.contains_region(&i));
         // And every point of both is in the intersection.
         for p in a.iter() {
-            prop_assert_eq!(i.contains(p), b.contains(p));
+            assert_eq!(i.contains(p), b.contains(p));
         }
     }
+}
 
-    #[test]
-    fn block_split_partitions(r in region_strategy(), parts in 1usize..6, dim in 0usize..2) {
+#[test]
+fn block_split_partitions() {
+    let mut rng = SplitMix64::new(12);
+    for _ in 0..128 {
+        let r = random_region(&mut rng);
+        let parts = 1 + rng.gen_range(5);
+        let dim = rng.gen_range(2);
         let blocks = r.block_split(dim, parts);
-        prop_assert_eq!(blocks.len(), parts);
+        assert_eq!(blocks.len(), parts);
         let total: usize = blocks.iter().map(|b| b.len()).sum();
-        prop_assert_eq!(total, r.len());
+        assert_eq!(total, r.len());
         // Pairwise disjoint.
         for i in 0..blocks.len() {
             for j in (i + 1)..blocks.len() {
-                prop_assert!(blocks[i].intersect(&blocks[j]).is_empty());
+                assert!(blocks[i].intersect(&blocks[j]).is_empty());
             }
         }
     }
+}
 
-    #[test]
-    fn chunks_partition(r in region_strategy(), chunk in 1i64..7, dim in 0usize..2) {
+#[test]
+fn chunks_partition() {
+    let mut rng = SplitMix64::new(13);
+    for _ in 0..128 {
+        let r = random_region(&mut rng);
+        let chunk = 1 + rng.gen_range(6) as i64;
+        let dim = rng.gen_range(2);
         let tiles = r.chunks(dim, chunk);
         let total: usize = tiles.iter().map(|t| t.len()).sum();
-        prop_assert_eq!(total, r.len());
+        assert_eq!(total, r.len());
         for t in &tiles {
-            prop_assert!(t.extent(dim) <= chunk);
-            prop_assert!(r.contains_region(t));
+            assert!(t.extent(dim) <= chunk);
+            assert!(r.contains_region(t));
         }
     }
+}
 
-    #[test]
-    fn translate_round_trips(r in region_strategy(), d0 in -5i64..5, d1 in -5i64..5) {
+#[test]
+fn translate_round_trips() {
+    let mut rng = SplitMix64::new(14);
+    for _ in 0..128 {
+        let r = random_region(&mut rng);
+        let d0 = rng.gen_range(10) as i64 - 5;
+        let d1 = rng.gen_range(10) as i64 - 5;
         let d = Offset([d0, d1]);
-        prop_assert_eq!(r.translate(d).translate(-d), r);
-        prop_assert_eq!(r.translate(d).len(), r.len());
+        assert_eq!(r.translate(d).translate(-d), r);
+        assert_eq!(r.translate(d).len(), r.len());
     }
+}
 
-    #[test]
-    fn iteration_visits_each_point_once(
-        r in region_strategy(),
-        perm in 0usize..2,
-        asc0 in any::<bool>(),
-        asc1 in any::<bool>(),
-    ) {
+#[test]
+fn iteration_visits_each_point_once() {
+    let mut rng = SplitMix64::new(15);
+    for _ in 0..128 {
+        let r = random_region(&mut rng);
+        let perm = rng.gen_range(2);
+        let asc0 = rng.next_u64() & 1 == 0;
+        let asc1 = rng.next_u64() & 1 == 0;
         let order = LoopStructureOrder {
             order: if perm == 0 { [0, 1] } else { [1, 0] },
             ascending: [asc0, asc1],
         };
         let visited: Vec<_> = r.iter_with(&order).collect();
-        prop_assert_eq!(visited.len(), r.len());
+        assert_eq!(visited.len(), r.len());
         let unique: std::collections::HashSet<_> = visited.iter().collect();
-        prop_assert_eq!(unique.len(), r.len());
+        assert_eq!(unique.len(), r.len());
         for p in &visited {
-            prop_assert!(r.contains(*p));
+            assert!(r.contains(*p));
         }
     }
+}
 
-    #[test]
-    fn wsv_is_permutation_invariant(dirs in prop::collection::vec((-2i64..3, -2i64..3), 0..6)) {
-        let offsets: Vec<Offset<2>> = dirs.iter().map(|&(a, b)| Offset([a, b])).collect();
+fn random_dirs(rng: &mut SplitMix64, min_len: usize) -> Vec<Offset<2>> {
+    let len = min_len + rng.gen_range(6 - min_len);
+    (0..len)
+        .map(|_| Offset([rng.gen_range(5) as i64 - 2, rng.gen_range(5) as i64 - 2]))
+        .collect()
+}
+
+#[test]
+fn wsv_is_permutation_invariant() {
+    let mut rng = SplitMix64::new(16);
+    for _ in 0..128 {
+        let offsets = random_dirs(&mut rng, 0);
         let w1 = Wsv::from_directions(offsets.clone());
         let mut rev = offsets.clone();
         rev.reverse();
         let w2 = Wsv::from_directions(rev);
-        prop_assert_eq!(w1, w2);
+        assert_eq!(w1, w2);
     }
+}
 
-    #[test]
-    fn wsv_simple_iff_no_opposite_signs(dirs in prop::collection::vec((-2i64..3, -2i64..3), 1..6)) {
-        let offsets: Vec<Offset<2>> = dirs.iter().map(|&(a, b)| Offset([a, b])).collect();
+#[test]
+fn wsv_simple_iff_no_opposite_signs() {
+    let mut rng = SplitMix64::new(17);
+    for _ in 0..128 {
+        let offsets = random_dirs(&mut rng, 1);
         let w = Wsv::from_directions(offsets.clone());
         for k in 0..2 {
             let has_pos = offsets.iter().any(|o| o[k] > 0);
             let has_neg = offsets.iter().any(|o| o[k] < 0);
-            prop_assert_eq!(
+            assert_eq!(
                 w.0[k] == Sign::PlusMinus,
                 has_pos && has_neg,
-                "dim {} of {:?}", k, offsets
+                "dim {k} of {offsets:?}"
             );
         }
     }
+}
 
-    #[test]
-    fn found_structures_satisfy_every_constraint(
-        vecs in prop::collection::vec(((-2i64..3, -2i64..3), any::<bool>()), 1..5)
-    ) {
-        let constraints: Vec<DepConstraint<2>> = vecs
-            .iter()
-            .filter(|((a, b), _)| *a != 0 || *b != 0)
-            .map(|((a, b), anti)| DepConstraint {
-                vector: Offset([*a, *b]),
-                kind: if *anti { DepKind::Anti } else { DepKind::True },
+#[test]
+fn found_structures_satisfy_every_constraint() {
+    let mut rng = SplitMix64::new(18);
+    for _ in 0..128 {
+        let len = 1 + rng.gen_range(4);
+        let constraints: Vec<DepConstraint<2>> = (0..len)
+            .map(|_| {
+                (
+                    Offset([rng.gen_range(5) as i64 - 2, rng.gen_range(5) as i64 - 2]),
+                    rng.next_u64() & 1 == 0,
+                )
+            })
+            .filter(|(v, _)| v[0] != 0 || v[1] != 0)
+            .map(|(vector, anti)| DepConstraint {
+                vector,
+                kind: if anti { DepKind::Anti } else { DepKind::True },
                 array: 0,
                 stmt: 0,
             })
@@ -121,13 +169,13 @@ proptest! {
             Ok(s) => {
                 for c in &constraints {
                     let pos = carrying_position(c.vector, &s.order);
-                    prop_assert!(pos.is_some(), "{:?} not carried by {:?}", c.vector, s.order);
+                    assert!(pos.is_some(), "{:?} not carried by {:?}", c.vector, s.order);
                 }
                 // Wavefront dims are exactly the dims carrying
                 // value-carrying constraints.
                 for (c, dim) in constraints.iter().zip(&s.carried_by) {
                     if c.kind.carries_values() {
-                        prop_assert!(s.wavefront_dims.contains(dim));
+                        assert!(s.wavefront_dims.contains(dim));
                     }
                 }
             }
@@ -140,21 +188,23 @@ proptest! {
                         let ok = constraints
                             .iter()
                             .all(|c| carrying_position(c.vector, &order).is_some());
-                        prop_assert!(!ok, "claimed over-constrained but {:?} works", order);
+                        assert!(!ok, "claimed over-constrained but {order:?} works");
                     }
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn plain_statement_semantics_match_snapshot_oracle(
-        seed in any::<u64>(),
-        d0 in -1i64..2,
-        d1 in -1i64..2,
-        e0 in -1i64..2,
-        e1 in -1i64..2,
-    ) {
+#[test]
+fn plain_statement_semantics_match_snapshot_oracle() {
+    let mut rng = SplitMix64::new(19);
+    for _ in 0..64 {
+        let seed = rng.next_u64();
+        let d0 = rng.gen_range(3) as i64 - 1;
+        let d1 = rng.gen_range(3) as i64 - 1;
+        let e0 = rng.gen_range(3) as i64 - 1;
+        let e1 = rng.gen_range(3) as i64 - 1;
         // a := 0.5*a@d + 0.25*a@e + b : array semantics say both reads
         // observe pre-statement values, whatever the shifts.
         let n = 8i64;
@@ -184,12 +234,12 @@ proptest! {
             let expect = 0.5 * before_a.get(q + Offset([d0, d1]))
                 + 0.25 * before_a.get(q + Offset([e0, e1]))
                 + before_b.get(q);
-            prop_assert_eq!(store.get(a).get(q), expect, "at {}", q);
+            assert_eq!(store.get(a).get(q), expect, "at {q}");
         }
         // Outside the covering region, nothing changed.
         for q in bounds.iter() {
             if !inner.contains(q) {
-                prop_assert_eq!(store.get(a).get(q), before_a.get(q));
+                assert_eq!(store.get(a).get(q), before_a.get(q));
             }
         }
     }

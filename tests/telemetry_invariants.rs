@@ -1,0 +1,203 @@
+//! Invariants the telemetry layer must uphold across engines: observed
+//! traffic matches the plan's static prediction, the simulator's phase
+//! decomposition tiles the makespan exactly, and the default no-op
+//! collector perturbs nothing.
+
+use wavefront::core::prelude::*;
+use wavefront::kernels::tomcatv;
+use wavefront::machine::cray_t3e;
+use wavefront::pipeline::{
+    execute_plan_threaded_collected, BlockPolicy, EngineKind, NoopCollector, Session,
+    TraceCollector, WavefrontPlan,
+};
+
+fn tomcatv_scan(n: i64) -> (wavefront::lang::Lowered<2>, CompiledNest<2>) {
+    let lo = tomcatv::build(n).expect("tomcatv builds");
+    let compiled = compile(&lo.program).expect("tomcatv compiles");
+    let nest = compiled.nests().find(|x| x.is_scan).expect("has scan").clone();
+    (lo, nest)
+}
+
+fn filled_store(lo: &wavefront::lang::Lowered<2>) -> Store<2> {
+    let mut store = Store::new(&lo.program);
+    tomcatv::init(lo, &mut store);
+    store
+}
+
+/// Acceptance invariant: the threaded engine's observed boundary-message
+/// count equals the count the plan predicts statically.
+#[test]
+fn threaded_observed_messages_match_plan_prediction() {
+    for (p, policy) in [
+        (4, BlockPolicy::Model2),
+        (8, BlockPolicy::Fixed(6)),
+        (3, BlockPolicy::FullPortion),
+    ] {
+        let (lo, nest) = tomcatv_scan(64);
+        let params = cray_t3e();
+        let plan = WavefrontPlan::build(&nest, p, None, &policy, &params).unwrap();
+        let predicted = plan.predicted_traffic();
+
+        let mut trace = TraceCollector::default();
+        let mut store = filled_store(&lo);
+        let out = Session::new(&lo.program, &nest)
+            .procs(p)
+            .block(policy)
+            .machine(params)
+            .collector(&mut trace)
+            .store(&mut store)
+            .run(EngineKind::Threads)
+            .unwrap();
+
+        let report = trace.report();
+        assert_eq!(
+            report.messages, predicted.messages,
+            "p={p}: observed {} != predicted {}",
+            report.messages, predicted.messages
+        );
+        assert_eq!(report.elements, predicted.elements);
+        assert_eq!(report.bytes, predicted.bytes);
+        assert_eq!(out.messages, report.messages);
+        // The report carries the same prediction it was checked against.
+        assert_eq!(report.meta.predicted.messages, predicted.messages);
+    }
+}
+
+/// The simulator sends exactly the messages the threaded runtime sends:
+/// both equal the static prediction, so the DES is a faithful traffic
+/// model of the real execution.
+#[test]
+fn simulator_and_threads_agree_on_traffic() {
+    let (lo, nest) = tomcatv_scan(48);
+    let p = 6;
+
+    let mut sim_trace = TraceCollector::default();
+    let sim = Session::new(&lo.program, &nest)
+        .procs(p)
+        .collector(&mut sim_trace)
+        .run(EngineKind::Sim)
+        .unwrap();
+
+    let mut thr_trace = TraceCollector::default();
+    let mut store = filled_store(&lo);
+    let thr = Session::new(&lo.program, &nest)
+        .procs(p)
+        .collector(&mut thr_trace)
+        .store(&mut store)
+        .run(EngineKind::Threads)
+        .unwrap();
+
+    assert_eq!(sim.messages, thr.messages);
+    let (sr, tr) = (sim_trace.report(), thr_trace.report());
+    assert_eq!(sr.messages, tr.messages);
+    assert_eq!(sr.elements, tr.elements);
+    assert_eq!(sr.meta.predicted, tr.meta.predicted);
+}
+
+/// In the simulator's model-time event stream the fill / steady / drain
+/// decomposition tiles the makespan exactly (it is constructed that way;
+/// the epsilon only absorbs float summation).
+#[test]
+fn sim_phases_sum_to_makespan() {
+    for p in [2, 4, 8] {
+        let (lo, nest) = tomcatv_scan(56);
+        let mut trace = TraceCollector::default();
+        let out = Session::new(&lo.program, &nest)
+            .procs(p)
+            .collector(&mut trace)
+            .run(EngineKind::Sim)
+            .unwrap();
+        let r = trace.report();
+        let total = r.phases.fill + r.phases.steady + r.phases.drain;
+        assert!(
+            (total - r.makespan).abs() <= 1e-9 * r.makespan.max(1.0),
+            "p={p}: fill {} + steady {} + drain {} != makespan {}",
+            r.phases.fill,
+            r.phases.steady,
+            r.phases.drain,
+            r.makespan
+        );
+        assert!((r.makespan - out.makespan).abs() <= f64::EPSILON * out.makespan);
+        assert!(r.phases.fill >= 0.0 && r.phases.steady >= 0.0 && r.phases.drain >= 0.0);
+        // A pipelined multi-processor run actually has a ramp-up.
+        if r.meta.pipelined {
+            assert!(r.phases.fill > 0.0, "p={p}: pipelined run has no fill phase");
+        }
+    }
+}
+
+/// Running the threaded engine under the default no-op collector sends
+/// exactly the same boundary messages as an instrumented run, and the
+/// data is bit-identical: telemetry is observation only.
+#[test]
+fn noop_collector_adds_no_messages_and_changes_no_data() {
+    let (lo, nest) = tomcatv_scan(40);
+    let params = cray_t3e();
+    let plan = WavefrontPlan::build(&nest, 5, None, &BlockPolicy::Model2, &params).unwrap();
+
+    let mut noop_store = filled_store(&lo);
+    let noop_report = execute_plan_threaded_collected(
+        &lo.program,
+        &nest,
+        &plan,
+        &mut noop_store,
+        &mut NoopCollector,
+    );
+
+    let mut trace = TraceCollector::default();
+    let mut traced_store = filled_store(&lo);
+    let traced_report = execute_plan_threaded_collected(
+        &lo.program,
+        &nest,
+        &plan,
+        &mut traced_store,
+        &mut trace,
+    );
+
+    assert_eq!(noop_report.messages, traced_report.messages);
+    assert_eq!(trace.report().messages, noop_report.messages);
+    for name in ["r", "d", "rx", "ry"] {
+        let id = lo.array(name).unwrap();
+        assert!(
+            noop_store.get(id).region_eq(traced_store.get(id), nest.region),
+            "telemetry changed array {name}"
+        );
+    }
+}
+
+/// The per-processor timelines are internally consistent with the run's
+/// totals: every message has one sender and one receiver among the
+/// active processors, and compute fits inside [first_start, last_finish].
+#[test]
+fn per_proc_timelines_are_consistent() {
+    let (lo, nest) = tomcatv_scan(64);
+    let mut trace = TraceCollector::default();
+    let mut store = filled_store(&lo);
+    Session::new(&lo.program, &nest)
+        .procs(4)
+        .collector(&mut trace)
+        .store(&mut store)
+        .run(EngineKind::Threads)
+        .unwrap();
+    let r = trace.report();
+
+    let sent: usize = r.per_proc.iter().map(|t| t.msgs_sent).sum();
+    let recv: usize = r.per_proc.iter().map(|t| t.msgs_recv).sum();
+    assert_eq!(sent, r.messages);
+    assert_eq!(recv, r.messages);
+    let elems_out: usize = r.per_proc.iter().map(|t| t.elems_sent).sum();
+    assert_eq!(elems_out, r.elements);
+
+    for t in &r.per_proc {
+        assert!(t.blocks > 0, "active proc {} computed nothing", t.proc);
+        assert!(t.first_start <= t.last_finish);
+        assert!(
+            t.compute <= (t.last_finish - t.first_start) + 1e-9,
+            "proc {}: compute {} exceeds its own span {}",
+            t.proc,
+            t.compute,
+            t.last_finish - t.first_start
+        );
+        assert!(t.last_finish <= r.makespan + 1e-9);
+    }
+}
