@@ -83,7 +83,12 @@ fn main() {
         )
         .unwrap();
         h.bench("runtime/mesh2d_dag_build_and_simulate", || {
-            wavefront_pipeline::simulate_plan2d(&plan, &params).makespan
+            wavefront_pipeline::simulate_plan2d_collected(
+                &plan,
+                &params,
+                &mut wavefront_pipeline::NoopCollector,
+            )
+            .makespan
         });
         let mut store = Store::new(&lo.program);
         wavefront_kernels::sweep3d::init(&lo, &mut store);

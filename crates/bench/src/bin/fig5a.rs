@@ -12,7 +12,7 @@ use wavefront_core::prelude::compile;
 use wavefront_kernels::tomcatv;
 use wavefront_machine::{fig5a_problem, fig5a_t3e};
 use wavefront_model::PipeModel;
-use wavefront_pipeline::{simulate_plan, BlockPolicy, WavefrontPlan};
+use wavefront_pipeline::{simulate_plan_collected, BlockPolicy, NoopCollector, WavefrontPlan};
 
 fn main() {
     let params = fig5a_t3e();
@@ -50,7 +50,7 @@ fn main() {
     // Simulated baseline: the naive (non-pipelined) schedule.
     let naive_plan = WavefrontPlan::build(nest, p, None, &BlockPolicy::FullPortion, &scaled)
         .expect("naive plan");
-    let t_naive_sim = simulate_plan(&naive_plan, &scaled).makespan;
+    let t_naive_sim = simulate_plan_collected(&naive_plan, &scaled, &mut NoopCollector).makespan;
 
     let mut table = Table::new(&["b", "Model1 speedup", "Model2 speedup", "Simulated speedup"]);
     let bs = [1usize, 2, 4, 8, 12, 16, 20, 23, 28, 32, 39, 48, 64, 96, 128, 192, 256];
@@ -59,7 +59,7 @@ fn main() {
     for b in bs {
         let plan = WavefrontPlan::build(nest, p, None, &BlockPolicy::Fixed(b), &scaled)
             .expect("plan builds");
-        let t_sim = simulate_plan(&plan, &scaled).makespan;
+        let t_sim = simulate_plan_collected(&plan, &scaled, &mut NoopCollector).makespan;
         let s_sim = t_naive_sim / t_sim;
         if s_sim > best_sim.1 {
             best_sim = (b, s_sim);
@@ -82,7 +82,7 @@ fn main() {
     let t_at = |b: usize| {
         let plan = WavefrontPlan::build(nest, p, None, &BlockPolicy::Fixed(b), &scaled)
             .expect("plan builds");
-        simulate_plan(&plan, &scaled).makespan
+        simulate_plan_collected(&plan, &scaled, &mut NoopCollector).makespan
     };
     let (t1, t2) = (t_at(b1), t_at(b2));
     println!(

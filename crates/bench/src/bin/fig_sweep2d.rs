@@ -11,7 +11,7 @@ use wavefront_bench::{f2, Table};
 use wavefront_core::prelude::compile;
 use wavefront_kernels::sweep3d;
 use wavefront_machine::{cray_t3e, sgi_power_challenge};
-use wavefront_pipeline::{simulate_plan2d, BlockPolicy, WavefrontPlan2D};
+use wavefront_pipeline::{simulate_plan2d_collected, BlockPolicy, NoopCollector, WavefrontPlan2D};
 
 fn main() {
     let n = 64i64;
@@ -36,7 +36,7 @@ fn main() {
             let plan =
                 WavefrontPlan2D::build(nest, [1, 1], None, &BlockPolicy::FullPortion, &params)
                     .expect("serial plan");
-            simulate_plan2d(&plan, &params).makespan
+            simulate_plan2d_collected(&plan, &params, &mut NoopCollector).makespan
         };
         for mesh in [[2usize, 2usize], [2, 4], [4, 4], [4, 8], [8, 8]] {
             let pipe = WavefrontPlan2D::build(nest, mesh, None, &BlockPolicy::Model2, &params)
@@ -44,8 +44,8 @@ fn main() {
             let naive =
                 WavefrontPlan2D::build(nest, mesh, None, &BlockPolicy::FullPortion, &params)
                     .expect("naive plan");
-            let t_pipe = simulate_plan2d(&pipe, &params).makespan;
-            let t_naive = simulate_plan2d(&naive, &params).makespan;
+            let t_pipe = simulate_plan2d_collected(&pipe, &params, &mut NoopCollector).makespan;
+            let t_naive = simulate_plan2d_collected(&naive, &params, &mut NoopCollector).makespan;
             let p = mesh[0] * mesh[1];
             table.row(&[
                 format!("{}x{}", mesh[0], mesh[1]),
@@ -74,7 +74,7 @@ fn main() {
         let plan =
             WavefrontPlan2D::build(nest, [1, 1], Some([1, 2]), &BlockPolicy::FullPortion, &params)
                 .expect("serial plan");
-        simulate_plan2d(&plan, &params).makespan
+        simulate_plan2d_collected(&plan, &params, &mut NoopCollector).makespan
     };
     let mut table = Table::new(&["mesh", "angle block", "speedup", "efficiency"]);
     for mesh in [[2usize, 2usize], [4, 4], [8, 8]] {
@@ -82,7 +82,7 @@ fn main() {
             WavefrontPlan2D::build(nest, mesh, Some([1, 2]), &BlockPolicy::Model2, &params)
                 .expect("plan");
         assert_eq!(plan.tile_dim, Some(0), "angle dimension must be tiled");
-        let t = simulate_plan2d(&plan, &params).makespan;
+        let t = simulate_plan2d_collected(&plan, &params, &mut NoopCollector).makespan;
         let p = mesh[0] * mesh[1];
         table.row(&[
             format!("{}x{}", mesh[0], mesh[1]),

@@ -10,7 +10,7 @@ use wavefront_bench::{f2, Table};
 use wavefront_core::prelude::compile;
 use wavefront_kernels::tomcatv;
 use wavefront_machine::{cray_t3e, fig5a_t3e, sgi_power_challenge};
-use wavefront_pipeline::{simulate_plan, BlockPolicy, WavefrontPlan};
+use wavefront_pipeline::{simulate_plan_collected, BlockPolicy, NoopCollector, WavefrontPlan};
 
 fn main() {
     println!("## Block-size policy ablation (Tomcatv forward wavefront)\n");
@@ -46,7 +46,7 @@ fn main() {
             .map(|(name, policy)| {
                 let plan = WavefrontPlan::build(nest, p, None, policy, &params)
                     .expect("plan builds");
-                let t = simulate_plan(&plan, &params).makespan;
+                let t = simulate_plan_collected(&plan, &params, &mut NoopCollector).makespan;
                 (name.clone(), plan.block, t)
             })
             .collect();

@@ -10,7 +10,7 @@ use wavefront_machine::{
     cray_t3e, fig5a_t3e, fig5b_hypothetical, sgi_power_challenge, MachineParams,
 };
 use wavefront_model::PipeModel;
-use wavefront_pipeline::probe_block;
+use wavefront_pipeline::{probe_block, BlockCtx};
 
 fn main() {
     println!("## Optimal block size: closed forms vs numeric vs simulator probe\n");
@@ -30,7 +30,7 @@ fn main() {
         for (n, p) in [(64usize, 4usize), (256, 8), (256, 16), (1024, 16)] {
             let model = PipeModel::new(n, p, m.alpha, m.beta);
             let candidates: Vec<usize> = (1..=n).collect();
-            let probed = probe_block(&candidates, n, n, p, 1.0, &m);
+            let probed = probe_block(&candidates, &BlockCtx::new(n, n, p, 1.0, m));
             table.row(&[
                 m.name.into(),
                 n.to_string(),

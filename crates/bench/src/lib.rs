@@ -14,6 +14,7 @@
 //! | `table_optb`      | Equation (1) closed forms vs numeric vs simulator-probed optima |
 //! | `table_dynamic_b` | ablation of block-size policies (incl. the future-work dynamic probe) |
 //! | `table_loc`       | language-based vs explicit formulation code sizes |
+//! | `tune_report`     | calibrated α/β plus adaptive-vs-model-vs-exhaustive block sizes (`BENCH_tune.json`) |
 //!
 //! Micro-benchmarks (under `benches/`, plain `main` harnesses so the
 //! build stays dependency-free and offline) measure the real executor:

@@ -30,6 +30,14 @@ impl MachineParams {
     pub fn custom(name: &'static str, alpha: f64, beta: f64) -> Self {
         MachineParams { name, alpha, beta }
     }
+
+    /// Parameters *measured* on the running host by the calibration
+    /// harness (ping-pong/volume microbenchmarks), as opposed to a
+    /// spec-sheet preset. Negative fits are clamped to zero so the
+    /// block-size formulas never see a nonsensical constant.
+    pub fn calibrated(alpha: f64, beta: f64) -> Self {
+        MachineParams { name: "calibrated", alpha: alpha.max(0.0), beta: beta.max(0.0) }
+    }
 }
 
 /// Cray T3E-like parameters for general runs (Figure 7): a fast processor

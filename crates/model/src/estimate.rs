@@ -1,0 +1,214 @@
+//! Estimating the model constants from measurements.
+//!
+//! The analytic models in [`crate::pipe`] take α and β as given — the
+//! paper reads them off the Cray T3E spec sheet. This module closes the
+//! loop instead: it turns *observed* message latencies (from the
+//! calibration microbenchmarks or from live telemetry during the fill
+//! phase) into fitted α̂/β̂, and packages them together with a measured
+//! per-element compute cost as a [`CalibratedMachine`] that can feed
+//! [`PipeModel`] in place of the canned presets.
+//!
+//! Latency samples are noisy in one direction only: a message can be
+//! delayed by scheduling or queueing but never arrive faster than the
+//! wire allows. The estimator therefore keeps the *minimum* latency per
+//! message size and fits the α + β·m line through those minima by least
+//! squares.
+
+use crate::pipe::PipeModel;
+
+/// Online α/β estimator: feed it `(message_elems, latency)` observations
+/// and ask for the best-fit linear cost model.
+///
+/// The filter keeps one sample per distinct message size — the smallest
+/// latency seen — so repeated observations sharpen rather than dilute
+/// the fit. All state is O(number of distinct sizes), which in practice
+/// is two (the probe tiles) or a handful (a calibration sweep).
+#[derive(Debug, Clone, Default)]
+pub struct OnlineEstimator {
+    /// `(elems, min latency seen at that size)`, unordered.
+    samples: Vec<(f64, f64)>,
+}
+
+impl OnlineEstimator {
+    /// Fresh estimator with no observations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one message observation. Non-finite or negative latencies
+    /// are discarded (a crossed clock, not a measurement).
+    pub fn observe(&mut self, elems: usize, latency: f64) {
+        if !latency.is_finite() || latency < 0.0 {
+            return;
+        }
+        let m = elems as f64;
+        match self.samples.iter_mut().find(|(e, _)| *e == m) {
+            Some((_, best)) => *best = best.min(latency),
+            None => self.samples.push((m, latency)),
+        }
+    }
+
+    /// Number of distinct message sizes observed so far.
+    pub fn distinct_sizes(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// The per-size minima collected so far, as `(elems, latency)`.
+    pub fn samples(&self) -> &[(f64, f64)] {
+        &self.samples
+    }
+
+    /// Least-squares fit of `latency = α + β·elems` through the per-size
+    /// minima. Returns `None` until two distinct sizes have been seen
+    /// (one point cannot separate the intercept from the slope).
+    ///
+    /// Both constants are clamped at zero: measurement noise can tilt
+    /// the regression line into a (physically meaningless) negative
+    /// intercept or slope, and downstream `sqrt` in Equation (1) must
+    /// never see one.
+    pub fn fit(&self) -> Option<(f64, f64)> {
+        if self.samples.len() < 2 {
+            return None;
+        }
+        let k = self.samples.len() as f64;
+        let (sx, sy) = self
+            .samples
+            .iter()
+            .fold((0.0, 0.0), |(sx, sy), (x, y)| (sx + x, sy + y));
+        let (mx, my) = (sx / k, sy / k);
+        let (sxx, sxy) = self.samples.iter().fold((0.0, 0.0), |(sxx, sxy), (x, y)| {
+            (sxx + (x - mx) * (x - mx), sxy + (x - mx) * (y - my))
+        });
+        if sxx == 0.0 {
+            return None;
+        }
+        let beta = (sxy / sxx).max(0.0);
+        let alpha = (my - beta * mx).max(0.0);
+        Some((alpha, beta))
+    }
+}
+
+/// Machine constants measured on the actual host rather than copied from
+/// a spec sheet: message startup cost α, per-element transfer cost β,
+/// and the per-element compute cost that normalizes them into the
+/// paper's work units.
+///
+/// All three are in the same wall-clock unit (seconds for the threaded
+/// runtime, model units when fitted against the DES simulator); only
+/// their *ratios* enter the block-size formulas, so the unit cancels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibratedMachine {
+    /// Message startup latency (time per message, independent of size).
+    pub alpha: f64,
+    /// Per-element transfer cost (time per array element moved).
+    pub beta: f64,
+    /// Per-element compute cost of the nest body being tuned.
+    pub elem_cost: f64,
+}
+
+impl CalibratedMachine {
+    /// Bundle fitted constants with a measured compute cost. Clamps all
+    /// inputs to be non-negative and substitutes a tiny positive
+    /// `elem_cost` for zero so normalization never divides by zero.
+    pub fn new(alpha: f64, beta: f64, elem_cost: f64) -> Self {
+        Self {
+            alpha: alpha.max(0.0),
+            beta: beta.max(0.0),
+            elem_cost: if elem_cost > 0.0 { elem_cost } else { f64::EPSILON },
+        }
+    }
+
+    /// α expressed in work units (elements of compute per message
+    /// startup) — the normalization the paper's tables use.
+    pub fn alpha_work(&self) -> f64 {
+        self.alpha / self.elem_cost
+    }
+
+    /// β expressed in work units (elements of compute per element
+    /// moved).
+    pub fn beta_work(&self) -> f64 {
+        self.beta / self.elem_cost
+    }
+
+    /// All constants finite and α strictly positive — the sanity gate a
+    /// calibration run must pass before its output is trusted.
+    pub fn is_plausible(&self) -> bool {
+        self.alpha.is_finite()
+            && self.beta.is_finite()
+            && self.elem_cost.is_finite()
+            && self.alpha > 0.0
+            && self.beta >= 0.0
+    }
+
+    /// A [`PipeModel`] for an `n × n` problem on `p` processors using
+    /// these measured constants (work-normalized, unit work per element
+    /// as the models assume).
+    pub fn model(&self, n: usize, p: usize) -> PipeModel {
+        PipeModel::new(n, p, self.alpha_work(), self.beta_work())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_exact_line() {
+        let mut est = OnlineEstimator::new();
+        for m in [1usize, 4, 16, 64] {
+            est.observe(m, 150.0 + 6.0 * m as f64);
+        }
+        let (a, b) = est.fit().expect("four sizes fit");
+        assert!((a - 150.0).abs() < 1e-9, "alpha {a}");
+        assert!((b - 6.0).abs() < 1e-9, "beta {b}");
+    }
+
+    #[test]
+    fn min_filter_discards_noise() {
+        let mut est = OnlineEstimator::new();
+        // Noisy repeats: only the minima (the clean line) should matter.
+        for m in [2usize, 8] {
+            est.observe(m, 40.0 + 1.5 * m as f64 + 100.0);
+            est.observe(m, 40.0 + 1.5 * m as f64);
+            est.observe(m, 40.0 + 1.5 * m as f64 + 7.0);
+        }
+        let (a, b) = est.fit().expect("two sizes fit");
+        assert!((a - 40.0).abs() < 1e-9, "alpha {a}");
+        assert!((b - 1.5).abs() < 1e-9, "beta {b}");
+    }
+
+    #[test]
+    fn one_size_is_not_enough() {
+        let mut est = OnlineEstimator::new();
+        est.observe(8, 100.0);
+        est.observe(8, 90.0);
+        assert_eq!(est.fit(), None);
+        assert_eq!(est.distinct_sizes(), 1);
+    }
+
+    #[test]
+    fn negative_slope_clamps_to_zero() {
+        let mut est = OnlineEstimator::new();
+        est.observe(1, 10.0);
+        est.observe(100, 8.0); // bigger message *faster*: noise
+        let (a, b) = est.fit().unwrap();
+        assert_eq!(b, 0.0);
+        assert!(a > 0.0);
+    }
+
+    #[test]
+    fn calibrated_machine_normalizes() {
+        let m = CalibratedMachine::new(1.5e-6, 6e-9, 1e-9);
+        assert!(m.is_plausible());
+        assert!((m.alpha_work() - 1500.0).abs() < 1e-6);
+        assert!((m.beta_work() - 6.0).abs() < 1e-9);
+        let model = m.model(512, 8);
+        assert!(model.optimal_b_numeric() >= 1);
+    }
+
+    #[test]
+    fn zero_elem_cost_does_not_divide_by_zero() {
+        let m = CalibratedMachine::new(1.0, 0.0, 0.0);
+        assert!(m.alpha_work().is_finite());
+    }
+}

@@ -9,6 +9,8 @@
 //! linear-cost model (**Model2**), plus speedup prediction against the
 //! serial and naive (non-pipelined) baselines.
 
+pub mod estimate;
 pub mod pipe;
 
+pub use estimate::{CalibratedMachine, OnlineEstimator};
 pub use pipe::{optimal_block_rect, t_transpose_strategy, transpose_cost, PipeModel};

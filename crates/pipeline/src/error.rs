@@ -1,0 +1,97 @@
+//! The one error type of the pipeline crate.
+//!
+//! Planning, running, and tuning used to fail through separate enums
+//! (`PlanError`, `SessionError`); everything now funnels into
+//! [`PipelineError`], which implements [`std::error::Error`] and prints
+//! a human-readable message — `wlc` shows `{e}` and exits non-zero, no
+//! `{e:?}` debug dumps.
+
+use std::fmt;
+
+/// Why a wavefront could not be planned, executed, or tuned.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// The nest has no dimension along which a wavefront can advance
+    /// (every candidate dimension carries dependences both ways).
+    NoWavefrontDim,
+    /// The chosen distribution dimension is not one of the wavefront
+    /// dimensions, so the pipeline would carry no dependence.
+    WaveNotDistributed {
+        /// Dimensions that could carry the wavefront.
+        wave_dims: Vec<usize>,
+        /// The dimension that was requested for distribution.
+        dist_dim: usize,
+    },
+    /// Dependences along `dim` point in both directions: no traversal
+    /// order of that dimension satisfies them.
+    ConflictingDependences {
+        /// The conflicted dimension.
+        dim: usize,
+    },
+    /// The selected engine computes on real data but the session has no
+    /// store attached (see `Session::store`).
+    MissingStore,
+    /// Host calibration produced unusable constants (non-finite or
+    /// non-positive α), so no model can be built from it.
+    Calibration(String),
+    /// The adaptive tuner could not complete its closed loop.
+    Tuning(String),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::NoWavefrontDim => {
+                write!(f, "nest has no wavefront dimension to pipeline along")
+            }
+            PipelineError::WaveNotDistributed { wave_dims, dist_dim } => write!(
+                f,
+                "distributed dimension {dist_dim} is not a wavefront dimension \
+                 (wavefront advances along {wave_dims:?})"
+            ),
+            PipelineError::ConflictingDependences { dim } => write!(
+                f,
+                "dimension {dim} carries dependences in both directions; \
+                 no loop order satisfies them"
+            ),
+            PipelineError::MissingStore => write!(
+                f,
+                "engine needs array data: attach one with Session::store(..) \
+                 before running"
+            ),
+            PipelineError::Calibration(why) => write!(f, "calibration failed: {why}"),
+            PipelineError::Tuning(why) => write!(f, "adaptive tuning failed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_readable_not_debug() {
+        let errs: [PipelineError; 6] = [
+            PipelineError::NoWavefrontDim,
+            PipelineError::WaveNotDistributed { wave_dims: vec![0, 1], dist_dim: 2 },
+            PipelineError::ConflictingDependences { dim: 1 },
+            PipelineError::MissingStore,
+            PipelineError::Calibration("ping-pong returned NaN".into()),
+            PipelineError::Tuning("probe tiles exhausted the extent".into()),
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            // No Debug-style braces from struct formatting.
+            assert!(!msg.starts_with('{'), "{msg}");
+        }
+    }
+
+    #[test]
+    fn is_a_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&PipelineError::MissingStore);
+    }
+}

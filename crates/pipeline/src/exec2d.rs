@@ -18,7 +18,7 @@ use wavefront_machine::{
 use crate::exec_threads::ThreadReport;
 use crate::plan2d::WavefrontPlan2D;
 use crate::telemetry::{
-    BlockEvent, Collector, EngineKind, MessageEvent, NoopCollector, RunMeta, TimeUnit, WaitEvent,
+    BlockEvent, Collector, EngineKind, MessageEvent, RunMeta, TimeUnit, WaitEvent,
 };
 
 /// Build the task DAG of a 2-D mesh plan: task `(c, t)` is mesh cell `c`
@@ -60,15 +60,6 @@ pub fn plan2d_dag<const R: usize>(plan: &WavefrontPlan2D<R>) -> Vec<SimTask> {
         }
     }
     tasks
-}
-
-/// Simulate a 2-D mesh plan.
-pub fn simulate_plan2d<const R: usize>(
-    plan: &WavefrontPlan2D<R>,
-    params: &MachineParams,
-) -> SimResult {
-    let procs = plan.procs[0] * plan.procs[1];
-    simulate(&plan2d_dag(plan), params, procs)
 }
 
 /// Translates DES observer callbacks of a mesh simulation into
@@ -122,7 +113,8 @@ impl SimObserver for MeshAdapter<'_> {
     }
 }
 
-/// [`simulate_plan2d`] reporting telemetry to `collector`.
+/// Simulate a 2-D mesh plan, reporting telemetry to `collector`. With a
+/// disabled collector this is a plain cost simulation of the mesh DAG.
 pub fn simulate_plan2d_collected<const R: usize>(
     plan: &WavefrontPlan2D<R>,
     params: &MachineParams,
@@ -161,35 +153,9 @@ pub fn simulate_plan2d_collected<const R: usize>(
 }
 
 /// Execute the plan against a shared store, mesh cells in wave order —
-/// the semantic reference for the threaded engine.
-#[deprecated(
-    since = "0.2.0",
-    note = "use wavefront_pipeline::Session2D::run(EngineKind::Seq) or \
-            execute_plan2d_sequential_collected"
-)]
-pub fn execute_plan2d_sequential<const R: usize>(
-    nest: &CompiledNest<R>,
-    plan: &WavefrontPlan2D<R>,
-    store: &mut Store<R>,
-) {
-    debug_assert!(nest.buffered.is_empty());
-    for c in plan.mesh_in_wave_order() {
-        let owned = plan.owned(c);
-        if owned.is_empty() {
-            continue;
-        }
-        for tile in &plan.tiles {
-            let sub = owned.intersect(tile);
-            if !sub.is_empty() {
-                run_nest_region_with_sink(nest, sub, &plan.order, store, &mut NoSink);
-            }
-        }
-    }
-}
-
-/// [`execute_plan2d_sequential`] reporting telemetry to `collector`:
-/// one block event per (cell, tile), timed on the wall clock. No
-/// messages — the sequential engine shares one store.
+/// the semantic reference for the threaded engine — reporting telemetry
+/// to `collector`: one block event per (cell, tile), timed on the wall
+/// clock. No messages — the sequential engine shares one store.
 pub fn execute_plan2d_sequential_collected<const R: usize>(
     nest: &CompiledNest<R>,
     plan: &WavefrontPlan2D<R>,
@@ -198,8 +164,18 @@ pub fn execute_plan2d_sequential_collected<const R: usize>(
 ) {
     debug_assert!(nest.buffered.is_empty());
     if !collector.enabled() {
-        #[allow(deprecated)]
-        execute_plan2d_sequential(nest, plan, store);
+        for c in plan.mesh_in_wave_order() {
+            let owned = plan.owned(c);
+            if owned.is_empty() {
+                continue;
+            }
+            for tile in &plan.tiles {
+                let sub = owned.intersect(tile);
+                if !sub.is_empty() {
+                    run_nest_region_with_sink(nest, sub, &plan.order, store, &mut NoSink);
+                }
+            }
+        }
         return;
     }
     let active = plan.active_cells();
@@ -325,25 +301,11 @@ enum WorkerEv2 {
 }
 
 /// Execute the plan with one thread per active mesh cell, passing
-/// boundary faces through channels along both mesh axes. Results are
-/// bit-identical to the sequential executor.
-#[deprecated(
-    since = "0.2.0",
-    note = "use wavefront_pipeline::Session2D::run(EngineKind::Threads) or \
-            execute_plan2d_threaded_collected"
-)]
-pub fn execute_plan2d_threaded<const R: usize>(
-    program: &Program<R>,
-    nest: &CompiledNest<R>,
-    plan: &WavefrontPlan2D<R>,
-    store: &mut Store<R>,
-) -> ThreadReport {
-    execute_plan2d_threaded_collected(program, nest, plan, store, &mut NoopCollector)
-}
-
-/// [`execute_plan2d_threaded`] reporting telemetry to `collector`.
-/// Workers buffer events locally and the stream is replayed after the
-/// join; a disabled collector adds no work to the workers.
+/// boundary faces through channels along both mesh axes, reporting
+/// telemetry to `collector`. Results are bit-identical to the
+/// sequential executor. Workers buffer events locally and the stream is
+/// replayed after the join; a disabled collector adds no work to the
+/// workers.
 pub fn execute_plan2d_threaded_collected<const R: usize>(
     program: &Program<R>,
     nest: &CompiledNest<R>,
@@ -577,6 +539,7 @@ mod tests {
     use crate::plan2d::tests::sweep_nest;
     use crate::schedule::BlockPolicy;
     use wavefront_core::exec::run_nest_with_sink;
+    use crate::telemetry::NoopCollector;
     use wavefront_core::index::Point;
     use wavefront_core::prelude::Expr;
 
@@ -697,8 +660,8 @@ mod tests {
         let naive =
             WavefrontPlan2D::build(&nest, [4, 4], None, &BlockPolicy::FullPortion, &params)
                 .unwrap();
-        let t_pipe = simulate_plan2d(&pipe, &params).makespan;
-        let t_naive = simulate_plan2d(&naive, &params).makespan;
+        let t_pipe = simulate(&plan2d_dag(&pipe), &params, 16).makespan;
+        let t_naive = simulate(&plan2d_dag(&naive), &params, 16).makespan;
         assert!(
             t_pipe < t_naive,
             "pipelined {t_pipe} should beat naive {t_naive}"
@@ -707,7 +670,7 @@ mod tests {
         let single =
             WavefrontPlan2D::build(&nest, [1, 1], None, &BlockPolicy::Model2, &params)
                 .unwrap();
-        let t_single = simulate_plan2d(&single, &params).makespan;
+        let t_single = simulate(&plan2d_dag(&single), &params, 1).makespan;
         assert!(t_pipe < t_single / 4.0, "mesh {t_pipe} vs single {t_single}");
     }
 

@@ -16,22 +16,9 @@ use crate::plan::WavefrontPlan;
 use crate::telemetry::{BlockEvent, Collector, EngineKind, Prediction, RunMeta, TimeUnit};
 
 /// Execute `nest` under `plan` against `store`, visiting processors in
-/// wave order and tiles in tile order.
-#[deprecated(
-    since = "0.2.0",
-    note = "use wavefront_pipeline::Session::run(EngineKind::Seq) or \
-            execute_plan_sequential_collected"
-)]
-pub fn execute_plan_sequential<const R: usize>(
-    nest: &CompiledNest<R>,
-    plan: &WavefrontPlan<R>,
-    store: &mut Store<R>,
-) {
-    execute_plan_sequential_with_sink(nest, plan, store, &mut NoSink);
-}
-
-/// [`execute_plan_sequential`] reporting telemetry to `collector`: one
-/// block event per (processor, tile) pair, timed on the wall clock.
+/// wave order and tiles in tile order, reporting telemetry to
+/// `collector`: one block event per (processor, tile) pair, timed on
+/// the wall clock.
 ///
 /// The sequential engine works against a single shared store and sends
 /// no boundary messages, so its predicted traffic is zero by
@@ -81,7 +68,8 @@ pub fn execute_plan_sequential_collected<const R: usize>(
     collector.end(epoch.elapsed().as_secs_f64());
 }
 
-/// [`execute_plan_sequential`] with an access sink.
+/// [`execute_plan_sequential_collected`] with an access sink instead of
+/// a collector (and no timing).
 pub fn execute_plan_sequential_with_sink<const R: usize, S: AccessSink>(
     nest: &CompiledNest<R>,
     plan: &WavefrontPlan<R>,

@@ -12,7 +12,8 @@ use wavefront_machine::{
     simulate, simulate_observed, CommMode, Dep, MachineParams, SimObserver, SimResult, SimTask,
 };
 
-use crate::plan::{PlanError, WavefrontPlan};
+use crate::error::PipelineError;
+use crate::plan::WavefrontPlan;
 use crate::schedule::BlockPolicy;
 use crate::telemetry::{
     BlockEvent, Collector, EngineKind, MessageEvent, RunMeta, TimeUnit, WaitEvent,
@@ -55,14 +56,6 @@ pub fn plan_dag<const R: usize>(plan: &WavefrontPlan<R>) -> Vec<SimTask> {
         }
     }
     tasks
-}
-
-/// Simulate a plan, returning the machine-level result.
-pub fn simulate_plan<const R: usize>(
-    plan: &WavefrontPlan<R>,
-    params: &MachineParams,
-) -> SimResult {
-    simulate(&plan_dag(plan), params, plan.p)
 }
 
 /// Translates the DES observer callbacks of one plan simulation into
@@ -113,8 +106,10 @@ impl SimObserver for DagAdapter<'_> {
     }
 }
 
-/// [`simulate_plan`] reporting telemetry to `collector`. Timelines are
-/// in the machine model's normalized element-time units.
+/// Simulate a plan, reporting telemetry to `collector`. Timelines are
+/// in the machine model's normalized element-time units. With a
+/// disabled collector this is a plain cost simulation of the plan's
+/// task DAG.
 pub fn simulate_plan_collected<const R: usize>(
     plan: &WavefrontPlan<R>,
     params: &MachineParams,
@@ -179,7 +174,7 @@ pub fn simulate_nest<const R: usize>(
 ) -> NestSim {
     match WavefrontPlan::build(nest, p, Some(dist_dim), policy, params) {
         Ok(plan) => {
-            let r = simulate_plan(&plan, params);
+            let r = simulate(&plan_dag(&plan), params, plan.p);
             NestSim {
                 time: r.makespan,
                 pipelined: plan.is_pipelined(),
@@ -187,7 +182,7 @@ pub fn simulate_nest<const R: usize>(
                 wavefront: true,
             }
         }
-        Err(PlanError::WaveNotDistributed { .. }) | Err(PlanError::NoWavefrontDim) => {
+        Err(PipelineError::WaveNotDistributed { .. }) | Err(PipelineError::NoWavefrontDim) => {
             NestSim {
                 time: simulate_parallel_nest(nest, p, dist_dim, params),
                 pipelined: false,
@@ -195,7 +190,7 @@ pub fn simulate_nest<const R: usize>(
                 wavefront: false,
             }
         }
-        Err(PlanError::ConflictingDependences { .. }) => {
+        Err(PipelineError::ConflictingDependences { .. }) => {
             // Dependences cross the distributed dimension in both
             // directions: no pipelined decomposition exists, so the sweep
             // serializes processor by processor (approximated as the
@@ -218,6 +213,9 @@ pub fn simulate_nest<const R: usize>(
                 wavefront: true,
             }
         }
+        // Plan construction only raises the shape errors above; the
+        // session- and tuning-level variants cannot occur here.
+        Err(e) => unreachable!("plan construction returned non-plan error: {e}"),
     }
 }
 
@@ -529,7 +527,7 @@ mod tests {
         for b in [4usize, 16, 64] {
             let plan =
                 WavefrontPlan::build(nest, p, None, &BlockPolicy::Fixed(b), &params).unwrap();
-            let sim = simulate_plan(&plan, &params).makespan;
+            let sim = simulate(&plan_dag(&plan), &params, plan.p).makespan;
             let model = PipeModel::new(n - 1, p, params.alpha, params.beta).t_pipe(b as f64);
             // The closed-form model serializes the whole message chain
             // with the computation, while the simulator overlaps them, so

@@ -24,7 +24,7 @@ use wavefront_core::trace::NoSink;
 
 use crate::plan::WavefrontPlan;
 use crate::telemetry::{
-    BlockEvent, Collector, EngineKind, MessageEvent, NoopCollector, RunMeta, TimeUnit, WaitEvent,
+    BlockEvent, Collector, EngineKind, MessageEvent, RunMeta, TimeUnit, WaitEvent,
 };
 
 /// One worker-side telemetry record, stamped in seconds since the run's
@@ -154,23 +154,8 @@ fn build_local<const R: usize>(
 }
 
 /// Execute `nest` under `plan` with real threads and channels, updating
-/// `store` in place. Results are bit-identical to the sequential
-/// executor.
-#[deprecated(
-    since = "0.2.0",
-    note = "use wavefront_pipeline::Session::run(EngineKind::Threads) or \
-            execute_plan_threaded_collected"
-)]
-pub fn execute_plan_threaded<const R: usize>(
-    program: &Program<R>,
-    nest: &CompiledNest<R>,
-    plan: &WavefrontPlan<R>,
-    store: &mut Store<R>,
-) -> ThreadReport {
-    execute_plan_threaded_collected(program, nest, plan, store, &mut NoopCollector)
-}
-
-/// [`execute_plan_threaded`] reporting telemetry to `collector`.
+/// `store` in place, reporting telemetry to `collector`. Results are
+/// bit-identical to the sequential executor.
 ///
 /// Workers buffer events in thread-local vectors (timestamps relative to
 /// a shared epoch) and the stream is replayed into the collector after
@@ -382,6 +367,7 @@ mod tests {
     use crate::schedule::BlockPolicy;
     use wavefront_core::prelude::*;
     use wavefront_core::exec::run_nest_with_sink;
+    use crate::telemetry::NoopCollector;
 
     fn t3e() -> wavefront_machine::MachineParams {
         wavefront_machine::cray_t3e()

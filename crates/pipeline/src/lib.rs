@@ -19,9 +19,15 @@
 //!
 //! Block sizes come from [`schedule::BlockPolicy`]: fixed, Model1
 //! (constant-cost), Model2 (the paper's Equation (1)), naive
-//! (full-portion), or the probe-based dynamic selection the paper lists
-//! as future work.
+//! (full-portion), probe-based selection, or the closed-loop
+//! [`schedule::BlockPolicy::Adaptive`] policy backed by the [`tune`]
+//! subsystem (host calibration plus online re-blocking).
+//!
+//! [`session::Session`] / [`session::Session2D`] are the one public way
+//! to run an engine; the `execute_plan*_collected` functions remain as
+//! the engine internals they wrap.
 
+pub mod error;
 pub mod exec2d;
 pub mod exec_seq;
 pub mod exec_sim;
@@ -31,30 +37,26 @@ pub mod plan2d;
 pub mod schedule;
 pub mod session;
 pub mod telemetry;
+pub mod tune;
 
-#[allow(deprecated)]
-pub use exec2d::{execute_plan2d_sequential, execute_plan2d_threaded};
+pub use error::PipelineError;
 pub use exec2d::{
     execute_plan2d_sequential_collected, execute_plan2d_threaded_collected, plan2d_dag,
-    simulate_plan2d, simulate_plan2d_collected,
+    simulate_plan2d_collected,
 };
-#[allow(deprecated)]
-pub use exec_seq::execute_plan_sequential;
 pub use exec_seq::{execute_plan_sequential_collected, execute_plan_sequential_with_sink};
 pub use exec_sim::{
-    plan_dag, simulate_nest, simulate_parallel_nest, simulate_plan, simulate_plan_collected,
-    simulate_program, simulate_program_fused, NestSim, ProgramSim,
+    plan_dag, simulate_nest, simulate_parallel_nest, simulate_plan_collected, simulate_program,
+    simulate_program_fused, NestSim, ProgramSim,
 };
-#[allow(deprecated)]
-pub use exec_threads::execute_plan_threaded;
 pub use exec_threads::{execute_plan_threaded_collected, ThreadReport};
-pub use plan::{PlanError, WavefrontPlan};
+pub use plan::WavefrontPlan;
 pub use plan2d::WavefrontPlan2D;
-pub use schedule::{probe_block, BlockPolicy};
+pub use schedule::{probe_block, AdaptiveConfig, BlockCtx, BlockPolicy, BlockSizer};
 pub use session::{
-    Engine, EngineCtx, RunOutcome, SeqEngine, Session, Session2D, SessionError, SimEngine,
-    ThreadsEngine,
+    Engine, EngineCtx, RunOutcome, SeqEngine, Session, Session2D, SimEngine, ThreadsEngine,
 };
 pub use telemetry::{
     Collector, EngineKind, ExecutionReport, NoopCollector, Prediction, RunMeta, TraceCollector,
 };
+pub use tune::{calibrate_host, calibrate_with, AdaptiveReport, CalibrationConfig};

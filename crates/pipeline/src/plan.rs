@@ -13,53 +13,8 @@ use wavefront_core::loops::satisfies;
 use wavefront_core::region::{LoopStructureOrder, Region};
 use wavefront_machine::{Distribution, MachineParams, ProcGrid};
 
-use crate::schedule::BlockPolicy;
-
-/// Why a plan could not be built.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum PlanError {
-    /// The nest carries no value dependences: it is fully parallel and
-    /// needs no pipelining (use a parallel schedule instead).
-    NoWavefrontDim,
-    /// The requested distributed dimension is not one of the nest's
-    /// wavefront dimensions.
-    WaveNotDistributed {
-        /// The nest's wavefront dimensions.
-        wave_dims: Vec<usize>,
-        /// The dimension the caller wants distributed.
-        dist_dim: usize,
-    },
-    /// Some dependence points *against* the wavefront along this
-    /// dimension, so block-distributing it and sweeping processor by
-    /// processor would violate the dependence (e.g. primed directions
-    /// `(-1,0)` and `(1,1)`: legal sequentially — the paper's Example 3
-    /// — but not decomposable along dimension 0).
-    ConflictingDependences {
-        /// The dimension that cannot be distributed.
-        dim: usize,
-    },
-}
-
-impl std::fmt::Display for PlanError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            PlanError::NoWavefrontDim => {
-                write!(f, "nest has no wavefront dimension; it is fully parallel")
-            }
-            PlanError::WaveNotDistributed { wave_dims, dist_dim } => write!(
-                f,
-                "distributed dimension {dist_dim} is not a wavefront dimension {wave_dims:?}"
-            ),
-            PlanError::ConflictingDependences { dim } => write!(
-                f,
-                "a dependence points against the wavefront along dimension {dim}; the nest \
-                 cannot be block-decomposed along it"
-            ),
-        }
-    }
-}
-
-impl std::error::Error for PlanError {}
+use crate::error::PipelineError;
+use crate::schedule::{BlockCtx, BlockPolicy};
 
 /// A fully resolved plan for one nest.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,11 +67,11 @@ impl<const R: usize> WavefrontPlan<R> {
         dist_dim: Option<usize>,
         policy: &BlockPolicy,
         params: &MachineParams,
-    ) -> Result<Self, PlanError> {
+    ) -> Result<Self, PipelineError> {
         assert!(p >= 1, "need at least one processor");
         let wave_dims = &nest.structure.wavefront_dims;
         if wave_dims.is_empty() {
-            return Err(PlanError::NoWavefrontDim);
+            return Err(PipelineError::NoWavefrontDim);
         }
         // A dimension can be block-distributed only when every dependence
         // points downstream along it (the staircase task DAG orders chunk
@@ -128,10 +83,10 @@ impl<const R: usize> WavefrontPlan<R> {
         let wave_dim = match dist_dim {
             Some(d) if wave_dims.contains(&d) && decomposable(d) => d,
             Some(d) if wave_dims.contains(&d) => {
-                return Err(PlanError::ConflictingDependences { dim: d })
+                return Err(PipelineError::ConflictingDependences { dim: d })
             }
             Some(d) => {
-                return Err(PlanError::WaveNotDistributed {
+                return Err(PipelineError::WaveNotDistributed {
                     wave_dims: wave_dims.clone(),
                     dist_dim: d,
                 })
@@ -139,7 +94,7 @@ impl<const R: usize> WavefrontPlan<R> {
             None => *wave_dims
                 .iter()
                 .find(|&&d| decomposable(d))
-                .ok_or(PlanError::ConflictingDependences { dim: wave_dims[0] })?,
+                .ok_or(PipelineError::ConflictingDependences { dim: wave_dims[0] })?,
         };
         let region = nest.region;
         let wave_ascending = nest.structure.order.ascending[wave_dim];
@@ -209,7 +164,8 @@ impl<const R: usize> WavefrontPlan<R> {
             Some(k) => {
                 let n_orth = region.extent(k) as usize;
                 let n_wave = region.extent(wave_dim) as usize;
-                let b = policy.resolve(n_wave, n_orth, p, work, params).max(1);
+                let ctx = BlockCtx::new(n_wave, n_orth, p, work, *params);
+                let b = policy.resolve(&ctx).max(1);
                 let mut tiles = region.chunks(k, b as i64);
                 if !tile_ascending {
                     tiles.reverse();
@@ -308,6 +264,55 @@ impl<const R: usize> WavefrontPlan<R> {
             }
         }
         clipped
+    }
+
+    /// The sizing context this plan was (or would be) blocked with —
+    /// what any [`crate::BlockSizer`] consumes. `None` when the nest has
+    /// no tile dimension (nothing to size).
+    pub fn block_ctx(&self, machine: MachineParams) -> Option<BlockCtx> {
+        let k = self.tile_dim?;
+        Some(BlockCtx::new(
+            self.region.extent(self.wave_dim) as usize,
+            self.region.extent(k) as usize,
+            self.p,
+            self.work,
+            machine,
+        ))
+    }
+
+    /// The same plan re-cut with explicit tile widths, in execution
+    /// order; the final width repeats until the orthogonal extent is
+    /// exhausted. This is how the adaptive tuner re-blocks mid-sweep: a
+    /// couple of probe-width tiles up front, then the fitted optimum for
+    /// the rest. A plan without a tile dimension is returned unchanged.
+    pub fn retile(&self, widths: &[usize]) -> Self {
+        let Some(k) = self.tile_dim else { return self.clone() };
+        let Some((&last, _)) = widths.split_last() else { return self.clone() };
+        let (lo, hi) = (self.region.lo()[k], self.region.hi()[k]);
+        let mut widths = widths.iter().copied();
+        let mut w = widths.next().unwrap().max(1) as i64;
+        let mut tiles = Vec::new();
+        if self.tile_ascending {
+            let mut a = lo;
+            while a <= hi {
+                let b = (a + w - 1).min(hi);
+                tiles.push(self.region.slab(k, a, b));
+                a = b + 1;
+                w = widths.next().map_or(w, |x| x.max(1) as i64);
+            }
+        } else {
+            let mut b = hi;
+            while b >= lo {
+                let a = (b - w + 1).max(lo);
+                tiles.push(self.region.slab(k, a, b));
+                b = a - 1;
+                w = widths.next().map_or(w, |x| x.max(1) as i64);
+            }
+        }
+        let mut plan = self.clone();
+        plan.block = last.max(1);
+        plan.tiles = tiles;
+        plan
     }
 
     /// True when the plan actually pipelines (more than one tile).
@@ -448,7 +453,7 @@ pub(crate) mod tests {
             &t3e(),
         )
         .unwrap_err();
-        assert_eq!(err, PlanError::NoWavefrontDim);
+        assert_eq!(err, PipelineError::NoWavefrontDim);
     }
 
     #[test]
@@ -456,7 +461,45 @@ pub(crate) mod tests {
         let (_p, nest) = tomcatv_nest(34);
         let err =
             WavefrontPlan::build(&nest, 4, Some(1), &BlockPolicy::Fixed(4), &t3e()).unwrap_err();
-        assert!(matches!(err, PlanError::WaveNotDistributed { .. }));
+        assert!(matches!(err, PipelineError::WaveNotDistributed { .. }));
+    }
+
+    #[test]
+    fn retile_covers_region_with_heterogeneous_widths() {
+        let (_p, nest) = tomcatv_nest(66);
+        let plan =
+            WavefrontPlan::build(&nest, 4, None, &BlockPolicy::Fixed(8), &t3e()).unwrap();
+        // 64 columns cut as [2, 4, 10, 10, ...]: probe tiles then steady b.
+        let re = plan.retile(&[2, 4, 10]);
+        assert_eq!(re.block, 10);
+        let widths: Vec<i64> = re.tiles.iter().map(|t| t.extent(1)).collect();
+        assert_eq!(widths, vec![2, 4, 10, 10, 10, 10, 10, 8]);
+        let covered: usize = re.tiles.iter().map(|t| t.len()).sum();
+        assert_eq!(covered, re.region.len());
+        // Execution order and all other plan fields are preserved.
+        assert_eq!(re.tiles[0].lo()[1], plan.region.lo()[1]);
+        assert_eq!(re.wave_dim, plan.wave_dim);
+    }
+
+    #[test]
+    fn retile_descending_runs_from_high_to_low() {
+        let mut p = Program::<2>::new();
+        let bounds = Region::rect([0, 0], [16, 16]);
+        let a = p.array("a", bounds);
+        p.stmt(
+            Region::rect([1, 0], [16, 15]),
+            a,
+            Expr::read_primed_at(a, [-1, 1]) + Expr::lit(1.0),
+        );
+        let compiled = compile(&p).unwrap();
+        let plan = WavefrontPlan::build(compiled.nest(0), 2, Some(0), &BlockPolicy::Fixed(4), &t3e())
+            .unwrap();
+        assert!(!plan.tile_ascending);
+        let re = plan.retile(&[3, 5]);
+        assert_eq!(re.tiles[0].extent(1), 3);
+        assert!(re.tiles[0].lo()[1] > re.tiles[1].lo()[1]);
+        let covered: usize = re.tiles.iter().map(|t| t.len()).sum();
+        assert_eq!(covered, re.region.len());
     }
 
     #[test]

@@ -16,8 +16,8 @@ use wavefront_core::loops::satisfies;
 use wavefront_core::region::{LoopStructureOrder, Region};
 use wavefront_machine::{Distribution, MachineParams, ProcGrid};
 
-use crate::plan::PlanError;
-use crate::schedule::BlockPolicy;
+use crate::error::PipelineError;
+use crate::schedule::{BlockCtx, BlockPolicy};
 
 /// A plan distributing two wavefront dimensions over a processor mesh.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,7 +64,7 @@ impl<const R: usize> WavefrontPlan2D<R> {
         wave_dims: Option<[usize; 2]>,
         policy: &BlockPolicy,
         params: &MachineParams,
-    ) -> Result<Self, PlanError> {
+    ) -> Result<Self, PipelineError> {
         assert!(R >= 2, "a 2-D mesh plan needs rank >= 2");
         assert!(procs[0] >= 1 && procs[1] >= 1);
         let dims = &nest.structure.wavefront_dims;
@@ -76,17 +76,17 @@ impl<const R: usize> WavefrontPlan2D<R> {
             Some(w) => {
                 for d in w {
                     if !dims.contains(&d) {
-                        return Err(PlanError::WaveNotDistributed {
+                        return Err(PipelineError::WaveNotDistributed {
                             wave_dims: dims.clone(),
                             dist_dim: d,
                         });
                     }
                     if !decomposable(d) {
-                        return Err(PlanError::ConflictingDependences { dim: d });
+                        return Err(PipelineError::ConflictingDependences { dim: d });
                     }
                 }
                 if w[0] == w[1] {
-                    return Err(PlanError::WaveNotDistributed {
+                    return Err(PipelineError::WaveNotDistributed {
                         wave_dims: dims.clone(),
                         dist_dim: w[1],
                     });
@@ -97,7 +97,7 @@ impl<const R: usize> WavefrontPlan2D<R> {
                 let ok: Vec<usize> =
                     dims.iter().copied().filter(|&d| decomposable(d)).collect();
                 if ok.len() < 2 {
-                    return Err(PlanError::NoWavefrontDim);
+                    return Err(PipelineError::NoWavefrontDim);
                 }
                 [ok[0], ok[1]]
             }
@@ -192,7 +192,8 @@ impl<const R: usize> WavefrontPlan2D<R> {
                 let p_eff = procs[0] + procs[1] - 1;
                 let n_wave =
                     (region.extent(wave_dims[0]) * region.extent(wave_dims[1])) as usize;
-                let b = policy.resolve(n_wave, n_orth, p_eff.max(1), work, params).max(1);
+                let ctx = BlockCtx::new(n_wave, n_orth, p_eff.max(1), work, *params);
+                let b = policy.resolve(&ctx).max(1);
                 let mut tiles = region.chunks(k, b as i64);
                 if !tile_ascending {
                     tiles.reverse();
@@ -324,6 +325,56 @@ impl<const R: usize> WavefrontPlan2D<R> {
                 self.boundary_slab(owner, tile, axis, t, self.margins[id]).len()
             })
             .sum()
+    }
+
+    /// The sizing context this plan was blocked with: `p` is the mesh's
+    /// effective pipeline depth `p1 + p2 − 1` and `n_wave` the product
+    /// of both wavefront extents. `None` without a tile dimension.
+    pub fn block_ctx(&self, machine: MachineParams) -> Option<BlockCtx> {
+        let k = self.tile_dim?;
+        let p_eff = self.procs[0] + self.procs[1] - 1;
+        let n_wave =
+            (self.region.extent(self.wave_dims[0]) * self.region.extent(self.wave_dims[1])) as usize;
+        Some(BlockCtx::new(
+            n_wave,
+            self.region.extent(k) as usize,
+            p_eff.max(1),
+            self.work,
+            machine,
+        ))
+    }
+
+    /// The same plan re-cut with explicit tile widths in execution
+    /// order; the final width repeats to exhaustion (see
+    /// [`crate::WavefrontPlan::retile`]).
+    pub fn retile(&self, widths: &[usize]) -> Self {
+        let Some(k) = self.tile_dim else { return self.clone() };
+        let Some((&last, _)) = widths.split_last() else { return self.clone() };
+        let (lo, hi) = (self.region.lo()[k], self.region.hi()[k]);
+        let mut widths = widths.iter().copied();
+        let mut w = widths.next().unwrap().max(1) as i64;
+        let mut tiles = Vec::new();
+        if self.tile_ascending {
+            let mut a = lo;
+            while a <= hi {
+                let b = (a + w - 1).min(hi);
+                tiles.push(self.region.slab(k, a, b));
+                a = b + 1;
+                w = widths.next().map_or(w, |x| x.max(1) as i64);
+            }
+        } else {
+            let mut b = hi;
+            while b >= lo {
+                let a = (b - w + 1).max(lo);
+                tiles.push(self.region.slab(k, a, b));
+                b = a - 1;
+                w = widths.next().map_or(w, |x| x.max(1) as i64);
+            }
+        }
+        let mut plan = self.clone();
+        plan.block = last.max(1);
+        plan.tiles = tiles;
+        plan
     }
 
     /// True when the plan pipelines (more than one tile).
@@ -491,7 +542,7 @@ pub(crate) mod tests {
             &t3e(),
         )
         .unwrap_err();
-        assert!(matches!(err, PlanError::ConflictingDependences { dim: 1 }));
+        assert!(matches!(err, PipelineError::ConflictingDependences { dim: 1 }));
     }
 
     #[test]
@@ -513,6 +564,6 @@ pub(crate) mod tests {
             &t3e(),
         )
         .unwrap_err();
-        assert_eq!(err, PlanError::NoWavefrontDim);
+        assert_eq!(err, PipelineError::NoWavefrontDim);
     }
 }

@@ -21,7 +21,6 @@
 //! runtimes can implement [`Engine`] and run through
 //! [`Session::run_engine`], receiving the same prepared [`EngineCtx`].
 
-use std::fmt;
 use std::time::Instant;
 
 use wavefront_core::exec::CompiledNest;
@@ -35,39 +34,11 @@ use crate::exec2d::{
 use crate::exec_seq::execute_plan_sequential_collected;
 use crate::exec_sim::simulate_plan_collected;
 use crate::exec_threads::execute_plan_threaded_collected;
-use crate::plan::{PlanError, WavefrontPlan};
+use crate::error::PipelineError;
+use crate::plan::WavefrontPlan;
 use crate::plan2d::WavefrontPlan2D;
 use crate::schedule::BlockPolicy;
 use crate::telemetry::{Collector, EngineKind, NoopCollector, TimeUnit};
-
-/// Why a session could not run.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum SessionError {
-    /// The nest could not be decomposed into a wavefront plan.
-    Plan(PlanError),
-    /// The selected engine executes real data and needs a store
-    /// (see [`Session::store`]); only the simulator runs without one.
-    MissingStore,
-}
-
-impl fmt::Display for SessionError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            SessionError::Plan(e) => write!(f, "planning failed: {e:?}"),
-            SessionError::MissingStore => {
-                write!(f, "engine executes real data but no store was attached")
-            }
-        }
-    }
-}
-
-impl std::error::Error for SessionError {}
-
-impl From<PlanError> for SessionError {
-    fn from(e: PlanError) -> Self {
-        SessionError::Plan(e)
-    }
-}
 
 /// What one engine run produced, in engine-independent terms.
 #[derive(Debug, Clone, PartialEq)]
@@ -117,7 +88,7 @@ pub trait Engine<const R: usize> {
     /// Which kind this engine reports as.
     fn kind(&self) -> EngineKind;
     /// Execute the plan in `ctx`.
-    fn run(&self, ctx: EngineCtx<'_, R>) -> Result<RunOutcome, SessionError>;
+    fn run(&self, ctx: EngineCtx<'_, R>) -> Result<RunOutcome, PipelineError>;
 }
 
 fn outcome_base<const R: usize>(engine: EngineKind, plan: &WavefrontPlan<R>) -> RunOutcome {
@@ -140,7 +111,7 @@ impl<const R: usize> Engine<R> for SimEngine {
         EngineKind::Sim
     }
 
-    fn run(&self, ctx: EngineCtx<'_, R>) -> Result<RunOutcome, SessionError> {
+    fn run(&self, ctx: EngineCtx<'_, R>) -> Result<RunOutcome, PipelineError> {
         let r = simulate_plan_collected(ctx.plan, ctx.params, ctx.collector);
         Ok(RunOutcome {
             makespan: r.makespan,
@@ -159,8 +130,8 @@ impl<const R: usize> Engine<R> for SeqEngine {
         EngineKind::Seq
     }
 
-    fn run(&self, ctx: EngineCtx<'_, R>) -> Result<RunOutcome, SessionError> {
-        let store = ctx.store.ok_or(SessionError::MissingStore)?;
+    fn run(&self, ctx: EngineCtx<'_, R>) -> Result<RunOutcome, PipelineError> {
+        let store = ctx.store.ok_or(PipelineError::MissingStore)?;
         let start = Instant::now();
         execute_plan_sequential_collected(ctx.nest, ctx.plan, store, ctx.collector);
         Ok(RunOutcome {
@@ -178,8 +149,8 @@ impl<const R: usize> Engine<R> for ThreadsEngine {
         EngineKind::Threads
     }
 
-    fn run(&self, ctx: EngineCtx<'_, R>) -> Result<RunOutcome, SessionError> {
-        let store = ctx.store.ok_or(SessionError::MissingStore)?;
+    fn run(&self, ctx: EngineCtx<'_, R>) -> Result<RunOutcome, PipelineError> {
+        let store = ctx.store.ok_or(PipelineError::MissingStore)?;
         let r = execute_plan_threaded_collected(
             ctx.program,
             ctx.nest,
@@ -198,14 +169,14 @@ impl<const R: usize> Engine<R> for ThreadsEngine {
 /// Builder bundling everything needed to plan and run one nest on a 1-D
 /// processor line. See the module docs for the idiom.
 pub struct Session<'a, const R: usize> {
-    program: &'a Program<R>,
-    nest: &'a CompiledNest<R>,
-    procs: usize,
-    dist_dim: Option<usize>,
-    block: BlockPolicy,
-    machine: MachineParams,
-    collector: Option<&'a mut dyn Collector>,
-    store: Option<&'a mut Store<R>>,
+    pub(crate) program: &'a Program<R>,
+    pub(crate) nest: &'a CompiledNest<R>,
+    pub(crate) procs: usize,
+    pub(crate) dist_dim: Option<usize>,
+    pub(crate) block: BlockPolicy,
+    pub(crate) machine: MachineParams,
+    pub(crate) collector: Option<&'a mut dyn Collector>,
+    pub(crate) store: Option<&'a mut Store<R>>,
 }
 
 impl<'a, const R: usize> Session<'a, R> {
@@ -263,12 +234,19 @@ impl<'a, const R: usize> Session<'a, R> {
     }
 
     /// Build the wavefront plan this session would run.
-    pub fn plan(&self) -> Result<WavefrontPlan<R>, PlanError> {
+    pub fn plan(&self) -> Result<WavefrontPlan<R>, PipelineError> {
         WavefrontPlan::build(self.nest, self.procs, self.dist_dim, &self.block, &self.machine)
     }
 
     /// Plan and run on one of the built-in engines.
-    pub fn run(self, kind: EngineKind) -> Result<RunOutcome, SessionError> {
+    ///
+    /// With [`BlockPolicy::Adaptive`] the run is routed through the
+    /// closed-loop tuner (see [`crate::tune`]): probe tiles, an online
+    /// α/β re-fit, and a re-blocked remainder, all behind the same call.
+    pub fn run(self, kind: EngineKind) -> Result<RunOutcome, PipelineError> {
+        if let BlockPolicy::Adaptive(cfg) = self.block.clone() {
+            return crate::tune::run_session_adaptive(self, kind, &cfg);
+        }
         match kind {
             EngineKind::Sim => self.run_engine(&SimEngine),
             EngineKind::Seq => self.run_engine(&SeqEngine),
@@ -277,7 +255,7 @@ impl<'a, const R: usize> Session<'a, R> {
     }
 
     /// Plan and run on a caller-provided engine.
-    pub fn run_engine(self, engine: &dyn Engine<R>) -> Result<RunOutcome, SessionError> {
+    pub fn run_engine(self, engine: &dyn Engine<R>) -> Result<RunOutcome, PipelineError> {
         let plan = self.plan()?;
         let mut noop = NoopCollector;
         let collector: &mut dyn Collector = match self.collector {
@@ -299,14 +277,14 @@ impl<'a, const R: usize> Session<'a, R> {
 /// [`WavefrontPlan2D`] and dispatches to the mesh variants of the same
 /// three engines.
 pub struct Session2D<'a, const R: usize> {
-    program: &'a Program<R>,
-    nest: &'a CompiledNest<R>,
-    mesh: [usize; 2],
-    wave_dims: Option<[usize; 2]>,
-    block: BlockPolicy,
-    machine: MachineParams,
-    collector: Option<&'a mut dyn Collector>,
-    store: Option<&'a mut Store<R>>,
+    pub(crate) program: &'a Program<R>,
+    pub(crate) nest: &'a CompiledNest<R>,
+    pub(crate) mesh: [usize; 2],
+    pub(crate) wave_dims: Option<[usize; 2]>,
+    pub(crate) block: BlockPolicy,
+    pub(crate) machine: MachineParams,
+    pub(crate) collector: Option<&'a mut dyn Collector>,
+    pub(crate) store: Option<&'a mut Store<R>>,
 }
 
 impl<'a, const R: usize> Session2D<'a, R> {
@@ -362,12 +340,17 @@ impl<'a, const R: usize> Session2D<'a, R> {
     }
 
     /// Build the 2-D wavefront plan this session would run.
-    pub fn plan(&self) -> Result<WavefrontPlan2D<R>, PlanError> {
+    pub fn plan(&self) -> Result<WavefrontPlan2D<R>, PipelineError> {
         WavefrontPlan2D::build(self.nest, self.mesh, self.wave_dims, &self.block, &self.machine)
     }
 
-    /// Plan and run on one of the built-in mesh engines.
-    pub fn run(self, kind: EngineKind) -> Result<RunOutcome, SessionError> {
+    /// Plan and run on one of the built-in mesh engines. As with
+    /// [`Session::run`], [`BlockPolicy::Adaptive`] routes through the
+    /// closed-loop tuner.
+    pub fn run(self, kind: EngineKind) -> Result<RunOutcome, PipelineError> {
+        if let BlockPolicy::Adaptive(cfg) = self.block.clone() {
+            return crate::tune::run_session2d_adaptive(self, kind, &cfg);
+        }
         let plan = self.plan()?;
         let mut noop = NoopCollector;
         let collector: &mut dyn Collector = match self.collector {
@@ -394,13 +377,13 @@ impl<'a, const R: usize> Session2D<'a, R> {
                 })
             }
             EngineKind::Seq => {
-                let store = self.store.ok_or(SessionError::MissingStore)?;
+                let store = self.store.ok_or(PipelineError::MissingStore)?;
                 let start = Instant::now();
                 execute_plan2d_sequential_collected(self.nest, &plan, store, collector);
                 Ok(RunOutcome { makespan: start.elapsed().as_secs_f64(), ..base })
             }
             EngineKind::Threads => {
-                let store = self.store.ok_or(SessionError::MissingStore)?;
+                let store = self.store.ok_or(PipelineError::MissingStore)?;
                 let r = execute_plan2d_threaded_collected(
                     self.program,
                     self.nest,
@@ -482,7 +465,7 @@ mod tests {
         let (program, nest) = tomcatv_nest(20);
         for kind in [EngineKind::Seq, EngineKind::Threads] {
             let err = Session::new(&program, &nest).procs(2).run(kind).unwrap_err();
-            assert_eq!(err, SessionError::MissingStore);
+            assert_eq!(err, PipelineError::MissingStore);
         }
         // The simulator does not.
         assert!(Session::new(&program, &nest).procs(2).run(EngineKind::Sim).is_ok());
@@ -497,7 +480,7 @@ mod tests {
             .dist_dim(7)
             .run(EngineKind::Sim)
             .unwrap_err();
-        assert!(matches!(err, SessionError::Plan(_)));
+        assert!(matches!(err, PipelineError::WaveNotDistributed { .. }));
     }
 
     #[test]

@@ -31,6 +31,21 @@ impl TraceCollector {
         &self.messages
     }
 
+    /// The raw wait events recorded so far.
+    pub fn waits(&self) -> &[WaitEvent] {
+        &self.waits
+    }
+
+    /// The run metadata, once a run has begun.
+    pub fn meta(&self) -> Option<&RunMeta> {
+        self.meta.as_ref()
+    }
+
+    /// The makespan reported at [`Collector::end`] (0 before that).
+    pub fn makespan(&self) -> f64 {
+        self.makespan
+    }
+
     /// Aggregate the recorded stream into a report.
     ///
     /// # Panics

@@ -1,0 +1,609 @@
+//! The closed-loop adaptive block sizer behind
+//! [`crate::BlockPolicy::Adaptive`].
+//!
+//! State machine (same on every engine):
+//!
+//! 1. **Seed** — the plan is built with the model's optimum `b₀`
+//!    (Equation (1) on the configured prior or machine preset).
+//! 2. **Probe** — the first two tiles are shrunk to widths `w₁` and
+//!    `w₂ = 2w₁`. Two distinct widths give two distinct message sizes,
+//!    the minimum needed to separate the startup cost α from the
+//!    per-width cost β.
+//! 3. **Fit** — from the telemetry stream of the probe tiles: each
+//!    message's latency is clocked from the moment both the data and
+//!    the receiver were available (the receiver's preceding block end,
+//!    if later than the send), and the minimum per tile width — the
+//!    unloaded channel cost — fits `latency = α̂ + β̂·w`, and the block
+//!    events give the measured
+//!    work ŵ per (wave row × unit of width). Fitting both against tile
+//!    *width* rather than raw elements folds each link's
+//!    elements-per-column factor into β̂ and each tile's interior
+//!    cross-section into ŵ, so the re-fit corrects for boundary
+//!    thickness, array count, and inner dimensions too — all things the
+//!    static Model2 plug-in ignores.
+//! 4. **Re-block** — Equation (1) on (α̂, β̂, ŵ) picks `b⋆`; the
+//!    remaining extent is re-cut at `b⋆`. When nothing was observable
+//!    (a sequential run sends no messages; an extent too small to
+//!    probe) the sizer keeps `b₀` — the static model choice.
+//!
+//! On the DES simulator the probe prefix and the re-blocked remainder
+//! are simulated as **one** heterogeneous-tile plan: the simulator
+//! processes tasks in dependence order, so the timings of the probe
+//! tiles are identical whether or not the rest of the plan is known in
+//! advance — the single run *is* the closed-loop run. On the host
+//! engines the loop is a phase split: one engine invocation for the
+//! probe tiles, one for the remainder, with the shared store carrying
+//! the boundary values between phases (a legal, coarser schedule that
+//! computes bit-identical values). The attached collector sees one
+//! merged event stream either way.
+
+use std::time::Instant;
+
+use wavefront_machine::MachineParams;
+use wavefront_model::{optimal_block_rect, OnlineEstimator};
+
+use crate::error::PipelineError;
+use crate::exec2d::{
+    execute_plan2d_sequential_collected, execute_plan2d_threaded_collected,
+    simulate_plan2d_collected,
+};
+use crate::exec_seq::execute_plan_sequential_collected;
+use crate::exec_sim::simulate_plan_collected;
+use crate::exec_threads::execute_plan_threaded_collected;
+use crate::plan::WavefrontPlan;
+use crate::plan2d::WavefrontPlan2D;
+use crate::schedule::{AdaptiveConfig, BlockCtx};
+use crate::session::{RunOutcome, Session, Session2D};
+use crate::telemetry::{
+    BlockEvent, Collector, EngineKind, MessageEvent, NoopCollector, Prediction, RunMeta,
+    TimeUnit, TraceCollector, WaitEvent,
+};
+
+/// Number of probe tiles the adaptive loop runs before re-blocking.
+const PROBE_TILES: usize = 2;
+
+/// What one closed-loop run observed and decided.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveReport {
+    /// The model-seeded initial block size `b₀`.
+    pub initial_block: usize,
+    /// The block size the remainder ran at (`b₀` when nothing could be
+    /// observed).
+    pub chosen_block: usize,
+    /// Fitted `(α̂, β̂)` in the engine's time unit, β̂ per unit of tile
+    /// width. `None` when fewer than two message sizes were observed.
+    pub fitted: Option<(f64, f64)>,
+    /// Measured compute cost of the probe tiles per (wave row × unit of
+    /// tile width) — the per-element cost times the cross-section of
+    /// any dimensions that lie entirely inside a tile, which is the
+    /// normalization Equation (1)'s compute term expects.
+    pub work_hat: Option<f64>,
+    /// Whether the loop actually re-blocked (false = static fallback).
+    pub adapted: bool,
+}
+
+impl AdaptiveReport {
+    fn unadapted(b0: usize) -> Self {
+        AdaptiveReport {
+            initial_block: b0,
+            chosen_block: b0,
+            fitted: None,
+            work_hat: None,
+            adapted: false,
+        }
+    }
+}
+
+/// The slice of plan behaviour the adaptive loop needs, shared by the
+/// 1-D and mesh plan types.
+trait Tileable: Clone {
+    fn steady_block(&self) -> usize;
+    fn tile_count(&self) -> usize;
+    fn retile_widths(&self, widths: &[usize]) -> Self;
+    fn keep_first_tiles(&mut self, k: usize);
+    fn drop_first_tiles(&mut self, k: usize);
+    fn sizing_ctx(&self, machine: MachineParams) -> Option<BlockCtx>;
+}
+
+impl<const R: usize> Tileable for WavefrontPlan<R> {
+    fn steady_block(&self) -> usize {
+        self.block
+    }
+    fn tile_count(&self) -> usize {
+        self.tiles.len()
+    }
+    fn retile_widths(&self, widths: &[usize]) -> Self {
+        self.retile(widths)
+    }
+    fn keep_first_tiles(&mut self, k: usize) {
+        self.tiles.truncate(k);
+    }
+    fn drop_first_tiles(&mut self, k: usize) {
+        self.tiles.drain(..k.min(self.tiles.len()));
+    }
+    fn sizing_ctx(&self, machine: MachineParams) -> Option<BlockCtx> {
+        self.block_ctx(machine)
+    }
+}
+
+impl<const R: usize> Tileable for WavefrontPlan2D<R> {
+    fn steady_block(&self) -> usize {
+        self.block
+    }
+    fn tile_count(&self) -> usize {
+        self.tiles.len()
+    }
+    fn retile_widths(&self, widths: &[usize]) -> Self {
+        self.retile(widths)
+    }
+    fn keep_first_tiles(&mut self, k: usize) {
+        self.tiles.truncate(k);
+    }
+    fn drop_first_tiles(&mut self, k: usize) {
+        self.tiles.drain(..k.min(self.tiles.len()));
+    }
+    fn sizing_ctx(&self, machine: MachineParams) -> Option<BlockCtx> {
+        self.block_ctx(machine)
+    }
+}
+
+/// Fit α̂/β̂ against tile width and ŵ against wave rows × width, from
+/// the probe tiles' events.
+///
+/// The two probe tiles jointly cover `n_wave · (w₁ + w₂)` (row, width)
+/// cells exactly once, so dividing their total busy time by that count
+/// yields the compute cost per (row, width) cell — automatically
+/// folding in the cross-section of any dimensions that lie entirely
+/// inside a tile, which the static per-element work estimate ignores.
+fn fit_probe(
+    trace: &TraceCollector,
+    w1: usize,
+    w2: usize,
+    ctx: &BlockCtx,
+) -> (Option<(f64, f64)>, Option<f64>) {
+    let mut est = OnlineEstimator::new();
+    for m in trace.messages() {
+        let w = match m.tile {
+            0 => w1,
+            1 => w2,
+            _ => continue,
+        };
+        if m.elems > 0 {
+            // `recv_at − sent_at` over-counts when the receiver was
+            // still busy when the data arrived (a receive only starts
+            // once the processor is free). The receiver's last block
+            // ending before this receive marks when it could have
+            // posted the receive, so clocking from there isolates the
+            // channel cost — essential when p is small and too few
+            // messages per width exist for the min-filter to find an
+            // unloaded sample on its own.
+            let freed = trace
+                .blocks()
+                .iter()
+                .filter(|b| b.proc == m.to && b.end <= m.recv_at)
+                .fold(0.0f64, |acc, b| acc.max(b.end));
+            est.observe(w, m.recv_at - m.sent_at.max(freed));
+        }
+    }
+    let mut dur = 0.0f64;
+    for b in trace.blocks() {
+        if b.tile < PROBE_TILES {
+            dur += b.end - b.start;
+        }
+    }
+    let cells = (ctx.n_wave * (w1 + w2)) as f64;
+    let work = if dur > 0.0 && cells > 0.0 { Some(dur / cells) } else { None };
+    (est.fit(), work)
+}
+
+/// Equation (1) on the fitted constants, or the fallback when the fit
+/// is unusable.
+fn choose_block(
+    ctx: &BlockCtx,
+    fitted: Option<(f64, f64)>,
+    work: Option<f64>,
+    fallback: usize,
+) -> (usize, bool) {
+    if let (Some((alpha, beta)), Some(w)) = (fitted, work) {
+        if alpha > 0.0 && w > 0.0 {
+            let b = optimal_block_rect(ctx.n_wave, ctx.n_orth, ctx.p, alpha, beta, w);
+            return (ctx.clamp(b), true);
+        }
+    }
+    (fallback, false)
+}
+
+/// Replay two per-phase event streams into the user's collector as one
+/// coherent run: phase 2 shifted by phase 1's wall time and its tiles
+/// renumbered after the probe tiles.
+fn merge_phases(
+    user: &mut dyn Collector,
+    phase1: &TraceCollector,
+    phase2: &TraceCollector,
+    offset: f64,
+    total: f64,
+    chosen_block: usize,
+    tiles: usize,
+) {
+    let Some(m1) = phase1.meta() else { return };
+    let p2 = phase2.meta().map(|m| m.predicted).unwrap_or_default();
+    user.begin(&RunMeta {
+        engine: m1.engine,
+        procs: m1.procs,
+        active: m1.active.clone(),
+        tiles,
+        block: chosen_block,
+        pipelined: tiles > 1,
+        machine: m1.machine.clone(),
+        time_unit: m1.time_unit,
+        predicted: Prediction {
+            messages: m1.predicted.messages + p2.messages,
+            elements: m1.predicted.elements + p2.elements,
+            bytes: m1.predicted.bytes + p2.bytes,
+        },
+    });
+    for (trace, toff, tile_off) in [(phase1, 0.0, 0usize), (phase2, offset, PROBE_TILES)] {
+        for b in trace.blocks() {
+            user.block(BlockEvent {
+                proc: b.proc,
+                tile: b.tile + tile_off,
+                start: b.start + toff,
+                end: b.end + toff,
+                elems: b.elems,
+            });
+        }
+        for m in trace.messages() {
+            user.message(MessageEvent {
+                from: m.from,
+                to: m.to,
+                tile: m.tile + tile_off,
+                elems: m.elems,
+                sent_at: m.sent_at + toff,
+                recv_at: m.recv_at + toff,
+            });
+        }
+        for w in trace.waits() {
+            user.wait(WaitEvent { proc: w.proc, start: w.start + toff, end: w.end + toff });
+        }
+    }
+    user.end(total);
+}
+
+/// The gate every adaptive run passes first: a sizing context and room
+/// for two probe tiles plus a remainder.
+///
+/// A seed plan of three tiles or fewer also declines to probe: cutting
+/// probe tiles out of it would add pipeline handoffs (each worth about
+/// one message latency during the fill) while leaving at most one
+/// steady tile for the refit to re-block — all cost, no control.
+fn probe_gate<P: Tileable>(
+    plan: &P,
+    machine: MachineParams,
+    cfg: &AdaptiveConfig,
+) -> Option<(BlockCtx, usize, usize)> {
+    if plan.tile_count() <= 3 {
+        return None;
+    }
+    let ctx = plan.sizing_ctx(machine)?;
+    let (w1, w2) = cfg.probe_widths(ctx.n_orth, plan.steady_block())?;
+    Some((ctx, w1, w2))
+}
+
+/// Closed loop on the DES simulator: probe-simulate the prefix, fit,
+/// then simulate ONE heterogeneous plan `[w₁, w₂, b⋆, b⋆, …]`. The
+/// simulator's event order makes the prefix timings independent of the
+/// suffix, so this single run is exactly what an online re-blocker
+/// would have executed.
+fn adapt_des<P: Tileable>(
+    plan: &P,
+    machine: MachineParams,
+    cfg: &AdaptiveConfig,
+    collector: &mut dyn Collector,
+    mut sim: impl FnMut(&P, &mut dyn Collector) -> (f64, usize),
+) -> (f64, usize, usize, AdaptiveReport) {
+    let b0 = plan.steady_block();
+    let Some((ctx, w1, w2)) = probe_gate(plan, machine, cfg) else {
+        let (mk, msgs) = sim(plan, collector);
+        return (mk, msgs, plan.tile_count(), AdaptiveReport::unadapted(b0));
+    };
+    let probe = plan.retile_widths(&[w1, w2, b0]);
+    let mut trace = TraceCollector::new();
+    sim(&probe, &mut trace);
+    let (fitted, work) = fit_probe(&trace, w1, w2, &ctx);
+    let (b_star, adapted) = choose_block(&ctx, fitted, work, b0);
+    let fin = plan.retile_widths(&[w1, w2, b_star]);
+    let (mk, msgs) = sim(&fin, collector);
+    let report = AdaptiveReport {
+        initial_block: b0,
+        chosen_block: b_star,
+        fitted,
+        work_hat: work,
+        adapted,
+    };
+    (mk, msgs, fin.tile_count(), report)
+}
+
+/// Closed loop on a host engine: phase 1 executes the two probe tiles,
+/// phase 2 executes the re-blocked remainder; the shared store carries
+/// the boundary values across the phase barrier.
+fn adapt_host<P: Tileable>(
+    plan: &P,
+    machine: MachineParams,
+    cfg: &AdaptiveConfig,
+    collector: &mut dyn Collector,
+    mut run: impl FnMut(&P, &mut dyn Collector) -> (f64, usize),
+) -> (f64, usize, usize, AdaptiveReport) {
+    let b0 = plan.steady_block();
+    let Some((ctx, w1, w2)) = probe_gate(plan, machine, cfg) else {
+        let (t, m) = run(plan, collector);
+        return (t, m, plan.tile_count(), AdaptiveReport::unadapted(b0));
+    };
+    let mut probe = plan.retile_widths(&[w1, w2, b0]);
+    probe.keep_first_tiles(PROBE_TILES);
+    let mut trace1 = TraceCollector::new();
+    let (t1, m1) = run(&probe, &mut trace1);
+    let (fitted, work) = fit_probe(&trace1, w1, w2, &ctx);
+    let (b_star, adapted) = choose_block(&ctx, fitted, work, b0);
+    let mut rest = plan.retile_widths(&[w1, w2, b_star]);
+    rest.drop_first_tiles(PROBE_TILES);
+    let mut trace2 = TraceCollector::new();
+    let (t2, m2) = run(&rest, &mut trace2);
+    let tiles = PROBE_TILES + rest.tile_count();
+    if collector.enabled() {
+        merge_phases(collector, &trace1, &trace2, t1, t1 + t2, b_star, tiles);
+    }
+    let report = AdaptiveReport {
+        initial_block: b0,
+        chosen_block: b_star,
+        fitted,
+        work_hat: work,
+        adapted,
+    };
+    (t1 + t2, m1 + m2, tiles, report)
+}
+
+fn outcome(
+    kind: EngineKind,
+    time_unit: TimeUnit,
+    makespan: f64,
+    messages: usize,
+    tiles: usize,
+    report: &AdaptiveReport,
+) -> RunOutcome {
+    RunOutcome {
+        engine: kind,
+        makespan,
+        time_unit,
+        messages,
+        block: report.chosen_block,
+        tiles,
+        pipelined: tiles > 1,
+    }
+}
+
+/// [`Session::run`] with [`crate::BlockPolicy::Adaptive`] lands here.
+pub(crate) fn run_session_adaptive<const R: usize>(
+    s: Session<'_, R>,
+    kind: EngineKind,
+    cfg: &AdaptiveConfig,
+) -> Result<RunOutcome, PipelineError> {
+    let plan = s.plan()?;
+    let Session { program, nest, machine, collector, store, .. } = s;
+    let mut noop = NoopCollector;
+    let collector: &mut dyn Collector = match collector {
+        Some(c) => c,
+        None => &mut noop,
+    };
+    match kind {
+        EngineKind::Sim => {
+            let (mk, msgs, tiles, rep) = adapt_des(&plan, machine, cfg, collector, |p, c| {
+                let r = simulate_plan_collected(p, &machine, c);
+                (r.makespan, r.messages)
+            });
+            Ok(outcome(kind, TimeUnit::ModelUnits, mk, msgs, tiles, &rep))
+        }
+        EngineKind::Seq => {
+            let store = store.ok_or(PipelineError::MissingStore)?;
+            let (mk, msgs, tiles, rep) = adapt_host(&plan, machine, cfg, collector, |p, c| {
+                let t0 = Instant::now();
+                execute_plan_sequential_collected(nest, p, store, c);
+                (t0.elapsed().as_secs_f64(), 0)
+            });
+            Ok(outcome(kind, TimeUnit::Seconds, mk, msgs, tiles, &rep))
+        }
+        EngineKind::Threads => {
+            let store = store.ok_or(PipelineError::MissingStore)?;
+            let (mk, msgs, tiles, rep) = adapt_host(&plan, machine, cfg, collector, |p, c| {
+                let r = execute_plan_threaded_collected(program, nest, p, store, c);
+                (r.elapsed.as_secs_f64(), r.messages)
+            });
+            Ok(outcome(kind, TimeUnit::Seconds, mk, msgs, tiles, &rep))
+        }
+    }
+}
+
+/// [`Session2D::run`] with [`crate::BlockPolicy::Adaptive`] lands here.
+pub(crate) fn run_session2d_adaptive<const R: usize>(
+    s: Session2D<'_, R>,
+    kind: EngineKind,
+    cfg: &AdaptiveConfig,
+) -> Result<RunOutcome, PipelineError> {
+    let plan = s.plan()?;
+    let Session2D { program, nest, machine, collector, store, .. } = s;
+    let mut noop = NoopCollector;
+    let collector: &mut dyn Collector = match collector {
+        Some(c) => c,
+        None => &mut noop,
+    };
+    match kind {
+        EngineKind::Sim => {
+            let (mk, msgs, tiles, rep) = adapt_des(&plan, machine, cfg, collector, |p, c| {
+                let r = simulate_plan2d_collected(p, &machine, c);
+                (r.makespan, r.messages)
+            });
+            Ok(outcome(kind, TimeUnit::ModelUnits, mk, msgs, tiles, &rep))
+        }
+        EngineKind::Seq => {
+            let store = store.ok_or(PipelineError::MissingStore)?;
+            let (mk, msgs, tiles, rep) = adapt_host(&plan, machine, cfg, collector, |p, c| {
+                let t0 = Instant::now();
+                execute_plan2d_sequential_collected(nest, p, store, c);
+                (t0.elapsed().as_secs_f64(), 0)
+            });
+            Ok(outcome(kind, TimeUnit::Seconds, mk, msgs, tiles, &rep))
+        }
+        EngineKind::Threads => {
+            let store = store.ok_or(PipelineError::MissingStore)?;
+            let (mk, msgs, tiles, rep) = adapt_host(&plan, machine, cfg, collector, |p, c| {
+                let r = execute_plan2d_threaded_collected(program, nest, p, store, c);
+                (r.elapsed.as_secs_f64(), r.messages)
+            });
+            Ok(outcome(kind, TimeUnit::Seconds, mk, msgs, tiles, &rep))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::tests::tomcatv_nest;
+    use crate::schedule::BlockPolicy;
+    use wavefront_core::prelude::*;
+
+    fn init(program: &Program<2>) -> Store<2> {
+        let mut store = Store::new(program);
+        for id in 1..store.len() {
+            let bounds = store.get(id).bounds();
+            *store.get_mut(id) = DenseArray::from_fn(bounds, |q| {
+                1.0 + 0.01 * ((q[0] * 17 + q[1] * 29 + id as i64 * 7) % 97) as f64
+            });
+        }
+        store
+    }
+
+    #[test]
+    fn des_adaptive_recovers_from_a_wrong_prior() {
+        let (program, nest) = tomcatv_nest(130);
+        let machine = wavefront_machine::cray_t3e();
+        // Prior claims communication is nearly free: the seed block is
+        // far too small. The closed loop must land near the true model
+        // optimum anyway.
+        let wrong = MachineParams::custom("wrong-prior", 1.0, 0.0);
+        let cfg = AdaptiveConfig { prior: Some(wrong), ..AdaptiveConfig::default() };
+        let adaptive = Session::new(&program, &nest)
+            .procs(4)
+            .machine(machine)
+            .block(BlockPolicy::Adaptive(cfg))
+            .run(EngineKind::Sim)
+            .unwrap();
+        let static_best = Session::new(&program, &nest)
+            .procs(4)
+            .machine(machine)
+            .block(BlockPolicy::Model2)
+            .run(EngineKind::Sim)
+            .unwrap();
+        assert!(
+            adaptive.makespan <= static_best.makespan * 1.10,
+            "adaptive {} vs static model2 {}",
+            adaptive.makespan,
+            static_best.makespan
+        );
+        assert!(adaptive.block > 1, "chosen block stayed at the bad seed");
+    }
+
+    #[test]
+    fn host_adaptive_phase_split_is_bit_exact() {
+        let n = 60;
+        let (program, nest) = tomcatv_nest(n);
+        let mut reference = init(&program);
+        run_nest_with_sink(&nest, &mut reference, &mut NoSink);
+
+        for kind in [EngineKind::Seq, EngineKind::Threads] {
+            let mut store = init(&program);
+            let out = Session::new(&program, &nest)
+                .procs(3)
+                .block(BlockPolicy::adaptive())
+                .store(&mut store)
+                .run(kind)
+                .unwrap();
+            assert!(out.makespan > 0.0);
+            for id in 0..store.len() {
+                assert!(
+                    store.get(id).region_eq(reference.get(id), nest.region),
+                    "{kind:?}: array {id} differs from the sequential reference"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merged_collector_stream_is_coherent() {
+        let (program, nest) = tomcatv_nest(60);
+        let mut trace = TraceCollector::new();
+        let mut store = init(&program);
+        let out = Session::new(&program, &nest)
+            .procs(3)
+            .block(BlockPolicy::adaptive())
+            .collector(&mut trace)
+            .store(&mut store)
+            .run(EngineKind::Threads)
+            .unwrap();
+        let report = trace.report();
+        assert_eq!(report.messages, out.messages);
+        assert_eq!(report.meta.tiles, out.tiles);
+        assert_eq!(report.meta.block, out.block);
+        assert_eq!(report.meta.predicted.messages, out.messages);
+        // Phase-2 events must sit after phase 1 on the merged clock.
+        let max_tile = trace.blocks().iter().map(|b| b.tile).max().unwrap();
+        assert!(max_tile >= PROBE_TILES, "remainder tiles renumbered after probes");
+    }
+
+    #[test]
+    fn mesh_adaptive_runs_on_all_engines() {
+        let n = 20;
+        let (program, nest) = crate::plan2d::tests::sweep_nest(n);
+        let mut reference = Store::new(&program);
+        run_nest_with_sink(&nest, &mut reference, &mut NoSink);
+
+        let sim = Session2D::new(&program, &nest)
+            .mesh([2, 2])
+            .block(BlockPolicy::adaptive())
+            .run(EngineKind::Sim)
+            .unwrap();
+        assert!(sim.makespan > 0.0);
+
+        for kind in [EngineKind::Seq, EngineKind::Threads] {
+            let mut store = Store::new(&program);
+            let out = Session2D::new(&program, &nest)
+                .mesh([2, 2])
+                .block(BlockPolicy::adaptive())
+                .store(&mut store)
+                .run(kind)
+                .unwrap();
+            assert!(out.makespan > 0.0);
+            for id in 0..store.len() {
+                assert!(
+                    store.get(id).region_eq(reference.get(id), nest.region),
+                    "{kind:?}: mesh adaptive diverged from reference"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_extent_falls_back_to_static_choice() {
+        let (program, nest) = tomcatv_nest(6); // 4 orthogonal columns: no probe room
+        let out = Session::new(&program, &nest)
+            .procs(2)
+            .block(BlockPolicy::adaptive())
+            .run(EngineKind::Sim)
+            .unwrap();
+        let static_out = Session::new(&program, &nest)
+            .procs(2)
+            .block(BlockPolicy::Model2)
+            .run(EngineKind::Sim)
+            .unwrap();
+        assert_eq!(out.block, static_out.block);
+        assert_eq!(out.makespan, static_out.makespan);
+    }
+}

@@ -1,0 +1,204 @@
+//! Host calibration: measure α, β, and per-element compute cost on the
+//! machine actually running the threaded engine.
+//!
+//! The paper's α/β come from the Cray T3E spec sheet; here they come
+//! from microbenchmarks over the exact transport the threaded runtime
+//! uses — `std::sync::mpsc` channels between OS threads. An `mpsc` send
+//! of a `Vec<f64>` is an O(1) pointer move, so a naive ping-pong would
+//! measure β ≈ 0 and lie about volume costs; the runtime, however, pays
+//! to *encode* boundary slabs into the message buffer and *decode* them
+//! into ghost cells on arrival. Calibration therefore times
+//! encode + send + decode round trips, which is what a message of `m`
+//! elements really costs end to end.
+//!
+//! Per-element compute cost comes from timing a multiply-add sweep over
+//! a buffer, the same order of work as one stencil element. All three
+//! constants land in a [`CalibratedMachine`]; `.alpha_work()` /
+//! `.beta_work()` normalize them into the element-compute units the
+//! paper's models use.
+
+use std::sync::mpsc;
+use std::thread;
+use std::time::Instant;
+
+use wavefront_model::{CalibratedMachine, OnlineEstimator};
+
+use crate::error::PipelineError;
+
+/// Knobs of the calibration run. The defaults finish in well under a
+/// second; tests shrink them further.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CalibrationConfig {
+    /// Message sizes (elements) to ping-pong. Needs at least two
+    /// distinct sizes to separate α from β.
+    pub sizes: Vec<usize>,
+    /// Timed round trips per size (the per-size minimum is kept).
+    pub iters: usize,
+    /// Untimed warm-up round trips per size.
+    pub warmup: usize,
+    /// Buffer length for the compute microbenchmark.
+    pub compute_elems: usize,
+    /// Sweeps over that buffer.
+    pub compute_passes: usize,
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        CalibrationConfig {
+            sizes: vec![16, 64, 256, 1024, 4096, 16384],
+            iters: 24,
+            warmup: 4,
+            compute_elems: 1 << 15,
+            compute_passes: 32,
+        }
+    }
+}
+
+/// Calibrate with the default configuration.
+pub fn calibrate_host() -> Result<CalibratedMachine, PipelineError> {
+    calibrate_with(&CalibrationConfig::default())
+}
+
+/// Measure α, β (seconds per message / per element) and the
+/// per-element compute cost (seconds) on this host.
+pub fn calibrate_with(cfg: &CalibrationConfig) -> Result<CalibratedMachine, PipelineError> {
+    if cfg.sizes.len() < 2 {
+        return Err(PipelineError::Calibration(
+            "need at least two message sizes to separate alpha from beta".into(),
+        ));
+    }
+    let elem_cost = measure_elem_cost(cfg);
+    let est = ping_pong(cfg)?;
+    let (mut alpha, beta) = est.fit().ok_or_else(|| {
+        PipelineError::Calibration("latency fit needs two distinct message sizes".into())
+    })?;
+    if alpha <= 0.0 {
+        // A steep fit can push the intercept to zero; the smallest
+        // latency ever observed still bounds the startup cost.
+        let floor = est
+            .samples()
+            .iter()
+            .map(|&(_, lat)| lat)
+            .fold(f64::INFINITY, f64::min);
+        alpha = (floor / 2.0).max(f64::MIN_POSITIVE);
+    }
+    let cal = CalibratedMachine::new(alpha, beta, elem_cost);
+    if !cal.is_plausible() {
+        return Err(PipelineError::Calibration(format!(
+            "implausible constants: alpha {} beta {} elem {}",
+            cal.alpha, cal.beta, cal.elem_cost
+        )));
+    }
+    Ok(cal)
+}
+
+/// One-way message cost per size, min-filtered over repeated round
+/// trips, including the encode/decode copies the runtime performs.
+fn ping_pong(cfg: &CalibrationConfig) -> Result<OnlineEstimator, PipelineError> {
+    let send_fail =
+        |_| PipelineError::Calibration("echo thread hung up mid-benchmark".into());
+    let recv_fail =
+        |_| PipelineError::Calibration("echo thread died mid-benchmark".into());
+    let max_size = cfg.sizes.iter().copied().max().unwrap_or(1);
+    let (to_echo, echo_in) = mpsc::channel::<Vec<f64>>();
+    let (echo_out, from_echo) = mpsc::channel::<Vec<f64>>();
+    let echo = thread::spawn(move || {
+        // The echo side decodes into ghost storage and encodes a reply,
+        // mirroring what a pipeline stage does per tile.
+        let mut ghost = vec![0.0f64; max_size];
+        while let Ok(msg) = echo_in.recv() {
+            let m = msg.len();
+            ghost[..m].copy_from_slice(&msg);
+            let mut reply = Vec::with_capacity(m);
+            reply.extend_from_slice(&ghost[..m]);
+            if echo_out.send(reply).is_err() {
+                break;
+            }
+        }
+    });
+
+    let src: Vec<f64> = (0..max_size).map(|i| i as f64 * 0.5).collect();
+    let mut ghost = vec![0.0f64; max_size];
+    let mut est = OnlineEstimator::new();
+    let mut result = Ok(());
+    'sizes: for &m in &cfg.sizes {
+        let m = m.clamp(1, max_size);
+        for it in 0..cfg.warmup + cfg.iters {
+            let t0 = Instant::now();
+            let mut buf = Vec::with_capacity(m);
+            buf.extend_from_slice(&src[..m]); // encode
+            if let Err(e) = to_echo.send(buf).map_err(send_fail) {
+                result = Err(e);
+                break 'sizes;
+            }
+            let back = match from_echo.recv().map_err(recv_fail) {
+                Ok(b) => b,
+                Err(e) => {
+                    result = Err(e);
+                    break 'sizes;
+                }
+            };
+            ghost[..m].copy_from_slice(&back[..m]); // decode
+            let one_way = t0.elapsed().as_secs_f64() / 2.0;
+            if it >= cfg.warmup {
+                est.observe(m, one_way);
+            }
+        }
+    }
+    std::hint::black_box(&ghost);
+    drop(to_echo);
+    let _ = echo.join();
+    result.map(|()| est)
+}
+
+/// Seconds per multiply-add element on this host.
+fn measure_elem_cost(cfg: &CalibrationConfig) -> f64 {
+    let n = cfg.compute_elems.max(1);
+    let passes = cfg.compute_passes.max(1);
+    let mut x = vec![1.0f64; n];
+    // One untimed pass to fault the pages in.
+    for v in x.iter_mut() {
+        *v = *v * 1.0000001 + 1e-12;
+    }
+    std::hint::black_box(&x);
+    let t0 = Instant::now();
+    for pass in 0..passes {
+        let b = 1e-12 * (pass as f64 + 1.0);
+        for v in x.iter_mut() {
+            *v = *v * 1.0000001 + b;
+        }
+        std::hint::black_box(&x);
+    }
+    t0.elapsed().as_secs_f64() / (n * passes) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> CalibrationConfig {
+        CalibrationConfig {
+            sizes: vec![16, 256, 4096],
+            iters: 8,
+            warmup: 2,
+            compute_elems: 1 << 12,
+            compute_passes: 8,
+        }
+    }
+
+    #[test]
+    fn calibration_yields_finite_positive_constants() {
+        let cal = calibrate_with(&quick()).expect("calibration runs");
+        assert!(cal.alpha.is_finite() && cal.alpha > 0.0, "alpha {}", cal.alpha);
+        assert!(cal.beta.is_finite() && cal.beta >= 0.0, "beta {}", cal.beta);
+        assert!(cal.elem_cost.is_finite() && cal.elem_cost > 0.0);
+        assert!(cal.alpha_work().is_finite() && cal.alpha_work() > 0.0);
+    }
+
+    #[test]
+    fn one_size_is_rejected() {
+        let cfg = CalibrationConfig { sizes: vec![64], ..quick() };
+        let err = calibrate_with(&cfg).unwrap_err();
+        assert!(matches!(err, PipelineError::Calibration(_)));
+    }
+}

@@ -9,7 +9,7 @@
 
 use wavefront::machine::{pipeline_dag, simulate, MachineParams};
 use wavefront::model::PipeModel;
-use wavefront::pipeline::probe_block;
+use wavefront::pipeline::{probe_block, BlockCtx};
 
 fn main() {
     let args: Vec<f64> = std::env::args()
@@ -52,7 +52,7 @@ fn main() {
     let candidates: Vec<usize> = (1..=n).collect();
     println!(
         "  simulator probe:         {}",
-        probe_block(&candidates, n, n, p, 1.0, &params)
+        probe_block(&candidates, &BlockCtx::new(n, n, p, 1.0, params))
     );
     println!("  Model1 (beta = 0) says:  {:.1}", model1.optimal_b_eq1());
 }

@@ -11,7 +11,8 @@ use wavefront::core::prelude::*;
 use wavefront::kernels::tomcatv;
 use wavefront::machine::cray_t3e;
 use wavefront::pipeline::{
-    simulate_plan, BlockPolicy, EngineKind, Session, TraceCollector, WavefrontPlan,
+    simulate_plan_collected, BlockPolicy, EngineKind, NoopCollector, Session, TraceCollector,
+    WavefrontPlan,
 };
 
 /// Run program ops up to (but not including) the first scan block — the
@@ -117,8 +118,8 @@ fn main() {
     // Simulated schedules on the T3E model.
     let naive = WavefrontPlan::build(nest, p, None, &BlockPolicy::FullPortion, &params)
         .expect("naive plan");
-    let t_pipe = simulate_plan(&plan, &params).makespan;
-    let t_naive = simulate_plan(&naive, &params).makespan;
+    let t_pipe = simulate_plan_collected(&plan, &params, &mut NoopCollector).makespan;
+    let t_naive = simulate_plan_collected(&naive, &params, &mut NoopCollector).makespan;
     println!(
         "\nSimulated {}: naive {:.0} vs pipelined {:.0} → {:.2}x from pipelining",
         params.name,

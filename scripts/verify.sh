@@ -11,6 +11,10 @@ echo
 echo "== tests (offline) =="
 cargo test -q --offline
 
+echo
+echo "== clippy (all targets, warnings are errors) =="
+cargo clippy --all-targets --offline -- -D warnings
+
 WLC=target/release/wlc
 
 echo
@@ -29,6 +33,17 @@ for key in '"per_proc"' '"phases"' '"predicted"' '"messages"'; do
     fi
 done
 echo "trace JSON contains per_proc / phases / predicted / messages ✔"
+
+echo
+echo "== wlc tune smoke (calibration + adaptive, JSON) =="
+out=$("$WLC" tune programs/fig3.wf --procs 4 --json)
+for key in '"calibration"' '"alpha_work"' '"model_b"' '"exhaustive_b"' '"engines"'; do
+    if ! grep -qF "$key" <<<"$out"; then
+        echo "tune output missing $key" >&2
+        exit 1
+    fi
+done
+echo "tune JSON contains calibration / alpha_work / model_b / exhaustive_b / engines ✔"
 
 echo
 echo "All verification steps passed."

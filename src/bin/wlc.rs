@@ -5,6 +5,8 @@
 //! wlc run   <file.wf> [options]           execute sequentially, print arrays
 //! wlc plan  <file.wf> [options]           plan + simulate each wavefront
 //! wlc trace <file.wf> [options]           run with telemetry, print report
+//! wlc tune  <file.wf> [options]           calibrate the host, compare
+//!                                         model/adaptive/exhaustive blocks
 //!
 //! options:
 //!   --rank N            program rank (1..=4; default 2)
@@ -12,12 +14,12 @@
 //!   --fill name=V       fill an array with the constant V before running
 //!   --fill-coords name  fill an array with i*100 + j (+ k*10000)
 //!   --print name        print an array after running (repeatable)
-//!   --procs P           processors for `plan`/`trace` (default 4)
-//!   --block POLICY      fixed:<b> | model1 | model2 | naive | probe
+//!   --procs P           processors for `plan`/`trace`/`tune` (default 4)
+//!   --block POLICY      fixed:<b> | model1 | model2 | naive | probe | adaptive
 //!   --machine M         t3e | powerchallenge (default t3e)
 //!   --engine E          threads | seq | sim — runtime for `trace`
 //!                       (default threads)
-//!   --json              emit the `trace` report as JSON
+//!   --json              emit the `trace`/`tune` report as JSON
 //! ```
 
 use std::process::ExitCode;
@@ -26,7 +28,8 @@ use wavefront::core::prelude::*;
 use wavefront::lang::{compile_str, Lowered};
 use wavefront::machine::{cray_t3e, sgi_power_challenge, MachineParams};
 use wavefront::pipeline::{
-    simulate_plan, BlockPolicy, EngineKind, Session, TraceCollector, WavefrontPlan,
+    calibrate_host, simulate_plan_collected, BlockPolicy, EngineKind, NoopCollector, Session,
+    TraceCollector, WavefrontPlan,
 };
 
 struct Opts {
@@ -45,9 +48,9 @@ struct Opts {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: wlc <check|run|plan|trace> <file.wf> [--rank N] [-D name=value]");
+    eprintln!("usage: wlc <check|run|plan|trace|tune> <file.wf> [--rank N] [-D name=value]");
     eprintln!("           [--fill name=V] [--fill-coords name] [--print name]");
-    eprintln!("           [--procs P] [--block fixed:<b>|model1|model2|naive|probe]");
+    eprintln!("           [--procs P] [--block fixed:<b>|model1|model2|naive|probe|adaptive]");
     eprintln!("           [--machine t3e|powerchallenge]");
     eprintln!("           [--engine threads|seq|sim] [--json]");
     ExitCode::from(2)
@@ -100,6 +103,7 @@ fn parse_args() -> std::result::Result<Opts, ExitCode> {
                     "model2" => BlockPolicy::Model2,
                     "naive" => BlockPolicy::FullPortion,
                     "probe" => BlockPolicy::default_probe(4096),
+                    "adaptive" => BlockPolicy::adaptive(),
                     other => match other.strip_prefix("fixed:") {
                         Some(b) => BlockPolicy::Fixed(b.parse().map_err(|_| usage())?),
                         None => return Err(usage()),
@@ -178,6 +182,7 @@ fn drive<const R: usize>(opts: &Opts, src: &str) -> ExitCode {
         "run" => run(opts, &lowered, &compiled),
         "plan" => plan::<R>(opts, &compiled),
         "trace" => trace::<R>(opts, &lowered, &compiled),
+        "tune" => tune::<R>(opts, &lowered, &compiled),
         other => {
             eprintln!("unknown command {other}");
             ExitCode::from(2)
@@ -320,7 +325,7 @@ fn plan<const R: usize>(opts: &Opts, compiled: &CompiledProgram<R>) -> ExitCode 
         any = true;
         match WavefrontPlan::build(nest, opts.procs, None, &opts.block, &opts.machine) {
             Ok(plan) => {
-                let pipe = simulate_plan(&plan, &opts.machine).makespan;
+                let pipe = simulate_plan_collected(&plan, &opts.machine, &mut NoopCollector).makespan;
                 let naive = WavefrontPlan::build(
                     nest,
                     opts.procs,
@@ -328,7 +333,7 @@ fn plan<const R: usize>(opts: &Opts, compiled: &CompiledProgram<R>) -> ExitCode 
                     &BlockPolicy::FullPortion,
                     &opts.machine,
                 )
-                .map(|p| simulate_plan(&p, &opts.machine).makespan)
+                .map(|p| simulate_plan_collected(&p, &opts.machine, &mut NoopCollector).makespan)
                 .unwrap_or(f64::NAN);
                 println!(
                     "nest {k}: wave dim {}, b = {} ({} tiles), {} arrays downstream; \
@@ -363,6 +368,7 @@ fn trace<const R: usize>(
 ) -> ExitCode {
     let mut json_nests: Vec<String> = Vec::new();
     let mut any = false;
+    let mut failed = false;
     for (k, nest) in compiled.nests().enumerate() {
         if !nest.is_scan {
             continue;
@@ -391,11 +397,8 @@ fn trace<const R: usize>(
                 }
             }
             Err(e) => {
-                if opts.json {
-                    eprintln!("nest {k}: {e}");
-                } else {
-                    println!("nest {k}: {e}");
-                }
+                eprintln!("nest {k}: {e}");
+                failed = true;
             }
         }
     }
@@ -409,5 +412,161 @@ fn trace<const R: usize>(
             json_nests.join(", ")
         );
     }
-    ExitCode::SUCCESS
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `wlc tune`: calibrate α/β and the per-element compute cost on this
+/// host, then for every scan nest compare three block-size choices on
+/// the calibrated machine — the model optimum (Equation (1)), the
+/// closed-loop adaptive choice, and the best of an exhaustive DES sweep
+/// — reporting adaptive makespans for all three engines.
+fn tune<const R: usize>(
+    opts: &Opts,
+    lowered: &Lowered<R>,
+    compiled: &CompiledProgram<R>,
+) -> ExitCode {
+    let cal = match calibrate_host() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("calibration failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let machine = MachineParams::calibrated(cal.alpha_work(), cal.beta_work());
+    if !opts.json {
+        println!(
+            "calibrated: alpha {:.3e} s, beta {:.3e} s/elem, elem cost {:.3e} s",
+            cal.alpha, cal.beta, cal.elem_cost
+        );
+        println!(
+            "in work units: alpha {:.1}, beta {:.2} (elements of compute)",
+            cal.alpha_work(),
+            cal.beta_work()
+        );
+    }
+    let mut json_nests: Vec<String> = Vec::new();
+    let mut any = false;
+    let mut failed = false;
+    for (k, nest) in compiled.nests().enumerate() {
+        if !nest.is_scan {
+            continue;
+        }
+        any = true;
+        // The model's pick, simulated on the calibrated machine.
+        let model_plan =
+            match WavefrontPlan::build(nest, opts.procs, None, &BlockPolicy::Model2, &machine) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("nest {k}: not plannable: {e}");
+                    failed = true;
+                    continue;
+                }
+            };
+        let model_b = model_plan.block;
+        let model_t =
+            simulate_plan_collected(&model_plan, &machine, &mut NoopCollector).makespan;
+
+        // Exhaustive sweep over block sizes (strided only above 1024
+        // candidates, to bound the number of simulations).
+        let (mut best_b, mut best_t) = (model_b, model_t);
+        if let Some(ctx) = model_plan.block_ctx(machine) {
+            let step = (ctx.n_orth / 1024).max(1);
+            let mut b = 1;
+            while b <= ctx.n_orth {
+                if let Ok(p) =
+                    WavefrontPlan::build(nest, opts.procs, None, &BlockPolicy::Fixed(b), &machine)
+                {
+                    let t = simulate_plan_collected(&p, &machine, &mut NoopCollector).makespan;
+                    if t < best_t {
+                        (best_b, best_t) = (p.block, t);
+                    }
+                }
+                b += step;
+            }
+        }
+
+        // The adaptive policy on each engine.
+        let mut engine_json: Vec<String> = Vec::new();
+        let mut lines: Vec<String> = Vec::new();
+        for kind in [EngineKind::Sim, EngineKind::Seq, EngineKind::Threads] {
+            let mut store = match init_store(opts, lowered) {
+                Ok(s) => s,
+                Err(code) => return code,
+            };
+            let mut session = Session::new(&lowered.program, nest)
+                .procs(opts.procs)
+                .block(BlockPolicy::adaptive())
+                .machine(machine);
+            if kind != EngineKind::Sim {
+                session = session.store(&mut store);
+            }
+            match session.run(kind) {
+                Ok(out) => {
+                    engine_json.push(format!(
+                        "\"{}\": {{\"block\": {}, \"makespan\": {}, \"time_unit\": \"{}\", \
+                         \"messages\": {}}}",
+                        kind.name(),
+                        out.block,
+                        out.makespan,
+                        out.time_unit.name(),
+                        out.messages
+                    ));
+                    lines.push(format!(
+                        "  {:<7} adaptive b = {:<5} makespan {:.4e} {}",
+                        kind.name(),
+                        out.block,
+                        out.makespan,
+                        out.time_unit.name()
+                    ));
+                }
+                Err(e) => {
+                    eprintln!("nest {k} ({}): {e}", kind.name());
+                    failed = true;
+                }
+            }
+        }
+
+        if opts.json {
+            json_nests.push(format!(
+                "{{\"nest\": {k}, \"procs\": {}, \"model_b\": {model_b}, \
+                 \"model_makespan\": {model_t}, \"exhaustive_b\": {best_b}, \
+                 \"exhaustive_makespan\": {best_t}, \"engines\": {{{}}}}}",
+                opts.procs,
+                engine_json.join(", ")
+            ));
+        } else {
+            println!("nest {k} (p = {}):", opts.procs);
+            println!("  model   b = {model_b:<5} makespan {model_t:.4e} model_units");
+            println!("  sweep   b = {best_b:<5} makespan {best_t:.4e} model_units");
+            for l in &lines {
+                println!("{l}");
+            }
+        }
+    }
+    if !any && !opts.json {
+        println!("no wavefront nests (fully parallel program)");
+    }
+    if opts.json {
+        println!(
+            "{{\"program\": \"{}\", \"calibration\": {{\"alpha_seconds\": {}, \
+             \"beta_seconds\": {}, \"elem_cost_seconds\": {}, \"alpha_work\": {}, \
+             \"beta_work\": {}}}, \"nests\": [{}]}}",
+            opts.file.replace('\\', "\\\\").replace('"', "\\\""),
+            cal.alpha,
+            cal.beta,
+            cal.elem_cost,
+            cal.alpha_work(),
+            cal.beta_work(),
+            json_nests.join(", ")
+        );
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }

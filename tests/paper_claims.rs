@@ -10,7 +10,7 @@ use wavefront::core::prelude::*;
 use wavefront::kernels::{simple, tomcatv};
 use wavefront::machine::{cray_t3e, fig5a_problem, fig5a_t3e, sgi_power_challenge};
 use wavefront::model::{t_transpose_strategy, PipeModel};
-use wavefront::pipeline::{simulate_nest, simulate_plan, BlockPolicy, WavefrontPlan};
+use wavefront::pipeline::{simulate_nest, simulate_plan_collected, BlockPolicy, NoopCollector, WavefrontPlan};
 
 // ---------------------------------------------------------------- Fig 5a
 
@@ -37,7 +37,7 @@ fn fig5a_model2_choice_beats_model1_choice_in_simulation() {
     let t_at = |b: usize| {
         let plan =
             WavefrontPlan::build(nest, p, None, &BlockPolicy::Fixed(b), &scaled).unwrap();
-        simulate_plan(&plan, &scaled).makespan
+        simulate_plan_collected(&plan, &scaled, &mut NoopCollector).makespan
     };
     assert!(t_at(23) < t_at(39), "the paper: b = 23 'is in fact better' than 39");
 }
@@ -57,12 +57,12 @@ fn fig5a_model2_tracks_simulation_better_than_model1() {
     let scaled = wavefront::machine::MachineParams::custom("s", m.alpha * work, m.beta * work);
     let naive =
         WavefrontPlan::build(nest, p, None, &BlockPolicy::FullPortion, &scaled).unwrap();
-    let t_naive = simulate_plan(&naive, &scaled).makespan;
+    let t_naive = simulate_plan_collected(&naive, &scaled, &mut NoopCollector).makespan;
     let (mut e1, mut e2) = (0.0f64, 0.0);
     for b in [2usize, 4, 8, 16, 23, 32, 39, 64, 128] {
         let plan =
             WavefrontPlan::build(nest, p, None, &BlockPolicy::Fixed(b), &scaled).unwrap();
-        let s_sim = t_naive / simulate_plan(&plan, &scaled).makespan;
+        let s_sim = t_naive / simulate_plan_collected(&plan, &scaled, &mut NoopCollector).makespan;
         e1 += (model1.speedup_vs_naive(b as f64).ln() - s_sim.ln()).powi(2);
         e2 += (model2.speedup_vs_naive(b as f64).ln() - s_sim.ln()).powi(2);
     }

@@ -156,9 +156,11 @@ fn example_2_values_match_hand_recurrence() {
     execute(&lo.program, &mut store).unwrap();
 
     let mut expect = [[0.0f64; 6]; 6];
-    for k in 0..=5 {
-        expect[0][k] = k as f64;
-        expect[k][0] = k as f64;
+    for (k, row) in expect.iter_mut().enumerate() {
+        row[0] = k as f64;
+    }
+    for (k, cell) in expect[0].iter_mut().enumerate() {
+        *cell = k as f64;
     }
     for i in 1..=5 {
         for j in 1..=5 {

@@ -1,0 +1,178 @@
+//! The closed-loop tuner's guarantees, as executable assertions.
+//!
+//! The adaptive block policy promises to land near the best achievable
+//! makespan even when its initial machine constants are wrong, and host
+//! calibration promises physically plausible α/β. Both are checked here
+//! against the DES simulator (deterministic, so the bounds are tight)
+//! and the real threaded transport.
+
+use wavefront::core::prelude::*;
+use wavefront::kernels::rng::SplitMix64;
+use wavefront::kernels::{simple, sweep3d, tomcatv};
+use wavefront::machine::{cray_t3e, MachineParams};
+use wavefront::model::PipeModel;
+use wavefront::pipeline::{
+    calibrate_with, simulate_plan_collected, AdaptiveConfig, BlockPolicy, CalibrationConfig,
+    EngineKind, NoopCollector, Session, WavefrontPlan,
+};
+
+/// A square n×n unit-work scan: row i depends on row i−1.
+fn square_scan(n: i64) -> (Program<2>, CompiledProgram<2>) {
+    let mut prog = Program::<2>::new();
+    let bounds = Region::rect([0, 1], [n, n]);
+    let a = prog.array("a", bounds);
+    prog.stmt(
+        Region::rect([1, 1], [n, n]),
+        a,
+        Expr::read_primed_at(a, [-1, 0]) + Expr::lit(1.0),
+    );
+    let compiled = compile(&prog).unwrap();
+    (prog, compiled)
+}
+
+/// A deliberately wrong prior: zero per-element cost and negligible
+/// startup, so the seed guess is far from the machine's optimum and the
+/// probe fit must do the real work.
+fn wrong_prior() -> MachineParams {
+    MachineParams::custom("wrong-prior", 1.0, 0.0)
+}
+
+#[test]
+fn adaptive_tracks_model_optimum_across_random_machines() {
+    // Property-style loop: random (n, p, α, β) on the DES engine. With
+    // the default configuration (seeded from the machine's own
+    // constants) the closed loop must come within 10% of the simulated
+    // makespan at the analytic model's brute-force optimal block size —
+    // probing and re-blocking may not degrade a good seed. With a
+    // maximally wrong prior (communication claimed free, so the seed
+    // block is 1) the loop pays an additive probe overhead — a handful
+    // of extra tiny-tile pipeline handoffs, each costing about one
+    // message latency — but must still recover the block size and land
+    // within a few α of the optimum.
+    let mut rng = SplitMix64::new(0x70E5);
+    for trial in 0..8 {
+        let n = 48 + rng.gen_range(65); // 48..=112
+        let p = 2 + rng.gen_range(5); // 2..=6
+        let alpha = 20.0 + rng.gen_f64() * 1480.0;
+        let beta = 0.2 + rng.gen_f64() * 11.8;
+        let machine = MachineParams::custom("random", alpha, beta);
+        let (prog, compiled) = square_scan(n as i64);
+        let nest = compiled.nests().find(|x| x.is_scan).unwrap();
+
+        let b_star = PipeModel::new(n, p, alpha, beta).optimal_b_numeric();
+        let star_plan =
+            WavefrontPlan::build(nest, p, None, &BlockPolicy::Fixed(b_star), &machine).unwrap();
+        let t_star = simulate_plan_collected(&star_plan, &machine, &mut NoopCollector).makespan;
+
+        let adaptive_run = |cfg: AdaptiveConfig| {
+            Session::new(&prog, nest)
+                .procs(p)
+                .block(BlockPolicy::Adaptive(cfg))
+                .machine(machine)
+                .run(EngineKind::Sim)
+                .unwrap()
+        };
+        let seeded = adaptive_run(AdaptiveConfig::default());
+        assert!(
+            seeded.makespan <= 1.10 * t_star,
+            "trial {trial} (n={n} p={p} α={alpha:.0} β={beta:.1}): adaptive {} vs \
+             model-optimal b={b_star} at {t_star}",
+            seeded.makespan
+        );
+
+        let blind = adaptive_run(AdaptiveConfig {
+            prior: Some(wrong_prior()),
+            ..AdaptiveConfig::default()
+        });
+        let probe_overhead = 4.0 * (alpha + 3.0 * beta);
+        assert!(
+            blind.makespan <= t_star + probe_overhead,
+            "trial {trial} (n={n} p={p} α={alpha:.0} β={beta:.1}): wrong-prior adaptive {} \
+             vs model-optimal b={b_star} at {t_star}",
+            blind.makespan
+        );
+        assert!(
+            blind.block >= b_star / 2,
+            "trial {trial}: wrong-prior run kept b={} (model optimum {b_star})",
+            blind.block
+        );
+    }
+}
+
+/// Exhaustive-sweep best makespan for `nest` on `machine`: simulate a
+/// fixed plan at every block size the orthogonal extent allows.
+fn exhaustive_best<const R: usize>(
+    nest: &CompiledNest<R>,
+    p: usize,
+    machine: &MachineParams,
+) -> f64 {
+    let probe = WavefrontPlan::build(nest, p, None, &BlockPolicy::Model2, machine).unwrap();
+    let n_orth = probe.block_ctx(*machine).map_or(1, |c| c.n_orth);
+    (1..=n_orth)
+        .filter_map(|b| WavefrontPlan::build(nest, p, None, &BlockPolicy::Fixed(b), machine).ok())
+        .map(|plan| simulate_plan_collected(&plan, machine, &mut NoopCollector).makespan)
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn assert_adaptive_close<const R: usize>(
+    label: &str,
+    prog: &Program<R>,
+    compiled: &CompiledProgram<R>,
+    p: usize,
+) {
+    let machine = cray_t3e();
+    let nest = compiled.nests().find(|x| x.is_scan).unwrap();
+    let t_best = exhaustive_best(nest, p, &machine);
+    let cfg = AdaptiveConfig { prior: Some(wrong_prior()), ..AdaptiveConfig::default() };
+    let out = Session::new(prog, nest)
+        .procs(p)
+        .block(BlockPolicy::Adaptive(cfg))
+        .machine(machine)
+        .run(EngineKind::Sim)
+        .unwrap();
+    assert!(
+        out.makespan <= 1.10 * t_best,
+        "{label}: adaptive {} vs exhaustive best {t_best}",
+        out.makespan
+    );
+}
+
+#[test]
+fn adaptive_within_10pct_of_exhaustive_on_fig3_kernel() {
+    let lo = simple::build(66).unwrap();
+    let compiled = compile(&lo.program).unwrap();
+    assert_adaptive_close("fig3/simple n=66", &lo.program, &compiled, 4);
+}
+
+#[test]
+fn adaptive_within_10pct_of_exhaustive_on_tomcatv() {
+    let lo = tomcatv::build(130).unwrap();
+    let compiled = compile(&lo.program).unwrap();
+    assert_adaptive_close("tomcatv n=130", &lo.program, &compiled, 4);
+}
+
+#[test]
+fn adaptive_within_10pct_of_exhaustive_on_sweep3d_octant() {
+    let lo = sweep3d::build_octant(20, [1, 1, 1]).unwrap();
+    let compiled = compile(&lo.program).unwrap();
+    assert_adaptive_close("sweep3d octant n=20", &lo.program, &compiled, 4);
+}
+
+#[test]
+fn threaded_transport_calibration_is_plausible() {
+    // Regression: calibration over the threaded runtime's channels must
+    // produce finite, strictly positive α and non-negative β — the
+    // constants feed a square root in Equation (1).
+    let cfg = CalibrationConfig {
+        sizes: vec![16, 256, 4096],
+        iters: 8,
+        warmup: 2,
+        compute_elems: 1 << 12,
+        compute_passes: 8,
+    };
+    let cal = calibrate_with(&cfg).expect("calibration runs on this host");
+    assert!(cal.alpha.is_finite() && cal.alpha > 0.0, "alpha {}", cal.alpha);
+    assert!(cal.beta.is_finite() && cal.beta >= 0.0, "beta {}", cal.beta);
+    assert!(cal.elem_cost.is_finite() && cal.elem_cost > 0.0);
+    assert!(cal.alpha_work() > 0.0 && cal.alpha_work().is_finite());
+}
