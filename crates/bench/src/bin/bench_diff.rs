@@ -1,0 +1,92 @@
+//! `bench_diff` — the perf-regression gate over `BENCH_*.json` artifacts.
+//!
+//! ```text
+//! bench_diff <baseline-dir> <candidate-dir> [--threshold PCT] [--verbose]
+//! ```
+//!
+//! Compares every `BENCH_*.json` present in both directories, metric by
+//! metric (see `wavefront_bench::diff` for the classification rules),
+//! and exits:
+//!
+//! * `0` — no metric regressed beyond the threshold (default 10%);
+//! * `1` — at least one regression (each is printed);
+//! * `2` — usage error, unreadable directory, or incomparable runs
+//!   (their `meta` stamps disagree on cargo profile, thread count, or
+//!   architecture).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use wavefront_bench::diff::{diff_dirs, DiffError};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bench_diff <baseline-dir> <candidate-dir> [--threshold PCT] [--verbose]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(old_dir) = args.next() else { return usage() };
+    let Some(new_dir) = args.next() else { return usage() };
+    let mut threshold = 0.10;
+    let mut verbose = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threshold" => {
+                let Some(v) = args.next() else { return usage() };
+                match v.parse::<f64>() {
+                    Ok(pct) if pct >= 0.0 => threshold = pct / 100.0,
+                    _ => return usage(),
+                }
+            }
+            "--verbose" => verbose = true,
+            _ => return usage(),
+        }
+    }
+
+    let report = match diff_dirs(&PathBuf::from(&old_dir), &PathBuf::from(&new_dir)) {
+        Ok(r) => r,
+        Err(e @ DiffError::Incomparable(_)) => {
+            eprintln!("bench_diff: {e}");
+            return ExitCode::from(2);
+        }
+        Err(e) => {
+            eprintln!("bench_diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for w in &report.warnings {
+        eprintln!("warning: {w}");
+    }
+    for f in &report.only_old {
+        eprintln!("warning: {f} only in baseline {old_dir}");
+    }
+    for f in &report.only_new {
+        eprintln!("warning: {f} only in candidate {new_dir}");
+    }
+
+    let changed = report.changed(1e-9);
+    if verbose {
+        for d in &changed {
+            println!("  {d}");
+        }
+    }
+    let regressions = report.regressions(threshold);
+    println!(
+        "bench_diff: {} metrics compared, {} changed, {} regressions \
+         (threshold {:.1}%)",
+        report.diffs.len(),
+        changed.len(),
+        regressions.len(),
+        100.0 * threshold
+    );
+    if regressions.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for d in &regressions {
+            println!("REGRESSION {d}");
+        }
+        ExitCode::FAILURE
+    }
+}

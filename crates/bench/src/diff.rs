@@ -1,0 +1,346 @@
+//! Compare two directories of `BENCH_*.json` artifacts.
+//!
+//! The figure harnesses drop machine-readable artifacts precisely so
+//! that two runs can be compared without scraping stdout; this module
+//! is the comparison. It walks every numeric leaf of each artifact
+//! present in both directories, classifies the metric by its path
+//! (makespans and times regress *up*, speedups and efficiencies regress
+//! *down*, anything else is informational), and reports relative
+//! changes against a threshold. The `bench_diff` binary turns the
+//! report into a CI gate: exit 1 on any regression beyond the
+//! threshold, exit 2 when the runs are incomparable (different cargo
+//! profile, thread count, or architecture in their `meta` stamps).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+use wavefront_pipeline::telemetry::json::JsonValue;
+
+/// Whether a bigger value of a metric is better, worse, or neither.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Times, makespans, latencies: regressions grow.
+    LowerIsBetter,
+    /// Speedups, efficiencies: regressions shrink.
+    HigherIsBetter,
+    /// Counts, block sizes, configuration echoes: never a regression.
+    Informational,
+}
+
+/// Classify a metric by the path of JSON keys leading to it.
+pub fn classify(path: &str) -> Direction {
+    let p = path.to_ascii_lowercase();
+    let has = |needle: &str| p.contains(needle);
+    if has("speedup") || has("efficiency") {
+        Direction::HigherIsBetter
+    } else if has("time") || has("makespan") || has("elapsed") || has("latency")
+        || has("stall") || has("wait") || has("seconds")
+    {
+        Direction::LowerIsBetter
+    } else {
+        Direction::Informational
+    }
+}
+
+/// One numeric leaf present in both runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDiff {
+    /// Artifact file name (e.g. `BENCH_fig5a.json`).
+    pub file: String,
+    /// Dot-joined key path to the leaf (array indices in brackets).
+    pub path: String,
+    /// Value in the baseline run.
+    pub old: f64,
+    /// Value in the candidate run.
+    pub new: f64,
+    /// How to interpret a change.
+    pub direction: Direction,
+}
+
+impl MetricDiff {
+    /// Relative change `new/old − 1` (0 when the baseline is 0).
+    pub fn rel_change(&self) -> f64 {
+        if self.old == 0.0 {
+            if self.new == 0.0 { 0.0 } else { f64::INFINITY }
+        } else {
+            self.new / self.old - 1.0
+        }
+    }
+
+    /// Is this a regression beyond `threshold` (relative, e.g. 0.10)?
+    pub fn is_regression(&self, threshold: f64) -> bool {
+        match self.direction {
+            Direction::LowerIsBetter => self.rel_change() > threshold,
+            Direction::HigherIsBetter => self.rel_change() < -threshold,
+            Direction::Informational => false,
+        }
+    }
+}
+
+impl fmt::Display for MetricDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} {} -> {} ({:+.1}%)",
+            self.file,
+            self.path,
+            self.old,
+            self.new,
+            100.0 * self.rel_change()
+        )
+    }
+}
+
+/// The outcome of comparing two artifact directories.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    /// Every numeric leaf found in both runs.
+    pub diffs: Vec<MetricDiff>,
+    /// Artifacts only in the baseline directory.
+    pub only_old: Vec<String>,
+    /// Artifacts only in the candidate directory.
+    pub only_new: Vec<String>,
+    /// Non-fatal notes (missing or partial `meta` stamps, parse skips).
+    pub warnings: Vec<String>,
+}
+
+impl DiffReport {
+    /// The diffs that regress beyond `threshold`.
+    pub fn regressions(&self, threshold: f64) -> Vec<&MetricDiff> {
+        self.diffs.iter().filter(|d| d.is_regression(threshold)).collect()
+    }
+
+    /// The diffs that moved at all (relative change above `eps`).
+    pub fn changed(&self, eps: f64) -> Vec<&MetricDiff> {
+        self.diffs.iter().filter(|d| d.rel_change().abs() > eps).collect()
+    }
+}
+
+/// Why two runs cannot be compared at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffError {
+    /// A directory could not be read.
+    Io(String),
+    /// The runs' `meta` stamps disagree on build/host facts.
+    Incomparable(String),
+}
+
+impl fmt::Display for DiffError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiffError::Io(m) => write!(f, "{m}"),
+            DiffError::Incomparable(m) => write!(f, "incomparable runs: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DiffError {}
+
+/// Recursively collect `path → value` for every numeric leaf, skipping
+/// the `meta` stamp (build facts are not metrics).
+fn numeric_leaves(v: &JsonValue, path: &str, out: &mut Vec<(String, f64)>) {
+    match v {
+        JsonValue::Num(n) => out.push((path.to_string(), *n)),
+        JsonValue::Arr(items) => {
+            for (i, item) in items.iter().enumerate() {
+                numeric_leaves(item, &format!("{path}[{i}]"), out);
+            }
+        }
+        JsonValue::Obj(members) => {
+            for (k, item) in members {
+                if path.is_empty() && k == "meta" {
+                    continue;
+                }
+                let sub = if path.is_empty() { k.clone() } else { format!("{path}.{k}") };
+                numeric_leaves(item, &sub, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Compare two parsed artifacts, appending every shared numeric leaf.
+pub fn diff_docs(file: &str, old: &JsonValue, new: &JsonValue, out: &mut Vec<MetricDiff>) {
+    let mut old_leaves = Vec::new();
+    let mut new_leaves = Vec::new();
+    numeric_leaves(old, "", &mut old_leaves);
+    numeric_leaves(new, "", &mut new_leaves);
+    let new_map: BTreeMap<&str, f64> =
+        new_leaves.iter().map(|(p, v)| (p.as_str(), *v)).collect();
+    for (path, old_v) in &old_leaves {
+        if let Some(&new_v) = new_map.get(path.as_str()) {
+            out.push(MetricDiff {
+                file: file.to_string(),
+                path: path.clone(),
+                old: *old_v,
+                new: new_v,
+                direction: classify(path),
+            });
+        }
+    }
+}
+
+/// Compare the `meta` stamps of two artifacts. Returns a warning string
+/// when a stamp is missing, `Err` when the stamps prove the runs were
+/// produced under different build/host conditions.
+pub fn check_meta(
+    file: &str,
+    old: &JsonValue,
+    new: &JsonValue,
+) -> Result<Option<String>, DiffError> {
+    let (om, nm) = (old.get("meta"), new.get("meta"));
+    let (Some(om), Some(nm)) = (om, nm) else {
+        return Ok(Some(format!(
+            "{file}: missing meta stamp in {} run; comparing anyway",
+            if om.is_none() { "baseline" } else { "candidate" }
+        )));
+    };
+    for key in ["profile", "threads", "arch"] {
+        let a = om.get(key);
+        let b = nm.get(key);
+        if a != b {
+            return Err(DiffError::Incomparable(format!(
+                "{file}: meta.{key} differs ({} vs {})",
+                fmt_meta(a),
+                fmt_meta(b)
+            )));
+        }
+    }
+    Ok(None)
+}
+
+fn fmt_meta(v: Option<&JsonValue>) -> String {
+    match v {
+        Some(JsonValue::Str(s)) => s.clone(),
+        Some(JsonValue::Num(n)) => format!("{n}"),
+        Some(other) => format!("{other:?}"),
+        None => "absent".to_string(),
+    }
+}
+
+/// List the `BENCH_*.json` file names in a directory, sorted.
+fn artifacts(dir: &Path) -> Result<Vec<String>, DiffError> {
+    let rd = std::fs::read_dir(dir)
+        .map_err(|e| DiffError::Io(format!("{}: {e}", dir.display())))?;
+    let mut names: Vec<String> = rd
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    names.sort();
+    Ok(names)
+}
+
+/// Compare every artifact present in both directories.
+pub fn diff_dirs(old_dir: &Path, new_dir: &Path) -> Result<DiffReport, DiffError> {
+    let old_names = artifacts(old_dir)?;
+    let new_names = artifacts(new_dir)?;
+    let mut report = DiffReport {
+        only_old: old_names.iter().filter(|n| !new_names.contains(n)).cloned().collect(),
+        only_new: new_names.iter().filter(|n| !old_names.contains(n)).cloned().collect(),
+        ..DiffReport::default()
+    };
+    for name in old_names.iter().filter(|n| new_names.contains(n)) {
+        let read_parse = |dir: &Path| -> Result<JsonValue, String> {
+            let p = dir.join(name);
+            let src =
+                std::fs::read_to_string(&p).map_err(|e| format!("{}: {e}", p.display()))?;
+            JsonValue::parse(&src).map_err(|e| format!("{}: {e}", p.display()))
+        };
+        let (old_doc, new_doc) = match (read_parse(old_dir), read_parse(new_dir)) {
+            (Ok(a), Ok(b)) => (a, b),
+            (Err(e), _) | (_, Err(e)) => {
+                report.warnings.push(format!("skipping {name}: {e}"));
+                continue;
+            }
+        };
+        if let Some(w) = check_meta(name, &old_doc, &new_doc)? {
+            report.warnings.push(w);
+        }
+        diff_docs(name, &old_doc, &new_doc, &mut report.diffs);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> JsonValue {
+        JsonValue::parse(s).unwrap()
+    }
+
+    #[test]
+    fn classification_by_path() {
+        assert_eq!(classify("rows[0].time_at_model2_b"), Direction::LowerIsBetter);
+        assert_eq!(classify("nests[1].makespan"), Direction::LowerIsBetter);
+        assert_eq!(classify("rows[2].speedup_pipelined"), Direction::HigherIsBetter);
+        assert_eq!(classify("procs"), Direction::Informational);
+        assert_eq!(classify("best_b"), Direction::Informational);
+    }
+
+    #[test]
+    fn regression_detection_respects_direction() {
+        let d = |path: &str, old: f64, new: f64| MetricDiff {
+            file: "BENCH_x.json".into(),
+            path: path.into(),
+            old,
+            new,
+            direction: classify(path),
+        };
+        assert!(d("makespan", 100.0, 120.0).is_regression(0.10));
+        assert!(!d("makespan", 100.0, 105.0).is_regression(0.10));
+        assert!(!d("makespan", 100.0, 80.0).is_regression(0.10));
+        assert!(d("speedup", 4.0, 3.0).is_regression(0.10));
+        assert!(!d("speedup", 4.0, 4.5).is_regression(0.10));
+        assert!(!d("n_procs", 4.0, 400.0).is_regression(0.10));
+    }
+
+    #[test]
+    fn diff_docs_walks_nested_leaves_and_skips_meta() {
+        let old = parse(
+            r#"{"meta": {"threads": 4}, "rows": [{"time": 10, "b": 8}], "speedup": 2.0}"#,
+        );
+        let new = parse(
+            r#"{"meta": {"threads": 8}, "rows": [{"time": 14, "b": 8}], "speedup": 2.0}"#,
+        );
+        let mut out = Vec::new();
+        diff_docs("f.json", &old, &new, &mut out);
+        assert_eq!(out.len(), 3); // rows[0].time, rows[0].b, speedup — no meta.threads
+        assert!(out.iter().all(|d| !d.path.starts_with("meta")));
+        let t = out.iter().find(|d| d.path == "rows[0].time").unwrap();
+        assert!(t.is_regression(0.10));
+        assert!(!t.is_regression(0.50));
+    }
+
+    #[test]
+    fn meta_mismatch_is_incomparable() {
+        let a = parse(r#"{"meta": {"profile": "release", "threads": 8, "arch": "x86_64"}}"#);
+        let b = parse(r#"{"meta": {"profile": "debug", "threads": 8, "arch": "x86_64"}}"#);
+        assert!(matches!(check_meta("f", &a, &b), Err(DiffError::Incomparable(_))));
+        assert!(check_meta("f", &a, &a).unwrap().is_none());
+        let unstamped = parse("{}");
+        assert!(check_meta("f", &a, &unstamped).unwrap().is_some());
+    }
+
+    #[test]
+    fn diff_dirs_end_to_end() {
+        let base = std::env::temp_dir().join(format!("wfdiff-{}", std::process::id()));
+        let (da, db) = (base.join("a"), base.join("b"));
+        std::fs::create_dir_all(&da).unwrap();
+        std::fs::create_dir_all(&db).unwrap();
+        let doc = r#"{"meta": {"profile": "debug", "threads": 2, "arch": "t"}, "time": 100}"#;
+        let worse = r#"{"meta": {"profile": "debug", "threads": 2, "arch": "t"}, "time": 150}"#;
+        std::fs::write(da.join("BENCH_a.json"), doc).unwrap();
+        std::fs::write(db.join("BENCH_a.json"), worse).unwrap();
+        std::fs::write(da.join("BENCH_only_old.json"), doc).unwrap();
+        std::fs::write(db.join("not_an_artifact.txt"), "x").unwrap();
+        let r = diff_dirs(&da, &db).unwrap();
+        assert_eq!(r.only_old, vec!["BENCH_only_old.json".to_string()]);
+        assert!(r.only_new.is_empty());
+        assert_eq!(r.regressions(0.10).len(), 1);
+        assert!(r.regressions(0.60).is_empty());
+        std::fs::remove_dir_all(&base).ok();
+    }
+}

@@ -25,18 +25,68 @@
 //! (`BENCH_<name>.json`) via [`write_artifact`], so runs can be diffed
 //! and plotted without scraping stdout.
 
+pub mod diff;
 pub mod micro;
 
 use std::io::Write as _;
 use std::path::PathBuf;
 
+/// The build/host facts stamped into every artifact, as one JSON
+/// object: git SHA (`$GIT_SHA` if set, else `git rev-parse`), cargo
+/// profile, thread count, and the host OS/architecture. `bench_diff`
+/// refuses to compare artifacts whose stamps disagree on
+/// profile/threads/arch — those runs measured different machines.
+pub fn run_meta_json() -> String {
+    let git_sha = std::env::var("GIT_SHA")
+        .ok()
+        .filter(|s| !s.trim().is_empty())
+        .or_else(|| {
+            std::process::Command::new("git")
+                .args(["rev-parse", "--short=12", "HEAD"])
+                .output()
+                .ok()
+                .filter(|o| o.status.success())
+                .and_then(|o| String::from_utf8(o.stdout).ok())
+                .map(|s| s.trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".to_string());
+    let profile = if cfg!(debug_assertions) { "debug" } else { "release" };
+    let threads = std::thread::available_parallelism().map_or(0, |n| n.get());
+    format!(
+        "{{\"git_sha\": {}, \"profile\": {}, \"threads\": {threads}, \
+         \"os\": {}, \"arch\": {}}}",
+        json_str(&git_sha),
+        json_str(profile),
+        json_str(std::env::consts::OS),
+        json_str(std::env::consts::ARCH),
+    )
+}
+
+/// Inject the [`run_meta_json`] stamp as a leading `"meta"` member of a
+/// JSON object document (non-objects and already-stamped documents pass
+/// through unchanged).
+fn stamp_meta(json: &str) -> String {
+    let trimmed = json.trim_start();
+    let Some(rest) = trimmed.strip_prefix('{') else {
+        return json.to_string();
+    };
+    if trimmed.contains("\"meta\"") {
+        return json.to_string();
+    }
+    let sep = if rest.trim_start().starts_with('}') { "" } else { "," };
+    format!("{{\n  \"meta\": {}{sep}{rest}", run_meta_json())
+}
+
 /// Write a JSON artifact as `BENCH_<name>.json` under `$BENCH_OUT`
-/// (default `results/`), creating the directory if needed. Returns the
-/// path written, or `None` (with a note on stderr) if the filesystem
-/// refused — harnesses still print their tables either way.
+/// (default `results/`), creating the directory if needed. Object
+/// documents are stamped with a `"meta"` member ([`run_meta_json`]) so
+/// `bench_diff` can refuse incomparable runs. Returns the path written,
+/// or `None` (with a note on stderr) if the filesystem refused —
+/// harnesses still print their tables either way.
 pub fn write_artifact(name: &str, json: &str) -> Option<PathBuf> {
     let dir = std::env::var_os("BENCH_OUT").map_or_else(|| PathBuf::from("results"), PathBuf::from);
     let path = dir.join(format!("BENCH_{name}.json"));
+    let json = stamp_meta(json);
     let attempt = std::fs::create_dir_all(&dir).and_then(|_| {
         let mut f = std::fs::File::create(&path)?;
         f.write_all(json.as_bytes())?;

@@ -57,6 +57,8 @@ pub use session::{
     Engine, EngineCtx, RunOutcome, SeqEngine, Session, Session2D, SimEngine, ThreadsEngine,
 };
 pub use telemetry::{
-    Collector, EngineKind, ExecutionReport, NoopCollector, Prediction, RunMeta, TraceCollector,
+    ascii_timeline, chrome_trace, CausalGraph, ChromeTraceBuilder, Collector, CriticalPath,
+    EngineKind, ExecutionReport, JsonValue, NoopCollector, Prediction, RunMeta, TraceAnalysis,
+    TraceCollector, TraceHistograms,
 };
 pub use tune::{calibrate_host, calibrate_with, AdaptiveReport, CalibrationConfig};

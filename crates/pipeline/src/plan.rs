@@ -426,7 +426,7 @@ pub(crate) mod tests {
         let plan =
             WavefrontPlan::build(&nest, 4, None, &BlockPolicy::Fixed(8), &t3e()).unwrap();
         let tile = &plan.tiles[0];
-        assert_eq!(plan.msg_elems(tile), 8 * 1 * 3);
+        assert_eq!(plan.msg_elems(tile), 8 * 3);
     }
 
     #[test]

@@ -20,6 +20,11 @@
 //! [`Session2D`] is the analogue for 2-D processor meshes. Custom
 //! runtimes can implement [`Engine`] and run through
 //! [`Session::run_engine`], receiving the same prepared [`EngineCtx`].
+//!
+//! Attach a [`crate::telemetry::TraceCollector`] to record the run, then
+//! feed it to [`crate::telemetry::TraceAnalysis`] (critical path,
+//! pipeline efficiency, latency histograms) or the exporters in
+//! [`crate::telemetry::export`] (Perfetto / ASCII timeline).
 
 use std::time::Instant;
 

@@ -1,0 +1,338 @@
+//! Trace exporters: Chrome trace-event JSON and an ASCII Gantt chart.
+//!
+//! The paper's Figure 4(b) is a timing diagram, and the fastest way to
+//! debug a pipeline is to look at one. Two renderers share the recorded
+//! event stream:
+//!
+//! * [`chrome_trace`] / [`ChromeTraceBuilder`] emit the Chrome
+//!   trace-event JSON format understood by Perfetto
+//!   (<https://ui.perfetto.dev>) and `chrome://tracing`: one process per
+//!   run (scan nest), one track per processor, a complete (`"X"`) event
+//!   per tile, a complete event per receive stall, and paired flow
+//!   events (`"s"`/`"f"`) drawing an arrow for every boundary message.
+//!   Wall-clock seconds are scaled to microseconds; the simulator's
+//!   model units are exported as-is (one unit = one microsecond on the
+//!   Perfetto axis).
+//! * [`ascii_timeline`] renders the same run as a fixed-width Gantt
+//!   chart in the terminal (`wlc timeline`), one row per processor in
+//!   wave order, so the fill/steady/drain staircase is visible without
+//!   leaving the shell.
+
+use super::report::{jnum, jstr, TraceCollector};
+use super::TimeUnit;
+
+/// Incrementally build one Chrome trace-event document out of one or
+/// more recorded runs (one `pid` per run, e.g. per scan nest).
+#[derive(Debug, Default)]
+pub struct ChromeTraceBuilder {
+    events: Vec<(f64, String)>,
+    next_pid: usize,
+    next_flow: usize,
+}
+
+impl ChromeTraceBuilder {
+    /// An empty document.
+    pub fn new() -> ChromeTraceBuilder {
+        ChromeTraceBuilder::default()
+    }
+
+    /// Append one recorded run under its own process id. Returns `false`
+    /// (and appends nothing) if the collector observed no run.
+    pub fn add_run(&mut self, label: &str, trace: &TraceCollector) -> bool {
+        let Some(meta) = trace.meta() else {
+            return false;
+        };
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        let scale = match meta.time_unit {
+            TimeUnit::ModelUnits => 1.0,
+            TimeUnit::Seconds => 1e6,
+        };
+        let name = format!(
+            "{label} ({}, {}, b={})",
+            meta.engine.name(),
+            meta.machine,
+            meta.block
+        );
+        self.events.push((
+            f64::NEG_INFINITY,
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":{}}}}}",
+                jstr(&name)
+            ),
+        ));
+        for &p in &meta.active {
+            self.events.push((
+                f64::NEG_INFINITY,
+                format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{p},\
+                     \"args\":{{\"name\":{}}}}}",
+                    jstr(&format!("proc {p}"))
+                ),
+            ));
+        }
+        for b in trace.blocks() {
+            let ts = b.start * scale;
+            self.events.push((
+                ts,
+                format!(
+                    "{{\"name\":{},\"cat\":\"compute\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                     \"pid\":{pid},\"tid\":{},\"args\":{{\"elems\":{}}}}}",
+                    jstr(&format!("tile {}", b.tile)),
+                    jnum(ts),
+                    jnum((b.end - b.start) * scale),
+                    b.proc,
+                    b.elems
+                ),
+            ));
+        }
+        for w in trace.waits() {
+            let ts = w.start * scale;
+            self.events.push((
+                ts,
+                format!(
+                    "{{\"name\":\"wait\",\"cat\":\"wait\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                     \"pid\":{pid},\"tid\":{}}}",
+                    jnum(ts),
+                    jnum((w.end - w.start) * scale),
+                    w.proc
+                ),
+            ));
+        }
+        for m in trace.messages() {
+            let id = self.next_flow;
+            self.next_flow += 1;
+            let sent = m.sent_at * scale;
+            let recv = m.recv_at * scale;
+            let name = jstr(&format!("tile {} boundary", m.tile));
+            self.events.push((
+                sent,
+                format!(
+                    "{{\"name\":{name},\"cat\":\"message\",\"ph\":\"s\",\"id\":{id},\
+                     \"ts\":{},\"pid\":{pid},\"tid\":{},\"args\":{{\"elems\":{}}}}}",
+                    jnum(sent),
+                    m.from,
+                    m.elems
+                ),
+            ));
+            self.events.push((
+                recv,
+                format!(
+                    "{{\"name\":{name},\"cat\":\"message\",\"ph\":\"f\",\"bp\":\"e\",\
+                     \"id\":{id},\"ts\":{},\"pid\":{pid},\"tid\":{}}}",
+                    jnum(recv),
+                    m.to
+                ),
+            ));
+        }
+        true
+    }
+
+    /// Number of runs added so far.
+    pub fn runs(&self) -> usize {
+        self.next_pid
+    }
+
+    /// Finish the document. Events are sorted by timestamp (metadata
+    /// records first), as the trace-event spec recommends.
+    pub fn finish(mut self) -> String {
+        self.events.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let body: Vec<String> = self.events.into_iter().map(|(_, e)| e).collect();
+        format!(
+            "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\"}}",
+            body.join(",")
+        )
+    }
+}
+
+/// Export one recorded run as a Chrome trace-event JSON document.
+/// Returns `None` if the collector observed no run.
+pub fn chrome_trace(label: &str, trace: &TraceCollector) -> Option<String> {
+    let mut b = ChromeTraceBuilder::new();
+    if !b.add_run(label, trace) {
+        return None;
+    }
+    Some(b.finish())
+}
+
+/// Render a recorded run as an ASCII Gantt chart, one row per active
+/// processor in wave order, `width` columns spanning `[0, makespan]`.
+/// Compute paints `#`/`=` (alternating by tile so tile boundaries are
+/// visible), receive stalls paint `-`, idle time `.`. Returns `None` if
+/// the collector observed no run or the makespan is not positive.
+pub fn ascii_timeline(trace: &TraceCollector, width: usize) -> Option<String> {
+    let meta = trace.meta()?;
+    let makespan = trace.makespan();
+    if trace.blocks().is_empty() || makespan <= 0.0 {
+        return None;
+    }
+    let width = width.clamp(8, 512);
+    let col = |t: f64| -> usize {
+        ((t / makespan * width as f64).floor() as usize).min(width - 1)
+    };
+    let unit = match meta.time_unit {
+        TimeUnit::ModelUnits => "model units",
+        TimeUnit::Seconds => "s",
+    };
+    let mut rows: Vec<(usize, Vec<u8>)> =
+        meta.active.iter().map(|&p| (p, vec![b'.'; width])).collect();
+    let row_of = |proc: usize, rows: &mut Vec<(usize, Vec<u8>)>| -> Option<usize> {
+        rows.iter().position(|(p, _)| *p == proc)
+    };
+    for w in trace.waits() {
+        if let Some(r) = row_of(w.proc, &mut rows) {
+            let (a, b) = (col(w.start), col(w.end.max(w.start)));
+            for c in &mut rows[r].1[a..=b] {
+                *c = b'-';
+            }
+        }
+    }
+    for blk in trace.blocks() {
+        if let Some(r) = row_of(blk.proc, &mut rows) {
+            let glyph = if blk.tile % 2 == 0 { b'#' } else { b'=' };
+            let (a, b) = (col(blk.start), col(blk.end.max(blk.start)));
+            for c in &mut rows[r].1[a..=b] {
+                *c = glyph;
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "timeline ({}, {}): makespan {:.6} {unit}, {} procs, {} tiles, block {}\n",
+        meta.engine.name(),
+        meta.machine,
+        makespan,
+        meta.active.len(),
+        meta.tiles,
+        meta.block
+    ));
+    out.push_str(&format!(
+        "          t=0{}t={makespan:.3}\n",
+        " ".repeat(width.saturating_sub(3))
+    ));
+    for (p, cells) in rows {
+        out.push_str(&format!(
+            "proc {p:>4} |{}|\n",
+            String::from_utf8(cells).expect("ASCII row")
+        ));
+    }
+    out.push_str("legend: #/= compute (tiles alternate), - recv wait, . idle\n");
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::json::JsonValue;
+    use crate::telemetry::{
+        BlockEvent, Collector, EngineKind, MessageEvent, Prediction, RunMeta, WaitEvent,
+    };
+
+    fn meta(active: Vec<usize>, unit: TimeUnit) -> RunMeta {
+        RunMeta {
+            engine: EngineKind::Sim,
+            procs: active.len(),
+            active,
+            tiles: 2,
+            block: 3,
+            pipelined: true,
+            machine: "test".into(),
+            time_unit: unit,
+            predicted: Prediction::default(),
+        }
+    }
+
+    fn sample_trace(unit: TimeUnit) -> TraceCollector {
+        let mut c = TraceCollector::new();
+        c.begin(&meta(vec![0, 1], unit));
+        c.block(BlockEvent { proc: 0, tile: 0, start: 0.0, end: 2.0, elems: 4 });
+        c.block(BlockEvent { proc: 0, tile: 1, start: 2.0, end: 4.0, elems: 4 });
+        c.message(MessageEvent { from: 0, to: 1, tile: 0, elems: 2, sent_at: 2.0, recv_at: 3.0 });
+        c.wait(WaitEvent { proc: 1, start: 0.0, end: 3.0 });
+        c.block(BlockEvent { proc: 1, tile: 0, start: 3.0, end: 5.0, elems: 4 });
+        c.end(5.0);
+        c
+    }
+
+    #[test]
+    fn chrome_trace_parses_and_flows_pair_up() {
+        let doc = chrome_trace("nest 0", &sample_trace(TimeUnit::ModelUnits)).unwrap();
+        let v = JsonValue::parse(&doc).expect("chrome trace is valid JSON");
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(!events.is_empty());
+        let mut starts = Vec::new();
+        let mut finishes = Vec::new();
+        let mut last_ts = f64::NEG_INFINITY;
+        for e in events {
+            if let Some(ts) = e.get("ts").and_then(|t| t.as_f64()) {
+                assert!(ts >= last_ts, "events must be sorted by ts");
+                last_ts = ts;
+            }
+            match e.get("ph").and_then(|p| p.as_str()) {
+                Some("s") => starts.push(e.get("id").unwrap().as_f64().unwrap()),
+                Some("f") => finishes.push(e.get("id").unwrap().as_f64().unwrap()),
+                _ => {}
+            }
+        }
+        starts.sort_by(f64::total_cmp);
+        finishes.sort_by(f64::total_cmp);
+        assert_eq!(starts, finishes);
+        assert_eq!(starts.len(), 1);
+    }
+
+    #[test]
+    fn seconds_scale_to_microseconds() {
+        let doc = chrome_trace("run", &sample_trace(TimeUnit::Seconds)).unwrap();
+        let v = JsonValue::parse(&doc).unwrap();
+        let max_ts = v
+            .get("traceEvents")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter_map(|e| e.get("ts").and_then(|t| t.as_f64()))
+            .fold(0.0f64, f64::max);
+        assert_eq!(max_ts, 3.0e6);
+    }
+
+    #[test]
+    fn multi_run_builder_assigns_distinct_pids() {
+        let mut b = ChromeTraceBuilder::new();
+        assert!(b.add_run("a", &sample_trace(TimeUnit::ModelUnits)));
+        assert!(b.add_run("b", &sample_trace(TimeUnit::ModelUnits)));
+        assert_eq!(b.runs(), 2);
+        let v = JsonValue::parse(&b.finish()).unwrap();
+        let pids: Vec<f64> = v
+            .get("traceEvents")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter_map(|e| e.get("pid").and_then(|p| p.as_f64()))
+            .collect();
+        assert!(pids.contains(&0.0) && pids.contains(&1.0));
+    }
+
+    #[test]
+    fn ascii_timeline_shows_one_row_per_proc() {
+        let art = ascii_timeline(&sample_trace(TimeUnit::ModelUnits), 40).unwrap();
+        assert!(art.contains("proc    0 |"));
+        assert!(art.contains("proc    1 |"));
+        assert!(art.contains('#'));
+        assert!(art.contains('-'), "wait must render: {art}");
+        assert!(art.contains("legend"));
+        // Row 1's compute starts later than row 0's (the staircase).
+        let r0 = art.lines().find(|l| l.starts_with("proc    0")).unwrap();
+        let r1 = art.lines().find(|l| l.starts_with("proc    1")).unwrap();
+        assert!(r1.find('#').unwrap() > r0.find('#').unwrap());
+    }
+
+    #[test]
+    fn empty_trace_exports_nothing() {
+        let c = TraceCollector::new();
+        assert!(chrome_trace("x", &c).is_none());
+        assert!(ascii_timeline(&c, 40).is_none());
+        assert!(!ChromeTraceBuilder::new().add_run("x", &c));
+    }
+}

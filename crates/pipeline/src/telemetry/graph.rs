@@ -1,0 +1,296 @@
+//! The causal DAG behind one recorded run.
+//!
+//! Every engine reports the same event stream (see the module docs of
+//! [`crate::telemetry`]): per-tile compute blocks, boundary messages,
+//! and receive stalls. This module reassembles that stream into the DAG
+//! the schedule actually executed:
+//!
+//! * one **node** per [`BlockEvent`] — processor `p` computing tile `t`
+//!   over `[start, end]`;
+//! * an **order edge** between consecutive tiles of the same processor
+//!   (a processor runs its tiles one at a time, in tile order);
+//! * a **message edge** for every [`MessageEvent`] whose sending and
+//!   receiving blocks were both observed — the inter-processor
+//!   dependences of Figure 4(b)'s staircase.
+//!
+//! The graph is the substrate for [`crate::telemetry::critical`]'s
+//! critical-path extraction and for the exporters in
+//! [`crate::telemetry::export`]; it makes no assumptions about the time
+//! unit, so it works for the simulator's model clock and the executing
+//! engines' wall clock alike.
+
+use std::collections::HashMap;
+
+use super::report::TraceCollector;
+use super::{RunMeta, WaitEvent};
+
+/// One block of computation as a graph node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphNode {
+    /// Owning processor id (an active rank of the plan's distribution).
+    pub proc: usize,
+    /// Tile index in pipeline order.
+    pub tile: usize,
+    /// Compute start.
+    pub start: f64,
+    /// Compute end.
+    pub end: f64,
+    /// Elements computed.
+    pub elems: usize,
+}
+
+/// Why one node must precede another.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EdgeKind {
+    /// Same processor, consecutive tiles: pure execution order.
+    Order,
+    /// A boundary message between processors.
+    Message {
+        /// Elements in the payload.
+        elems: usize,
+        /// Time the payload left the sender.
+        sent_at: f64,
+        /// Time the receiver finished consuming it.
+        recv_at: f64,
+    },
+}
+
+/// A directed edge of the causal DAG (`from` precedes `to`; both are
+/// indices into [`CausalGraph::nodes`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GraphEdge {
+    /// Source node index.
+    pub from: usize,
+    /// Destination node index.
+    pub to: usize,
+    /// Why the edge exists.
+    pub kind: EdgeKind,
+}
+
+/// The causal DAG of one run, rebuilt from a recorded event stream.
+#[derive(Debug, Clone)]
+pub struct CausalGraph {
+    /// Run metadata, as reported at `begin`.
+    pub meta: RunMeta,
+    /// All observed blocks.
+    pub nodes: Vec<GraphNode>,
+    /// All causal edges.
+    pub edges: Vec<GraphEdge>,
+    /// The run's reported makespan.
+    pub makespan: f64,
+    /// The recorded receive stalls (used for classification, not
+    /// structure).
+    pub waits: Vec<WaitEvent>,
+    index: HashMap<(usize, usize), usize>,
+    incoming: Vec<Vec<usize>>,
+    by_proc: HashMap<usize, Vec<usize>>,
+}
+
+impl CausalGraph {
+    /// Build the graph from a collector that observed one run. Returns
+    /// `None` if the collector saw no run or no blocks.
+    pub fn from_trace(trace: &TraceCollector) -> Option<Self> {
+        let meta = trace.meta()?.clone();
+        if trace.blocks().is_empty() {
+            return None;
+        }
+        let mut nodes: Vec<GraphNode> = trace
+            .blocks()
+            .iter()
+            .map(|b| GraphNode {
+                proc: b.proc,
+                tile: b.tile,
+                start: b.start,
+                end: b.end,
+                elems: b.elems,
+            })
+            .collect();
+        // Deterministic node order: processor, then tile.
+        nodes.sort_by_key(|a| (a.proc, a.tile));
+        nodes.dedup_by_key(|n| (n.proc, n.tile));
+
+        let index: HashMap<(usize, usize), usize> = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, n)| ((n.proc, n.tile), i))
+            .collect();
+        let mut by_proc: HashMap<usize, Vec<usize>> = HashMap::new();
+        for (i, n) in nodes.iter().enumerate() {
+            by_proc.entry(n.proc).or_default().push(i);
+        }
+
+        let mut edges: Vec<GraphEdge> = Vec::new();
+        for ids in by_proc.values() {
+            // `ids` is tile-sorted because `nodes` is (proc, tile)-sorted.
+            for w in ids.windows(2) {
+                edges.push(GraphEdge { from: w[0], to: w[1], kind: EdgeKind::Order });
+            }
+        }
+        for m in trace.messages() {
+            let (Some(&from), Some(&to)) =
+                (index.get(&(m.from, m.tile)), index.get(&(m.to, m.tile)))
+            else {
+                // A relay through a rank that owns no data: no block to
+                // anchor the edge on — the downstream message edge will
+                // carry the causality instead.
+                continue;
+            };
+            edges.push(GraphEdge {
+                from,
+                to,
+                kind: EdgeKind::Message {
+                    elems: m.elems,
+                    sent_at: m.sent_at,
+                    recv_at: m.recv_at,
+                },
+            });
+        }
+        let mut incoming: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+        for (e, edge) in edges.iter().enumerate() {
+            incoming[edge.to].push(e);
+        }
+
+        Some(CausalGraph {
+            meta,
+            nodes,
+            edges,
+            makespan: trace.makespan(),
+            waits: trace.waits().to_vec(),
+            index,
+            incoming,
+            by_proc,
+        })
+    }
+
+    /// Node index of `(proc, tile)`, if that block was observed.
+    pub fn node(&self, proc: usize, tile: usize) -> Option<usize> {
+        self.index.get(&(proc, tile)).copied()
+    }
+
+    /// Indices of the edges entering `node`.
+    pub fn incoming(&self, node: usize) -> &[usize] {
+        &self.incoming[node]
+    }
+
+    /// Node indices of one processor's blocks, in tile order.
+    pub fn proc_nodes(&self, proc: usize) -> &[usize] {
+        self.by_proc.get(&proc).map_or(&[], |v| v.as_slice())
+    }
+
+    /// The node that finishes last (ties broken toward the lowest
+    /// index). This is where the critical path ends.
+    pub fn tail(&self) -> usize {
+        let mut best = 0usize;
+        for (i, n) in self.nodes.iter().enumerate() {
+            if n.end > self.nodes[best].end {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Total compute over all nodes (the serial-work lower bound used
+    /// for pipeline efficiency).
+    pub fn total_compute(&self) -> f64 {
+        self.nodes.iter().map(|n| n.end - n.start).sum()
+    }
+
+    /// How much of `[lo, hi]` overlaps `proc`'s compute blocks.
+    pub fn compute_overlap(&self, proc: usize, lo: f64, hi: f64) -> f64 {
+        let mut covered = 0.0;
+        for &i in self.proc_nodes(proc) {
+            let n = &self.nodes[i];
+            let a = n.start.max(lo);
+            let b = n.end.min(hi);
+            if b > a {
+                covered += b - a;
+            }
+        }
+        covered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::{
+        BlockEvent, Collector, EngineKind, MessageEvent, Prediction, TimeUnit,
+    };
+
+    fn meta(active: Vec<usize>) -> RunMeta {
+        RunMeta {
+            engine: EngineKind::Sim,
+            procs: active.len(),
+            active,
+            tiles: 2,
+            block: 3,
+            pipelined: true,
+            machine: "test".into(),
+            time_unit: TimeUnit::ModelUnits,
+            predicted: Prediction::default(),
+        }
+    }
+
+    fn two_proc_trace() -> TraceCollector {
+        let mut c = TraceCollector::new();
+        c.begin(&meta(vec![0, 1]));
+        c.block(BlockEvent { proc: 0, tile: 0, start: 0.0, end: 2.0, elems: 6 });
+        c.block(BlockEvent { proc: 0, tile: 1, start: 2.0, end: 4.0, elems: 6 });
+        c.block(BlockEvent { proc: 1, tile: 0, start: 3.0, end: 5.0, elems: 6 });
+        c.block(BlockEvent { proc: 1, tile: 1, start: 6.0, end: 8.0, elems: 6 });
+        c.message(MessageEvent { from: 0, to: 1, tile: 0, elems: 3, sent_at: 2.0, recv_at: 3.0 });
+        c.message(MessageEvent { from: 0, to: 1, tile: 1, elems: 3, sent_at: 4.0, recv_at: 6.0 });
+        c.end(8.0);
+        c
+    }
+
+    #[test]
+    fn builds_order_and_message_edges() {
+        let g = CausalGraph::from_trace(&two_proc_trace()).unwrap();
+        assert_eq!(g.nodes.len(), 4);
+        let order = g.edges.iter().filter(|e| e.kind == EdgeKind::Order).count();
+        assert_eq!(order, 2); // one per processor
+        let msgs = g.edges.len() - order;
+        assert_eq!(msgs, 2);
+        // Message edges connect equal tiles across processors.
+        for e in &g.edges {
+            if let EdgeKind::Message { .. } = e.kind {
+                assert_eq!(g.nodes[e.from].tile, g.nodes[e.to].tile);
+                assert_ne!(g.nodes[e.from].proc, g.nodes[e.to].proc);
+            }
+        }
+        // The tail is proc 1's last tile.
+        let t = g.tail();
+        assert_eq!((g.nodes[t].proc, g.nodes[t].tile), (1, 1));
+        assert_eq!(g.total_compute(), 8.0);
+    }
+
+    #[test]
+    fn incoming_edges_cover_both_kinds() {
+        let g = CausalGraph::from_trace(&two_proc_trace()).unwrap();
+        let n = g.node(1, 1).unwrap();
+        let kinds: Vec<&EdgeKind> =
+            g.incoming(n).iter().map(|&e| &g.edges[e].kind).collect();
+        assert_eq!(kinds.len(), 2);
+        assert!(kinds.iter().any(|k| matches!(k, EdgeKind::Order)));
+        assert!(kinds.iter().any(|k| matches!(k, EdgeKind::Message { .. })));
+    }
+
+    #[test]
+    fn compute_overlap_clips_to_window() {
+        let g = CausalGraph::from_trace(&two_proc_trace()).unwrap();
+        // Proc 0 computes [0,2] and [2,4]; window [1,3] overlaps 2.0.
+        assert!((g.compute_overlap(0, 1.0, 3.0) - 2.0).abs() < 1e-12);
+        assert_eq!(g.compute_overlap(0, 4.5, 5.0), 0.0);
+    }
+
+    #[test]
+    fn empty_trace_yields_no_graph() {
+        let c = TraceCollector::new();
+        assert!(CausalGraph::from_trace(&c).is_none());
+        let mut c = TraceCollector::new();
+        c.begin(&meta(vec![0]));
+        c.end(0.0);
+        assert!(CausalGraph::from_trace(&c).is_none());
+    }
+}

@@ -1,0 +1,303 @@
+//! Log-scaled latency histograms over a recorded run.
+//!
+//! Aggregate means hide the tail, and pipelines are gated by the tail:
+//! one slow tile or one late boundary message lengthens the critical
+//! path even when the averages look balanced (the Equation (1) story —
+//! the block size trades per-message latency against per-element
+//! compute, so both distributions matter). This module buckets three
+//! per-event durations into logarithmically scaled histograms:
+//!
+//! * per-tile **compute** time (`BlockEvent::end − start`),
+//! * per-message **latency** (`MessageEvent::recv_at − sent_at`),
+//! * per-stall **wait** time (`WaitEvent::end − start`).
+//!
+//! Reports print nearest-rank p50/p90/p99; the JSON form carries the
+//! exact bucket counts and quantiles so downstream tooling never
+//! re-derives them from the lossy text form.
+
+use std::fmt;
+
+use super::report::{jnum, jstr, TraceCollector};
+
+/// Number of log-scaled buckets per histogram.
+const BUCKETS: usize = 24;
+
+/// A log-scaled histogram of one duration population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// What is being measured (`"compute"`, `"message"`, `"wait"`).
+    pub label: &'static str,
+    /// Smallest observed duration (0 when empty).
+    pub min: f64,
+    /// Largest observed duration (0 when empty).
+    pub max: f64,
+    /// Sum of all observed durations.
+    pub sum: f64,
+    /// Number of samples.
+    pub count: usize,
+    /// Bucket edges: bucket `i` covers `[edges[i], edges[i+1])`
+    /// (`edges.len() == counts.len() + 1`). Empty when `count == 0`.
+    pub edges: Vec<f64>,
+    /// Sample count per bucket.
+    pub counts: Vec<usize>,
+    /// Exact nearest-rank p50.
+    pub p50: f64,
+    /// Exact nearest-rank p90.
+    pub p90: f64,
+    /// Exact nearest-rank p99.
+    pub p99: f64,
+}
+
+impl Histogram {
+    /// Build from raw samples (negative samples are clamped to 0).
+    pub fn from_samples(label: &'static str, mut samples: Vec<f64>) -> Histogram {
+        for s in &mut samples {
+            if !s.is_finite() || *s < 0.0 {
+                *s = 0.0;
+            }
+        }
+        samples.sort_by(f64::total_cmp);
+        let count = samples.len();
+        if count == 0 {
+            return Histogram {
+                label,
+                min: 0.0,
+                max: 0.0,
+                sum: 0.0,
+                count: 0,
+                edges: Vec::new(),
+                counts: Vec::new(),
+                p50: 0.0,
+                p90: 0.0,
+                p99: 0.0,
+            };
+        }
+        let min = samples[0];
+        let max = samples[count - 1];
+        let sum = samples.iter().sum();
+        // Log-scaled edges from the smallest positive sample to the max;
+        // a leading [0, lo) bucket absorbs exact zeros.
+        let lo = samples
+            .iter()
+            .copied()
+            .find(|&s| s > 0.0)
+            .unwrap_or(1.0)
+            .min(max.max(f64::MIN_POSITIVE));
+        let hi = max.max(lo);
+        let mut edges = Vec::with_capacity(BUCKETS + 1);
+        edges.push(0.0);
+        if hi > lo {
+            let ratio = (hi / lo).ln();
+            for i in 0..BUCKETS {
+                edges.push(lo * (ratio * i as f64 / (BUCKETS - 1) as f64).exp());
+            }
+        } else {
+            edges.push(lo);
+        }
+        // Make the last edge exclusive-safe for the max sample.
+        let last = edges.last_mut().unwrap();
+        *last = last.max(hi) * (1.0 + 1e-12) + f64::MIN_POSITIVE;
+
+        let mut counts = vec![0usize; edges.len() - 1];
+        for &s in &samples {
+            // Buckets are few; a linear scan is clearer than a partition
+            // point over float edges.
+            let b = edges
+                .windows(2)
+                .position(|w| s >= w[0] && s < w[1])
+                .unwrap_or(counts.len() - 1);
+            counts[b] += 1;
+        }
+
+        let rank = |q: f64| -> f64 {
+            let r = ((q * count as f64).ceil() as usize).clamp(1, count);
+            samples[r - 1]
+        };
+        Histogram {
+            label,
+            min,
+            max,
+            sum,
+            count,
+            edges,
+            counts,
+            p50: rank(0.50),
+            p90: rank(0.90),
+            p99: rank(0.99),
+        }
+    }
+
+    /// Mean duration (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Serialize with exact buckets and quantiles.
+    pub fn to_json(&self) -> String {
+        let edges: Vec<String> = self.edges.iter().map(|e| jnum(*e)).collect();
+        let counts: Vec<String> = self.counts.iter().map(|c| c.to_string()).collect();
+        format!(
+            "{{\"label\":{},\"count\":{},\"min\":{},\"max\":{},\"sum\":{},\
+             \"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{},\
+             \"edges\":[{}],\"counts\":[{}]}}",
+            jstr(self.label),
+            self.count,
+            jnum(self.min),
+            jnum(self.max),
+            jnum(self.sum),
+            jnum(self.mean()),
+            jnum(self.p50),
+            jnum(self.p90),
+            jnum(self.p99),
+            edges.join(","),
+            counts.join(","),
+        )
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            return write!(f, "{:>8}: (no samples)", self.label);
+        }
+        write!(
+            f,
+            "{:>8}: n={} min={:.6} p50={:.6} p90={:.6} p99={:.6} max={:.6}",
+            self.label, self.count, self.min, self.p50, self.p90, self.p99, self.max
+        )
+    }
+}
+
+/// The three duration histograms of one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceHistograms {
+    /// Per-tile compute time.
+    pub compute: Histogram,
+    /// Per-message latency (send to receive-complete).
+    pub message: Histogram,
+    /// Per-stall wait time.
+    pub wait: Histogram,
+}
+
+impl TraceHistograms {
+    /// Bucket every recorded event of `trace`.
+    pub fn from_trace(trace: &TraceCollector) -> TraceHistograms {
+        TraceHistograms {
+            compute: Histogram::from_samples(
+                "compute",
+                trace.blocks().iter().map(|b| b.end - b.start).collect(),
+            ),
+            message: Histogram::from_samples(
+                "message",
+                trace.messages().iter().map(|m| m.recv_at - m.sent_at).collect(),
+            ),
+            wait: Histogram::from_samples(
+                "wait",
+                trace.waits().iter().map(|w| w.end - w.start).collect(),
+            ),
+        }
+    }
+
+    /// Serialize all three histograms as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"compute\":{},\"message\":{},\"wait\":{}}}",
+            self.compute.to_json(),
+            self.message.to_json(),
+            self.wait.to_json(),
+        )
+    }
+}
+
+impl fmt::Display for TraceHistograms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.compute)?;
+        writeln!(f, "{}", self.message)?;
+        write!(f, "{}", self.wait)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::{
+        BlockEvent, Collector, EngineKind, MessageEvent, Prediction, RunMeta, TimeUnit,
+        WaitEvent,
+    };
+
+    #[test]
+    fn quantiles_are_exact_nearest_rank() {
+        let h = Histogram::from_samples("compute", (1..=100).map(|i| i as f64).collect());
+        assert_eq!(h.p50, 50.0);
+        assert_eq!(h.p90, 90.0);
+        assert_eq!(h.p99, 99.0);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 100.0);
+        assert_eq!(h.count, 100);
+        assert_eq!(h.counts.iter().sum::<usize>(), 100);
+        assert_eq!(h.edges.len(), h.counts.len() + 1);
+    }
+
+    #[test]
+    fn buckets_cover_all_samples_and_scale_log() {
+        let samples: Vec<f64> = (0..10).map(|i| 10f64.powi(i - 4)).collect();
+        let h = Histogram::from_samples("message", samples);
+        assert_eq!(h.counts.iter().sum::<usize>(), 10);
+        // Log scaling: edges grow multiplicatively, not additively.
+        let mid = &h.edges[1..];
+        assert!(mid[1] / mid[0] > 1.5);
+    }
+
+    #[test]
+    fn zeros_and_identical_samples() {
+        let h = Histogram::from_samples("wait", vec![0.0, 0.0, 0.0]);
+        assert_eq!(h.count, 3);
+        assert_eq!(h.p99, 0.0);
+        assert_eq!(h.counts.iter().sum::<usize>(), 3);
+        let h = Histogram::from_samples("wait", vec![2.5; 7]);
+        assert_eq!(h.p50, 2.5);
+        assert_eq!(h.counts.iter().sum::<usize>(), 7);
+    }
+
+    #[test]
+    fn empty_histogram_is_well_formed() {
+        let h = Histogram::from_samples("wait", Vec::new());
+        assert_eq!(h.count, 0);
+        assert!(h.edges.is_empty());
+        let j = h.to_json();
+        let v = crate::telemetry::json::JsonValue::parse(&j).unwrap();
+        assert_eq!(v.get("count").unwrap().as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn from_trace_buckets_each_event_kind() {
+        let mut c = TraceCollector::new();
+        c.begin(&RunMeta {
+            engine: EngineKind::Sim,
+            procs: 2,
+            active: vec![0, 1],
+            tiles: 1,
+            block: 1,
+            pipelined: true,
+            machine: "test".into(),
+            time_unit: TimeUnit::ModelUnits,
+            predicted: Prediction::default(),
+        });
+        c.block(BlockEvent { proc: 0, tile: 0, start: 0.0, end: 2.0, elems: 1 });
+        c.message(MessageEvent { from: 0, to: 1, tile: 0, elems: 1, sent_at: 2.0, recv_at: 3.0 });
+        c.wait(WaitEvent { proc: 1, start: 0.0, end: 3.0 });
+        c.block(BlockEvent { proc: 1, tile: 0, start: 3.0, end: 5.0, elems: 1 });
+        c.end(5.0);
+        let h = TraceHistograms::from_trace(&c);
+        assert_eq!(h.compute.count, 2);
+        assert_eq!(h.message.count, 1);
+        assert_eq!(h.wait.count, 1);
+        assert_eq!(h.message.p50, 1.0);
+        let v = crate::telemetry::json::JsonValue::parse(&h.to_json()).unwrap();
+        assert!(v.get("compute").is_some());
+    }
+}

@@ -14,9 +14,27 @@
 //! [`report::ExecutionReport`] with per-processor timelines and the
 //! fill / steady-state / drain phase decomposition of the pipeline
 //! (Figure 4(b) of the paper), serializable to JSON for `wlc trace`.
+//!
+//! On top of the raw stream sit the analysis modules: [`graph`] rebuilds
+//! the causal DAG the schedule executed, [`critical`] extracts the
+//! critical path through it (exactly equal to the makespan in the
+//! simulator), [`histogram`] buckets per-event latencies, [`export`]
+//! renders Chrome trace-event JSON for Perfetto and an ASCII Gantt
+//! chart for `wlc timeline`, and [`json`] is the dependency-free JSON
+//! reader the validators and `bench_diff` share.
 
+pub mod critical;
+pub mod export;
+pub mod graph;
+pub mod histogram;
+pub mod json;
 pub mod report;
 
+pub use critical::{CriticalPath, Segment, SegmentKind, TraceAnalysis};
+pub use export::{ascii_timeline, chrome_trace, ChromeTraceBuilder};
+pub use graph::{CausalGraph, EdgeKind, GraphEdge, GraphNode};
+pub use histogram::{Histogram, TraceHistograms};
+pub use json::{JsonError, JsonValue};
 pub use report::{ExecutionReport, PhaseBreakdown, ProcTimeline, TraceCollector};
 
 /// Which runtime executed the plan.

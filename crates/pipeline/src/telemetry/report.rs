@@ -202,7 +202,7 @@ pub struct ExecutionReport {
 }
 
 /// Escape a string for inclusion in a JSON document.
-fn jstr(s: &str) -> String {
+pub(crate) fn jstr(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -221,7 +221,7 @@ fn jstr(s: &str) -> String {
 
 /// Format an `f64` as a JSON number (Rust's `Display` for finite floats
 /// never produces exponent notation, which keeps this valid JSON).
-fn jnum(v: f64) -> String {
+pub(crate) fn jnum(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {

@@ -35,6 +35,34 @@ done
 echo "trace JSON contains per_proc / phases / predicted / messages ✔"
 
 echo
+echo "== wlc trace --strict over programs/*.wf (predicted == observed) =="
+"$WLC" trace programs/fig3.wf --procs 4 --engine sim --strict --json --out /dev/null
+"$WLC" trace programs/tomcatv.wf --procs 8 --engine threads --strict --json --out /dev/null
+"$WLC" trace programs/sweep_octant.wf --rank 3 -D n=8 --procs 4 --engine sim --strict \
+    --json --out /dev/null
+echo "strict trace passed on fig3 / tomcatv / sweep_octant ✔"
+
+echo
+echo "== wlc timeline smoke (ASCII Gantt + Chrome trace export) =="
+chrome_out=$(mktemp)
+out=$("$WLC" timeline programs/tomcatv.wf --procs 4 --engine sim --width 48 \
+    --chrome "$chrome_out")
+for key in 'timeline (sim' 'legend' 'critical path:' 'pipeline efficiency:'; do
+    if ! grep -qF "$key" <<<"$out"; then
+        echo "timeline output missing $key" >&2
+        exit 1
+    fi
+done
+for key in '"traceEvents"' '"ph":"s"' '"ph":"f"' '"process_name"'; do
+    if ! grep -qF "$key" "$chrome_out"; then
+        echo "chrome trace missing $key" >&2
+        exit 1
+    fi
+done
+rm -f "$chrome_out"
+echo "timeline chart + critical path + Chrome export ✔"
+
+echo
 echo "== wlc tune smoke (calibration + adaptive, JSON) =="
 out=$("$WLC" tune programs/fig3.wf --procs 4 --json)
 for key in '"calibration"' '"alpha_work"' '"model_b"' '"exhaustive_b"' '"engines"'; do
@@ -44,6 +72,28 @@ for key in '"calibration"' '"alpha_work"' '"model_b"' '"exhaustive_b"' '"engines
     fi
 done
 echo "tune JSON contains calibration / alpha_work / model_b / exhaustive_b / engines ✔"
+
+echo
+echo "== bench_diff self-check (same dir passes; perturbed copy fails) =="
+BENCH_DIFF=target/release/bench_diff
+"$BENCH_DIFF" results results
+tmpdir=$(mktemp -d)
+cp results/BENCH_*.json "$tmpdir"/
+# Inflate one makespan-class metric by 25% — the gate must catch it.
+python3 - "$tmpdir/BENCH_fig5a.json" <<'EOF'
+import re, sys
+path = sys.argv[1]
+s = open(path).read()
+m = re.search(r'"time_at_model2_b": (\d+)', s)
+v = int(m.group(1))
+open(path, 'w').write(s.replace(m.group(0), f'"time_at_model2_b": {int(v * 1.25)}', 1))
+EOF
+if "$BENCH_DIFF" results "$tmpdir"; then
+    echo "bench_diff failed to flag an injected 25% regression" >&2
+    exit 1
+fi
+rm -rf "$tmpdir"
+echo "bench_diff: self-diff clean, injected regression flagged ✔"
 
 echo
 echo "All verification steps passed."

@@ -5,6 +5,9 @@
 //! wlc run   <file.wf> [options]           execute sequentially, print arrays
 //! wlc plan  <file.wf> [options]           plan + simulate each wavefront
 //! wlc trace <file.wf> [options]           run with telemetry, print report
+//!                                         + critical-path analysis
+//! wlc timeline <file.wf> [options]        run with telemetry, draw an
+//!                                         ASCII Gantt chart per nest
 //! wlc tune  <file.wf> [options]           calibrate the host, compare
 //!                                         model/adaptive/exhaustive blocks
 //!
@@ -17,9 +20,16 @@
 //!   --procs P           processors for `plan`/`trace`/`tune` (default 4)
 //!   --block POLICY      fixed:<b> | model1 | model2 | naive | probe | adaptive
 //!   --machine M         t3e | powerchallenge (default t3e)
-//!   --engine E          threads | seq | sim — runtime for `trace`
+//!   --engine E          threads | seq | sim — runtime for `trace`/`timeline`
 //!                       (default threads)
 //!   --json              emit the `trace`/`tune` report as JSON
+//!   --out FILE          `trace`: write the JSON report to FILE (implies
+//!                       --json)
+//!   --strict            `trace`: exit non-zero when observed traffic
+//!                       differs from the plan's prediction
+//!   --chrome FILE       `trace`/`timeline`: also export a Chrome
+//!                       trace-event JSON (open in https://ui.perfetto.dev)
+//!   --width N           `timeline`: chart width in columns (default 64)
 //! ```
 
 use std::process::ExitCode;
@@ -28,8 +38,8 @@ use wavefront::core::prelude::*;
 use wavefront::lang::{compile_str, Lowered};
 use wavefront::machine::{cray_t3e, sgi_power_challenge, MachineParams};
 use wavefront::pipeline::{
-    calibrate_host, simulate_plan_collected, BlockPolicy, EngineKind, NoopCollector, Session,
-    TraceCollector, WavefrontPlan,
+    ascii_timeline, calibrate_host, simulate_plan_collected, BlockPolicy, ChromeTraceBuilder,
+    EngineKind, NoopCollector, Session, TraceAnalysis, TraceCollector, WavefrontPlan,
 };
 
 struct Opts {
@@ -45,14 +55,19 @@ struct Opts {
     machine: MachineParams,
     engine: EngineKind,
     json: bool,
+    out: Option<String>,
+    strict: bool,
+    chrome: Option<String>,
+    width: usize,
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: wlc <check|run|plan|trace|tune> <file.wf> [--rank N] [-D name=value]");
-    eprintln!("           [--fill name=V] [--fill-coords name] [--print name]");
+    eprintln!("usage: wlc <check|run|plan|trace|timeline|tune> <file.wf> [--rank N]");
+    eprintln!("           [-D name=value] [--fill name=V] [--fill-coords name] [--print name]");
     eprintln!("           [--procs P] [--block fixed:<b>|model1|model2|naive|probe|adaptive]");
     eprintln!("           [--machine t3e|powerchallenge]");
-    eprintln!("           [--engine threads|seq|sim] [--json]");
+    eprintln!("           [--engine threads|seq|sim] [--json] [--out FILE]");
+    eprintln!("           [--strict] [--chrome FILE] [--width N]");
     ExitCode::from(2)
 }
 
@@ -73,6 +88,10 @@ fn parse_args() -> std::result::Result<Opts, ExitCode> {
         machine: cray_t3e(),
         engine: EngineKind::Threads,
         json: false,
+        out: None,
+        strict: false,
+        chrome: None,
+        width: 64,
     };
     while let Some(a) = args.next() {
         let mut need = |what: &str| -> std::result::Result<String, ExitCode> {
@@ -126,6 +145,13 @@ fn parse_args() -> std::result::Result<Opts, ExitCode> {
                 })?;
             }
             "--json" => opts.json = true,
+            "--out" => {
+                opts.out = Some(need("--out")?);
+                opts.json = true;
+            }
+            "--strict" => opts.strict = true,
+            "--chrome" => opts.chrome = Some(need("--chrome")?),
+            "--width" => opts.width = need("--width")?.parse().map_err(|_| usage())?,
             other => {
                 eprintln!("unknown option {other}");
                 return Err(usage());
@@ -182,6 +208,7 @@ fn drive<const R: usize>(opts: &Opts, src: &str) -> ExitCode {
         "run" => run(opts, &lowered, &compiled),
         "plan" => plan::<R>(opts, &compiled),
         "trace" => trace::<R>(opts, &lowered, &compiled),
+        "timeline" => timeline::<R>(opts, &lowered, &compiled),
         "tune" => tune::<R>(opts, &lowered, &compiled),
         other => {
             eprintln!("unknown command {other}");
@@ -357,16 +384,32 @@ fn plan<const R: usize>(opts: &Opts, compiled: &CompiledProgram<R>) -> ExitCode 
     ExitCode::SUCCESS
 }
 
+/// Write `doc` to `path`, mapping IO failures to a diagnostic.
+fn write_file(path: &str, doc: &str) -> bool {
+    match std::fs::write(path, doc) {
+        Ok(()) => true,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            false
+        }
+    }
+}
+
 /// `wlc trace`: run every scan nest through a [`Session`] with a
 /// [`TraceCollector`] attached and print each nest's execution report —
-/// per-processor timelines, message counts and bytes, and the
-/// fill/steady/drain phase split.
+/// per-processor timelines, message counts and bytes, the
+/// fill/steady/drain phase split, and the causal analysis (critical
+/// path, pipeline efficiency, latency histograms). With `--strict`,
+/// exit non-zero when observed boundary traffic differs from the plan's
+/// prediction; with `--chrome FILE`, also export a Chrome trace-event
+/// document (one process per nest).
 fn trace<const R: usize>(
     opts: &Opts,
     lowered: &Lowered<R>,
     compiled: &CompiledProgram<R>,
 ) -> ExitCode {
     let mut json_nests: Vec<String> = Vec::new();
+    let mut chrome = ChromeTraceBuilder::new();
     let mut any = false;
     let mut failed = false;
     for (k, nest) in compiled.nests().enumerate() {
@@ -389,11 +432,40 @@ fn trace<const R: usize>(
         match outcome {
             Ok(_) => {
                 let report = collector.report();
+                if opts.strict {
+                    let pred = report.meta.predicted;
+                    if (pred.messages, pred.elements, pred.bytes)
+                        != (report.messages, report.elements, report.bytes)
+                    {
+                        eprintln!(
+                            "nest {k}: strict: predicted traffic ({} msgs, {} elems, {} bytes) \
+                             != observed ({} msgs, {} elems, {} bytes)",
+                            pred.messages,
+                            pred.elements,
+                            pred.bytes,
+                            report.messages,
+                            report.elements,
+                            report.bytes
+                        );
+                        failed = true;
+                    }
+                }
+                if opts.chrome.is_some() {
+                    chrome.add_run(&format!("nest {k}"), &collector);
+                }
+                let analysis = TraceAnalysis::from_trace(&collector);
                 if opts.json {
-                    json_nests.push(format!("{{\"nest\": {k}, \"report\": {}}}", report.to_json()));
+                    let a = analysis.map_or("null".to_string(), |a| a.to_json());
+                    json_nests.push(format!(
+                        "{{\"nest\": {k}, \"report\": {}, \"analysis\": {a}}}",
+                        report.to_json()
+                    ));
                 } else {
                     println!("nest {k}:");
                     println!("{report}");
+                    if let Some(a) = analysis {
+                        println!("{a}");
+                    }
                 }
             }
             Err(e) => {
@@ -406,11 +478,81 @@ fn trace<const R: usize>(
         println!("no wavefront nests (fully parallel program)");
     }
     if opts.json {
-        println!(
+        let doc = format!(
             "{{\"program\": \"{}\", \"nests\": [{}]}}",
             opts.file.replace('\\', "\\\\").replace('"', "\\\""),
             json_nests.join(", ")
         );
+        match &opts.out {
+            Some(path) => failed |= !write_file(path, &doc),
+            None => println!("{doc}"),
+        }
+    }
+    if let Some(path) = &opts.chrome {
+        failed |= !write_file(path, &chrome.finish());
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `wlc timeline`: run every scan nest instrumented and draw an ASCII
+/// Gantt chart — one row per active processor in wave order, so the
+/// fill/steady/drain staircase of Figure 4(b) is visible in a terminal
+/// — followed by the critical-path summary. With `--chrome FILE`, also
+/// export the Chrome trace-event document for Perfetto.
+fn timeline<const R: usize>(
+    opts: &Opts,
+    lowered: &Lowered<R>,
+    compiled: &CompiledProgram<R>,
+) -> ExitCode {
+    let mut chrome = ChromeTraceBuilder::new();
+    let mut any = false;
+    let mut failed = false;
+    for (k, nest) in compiled.nests().enumerate() {
+        if !nest.is_scan {
+            continue;
+        }
+        any = true;
+        let mut store = match init_store(opts, lowered) {
+            Ok(s) => s,
+            Err(code) => return code,
+        };
+        let mut collector = TraceCollector::default();
+        let outcome = Session::new(&lowered.program, nest)
+            .procs(opts.procs)
+            .block(opts.block.clone())
+            .machine(opts.machine)
+            .collector(&mut collector)
+            .store(&mut store)
+            .run(opts.engine);
+        match outcome {
+            Ok(_) => {
+                println!("nest {k}:");
+                match ascii_timeline(&collector, opts.width) {
+                    Some(chart) => print!("{chart}"),
+                    None => println!("  (no blocks recorded)"),
+                }
+                if let Some(a) = TraceAnalysis::from_trace(&collector) {
+                    println!("{a}");
+                }
+                if opts.chrome.is_some() {
+                    chrome.add_run(&format!("nest {k}"), &collector);
+                }
+            }
+            Err(e) => {
+                eprintln!("nest {k}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if !any {
+        println!("no wavefront nests (fully parallel program)");
+    }
+    if let Some(path) = &opts.chrome {
+        failed |= !write_file(path, &chrome.finish());
     }
     if failed {
         ExitCode::FAILURE

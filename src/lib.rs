@@ -43,6 +43,33 @@
 //! execute(&lo.program, &mut store).unwrap();
 //! assert_eq!(store.get(a).get(Point([5, 1])), 16.0); // rows 1,2,4,8,16
 //! ```
+//!
+//! Parallel execution goes through [`pipeline::Session`] (or
+//! [`pipeline::Session2D`] for processor meshes) — the one public way
+//! to run any engine — and a [`pipeline::TraceCollector`] records the
+//! run for analysis:
+//!
+//! ```
+//! use wavefront::core::prelude::*;
+//! use wavefront::kernels::tomcatv;
+//! use wavefront::pipeline::{EngineKind, Session, TraceAnalysis, TraceCollector};
+//!
+//! let lo = tomcatv::build(32).unwrap();
+//! let compiled = compile(&lo.program).unwrap();
+//! let nest = compiled.nests().find(|n| n.is_scan).unwrap();
+//!
+//! let mut trace = TraceCollector::default();
+//! let outcome = Session::new(&lo.program, nest)
+//!     .procs(4)
+//!     .collector(&mut trace)
+//!     .run(EngineKind::Sim)
+//!     .unwrap();
+//!
+//! // In the simulator the critical path tiles the makespan exactly.
+//! let analysis = TraceAnalysis::from_trace(&trace).unwrap();
+//! assert_eq!(analysis.critical.length(), outcome.makespan);
+//! assert!(analysis.efficiency > 0.0 && analysis.efficiency <= 1.0);
+//! ```
 
 pub use wavefront_cache as cache;
 pub use wavefront_core as core;

@@ -102,6 +102,88 @@ fn trace_human_output_reports_phases_and_traffic() {
 }
 
 #[test]
+fn trace_json_includes_analysis_and_out_writes_file() {
+    let path = std::env::temp_dir().join(format!("wlc_trace_{}.json", std::process::id()));
+    let out = wlc()
+        .args([
+            "trace",
+            &programs("tomcatv.wf"),
+            "--procs",
+            "4",
+            "--engine",
+            "sim",
+            "--strict",
+            "--out",
+            path.to_str().unwrap(),
+        ])
+        .output()
+        .expect("wlc runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    // --out redirects the document: stdout carries no JSON.
+    assert!(!String::from_utf8_lossy(&out.stdout).contains("\"nests\""));
+    let doc = std::fs::read_to_string(&path).expect("--out file written");
+    for key in ["\"analysis\"", "\"critical_path\"", "\"efficiency\"", "\"histograms\""] {
+        assert!(doc.contains(key), "missing {key}");
+    }
+    assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn trace_strict_passes_on_every_engine() {
+    for engine in ["sim", "seq", "threads"] {
+        let out = wlc()
+            .args([
+                "trace",
+                &programs("fig3.wf"),
+                "--procs",
+                "3",
+                "--engine",
+                engine,
+                "--strict",
+            ])
+            .output()
+            .expect("wlc runs");
+        assert!(
+            out.status.success(),
+            "--strict failed on {engine}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn timeline_draws_the_gantt_chart() {
+    let chrome = std::env::temp_dir().join(format!("wlc_chrome_{}.json", std::process::id()));
+    let out = wlc()
+        .args([
+            "timeline",
+            &programs("tomcatv.wf"),
+            "--procs",
+            "4",
+            "--engine",
+            "sim",
+            "--width",
+            "48",
+            "--chrome",
+            chrome.to_str().unwrap(),
+        ])
+        .output()
+        .expect("wlc runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("timeline (sim"), "{stdout}");
+    assert!(stdout.contains("proc    0 |"), "{stdout}");
+    assert!(stdout.contains("legend"), "{stdout}");
+    assert!(stdout.contains("critical path:"), "{stdout}");
+    assert!(stdout.contains("pipeline efficiency:"), "{stdout}");
+    let doc = std::fs::read_to_string(&chrome).expect("--chrome file written");
+    assert!(doc.contains("\"traceEvents\""));
+    assert!(doc.contains("\"ph\":\"s\"") && doc.contains("\"ph\":\"f\""));
+    std::fs::remove_file(&chrome).ok();
+}
+
+#[test]
 fn rank3_program_checks() {
     let out = wlc()
         .args(["check", &programs("sweep_octant.wf"), "--rank", "3", "-D", "n=8"])

@@ -4,11 +4,11 @@
 //! collector perturbs nothing.
 
 use wavefront::core::prelude::*;
-use wavefront::kernels::tomcatv;
+use wavefront::kernels::{sweep3d, tomcatv};
 use wavefront::machine::cray_t3e;
 use wavefront::pipeline::{
-    execute_plan_threaded_collected, BlockPolicy, EngineKind, NoopCollector, Session,
-    TraceCollector, WavefrontPlan,
+    chrome_trace, execute_plan_threaded_collected, BlockPolicy, EngineKind, JsonValue,
+    NoopCollector, Session, Session2D, TraceCollector, WavefrontPlan, WavefrontPlan2D,
 };
 
 fn tomcatv_scan(n: i64) -> (wavefront::lang::Lowered<2>, CompiledNest<2>) {
@@ -163,6 +163,124 @@ fn noop_collector_adds_no_messages_and_changes_no_data() {
             "telemetry changed array {name}"
         );
     }
+}
+
+fn sweep_scan(n: i64) -> (wavefront::lang::Lowered<3>, CompiledNest<3>) {
+    let lo = sweep3d::build_octant(n, [-1, -1, -1]).expect("sweep builds");
+    let compiled = compile(&lo.program).expect("sweep compiles");
+    let nest = compiled.nests().find(|x| x.is_scan).expect("has scan").clone();
+    (lo, nest)
+}
+
+/// The mesh engines uphold the same predicted==observed invariant as the
+/// 1-D ones, through `Session2D`, on both the simulator and the real
+/// threaded runtime.
+#[test]
+fn mesh_observed_traffic_matches_plan_prediction() {
+    let (lo, nest) = sweep_scan(12);
+    let params = cray_t3e();
+    for (mesh, policy) in [
+        ([2usize, 2usize], BlockPolicy::Model2),
+        ([2, 3], BlockPolicy::Fixed(3)),
+        ([2, 2], BlockPolicy::FullPortion),
+    ] {
+        let plan = WavefrontPlan2D::build(&nest, mesh, None, &policy, &params).unwrap();
+        let predicted = plan.predicted_traffic();
+        for kind in [EngineKind::Sim, EngineKind::Threads] {
+            let mut store = Store::new(&lo.program);
+            sweep3d::init(&lo, &mut store);
+            let mut trace = TraceCollector::default();
+            let mut session = Session2D::new(&lo.program, &nest)
+                .mesh(mesh)
+                .block(policy.clone())
+                .machine(params)
+                .collector(&mut trace);
+            if kind != EngineKind::Sim {
+                session = session.store(&mut store);
+            }
+            let out = session.run(kind).unwrap();
+            let report = trace.report();
+            assert_eq!(
+                report.messages, predicted.messages,
+                "mesh {mesh:?} {policy:?} {kind:?}: observed {} != predicted {}",
+                report.messages, predicted.messages
+            );
+            assert_eq!(report.elements, predicted.elements);
+            assert_eq!(report.bytes, predicted.bytes);
+            assert_eq!(out.messages, report.messages);
+        }
+    }
+}
+
+/// `fill + steady + drain == makespan` holds through `Session2D` on the
+/// mesh simulator, exactly as it does for the 1-D engines.
+#[test]
+fn mesh_sim_phases_sum_to_makespan() {
+    let (lo, nest) = sweep_scan(12);
+    for mesh in [[2usize, 2usize], [2, 4], [3, 3]] {
+        let mut trace = TraceCollector::default();
+        let out = Session2D::new(&lo.program, &nest)
+            .mesh(mesh)
+            .collector(&mut trace)
+            .run(EngineKind::Sim)
+            .unwrap();
+        let r = trace.report();
+        let total = r.phases.fill + r.phases.steady + r.phases.drain;
+        assert!(
+            (total - r.makespan).abs() <= 1e-9 * r.makespan.max(1.0),
+            "mesh {mesh:?}: fill {} + steady {} + drain {} != makespan {}",
+            r.phases.fill,
+            r.phases.steady,
+            r.phases.drain,
+            r.makespan
+        );
+        assert!((r.makespan - out.makespan).abs() <= f64::EPSILON * out.makespan);
+        assert!(r.phases.fill >= 0.0 && r.phases.steady >= 0.0 && r.phases.drain >= 0.0);
+    }
+}
+
+/// The Chrome trace-event export is well-formed: it parses, complete
+/// events cover every block, timestamps are sorted, and every flow
+/// start (`"s"`) has exactly one matching finish (`"f"`) with the same
+/// id.
+#[test]
+fn chrome_trace_export_is_well_formed() {
+    let (lo, nest) = tomcatv_scan(48);
+    let mut trace = TraceCollector::default();
+    Session::new(&lo.program, &nest)
+        .procs(4)
+        .collector(&mut trace)
+        .run(EngineKind::Sim)
+        .unwrap();
+    let doc = chrome_trace("tomcatv", &trace).expect("export");
+    let v = JsonValue::parse(&doc).expect("chrome trace parses");
+    let events = v.get("traceEvents").unwrap().as_array().unwrap();
+
+    let mut last_ts = f64::NEG_INFINITY;
+    let mut complete = 0usize;
+    let mut starts: Vec<f64> = Vec::new();
+    let mut finishes: Vec<f64> = Vec::new();
+    for e in events {
+        if let Some(ts) = e.get("ts").and_then(|t| t.as_f64()) {
+            assert!(ts >= last_ts, "events must be sorted by ts");
+            last_ts = ts;
+        }
+        match e.get("ph").and_then(|p| p.as_str()).expect("every event has ph") {
+            "X" => {
+                complete += 1;
+                assert!(e.get("dur").and_then(|d| d.as_f64()).unwrap() >= 0.0);
+            }
+            "s" => starts.push(e.get("id").unwrap().as_f64().unwrap()),
+            "f" => finishes.push(e.get("id").unwrap().as_f64().unwrap()),
+            "M" => {}
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+    assert_eq!(complete, trace.blocks().len() + trace.waits().len());
+    assert_eq!(starts.len(), trace.messages().len());
+    starts.sort_by(f64::total_cmp);
+    finishes.sort_by(f64::total_cmp);
+    assert_eq!(starts, finishes, "flow ids must pair up");
 }
 
 /// The per-processor timelines are internally consistent with the run's

@@ -1,0 +1,271 @@
+//! The central validity claim of the trace-analysis subsystem: in the
+//! discrete-event simulator, the critical path reconstructed from the
+//! event stream tiles `[0, makespan]` with no gaps, so its length
+//! equals the reported makespan **exactly** (`==` on `f64`, no
+//! epsilon). Asserted for the paper's Figure 3 kernel, the Tomcatv
+//! wavefront, and the SWEEP3D octant, across pipelined and naive
+//! schedules, on the 1-D distribution and the 2-D processor mesh.
+
+use wavefront::core::prelude::*;
+use wavefront::kernels::{sweep3d, tomcatv};
+use wavefront::lang::compile_str;
+use wavefront::machine::{cray_t3e, sgi_power_challenge};
+use wavefront::pipeline::{
+    ascii_timeline, BlockPolicy, EngineKind, JsonValue, Session, Session2D, TraceAnalysis,
+    TraceCollector,
+};
+
+/// The paper's Figure 3(d) kernel at a configurable size.
+fn fig3_nest(n: i64) -> (wavefront::lang::Lowered<2>, CompiledNest<2>) {
+    let src = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/programs/fig3.wf"
+    ))
+    .expect("fig3.wf readable");
+    let lo = compile_str::<2>(&src, &[("n", n)], Layout::ColMajor).expect("fig3 compiles");
+    let compiled = compile(&lo.program).expect("fig3 legal");
+    let nest = compiled.nests().find(|x| x.is_scan).expect("has scan").clone();
+    (lo, nest)
+}
+
+fn tomcatv_nest(n: i64) -> (wavefront::lang::Lowered<2>, CompiledNest<2>) {
+    let lo = tomcatv::build(n).expect("tomcatv builds");
+    let compiled = compile(&lo.program).expect("tomcatv compiles");
+    let nest = compiled.nests().find(|x| x.is_scan).expect("has scan").clone();
+    (lo, nest)
+}
+
+fn sweep_nest(n: i64) -> (wavefront::lang::Lowered<3>, CompiledNest<3>) {
+    let lo = sweep3d::build_octant(n, [-1, -1, -1]).expect("sweep builds");
+    let compiled = compile(&lo.program).expect("sweep compiles");
+    let nest = compiled.nests().find(|x| x.is_scan).expect("has scan").clone();
+    (lo, nest)
+}
+
+/// Shared assertions on an analysis of a simulator run.
+fn assert_exact(a: &TraceAnalysis, label: &str) {
+    let cp = &a.critical;
+    assert_eq!(cp.start, 0.0, "{label}: path must start at t=0");
+    assert_eq!(
+        cp.end, a.makespan,
+        "{label}: path must end at the makespan"
+    );
+    assert_eq!(
+        cp.length(),
+        a.makespan,
+        "{label}: critical-path length must equal the makespan exactly"
+    );
+    for w in cp.segments.windows(2) {
+        assert_eq!(
+            w[0].to, w[1].from,
+            "{label}: segments must tile with no gap"
+        );
+        assert!(w[0].to >= w[0].from, "{label}: segment runs backwards");
+    }
+    let classified = cp.compute + cp.message + cp.recv_busy + cp.wait;
+    assert!(
+        (classified - cp.length()).abs() <= 1e-9 * cp.length().max(1.0),
+        "{label}: classification {classified} != length {}",
+        cp.length()
+    );
+    assert!(
+        a.efficiency > 0.0 && a.efficiency <= 1.0 + 1e-12,
+        "{label}: efficiency {} out of (0, 1]",
+        a.efficiency
+    );
+}
+
+#[test]
+fn des_critical_path_equals_makespan_fig3() {
+    let (lo, nest) = fig3_nest(48);
+    for policy in [BlockPolicy::Model2, BlockPolicy::FullPortion] {
+        for p in [2, 4, 7] {
+            let mut trace = TraceCollector::default();
+            let out = Session::new(&lo.program, &nest)
+                .procs(p)
+                .block(policy.clone())
+                .machine(cray_t3e())
+                .collector(&mut trace)
+                .run(EngineKind::Sim)
+                .unwrap();
+            let a = TraceAnalysis::from_trace(&trace).expect("analysis");
+            assert_eq!(a.makespan, out.makespan);
+            assert_exact(&a, &format!("fig3 p={p} {policy:?}"));
+        }
+    }
+}
+
+#[test]
+fn des_critical_path_equals_makespan_tomcatv() {
+    let (lo, nest) = tomcatv_nest(64);
+    for policy in [BlockPolicy::Model2, BlockPolicy::Fixed(5), BlockPolicy::FullPortion] {
+        for (p, machine) in [(4, cray_t3e()), (8, sgi_power_challenge())] {
+            let mut trace = TraceCollector::default();
+            let out = Session::new(&lo.program, &nest)
+                .procs(p)
+                .block(policy.clone())
+                .machine(machine)
+                .collector(&mut trace)
+                .run(EngineKind::Sim)
+                .unwrap();
+            let a = TraceAnalysis::from_trace(&trace).expect("analysis");
+            assert_eq!(a.makespan, out.makespan);
+            assert_exact(&a, &format!("tomcatv p={p} {policy:?}"));
+        }
+    }
+}
+
+#[test]
+fn des_critical_path_equals_makespan_sweep_octant() {
+    let (lo, nest) = sweep_nest(16);
+    // 1-D distribution of the octant sweep.
+    for policy in [BlockPolicy::Model2, BlockPolicy::FullPortion] {
+        let mut trace = TraceCollector::default();
+        let out = Session::new(&lo.program, &nest)
+            .procs(4)
+            .block(policy.clone())
+            .machine(cray_t3e())
+            .collector(&mut trace)
+            .run(EngineKind::Sim)
+            .unwrap();
+        let a = TraceAnalysis::from_trace(&trace).expect("analysis");
+        assert_eq!(a.makespan, out.makespan);
+        assert_exact(&a, &format!("sweep 1-D {policy:?}"));
+    }
+    // 2-D processor mesh.
+    for policy in [BlockPolicy::Model2, BlockPolicy::FullPortion] {
+        for mesh in [[2, 2], [2, 4]] {
+            let mut trace = TraceCollector::default();
+            let out = Session2D::new(&lo.program, &nest)
+                .mesh(mesh)
+                .block(policy.clone())
+                .machine(cray_t3e())
+                .collector(&mut trace)
+                .run(EngineKind::Sim)
+                .unwrap();
+            let a = TraceAnalysis::from_trace(&trace).expect("analysis");
+            assert_eq!(a.makespan, out.makespan);
+            assert_exact(&a, &format!("sweep mesh {mesh:?} {policy:?}"));
+        }
+    }
+}
+
+/// On the wall-clock threaded engine the reconstruction cannot be
+/// bit-exact (the makespan is stamped after the joins), but the path
+/// must stay inside the run and its classification must tile its own
+/// length.
+#[test]
+fn threads_critical_path_is_consistent() {
+    let (lo, nest) = tomcatv_nest(48);
+    let mut store = Store::new(&lo.program);
+    tomcatv::init(&lo, &mut store);
+    let mut trace = TraceCollector::default();
+    let out = Session::new(&lo.program, &nest)
+        .procs(4)
+        .collector(&mut trace)
+        .store(&mut store)
+        .run(EngineKind::Threads)
+        .unwrap();
+    let a = TraceAnalysis::from_trace(&trace).expect("analysis");
+    let cp = &a.critical;
+    assert!(cp.length() > 0.0);
+    assert!(
+        cp.end <= out.makespan * (1.0 + 1e-9) + 1e-9,
+        "path end {} exceeds makespan {}",
+        cp.end,
+        out.makespan
+    );
+    let classified = cp.compute + cp.message + cp.recv_busy + cp.wait;
+    assert!((classified - cp.length()).abs() <= 1e-9 * cp.length().max(1.0));
+    for w in cp.segments.windows(2) {
+        assert_eq!(w[0].to, w[1].from);
+    }
+}
+
+/// Histogram populations match the event stream they were built from,
+/// and quantiles are ordered.
+#[test]
+fn histograms_are_consistent_with_the_stream() {
+    let (lo, nest) = tomcatv_nest(64);
+    let mut trace = TraceCollector::default();
+    Session::new(&lo.program, &nest)
+        .procs(6)
+        .collector(&mut trace)
+        .run(EngineKind::Sim)
+        .unwrap();
+    let a = TraceAnalysis::from_trace(&trace).expect("analysis");
+    let h = &a.histograms;
+    assert_eq!(h.compute.count, trace.blocks().len());
+    assert_eq!(h.message.count, trace.messages().len());
+    assert_eq!(h.wait.count, trace.waits().len());
+    for hist in [&h.compute, &h.message, &h.wait] {
+        assert_eq!(hist.counts.iter().sum::<usize>(), hist.count, "{}", hist.label);
+        if hist.count > 0 {
+            assert!(hist.min <= hist.p50 && hist.p50 <= hist.p90);
+            assert!(hist.p90 <= hist.p99 && hist.p99 <= hist.max);
+            assert_eq!(hist.edges.len(), hist.counts.len() + 1);
+        }
+    }
+}
+
+/// The analysis JSON is machine-readable and repeats the exact makespan.
+#[test]
+fn analysis_json_round_trips_through_the_parser() {
+    let (lo, nest) = fig3_nest(32);
+    let mut trace = TraceCollector::default();
+    let out = Session::new(&lo.program, &nest)
+        .procs(4)
+        .collector(&mut trace)
+        .run(EngineKind::Sim)
+        .unwrap();
+    let a = TraceAnalysis::from_trace(&trace).expect("analysis");
+    let v = JsonValue::parse(&a.to_json()).expect("analysis JSON parses");
+    assert_eq!(v.get("makespan").unwrap().as_f64(), Some(out.makespan));
+    assert_eq!(
+        v.get("critical_path").unwrap().get("length").unwrap().as_f64(),
+        Some(out.makespan)
+    );
+    let segs = v
+        .get("critical_path")
+        .unwrap()
+        .get("segments")
+        .unwrap()
+        .as_array()
+        .unwrap();
+    assert!(!segs.is_empty());
+    for s in segs {
+        let kind = s.get("kind").unwrap().as_str().unwrap();
+        assert!(matches!(kind, "compute" | "message" | "wait"));
+    }
+}
+
+/// The ASCII timeline draws one row per active processor and the
+/// pipelined staircase: each downstream row starts computing later.
+#[test]
+fn ascii_timeline_shows_the_staircase() {
+    let (lo, nest) = tomcatv_nest(64);
+    let mut trace = TraceCollector::default();
+    Session::new(&lo.program, &nest)
+        .procs(4)
+        .block(BlockPolicy::Fixed(8))
+        .collector(&mut trace)
+        .run(EngineKind::Sim)
+        .unwrap();
+    let chart = ascii_timeline(&trace, 72).expect("chart");
+    let rows: Vec<&str> =
+        chart.lines().filter(|l| l.starts_with("proc ")).collect();
+    assert_eq!(rows.len(), 4);
+    let first_compute: Vec<usize> = rows
+        .iter()
+        .map(|r| {
+            r.find(['#', '='])
+                .unwrap_or_else(|| panic!("row has no compute: {r}"))
+        })
+        .collect();
+    for w in first_compute.windows(2) {
+        assert!(
+            w[1] >= w[0],
+            "downstream proc starts earlier than upstream: {first_compute:?}\n{chart}"
+        );
+    }
+}
