@@ -1,0 +1,204 @@
+//! Compiled-tile-kernel benchmark: interpreter vs compiled kernels on
+//! the threads engine, one row per benchmark application.
+//!
+//! Every benchmark runs twice through the same plan and the same
+//! threaded executor — once with the kernel tier disabled (the
+//! per-element expression interpreter) and once with it enabled — and
+//! reports the minimum over several repetitions as ns/element plus the
+//! resulting speedup. The `<name>_kernel_speedup` keys land in
+//! `results/BENCH_kernels.json`, where `bench_diff` gates regressions.
+//!
+//! `--check-fastpath` skips the timing and instead verifies that every
+//! nest of every benchmark compiles to a fused kernel, exiting nonzero
+//! on any fallback (the smoke test `scripts/verify.sh` runs).
+//!
+//! Run with `cargo run --release -p wavefront-bench --bin kernel_bench`.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use wavefront_bench::{f2, json_object, json_str, write_artifact, Table};
+use wavefront_core::kernel::TileKernel;
+use wavefront_core::prelude::*;
+use wavefront_kernels::{smith_waterman, sor, sweep3d, tomcatv};
+use wavefront_machine::cray_t3e;
+use wavefront_pipeline::{
+    execute_plan_threaded_collected_opts, BlockPolicy, NoopCollector, WavefrontPlan,
+};
+
+const REPS: usize = 9;
+
+/// The paper's Figure 3(d): `[2..n,1..n] a := 2 * a'@north`.
+fn fig3(n: i64) -> (Program<2>, Store<2>) {
+    let mut p = Program::<2>::new();
+    let bounds = Region::rect([1, 1], [n, n]);
+    let a = p.array_with_layout("a", bounds, Layout::ColMajor);
+    p.stmt(
+        Region::rect([2, 1], [n, n]),
+        a,
+        Expr::lit(2.0) * Expr::read_primed_at(a, [-1, 0]),
+    );
+    let mut store = Store::new(&p);
+    store.get_mut(a).fill(1.0);
+    (p, store)
+}
+
+/// Check that every nest of `compiled` hits the fused fast path,
+/// printing one line per nest.
+fn check_nests<const R: usize>(name: &str, compiled: &CompiledProgram<R>) -> bool {
+    let mut ok = true;
+    for (i, nest) in compiled.nests().enumerate() {
+        match TileKernel::compile(nest) {
+            Ok(k) => println!(
+                "  {name} nest {i}: fastpath ({} instrs, {} regs, {} reads)",
+                k.instr_count(),
+                k.reg_count(),
+                k.read_count()
+            ),
+            Err(reason) => {
+                ok = false;
+                println!("  {name} nest {i}: FALLBACK ({reason})");
+            }
+        }
+    }
+    ok
+}
+
+/// Time the threaded engine over the scan nest of `compiled` with the
+/// kernel tier off and on; returns (interp ns/elem, kernel ns/elem).
+/// The measured nest is the largest scan nest — the benchmark's main
+/// sweep.
+fn measure<const R: usize>(
+    name: &str,
+    program: &Program<R>,
+    compiled: &CompiledProgram<R>,
+    store: &Store<R>,
+    procs: usize,
+) -> (f64, f64) {
+    let nest = compiled
+        .nests()
+        .filter(|n| n.is_scan)
+        .max_by_key(|n| n.region.len())
+        .expect("benchmark has a scan nest");
+    if TileKernel::compile(nest).is_err() {
+        eprintln!("warning: {name} fell back to the interpreter; speedup will be ~1");
+    }
+    let plan = WavefrontPlan::build(nest, procs, None, &BlockPolicy::Model2, &cray_t3e())
+        .expect("plan builds");
+    let elems = nest.region.len() as f64;
+    // Interleave the two configurations so a frequency dip or a noisy
+    // neighbour hits both sides of the ratio equally.
+    let mut ns = [f64::INFINITY; 2];
+    for _ in 0..REPS {
+        for (slot, kernels) in [(0usize, false), (1, true)] {
+            let mut s = store.clone();
+            let t0 = Instant::now();
+            execute_plan_threaded_collected_opts(
+                program,
+                nest,
+                &plan,
+                &mut s,
+                &mut NoopCollector,
+                kernels,
+            );
+            ns[slot] = ns[slot].min(t0.elapsed().as_secs_f64() * 1e9 / elems);
+        }
+    }
+    (ns[0], ns[1])
+}
+
+fn main() -> ExitCode {
+    let check_only = std::env::args().any(|a| a == "--check-fastpath");
+    let procs = std::thread::available_parallelism().map_or(4, |n| n.get()).min(4);
+    let n2 = 240i64; // rank-2 grids (cache-resident: compute-bound, not memory-bound)
+    let n3 = 40i64; // sweep3d grid (n^3 cells)
+
+    let (fig3_prog, fig3_store) = fig3(n2);
+    let fig3_c = compile(&fig3_prog).expect("fig3 compiles");
+
+    let sor_lo = sor::build(n2).expect("sor builds");
+    let sor_c = compile(&sor_lo.program).expect("sor compiles");
+    let mut sor_store = Store::new(&sor_lo.program);
+    sor::init(&sor_lo, &mut sor_store);
+
+    let tom_lo = tomcatv::build(n2).expect("tomcatv builds");
+    let tom_c = compile(&tom_lo.program).expect("tomcatv compiles");
+    let mut tom_store = Store::new(&tom_lo.program);
+    tomcatv::init(&tom_lo, &mut tom_store);
+
+    let sw_lo = smith_waterman::build(n2, n2).expect("smith-waterman builds");
+    let sw_c = compile(&sw_lo.program).expect("smith-waterman compiles");
+    let mut sw_store = Store::new(&sw_lo.program);
+    smith_waterman::init(&sw_lo, &mut sw_store, 42);
+
+    let sw3_lo = sweep3d::build_octant(n3, [-1, -1, -1]).expect("sweep3d builds");
+    let sw3_c = compile(&sw3_lo.program).expect("sweep3d compiles");
+    let mut sw3_store = Store::new(&sw3_lo.program);
+    sweep3d::init(&sw3_lo, &mut sw3_store);
+
+    if check_only {
+        println!("## kernel fast-path coverage");
+        let mut ok = true;
+        ok &= check_nests("fig3", &fig3_c);
+        ok &= check_nests("sor", &sor_c);
+        ok &= check_nests("tomcatv", &tom_c);
+        ok &= check_nests("smith_waterman", &sw_c);
+        ok &= check_nests("sweep3d", &sw3_c);
+        if !ok {
+            eprintln!("FAIL: at least one benchmark nest fell back to the interpreter");
+            return ExitCode::FAILURE;
+        }
+        println!("all benchmark nests compile to fused kernels");
+        return ExitCode::SUCCESS;
+    }
+
+    println!("## Compiled tile kernels vs interpreter (threads engine, p = {procs})");
+    println!("   rank-2 grids n = {n2}, sweep3d n = {n3}, min of {REPS} reps\n");
+
+    let rows: Vec<(&str, f64, f64)> = vec![
+        {
+            let (i, k) = measure("fig3", &fig3_prog, &fig3_c, &fig3_store, procs);
+            ("fig3", i, k)
+        },
+        {
+            let (i, k) = measure("sor", &sor_lo.program, &sor_c, &sor_store, procs);
+            ("sor", i, k)
+        },
+        {
+            let (i, k) = measure("tomcatv", &tom_lo.program, &tom_c, &tom_store, procs);
+            ("tomcatv", i, k)
+        },
+        {
+            let (i, k) = measure("smith_waterman", &sw_lo.program, &sw_c, &sw_store, procs);
+            ("smith_waterman", i, k)
+        },
+        {
+            let (i, k) = measure("sweep3d", &sw3_lo.program, &sw3_c, &sw3_store, procs);
+            ("sweep3d", i, k)
+        },
+    ];
+
+    let mut table = Table::new(&["benchmark", "interp ns/elem", "kernel ns/elem", "speedup"]);
+    let mut fields: Vec<(&str, String)> = vec![
+        ("bench", json_str("kernels")),
+        ("engine", json_str("threads")),
+        ("procs", procs.to_string()),
+        ("n2", n2.to_string()),
+        ("n3", n3.to_string()),
+        ("reps", REPS.to_string()),
+    ];
+    let mut keys: Vec<(String, String)> = Vec::new();
+    for (name, interp, kernel) in &rows {
+        let speedup = interp / kernel;
+        table.row(&[name.to_string(), f2(*interp), f2(*kernel), f2(speedup)]);
+        keys.push((format!("{name}_interp_ns_per_elem"), f2(*interp)));
+        keys.push((format!("{name}_kernel_ns_per_elem"), f2(*kernel)));
+        keys.push((format!("{name}_kernel_speedup"), f2(speedup)));
+    }
+    for (k, v) in &keys {
+        fields.push((k.as_str(), v.clone()));
+    }
+    table.print();
+    write_artifact("kernels", &json_object(&fields));
+    ExitCode::SUCCESS
+}

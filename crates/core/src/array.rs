@@ -52,11 +52,13 @@ impl<const R: usize> DenseArray<R> {
     }
 
     /// The array's declared bounds.
+    #[inline]
     pub fn bounds(&self) -> Region<R> {
         self.bounds
     }
 
     /// The array's physical layout.
+    #[inline]
     pub fn layout(&self) -> Layout {
         self.layout
     }
@@ -64,6 +66,7 @@ impl<const R: usize> DenseArray<R> {
     /// Linear element offset of index `p` under the array's layout.
     ///
     /// Panics in debug builds if `p` is out of bounds.
+    #[inline]
     pub fn linear_offset(&self, p: Point<R>) -> usize {
         debug_assert!(
             self.bounds.contains(p),
@@ -91,17 +94,20 @@ impl<const R: usize> DenseArray<R> {
     }
 
     /// Read the element at `p`.
+    #[inline]
     pub fn get(&self, p: Point<R>) -> f64 {
         self.data[self.linear_offset(p)]
     }
 
     /// Write the element at `p`.
+    #[inline]
     pub fn set(&mut self, p: Point<R>, v: f64) {
         let off = self.linear_offset(p);
         self.data[off] = v;
     }
 
     /// Read at `p + d` (the shift operator's access pattern).
+    #[inline]
     pub fn get_shifted(&self, p: Point<R>, d: Offset<R>) -> f64 {
         self.get(p + d)
     }
@@ -112,11 +118,13 @@ impl<const R: usize> DenseArray<R> {
     }
 
     /// Raw data slice (layout order).
+    #[inline]
     pub fn as_slice(&self) -> &[f64] {
         &self.data
     }
 
     /// Mutable raw data slice (layout order).
+    #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [f64] {
         &mut self.data
     }
@@ -126,6 +134,41 @@ impl<const R: usize> DenseArray<R> {
     pub fn copy_region_from(&mut self, src: &DenseArray<R>, region: Region<R>) {
         debug_assert!(self.bounds.contains_region(&region));
         debug_assert!(src.bounds.contains_region(&region));
+        if region.is_empty() {
+            return;
+        }
+        // Same layout: the region decomposes into runs that are
+        // contiguous in both arrays along the stride-1 dimension, so
+        // copy whole rows with memcpy instead of per-point offset math.
+        if self.layout == src.layout {
+            let f = match self.layout {
+                Layout::RowMajor => R - 1,
+                Layout::ColMajor => 0,
+            };
+            let run = region.extent(f).max(0) as usize;
+            let (lo, hi) = (region.lo(), region.hi());
+            let mut p = lo;
+            loop {
+                let d0 = self.linear_offset(Point(p));
+                let s0 = src.linear_offset(Point(p));
+                self.data[d0..d0 + run].copy_from_slice(&src.data[s0..s0 + run]);
+                let mut advanced = false;
+                for k in (0..R).rev() {
+                    if k == f {
+                        continue;
+                    }
+                    if p[k] < hi[k] {
+                        p[k] += 1;
+                        advanced = true;
+                        break;
+                    }
+                    p[k] = lo[k];
+                }
+                if !advanced {
+                    return;
+                }
+            }
+        }
         for p in region.iter() {
             self.set(p, src.get(p));
         }

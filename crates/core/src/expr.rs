@@ -34,6 +34,7 @@ pub enum BinOp {
 
 impl BinOp {
     /// Apply the operator.
+    #[inline]
     pub fn apply(self, a: f64, b: f64) -> f64 {
         match self {
             BinOp::Add => a + b,
@@ -70,6 +71,7 @@ pub enum UnaryOp {
 
 impl UnaryOp {
     /// Apply the operator.
+    #[inline]
     pub fn apply(self, a: f64) -> f64 {
         match self {
             UnaryOp::Neg => -a,

@@ -73,12 +73,14 @@ impl<const R: usize> From<[i64; R]> for Offset<R> {
 
 impl<const R: usize> Index<usize> for Point<R> {
     type Output = i64;
+    #[inline]
     fn index(&self, i: usize) -> &i64 {
         &self.0[i]
     }
 }
 
 impl<const R: usize> IndexMut<usize> for Point<R> {
+    #[inline]
     fn index_mut(&mut self, i: usize) -> &mut i64 {
         &mut self.0[i]
     }
@@ -86,12 +88,14 @@ impl<const R: usize> IndexMut<usize> for Point<R> {
 
 impl<const R: usize> Index<usize> for Offset<R> {
     type Output = i64;
+    #[inline]
     fn index(&self, i: usize) -> &i64 {
         &self.0[i]
     }
 }
 
 impl<const R: usize> IndexMut<usize> for Offset<R> {
+    #[inline]
     fn index_mut(&mut self, i: usize) -> &mut i64 {
         &mut self.0[i]
     }
@@ -99,6 +103,7 @@ impl<const R: usize> IndexMut<usize> for Offset<R> {
 
 impl<const R: usize> Add<Offset<R>> for Point<R> {
     type Output = Point<R>;
+    #[inline]
     fn add(self, o: Offset<R>) -> Point<R> {
         let mut out = self.0;
         for k in 0..R {
@@ -110,6 +115,7 @@ impl<const R: usize> Add<Offset<R>> for Point<R> {
 
 impl<const R: usize> Sub<Offset<R>> for Point<R> {
     type Output = Point<R>;
+    #[inline]
     fn sub(self, o: Offset<R>) -> Point<R> {
         let mut out = self.0;
         for k in 0..R {
@@ -121,6 +127,7 @@ impl<const R: usize> Sub<Offset<R>> for Point<R> {
 
 impl<const R: usize> Sub<Point<R>> for Point<R> {
     type Output = Offset<R>;
+    #[inline]
     fn sub(self, p: Point<R>) -> Offset<R> {
         let mut out = self.0;
         for k in 0..R {
@@ -132,6 +139,7 @@ impl<const R: usize> Sub<Point<R>> for Point<R> {
 
 impl<const R: usize> Add<Offset<R>> for Offset<R> {
     type Output = Offset<R>;
+    #[inline]
     fn add(self, o: Offset<R>) -> Offset<R> {
         let mut out = self.0;
         for k in 0..R {
@@ -143,6 +151,7 @@ impl<const R: usize> Add<Offset<R>> for Offset<R> {
 
 impl<const R: usize> Neg for Offset<R> {
     type Output = Offset<R>;
+    #[inline]
     fn neg(self) -> Offset<R> {
         let mut out = self.0;
         for c in &mut out {

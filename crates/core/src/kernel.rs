@@ -1,0 +1,1026 @@
+//! Compiled tile kernels: stride-resolved, register-style tapes that
+//! replace the recursive expression interpreter on the hot path.
+//!
+//! [`crate::exec::run_nest_region_with_sink`] walks a boxed [`Expr`] tree
+//! per grid point, dispatching every array read through a virtual
+//! [`crate::expr::EvalCtx`]. That is fine for tracing and for oddball
+//! nests, but it makes the paper's per-element compute term `c`
+//! interpreter-dominated. This module lowers a [`CompiledNest`] **once**
+//! into a [`TileKernel`] — a flat tape of three-address ops whose array
+//! reads are pre-resolved to (array slot, linear element delta) using the
+//! array's layout strides — so the inner loop is a branch-light sweep
+//! with no `Point` arithmetic, no `ArrayId` indirection, and no
+//! recursion.
+//!
+//! The tape *is* the fused fast path: every instruction embeds its leaf
+//! operands (constants, stride-resolved reads, loop coordinates)
+//! directly, so an affine-shift stencil like `0.25*u + 0.75*0.25*
+//! (u'@n + u'@w + u@s + u@e + f)` becomes a handful of fused
+//! load-and-apply ops. Anything the lowering cannot express (snapshot
+//! buffering, scalar contraction, absurd register pressure) falls back
+//! to the interpreter via [`NestRunner`] — same results, transparently.
+//!
+//! Bit-identity contract: lowering performs **no** algebraic rewrites —
+//! no constant folding, no re-association, no `mul_add` fusion. The tape
+//! executes exactly the operator sequence [`Expr::eval`] would
+//! (left-to-right, one `BinOp::apply`/`UnaryOp::apply` per tree node),
+//! so kernel output is bitwise identical to interpreter output, and the
+//! tape length equals [`Expr::flop_count`] by construction.
+
+use std::cell::Cell;
+
+use crate::array::Layout;
+use crate::exec::CompiledNest;
+use crate::expr::{ArrayId, BinOp, Expr, UnaryOp};
+use crate::index::Offset;
+use crate::program::Store;
+use crate::region::{LoopStructureOrder, Region};
+use crate::trace::NoSink;
+
+/// Maximum number of scalar registers a statement tape may use.
+pub const MAX_REGS: usize = 32;
+
+/// Maximum number of instructions in a single statement's tape.
+pub const MAX_TAPE: usize = 256;
+
+/// Register indices are `< MAX_REGS` by construction (the allocator
+/// refuses to go past it), so masking with `MAX_REGS − 1` is the
+/// identity — it just lets the register file be indexed without a
+/// bounds-check branch in the inner loop. Requires `MAX_REGS` to be a
+/// power of two.
+const REG_MASK: usize = MAX_REGS - 1;
+const _: () = assert!(MAX_REGS.is_power_of_two());
+
+/// Why a nest could not be lowered to a [`TileKernel`] and executes on
+/// the interpreter instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackReason {
+    /// The nest snapshots an array (array-semantics fallback); reads
+    /// must observe the pre-nest copy, which the tape does not model.
+    Buffered,
+    /// The nest contracts arrays to per-iteration scalars.
+    Contracted,
+    /// An expression needs more than [`MAX_REGS`] temporaries.
+    RegisterPressure,
+    /// A statement lowers to more than [`MAX_TAPE`] instructions.
+    TapeTooLong,
+    /// An expression form the lowering does not support (e.g. an
+    /// `IndexVar` naming a dimension outside the nest's rank).
+    UnsupportedExpr,
+}
+
+impl std::fmt::Display for FallbackReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FallbackReason::Buffered => "buffered (array-semantics snapshot)",
+            FallbackReason::Contracted => "contracted scalars",
+            FallbackReason::RegisterPressure => "register pressure",
+            FallbackReason::TapeTooLong => "tape too long",
+            FallbackReason::UnsupportedExpr => "unsupported expression",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An instruction operand: where a value comes from.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Src {
+    /// A register written by an earlier instruction of the same tape.
+    Reg(u16),
+    /// The value of the immediately preceding instruction. Compilation
+    /// rewrites `Reg` operands that name the previous instruction's
+    /// destination into `Prev`, which the executor keeps in a scalar
+    /// local — expression chains then flow value-to-value instead of
+    /// bouncing through the memory-resident register file.
+    Prev,
+    /// A pre-resolved array read (index into the kernel's read slots).
+    Read(u16),
+    /// An immediate constant.
+    Const(f64),
+    /// The current loop coordinate of dimension `k`, as `f64`.
+    Coord(u8),
+}
+
+/// One three-address instruction. Leaf operands are embedded directly,
+/// fusing loads with arithmetic — there are no separate "load" ops.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Instr {
+    /// `reg[dst] = op(a)`.
+    Un {
+        /// The operator.
+        op: UnaryOp,
+        /// Destination register.
+        dst: u16,
+        /// Operand.
+        a: Src,
+    },
+    /// `reg[dst] = op(a, b)`.
+    Bin {
+        /// The operator.
+        op: BinOp,
+        /// Destination register.
+        dst: u16,
+        /// Left operand (evaluated first, as in [`Expr::eval`]).
+        a: Src,
+        /// Right operand.
+        b: Src,
+    },
+}
+
+/// A pre-resolved array read: which array slot, shifted by which offset.
+/// At bind time the offset becomes a single linear element delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadSlot<const R: usize> {
+    /// Index into the kernel's array-slot table.
+    pub arr: u16,
+    /// The read's shift from the current point.
+    pub shift: Offset<R>,
+}
+
+/// The lowered tape of one statement.
+#[derive(Debug, Clone, PartialEq)]
+struct StmtKernel {
+    /// Array slot written by the statement.
+    lhs: u16,
+    /// The instruction tape (postorder of the expression tree).
+    instrs: Vec<Instr>,
+    /// Where the statement's value lives after the tape runs (a leaf
+    /// statement like `a := 2` has an empty tape and a `Const` result).
+    result: Src,
+}
+
+/// A compiled loop-nest body: every statement lowered to a flat tape,
+/// every array read resolved to an (array slot, shift) pair that binding
+/// turns into a linear element delta.
+///
+/// A kernel is pure data — `Send + Sync` — compiled once per nest and
+/// shared by all workers; each worker [`TileKernel::bind`]s it to its
+/// own (possibly ghost-margined) local store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileKernel<const R: usize> {
+    /// Distinct arrays the nest touches, slot-indexed.
+    arrays: Vec<ArrayId>,
+    /// Distinct (array, shift) read pairs, slot-indexed.
+    reads: Vec<ReadSlot<R>>,
+    /// Per-statement tapes, in statement order.
+    stmts: Vec<StmtKernel>,
+    /// Whether any statement references a loop coordinate (`IndexVar`).
+    uses_coords: bool,
+    /// Number of registers the widest statement tape needs.
+    regs: usize,
+}
+
+/// A [`TileKernel`] resolved against one store's array geometry:
+/// per-slot layout strides, per-read linear deltas, and the inner-loop
+/// step of every array. Rebind whenever the store's array *bounds or
+/// layouts* change (workers bind once — local stores keep their shape
+/// for the whole run).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundKernel<const R: usize> {
+    /// Element strides per array slot, indexed by dimension.
+    strides: Vec<[i64; R]>,
+    /// Lower bounds per array slot.
+    lo: Vec<[i64; R]>,
+    /// Per read slot: (array slot, linear element delta of the shift).
+    rd: Vec<(u32, i64)>,
+    /// One cursor step per read slot, then one per statement's written
+    /// array (a single merged vector so the inner loop advances all
+    /// cursors in one pass).
+    steps: Vec<i64>,
+    /// The loop order the binding was made for.
+    order: [usize; R],
+    /// Iteration direction per dimension.
+    ascending: [bool; R],
+}
+
+/// Element strides of an array with the given bounds and layout:
+/// `linear_offset(p) = Σ_k strides[k] · (p[k] − lo[k])`.
+fn strides_of<const R: usize>(bounds: Region<R>, layout: Layout) -> [i64; R] {
+    let ext = bounds.extents();
+    let mut s = [0i64; R];
+    match layout {
+        Layout::RowMajor => {
+            let mut acc = 1i64;
+            for k in (0..R).rev() {
+                s[k] = acc;
+                acc *= ext[k];
+            }
+        }
+        Layout::ColMajor => {
+            let mut acc = 1i64;
+            for k in 0..R {
+                s[k] = acc;
+                acc *= ext[k];
+            }
+        }
+    }
+    s
+}
+
+/// Tape builder for one statement: emits instructions in evaluation
+/// order with a free-list register allocator.
+struct TapeBuilder<'a, const R: usize> {
+    kernel: &'a mut TileKernel<R>,
+    instrs: Vec<Instr>,
+    free: Vec<u16>,
+    high: u16,
+}
+
+impl<const R: usize> TapeBuilder<'_, R> {
+    fn alloc(&mut self) -> Result<u16, FallbackReason> {
+        if let Some(r) = self.free.pop() {
+            return Ok(r);
+        }
+        if (self.high as usize) >= MAX_REGS {
+            return Err(FallbackReason::RegisterPressure);
+        }
+        self.high += 1;
+        Ok(self.high - 1)
+    }
+
+    fn release(&mut self, s: Src) {
+        if let Src::Reg(r) = s {
+            self.free.push(r);
+        }
+    }
+
+    fn emit(&mut self, i: Instr) -> Result<(), FallbackReason> {
+        if self.instrs.len() >= MAX_TAPE {
+            return Err(FallbackReason::TapeTooLong);
+        }
+        self.instrs.push(i);
+        Ok(())
+    }
+
+    /// Lower an expression subtree; instructions are emitted in the same
+    /// left-to-right order [`Expr::eval`] applies operators in.
+    fn lower(&mut self, e: &Expr<R>) -> Result<Src, FallbackReason> {
+        match e {
+            Expr::Const(v) => Ok(Src::Const(*v)),
+            Expr::IndexVar(k) => {
+                if *k >= R {
+                    return Err(FallbackReason::UnsupportedExpr);
+                }
+                self.kernel.uses_coords = true;
+                Ok(Src::Coord(*k as u8))
+            }
+            Expr::Read(r) => {
+                // Primed and unprimed reads are indistinguishable here:
+                // without snapshot buffering both observe live storage.
+                let arr = self.kernel.array_slot(r.id);
+                Ok(Src::Read(self.kernel.read_slot(arr, r.shift)))
+            }
+            Expr::Unary(op, a) => {
+                let sa = self.lower(a)?;
+                self.release(sa);
+                let dst = self.alloc()?;
+                self.emit(Instr::Un { op: *op, dst, a: sa })?;
+                Ok(Src::Reg(dst))
+            }
+            Expr::Binary(op, a, b) => {
+                let sa = self.lower(a)?;
+                let sb = self.lower(b)?;
+                self.release(sa);
+                self.release(sb);
+                let dst = self.alloc()?;
+                self.emit(Instr::Bin { op: *op, dst, a: sa, b: sb })?;
+                Ok(Src::Reg(dst))
+            }
+        }
+    }
+}
+
+impl<const R: usize> TileKernel<R> {
+    /// Lower a compiled nest into a kernel, or report why it cannot be.
+    pub fn compile(nest: &CompiledNest<R>) -> Result<Self, FallbackReason> {
+        if !nest.buffered.is_empty() {
+            return Err(FallbackReason::Buffered);
+        }
+        if !nest.contracted.is_empty() {
+            return Err(FallbackReason::Contracted);
+        }
+        let mut kernel = TileKernel {
+            arrays: Vec::new(),
+            reads: Vec::new(),
+            stmts: Vec::new(),
+            uses_coords: false,
+            regs: 0,
+        };
+        for stmt in &nest.stmts {
+            let lhs = kernel.array_slot(stmt.lhs);
+            let mut b = TapeBuilder {
+                kernel: &mut kernel,
+                instrs: Vec::new(),
+                free: Vec::new(),
+                high: 0,
+            };
+            let result = b.lower(&stmt.rhs)?;
+            let (mut instrs, high) = (b.instrs, b.high);
+            // Forward chained values: an operand naming the previous
+            // instruction's destination register always denotes that
+            // instruction's value (it was just written), so it can read
+            // the executor's scalar `prev` instead of the register file.
+            // The register store is kept — other instructions may read
+            // the same register later.
+            for i in 1..instrs.len() {
+                let pd = match instrs[i - 1] {
+                    Instr::Bin { dst, .. } | Instr::Un { dst, .. } => dst,
+                };
+                let fwd = |s: &mut Src| {
+                    if *s == Src::Reg(pd) {
+                        *s = Src::Prev;
+                    }
+                };
+                match &mut instrs[i] {
+                    Instr::Bin { a, b, .. } => {
+                        fwd(a);
+                        fwd(b);
+                    }
+                    Instr::Un { a, .. } => fwd(a),
+                }
+            }
+            // The executor fuses the final instruction with the store;
+            // that relies on a non-empty tape ending with the
+            // instruction that computes `result`.
+            if let Some(last) = instrs.last() {
+                let dst = match *last {
+                    Instr::Bin { dst, .. } | Instr::Un { dst, .. } => dst,
+                };
+                debug_assert_eq!(result, Src::Reg(dst));
+            }
+            kernel.regs = kernel.regs.max(high as usize);
+            kernel.stmts.push(StmtKernel { lhs, instrs, result });
+        }
+        Ok(kernel)
+    }
+
+    fn array_slot(&mut self, id: ArrayId) -> u16 {
+        match self.arrays.iter().position(|&a| a == id) {
+            Some(i) => i as u16,
+            None => {
+                self.arrays.push(id);
+                (self.arrays.len() - 1) as u16
+            }
+        }
+    }
+
+    fn read_slot(&mut self, arr: u16, shift: Offset<R>) -> u16 {
+        let slot = ReadSlot { arr, shift };
+        match self.reads.iter().position(|r| *r == slot) {
+            Some(i) => i as u16,
+            None => {
+                self.reads.push(slot);
+                (self.reads.len() - 1) as u16
+            }
+        }
+    }
+
+    /// Total tape length across all statements. Because lowering never
+    /// folds or fuses, this equals the sum of the statements'
+    /// [`Expr::flop_count`]s — the DES cost models rely on that.
+    pub fn instr_count(&self) -> usize {
+        self.stmts.iter().map(|s| s.instrs.len()).sum()
+    }
+
+    /// Number of registers the widest statement tape uses.
+    pub fn reg_count(&self) -> usize {
+        self.regs
+    }
+
+    /// Number of distinct (array, shift) read slots.
+    pub fn read_count(&self) -> usize {
+        self.reads.len()
+    }
+
+    /// Resolve the kernel against a store's array geometry and a loop
+    /// order: compute layout strides per array slot, one linear delta
+    /// per read slot, and the inner-loop cursor step per array.
+    pub fn bind(&self, store: &Store<R>, order: &LoopStructureOrder<R>) -> BoundKernel<R> {
+        let mut strides = Vec::with_capacity(self.arrays.len());
+        let mut lo = Vec::with_capacity(self.arrays.len());
+        for &id in &self.arrays {
+            let a = store.get(id);
+            strides.push(strides_of(a.bounds(), a.layout()));
+            lo.push(a.bounds().lo());
+        }
+        let rd: Vec<(u32, i64)> = self
+            .reads
+            .iter()
+            .map(|r| {
+                let s = &strides[r.arr as usize];
+                let delta: i64 = (0..R).map(|k| s[k] * r.shift[k]).sum();
+                (u32::from(r.arr), delta)
+            })
+            .collect();
+        let inner = order.order[R - 1];
+        let dir: i64 = if order.ascending[inner] { 1 } else { -1 };
+        let arr_step: Vec<i64> = strides.iter().map(|s| s[inner] * dir).collect();
+        let steps: Vec<i64> = rd
+            .iter()
+            .map(|&(a, _)| arr_step[a as usize])
+            .chain(self.stmts.iter().map(|sk| arr_step[sk.lhs as usize]))
+            .collect();
+        BoundKernel { strides, lo, rd, steps, order: order.order, ascending: order.ascending }
+    }
+
+    /// Convenience: bind against `store` and sweep `region` in one call.
+    pub fn run_region(
+        &self,
+        region: Region<R>,
+        order: &LoopStructureOrder<R>,
+        store: &mut Store<R>,
+    ) {
+        let bound = self.bind(store, order);
+        self.run_bound(&bound, region, store);
+    }
+
+    /// Sweep `region` of `store` with a previously bound kernel. The
+    /// binding must have been made against a store with the same array
+    /// bounds and layouts (workers bind their local store once and reuse
+    /// the binding for every tile).
+    ///
+    /// In-bounds safety comes from the language, not from this code:
+    /// `Program::check_bounds` (and, for distributed tiles, the ghost
+    /// margins) guarantee `region.translate(shift)` lies inside every
+    /// read array, so `cursor + delta` is always a valid element index.
+    /// Indexing stays checked — a violated guarantee panics, it does not
+    /// corrupt memory.
+    pub fn run_bound(&self, bk: &BoundKernel<R>, region: Region<R>, store: &mut Store<R>) {
+        if region.is_empty() {
+            return;
+        }
+        let rlo = region.lo();
+        let rhi = region.hi();
+        let inner = bk.order[R - 1];
+        let inner_asc = bk.ascending[inner];
+        let n_inner = (rhi[inner] - rlo[inner] + 1) as usize;
+        let inner_start = if inner_asc { rlo[inner] } else { rhi[inner] };
+        let inner_dir: i64 = if inner_asc { 1 } else { -1 };
+
+        // Shared-view aliasing: a statement may read the array it writes
+        // (that is the whole point of a wavefront), so the kernel views
+        // every array as a slice of `Cell<f64>` — one mutable borrow of
+        // the store, arbitrarily aliased reads and writes within it.
+        let all: Vec<&[Cell<f64>]> = store
+            .arrays_mut()
+            .iter_mut()
+            .map(|a| Cell::from_mut(a.as_mut_slice()).as_slice_of_cells())
+            .collect();
+        let cells: Vec<&[Cell<f64>]> =
+            self.arrays.iter().map(|&id| all[id]).collect();
+        // Per read slot / per statement slice views, so a load is one
+        // bounds-checked index instead of read-table + slot-table + cursor
+        // lookups.
+        let rslices: Vec<&[Cell<f64>]> =
+            bk.rd.iter().map(|&(a, _)| cells[a as usize]).collect();
+        let wslices: Vec<&[Cell<f64>]> =
+            self.stmts.iter().map(|sk| cells[sk.lhs as usize]).collect();
+
+        // The current outer point; the inner coordinate of `p` stays
+        // pinned at the row start (cursors advance instead).
+        let mut p = [0i64; R];
+        for k in 0..R {
+            p[k] = if bk.ascending[k] { rlo[k] } else { rhi[k] };
+        }
+        p[inner] = inner_start;
+        let mut coords = [0.0f64; R];
+        if self.uses_coords {
+            for k in 0..R {
+                coords[k] = p[k] as f64;
+            }
+        }
+
+        let n_arr = self.arrays.len();
+        let nr = bk.rd.len();
+        let mut base = vec![0i64; n_arr];
+        // One cursor per read slot followed by one per statement. When
+        // every cursor moves by the same step (all arrays share their
+        // stride along the inner dimension — the usual case, since the
+        // inner loop is each layout's unit-stride dimension), the sweep
+        // keeps the cursors fixed at the row start and advances a single
+        // offset instead.
+        let mut cur = vec![0i64; nr + self.stmts.len()];
+        let uniform_step = match bk.steps.split_first() {
+            Some((s0, rest)) if rest.iter().all(|s| s == s0) => Some(*s0),
+            _ => None,
+        };
+        let mut regs = [0.0f64; MAX_REGS];
+
+        // One statement tape at one grid point, with all array cursors
+        // displaced by `$off`; yields the statement's value. The final
+        // tree node's value goes straight to the caller — a non-empty
+        // tape always ends with the instruction computing `result`, so
+        // fusing it skips a register round-trip per statement.
+        macro_rules! eval_stmt {
+            ($sk:expr, $off:expr) => {{
+                let sk: &StmtKernel = $sk;
+                let off: i64 = $off;
+                match sk.instrs.split_last() {
+                    Some((last, rest)) => {
+                        let mut prev = 0.0f64;
+                        for ins in rest {
+                            let r = match *ins {
+                                Instr::Bin { op, dst, a, b } => {
+                                    let va = load(a, &regs, &rslices, &cur, off, prev, &coords);
+                                    let vb = load(b, &regs, &rslices, &cur, off, prev, &coords);
+                                    let r = op.apply(va, vb);
+                                    regs[dst as usize & REG_MASK] = r;
+                                    r
+                                }
+                                Instr::Un { op, dst, a } => {
+                                    let va = load(a, &regs, &rslices, &cur, off, prev, &coords);
+                                    let r = op.apply(va);
+                                    regs[dst as usize & REG_MASK] = r;
+                                    r
+                                }
+                            };
+                            prev = r;
+                        }
+                        match *last {
+                            Instr::Bin { op, a, b, .. } => {
+                                let va = load(a, &regs, &rslices, &cur, off, prev, &coords);
+                                let vb = load(b, &regs, &rslices, &cur, off, prev, &coords);
+                                op.apply(va, vb)
+                            }
+                            Instr::Un { op, a, .. } => {
+                                let va = load(a, &regs, &rslices, &cur, off, prev, &coords);
+                                op.apply(va)
+                            }
+                        }
+                    }
+                    None => load(sk.result, &regs, &rslices, &cur, off, 0.0, &coords),
+                }
+            }};
+        }
+
+        // One grid point: every statement tape, then its store.
+        macro_rules! point {
+            ($off:expr) => {{
+                let off: i64 = $off;
+                for (j, (sk, ws)) in self.stmts.iter().zip(&wslices).enumerate() {
+                    let v = eval_stmt!(sk, off);
+                    ws[(cur[nr + j] + off) as usize].set(v);
+                }
+            }};
+        }
+
+        loop {
+            // Row cursors: linear offset of the row-start point in each
+            // array per that array's strides, then one cursor per read
+            // slot (base + shift delta) and per written statement.
+            for ((b, s), l) in base.iter_mut().zip(&bk.strides).zip(&bk.lo) {
+                *b = (0..R).map(|k| s[k] * (p[k] - l[k])).sum();
+            }
+            for (c, (a, d)) in cur.iter_mut().zip(&bk.rd) {
+                *c = base[*a as usize] + d;
+            }
+            for (c, sk) in cur[nr..].iter_mut().zip(&self.stmts) {
+                *c = base[sk.lhs as usize];
+            }
+            if let (Some(step), false) = (uniform_step, self.uses_coords) {
+                if let ([sk], [ws]) = (&self.stmts[..], &wslices[..]) {
+                    // Single-statement nests (most stencils) drop the
+                    // per-point statement loop entirely.
+                    let wbase = cur[nr];
+                    let mut off = 0i64;
+                    for _ in 0..n_inner {
+                        let v = eval_stmt!(sk, off);
+                        ws[(wbase + off) as usize].set(v);
+                        off += step;
+                    }
+                } else {
+                    let mut off = 0i64;
+                    for _ in 0..n_inner {
+                        point!(off);
+                        off += step;
+                    }
+                }
+            } else {
+                let mut ci = inner_start;
+                for _ in 0..n_inner {
+                    if self.uses_coords {
+                        coords[inner] = ci as f64;
+                    }
+                    point!(0);
+                    for (c, s) in cur.iter_mut().zip(&bk.steps) {
+                        *c += *s;
+                    }
+                    ci += inner_dir;
+                }
+            }
+            // Advance the outer odometer (everything but the inner loop).
+            let mut advanced = false;
+            for pos in (0..R.saturating_sub(1)).rev() {
+                let k = bk.order[pos];
+                if bk.ascending[k] {
+                    if p[k] < rhi[k] {
+                        p[k] += 1;
+                        advanced = true;
+                    } else {
+                        p[k] = rlo[k];
+                    }
+                } else if p[k] > rlo[k] {
+                    p[k] -= 1;
+                    advanced = true;
+                } else {
+                    p[k] = rhi[k];
+                }
+                if self.uses_coords {
+                    coords[k] = p[k] as f64;
+                }
+                if advanced {
+                    break;
+                }
+            }
+            if !advanced {
+                break;
+            }
+        }
+    }
+}
+
+/// Resolve one operand. Kept free-standing (not a closure) so the inner
+/// loop borrows stay simple; `#[inline(always)]` folds it into the
+/// dispatch match.
+#[inline(always)]
+fn load<const R: usize>(
+    s: Src,
+    regs: &[f64; MAX_REGS],
+    rslices: &[&[Cell<f64>]],
+    rcur: &[i64],
+    off: i64,
+    prev: f64,
+    coords: &[f64; R],
+) -> f64 {
+    match s {
+        Src::Reg(r) => regs[r as usize & REG_MASK],
+        Src::Prev => prev,
+        Src::Const(c) => c,
+        Src::Read(i) => rslices[i as usize][(rcur[i as usize] + off) as usize].get(),
+        Src::Coord(k) => coords[k as usize],
+    }
+}
+
+/// Per-nest execution strategy, selected once at plan time: the compiled
+/// kernel when the nest lowers, the reference interpreter otherwise (or
+/// when kernels are disabled for an interpreter-baseline run).
+#[derive(Debug, Clone)]
+pub enum NestRunner<const R: usize> {
+    /// The nest lowered; tiles execute on the kernel.
+    Compiled(TileKernel<R>),
+    /// Tiles execute on the interpreter. `Some(reason)` records why the
+    /// lowering refused; `None` means kernels were disabled by request.
+    Interpreted(Option<FallbackReason>),
+}
+
+impl<const R: usize> NestRunner<R> {
+    /// Lower the nest if possible, fall back to the interpreter if not.
+    pub fn auto(nest: &CompiledNest<R>) -> Self {
+        match TileKernel::compile(nest) {
+            Ok(k) => NestRunner::Compiled(k),
+            Err(r) => NestRunner::Interpreted(Some(r)),
+        }
+    }
+
+    /// [`NestRunner::auto`] when `kernels` is true, the interpreter
+    /// otherwise (used to measure the interpreter baseline).
+    pub fn with_mode(nest: &CompiledNest<R>, kernels: bool) -> Self {
+        if kernels {
+            Self::auto(nest)
+        } else {
+            NestRunner::Interpreted(None)
+        }
+    }
+
+    /// The compiled kernel, when there is one.
+    pub fn kernel(&self) -> Option<&TileKernel<R>> {
+        match self {
+            NestRunner::Compiled(k) => Some(k),
+            NestRunner::Interpreted(_) => None,
+        }
+    }
+
+    /// True when tiles execute on the compiled kernel.
+    pub fn is_compiled(&self) -> bool {
+        matches!(self, NestRunner::Compiled(_))
+    }
+
+    /// Why the interpreter is in use, when the lowering refused.
+    pub fn fallback(&self) -> Option<FallbackReason> {
+        match self {
+            NestRunner::Compiled(_) => None,
+            NestRunner::Interpreted(r) => *r,
+        }
+    }
+
+    /// Bind the kernel (if any) to a worker's store geometry. Call once
+    /// per worker, before its tile loop.
+    pub fn bind(
+        &self,
+        store: &Store<R>,
+        order: &LoopStructureOrder<R>,
+    ) -> Option<BoundKernel<R>> {
+        self.kernel().map(|k| k.bind(store, order))
+    }
+
+    /// Execute one tile: the bound kernel when compiled, the reference
+    /// interpreter otherwise. `bound` must come from [`NestRunner::bind`]
+    /// on the same store geometry (pass `None` for interpreted runners).
+    pub fn run_tile(
+        &self,
+        nest: &CompiledNest<R>,
+        bound: Option<&BoundKernel<R>>,
+        region: Region<R>,
+        order: &LoopStructureOrder<R>,
+        store: &mut Store<R>,
+    ) {
+        match (self, bound) {
+            (NestRunner::Compiled(k), Some(b)) => k.run_bound(b, region, store),
+            (NestRunner::Compiled(k), None) => k.run_region(region, order, store),
+            (NestRunner::Interpreted(_), _) => {
+                crate::exec::run_nest_region_with_sink(nest, region, order, store, &mut NoSink);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::DenseArray;
+    use crate::exec::{compile, run_nest_region_with_sink};
+    use crate::index::Point;
+    use crate::program::Program;
+
+    fn run_both<const R: usize>(
+        p: &Program<R>,
+        init: impl Fn(&mut Store<R>),
+    ) -> (Store<R>, Store<R>, Vec<bool>) {
+        let compiled = compile(p).unwrap();
+        let mut interp = Store::new(p);
+        let mut kern = Store::new(p);
+        init(&mut interp);
+        init(&mut kern);
+        let mut compiled_flags = Vec::new();
+        for nest in compiled.nests() {
+            run_nest_region_with_sink(
+                nest,
+                nest.region,
+                &nest.structure.order,
+                &mut interp,
+                &mut NoSink,
+            );
+            let runner = NestRunner::auto(nest);
+            compiled_flags.push(runner.is_compiled());
+            let bound = runner.bind(&kern, &nest.structure.order);
+            runner.run_tile(
+                nest,
+                bound.as_ref(),
+                nest.region,
+                &nest.structure.order,
+                &mut kern,
+            );
+        }
+        (interp, kern, compiled_flags)
+    }
+
+    #[test]
+    fn fig3_wavefront_matches_interpreter_bitwise() {
+        let n = 7;
+        let mut p = Program::<2>::new();
+        let bounds = Region::rect([1, 1], [n, n]);
+        let a = p.array("a", bounds);
+        p.stmt(
+            Region::rect([2, 1], [n, n]),
+            a,
+            Expr::lit(2.0) * Expr::read_primed_at(a, [-1, 0]),
+        );
+        let (interp, kern, flags) = run_both(&p, |s| s.get_mut(0).fill(1.0));
+        assert_eq!(flags, vec![true]);
+        assert!(interp.get(a).region_eq(kern.get(a), bounds));
+        assert_eq!(kern.get(a).get(Point([5, 3])), 16.0);
+    }
+
+    #[test]
+    fn descending_order_and_col_major_match() {
+        let n = 6;
+        let mut p = Program::<2>::new();
+        let bounds = Region::rect([1, 1], [n, n]);
+        let a = p.array_with_layout("a", bounds, Layout::ColMajor);
+        // Unprimed @north forces a descending dim-0 loop.
+        p.stmt(
+            Region::rect([2, 1], [n, n]),
+            a,
+            Expr::lit(3.0) * Expr::read_at(a, [-1, 0]),
+        );
+        let (interp, kern, flags) = run_both(&p, |s| {
+            *s.get_mut(0) = DenseArray::from_fn(bounds, |q| (q[0] * 10 + q[1]) as f64);
+        });
+        assert_eq!(flags, vec![true]);
+        assert!(interp.get(a).region_eq(kern.get(a), bounds));
+    }
+
+    #[test]
+    fn index_vars_and_unaries_match() {
+        let mut p = Program::<2>::new();
+        let bounds = Region::rect([0, 0], [4, 5]);
+        let a = p.array("a", bounds);
+        let b = p.array("b", bounds);
+        p.stmt(
+            bounds,
+            b,
+            (Expr::IndexVar(0) * Expr::lit(10.0) + Expr::IndexVar(1)).sqrt()
+                + (-Expr::read(a)).max(Expr::lit(0.25)),
+        );
+        let (interp, kern, flags) = run_both(&p, |s| {
+            *s.get_mut(0) = DenseArray::from_fn(bounds, |q| 0.1 * (q[0] - q[1]) as f64);
+        });
+        assert_eq!(flags, vec![true]);
+        assert!(interp.get(b).region_eq(kern.get(b), bounds));
+    }
+
+    #[test]
+    fn multi_statement_scan_block_matches() {
+        // Tomcatv-style forward elimination: later statements read values
+        // earlier statements wrote at the same point.
+        use crate::stmt::Statement;
+        let n = 9i64;
+        let bounds = Region::rect([1, 1], [n, n]);
+        let mut p = Program::<2>::new();
+        let r = p.array("r", bounds);
+        let aa = p.array("aa", bounds);
+        let d = p.array("d", bounds);
+        let dd = p.array("dd", bounds);
+        let region = Region::rect([2, 2], [n - 1, n - 1]);
+        p.scan(
+            region,
+            vec![
+                Statement::new(r, Expr::read(aa) * Expr::read_primed_at(d, [-1, 0])),
+                Statement::new(
+                    d,
+                    (Expr::read(dd) - Expr::read_at(aa, [-1, 0]) * Expr::read(r)).recip(),
+                ),
+            ],
+        );
+        let (interp, kern, flags) = run_both(&p, |s| {
+            for id in 0..4 {
+                *s.get_mut(id) = DenseArray::from_fn(bounds, |q| {
+                    1.5 + 0.01 * (q[0] * 13 + q[1] * 7 + id as i64) as f64
+                });
+            }
+        });
+        assert_eq!(flags, vec![true]);
+        for id in [r, d] {
+            assert!(interp.get(id).region_eq(kern.get(id), bounds), "array {id}");
+        }
+    }
+
+    #[test]
+    fn rank1_and_rank3_sweeps_match() {
+        let mut p1 = Program::<1>::new();
+        let b1 = Region::rect([0], [50]);
+        let a1 = p1.array("a", b1);
+        p1.stmt(
+            Region::rect([1], [50]),
+            a1,
+            Expr::read_primed_at(a1, [-1]) + Expr::lit(1.0),
+        );
+        let (i1, k1, f1) = run_both(&p1, |s| s.get_mut(0).fill(0.5));
+        assert_eq!(f1, vec![true]);
+        assert!(i1.get(a1).region_eq(k1.get(a1), b1));
+
+        let mut p3 = Program::<3>::new();
+        let b3 = Region::rect([0, 0, 0], [5, 6, 7]);
+        let a3 = p3.array_with_layout("a", b3, Layout::ColMajor);
+        p3.stmt(
+            Region::rect([1, 1, 1], [5, 6, 7]),
+            a3,
+            Expr::read_primed_at(a3, [-1, 0, 0])
+                + Expr::read_primed_at(a3, [0, -1, 0])
+                + Expr::read_primed_at(a3, [0, 0, -1]),
+        );
+        let (i3, k3, f3) = run_both(&p3, |s| {
+            *s.get_mut(0) = DenseArray::from_fn(b3, |q| 0.25 + (q[0] + q[1] * 2 + q[2]) as f64);
+        });
+        assert_eq!(f3, vec![true]);
+        assert!(i3.get(a3).region_eq(k3.get(a3), b3));
+    }
+
+    #[test]
+    fn buffered_nest_falls_back_and_still_matches() {
+        let n = 6;
+        let mut p = Program::<2>::new();
+        let bounds = Region::rect([0, 0], [n, n]);
+        let a = p.array("a", bounds);
+        p.stmt(
+            Region::rect([1, 1], [n - 1, n - 1]),
+            a,
+            Expr::read_at(a, [-1, 0]) + Expr::read_at(a, [1, 0]),
+        );
+        let compiled = compile(&p).unwrap();
+        let nest = compiled.nest(0);
+        assert_eq!(
+            TileKernel::compile(nest).unwrap_err(),
+            FallbackReason::Buffered
+        );
+        let runner = NestRunner::auto(nest);
+        assert!(!runner.is_compiled());
+        assert_eq!(runner.fallback(), Some(FallbackReason::Buffered));
+        let (interp, kern, flags) = run_both(&p, |s| {
+            *s.get_mut(0) = DenseArray::from_fn(bounds, |q| (q[0] * 10 + q[1]) as f64);
+        });
+        assert_eq!(flags, vec![false]);
+        assert!(interp.get(a).region_eq(kern.get(a), bounds));
+    }
+
+    #[test]
+    fn register_pressure_falls_back() {
+        let mut p = Program::<1>::new();
+        let bounds = Region::rect([0], [3]);
+        let a = p.array("a", bounds);
+        // Each level holds a computed left operand in a register while
+        // the right subtree evaluates, so `depth` registers are live at
+        // the innermost leaf.
+        fn left_held(depth: usize, a: usize) -> Expr<1> {
+            if depth == 0 {
+                Expr::read(a)
+            } else {
+                (Expr::read(a) + Expr::read(a)).min(left_held(depth - 1, a))
+            }
+        }
+        p.stmt(bounds, a, left_held(MAX_REGS + 2, a));
+        let compiled = compile(&p).unwrap();
+        let err = TileKernel::compile(compiled.nest(0)).unwrap_err();
+        assert_eq!(err, FallbackReason::RegisterPressure);
+        // And the runner still executes it correctly via the interpreter.
+        let (interp, kern, flags) = run_both(&p, |s| s.get_mut(0).fill(1.25));
+        assert_eq!(flags, vec![false]);
+        assert!(interp.get(a).region_eq(kern.get(a), bounds));
+    }
+
+    #[test]
+    fn instr_count_equals_flop_count() {
+        let n = 8i64;
+        let bounds = Region::rect([1, 1], [n, n]);
+        let mut p = Program::<2>::new();
+        let u = p.array("u", bounds);
+        let f = p.array("f", bounds);
+        let region = Region::rect([2, 2], [n - 1, n - 1]);
+        p.stmt(
+            region,
+            u,
+            Expr::lit(0.25) * Expr::read(u)
+                + Expr::lit(0.75) * Expr::lit(0.25)
+                    * (Expr::read_primed_at(u, [-1, 0])
+                        + Expr::read_primed_at(u, [0, -1])
+                        + Expr::read_at(u, [1, 0])
+                        + Expr::read_at(u, [0, 1])
+                        + Expr::read(f)),
+        );
+        let compiled = compile(&p).unwrap();
+        let nest = compiled.nest(0);
+        let k = TileKernel::compile(nest).unwrap();
+        let flops: usize = nest.stmts.iter().map(|s| s.rhs.flop_count()).sum();
+        assert_eq!(k.instr_count(), flops);
+        assert!(k.reg_count() <= MAX_REGS);
+        assert!(k.read_count() >= 5);
+    }
+
+    #[test]
+    fn read_slots_dedup_by_array_and_shift() {
+        let mut p = Program::<2>::new();
+        let bounds = Region::rect([1, 1], [5, 5]);
+        let a = p.array("a", bounds);
+        p.stmt(
+            Region::rect([2, 1], [5, 5]),
+            a,
+            Expr::read_primed_at(a, [-1, 0]) + Expr::read_primed_at(a, [-1, 0])
+                + Expr::read(a),
+        );
+        let compiled = compile(&p).unwrap();
+        let k = TileKernel::compile(compiled.nest(0)).unwrap();
+        assert_eq!(k.read_count(), 2); // (a, north) and (a, zero)
+    }
+
+    #[test]
+    fn tile_sweep_touches_only_the_tile() {
+        let n = 6;
+        let mut p = Program::<2>::new();
+        let bounds = Region::rect([1, 1], [n, n]);
+        let a = p.array("a", bounds);
+        p.stmt(
+            Region::rect([2, 1], [n, n]),
+            a,
+            Expr::lit(2.0) * Expr::read_primed_at(a, [-1, 0]),
+        );
+        let compiled = compile(&p).unwrap();
+        let nest = compiled.nest(0);
+        let k = TileKernel::compile(nest).unwrap();
+        let mut store = Store::new(&p);
+        store.get_mut(a).fill(1.0);
+        let tile = Region::rect([2, 1], [3, n]);
+        k.run_region(tile, &nest.structure.order, &mut store);
+        assert_eq!(store.get(a).get(Point([3, 2])), 4.0);
+        assert_eq!(store.get(a).get(Point([4, 2])), 1.0); // untouched
+    }
+}

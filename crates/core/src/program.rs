@@ -300,12 +300,20 @@ impl<const R: usize> Store<R> {
         &self.arrays
     }
 
+    /// All arrays, id-ordered, mutably — compiled kernels take per-array
+    /// `Cell` views of the whole store in one borrow.
+    pub fn arrays_mut(&mut self) -> &mut [DenseArray<R>] {
+        &mut self.arrays
+    }
+
     /// Access an array.
+    #[inline]
     pub fn get(&self, id: ArrayId) -> &DenseArray<R> {
         &self.arrays[id]
     }
 
     /// Mutably access an array.
+    #[inline]
     pub fn get_mut(&mut self, id: ArrayId) -> &mut DenseArray<R> {
         &mut self.arrays[id]
     }

@@ -37,31 +37,37 @@ impl<const R: usize> Region<R> {
     }
 
     /// True when the region contains no indices.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         (0..R).any(|k| self.lo[k] > self.hi[k])
     }
 
     /// Inclusive lower bounds.
+    #[inline]
     pub fn lo(&self) -> [i64; R] {
         self.lo
     }
 
     /// Inclusive upper bounds.
+    #[inline]
     pub fn hi(&self) -> [i64; R] {
         self.hi
     }
 
     /// Extent (number of indices) of dimension `k`.
+    #[inline]
     pub fn extent(&self, k: usize) -> i64 {
         (self.hi[k] - self.lo[k] + 1).max(0)
     }
 
     /// Extents of all dimensions.
+    #[inline]
     pub fn extents(&self) -> [i64; R] {
         std::array::from_fn(|k| self.extent(k))
     }
 
     /// Total number of indices.
+    #[inline]
     pub fn len(&self) -> usize {
         if self.is_empty() {
             return 0;
@@ -70,6 +76,7 @@ impl<const R: usize> Region<R> {
     }
 
     /// Membership test.
+    #[inline]
     pub fn contains(&self, p: Point<R>) -> bool {
         (0..R).all(|k| self.lo[k] <= p[k] && p[k] <= self.hi[k])
     }
@@ -255,6 +262,7 @@ impl<const R: usize> RegionIter<R> {
 impl<const R: usize> Iterator for RegionIter<R> {
     type Item = Point<R>;
 
+    #[inline]
     fn next(&mut self) -> Option<Point<R>> {
         if self.done {
             return None;

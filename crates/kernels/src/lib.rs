@@ -10,6 +10,19 @@
 //! SOR ([`sor`]), Smith–Waterman dynamic programming
 //! ([`smith_waterman`]), and Jacobi as the fully-parallel control
 //! ([`jacobi`]).
+//!
+//! ## Fast-path note
+//!
+//! Every nest of the benchmark sweeps here stays inside the operator
+//! set the compiled tile-kernel tier supports (arithmetic, `min`/`max`,
+//! `sqrt`, shifted and primed reads — no snapshots or contracted
+//! scalars in the sweeps), so all of them execute via fused
+//! stride-resolved kernels rather than the per-element expression
+//! interpreter. This is load-bearing for the performance figures:
+//! `kernel_bench --check-fastpath` and the `kernel_differential`
+//! integration suite both fail if an edit knocks a benchmark nest back
+//! onto the interpreter. See `docs/PERF.md` for the coverage rules and
+//! the fallback contract.
 
 pub mod jacobi;
 pub mod rng;

@@ -2,20 +2,20 @@
 //! dependency-order sequential execution, and real threads.
 
 use std::collections::HashMap;
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::time::Instant;
 
 use wavefront_core::array::DenseArray;
-use wavefront_core::exec::{run_nest_region_with_sink, CompiledNest};
+use wavefront_core::exec::CompiledNest;
 use wavefront_core::expr::ArrayId;
+use wavefront_core::kernel::NestRunner;
 use wavefront_core::program::{Program, Store};
 use wavefront_core::region::Region;
-use wavefront_core::trace::NoSink;
 use wavefront_machine::{
     simulate, simulate_observed, CommMode, Dep, MachineParams, SimObserver, SimResult, SimTask,
 };
 
-use crate::exec_threads::ThreadReport;
+use crate::exec_threads::{ThreadReport, LINK_DEPTH};
 use crate::plan2d::WavefrontPlan2D;
 use crate::telemetry::{
     BlockEvent, Collector, EngineKind, MessageEvent, RunMeta, TimeUnit, WaitEvent,
@@ -162,7 +162,22 @@ pub fn execute_plan2d_sequential_collected<const R: usize>(
     store: &mut Store<R>,
     collector: &mut dyn Collector,
 ) {
+    execute_plan2d_sequential_collected_opts(nest, plan, store, collector, true);
+}
+
+/// [`execute_plan2d_sequential_collected`] with explicit options:
+/// `kernels` selects compiled tile kernels (`true`, the default) or
+/// forces the reference interpreter (`false`).
+pub fn execute_plan2d_sequential_collected_opts<const R: usize>(
+    nest: &CompiledNest<R>,
+    plan: &WavefrontPlan2D<R>,
+    store: &mut Store<R>,
+    collector: &mut dyn Collector,
+    kernels: bool,
+) {
     debug_assert!(nest.buffered.is_empty());
+    let runner = NestRunner::with_mode(nest, kernels);
+    let bound = runner.bind(store, &plan.order);
     if !collector.enabled() {
         for c in plan.mesh_in_wave_order() {
             let owned = plan.owned(c);
@@ -172,7 +187,7 @@ pub fn execute_plan2d_sequential_collected<const R: usize>(
             for tile in &plan.tiles {
                 let sub = owned.intersect(tile);
                 if !sub.is_empty() {
-                    run_nest_region_with_sink(nest, sub, &plan.order, store, &mut NoSink);
+                    runner.run_tile(nest, bound.as_ref(), sub, &plan.order, store);
                 }
             }
         }
@@ -200,7 +215,7 @@ pub fn execute_plan2d_sequential_collected<const R: usize>(
                 continue;
             }
             let start = epoch.elapsed().as_secs_f64();
-            run_nest_region_with_sink(nest, sub, &plan.order, store, &mut NoSink);
+            runner.run_tile(nest, bound.as_ref(), sub, &plan.order, store);
             collector.block(BlockEvent {
                 proc: rank,
                 tile: ti,
@@ -213,23 +228,41 @@ pub fn execute_plan2d_sequential_collected<const R: usize>(
     collector.end(epoch.elapsed().as_secs_f64());
 }
 
-fn build_local<const R: usize>(
+/// Per-run worker setup that is identical for every mesh cell, computed
+/// once before any thread is spawned instead of per worker: which arrays
+/// the nest touches, which it writes, and the (possibly compiled) nest
+/// runner.
+struct MeshPrep<const R: usize> {
+    referenced: Vec<bool>,
+    written: Vec<ArrayId>,
+    runner: NestRunner<R>,
+}
+
+fn prepare2d<const R: usize>(
     program: &Program<R>,
     nest: &CompiledNest<R>,
+    kernels: bool,
+) -> MeshPrep<R> {
+    let mut referenced = vec![false; program.arrays().len()];
+    for s in &nest.stmts {
+        referenced[s.lhs] = true;
+        for r in s.rhs.reads() {
+            referenced[r.id] = true;
+        }
+    }
+    let mut written: Vec<ArrayId> = nest.stmts.iter().map(|s| s.lhs).collect();
+    written.sort_unstable();
+    written.dedup();
+    MeshPrep { referenced, written, runner: NestRunner::with_mode(nest, kernels) }
+}
+
+fn build_local<const R: usize>(
+    program: &Program<R>,
+    referenced: &[bool],
     store: &Store<R>,
     owned: Region<R>,
     margins: &[[i64; R]],
 ) -> Store<R> {
-    let referenced: Vec<bool> = {
-        let mut v = vec![false; program.arrays().len()];
-        for s in &nest.stmts {
-            v[s.lhs] = true;
-            for r in s.rhs.reads() {
-                v[r.id] = true;
-            }
-        }
-        v
-    };
     let arrays = program
         .arrays()
         .iter()
@@ -254,14 +287,15 @@ fn build_local<const R: usize>(
     Store::from_arrays(arrays)
 }
 
-fn encode<const R: usize>(
+fn encode_into<const R: usize>(
     plan: &WavefrontPlan2D<R>,
     local: &Store<R>,
     owner: Region<R>,
     tile: &Region<R>,
     axis: usize,
-) -> Vec<f64> {
-    let mut out = Vec::new();
+    out: &mut Vec<f64>,
+) {
+    out.clear();
     for &(id, t) in &plan.comm[axis] {
         let region = plan.boundary_slab(owner, tile, axis, t, plan.margins[id]);
         let arr = local.get(id);
@@ -269,7 +303,6 @@ fn encode<const R: usize>(
             out.push(arr.get(p));
         }
     }
-    out
 }
 
 fn decode<const R: usize>(
@@ -313,6 +346,20 @@ pub fn execute_plan2d_threaded_collected<const R: usize>(
     store: &mut Store<R>,
     collector: &mut dyn Collector,
 ) -> ThreadReport {
+    execute_plan2d_threaded_collected_opts(program, nest, plan, store, collector, true)
+}
+
+/// [`execute_plan2d_threaded_collected`] with explicit options:
+/// `kernels` selects compiled tile kernels (`true`, the default) or
+/// forces the reference interpreter (`false`).
+pub fn execute_plan2d_threaded_collected_opts<const R: usize>(
+    program: &Program<R>,
+    nest: &CompiledNest<R>,
+    plan: &WavefrontPlan2D<R>,
+    store: &mut Store<R>,
+    collector: &mut dyn Collector,
+    kernels: bool,
+) -> ThreadReport {
     assert!(nest.buffered.is_empty());
     let enabled = collector.enabled();
     let coords: Vec<[usize; 2]> = plan.active_cells();
@@ -333,20 +380,30 @@ pub fn execute_plan2d_threaded_collected<const R: usize>(
         if enabled {
             collector.end(0.0);
         }
-        return ThreadReport { elapsed: std::time::Duration::ZERO, messages: 0 };
+        return ThreadReport {
+            elapsed: std::time::Duration::ZERO,
+            messages: 0,
+            buffer_allocs: 0,
+        };
     }
     let active: std::collections::HashSet<[usize; 2]> = coords.iter().copied().collect();
+    let prep = prepare2d(program, nest, kernels);
 
     let mut locals: Vec<Store<R>> = coords
         .iter()
-        .map(|&c| build_local(program, nest, store, plan.owned(c), &plan.margins))
+        .map(|&c| build_local(program, &prep.referenced, store, plan.owned(c), &plan.margins))
         .collect();
 
     // Channels keyed by (receiver, axis); each key has exactly one
     // sender (the receiver's upstream on that axis), which takes the
-    // endpoint out of the map so hang-ups are detectable.
-    let mut senders: HashMap<([usize; 2], usize), Sender<Vec<f64>>> = HashMap::new();
+    // endpoint out of the map so hang-ups are detectable. Data flows
+    // forward through bounded channels (capping in-flight buffers per
+    // link at `LINK_DEPTH`); drained buffers flow backward through an
+    // unbounded recycle channel so steady state allocates nothing.
+    let mut senders: HashMap<([usize; 2], usize), SyncSender<Vec<f64>>> = HashMap::new();
     let mut receivers: HashMap<([usize; 2], usize), Receiver<Vec<f64>>> = HashMap::new();
+    let mut ret_senders: HashMap<([usize; 2], usize), Sender<Vec<f64>>> = HashMap::new();
+    let mut pools: HashMap<([usize; 2], usize), Receiver<Vec<f64>>> = HashMap::new();
     for &c in &coords {
         for axis in 0..2 {
             if plan.comm[axis].is_empty() {
@@ -354,22 +411,19 @@ pub fn execute_plan2d_threaded_collected<const R: usize>(
             }
             if let Some(d) = plan.downstream(c, axis) {
                 if active.contains(&d) {
-                    let (tx, rx) = channel();
+                    let (tx, rx) = sync_channel(LINK_DEPTH);
                     senders.insert((d, axis), tx);
                     receivers.insert((d, axis), rx);
+                    let (rtx, rrx) = channel();
+                    ret_senders.insert((d, axis), rtx);
+                    pools.insert((d, axis), rrx);
                 }
             }
         }
     }
 
-    let written: Vec<ArrayId> = {
-        let mut w: Vec<ArrayId> = nest.stmts.iter().map(|s| s.lhs).collect();
-        w.sort_unstable();
-        w.dedup();
-        w
-    };
-
     let mut message_count = 0usize;
+    let mut buffer_allocs = 0usize;
     let mut events: Vec<Vec<WorkerEv2>> = Vec::new();
     let epoch = Instant::now();
     std::thread::scope(|scope| {
@@ -378,11 +432,20 @@ pub fn execute_plan2d_threaded_collected<const R: usize>(
             // This cell's receive ends and send ends.
             let rx: Vec<Option<Receiver<Vec<f64>>>> =
                 (0..2).map(|axis| receivers.remove(&(c, axis))).collect();
-            let tx: Vec<Option<Sender<Vec<f64>>>> = (0..2)
+            let ret: Vec<Option<Sender<Vec<f64>>>> =
+                (0..2).map(|axis| ret_senders.remove(&(c, axis))).collect();
+            let tx: Vec<Option<SyncSender<Vec<f64>>>> = (0..2)
                 .map(|axis| {
                     plan.downstream(c, axis)
                         .filter(|d| active.contains(d))
                         .and_then(|d| senders.remove(&(d, axis)))
+                })
+                .collect();
+            let pool: Vec<Option<Receiver<Vec<f64>>>> = (0..2)
+                .map(|axis| {
+                    plan.downstream(c, axis)
+                        .filter(|d| active.contains(d))
+                        .and_then(|d| pools.remove(&(d, axis)))
                 })
                 .collect();
             let upstream_owned: Vec<Option<Region<R>>> = (0..2)
@@ -395,8 +458,11 @@ pub fn execute_plan2d_threaded_collected<const R: usize>(
             let owned = plan.owned(c);
             let plan = &*plan;
             let nest = &*nest;
+            let runner = &prep.runner;
             handles.push(scope.spawn(move || {
+                let bound = runner.bind(&local, &plan.order);
                 let mut sent = 0usize;
+                let mut fresh = 0usize;
                 let mut evs: Vec<WorkerEv2> = Vec::new();
                 for (ti, tile) in plan.tiles.iter().enumerate() {
                     for axis in 0..2 {
@@ -412,18 +478,18 @@ pub fn execute_plan2d_threaded_collected<const R: usize>(
                                 });
                             }
                             decode(plan, &mut local, up, tile, axis, &data);
+                            if let Some(ret) = &ret[axis] {
+                                // Upstream may already be done; a dead
+                                // recycle channel just means the buffer
+                                // is dropped.
+                                let _ = ret.send(data);
+                            }
                         }
                     }
                     let sub = owned.intersect(tile);
                     if !sub.is_empty() {
                         let t0 = enabled.then(|| epoch.elapsed().as_secs_f64());
-                        run_nest_region_with_sink(
-                            nest,
-                            sub,
-                            &plan.order,
-                            &mut local,
-                            &mut NoSink,
-                        );
+                        runner.run_tile(nest, bound.as_ref(), sub, &plan.order, &mut local);
                         if let Some(t0) = t0 {
                             evs.push(WorkerEv2::Block {
                                 tile: ti,
@@ -435,7 +501,14 @@ pub fn execute_plan2d_threaded_collected<const R: usize>(
                     }
                     for axis in 0..2 {
                         if let Some(tx) = &tx[axis] {
-                            let data = encode(plan, &local, owned, tile, axis);
+                            let mut data = pool[axis]
+                                .as_ref()
+                                .and_then(|p| p.try_recv().ok())
+                                .unwrap_or_else(|| {
+                                    fresh += 1;
+                                    Vec::new()
+                                });
+                            encode_into(plan, &local, owned, tile, axis, &mut data);
                             if enabled {
                                 evs.push(WorkerEv2::Sent {
                                     axis,
@@ -449,14 +522,15 @@ pub fn execute_plan2d_threaded_collected<const R: usize>(
                         }
                     }
                 }
-                (local, sent, evs)
+                (local, sent, fresh, evs)
             }));
         }
         locals = handles
             .into_iter()
             .map(|h| {
-                let (local, sent, evs) = h.join().expect("2-D worker panicked");
+                let (local, sent, fresh, evs) = h.join().expect("2-D worker panicked");
                 message_count += sent;
+                buffer_allocs += fresh;
                 events.push(evs);
                 local
             })
@@ -470,11 +544,11 @@ pub fn execute_plan2d_threaded_collected<const R: usize>(
 
     for (&c, local) in coords.iter().zip(&locals) {
         let owned = plan.owned(c);
-        for &id in &written {
+        for &id in &prep.written {
             store.get_mut(id).copy_region_from(local.get(id), owned);
         }
     }
-    ThreadReport { elapsed, messages: message_count }
+    ThreadReport { elapsed, messages: message_count, buffer_allocs }
 }
 
 /// Replay buffered 2-D worker events: blocks and waits directly,
@@ -542,6 +616,7 @@ mod tests {
     use crate::telemetry::NoopCollector;
     use wavefront_core::index::Point;
     use wavefront_core::prelude::Expr;
+    use wavefront_core::trace::NoSink;
 
     fn t3e() -> MachineParams {
         wavefront_machine::cray_t3e()
@@ -608,6 +683,54 @@ mod tests {
             if p1 * p2 > 1 {
                 assert!(report.messages > 0);
             }
+        }
+    }
+
+    #[test]
+    fn steady_state_2d_exchange_reuses_buffers() {
+        // Long pipeline (many tiles per link) on a 2x2 mesh: the recycle
+        // loop must cap fresh allocations per link regardless of tile
+        // count. 4 links exist (two per axis).
+        let (program, nest) = sweep_nest(48);
+        let plan =
+            WavefrontPlan2D::build(&nest, [2, 2], None, &BlockPolicy::Fixed(1), &t3e())
+                .unwrap();
+        let mut store = init_sweep(&program);
+        let report = execute_plan2d_threaded_collected(
+            &program,
+            &nest,
+            &plan,
+            &mut store,
+            &mut NoopCollector,
+        );
+        assert!(report.messages >= 150, "messages = {}", report.messages);
+        assert!(
+            report.buffer_allocs <= (LINK_DEPTH + 2) * 4,
+            "buffer_allocs = {} for {} messages",
+            report.buffer_allocs,
+            report.messages
+        );
+    }
+
+    #[test]
+    fn kernels_disabled_2d_still_matches_sequential() {
+        let (program, nest) = sweep_nest(13);
+        let mut reference = init_sweep(&program);
+        run_nest_with_sink(&nest, &mut reference, &mut NoSink);
+        let plan =
+            WavefrontPlan2D::build(&nest, [2, 3], None, &BlockPolicy::Fixed(3), &t3e())
+                .unwrap();
+        let mut store = init_sweep(&program);
+        execute_plan2d_threaded_collected_opts(
+            &program,
+            &nest,
+            &plan,
+            &mut store,
+            &mut NoopCollector,
+            false,
+        );
+        for id in 0..store.len() {
+            assert!(store.get(id).region_eq(reference.get(id), nest.region));
         }
     }
 

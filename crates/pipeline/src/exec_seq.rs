@@ -9,8 +9,9 @@
 use std::time::Instant;
 
 use wavefront_core::exec::{run_nest_region_with_sink, CompiledNest};
+use wavefront_core::kernel::NestRunner;
 use wavefront_core::program::Store;
-use wavefront_core::trace::{AccessSink, NoSink};
+use wavefront_core::trace::AccessSink;
 
 use crate::plan::WavefrontPlan;
 use crate::telemetry::{BlockEvent, Collector, EngineKind, Prediction, RunMeta, TimeUnit};
@@ -30,8 +31,35 @@ pub fn execute_plan_sequential_collected<const R: usize>(
     store: &mut Store<R>,
     collector: &mut dyn Collector,
 ) {
+    execute_plan_sequential_collected_opts(nest, plan, store, collector, true);
+}
+
+/// [`execute_plan_sequential_collected`] with explicit options:
+/// `kernels` selects compiled tile kernels (`true`, the default) or
+/// forces the reference interpreter (`false`).
+pub fn execute_plan_sequential_collected_opts<const R: usize>(
+    nest: &CompiledNest<R>,
+    plan: &WavefrontPlan<R>,
+    store: &mut Store<R>,
+    collector: &mut dyn Collector,
+    kernels: bool,
+) {
+    let runner = NestRunner::with_mode(nest, kernels);
+    let bound = runner.bind(store, &plan.order);
     if !collector.enabled() {
-        execute_plan_sequential_with_sink(nest, plan, store, &mut NoSink);
+        for rank in plan.ranks_in_wave_order() {
+            let owned = plan.dist.owned(rank);
+            if owned.is_empty() {
+                continue;
+            }
+            for tile in &plan.tiles {
+                let sub = owned.intersect(tile);
+                if sub.is_empty() {
+                    continue;
+                }
+                runner.run_tile(nest, bound.as_ref(), sub, &plan.order, store);
+            }
+        }
         return;
     }
     let active = plan.active_ranks();
@@ -55,7 +83,7 @@ pub fn execute_plan_sequential_collected<const R: usize>(
                 continue;
             }
             let start = epoch.elapsed().as_secs_f64();
-            run_nest_region_with_sink(nest, sub, &plan.order, store, &mut NoSink);
+            runner.run_tile(nest, bound.as_ref(), sub, &plan.order, store);
             collector.block(BlockEvent {
                 proc: rank,
                 tile: ti,

@@ -195,12 +195,7 @@ pub fn simulate_nest<const R: usize>(
             // directions: no pipelined decomposition exists, so the sweep
             // serializes processor by processor (approximated as the
             // naive chain with whole-boundary messages).
-            let work = nest
-                .stmts
-                .iter()
-                .map(|s| s.rhs.flop_count())
-                .sum::<usize>()
-                .max(1) as f64;
+            let work = crate::plan::nest_work(nest);
             let cross: usize = (0..R)
                 .filter(|&k| k != dist_dim)
                 .map(|k| nest.region.extent(k).max(0) as usize)
@@ -234,12 +229,7 @@ pub fn simulate_parallel_nest<const R: usize>(
         region,
         wavefront_machine::ProcGrid::<R>::along(dist_dim, p),
     );
-    let work = nest
-        .stmts
-        .iter()
-        .map(|s| s.rhs.flop_count())
-        .sum::<usize>()
-        .max(1) as f64;
+    let work = crate::plan::nest_work(nest);
 
     // Ghost exchange: arrays read with a non-zero shift along dist_dim.
     let mut ghost_arrays: Vec<(usize, i64)> = Vec::new();
@@ -446,12 +436,7 @@ fn parallel_stage<const R: usize>(
         region,
         wavefront_machine::ProcGrid::<R>::along(dist_dim, p),
     );
-    let work = nest
-        .stmts
-        .iter()
-        .map(|s| s.rhs.flop_count())
-        .sum::<usize>()
-        .max(1) as f64;
+    let work = crate::plan::nest_work(nest);
     let cross: usize = (0..R)
         .filter(|&k| k != dist_dim)
         .map(|k| region.extent(k).max(0) as usize)

@@ -12,15 +12,15 @@
 //! codes: genuinely parallel execution with explicit communication, used
 //! by the benchmarks to demonstrate real wall-clock pipelining speedup.
 
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
 use std::time::{Duration, Instant};
 
 use wavefront_core::array::DenseArray;
-use wavefront_core::exec::{run_nest_region_with_sink, CompiledNest};
+use wavefront_core::exec::CompiledNest;
 use wavefront_core::expr::ArrayId;
+use wavefront_core::kernel::NestRunner;
 use wavefront_core::program::{Program, Store};
 use wavefront_core::region::Region;
-use wavefront_core::trace::NoSink;
 
 use crate::plan::WavefrontPlan;
 use crate::telemetry::{
@@ -46,6 +46,10 @@ pub struct ThreadReport {
     pub elapsed: Duration,
     /// Number of boundary messages exchanged.
     pub messages: usize,
+    /// Number of message buffers freshly allocated (as opposed to reused
+    /// from the recycle pool). Bounded by the per-link channel depth, not
+    /// by the tile count: steady-state exchange allocates nothing.
+    pub buffer_allocs: usize,
 }
 
 /// Read-ghost margins per array: the maximum absolute shift used on each
@@ -68,17 +72,55 @@ fn margins<const R: usize>(nest: &CompiledNest<R>) -> Vec<[i64; R]> {
     out
 }
 
-/// Serialize the per-array boundary slabs of `sender_owned` for `tile`.
-/// A processor owning fewer indices than an array's thickness relays the
-/// ghost values it received from further upstream (the slab is clamped
-/// to the covering region, not to the owner).
-fn encode<const R: usize>(
+/// Facts about a nest every worker needs, computed once on the main
+/// thread before spawn instead of identically per worker: ghost margins,
+/// the referenced/written array sets, and the per-nest execution
+/// strategy (compiled tile kernel or interpreter fallback).
+struct NestPrep<const R: usize> {
+    margins: Vec<[i64; R]>,
+    referenced: Vec<bool>,
+    written: Vec<ArrayId>,
+    runner: NestRunner<R>,
+}
+
+fn prepare<const R: usize>(
+    program: &Program<R>,
+    nest: &CompiledNest<R>,
+    kernels: bool,
+) -> NestPrep<R> {
+    let mut referenced = vec![false; program.arrays().len()];
+    let mut written: Vec<ArrayId> = Vec::new();
+    for s in &nest.stmts {
+        referenced[s.lhs] = true;
+        written.push(s.lhs);
+        for r in s.rhs.reads() {
+            referenced[r.id] = true;
+        }
+    }
+    written.sort_unstable();
+    written.dedup();
+    NestPrep {
+        margins: margins(nest),
+        referenced,
+        written,
+        runner: NestRunner::with_mode(nest, kernels),
+    }
+}
+
+/// Serialize the per-array boundary slabs of `sender_owned` for `tile`
+/// into `out` (cleared first; reusing the buffer keeps the steady-state
+/// exchange allocation-free). A processor owning fewer indices than an
+/// array's thickness relays the ghost values it received from further
+/// upstream (the slab is clamped to the covering region, not to the
+/// owner).
+fn encode_into<const R: usize>(
     plan: &WavefrontPlan<R>,
     local: &Store<R>,
     sender_owned: Region<R>,
     tile: &Region<R>,
-) -> Vec<f64> {
-    let mut out = Vec::new();
+    out: &mut Vec<f64>,
+) {
+    out.clear();
     for &(id, t) in &plan.comm_arrays {
         let region = plan.boundary_slab(sender_owned, tile, t);
         let arr = local.get(id);
@@ -86,7 +128,6 @@ fn encode<const R: usize>(
             out.push(arr.get(p));
         }
     }
-    out
 }
 
 /// Inverse of [`encode`]: write the boundary slabs (computed from the
@@ -114,32 +155,21 @@ fn decode<const R: usize>(
 /// initialized from the global store; unreferenced arrays are empty.
 fn build_local<const R: usize>(
     program: &Program<R>,
-    nest: &CompiledNest<R>,
+    prep: &NestPrep<R>,
     store: &Store<R>,
     owned: Region<R>,
 ) -> Store<R> {
-    let m = margins(nest);
-    let referenced: Vec<bool> = {
-        let mut v = vec![false; program.arrays().len()];
-        for s in &nest.stmts {
-            v[s.lhs] = true;
-            for r in s.rhs.reads() {
-                v[r.id] = true;
-            }
-        }
-        v
-    };
     let arrays = program
         .arrays()
         .iter()
         .enumerate()
         .map(|(id, decl)| {
-            if !referenced[id] || owned.is_empty() {
+            if !prep.referenced.get(id).copied().unwrap_or(false) || owned.is_empty() {
                 return DenseArray::with_layout(Region::empty(), decl.layout, 0.0);
             }
             let mut lo = owned.lo();
             let mut hi = owned.hi();
-            let margin = m.get(id).copied().unwrap_or([0; R]);
+            let margin = prep.margins.get(id).copied().unwrap_or([0; R]);
             for k in 0..R {
                 lo[k] -= margin[k];
                 hi[k] += margin[k];
@@ -169,6 +199,30 @@ pub fn execute_plan_threaded_collected<const R: usize>(
     store: &mut Store<R>,
     collector: &mut dyn Collector,
 ) -> ThreadReport {
+    execute_plan_threaded_collected_opts(program, nest, plan, store, collector, true)
+}
+
+/// Depth of each inter-rank data channel. Bounding the in-flight message
+/// count is what makes buffer recycling effective: a sender can be at
+/// most `LINK_DEPTH` tiles ahead of its receiver, so at most
+/// `LINK_DEPTH + 2` buffers per link ever exist (in flight, being
+/// filled, being drained) regardless of how many tiles the run has.
+/// There is no deadlock risk: blocked sends only ever wait on strictly
+/// downstream ranks, and the last rank never sends.
+pub(crate) const LINK_DEPTH: usize = 4;
+
+/// [`execute_plan_threaded_collected`] with explicit options: `kernels`
+/// selects compiled tile kernels (`true`, the default) or forces the
+/// reference interpreter (`false` — the baseline `kernel_bench`
+/// measures against).
+pub fn execute_plan_threaded_collected_opts<const R: usize>(
+    program: &Program<R>,
+    nest: &CompiledNest<R>,
+    plan: &WavefrontPlan<R>,
+    store: &mut Store<R>,
+    collector: &mut dyn Collector,
+    kernels: bool,
+) -> ThreadReport {
     assert!(
         nest.buffered.is_empty(),
         "buffered nests carry no wavefront and are never planned"
@@ -194,47 +248,59 @@ pub fn execute_plan_threaded_collected<const R: usize>(
         if enabled {
             collector.end(0.0);
         }
-        return ThreadReport { elapsed: Duration::ZERO, messages: 0 };
+        return ThreadReport { elapsed: Duration::ZERO, messages: 0, buffer_allocs: 0 };
     }
+
+    // Everything identical across workers is computed once, here.
+    let prep = prepare(program, nest, kernels);
 
     // Scatter: build each rank's local store up front.
     let mut locals: Vec<Store<R>> = ranks
         .iter()
-        .map(|&r| build_local(program, nest, store, plan.dist.owned(r)))
+        .map(|&r| build_local(program, &prep, store, plan.dist.owned(r)))
         .collect();
 
-    // One channel per adjacent pair in wave order.
-    let mut senders: Vec<Option<Sender<Vec<f64>>>> = vec![None; ranks.len()];
-    let mut receivers: Vec<Option<Receiver<Vec<f64>>>> =
-        (0..ranks.len()).map(|_| None).collect();
-    for i in 0..ranks.len().saturating_sub(1) {
-        let (tx, rx) = channel();
+    // One bounded data channel per adjacent pair in wave order, plus an
+    // unbounded recycle channel flowing the other way: receivers return
+    // drained buffers upstream so the steady state reuses a fixed pool
+    // instead of allocating a fresh `Vec` per tile message.
+    let n = ranks.len();
+    let mut senders: Vec<Option<SyncSender<Vec<f64>>>> = vec![None; n];
+    let mut receivers: Vec<Option<Receiver<Vec<f64>>>> = (0..n).map(|_| None).collect();
+    let mut recycle_tx: Vec<Option<Sender<Vec<f64>>>> = vec![None; n];
+    let mut recycle_rx: Vec<Option<Receiver<Vec<f64>>>> = (0..n).map(|_| None).collect();
+    for i in 0..n.saturating_sub(1) {
+        let (tx, rx) = sync_channel(LINK_DEPTH);
         senders[i] = Some(tx);
         receivers[i + 1] = Some(rx);
+        let (rtx, rrx) = channel();
+        recycle_tx[i + 1] = Some(rtx);
+        recycle_rx[i] = Some(rrx);
     }
 
-    let written: Vec<ArrayId> = {
-        let mut w: Vec<ArrayId> = nest.stmts.iter().map(|s| s.lhs).collect();
-        w.sort_unstable();
-        w.dedup();
-        w
-    };
-
     let mut message_count = 0usize;
+    let mut buffer_allocs = 0usize;
     let mut events: Vec<Vec<WorkerEv>> = Vec::new();
     let epoch = Instant::now();
     std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(ranks.len());
+        let mut handles = Vec::with_capacity(n);
         for (i, (&rank, mut local)) in ranks.iter().zip(locals.drain(..)).enumerate() {
             let tx = senders[i].take();
             let rx = receivers[i].take();
+            let pool = recycle_rx[i].take();
+            let ret = recycle_tx[i].take();
             let upstream_owned = plan.upstream(rank).map(|u| plan.dist.owned(u));
             let owned = plan.dist.owned(rank);
             let plan = &*plan;
             let nest = &*nest;
+            let prep = &prep;
             handles.push(scope.spawn(move || {
                 let mut sent = 0usize;
+                let mut fresh = 0usize;
                 let mut evs: Vec<WorkerEv> = Vec::new();
+                // Resolve the kernel against this rank's local geometry
+                // once; every tile reuses the binding.
+                let bound = prep.runner.bind(&local, &plan.order);
                 for (ti, tile) in plan.tiles.iter().enumerate() {
                     let sub = owned.intersect(tile);
                     if let (Some(rx), Some(up)) = (&rx, upstream_owned) {
@@ -249,17 +315,16 @@ pub fn execute_plan_threaded_collected<const R: usize>(
                                 });
                             }
                             decode(plan, &mut local, up, tile, &data);
+                            // Hand the drained buffer back upstream; the
+                            // sender may already be gone at the tail.
+                            if let Some(ret) = &ret {
+                                let _ = ret.send(data);
+                            }
                         }
                     }
                     if !sub.is_empty() {
                         let t0 = enabled.then(|| epoch.elapsed().as_secs_f64());
-                        run_nest_region_with_sink(
-                            nest,
-                            sub,
-                            &plan.order,
-                            &mut local,
-                            &mut NoSink,
-                        );
+                        prep.runner.run_tile(nest, bound.as_ref(), sub, &plan.order, &mut local);
                         if let Some(t0) = t0 {
                             evs.push(WorkerEv::Block {
                                 tile: ti,
@@ -271,7 +336,15 @@ pub fn execute_plan_threaded_collected<const R: usize>(
                     }
                     if let Some(tx) = &tx {
                         if !plan.comm_arrays.is_empty() {
-                            let data = encode(plan, &local, owned, tile);
+                            let mut data = match pool.as_ref().and_then(|p| p.try_recv().ok())
+                            {
+                                Some(buf) => buf,
+                                None => {
+                                    fresh += 1;
+                                    Vec::new()
+                                }
+                            };
+                            encode_into(plan, &local, owned, tile, &mut data);
                             if enabled {
                                 evs.push(WorkerEv::Sent {
                                     tile: ti,
@@ -284,14 +357,15 @@ pub fn execute_plan_threaded_collected<const R: usize>(
                         }
                     }
                 }
-                (local, sent, evs)
+                (local, sent, fresh, evs)
             }));
         }
         locals = handles
             .into_iter()
             .map(|h| {
-                let (local, sent, evs) = h.join().expect("worker panicked");
+                let (local, sent, fresh, evs) = h.join().expect("worker panicked");
                 message_count += sent;
+                buffer_allocs += fresh;
                 events.push(evs);
                 local
             })
@@ -306,12 +380,12 @@ pub fn execute_plan_threaded_collected<const R: usize>(
     // Gather: copy each rank's owned portion of every written array back.
     for (&rank, local) in ranks.iter().zip(&locals) {
         let owned = plan.dist.owned(rank);
-        for &id in &written {
+        for &id in &prep.written {
             store.get_mut(id).copy_region_from(local.get(id), owned);
         }
     }
 
-    ThreadReport { elapsed, messages: message_count }
+    ThreadReport { elapsed, messages: message_count, buffer_allocs }
 }
 
 /// Replay buffered worker events into the collector: blocks and waits
@@ -429,6 +503,46 @@ mod tests {
         let report = run(&program, &nest, &plan, &mut store);
         // 39 columns of covering region in tiles of 10 → 4 tiles; 3 links.
         assert_eq!(report.messages, 4 * 3);
+    }
+
+    #[test]
+    fn steady_state_exchange_reuses_buffers() {
+        // b = 1 maximizes message count; the buffer pool must stay
+        // bounded by the channel depth, not grow with the tile count.
+        let (program, nest) = tomcatv_nest(120);
+        let plan =
+            WavefrontPlan::build(&nest, 4, None, &BlockPolicy::Fixed(1), &t3e()).unwrap();
+        let mut store = init_tomcatv(&program);
+        let report = run(&program, &nest, &plan, &mut store);
+        assert!(report.messages >= 100 * 3, "messages = {}", report.messages);
+        assert!(
+            report.buffer_allocs <= (LINK_DEPTH + 2) * 3,
+            "buffer_allocs = {} for {} messages",
+            report.buffer_allocs,
+            report.messages
+        );
+    }
+
+    #[test]
+    fn kernels_disabled_still_matches_sequential() {
+        let n = 40;
+        let (program, nest) = tomcatv_nest(n);
+        let mut reference = init_tomcatv(&program);
+        run_nest_with_sink(&nest, &mut reference, &mut NoSink);
+        let plan =
+            WavefrontPlan::build(&nest, 3, None, &BlockPolicy::Fixed(8), &t3e()).unwrap();
+        let mut store = init_tomcatv(&program);
+        execute_plan_threaded_collected_opts(
+            &program,
+            &nest,
+            &plan,
+            &mut store,
+            &mut NoopCollector,
+            false,
+        );
+        for id in 0..store.len() {
+            assert!(store.get(id).region_eq(reference.get(id), nest.region));
+        }
     }
 
     #[test]

@@ -41,15 +41,21 @@ pub mod tune;
 
 pub use error::PipelineError;
 pub use exec2d::{
-    execute_plan2d_sequential_collected, execute_plan2d_threaded_collected, plan2d_dag,
+    execute_plan2d_sequential_collected, execute_plan2d_sequential_collected_opts,
+    execute_plan2d_threaded_collected, execute_plan2d_threaded_collected_opts, plan2d_dag,
     simulate_plan2d_collected,
 };
-pub use exec_seq::{execute_plan_sequential_collected, execute_plan_sequential_with_sink};
+pub use exec_seq::{
+    execute_plan_sequential_collected, execute_plan_sequential_collected_opts,
+    execute_plan_sequential_with_sink,
+};
 pub use exec_sim::{
     plan_dag, simulate_nest, simulate_parallel_nest, simulate_plan_collected, simulate_program,
     simulate_program_fused, NestSim, ProgramSim,
 };
-pub use exec_threads::{execute_plan_threaded_collected, ThreadReport};
+pub use exec_threads::{
+    execute_plan_threaded_collected, execute_plan_threaded_collected_opts, ThreadReport,
+};
 pub use plan::WavefrontPlan;
 pub use plan2d::WavefrontPlan2D;
 pub use schedule::{probe_block, AdaptiveConfig, BlockCtx, BlockPolicy, BlockSizer};

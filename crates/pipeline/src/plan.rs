@@ -16,6 +16,20 @@ use wavefront_machine::{Distribution, MachineParams, ProcGrid};
 use crate::error::PipelineError;
 use crate::schedule::{BlockCtx, BlockPolicy};
 
+/// Per-element computation cost of `nest` for the DES cost models: the
+/// compiled tile kernel's instruction count when the nest compiles
+/// (what the executing engines actually run per element), otherwise the
+/// interpreter's operator count. The two are equal by construction —
+/// the kernel performs no folding or fusion — so plan costs do not
+/// depend on which tier executes.
+pub(crate) fn nest_work<const R: usize>(nest: &CompiledNest<R>) -> f64 {
+    let flops = match wavefront_core::kernel::TileKernel::compile(nest) {
+        Ok(k) => k.instr_count(),
+        Err(_) => nest.stmts.iter().map(|s| s.rhs.flop_count()).sum::<usize>(),
+    };
+    flops.max(1) as f64
+}
+
 /// A fully resolved plan for one nest.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WavefrontPlan<const R: usize> {
@@ -129,12 +143,7 @@ impl<const R: usize> WavefrontPlan<R> {
             }
         }
 
-        let work = nest
-            .stmts
-            .iter()
-            .map(|s| s.rhs.flop_count())
-            .sum::<usize>()
-            .max(1) as f64;
+        let work = nest_work(nest);
 
         // Arrays whose values must flow from the upstream neighbour: they
         // are written in the nest and read with a shift pointing upstream
@@ -399,6 +408,22 @@ pub(crate) mod tests {
 
     fn t3e() -> MachineParams {
         wavefront_machine::cray_t3e()
+    }
+
+    #[test]
+    fn kernel_derived_work_equals_interpreter_flop_count() {
+        // The kernel emits exactly one instruction per operator node, so
+        // the plan's per-element cost — and therefore every DES
+        // prediction — is the same no matter which tier executes.
+        let (_p, nest) = tomcatv_nest(20);
+        assert!(wavefront_core::kernel::TileKernel::compile(&nest).is_ok());
+        let flops = nest
+            .stmts
+            .iter()
+            .map(|s| s.rhs.flop_count())
+            .sum::<usize>()
+            .max(1) as f64;
+        assert_eq!(nest_work(&nest), flops);
     }
 
     #[test]

@@ -140,12 +140,7 @@ impl<const R: usize> WavefrontPlan2D<R> {
             }
         }
 
-        let work = nest
-            .stmts
-            .iter()
-            .map(|s| s.rhs.flop_count())
-            .sum::<usize>()
-            .max(1) as f64;
+        let work = crate::plan::nest_work(nest);
 
         let written = {
             let mut w: Vec<ArrayId> = nest.stmts.iter().map(|s| s.lhs).collect();

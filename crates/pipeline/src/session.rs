@@ -33,12 +33,12 @@ use wavefront_core::program::{Program, Store};
 use wavefront_machine::{cray_t3e, MachineParams};
 
 use crate::exec2d::{
-    execute_plan2d_sequential_collected, execute_plan2d_threaded_collected,
+    execute_plan2d_sequential_collected_opts, execute_plan2d_threaded_collected_opts,
     simulate_plan2d_collected,
 };
-use crate::exec_seq::execute_plan_sequential_collected;
+use crate::exec_seq::execute_plan_sequential_collected_opts;
 use crate::exec_sim::simulate_plan_collected;
-use crate::exec_threads::execute_plan_threaded_collected;
+use crate::exec_threads::execute_plan_threaded_collected_opts;
 use crate::error::PipelineError;
 use crate::plan::WavefrontPlan;
 use crate::plan2d::WavefrontPlan2D;
@@ -84,6 +84,9 @@ pub struct EngineCtx<'s, const R: usize> {
     pub store: Option<&'s mut Store<R>>,
     /// Telemetry sink (a [`NoopCollector`] when none was attached).
     pub collector: &'s mut dyn Collector,
+    /// Whether executing engines should use compiled tile kernels
+    /// (`true` by default) or the reference interpreter.
+    pub kernels: bool,
 }
 
 /// A wavefront runtime that can execute a prepared plan. The three
@@ -138,7 +141,13 @@ impl<const R: usize> Engine<R> for SeqEngine {
     fn run(&self, ctx: EngineCtx<'_, R>) -> Result<RunOutcome, PipelineError> {
         let store = ctx.store.ok_or(PipelineError::MissingStore)?;
         let start = Instant::now();
-        execute_plan_sequential_collected(ctx.nest, ctx.plan, store, ctx.collector);
+        execute_plan_sequential_collected_opts(
+            ctx.nest,
+            ctx.plan,
+            store,
+            ctx.collector,
+            ctx.kernels,
+        );
         Ok(RunOutcome {
             makespan: start.elapsed().as_secs_f64(),
             ..outcome_base(EngineKind::Seq, ctx.plan)
@@ -156,12 +165,13 @@ impl<const R: usize> Engine<R> for ThreadsEngine {
 
     fn run(&self, ctx: EngineCtx<'_, R>) -> Result<RunOutcome, PipelineError> {
         let store = ctx.store.ok_or(PipelineError::MissingStore)?;
-        let r = execute_plan_threaded_collected(
+        let r = execute_plan_threaded_collected_opts(
             ctx.program,
             ctx.nest,
             ctx.plan,
             store,
             ctx.collector,
+            ctx.kernels,
         );
         Ok(RunOutcome {
             makespan: r.elapsed.as_secs_f64(),
@@ -182,6 +192,7 @@ pub struct Session<'a, const R: usize> {
     pub(crate) machine: MachineParams,
     pub(crate) collector: Option<&'a mut dyn Collector>,
     pub(crate) store: Option<&'a mut Store<R>>,
+    pub(crate) kernels: bool,
 }
 
 impl<'a, const R: usize> Session<'a, R> {
@@ -198,6 +209,7 @@ impl<'a, const R: usize> Session<'a, R> {
             machine: cray_t3e(),
             collector: None,
             store: None,
+            kernels: true,
         }
     }
 
@@ -238,6 +250,13 @@ impl<'a, const R: usize> Session<'a, R> {
         self
     }
 
+    /// Select compiled tile kernels (`true`, the default) or force the
+    /// reference interpreter (`false`) in the executing engines.
+    pub fn kernels(mut self, on: bool) -> Self {
+        self.kernels = on;
+        self
+    }
+
     /// Build the wavefront plan this session would run.
     pub fn plan(&self) -> Result<WavefrontPlan<R>, PipelineError> {
         WavefrontPlan::build(self.nest, self.procs, self.dist_dim, &self.block, &self.machine)
@@ -274,6 +293,7 @@ impl<'a, const R: usize> Session<'a, R> {
             params: &self.machine,
             store: self.store,
             collector,
+            kernels: self.kernels,
         })
     }
 }
@@ -290,6 +310,7 @@ pub struct Session2D<'a, const R: usize> {
     pub(crate) machine: MachineParams,
     pub(crate) collector: Option<&'a mut dyn Collector>,
     pub(crate) store: Option<&'a mut Store<R>>,
+    pub(crate) kernels: bool,
 }
 
 impl<'a, const R: usize> Session2D<'a, R> {
@@ -305,6 +326,7 @@ impl<'a, const R: usize> Session2D<'a, R> {
             machine: cray_t3e(),
             collector: None,
             store: None,
+            kernels: true,
         }
     }
 
@@ -341,6 +363,13 @@ impl<'a, const R: usize> Session2D<'a, R> {
     /// Attach the data store.
     pub fn store(mut self, store: &'a mut Store<R>) -> Self {
         self.store = Some(store);
+        self
+    }
+
+    /// Select compiled tile kernels (`true`, the default) or force the
+    /// reference interpreter (`false`) in the executing engines.
+    pub fn kernels(mut self, on: bool) -> Self {
+        self.kernels = on;
         self
     }
 
@@ -384,17 +413,24 @@ impl<'a, const R: usize> Session2D<'a, R> {
             EngineKind::Seq => {
                 let store = self.store.ok_or(PipelineError::MissingStore)?;
                 let start = Instant::now();
-                execute_plan2d_sequential_collected(self.nest, &plan, store, collector);
+                execute_plan2d_sequential_collected_opts(
+                    self.nest,
+                    &plan,
+                    store,
+                    collector,
+                    self.kernels,
+                );
                 Ok(RunOutcome { makespan: start.elapsed().as_secs_f64(), ..base })
             }
             EngineKind::Threads => {
                 let store = self.store.ok_or(PipelineError::MissingStore)?;
-                let r = execute_plan2d_threaded_collected(
+                let r = execute_plan2d_threaded_collected_opts(
                     self.program,
                     self.nest,
                     &plan,
                     store,
                     collector,
+                    self.kernels,
                 );
                 Ok(RunOutcome {
                     makespan: r.elapsed.as_secs_f64(),

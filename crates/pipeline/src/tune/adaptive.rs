@@ -44,12 +44,12 @@ use wavefront_model::{optimal_block_rect, OnlineEstimator};
 
 use crate::error::PipelineError;
 use crate::exec2d::{
-    execute_plan2d_sequential_collected, execute_plan2d_threaded_collected,
+    execute_plan2d_sequential_collected_opts, execute_plan2d_threaded_collected_opts,
     simulate_plan2d_collected,
 };
-use crate::exec_seq::execute_plan_sequential_collected;
+use crate::exec_seq::execute_plan_sequential_collected_opts;
 use crate::exec_sim::simulate_plan_collected;
-use crate::exec_threads::execute_plan_threaded_collected;
+use crate::exec_threads::execute_plan_threaded_collected_opts;
 use crate::plan::WavefrontPlan;
 use crate::plan2d::WavefrontPlan2D;
 use crate::schedule::{AdaptiveConfig, BlockCtx};
@@ -388,7 +388,7 @@ pub(crate) fn run_session_adaptive<const R: usize>(
     cfg: &AdaptiveConfig,
 ) -> Result<RunOutcome, PipelineError> {
     let plan = s.plan()?;
-    let Session { program, nest, machine, collector, store, .. } = s;
+    let Session { program, nest, machine, collector, store, kernels, .. } = s;
     let mut noop = NoopCollector;
     let collector: &mut dyn Collector = match collector {
         Some(c) => c,
@@ -406,7 +406,7 @@ pub(crate) fn run_session_adaptive<const R: usize>(
             let store = store.ok_or(PipelineError::MissingStore)?;
             let (mk, msgs, tiles, rep) = adapt_host(&plan, machine, cfg, collector, |p, c| {
                 let t0 = Instant::now();
-                execute_plan_sequential_collected(nest, p, store, c);
+                execute_plan_sequential_collected_opts(nest, p, store, c, kernels);
                 (t0.elapsed().as_secs_f64(), 0)
             });
             Ok(outcome(kind, TimeUnit::Seconds, mk, msgs, tiles, &rep))
@@ -414,7 +414,8 @@ pub(crate) fn run_session_adaptive<const R: usize>(
         EngineKind::Threads => {
             let store = store.ok_or(PipelineError::MissingStore)?;
             let (mk, msgs, tiles, rep) = adapt_host(&plan, machine, cfg, collector, |p, c| {
-                let r = execute_plan_threaded_collected(program, nest, p, store, c);
+                let r =
+                    execute_plan_threaded_collected_opts(program, nest, p, store, c, kernels);
                 (r.elapsed.as_secs_f64(), r.messages)
             });
             Ok(outcome(kind, TimeUnit::Seconds, mk, msgs, tiles, &rep))
@@ -429,7 +430,7 @@ pub(crate) fn run_session2d_adaptive<const R: usize>(
     cfg: &AdaptiveConfig,
 ) -> Result<RunOutcome, PipelineError> {
     let plan = s.plan()?;
-    let Session2D { program, nest, machine, collector, store, .. } = s;
+    let Session2D { program, nest, machine, collector, store, kernels, .. } = s;
     let mut noop = NoopCollector;
     let collector: &mut dyn Collector = match collector {
         Some(c) => c,
@@ -447,7 +448,7 @@ pub(crate) fn run_session2d_adaptive<const R: usize>(
             let store = store.ok_or(PipelineError::MissingStore)?;
             let (mk, msgs, tiles, rep) = adapt_host(&plan, machine, cfg, collector, |p, c| {
                 let t0 = Instant::now();
-                execute_plan2d_sequential_collected(nest, p, store, c);
+                execute_plan2d_sequential_collected_opts(nest, p, store, c, kernels);
                 (t0.elapsed().as_secs_f64(), 0)
             });
             Ok(outcome(kind, TimeUnit::Seconds, mk, msgs, tiles, &rep))
@@ -455,7 +456,8 @@ pub(crate) fn run_session2d_adaptive<const R: usize>(
         EngineKind::Threads => {
             let store = store.ok_or(PipelineError::MissingStore)?;
             let (mk, msgs, tiles, rep) = adapt_host(&plan, machine, cfg, collector, |p, c| {
-                let r = execute_plan2d_threaded_collected(program, nest, p, store, c);
+                let r =
+                    execute_plan2d_threaded_collected_opts(program, nest, p, store, c, kernels);
                 (r.elapsed.as_secs_f64(), r.messages)
             });
             Ok(outcome(kind, TimeUnit::Seconds, mk, msgs, tiles, &rep))

@@ -96,4 +96,29 @@ rm -rf "$tmpdir"
 echo "bench_diff: self-diff clean, injected regression flagged ✔"
 
 echo
+echo "== kernel fast-path coverage (all five benchmarks, no fallback) =="
+cargo run -q --release --offline -p wavefront-bench --bin kernel_bench -- --check-fastpath
+
+echo
+echo "== kernel speedup gate self-check (deflated speedup must fail) =="
+tmpdir=$(mktemp -d)
+cp results/BENCH_*.json "$tmpdir"/
+# Deflate one higher-is-better kernel speedup by 30% — the gate must
+# catch the compiled tier getting slower relative to the interpreter.
+python3 - "$tmpdir/BENCH_kernels.json" <<'EOF'
+import re, sys
+path = sys.argv[1]
+s = open(path).read()
+m = re.search(r'"sor_kernel_speedup": ([0-9.]+)', s)
+v = float(m.group(1))
+open(path, 'w').write(s.replace(m.group(0), f'"sor_kernel_speedup": {v * 0.7:.2f}', 1))
+EOF
+if "$BENCH_DIFF" results "$tmpdir"; then
+    echo "bench_diff failed to flag a deflated kernel speedup" >&2
+    exit 1
+fi
+rm -rf "$tmpdir"
+echo "kernel_bench: fast-path coverage clean, speedup regression flagged ✔"
+
+echo
 echo "All verification steps passed."

@@ -22,6 +22,9 @@
 //!   --machine M         t3e | powerchallenge (default t3e)
 //!   --engine E          threads | seq | sim — runtime for `trace`/`timeline`
 //!                       (default threads)
+//!   --no-kernels        `trace`/`timeline`/`tune`: execute nests on the
+//!                       reference expression interpreter instead of the
+//!                       compiled tile kernels
 //!   --json              emit the `trace`/`tune` report as JSON
 //!   --out FILE          `trace`: write the JSON report to FILE (implies
 //!                       --json)
@@ -54,6 +57,7 @@ struct Opts {
     block: BlockPolicy,
     machine: MachineParams,
     engine: EngineKind,
+    kernels: bool,
     json: bool,
     out: Option<String>,
     strict: bool,
@@ -66,7 +70,7 @@ fn usage() -> ExitCode {
     eprintln!("           [-D name=value] [--fill name=V] [--fill-coords name] [--print name]");
     eprintln!("           [--procs P] [--block fixed:<b>|model1|model2|naive|probe|adaptive]");
     eprintln!("           [--machine t3e|powerchallenge]");
-    eprintln!("           [--engine threads|seq|sim] [--json] [--out FILE]");
+    eprintln!("           [--engine threads|seq|sim] [--no-kernels] [--json] [--out FILE]");
     eprintln!("           [--strict] [--chrome FILE] [--width N]");
     ExitCode::from(2)
 }
@@ -87,6 +91,7 @@ fn parse_args() -> std::result::Result<Opts, ExitCode> {
         block: BlockPolicy::Model2,
         machine: cray_t3e(),
         engine: EngineKind::Threads,
+        kernels: true,
         json: false,
         out: None,
         strict: false,
@@ -144,6 +149,7 @@ fn parse_args() -> std::result::Result<Opts, ExitCode> {
                     usage()
                 })?;
             }
+            "--no-kernels" => opts.kernels = false,
             "--json" => opts.json = true,
             "--out" => {
                 opts.out = Some(need("--out")?);
@@ -242,6 +248,15 @@ fn check<const R: usize>(lowered: &Lowered<R>, compiled: &CompiledProgram<R>) ->
             nest.structure.wavefront_dims
         );
         println!("           WYSIWYG cost: {}", classify_nest(nest));
+        match wavefront::core::kernel::TileKernel::compile(nest) {
+            Ok(k) => println!(
+                "           kernel: fastpath ({} instrs, {} regs, {} reads)",
+                k.instr_count(),
+                k.reg_count(),
+                k.read_count()
+            ),
+            Err(reason) => println!("           kernel: interpreter fallback ({reason})"),
+        }
     }
     ExitCode::SUCCESS
 }
@@ -426,6 +441,7 @@ fn trace<const R: usize>(
             .procs(opts.procs)
             .block(opts.block.clone())
             .machine(opts.machine)
+            .kernels(opts.kernels)
             .collector(&mut collector)
             .store(&mut store)
             .run(opts.engine);
@@ -525,6 +541,7 @@ fn timeline<const R: usize>(
             .procs(opts.procs)
             .block(opts.block.clone())
             .machine(opts.machine)
+            .kernels(opts.kernels)
             .collector(&mut collector)
             .store(&mut store)
             .run(opts.engine);
@@ -642,7 +659,8 @@ fn tune<const R: usize>(
             let mut session = Session::new(&lowered.program, nest)
                 .procs(opts.procs)
                 .block(BlockPolicy::adaptive())
-                .machine(machine);
+                .machine(machine)
+                .kernels(opts.kernels);
             if kind != EngineKind::Sim {
                 session = session.store(&mut store);
             }

@@ -1,0 +1,264 @@
+//! Differential fuzzing of the compiled tile kernels: for random legal
+//! scan programs, the kernel tier must be **bit-identical** to the
+//! reference expression interpreter — standalone, on the sequential
+//! engine, and on the threaded engine — and nests the lowering refuses
+//! must still execute correctly through the transparent interpreter
+//! fallback.
+//!
+//! Sampled deterministically with the crate's own [`SplitMix64`] (the
+//! build is fully offline, so no property-testing dependency): every run
+//! exercises the same case set, and any failure message pins the exact
+//! configuration for replay.
+
+use wavefront::core::kernel::{FallbackReason, NestRunner, TileKernel};
+use wavefront::core::prelude::*;
+use wavefront::kernels::rng::SplitMix64;
+use wavefront::kernels::{smith_waterman, sor, sweep3d, tomcatv};
+use wavefront::machine::cray_t3e;
+use wavefront::pipeline::{
+    execute_plan_sequential_collected_opts, execute_plan_threaded_collected_opts, BlockPolicy,
+    NoopCollector, WavefrontPlan,
+};
+
+/// Primed directions that keep a single-assignment scan legal.
+const PRIMED: [[i64; 2]; 5] = [[-1, 0], [-1, -1], [-1, 1], [-2, 0], [-1, -2]];
+/// Free shifts for the read-only array (any direction is legal).
+const FREE: [[i64; 2]; 6] = [[0, 0], [1, 0], [0, -1], [-1, 1], [2, 2], [-2, 0]];
+
+/// A random expression tree over `a` (the written array, primed reads
+/// only) and `b` (read-only, arbitrary shifts). Every operator the
+/// lowering supports can appear, including coordinates.
+fn random_expr(rng: &mut SplitMix64, a: usize, b: usize, depth: usize) -> Expr<2> {
+    if depth == 0 || rng.gen_range(5) == 0 {
+        return match rng.gen_range(4) {
+            0 => Expr::lit(0.25 + rng.gen_range(8) as f64 * 0.5),
+            1 => Expr::read_primed_at(a, PRIMED[rng.gen_range(PRIMED.len())]),
+            2 => Expr::read_at(b, FREE[rng.gen_range(FREE.len())]),
+            _ => Expr::IndexVar(rng.gen_range(2)),
+        };
+    }
+    let lhs = random_expr(rng, a, b, depth - 1);
+    match rng.gen_range(8) {
+        0 => -lhs,
+        1 => lhs.sqrt(),
+        2 => lhs + random_expr(rng, a, b, depth - 1),
+        3 => lhs - random_expr(rng, a, b, depth - 1),
+        4 => lhs * random_expr(rng, a, b, depth - 1),
+        5 => lhs.min(random_expr(rng, a, b, depth - 1)),
+        6 => lhs.max(random_expr(rng, a, b, depth - 1)),
+        // Keep quotients tame: x² + 1 never crosses zero.
+        _ => {
+            let d = random_expr(rng, a, b, depth - 1);
+            lhs / (d.clone() * d + Expr::lit(1.0))
+        }
+    }
+}
+
+fn init_store(p: &Program<2>, seed: u64) -> Store<2> {
+    let mut store = Store::new(p);
+    for id in 0..store.len() {
+        let bounds = store.get(id).bounds();
+        *store.get_mut(id) = DenseArray::from_fn(bounds, |q| {
+            let h = (q[0] as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(q[1] as u64)
+                .wrapping_mul(seed | 1)
+                .wrapping_add(id as u64);
+            (h % 1009) as f64 / 1009.0
+        });
+    }
+    store
+}
+
+/// Random programs: the kernel must compile (no snapshots, small tapes)
+/// and be bit-identical to the interpreter standalone and on both real
+/// engines, at random processor counts and block sizes.
+#[test]
+fn kernel_is_bit_identical_to_interpreter() {
+    let mut rng = SplitMix64::new(0x7E_A9E5);
+    let mut compiled_cases = 0usize;
+    for case in 0..64 {
+        let n = 8 + rng.gen_range(12) as i64;
+        let layout = if rng.next_u64() & 1 == 0 { Layout::RowMajor } else { Layout::ColMajor };
+        let depth = 1 + rng.gen_range(4);
+        let p = 1 + rng.gen_range(4);
+        let blk = 1 + rng.gen_range(9);
+        let seed = rng.next_u64();
+
+        let bounds = Region::rect([0, 0], [n + 1, n + 1]);
+        let mut prog = Program::<2>::new();
+        let a = prog.array_with_layout("a", bounds, layout);
+        let b = prog.array_with_layout("b", bounds, layout);
+        let rhs = Expr::lit(0.5) * Expr::read_primed_at(a, [-1, 0])
+            + random_expr(&mut rng, a, b, depth);
+        let region = Region::rect([2, 2], [n - 1, n - 1]);
+        prog.stmt(region, a, rhs);
+
+        let compiled = match compile(&prog) {
+            Ok(c) => c,
+            Err(Error::OverConstrained { .. }) => continue,
+            Err(e) => panic!("case {case}: unexpected legality error: {e}"),
+        };
+        let nest = compiled.nest(0);
+
+        // Reference: the expression interpreter over the whole nest.
+        let mut reference = init_store(&prog, seed);
+        run_nest_with_sink(nest, &mut reference, &mut NoSink);
+
+        // Standalone kernel over the whole nest.
+        let runner = NestRunner::auto(nest);
+        assert!(
+            runner.is_compiled(),
+            "case {case}: expected a fast-path kernel, got {:?}",
+            runner.fallback()
+        );
+        compiled_cases += 1;
+        let mut kern = init_store(&prog, seed);
+        let bound = runner.bind(&kern, &nest.structure.order);
+        runner.run_tile(nest, bound.as_ref(), nest.region, &nest.structure.order, &mut kern);
+
+        let plan =
+            WavefrontPlan::build(nest, p, None, &BlockPolicy::Fixed(blk), &cray_t3e()).unwrap();
+        let mut seq = init_store(&prog, seed);
+        execute_plan_sequential_collected_opts(nest, &plan, &mut seq, &mut NoopCollector, true);
+        let mut thr = init_store(&prog, seed);
+        execute_plan_threaded_collected_opts(
+            &prog,
+            nest,
+            &plan,
+            &mut thr,
+            &mut NoopCollector,
+            true,
+        );
+
+        for id in 0..reference.len() {
+            for (what, store) in [("kernel", &kern), ("seq", &seq), ("threads", &thr)] {
+                assert!(
+                    reference.get(id).region_eq(store.get(id), region),
+                    "case {case}: {what} array {id} differs \
+                     (n={n} depth={depth} p={p} b={blk} {layout:?})"
+                );
+            }
+        }
+    }
+    // The generator must actually exercise the fast path, not skip
+    // everything through legality rejections.
+    assert!(compiled_cases >= 48, "only {compiled_cases} cases compiled");
+}
+
+/// Nests the lowering refuses (snapshot semantics, register pressure)
+/// still execute — transparently, on the interpreter — and match the
+/// reference on every engine.
+#[test]
+fn fallback_nests_still_run_on_every_engine() {
+    // Buffered: unprimed reads in both directions force the
+    // array-semantics snapshot, which the tape does not model. Such
+    // nests are plain (not scans), so they never see a wavefront plan —
+    // the runner itself must fall back.
+    let n = 12i64;
+    let bounds = Region::rect([0, 0], [n + 1, n + 1]);
+    let mut buffered = Program::<2>::new();
+    let a = buffered.array("a", bounds);
+    buffered.stmt(
+        Region::rect([2, 2], [n - 1, n - 1]),
+        a,
+        Expr::read_at(a, [-1, 0]) + Expr::read_at(a, [1, 0]),
+    );
+
+    // Register pressure: every level holds a computed left operand while
+    // the right subtree evaluates.
+    fn left_held(depth: usize, a: usize) -> Expr<2> {
+        if depth == 0 {
+            Expr::read_primed_at(a, [-1, 0])
+        } else {
+            (Expr::read_primed_at(a, [-1, 0]) + Expr::lit(1.0)).min(left_held(depth - 1, a))
+        }
+    }
+    let mut pressured = Program::<2>::new();
+    let pa = pressured.array("a", bounds);
+    pressured.stmt(
+        Region::rect([2, 2], [n - 1, n - 1]),
+        pa,
+        left_held(wavefront::core::kernel::MAX_REGS + 2, pa),
+    );
+
+    for (what, prog, reason) in [
+        ("buffered", &buffered, FallbackReason::Buffered),
+        ("pressure", &pressured, FallbackReason::RegisterPressure),
+    ] {
+        let compiled = compile(prog).unwrap();
+        let nest = compiled.nest(0);
+        assert_eq!(TileKernel::compile(nest).unwrap_err(), reason, "{what}");
+        let runner = NestRunner::auto(nest);
+        assert!(!runner.is_compiled(), "{what}");
+        assert_eq!(runner.fallback(), Some(reason), "{what}");
+
+        let mut reference = init_store(prog, 11);
+        run_nest_with_sink(nest, &mut reference, &mut NoSink);
+        let region = nest.region;
+
+        // The runner's own dispatch must route the tile to the
+        // interpreter and match the reference.
+        let mut direct = init_store(prog, 11);
+        assert!(runner.bind(&direct, &nest.structure.order).is_none(), "{what}");
+        runner.run_tile(nest, None, region, &nest.structure.order, &mut direct);
+        assert!(reference.get(0).region_eq(direct.get(0), region), "{what}: run_tile differs");
+
+        // Buffered nests are plain (no wavefront dimension), so only
+        // scans can go through the pipelined engines.
+        if nest.is_scan {
+            let plan =
+                WavefrontPlan::build(nest, 3, None, &BlockPolicy::Fixed(4), &cray_t3e()).unwrap();
+            let mut seq = init_store(prog, 11);
+            execute_plan_sequential_collected_opts(nest, &plan, &mut seq, &mut NoopCollector, true);
+            assert!(reference.get(0).region_eq(seq.get(0), region), "{what}: seq differs");
+            let mut thr = init_store(prog, 11);
+            execute_plan_threaded_collected_opts(
+                prog,
+                nest,
+                &plan,
+                &mut thr,
+                &mut NoopCollector,
+                true,
+            );
+            assert!(reference.get(0).region_eq(thr.get(0), region), "{what}: threads differs");
+        } else {
+            assert_eq!(what, "buffered");
+        }
+    }
+}
+
+/// The acceptance gate: every nest of all five benchmark programs
+/// lowers to a fused fast-path kernel — no silent interpreter fallback.
+#[test]
+fn all_five_benchmarks_hit_the_fast_path() {
+    let sor_lo = sor::build(24).unwrap();
+    let tom_lo = tomcatv::build(24).unwrap();
+    let sw_lo = smith_waterman::build(24, 20).unwrap();
+    let sw3_lo = sweep3d::build_octant(8, [-1, -1, -1]).unwrap();
+
+    // fig3 is inline (the paper's `[2..n,1..n] a := 2 * a'@north`).
+    let mut fig3 = Program::<2>::new();
+    let bounds = Region::rect([1, 1], [16, 16]);
+    let a = fig3.array_with_layout("a", bounds, Layout::ColMajor);
+    fig3.stmt(
+        Region::rect([2, 1], [16, 16]),
+        a,
+        Expr::lit(2.0) * Expr::read_primed_at(a, [-1, 0]),
+    );
+
+    fn assert_fastpath<const R: usize>(name: &str, prog: &Program<R>) {
+        let compiled = compile(prog).unwrap();
+        for (i, nest) in compiled.nests().enumerate() {
+            match TileKernel::compile(nest) {
+                Ok(k) => assert!(k.instr_count() > 0, "{name} nest {i}: empty tape"),
+                Err(r) => panic!("{name} nest {i}: fell back to the interpreter ({r})"),
+            }
+        }
+    }
+    assert_fastpath("fig3", &fig3);
+    assert_fastpath("sor", &sor_lo.program);
+    assert_fastpath("tomcatv", &tom_lo.program);
+    assert_fastpath("smith_waterman", &sw_lo.program);
+    assert_fastpath("sweep3d", &sw3_lo.program);
+}
