@@ -10,10 +10,7 @@
 use wavefront_bench::micro::Harness;
 use wavefront_core::prelude::*;
 use wavefront_machine::cray_t3e;
-use wavefront_pipeline::{
-    execute_plan_sequential_collected, execute_plan_threaded_collected, plan_dag, BlockPolicy,
-    NoopCollector, WavefrontPlan,
-};
+use wavefront_pipeline::{BlockPolicy, EngineKind, Session, Session2D};
 
 fn setup() -> (wavefront_lang::Lowered<2>, CompiledNest<2>, Store<2>) {
     let lo = wavefront_kernels::tomcatv::build(130).unwrap();
@@ -30,22 +27,30 @@ fn main() {
     let params = cray_t3e();
 
     {
-        let plan =
-            WavefrontPlan::build(&nest, 16, None, &BlockPolicy::Fixed(4), &params).unwrap();
-        let tasks = plan_dag(&plan);
         h.bench("runtime/des_simulate_512_tasks", || {
-            wavefront_machine::simulate(&tasks, &params, 16)
+            Session::new(&lo.program, &nest)
+                .procs(16)
+                .block(BlockPolicy::Fixed(4))
+                .machine(params)
+                .run(EngineKind::Sim)
+                .unwrap()
+                .makespan
         });
     }
 
     {
-        let plan =
-            WavefrontPlan::build(&nest, 4, None, &BlockPolicy::Fixed(16), &params).unwrap();
         h.bench_with_setup(
             "runtime/decomposed_sequential_p4_b16",
             || store.clone(),
             |mut s| {
-                execute_plan_sequential_collected(&nest, &plan, &mut s, &mut NoopCollector)
+                Session::new(&lo.program, &nest)
+                    .procs(4)
+                    .block(BlockPolicy::Fixed(16))
+                    .machine(params)
+                    .store(&mut s)
+                    .run(EngineKind::Seq)
+                    .unwrap()
+                    .makespan
             },
         );
     }
@@ -54,18 +59,19 @@ fn main() {
         ("naive", BlockPolicy::FullPortion),
         ("pipelined_b16", BlockPolicy::Fixed(16)),
     ] {
-        let plan = WavefrontPlan::build(&nest, 4, None, &policy, &params).unwrap();
+        let policy = policy.clone();
         h.bench_with_setup(
             &format!("runtime/threaded_p4_{label}"),
             || store.clone(),
             |mut s| {
-                execute_plan_threaded_collected(
-                    &lo.program,
-                    &nest,
-                    &plan,
-                    &mut s,
-                    &mut NoopCollector,
-                )
+                Session::new(&lo.program, &nest)
+                    .procs(4)
+                    .block(policy.clone())
+                    .machine(params)
+                    .store(&mut s)
+                    .run(EngineKind::Threads)
+                    .unwrap()
+                    .makespan
             },
         );
     }
@@ -74,21 +80,14 @@ fn main() {
         let lo = wavefront_kernels::sweep3d::build_octant(24, [-1, -1, -1]).unwrap();
         let compiled = compile(&lo.program).unwrap();
         let nest = compiled.nest(0).clone();
-        let plan = wavefront_pipeline::WavefrontPlan2D::build(
-            &nest,
-            [4, 4],
-            None,
-            &BlockPolicy::Fixed(2),
-            &params,
-        )
-        .unwrap();
         h.bench("runtime/mesh2d_dag_build_and_simulate", || {
-            wavefront_pipeline::simulate_plan2d_collected(
-                &plan,
-                &params,
-                &mut wavefront_pipeline::NoopCollector,
-            )
-            .makespan
+            Session2D::new(&lo.program, &nest)
+                .mesh([4, 4])
+                .block(BlockPolicy::Fixed(2))
+                .machine(params)
+                .run(EngineKind::Sim)
+                .unwrap()
+                .makespan
         });
         let mut store = Store::new(&lo.program);
         wavefront_kernels::sweep3d::init(&lo, &mut store);
@@ -96,13 +95,14 @@ fn main() {
             "runtime/mesh2d_threaded_4x4",
             || store.clone(),
             |mut s| {
-                wavefront_pipeline::execute_plan2d_threaded_collected(
-                    &lo.program,
-                    &nest,
-                    &plan,
-                    &mut s,
-                    &mut NoopCollector,
-                )
+                Session2D::new(&lo.program, &nest)
+                    .mesh([4, 4])
+                    .block(BlockPolicy::Fixed(2))
+                    .machine(params)
+                    .store(&mut s)
+                    .run(EngineKind::Threads)
+                    .unwrap()
+                    .makespan
             },
         );
     }

@@ -12,7 +12,7 @@ use wavefront_core::prelude::compile;
 use wavefront_kernels::tomcatv;
 use wavefront_machine::{fig5a_problem, fig5a_t3e};
 use wavefront_model::PipeModel;
-use wavefront_pipeline::{simulate_plan_collected, BlockPolicy, NoopCollector, WavefrontPlan};
+use wavefront_pipeline::{BlockPolicy, Session};
 
 fn main() {
     let params = fig5a_t3e();
@@ -36,35 +36,38 @@ fn main() {
         .nests()
         .find(|x| x.is_scan)
         .expect("tomcatv has a wavefront");
-    let work = nest
-        .stmts
-        .iter()
-        .map(|s| s.rhs.flop_count())
-        .sum::<usize>() as f64;
-    let scaled = wavefront_machine::MachineParams::custom(
-        "scaled",
-        params.alpha * work,
-        params.beta * work,
-    );
+    let work = nest.stmts.iter().map(|s| s.rhs.flop_count()).sum::<usize>() as f64;
+    let scaled =
+        wavefront_machine::MachineParams::custom("scaled", params.alpha * work, params.beta * work);
+
+    let t_at_policy = |policy: BlockPolicy| {
+        Session::new(&lo.program, nest)
+            .procs(p)
+            .block(policy)
+            .machine(scaled)
+            .estimate()
+            .time
+    };
 
     // Simulated baseline: the naive (non-pipelined) schedule.
-    let naive_plan = WavefrontPlan::build(nest, p, None, &BlockPolicy::FullPortion, &scaled)
-        .expect("naive plan");
-    let t_naive_sim = simulate_plan_collected(&naive_plan, &scaled, &mut NoopCollector).makespan;
+    let t_naive_sim = t_at_policy(BlockPolicy::FullPortion);
 
     let mut table = Table::new(&["b", "Model1 speedup", "Model2 speedup", "Simulated speedup"]);
-    let bs = [1usize, 2, 4, 8, 12, 16, 20, 23, 28, 32, 39, 48, 64, 96, 128, 192, 256];
+    let bs = [
+        1usize, 2, 4, 8, 12, 16, 20, 23, 28, 32, 39, 48, 64, 96, 128, 192, 256,
+    ];
     let mut best_sim = (0usize, 0.0f64);
     let mut points = Vec::new();
     for b in bs {
-        let plan = WavefrontPlan::build(nest, p, None, &BlockPolicy::Fixed(b), &scaled)
-            .expect("plan builds");
-        let t_sim = simulate_plan_collected(&plan, &scaled, &mut NoopCollector).makespan;
+        let t_sim = t_at_policy(BlockPolicy::Fixed(b));
         let s_sim = t_naive_sim / t_sim;
         if s_sim > best_sim.1 {
             best_sim = (b, s_sim);
         }
-        let (s1, s2) = (model1.speedup_vs_naive(b as f64), model2.speedup_vs_naive(b as f64));
+        let (s1, s2) = (
+            model1.speedup_vs_naive(b as f64),
+            model2.speedup_vs_naive(b as f64),
+        );
         points.push(format!(
             "{{\"b\":{b},\"model1\":{s1},\"model2\":{s2},\"simulated\":{s_sim}}}"
         ));
@@ -79,17 +82,17 @@ fn main() {
     println!("  Simulator-best block size among sweep: {}", best_sim.0);
 
     // The paper's headline: Model2's choice beats Model1's in reality.
-    let t_at = |b: usize| {
-        let plan = WavefrontPlan::build(nest, p, None, &BlockPolicy::Fixed(b), &scaled)
-            .expect("plan builds");
-        simulate_plan_collected(&plan, &scaled, &mut NoopCollector).makespan
-    };
+    let t_at = |b: usize| t_at_policy(BlockPolicy::Fixed(b));
     let (t1, t2) = (t_at(b1), t_at(b2));
     println!(
         "  Simulated time at Model1's b ({b1}): {:.0}; at Model2's b ({b2}): {:.0} — Model2 {}",
         t1,
         t2,
-        if t2 <= t1 { "wins (matches the paper)" } else { "LOSES (mismatch!)" }
+        if t2 <= t1 {
+            "wins (matches the paper)"
+        } else {
+            "LOSES (mismatch!)"
+        }
     );
 
     write_artifact(

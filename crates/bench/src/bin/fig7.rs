@@ -14,7 +14,7 @@ use wavefront_core::exec::CompiledProgram;
 use wavefront_core::prelude::compile;
 use wavefront_lang::Lowered;
 use wavefront_machine::{cray_t3e, sgi_power_challenge, MachineParams};
-use wavefront_pipeline::{simulate_nest, simulate_program, BlockPolicy};
+use wavefront_pipeline::{BlockPolicy, ProgramSession, Session};
 
 struct Bench {
     name: &'static str,
@@ -45,6 +45,7 @@ fn benches(n: i64) -> Vec<Bench> {
 /// Grey bars: each wavefront component measured with the arrays
 /// distributed along *its* travel dimension (the paper's setup).
 fn wavefront_speedups(
+    program: &wavefront_core::program::Program<2>,
     compiled: &CompiledProgram<2>,
     p: usize,
     params: &MachineParams,
@@ -54,8 +55,16 @@ fn wavefront_speedups(
         .filter(|nest| nest.is_scan && !nest.structure.wavefront_dims.is_empty())
         .map(|nest| {
             let dist_dim = nest.structure.wavefront_dims[0];
-            let pipe = simulate_nest(nest, p, dist_dim, &BlockPolicy::Model2, params);
-            let naive = simulate_nest(nest, p, dist_dim, &BlockPolicy::FullPortion, params);
+            let estimate = |policy: BlockPolicy| {
+                Session::new(program, nest)
+                    .procs(p)
+                    .dist_dim(dist_dim)
+                    .block(policy)
+                    .machine(*params)
+                    .estimate()
+            };
+            let pipe = estimate(BlockPolicy::Model2);
+            let naive = estimate(BlockPolicy::FullPortion);
             naive.time / pipe.time
         })
         .collect()
@@ -64,11 +73,16 @@ fn wavefront_speedups(
 fn main() {
     let n = 257i64;
     println!("## Figure 7: speedup of pipelined vs nonpipelined codes");
-    println!("   n = {n}, block size from Model2, arrays distributed along the wavefront dimension\n");
+    println!(
+        "   n = {n}, block size from Model2, arrays distributed along the wavefront dimension\n"
+    );
 
     let mut points = Vec::new();
     for params in [cray_t3e(), sgi_power_challenge()] {
-        println!("  --- {} (alpha = {}, beta = {}) ---", params.name, params.alpha, params.beta);
+        println!(
+            "  --- {} (alpha = {}, beta = {}) ---",
+            params.name, params.alpha, params.beta
+        );
         let mut table = Table::new(&[
             "benchmark",
             "p",
@@ -79,23 +93,19 @@ fn main() {
         for bench in benches(n) {
             let compiled = compile(&bench.lowered.program).expect("compiles");
             for p in [2usize, 4, 8, 16] {
-                let wf = wavefront_speedups(&compiled, p, &params);
-                let pipe = simulate_program(
-                    &bench.lowered.program,
-                    &compiled,
-                    p,
-                    bench.dist_dim,
-                    &BlockPolicy::Model2,
-                    &params,
-                );
-                let naive = simulate_program(
-                    &bench.lowered.program,
-                    &compiled,
-                    p,
-                    bench.dist_dim,
-                    &BlockPolicy::FullPortion,
-                    &params,
-                );
+                let wf = wavefront_speedups(&bench.lowered.program, &compiled, p, &params);
+                let pipe = ProgramSession::new(&bench.lowered.program, &compiled)
+                    .procs(p)
+                    .dist_dim(bench.dist_dim)
+                    .block(BlockPolicy::Model2)
+                    .machine(params)
+                    .estimate();
+                let naive = ProgramSession::new(&bench.lowered.program, &compiled)
+                    .procs(p)
+                    .dist_dim(bench.dist_dim)
+                    .block(BlockPolicy::FullPortion)
+                    .machine(params)
+                    .estimate();
                 let blocks: Vec<String> = pipe
                     .nests
                     .iter()

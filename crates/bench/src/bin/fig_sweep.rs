@@ -10,7 +10,7 @@ use wavefront_bench::{f2, Table};
 use wavefront_core::prelude::compile;
 use wavefront_kernels::sweep3d;
 use wavefront_machine::{cray_t3e, sgi_power_challenge};
-use wavefront_pipeline::{simulate_nest, BlockPolicy};
+use wavefront_pipeline::{BlockPolicy, Session};
 
 fn main() {
     let n = 64i64;
@@ -30,10 +30,17 @@ fn main() {
             "efficiency",
             "b (Model2)",
         ]);
-        let serial = simulate_nest(nest, 1, 0, &BlockPolicy::FullPortion, &params).time;
+        let estimate = |p: usize, policy: BlockPolicy| {
+            Session::new(&lo.program, nest)
+                .procs(p)
+                .block(policy)
+                .machine(params)
+                .estimate()
+        };
+        let serial = estimate(1, BlockPolicy::FullPortion).time;
         for p in [2usize, 4, 8, 16, 32] {
-            let pipe = simulate_nest(nest, p, 0, &BlockPolicy::Model2, &params);
-            let naive = simulate_nest(nest, p, 0, &BlockPolicy::FullPortion, &params);
+            let pipe = estimate(p, BlockPolicy::Model2);
+            let naive = estimate(p, BlockPolicy::FullPortion);
             table.row(&[
                 p.to_string(),
                 f2(serial / pipe.time),

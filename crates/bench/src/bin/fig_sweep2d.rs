@@ -11,7 +11,7 @@ use wavefront_bench::{f2, Table};
 use wavefront_core::prelude::compile;
 use wavefront_kernels::sweep3d;
 use wavefront_machine::{cray_t3e, sgi_power_challenge};
-use wavefront_pipeline::{simulate_plan2d_collected, BlockPolicy, NoopCollector, WavefrontPlan2D};
+use wavefront_pipeline::{BlockPolicy, EngineKind, Session2D, WavefrontPlan2D};
 
 fn main() {
     let n = 64i64;
@@ -32,20 +32,19 @@ fn main() {
             "efficiency",
             "b",
         ]);
-        let serial = {
-            let plan =
-                WavefrontPlan2D::build(nest, [1, 1], None, &BlockPolicy::FullPortion, &params)
-                    .expect("serial plan");
-            simulate_plan2d_collected(&plan, &params, &mut NoopCollector).makespan
+        let sim = |mesh: [usize; 2], policy: BlockPolicy| {
+            Session2D::new(&lo.program, nest)
+                .mesh(mesh)
+                .block(policy)
+                .machine(params)
+                .run(EngineKind::Sim)
+                .expect("mesh simulation")
         };
+        let serial = sim([1, 1], BlockPolicy::FullPortion).makespan;
         for mesh in [[2usize, 2usize], [2, 4], [4, 4], [4, 8], [8, 8]] {
-            let pipe = WavefrontPlan2D::build(nest, mesh, None, &BlockPolicy::Model2, &params)
-                .expect("pipelined plan");
-            let naive =
-                WavefrontPlan2D::build(nest, mesh, None, &BlockPolicy::FullPortion, &params)
-                    .expect("naive plan");
-            let t_pipe = simulate_plan2d_collected(&pipe, &params, &mut NoopCollector).makespan;
-            let t_naive = simulate_plan2d_collected(&naive, &params, &mut NoopCollector).makespan;
+            let pipe = sim(mesh, BlockPolicy::Model2);
+            let t_pipe = pipe.makespan;
+            let t_naive = sim(mesh, BlockPolicy::FullPortion).makespan;
             let p = mesh[0] * mesh[1];
             table.row(&[
                 format!("{}x{}", mesh[0], mesh[1]),
@@ -70,19 +69,22 @@ fn main() {
     let compiled = compile(&lo.program).expect("compiles");
     let nest = compiled.nest(0);
     let params = cray_t3e();
-    let serial = {
-        let plan =
-            WavefrontPlan2D::build(nest, [1, 1], Some([1, 2]), &BlockPolicy::FullPortion, &params)
-                .expect("serial plan");
-        simulate_plan2d_collected(&plan, &params, &mut NoopCollector).makespan
+    let sim = |mesh: [usize; 2], policy: BlockPolicy| {
+        Session2D::new(&lo.program, nest)
+            .mesh(mesh)
+            .wave_dims([1, 2])
+            .block(policy)
+            .machine(params)
+            .run(EngineKind::Sim)
+            .expect("mesh simulation")
     };
+    let serial = sim([1, 1], BlockPolicy::FullPortion).makespan;
     let mut table = Table::new(&["mesh", "angle block", "speedup", "efficiency"]);
     for mesh in [[2usize, 2usize], [4, 4], [8, 8]] {
-        let plan =
-            WavefrontPlan2D::build(nest, mesh, Some([1, 2]), &BlockPolicy::Model2, &params)
-                .expect("plan");
+        let plan = WavefrontPlan2D::build(nest, mesh, Some([1, 2]), &BlockPolicy::Model2, &params)
+            .expect("plan");
         assert_eq!(plan.tile_dim, Some(0), "angle dimension must be tiled");
-        let t = simulate_plan2d_collected(&plan, &params, &mut NoopCollector).makespan;
+        let t = sim(mesh, BlockPolicy::Model2).makespan;
         let p = mesh[0] * mesh[1];
         table.row(&[
             format!("{}x{}", mesh[0], mesh[1]),

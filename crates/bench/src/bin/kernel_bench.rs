@@ -22,9 +22,7 @@ use wavefront_core::kernel::TileKernel;
 use wavefront_core::prelude::*;
 use wavefront_kernels::{smith_waterman, sor, sweep3d, tomcatv};
 use wavefront_machine::cray_t3e;
-use wavefront_pipeline::{
-    execute_plan_threaded_collected_opts, BlockPolicy, NoopCollector, WavefrontPlan,
-};
+use wavefront_pipeline::{BlockPolicy, EngineKind, Session};
 
 const REPS: usize = 9;
 
@@ -83,8 +81,6 @@ fn measure<const R: usize>(
     if TileKernel::compile(nest).is_err() {
         eprintln!("warning: {name} fell back to the interpreter; speedup will be ~1");
     }
-    let plan = WavefrontPlan::build(nest, procs, None, &BlockPolicy::Model2, &cray_t3e())
-        .expect("plan builds");
     let elems = nest.region.len() as f64;
     // Interleave the two configurations so a frequency dip or a noisy
     // neighbour hits both sides of the ratio equally.
@@ -93,14 +89,14 @@ fn measure<const R: usize>(
         for (slot, kernels) in [(0usize, false), (1, true)] {
             let mut s = store.clone();
             let t0 = Instant::now();
-            execute_plan_threaded_collected_opts(
-                program,
-                nest,
-                &plan,
-                &mut s,
-                &mut NoopCollector,
-                kernels,
-            );
+            Session::new(program, nest)
+                .procs(procs)
+                .block(BlockPolicy::Model2)
+                .machine(cray_t3e())
+                .kernels(kernels)
+                .store(&mut s)
+                .run(EngineKind::Threads)
+                .expect("threaded run");
             ns[slot] = ns[slot].min(t0.elapsed().as_secs_f64() * 1e9 / elems);
         }
     }
@@ -109,7 +105,9 @@ fn measure<const R: usize>(
 
 fn main() -> ExitCode {
     let check_only = std::env::args().any(|a| a == "--check-fastpath");
-    let procs = std::thread::available_parallelism().map_or(4, |n| n.get()).min(4);
+    let procs = std::thread::available_parallelism()
+        .map_or(4, |n| n.get())
+        .min(4);
     let n2 = 240i64; // rank-2 grids (cache-resident: compute-bound, not memory-bound)
     let n3 = 40i64; // sweep3d grid (n^3 cells)
 

@@ -1,0 +1,247 @@
+//! Persistent-service benchmark: cold one-shot `Session` runs vs warm
+//! jobs through a long-lived [`WavefrontService`].
+//!
+//! A cold run pays for everything on every call: plan construction,
+//! kernel binding, and spawning the worker threads. A warm service job
+//! reuses the parked worker pool and the compiled-plan cache, so it
+//! pays only for the sweep itself. This harness measures both paths on
+//! the Tomcatv forward wavefront at several (small) problem sizes —
+//! where the fixed costs dominate and the service should win big — and
+//! emits `tomcatv<n>_cold_latency_seconds` /
+//! `tomcatv<n>_warm_latency_seconds` / `tomcatv<n>_service_speedup`
+//! into `results/BENCH_service.json`, where `bench_diff` gates
+//! regressions. Throughput (`jobs_per_sec`, via `submit_batch`) is
+//! informational.
+//!
+//! `--soak <secs>` instead hammers the service with tiny 8×8 jobs for
+//! the given wall time and asserts the pool-spawn counter stays flat
+//! after warm-up — i.e. no per-job thread spawn — exiting nonzero on
+//! any violation (the invariant `scripts/verify.sh` checks).
+//!
+//! Run with `cargo run --release -p wavefront-bench --bin service_bench`.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use wavefront_bench::{f2, json_object, json_str, write_artifact, Table};
+use wavefront_core::prelude::*;
+use wavefront_kernels::tomcatv;
+use wavefront_machine::cray_t3e;
+use wavefront_pipeline::{
+    BlockPolicy, EngineKind, JobSpec, ServiceConfig, Session, WavefrontService,
+};
+
+const REPS: usize = 9;
+const PROCS: usize = 8;
+const BATCH: usize = 32;
+
+/// Format a latency as a JSON-safe scientific-notation number.
+fn f3e(v: f64) -> String {
+    format!("{v:.3e}")
+}
+
+/// The largest wavefront nest of Tomcatv at grid size `n`, with an
+/// initialised store — the unit of work every job executes.
+fn tomcatv_case(n: i64) -> (Arc<Program<2>>, Arc<CompiledNest<2>>, Store<2>) {
+    let lo = tomcatv::build(n).expect("tomcatv builds");
+    let compiled = compile(&lo.program).expect("tomcatv compiles");
+    let nest = compiled
+        .nests()
+        .filter(|x| x.is_scan)
+        .max_by_key(|x| x.region.len())
+        .expect("tomcatv has a scan nest")
+        .clone();
+    let mut store = Store::new(&lo.program);
+    tomcatv::init(&lo, &mut store);
+    (Arc::new(lo.program), Arc::new(nest), store)
+}
+
+/// One row of the cold-vs-warm comparison: min-of-`REPS` latency for a
+/// fresh `Session` per call vs a warm job on `service`, interleaved so
+/// host noise hits both sides equally, plus batch throughput.
+fn bench_size(n: i64, service: &WavefrontService<2>) -> (f64, f64, f64) {
+    let (program, nest, store) = tomcatv_case(n);
+    let params = cray_t3e();
+
+    let warm_spec = || {
+        JobSpec::new(Arc::clone(&program), Arc::clone(&nest))
+            .line(PROCS)
+            .block(BlockPolicy::Fixed(32))
+            .machine(params)
+            .store(store.clone())
+    };
+    // Warm the service: first job for this size takes the cache miss
+    // and grows the pool; everything timed below is the steady state.
+    service
+        .submit(warm_spec())
+        .wait()
+        .expect("warm-up job runs");
+
+    let (mut cold, mut warm) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..REPS {
+        let mut s = store.clone();
+        let t0 = Instant::now();
+        Session::new(&program, &nest)
+            .procs(PROCS)
+            .block(BlockPolicy::Fixed(32))
+            .machine(params)
+            .store(&mut s)
+            .run(EngineKind::Threads)
+            .expect("cold run");
+        cold = cold.min(t0.elapsed().as_secs_f64());
+
+        let spec = warm_spec();
+        let t0 = Instant::now();
+        service.submit(spec).wait().expect("warm job runs");
+        warm = warm.min(t0.elapsed().as_secs_f64());
+    }
+
+    // Throughput: one batch of warm jobs, submitted together.
+    let specs: Vec<_> = (0..BATCH).map(|_| warm_spec()).collect();
+    let t0 = Instant::now();
+    let handles = service.submit_batch(specs);
+    for h in handles {
+        h.wait().expect("batch job runs");
+    }
+    let jobs_per_sec = BATCH as f64 / t0.elapsed().as_secs_f64();
+
+    (cold, warm, jobs_per_sec)
+}
+
+/// `--soak <secs>`: thousands of tiny jobs; the pool-spawn counter must
+/// not move once the pool is warm.
+fn soak(secs: u64) -> ExitCode {
+    let (program, nest, store) = tomcatv_case(8);
+    let params = cray_t3e();
+    let service: WavefrontService<2> = WavefrontService::with_config(ServiceConfig {
+        workers: PROCS,
+        ..Default::default()
+    });
+    let spec = || {
+        JobSpec::new(Arc::clone(&program), Arc::clone(&nest))
+            .line(PROCS)
+            .block(BlockPolicy::Fixed(32))
+            .machine(params)
+            .store(store.clone())
+    };
+
+    // Warm-up: enough jobs to grow the pool to its steady-state width.
+    for h in service.submit_batch((0..64).map(|_| spec())) {
+        h.wait().expect("warm-up job runs");
+    }
+    let spawns_warm = service.stats().pool_spawns;
+
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    let t0 = Instant::now();
+    let mut jobs = 64u64;
+    while Instant::now() < deadline {
+        for h in service.submit_batch((0..BATCH).map(|_| spec())) {
+            h.wait().expect("soak job runs");
+        }
+        jobs += BATCH as u64;
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let stats = service.stats();
+
+    println!(
+        "## service soak: {jobs} tiny jobs in {elapsed:.1} s ({:.0} jobs/s)",
+        (jobs - 64) as f64 / elapsed
+    );
+    println!(
+        "   cache: {} hits / {} misses / {} entries; pool: {} workers, {} spawns ({} at warm-up)",
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_entries,
+        stats.pool_workers,
+        stats.pool_spawns,
+        spawns_warm
+    );
+    if stats.pool_spawns != spawns_warm {
+        eprintln!(
+            "FAIL: pool spawned {} new threads after warm-up — per-job spawning",
+            stats.pool_spawns - spawns_warm
+        );
+        return ExitCode::FAILURE;
+    }
+    if stats.jobs_completed != stats.jobs_submitted {
+        eprintln!(
+            "FAIL: {} jobs submitted but only {} completed",
+            stats.jobs_submitted, stats.jobs_completed
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("soak passed: pool spawns flat after warm-up ✔");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--soak") {
+        let secs = args
+            .get(i + 1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("usage: service_bench --soak <secs>");
+                std::process::exit(2);
+            });
+        return soak(secs);
+    }
+
+    println!("## Persistent service vs one-shot sessions (Tomcatv wavefront, threads engine)");
+    println!("   p = {PROCS}, min of {REPS} reps, batch of {BATCH} for throughput\n");
+
+    let service: WavefrontService<2> = WavefrontService::with_config(ServiceConfig {
+        workers: PROCS,
+        ..Default::default()
+    });
+
+    let mut table = Table::new(&["n", "cold (s)", "warm (s)", "speedup", "warm jobs/s"]);
+    let mut fields: Vec<(&str, String)> = vec![
+        ("bench", json_str("service")),
+        ("engine", json_str("threads")),
+        ("procs", PROCS.to_string()),
+        ("reps", REPS.to_string()),
+        ("batch", BATCH.to_string()),
+    ];
+    let mut keys: Vec<(String, String)> = Vec::new();
+    for n in [8i64, 16, 32, 64] {
+        let (cold, warm, jps) = bench_size(n, &service);
+        let speedup = cold / warm;
+        table.row(&[
+            n.to_string(),
+            f3e(cold),
+            f3e(warm),
+            f2(speedup),
+            format!("{jps:.0}"),
+        ]);
+        keys.push((format!("tomcatv{n}_cold_latency_seconds"), f3e(cold)));
+        keys.push((format!("tomcatv{n}_warm_latency_seconds"), f3e(warm)));
+        keys.push((format!("tomcatv{n}_service_speedup"), f2(speedup)));
+        keys.push((format!("tomcatv{n}_warm_jobs_per_sec"), format!("{jps:.1}")));
+    }
+    table.print();
+
+    let stats = service.stats();
+    println!(
+        "\n   service: {} jobs, cache {} hits / {} misses / {} entries, pool {} workers / {} spawns",
+        stats.jobs_completed,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_entries,
+        stats.pool_workers,
+        stats.pool_spawns
+    );
+
+    for (k, v) in &keys {
+        fields.push((k.as_str(), v.clone()));
+    }
+    let hits = stats.cache_hits.to_string();
+    let misses = stats.cache_misses.to_string();
+    let spawns = stats.pool_spawns.to_string();
+    fields.push(("cache_hit_count", hits));
+    fields.push(("cache_miss_count", misses));
+    fields.push(("pool_spawn_count", spawns));
+    write_artifact("service", &json_object(&fields));
+    ExitCode::SUCCESS
+}

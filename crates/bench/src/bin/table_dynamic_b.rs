@@ -10,7 +10,7 @@ use wavefront_bench::{f2, Table};
 use wavefront_core::prelude::compile;
 use wavefront_kernels::tomcatv;
 use wavefront_machine::{cray_t3e, fig5a_t3e, sgi_power_challenge};
-use wavefront_pipeline::{simulate_plan_collected, BlockPolicy, NoopCollector, WavefrontPlan};
+use wavefront_pipeline::{BlockPolicy, Session, WavefrontPlan};
 
 fn main() {
     println!("## Block-size policy ablation (Tomcatv forward wavefront)\n");
@@ -44,16 +44,18 @@ fn main() {
         let results: Vec<(String, usize, f64)> = policies
             .iter()
             .map(|(name, policy)| {
-                let plan = WavefrontPlan::build(nest, p, None, policy, &params)
-                    .expect("plan builds");
-                let t = simulate_plan_collected(&plan, &params, &mut NoopCollector).makespan;
+                let plan =
+                    WavefrontPlan::build(nest, p, None, policy, &params).expect("plan builds");
+                let t = Session::new(&lo.program, nest)
+                    .procs(p)
+                    .block(policy.clone())
+                    .machine(params)
+                    .estimate()
+                    .time;
                 (name.clone(), plan.block, t)
             })
             .collect();
-        let best = results
-            .iter()
-            .map(|r| r.2)
-            .fold(f64::INFINITY, f64::min);
+        let best = results.iter().map(|r| r.2).fold(f64::INFINITY, f64::min);
         for (name, b, t) in results {
             table.row(&[name, b.to_string(), format!("{t:.0}"), f2(t / best)]);
         }

@@ -8,7 +8,7 @@
 use wavefront_bench::{f2, Table};
 use wavefront_core::prelude::compile;
 use wavefront_machine::{cray_t3e, sgi_power_challenge};
-use wavefront_pipeline::{simulate_program_fused, BlockPolicy};
+use wavefront_pipeline::{BlockPolicy, ProgramSession};
 
 fn main() {
     let n = 257i64;
@@ -17,29 +17,25 @@ fn main() {
         println!("  --- {} ---", params.name);
         let mut table = Table::new(&["program", "p", "barrier", "overlapped", "gain"]);
         let programs: Vec<(&str, wavefront_core::program::Program<2>)> = vec![
-            ("Tomcatv", wavefront_kernels::tomcatv::build(n).unwrap().program),
-            ("SIMPLE", wavefront_kernels::simple::build(n).unwrap().program),
+            (
+                "Tomcatv",
+                wavefront_kernels::tomcatv::build(n).unwrap().program,
+            ),
+            (
+                "SIMPLE",
+                wavefront_kernels::simple::build(n).unwrap().program,
+            ),
             ("chasing sweeps", chasing_sweeps(n)),
         ];
         for (name, program) in &programs {
             let compiled = compile(program).unwrap();
             for p in [4usize, 8, 16] {
-                let barrier = simulate_program_fused(
-                    &compiled,
-                    p,
-                    0,
-                    &BlockPolicy::Model2,
-                    &params,
-                    false,
-                );
-                let overlapped = simulate_program_fused(
-                    &compiled,
-                    p,
-                    0,
-                    &BlockPolicy::Model2,
-                    &params,
-                    true,
-                );
+                let session = ProgramSession::new(program, &compiled)
+                    .procs(p)
+                    .block(BlockPolicy::Model2)
+                    .machine(params);
+                let barrier = session.estimate_fused(false);
+                let overlapped = session.estimate_fused(true);
                 table.row(&[
                     name.to_string(),
                     p.to_string(),

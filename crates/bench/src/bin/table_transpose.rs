@@ -15,7 +15,7 @@ use wavefront_bench::{f2, Table};
 use wavefront_core::prelude::compile;
 use wavefront_machine::{cray_t3e, sgi_power_challenge};
 use wavefront_model::t_transpose_strategy;
-use wavefront_pipeline::{simulate_nest, BlockPolicy};
+use wavefront_pipeline::{BlockPolicy, Session};
 
 fn main() {
     println!("## Transpose vs pipeline for a misaligned wavefront (SIMPLE conduction)\n");
@@ -37,23 +37,17 @@ fn main() {
                 .nests()
                 .find(|x| x.is_scan && x.structure.wavefront_dims == vec![0])
                 .expect("has a dim-0 wavefront");
-            let work = nest
-                .stmts
-                .iter()
-                .map(|s| s.rhs.flop_count())
-                .sum::<usize>() as f64;
-            let pipe = simulate_nest(nest, p, 0, &BlockPolicy::Model2, &params);
+            let work = nest.stmts.iter().map(|s| s.rhs.flop_count()).sum::<usize>() as f64;
+            let pipe = Session::new(&lo.program, nest)
+                .procs(p)
+                .block(BlockPolicy::Model2)
+                .machine(params)
+                .estimate();
             // Live arrays crossing the transpose: the sweep reads/writes
             // tsum, t, wrk, kap, dcoef → 5 arrays each way.
             let arrays = 5usize;
-            let transpose = t_transpose_strategy(
-                n as usize,
-                p,
-                arrays,
-                params.alpha,
-                params.beta,
-                work,
-            );
+            let transpose =
+                t_transpose_strategy(n as usize, p, arrays, params.alpha, params.beta, work);
             table.row(&[
                 n.to_string(),
                 p.to_string(),

@@ -13,10 +13,7 @@ use wavefront_bench::{f1, json_object, json_str, write_artifact, Table};
 use wavefront_core::prelude::*;
 use wavefront_kernels::{simple, sweep3d, tomcatv};
 use wavefront_machine::MachineParams;
-use wavefront_pipeline::{
-    calibrate_host, simulate_plan_collected, BlockPolicy, EngineKind, NoopCollector, Session,
-    WavefrontPlan,
-};
+use wavefront_pipeline::{calibrate_host, BlockPolicy, EngineKind, Session, WavefrontPlan};
 
 const PROCS: usize = 4;
 
@@ -32,19 +29,23 @@ fn report_kernel<const R: usize>(
         .find(|x| x.is_scan)
         .expect("kernel has a wavefront nest");
 
+    let estimate = |policy: BlockPolicy| {
+        Session::new(program, nest)
+            .procs(PROCS)
+            .block(policy)
+            .machine(machine)
+            .estimate()
+            .time
+    };
     let model_plan = WavefrontPlan::build(nest, PROCS, None, &BlockPolicy::Model2, &machine)
         .expect("model plan builds");
     let model_b = model_plan.block;
-    let model_t = simulate_plan_collected(&model_plan, &machine, &mut NoopCollector).makespan;
+    let model_t = estimate(BlockPolicy::Model2);
 
     let n_orth = model_plan.block_ctx(machine).map_or(1, |c| c.n_orth);
     let (mut best_b, mut best_t) = (model_b, f64::INFINITY);
     for b in 1..=n_orth {
-        let Ok(plan) = WavefrontPlan::build(nest, PROCS, None, &BlockPolicy::Fixed(b), &machine)
-        else {
-            continue;
-        };
-        let t = simulate_plan_collected(&plan, &machine, &mut NoopCollector).makespan;
+        let t = estimate(BlockPolicy::Fixed(b));
         if t < best_t {
             (best_b, best_t) = (b, t);
         }
@@ -103,11 +104,23 @@ fn main() {
 
     let simple_lo = simple::build(66).expect("simple builds");
     let simple_c = compile(&simple_lo.program).expect("simple compiles");
-    rows.push(report_kernel("simple n=66", &simple_lo.program, &simple_c, machine, &mut table));
+    rows.push(report_kernel(
+        "simple n=66",
+        &simple_lo.program,
+        &simple_c,
+        machine,
+        &mut table,
+    ));
 
     let tom_lo = tomcatv::build(130).expect("tomcatv builds");
     let tom_c = compile(&tom_lo.program).expect("tomcatv compiles");
-    rows.push(report_kernel("tomcatv n=130", &tom_lo.program, &tom_c, machine, &mut table));
+    rows.push(report_kernel(
+        "tomcatv n=130",
+        &tom_lo.program,
+        &tom_c,
+        machine,
+        &mut table,
+    ));
 
     let sweep_lo = sweep3d::build_octant(20, [1, 1, 1]).expect("sweep3d builds");
     let sweep_c = compile(&sweep_lo.program).expect("sweep3d compiles");

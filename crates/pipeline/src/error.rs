@@ -36,6 +36,9 @@ pub enum PipelineError {
     Calibration(String),
     /// The adaptive tuner could not complete its closed loop.
     Tuning(String),
+    /// An engine worker panicked while executing a service job. The
+    /// payload is the panic message when it was a string.
+    EnginePanic(String),
 }
 
 impl fmt::Display for PipelineError {
@@ -44,7 +47,10 @@ impl fmt::Display for PipelineError {
             PipelineError::NoWavefrontDim => {
                 write!(f, "nest has no wavefront dimension to pipeline along")
             }
-            PipelineError::WaveNotDistributed { wave_dims, dist_dim } => write!(
+            PipelineError::WaveNotDistributed {
+                wave_dims,
+                dist_dim,
+            } => write!(
                 f,
                 "distributed dimension {dist_dim} is not a wavefront dimension \
                  (wavefront advances along {wave_dims:?})"
@@ -61,6 +67,7 @@ impl fmt::Display for PipelineError {
             ),
             PipelineError::Calibration(why) => write!(f, "calibration failed: {why}"),
             PipelineError::Tuning(why) => write!(f, "adaptive tuning failed: {why}"),
+            PipelineError::EnginePanic(why) => write!(f, "engine panicked: {why}"),
         }
     }
 }
@@ -75,7 +82,10 @@ mod tests {
     fn displays_are_readable_not_debug() {
         let errs: [PipelineError; 6] = [
             PipelineError::NoWavefrontDim,
-            PipelineError::WaveNotDistributed { wave_dims: vec![0, 1], dist_dim: 2 },
+            PipelineError::WaveNotDistributed {
+                wave_dims: vec![0, 1],
+                dist_dim: 2,
+            },
             PipelineError::ConflictingDependences { dim: 1 },
             PipelineError::MissingStore,
             PipelineError::Calibration("ping-pong returned NaN".into()),

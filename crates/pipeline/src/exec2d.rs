@@ -3,6 +3,7 @@
 
 use std::collections::HashMap;
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::sync::Arc;
 use std::time::Instant;
 
 use wavefront_core::array::DenseArray;
@@ -17,6 +18,7 @@ use wavefront_machine::{
 
 use crate::exec_threads::{ThreadReport, LINK_DEPTH};
 use crate::plan2d::WavefrontPlan2D;
+use crate::service::pool::WorkerPool;
 use crate::telemetry::{
     BlockEvent, Collector, EngineKind, MessageEvent, RunMeta, TimeUnit, WaitEvent,
 };
@@ -26,7 +28,7 @@ use crate::telemetry::{
 /// upstream neighbours' tile `t` (each a boundary-face message). Edges
 /// touching a cell that owns no data degrade to pure ordering edges,
 /// matching the threaded engine (which excludes such cells).
-pub fn plan2d_dag<const R: usize>(plan: &WavefrontPlan2D<R>) -> Vec<SimTask> {
+pub(crate) fn plan2d_dag<const R: usize>(plan: &WavefrontPlan2D<R>) -> Vec<SimTask> {
     let coords = plan.mesh_in_wave_order();
     let nt = plan.tiles.len();
     let index: HashMap<[usize; 2], usize> =
@@ -37,7 +39,10 @@ pub fn plan2d_dag<const R: usize>(plan: &WavefrontPlan2D<R>) -> Vec<SimTask> {
         for (t, tile) in plan.tiles.iter().enumerate() {
             let mut deps = Vec::new();
             if t > 0 {
-                deps.push(Dep { task: ci * nt + (t - 1), elems: 0 });
+                deps.push(Dep {
+                    task: ci * nt + (t - 1),
+                    elems: 0,
+                });
             }
             for axis in 0..2 {
                 if let Some(u) = plan.upstream(c, axis) {
@@ -49,7 +54,10 @@ pub fn plan2d_dag<const R: usize>(plan: &WavefrontPlan2D<R>) -> Vec<SimTask> {
                     } else {
                         plan.msg_elems(plan.owned(u), tile, axis)
                     };
-                    deps.push(Dep { task: index[&u] * nt + t, elems });
+                    deps.push(Dep {
+                        task: index[&u] * nt + t,
+                        elems,
+                    });
                 }
             }
             tasks.push(SimTask {
@@ -115,7 +123,7 @@ impl SimObserver for MeshAdapter<'_> {
 
 /// Simulate a 2-D mesh plan, reporting telemetry to `collector`. With a
 /// disabled collector this is a plain cost simulation of the mesh DAG.
-pub fn simulate_plan2d_collected<const R: usize>(
+pub(crate) fn simulate_plan2d_collected<const R: usize>(
     plan: &WavefrontPlan2D<R>,
     params: &MachineParams,
     collector: &mut dyn Collector,
@@ -138,7 +146,11 @@ pub fn simulate_plan2d_collected<const R: usize>(
     collector.begin(&RunMeta {
         engine: EngineKind::Sim,
         procs,
-        active: plan.active_cells().iter().map(|&c| plan.rank_of(c)).collect(),
+        active: plan
+            .active_cells()
+            .iter()
+            .map(|&c| plan.rank_of(c))
+            .collect(),
         tiles: nt,
         block: plan.block,
         pipelined: plan.is_pipelined(),
@@ -146,7 +158,12 @@ pub fn simulate_plan2d_collected<const R: usize>(
         time_unit: TimeUnit::ModelUnits,
         predicted: plan.predicted_traffic(),
     });
-    let mut adapter = MeshAdapter { collector, proc_map, elems, nt };
+    let mut adapter = MeshAdapter {
+        collector,
+        proc_map,
+        elems,
+        nt,
+    };
     let result = simulate_observed(&tasks, params, procs, CommMode::Blocking, &mut adapter);
     adapter.collector.end(result.makespan);
     result
@@ -156,7 +173,8 @@ pub fn simulate_plan2d_collected<const R: usize>(
 /// the semantic reference for the threaded engine — reporting telemetry
 /// to `collector`: one block event per (cell, tile), timed on the wall
 /// clock. No messages — the sequential engine shares one store.
-pub fn execute_plan2d_sequential_collected<const R: usize>(
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn execute_plan2d_sequential_collected<const R: usize>(
     nest: &CompiledNest<R>,
     plan: &WavefrontPlan2D<R>,
     store: &mut Store<R>,
@@ -168,15 +186,28 @@ pub fn execute_plan2d_sequential_collected<const R: usize>(
 /// [`execute_plan2d_sequential_collected`] with explicit options:
 /// `kernels` selects compiled tile kernels (`true`, the default) or
 /// forces the reference interpreter (`false`).
-pub fn execute_plan2d_sequential_collected_opts<const R: usize>(
+pub(crate) fn execute_plan2d_sequential_collected_opts<const R: usize>(
     nest: &CompiledNest<R>,
     plan: &WavefrontPlan2D<R>,
     store: &mut Store<R>,
     collector: &mut dyn Collector,
     kernels: bool,
 ) {
-    debug_assert!(nest.buffered.is_empty());
     let runner = NestRunner::with_mode(nest, kernels);
+    execute_plan2d_sequential_prepared(nest, plan, &runner, store, collector);
+}
+
+/// [`execute_plan2d_sequential_collected_opts`] with a caller-provided
+/// (possibly cached) nest runner, so warm service jobs skip the kernel
+/// lowering.
+pub(crate) fn execute_plan2d_sequential_prepared<const R: usize>(
+    nest: &CompiledNest<R>,
+    plan: &WavefrontPlan2D<R>,
+    runner: &NestRunner<R>,
+    store: &mut Store<R>,
+    collector: &mut dyn Collector,
+) {
+    debug_assert!(nest.buffered.is_empty());
     let bound = runner.bind(store, &plan.order);
     if !collector.enabled() {
         for c in plan.mesh_in_wave_order() {
@@ -229,16 +260,17 @@ pub fn execute_plan2d_sequential_collected_opts<const R: usize>(
 }
 
 /// Per-run worker setup that is identical for every mesh cell, computed
-/// once before any thread is spawned instead of per worker: which arrays
-/// the nest touches, which it writes, and the (possibly compiled) nest
-/// runner.
-struct MeshPrep<const R: usize> {
+/// once before any task is dispatched instead of per worker: which
+/// arrays the nest touches, which it writes, and the (possibly compiled)
+/// nest runner. The service caches this alongside the plan, so warm
+/// jobs skip the kernel lowering entirely.
+pub(crate) struct MeshPrep<const R: usize> {
     referenced: Vec<bool>,
     written: Vec<ArrayId>,
-    runner: NestRunner<R>,
+    pub(crate) runner: NestRunner<R>,
 }
 
-fn prepare2d<const R: usize>(
+pub(crate) fn prepare2d<const R: usize>(
     program: &Program<R>,
     nest: &CompiledNest<R>,
     kernels: bool,
@@ -253,7 +285,11 @@ fn prepare2d<const R: usize>(
     let mut written: Vec<ArrayId> = nest.stmts.iter().map(|s| s.lhs).collect();
     written.sort_unstable();
     written.dedup();
-    MeshPrep { referenced, written, runner: NestRunner::with_mode(nest, kernels) }
+    MeshPrep {
+        referenced,
+        written,
+        runner: NestRunner::with_mode(nest, kernels),
+    }
 }
 
 fn build_local<const R: usize>(
@@ -328,9 +364,23 @@ fn decode<const R: usize>(
 /// seconds since the run's epoch (see `exec_threads` for the replay
 /// strategy).
 enum WorkerEv2 {
-    Block { tile: usize, start: f64, end: f64, elems: usize },
-    Sent { axis: usize, tile: usize, elems: usize, at: f64 },
-    Recv { axis: usize, wait_start: f64, at: f64 },
+    Block {
+        tile: usize,
+        start: f64,
+        end: f64,
+        elems: usize,
+    },
+    Sent {
+        axis: usize,
+        tile: usize,
+        elems: usize,
+        at: f64,
+    },
+    Recv {
+        axis: usize,
+        wait_start: f64,
+        at: f64,
+    },
 }
 
 /// Execute the plan with one thread per active mesh cell, passing
@@ -339,7 +389,8 @@ enum WorkerEv2 {
 /// sequential executor. Workers buffer events locally and the stream is
 /// replayed after the join; a disabled collector adds no work to the
 /// workers.
-pub fn execute_plan2d_threaded_collected<const R: usize>(
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn execute_plan2d_threaded_collected<const R: usize>(
     program: &Program<R>,
     nest: &CompiledNest<R>,
     plan: &WavefrontPlan2D<R>,
@@ -351,14 +402,53 @@ pub fn execute_plan2d_threaded_collected<const R: usize>(
 
 /// [`execute_plan2d_threaded_collected`] with explicit options:
 /// `kernels` selects compiled tile kernels (`true`, the default) or
-/// forces the reference interpreter (`false`).
-pub fn execute_plan2d_threaded_collected_opts<const R: usize>(
+/// forces the reference interpreter (`false`). Spins up a throwaway
+/// worker pool; repeated runs should go through
+/// [`crate::service::WavefrontService`] instead.
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn execute_plan2d_threaded_collected_opts<const R: usize>(
     program: &Program<R>,
     nest: &CompiledNest<R>,
     plan: &WavefrontPlan2D<R>,
     store: &mut Store<R>,
     collector: &mut dyn Collector,
     kernels: bool,
+) -> ThreadReport {
+    let workers = WorkerPool::new();
+    execute_plan2d_threaded_pooled_opts(&workers, program, nest, plan, store, collector, kernels)
+}
+
+/// [`execute_plan2d_threaded_collected_opts`] on a caller-provided
+/// worker pool: the nest/plan are cloned into `Arc`s and the kernel prep
+/// is built fresh. The adaptive tuner uses this to share one pool across
+/// its probe and remainder phases.
+pub(crate) fn execute_plan2d_threaded_pooled_opts<const R: usize>(
+    workers: &WorkerPool,
+    program: &Program<R>,
+    nest: &CompiledNest<R>,
+    plan: &WavefrontPlan2D<R>,
+    store: &mut Store<R>,
+    collector: &mut dyn Collector,
+    kernels: bool,
+) -> ThreadReport {
+    let nest = Arc::new(nest.clone());
+    let plan = Arc::new(plan.clone());
+    let prep = Arc::new(prepare2d(program, &nest, kernels));
+    execute_prepared2d_threaded(workers, program, &nest, &plan, &prep, store, collector)
+}
+
+/// The 2-D threaded engine core: one pool task per active mesh cell,
+/// joined through a result channel exactly like the 1-D core (see
+/// `exec_threads::execute_prepared_threaded` for the dispatch, panic
+/// cascade, and telemetry-replay strategy).
+pub(crate) fn execute_prepared2d_threaded<const R: usize>(
+    workers: &WorkerPool,
+    program: &Program<R>,
+    nest: &Arc<CompiledNest<R>>,
+    plan: &Arc<WavefrontPlan2D<R>>,
+    prep: &Arc<MeshPrep<R>>,
+    store: &mut Store<R>,
+    collector: &mut dyn Collector,
 ) -> ThreadReport {
     assert!(nest.buffered.is_empty());
     let enabled = collector.enabled();
@@ -387,11 +477,18 @@ pub fn execute_plan2d_threaded_collected_opts<const R: usize>(
         };
     }
     let active: std::collections::HashSet<[usize; 2]> = coords.iter().copied().collect();
-    let prep = prepare2d(program, nest, kernels);
 
     let mut locals: Vec<Store<R>> = coords
         .iter()
-        .map(|&c| build_local(program, &prep.referenced, store, plan.owned(c), &plan.margins))
+        .map(|&c| {
+            build_local(
+                program,
+                &prep.referenced,
+                store,
+                plan.owned(c),
+                &plan.margins,
+            )
+        })
         .collect();
 
     // Channels keyed by (receiver, axis); each key has exactly one
@@ -422,120 +519,132 @@ pub fn execute_plan2d_threaded_collected_opts<const R: usize>(
         }
     }
 
+    // Every active cell must run concurrently (the cells rendezvous
+    // through bounded channels), so size the pool first.
+    workers.ensure_workers(coords.len());
+
     let mut message_count = 0usize;
     let mut buffer_allocs = 0usize;
-    let mut events: Vec<Vec<WorkerEv2>> = Vec::new();
+    let ncells = coords.len();
+    let (res_tx, res_rx) = channel::<(usize, Store<R>, usize, usize, Vec<WorkerEv2>)>();
     let epoch = Instant::now();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(coords.len());
-        for (&c, mut local) in coords.iter().zip(locals.drain(..)) {
-            // This cell's receive ends and send ends.
-            let rx: Vec<Option<Receiver<Vec<f64>>>> =
-                (0..2).map(|axis| receivers.remove(&(c, axis))).collect();
-            let ret: Vec<Option<Sender<Vec<f64>>>> =
-                (0..2).map(|axis| ret_senders.remove(&(c, axis))).collect();
-            let tx: Vec<Option<SyncSender<Vec<f64>>>> = (0..2)
-                .map(|axis| {
-                    plan.downstream(c, axis)
-                        .filter(|d| active.contains(d))
-                        .and_then(|d| senders.remove(&(d, axis)))
-                })
-                .collect();
-            let pool: Vec<Option<Receiver<Vec<f64>>>> = (0..2)
-                .map(|axis| {
-                    plan.downstream(c, axis)
-                        .filter(|d| active.contains(d))
-                        .and_then(|d| pools.remove(&(d, axis)))
-                })
-                .collect();
-            let upstream_owned: Vec<Option<Region<R>>> = (0..2)
-                .map(|axis| {
-                    plan.upstream(c, axis)
-                        .filter(|u| active.contains(u))
-                        .map(|u| plan.owned(u))
-                })
-                .collect();
-            let owned = plan.owned(c);
-            let plan = &*plan;
-            let nest = &*nest;
-            let runner = &prep.runner;
-            handles.push(scope.spawn(move || {
-                let bound = runner.bind(&local, &plan.order);
-                let mut sent = 0usize;
-                let mut fresh = 0usize;
-                let mut evs: Vec<WorkerEv2> = Vec::new();
-                for (ti, tile) in plan.tiles.iter().enumerate() {
-                    for axis in 0..2 {
-                        if let (Some(rx), Some(up)) = (&rx[axis], upstream_owned[axis]) {
-                            let wait_start =
-                                enabled.then(|| epoch.elapsed().as_secs_f64());
-                            let data = rx.recv().expect("2-D upstream hung up");
-                            if let Some(ws) = wait_start {
-                                evs.push(WorkerEv2::Recv {
-                                    axis,
-                                    wait_start: ws,
-                                    at: epoch.elapsed().as_secs_f64(),
-                                });
-                            }
-                            decode(plan, &mut local, up, tile, axis, &data);
-                            if let Some(ret) = &ret[axis] {
-                                // Upstream may already be done; a dead
-                                // recycle channel just means the buffer
-                                // is dropped.
-                                let _ = ret.send(data);
-                            }
-                        }
-                    }
-                    let sub = owned.intersect(tile);
-                    if !sub.is_empty() {
-                        let t0 = enabled.then(|| epoch.elapsed().as_secs_f64());
-                        runner.run_tile(nest, bound.as_ref(), sub, &plan.order, &mut local);
-                        if let Some(t0) = t0 {
-                            evs.push(WorkerEv2::Block {
-                                tile: ti,
-                                start: t0,
-                                end: epoch.elapsed().as_secs_f64(),
-                                elems: sub.len(),
+    for (i, (&c, mut local)) in coords.iter().zip(locals.drain(..)).enumerate() {
+        // This cell's receive ends and send ends.
+        let rx: Vec<Option<Receiver<Vec<f64>>>> =
+            (0..2).map(|axis| receivers.remove(&(c, axis))).collect();
+        let ret: Vec<Option<Sender<Vec<f64>>>> =
+            (0..2).map(|axis| ret_senders.remove(&(c, axis))).collect();
+        let tx: Vec<Option<SyncSender<Vec<f64>>>> = (0..2)
+            .map(|axis| {
+                plan.downstream(c, axis)
+                    .filter(|d| active.contains(d))
+                    .and_then(|d| senders.remove(&(d, axis)))
+            })
+            .collect();
+        let pool: Vec<Option<Receiver<Vec<f64>>>> = (0..2)
+            .map(|axis| {
+                plan.downstream(c, axis)
+                    .filter(|d| active.contains(d))
+                    .and_then(|d| pools.remove(&(d, axis)))
+            })
+            .collect();
+        let upstream_owned: Vec<Option<Region<R>>> = (0..2)
+            .map(|axis| {
+                plan.upstream(c, axis)
+                    .filter(|u| active.contains(u))
+                    .map(|u| plan.owned(u))
+            })
+            .collect();
+        let owned = plan.owned(c);
+        let plan = Arc::clone(plan);
+        let nest = Arc::clone(nest);
+        let prep = Arc::clone(prep);
+        let res_tx = res_tx.clone();
+        workers.execute(Box::new(move || {
+            let bound = prep.runner.bind(&local, &plan.order);
+            let mut sent = 0usize;
+            let mut fresh = 0usize;
+            let mut evs: Vec<WorkerEv2> = Vec::new();
+            for (ti, tile) in plan.tiles.iter().enumerate() {
+                for axis in 0..2 {
+                    if let (Some(rx), Some(up)) = (&rx[axis], upstream_owned[axis]) {
+                        let wait_start = enabled.then(|| epoch.elapsed().as_secs_f64());
+                        let data = rx.recv().expect("2-D upstream hung up");
+                        if let Some(ws) = wait_start {
+                            evs.push(WorkerEv2::Recv {
+                                axis,
+                                wait_start: ws,
+                                at: epoch.elapsed().as_secs_f64(),
                             });
                         }
-                    }
-                    for axis in 0..2 {
-                        if let Some(tx) = &tx[axis] {
-                            let mut data = pool[axis]
-                                .as_ref()
-                                .and_then(|p| p.try_recv().ok())
-                                .unwrap_or_else(|| {
-                                    fresh += 1;
-                                    Vec::new()
-                                });
-                            encode_into(plan, &local, owned, tile, axis, &mut data);
-                            if enabled {
-                                evs.push(WorkerEv2::Sent {
-                                    axis,
-                                    tile: ti,
-                                    elems: data.len(),
-                                    at: epoch.elapsed().as_secs_f64(),
-                                });
-                            }
-                            tx.send(data).expect("2-D downstream hung up");
-                            sent += 1;
+                        decode(&plan, &mut local, up, tile, axis, &data);
+                        if let Some(ret) = &ret[axis] {
+                            // Upstream may already be done; a dead
+                            // recycle channel just means the buffer
+                            // is dropped.
+                            let _ = ret.send(data);
                         }
                     }
                 }
-                (local, sent, fresh, evs)
-            }));
-        }
-        locals = handles
-            .into_iter()
-            .map(|h| {
-                let (local, sent, fresh, evs) = h.join().expect("2-D worker panicked");
-                message_count += sent;
-                buffer_allocs += fresh;
-                events.push(evs);
-                local
-            })
-            .collect();
-    });
+                let sub = owned.intersect(tile);
+                if !sub.is_empty() {
+                    let t0 = enabled.then(|| epoch.elapsed().as_secs_f64());
+                    prep.runner
+                        .run_tile(&nest, bound.as_ref(), sub, &plan.order, &mut local);
+                    if let Some(t0) = t0 {
+                        evs.push(WorkerEv2::Block {
+                            tile: ti,
+                            start: t0,
+                            end: epoch.elapsed().as_secs_f64(),
+                            elems: sub.len(),
+                        });
+                    }
+                }
+                for axis in 0..2 {
+                    if let Some(tx) = &tx[axis] {
+                        let mut data = pool[axis]
+                            .as_ref()
+                            .and_then(|p| p.try_recv().ok())
+                            .unwrap_or_else(|| {
+                                fresh += 1;
+                                Vec::new()
+                            });
+                        encode_into(&plan, &local, owned, tile, axis, &mut data);
+                        if enabled {
+                            evs.push(WorkerEv2::Sent {
+                                axis,
+                                tile: ti,
+                                elems: data.len(),
+                                at: epoch.elapsed().as_secs_f64(),
+                            });
+                        }
+                        tx.send(data).expect("2-D downstream hung up");
+                        sent += 1;
+                    }
+                }
+            }
+            let _ = res_tx.send((i, local, sent, fresh, evs));
+        }));
+    }
+    drop(res_tx);
+    // Join barrier: one result per cell; a dropped sender before all
+    // arrive means a worker died (see the 1-D core).
+    let mut slots: Vec<Option<(Store<R>, Vec<WorkerEv2>)>> = (0..ncells).map(|_| None).collect();
+    for _ in 0..ncells {
+        let (i, local, sent, fresh, evs) = res_rx.recv().expect("2-D worker panicked");
+        message_count += sent;
+        buffer_allocs += fresh;
+        slots[i] = Some((local, evs));
+    }
+    let mut events: Vec<Vec<WorkerEv2>> = Vec::with_capacity(ncells);
+    locals = slots
+        .into_iter()
+        .map(|s| {
+            let (local, evs) = s.expect("every cell reports exactly once");
+            events.push(evs);
+            local
+        })
+        .collect();
     let elapsed = epoch.elapsed();
 
     if enabled {
@@ -548,7 +657,11 @@ pub fn execute_plan2d_threaded_collected_opts<const R: usize>(
             store.get_mut(id).copy_region_from(local.get(id), owned);
         }
     }
-    ThreadReport { elapsed, messages: message_count, buffer_allocs }
+    ThreadReport {
+        elapsed,
+        messages: message_count,
+        buffer_allocs,
+    }
 }
 
 /// Replay buffered 2-D worker events: blocks and waits directly,
@@ -561,17 +674,31 @@ fn replay2d<const R: usize>(
     events: &[Vec<WorkerEv2>],
     makespan: f64,
 ) {
-    let pos: HashMap<[usize; 2], usize> =
-        coords.iter().enumerate().map(|(i, c)| (*c, i)).collect();
+    let pos: HashMap<[usize; 2], usize> = coords.iter().enumerate().map(|(i, c)| (*c, i)).collect();
     for (i, evs) in events.iter().enumerate() {
         let rank = plan.rank_of(coords[i]);
         for ev in evs {
             match *ev {
-                WorkerEv2::Block { tile, start, end, elems } => {
-                    collector.block(BlockEvent { proc: rank, tile, start, end, elems });
+                WorkerEv2::Block {
+                    tile,
+                    start,
+                    end,
+                    elems,
+                } => {
+                    collector.block(BlockEvent {
+                        proc: rank,
+                        tile,
+                        start,
+                        end,
+                        elems,
+                    });
                 }
                 WorkerEv2::Recv { wait_start, at, .. } => {
-                    collector.wait(WaitEvent { proc: rank, start: wait_start, end: at });
+                    collector.wait(WaitEvent {
+                        proc: rank,
+                        start: wait_start,
+                        end: at,
+                    });
                 }
                 WorkerEv2::Sent { .. } => {}
             }
@@ -583,9 +710,12 @@ fn replay2d<const R: usize>(
                 continue;
             };
             let sends = events[i].iter().filter_map(|e| match *e {
-                WorkerEv2::Sent { axis: a, tile, elems, at } if a == axis => {
-                    Some((tile, elems, at))
-                }
+                WorkerEv2::Sent {
+                    axis: a,
+                    tile,
+                    elems,
+                    at,
+                } if a == axis => Some((tile, elems, at)),
                 _ => None,
             });
             let recvs = events[pos[&d]].iter().filter_map(|e| match *e {
@@ -612,8 +742,8 @@ mod tests {
     use super::*;
     use crate::plan2d::tests::sweep_nest;
     use crate::schedule::BlockPolicy;
-    use wavefront_core::exec::run_nest_with_sink;
     use crate::telemetry::NoopCollector;
+    use wavefront_core::exec::run_nest_with_sink;
     use wavefront_core::index::Point;
     use wavefront_core::prelude::Expr;
     use wavefront_core::trace::NoSink;
@@ -639,14 +769,9 @@ mod tests {
         let mut reference = init_sweep(&program);
         run_nest_with_sink(&nest, &mut reference, &mut NoSink);
         for (p1, p2, b) in [(1usize, 1usize, 3usize), (2, 2, 2), (3, 2, 4), (2, 4, 12)] {
-            let plan = WavefrontPlan2D::build(
-                &nest,
-                [p1, p2],
-                None,
-                &BlockPolicy::Fixed(b),
-                &t3e(),
-            )
-            .unwrap();
+            let plan =
+                WavefrontPlan2D::build(&nest, [p1, p2], None, &BlockPolicy::Fixed(b), &t3e())
+                    .unwrap();
             let mut store = init_sweep(&program);
             execute_plan2d_sequential_collected(&nest, &plan, &mut store, &mut NoopCollector);
             for id in 0..store.len() {
@@ -664,16 +789,17 @@ mod tests {
         let mut reference = init_sweep(&program);
         run_nest_with_sink(&nest, &mut reference, &mut NoSink);
         for (p1, p2, b) in [(2usize, 2usize, 3usize), (3, 2, 2), (2, 3, 12), (4, 4, 1)] {
-            let plan = WavefrontPlan2D::build(
-                &nest,
-                [p1, p2],
-                None,
-                &BlockPolicy::Fixed(b),
-                &t3e(),
-            )
-            .unwrap();
+            let plan =
+                WavefrontPlan2D::build(&nest, [p1, p2], None, &BlockPolicy::Fixed(b), &t3e())
+                    .unwrap();
             let mut store = init_sweep(&program);
-            let report = execute_plan2d_threaded_collected(&program, &nest, &plan, &mut store, &mut NoopCollector);
+            let report = execute_plan2d_threaded_collected(
+                &program,
+                &nest,
+                &plan,
+                &mut store,
+                &mut NoopCollector,
+            );
             for id in 0..store.len() {
                 assert!(
                     store.get(id).region_eq(reference.get(id), nest.region),
@@ -693,8 +819,7 @@ mod tests {
         // count. 4 links exist (two per axis).
         let (program, nest) = sweep_nest(48);
         let plan =
-            WavefrontPlan2D::build(&nest, [2, 2], None, &BlockPolicy::Fixed(1), &t3e())
-                .unwrap();
+            WavefrontPlan2D::build(&nest, [2, 2], None, &BlockPolicy::Fixed(1), &t3e()).unwrap();
         let mut store = init_sweep(&program);
         let report = execute_plan2d_threaded_collected(
             &program,
@@ -718,8 +843,7 @@ mod tests {
         let mut reference = init_sweep(&program);
         run_nest_with_sink(&nest, &mut reference, &mut NoSink);
         let plan =
-            WavefrontPlan2D::build(&nest, [2, 3], None, &BlockPolicy::Fixed(3), &t3e())
-                .unwrap();
+            WavefrontPlan2D::build(&nest, [2, 3], None, &BlockPolicy::Fixed(3), &t3e()).unwrap();
         let mut store = init_sweep(&program);
         execute_plan2d_threaded_collected_opts(
             &program,
@@ -778,11 +902,10 @@ mod tests {
     fn simulated_2d_pipelining_beats_naive() {
         let (_program, nest) = sweep_nest(33);
         let params = t3e();
-        let pipe = WavefrontPlan2D::build(&nest, [4, 4], None, &BlockPolicy::Model2, &params)
+        let pipe =
+            WavefrontPlan2D::build(&nest, [4, 4], None, &BlockPolicy::Model2, &params).unwrap();
+        let naive = WavefrontPlan2D::build(&nest, [4, 4], None, &BlockPolicy::FullPortion, &params)
             .unwrap();
-        let naive =
-            WavefrontPlan2D::build(&nest, [4, 4], None, &BlockPolicy::FullPortion, &params)
-                .unwrap();
         let t_pipe = simulate(&plan2d_dag(&pipe), &params, 16).makespan;
         let t_naive = simulate(&plan2d_dag(&naive), &params, 16).makespan;
         assert!(
@@ -791,10 +914,12 @@ mod tests {
         );
         // And it must scale: one big mesh beats one cell.
         let single =
-            WavefrontPlan2D::build(&nest, [1, 1], None, &BlockPolicy::Model2, &params)
-                .unwrap();
+            WavefrontPlan2D::build(&nest, [1, 1], None, &BlockPolicy::Model2, &params).unwrap();
         let t_single = simulate(&plan2d_dag(&single), &params, 1).makespan;
-        assert!(t_pipe < t_single / 4.0, "mesh {t_pipe} vs single {t_single}");
+        assert!(
+            t_pipe < t_single / 4.0,
+            "mesh {t_pipe} vs single {t_single}"
+        );
     }
 
     #[test]
@@ -802,14 +927,8 @@ mod tests {
         let (program, nest) = sweep_nest(7);
         let mut reference = init_sweep(&program);
         run_nest_with_sink(&nest, &mut reference, &mut NoSink);
-        let plan = WavefrontPlan2D::build(
-            &nest,
-            [9, 9],
-            None,
-            &BlockPolicy::Fixed(2),
-            &t3e(),
-        )
-        .unwrap();
+        let plan =
+            WavefrontPlan2D::build(&nest, [9, 9], None, &BlockPolicy::Fixed(2), &t3e()).unwrap();
         let mut store = init_sweep(&program);
         execute_plan2d_threaded_collected(&program, &nest, &plan, &mut store, &mut NoopCollector);
         let flux = 0;

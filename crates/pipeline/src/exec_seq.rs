@@ -25,19 +25,9 @@ use crate::telemetry::{BlockEvent, Collector, EngineKind, Prediction, RunMeta, T
 /// no boundary messages, so its predicted traffic is zero by
 /// construction (the decomposition's traffic prediction belongs to the
 /// simulator and the threaded engine).
-pub fn execute_plan_sequential_collected<const R: usize>(
-    nest: &CompiledNest<R>,
-    plan: &WavefrontPlan<R>,
-    store: &mut Store<R>,
-    collector: &mut dyn Collector,
-) {
-    execute_plan_sequential_collected_opts(nest, plan, store, collector, true);
-}
-
-/// [`execute_plan_sequential_collected`] with explicit options:
 /// `kernels` selects compiled tile kernels (`true`, the default) or
 /// forces the reference interpreter (`false`).
-pub fn execute_plan_sequential_collected_opts<const R: usize>(
+pub(crate) fn execute_plan_sequential_collected_opts<const R: usize>(
     nest: &CompiledNest<R>,
     plan: &WavefrontPlan<R>,
     store: &mut Store<R>,
@@ -45,6 +35,19 @@ pub fn execute_plan_sequential_collected_opts<const R: usize>(
     kernels: bool,
 ) {
     let runner = NestRunner::with_mode(nest, kernels);
+    execute_plan_sequential_prepared(nest, plan, &runner, store, collector);
+}
+
+/// [`execute_plan_sequential_collected_opts`] with a caller-provided
+/// (possibly cached) nest runner, so warm service jobs skip the kernel
+/// lowering.
+pub(crate) fn execute_plan_sequential_prepared<const R: usize>(
+    nest: &CompiledNest<R>,
+    plan: &WavefrontPlan<R>,
+    runner: &NestRunner<R>,
+    store: &mut Store<R>,
+    collector: &mut dyn Collector,
+) {
     let bound = runner.bind(store, &plan.order);
     if !collector.enabled() {
         for rank in plan.ranks_in_wave_order() {
@@ -98,7 +101,8 @@ pub fn execute_plan_sequential_collected_opts<const R: usize>(
 
 /// [`execute_plan_sequential_collected`] with an access sink instead of
 /// a collector (and no timing).
-pub fn execute_plan_sequential_with_sink<const R: usize, S: AccessSink>(
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn execute_plan_sequential_with_sink<const R: usize, S: AccessSink>(
     nest: &CompiledNest<R>,
     plan: &WavefrontPlan<R>,
     store: &mut Store<R>,
@@ -156,8 +160,7 @@ mod tests {
         for p in [1usize, 2, 3, 5, 8] {
             for b in [1usize, 3, 7, 16, 64] {
                 let plan =
-                    WavefrontPlan::build(&nest, p, None, &BlockPolicy::Fixed(b), &t3e())
-                        .unwrap();
+                    WavefrontPlan::build(&nest, p, None, &BlockPolicy::Fixed(b), &t3e()).unwrap();
                 let mut store = init_tomcatv(&program);
                 execute_plan_sequential_with_sink(&nest, &plan, &mut store, &mut NoSink);
                 for id in 0..store.len() {
@@ -190,8 +193,7 @@ mod tests {
         run_nest_with_sink(nest, &mut reference, &mut NoSink);
 
         for (p, b) in [(2usize, 4usize), (4, 3), (3, 20)] {
-            let plan =
-                WavefrontPlan::build(nest, p, None, &BlockPolicy::Fixed(b), &t3e()).unwrap();
+            let plan = WavefrontPlan::build(nest, p, None, &BlockPolicy::Fixed(b), &t3e()).unwrap();
             let mut store = Store::new(&prog);
             init(&mut store);
             execute_plan_sequential_with_sink(nest, &plan, &mut store, &mut NoSink);
@@ -208,8 +210,7 @@ mod tests {
         let (program, nest) = tomcatv_nest(n);
         let mut reference = init_tomcatv(&program);
         run_nest_with_sink(&nest, &mut reference, &mut NoSink);
-        let plan =
-            WavefrontPlan::build(&nest, 16, None, &BlockPolicy::Fixed(2), &t3e()).unwrap();
+        let plan = WavefrontPlan::build(&nest, 16, None, &BlockPolicy::Fixed(2), &t3e()).unwrap();
         let mut store = init_tomcatv(&program);
         execute_plan_sequential_with_sink(&nest, &plan, &mut store, &mut NoSink);
         for id in 0..store.len() {

@@ -28,7 +28,7 @@ use crate::telemetry::{
 /// region); edges touching a rank that owns no data degrade to pure
 /// ordering edges, since such ranks neither compute nor relay in the
 /// real runtimes.
-pub fn plan_dag<const R: usize>(plan: &WavefrontPlan<R>) -> Vec<SimTask> {
+pub(crate) fn plan_dag<const R: usize>(plan: &WavefrontPlan<R>) -> Vec<SimTask> {
     let ranks = plan.ranks_in_wave_order();
     let nt = plan.tiles.len();
     let mut tasks = Vec::with_capacity(ranks.len() * nt);
@@ -38,7 +38,10 @@ pub fn plan_dag<const R: usize>(plan: &WavefrontPlan<R>) -> Vec<SimTask> {
             let sub = owned.intersect(tile);
             let mut deps = Vec::new();
             if j > 0 {
-                deps.push(Dep { task: i * nt + (j - 1), elems: 0 });
+                deps.push(Dep {
+                    task: i * nt + (j - 1),
+                    elems: 0,
+                });
             }
             if i > 0 {
                 let up_owned = plan.dist.owned(ranks[i - 1]);
@@ -47,12 +50,19 @@ pub fn plan_dag<const R: usize>(plan: &WavefrontPlan<R>) -> Vec<SimTask> {
                 } else {
                     plan.msg_elems_from(up_owned, tile)
                 };
-                deps.push(Dep { task: (i - 1) * nt + j, elems });
+                deps.push(Dep {
+                    task: (i - 1) * nt + j,
+                    elems,
+                });
             }
             // The task runs on the actual grid rank (not the wave-order
             // position), so processor identities line up across stages
             // when plans with different wave directions are fused.
-            tasks.push(SimTask { proc: rank, cost: sub.len() as f64 * plan.work, deps });
+            tasks.push(SimTask {
+                proc: rank,
+                cost: sub.len() as f64 * plan.work,
+                deps,
+            });
         }
     }
     tasks
@@ -73,7 +83,11 @@ impl SimObserver for DagAdapter<'_> {
     fn task(&mut self, idx: usize, proc: usize, ready: f64, start: f64, finish: f64, recv: f64) {
         let wait = start - ready - recv;
         if wait > 1e-12 {
-            self.collector.wait(WaitEvent { proc, start: ready, end: ready + wait });
+            self.collector.wait(WaitEvent {
+                proc,
+                start: ready,
+                end: ready + wait,
+            });
         }
         if self.elems[idx] > 0 {
             self.collector.block(BlockEvent {
@@ -110,7 +124,7 @@ impl SimObserver for DagAdapter<'_> {
 /// in the machine model's normalized element-time units. With a
 /// disabled collector this is a plain cost simulation of the plan's
 /// task DAG.
-pub fn simulate_plan_collected<const R: usize>(
+pub(crate) fn simulate_plan_collected<const R: usize>(
     plan: &WavefrontPlan<R>,
     params: &MachineParams,
     collector: &mut dyn Collector,
@@ -139,7 +153,11 @@ pub fn simulate_plan_collected<const R: usize>(
         time_unit: TimeUnit::ModelUnits,
         predicted: plan.predicted_traffic(),
     });
-    let mut adapter = DagAdapter { collector, elems, nt };
+    let mut adapter = DagAdapter {
+        collector,
+        elems,
+        nt,
+    };
     let result = simulate_observed(&tasks, params, plan.p, CommMode::Blocking, &mut adapter);
     collector.end(result.makespan);
     result
@@ -165,7 +183,7 @@ pub struct NestSim {
 /// under `policy`; everything else runs fully parallel with a single
 /// ghost-exchange round when some read shift crosses the distributed
 /// dimension.
-pub fn simulate_nest<const R: usize>(
+pub(crate) fn simulate_nest<const R: usize>(
     nest: &CompiledNest<R>,
     p: usize,
     dist_dim: usize,
@@ -218,7 +236,7 @@ pub fn simulate_nest<const R: usize>(
 /// portion independently, after one ghost-exchange message per neighbour
 /// pair when any read shift has a component along the distributed
 /// dimension.
-pub fn simulate_parallel_nest<const R: usize>(
+pub(crate) fn simulate_parallel_nest<const R: usize>(
     nest: &CompiledNest<R>,
     p: usize,
     dist_dim: usize,
@@ -248,29 +266,40 @@ pub fn simulate_parallel_nest<const R: usize>(
         .filter(|&k| k != dist_dim)
         .map(|k| region.extent(k).max(0) as usize)
         .product();
-    let ghost_elems: usize = ghost_arrays
-        .iter()
-        .map(|(_, t)| cross * *t as usize)
-        .sum();
+    let ghost_elems: usize = ghost_arrays.iter().map(|(_, t)| cross * *t as usize).sum();
 
     // DAG: per processor a zero-cost "send" task, then a compute task
     // depending on the neighbours' sends.
     let mut tasks = Vec::with_capacity(2 * p);
     for i in 0..p {
-        tasks.push(SimTask { proc: i, cost: 0.0, deps: vec![] }); // send i
+        tasks.push(SimTask {
+            proc: i,
+            cost: 0.0,
+            deps: vec![],
+        }); // send i
     }
     for i in 0..p {
         let mut deps = Vec::new();
         if ghost_elems > 0 {
             if i > 0 {
-                deps.push(Dep { task: i - 1, elems: ghost_elems });
+                deps.push(Dep {
+                    task: i - 1,
+                    elems: ghost_elems,
+                });
             }
             if i + 1 < p {
-                deps.push(Dep { task: i + 1, elems: ghost_elems });
+                deps.push(Dep {
+                    task: i + 1,
+                    elems: ghost_elems,
+                });
             }
         }
         let owned = dist.owned(i);
-        tasks.push(SimTask { proc: i, cost: owned.len() as f64 * work, deps });
+        tasks.push(SimTask {
+            proc: i,
+            cost: owned.len() as f64 * work,
+            deps,
+        });
     }
     simulate(&tasks, params, p).makespan
 }
@@ -287,7 +316,7 @@ pub struct ProgramSim {
 }
 
 /// Simulate every nest of `compiled` and sum the times.
-pub fn simulate_program<const R: usize>(
+pub(crate) fn simulate_program<const R: usize>(
     _program: &Program<R>,
     compiled: &CompiledProgram<R>,
     p: usize,
@@ -328,7 +357,7 @@ pub fn simulate_program<const R: usize>(
 /// nearest-neighbour ghost margins — letting, e.g., a wavefront start on
 /// the rows its processor already finished in the previous stencil
 /// phase.
-pub fn simulate_program_fused<const R: usize>(
+pub(crate) fn simulate_program_fused<const R: usize>(
     compiled: &CompiledProgram<R>,
     p: usize,
     dist_dim: usize,
@@ -366,7 +395,10 @@ pub fn simulate_program_fused<const R: usize>(
             for g in gate {
                 if let Some(idx) = prev_last[g] {
                     if !t.deps.iter().any(|d| d.task == idx) {
-                        t.deps.push(Dep { task: idx, elems: 0 });
+                        t.deps.push(Dep {
+                            task: idx,
+                            elems: 0,
+                        });
                     }
                 }
             }
@@ -384,13 +416,8 @@ pub fn simulate_program_fused<const R: usize>(
         match op {
             wavefront_core::exec::CompiledOp::Block(b) => {
                 for nest in &b.nests {
-                    let stage = match WavefrontPlan::build(
-                        nest,
-                        p,
-                        Some(dist_dim),
-                        policy,
-                        params,
-                    ) {
+                    let stage = match WavefrontPlan::build(nest, p, Some(dist_dim), policy, params)
+                    {
                         Ok(plan) => plan_dag(&plan),
                         Err(_) => parallel_stage(nest, p, dist_dim),
                     };
@@ -406,7 +433,12 @@ pub fn simulate_program_fused<const R: usize>(
                 let stage: Vec<SimTask> = (0..p)
                     .map(|i| SimTask {
                         proc: i,
-                        cost: fold + if i == 0 { 2.0 * hops * params.msg_cost(1) } else { 0.0 },
+                        cost: fold
+                            + if i == 0 {
+                                2.0 * hops * params.msg_cost(1)
+                            } else {
+                                0.0
+                            },
                         deps: vec![],
                     })
                     .collect();
@@ -450,19 +482,33 @@ fn parallel_stage<const R: usize>(
     let ghost = if crosses > 0 { cross } else { 0 };
     // Senders then computers (send tasks are zero cost).
     let mut tasks: Vec<SimTask> = (0..p)
-        .map(|i| SimTask { proc: i, cost: 0.0, deps: vec![] })
+        .map(|i| SimTask {
+            proc: i,
+            cost: 0.0,
+            deps: vec![],
+        })
         .collect();
     for i in 0..p {
         let mut deps = Vec::new();
         if ghost > 0 {
             if i > 0 {
-                deps.push(Dep { task: i - 1, elems: ghost });
+                deps.push(Dep {
+                    task: i - 1,
+                    elems: ghost,
+                });
             }
             if i + 1 < p {
-                deps.push(Dep { task: i + 1, elems: ghost });
+                deps.push(Dep {
+                    task: i + 1,
+                    elems: ghost,
+                });
             }
         }
-        tasks.push(SimTask { proc: i, cost: dist.owned(i).len() as f64 * work, deps });
+        tasks.push(SimTask {
+            proc: i,
+            cost: dist.owned(i).len() as f64 * work,
+            deps,
+        });
     }
     tasks
 }
@@ -470,7 +516,7 @@ fn parallel_stage<const R: usize>(
 /// Simulate a reduction: the fold is perfectly parallel, then the partial
 /// results combine up a binary tree and the scalar broadcasts back down —
 /// `2·ceil(log2 p)` single-element messages on the critical path.
-pub fn simulate_reduce<const R: usize>(
+pub(crate) fn simulate_reduce<const R: usize>(
     red: &wavefront_core::program::Reduce<R>,
     p: usize,
     params: &MachineParams,
@@ -596,7 +642,10 @@ mod tests {
         let t_dear = simulate_parallel_nest(nest, p, 0, &dear);
         // Interior processors receive ghosts from both neighbours, each
         // occupying the processor for alpha + beta*64.
-        assert!((t_dear - t_free - 2.0 * (100.0 + 64.0)).abs() < 1e-9, "{t_dear} {t_free}");
+        assert!(
+            (t_dear - t_free - 2.0 * (100.0 + 64.0)).abs() < 1e-9,
+            "{t_dear} {t_free}"
+        );
     }
 
     #[test]
@@ -606,13 +655,7 @@ mod tests {
         let a = prog.array("a", bounds);
         prog.stmt(bounds, a, Expr::read(a) + Expr::lit(1.0));
         let compiled = compile(&prog).unwrap();
-        let sim = simulate_nest(
-            compiled.nest(0),
-            4,
-            0,
-            &BlockPolicy::Model2,
-            &t3e(),
-        );
+        let sim = simulate_nest(compiled.nest(0), 4, 0, &BlockPolicy::Model2, &t3e());
         assert!(!sim.wavefront);
         assert!(!sim.pipelined);
         assert!(sim.block.is_none());
@@ -681,7 +724,11 @@ mod fused_tests {
         // The barrier DAG and the per-nest sum agree within the ghost
         // messages' placement (both model the same execution).
         let ratio = fused / summed.total;
-        assert!((0.9..=1.1).contains(&ratio), "fused {fused} vs summed {}", summed.total);
+        assert!(
+            (0.9..=1.1).contains(&ratio),
+            "fused {fused} vs summed {}",
+            summed.total
+        );
     }
 
     #[test]
@@ -716,10 +763,8 @@ mod fused_tests {
         let compiled = compile(&prog).unwrap();
         let params = t3e();
         let p = 8;
-        let barrier =
-            simulate_program_fused(&compiled, p, 0, &BlockPolicy::Model2, &params, false);
-        let overlap =
-            simulate_program_fused(&compiled, p, 0, &BlockPolicy::Model2, &params, true);
+        let barrier = simulate_program_fused(&compiled, p, 0, &BlockPolicy::Model2, &params, false);
+        let overlap = simulate_program_fused(&compiled, p, 0, &BlockPolicy::Model2, &params, true);
         assert!(
             overlap < barrier * 0.93,
             "expected a >7% win from chasing sweeps, got {overlap} vs {barrier}"
@@ -734,12 +779,13 @@ mod fused_tests {
         let back = Region::rect([1, 1], [n - 1, n]);
         prog.stmt(back, b, Expr::read_primed_at(b, [1, 0]) + Expr::read(a));
         let compiled = compile(&prog).unwrap();
-        let barrier =
-            simulate_program_fused(&compiled, p, 0, &BlockPolicy::Model2, &params, false);
-        let overlap =
-            simulate_program_fused(&compiled, p, 0, &BlockPolicy::Model2, &params, true);
+        let barrier = simulate_program_fused(&compiled, p, 0, &BlockPolicy::Model2, &params, false);
+        let overlap = simulate_program_fused(&compiled, p, 0, &BlockPolicy::Model2, &params, true);
         let gain = barrier / overlap;
-        assert!(gain < 1.25, "anti-aligned sweeps should gain much less; got {gain}");
+        assert!(
+            gain < 1.25,
+            "anti-aligned sweeps should gain much less; got {gain}"
+        );
     }
 
     #[test]
@@ -753,7 +799,13 @@ mod fused_tests {
         let s = prog.array("s", Region::rect([0, 0], [0, 0]));
         let inner = Region::rect([1, 1], [n, n]);
         prog.stmt(inner, b, Expr::read(a) * Expr::lit(2.0));
-        prog.reduce(inner, ReduceOp::Max, Expr::read(b), s, Region::rect([0, 0], [0, 0]));
+        prog.reduce(
+            inner,
+            ReduceOp::Max,
+            Expr::read(b),
+            s,
+            Region::rect([0, 0], [0, 0]),
+        );
         prog.stmt(
             Region::rect([2, 1], [n, n]),
             a,
@@ -761,10 +813,8 @@ mod fused_tests {
         );
         let compiled = compile(&prog).unwrap();
         let params = t3e();
-        let overlap =
-            simulate_program_fused(&compiled, 4, 0, &BlockPolicy::Model2, &params, true);
-        let barrier =
-            simulate_program_fused(&compiled, 4, 0, &BlockPolicy::Model2, &params, false);
+        let overlap = simulate_program_fused(&compiled, 4, 0, &BlockPolicy::Model2, &params, true);
+        let barrier = simulate_program_fused(&compiled, 4, 0, &BlockPolicy::Model2, &params, false);
         // The reduction's broadcast keeps them close: overlap can only
         // win within the stencil→reduce edge.
         assert!(overlap <= barrier + 1e-9);

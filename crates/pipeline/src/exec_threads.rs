@@ -13,6 +13,7 @@
 //! by the benchmarks to demonstrate real wall-clock pipelining speedup.
 
 use std::sync::mpsc::{channel, sync_channel, Receiver, Sender, SyncSender};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use wavefront_core::array::DenseArray;
@@ -23,9 +24,15 @@ use wavefront_core::program::{Program, Store};
 use wavefront_core::region::Region;
 
 use crate::plan::WavefrontPlan;
+use crate::service::pool::WorkerPool;
 use crate::telemetry::{
     BlockEvent, Collector, EngineKind, MessageEvent, RunMeta, TimeUnit, WaitEvent,
 };
+
+/// What each worker hands back at the join barrier: its local store
+/// slice, messages sent, fresh buffer allocations, and buffered
+/// telemetry.
+type WorkerResult<const R: usize> = (Store<R>, usize, usize, Vec<WorkerEv>);
 
 /// One worker-side telemetry record, stamped in seconds since the run's
 /// epoch. Workers buffer these locally (only when a collector is
@@ -33,9 +40,21 @@ use crate::telemetry::{
 /// instrumentation never adds synchronization — and a disabled collector
 /// adds no work at all.
 enum WorkerEv {
-    Block { tile: usize, start: f64, end: f64, elems: usize },
-    Sent { tile: usize, elems: usize, at: f64 },
-    Recv { wait_start: f64, at: f64 },
+    Block {
+        tile: usize,
+        start: f64,
+        end: f64,
+        elems: usize,
+    },
+    Sent {
+        tile: usize,
+        elems: usize,
+        at: f64,
+    },
+    Recv {
+        wait_start: f64,
+        at: f64,
+    },
 }
 
 /// Outcome of a threaded execution.
@@ -73,17 +92,19 @@ fn margins<const R: usize>(nest: &CompiledNest<R>) -> Vec<[i64; R]> {
 }
 
 /// Facts about a nest every worker needs, computed once on the main
-/// thread before spawn instead of identically per worker: ghost margins,
-/// the referenced/written array sets, and the per-nest execution
-/// strategy (compiled tile kernel or interpreter fallback).
-struct NestPrep<const R: usize> {
+/// thread before dispatch instead of identically per worker: ghost
+/// margins, the referenced/written array sets, and the per-nest
+/// execution strategy (compiled tile kernel or interpreter fallback).
+/// The service caches this alongside the plan, so warm jobs skip the
+/// kernel lowering entirely.
+pub(crate) struct NestPrep<const R: usize> {
     margins: Vec<[i64; R]>,
     referenced: Vec<bool>,
     written: Vec<ArrayId>,
-    runner: NestRunner<R>,
+    pub(crate) runner: NestRunner<R>,
 }
 
-fn prepare<const R: usize>(
+pub(crate) fn prepare<const R: usize>(
     program: &Program<R>,
     nest: &CompiledNest<R>,
     kernels: bool,
@@ -192,7 +213,8 @@ fn build_local<const R: usize>(
 /// the join; with a disabled collector the workers do exactly what the
 /// uninstrumented engine did — in particular, no extra messages and no
 /// timer reads.
-pub fn execute_plan_threaded_collected<const R: usize>(
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn execute_plan_threaded_collected<const R: usize>(
     program: &Program<R>,
     nest: &CompiledNest<R>,
     plan: &WavefrontPlan<R>,
@@ -214,14 +236,57 @@ pub(crate) const LINK_DEPTH: usize = 4;
 /// [`execute_plan_threaded_collected`] with explicit options: `kernels`
 /// selects compiled tile kernels (`true`, the default) or forces the
 /// reference interpreter (`false` — the baseline `kernel_bench`
-/// measures against).
-pub fn execute_plan_threaded_collected_opts<const R: usize>(
+/// measures against). Spins up a throwaway worker pool; repeated runs
+/// should go through [`crate::service::WavefrontService`] (or a shared
+/// pool via [`execute_plan_threaded_pooled_opts`]) instead.
+pub(crate) fn execute_plan_threaded_collected_opts<const R: usize>(
     program: &Program<R>,
     nest: &CompiledNest<R>,
     plan: &WavefrontPlan<R>,
     store: &mut Store<R>,
     collector: &mut dyn Collector,
     kernels: bool,
+) -> ThreadReport {
+    let workers = WorkerPool::new();
+    execute_plan_threaded_pooled_opts(&workers, program, nest, plan, store, collector, kernels)
+}
+
+/// [`execute_plan_threaded_collected_opts`] on a caller-provided worker
+/// pool: the nest/plan are cloned into `Arc`s and the kernel prep is
+/// built fresh. The adaptive tuner uses this to share one pool across
+/// its probe and remainder phases.
+pub(crate) fn execute_plan_threaded_pooled_opts<const R: usize>(
+    workers: &WorkerPool,
+    program: &Program<R>,
+    nest: &CompiledNest<R>,
+    plan: &WavefrontPlan<R>,
+    store: &mut Store<R>,
+    collector: &mut dyn Collector,
+    kernels: bool,
+) -> ThreadReport {
+    let nest = Arc::new(nest.clone());
+    let plan = Arc::new(plan.clone());
+    let prep = Arc::new(prepare(program, &nest, kernels));
+    execute_prepared_threaded(workers, program, &nest, &plan, &prep, store, collector)
+}
+
+/// The threaded engine core: dispatch one task per active rank onto a
+/// persistent [`WorkerPool`] and join on a result channel. Tasks capture
+/// only `Arc`-shared immutable state (nest, plan, prep), their moved
+/// local store, and owned channel endpoints, so they are `'static` and
+/// need no scoped spawn; the pool's threads are parked between runs
+/// instead of re-created. A panicking task cascades through the data
+/// channels (disconnect → neighbours panic) until every result sender
+/// is dropped, which surfaces here as a `recv` failure — the same
+/// observable failure the old scoped `join()` produced.
+pub(crate) fn execute_prepared_threaded<const R: usize>(
+    workers: &WorkerPool,
+    program: &Program<R>,
+    nest: &Arc<CompiledNest<R>>,
+    plan: &Arc<WavefrontPlan<R>>,
+    prep: &Arc<NestPrep<R>>,
+    store: &mut Store<R>,
+    collector: &mut dyn Collector,
 ) -> ThreadReport {
     assert!(
         nest.buffered.is_empty(),
@@ -248,16 +313,18 @@ pub fn execute_plan_threaded_collected_opts<const R: usize>(
         if enabled {
             collector.end(0.0);
         }
-        return ThreadReport { elapsed: Duration::ZERO, messages: 0, buffer_allocs: 0 };
+        return ThreadReport {
+            elapsed: Duration::ZERO,
+            messages: 0,
+            buffer_allocs: 0,
+        };
     }
 
-    // Everything identical across workers is computed once, here.
-    let prep = prepare(program, nest, kernels);
-
-    // Scatter: build each rank's local store up front.
+    // Scatter: build each rank's local store up front, on this thread —
+    // workers receive everything they need by value or behind an `Arc`.
     let mut locals: Vec<Store<R>> = ranks
         .iter()
-        .map(|&r| build_local(program, &prep, store, plan.dist.owned(r)))
+        .map(|&r| build_local(program, prep, store, plan.dist.owned(r)))
         .collect();
 
     // One bounded data channel per adjacent pair in wave order, plus an
@@ -278,99 +345,109 @@ pub fn execute_plan_threaded_collected_opts<const R: usize>(
         recycle_rx[i] = Some(rrx);
     }
 
+    // All ranks of one run rendezvous through bounded channels, so the
+    // pool must hold at least one worker per rank before dispatch.
+    workers.ensure_workers(n);
+
     let mut message_count = 0usize;
     let mut buffer_allocs = 0usize;
-    let mut events: Vec<Vec<WorkerEv>> = Vec::new();
+    let (res_tx, res_rx) = channel::<(usize, Store<R>, usize, usize, Vec<WorkerEv>)>();
     let epoch = Instant::now();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(n);
-        for (i, (&rank, mut local)) in ranks.iter().zip(locals.drain(..)).enumerate() {
-            let tx = senders[i].take();
-            let rx = receivers[i].take();
-            let pool = recycle_rx[i].take();
-            let ret = recycle_tx[i].take();
-            let upstream_owned = plan.upstream(rank).map(|u| plan.dist.owned(u));
-            let owned = plan.dist.owned(rank);
-            let plan = &*plan;
-            let nest = &*nest;
-            let prep = &prep;
-            handles.push(scope.spawn(move || {
-                let mut sent = 0usize;
-                let mut fresh = 0usize;
-                let mut evs: Vec<WorkerEv> = Vec::new();
-                // Resolve the kernel against this rank's local geometry
-                // once; every tile reuses the binding.
-                let bound = prep.runner.bind(&local, &plan.order);
-                for (ti, tile) in plan.tiles.iter().enumerate() {
-                    let sub = owned.intersect(tile);
-                    if let (Some(rx), Some(up)) = (&rx, upstream_owned) {
-                        if !plan.comm_arrays.is_empty() {
-                            let wait_start =
-                                enabled.then(|| epoch.elapsed().as_secs_f64());
-                            let data = rx.recv().expect("upstream hung up mid-wave");
-                            if let Some(ws) = wait_start {
-                                evs.push(WorkerEv::Recv {
-                                    wait_start: ws,
-                                    at: epoch.elapsed().as_secs_f64(),
-                                });
-                            }
-                            decode(plan, &mut local, up, tile, &data);
-                            // Hand the drained buffer back upstream; the
-                            // sender may already be gone at the tail.
-                            if let Some(ret) = &ret {
-                                let _ = ret.send(data);
-                            }
-                        }
-                    }
-                    if !sub.is_empty() {
-                        let t0 = enabled.then(|| epoch.elapsed().as_secs_f64());
-                        prep.runner.run_tile(nest, bound.as_ref(), sub, &plan.order, &mut local);
-                        if let Some(t0) = t0 {
-                            evs.push(WorkerEv::Block {
-                                tile: ti,
-                                start: t0,
-                                end: epoch.elapsed().as_secs_f64(),
-                                elems: sub.len(),
+    for (i, (&rank, mut local)) in ranks.iter().zip(locals.drain(..)).enumerate() {
+        let tx = senders[i].take();
+        let rx = receivers[i].take();
+        let pool = recycle_rx[i].take();
+        let ret = recycle_tx[i].take();
+        let upstream_owned = plan.upstream(rank).map(|u| plan.dist.owned(u));
+        let owned = plan.dist.owned(rank);
+        let plan = Arc::clone(plan);
+        let nest = Arc::clone(nest);
+        let prep = Arc::clone(prep);
+        let res_tx = res_tx.clone();
+        workers.execute(Box::new(move || {
+            let mut sent = 0usize;
+            let mut fresh = 0usize;
+            let mut evs: Vec<WorkerEv> = Vec::new();
+            // Resolve the kernel against this rank's local geometry
+            // once; every tile reuses the binding.
+            let bound = prep.runner.bind(&local, &plan.order);
+            for (ti, tile) in plan.tiles.iter().enumerate() {
+                let sub = owned.intersect(tile);
+                if let (Some(rx), Some(up)) = (&rx, upstream_owned) {
+                    if !plan.comm_arrays.is_empty() {
+                        let wait_start = enabled.then(|| epoch.elapsed().as_secs_f64());
+                        let data = rx.recv().expect("upstream hung up mid-wave");
+                        if let Some(ws) = wait_start {
+                            evs.push(WorkerEv::Recv {
+                                wait_start: ws,
+                                at: epoch.elapsed().as_secs_f64(),
                             });
                         }
-                    }
-                    if let Some(tx) = &tx {
-                        if !plan.comm_arrays.is_empty() {
-                            let mut data = match pool.as_ref().and_then(|p| p.try_recv().ok())
-                            {
-                                Some(buf) => buf,
-                                None => {
-                                    fresh += 1;
-                                    Vec::new()
-                                }
-                            };
-                            encode_into(plan, &local, owned, tile, &mut data);
-                            if enabled {
-                                evs.push(WorkerEv::Sent {
-                                    tile: ti,
-                                    elems: data.len(),
-                                    at: epoch.elapsed().as_secs_f64(),
-                                });
-                            }
-                            tx.send(data).expect("downstream hung up mid-wave");
-                            sent += 1;
+                        decode(&plan, &mut local, up, tile, &data);
+                        // Hand the drained buffer back upstream; the
+                        // sender may already be gone at the tail.
+                        if let Some(ret) = &ret {
+                            let _ = ret.send(data);
                         }
                     }
                 }
-                (local, sent, fresh, evs)
-            }));
-        }
-        locals = handles
-            .into_iter()
-            .map(|h| {
-                let (local, sent, fresh, evs) = h.join().expect("worker panicked");
-                message_count += sent;
-                buffer_allocs += fresh;
-                events.push(evs);
-                local
-            })
-            .collect();
-    });
+                if !sub.is_empty() {
+                    let t0 = enabled.then(|| epoch.elapsed().as_secs_f64());
+                    prep.runner
+                        .run_tile(&nest, bound.as_ref(), sub, &plan.order, &mut local);
+                    if let Some(t0) = t0 {
+                        evs.push(WorkerEv::Block {
+                            tile: ti,
+                            start: t0,
+                            end: epoch.elapsed().as_secs_f64(),
+                            elems: sub.len(),
+                        });
+                    }
+                }
+                if let Some(tx) = &tx {
+                    if !plan.comm_arrays.is_empty() {
+                        let mut data = match pool.as_ref().and_then(|p| p.try_recv().ok()) {
+                            Some(buf) => buf,
+                            None => {
+                                fresh += 1;
+                                Vec::new()
+                            }
+                        };
+                        encode_into(&plan, &local, owned, tile, &mut data);
+                        if enabled {
+                            evs.push(WorkerEv::Sent {
+                                tile: ti,
+                                elems: data.len(),
+                                at: epoch.elapsed().as_secs_f64(),
+                            });
+                        }
+                        tx.send(data).expect("downstream hung up mid-wave");
+                        sent += 1;
+                    }
+                }
+            }
+            let _ = res_tx.send((i, local, sent, fresh, evs));
+        }));
+    }
+    drop(res_tx);
+    // Join barrier: exactly one result per rank, arriving in completion
+    // order. A dropped sender before all n arrive means a worker died.
+    let mut slots: Vec<Option<WorkerResult<R>>> = (0..n).map(|_| None).collect();
+    for _ in 0..n {
+        let (i, local, sent, fresh, evs) = res_rx.recv().expect("worker panicked");
+        message_count += sent;
+        buffer_allocs += fresh;
+        slots[i] = Some((local, sent, fresh, evs));
+    }
+    let mut events: Vec<Vec<WorkerEv>> = Vec::with_capacity(n);
+    locals = slots
+        .into_iter()
+        .map(|s| {
+            let (local, _, _, evs) = s.expect("every rank reports exactly once");
+            events.push(evs);
+            local
+        })
+        .collect();
     let elapsed = epoch.elapsed();
 
     if enabled {
@@ -385,27 +462,41 @@ pub fn execute_plan_threaded_collected_opts<const R: usize>(
         }
     }
 
-    ThreadReport { elapsed, messages: message_count, buffer_allocs }
+    ThreadReport {
+        elapsed,
+        messages: message_count,
+        buffer_allocs,
+    }
 }
 
 /// Replay buffered worker events into the collector: blocks and waits
 /// directly, messages by pairing each link's sends with the downstream
 /// worker's receives (both are in tile order).
-fn replay(
-    collector: &mut dyn Collector,
-    ranks: &[usize],
-    events: &[Vec<WorkerEv>],
-    makespan: f64,
-) {
+fn replay(collector: &mut dyn Collector, ranks: &[usize], events: &[Vec<WorkerEv>], makespan: f64) {
     for (i, evs) in events.iter().enumerate() {
         let rank = ranks[i];
         for ev in evs {
             match *ev {
-                WorkerEv::Block { tile, start, end, elems } => {
-                    collector.block(BlockEvent { proc: rank, tile, start, end, elems });
+                WorkerEv::Block {
+                    tile,
+                    start,
+                    end,
+                    elems,
+                } => {
+                    collector.block(BlockEvent {
+                        proc: rank,
+                        tile,
+                        start,
+                        end,
+                        elems,
+                    });
                 }
                 WorkerEv::Recv { wait_start, at } => {
-                    collector.wait(WaitEvent { proc: rank, start: wait_start, end: at });
+                    collector.wait(WaitEvent {
+                        proc: rank,
+                        start: wait_start,
+                        end: at,
+                    });
                 }
                 WorkerEv::Sent { .. } => {}
             }
@@ -439,9 +530,9 @@ mod tests {
     use super::*;
     use crate::plan::tests::tomcatv_nest;
     use crate::schedule::BlockPolicy;
-    use wavefront_core::prelude::*;
-    use wavefront_core::exec::run_nest_with_sink;
     use crate::telemetry::NoopCollector;
+    use wavefront_core::exec::run_nest_with_sink;
+    use wavefront_core::prelude::*;
 
     fn t3e() -> wavefront_machine::MachineParams {
         wavefront_machine::cray_t3e()
@@ -477,8 +568,7 @@ mod tests {
         for p in [1usize, 2, 4, 7] {
             for b in [1usize, 5, 16, 58] {
                 let plan =
-                    WavefrontPlan::build(&nest, p, None, &BlockPolicy::Fixed(b), &t3e())
-                        .unwrap();
+                    WavefrontPlan::build(&nest, p, None, &BlockPolicy::Fixed(b), &t3e()).unwrap();
                 let mut store = init_tomcatv(&program);
                 let report = run(&program, &nest, &plan, &mut store);
                 for id in 0..store.len() {
@@ -497,8 +587,7 @@ mod tests {
     #[test]
     fn message_count_matches_tiles_times_links() {
         let (program, nest) = tomcatv_nest(40);
-        let plan =
-            WavefrontPlan::build(&nest, 4, None, &BlockPolicy::Fixed(10), &t3e()).unwrap();
+        let plan = WavefrontPlan::build(&nest, 4, None, &BlockPolicy::Fixed(10), &t3e()).unwrap();
         let mut store = init_tomcatv(&program);
         let report = run(&program, &nest, &plan, &mut store);
         // 39 columns of covering region in tiles of 10 → 4 tiles; 3 links.
@@ -510,8 +599,7 @@ mod tests {
         // b = 1 maximizes message count; the buffer pool must stay
         // bounded by the channel depth, not grow with the tile count.
         let (program, nest) = tomcatv_nest(120);
-        let plan =
-            WavefrontPlan::build(&nest, 4, None, &BlockPolicy::Fixed(1), &t3e()).unwrap();
+        let plan = WavefrontPlan::build(&nest, 4, None, &BlockPolicy::Fixed(1), &t3e()).unwrap();
         let mut store = init_tomcatv(&program);
         let report = run(&program, &nest, &plan, &mut store);
         assert!(report.messages >= 100 * 3, "messages = {}", report.messages);
@@ -529,8 +617,7 @@ mod tests {
         let (program, nest) = tomcatv_nest(n);
         let mut reference = init_tomcatv(&program);
         run_nest_with_sink(&nest, &mut reference, &mut NoSink);
-        let plan =
-            WavefrontPlan::build(&nest, 3, None, &BlockPolicy::Fixed(8), &t3e()).unwrap();
+        let plan = WavefrontPlan::build(&nest, 3, None, &BlockPolicy::Fixed(8), &t3e()).unwrap();
         let mut store = init_tomcatv(&program);
         execute_plan_threaded_collected_opts(
             &program,
@@ -548,8 +635,7 @@ mod tests {
     #[test]
     fn naive_schedule_sends_one_message_per_link() {
         let (program, nest) = tomcatv_nest(40);
-        let plan =
-            WavefrontPlan::build(&nest, 4, None, &BlockPolicy::FullPortion, &t3e()).unwrap();
+        let plan = WavefrontPlan::build(&nest, 4, None, &BlockPolicy::FullPortion, &t3e()).unwrap();
         let mut store = init_tomcatv(&program);
         let report = run(&program, &nest, &plan, &mut store);
         assert_eq!(report.messages, 3);
@@ -574,8 +660,7 @@ mod tests {
         run_nest_with_sink(nest, &mut reference, &mut NoSink);
 
         for (p, b) in [(2usize, 6usize), (3, 4), (5, 24)] {
-            let plan =
-                WavefrontPlan::build(nest, p, None, &BlockPolicy::Fixed(b), &t3e()).unwrap();
+            let plan = WavefrontPlan::build(nest, p, None, &BlockPolicy::Fixed(b), &t3e()).unwrap();
             let mut store = Store::new(&prog);
             init(&mut store);
             run(&prog, nest, &plan, &mut store);
@@ -589,8 +674,7 @@ mod tests {
     #[test]
     fn more_threads_than_rows_is_safe() {
         let (program, nest) = tomcatv_nest(10);
-        let plan =
-            WavefrontPlan::build(&nest, 32, None, &BlockPolicy::Fixed(3), &t3e()).unwrap();
+        let plan = WavefrontPlan::build(&nest, 32, None, &BlockPolicy::Fixed(3), &t3e()).unwrap();
         let mut reference = init_tomcatv(&program);
         run_nest_with_sink(&nest, &mut reference, &mut NoSink);
         let mut store = init_tomcatv(&program);
@@ -616,8 +700,7 @@ mod tests {
         let mut reference = Store::new(&prog);
         init(&mut reference);
         run_nest_with_sink(nest, &mut reference, &mut NoSink);
-        let plan =
-            WavefrontPlan::build(nest, 3, None, &BlockPolicy::Fixed(7), &t3e()).unwrap();
+        let plan = WavefrontPlan::build(nest, 3, None, &BlockPolicy::Fixed(7), &t3e()).unwrap();
         assert!(!plan.wave_ascending);
         let mut store = Store::new(&prog);
         init(&mut store);

@@ -10,12 +10,12 @@
 //! orthogonal dimension tiled with block size `b`) and executes it three
 //! ways:
 //!
-//! * [`exec_sim`] — deterministic cost simulation on the machine model
-//!   (the "experimental" curves of the figure harnesses);
-//! * [`exec_seq`] — dependency-order sequential execution, the semantic
-//!   reference for the decomposition;
-//! * [`exec_threads`] — real OS threads passing boundary messages through
-//!   channels, the stand-in for the paper's hand-pipelined MPI codes.
+//! * a deterministic cost simulation on the machine model (the
+//!   "experimental" curves of the figure harnesses);
+//! * dependency-order sequential execution, the semantic reference for
+//!   the decomposition;
+//! * real OS threads passing boundary messages through channels, the
+//!   stand-in for the paper's hand-pipelined MPI codes.
 //!
 //! Block sizes come from [`schedule::BlockPolicy`]: fixed, Model1
 //! (constant-cost), Model2 (the paper's Equation (1)), naive
@@ -23,48 +23,42 @@
 //! [`schedule::BlockPolicy::Adaptive`] policy backed by the [`tune`]
 //! subsystem (host calibration plus online re-blocking).
 //!
-//! [`session::Session`] / [`session::Session2D`] are the one public way
-//! to run an engine; the `execute_plan*_collected` functions remain as
-//! the engine internals they wrap.
+//! Two front doors share one execution core: [`session::Session`] /
+//! [`session::Session2D`] for one-shot runs, and
+//! [`service::WavefrontService`] for repeated traffic — a long-lived
+//! job API with a persistent worker pool, a compiled-plan cache, and
+//! bounded-queue backpressure. The engine internals (`exec_*` modules)
+//! are crate-private; there is no way to run a plan except through a
+//! session, a program session, or the service.
 
 pub mod error;
-pub mod exec2d;
-pub mod exec_seq;
-pub mod exec_sim;
-pub mod exec_threads;
+pub(crate) mod exec2d;
+pub(crate) mod exec_seq;
+pub(crate) mod exec_sim;
+pub(crate) mod exec_threads;
 pub mod plan;
 pub mod plan2d;
 pub mod schedule;
+pub mod service;
 pub mod session;
 pub mod telemetry;
 pub mod tune;
 
 pub use error::PipelineError;
-pub use exec2d::{
-    execute_plan2d_sequential_collected, execute_plan2d_sequential_collected_opts,
-    execute_plan2d_threaded_collected, execute_plan2d_threaded_collected_opts, plan2d_dag,
-    simulate_plan2d_collected,
-};
-pub use exec_seq::{
-    execute_plan_sequential_collected, execute_plan_sequential_collected_opts,
-    execute_plan_sequential_with_sink,
-};
-pub use exec_sim::{
-    plan_dag, simulate_nest, simulate_parallel_nest, simulate_plan_collected, simulate_program,
-    simulate_program_fused, NestSim, ProgramSim,
-};
-pub use exec_threads::{
-    execute_plan_threaded_collected, execute_plan_threaded_collected_opts, ThreadReport,
-};
+pub use exec_sim::{NestSim, ProgramSim};
 pub use plan::WavefrontPlan;
 pub use plan2d::WavefrontPlan2D;
 pub use schedule::{probe_block, AdaptiveConfig, BlockCtx, BlockPolicy, BlockSizer};
+pub use service::{
+    JobHandle, JobOutcome, JobSpec, JobTopology, ServiceConfig, ServiceStats, WavefrontService,
+};
 pub use session::{
-    Engine, EngineCtx, RunOutcome, SeqEngine, Session, Session2D, SimEngine, ThreadsEngine,
+    Engine, EngineCtx, ProgramSession, RunOutcome, SeqEngine, Session, Session2D, SessionConfig,
+    SimEngine, ThreadsEngine,
 };
 pub use telemetry::{
-    ascii_timeline, chrome_trace, CausalGraph, ChromeTraceBuilder, Collector, CriticalPath,
-    EngineKind, ExecutionReport, JsonValue, NoopCollector, Prediction, RunMeta, TraceAnalysis,
-    TraceCollector, TraceHistograms,
+    ascii_timeline, chrome_trace, CacheEvent, CausalGraph, ChromeTraceBuilder, Collector,
+    CriticalPath, EngineKind, ExecutionReport, JsonValue, NoopCollector, Prediction, RunMeta,
+    TraceAnalysis, TraceCollector, TraceHistograms,
 };
 pub use tune::{calibrate_host, calibrate_with, AdaptiveReport, CalibrationConfig};

@@ -1,0 +1,105 @@
+//! The compiled-plan LRU cache.
+//!
+//! Values are type-erased (`Arc<dyn Any + Send + Sync>`) because one
+//! service instance may serve jobs of different array ranks and both
+//! topologies; the execution core downcasts to the concrete prepared
+//! type on hit, and a downcast failure (impossible under the keying
+//! scheme, which embeds rank and topology) is simply treated as a miss.
+
+use std::any::Any;
+use std::sync::Arc;
+
+type Value = Arc<dyn Any + Send + Sync>;
+
+/// A small exact-key LRU: most-recently-used entries live at the back
+/// of the vector. Capacities are tens of entries, so linear scans beat
+/// a hash map plus ordering bookkeeping.
+pub(crate) struct PlanCache {
+    capacity: usize,
+    entries: Vec<(String, Value)>,
+}
+
+impl PlanCache {
+    /// A cache holding at most `capacity` compiled plans. Zero disables
+    /// caching (every lookup misses, inserts are dropped).
+    pub(crate) fn new(capacity: usize) -> Self {
+        PlanCache {
+            capacity,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Look `key` up, refreshing its recency on hit.
+    pub(crate) fn get(&mut self, key: &str) -> Option<Value> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        let entry = self.entries.remove(idx);
+        let value = entry.1.clone();
+        self.entries.push(entry);
+        Some(value)
+    }
+
+    /// Insert `key`, evicting the least-recently-used entry when full.
+    pub(crate) fn insert(&mut self, key: String, value: Value) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(idx) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(idx);
+        } else if self.entries.len() >= self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push((key, value));
+    }
+
+    /// Number of cached plans.
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: usize) -> Value {
+        Arc::new(n)
+    }
+
+    fn get_usize(c: &mut PlanCache, k: &str) -> Option<usize> {
+        c.get(k)
+            .and_then(|a| a.downcast::<usize>().ok())
+            .map(|a| *a)
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = PlanCache::new(2);
+        c.insert("a".into(), v(1));
+        c.insert("b".into(), v(2));
+        assert_eq!(get_usize(&mut c, "a"), Some(1)); // refresh a
+        c.insert("c".into(), v(3)); // evicts b
+        assert_eq!(get_usize(&mut c, "b"), None);
+        assert_eq!(get_usize(&mut c, "a"), Some(1));
+        assert_eq!(get_usize(&mut c, "c"), Some(3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_eviction() {
+        let mut c = PlanCache::new(2);
+        c.insert("a".into(), v(1));
+        c.insert("b".into(), v(2));
+        c.insert("a".into(), v(10));
+        assert_eq!(c.len(), 2);
+        assert_eq!(get_usize(&mut c, "a"), Some(10));
+        assert_eq!(get_usize(&mut c, "b"), Some(2));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c = PlanCache::new(0);
+        c.insert("a".into(), v(1));
+        assert_eq!(c.len(), 0);
+        assert_eq!(get_usize(&mut c, "a"), None);
+    }
+}

@@ -1,0 +1,86 @@
+//! Job fingerprinting for the compiled-plan cache.
+//!
+//! A cache key must capture everything that influences the compiled
+//! artifacts (plan geometry, kernel tape, binding strategy): the nest's
+//! statements and region, the program's array declarations (layouts
+//! decide the kernel's stride resolution), the topology (processor
+//! count and distribution choice), the block policy, the machine
+//! parameters, the kernel-tier switch, and the array rank `R`.
+//!
+//! All of those types derive `Debug` deterministically, so the key is
+//! the canonical `Debug` rendering of the tuple. The full string is the
+//! key — lookups compare strings, not hashes — so a collision can never
+//! silently serve the wrong plan; the FNV-1a digest of the string is
+//! only a compact label for telemetry and logs.
+
+use wavefront_core::exec::CompiledNest;
+use wavefront_core::program::Program;
+
+use crate::session::SessionConfig;
+
+/// 64-bit FNV-1a over `bytes` — the compact display form of a key.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Cache key for a 1-D line-topology job.
+pub(crate) fn line_key<const R: usize>(
+    program: &Program<R>,
+    nest: &CompiledNest<R>,
+    procs: usize,
+    dist_dim: Option<usize>,
+    cfg: &SessionConfig,
+) -> String {
+    use std::fmt::Write;
+    let mut s = String::with_capacity(256);
+    let _ = write!(
+        s,
+        "line;R={R};p={procs};d={dist_dim:?};k={};{:?};{:?};{:?};{:?}",
+        cfg.kernels,
+        cfg.block,
+        cfg.machine,
+        program.arrays(),
+        nest,
+    );
+    s
+}
+
+/// Cache key for a 2-D mesh-topology job.
+pub(crate) fn mesh_key<const R: usize>(
+    program: &Program<R>,
+    nest: &CompiledNest<R>,
+    mesh: [usize; 2],
+    wave_dims: Option<[usize; 2]>,
+    cfg: &SessionConfig,
+) -> String {
+    use std::fmt::Write;
+    let mut s = String::with_capacity(256);
+    let _ = write!(
+        s,
+        "mesh;R={R};m={mesh:?};w={wave_dims:?};k={};{:?};{:?};{:?};{:?}",
+        cfg.kernels,
+        cfg.block,
+        cfg.machine,
+        program.arrays(),
+        nest,
+    );
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+}

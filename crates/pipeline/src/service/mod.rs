@@ -1,0 +1,938 @@
+//! A long-lived wavefront execution service for repeated traffic.
+//!
+//! One-shot [`crate::Session`] runs pay the full setup bill every time:
+//! plan construction, kernel lowering and binding, and an OS thread
+//! spawn per processor. [`WavefrontService`] amortizes all three across
+//! jobs:
+//!
+//! * a persistent [`pool::WorkerPool`] keeps engine threads parked on a
+//!   condvar between jobs instead of re-spawning them;
+//! * a fingerprint-keyed LRU [`cache::PlanCache`] holds compiled
+//!   [`crate::plan::WavefrontPlan`]s / [`crate::plan2d::WavefrontPlan2D`]s
+//!   together with their lowered kernel preparation, so warm jobs skip
+//!   planning and kernel compilation entirely;
+//! * a bounded job queue applies backpressure: [`WavefrontService::submit`]
+//!   blocks (never drops) while the queue is full.
+//!
+//! ```ignore
+//! let service = WavefrontService::<2>::new();
+//! let handle = service.submit(
+//!     JobSpec::new(program.clone(), nest.clone())
+//!         .line(8)
+//!         .store(store),
+//! );
+//! let out = handle.wait()?;
+//! ```
+//!
+//! Jobs run in submission order on a dispatcher thread. `Session` and
+//! `Session2D` remain the one-shot front doors, but they execute through
+//! the same [`ExecCore`] (with caching disabled), so every engine,
+//! kernel binding, and telemetry path in the crate is exercised by one
+//! execution core. See `docs/SERVICE.md` for the lifecycle,
+//! fingerprinting, and backpressure details.
+
+pub(crate) mod cache;
+pub(crate) mod fingerprint;
+pub(crate) mod pool;
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use wavefront_core::exec::CompiledNest;
+use wavefront_core::program::{Program, Store};
+
+use crate::error::PipelineError;
+use crate::exec2d::{
+    execute_plan2d_sequential_prepared, execute_prepared2d_threaded, prepare2d,
+    simulate_plan2d_collected, MeshPrep,
+};
+use crate::exec_seq::execute_plan_sequential_prepared;
+use crate::exec_sim::simulate_plan_collected;
+use crate::exec_threads::{execute_prepared_threaded, prepare, NestPrep};
+use crate::plan::WavefrontPlan;
+use crate::plan2d::WavefrontPlan2D;
+use crate::schedule::BlockPolicy;
+use crate::session::{RunOutcome, Session, Session2D, SessionConfig};
+use crate::telemetry::{
+    CacheEvent, Collector, EngineKind, ExecutionReport, NoopCollector, TimeUnit, TraceCollector,
+};
+
+use cache::PlanCache;
+use pool::WorkerPool;
+
+/// Where the execution core gets the compiled nest from: a plain borrow
+/// (the `Session` front doors) or an already-shared `Arc` (service jobs,
+/// which avoids a deep clone on cache misses).
+pub(crate) enum NestSource<'a, const R: usize> {
+    /// Borrowed nest; cloned into an `Arc` only when needed.
+    Borrowed(&'a CompiledNest<R>),
+    /// Nest already behind an `Arc`; cloning is a refcount bump.
+    Shared(&'a Arc<CompiledNest<R>>),
+}
+
+impl<const R: usize> NestSource<'_, R> {
+    fn get(&self) -> &CompiledNest<R> {
+        match self {
+            NestSource::Borrowed(n) => n,
+            NestSource::Shared(n) => n,
+        }
+    }
+
+    fn to_arc(&self) -> Arc<CompiledNest<R>> {
+        match self {
+            NestSource::Borrowed(n) => Arc::new((*n).clone()),
+            NestSource::Shared(n) => Arc::clone(n),
+        }
+    }
+}
+
+/// One cached 1-D compilation: the nest it was compiled against, the
+/// plan, and the lazily-built kernel preparation (simulator jobs never
+/// force the kernel lowering).
+struct Entry1D<const R: usize> {
+    nest: Arc<CompiledNest<R>>,
+    plan: Arc<WavefrontPlan<R>>,
+    prep: OnceLock<Arc<NestPrep<R>>>,
+}
+
+impl<const R: usize> Entry1D<R> {
+    /// The kernel preparation, lowered on first use. `kernels` is part
+    /// of the cache fingerprint, so it is constant per entry.
+    fn prep(&self, program: &Program<R>, kernels: bool) -> Arc<NestPrep<R>> {
+        Arc::clone(
+            self.prep
+                .get_or_init(|| Arc::new(prepare(program, &self.nest, kernels))),
+        )
+    }
+}
+
+/// One cached 2-D (mesh) compilation; see [`Entry1D`].
+struct Entry2D<const R: usize> {
+    nest: Arc<CompiledNest<R>>,
+    plan: Arc<WavefrontPlan2D<R>>,
+    prep: OnceLock<Arc<MeshPrep<R>>>,
+}
+
+impl<const R: usize> Entry2D<R> {
+    fn prep(&self, program: &Program<R>, kernels: bool) -> Arc<MeshPrep<R>> {
+        Arc::clone(
+            self.prep
+                .get_or_init(|| Arc::new(prepare2d(program, &self.nest, kernels))),
+        )
+    }
+}
+
+/// The one execution core every run in the crate goes through: a
+/// persistent worker pool plus an optional compiled-plan cache. The
+/// service owns a caching core; each `Session::run` builds a throwaway
+/// core with caching disabled (capacity 0).
+pub(crate) struct ExecCore {
+    pool: WorkerPool,
+    cache: Mutex<PlanCache>,
+    caching: bool,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ExecCore {
+    /// A core whose plan cache holds `cache_capacity` entries
+    /// (0 disables caching and its telemetry entirely).
+    pub(crate) fn new(cache_capacity: usize) -> Self {
+        ExecCore {
+            pool: WorkerPool::new(),
+            cache: Mutex::new(PlanCache::new(cache_capacity)),
+            caching: cache_capacity > 0,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// Stamp the shared hit/miss counters for one lookup and build its
+    /// telemetry event.
+    fn cache_event(&self, hit: bool, key: &str) -> CacheEvent {
+        let (hits, misses) = if hit {
+            (
+                self.hits.fetch_add(1, Ordering::Relaxed) + 1,
+                self.misses.load(Ordering::Relaxed),
+            )
+        } else {
+            (
+                self.hits.load(Ordering::Relaxed),
+                self.misses.fetch_add(1, Ordering::Relaxed) + 1,
+            )
+        };
+        CacheEvent {
+            hit,
+            key: fingerprint::fnv1a(key.as_bytes()),
+            entries: self.cache.lock().unwrap().len(),
+            hits,
+            misses,
+        }
+    }
+
+    /// Resolve the compiled entry for a 1-D job: cache lookup when
+    /// caching is on, fresh build otherwise (or on miss).
+    fn entry_line<const R: usize>(
+        &self,
+        program: &Program<R>,
+        nest: &NestSource<'_, R>,
+        procs: usize,
+        dist_dim: Option<usize>,
+        cfg: &SessionConfig,
+    ) -> Result<(Arc<Entry1D<R>>, Option<CacheEvent>), PipelineError> {
+        let build = |nest: Arc<CompiledNest<R>>| -> Result<Arc<Entry1D<R>>, PipelineError> {
+            let plan = Arc::new(WavefrontPlan::build(
+                &nest,
+                procs,
+                dist_dim,
+                &cfg.block,
+                &cfg.machine,
+            )?);
+            Ok(Arc::new(Entry1D {
+                nest,
+                plan,
+                prep: OnceLock::new(),
+            }))
+        };
+        if !self.caching {
+            return Ok((build(nest.to_arc())?, None));
+        }
+        let key = fingerprint::line_key(program, nest.get(), procs, dist_dim, cfg);
+        let cached = self
+            .cache
+            .lock()
+            .unwrap()
+            .get(&key)
+            .and_then(|v| v.downcast::<Entry1D<R>>().ok());
+        match cached {
+            Some(entry) => {
+                let ev = self.cache_event(true, &key);
+                Ok((entry, Some(ev)))
+            }
+            None => {
+                let entry = build(nest.to_arc())?;
+                self.cache.lock().unwrap().insert(
+                    key.clone(),
+                    Arc::clone(&entry) as Arc<dyn Any + Send + Sync>,
+                );
+                let ev = self.cache_event(false, &key);
+                Ok((entry, Some(ev)))
+            }
+        }
+    }
+
+    /// Resolve the compiled entry for a 2-D mesh job; see
+    /// [`ExecCore::entry_line`].
+    fn entry_mesh<const R: usize>(
+        &self,
+        program: &Program<R>,
+        nest: &NestSource<'_, R>,
+        mesh: [usize; 2],
+        wave_dims: Option<[usize; 2]>,
+        cfg: &SessionConfig,
+    ) -> Result<(Arc<Entry2D<R>>, Option<CacheEvent>), PipelineError> {
+        let build = |nest: Arc<CompiledNest<R>>| -> Result<Arc<Entry2D<R>>, PipelineError> {
+            let plan = Arc::new(WavefrontPlan2D::build(
+                &nest,
+                mesh,
+                wave_dims,
+                &cfg.block,
+                &cfg.machine,
+            )?);
+            Ok(Arc::new(Entry2D {
+                nest,
+                plan,
+                prep: OnceLock::new(),
+            }))
+        };
+        if !self.caching {
+            return Ok((build(nest.to_arc())?, None));
+        }
+        let key = fingerprint::mesh_key(program, nest.get(), mesh, wave_dims, cfg);
+        let cached = self
+            .cache
+            .lock()
+            .unwrap()
+            .get(&key)
+            .and_then(|v| v.downcast::<Entry2D<R>>().ok());
+        match cached {
+            Some(entry) => {
+                let ev = self.cache_event(true, &key);
+                Ok((entry, Some(ev)))
+            }
+            None => {
+                let entry = build(nest.to_arc())?;
+                self.cache.lock().unwrap().insert(
+                    key.clone(),
+                    Arc::clone(&entry) as Arc<dyn Any + Send + Sync>,
+                );
+                let ev = self.cache_event(false, &key);
+                Ok((entry, Some(ev)))
+            }
+        }
+    }
+
+    /// Plan (or fetch) and execute one 1-D line job. The cache event, if
+    /// any, is reported *after* the engine's stream completes, because
+    /// collectors reset their buffers at `begin`.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_line<const R: usize>(
+        &self,
+        program: &Program<R>,
+        nest: NestSource<'_, R>,
+        procs: usize,
+        dist_dim: Option<usize>,
+        cfg: &SessionConfig,
+        store: Option<&mut Store<R>>,
+        collector: &mut dyn Collector,
+        kind: EngineKind,
+    ) -> Result<RunOutcome, PipelineError> {
+        debug_assert!(
+            !matches!(cfg.block, BlockPolicy::Adaptive(_)),
+            "adaptive runs route through the tuner, never the core"
+        );
+        let prep_start = Instant::now();
+        let (entry, cache_ev) = self.entry_line(program, &nest, procs, dist_dim, cfg)?;
+        let plan = &entry.plan;
+        let base = RunOutcome {
+            engine: kind,
+            makespan: 0.0,
+            time_unit: TimeUnit::Seconds,
+            messages: 0,
+            block: plan.block,
+            tiles: plan.tiles.len(),
+            pipelined: plan.is_pipelined(),
+            prep_seconds: 0.0,
+            run_seconds: 0.0,
+        };
+        let outcome = match kind {
+            EngineKind::Sim => {
+                let prep_seconds = prep_start.elapsed().as_secs_f64();
+                let run_start = Instant::now();
+                let r = simulate_plan_collected(plan, &cfg.machine, collector);
+                RunOutcome {
+                    makespan: r.makespan,
+                    time_unit: TimeUnit::ModelUnits,
+                    messages: r.messages,
+                    prep_seconds,
+                    run_seconds: run_start.elapsed().as_secs_f64(),
+                    ..base
+                }
+            }
+            EngineKind::Seq => {
+                let store = store.ok_or(PipelineError::MissingStore)?;
+                let prep = entry.prep(program, cfg.kernels);
+                let prep_seconds = prep_start.elapsed().as_secs_f64();
+                let run_start = Instant::now();
+                execute_plan_sequential_prepared(&entry.nest, plan, &prep.runner, store, collector);
+                let run_seconds = run_start.elapsed().as_secs_f64();
+                RunOutcome {
+                    makespan: run_seconds,
+                    prep_seconds,
+                    run_seconds,
+                    ..base
+                }
+            }
+            EngineKind::Threads => {
+                let store = store.ok_or(PipelineError::MissingStore)?;
+                let prep = entry.prep(program, cfg.kernels);
+                let prep_seconds = prep_start.elapsed().as_secs_f64();
+                let run_start = Instant::now();
+                let r = execute_prepared_threaded(
+                    &self.pool,
+                    program,
+                    &entry.nest,
+                    plan,
+                    &prep,
+                    store,
+                    collector,
+                );
+                RunOutcome {
+                    makespan: r.elapsed.as_secs_f64(),
+                    messages: r.messages,
+                    prep_seconds,
+                    run_seconds: run_start.elapsed().as_secs_f64(),
+                    ..base
+                }
+            }
+        };
+        if let Some(ev) = cache_ev {
+            if collector.enabled() {
+                collector.cache(ev);
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Plan (or fetch) and execute one 2-D mesh job; see
+    /// [`ExecCore::run_line`].
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_mesh<const R: usize>(
+        &self,
+        program: &Program<R>,
+        nest: NestSource<'_, R>,
+        mesh: [usize; 2],
+        wave_dims: Option<[usize; 2]>,
+        cfg: &SessionConfig,
+        store: Option<&mut Store<R>>,
+        collector: &mut dyn Collector,
+        kind: EngineKind,
+    ) -> Result<RunOutcome, PipelineError> {
+        debug_assert!(
+            !matches!(cfg.block, BlockPolicy::Adaptive(_)),
+            "adaptive runs route through the tuner, never the core"
+        );
+        let prep_start = Instant::now();
+        let (entry, cache_ev) = self.entry_mesh(program, &nest, mesh, wave_dims, cfg)?;
+        let plan = &entry.plan;
+        let base = RunOutcome {
+            engine: kind,
+            makespan: 0.0,
+            time_unit: TimeUnit::Seconds,
+            messages: 0,
+            block: plan.block,
+            tiles: plan.tiles.len(),
+            pipelined: plan.is_pipelined(),
+            prep_seconds: 0.0,
+            run_seconds: 0.0,
+        };
+        let outcome = match kind {
+            EngineKind::Sim => {
+                let prep_seconds = prep_start.elapsed().as_secs_f64();
+                let run_start = Instant::now();
+                let r = simulate_plan2d_collected(plan, &cfg.machine, collector);
+                RunOutcome {
+                    makespan: r.makespan,
+                    time_unit: TimeUnit::ModelUnits,
+                    messages: r.messages,
+                    prep_seconds,
+                    run_seconds: run_start.elapsed().as_secs_f64(),
+                    ..base
+                }
+            }
+            EngineKind::Seq => {
+                let store = store.ok_or(PipelineError::MissingStore)?;
+                let prep = entry.prep(program, cfg.kernels);
+                let prep_seconds = prep_start.elapsed().as_secs_f64();
+                let run_start = Instant::now();
+                execute_plan2d_sequential_prepared(
+                    &entry.nest,
+                    plan,
+                    &prep.runner,
+                    store,
+                    collector,
+                );
+                let run_seconds = run_start.elapsed().as_secs_f64();
+                RunOutcome {
+                    makespan: run_seconds,
+                    prep_seconds,
+                    run_seconds,
+                    ..base
+                }
+            }
+            EngineKind::Threads => {
+                let store = store.ok_or(PipelineError::MissingStore)?;
+                let prep = entry.prep(program, cfg.kernels);
+                let prep_seconds = prep_start.elapsed().as_secs_f64();
+                let run_start = Instant::now();
+                let r = execute_prepared2d_threaded(
+                    &self.pool,
+                    program,
+                    &entry.nest,
+                    plan,
+                    &prep,
+                    store,
+                    collector,
+                );
+                RunOutcome {
+                    makespan: r.elapsed.as_secs_f64(),
+                    messages: r.messages,
+                    prep_seconds,
+                    run_seconds: run_start.elapsed().as_secs_f64(),
+                    ..base
+                }
+            }
+        };
+        if let Some(ev) = cache_ev {
+            if collector.enabled() {
+                collector.cache(ev);
+            }
+        }
+        Ok(outcome)
+    }
+}
+
+/// Sizing knobs of a [`WavefrontService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Jobs the submission queue holds before [`WavefrontService::submit`]
+    /// blocks (backpressure; never drops). Clamped to at least 1.
+    pub queue_capacity: usize,
+    /// Compiled plans the LRU cache retains. 0 disables caching.
+    pub cache_capacity: usize,
+    /// Worker threads to pre-spawn at construction; the pool still grows
+    /// on demand to the widest job seen.
+    pub workers: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            queue_capacity: 64,
+            cache_capacity: 32,
+            workers: 0,
+        }
+    }
+}
+
+/// The processor topology a job runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobTopology {
+    /// A 1-D processor line (a [`crate::plan::WavefrontPlan`]).
+    Line {
+        /// Number of processors on the line.
+        procs: usize,
+        /// Forced distribution dimension, or `None` to let the planner
+        /// choose.
+        dist_dim: Option<usize>,
+    },
+    /// A 2-D processor mesh (a [`crate::plan2d::WavefrontPlan2D`]).
+    Mesh {
+        /// Mesh shape (`[rows, cols]`).
+        mesh: [usize; 2],
+        /// Forced distributed dimensions, or `None` to let the planner
+        /// choose.
+        wave_dims: Option<[usize; 2]>,
+    },
+}
+
+/// Everything one service job needs, by value: the service outlives any
+/// borrow a `Session` could hold, so program, nest, and store are owned
+/// (`Arc`s for the shared read-only parts).
+pub struct JobSpec<const R: usize> {
+    program: Arc<Program<R>>,
+    nest: Arc<CompiledNest<R>>,
+    topology: JobTopology,
+    cfg: SessionConfig,
+    engine: EngineKind,
+    store: Option<Store<R>>,
+    trace: bool,
+}
+
+impl<const R: usize> JobSpec<R> {
+    /// A job for `nest` of `program`. Defaults: 1-processor line,
+    /// threads engine, default [`SessionConfig`], no store, no trace.
+    pub fn new(program: Arc<Program<R>>, nest: Arc<CompiledNest<R>>) -> Self {
+        JobSpec {
+            program,
+            nest,
+            topology: JobTopology::Line {
+                procs: 1,
+                dist_dim: None,
+            },
+            cfg: SessionConfig::default(),
+            engine: EngineKind::Threads,
+            store: None,
+            trace: false,
+        }
+    }
+
+    /// Run on a 1-D line of `procs` processors (planner-chosen
+    /// distribution dimension).
+    pub fn line(mut self, procs: usize) -> Self {
+        self.topology = JobTopology::Line {
+            procs,
+            dist_dim: None,
+        };
+        self
+    }
+
+    /// Run on a 2-D mesh of shape `[rows, cols]` (planner-chosen wave
+    /// dimensions).
+    pub fn mesh(mut self, mesh: [usize; 2]) -> Self {
+        self.topology = JobTopology::Mesh {
+            mesh,
+            wave_dims: None,
+        };
+        self
+    }
+
+    /// Set the full topology, including forced dimensions.
+    pub fn topology(mut self, topology: JobTopology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Replace the whole [`SessionConfig`] at once.
+    pub fn config(mut self, cfg: SessionConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Block-size policy. [`BlockPolicy::Adaptive`] jobs run through the
+    /// closed-loop tuner and bypass the plan cache (the tuner's whole
+    /// point is to re-plan mid-run).
+    pub fn block(mut self, policy: BlockPolicy) -> Self {
+        self.cfg.block = policy;
+        self
+    }
+
+    /// Machine cost parameters.
+    pub fn machine(mut self, params: wavefront_machine::MachineParams) -> Self {
+        self.cfg.machine = params;
+        self
+    }
+
+    /// Select compiled tile kernels (`true`, the default) or the
+    /// reference interpreter.
+    pub fn kernels(mut self, on: bool) -> Self {
+        self.cfg.kernels = on;
+        self
+    }
+
+    /// Which engine runs the job (default [`EngineKind::Threads`]).
+    pub fn engine(mut self, kind: EngineKind) -> Self {
+        self.engine = kind;
+        self
+    }
+
+    /// Attach the data store the job computes on (moved in; returned in
+    /// the [`JobOutcome`]). Required for the seq and threads engines.
+    pub fn store(mut self, store: Store<R>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Record the job's telemetry stream and return an
+    /// [`ExecutionReport`] in the outcome.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+}
+
+/// What one completed job returns.
+pub struct JobOutcome<const R: usize> {
+    /// The engine-independent run outcome (see [`RunOutcome`]); warm
+    /// cache hits show up as `prep_seconds` collapsing.
+    pub outcome: RunOutcome,
+    /// The data store moved in via [`JobSpec::store`], now holding the
+    /// computed values.
+    pub store: Option<Store<R>>,
+    /// The aggregated telemetry report when [`JobSpec::trace`] was set.
+    pub trace: Option<ExecutionReport>,
+}
+
+struct Slot<const R: usize> {
+    done: Mutex<Option<Result<JobOutcome<R>, PipelineError>>>,
+    ready: Condvar,
+}
+
+impl<const R: usize> Slot<R> {
+    fn new() -> Self {
+        Slot {
+            done: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn fulfil(&self, result: Result<JobOutcome<R>, PipelineError>) {
+        *self.done.lock().unwrap() = Some(result);
+        self.ready.notify_all();
+    }
+}
+
+/// A ticket for one submitted job.
+pub struct JobHandle<const R: usize> {
+    slot: Arc<Slot<R>>,
+}
+
+impl<const R: usize> JobHandle<R> {
+    /// Block until the job completes and take its outcome. A worker
+    /// panic during the job surfaces as [`PipelineError::EnginePanic`];
+    /// the service itself survives and keeps serving.
+    pub fn wait(self) -> Result<JobOutcome<R>, PipelineError> {
+        let mut done = self.slot.done.lock().unwrap();
+        loop {
+            if let Some(result) = done.take() {
+                return result;
+            }
+            done = self.slot.ready.wait(done).unwrap();
+        }
+    }
+
+    /// Whether the job has already completed (non-blocking).
+    pub fn is_done(&self) -> bool {
+        self.slot.done.lock().unwrap().is_some()
+    }
+}
+
+/// Counters describing a service's life so far; see
+/// [`WavefrontService::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Jobs accepted by [`WavefrontService::submit`].
+    pub jobs_submitted: u64,
+    /// Jobs whose handles have been fulfilled.
+    pub jobs_completed: u64,
+    /// Submissions that found the queue full and had to block.
+    pub blocked_submits: u64,
+    /// Compiled-plan cache hits.
+    pub cache_hits: u64,
+    /// Compiled-plan cache misses.
+    pub cache_misses: u64,
+    /// Plans currently resident in the cache.
+    pub cache_entries: usize,
+    /// Total OS threads the worker pool ever spawned — flat under steady
+    /// traffic (the soak test's invariant).
+    pub pool_spawns: u64,
+    /// Worker threads currently alive (parked or busy).
+    pub pool_workers: usize,
+}
+
+struct QueueState<const R: usize> {
+    jobs: VecDeque<(JobSpec<R>, Arc<Slot<R>>)>,
+    closed: bool,
+}
+
+struct Shared<const R: usize> {
+    queue: Mutex<QueueState<R>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+    core: ExecCore,
+    jobs_submitted: AtomicU64,
+    jobs_completed: AtomicU64,
+    blocked_submits: AtomicU64,
+}
+
+/// A persistent wavefront execution service: submit jobs, reuse threads
+/// and compiled plans, wait on handles. See the module docs.
+pub struct WavefrontService<const R: usize> {
+    shared: Arc<Shared<R>>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl<const R: usize> Default for WavefrontService<R> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const R: usize> WavefrontService<R> {
+    /// A service with the default [`ServiceConfig`].
+    pub fn new() -> Self {
+        Self::with_config(ServiceConfig::default())
+    }
+
+    /// A service with explicit sizing.
+    pub fn with_config(cfg: ServiceConfig) -> Self {
+        let core = ExecCore::new(cfg.cache_capacity);
+        core.pool().ensure_workers(cfg.workers);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity: cfg.queue_capacity.max(1),
+            core,
+            jobs_submitted: AtomicU64::new(0),
+            jobs_completed: AtomicU64::new(0),
+            blocked_submits: AtomicU64::new(0),
+        });
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || dispatcher_loop(&shared))
+        };
+        WavefrontService {
+            shared,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// Enqueue one job. Blocks while the queue is at capacity
+    /// (backpressure — submissions are never dropped); returns a handle
+    /// to wait on. Jobs execute in submission order.
+    pub fn submit(&self, spec: JobSpec<R>) -> JobHandle<R> {
+        let slot = Arc::new(Slot::new());
+        let mut q = self.shared.queue.lock().unwrap();
+        if q.jobs.len() >= self.shared.capacity {
+            self.shared.blocked_submits.fetch_add(1, Ordering::Relaxed);
+            while q.jobs.len() >= self.shared.capacity {
+                q = self.shared.not_full.wait(q).unwrap();
+            }
+        }
+        q.jobs.push_back((spec, Arc::clone(&slot)));
+        self.shared.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        drop(q);
+        self.shared.not_empty.notify_one();
+        JobHandle { slot }
+    }
+
+    /// Submit several jobs, in order; blocks as [`WavefrontService::submit`]
+    /// does when the queue fills mid-batch.
+    pub fn submit_batch(&self, specs: impl IntoIterator<Item = JobSpec<R>>) -> Vec<JobHandle<R>> {
+        specs.into_iter().map(|s| self.submit(s)).collect()
+    }
+
+    /// Current counters (queue, cache, pool). Cheap; safe to poll.
+    pub fn stats(&self) -> ServiceStats {
+        let s = &self.shared;
+        ServiceStats {
+            jobs_submitted: s.jobs_submitted.load(Ordering::Relaxed),
+            jobs_completed: s.jobs_completed.load(Ordering::Relaxed),
+            blocked_submits: s.blocked_submits.load(Ordering::Relaxed),
+            cache_hits: s.core.hits.load(Ordering::Relaxed),
+            cache_misses: s.core.misses.load(Ordering::Relaxed),
+            cache_entries: s.core.cache.lock().unwrap().len(),
+            pool_spawns: s.core.pool().spawn_count(),
+            pool_workers: s.core.pool().worker_count(),
+        }
+    }
+}
+
+impl<const R: usize> Drop for WavefrontService<R> {
+    /// Shut down: already-queued jobs still run (their handles resolve),
+    /// then the dispatcher and the worker pool exit.
+    fn drop(&mut self) {
+        self.shared.queue.lock().unwrap().closed = true;
+        self.shared.not_empty.notify_all();
+        if let Some(h) = self.dispatcher.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn dispatcher_loop<const R: usize>(shared: &Arc<Shared<R>>) {
+    loop {
+        let (spec, slot) = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
+                }
+                if q.closed {
+                    return;
+                }
+                q = shared.not_empty.wait(q).unwrap();
+            }
+        };
+        shared.not_full.notify_one();
+        let result = match catch_unwind(AssertUnwindSafe(|| run_job(&shared.core, spec))) {
+            Ok(r) => r,
+            Err(payload) => Err(PipelineError::EnginePanic(panic_message(&payload))),
+        };
+        shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
+        slot.fulfil(result);
+    }
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Execute one job on the core. Adaptive-policy jobs run through the
+/// one-shot `Session` front doors (the tuner re-plans mid-run, so there
+/// is nothing cacheable); everything else goes through the core's cache
+/// and pool.
+fn run_job<const R: usize>(
+    core: &ExecCore,
+    spec: JobSpec<R>,
+) -> Result<JobOutcome<R>, PipelineError> {
+    let JobSpec {
+        program,
+        nest,
+        topology,
+        cfg,
+        engine,
+        mut store,
+        trace,
+    } = spec;
+    let mut trace_collector = trace.then(TraceCollector::new);
+
+    if matches!(cfg.block, BlockPolicy::Adaptive(_)) {
+        let outcome = match topology {
+            JobTopology::Line { procs, dist_dim } => {
+                let mut session = Session::new(&program, &nest).procs(procs).config(cfg);
+                if let Some(d) = dist_dim {
+                    session = session.dist_dim(d);
+                }
+                if let Some(st) = store.as_mut() {
+                    session = session.store(st);
+                }
+                if let Some(tc) = trace_collector.as_mut() {
+                    session = session.collector(tc);
+                }
+                session.run(engine)?
+            }
+            JobTopology::Mesh { mesh, wave_dims } => {
+                let mut session = Session2D::new(&program, &nest).mesh(mesh).config(cfg);
+                if let Some(w) = wave_dims {
+                    session = session.wave_dims(w);
+                }
+                if let Some(st) = store.as_mut() {
+                    session = session.store(st);
+                }
+                if let Some(tc) = trace_collector.as_mut() {
+                    session = session.collector(tc);
+                }
+                session.run(engine)?
+            }
+        };
+        return Ok(JobOutcome {
+            outcome,
+            store,
+            trace: trace_collector.map(|tc| tc.report()),
+        });
+    }
+
+    let mut noop = NoopCollector;
+    let collector: &mut dyn Collector = match trace_collector.as_mut() {
+        Some(tc) => tc,
+        None => &mut noop,
+    };
+    let outcome = match topology {
+        JobTopology::Line { procs, dist_dim } => core.run_line(
+            &program,
+            NestSource::Shared(&nest),
+            procs,
+            dist_dim,
+            &cfg,
+            store.as_mut(),
+            collector,
+            engine,
+        )?,
+        JobTopology::Mesh { mesh, wave_dims } => core.run_mesh(
+            &program,
+            NestSource::Shared(&nest),
+            mesh,
+            wave_dims,
+            &cfg,
+            store.as_mut(),
+            collector,
+            engine,
+        )?,
+    };
+    Ok(JobOutcome {
+        outcome,
+        store,
+        trace: trace_collector.map(|tc| tc.report()),
+    })
+}

@@ -20,6 +20,10 @@
 //! [`Session2D`] is the analogue for 2-D processor meshes. Custom
 //! runtimes can implement [`Engine`] and run through
 //! [`Session::run_engine`], receiving the same prepared [`EngineCtx`].
+//! For heavy repeated traffic, [`crate::service::WavefrontService`]
+//! wraps the same execution core in a long-lived job API with a
+//! persistent worker pool and a compiled-plan cache; a `Session` is the
+//! one-shot front door over that core.
 //!
 //! Attach a [`crate::telemetry::TraceCollector`] to record the run, then
 //! feed it to [`crate::telemetry::TraceAnalysis`] (critical path,
@@ -32,18 +36,67 @@ use wavefront_core::exec::CompiledNest;
 use wavefront_core::program::{Program, Store};
 use wavefront_machine::{cray_t3e, MachineParams};
 
-use crate::exec2d::{
-    execute_plan2d_sequential_collected_opts, execute_plan2d_threaded_collected_opts,
-    simulate_plan2d_collected,
-};
-use crate::exec_seq::execute_plan_sequential_collected_opts;
-use crate::exec_sim::simulate_plan_collected;
-use crate::exec_threads::execute_plan_threaded_collected_opts;
+use wavefront_core::exec::CompiledProgram;
+
 use crate::error::PipelineError;
+use crate::exec_seq::execute_plan_sequential_collected_opts;
+use crate::exec_sim::{simulate_nest, simulate_plan_collected, simulate_program_fused};
+use crate::exec_sim::{simulate_program, NestSim, ProgramSim};
+use crate::exec_threads::execute_plan_threaded_collected_opts;
 use crate::plan::WavefrontPlan;
 use crate::plan2d::WavefrontPlan2D;
 use crate::schedule::BlockPolicy;
+use crate::service::{ExecCore, NestSource};
 use crate::telemetry::{Collector, EngineKind, NoopCollector, TimeUnit};
+
+/// The engine-independent knobs shared by [`Session`], [`Session2D`],
+/// and [`crate::service::JobSpec`]: block-size policy, machine cost
+/// parameters, and the kernel-tier switch.
+///
+/// Collector and store attachments stay on the individual builders —
+/// they are mutable borrows tied to one run, while a `SessionConfig` is
+/// a plain cloneable value that can be reused across many jobs (and is
+/// part of the service's cache fingerprint).
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Block-size policy (Fixed / Model1 / Model2 / Naive / Probed / Adaptive).
+    pub block: BlockPolicy,
+    /// Machine cost parameters (block-size models and the simulator).
+    pub machine: MachineParams,
+    /// Whether executing engines use compiled tile kernels (`true`, the
+    /// default) or the reference expression interpreter.
+    pub kernels: bool,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        SessionConfig {
+            block: BlockPolicy::Model2,
+            machine: cray_t3e(),
+            kernels: true,
+        }
+    }
+}
+
+impl SessionConfig {
+    /// Set the block-size policy.
+    pub fn block(mut self, policy: BlockPolicy) -> Self {
+        self.block = policy;
+        self
+    }
+
+    /// Set the machine cost parameters.
+    pub fn machine(mut self, params: MachineParams) -> Self {
+        self.machine = params;
+        self
+    }
+
+    /// Select compiled tile kernels (`true`) or the interpreter (`false`).
+    pub fn kernels(mut self, on: bool) -> Self {
+        self.kernels = on;
+        self
+    }
+}
 
 /// What one engine run produced, in engine-independent terms.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,6 +118,16 @@ pub struct RunOutcome {
     /// Whether the plan pipelines (more than one tile and more than one
     /// active processor).
     pub pipelined: bool,
+    /// Wall-clock seconds spent preparing the run before the engine
+    /// started: plan construction (or a cache lookup when the run went
+    /// through a [`crate::service::WavefrontService`]) and kernel
+    /// lowering. Warm cache hits show up as this dropping to ~0.
+    pub prep_seconds: f64,
+    /// Wall-clock seconds of the engine execution itself. For the
+    /// executing engines this equals `makespan`; for the simulator it is
+    /// the host time spent simulating (while `makespan` stays in model
+    /// units).
+    pub run_seconds: f64,
 }
 
 /// Everything an [`Engine`] needs, prepared by the session: the plan is
@@ -108,6 +171,8 @@ fn outcome_base<const R: usize>(engine: EngineKind, plan: &WavefrontPlan<R>) -> 
         block: plan.block,
         tiles: plan.tiles.len(),
         pipelined: plan.is_pipelined(),
+        prep_seconds: 0.0,
+        run_seconds: 0.0,
     }
 }
 
@@ -188,11 +253,9 @@ pub struct Session<'a, const R: usize> {
     pub(crate) nest: &'a CompiledNest<R>,
     pub(crate) procs: usize,
     pub(crate) dist_dim: Option<usize>,
-    pub(crate) block: BlockPolicy,
-    pub(crate) machine: MachineParams,
+    pub(crate) cfg: SessionConfig,
     pub(crate) collector: Option<&'a mut dyn Collector>,
     pub(crate) store: Option<&'a mut Store<R>>,
-    pub(crate) kernels: bool,
 }
 
 impl<'a, const R: usize> Session<'a, R> {
@@ -205,11 +268,9 @@ impl<'a, const R: usize> Session<'a, R> {
             nest,
             procs: 1,
             dist_dim: None,
-            block: BlockPolicy::Model2,
-            machine: cray_t3e(),
+            cfg: SessionConfig::default(),
             collector: None,
             store: None,
-            kernels: true,
         }
     }
 
@@ -226,15 +287,21 @@ impl<'a, const R: usize> Session<'a, R> {
         self
     }
 
+    /// Replace the whole [`SessionConfig`] at once.
+    pub fn config(mut self, cfg: SessionConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
     /// Block-size policy (Fixed / Model1 / Model2 / Naive / Probed).
     pub fn block(mut self, policy: BlockPolicy) -> Self {
-        self.block = policy;
+        self.cfg.block = policy;
         self
     }
 
     /// Machine cost parameters (block-size models and the simulator).
     pub fn machine(mut self, params: MachineParams) -> Self {
-        self.machine = params;
+        self.cfg.machine = params;
         self
     }
 
@@ -253,13 +320,34 @@ impl<'a, const R: usize> Session<'a, R> {
     /// Select compiled tile kernels (`true`, the default) or force the
     /// reference interpreter (`false`) in the executing engines.
     pub fn kernels(mut self, on: bool) -> Self {
-        self.kernels = on;
+        self.cfg.kernels = on;
         self
     }
 
     /// Build the wavefront plan this session would run.
     pub fn plan(&self) -> Result<WavefrontPlan<R>, PipelineError> {
-        WavefrontPlan::build(self.nest, self.procs, self.dist_dim, &self.block, &self.machine)
+        WavefrontPlan::build(
+            self.nest,
+            self.procs,
+            self.dist_dim,
+            &self.cfg.block,
+            &self.cfg.machine,
+        )
+    }
+
+    /// Estimate this session's nest on the closed-form/DES cost model
+    /// without touching any data: wavefront nests are planned and
+    /// simulated under the session's policy; non-wavefront nests fall
+    /// back to the fully parallel estimate. Distribution defaults to
+    /// dimension 0 unless [`Session::dist_dim`] was set.
+    pub fn estimate(&self) -> NestSim {
+        simulate_nest(
+            self.nest,
+            self.procs,
+            self.dist_dim.unwrap_or(0),
+            &self.cfg.block,
+            &self.cfg.machine,
+        )
     }
 
     /// Plan and run on one of the built-in engines.
@@ -267,34 +355,151 @@ impl<'a, const R: usize> Session<'a, R> {
     /// With [`BlockPolicy::Adaptive`] the run is routed through the
     /// closed-loop tuner (see [`crate::tune`]): probe tiles, an online
     /// α/β re-fit, and a re-blocked remainder, all behind the same call.
+    /// Otherwise the run goes through the same execution core the
+    /// [`crate::service::WavefrontService`] uses — a single-use,
+    /// uncached instance of it.
     pub fn run(self, kind: EngineKind) -> Result<RunOutcome, PipelineError> {
-        if let BlockPolicy::Adaptive(cfg) = self.block.clone() {
-            return crate::tune::run_session_adaptive(self, kind, &cfg);
+        if let BlockPolicy::Adaptive(acfg) = self.cfg.block.clone() {
+            return crate::tune::run_session_adaptive(self, kind, &acfg);
         }
-        match kind {
-            EngineKind::Sim => self.run_engine(&SimEngine),
-            EngineKind::Seq => self.run_engine(&SeqEngine),
-            EngineKind::Threads => self.run_engine(&ThreadsEngine),
-        }
+        let Session {
+            program,
+            nest,
+            procs,
+            dist_dim,
+            cfg,
+            collector,
+            store,
+        } = self;
+        let mut noop = NoopCollector;
+        let collector: &mut dyn Collector = match collector {
+            Some(c) => c,
+            None => &mut noop,
+        };
+        let core = ExecCore::new(0);
+        core.run_line(
+            program,
+            NestSource::Borrowed(nest),
+            procs,
+            dist_dim,
+            &cfg,
+            store,
+            collector,
+            kind,
+        )
     }
 
     /// Plan and run on a caller-provided engine.
     pub fn run_engine(self, engine: &dyn Engine<R>) -> Result<RunOutcome, PipelineError> {
+        let prep_start = Instant::now();
         let plan = self.plan()?;
+        let prep_seconds = prep_start.elapsed().as_secs_f64();
         let mut noop = NoopCollector;
         let collector: &mut dyn Collector = match self.collector {
             Some(c) => c,
             None => &mut noop,
         };
-        engine.run(EngineCtx {
+        let run_start = Instant::now();
+        let out = engine.run(EngineCtx {
             program: self.program,
             nest: self.nest,
             plan: &plan,
-            params: &self.machine,
+            params: &self.cfg.machine,
             store: self.store,
             collector,
-            kernels: self.kernels,
+            kernels: self.cfg.kernels,
+        })?;
+        Ok(RunOutcome {
+            prep_seconds,
+            run_seconds: run_start.elapsed().as_secs_f64(),
+            ..out
         })
+    }
+}
+
+/// Builder for whole-program cost estimation: every nest of a compiled
+/// program simulated in order (with barriers), or fused into one task
+/// graph via [`ProgramSession::estimate_fused`]. This is the public
+/// face of the figure harnesses' "experimental" times.
+pub struct ProgramSession<'a, const R: usize> {
+    program: &'a Program<R>,
+    compiled: &'a CompiledProgram<R>,
+    procs: usize,
+    dist_dim: usize,
+    cfg: SessionConfig,
+}
+
+impl<'a, const R: usize> ProgramSession<'a, R> {
+    /// Start a program session. Defaults: 1 processor, distribution
+    /// along dimension 0, [`BlockPolicy::Model2`], [`cray_t3e`].
+    pub fn new(program: &'a Program<R>, compiled: &'a CompiledProgram<R>) -> Self {
+        ProgramSession {
+            program,
+            compiled,
+            procs: 1,
+            dist_dim: 0,
+            cfg: SessionConfig::default(),
+        }
+    }
+
+    /// Number of processors on the line.
+    pub fn procs(mut self, p: usize) -> Self {
+        self.procs = p;
+        self
+    }
+
+    /// Distribution dimension (default 0).
+    pub fn dist_dim(mut self, dim: usize) -> Self {
+        self.dist_dim = dim;
+        self
+    }
+
+    /// Replace the whole [`SessionConfig`] at once.
+    pub fn config(mut self, cfg: SessionConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Block-size policy.
+    pub fn block(mut self, policy: BlockPolicy) -> Self {
+        self.cfg.block = policy;
+        self
+    }
+
+    /// Machine cost parameters.
+    pub fn machine(mut self, params: MachineParams) -> Self {
+        self.cfg.machine = params;
+        self
+    }
+
+    /// Simulate every nest in program order with a barrier between
+    /// nests (the paper's per-statement communication structure).
+    pub fn estimate(&self) -> ProgramSim {
+        simulate_program(
+            self.program,
+            self.compiled,
+            self.procs,
+            self.dist_dim,
+            &self.cfg.block,
+            &self.cfg.machine,
+        )
+    }
+
+    /// Simulate the whole program as one task graph. With
+    /// `overlap = false` nests are separated by barriers (the same
+    /// semantics as [`ProgramSession::estimate`], expressed as a DAG);
+    /// with `overlap = true` a processor's next nest waits only on its
+    /// own and neighbouring processors, letting aligned wavefronts
+    /// chase each other. Returns the simulated makespan.
+    pub fn estimate_fused(&self, overlap: bool) -> f64 {
+        simulate_program_fused(
+            self.compiled,
+            self.procs,
+            self.dist_dim,
+            &self.cfg.block,
+            &self.cfg.machine,
+            overlap,
+        )
     }
 }
 
@@ -306,11 +511,9 @@ pub struct Session2D<'a, const R: usize> {
     pub(crate) nest: &'a CompiledNest<R>,
     pub(crate) mesh: [usize; 2],
     pub(crate) wave_dims: Option<[usize; 2]>,
-    pub(crate) block: BlockPolicy,
-    pub(crate) machine: MachineParams,
+    pub(crate) cfg: SessionConfig,
     pub(crate) collector: Option<&'a mut dyn Collector>,
     pub(crate) store: Option<&'a mut Store<R>>,
-    pub(crate) kernels: bool,
 }
 
 impl<'a, const R: usize> Session2D<'a, R> {
@@ -322,11 +525,9 @@ impl<'a, const R: usize> Session2D<'a, R> {
             nest,
             mesh: [1, 1],
             wave_dims: None,
-            block: BlockPolicy::Model2,
-            machine: cray_t3e(),
+            cfg: SessionConfig::default(),
             collector: None,
             store: None,
-            kernels: true,
         }
     }
 
@@ -342,15 +543,21 @@ impl<'a, const R: usize> Session2D<'a, R> {
         self
     }
 
+    /// Replace the whole [`SessionConfig`] at once.
+    pub fn config(mut self, cfg: SessionConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
     /// Block-size policy.
     pub fn block(mut self, policy: BlockPolicy) -> Self {
-        self.block = policy;
+        self.cfg.block = policy;
         self
     }
 
     /// Machine cost parameters.
     pub fn machine(mut self, params: MachineParams) -> Self {
-        self.machine = params;
+        self.cfg.machine = params;
         self
     }
 
@@ -369,76 +576,54 @@ impl<'a, const R: usize> Session2D<'a, R> {
     /// Select compiled tile kernels (`true`, the default) or force the
     /// reference interpreter (`false`) in the executing engines.
     pub fn kernels(mut self, on: bool) -> Self {
-        self.kernels = on;
+        self.cfg.kernels = on;
         self
     }
 
     /// Build the 2-D wavefront plan this session would run.
     pub fn plan(&self) -> Result<WavefrontPlan2D<R>, PipelineError> {
-        WavefrontPlan2D::build(self.nest, self.mesh, self.wave_dims, &self.block, &self.machine)
+        WavefrontPlan2D::build(
+            self.nest,
+            self.mesh,
+            self.wave_dims,
+            &self.cfg.block,
+            &self.cfg.machine,
+        )
     }
 
     /// Plan and run on one of the built-in mesh engines. As with
     /// [`Session::run`], [`BlockPolicy::Adaptive`] routes through the
-    /// closed-loop tuner.
+    /// closed-loop tuner, and everything else goes through the shared
+    /// execution core.
     pub fn run(self, kind: EngineKind) -> Result<RunOutcome, PipelineError> {
-        if let BlockPolicy::Adaptive(cfg) = self.block.clone() {
-            return crate::tune::run_session2d_adaptive(self, kind, &cfg);
+        if let BlockPolicy::Adaptive(acfg) = self.cfg.block.clone() {
+            return crate::tune::run_session2d_adaptive(self, kind, &acfg);
         }
-        let plan = self.plan()?;
+        let Session2D {
+            program,
+            nest,
+            mesh,
+            wave_dims,
+            cfg,
+            collector,
+            store,
+        } = self;
         let mut noop = NoopCollector;
-        let collector: &mut dyn Collector = match self.collector {
+        let collector: &mut dyn Collector = match collector {
             Some(c) => c,
             None => &mut noop,
         };
-        let base = RunOutcome {
-            engine: kind,
-            makespan: 0.0,
-            time_unit: TimeUnit::Seconds,
-            messages: 0,
-            block: plan.block,
-            tiles: plan.tiles.len(),
-            pipelined: plan.is_pipelined(),
-        };
-        match kind {
-            EngineKind::Sim => {
-                let r = simulate_plan2d_collected(&plan, &self.machine, collector);
-                Ok(RunOutcome {
-                    makespan: r.makespan,
-                    time_unit: TimeUnit::ModelUnits,
-                    messages: r.messages,
-                    ..base
-                })
-            }
-            EngineKind::Seq => {
-                let store = self.store.ok_or(PipelineError::MissingStore)?;
-                let start = Instant::now();
-                execute_plan2d_sequential_collected_opts(
-                    self.nest,
-                    &plan,
-                    store,
-                    collector,
-                    self.kernels,
-                );
-                Ok(RunOutcome { makespan: start.elapsed().as_secs_f64(), ..base })
-            }
-            EngineKind::Threads => {
-                let store = self.store.ok_or(PipelineError::MissingStore)?;
-                let r = execute_plan2d_threaded_collected_opts(
-                    self.program,
-                    self.nest,
-                    &plan,
-                    store,
-                    collector,
-                    self.kernels,
-                );
-                Ok(RunOutcome {
-                    makespan: r.elapsed.as_secs_f64(),
-                    messages: r.messages,
-                    ..base
-                })
-            }
-        }
+        let core = ExecCore::new(0);
+        core.run_mesh(
+            program,
+            NestSource::Borrowed(nest),
+            mesh,
+            wave_dims,
+            &cfg,
+            store,
+            collector,
+            kind,
+        )
     }
 }
 
@@ -505,11 +690,17 @@ mod tests {
     fn engines_that_execute_data_require_a_store() {
         let (program, nest) = tomcatv_nest(20);
         for kind in [EngineKind::Seq, EngineKind::Threads] {
-            let err = Session::new(&program, &nest).procs(2).run(kind).unwrap_err();
+            let err = Session::new(&program, &nest)
+                .procs(2)
+                .run(kind)
+                .unwrap_err();
             assert_eq!(err, PipelineError::MissingStore);
         }
         // The simulator does not.
-        assert!(Session::new(&program, &nest).procs(2).run(EngineKind::Sim).is_ok());
+        assert!(Session::new(&program, &nest)
+            .procs(2)
+            .run(EngineKind::Sim)
+            .is_ok());
     }
 
     #[test]

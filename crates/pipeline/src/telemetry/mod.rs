@@ -176,6 +176,24 @@ pub struct WaitEvent {
     pub end: f64,
 }
 
+/// One compiled-plan cache lookup by the execution core (reported by
+/// [`crate::service::WavefrontService`] jobs; one-shot `Session` runs
+/// bypass the cache and emit none).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheEvent {
+    /// Whether the job's fingerprint hit a cached plan.
+    pub hit: bool,
+    /// FNV-1a digest of the fingerprint string (a compact label; the
+    /// cache itself compares full keys).
+    pub key: u64,
+    /// Plans resident after this lookup.
+    pub entries: usize,
+    /// Cumulative hits on the owning core, this lookup included.
+    pub hits: u64,
+    /// Cumulative misses on the owning core, this lookup included.
+    pub misses: u64,
+}
+
 /// Receives the event stream of one plan execution.
 ///
 /// All methods default to no-ops; engines call [`Collector::enabled`]
@@ -196,6 +214,11 @@ pub trait Collector {
     fn message(&mut self, _ev: MessageEvent) {}
     /// A processor stalled waiting for data.
     fn wait(&mut self, _ev: WaitEvent) {}
+    /// The execution core looked the job up in its compiled-plan cache.
+    /// Reported after [`Collector::end`] (the lookup happens before the
+    /// engine runs, but the event is emitted once the run's stream is
+    /// complete).
+    fn cache(&mut self, _ev: CacheEvent) {}
     /// Called once after execution with the run's makespan.
     fn end(&mut self, _makespan: f64) {}
 }

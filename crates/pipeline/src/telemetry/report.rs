@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use super::{BlockEvent, Collector, MessageEvent, RunMeta, TimeUnit, WaitEvent};
+use super::{BlockEvent, CacheEvent, Collector, MessageEvent, RunMeta, TimeUnit, WaitEvent};
 
 /// A [`Collector`] that records every event and aggregates it into an
 /// [`ExecutionReport`].
@@ -12,6 +12,7 @@ pub struct TraceCollector {
     blocks: Vec<BlockEvent>,
     messages: Vec<MessageEvent>,
     waits: Vec<WaitEvent>,
+    caches: Vec<CacheEvent>,
     makespan: f64,
 }
 
@@ -36,6 +37,13 @@ impl TraceCollector {
         &self.waits
     }
 
+    /// The compiled-plan cache lookups recorded so far (at most one per
+    /// run; empty unless the run went through a
+    /// [`crate::service::WavefrontService`]).
+    pub fn cache_events(&self) -> &[CacheEvent] {
+        &self.caches
+    }
+
     /// The run metadata, once a run has begun.
     pub fn meta(&self) -> Option<&RunMeta> {
         self.meta.as_ref()
@@ -56,7 +64,10 @@ impl TraceCollector {
         let mut per_proc: Vec<ProcTimeline> = meta
             .active
             .iter()
-            .map(|&p| ProcTimeline { proc: p, ..ProcTimeline::default() })
+            .map(|&p| ProcTimeline {
+                proc: p,
+                ..ProcTimeline::default()
+            })
             .collect();
         let slot = |procs: &[usize], p: usize| procs.iter().position(|&q| q == p);
 
@@ -66,7 +77,11 @@ impl TraceCollector {
                 t.blocks += 1;
                 t.elements += b.elems;
                 t.compute += b.end - b.start;
-                t.first_start = if t.blocks == 1 { b.start } else { t.first_start.min(b.start) };
+                t.first_start = if t.blocks == 1 {
+                    b.start
+                } else {
+                    t.first_start.min(b.start)
+                };
                 t.last_finish = t.last_finish.max(b.end);
             }
         }
@@ -96,6 +111,7 @@ impl TraceCollector {
             bytes: elements * std::mem::size_of::<f64>(),
             per_proc,
             phases,
+            cache: self.caches.last().copied(),
         }
     }
 }
@@ -106,6 +122,7 @@ impl Collector for TraceCollector {
         self.blocks.clear();
         self.messages.clear();
         self.waits.clear();
+        self.caches.clear();
         self.makespan = 0.0;
     }
     fn block(&mut self, ev: BlockEvent) {
@@ -116,6 +133,9 @@ impl Collector for TraceCollector {
     }
     fn wait(&mut self, ev: WaitEvent) {
         self.waits.push(ev);
+    }
+    fn cache(&mut self, ev: CacheEvent) {
+        self.caches.push(ev);
     }
     fn end(&mut self, makespan: f64) {
         self.makespan = makespan;
@@ -178,7 +198,11 @@ impl PhaseBreakdown {
             .find(|t| t.blocks > 0)
             .map_or(0.0, |t| makespan - t.last_finish)
             .clamp(0.0, makespan - fill);
-        PhaseBreakdown { fill, steady: makespan - fill - drain, drain }
+        PhaseBreakdown {
+            fill,
+            steady: makespan - fill - drain,
+            drain,
+        }
     }
 }
 
@@ -199,6 +223,10 @@ pub struct ExecutionReport {
     pub per_proc: Vec<ProcTimeline>,
     /// Fill / steady-state / drain decomposition of the makespan.
     pub phases: PhaseBreakdown,
+    /// The compiled-plan cache lookup of this run, when it went through
+    /// a [`crate::service::WavefrontService`] (`None` for one-shot
+    /// `Session` runs, which bypass the cache).
+    pub cache: Option<CacheEvent>,
 }
 
 /// Escape a string for inclusion in a JSON document.
@@ -256,12 +284,20 @@ impl ExecutionReport {
                 )
             })
             .collect();
+        let cache = match &self.cache {
+            Some(c) => format!(
+                "{{\"hit\":{},\"key\":\"{:016x}\",\"entries\":{},\"hits\":{},\"misses\":{}}}",
+                c.hit, c.key, c.entries, c.hits, c.misses
+            ),
+            None => "null".to_string(),
+        };
         format!(
             "{{\"engine\":{},\"machine\":{},\"time_unit\":{},\"procs\":{},\
              \"active_procs\":[{}],\"tiles\":{},\"block\":{},\"pipelined\":{},\
              \"makespan\":{},\"messages\":{},\"elements\":{},\"bytes\":{},\
              \"predicted\":{{\"messages\":{},\"elements\":{},\"bytes\":{}}},\
              \"phases\":{{\"fill\":{},\"steady\":{},\"drain\":{}}},\
+             \"cache\":{cache},\
              \"per_proc\":[{}]}}",
             jstr(m.engine.name()),
             jstr(&m.machine),
@@ -323,7 +359,15 @@ impl fmt::Display for ExecutionReport {
         writeln!(
             f,
             "{:>6} {:>7} {:>9} {:>12} {:>12} {:>6} {:>6} {:>10} {:>10}",
-            "proc", "blocks", "elems", "compute", "recv_wait", "sent", "recv", "elems_out", "elems_in"
+            "proc",
+            "blocks",
+            "elems",
+            "compute",
+            "recv_wait",
+            "sent",
+            "recv",
+            "elems_out",
+            "elems_in"
         )?;
         for t in &self.per_proc {
             writeln!(
@@ -359,7 +403,11 @@ mod tests {
             pipelined: true,
             machine: "test".into(),
             time_unit: TimeUnit::ModelUnits,
-            predicted: Prediction { messages: 2, elements: 6, bytes: 48 },
+            predicted: Prediction {
+                messages: 2,
+                elements: 6,
+                bytes: 48,
+            },
         }
     }
 
@@ -367,13 +415,55 @@ mod tests {
     fn report_aggregates_blocks_messages_and_phases() {
         let mut c = TraceCollector::new();
         c.begin(&meta(vec![0, 1]));
-        c.block(BlockEvent { proc: 0, tile: 0, start: 0.0, end: 2.0, elems: 6 });
-        c.block(BlockEvent { proc: 0, tile: 1, start: 2.0, end: 4.0, elems: 6 });
-        c.block(BlockEvent { proc: 1, tile: 0, start: 3.0, end: 5.0, elems: 6 });
-        c.block(BlockEvent { proc: 1, tile: 1, start: 5.0, end: 7.0, elems: 6 });
-        c.message(MessageEvent { from: 0, to: 1, tile: 0, elems: 3, sent_at: 2.0, recv_at: 3.0 });
-        c.message(MessageEvent { from: 0, to: 1, tile: 1, elems: 3, sent_at: 4.0, recv_at: 5.0 });
-        c.wait(WaitEvent { proc: 1, start: 0.0, end: 3.0 });
+        c.block(BlockEvent {
+            proc: 0,
+            tile: 0,
+            start: 0.0,
+            end: 2.0,
+            elems: 6,
+        });
+        c.block(BlockEvent {
+            proc: 0,
+            tile: 1,
+            start: 2.0,
+            end: 4.0,
+            elems: 6,
+        });
+        c.block(BlockEvent {
+            proc: 1,
+            tile: 0,
+            start: 3.0,
+            end: 5.0,
+            elems: 6,
+        });
+        c.block(BlockEvent {
+            proc: 1,
+            tile: 1,
+            start: 5.0,
+            end: 7.0,
+            elems: 6,
+        });
+        c.message(MessageEvent {
+            from: 0,
+            to: 1,
+            tile: 0,
+            elems: 3,
+            sent_at: 2.0,
+            recv_at: 3.0,
+        });
+        c.message(MessageEvent {
+            from: 0,
+            to: 1,
+            tile: 1,
+            elems: 3,
+            sent_at: 4.0,
+            recv_at: 5.0,
+        });
+        c.wait(WaitEvent {
+            proc: 1,
+            start: 0.0,
+            end: 3.0,
+        });
         c.end(7.0);
 
         let r = c.report();
@@ -395,13 +485,28 @@ mod tests {
     fn json_contains_schema_keys() {
         let mut c = TraceCollector::new();
         c.begin(&meta(vec![0]));
-        c.block(BlockEvent { proc: 0, tile: 0, start: 0.0, end: 1.0, elems: 6 });
+        c.block(BlockEvent {
+            proc: 0,
+            tile: 0,
+            start: 0.0,
+            end: 1.0,
+            elems: 6,
+        });
         c.end(1.0);
         let j = c.report().to_json();
         for key in [
-            "\"engine\"", "\"machine\"", "\"per_proc\"", "\"phases\"", "\"fill\"",
-            "\"steady\"", "\"drain\"", "\"messages\"", "\"bytes\"", "\"predicted\"",
-            "\"active_procs\"", "\"time_unit\"",
+            "\"engine\"",
+            "\"machine\"",
+            "\"per_proc\"",
+            "\"phases\"",
+            "\"fill\"",
+            "\"steady\"",
+            "\"drain\"",
+            "\"messages\"",
+            "\"bytes\"",
+            "\"predicted\"",
+            "\"active_procs\"",
+            "\"time_unit\"",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
         }
@@ -410,7 +515,11 @@ mod tests {
 
     #[test]
     fn phases_sum_to_makespan_even_when_degenerate() {
-        let tl = vec![ProcTimeline { proc: 0, blocks: 0, ..Default::default() }];
+        let tl = vec![ProcTimeline {
+            proc: 0,
+            blocks: 0,
+            ..Default::default()
+        }];
         let ph = PhaseBreakdown::from_timelines(&tl, 5.0);
         assert_eq!(ph.fill + ph.steady + ph.drain, 5.0);
     }

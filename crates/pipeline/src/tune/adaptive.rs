@@ -44,19 +44,20 @@ use wavefront_model::{optimal_block_rect, OnlineEstimator};
 
 use crate::error::PipelineError;
 use crate::exec2d::{
-    execute_plan2d_sequential_collected_opts, execute_plan2d_threaded_collected_opts,
+    execute_plan2d_sequential_collected_opts, execute_plan2d_threaded_pooled_opts,
     simulate_plan2d_collected,
 };
 use crate::exec_seq::execute_plan_sequential_collected_opts;
 use crate::exec_sim::simulate_plan_collected;
-use crate::exec_threads::execute_plan_threaded_collected_opts;
+use crate::exec_threads::execute_plan_threaded_pooled_opts;
 use crate::plan::WavefrontPlan;
 use crate::plan2d::WavefrontPlan2D;
 use crate::schedule::{AdaptiveConfig, BlockCtx};
+use crate::service::pool::WorkerPool;
 use crate::session::{RunOutcome, Session, Session2D};
 use crate::telemetry::{
-    BlockEvent, Collector, EngineKind, MessageEvent, NoopCollector, Prediction, RunMeta,
-    TimeUnit, TraceCollector, WaitEvent,
+    BlockEvent, Collector, EngineKind, MessageEvent, NoopCollector, Prediction, RunMeta, TimeUnit,
+    TraceCollector, WaitEvent,
 };
 
 /// Number of probe tiles the adaptive loop runs before re-blocking.
@@ -192,7 +193,11 @@ fn fit_probe(
         }
     }
     let cells = (ctx.n_wave * (w1 + w2)) as f64;
-    let work = if dur > 0.0 && cells > 0.0 { Some(dur / cells) } else { None };
+    let work = if dur > 0.0 && cells > 0.0 {
+        Some(dur / cells)
+    } else {
+        None
+    };
     (est.fit(), work)
 }
 
@@ -263,7 +268,11 @@ fn merge_phases(
             });
         }
         for w in trace.waits() {
-            user.wait(WaitEvent { proc: w.proc, start: w.start + toff, end: w.end + toff });
+            user.wait(WaitEvent {
+                proc: w.proc,
+                start: w.start + toff,
+                end: w.end + toff,
+            });
         }
     }
     user.end(total);
@@ -362,6 +371,7 @@ fn adapt_host<P: Tileable>(
     (t1 + t2, m1 + m2, tiles, report)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn outcome(
     kind: EngineKind,
     time_unit: TimeUnit,
@@ -369,6 +379,8 @@ fn outcome(
     messages: usize,
     tiles: usize,
     report: &AdaptiveReport,
+    prep_seconds: f64,
+    run_seconds: f64,
 ) -> RunOutcome {
     RunOutcome {
         engine: kind,
@@ -378,6 +390,8 @@ fn outcome(
         block: report.chosen_block,
         tiles,
         pipelined: tiles > 1,
+        prep_seconds,
+        run_seconds,
     }
 }
 
@@ -387,20 +401,41 @@ pub(crate) fn run_session_adaptive<const R: usize>(
     kind: EngineKind,
     cfg: &AdaptiveConfig,
 ) -> Result<RunOutcome, PipelineError> {
+    let prep_start = Instant::now();
     let plan = s.plan()?;
-    let Session { program, nest, machine, collector, store, kernels, .. } = s;
+    let prep_seconds = prep_start.elapsed().as_secs_f64();
+    let Session {
+        program,
+        nest,
+        cfg: scfg,
+        collector,
+        store,
+        ..
+    } = s;
+    let (machine, kernels) = (scfg.machine, scfg.kernels);
     let mut noop = NoopCollector;
     let collector: &mut dyn Collector = match collector {
         Some(c) => c,
         None => &mut noop,
     };
+    let run_start = Instant::now();
     match kind {
         EngineKind::Sim => {
             let (mk, msgs, tiles, rep) = adapt_des(&plan, machine, cfg, collector, |p, c| {
                 let r = simulate_plan_collected(p, &machine, c);
                 (r.makespan, r.messages)
             });
-            Ok(outcome(kind, TimeUnit::ModelUnits, mk, msgs, tiles, &rep))
+            let run_seconds = run_start.elapsed().as_secs_f64();
+            Ok(outcome(
+                kind,
+                TimeUnit::ModelUnits,
+                mk,
+                msgs,
+                tiles,
+                &rep,
+                prep_seconds,
+                run_seconds,
+            ))
         }
         EngineKind::Seq => {
             let store = store.ok_or(PipelineError::MissingStore)?;
@@ -409,16 +444,41 @@ pub(crate) fn run_session_adaptive<const R: usize>(
                 execute_plan_sequential_collected_opts(nest, p, store, c, kernels);
                 (t0.elapsed().as_secs_f64(), 0)
             });
-            Ok(outcome(kind, TimeUnit::Seconds, mk, msgs, tiles, &rep))
+            let run_seconds = run_start.elapsed().as_secs_f64();
+            Ok(outcome(
+                kind,
+                TimeUnit::Seconds,
+                mk,
+                msgs,
+                tiles,
+                &rep,
+                prep_seconds,
+                run_seconds,
+            ))
         }
         EngineKind::Threads => {
             let store = store.ok_or(PipelineError::MissingStore)?;
+            // One transient pool shared across the probe and remainder
+            // phases: the second engine invocation reuses the threads the
+            // first one spawned.
+            let workers = WorkerPool::new();
             let (mk, msgs, tiles, rep) = adapt_host(&plan, machine, cfg, collector, |p, c| {
-                let r =
-                    execute_plan_threaded_collected_opts(program, nest, p, store, c, kernels);
+                let r = execute_plan_threaded_pooled_opts(
+                    &workers, program, nest, p, store, c, kernels,
+                );
                 (r.elapsed.as_secs_f64(), r.messages)
             });
-            Ok(outcome(kind, TimeUnit::Seconds, mk, msgs, tiles, &rep))
+            let run_seconds = run_start.elapsed().as_secs_f64();
+            Ok(outcome(
+                kind,
+                TimeUnit::Seconds,
+                mk,
+                msgs,
+                tiles,
+                &rep,
+                prep_seconds,
+                run_seconds,
+            ))
         }
     }
 }
@@ -429,20 +489,41 @@ pub(crate) fn run_session2d_adaptive<const R: usize>(
     kind: EngineKind,
     cfg: &AdaptiveConfig,
 ) -> Result<RunOutcome, PipelineError> {
+    let prep_start = Instant::now();
     let plan = s.plan()?;
-    let Session2D { program, nest, machine, collector, store, kernels, .. } = s;
+    let prep_seconds = prep_start.elapsed().as_secs_f64();
+    let Session2D {
+        program,
+        nest,
+        cfg: scfg,
+        collector,
+        store,
+        ..
+    } = s;
+    let (machine, kernels) = (scfg.machine, scfg.kernels);
     let mut noop = NoopCollector;
     let collector: &mut dyn Collector = match collector {
         Some(c) => c,
         None => &mut noop,
     };
+    let run_start = Instant::now();
     match kind {
         EngineKind::Sim => {
             let (mk, msgs, tiles, rep) = adapt_des(&plan, machine, cfg, collector, |p, c| {
                 let r = simulate_plan2d_collected(p, &machine, c);
                 (r.makespan, r.messages)
             });
-            Ok(outcome(kind, TimeUnit::ModelUnits, mk, msgs, tiles, &rep))
+            let run_seconds = run_start.elapsed().as_secs_f64();
+            Ok(outcome(
+                kind,
+                TimeUnit::ModelUnits,
+                mk,
+                msgs,
+                tiles,
+                &rep,
+                prep_seconds,
+                run_seconds,
+            ))
         }
         EngineKind::Seq => {
             let store = store.ok_or(PipelineError::MissingStore)?;
@@ -451,16 +532,38 @@ pub(crate) fn run_session2d_adaptive<const R: usize>(
                 execute_plan2d_sequential_collected_opts(nest, p, store, c, kernels);
                 (t0.elapsed().as_secs_f64(), 0)
             });
-            Ok(outcome(kind, TimeUnit::Seconds, mk, msgs, tiles, &rep))
+            let run_seconds = run_start.elapsed().as_secs_f64();
+            Ok(outcome(
+                kind,
+                TimeUnit::Seconds,
+                mk,
+                msgs,
+                tiles,
+                &rep,
+                prep_seconds,
+                run_seconds,
+            ))
         }
         EngineKind::Threads => {
             let store = store.ok_or(PipelineError::MissingStore)?;
+            let workers = WorkerPool::new();
             let (mk, msgs, tiles, rep) = adapt_host(&plan, machine, cfg, collector, |p, c| {
-                let r =
-                    execute_plan2d_threaded_collected_opts(program, nest, p, store, c, kernels);
+                let r = execute_plan2d_threaded_pooled_opts(
+                    &workers, program, nest, p, store, c, kernels,
+                );
                 (r.elapsed.as_secs_f64(), r.messages)
             });
-            Ok(outcome(kind, TimeUnit::Seconds, mk, msgs, tiles, &rep))
+            let run_seconds = run_start.elapsed().as_secs_f64();
+            Ok(outcome(
+                kind,
+                TimeUnit::Seconds,
+                mk,
+                msgs,
+                tiles,
+                &rep,
+                prep_seconds,
+                run_seconds,
+            ))
         }
     }
 }
@@ -491,7 +594,10 @@ mod tests {
         // far too small. The closed loop must land near the true model
         // optimum anyway.
         let wrong = MachineParams::custom("wrong-prior", 1.0, 0.0);
-        let cfg = AdaptiveConfig { prior: Some(wrong), ..AdaptiveConfig::default() };
+        let cfg = AdaptiveConfig {
+            prior: Some(wrong),
+            ..AdaptiveConfig::default()
+        };
         let adaptive = Session::new(&program, &nest)
             .procs(4)
             .machine(machine)
@@ -557,7 +663,10 @@ mod tests {
         assert_eq!(report.meta.predicted.messages, out.messages);
         // Phase-2 events must sit after phase 1 on the merged clock.
         let max_tile = trace.blocks().iter().map(|b| b.tile).max().unwrap();
-        assert!(max_tile >= PROBE_TILES, "remainder tiles renumbered after probes");
+        assert!(
+            max_tile >= PROBE_TILES,
+            "remainder tiles renumbered after probes"
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use wavefront::core::prelude::*;
 use wavefront::kernels::smith_waterman as sw;
 use wavefront::machine::cray_t3e;
-use wavefront::pipeline::{simulate_nest, BlockPolicy};
+use wavefront::pipeline::{BlockPolicy, Session};
 
 fn main() {
     let (n, m) = (48i64, 40i64);
@@ -54,8 +54,16 @@ fn main() {
     // The DP wavefront also pipelines: both dimensions carry the wave.
     let params = cray_t3e();
     for dist_dim in [0usize, 1] {
-        let pipe = simulate_nest(nest, 4, dist_dim, &BlockPolicy::Model2, &params);
-        let naive = simulate_nest(nest, 4, dist_dim, &BlockPolicy::FullPortion, &params);
+        let estimate = |policy: BlockPolicy| {
+            Session::new(&lo.program, nest)
+                .procs(4)
+                .dist_dim(dist_dim)
+                .block(policy)
+                .machine(params)
+                .estimate()
+        };
+        let pipe = estimate(BlockPolicy::Model2);
+        let naive = estimate(BlockPolicy::FullPortion);
         println!(
             "Distributed along dim {dist_dim}: naive/pipelined = {:.2}x (b = {:?})",
             naive.time / pipe.time,

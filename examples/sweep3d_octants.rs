@@ -14,7 +14,7 @@
 use wavefront::core::prelude::*;
 use wavefront::kernels::sweep3d::{self, OCTANTS};
 use wavefront::machine::cray_t3e;
-use wavefront::pipeline::{simulate_nest, BlockPolicy};
+use wavefront::pipeline::{BlockPolicy, Session};
 
 fn main() {
     let n = 24i64;
@@ -55,11 +55,21 @@ fn main() {
     let params = cray_t3e();
     let compiled = compile(&first.program).expect("compiles");
     let nest = compiled.nest(0);
-    let serial = simulate_nest(nest, 1, 0, &BlockPolicy::FullPortion, &params).time;
-    println!("\nPipelined scaling on the simulated {} (one octant):", params.name);
+    let estimate = |p: usize, policy: BlockPolicy| {
+        Session::new(&first.program, nest)
+            .procs(p)
+            .block(policy)
+            .machine(params)
+            .estimate()
+    };
+    let serial = estimate(1, BlockPolicy::FullPortion).time;
+    println!(
+        "\nPipelined scaling on the simulated {} (one octant):",
+        params.name
+    );
     for p in [2usize, 4, 8] {
-        let pipe = simulate_nest(nest, p, 0, &BlockPolicy::Model2, &params);
-        let naive = simulate_nest(nest, p, 0, &BlockPolicy::FullPortion, &params);
+        let pipe = estimate(p, BlockPolicy::Model2);
+        let naive = estimate(p, BlockPolicy::FullPortion);
         println!(
             "  p = {p}: pipelined speedup {:.2} (b = {:?}), naive speedup {:.2}",
             serial / pipe.time,

@@ -10,10 +10,7 @@
 use wavefront::core::prelude::*;
 use wavefront::kernels::tomcatv;
 use wavefront::machine::cray_t3e;
-use wavefront::pipeline::{
-    simulate_plan_collected, BlockPolicy, EngineKind, NoopCollector, Session, TraceCollector,
-    WavefrontPlan,
-};
+use wavefront::pipeline::{BlockPolicy, EngineKind, Session, TraceCollector, WavefrontPlan};
 
 /// Run program ops up to (but not including) the first scan block — the
 /// residual phase that feeds the wavefront its coefficients.
@@ -41,7 +38,10 @@ fn main() {
     let lo = tomcatv::build(n).expect("tomcatv builds");
     let compiled = compile(&lo.program).expect("tomcatv compiles");
 
-    println!("Tomcatv at n = {n}: {} program operations", compiled.ops.len());
+    println!(
+        "Tomcatv at n = {n}: {} program operations",
+        compiled.ops.len()
+    );
     for (k, nest) in compiled.nests().enumerate() {
         println!(
             "  nest {k}: region {}, {}, WSV {}, wavefront dims {:?}",
@@ -54,8 +54,8 @@ fn main() {
 
     // Take the forward wavefront and plan it across p processors.
     let nest = compiled.nests().find(|x| x.is_scan).expect("has wavefront");
-    let plan = WavefrontPlan::build(nest, p, None, &BlockPolicy::Model2, &params)
-        .expect("plan builds");
+    let plan =
+        WavefrontPlan::build(nest, p, None, &BlockPolicy::Model2, &params).expect("plan builds");
     println!(
         "\nPlan: wave dim {}, tile dim {:?}, block b = {} ({} tiles), ghost thickness {}, \
          {} arrays flow downstream",
@@ -100,7 +100,10 @@ fn main() {
         outcome.messages,
         outcome.makespan * 1e3
     );
-    println!("\nExecution report from the attached collector:\n{}", trace.report());
+    println!(
+        "\nExecution report from the attached collector:\n{}",
+        trace.report()
+    );
 
     for name in ["r", "d", "rx", "ry"] {
         let id = lo.array(name).unwrap();
@@ -116,10 +119,16 @@ fn main() {
     println!("Sequential, decomposed, and threaded sweeps agree bit-for-bit. ✔");
 
     // Simulated schedules on the T3E model.
-    let naive = WavefrontPlan::build(nest, p, None, &BlockPolicy::FullPortion, &params)
-        .expect("naive plan");
-    let t_pipe = simulate_plan_collected(&plan, &params, &mut NoopCollector).makespan;
-    let t_naive = simulate_plan_collected(&naive, &params, &mut NoopCollector).makespan;
+    let estimate = |policy: BlockPolicy| {
+        Session::new(&lo.program, nest)
+            .procs(p)
+            .block(policy)
+            .machine(params)
+            .estimate()
+            .time
+    };
+    let t_pipe = estimate(BlockPolicy::Model2);
+    let t_naive = estimate(BlockPolicy::FullPortion);
     println!(
         "\nSimulated {}: naive {:.0} vs pipelined {:.0} → {:.2}x from pipelining",
         params.name,

@@ -121,4 +121,39 @@ rm -rf "$tmpdir"
 echo "kernel_bench: fast-path coverage clean, speedup regression flagged ✔"
 
 echo
+echo "== service bench: fresh run gated against the committed baseline =="
+tmpdir=$(mktemp -d)
+BENCH_OUT="$tmpdir" cargo run -q --release --offline -p wavefront-bench --bin service_bench
+# Wall-clock latencies on a shared box are noisier than DES makespans;
+# 30% headroom still catches the warm path losing its fixed-cost win.
+"$BENCH_DIFF" results "$tmpdir" --threshold 30
+rm -rf "$tmpdir"
+echo "service_bench: fresh cold/warm latencies within 30% of the baseline ✔"
+
+echo
+echo "== service speedup gate self-check (deflated speedup must fail) =="
+tmpdir=$(mktemp -d)
+cp results/BENCH_*.json "$tmpdir"/
+# Halve one warm-path speedup — the gate must catch the service losing
+# its advantage over cold one-shot sessions.
+python3 - "$tmpdir/BENCH_service.json" <<'EOF'
+import re, sys
+path = sys.argv[1]
+s = open(path).read()
+m = re.search(r'"tomcatv8_service_speedup": ([0-9.]+)', s)
+v = float(m.group(1))
+open(path, 'w').write(s.replace(m.group(0), f'"tomcatv8_service_speedup": {v * 0.5:.2f}', 1))
+EOF
+if "$BENCH_DIFF" results "$tmpdir"; then
+    echo "bench_diff failed to flag a halved service speedup" >&2
+    exit 1
+fi
+rm -rf "$tmpdir"
+echo "service_bench: halved warm-path speedup flagged ✔"
+
+echo
+echo "== service soak (30 s of tiny jobs; pool spawns must stay flat) =="
+cargo run -q --release --offline -p wavefront-bench --bin service_bench -- --soak 30
+
+echo
 echo "All verification steps passed."

@@ -3,6 +3,9 @@
 //! ```text
 //! wlc check <file.wf> [options]           parse, lower, analyze
 //! wlc run   <file.wf> [options]           execute sequentially, print arrays
+//!                                         (--repeat N: run scan nests N times
+//!                                         through a WavefrontService and report
+//!                                         cold vs warm job latency)
 //! wlc plan  <file.wf> [options]           plan + simulate each wavefront
 //! wlc trace <file.wf> [options]           run with telemetry, print report
 //!                                         + critical-path analysis
@@ -18,6 +21,9 @@
 //!   --fill-coords name  fill an array with i*100 + j (+ k*10000)
 //!   --print name        print an array after running (repeatable)
 //!   --procs P           processors for `plan`/`trace`/`tune` (default 4)
+//!   --repeat N          `run`: submit each scan nest N times to a
+//!                       persistent WavefrontService; report cold vs warm
+//!                       latency and cache statistics (default 1 = off)
 //!   --block POLICY      fixed:<b> | model1 | model2 | naive | probe | adaptive
 //!   --machine M         t3e | powerchallenge (default t3e)
 //!   --engine E          threads | seq | sim — runtime for `trace`/`timeline`
@@ -36,13 +42,15 @@
 //! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
 
 use wavefront::core::prelude::*;
 use wavefront::lang::{compile_str, Lowered};
 use wavefront::machine::{cray_t3e, sgi_power_challenge, MachineParams};
 use wavefront::pipeline::{
-    ascii_timeline, calibrate_host, simulate_plan_collected, BlockPolicy, ChromeTraceBuilder,
-    EngineKind, NoopCollector, Session, TraceAnalysis, TraceCollector, WavefrontPlan,
+    ascii_timeline, calibrate_host, BlockPolicy, ChromeTraceBuilder, EngineKind, JobSpec,
+    ServiceConfig, Session, TraceAnalysis, TraceCollector, WavefrontPlan, WavefrontService,
 };
 
 struct Opts {
@@ -54,6 +62,7 @@ struct Opts {
     fill_coords: Vec<String>,
     prints: Vec<String>,
     procs: usize,
+    repeat: usize,
     block: BlockPolicy,
     machine: MachineParams,
     engine: EngineKind,
@@ -68,7 +77,8 @@ struct Opts {
 fn usage() -> ExitCode {
     eprintln!("usage: wlc <check|run|plan|trace|timeline|tune> <file.wf> [--rank N]");
     eprintln!("           [-D name=value] [--fill name=V] [--fill-coords name] [--print name]");
-    eprintln!("           [--procs P] [--block fixed:<b>|model1|model2|naive|probe|adaptive]");
+    eprintln!("           [--procs P] [--repeat N]");
+    eprintln!("           [--block fixed:<b>|model1|model2|naive|probe|adaptive]");
     eprintln!("           [--machine t3e|powerchallenge]");
     eprintln!("           [--engine threads|seq|sim] [--no-kernels] [--json] [--out FILE]");
     eprintln!("           [--strict] [--chrome FILE] [--width N]");
@@ -88,6 +98,7 @@ fn parse_args() -> std::result::Result<Opts, ExitCode> {
         fill_coords: vec![],
         prints: vec![],
         procs: 4,
+        repeat: 1,
         block: BlockPolicy::Model2,
         machine: cray_t3e(),
         engine: EngineKind::Threads,
@@ -110,16 +121,19 @@ fn parse_args() -> std::result::Result<Opts, ExitCode> {
             "-D" => {
                 let kv = need("-D")?;
                 let (k, v) = kv.split_once('=').ok_or_else(usage)?;
-                opts.consts.push((k.to_string(), v.parse().map_err(|_| usage())?));
+                opts.consts
+                    .push((k.to_string(), v.parse().map_err(|_| usage())?));
             }
             "--fill" => {
                 let kv = need("--fill")?;
                 let (k, v) = kv.split_once('=').ok_or_else(usage)?;
-                opts.fills.push((k.to_string(), v.parse().map_err(|_| usage())?));
+                opts.fills
+                    .push((k.to_string(), v.parse().map_err(|_| usage())?));
             }
             "--fill-coords" => opts.fill_coords.push(need("--fill-coords")?),
             "--print" => opts.prints.push(need("--print")?),
             "--procs" => opts.procs = need("--procs")?.parse().map_err(|_| usage())?,
+            "--repeat" => opts.repeat = need("--repeat")?.parse().map_err(|_| usage())?,
             "--block" => {
                 let v = need("--block")?;
                 opts.block = match v.as_str() {
@@ -192,8 +206,7 @@ fn main() -> ExitCode {
 }
 
 fn drive<const R: usize>(opts: &Opts, src: &str) -> ExitCode {
-    let consts: Vec<(&str, i64)> =
-        opts.consts.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    let consts: Vec<(&str, i64)> = opts.consts.iter().map(|(k, v)| (k.as_str(), *v)).collect();
     let lowered = match compile_str::<R>(src, &consts, Layout::ColMajor) {
         Ok(l) => l,
         Err(e) => {
@@ -212,7 +225,7 @@ fn drive<const R: usize>(opts: &Opts, src: &str) -> ExitCode {
     match opts.cmd.as_str() {
         "check" => check(&lowered, &compiled),
         "run" => run(opts, &lowered, &compiled),
-        "plan" => plan::<R>(opts, &compiled),
+        "plan" => plan::<R>(opts, &lowered, &compiled),
         "trace" => trace::<R>(opts, &lowered, &compiled),
         "timeline" => timeline::<R>(opts, &lowered, &compiled),
         "tune" => tune::<R>(opts, &lowered, &compiled),
@@ -293,11 +306,99 @@ fn init_store<const R: usize>(
     Ok(store)
 }
 
+/// `wlc run --repeat N`: submit every scan nest N times to a persistent
+/// [`WavefrontService`] and report cold (first job: plan build + kernel
+/// bind + cache miss) vs warm (cached plan, parked workers) latency,
+/// jobs/sec over the warm tail, and the service's cache statistics.
+fn run_repeat<const R: usize>(
+    opts: &Opts,
+    lowered: &Lowered<R>,
+    compiled: &CompiledProgram<R>,
+) -> ExitCode {
+    let program = Arc::new(lowered.program.clone());
+    let service: WavefrontService<R> = WavefrontService::with_config(ServiceConfig {
+        workers: opts.procs,
+        ..ServiceConfig::default()
+    });
+    let mut any = false;
+    for (k, nest) in compiled.nests().enumerate() {
+        if !nest.is_scan {
+            continue;
+        }
+        any = true;
+        let nest = Arc::new(nest.clone());
+        let mut reps: Vec<(f64, f64, f64)> = Vec::with_capacity(opts.repeat);
+        for _ in 0..opts.repeat {
+            let store = match init_store(opts, lowered) {
+                Ok(s) => s,
+                Err(code) => return code,
+            };
+            let start = Instant::now();
+            let spec = JobSpec::new(Arc::clone(&program), Arc::clone(&nest))
+                .line(opts.procs)
+                .block(opts.block.clone())
+                .machine(opts.machine)
+                .kernels(opts.kernels)
+                .engine(opts.engine)
+                .store(store);
+            match service.submit(spec).wait() {
+                Ok(out) => reps.push((
+                    start.elapsed().as_secs_f64(),
+                    out.outcome.prep_seconds,
+                    out.outcome.run_seconds,
+                )),
+                Err(e) => {
+                    eprintln!("nest {k}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let (cold, cold_prep, _) = reps[0];
+        println!(
+            "nest {k}: {} jobs on {} procs ({} engine)",
+            reps.len(),
+            opts.procs,
+            opts.engine.name()
+        );
+        println!("  cold: {cold:.3e} s total ({cold_prep:.3e} s prep)");
+        if reps.len() > 1 {
+            let warm = &reps[1..];
+            let min = warm.iter().map(|r| r.0).fold(f64::INFINITY, f64::min);
+            let sum: f64 = warm.iter().map(|r| r.0).sum();
+            let mean = sum / warm.len() as f64;
+            let prep: f64 = warm.iter().map(|r| r.1).sum::<f64>() / warm.len() as f64;
+            println!(
+                "  warm: min {min:.3e} s, mean {mean:.3e} s ({prep:.3e} s prep), \
+                 {:.1} jobs/sec, cold/warm {:.2}x",
+                1.0 / mean,
+                cold / min
+            );
+        }
+    }
+    if !any {
+        println!("no wavefront nests (fully parallel program)");
+    }
+    let stats = service.stats();
+    println!(
+        "service: {} jobs, cache {} hits / {} misses ({} entries), {} workers ({} spawns)",
+        stats.jobs_completed,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_entries,
+        stats.pool_workers,
+        stats.pool_spawns
+    );
+    ExitCode::SUCCESS
+}
+
 fn run<const R: usize>(
     opts: &Opts,
     lowered: &Lowered<R>,
     compiled: &CompiledProgram<R>,
 ) -> ExitCode {
+    if opts.repeat > 1 {
+        return run_repeat(opts, lowered, compiled);
+    }
     let mut store = match init_store(opts, lowered) {
         Ok(s) => s,
         Err(code) => return code,
@@ -328,7 +429,11 @@ fn run<const R: usize>(
                 sum += v;
             }
             let n = arr.bounds().len().max(1) as f64;
-            println!("  {name}: {} min {lo:.4} max {hi:.4} mean {:.4}", arr.bounds(), sum / n);
+            println!(
+                "  {name}: {} min {lo:.4} max {hi:.4} mean {:.4}",
+                arr.bounds(),
+                sum / n
+            );
         }
     }
     ExitCode::SUCCESS
@@ -354,11 +459,19 @@ fn print_array<const R: usize>(name: &str, arr: &DenseArray<R>) {
             .take(12)
             .map(|p| format!("{p}={:.4}", arr.get(p)))
             .collect();
-        println!("   {}{}", shown.join(", "), if b.len() > 12 { ", …" } else { "" });
+        println!(
+            "   {}{}",
+            shown.join(", "),
+            if b.len() > 12 { ", …" } else { "" }
+        );
     }
 }
 
-fn plan<const R: usize>(opts: &Opts, compiled: &CompiledProgram<R>) -> ExitCode {
+fn plan<const R: usize>(
+    opts: &Opts,
+    lowered: &Lowered<R>,
+    compiled: &CompiledProgram<R>,
+) -> ExitCode {
     let mut any = false;
     for (k, nest) in compiled.nests().enumerate() {
         if !nest.is_scan {
@@ -367,16 +480,18 @@ fn plan<const R: usize>(opts: &Opts, compiled: &CompiledProgram<R>) -> ExitCode 
         any = true;
         match WavefrontPlan::build(nest, opts.procs, None, &opts.block, &opts.machine) {
             Ok(plan) => {
-                let pipe = simulate_plan_collected(&plan, &opts.machine, &mut NoopCollector).makespan;
-                let naive = WavefrontPlan::build(
-                    nest,
-                    opts.procs,
-                    None,
-                    &BlockPolicy::FullPortion,
-                    &opts.machine,
-                )
-                .map(|p| simulate_plan_collected(&p, &opts.machine, &mut NoopCollector).makespan)
-                .unwrap_or(f64::NAN);
+                let pipe = Session::new(&lowered.program, nest)
+                    .procs(opts.procs)
+                    .machine(opts.machine)
+                    .block(opts.block.clone())
+                    .estimate()
+                    .time;
+                let naive = Session::new(&lowered.program, nest)
+                    .procs(opts.procs)
+                    .machine(opts.machine)
+                    .block(BlockPolicy::FullPortion)
+                    .estimate()
+                    .time;
                 println!(
                     "nest {k}: wave dim {}, b = {} ({} tiles), {} arrays downstream; \
                      simulated {}: pipelined {:.0} vs naive {:.0} ({:.2}x)",
@@ -446,7 +561,7 @@ fn trace<const R: usize>(
             .store(&mut store)
             .run(opts.engine);
         match outcome {
-            Ok(_) => {
+            Ok(out) => {
                 let report = collector.report();
                 if opts.strict {
                     let pred = report.meta.predicted;
@@ -473,11 +588,18 @@ fn trace<const R: usize>(
                 if opts.json {
                     let a = analysis.map_or("null".to_string(), |a| a.to_json());
                     json_nests.push(format!(
-                        "{{\"nest\": {k}, \"report\": {}, \"analysis\": {a}}}",
+                        "{{\"nest\": {k}, \"prep_seconds\": {}, \"run_seconds\": {}, \
+                         \"report\": {}, \"analysis\": {a}}}",
+                        out.prep_seconds,
+                        out.run_seconds,
                         report.to_json()
                     ));
                 } else {
                     println!("nest {k}:");
+                    println!(
+                        "  setup: prep {:.3e} s (plan + kernel bind), run {:.3e} s",
+                        out.prep_seconds, out.run_seconds
+                    );
                     println!("{report}");
                     if let Some(a) = analysis {
                         println!("{a}");
@@ -626,8 +748,12 @@ fn tune<const R: usize>(
                 }
             };
         let model_b = model_plan.block;
-        let model_t =
-            simulate_plan_collected(&model_plan, &machine, &mut NoopCollector).makespan;
+        let model_t = Session::new(&lowered.program, nest)
+            .procs(opts.procs)
+            .machine(machine)
+            .block(BlockPolicy::Model2)
+            .estimate()
+            .time;
 
         // Exhaustive sweep over block sizes (strided only above 1024
         // candidates, to bound the number of simulations).
@@ -636,13 +762,13 @@ fn tune<const R: usize>(
             let step = (ctx.n_orth / 1024).max(1);
             let mut b = 1;
             while b <= ctx.n_orth {
-                if let Ok(p) =
-                    WavefrontPlan::build(nest, opts.procs, None, &BlockPolicy::Fixed(b), &machine)
-                {
-                    let t = simulate_plan_collected(&p, &machine, &mut NoopCollector).makespan;
-                    if t < best_t {
-                        (best_b, best_t) = (p.block, t);
-                    }
+                let sim = Session::new(&lowered.program, nest)
+                    .procs(opts.procs)
+                    .machine(machine)
+                    .block(BlockPolicy::Fixed(b))
+                    .estimate();
+                if sim.time < best_t {
+                    (best_b, best_t) = (sim.block.unwrap_or(b), sim.time);
                 }
                 b += step;
             }

@@ -15,10 +15,7 @@ use wavefront::core::prelude::*;
 use wavefront::kernels::rng::SplitMix64;
 use wavefront::kernels::{smith_waterman, sor, sweep3d, tomcatv};
 use wavefront::machine::cray_t3e;
-use wavefront::pipeline::{
-    execute_plan_sequential_collected_opts, execute_plan_threaded_collected_opts, BlockPolicy,
-    NoopCollector, WavefrontPlan,
-};
+use wavefront::pipeline::{BlockPolicy, EngineKind, Session};
 
 /// Primed directions that keep a single-assignment scan legal.
 const PRIMED: [[i64; 2]; 5] = [[-1, 0], [-1, -1], [-1, 1], [-2, 0], [-1, -2]];
@@ -79,7 +76,11 @@ fn kernel_is_bit_identical_to_interpreter() {
     let mut compiled_cases = 0usize;
     for case in 0..64 {
         let n = 8 + rng.gen_range(12) as i64;
-        let layout = if rng.next_u64() & 1 == 0 { Layout::RowMajor } else { Layout::ColMajor };
+        let layout = if rng.next_u64() & 1 == 0 {
+            Layout::RowMajor
+        } else {
+            Layout::ColMajor
+        };
         let depth = 1 + rng.gen_range(4);
         let p = 1 + rng.gen_range(4);
         let blk = 1 + rng.gen_range(9);
@@ -89,8 +90,8 @@ fn kernel_is_bit_identical_to_interpreter() {
         let mut prog = Program::<2>::new();
         let a = prog.array_with_layout("a", bounds, layout);
         let b = prog.array_with_layout("b", bounds, layout);
-        let rhs = Expr::lit(0.5) * Expr::read_primed_at(a, [-1, 0])
-            + random_expr(&mut rng, a, b, depth);
+        let rhs =
+            Expr::lit(0.5) * Expr::read_primed_at(a, [-1, 0]) + random_expr(&mut rng, a, b, depth);
         let region = Region::rect([2, 2], [n - 1, n - 1]);
         prog.stmt(region, a, rhs);
 
@@ -115,21 +116,30 @@ fn kernel_is_bit_identical_to_interpreter() {
         compiled_cases += 1;
         let mut kern = init_store(&prog, seed);
         let bound = runner.bind(&kern, &nest.structure.order);
-        runner.run_tile(nest, bound.as_ref(), nest.region, &nest.structure.order, &mut kern);
-
-        let plan =
-            WavefrontPlan::build(nest, p, None, &BlockPolicy::Fixed(blk), &cray_t3e()).unwrap();
-        let mut seq = init_store(&prog, seed);
-        execute_plan_sequential_collected_opts(nest, &plan, &mut seq, &mut NoopCollector, true);
-        let mut thr = init_store(&prog, seed);
-        execute_plan_threaded_collected_opts(
-            &prog,
+        runner.run_tile(
             nest,
-            &plan,
-            &mut thr,
-            &mut NoopCollector,
-            true,
+            bound.as_ref(),
+            nest.region,
+            &nest.structure.order,
+            &mut kern,
         );
+
+        let mut seq = init_store(&prog, seed);
+        Session::new(&prog, nest)
+            .procs(p)
+            .block(BlockPolicy::Fixed(blk))
+            .machine(cray_t3e())
+            .store(&mut seq)
+            .run(EngineKind::Seq)
+            .unwrap();
+        let mut thr = init_store(&prog, seed);
+        Session::new(&prog, nest)
+            .procs(p)
+            .block(BlockPolicy::Fixed(blk))
+            .machine(cray_t3e())
+            .store(&mut thr)
+            .run(EngineKind::Threads)
+            .unwrap();
 
         for id in 0..reference.len() {
             for (what, store) in [("kernel", &kern), ("seq", &seq), ("threads", &thr)] {
@@ -200,28 +210,43 @@ fn fallback_nests_still_run_on_every_engine() {
         // The runner's own dispatch must route the tile to the
         // interpreter and match the reference.
         let mut direct = init_store(prog, 11);
-        assert!(runner.bind(&direct, &nest.structure.order).is_none(), "{what}");
+        assert!(
+            runner.bind(&direct, &nest.structure.order).is_none(),
+            "{what}"
+        );
         runner.run_tile(nest, None, region, &nest.structure.order, &mut direct);
-        assert!(reference.get(0).region_eq(direct.get(0), region), "{what}: run_tile differs");
+        assert!(
+            reference.get(0).region_eq(direct.get(0), region),
+            "{what}: run_tile differs"
+        );
 
         // Buffered nests are plain (no wavefront dimension), so only
         // scans can go through the pipelined engines.
         if nest.is_scan {
-            let plan =
-                WavefrontPlan::build(nest, 3, None, &BlockPolicy::Fixed(4), &cray_t3e()).unwrap();
             let mut seq = init_store(prog, 11);
-            execute_plan_sequential_collected_opts(nest, &plan, &mut seq, &mut NoopCollector, true);
-            assert!(reference.get(0).region_eq(seq.get(0), region), "{what}: seq differs");
-            let mut thr = init_store(prog, 11);
-            execute_plan_threaded_collected_opts(
-                prog,
-                nest,
-                &plan,
-                &mut thr,
-                &mut NoopCollector,
-                true,
+            Session::new(prog, nest)
+                .procs(3)
+                .block(BlockPolicy::Fixed(4))
+                .machine(cray_t3e())
+                .store(&mut seq)
+                .run(EngineKind::Seq)
+                .unwrap();
+            assert!(
+                reference.get(0).region_eq(seq.get(0), region),
+                "{what}: seq differs"
             );
-            assert!(reference.get(0).region_eq(thr.get(0), region), "{what}: threads differs");
+            let mut thr = init_store(prog, 11);
+            Session::new(prog, nest)
+                .procs(3)
+                .block(BlockPolicy::Fixed(4))
+                .machine(cray_t3e())
+                .store(&mut thr)
+                .run(EngineKind::Threads)
+                .unwrap();
+            assert!(
+                reference.get(0).region_eq(thr.get(0), region),
+                "{what}: threads differs"
+            );
         } else {
             assert_eq!(what, "buffered");
         }

@@ -9,23 +9,11 @@
 use wavefront::core::prelude::*;
 use wavefront::kernels::rng::SplitMix64;
 use wavefront::machine::cray_t3e;
-use wavefront::pipeline::{
-    execute_plan2d_sequential_collected, execute_plan2d_threaded_collected, BlockPolicy,
-    NoopCollector, WavefrontPlan2D,
-};
+use wavefront::pipeline::{BlockPolicy, EngineKind, Session2D, WavefrontPlan2D};
 
-const DIRS: [[i64; 3]; 5] = [
-    [-1, 0, 0],
-    [0, -1, 0],
-    [0, 0, -1],
-    [-1, -1, 0],
-    [-2, 0, 0],
-];
+const DIRS: [[i64; 3]; 5] = [[-1, 0, 0], [0, -1, 0], [0, 0, -1], [-1, -1, 0], [-2, 0, 0]];
 
-fn build_sweep(
-    n: i64,
-    extra: Option<usize>,
-) -> (Program<3>, Region<3>) {
+fn build_sweep(n: i64, extra: Option<usize>) -> (Program<3>, Region<3>) {
     let bounds = Region::rect([0, 0, 0], [n + 1, n + 1, 6]);
     let cells = Region::rect([2, 2, 1], [n - 1, n - 1, 5]);
     let mut p = Program::<3>::new();
@@ -93,16 +81,36 @@ fn rank4_angle_blocks_on_spatial_mesh() {
 
     let mut seq = Store::new(&lo.program);
     init(&mut seq);
-    execute_plan2d_sequential_collected(nest, &plan, &mut seq, &mut NoopCollector);
+    Session2D::new(&lo.program, nest)
+        .mesh([2, 2])
+        .wave_dims([1, 2])
+        .block(BlockPolicy::Fixed(2))
+        .machine(cray_t3e())
+        .store(&mut seq)
+        .run(EngineKind::Seq)
+        .unwrap();
     let mut thr = Store::new(&lo.program);
     init(&mut thr);
-    execute_plan2d_threaded_collected(&lo.program, nest, &plan, &mut thr, &mut NoopCollector);
+    Session2D::new(&lo.program, nest)
+        .mesh([2, 2])
+        .wave_dims([1, 2])
+        .block(BlockPolicy::Fixed(2))
+        .machine(cray_t3e())
+        .store(&mut thr)
+        .run(EngineKind::Threads)
+        .unwrap();
 
     let cells = lo.region("Cells").unwrap();
     for name in ["flux", "phi"] {
         let id = lo.array(name).unwrap();
-        assert!(reference.get(id).region_eq(seq.get(id), cells), "seq {name}");
-        assert!(reference.get(id).region_eq(thr.get(id), cells), "thr {name}");
+        assert!(
+            reference.get(id).region_eq(seq.get(id), cells),
+            "seq {name}"
+        );
+        assert!(
+            reference.get(id).region_eq(thr.get(id), cells),
+            "thr {name}"
+        );
     }
 }
 
@@ -124,24 +132,31 @@ fn mesh_decomposition_matches_sequential() {
             Err(e) => panic!("case {case}: {e}"),
         };
         let nest = compiled.nest(0);
-        let plan = match WavefrontPlan2D::build(
-            nest,
-            [p1, p2],
-            None,
-            &BlockPolicy::Fixed(b),
-            &cray_t3e(),
-        ) {
-            Ok(plan) => plan,
-            Err(_) => continue, // undecomposable direction mix
-        };
+        if WavefrontPlan2D::build(nest, [p1, p2], None, &BlockPolicy::Fixed(b), &cray_t3e())
+            .is_err()
+        {
+            continue; // undecomposable direction mix
+        }
 
         let mut reference = init_store(&program, seed);
         run_nest_with_sink(nest, &mut reference, &mut NoSink);
 
         let mut seq = init_store(&program, seed);
-        execute_plan2d_sequential_collected(nest, &plan, &mut seq, &mut NoopCollector);
+        Session2D::new(&program, nest)
+            .mesh([p1, p2])
+            .block(BlockPolicy::Fixed(b))
+            .machine(cray_t3e())
+            .store(&mut seq)
+            .run(EngineKind::Seq)
+            .unwrap();
         let mut thr = init_store(&program, seed);
-        execute_plan2d_threaded_collected(&program, nest, &plan, &mut thr, &mut NoopCollector);
+        Session2D::new(&program, nest)
+            .mesh([p1, p2])
+            .block(BlockPolicy::Fixed(b))
+            .machine(cray_t3e())
+            .store(&mut thr)
+            .run(EngineKind::Threads)
+            .unwrap();
 
         for id in 0..reference.len() {
             assert!(

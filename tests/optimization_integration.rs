@@ -5,7 +5,7 @@
 use wavefront::core::prelude::*;
 use wavefront::kernels::{simple, tomcatv};
 use wavefront::machine::cray_t3e;
-use wavefront::pipeline::{execute_plan_threaded_collected, BlockPolicy, NoopCollector, WavefrontPlan};
+use wavefront::pipeline::{BlockPolicy, EngineKind, Session, WavefrontPlan};
 
 #[test]
 fn tomcatv_contracts_exactly_r() {
@@ -77,11 +77,20 @@ fn contracted_nest_still_decomposes_and_pipelines() {
     // `r` is contracted, so it no longer flows between processors even
     // though it is written in the nest.
     assert!(
-        !plan.comm_arrays.iter().any(|&(id, _)| id == lo.array("r").unwrap()),
+        !plan
+            .comm_arrays
+            .iter()
+            .any(|&(id, _)| id == lo.array("r").unwrap()),
         "contracted arrays must not be communicated"
     );
     let mut store = seed.clone();
-    execute_plan_threaded_collected(&lo.program, nest, &plan, &mut store, &mut NoopCollector);
+    Session::new(&lo.program, nest)
+        .procs(3)
+        .block(BlockPolicy::Fixed(7))
+        .machine(cray_t3e())
+        .store(&mut store)
+        .run(EngineKind::Threads)
+        .unwrap();
     for name in ["d", "rx", "ry"] {
         let id = lo.array(name).unwrap();
         assert!(

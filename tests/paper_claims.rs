@@ -10,7 +10,7 @@ use wavefront::core::prelude::*;
 use wavefront::kernels::{simple, tomcatv};
 use wavefront::machine::{cray_t3e, fig5a_problem, fig5a_t3e, sgi_power_challenge};
 use wavefront::model::{t_transpose_strategy, PipeModel};
-use wavefront::pipeline::{simulate_nest, simulate_plan_collected, BlockPolicy, NoopCollector, WavefrontPlan};
+use wavefront::pipeline::{BlockPolicy, ProgramSession, Session};
 
 // ---------------------------------------------------------------- Fig 5a
 
@@ -35,11 +35,17 @@ fn fig5a_model2_choice_beats_model1_choice_in_simulation() {
     let work = nest.stmts.iter().map(|s| s.rhs.flop_count()).sum::<usize>() as f64;
     let scaled = wavefront::machine::MachineParams::custom("s", m.alpha * work, m.beta * work);
     let t_at = |b: usize| {
-        let plan =
-            WavefrontPlan::build(nest, p, None, &BlockPolicy::Fixed(b), &scaled).unwrap();
-        simulate_plan_collected(&plan, &scaled, &mut NoopCollector).makespan
+        Session::new(&lo.program, nest)
+            .procs(p)
+            .block(BlockPolicy::Fixed(b))
+            .machine(scaled)
+            .estimate()
+            .time
     };
-    assert!(t_at(23) < t_at(39), "the paper: b = 23 'is in fact better' than 39");
+    assert!(
+        t_at(23) < t_at(39),
+        "the paper: b = 23 'is in fact better' than 39"
+    );
 }
 
 #[test]
@@ -55,18 +61,25 @@ fn fig5a_model2_tracks_simulation_better_than_model1() {
     let nest = compiled.nests().find(|x| x.is_scan).unwrap();
     let work = nest.stmts.iter().map(|s| s.rhs.flop_count()).sum::<usize>() as f64;
     let scaled = wavefront::machine::MachineParams::custom("s", m.alpha * work, m.beta * work);
-    let naive =
-        WavefrontPlan::build(nest, p, None, &BlockPolicy::FullPortion, &scaled).unwrap();
-    let t_naive = simulate_plan_collected(&naive, &scaled, &mut NoopCollector).makespan;
+    let t_at = |policy: BlockPolicy| {
+        Session::new(&lo.program, nest)
+            .procs(p)
+            .block(policy)
+            .machine(scaled)
+            .estimate()
+            .time
+    };
+    let t_naive = t_at(BlockPolicy::FullPortion);
     let (mut e1, mut e2) = (0.0f64, 0.0);
     for b in [2usize, 4, 8, 16, 23, 32, 39, 64, 128] {
-        let plan =
-            WavefrontPlan::build(nest, p, None, &BlockPolicy::Fixed(b), &scaled).unwrap();
-        let s_sim = t_naive / simulate_plan_collected(&plan, &scaled, &mut NoopCollector).makespan;
+        let s_sim = t_naive / t_at(BlockPolicy::Fixed(b));
         e1 += (model1.speedup_vs_naive(b as f64).ln() - s_sim.ln()).powi(2);
         e2 += (model2.speedup_vs_naive(b as f64).ln() - s_sim.ln()).powi(2);
     }
-    assert!(e2 < e1, "Model2 must track the simulation better: {e2} !< {e1}");
+    assert!(
+        e2 < e1,
+        "Model2 must track the simulation better: {e2} !< {e1}"
+    );
 }
 
 // ---------------------------------------------------------------- Fig 5b
@@ -89,11 +102,20 @@ fn fig5b_model1s_choice_is_considerably_slower() {
 
 // ---------------------------------------------------------------- Fig 6
 
-fn whole_program_cycles(lo: &wavefront::lang::Lowered<2>, machine: &wavefront::cache::CacheMachine, init: impl Fn(&wavefront::lang::Lowered<2>, &mut Store<2>)) -> f64 {
+fn whole_program_cycles(
+    lo: &wavefront::lang::Lowered<2>,
+    machine: &wavefront::cache::CacheMachine,
+    init: impl Fn(&wavefront::lang::Lowered<2>, &mut Store<2>),
+) -> f64 {
     let compiled = compile(&lo.program).unwrap();
     let mut store = Store::new(&lo.program);
     init(lo, &mut store);
-    let mut sim = CacheSim::new(&lo.program, machine.hierarchy.clone(), machine.flop_cycles, 64);
+    let mut sim = CacheSim::new(
+        &lo.program,
+        machine.hierarchy.clone(),
+        machine.flop_cycles,
+        64,
+    );
     run_with_sink(&compiled, &mut store, &mut sim);
     sim.cycles()
 }
@@ -110,7 +132,10 @@ fn fig6_scan_blocks_always_win_and_t3e_wins_more() {
     let ratio_pc = whole_program_cycles(&noscan, &pc, tomcatv::init)
         / whole_program_cycles(&scan, &pc, tomcatv::init);
     assert!(ratio_t3e > 1.2, "T3E whole-program gain: {ratio_t3e}");
-    assert!(ratio_pc > 1.0, "PowerChallenge whole-program gain: {ratio_pc}");
+    assert!(
+        ratio_pc > 1.0,
+        "PowerChallenge whole-program gain: {ratio_pc}"
+    );
     assert!(
         ratio_t3e > ratio_pc,
         "the cache-starved T3E must gain more ({ratio_t3e} vs {ratio_pc})"
@@ -141,10 +166,17 @@ fn fig7_wavefront_speedup_approaches_p_and_never_regresses() {
     let compiled = compile(&lo.program).unwrap();
     for params in [cray_t3e(), sgi_power_challenge()] {
         for nest in compiled.nests().filter(|x| x.is_scan) {
-            let serial = simulate_nest(nest, 1, 0, &BlockPolicy::FullPortion, &params).time;
+            let estimate = |procs: usize, policy: BlockPolicy| {
+                Session::new(&lo.program, nest)
+                    .procs(procs)
+                    .block(policy)
+                    .machine(params)
+                    .estimate()
+            };
+            let serial = estimate(1, BlockPolicy::FullPortion).time;
             let mut last = 1.0f64;
             for p in [2usize, 4, 8] {
-                let pipe = simulate_nest(nest, p, 0, &BlockPolicy::Model2, &params);
+                let pipe = estimate(p, BlockPolicy::Model2);
                 let s = serial / pipe.time;
                 assert!(s > 0.6 * p as f64, "{}: p={p} speedup {s}", params.name);
                 assert!(s > last, "speedup must grow with p");
@@ -160,22 +192,16 @@ fn fig7_whole_program_always_improves() {
     let compiled = compile(&lo.program).unwrap();
     for params in [cray_t3e(), sgi_power_challenge()] {
         for p in [2usize, 4, 8] {
-            let pipe = wavefront::pipeline::simulate_program(
-                &lo.program,
-                &compiled,
-                p,
-                0,
-                &BlockPolicy::Model2,
-                &params,
-            );
-            let naive = wavefront::pipeline::simulate_program(
-                &lo.program,
-                &compiled,
-                p,
-                0,
-                &BlockPolicy::FullPortion,
-                &params,
-            );
+            let pipe = ProgramSession::new(&lo.program, &compiled)
+                .procs(p)
+                .block(BlockPolicy::Model2)
+                .machine(params)
+                .estimate();
+            let naive = ProgramSession::new(&lo.program, &compiled)
+                .procs(p)
+                .block(BlockPolicy::FullPortion)
+                .machine(params)
+                .estimate();
             let gain = naive.total / pipe.total;
             // Paper: smallest overall improvements still > 5–8%.
             assert!(gain > 1.05, "{} p={p}: gain {gain}", params.name);
@@ -197,7 +223,11 @@ fn transpose_strategy_loses_to_pipelining() {
         .find(|x| x.is_scan && x.structure.wavefront_dims == vec![0])
         .unwrap();
     let work = nest.stmts.iter().map(|s| s.rhs.flop_count()).sum::<usize>() as f64;
-    let pipe = simulate_nest(nest, p, 0, &BlockPolicy::Model2, &params);
+    let pipe = Session::new(&lo.program, nest)
+        .procs(p)
+        .block(BlockPolicy::Model2)
+        .machine(params)
+        .estimate();
     let transpose = t_transpose_strategy(n as usize, p, 5, params.alpha, params.beta, work);
     assert!(
         transpose > 2.0 * pipe.time,

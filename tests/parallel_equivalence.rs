@@ -12,10 +12,7 @@
 use wavefront::core::prelude::*;
 use wavefront::kernels::rng::SplitMix64;
 use wavefront::machine::cray_t3e;
-use wavefront::pipeline::{
-    execute_plan_sequential_with_sink, execute_plan_threaded_collected, BlockPolicy,
-    NoopCollector, WavefrontPlan,
-};
+use wavefront::pipeline::{BlockPolicy, EngineKind, Session, WavefrontPlan};
 
 /// A small pool of interesting primed directions.
 const DIRS: [[i64; 2]; 6] = [[-1, 0], [1, 0], [-1, -1], [-1, 1], [1, 1], [-2, 0]];
@@ -34,7 +31,8 @@ fn build_random_scan(
     let d1 = DIRS[dir1 % DIRS.len()];
     let mut stmts = vec![Statement::new(
         a,
-        Expr::lit(0.5) * Expr::read_primed_at(a, d1) + Expr::lit(0.125) * Expr::read(b)
+        Expr::lit(0.5) * Expr::read_primed_at(a, d1)
+            + Expr::lit(0.125) * Expr::read(b)
             + Expr::lit(1.0),
     )];
     if let Some(d2) = dir2 {
@@ -95,15 +93,26 @@ fn decomposed_and_threaded_match_sequential() {
         run_nest_with_sink(nest, &mut reference, &mut NoSink);
 
         let params = cray_t3e();
-        let plan = match WavefrontPlan::build(nest, p, None, &BlockPolicy::Fixed(b), &params) {
-            Ok(plan) => plan,
-            Err(_) => continue, // no wavefront dim (can't happen here)
-        };
+        if WavefrontPlan::build(nest, p, None, &BlockPolicy::Fixed(b), &params).is_err() {
+            continue; // no wavefront dim (can't happen here)
+        }
 
         let mut dec = init_store(&program, seed);
-        execute_plan_sequential_with_sink(nest, &plan, &mut dec, &mut NoSink);
+        Session::new(&program, nest)
+            .procs(p)
+            .block(BlockPolicy::Fixed(b))
+            .machine(params)
+            .store(&mut dec)
+            .run(EngineKind::Seq)
+            .unwrap();
         let mut thr = init_store(&program, seed);
-        execute_plan_threaded_collected(&program, nest, &plan, &mut thr, &mut NoopCollector);
+        Session::new(&program, nest)
+            .procs(p)
+            .block(BlockPolicy::Fixed(b))
+            .machine(params)
+            .store(&mut thr)
+            .run(EngineKind::Threads)
+            .unwrap();
 
         for id in 0..reference.len() {
             assert!(
@@ -134,10 +143,14 @@ fn exhaustive_small_grid() {
     let params = cray_t3e();
     for p in 1..=12 {
         for b in 1..=10 {
-            let plan =
-                WavefrontPlan::build(nest, p, None, &BlockPolicy::Fixed(b), &params).unwrap();
             let mut thr = init_store(&program, 7);
-            execute_plan_threaded_collected(&program, nest, &plan, &mut thr, &mut NoopCollector);
+            Session::new(&program, nest)
+                .procs(p)
+                .block(BlockPolicy::Fixed(b))
+                .machine(params)
+                .store(&mut thr)
+                .run(EngineKind::Threads)
+                .unwrap();
             for id in 0..reference.len() {
                 assert!(
                     reference.get(id).region_eq(thr.get(id), region),

@@ -1,0 +1,317 @@
+//! Behavioural contract of the persistent [`WavefrontService`]:
+//! concurrent jobs are bit-identical to one-shot `Session` runs, the
+//! compiled-plan cache accounts every hit and miss exactly, a full
+//! submission queue blocks (never drops), and steady traffic spawns no
+//! per-job threads.
+//!
+//! Random programs are sampled with the crate's own [`SplitMix64`]
+//! (same harness as `tests/kernel_differential.rs`), so every run
+//! exercises the same deterministic case set.
+
+use std::sync::Arc;
+
+use wavefront::core::prelude::*;
+use wavefront::kernels::rng::SplitMix64;
+use wavefront::kernels::tomcatv;
+use wavefront::machine::cray_t3e;
+use wavefront::pipeline::{
+    BlockPolicy, EngineKind, JobSpec, ServiceConfig, Session, WavefrontService,
+};
+
+/// Primed directions that keep a single-assignment scan legal.
+const PRIMED: [[i64; 2]; 5] = [[-1, 0], [-1, -1], [-1, 1], [-2, 0], [-1, -2]];
+/// Free shifts for the read-only array (any direction is legal).
+const FREE: [[i64; 2]; 6] = [[0, 0], [1, 0], [0, -1], [-1, 1], [2, 2], [-2, 0]];
+
+/// A random expression tree over `a` (written, primed reads only) and
+/// `b` (read-only, arbitrary shifts).
+fn random_expr(rng: &mut SplitMix64, a: usize, b: usize, depth: usize) -> Expr<2> {
+    if depth == 0 || rng.gen_range(5) == 0 {
+        return match rng.gen_range(4) {
+            0 => Expr::lit(0.25 + rng.gen_range(8) as f64 * 0.5),
+            1 => Expr::read_primed_at(a, PRIMED[rng.gen_range(PRIMED.len())]),
+            2 => Expr::read_at(b, FREE[rng.gen_range(FREE.len())]),
+            _ => Expr::IndexVar(rng.gen_range(2)),
+        };
+    }
+    let lhs = random_expr(rng, a, b, depth - 1);
+    match rng.gen_range(6) {
+        0 => -lhs,
+        1 => lhs + random_expr(rng, a, b, depth - 1),
+        2 => lhs - random_expr(rng, a, b, depth - 1),
+        3 => lhs * random_expr(rng, a, b, depth - 1),
+        4 => lhs.min(random_expr(rng, a, b, depth - 1)),
+        _ => lhs.max(random_expr(rng, a, b, depth - 1)),
+    }
+}
+
+fn init_store(p: &Program<2>, seed: u64) -> Store<2> {
+    let mut store = Store::new(p);
+    for id in 0..store.len() {
+        let bounds = store.get(id).bounds();
+        *store.get_mut(id) = DenseArray::from_fn(bounds, |q| {
+            let h = (q[0] as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(q[1] as u64)
+                .wrapping_mul(seed | 1)
+                .wrapping_add(id as u64);
+            (h % 1009) as f64 / 1009.0
+        });
+    }
+    store
+}
+
+/// One random differential case: a compiled scan program, its initial
+/// store, and the reference result of a one-shot sequential `Session`.
+struct Case {
+    program: Arc<Program<2>>,
+    nest: Arc<CompiledNest<2>>,
+    initial: Store<2>,
+    reference: Store<2>,
+    procs: usize,
+    block: usize,
+    engine: EngineKind,
+}
+
+fn random_cases(count: usize) -> Vec<Case> {
+    let mut rng = SplitMix64::new(0x5E27_1CE5);
+    let mut cases = Vec::new();
+    while cases.len() < count {
+        let n = 8 + rng.gen_range(12) as i64;
+        let depth = 1 + rng.gen_range(3);
+        let procs = 1 + rng.gen_range(4);
+        let block = 1 + rng.gen_range(9);
+        let seed = rng.next_u64();
+
+        let bounds = Region::rect([0, 0], [n + 1, n + 1]);
+        let mut prog = Program::<2>::new();
+        let a = prog.array("a", bounds);
+        let b = prog.array("b", bounds);
+        let rhs =
+            Expr::lit(0.5) * Expr::read_primed_at(a, [-1, 0]) + random_expr(&mut rng, a, b, depth);
+        prog.stmt(Region::rect([2, 2], [n - 1, n - 1]), a, rhs);
+
+        let compiled = match compile(&prog) {
+            Ok(c) => c,
+            Err(Error::OverConstrained { .. }) => continue,
+            Err(e) => panic!("unexpected legality error: {e}"),
+        };
+        let nest = compiled.nest(0).clone();
+
+        let initial = init_store(&prog, seed);
+        let mut reference = initial.clone();
+        Session::new(&prog, &nest)
+            .procs(procs)
+            .block(BlockPolicy::Fixed(block))
+            .machine(cray_t3e())
+            .store(&mut reference)
+            .run(EngineKind::Seq)
+            .unwrap();
+
+        let engine = if cases.len() % 2 == 0 {
+            EngineKind::Threads
+        } else {
+            EngineKind::Seq
+        };
+        cases.push(Case {
+            program: Arc::new(prog),
+            nest: Arc::new(nest),
+            initial,
+            reference,
+            procs,
+            block,
+            engine,
+        });
+    }
+    cases
+}
+
+fn spec_for(case: &Case) -> JobSpec<2> {
+    JobSpec::new(Arc::clone(&case.program), Arc::clone(&case.nest))
+        .line(case.procs)
+        .block(BlockPolicy::Fixed(case.block))
+        .machine(cray_t3e())
+        .engine(case.engine)
+        .store(case.initial.clone())
+}
+
+/// A tiny fixed job (8×8 Tomcatv wavefront) for queue and pool tests.
+fn tiny_case() -> (Arc<Program<2>>, Arc<CompiledNest<2>>, Store<2>) {
+    let lo = tomcatv::build(8).unwrap();
+    let compiled = compile(&lo.program).unwrap();
+    let nest = compiled.nests().find(|x| x.is_scan).unwrap().clone();
+    let mut store = Store::new(&lo.program);
+    tomcatv::init(&lo, &mut store);
+    (Arc::new(lo.program), Arc::new(nest), store)
+}
+
+/// Jobs submitted concurrently from several threads produce stores
+/// bit-identical to one-shot sequential `Session` runs of the same
+/// programs — the cache and the shared pool must not leak state
+/// between unrelated jobs in flight.
+#[test]
+fn concurrent_submits_match_sequential_sessions() {
+    let cases = random_cases(24);
+    let service: WavefrontService<2> = WavefrontService::new();
+
+    std::thread::scope(|scope| {
+        for (t, chunk) in cases.chunks(6).enumerate() {
+            let service = &service;
+            scope.spawn(move || {
+                for (i, case) in chunk.iter().enumerate() {
+                    let out = service
+                        .submit(spec_for(case))
+                        .wait()
+                        .unwrap_or_else(|e| panic!("thread {t} case {i}: job failed: {e}"));
+                    let got = out.store.expect("store round-trips through the job");
+                    let region = case.nest.region;
+                    for id in 0..case.reference.len() {
+                        assert!(
+                            case.reference.get(id).region_eq(got.get(id), region),
+                            "thread {t} case {i}: array {id} differs from the \
+                             sequential Session run ({:?})",
+                            case.engine
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    let stats = service.stats();
+    assert_eq!(stats.jobs_submitted, 24);
+    assert_eq!(stats.jobs_completed, 24);
+}
+
+/// The compiled-plan cache accounts exactly: one miss for a new
+/// fingerprint, hits for every identical resubmission, and a fresh miss
+/// when any plan-relevant knob (here the block policy) changes.
+#[test]
+fn cache_hit_and_miss_accounting_is_exact() {
+    let (program, nest, store) = tiny_case();
+    let service: WavefrontService<2> = WavefrontService::new();
+    let spec = |policy: BlockPolicy| {
+        JobSpec::new(Arc::clone(&program), Arc::clone(&nest))
+            .line(4)
+            .block(policy)
+            .machine(cray_t3e())
+            .store(store.clone())
+    };
+
+    for _ in 0..5 {
+        service.submit(spec(BlockPolicy::Fixed(2))).wait().unwrap();
+    }
+    let s = service.stats();
+    assert_eq!(s.cache_misses, 1, "first submission compiles the plan");
+    assert_eq!(s.cache_hits, 4, "identical resubmissions all hit");
+    assert_eq!(s.cache_entries, 1);
+
+    service.submit(spec(BlockPolicy::Fixed(3))).wait().unwrap();
+    let s = service.stats();
+    assert_eq!(
+        s.cache_misses, 2,
+        "a changed block policy is a new fingerprint"
+    );
+    assert_eq!(s.cache_hits, 4);
+    assert_eq!(s.cache_entries, 2);
+
+    service.submit(spec(BlockPolicy::Fixed(2))).wait().unwrap();
+    let s = service.stats();
+    assert_eq!(s.cache_misses, 2, "the original plan is still resident");
+    assert_eq!(s.cache_hits, 5);
+}
+
+/// A full submission queue applies backpressure: submitters block until
+/// space frees, and every accepted job still completes — nothing is
+/// dropped on the floor.
+#[test]
+fn full_queue_blocks_rather_than_drops() {
+    // A slow head-of-line job so later submissions find the queue full.
+    let lo = tomcatv::build(160).unwrap();
+    let compiled = compile(&lo.program).unwrap();
+    let big_nest = compiled
+        .nests()
+        .filter(|x| x.is_scan)
+        .max_by_key(|x| x.region.len())
+        .unwrap()
+        .clone();
+    let mut big_store = Store::new(&lo.program);
+    tomcatv::init(&lo, &mut big_store);
+    let big_program = Arc::new(lo.program);
+    let big_nest = Arc::new(big_nest);
+
+    let (program, nest, store) = tiny_case();
+    let service: WavefrontService<2> = WavefrontService::with_config(ServiceConfig {
+        queue_capacity: 1,
+        ..Default::default()
+    });
+
+    let mut handles = vec![service.submit(
+        JobSpec::new(Arc::clone(&big_program), Arc::clone(&big_nest))
+            .line(2)
+            .block(BlockPolicy::Fixed(8))
+            .machine(cray_t3e())
+            .store(big_store.clone()),
+    )];
+    // With capacity 1 and a slow job at the head, this burst must fill
+    // the queue and block at least once — and still lose nothing.
+    for _ in 0..16 {
+        handles.push(
+            service.submit(
+                JobSpec::new(Arc::clone(&program), Arc::clone(&nest))
+                    .line(2)
+                    .block(BlockPolicy::Fixed(2))
+                    .machine(cray_t3e())
+                    .store(store.clone()),
+            ),
+        );
+    }
+    for (i, h) in handles.into_iter().enumerate() {
+        assert!(h.wait().is_ok(), "job {i} was dropped or failed");
+    }
+
+    let stats = service.stats();
+    assert_eq!(stats.jobs_submitted, 17, "every submission was accepted");
+    assert_eq!(stats.jobs_completed, 17, "every accepted job completed");
+    assert!(
+        stats.blocked_submits >= 1,
+        "a 1-slot queue behind a slow job must have blocked at least once \
+         (blocked {} times)",
+        stats.blocked_submits
+    );
+}
+
+/// Steady traffic runs on the resident pool: after the pool grows to
+/// the widest job seen, further jobs spawn no threads at all.
+#[test]
+fn steady_jobs_spawn_no_new_threads() {
+    let (program, nest, store) = tiny_case();
+    let service: WavefrontService<2> = WavefrontService::with_config(ServiceConfig {
+        workers: 4,
+        ..Default::default()
+    });
+    let spec = || {
+        JobSpec::new(Arc::clone(&program), Arc::clone(&nest))
+            .line(4)
+            .block(BlockPolicy::Fixed(2))
+            .machine(cray_t3e())
+            .store(store.clone())
+    };
+
+    assert_eq!(
+        service.stats().pool_spawns,
+        4,
+        "workers pre-spawn at construction"
+    );
+
+    for h in service.submit_batch((0..100).map(|_| spec())) {
+        h.wait().unwrap();
+    }
+    let stats = service.stats();
+    assert_eq!(stats.jobs_completed, 100);
+    assert_eq!(
+        stats.pool_spawns, 4,
+        "100 steady jobs must not spawn any thread beyond the initial workers"
+    );
+    assert_eq!(stats.pool_workers, 4);
+}

@@ -7,14 +7,18 @@ use wavefront::core::prelude::*;
 use wavefront::kernels::{sweep3d, tomcatv};
 use wavefront::machine::cray_t3e;
 use wavefront::pipeline::{
-    chrome_trace, execute_plan_threaded_collected, BlockPolicy, EngineKind, JsonValue,
-    NoopCollector, Session, Session2D, TraceCollector, WavefrontPlan, WavefrontPlan2D,
+    chrome_trace, BlockPolicy, EngineKind, JsonValue, Session, Session2D, TraceCollector,
+    WavefrontPlan, WavefrontPlan2D,
 };
 
 fn tomcatv_scan(n: i64) -> (wavefront::lang::Lowered<2>, CompiledNest<2>) {
     let lo = tomcatv::build(n).expect("tomcatv builds");
     let compiled = compile(&lo.program).expect("tomcatv compiles");
-    let nest = compiled.nests().find(|x| x.is_scan).expect("has scan").clone();
+    let nest = compiled
+        .nests()
+        .find(|x| x.is_scan)
+        .expect("has scan")
+        .clone();
     (lo, nest)
 }
 
@@ -121,7 +125,10 @@ fn sim_phases_sum_to_makespan() {
         assert!(r.phases.fill >= 0.0 && r.phases.steady >= 0.0 && r.phases.drain >= 0.0);
         // A pipelined multi-processor run actually has a ramp-up.
         if r.meta.pipelined {
-            assert!(r.phases.fill > 0.0, "p={p}: pipelined run has no fill phase");
+            assert!(
+                r.phases.fill > 0.0,
+                "p={p}: pipelined run has no fill phase"
+            );
         }
     }
 }
@@ -133,33 +140,35 @@ fn sim_phases_sum_to_makespan() {
 fn noop_collector_adds_no_messages_and_changes_no_data() {
     let (lo, nest) = tomcatv_scan(40);
     let params = cray_t3e();
-    let plan = WavefrontPlan::build(&nest, 5, None, &BlockPolicy::Model2, &params).unwrap();
 
     let mut noop_store = filled_store(&lo);
-    let noop_report = execute_plan_threaded_collected(
-        &lo.program,
-        &nest,
-        &plan,
-        &mut noop_store,
-        &mut NoopCollector,
-    );
+    let noop_out = Session::new(&lo.program, &nest)
+        .procs(5)
+        .block(BlockPolicy::Model2)
+        .machine(params)
+        .store(&mut noop_store)
+        .run(EngineKind::Threads)
+        .unwrap();
 
     let mut trace = TraceCollector::default();
     let mut traced_store = filled_store(&lo);
-    let traced_report = execute_plan_threaded_collected(
-        &lo.program,
-        &nest,
-        &plan,
-        &mut traced_store,
-        &mut trace,
-    );
+    let traced_out = Session::new(&lo.program, &nest)
+        .procs(5)
+        .block(BlockPolicy::Model2)
+        .machine(params)
+        .collector(&mut trace)
+        .store(&mut traced_store)
+        .run(EngineKind::Threads)
+        .unwrap();
 
-    assert_eq!(noop_report.messages, traced_report.messages);
-    assert_eq!(trace.report().messages, noop_report.messages);
+    assert_eq!(noop_out.messages, traced_out.messages);
+    assert_eq!(trace.report().messages, noop_out.messages);
     for name in ["r", "d", "rx", "ry"] {
         let id = lo.array(name).unwrap();
         assert!(
-            noop_store.get(id).region_eq(traced_store.get(id), nest.region),
+            noop_store
+                .get(id)
+                .region_eq(traced_store.get(id), nest.region),
             "telemetry changed array {name}"
         );
     }
@@ -168,7 +177,11 @@ fn noop_collector_adds_no_messages_and_changes_no_data() {
 fn sweep_scan(n: i64) -> (wavefront::lang::Lowered<3>, CompiledNest<3>) {
     let lo = sweep3d::build_octant(n, [-1, -1, -1]).expect("sweep builds");
     let compiled = compile(&lo.program).expect("sweep compiles");
-    let nest = compiled.nests().find(|x| x.is_scan).expect("has scan").clone();
+    let nest = compiled
+        .nests()
+        .find(|x| x.is_scan)
+        .expect("has scan")
+        .clone();
     (lo, nest)
 }
 
@@ -265,7 +278,11 @@ fn chrome_trace_export_is_well_formed() {
             assert!(ts >= last_ts, "events must be sorted by ts");
             last_ts = ts;
         }
-        match e.get("ph").and_then(|p| p.as_str()).expect("every event has ph") {
+        match e
+            .get("ph")
+            .and_then(|p| p.as_str())
+            .expect("every event has ph")
+        {
             "X" => {
                 complete += 1;
                 assert!(e.get("dur").and_then(|d| d.as_f64()).unwrap() >= 0.0);

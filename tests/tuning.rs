@@ -12,8 +12,8 @@ use wavefront::kernels::{simple, sweep3d, tomcatv};
 use wavefront::machine::{cray_t3e, MachineParams};
 use wavefront::model::PipeModel;
 use wavefront::pipeline::{
-    calibrate_with, simulate_plan_collected, AdaptiveConfig, BlockPolicy, CalibrationConfig,
-    EngineKind, NoopCollector, Session, WavefrontPlan,
+    calibrate_with, AdaptiveConfig, BlockPolicy, CalibrationConfig, EngineKind, Session,
+    WavefrontPlan,
 };
 
 /// A square n×n unit-work scan: row i depends on row i−1.
@@ -60,9 +60,12 @@ fn adaptive_tracks_model_optimum_across_random_machines() {
         let nest = compiled.nests().find(|x| x.is_scan).unwrap();
 
         let b_star = PipeModel::new(n, p, alpha, beta).optimal_b_numeric();
-        let star_plan =
-            WavefrontPlan::build(nest, p, None, &BlockPolicy::Fixed(b_star), &machine).unwrap();
-        let t_star = simulate_plan_collected(&star_plan, &machine, &mut NoopCollector).makespan;
+        let t_star = Session::new(&prog, nest)
+            .procs(p)
+            .block(BlockPolicy::Fixed(b_star))
+            .machine(machine)
+            .estimate()
+            .time;
 
         let adaptive_run = |cfg: AdaptiveConfig| {
             Session::new(&prog, nest)
@@ -102,6 +105,7 @@ fn adaptive_tracks_model_optimum_across_random_machines() {
 /// Exhaustive-sweep best makespan for `nest` on `machine`: simulate a
 /// fixed plan at every block size the orthogonal extent allows.
 fn exhaustive_best<const R: usize>(
+    prog: &Program<R>,
     nest: &CompiledNest<R>,
     p: usize,
     machine: &MachineParams,
@@ -109,8 +113,15 @@ fn exhaustive_best<const R: usize>(
     let probe = WavefrontPlan::build(nest, p, None, &BlockPolicy::Model2, machine).unwrap();
     let n_orth = probe.block_ctx(*machine).map_or(1, |c| c.n_orth);
     (1..=n_orth)
-        .filter_map(|b| WavefrontPlan::build(nest, p, None, &BlockPolicy::Fixed(b), machine).ok())
-        .map(|plan| simulate_plan_collected(&plan, machine, &mut NoopCollector).makespan)
+        .filter_map(|b| {
+            Session::new(prog, nest)
+                .procs(p)
+                .block(BlockPolicy::Fixed(b))
+                .machine(*machine)
+                .run(EngineKind::Sim)
+                .ok()
+        })
+        .map(|out| out.makespan)
         .fold(f64::INFINITY, f64::min)
 }
 
@@ -122,8 +133,11 @@ fn assert_adaptive_close<const R: usize>(
 ) {
     let machine = cray_t3e();
     let nest = compiled.nests().find(|x| x.is_scan).unwrap();
-    let t_best = exhaustive_best(nest, p, &machine);
-    let cfg = AdaptiveConfig { prior: Some(wrong_prior()), ..AdaptiveConfig::default() };
+    let t_best = exhaustive_best(prog, nest, p, &machine);
+    let cfg = AdaptiveConfig {
+        prior: Some(wrong_prior()),
+        ..AdaptiveConfig::default()
+    };
     let out = Session::new(prog, nest)
         .procs(p)
         .block(BlockPolicy::Adaptive(cfg))
@@ -171,7 +185,11 @@ fn threaded_transport_calibration_is_plausible() {
         compute_passes: 8,
     };
     let cal = calibrate_with(&cfg).expect("calibration runs on this host");
-    assert!(cal.alpha.is_finite() && cal.alpha > 0.0, "alpha {}", cal.alpha);
+    assert!(
+        cal.alpha.is_finite() && cal.alpha > 0.0,
+        "alpha {}",
+        cal.alpha
+    );
     assert!(cal.beta.is_finite() && cal.beta >= 0.0, "beta {}", cal.beta);
     assert!(cal.elem_cost.is_finite() && cal.elem_cost > 0.0);
     assert!(cal.alpha_work() > 0.0 && cal.alpha_work().is_finite());
