@@ -1,0 +1,463 @@
+//! Wire-serving load generator: open-loop Poisson arrivals from two
+//! tenants against a [`WireServer`], measuring tail latency and goodput
+//! as offered load grows.
+//!
+//! Each tenant (`alpha`, weight 1; `beta`, weight 3) runs a pool of
+//! worker connections that submit a small Tomcatv-style wavefront
+//! program at exponentially-spaced arrival times. The schedule is fixed
+//! before the clock starts, so latency is measured from the *scheduled*
+//! arrival — queueing delay inside the server counts against it, which
+//! is what makes the run open-loop rather than self-throttling. Per
+//! load point the harness emits `load<L>_p50_latency_seconds`,
+//! `load<L>_p99_latency_seconds`, and `load<L>_goodput_efficiency`
+//! (completed / offered) into `results/BENCH_serve.json`, where
+//! `bench_diff` gates regressions.
+//!
+//! Modes:
+//!
+//! * default — start an in-process server on a loopback socket and
+//!   drive it (standalone runs, baseline generation);
+//! * `--addr HOST:PORT` — drive an external `wlc serve` instead (the
+//!   `scripts/verify.sh` smoke test);
+//! * `--quick` — shorter measurement window per load point, same keys;
+//! * `--shutdown` — send the wire `SHUTDOWN` frame when done (the
+//!   server must allow it);
+//! * `--expect-reject` — submit one job and *require* a typed
+//!   [`PipelineError::AdmissionDenied`] back: the self-check that
+//!   admission failures are loud, run by CI against a server whose
+//!   default tenant has `--max-in-flight 0`.
+//!
+//! Run with `cargo run --release -p wavefront-bench --bin serve_bench`.
+
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use wavefront_bench::{json_object, json_str, write_artifact, Table};
+use wavefront_core::array::Layout;
+use wavefront_core::exec::compile;
+use wavefront_lang::compile_str;
+use wavefront_pipeline::{
+    BlockPolicy, PipelineError, ServeConfig, ServiceConfig, TenantConfig, WavefrontService,
+    WireClient, WireCompiler, WireProgram, WireRequest, WireServer, WireTopology,
+};
+
+/// The program every job runs: the paper's Figure 3(d) scan, small
+/// enough that serving overhead (framing, admission, scheduling) is a
+/// visible share of each job.
+const SOURCE: &str = "
+    const n = 40;
+    var a : [1..n, 1..n] float;
+    direction north = (-1, 0);
+    [2..n, 1..n] a := 2.0 * a'@north;
+";
+
+/// Offered load points, total jobs/sec across both tenants. The same
+/// points run in `--quick` mode (only the window shrinks), so artifact
+/// keys stay comparable between CI and full runs.
+const LOADS: &[f64] = &[25.0, 50.0, 100.0];
+/// Worker connections per tenant — the submission parallelism that
+/// keeps the schedule open-loop while one job waits in the server.
+const CONNS: usize = 4;
+/// Tenant name, fair-share weight, and share of the offered load.
+const TENANTS: &[(&str, f64, f64)] = &[("alpha", 1.0, 0.25), ("beta", 3.0, 0.75)];
+
+// ---------------------------------------------------------------------
+// Deterministic Poisson arrivals (SplitMix64; no external RNG crates)
+// ---------------------------------------------------------------------
+
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in [0, 1).
+    fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Exponential inter-arrival gap with rate `lambda` per second.
+    fn exp_gap(&mut self, lambda: f64) -> f64 {
+        -(1.0 - self.uniform()).ln() / lambda
+    }
+}
+
+/// Arrival offsets (seconds from the window start) for one tenant.
+fn schedule(rng: &mut Rng, lambda: f64, window: f64) -> Vec<f64> {
+    let mut t = 0.0;
+    let mut out = Vec::new();
+    loop {
+        t += rng.exp_gap(lambda);
+        if t >= window {
+            return out;
+        }
+        out.push(t);
+    }
+}
+
+// ---------------------------------------------------------------------
+// In-process server (standalone / baseline mode)
+// ---------------------------------------------------------------------
+
+/// The bench's own `.wf` front end for the in-process server (the bench
+/// crate does not depend on the facade crate that hosts `LangCompiler`).
+struct BenchCompiler;
+
+impl WireCompiler<2> for BenchCompiler {
+    fn compile(
+        &self,
+        source: &str,
+        consts: &[(String, i64)],
+    ) -> Result<WireProgram<2>, String> {
+        let consts: Vec<(&str, i64)> = consts.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        let lowered =
+            compile_str::<2>(source, &consts, Layout::ColMajor).map_err(|e| e.to_string())?;
+        let compiled = compile(&lowered.program).map_err(|e| e.to_string())?;
+        let nests = compiled.nests().map(|n| Arc::new(n.clone())).collect();
+        let mut arrays: Vec<(String, usize)> =
+            lowered.arrays.iter().map(|(n, &id)| (n.clone(), id)).collect();
+        arrays.sort();
+        Ok(WireProgram {
+            program: Arc::new(lowered.program),
+            nests,
+            arrays,
+        })
+    }
+}
+
+/// Bind a loopback server with the bench's two tenants registered and
+/// serve it from a background thread. Returns the address to dial and
+/// the join handle (the thread exits on the wire `SHUTDOWN`).
+fn start_inproc(max_in_flight: usize) -> (String, std::thread::JoinHandle<()>) {
+    let service: Arc<WavefrontService<2>> =
+        Arc::new(WavefrontService::with_config(ServiceConfig {
+            workers: 8,
+            default_tenant: TenantConfig {
+                max_in_flight,
+                ..TenantConfig::default()
+            },
+            ..ServiceConfig::default()
+        }));
+    for &(name, weight, _) in TENANTS {
+        service.register_tenant(
+            name,
+            TenantConfig {
+                weight,
+                max_in_flight,
+                ..TenantConfig::default()
+            },
+        );
+    }
+    let server = Arc::new(WireServer::with_config(
+        service,
+        Arc::new(BenchCompiler),
+        ServeConfig {
+            allow_shutdown: true,
+            ..ServeConfig::default()
+        },
+    ));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr").to_string();
+    let handle = std::thread::spawn(move || {
+        server.serve(listener).expect("serve loop");
+    });
+    (addr, handle)
+}
+
+// ---------------------------------------------------------------------
+// Load generation
+// ---------------------------------------------------------------------
+
+fn request(tenant: &str) -> WireRequest {
+    let mut req = WireRequest::new(2, SOURCE);
+    req.tenant = tenant.to_string();
+    req.topology = WireTopology::Line(2);
+    req.block = BlockPolicy::Fixed(16);
+    req
+}
+
+#[derive(Default)]
+struct LoadResult {
+    offered: usize,
+    latencies: Vec<f64>,
+    rejected: usize,
+    failed: usize,
+}
+
+/// One load point: fixed Poisson schedules for both tenants, `CONNS`
+/// connections per tenant draining them, latency measured from the
+/// scheduled arrival instant.
+fn run_load(addr: &str, total_lambda: f64, window: f64, seed: u64) -> LoadResult {
+    let result = Arc::new(Mutex::new(LoadResult::default()));
+    let start = Instant::now() + Duration::from_millis(50);
+    std::thread::scope(|scope| {
+        for (ti, &(tenant, _, share)) in TENANTS.iter().enumerate() {
+            let arrivals = schedule(
+                &mut Rng(seed ^ (ti as u64).wrapping_mul(0x9e37)),
+                total_lambda * share,
+                window,
+            );
+            result.lock().unwrap().offered += arrivals.len();
+            for conn in 0..CONNS {
+                let mine: Vec<f64> = arrivals
+                    .iter()
+                    .copied()
+                    .skip(conn)
+                    .step_by(CONNS)
+                    .collect();
+                let result = Arc::clone(&result);
+                scope.spawn(move || {
+                    let mut client = match WireClient::connect(addr) {
+                        Ok(c) => c,
+                        Err(e) => {
+                            eprintln!("serve_bench: {tenant}/{conn}: {e}");
+                            let mut r = result.lock().unwrap();
+                            r.failed += mine.len();
+                            return;
+                        }
+                    };
+                    let req = request(tenant);
+                    for offset in mine {
+                        let due = start + Duration::from_secs_f64(offset);
+                        if let Some(gap) = due.checked_duration_since(Instant::now()) {
+                            std::thread::sleep(gap);
+                        }
+                        let outcome = client.submit(&req);
+                        let latency = (Instant::now() - start).as_secs_f64() - offset;
+                        let mut r = result.lock().unwrap();
+                        match outcome {
+                            Ok(_) => r.latencies.push(latency),
+                            Err(PipelineError::AdmissionDenied { .. }) => r.rejected += 1,
+                            Err(e) => {
+                                if r.failed == 0 {
+                                    eprintln!("serve_bench: {tenant} job failed: {e}");
+                                }
+                                r.failed += 1;
+                            }
+                        }
+                    }
+                });
+            }
+        }
+    });
+    Arc::try_unwrap(result)
+        .unwrap_or_else(|_| unreachable!("all workers joined"))
+        .into_inner()
+        .unwrap()
+}
+
+/// Nearest-rank percentile of an unsorted latency sample; 0 when empty
+/// (artifacts must stay valid JSON — no NaN).
+fn percentile(samples: &mut [f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(f64::total_cmp);
+    let idx = ((samples.len() - 1) as f64 * q).round() as usize;
+    samples[idx]
+}
+
+/// `--expect-reject`: the admission path must fail *loudly*. One job
+/// against a server whose tenant limits are zeroed must come back as a
+/// typed `AdmissionDenied` — anything else (success, silence, an
+/// untyped error) is a harness failure.
+fn expect_reject(addr: &str) -> ExitCode {
+    let mut client = match WireClient::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("serve_bench: connect {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match client.submit(&request("alpha")) {
+        Err(e @ PipelineError::AdmissionDenied { .. }) => {
+            println!("rejection self-check passed: {e}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve_bench: expected an admission rejection, got: {e}");
+            ExitCode::FAILURE
+        }
+        Ok(_) => {
+            eprintln!("serve_bench: expected an admission rejection, job ran");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let want_reject = args.iter().any(|a| a == "--expect-reject");
+    let want_shutdown = args.iter().any(|a| a == "--shutdown");
+    let mut addr_arg: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" | "--expect-reject" | "--shutdown" => {}
+            "--addr" => match args.get(i + 1) {
+                Some(a) => {
+                    addr_arg = Some(a.clone());
+                    i += 1;
+                }
+                None => {
+                    eprintln!(
+                        "usage: serve_bench [--quick] [--addr HOST:PORT] [--shutdown] \
+                         [--expect-reject]"
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("serve_bench: unknown option {other}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    // The self-check drives an external zero-admission server when
+    // given one, or spins up its own.
+    if want_reject {
+        let (addr, handle) = match addr_arg {
+            Some(a) => (a, None),
+            None => {
+                let (a, h) = start_inproc(0);
+                (a, Some(h))
+            }
+        };
+        let code = expect_reject(&addr);
+        if let Some(h) = handle {
+            WireClient::connect(&*addr)
+                .and_then(|mut c| c.shutdown())
+                .expect("shut the in-process server down");
+            h.join().expect("server thread");
+        }
+        return code;
+    }
+
+    let (addr, handle) = match addr_arg {
+        Some(a) => (a, None),
+        None => {
+            let (a, h) = start_inproc(usize::MAX);
+            (a, Some(h))
+        }
+    };
+    let window = if quick { 1.0 } else { 4.0 };
+    println!("## Wire serving under open-loop Poisson load ({addr})");
+    println!(
+        "   tenants: {} ({} connections each), window {window} s per load point\n",
+        TENANTS
+            .iter()
+            .map(|(n, w, s)| format!("{n} (weight {w}, {:.0}% of load)", s * 100.0))
+            .collect::<Vec<_>>()
+            .join(", "),
+        CONNS
+    );
+
+    // Warm the server before measuring: the first submission per tenant
+    // pays the one-off program compile and the worker-pool spawns, a
+    // straggler that would otherwise own p99 at light load.
+    for &(tenant, _, _) in TENANTS {
+        let warmed = WireClient::connect(&*addr).and_then(|mut c| c.submit(&request(tenant)));
+        if let Err(e) = warmed {
+            eprintln!("serve_bench: warm-up for {tenant} failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let mut table = Table::new(&[
+        "load (jobs/s)",
+        "offered",
+        "done",
+        "rejected",
+        "p50 (s)",
+        "p99 (s)",
+        "goodput",
+    ]);
+    let mut fields: Vec<(&str, String)> = vec![
+        ("bench", json_str("serve")),
+        ("tenants", TENANTS.len().to_string()),
+        ("connections_per_tenant", CONNS.to_string()),
+        // Named "window" (not "window_seconds") on purpose: bench_diff
+        // classifies `*seconds` keys as latencies, and the measurement
+        // window legitimately differs between --quick and full runs.
+        ("window", format!("{window}")),
+    ];
+    let mut keys: Vec<(String, String)> = Vec::new();
+    let mut total_rejected = 0usize;
+    let mut failed = false;
+    for (li, &lambda) in LOADS.iter().enumerate() {
+        let mut r = run_load(&addr, lambda, window, 0xc0ffee + li as u64);
+        let p50 = percentile(&mut r.latencies, 0.50);
+        let p99 = percentile(&mut r.latencies, 0.99);
+        let goodput = if r.offered == 0 {
+            0.0
+        } else {
+            r.latencies.len() as f64 / r.offered as f64
+        };
+        total_rejected += r.rejected;
+        failed |= r.failed > 0;
+        table.row(&[
+            format!("{lambda:.0}"),
+            r.offered.to_string(),
+            r.latencies.len().to_string(),
+            r.rejected.to_string(),
+            format!("{p50:.3e}"),
+            format!("{p99:.3e}"),
+            format!("{goodput:.3}"),
+        ]);
+        let tag = format!("load{lambda:.0}");
+        keys.push((format!("{tag}_p50_latency_seconds"), format!("{p50:.3e}")));
+        // Light-load p99 is the max of a few dozen sub-millisecond
+        // samples — pure scheduling noise, so the key is named to land
+        // in bench_diff's informational class. Under saturation the
+        // tail is queue-dominated and repeatable, so the highest load
+        // point gets a *gated* latency-class alias below.
+        keys.push((format!("{tag}_tail_p99"), format!("{p99:.3e}")));
+        keys.push((format!("{tag}_goodput_efficiency"), format!("{goodput:.3}")));
+        if li == LOADS.len() - 1 {
+            keys.push(("saturated_p99_latency_seconds".into(), format!("{p99:.3e}")));
+        }
+    }
+    table.print();
+
+    match WireClient::connect(&*addr).and_then(|mut c| c.stats()) {
+        Ok(stats) => println!("\n   server stats: {stats}"),
+        Err(e) => {
+            eprintln!("serve_bench: stats fetch failed: {e}");
+            failed = true;
+        }
+    }
+
+    for (k, v) in &keys {
+        fields.push((k.as_str(), v.clone()));
+    }
+    fields.push(("rejected_count", total_rejected.to_string()));
+    write_artifact("serve", &json_object(&fields));
+
+    if want_shutdown || handle.is_some() {
+        match WireClient::connect(&*addr).and_then(|mut c| c.shutdown()) {
+            Ok(()) => {}
+            Err(e) => {
+                eprintln!("serve_bench: shutdown failed: {e}");
+                failed = true;
+            }
+        }
+    }
+    if let Some(h) = handle {
+        h.join().expect("server thread");
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -65,11 +65,13 @@ fn bench_size(n: i64, service: &WavefrontService<2>) -> (f64, f64, f64) {
     let params = cray_t3e();
 
     let warm_spec = || {
-        JobSpec::new(Arc::clone(&program), Arc::clone(&nest))
+        JobSpec::builder(Arc::clone(&program), Arc::clone(&nest))
             .line(PROCS)
             .block(BlockPolicy::Fixed(32))
             .machine(params)
             .store(store.clone())
+            .build()
+            .expect("valid job spec")
     };
     // Warm the service: first job for this size takes the cache miss
     // and grows the pool; everything timed below is the steady state.
@@ -119,11 +121,13 @@ fn soak(secs: u64) -> ExitCode {
         ..Default::default()
     });
     let spec = || {
-        JobSpec::new(Arc::clone(&program), Arc::clone(&nest))
+        JobSpec::builder(Arc::clone(&program), Arc::clone(&nest))
             .line(PROCS)
             .block(BlockPolicy::Fixed(32))
             .machine(params)
             .store(store.clone())
+            .build()
+            .expect("valid job spec")
     };
 
     // Warm-up: enough jobs to grow the pool to its steady-state width.
@@ -148,15 +152,7 @@ fn soak(secs: u64) -> ExitCode {
         "## service soak: {jobs} tiny jobs in {elapsed:.1} s ({:.0} jobs/s)",
         (jobs - 64) as f64 / elapsed
     );
-    println!(
-        "   cache: {} hits / {} misses / {} entries; pool: {} workers, {} spawns ({} at warm-up)",
-        stats.cache_hits,
-        stats.cache_misses,
-        stats.cache_entries,
-        stats.pool_workers,
-        stats.pool_spawns,
-        spawns_warm
-    );
+    println!("   {} (pool spawns at warm-up: {spawns_warm})", stats.to_json());
     if stats.pool_spawns != spawns_warm {
         eprintln!(
             "FAIL: pool spawned {} new threads after warm-up — per-job spawning",
@@ -223,25 +219,13 @@ fn main() -> ExitCode {
     table.print();
 
     let stats = service.stats();
-    println!(
-        "\n   service: {} jobs, cache {} hits / {} misses / {} entries, pool {} workers / {} spawns",
-        stats.jobs_completed,
-        stats.cache_hits,
-        stats.cache_misses,
-        stats.cache_entries,
-        stats.pool_workers,
-        stats.pool_spawns
-    );
+    println!("\n   service: {}", stats.to_json());
 
     for (k, v) in &keys {
         fields.push((k.as_str(), v.clone()));
     }
-    let hits = stats.cache_hits.to_string();
-    let misses = stats.cache_misses.to_string();
-    let spawns = stats.pool_spawns.to_string();
-    fields.push(("cache_hit_count", hits));
-    fields.push(("cache_miss_count", misses));
-    fields.push(("pool_spawn_count", spawns));
+    let stats_json = stats.to_json();
+    fields.push(("service_stats", stats_json));
     write_artifact("service", &json_object(&fields));
     ExitCode::SUCCESS
 }

@@ -1,14 +1,50 @@
 //! The one error type of the pipeline crate.
 //!
-//! Planning, running, and tuning used to fail through separate enums
-//! (`PlanError`, `SessionError`); everything now funnels into
-//! [`PipelineError`], which implements [`std::error::Error`] and prints
-//! a human-readable message — `wlc` shows `{e}` and exits non-zero, no
-//! `{e:?}` debug dumps.
+//! Planning, running, tuning, and serving used to fail through separate
+//! enums (`PlanError`, `SessionError`) and ad-hoc prefixed strings;
+//! everything now funnels into [`PipelineError`], which implements
+//! [`std::error::Error`] and prints one consistent, human-readable
+//! `what: why` message — lowercase, no `error:` prefix, no `{e:?}`
+//! debug dumps. Front ends (`wlc`, the wire server) add their own
+//! context around the message; the message itself never does.
 
 use std::fmt;
 
-/// Why a wavefront could not be planned, executed, or tuned.
+/// Why a job was refused at the service's front door instead of being
+/// queued (see `docs/SERVICE.md`, "Admission control").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionReason {
+    /// The tenant's bounded queue is at capacity.
+    QueueFull {
+        /// The tenant's configured queue capacity.
+        capacity: usize,
+    },
+    /// The tenant already has its maximum number of jobs in flight
+    /// (queued plus running).
+    InFlightLimit {
+        /// The tenant's configured in-flight limit.
+        limit: usize,
+    },
+    /// The tenant is not registered and the service does not
+    /// auto-register unknown tenants.
+    UnknownTenant,
+}
+
+impl fmt::Display for AdmissionReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionReason::QueueFull { capacity } => {
+                write!(f, "queue full (capacity {capacity})")
+            }
+            AdmissionReason::InFlightLimit { limit } => {
+                write!(f, "in-flight limit reached (limit {limit})")
+            }
+            AdmissionReason::UnknownTenant => write!(f, "tenant is not registered"),
+        }
+    }
+}
+
+/// Why a wavefront could not be planned, executed, tuned, or served.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PipelineError {
     /// The nest has no dimension along which a wavefront can advance
@@ -39,6 +75,45 @@ pub enum PipelineError {
     /// An engine worker panicked while executing a service job. The
     /// payload is the panic message when it was a string.
     EnginePanic(String),
+    /// The service refused to queue a job for a tenant — the typed
+    /// admission outcome (never a silent drop, never a blocked
+    /// listener).
+    AdmissionDenied {
+        /// The tenant whose job was refused.
+        tenant: String,
+        /// Why admission failed.
+        reason: AdmissionReason,
+    },
+    /// A wire frame violated the serving protocol: bad magic/opcode,
+    /// truncated or oversized frame, malformed field, or a rank the
+    /// server does not serve.
+    ProtocolError {
+        /// What was wrong with the frame.
+        reason: String,
+    },
+    /// A job specification failed validation before submission (zero
+    /// processors, unknown array name, mismatched array payload, …).
+    InvalidJob {
+        /// What was wrong with the specification.
+        reason: String,
+    },
+    /// A `.wf` program sent over the wire was rejected by the language
+    /// front end (parse, legality, or lowering failure).
+    CompileRejected {
+        /// The front end's diagnostic.
+        reason: String,
+    },
+    /// The remote side of a wire connection reported an execution
+    /// failure that has no richer local representation.
+    Remote {
+        /// The remote error text.
+        message: String,
+    },
+    /// A wire connection failed at the transport level.
+    Io {
+        /// The failed operation plus the OS error text.
+        context: String,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -68,6 +143,18 @@ impl fmt::Display for PipelineError {
             PipelineError::Calibration(why) => write!(f, "calibration failed: {why}"),
             PipelineError::Tuning(why) => write!(f, "adaptive tuning failed: {why}"),
             PipelineError::EnginePanic(why) => write!(f, "engine panicked: {why}"),
+            PipelineError::AdmissionDenied { tenant, reason } => {
+                write!(f, "admission denied for tenant `{tenant}`: {reason}")
+            }
+            PipelineError::ProtocolError { reason } => {
+                write!(f, "wire protocol violation: {reason}")
+            }
+            PipelineError::InvalidJob { reason } => write!(f, "invalid job: {reason}"),
+            PipelineError::CompileRejected { reason } => {
+                write!(f, "program rejected: {reason}")
+            }
+            PipelineError::Remote { message } => write!(f, "server reported: {message}"),
+            PipelineError::Io { context } => write!(f, "wire i/o failed: {context}"),
         }
     }
 }
@@ -80,7 +167,7 @@ mod tests {
 
     #[test]
     fn displays_are_readable_not_debug() {
-        let errs: [PipelineError; 6] = [
+        let errs: Vec<PipelineError> = vec![
             PipelineError::NoWavefrontDim,
             PipelineError::WaveNotDistributed {
                 wave_dims: vec![0, 1],
@@ -90,13 +177,59 @@ mod tests {
             PipelineError::MissingStore,
             PipelineError::Calibration("ping-pong returned NaN".into()),
             PipelineError::Tuning("probe tiles exhausted the extent".into()),
+            PipelineError::EnginePanic("index out of bounds".into()),
+            PipelineError::AdmissionDenied {
+                tenant: "acme".into(),
+                reason: AdmissionReason::QueueFull { capacity: 8 },
+            },
+            PipelineError::AdmissionDenied {
+                tenant: "acme".into(),
+                reason: AdmissionReason::InFlightLimit { limit: 0 },
+            },
+            PipelineError::AdmissionDenied {
+                tenant: "ghost".into(),
+                reason: AdmissionReason::UnknownTenant,
+            },
+            PipelineError::ProtocolError {
+                reason: "frame of 2 GiB exceeds the limit".into(),
+            },
+            PipelineError::InvalidJob {
+                reason: "a line topology needs at least one processor".into(),
+            },
+            PipelineError::CompileRejected {
+                reason: "parse error at line 3".into(),
+            },
+            PipelineError::Remote {
+                message: "engine panicked: boom".into(),
+            },
+            PipelineError::Io {
+                context: "read frame header: connection reset".into(),
+            },
         ];
         for e in errs {
             let msg = e.to_string();
             assert!(!msg.is_empty());
-            // No Debug-style braces from struct formatting.
+            // No Debug-style braces from struct formatting, and one
+            // consistent style: lowercase, no "error: " prefix.
             assert!(!msg.starts_with('{'), "{msg}");
+            assert!(!msg.starts_with("error"), "{msg}");
+            assert!(
+                msg.chars().next().unwrap().is_lowercase(),
+                "service-path errors share one lowercase style: {msg}"
+            );
         }
+    }
+
+    #[test]
+    fn admission_reasons_render_their_limits() {
+        assert_eq!(
+            AdmissionReason::QueueFull { capacity: 4 }.to_string(),
+            "queue full (capacity 4)"
+        );
+        assert_eq!(
+            AdmissionReason::InFlightLimit { limit: 0 }.to_string(),
+            "in-flight limit reached (limit 0)"
+        );
     }
 
     #[test]

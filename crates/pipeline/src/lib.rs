@@ -44,13 +44,15 @@ pub mod session;
 pub mod telemetry;
 pub mod tune;
 
-pub use error::PipelineError;
+pub use error::{AdmissionReason, PipelineError};
 pub use exec_sim::{NestSim, ProgramSim};
 pub use plan::WavefrontPlan;
 pub use plan2d::WavefrontPlan2D;
 pub use schedule::{probe_block, AdaptiveConfig, BlockCtx, BlockPolicy, BlockSizer};
 pub use service::{
-    JobHandle, JobOutcome, JobSpec, JobTopology, ServiceConfig, ServiceStats, WavefrontService,
+    JobHandle, JobOutcome, JobSpec, JobSpecBuilder, JobTopology, ServeConfig, ServiceConfig,
+    ServiceStats, TenantConfig, TenantStats, WavefrontService, WireClient, WireCompiler,
+    WireProgram, WireRequest, WireResponse, WireServer, WireTopology, DEFAULT_TENANT,
 };
 pub use session::{
     Engine, EngineCtx, ProgramSession, RunOutcome, SeqEngine, Session, Session2D, SessionConfig,
@@ -58,7 +60,7 @@ pub use session::{
 };
 pub use telemetry::{
     ascii_timeline, chrome_trace, CacheEvent, CausalGraph, ChromeTraceBuilder, Collector,
-    CriticalPath, EngineKind, ExecutionReport, JsonValue, NoopCollector, Prediction, RunMeta,
-    TraceAnalysis, TraceCollector, TraceHistograms,
+    CriticalPath, EngineKind, ExecutionReport, Histogram, JsonValue, NoopCollector, Prediction,
+    RunMeta, TraceAnalysis, TraceCollector, TraceHistograms,
 };
 pub use tune::{calibrate_host, calibrate_with, AdaptiveReport, CalibrationConfig};

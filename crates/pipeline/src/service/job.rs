@@ -1,0 +1,389 @@
+//! Job submission surface of the service: the typed
+//! [`JobSpecBuilder`], the validated [`JobSpec`] it produces, and the
+//! [`JobHandle`] / [`JobOutcome`] pair a submission resolves to.
+//!
+//! The builder is the one construction path shared by in-process
+//! [`crate::service::WavefrontService::submit`] and the wire decoder in
+//! [`crate::service::wire`]: both funnel through
+//! [`JobSpecBuilder::build`], so a spec that was never validated cannot
+//! reach the dispatcher. The pre-PR-6 chainable methods directly on
+//! `JobSpec` remain as `#[deprecated]` shims for one release.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+use wavefront_core::exec::CompiledNest;
+use wavefront_core::program::{Program, Store};
+
+use crate::error::PipelineError;
+use crate::schedule::BlockPolicy;
+use crate::session::{RunOutcome, SessionConfig};
+use crate::telemetry::{EngineKind, ExecutionReport};
+
+/// The processor topology a job runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobTopology {
+    /// A 1-D processor line (a [`crate::plan::WavefrontPlan`]).
+    Line {
+        /// Number of processors on the line.
+        procs: usize,
+        /// Forced distribution dimension, or `None` to let the planner
+        /// choose.
+        dist_dim: Option<usize>,
+    },
+    /// A 2-D processor mesh (a [`crate::plan2d::WavefrontPlan2D`]).
+    Mesh {
+        /// Mesh shape (`[rows, cols]`).
+        mesh: [usize; 2],
+        /// Forced distributed dimensions, or `None` to let the planner
+        /// choose.
+        wave_dims: Option<[usize; 2]>,
+    },
+}
+
+/// Everything one service job needs, by value: the service outlives any
+/// borrow a `Session` could hold, so program, nest, and store are owned
+/// (`Arc`s for the shared read-only parts). Built by
+/// [`JobSpec::builder`].
+pub struct JobSpec<const R: usize> {
+    pub(crate) program: Arc<Program<R>>,
+    pub(crate) nest: Arc<CompiledNest<R>>,
+    pub(crate) topology: JobTopology,
+    pub(crate) cfg: SessionConfig,
+    pub(crate) engine: EngineKind,
+    pub(crate) store: Option<Store<R>>,
+    pub(crate) trace: bool,
+    pub(crate) tenant: Option<String>,
+    pub(crate) priority: u8,
+}
+
+/// Typed construction of a [`JobSpec`]: chain the knobs, then
+/// [`JobSpecBuilder::build`] validates the combination and returns a
+/// spec (or a [`PipelineError::InvalidJob`] naming what was wrong).
+///
+/// ```ignore
+/// let spec = JobSpec::builder(program, nest)
+///     .line(8)
+///     .tenant("acme")
+///     .priority(2)
+///     .store(store)
+///     .build()?;
+/// ```
+pub struct JobSpecBuilder<const R: usize> {
+    program: Arc<Program<R>>,
+    nest: Arc<CompiledNest<R>>,
+    topology: JobTopology,
+    cfg: SessionConfig,
+    engine: EngineKind,
+    store: Option<Store<R>>,
+    trace: bool,
+    tenant: Option<String>,
+    priority: u8,
+}
+
+impl<const R: usize> JobSpecBuilder<R> {
+    fn new(program: Arc<Program<R>>, nest: Arc<CompiledNest<R>>) -> Self {
+        JobSpecBuilder {
+            program,
+            nest,
+            topology: JobTopology::Line {
+                procs: 1,
+                dist_dim: None,
+            },
+            cfg: SessionConfig::default(),
+            engine: EngineKind::Threads,
+            store: None,
+            trace: false,
+            tenant: None,
+            priority: 0,
+        }
+    }
+
+    /// Run on a 1-D line of `procs` processors (planner-chosen
+    /// distribution dimension).
+    pub fn line(mut self, procs: usize) -> Self {
+        self.topology = JobTopology::Line {
+            procs,
+            dist_dim: None,
+        };
+        self
+    }
+
+    /// Run on a 2-D mesh of shape `[rows, cols]` (planner-chosen wave
+    /// dimensions).
+    pub fn mesh(mut self, mesh: [usize; 2]) -> Self {
+        self.topology = JobTopology::Mesh {
+            mesh,
+            wave_dims: None,
+        };
+        self
+    }
+
+    /// Set the full topology, including forced dimensions.
+    pub fn topology(mut self, topology: JobTopology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Replace the whole [`SessionConfig`] at once.
+    pub fn config(mut self, cfg: SessionConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Block-size policy. [`BlockPolicy::Adaptive`] jobs run through the
+    /// closed-loop tuner and bypass the plan cache (the tuner's whole
+    /// point is to re-plan mid-run).
+    pub fn block(mut self, policy: BlockPolicy) -> Self {
+        self.cfg.block = policy;
+        self
+    }
+
+    /// Machine cost parameters.
+    pub fn machine(mut self, params: wavefront_machine::MachineParams) -> Self {
+        self.cfg.machine = params;
+        self
+    }
+
+    /// Select compiled tile kernels (`true`, the default) or the
+    /// reference interpreter.
+    pub fn kernels(mut self, on: bool) -> Self {
+        self.cfg.kernels = on;
+        self
+    }
+
+    /// Which engine runs the job (default [`EngineKind::Threads`]).
+    pub fn engine(mut self, kind: EngineKind) -> Self {
+        self.engine = kind;
+        self
+    }
+
+    /// Attach the data store the job computes on (moved in; returned in
+    /// the [`JobOutcome`]). Required for the seq and threads engines.
+    pub fn store(mut self, store: Store<R>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Record the job's telemetry stream and return an
+    /// [`ExecutionReport`] in the outcome.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+
+    /// Submit on behalf of `tenant` — the job joins that tenant's
+    /// admission-controlled queue instead of the default one.
+    pub fn tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// Priority within the tenant's own queue: higher runs first,
+    /// FIFO among equals (default 0). Priorities never jump the
+    /// fair-share ordering *between* tenants.
+    pub fn priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Validate the combination and produce the [`JobSpec`].
+    pub fn build(self) -> Result<JobSpec<R>, PipelineError> {
+        match self.topology {
+            JobTopology::Line { procs: 0, .. } => {
+                return Err(PipelineError::InvalidJob {
+                    reason: "a line topology needs at least one processor".into(),
+                });
+            }
+            JobTopology::Mesh { mesh, .. } if mesh[0] == 0 || mesh[1] == 0 => {
+                return Err(PipelineError::InvalidJob {
+                    reason: format!(
+                        "a mesh topology needs non-empty dimensions (got {}x{})",
+                        mesh[0], mesh[1]
+                    ),
+                });
+            }
+            _ => {}
+        }
+        if let Some(t) = &self.tenant {
+            if t.is_empty() {
+                return Err(PipelineError::InvalidJob {
+                    reason: "tenant name must not be empty".into(),
+                });
+            }
+        }
+        Ok(JobSpec {
+            program: self.program,
+            nest: self.nest,
+            topology: self.topology,
+            cfg: self.cfg,
+            engine: self.engine,
+            store: self.store,
+            trace: self.trace,
+            tenant: self.tenant,
+            priority: self.priority,
+        })
+    }
+}
+
+impl<const R: usize> JobSpec<R> {
+    /// Start building a job for `nest` of `program`. Defaults:
+    /// 1-processor line, threads engine, default [`SessionConfig`], no
+    /// store, no trace, default tenant, priority 0.
+    pub fn builder(program: Arc<Program<R>>, nest: Arc<CompiledNest<R>>) -> JobSpecBuilder<R> {
+        JobSpecBuilder::new(program, nest)
+    }
+
+    /// The tenant this job was built for (`None` = the default tenant).
+    pub fn tenant_name(&self) -> Option<&str> {
+        self.tenant.as_deref()
+    }
+
+    /// The job's priority within its tenant queue.
+    pub fn job_priority(&self) -> u8 {
+        self.priority
+    }
+
+    /// A job for `nest` of `program` with all defaults.
+    #[deprecated(since = "0.6.0", note = "use JobSpec::builder(..).build() instead")]
+    pub fn new(program: Arc<Program<R>>, nest: Arc<CompiledNest<R>>) -> Self {
+        JobSpecBuilder::new(program, nest)
+            .build()
+            .expect("default spec is always valid")
+    }
+
+    /// Run on a 1-D line of `procs` processors.
+    #[deprecated(since = "0.6.0", note = "use JobSpec::builder(..).line(..) instead")]
+    pub fn line(mut self, procs: usize) -> Self {
+        self.topology = JobTopology::Line {
+            procs,
+            dist_dim: None,
+        };
+        self
+    }
+
+    /// Run on a 2-D mesh of shape `[rows, cols]`.
+    #[deprecated(since = "0.6.0", note = "use JobSpec::builder(..).mesh(..) instead")]
+    pub fn mesh(mut self, mesh: [usize; 2]) -> Self {
+        self.topology = JobTopology::Mesh {
+            mesh,
+            wave_dims: None,
+        };
+        self
+    }
+
+    /// Set the full topology, including forced dimensions.
+    #[deprecated(
+        since = "0.6.0",
+        note = "use JobSpec::builder(..).topology(..) instead"
+    )]
+    pub fn topology(mut self, topology: JobTopology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Replace the whole [`SessionConfig`] at once.
+    #[deprecated(since = "0.6.0", note = "use JobSpec::builder(..).config(..) instead")]
+    pub fn config(mut self, cfg: SessionConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Block-size policy.
+    #[deprecated(since = "0.6.0", note = "use JobSpec::builder(..).block(..) instead")]
+    pub fn block(mut self, policy: BlockPolicy) -> Self {
+        self.cfg.block = policy;
+        self
+    }
+
+    /// Machine cost parameters.
+    #[deprecated(since = "0.6.0", note = "use JobSpec::builder(..).machine(..) instead")]
+    pub fn machine(mut self, params: wavefront_machine::MachineParams) -> Self {
+        self.cfg.machine = params;
+        self
+    }
+
+    /// Select compiled tile kernels or the reference interpreter.
+    #[deprecated(since = "0.6.0", note = "use JobSpec::builder(..).kernels(..) instead")]
+    pub fn kernels(mut self, on: bool) -> Self {
+        self.cfg.kernels = on;
+        self
+    }
+
+    /// Which engine runs the job.
+    #[deprecated(since = "0.6.0", note = "use JobSpec::builder(..).engine(..) instead")]
+    pub fn engine(mut self, kind: EngineKind) -> Self {
+        self.engine = kind;
+        self
+    }
+
+    /// Attach the data store the job computes on.
+    #[deprecated(since = "0.6.0", note = "use JobSpec::builder(..).store(..) instead")]
+    pub fn store(mut self, store: Store<R>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Record the job's telemetry stream.
+    #[deprecated(since = "0.6.0", note = "use JobSpec::builder(..).trace(..) instead")]
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
+        self
+    }
+}
+
+/// What one completed job returns.
+pub struct JobOutcome<const R: usize> {
+    /// The engine-independent run outcome (see [`RunOutcome`]); warm
+    /// cache hits show up as `prep_seconds` collapsing.
+    pub outcome: RunOutcome,
+    /// The data store moved in via [`JobSpecBuilder::store`], now
+    /// holding the computed values.
+    pub store: Option<Store<R>>,
+    /// The aggregated telemetry report when [`JobSpecBuilder::trace`]
+    /// was set.
+    pub trace: Option<ExecutionReport>,
+}
+
+pub(crate) struct Slot<const R: usize> {
+    done: Mutex<Option<Result<JobOutcome<R>, PipelineError>>>,
+    ready: Condvar,
+}
+
+impl<const R: usize> Slot<R> {
+    pub(crate) fn new() -> Self {
+        Slot {
+            done: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    pub(crate) fn fulfil(&self, result: Result<JobOutcome<R>, PipelineError>) {
+        *self.done.lock().unwrap() = Some(result);
+        self.ready.notify_all();
+    }
+}
+
+/// A ticket for one submitted job.
+pub struct JobHandle<const R: usize> {
+    pub(crate) slot: Arc<Slot<R>>,
+}
+
+impl<const R: usize> JobHandle<R> {
+    /// Block until the job completes and take its outcome. A worker
+    /// panic during the job surfaces as [`PipelineError::EnginePanic`];
+    /// the service itself survives and keeps serving.
+    pub fn wait(self) -> Result<JobOutcome<R>, PipelineError> {
+        let mut done = self.slot.done.lock().unwrap();
+        loop {
+            if let Some(result) = done.take() {
+                return result;
+            }
+            done = self.slot.ready.wait(done).unwrap();
+        }
+    }
+
+    /// Whether the job has already completed (non-blocking).
+    pub fn is_done(&self) -> bool {
+        self.slot.done.lock().unwrap().is_some()
+    }
+}

@@ -1,4 +1,4 @@
-//! A long-lived wavefront execution service for repeated traffic.
+//! A long-lived, multi-tenant wavefront execution service.
 //!
 //! One-shot [`crate::Session`] runs pay the full setup bill every time:
 //! plan construction, kernel lowering and binding, and an OS thread
@@ -11,42 +11,59 @@
 //!   [`crate::plan::WavefrontPlan`]s / [`crate::plan2d::WavefrontPlan2D`]s
 //!   together with their lowered kernel preparation, so warm jobs skip
 //!   planning and kernel compilation entirely;
-//! * a bounded job queue applies backpressure: [`WavefrontService::submit`]
-//!   blocks (never drops) while the queue is full.
+//! * every job belongs to a **tenant** with its own bounded queue,
+//!   admission limits ([`TenantConfig`]), and fair-share weight. The
+//!   dispatcher drains tenant queues by stride scheduling, so dispatch
+//!   slots track weights whatever the offered-load imbalance;
+//! * [`WavefrontService::submit`] applies backpressure (blocks, never
+//!   drops) while [`WavefrontService::try_submit`] returns a typed
+//!   [`PipelineError::AdmissionDenied`] instead — the non-blocking door
+//!   the wire server uses so a full tenant can never stall the
+//!   listener.
 //!
 //! ```ignore
 //! let service = WavefrontService::<2>::new();
-//! let handle = service.submit(
-//!     JobSpec::new(program.clone(), nest.clone())
+//! service.register_tenant("acme", TenantConfig { weight: 2.0, ..Default::default() });
+//! let handle = service.try_submit(
+//!     JobSpec::builder(program.clone(), nest.clone())
 //!         .line(8)
-//!         .store(store),
-//! );
+//!         .tenant("acme")
+//!         .store(store)
+//!         .build()?,
+//! )?;
 //! let out = handle.wait()?;
 //! ```
 //!
-//! Jobs run in submission order on a dispatcher thread. `Session` and
-//! `Session2D` remain the one-shot front doors, but they execute through
-//! the same [`ExecCore`] (with caching disabled), so every engine,
-//! kernel binding, and telemetry path in the crate is exercised by one
-//! execution core. See `docs/SERVICE.md` for the lifecycle,
-//! fingerprinting, and backpressure details.
+//! Jobs of one tenant run in priority-then-submission order; between
+//! tenants the stride scheduler arbitrates. `Session` and `Session2D`
+//! remain the one-shot front doors, but they execute through the same
+//! [`ExecCore`] (with caching disabled), so every engine, kernel
+//! binding, and telemetry path in the crate is exercised by one
+//! execution core. Remote callers reach the same queues through the
+//! wire protocol in [`wire`]. See `docs/SERVICE.md` for the lifecycle,
+//! fingerprinting, admission, and fair-share details.
 
+pub mod admission;
 pub(crate) mod cache;
 pub(crate) mod fingerprint;
+pub mod job;
 pub(crate) mod pool;
+pub mod tenant;
+pub mod wire;
 
 use std::any::Any;
-use std::collections::VecDeque;
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Condvar, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use wavefront_core::exec::CompiledNest;
 use wavefront_core::program::{Program, Store};
 
-use crate::error::PipelineError;
+use crate::error::{AdmissionReason, PipelineError};
 use crate::exec2d::{
     execute_plan2d_sequential_prepared, execute_prepared2d_threaded, prepare2d,
     simulate_plan2d_collected, MeshPrep,
@@ -59,11 +76,25 @@ use crate::plan2d::WavefrontPlan2D;
 use crate::schedule::BlockPolicy;
 use crate::session::{RunOutcome, Session, Session2D, SessionConfig};
 use crate::telemetry::{
-    CacheEvent, Collector, EngineKind, ExecutionReport, NoopCollector, TimeUnit, TraceCollector,
+    CacheEvent, Collector, EngineKind, NoopCollector, TimeUnit, TraceCollector,
+};
+
+pub use admission::TenantConfig;
+pub use job::{JobHandle, JobOutcome, JobSpec, JobSpecBuilder, JobTopology};
+pub use tenant::TenantStats;
+pub use wire::{
+    ServeConfig, WireClient, WireCompiler, WireProgram, WireRequest, WireResponse, WireServer,
+    WireTopology,
 };
 
 use cache::PlanCache;
+use job::Slot;
 use pool::WorkerPool;
+use tenant::{pick_min_pass, QueuedJob, TenantQueue};
+
+/// Name of the implicit tenant that absorbs jobs submitted without a
+/// [`JobSpecBuilder::tenant`] attribution.
+pub const DEFAULT_TENANT: &str = "default";
 
 /// Where the execution core gets the compiled nest from: a plain borrow
 /// (the `Session` front doors) or an already-shared `Arc` (service jobs,
@@ -474,14 +505,24 @@ impl ExecCore {
 /// Sizing knobs of a [`WavefrontService`].
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
-    /// Jobs the submission queue holds before [`WavefrontService::submit`]
-    /// blocks (backpressure; never drops). Clamped to at least 1.
+    /// Jobs the *default tenant's* queue holds before
+    /// [`WavefrontService::submit`] blocks (backpressure; never drops).
+    /// Clamped to at least 1. Registered tenants size their own queues
+    /// via [`TenantConfig::queue_capacity`].
     pub queue_capacity: usize,
     /// Compiled plans the LRU cache retains. 0 disables caching.
     pub cache_capacity: usize,
     /// Worker threads to pre-spawn at construction; the pool still grows
     /// on demand to the widest job seen.
     pub workers: usize,
+    /// Admission template for tenants that are auto-registered on first
+    /// submission (and for the default tenant's weight / in-flight
+    /// limit).
+    pub default_tenant: TenantConfig,
+    /// Whether a submission naming an unregistered tenant creates it
+    /// from `default_tenant` (`true`, the default) or is denied with
+    /// [`AdmissionReason::UnknownTenant`].
+    pub auto_register: bool,
 }
 
 impl Default for ServiceConfig {
@@ -490,189 +531,9 @@ impl Default for ServiceConfig {
             queue_capacity: 64,
             cache_capacity: 32,
             workers: 0,
+            default_tenant: TenantConfig::default(),
+            auto_register: true,
         }
-    }
-}
-
-/// The processor topology a job runs on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum JobTopology {
-    /// A 1-D processor line (a [`crate::plan::WavefrontPlan`]).
-    Line {
-        /// Number of processors on the line.
-        procs: usize,
-        /// Forced distribution dimension, or `None` to let the planner
-        /// choose.
-        dist_dim: Option<usize>,
-    },
-    /// A 2-D processor mesh (a [`crate::plan2d::WavefrontPlan2D`]).
-    Mesh {
-        /// Mesh shape (`[rows, cols]`).
-        mesh: [usize; 2],
-        /// Forced distributed dimensions, or `None` to let the planner
-        /// choose.
-        wave_dims: Option<[usize; 2]>,
-    },
-}
-
-/// Everything one service job needs, by value: the service outlives any
-/// borrow a `Session` could hold, so program, nest, and store are owned
-/// (`Arc`s for the shared read-only parts).
-pub struct JobSpec<const R: usize> {
-    program: Arc<Program<R>>,
-    nest: Arc<CompiledNest<R>>,
-    topology: JobTopology,
-    cfg: SessionConfig,
-    engine: EngineKind,
-    store: Option<Store<R>>,
-    trace: bool,
-}
-
-impl<const R: usize> JobSpec<R> {
-    /// A job for `nest` of `program`. Defaults: 1-processor line,
-    /// threads engine, default [`SessionConfig`], no store, no trace.
-    pub fn new(program: Arc<Program<R>>, nest: Arc<CompiledNest<R>>) -> Self {
-        JobSpec {
-            program,
-            nest,
-            topology: JobTopology::Line {
-                procs: 1,
-                dist_dim: None,
-            },
-            cfg: SessionConfig::default(),
-            engine: EngineKind::Threads,
-            store: None,
-            trace: false,
-        }
-    }
-
-    /// Run on a 1-D line of `procs` processors (planner-chosen
-    /// distribution dimension).
-    pub fn line(mut self, procs: usize) -> Self {
-        self.topology = JobTopology::Line {
-            procs,
-            dist_dim: None,
-        };
-        self
-    }
-
-    /// Run on a 2-D mesh of shape `[rows, cols]` (planner-chosen wave
-    /// dimensions).
-    pub fn mesh(mut self, mesh: [usize; 2]) -> Self {
-        self.topology = JobTopology::Mesh {
-            mesh,
-            wave_dims: None,
-        };
-        self
-    }
-
-    /// Set the full topology, including forced dimensions.
-    pub fn topology(mut self, topology: JobTopology) -> Self {
-        self.topology = topology;
-        self
-    }
-
-    /// Replace the whole [`SessionConfig`] at once.
-    pub fn config(mut self, cfg: SessionConfig) -> Self {
-        self.cfg = cfg;
-        self
-    }
-
-    /// Block-size policy. [`BlockPolicy::Adaptive`] jobs run through the
-    /// closed-loop tuner and bypass the plan cache (the tuner's whole
-    /// point is to re-plan mid-run).
-    pub fn block(mut self, policy: BlockPolicy) -> Self {
-        self.cfg.block = policy;
-        self
-    }
-
-    /// Machine cost parameters.
-    pub fn machine(mut self, params: wavefront_machine::MachineParams) -> Self {
-        self.cfg.machine = params;
-        self
-    }
-
-    /// Select compiled tile kernels (`true`, the default) or the
-    /// reference interpreter.
-    pub fn kernels(mut self, on: bool) -> Self {
-        self.cfg.kernels = on;
-        self
-    }
-
-    /// Which engine runs the job (default [`EngineKind::Threads`]).
-    pub fn engine(mut self, kind: EngineKind) -> Self {
-        self.engine = kind;
-        self
-    }
-
-    /// Attach the data store the job computes on (moved in; returned in
-    /// the [`JobOutcome`]). Required for the seq and threads engines.
-    pub fn store(mut self, store: Store<R>) -> Self {
-        self.store = Some(store);
-        self
-    }
-
-    /// Record the job's telemetry stream and return an
-    /// [`ExecutionReport`] in the outcome.
-    pub fn trace(mut self, on: bool) -> Self {
-        self.trace = on;
-        self
-    }
-}
-
-/// What one completed job returns.
-pub struct JobOutcome<const R: usize> {
-    /// The engine-independent run outcome (see [`RunOutcome`]); warm
-    /// cache hits show up as `prep_seconds` collapsing.
-    pub outcome: RunOutcome,
-    /// The data store moved in via [`JobSpec::store`], now holding the
-    /// computed values.
-    pub store: Option<Store<R>>,
-    /// The aggregated telemetry report when [`JobSpec::trace`] was set.
-    pub trace: Option<ExecutionReport>,
-}
-
-struct Slot<const R: usize> {
-    done: Mutex<Option<Result<JobOutcome<R>, PipelineError>>>,
-    ready: Condvar,
-}
-
-impl<const R: usize> Slot<R> {
-    fn new() -> Self {
-        Slot {
-            done: Mutex::new(None),
-            ready: Condvar::new(),
-        }
-    }
-
-    fn fulfil(&self, result: Result<JobOutcome<R>, PipelineError>) {
-        *self.done.lock().unwrap() = Some(result);
-        self.ready.notify_all();
-    }
-}
-
-/// A ticket for one submitted job.
-pub struct JobHandle<const R: usize> {
-    slot: Arc<Slot<R>>,
-}
-
-impl<const R: usize> JobHandle<R> {
-    /// Block until the job completes and take its outcome. A worker
-    /// panic during the job surfaces as [`PipelineError::EnginePanic`];
-    /// the service itself survives and keeps serving.
-    pub fn wait(self) -> Result<JobOutcome<R>, PipelineError> {
-        let mut done = self.slot.done.lock().unwrap();
-        loop {
-            if let Some(result) = done.take() {
-                return result;
-            }
-            done = self.slot.ready.wait(done).unwrap();
-        }
-    }
-
-    /// Whether the job has already completed (non-blocking).
-    pub fn is_done(&self) -> bool {
-        self.slot.done.lock().unwrap().is_some()
     }
 }
 
@@ -680,11 +541,13 @@ impl<const R: usize> JobHandle<R> {
 /// [`WavefrontService::stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServiceStats {
-    /// Jobs accepted by [`WavefrontService::submit`].
+    /// Jobs accepted across all tenants.
     pub jobs_submitted: u64,
     /// Jobs whose handles have been fulfilled.
     pub jobs_completed: u64,
-    /// Submissions that found the queue full and had to block.
+    /// Submissions denied by admission control (typed, never silent).
+    pub jobs_rejected: u64,
+    /// Submissions that found their tenant queue full and had to block.
     pub blocked_submits: u64,
     /// Compiled-plan cache hits.
     pub cache_hits: u64,
@@ -699,19 +562,74 @@ pub struct ServiceStats {
     pub pool_workers: usize,
 }
 
+impl ServiceStats {
+    /// Serialize as a self-contained JSON object (the one stats-export
+    /// path shared by `wlc serve --stats` and the bench bins).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"jobs_submitted\":{},\"jobs_completed\":{},\"jobs_rejected\":{},\
+             \"blocked_submits\":{},\"cache_hits\":{},\"cache_misses\":{},\
+             \"cache_entries\":{},\"pool_spawns\":{},\"pool_workers\":{}}}",
+            self.jobs_submitted,
+            self.jobs_completed,
+            self.jobs_rejected,
+            self.blocked_submits,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_entries,
+            self.pool_spawns,
+            self.pool_workers,
+        )
+    }
+}
+
 struct QueueState<const R: usize> {
-    jobs: VecDeque<(JobSpec<R>, Arc<Slot<R>>)>,
+    tenants: Vec<TenantQueue<R>>,
+    by_name: HashMap<String, usize>,
+    /// The stride scheduler's virtual time: the pass of the last
+    /// dispatched queue. Newly busy queues re-base here.
+    global_pass: f64,
+    next_seq: u64,
     closed: bool,
+}
+
+impl<const R: usize> QueueState<R> {
+    /// Index of `name`'s queue, creating it from the template when
+    /// auto-registration allows.
+    fn resolve(
+        &mut self,
+        name: &str,
+        template: &TenantConfig,
+        auto_register: bool,
+    ) -> Option<usize> {
+        if let Some(&i) = self.by_name.get(name) {
+            return Some(i);
+        }
+        if !auto_register {
+            return None;
+        }
+        Some(self.insert(name.to_string(), *template))
+    }
+
+    fn insert(&mut self, name: String, cfg: TenantConfig) -> usize {
+        let i = self.tenants.len();
+        self.tenants
+            .push(TenantQueue::new(name.clone(), cfg, self.global_pass));
+        self.by_name.insert(name, i);
+        i
+    }
 }
 
 struct Shared<const R: usize> {
     queue: Mutex<QueueState<R>>,
     not_full: Condvar,
     not_empty: Condvar,
-    capacity: usize,
+    default_tenant: TenantConfig,
+    auto_register: bool,
     core: ExecCore,
     jobs_submitted: AtomicU64,
     jobs_completed: AtomicU64,
+    jobs_rejected: AtomicU64,
     blocked_submits: AtomicU64,
 }
 
@@ -738,17 +656,34 @@ impl<const R: usize> WavefrontService<R> {
     pub fn with_config(cfg: ServiceConfig) -> Self {
         let core = ExecCore::new(cfg.cache_capacity);
         core.pool().ensure_workers(cfg.workers);
+        let mut state = QueueState {
+            tenants: Vec::new(),
+            by_name: HashMap::new(),
+            global_pass: 0.0,
+            next_seq: 0,
+            closed: false,
+        };
+        // The default tenant always exists at index 0; its queue bound
+        // is the service-level `queue_capacity` (the pre-tenant
+        // backpressure knob), its weight and in-flight limit come from
+        // the template.
+        state.insert(
+            DEFAULT_TENANT.to_string(),
+            TenantConfig {
+                queue_capacity: cfg.queue_capacity.max(1),
+                ..cfg.default_tenant
+            },
+        );
         let shared = Arc::new(Shared {
-            queue: Mutex::new(QueueState {
-                jobs: VecDeque::new(),
-                closed: false,
-            }),
+            queue: Mutex::new(state),
             not_full: Condvar::new(),
             not_empty: Condvar::new(),
-            capacity: cfg.queue_capacity.max(1),
+            default_tenant: cfg.default_tenant,
+            auto_register: cfg.auto_register,
             core,
             jobs_submitted: AtomicU64::new(0),
             jobs_completed: AtomicU64::new(0),
+            jobs_rejected: AtomicU64::new(0),
             blocked_submits: AtomicU64::new(0),
         });
         let dispatcher = {
@@ -761,27 +696,136 @@ impl<const R: usize> WavefrontService<R> {
         }
     }
 
-    /// Enqueue one job. Blocks while the queue is at capacity
-    /// (backpressure — submissions are never dropped); returns a handle
-    /// to wait on. Jobs execute in submission order.
-    pub fn submit(&self, spec: JobSpec<R>) -> JobHandle<R> {
-        let slot = Arc::new(Slot::new());
+    /// Register (or re-configure) a tenant before traffic arrives.
+    /// Unregistered tenants are created from
+    /// [`ServiceConfig::default_tenant`] on first submission when
+    /// auto-registration is on.
+    pub fn register_tenant(&self, name: impl Into<String>, cfg: TenantConfig) {
+        let name = name.into();
         let mut q = self.shared.queue.lock().unwrap();
-        if q.jobs.len() >= self.shared.capacity {
-            self.shared.blocked_submits.fetch_add(1, Ordering::Relaxed);
-            while q.jobs.len() >= self.shared.capacity {
-                q = self.shared.not_full.wait(q).unwrap();
+        match q.by_name.get(&name) {
+            Some(&i) => q.tenants[i].cfg = cfg,
+            None => {
+                q.insert(name, cfg);
             }
         }
-        q.jobs.push_back((spec, Arc::clone(&slot)));
-        self.shared.jobs_submitted.fetch_add(1, Ordering::Relaxed);
-        drop(q);
-        self.shared.not_empty.notify_one();
+    }
+
+    /// Enqueue one job onto its tenant's queue. Blocks while the queue
+    /// is at capacity or the tenant's in-flight limit is reached
+    /// (backpressure — submissions are never dropped); returns a handle
+    /// to wait on. The only immediate failure is an unknown tenant with
+    /// auto-registration off, which resolves the handle to
+    /// [`PipelineError::AdmissionDenied`] rather than blocking forever.
+    /// For the non-blocking door, see [`WavefrontService::try_submit`].
+    pub fn submit(&self, spec: JobSpec<R>) -> JobHandle<R> {
+        let slot = Arc::new(Slot::new());
+        let tenant_name = spec
+            .tenant_name()
+            .unwrap_or(DEFAULT_TENANT)
+            .to_string();
+        let mut q = self.shared.queue.lock().unwrap();
+        let Some(idx) = q.resolve(
+            &tenant_name,
+            &self.shared.default_tenant,
+            self.shared.auto_register,
+        ) else {
+            drop(q);
+            self.shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            slot.fulfil(Err(PipelineError::AdmissionDenied {
+                tenant: tenant_name,
+                reason: AdmissionReason::UnknownTenant,
+            }));
+            return JobHandle { slot };
+        };
+        {
+            let t = &q.tenants[idx];
+            if admission::admit(&t.cfg, t.jobs.len(), t.in_flight).is_err() {
+                self.shared.blocked_submits.fetch_add(1, Ordering::Relaxed);
+                loop {
+                    let t = &q.tenants[idx];
+                    if admission::admit(&t.cfg, t.jobs.len(), t.in_flight).is_ok() {
+                        break;
+                    }
+                    q = self.shared.not_full.wait(q).unwrap();
+                }
+            }
+        }
+        self.enqueue(q, idx, spec, &slot);
         JobHandle { slot }
     }
 
+    /// Enqueue one job without ever blocking: a full queue, a reached
+    /// in-flight limit, or an unknown tenant comes back immediately as
+    /// [`PipelineError::AdmissionDenied`] carrying the tenant and the
+    /// typed [`AdmissionReason`]. This is the admission door the wire
+    /// server uses.
+    pub fn try_submit(&self, spec: JobSpec<R>) -> Result<JobHandle<R>, PipelineError> {
+        let tenant_name = spec
+            .tenant_name()
+            .unwrap_or(DEFAULT_TENANT)
+            .to_string();
+        let mut q = self.shared.queue.lock().unwrap();
+        let Some(idx) = q.resolve(
+            &tenant_name,
+            &self.shared.default_tenant,
+            self.shared.auto_register,
+        ) else {
+            drop(q);
+            self.shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(PipelineError::AdmissionDenied {
+                tenant: tenant_name,
+                reason: AdmissionReason::UnknownTenant,
+            });
+        };
+        let t = &q.tenants[idx];
+        if let Err(reason) = admission::admit(&t.cfg, t.jobs.len(), t.in_flight) {
+            q.tenants[idx].rejected += 1;
+            drop(q);
+            self.shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(PipelineError::AdmissionDenied {
+                tenant: tenant_name,
+                reason,
+            });
+        }
+        let slot = Arc::new(Slot::new());
+        self.enqueue(q, idx, spec, &slot);
+        Ok(JobHandle { slot })
+    }
+
+    /// Append an admitted job to tenant `idx` and wake the dispatcher.
+    fn enqueue(
+        &self,
+        mut q: MutexGuard<'_, QueueState<R>>,
+        idx: usize,
+        spec: JobSpec<R>,
+        slot: &Arc<Slot<R>>,
+    ) {
+        let seq = q.next_seq;
+        q.next_seq += 1;
+        let global_pass = q.global_pass;
+        let priority = spec.job_priority();
+        let t = &mut q.tenants[idx];
+        if t.jobs.is_empty() {
+            // A queue waking from idle joins at the scheduler's current
+            // virtual time: unused idle credit must not starve others.
+            t.pass = t.pass.max(global_pass);
+        }
+        t.jobs.push_back(QueuedJob {
+            priority,
+            seq,
+            spec,
+            slot: Arc::clone(slot),
+        });
+        t.in_flight += 1;
+        t.submitted += 1;
+        drop(q);
+        self.shared.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+        self.shared.not_empty.notify_one();
+    }
+
     /// Submit several jobs, in order; blocks as [`WavefrontService::submit`]
-    /// does when the queue fills mid-batch.
+    /// does when a queue fills mid-batch.
     pub fn submit_batch(&self, specs: impl IntoIterator<Item = JobSpec<R>>) -> Vec<JobHandle<R>> {
         specs.into_iter().map(|s| self.submit(s)).collect()
     }
@@ -792,6 +836,7 @@ impl<const R: usize> WavefrontService<R> {
         ServiceStats {
             jobs_submitted: s.jobs_submitted.load(Ordering::Relaxed),
             jobs_completed: s.jobs_completed.load(Ordering::Relaxed),
+            jobs_rejected: s.jobs_rejected.load(Ordering::Relaxed),
             blocked_submits: s.blocked_submits.load(Ordering::Relaxed),
             cache_hits: s.core.hits.load(Ordering::Relaxed),
             cache_misses: s.core.misses.load(Ordering::Relaxed),
@@ -799,6 +844,25 @@ impl<const R: usize> WavefrontService<R> {
             pool_spawns: s.core.pool().spawn_count(),
             pool_workers: s.core.pool().worker_count(),
         }
+    }
+
+    /// Per-tenant counters, in registration order (the default tenant
+    /// first). Cheap; safe to poll.
+    pub fn tenant_stats(&self) -> Vec<TenantStats> {
+        let q = self.shared.queue.lock().unwrap();
+        q.tenants.iter().map(|t| t.stats()).collect()
+    }
+
+    /// The whole stats surface as one JSON object:
+    /// `{"service": {..}, "tenants": [..]}` — what `wlc serve --stats`
+    /// prints and the wire `STATS` frame carries.
+    pub fn stats_json(&self) -> String {
+        let tenants: Vec<String> = self.tenant_stats().iter().map(|t| t.to_json()).collect();
+        format!(
+            "{{\"service\":{},\"tenants\":[{}]}}",
+            self.stats().to_json(),
+            tenants.join(",")
+        )
     }
 }
 
@@ -816,11 +880,17 @@ impl<const R: usize> Drop for WavefrontService<R> {
 
 fn dispatcher_loop<const R: usize>(shared: &Arc<Shared<R>>) {
     loop {
-        let (spec, slot) = {
+        let (idx, job) = {
             let mut q = shared.queue.lock().unwrap();
             loop {
-                if let Some(job) = q.jobs.pop_front() {
-                    break job;
+                if let Some(i) = pick_min_pass(&q.tenants) {
+                    let stride = 1.0 / q.tenants[i].cfg.effective_weight();
+                    // Virtual time advances to the chosen queue's pass;
+                    // the queue then pays its stride for the slot.
+                    q.global_pass = q.tenants[i].pass;
+                    q.tenants[i].pass += stride;
+                    let job = q.tenants[i].take_next().expect("picked queue is non-empty");
+                    break (i, job);
                 }
                 if q.closed {
                     return;
@@ -828,13 +898,35 @@ fn dispatcher_loop<const R: usize>(shared: &Arc<Shared<R>>) {
                 q = shared.not_empty.wait(q).unwrap();
             }
         };
-        shared.not_full.notify_one();
-        let result = match catch_unwind(AssertUnwindSafe(|| run_job(&shared.core, spec))) {
+        // Queue space freed; submitters blocked on capacity may retry.
+        shared.not_full.notify_all();
+
+        // Attribute this job's cache traffic by counter deltas: the
+        // single dispatcher serializes jobs, so the deltas are exact.
+        let hits0 = shared.core.hits.load(Ordering::Relaxed);
+        let misses0 = shared.core.misses.load(Ordering::Relaxed);
+        let started = Instant::now();
+        let result = match catch_unwind(AssertUnwindSafe(|| run_job(&shared.core, job.spec))) {
             Ok(r) => r,
             Err(payload) => Err(PipelineError::EnginePanic(panic_message(&payload))),
         };
+        let busy = started.elapsed().as_secs_f64();
+        let dhits = shared.core.hits.load(Ordering::Relaxed) - hits0;
+        let dmisses = shared.core.misses.load(Ordering::Relaxed) - misses0;
+
+        {
+            let mut q = shared.queue.lock().unwrap();
+            let t = &mut q.tenants[idx];
+            t.in_flight -= 1;
+            t.completed += 1;
+            t.cache_hits += dhits;
+            t.cache_misses += dmisses;
+            t.busy_seconds += busy;
+        }
+        // In-flight slot freed; submitters blocked on the limit may retry.
+        shared.not_full.notify_all();
         shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
-        slot.fulfil(result);
+        job.slot.fulfil(result);
     }
 }
 
@@ -864,6 +956,8 @@ fn run_job<const R: usize>(
         engine,
         mut store,
         trace,
+        tenant: _,
+        priority: _,
     } = spec;
     let mut trace_collector = trace.then(TraceCollector::new);
 

@@ -1,0 +1,1140 @@
+//! The serving wire protocol: length-prefixed binary frames over TCP.
+//!
+//! A client sends a `.wf` program source plus input arrays in one
+//! `SUBMIT` frame; the server compiles it (through a pluggable
+//! [`WireCompiler`], since the language front end lives above this
+//! crate), routes the job through the tenant-aware
+//! [`crate::service::WavefrontService`], and streams back either a
+//! `RESULT` frame with the requested output arrays or a typed `ERROR`
+//! frame that round-trips to the same [`PipelineError`] the in-process
+//! API returns. Admission rejections therefore look identical on both
+//! sides of the wire — never a silent drop, never a stalled listener.
+//!
+//! ## Frame format
+//!
+//! Every frame is `u32` little-endian payload length, then the payload;
+//! the first payload byte is the opcode. Integers are little-endian,
+//! floats IEEE-754 `f64` bits, strings length-prefixed UTF-8. See
+//! `docs/SERVICE.md` ("Serving over the wire") for the field-by-field
+//! layout of each opcode.
+//!
+//! | opcode | direction | meaning |
+//! |-------:|-----------|---------|
+//! | 1 | client → server | `SUBMIT` a program + arrays |
+//! | 2 | server → client | `RESULT` of one job |
+//! | 3 | server → client | typed `ERROR` |
+//! | 4 | client → server | `STATS` request |
+//! | 5 | server → client | `STATS` reply (JSON) |
+//! | 6 | client → server | `SHUTDOWN` (when enabled) |
+//! | 7 | server → client | `OK` acknowledgement |
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+use wavefront_core::exec::CompiledNest;
+use wavefront_core::expr::ArrayId;
+use wavefront_core::program::{Program, Store};
+
+use crate::error::{AdmissionReason, PipelineError};
+use crate::schedule::BlockPolicy;
+use crate::service::cache::PlanCache;
+use crate::service::fingerprint::fnv1a;
+use crate::service::job::JobSpec;
+use crate::service::{JobTopology, WavefrontService};
+use crate::telemetry::{EngineKind, TimeUnit};
+
+const OP_SUBMIT: u8 = 1;
+const OP_RESULT: u8 = 2;
+const OP_ERROR: u8 = 3;
+const OP_STATS_REQ: u8 = 4;
+const OP_STATS: u8 = 5;
+const OP_SHUTDOWN: u8 = 6;
+const OP_OK: u8 = 7;
+
+const ERR_ADMISSION: u8 = 1;
+const ERR_PROTOCOL: u8 = 2;
+const ERR_COMPILE: u8 = 3;
+const ERR_EXECUTION: u8 = 4;
+const ERR_INVALID_JOB: u8 = 5;
+
+/// Sentinel nest index meaning "largest scan nest" (the common case for
+/// one-scan programs).
+pub const NEST_AUTO: u16 = u16::MAX;
+
+/// Knobs of a [`WireServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Largest frame either side accepts; oversized frames are a
+    /// [`PipelineError::ProtocolError`], not an allocation.
+    pub max_frame: u32,
+    /// Whether a `SHUTDOWN` frame stops the accept loop (off by
+    /// default; the bench harness turns it on for loopback runs).
+    pub allow_shutdown: bool,
+    /// Compiled `.wf` sources the server keeps (LRU, keyed by source
+    /// text + constant bindings) so repeated submissions skip the
+    /// front end.
+    pub program_cache: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_frame: 64 << 20,
+            allow_shutdown: false,
+            program_cache: 32,
+        }
+    }
+}
+
+/// A compiled wire program: what a [`WireCompiler`] hands back to the
+/// server for one `SUBMIT` source.
+pub struct WireProgram<const R: usize> {
+    /// The lowered program.
+    pub program: Arc<Program<R>>,
+    /// All compiled nests of the program, program order.
+    pub nests: Vec<Arc<CompiledNest<R>>>,
+    /// Array name → id, for binding input/output payloads.
+    pub arrays: Vec<(String, ArrayId)>,
+}
+
+/// Compiles `.wf` source text for the wire server. The language front
+/// end lives above this crate, so the server takes the compiler as a
+/// trait object; `wavefront::serve::LangCompiler` is the standard
+/// implementation.
+pub trait WireCompiler<const R: usize>: Send + Sync {
+    /// Compile `source` with the given constant bindings. Errors are
+    /// returned as the front end's diagnostic string and surface to the
+    /// client as [`PipelineError::CompileRejected`].
+    fn compile(
+        &self,
+        source: &str,
+        consts: &[(String, i64)],
+    ) -> Result<WireProgram<R>, String>;
+}
+
+/// The topology field of a [`WireRequest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireTopology {
+    /// A 1-D processor line.
+    Line(usize),
+    /// A 2-D processor mesh.
+    Mesh([usize; 2]),
+}
+
+/// One `SUBMIT` request, as the client-side value type.
+#[derive(Debug, Clone)]
+pub struct WireRequest {
+    /// Tenant the job is billed to (empty = the default tenant).
+    pub tenant: String,
+    /// Intra-tenant priority (higher first).
+    pub priority: u8,
+    /// Rank of the program (must match the server's).
+    pub rank: u8,
+    /// Nest index, or [`NEST_AUTO`] for the largest scan nest.
+    pub nest: u16,
+    /// Processor topology.
+    pub topology: WireTopology,
+    /// Engine to run on.
+    pub engine: EngineKind,
+    /// Compiled tile kernels (`true`) or the reference interpreter.
+    pub kernels: bool,
+    /// Block policy; only `Fixed`/`Model1`/`Model2`/`FullPortion`
+    /// travel the wire (probe and adaptive are host-side policies).
+    pub block: BlockPolicy,
+    /// Machine preset: 0 = Cray T3E, 1 = SGI PowerChallenge.
+    pub machine: u8,
+    /// Constant bindings for the `.wf` source.
+    pub consts: Vec<(String, i64)>,
+    /// The `.wf` program text.
+    pub source: String,
+    /// Input arrays: name → values in canonical bounds order.
+    pub arrays: Vec<(String, Vec<f64>)>,
+    /// Names of the arrays to return after the run.
+    pub returns: Vec<String>,
+}
+
+impl WireRequest {
+    /// A request with the common defaults: default tenant, priority 0,
+    /// auto nest, 4-processor line, threads engine, kernels on, Model2
+    /// blocks, Cray T3E costs.
+    pub fn new(rank: u8, source: impl Into<String>) -> Self {
+        WireRequest {
+            tenant: String::new(),
+            priority: 0,
+            rank,
+            nest: NEST_AUTO,
+            topology: WireTopology::Line(4),
+            engine: EngineKind::Threads,
+            kernels: true,
+            block: BlockPolicy::Model2,
+            machine: 0,
+            consts: Vec::new(),
+            source: source.into(),
+            arrays: Vec::new(),
+            returns: Vec::new(),
+        }
+    }
+}
+
+/// One `RESULT` reply, as the client-side value type.
+#[derive(Debug, Clone)]
+pub struct WireResponse {
+    /// Engine-reported makespan.
+    pub makespan: f64,
+    /// Unit of the makespan.
+    pub time_unit: TimeUnit,
+    /// Seconds spent in planning/kernel preparation (collapses on warm
+    /// cache hits).
+    pub prep_seconds: f64,
+    /// Seconds spent executing.
+    pub run_seconds: f64,
+    /// Boundary messages the engine observed.
+    pub messages: u64,
+    /// Block size the planner chose.
+    pub block: u32,
+    /// The requested output arrays, values in canonical bounds order.
+    pub arrays: Vec<(String, Vec<f64>)>,
+}
+
+// ---------------------------------------------------------------------
+// Frame transport
+// ---------------------------------------------------------------------
+
+fn io_err(context: &str, e: std::io::Error) -> PipelineError {
+    PipelineError::Io {
+        context: format!("{context}: {e}"),
+    }
+}
+
+fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), PipelineError> {
+    w.write_all(&(payload.len() as u32).to_le_bytes())
+        .and_then(|_| w.write_all(payload))
+        .and_then(|_| w.flush())
+        .map_err(|e| io_err("write frame", e))
+}
+
+/// Read one frame. `Ok(None)` is a clean EOF at a frame boundary (the
+/// peer hung up); anything else is a full payload or a typed error.
+fn read_frame(r: &mut impl Read, max_frame: u32) -> Result<Option<Vec<u8>>, PipelineError> {
+    let mut header = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(PipelineError::ProtocolError {
+                    reason: "truncated frame header".into(),
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) => return Err(io_err("read frame header", e)),
+        }
+    }
+    let len = u32::from_le_bytes(header);
+    if len > max_frame {
+        return Err(PipelineError::ProtocolError {
+            reason: format!("frame of {len} bytes exceeds the {max_frame}-byte limit"),
+        });
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            PipelineError::ProtocolError {
+                reason: format!("truncated frame: expected {len} payload bytes"),
+            }
+        } else {
+            io_err("read frame payload", e)
+        }
+    })?;
+    Ok(Some(payload))
+}
+
+// ---------------------------------------------------------------------
+// Payload encoding/decoding
+// ---------------------------------------------------------------------
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn new(op: u8) -> Self {
+        Enc { buf: vec![op] }
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    /// Length-prefixed UTF-8 (u32 length — sources can be long).
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    fn floats(&mut self, vs: &[f64]) {
+        self.u64(vs.len() as u64);
+        for &v in vs {
+            self.f64(v);
+        }
+    }
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    fn short(&self, what: &str) -> PipelineError {
+        PipelineError::ProtocolError {
+            reason: format!("malformed frame: ran out of bytes reading {what}"),
+        }
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], PipelineError> {
+        if self.pos + n > self.buf.len() {
+            return Err(self.short(what));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, PipelineError> {
+        Ok(self.take(1, what)?[0])
+    }
+    fn u16(&mut self, what: &str) -> Result<u16, PipelineError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+    fn u32(&mut self, what: &str) -> Result<u32, PipelineError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+    fn u64(&mut self, what: &str) -> Result<u64, PipelineError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+    fn i64(&mut self, what: &str) -> Result<i64, PipelineError> {
+        Ok(i64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+    fn f64(&mut self, what: &str) -> Result<f64, PipelineError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+    fn str(&mut self, what: &str) -> Result<String, PipelineError> {
+        let len = self.u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| PipelineError::ProtocolError {
+            reason: format!("malformed frame: {what} is not valid UTF-8"),
+        })
+    }
+    fn floats(&mut self, what: &str) -> Result<Vec<f64>, PipelineError> {
+        let n = self.u64(what)? as usize;
+        // Guard against a length claiming more floats than the frame
+        // holds before allocating.
+        if self.pos + n.saturating_mul(8) > self.buf.len() {
+            return Err(self.short(what));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.f64(what)?);
+        }
+        Ok(out)
+    }
+    fn done(&self) -> Result<(), PipelineError> {
+        if self.pos != self.buf.len() {
+            return Err(PipelineError::ProtocolError {
+                reason: format!(
+                    "malformed frame: {} trailing bytes after the payload",
+                    self.buf.len() - self.pos
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+fn encode_submit(req: &WireRequest) -> Result<Vec<u8>, PipelineError> {
+    let mut e = Enc::new(OP_SUBMIT);
+    e.str(&req.tenant);
+    e.u8(req.priority);
+    e.u8(req.rank);
+    e.u16(req.nest);
+    match req.topology {
+        WireTopology::Line(procs) => {
+            e.u8(0);
+            e.u32(procs as u32);
+        }
+        WireTopology::Mesh([r, c]) => {
+            e.u8(1);
+            e.u32(r as u32);
+            e.u32(c as u32);
+        }
+    }
+    e.u8(match req.engine {
+        EngineKind::Sim => 0,
+        EngineKind::Seq => 1,
+        EngineKind::Threads => 2,
+    });
+    e.u8(req.kernels as u8);
+    match &req.block {
+        BlockPolicy::Fixed(b) => {
+            e.u8(0);
+            e.u32(*b as u32);
+        }
+        BlockPolicy::Model1 => e.u8(1),
+        BlockPolicy::Model2 => e.u8(2),
+        BlockPolicy::FullPortion => e.u8(3),
+        other => {
+            return Err(PipelineError::InvalidJob {
+                reason: format!(
+                    "block policy {other:?} is host-side only and cannot travel the wire"
+                ),
+            })
+        }
+    }
+    e.u8(req.machine);
+    e.u16(req.consts.len() as u16);
+    for (name, v) in &req.consts {
+        e.str(name);
+        e.i64(*v);
+    }
+    e.str(&req.source);
+    e.u16(req.arrays.len() as u16);
+    for (name, values) in &req.arrays {
+        e.str(name);
+        e.floats(values);
+    }
+    e.u16(req.returns.len() as u16);
+    for name in &req.returns {
+        e.str(name);
+    }
+    Ok(e.buf)
+}
+
+fn decode_submit(d: &mut Dec<'_>) -> Result<WireRequest, PipelineError> {
+    let tenant = d.str("tenant")?;
+    let priority = d.u8("priority")?;
+    let rank = d.u8("rank")?;
+    let nest = d.u16("nest index")?;
+    let topology = match d.u8("topology tag")? {
+        0 => WireTopology::Line(d.u32("line procs")? as usize),
+        1 => WireTopology::Mesh([d.u32("mesh rows")? as usize, d.u32("mesh cols")? as usize]),
+        t => {
+            return Err(PipelineError::ProtocolError {
+                reason: format!("unknown topology tag {t}"),
+            })
+        }
+    };
+    let engine = match d.u8("engine")? {
+        0 => EngineKind::Sim,
+        1 => EngineKind::Seq,
+        2 => EngineKind::Threads,
+        t => {
+            return Err(PipelineError::ProtocolError {
+                reason: format!("unknown engine tag {t}"),
+            })
+        }
+    };
+    let kernels = d.u8("kernels flag")? != 0;
+    let block = match d.u8("block tag")? {
+        0 => BlockPolicy::Fixed(d.u32("fixed block")? as usize),
+        1 => BlockPolicy::Model1,
+        2 => BlockPolicy::Model2,
+        3 => BlockPolicy::FullPortion,
+        t => {
+            return Err(PipelineError::ProtocolError {
+                reason: format!("unknown block-policy tag {t}"),
+            })
+        }
+    };
+    let machine = d.u8("machine preset")?;
+    if machine > 1 {
+        return Err(PipelineError::ProtocolError {
+            reason: format!("unknown machine preset {machine}"),
+        });
+    }
+    let n_consts = d.u16("const count")?;
+    let mut consts = Vec::with_capacity(n_consts as usize);
+    for _ in 0..n_consts {
+        let name = d.str("const name")?;
+        let v = d.i64("const value")?;
+        consts.push((name, v));
+    }
+    let source = d.str("source")?;
+    let n_arrays = d.u16("array count")?;
+    let mut arrays = Vec::with_capacity(n_arrays as usize);
+    for _ in 0..n_arrays {
+        let name = d.str("array name")?;
+        let values = d.floats("array values")?;
+        arrays.push((name, values));
+    }
+    let n_returns = d.u16("return count")?;
+    let mut returns = Vec::with_capacity(n_returns as usize);
+    for _ in 0..n_returns {
+        returns.push(d.str("return name")?);
+    }
+    d.done()?;
+    Ok(WireRequest {
+        tenant,
+        priority,
+        rank,
+        nest,
+        topology,
+        engine,
+        kernels,
+        block,
+        machine,
+        consts,
+        source,
+        arrays,
+        returns,
+    })
+}
+
+fn encode_result(resp: &WireResponse) -> Vec<u8> {
+    let mut e = Enc::new(OP_RESULT);
+    e.f64(resp.makespan);
+    e.u8(match resp.time_unit {
+        TimeUnit::ModelUnits => 0,
+        TimeUnit::Seconds => 1,
+    });
+    e.f64(resp.prep_seconds);
+    e.f64(resp.run_seconds);
+    e.u64(resp.messages);
+    e.u32(resp.block);
+    e.u16(resp.arrays.len() as u16);
+    for (name, values) in &resp.arrays {
+        e.str(name);
+        e.floats(values);
+    }
+    e.buf
+}
+
+fn decode_result(d: &mut Dec<'_>) -> Result<WireResponse, PipelineError> {
+    let makespan = d.f64("makespan")?;
+    let time_unit = match d.u8("time unit")? {
+        0 => TimeUnit::ModelUnits,
+        1 => TimeUnit::Seconds,
+        t => {
+            return Err(PipelineError::ProtocolError {
+                reason: format!("unknown time-unit tag {t}"),
+            })
+        }
+    };
+    let prep_seconds = d.f64("prep seconds")?;
+    let run_seconds = d.f64("run seconds")?;
+    let messages = d.u64("messages")?;
+    let block = d.u32("block")?;
+    let n = d.u16("array count")?;
+    let mut arrays = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let name = d.str("array name")?;
+        let values = d.floats("array values")?;
+        arrays.push((name, values));
+    }
+    d.done()?;
+    Ok(WireResponse {
+        makespan,
+        time_unit,
+        prep_seconds,
+        run_seconds,
+        messages,
+        block,
+        arrays,
+    })
+}
+
+/// Encode a service-path error into an `ERROR` frame such that the
+/// client can reconstruct the same [`PipelineError`] value — admission
+/// rejections round-trip exactly (tenant, reason, and limit).
+fn encode_error(err: &PipelineError) -> Vec<u8> {
+    let mut e = Enc::new(OP_ERROR);
+    match err {
+        PipelineError::AdmissionDenied { tenant, reason } => {
+            e.u8(ERR_ADMISSION);
+            e.str(tenant);
+            match reason {
+                AdmissionReason::QueueFull { capacity } => {
+                    e.u8(0);
+                    e.u64(*capacity as u64);
+                }
+                AdmissionReason::InFlightLimit { limit } => {
+                    e.u8(1);
+                    e.u64(*limit as u64);
+                }
+                AdmissionReason::UnknownTenant => {
+                    e.u8(2);
+                    e.u64(0);
+                }
+            }
+            e.str(&err.to_string());
+        }
+        PipelineError::ProtocolError { .. } => {
+            e.u8(ERR_PROTOCOL);
+            e.str(&err.to_string());
+        }
+        PipelineError::CompileRejected { reason } => {
+            e.u8(ERR_COMPILE);
+            e.str(reason);
+        }
+        PipelineError::InvalidJob { reason } => {
+            e.u8(ERR_INVALID_JOB);
+            e.str(reason);
+        }
+        other => {
+            e.u8(ERR_EXECUTION);
+            e.str(&other.to_string());
+        }
+    }
+    e.buf
+}
+
+fn decode_error(d: &mut Dec<'_>) -> Result<PipelineError, PipelineError> {
+    let code = d.u8("error code")?;
+    Ok(match code {
+        ERR_ADMISSION => {
+            let tenant = d.str("tenant")?;
+            let reason_tag = d.u8("admission reason")?;
+            let limit = d.u64("admission limit")? as usize;
+            let _message = d.str("error message")?;
+            let reason = match reason_tag {
+                0 => AdmissionReason::QueueFull { capacity: limit },
+                1 => AdmissionReason::InFlightLimit { limit },
+                2 => AdmissionReason::UnknownTenant,
+                t => {
+                    return Err(PipelineError::ProtocolError {
+                        reason: format!("unknown admission-reason tag {t}"),
+                    })
+                }
+            };
+            PipelineError::AdmissionDenied { tenant, reason }
+        }
+        ERR_PROTOCOL => PipelineError::ProtocolError {
+            reason: d.str("error message")?,
+        },
+        ERR_COMPILE => PipelineError::CompileRejected {
+            reason: d.str("error message")?,
+        },
+        ERR_INVALID_JOB => PipelineError::InvalidJob {
+            reason: d.str("error message")?,
+        },
+        ERR_EXECUTION => PipelineError::Remote {
+            message: d.str("error message")?,
+        },
+        t => {
+            return Err(PipelineError::ProtocolError {
+                reason: format!("unknown error code {t}"),
+            })
+        }
+    })
+}
+
+// ---------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------
+
+/// A TCP front end over a [`WavefrontService`]: thread-per-connection,
+/// non-blocking admission via [`WavefrontService::try_submit`], and a
+/// compiled-source LRU so repeated programs skip the front end.
+pub struct WireServer<const R: usize> {
+    service: Arc<WavefrontService<R>>,
+    compiler: Arc<dyn WireCompiler<R>>,
+    cfg: ServeConfig,
+    shutdown: AtomicBool,
+    programs: Mutex<PlanCache>,
+    /// Duplicate handles of every live connection, so `SHUTDOWN` can
+    /// close idle clients instead of waiting for them to hang up
+    /// (handlers prune their own entry on exit).
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+impl<const R: usize> WireServer<R> {
+    /// A server over `service` compiling sources with `compiler`,
+    /// default [`ServeConfig`].
+    pub fn new(service: Arc<WavefrontService<R>>, compiler: Arc<dyn WireCompiler<R>>) -> Self {
+        Self::with_config(service, compiler, ServeConfig::default())
+    }
+
+    /// A server with explicit wire knobs.
+    pub fn with_config(
+        service: Arc<WavefrontService<R>>,
+        compiler: Arc<dyn WireCompiler<R>>,
+        cfg: ServeConfig,
+    ) -> Self {
+        WireServer {
+            service,
+            compiler,
+            cfg,
+            shutdown: AtomicBool::new(false),
+            programs: Mutex::new(PlanCache::new(cfg.program_cache)),
+            conns: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The service behind this server (for stats polling).
+    pub fn service(&self) -> &WavefrontService<R> {
+        &self.service
+    }
+
+    /// Accept connections on `listener` until a `SHUTDOWN` frame
+    /// arrives (when [`ServeConfig::allow_shutdown`] is set). Each
+    /// connection gets its own thread; per-connection errors never take
+    /// down the accept loop.
+    pub fn serve(&self, listener: TcpListener) -> std::io::Result<()> {
+        let local = listener.local_addr()?;
+        std::thread::scope(|scope| {
+            for stream in listener.incoming() {
+                if self.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(stream) => {
+                        if let Ok(dup) = stream.try_clone() {
+                            self.conns.lock().unwrap().push(dup);
+                        }
+                        scope.spawn(move || self.handle_connection(stream, local));
+                    }
+                    Err(_) => continue,
+                }
+            }
+        });
+        Ok(())
+    }
+
+    fn handle_connection(&self, stream: TcpStream, local: std::net::SocketAddr) {
+        let peer = stream.peer_addr().ok();
+        self.drive_connection(stream, local);
+        // Drop this connection's duplicate handle (and any whose socket
+        // has already died) so the list tracks live connections only.
+        if let Some(peer) = peer {
+            self.conns.lock().unwrap().retain(|c| match c.peer_addr() {
+                Ok(p) => p != peer,
+                Err(_) => false,
+            });
+        }
+    }
+
+    fn drive_connection(&self, mut stream: TcpStream, local: std::net::SocketAddr) {
+        loop {
+            let payload = match read_frame(&mut stream, self.cfg.max_frame) {
+                Ok(Some(p)) => p,
+                // Clean hang-up, or transport error: nothing to reply to.
+                Ok(None) | Err(PipelineError::Io { .. }) => return,
+                Err(e) => {
+                    // Typed rejection for protocol violations, then drop
+                    // the connection — framing is unrecoverable.
+                    let _ = write_frame(&mut stream, &encode_error(&e));
+                    return;
+                }
+            };
+            let mut d = Dec::new(&payload);
+            let reply = match d.u8("opcode") {
+                Ok(OP_SUBMIT) => match decode_submit(&mut d) {
+                    Ok(req) => match self.run_submit(req) {
+                        Ok(resp) => encode_result(&resp),
+                        Err(e) => encode_error(&e),
+                    },
+                    Err(e) => encode_error(&e),
+                },
+                Ok(OP_STATS_REQ) => {
+                    let mut e = Enc::new(OP_STATS);
+                    e.str(&self.service.stats_json());
+                    e.buf
+                }
+                Ok(OP_SHUTDOWN) => {
+                    if self.cfg.allow_shutdown {
+                        self.shutdown.store(true, Ordering::SeqCst);
+                        let _ = write_frame(&mut stream, &[OP_OK]);
+                        // Close every live connection — the accept loop
+                        // joins all handlers before returning, and an
+                        // idle client must not be able to hold the
+                        // server open.
+                        for c in self.conns.lock().unwrap().drain(..) {
+                            let _ = c.shutdown(std::net::Shutdown::Both);
+                        }
+                        // Unblock the accept loop with a self-connection.
+                        let _ = TcpStream::connect(local);
+                        return;
+                    }
+                    encode_error(&PipelineError::ProtocolError {
+                        reason: "shutdown is not enabled on this server".into(),
+                    })
+                }
+                Ok(op) => encode_error(&PipelineError::ProtocolError {
+                    reason: format!("unknown opcode {op}"),
+                }),
+                Err(e) => encode_error(&e),
+            };
+            if write_frame(&mut stream, &reply).is_err() {
+                return;
+            }
+        }
+    }
+
+    /// Compile (with the source cache), bind arrays, submit through
+    /// admission, and wait for the outcome.
+    fn run_submit(&self, req: WireRequest) -> Result<WireResponse, PipelineError> {
+        if req.rank as usize != R {
+            return Err(PipelineError::ProtocolError {
+                reason: format!("server serves rank {R}, request is rank {}", req.rank),
+            });
+        }
+        let wire_prog = self.compiled(&req)?;
+        let nest = self.select_nest(&wire_prog, req.nest)?;
+
+        let mut store = Store::new(&wire_prog.program);
+        for (name, values) in &req.arrays {
+            let id = lookup_array(&wire_prog, name)?;
+            let bounds = store.get(id).bounds();
+            if values.len() != bounds.len() {
+                return Err(PipelineError::InvalidJob {
+                    reason: format!(
+                        "array `{name}` payload has {} values but its bounds hold {}",
+                        values.len(),
+                        bounds.len()
+                    ),
+                });
+            }
+            let arr = store.get_mut(id);
+            for (p, &v) in bounds.iter().zip(values.iter()) {
+                arr.set(p, v);
+            }
+        }
+        // Resolve returns up front so an unknown name fails before the
+        // job runs.
+        let returns: Vec<(String, ArrayId)> = req
+            .returns
+            .iter()
+            .map(|name| lookup_array(&wire_prog, name).map(|id| (name.clone(), id)))
+            .collect::<Result<_, _>>()?;
+
+        let mut builder = JobSpec::builder(Arc::clone(&wire_prog.program), nest)
+            .topology(match req.topology {
+                WireTopology::Line(procs) => JobTopology::Line {
+                    procs,
+                    dist_dim: None,
+                },
+                WireTopology::Mesh(mesh) => JobTopology::Mesh {
+                    mesh,
+                    wave_dims: None,
+                },
+            })
+            .block(req.block.clone())
+            .machine(match req.machine {
+                0 => wavefront_machine::cray_t3e(),
+                _ => wavefront_machine::sgi_power_challenge(),
+            })
+            .kernels(req.kernels)
+            .engine(req.engine)
+            .priority(req.priority)
+            .store(store);
+        if !req.tenant.is_empty() {
+            builder = builder.tenant(req.tenant.clone());
+        }
+        let handle = self.service.try_submit(builder.build()?)?;
+        let out = handle.wait()?;
+
+        let store = out.store.expect("wire jobs always carry a store");
+        let arrays = returns
+            .into_iter()
+            .map(|(name, id)| {
+                let arr = store.get(id);
+                let values = arr.bounds().iter().map(|p| arr.get(p)).collect();
+                (name, values)
+            })
+            .collect();
+        Ok(WireResponse {
+            makespan: out.outcome.makespan,
+            time_unit: out.outcome.time_unit,
+            prep_seconds: out.outcome.prep_seconds,
+            run_seconds: out.outcome.run_seconds,
+            messages: out.outcome.messages as u64,
+            block: out.outcome.block as u32,
+            arrays,
+        })
+    }
+
+    /// Fetch or compile the request's source (LRU keyed by source text
+    /// plus constant bindings).
+    fn compiled(&self, req: &WireRequest) -> Result<Arc<WireProgram<R>>, PipelineError> {
+        let mut key = String::with_capacity(req.source.len() + 32);
+        for (name, v) in &req.consts {
+            key.push_str(name);
+            key.push('=');
+            key.push_str(&v.to_string());
+            key.push(';');
+        }
+        key.push_str(&req.source);
+        // A digest prefix keeps the LRU's key comparisons cheap for
+        // long sources.
+        let key = format!("{:016x}:{key}", fnv1a(key.as_bytes()));
+        if let Some(hit) = self.programs.lock().unwrap().get(&key) {
+            if let Ok(prog) = hit.downcast::<WireProgram<R>>() {
+                return Ok(prog);
+            }
+        }
+        let prog = Arc::new(
+            self.compiler
+                .compile(&req.source, &req.consts)
+                .map_err(|reason| PipelineError::CompileRejected { reason })?,
+        );
+        self.programs
+            .lock()
+            .unwrap()
+            .insert(key, Arc::clone(&prog) as Arc<dyn std::any::Any + Send + Sync>);
+        Ok(prog)
+    }
+
+    fn select_nest(
+        &self,
+        prog: &WireProgram<R>,
+        index: u16,
+    ) -> Result<Arc<CompiledNest<R>>, PipelineError> {
+        if index == NEST_AUTO {
+            return prog
+                .nests
+                .iter()
+                .filter(|n| n.is_scan)
+                .max_by_key(|n| n.region.len())
+                .cloned()
+                .ok_or_else(|| PipelineError::InvalidJob {
+                    reason: "program has no scan nest to pipeline".into(),
+                });
+        }
+        prog.nests
+            .get(index as usize)
+            .cloned()
+            .ok_or_else(|| PipelineError::InvalidJob {
+                reason: format!(
+                    "nest index {index} out of range (program has {} nests)",
+                    prog.nests.len()
+                ),
+            })
+    }
+}
+
+fn lookup_array<const R: usize>(
+    prog: &WireProgram<R>,
+    name: &str,
+) -> Result<ArrayId, PipelineError> {
+    prog.arrays
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|&(_, id)| id)
+        .ok_or_else(|| PipelineError::InvalidJob {
+            reason: format!("program declares no array named `{name}`"),
+        })
+}
+
+// ---------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------
+
+/// A blocking client for the wire protocol; one request in flight per
+/// connection.
+pub struct WireClient<S: Read + Write> {
+    stream: S,
+    max_frame: u32,
+}
+
+impl WireClient<TcpStream> {
+    /// Connect over TCP with the default frame limit.
+    pub fn connect(addr: impl std::net::ToSocketAddrs) -> Result<Self, PipelineError> {
+        let stream = TcpStream::connect(addr).map_err(|e| io_err("connect", e))?;
+        stream.set_nodelay(true).ok();
+        Ok(WireClient {
+            stream,
+            max_frame: ServeConfig::default().max_frame,
+        })
+    }
+}
+
+impl<S: Read + Write> WireClient<S> {
+    /// A client over any transport (used by the tests to run the
+    /// protocol over in-memory streams).
+    pub fn over(stream: S) -> Self {
+        WireClient {
+            stream,
+            max_frame: ServeConfig::default().max_frame,
+        }
+    }
+
+    fn roundtrip(&mut self, frame: &[u8]) -> Result<Vec<u8>, PipelineError> {
+        write_frame(&mut self.stream, frame)?;
+        read_frame(&mut self.stream, self.max_frame)?.ok_or_else(|| PipelineError::Io {
+            context: "server closed the connection before replying".into(),
+        })
+    }
+
+    /// Submit one job and wait for its result. Server-side failures
+    /// come back as the same typed [`PipelineError`] values the
+    /// in-process API produces.
+    pub fn submit(&mut self, req: &WireRequest) -> Result<WireResponse, PipelineError> {
+        let reply = self.roundtrip(&encode_submit(req)?)?;
+        let mut d = Dec::new(&reply);
+        match d.u8("opcode")? {
+            OP_RESULT => decode_result(&mut d),
+            OP_ERROR => Err(decode_error(&mut d)?),
+            op => Err(PipelineError::ProtocolError {
+                reason: format!("unexpected reply opcode {op}"),
+            }),
+        }
+    }
+
+    /// Fetch the server's stats JSON (`{"service": .., "tenants": ..}`).
+    pub fn stats(&mut self) -> Result<String, PipelineError> {
+        let reply = self.roundtrip(&[OP_STATS_REQ])?;
+        let mut d = Dec::new(&reply);
+        match d.u8("opcode")? {
+            OP_STATS => d.str("stats json"),
+            OP_ERROR => Err(decode_error(&mut d)?),
+            op => Err(PipelineError::ProtocolError {
+                reason: format!("unexpected reply opcode {op}"),
+            }),
+        }
+    }
+
+    /// Ask the server to stop accepting connections (requires
+    /// [`ServeConfig::allow_shutdown`]).
+    pub fn shutdown(&mut self) -> Result<(), PipelineError> {
+        let reply = self.roundtrip(&[OP_SHUTDOWN])?;
+        let mut d = Dec::new(&reply);
+        match d.u8("opcode")? {
+            OP_OK => Ok(()),
+            OP_ERROR => Err(decode_error(&mut d)?),
+            op => Err(PipelineError::ProtocolError {
+                reason: format!("unexpected reply opcode {op}"),
+            }),
+        }
+    }
+
+    /// Send raw bytes as one frame and read back one frame — the tests'
+    /// hook for malformed-payload injection.
+    pub fn raw_frame(&mut self, payload: &[u8]) -> Result<Vec<u8>, PipelineError> {
+        self.roundtrip(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_request() -> WireRequest {
+        WireRequest {
+            tenant: "acme".into(),
+            priority: 3,
+            rank: 2,
+            nest: NEST_AUTO,
+            topology: WireTopology::Mesh([2, 3]),
+            engine: EngineKind::Seq,
+            kernels: false,
+            block: BlockPolicy::Fixed(7),
+            machine: 1,
+            consts: vec![("n".into(), 32)],
+            source: "var a : [1..n] float;".into(),
+            arrays: vec![("a".into(), vec![1.0, -2.5, f64::NAN])],
+            returns: vec!["a".into()],
+        }
+    }
+
+    #[test]
+    fn submit_roundtrips_through_the_codec() {
+        let frame = encode_submit(&sample_request()).unwrap();
+        let mut d = Dec::new(&frame);
+        assert_eq!(d.u8("op").unwrap(), OP_SUBMIT);
+        let got = decode_submit(&mut d).unwrap();
+        let want = sample_request();
+        assert_eq!(got.tenant, want.tenant);
+        assert_eq!(got.priority, want.priority);
+        assert_eq!(got.rank, want.rank);
+        assert_eq!(got.topology, want.topology);
+        assert_eq!(got.engine, want.engine);
+        assert_eq!(got.kernels, want.kernels);
+        assert_eq!(got.block, want.block);
+        assert_eq!(got.machine, want.machine);
+        assert_eq!(got.consts, want.consts);
+        assert_eq!(got.source, want.source);
+        assert_eq!(got.returns, want.returns);
+        assert_eq!(got.arrays[0].0, "a");
+        assert_eq!(got.arrays[0].1[1], -2.5);
+        assert!(got.arrays[0].1[2].is_nan(), "NaN payloads survive the wire");
+    }
+
+    #[test]
+    fn truncated_submit_is_a_typed_protocol_error() {
+        let frame = encode_submit(&sample_request()).unwrap();
+        for cut in [1, 5, frame.len() / 2, frame.len() - 1] {
+            let mut d = Dec::new(&frame[..cut]);
+            let _ = d.u8("op");
+            let err = decode_submit(&mut d).expect_err("truncation must fail");
+            assert!(
+                matches!(err, PipelineError::ProtocolError { .. }),
+                "cut at {cut}: got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut frame = encode_submit(&sample_request()).unwrap();
+        frame.extend_from_slice(&[0xAB; 3]);
+        let mut d = Dec::new(&frame);
+        let _ = d.u8("op");
+        let err = decode_submit(&mut d).expect_err("trailing bytes must fail");
+        assert!(matches!(err, PipelineError::ProtocolError { .. }));
+    }
+
+    #[test]
+    fn admission_errors_roundtrip_exactly() {
+        for reason in [
+            AdmissionReason::QueueFull { capacity: 8 },
+            AdmissionReason::InFlightLimit { limit: 0 },
+            AdmissionReason::UnknownTenant,
+        ] {
+            let err = PipelineError::AdmissionDenied {
+                tenant: "acme".into(),
+                reason,
+            };
+            let frame = encode_error(&err);
+            let mut d = Dec::new(&frame);
+            assert_eq!(d.u8("op").unwrap(), OP_ERROR);
+            assert_eq!(decode_error(&mut d).unwrap(), err);
+        }
+    }
+
+    #[test]
+    fn host_only_block_policies_refuse_to_encode() {
+        let mut req = sample_request();
+        req.block = BlockPolicy::Probe(vec![1, 2]);
+        assert!(matches!(
+            encode_submit(&req),
+            Err(PipelineError::InvalidJob { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_frames_are_refused_before_allocation() {
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(&mut huge.as_slice(), 1024)
+            .expect_err("oversized frame must be refused");
+        assert!(matches!(err, PipelineError::ProtocolError { .. }));
+    }
+}

@@ -194,6 +194,18 @@ pub struct CacheEvent {
     pub misses: u64,
 }
 
+impl CacheEvent {
+    /// Serialize as a self-contained JSON object — the one formatting
+    /// path for cache lookups (used by [`report::ExecutionReport`] and
+    /// the service stats exports).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"hit\":{},\"key\":\"{:016x}\",\"entries\":{},\"hits\":{},\"misses\":{}}}",
+            self.hit, self.key, self.entries, self.hits, self.misses
+        )
+    }
+}
+
 /// Receives the event stream of one plan execution.
 ///
 /// All methods default to no-ops; engines call [`Collector::enabled`]

@@ -285,10 +285,7 @@ impl ExecutionReport {
             })
             .collect();
         let cache = match &self.cache {
-            Some(c) => format!(
-                "{{\"hit\":{},\"key\":\"{:016x}\",\"entries\":{},\"hits\":{},\"misses\":{}}}",
-                c.hit, c.key, c.entries, c.hits, c.misses
-            ),
+            Some(c) => c.to_json(),
             None => "null".to_string(),
         };
         format!(

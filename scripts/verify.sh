@@ -152,6 +152,43 @@ rm -rf "$tmpdir"
 echo "service_bench: halved warm-path speedup flagged ✔"
 
 echo
+echo "== wlc serve smoke (wire protocol, two tenants, gated bench) =="
+serve_log=$(mktemp)
+"$WLC" serve --addr 127.0.0.1:0 --workers 4 --tenant alpha:1 --tenant beta:3 \
+    --allow-shutdown >"$serve_log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^listening on //p' "$serve_log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "wlc serve never reported its listen address" >&2
+    cat "$serve_log" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+tmpdir=$(mktemp -d)
+# --shutdown makes the bench send the wire SHUTDOWN frame, so the serve
+# process exits cleanly and `wait` below checks its exit status.
+BENCH_OUT="$tmpdir" cargo run -q --release --offline -p wavefront-bench \
+    --bin serve_bench -- --quick --addr "$addr" --shutdown
+wait "$serve_pid"
+# Wire latencies under open-loop load are the noisiest artifact we gate;
+# 50% headroom still catches the serving path falling off a cliff.
+"$BENCH_DIFF" results "$tmpdir" --threshold 50
+rm -rf "$tmpdir" "$serve_log"
+echo "wlc serve: bench drove both tenants, latencies within 50% of baseline ✔"
+
+echo
+echo "== serve admission self-check (in-flight limit 0 must reject) =="
+# serve_bench --expect-reject spins up a zero-admission server and
+# exits non-zero unless the submission draws a typed AdmissionDenied.
+cargo run -q --release --offline -p wavefront-bench --bin serve_bench -- --expect-reject
+echo "serve_bench: admission limit 0 drew a typed rejection ✔"
+
+echo
 echo "== service soak (30 s of tiny jobs; pool spawns must stay flat) =="
 cargo run -q --release --offline -p wavefront-bench --bin service_bench -- --soak 30
 

@@ -13,6 +13,9 @@
 //!                                         ASCII Gantt chart per nest
 //! wlc tune  <file.wf> [options]           calibrate the host, compare
 //!                                         model/adaptive/exhaustive blocks
+//! wlc serve [serve options]               accept `.wf` jobs over TCP and run
+//!                                         them through a multi-tenant
+//!                                         WavefrontService (no file argument)
 //!
 //! options:
 //!   --rank N            program rank (1..=4; default 2)
@@ -39,8 +42,27 @@
 //!   --chrome FILE       `trace`/`timeline`: also export a Chrome
 //!                       trace-event JSON (open in https://ui.perfetto.dev)
 //!   --width N           `timeline`: chart width in columns (default 64)
+//!
+//! serve options:
+//!   --addr HOST:PORT    listen address (default 127.0.0.1:0; the chosen
+//!                       address is printed as `listening on <addr>`)
+//!   --rank N            program rank served (1..=4; default 2)
+//!   --workers N         worker threads to pre-spawn (default 4)
+//!   --cache N           compiled-plan cache capacity (default 32)
+//!   --queue N           default tenant's queue capacity (default 64)
+//!   --max-in-flight N   default tenant's in-flight admission limit
+//!                       (default unlimited; 0 rejects every job — the
+//!                       CI rejection self-check)
+//!   --tenant SPEC       register a tenant up front; SPEC is
+//!                       name[:weight[:inflight[:cap]]] (repeatable;
+//!                       inflight 0 = unlimited)
+//!   --no-auto-register  deny submissions from unregistered tenants
+//!   --stats SECS        print the service stats JSON to stdout every
+//!                       SECS seconds
+//!   --allow-shutdown    honour the wire SHUTDOWN frame (for harnesses)
 //! ```
 
+use std::net::TcpListener;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Instant;
@@ -50,8 +72,10 @@ use wavefront::lang::{compile_str, Lowered};
 use wavefront::machine::{cray_t3e, sgi_power_challenge, MachineParams};
 use wavefront::pipeline::{
     ascii_timeline, calibrate_host, BlockPolicy, ChromeTraceBuilder, EngineKind, JobSpec,
-    ServiceConfig, Session, TraceAnalysis, TraceCollector, WavefrontPlan, WavefrontService,
+    ServeConfig, ServiceConfig, Session, TenantConfig, TraceAnalysis, TraceCollector,
+    WavefrontPlan, WavefrontService, WireServer,
 };
+use wavefront::serve::LangCompiler;
 
 struct Opts {
     cmd: String,
@@ -72,6 +96,30 @@ struct Opts {
     strict: bool,
     chrome: Option<String>,
     width: usize,
+    // serve options
+    addr: String,
+    cache: usize,
+    queue: usize,
+    max_in_flight: usize,
+    tenants: Vec<(String, TenantConfig)>,
+    auto_register: bool,
+    stats_every: Option<f64>,
+    allow_shutdown: bool,
+}
+
+/// The one diagnostic shape every fatal `wlc` error renders through:
+/// `wlc: <context>: <error>` on stderr, exit status 1. Error types carry
+/// their own "what failed: why" phrasing (see `PipelineError`), so the
+/// context here is just *where* — a file, a nest, an address.
+fn fail(context: &str, err: impl std::fmt::Display) -> ExitCode {
+    eprintln!("wlc: {context}: {err}");
+    ExitCode::FAILURE
+}
+
+/// Non-fatal variant of [`fail`] for loops that keep going after a nest
+/// fails; the caller tracks the exit status.
+fn diag(context: &str, err: impl std::fmt::Display) {
+    eprintln!("wlc: {context}: {err}");
 }
 
 fn usage() -> ExitCode {
@@ -82,13 +130,47 @@ fn usage() -> ExitCode {
     eprintln!("           [--machine t3e|powerchallenge]");
     eprintln!("           [--engine threads|seq|sim] [--no-kernels] [--json] [--out FILE]");
     eprintln!("           [--strict] [--chrome FILE] [--width N]");
+    eprintln!("       wlc serve [--addr HOST:PORT] [--rank N] [--workers N] [--cache N]");
+    eprintln!("           [--queue N] [--max-in-flight N] [--tenant name:weight:inflight:cap]");
+    eprintln!("           [--no-auto-register] [--stats SECS] [--allow-shutdown]");
     ExitCode::from(2)
+}
+
+/// Parse a `--tenant name[:weight[:inflight[:cap]]]` spec. An in-flight
+/// limit of 0 on the command line means "unlimited" (the programmatic
+/// API uses `usize::MAX` for that; 0 there rejects everything, which the
+/// CLI exposes separately as `--max-in-flight 0` for the self-check).
+fn parse_tenant(spec: &str) -> Option<(String, TenantConfig)> {
+    let mut parts = spec.split(':');
+    let name = parts.next().filter(|n| !n.is_empty())?.to_string();
+    let mut cfg = TenantConfig::default();
+    if let Some(w) = parts.next() {
+        cfg.weight = w.parse().ok().filter(|w: &f64| *w > 0.0)?;
+    }
+    if let Some(inflight) = parts.next() {
+        cfg.max_in_flight = match inflight.parse().ok()? {
+            0 => usize::MAX,
+            n => n,
+        };
+    }
+    if let Some(cap) = parts.next() {
+        cfg.queue_capacity = cap.parse().ok().filter(|c: &usize| *c > 0)?;
+    }
+    if parts.next().is_some() {
+        return None;
+    }
+    Some((name, cfg))
 }
 
 fn parse_args() -> std::result::Result<Opts, ExitCode> {
     let mut args = std::env::args().skip(1);
     let cmd = args.next().ok_or_else(usage)?;
-    let file = args.next().ok_or_else(usage)?;
+    // `serve` listens on a socket; every other command takes a file.
+    let file = if cmd == "serve" {
+        String::new()
+    } else {
+        args.next().ok_or_else(usage)?
+    };
     let mut opts = Opts {
         cmd,
         file,
@@ -108,6 +190,14 @@ fn parse_args() -> std::result::Result<Opts, ExitCode> {
         strict: false,
         chrome: None,
         width: 64,
+        addr: "127.0.0.1:0".to_string(),
+        cache: 32,
+        queue: 64,
+        max_in_flight: usize::MAX,
+        tenants: vec![],
+        auto_register: true,
+        stats_every: None,
+        allow_shutdown: false,
     };
     while let Some(a) = args.next() {
         let mut need = |what: &str| -> std::result::Result<String, ExitCode> {
@@ -172,6 +262,30 @@ fn parse_args() -> std::result::Result<Opts, ExitCode> {
             "--strict" => opts.strict = true,
             "--chrome" => opts.chrome = Some(need("--chrome")?),
             "--width" => opts.width = need("--width")?.parse().map_err(|_| usage())?,
+            "--addr" => opts.addr = need("--addr")?,
+            "--workers" => opts.procs = need("--workers")?.parse().map_err(|_| usage())?,
+            "--cache" => opts.cache = need("--cache")?.parse().map_err(|_| usage())?,
+            "--queue" => opts.queue = need("--queue")?.parse().map_err(|_| usage())?,
+            "--max-in-flight" => {
+                opts.max_in_flight = need("--max-in-flight")?.parse().map_err(|_| usage())?;
+            }
+            "--tenant" => {
+                let spec = need("--tenant")?;
+                let parsed = parse_tenant(&spec).ok_or_else(|| {
+                    eprintln!("bad tenant spec `{spec}` (name[:weight[:inflight[:cap]]])");
+                    usage()
+                })?;
+                opts.tenants.push(parsed);
+            }
+            "--no-auto-register" => opts.auto_register = false,
+            "--stats" => {
+                let v: f64 = need("--stats")?.parse().map_err(|_| usage())?;
+                if v <= 0.0 || !v.is_finite() {
+                    return Err(usage());
+                }
+                opts.stats_every = Some(v);
+            }
+            "--allow-shutdown" => opts.allow_shutdown = true,
             other => {
                 eprintln!("unknown option {other}");
                 return Err(usage());
@@ -186,12 +300,18 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(code) => return code,
     };
+    if opts.cmd == "serve" {
+        return match opts.rank {
+            1 => serve::<1>(&opts),
+            2 => serve::<2>(&opts),
+            3 => serve::<3>(&opts),
+            4 => serve::<4>(&opts),
+            r => fail("serve", format!("unsupported rank {r} (1..=4)")),
+        };
+    }
     let src = match std::fs::read_to_string(&opts.file) {
         Ok(s) => s,
-        Err(e) => {
-            eprintln!("{}: {e}", opts.file);
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return fail(&opts.file, e),
     };
     match opts.rank {
         1 => drive::<1>(&opts, &src),
@@ -205,21 +325,73 @@ fn main() -> ExitCode {
     }
 }
 
+/// `wlc serve`: bind a TCP listener and hand it to a
+/// [`WireServer`] over a multi-tenant [`WavefrontService`]. Tenants
+/// named with `--tenant` get their weight / in-flight / queue limits
+/// registered before the first connection; everyone else is admitted
+/// under the default tenant template (unless `--no-auto-register`).
+/// Prints `listening on <addr>` once the socket is bound — harnesses
+/// that pass `--addr 127.0.0.1:0` parse the chosen port from that line.
+fn serve<const R: usize>(opts: &Opts) -> ExitCode {
+    let service: Arc<WavefrontService<R>> =
+        Arc::new(WavefrontService::with_config(ServiceConfig {
+            queue_capacity: opts.queue,
+            cache_capacity: opts.cache,
+            workers: opts.procs,
+            default_tenant: TenantConfig {
+                max_in_flight: opts.max_in_flight,
+                queue_capacity: opts.queue,
+                ..TenantConfig::default()
+            },
+            auto_register: opts.auto_register,
+        }));
+    for (name, cfg) in &opts.tenants {
+        service.register_tenant(name.clone(), *cfg);
+    }
+    let listener = match TcpListener::bind(&opts.addr) {
+        Ok(l) => l,
+        Err(e) => return fail(&opts.addr, e),
+    };
+    let addr = match listener.local_addr() {
+        Ok(a) => a.to_string(),
+        Err(e) => return fail(&opts.addr, e),
+    };
+    println!("listening on {addr}");
+    if let Some(every) = opts.stats_every {
+        let service = Arc::clone(&service);
+        std::thread::spawn(move || loop {
+            std::thread::sleep(std::time::Duration::from_secs_f64(every));
+            println!("{}", service.stats_json());
+        });
+    }
+    let server = WireServer::with_config(
+        Arc::clone(&service),
+        Arc::new(LangCompiler),
+        ServeConfig {
+            allow_shutdown: opts.allow_shutdown,
+            ..ServeConfig::default()
+        },
+    );
+    match server.serve(listener) {
+        Ok(()) => {
+            // Final stats on the way out (the shutdown path used by the
+            // bench and CI harnesses).
+            println!("{}", service.stats_json());
+            ExitCode::SUCCESS
+        }
+        Err(e) => fail(&addr, e),
+    }
+}
+
 fn drive<const R: usize>(opts: &Opts, src: &str) -> ExitCode {
     let consts: Vec<(&str, i64)> = opts.consts.iter().map(|(k, v)| (k.as_str(), *v)).collect();
     let lowered = match compile_str::<R>(src, &consts, Layout::ColMajor) {
         Ok(l) => l,
-        Err(e) => {
-            eprintln!("{}: {e}", opts.file);
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return fail(&opts.file, e),
     };
     let compiled = match compile(&lowered.program) {
         Ok(c) => c,
-        Err(e) => {
-            eprintln!("{}: legality error: {e}", opts.file);
-            return ExitCode::FAILURE;
-        }
+        Err(e) => return fail(&opts.file, e),
     };
 
     match opts.cmd.as_str() {
@@ -334,23 +506,25 @@ fn run_repeat<const R: usize>(
                 Err(code) => return code,
             };
             let start = Instant::now();
-            let spec = JobSpec::new(Arc::clone(&program), Arc::clone(&nest))
+            let spec = match JobSpec::builder(Arc::clone(&program), Arc::clone(&nest))
                 .line(opts.procs)
                 .block(opts.block.clone())
                 .machine(opts.machine)
                 .kernels(opts.kernels)
                 .engine(opts.engine)
-                .store(store);
+                .store(store)
+                .build()
+            {
+                Ok(s) => s,
+                Err(e) => return fail(&format!("nest {k}"), e),
+            };
             match service.submit(spec).wait() {
                 Ok(out) => reps.push((
                     start.elapsed().as_secs_f64(),
                     out.outcome.prep_seconds,
                     out.outcome.run_seconds,
                 )),
-                Err(e) => {
-                    eprintln!("nest {k}: {e}");
-                    return ExitCode::FAILURE;
-                }
+                Err(e) => return fail(&format!("nest {k}"), e),
             }
         }
         let (cold, cold_prep, _) = reps[0];
@@ -378,16 +552,7 @@ fn run_repeat<const R: usize>(
     if !any {
         println!("no wavefront nests (fully parallel program)");
     }
-    let stats = service.stats();
-    println!(
-        "service: {} jobs, cache {} hits / {} misses ({} entries), {} workers ({} spawns)",
-        stats.jobs_completed,
-        stats.cache_hits,
-        stats.cache_misses,
-        stats.cache_entries,
-        stats.pool_workers,
-        stats.pool_spawns
-    );
+    println!("service: {}", service.stats().to_json());
     ExitCode::SUCCESS
 }
 
@@ -519,7 +684,7 @@ fn write_file(path: &str, doc: &str) -> bool {
     match std::fs::write(path, doc) {
         Ok(()) => true,
         Err(e) => {
-            eprintln!("{path}: {e}");
+            diag(path, e);
             false
         }
     }
@@ -607,7 +772,7 @@ fn trace<const R: usize>(
                 }
             }
             Err(e) => {
-                eprintln!("nest {k}: {e}");
+                diag(&format!("nest {k}"), e);
                 failed = true;
             }
         }
@@ -682,7 +847,7 @@ fn timeline<const R: usize>(
                 }
             }
             Err(e) => {
-                eprintln!("nest {k}: {e}");
+                diag(&format!("nest {k}"), e);
                 failed = true;
             }
         }
@@ -713,8 +878,7 @@ fn tune<const R: usize>(
     let cal = match calibrate_host() {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("calibration failed: {e}");
-            return ExitCode::FAILURE;
+            return fail("tune", e);
         }
     };
     let machine = MachineParams::calibrated(cal.alpha_work(), cal.beta_work());
@@ -742,7 +906,7 @@ fn tune<const R: usize>(
             match WavefrontPlan::build(nest, opts.procs, None, &BlockPolicy::Model2, &machine) {
                 Ok(p) => p,
                 Err(e) => {
-                    eprintln!("nest {k}: not plannable: {e}");
+                    diag(&format!("nest {k}"), format!("not plannable: {e}"));
                     failed = true;
                     continue;
                 }
@@ -810,7 +974,7 @@ fn tune<const R: usize>(
                     ));
                 }
                 Err(e) => {
-                    eprintln!("nest {k} ({}): {e}", kind.name());
+                    diag(&format!("nest {k} ({})", kind.name()), e);
                     failed = true;
                 }
             }

@@ -71,6 +71,8 @@
 //! assert!(analysis.efficiency > 0.0 && analysis.efficiency <= 1.0);
 //! ```
 
+pub mod serve;
+
 pub use wavefront_cache as cache;
 pub use wavefront_core as core;
 pub use wavefront_kernels as kernels;

@@ -1,0 +1,107 @@
+//! The serving glue between the WL front end and the wire server.
+//!
+//! The pipeline crate defines the wire protocol and the tenant-aware
+//! service but deliberately does not depend on the language front end,
+//! so its [`WireCompiler`] is a trait. [`LangCompiler`] is the standard
+//! implementation: it parses and lowers `.wf` source with
+//! [`crate::lang::compile_str`] (column-major, matching `wlc`) and
+//! compiles the result into the nest list the server schedules from.
+//!
+//! ```no_run
+//! use std::net::TcpListener;
+//! use std::sync::Arc;
+//! use wavefront::pipeline::{WavefrontService, WireServer};
+//! use wavefront::serve::LangCompiler;
+//!
+//! let service = Arc::new(WavefrontService::<2>::new());
+//! let server = WireServer::new(service, Arc::new(LangCompiler));
+//! server.serve(TcpListener::bind("127.0.0.1:7070").unwrap()).unwrap();
+//! ```
+
+use std::sync::Arc;
+
+use wavefront_core::array::Layout;
+use wavefront_core::exec::compile;
+use wavefront_lang::compile_str;
+use wavefront_pipeline::{WireCompiler, WireProgram};
+
+/// Compiles `.wf` sources for a [`wavefront_pipeline::WireServer`]
+/// through the WL front end. Stateless; the server caches compiled
+/// programs itself.
+pub struct LangCompiler;
+
+impl<const R: usize> WireCompiler<R> for LangCompiler {
+    fn compile(
+        &self,
+        source: &str,
+        consts: &[(String, i64)],
+    ) -> Result<WireProgram<R>, String> {
+        let consts: Vec<(&str, i64)> = consts.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        // Column-major, like `wlc`: the paper's Fortran benchmarks.
+        let lowered =
+            compile_str::<R>(source, &consts, Layout::ColMajor).map_err(|e| e.to_string())?;
+        let compiled = compile(&lowered.program).map_err(|e| e.to_string())?;
+        let nests = compiled
+            .nests()
+            .map(|n| Arc::new(n.clone()))
+            .collect::<Vec<_>>();
+        if nests.is_empty() {
+            return Err("program has no loop nest to run".to_string());
+        }
+        let mut arrays: Vec<(String, usize)> = lowered
+            .arrays
+            .iter()
+            .map(|(name, &id)| (name.clone(), id))
+            .collect();
+        // HashMap order is unstable; fix it so diagnostics are
+        // deterministic.
+        arrays.sort();
+        Ok(WireProgram {
+            program: Arc::new(lowered.program),
+            nests,
+            arrays,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compiles_the_fig3_scan() {
+        let src = "
+            const n = 5;
+            var a : [1..n, 1..n] float;
+            direction north = (-1, 0);
+            [2..n, 1..n] a := 2.0 * a'@north;
+        ";
+        let prog: WireProgram<2> =
+            WireCompiler::compile(&LangCompiler, src, &[]).expect("valid program");
+        assert!(!prog.nests.is_empty());
+        assert!(prog.arrays.iter().any(|(n, _)| n == "a"));
+    }
+
+    #[test]
+    fn host_consts_override_source_consts() {
+        let src = "
+            const n = 5;
+            var a : [1..n, 1..n] float;
+            direction north = (-1, 0);
+            [2..n, 1..n] a := a'@north;
+        ";
+        let prog: WireProgram<2> =
+            WireCompiler::compile(&LangCompiler, src, &[("n".to_string(), 9)]).unwrap();
+        let (_, id) = prog.arrays.iter().find(|(n, _)| n == "a").unwrap();
+        assert_eq!(prog.program.arrays()[*id].bounds.len(), 81);
+    }
+
+    #[test]
+    fn parse_errors_surface_as_strings() {
+        let err = match WireCompiler::<2>::compile(&LangCompiler, "var a := nonsense", &[]) {
+            Err(e) => e,
+            Ok(_) => panic!("bad source must not compile"),
+        };
+        assert!(!err.is_empty());
+    }
+}

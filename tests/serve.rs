@@ -1,0 +1,300 @@
+//! Behavioural contract of the wire-serving front end: programs
+//! round-trip over TCP bit-identically to in-process execution,
+//! malformed frames are rejected with typed errors (and never wedge the
+//! listener), admission failures come back typed with the tenant named,
+//! and the weighted fair-share scheduler actually divides throughput by
+//! tenant weight under backlog.
+
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use wavefront::core::prelude::*;
+use wavefront::kernels::tomcatv;
+use wavefront::lang::compile_str;
+use wavefront::machine::cray_t3e;
+use wavefront::pipeline::{
+    BlockPolicy, EngineKind, JobSpec, PipelineError, ServeConfig, ServiceConfig, TenantConfig,
+    WavefrontService, WireClient, WireRequest, WireServer, WireTopology,
+};
+use wavefront::serve::LangCompiler;
+
+const SOURCE: &str = "
+    const n = 12;
+    var a : [1..n, 1..n] float;
+    direction north = (-1, 0);
+    [2..n, 1..n] a := 2.0 * a'@north;
+";
+
+/// Start a wire server (with the real `.wf` front end) on a loopback
+/// socket. Returns the dial address; the server thread exits when the
+/// test sends `SHUTDOWN`.
+fn start_server(cfg: ServiceConfig) -> (String, std::thread::JoinHandle<()>) {
+    let service: Arc<WavefrontService<2>> = Arc::new(WavefrontService::with_config(cfg));
+    let server = Arc::new(WireServer::with_config(
+        service,
+        Arc::new(LangCompiler),
+        ServeConfig {
+            allow_shutdown: true,
+            ..ServeConfig::default()
+        },
+    ));
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().unwrap().to_string();
+    let handle = std::thread::spawn(move || server.serve(listener).expect("serve loop"));
+    (addr, handle)
+}
+
+fn stop_server(addr: &str, handle: std::thread::JoinHandle<()>) {
+    WireClient::connect(addr)
+        .and_then(|mut c| c.shutdown())
+        .expect("shutdown frame");
+    handle.join().expect("server thread");
+}
+
+/// Submitting a `.wf` program with an input array over TCP returns the
+/// same values the reference interpreter computes in-process.
+#[test]
+fn wire_submission_matches_in_process_execution() {
+    // The reference: compile and run the same source locally.
+    let lo = compile_str::<2>(SOURCE, &[], Layout::ColMajor).unwrap();
+    let a = lo.array("a").unwrap();
+    let mut store = Store::new(&lo.program);
+    store.get_mut(a).fill(1.0);
+    execute(&lo.program, &mut store).unwrap();
+    let bounds = store.get(a).bounds();
+    let expected: Vec<f64> = bounds.iter().map(|p| store.get(a).get(p)).collect();
+
+    let (addr, handle) = start_server(ServiceConfig::default());
+    let mut client = WireClient::connect(&*addr).expect("connect");
+
+    let mut req = WireRequest::new(2, SOURCE);
+    req.topology = WireTopology::Line(2);
+    req.engine = EngineKind::Threads;
+    req.block = BlockPolicy::Fixed(4);
+    req.arrays = vec![("a".to_string(), vec![1.0; bounds.len()])];
+    req.returns = vec!["a".to_string()];
+
+    let resp = client.submit(&req).expect("job runs");
+    assert_eq!(resp.arrays.len(), 1);
+    let (name, values) = &resp.arrays[0];
+    assert_eq!(name, "a");
+    assert_eq!(
+        values, &expected,
+        "wire result differs from the reference interpreter"
+    );
+    assert!(resp.run_seconds >= 0.0);
+
+    // A second identical submission hits the server's program cache and
+    // the service's plan cache; the result must not change.
+    let resp2 = client.submit(&req).expect("warm job runs");
+    assert_eq!(&resp2.arrays[0].1, &expected);
+
+    let stats = client.stats().expect("stats frame");
+    assert!(
+        stats.contains("\"jobs_completed\":2"),
+        "server stats should account both jobs: {stats}"
+    );
+    drop(client);
+    stop_server(&addr, handle);
+}
+
+/// Garbage, truncated, and unknown-opcode frames come back as a typed
+/// ERROR reply (opcode 3 on the wire) — and the listener survives to
+/// serve the next connection.
+#[test]
+fn malformed_frames_are_rejected_not_fatal() {
+    let (addr, handle) = start_server(ServiceConfig::default());
+
+    // Truncations of a SUBMIT frame (opcode 1 with missing fields),
+    // an unknown opcode, and an empty payload.
+    let bad_payloads: &[&[u8]] = &[
+        &[],
+        &[1],
+        &[1, 5, 0, 0, 0],
+        &[1, 5, 0, 0, 0, b'a', b'b'],
+        &[42],
+        &[1, 255, 255, 255, 255],
+    ];
+    for payload in bad_payloads {
+        let mut client = WireClient::connect(&*addr).expect("connect");
+        let reply = client
+            .raw_frame(payload)
+            .expect("server must reply before closing");
+        // Wire format: an ERROR frame leads with opcode 3.
+        assert_eq!(
+            reply.first(),
+            Some(&3u8),
+            "payload {payload:?} should draw a typed ERROR reply, got {reply:?}"
+        );
+    }
+
+    // The server is still alive and still runs well-formed jobs.
+    let mut client = WireClient::connect(&*addr).expect("connect after garbage");
+    let mut req = WireRequest::new(2, SOURCE);
+    req.topology = WireTopology::Line(2);
+    client.submit(&req).expect("server survived the garbage");
+    drop(client);
+    stop_server(&addr, handle);
+}
+
+/// Protocol violations that are expressible through the typed client —
+/// a rank mismatch — surface as `PipelineError::ProtocolError`, and
+/// admission limits surface as `AdmissionDenied` naming the tenant.
+#[test]
+fn typed_errors_round_trip_the_wire() {
+    let (addr, handle) = start_server(ServiceConfig {
+        default_tenant: TenantConfig {
+            max_in_flight: 0,
+            ..TenantConfig::default()
+        },
+        ..ServiceConfig::default()
+    });
+
+    // Rank mismatch: the server is rank 2. Note this client is
+    // deliberately shadowed below, NOT dropped — an idle connection
+    // left open must not block the server's shutdown (regression:
+    // the accept loop joins per-connection handlers on SHUTDOWN).
+    let mut client = WireClient::connect(&*addr).expect("connect");
+    match client.submit(&WireRequest::new(3, SOURCE)) {
+        Err(PipelineError::ProtocolError { reason }) => {
+            assert!(reason.contains("rank"), "unhelpful reason: {reason}")
+        }
+        other => panic!("rank mismatch should be a protocol error, got {other:?}"),
+    }
+
+    // Admission: every tenant inherits max_in_flight 0 here.
+    let mut client = WireClient::connect(&*addr).expect("connect");
+    let mut req = WireRequest::new(2, SOURCE);
+    req.tenant = "acme".to_string();
+    match client.submit(&req) {
+        Err(PipelineError::AdmissionDenied { tenant, reason }) => {
+            assert_eq!(tenant, "acme");
+            assert!(
+                reason.to_string().contains("in-flight"),
+                "unhelpful reason: {reason}"
+            );
+        }
+        other => panic!("expected a typed admission rejection, got {other:?}"),
+    }
+    drop(client);
+    stop_server(&addr, handle);
+}
+
+/// Weighted fair share: with a backlog from two tenants, completions
+/// drain in proportion to tenant weight, not submission order. Tenant
+/// `a` (weight 1) enqueues 20 jobs *first*, tenant `b` (weight 3)
+/// enqueues 60 after; mid-drain, `b` must be roughly 3× ahead — FIFO
+/// would drain all of `a` before touching `b`.
+#[test]
+fn fair_share_tracks_tenant_weights() {
+    let service: WavefrontService<2> = WavefrontService::with_config(ServiceConfig {
+        workers: 2,
+        ..ServiceConfig::default()
+    });
+    service.register_tenant(
+        "a",
+        TenantConfig {
+            weight: 1.0,
+            queue_capacity: 64,
+            ..TenantConfig::default()
+        },
+    );
+    service.register_tenant(
+        "b",
+        TenantConfig {
+            weight: 3.0,
+            queue_capacity: 64,
+            ..TenantConfig::default()
+        },
+    );
+
+    // A slow blocker (default tenant) holds the dispatcher while both
+    // backlogs build, so scheduling starts from a full queue.
+    let blocker = {
+        let lo = tomcatv::build(160).unwrap();
+        let compiled = compile(&lo.program).unwrap();
+        let nest = compiled
+            .nests()
+            .filter(|x| x.is_scan)
+            .max_by_key(|x| x.region.len())
+            .unwrap()
+            .clone();
+        let mut store = Store::new(&lo.program);
+        tomcatv::init(&lo, &mut store);
+        service.submit(
+            JobSpec::builder(Arc::new(lo.program), Arc::new(nest))
+                .line(2)
+                .block(BlockPolicy::Fixed(8))
+                .machine(cray_t3e())
+                .store(store)
+                .build()
+                .unwrap(),
+        )
+    };
+
+    let lo = tomcatv::build(40).unwrap();
+    let compiled = compile(&lo.program).unwrap();
+    let nest = Arc::new(
+        compiled
+            .nests()
+            .filter(|x| x.is_scan)
+            .max_by_key(|x| x.region.len())
+            .unwrap()
+            .clone(),
+    );
+    let mut store = Store::new(&lo.program);
+    tomcatv::init(&lo, &mut store);
+    let program = Arc::new(lo.program);
+    let spec = |tenant: &str| {
+        JobSpec::builder(Arc::clone(&program), Arc::clone(&nest))
+            .line(2)
+            .block(BlockPolicy::Fixed(8))
+            .machine(cray_t3e())
+            .store(store.clone())
+            .tenant(tenant)
+            .build()
+            .unwrap()
+    };
+    let mut handles = Vec::new();
+    for _ in 0..20 {
+        handles.push(service.submit(spec("a")));
+    }
+    for _ in 0..60 {
+        handles.push(service.submit(spec("b")));
+    }
+
+    // Snapshot mid-drain: once 40 of the 80 backlogged jobs are done,
+    // stride scheduling predicts ~10 from `a` and ~30 from `b`.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let (a_done, b_done) = loop {
+        let stats = service.tenant_stats();
+        let done = |name: &str| {
+            stats
+                .iter()
+                .find(|t| t.tenant == name)
+                .map_or(0, |t| t.jobs_completed)
+        };
+        let (a, b) = (done("a"), done("b"));
+        if a + b >= 40 {
+            break (a, b);
+        }
+        assert!(
+            Instant::now() < deadline,
+            "backlog never drained (a={a}, b={b})"
+        );
+        std::thread::sleep(Duration::from_micros(100));
+    };
+    assert!(a_done > 0, "tenant a starved entirely (b={b_done})");
+    let ratio = b_done as f64 / a_done as f64;
+    assert!(
+        (2.0..=4.5).contains(&ratio),
+        "b/a completion ratio {ratio:.2} (a={a_done}, b={b_done}) is not \
+         tracking the 3:1 weights"
+    );
+
+    blocker.wait().unwrap();
+    for h in handles {
+        h.wait().unwrap();
+    }
+}

@@ -127,12 +127,14 @@ fn random_cases(count: usize) -> Vec<Case> {
 }
 
 fn spec_for(case: &Case) -> JobSpec<2> {
-    JobSpec::new(Arc::clone(&case.program), Arc::clone(&case.nest))
+    JobSpec::builder(Arc::clone(&case.program), Arc::clone(&case.nest))
         .line(case.procs)
         .block(BlockPolicy::Fixed(case.block))
         .machine(cray_t3e())
         .engine(case.engine)
         .store(case.initial.clone())
+        .build()
+        .expect("valid job spec")
 }
 
 /// A tiny fixed job (8×8 Tomcatv wavefront) for queue and pool tests.
@@ -191,11 +193,13 @@ fn cache_hit_and_miss_accounting_is_exact() {
     let (program, nest, store) = tiny_case();
     let service: WavefrontService<2> = WavefrontService::new();
     let spec = |policy: BlockPolicy| {
-        JobSpec::new(Arc::clone(&program), Arc::clone(&nest))
+        JobSpec::builder(Arc::clone(&program), Arc::clone(&nest))
             .line(4)
             .block(policy)
             .machine(cray_t3e())
             .store(store.clone())
+            .build()
+            .expect("valid job spec")
     };
 
     for _ in 0..5 {
@@ -247,22 +251,26 @@ fn full_queue_blocks_rather_than_drops() {
     });
 
     let mut handles = vec![service.submit(
-        JobSpec::new(Arc::clone(&big_program), Arc::clone(&big_nest))
+        JobSpec::builder(Arc::clone(&big_program), Arc::clone(&big_nest))
             .line(2)
             .block(BlockPolicy::Fixed(8))
             .machine(cray_t3e())
-            .store(big_store.clone()),
+            .store(big_store.clone())
+            .build()
+            .expect("valid job spec"),
     )];
     // With capacity 1 and a slow job at the head, this burst must fill
     // the queue and block at least once — and still lose nothing.
     for _ in 0..16 {
         handles.push(
             service.submit(
-                JobSpec::new(Arc::clone(&program), Arc::clone(&nest))
+                JobSpec::builder(Arc::clone(&program), Arc::clone(&nest))
                     .line(2)
                     .block(BlockPolicy::Fixed(2))
                     .machine(cray_t3e())
-                    .store(store.clone()),
+                    .store(store.clone())
+                    .build()
+                    .expect("valid job spec"),
             ),
         );
     }
@@ -291,11 +299,13 @@ fn steady_jobs_spawn_no_new_threads() {
         ..Default::default()
     });
     let spec = || {
-        JobSpec::new(Arc::clone(&program), Arc::clone(&nest))
+        JobSpec::builder(Arc::clone(&program), Arc::clone(&nest))
             .line(4)
             .block(BlockPolicy::Fixed(2))
             .machine(cray_t3e())
             .store(store.clone())
+            .build()
+            .expect("valid job spec")
     };
 
     assert_eq!(
@@ -314,4 +324,21 @@ fn steady_jobs_spawn_no_new_threads() {
         "100 steady jobs must not spawn any thread beyond the initial workers"
     );
     assert_eq!(stats.pool_workers, 4);
+}
+
+/// The deprecated chainable `JobSpec::new(..)` construction still works
+/// (it forwards to the builder) so downstream callers migrating to
+/// `JobSpec::builder` keep running during the deprecation window.
+#[test]
+#[allow(deprecated)]
+fn deprecated_jobspec_chain_still_submits() {
+    let (program, nest, store) = tiny_case();
+    let service: WavefrontService<2> = WavefrontService::new();
+    let spec = JobSpec::new(Arc::clone(&program), Arc::clone(&nest))
+        .line(2)
+        .block(BlockPolicy::Fixed(2))
+        .machine(cray_t3e())
+        .store(store);
+    let out = service.submit(spec).wait().expect("legacy spec still runs");
+    assert!(out.store.is_some());
 }
