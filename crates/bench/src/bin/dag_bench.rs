@@ -1,0 +1,299 @@
+//! Dependent-job DAG benchmark: SWEEP3D octant chains submitted as one
+//! DAG (locality scheduler, zero-copy output handoff) vs the only way
+//! to express the same dependence structure before `submit_dag`
+//! existed — submit one job, wait for it, re-marshal its output arrays
+//! point by point into the next job's store, repeat.
+//!
+//! The DAG path wins twice: independent chains overlap on the worker
+//! pool (the submit-and-wait baseline is serial by construction), and
+//! each edge hands the producer's arrays to the consumer by refcount
+//! instead of a per-point copy. The harness asserts the second claim
+//! outright — every timed DAG run must report **zero** copy-on-write
+//! bytes — and emits `dag_vs_submit_wait_speedup` (the ≥1.3x headline),
+//! `locality_vs_fifo_speedup`, and per-path latencies into
+//! `results/BENCH_dag.json`, where `bench_diff` gates regressions.
+//!
+//! `--quick` shrinks the grid and rep count for CI smoke use.
+//!
+//! Run with `cargo run --release -p wavefront-bench --bin dag_bench`.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use wavefront_bench::{f2, json_object, json_str, write_artifact, Table};
+use wavefront_core::prelude::*;
+use wavefront_kernels::sweep3d::{self, OCTANTS};
+use wavefront_machine::cray_t3e;
+use wavefront_pipeline::{
+    BlockPolicy, DagSpec, EngineKind, JobSpec, SchedulerKind, ServiceConfig, WavefrontService,
+};
+
+/// Independent octant chains in the workload; the DAG pipelines them.
+const CHAINS: usize = 3;
+/// Worker threads per job (and service pool width).
+const PROCS: usize = 4;
+/// Service worker-pool width.
+const POOL: usize = 4;
+/// Arrays that travel every chain edge (flux is recomputed per octant).
+const EDGE_ARRAYS: [&str; 3] = ["phi", "src", "sigt"];
+
+struct Config {
+    n: i64,
+    reps: usize,
+}
+
+/// One octant's compiled program/nest pair.
+struct Octant {
+    program: Arc<Program<3>>,
+    nest: Arc<CompiledNest<3>>,
+}
+
+fn octant_cases(n: i64) -> Vec<Octant> {
+    OCTANTS
+        .iter()
+        .map(|octant| {
+            let lo = sweep3d::build_octant(n, *octant).expect("sweep builds");
+            let compiled = compile(&lo.program).expect("sweep compiles");
+            let nest = Arc::new(compiled.nest(0).clone());
+            Octant {
+                program: Arc::new(lo.program),
+                nest,
+            }
+        })
+        .collect()
+}
+
+/// A freshly initialised store for the first octant of a chain. Built
+/// per use (never cloned) so no outside `Arc` forces a copy-on-write
+/// when the head job writes.
+fn head_store(n: i64, program: &Program<3>) -> Store<3> {
+    let lo = sweep3d::build_octant(n, OCTANTS[0]).expect("sweep builds");
+    let mut store = Store::new(program);
+    sweep3d::init(&lo, &mut store);
+    store
+}
+
+/// Baseline: what callers did before `submit_dag` — for each chain in
+/// turn, submit one octant, wait, rebuild the next octant's store by
+/// re-marshalling every published array point by point, zero `flux`
+/// (the sequential loop's per-octant `fill(0.0)`), and submit again.
+/// Returns the final `phi` of each chain for the bit-identity check.
+fn run_submit_and_wait(
+    cfg: &Config,
+    octants: &[Octant],
+    service: &WavefrontService<3>,
+) -> Vec<DenseArray<3>> {
+    let names: Vec<String> = octants[0]
+        .program
+        .arrays()
+        .iter()
+        .map(|d| d.name.clone())
+        .collect();
+    let mut finals = Vec::new();
+    for _chain in 0..CHAINS {
+        let mut carried: Option<Vec<(String, DenseArray<3>)>> = None;
+        for oct in octants {
+            let store = match &carried {
+                None => head_store(cfg.n, &oct.program),
+                Some(prev) => {
+                    let mut store = Store::new(&oct.program);
+                    for (name, src) in prev {
+                        let id = oct.program.find(name).expect("carried array exists");
+                        let dst = store.get_mut(id);
+                        for p in src.bounds().iter() {
+                            dst.set(p, src.get(p));
+                        }
+                    }
+                    let flux = oct.program.find("flux").expect("sweep has flux");
+                    store.get_mut(flux).fill(0.0);
+                    store
+                }
+            };
+            let spec = JobSpec::builder(Arc::clone(&oct.program), Arc::clone(&oct.nest))
+                .line(PROCS)
+                .block(BlockPolicy::Model2)
+                .machine(cray_t3e())
+                .engine(EngineKind::Threads)
+                .store(store)
+                .build()
+                .expect("valid job spec");
+            let mut out = service.submit(spec).wait().expect("octant job runs");
+            carried = Some(
+                names
+                    .iter()
+                    .map(|name| {
+                        let arr = out.take_output(name).expect("output published").to_array();
+                        (name.clone(), arr)
+                    })
+                    .collect(),
+            );
+        }
+        let (_, phi) = carried
+            .expect("chain ran")
+            .into_iter()
+            .find(|(name, _)| name == "phi")
+            .expect("phi carried");
+        finals.push(phi);
+    }
+    finals
+}
+
+/// The same workload as one DAG: `CHAINS` independent octant chains,
+/// every edge a refcounted output handoff. Returns the final `phi` per
+/// chain plus the DAG's copy-on-write byte count (must be zero).
+fn run_dag(
+    cfg: &Config,
+    octants: &[Octant],
+    service: &WavefrontService<3>,
+    scheduler: SchedulerKind,
+) -> (Vec<DenseArray<3>>, u64) {
+    let mut b = DagSpec::builder();
+    b.scheduler(scheduler);
+    for chain in 0..CHAINS {
+        let mut prev = None;
+        for (k, oct) in octants.iter().enumerate() {
+            let mut spec = JobSpec::builder(Arc::clone(&oct.program), Arc::clone(&oct.nest))
+                .line(PROCS)
+                .block(BlockPolicy::Model2)
+                .machine(cray_t3e())
+                .engine(EngineKind::Threads);
+            spec = match prev {
+                None => spec.store(head_store(cfg.n, &oct.program)),
+                Some(p) => EDGE_ARRAYS
+                    .iter()
+                    .fold(spec, |s, name| s.input_from(p, *name)),
+            };
+            prev = Some(b.add_labeled(
+                format!("c{chain}o{k}"),
+                spec.build().expect("valid job spec"),
+            ));
+        }
+    }
+    let mut out = service
+        .submit_dag(b.build().expect("acyclic"))
+        .wait();
+    assert!(out.all_ok(), "all octant nodes complete");
+    let cow = out.stats.cow_bytes_copied;
+    let finals = (0..CHAINS)
+        .map(|chain| {
+            out.take_output(&format!("c{chain}o{}", octants.len() - 1), "phi")
+                .expect("phi published")
+                .to_array()
+        })
+        .collect();
+    (finals, cow)
+}
+
+fn bitwise_eq(a: &DenseArray<3>, b: &DenseArray<3>) -> bool {
+    a.bounds() == b.bounds() && a.bounds().iter().all(|p| a.get(p).to_bits() == b.get(p).to_bits())
+}
+
+fn main() -> ExitCode {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let cfg = if quick {
+        Config { n: 12, reps: 3 }
+    } else {
+        Config { n: 24, reps: 5 }
+    };
+
+    println!("## Octant-chain DAG vs submit-and-wait re-marshalling (SWEEP3D, threads engine)");
+    println!(
+        "   {CHAINS} chains x {} octants, grid {}^3, p = {PROCS}, min of {} reps\n",
+        OCTANTS.len(),
+        cfg.n,
+        cfg.reps
+    );
+
+    let octants = octant_cases(cfg.n);
+    let service: WavefrontService<3> = WavefrontService::with_config(ServiceConfig {
+        workers: POOL,
+        ..Default::default()
+    });
+
+    // Warm-up: one run of each path primes the plan cache and the pool,
+    // and checks the two paths agree bit for bit before any timing.
+    let base_phi = run_submit_and_wait(&cfg, &octants, &service);
+    let (dag_phi, _) = run_dag(&cfg, &octants, &service, SchedulerKind::Locality);
+    for (chain, (a, b)) in base_phi.iter().zip(&dag_phi).enumerate() {
+        assert!(
+            bitwise_eq(a, b),
+            "chain {chain}: dag phi differs from the submit-and-wait baseline"
+        );
+    }
+
+    let mut baseline = f64::INFINITY;
+    let mut dag_locality = f64::INFINITY;
+    let mut dag_fifo = f64::INFINITY;
+    for _ in 0..cfg.reps {
+        let t0 = Instant::now();
+        run_submit_and_wait(&cfg, &octants, &service);
+        baseline = baseline.min(t0.elapsed().as_secs_f64());
+
+        let t0 = Instant::now();
+        let (_, cow) = run_dag(&cfg, &octants, &service, SchedulerKind::Locality);
+        dag_locality = dag_locality.min(t0.elapsed().as_secs_f64());
+        assert_eq!(
+            cow, 0,
+            "a warm DAG run must hand every edge over by refcount, not copy"
+        );
+
+        let t0 = Instant::now();
+        let (_, cow) = run_dag(&cfg, &octants, &service, SchedulerKind::Fifo);
+        dag_fifo = dag_fifo.min(t0.elapsed().as_secs_f64());
+        assert_eq!(cow, 0, "fifo DAG runs are zero-copy too");
+    }
+
+    let jobs = (CHAINS * OCTANTS.len()) as f64;
+    let speedup = baseline / dag_locality;
+    let locality_vs_fifo = dag_fifo / dag_locality;
+
+    let mut table = Table::new(&["path", "latency (s)", "jobs/s", "speedup"]);
+    table.row(&[
+        "submit-and-wait".into(),
+        format!("{baseline:.4}"),
+        format!("{:.1}", jobs / baseline),
+        "1.00".into(),
+    ]);
+    table.row(&[
+        "dag (fifo)".into(),
+        format!("{dag_fifo:.4}"),
+        format!("{:.1}", jobs / dag_fifo),
+        f2(baseline / dag_fifo),
+    ]);
+    table.row(&[
+        "dag (locality)".into(),
+        format!("{dag_locality:.4}"),
+        format!("{:.1}", jobs / dag_locality),
+        f2(speedup),
+    ]);
+    table.print();
+    println!("\n   zero-copy invariant held: 0 cow bytes across all timed DAG runs");
+    println!("   service: {}", service.stats_json());
+
+    let fields: Vec<(&str, String)> = vec![
+        ("bench", json_str("dag")),
+        ("engine", json_str("threads")),
+        ("chains", CHAINS.to_string()),
+        ("octants", OCTANTS.len().to_string()),
+        ("grid", cfg.n.to_string()),
+        ("procs", PROCS.to_string()),
+        ("reps", cfg.reps.to_string()),
+        ("submit_wait_latency_seconds", format!("{baseline:.4}")),
+        ("dag_fifo_latency_seconds", format!("{dag_fifo:.4}")),
+        ("dag_locality_latency_seconds", format!("{dag_locality:.4}")),
+        ("dag_vs_submit_wait_speedup", f2(speedup)),
+        ("locality_vs_fifo_speedup", f2(locality_vs_fifo)),
+        ("dag_jobs_per_sec", format!("{:.1}", jobs / dag_locality)),
+        ("cow_bytes_copied", "0".to_string()),
+    ];
+    write_artifact("dag", &json_object(&fields));
+
+    if !quick && speedup < 1.3 {
+        eprintln!(
+            "FAIL: dag path is only {speedup:.2}x over submit-and-wait (need >= 1.3x)"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -6,8 +6,27 @@
 //! cache simulator — Fortran arrays (the paper's benchmarks) are
 //! column-major, which is what makes loop interchange matter in Figure 6.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use crate::index::{Offset, Point};
 use crate::region::Region;
+
+/// Bytes copied by copy-on-write breaks across every array in the
+/// process (monotonic). A write to an array whose buffer is shared
+/// clones the whole buffer first; this counter bills those clones so
+/// zero-copy pipelines can assert the counter stays flat.
+static COW_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Total bytes cloned by copy-on-write breaks since process start.
+///
+/// Sharing an array (`clone`, [`DenseArray::shared_data`],
+/// [`DenseArray::from_shared`]) is free; the cost lands here only when
+/// one of the sharers writes. Sample before and after a pipeline stage
+/// and subtract to measure the copies that stage induced.
+pub fn cow_bytes_copied() -> u64 {
+    COW_BYTES.load(Ordering::Relaxed)
+}
 
 /// Physical storage order of an array.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -19,11 +38,17 @@ pub enum Layout {
 }
 
 /// A dense array of `f64` over a rectangular region.
+///
+/// The buffer is refcounted with copy-on-write semantics: `clone` (and
+/// [`Store::clone`](crate::program::Store)) share the buffer, and the
+/// first write through a sharing array clones it (billed to
+/// [`cow_bytes_copied`]). Value semantics are unchanged — only the cost
+/// model of clone-then-write moved.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DenseArray<const R: usize> {
     bounds: Region<R>,
     layout: Layout,
-    data: Vec<f64>,
+    data: Arc<Vec<f64>>,
 }
 
 impl<const R: usize> DenseArray<R> {
@@ -34,12 +59,68 @@ impl<const R: usize> DenseArray<R> {
 
     /// Allocate an array over `bounds` filled with `v`, row-major.
     pub fn filled(bounds: Region<R>, v: f64) -> Self {
-        DenseArray { bounds, layout: Layout::RowMajor, data: vec![v; bounds.len()] }
+        DenseArray { bounds, layout: Layout::RowMajor, data: Arc::new(vec![v; bounds.len()]) }
     }
 
     /// Allocate with an explicit layout.
     pub fn with_layout(bounds: Region<R>, layout: Layout, v: f64) -> Self {
-        DenseArray { bounds, layout, data: vec![v; bounds.len()] }
+        DenseArray { bounds, layout, data: Arc::new(vec![v; bounds.len()]) }
+    }
+
+    /// Wrap an existing shared buffer (in `layout` order over `bounds`)
+    /// without copying. Panics if the buffer length does not match the
+    /// region.
+    pub fn from_shared(bounds: Region<R>, layout: Layout, data: Arc<Vec<f64>>) -> Self {
+        assert_eq!(
+            data.len(),
+            bounds.len(),
+            "shared buffer length must match the region"
+        );
+        DenseArray { bounds, layout, data }
+    }
+
+    /// The refcounted buffer, shared without copying.
+    #[inline]
+    pub fn shared_data(&self) -> Arc<Vec<f64>> {
+        Arc::clone(&self.data)
+    }
+
+    /// Whether `self` and `other` share one physical buffer.
+    #[inline]
+    pub fn shares_data(&self, other: &DenseArray<R>) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// An eager deep copy with a uniquely-owned buffer. Unlike `clone`
+    /// (which shares and defers the copy to the first write), the cost
+    /// is paid here, up front, and is *not* billed to
+    /// [`cow_bytes_copied`] — use it to keep a later write phase
+    /// copy-free and honestly timed.
+    pub fn detached(&self) -> Self {
+        DenseArray {
+            bounds: self.bounds,
+            layout: self.layout,
+            data: Arc::new(self.data.as_ref().clone()),
+        }
+    }
+
+    /// Mutable access to the buffer, breaking sharing first if needed.
+    ///
+    /// The unique-owner fast path skips `Arc::make_mut`: that call pays
+    /// two atomic RMWs even when no sharing exists, which is ruinous on
+    /// per-element paths like `set` and message unmarshalling.
+    #[inline]
+    fn data_mut(&mut self) -> &mut Vec<f64> {
+        if Arc::strong_count(&self.data) == 1 {
+            debug_assert_eq!(Arc::weak_count(&self.data), 0);
+            // SAFETY: we hold `&mut self`, the strong count is 1, and
+            // this module never creates `Weak` refs to `data`, so this
+            // is the only handle to the allocation.
+            unsafe { &mut *(Arc::as_ptr(&self.data) as *mut Vec<f64>) }
+        } else {
+            COW_BYTES.fetch_add((self.data.len() * 8) as u64, Ordering::Relaxed);
+            Arc::make_mut(&mut self.data)
+        }
     }
 
     /// Build from a function of the index.
@@ -103,7 +184,7 @@ impl<const R: usize> DenseArray<R> {
     #[inline]
     pub fn set(&mut self, p: Point<R>, v: f64) {
         let off = self.linear_offset(p);
-        self.data[off] = v;
+        self.data_mut()[off] = v;
     }
 
     /// Read at `p + d` (the shift operator's access pattern).
@@ -114,7 +195,7 @@ impl<const R: usize> DenseArray<R> {
 
     /// Fill the whole array with `v`.
     pub fn fill(&mut self, v: f64) {
-        self.data.fill(v);
+        self.data_mut().fill(v);
     }
 
     /// Raw data slice (layout order).
@@ -123,10 +204,10 @@ impl<const R: usize> DenseArray<R> {
         &self.data
     }
 
-    /// Mutable raw data slice (layout order).
+    /// Mutable raw data slice (layout order), breaking sharing first.
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [f64] {
-        &mut self.data
+        self.data_mut()
     }
 
     /// Copy the values of `src` over `region` into `self`. Both arrays must
@@ -151,7 +232,7 @@ impl<const R: usize> DenseArray<R> {
             loop {
                 let d0 = self.linear_offset(Point(p));
                 let s0 = src.linear_offset(Point(p));
-                self.data[d0..d0 + run].copy_from_slice(&src.data[s0..s0 + run]);
+                self.data_mut()[d0..d0 + run].copy_from_slice(&src.data[s0..s0 + run]);
                 let mut advanced = false;
                 for k in (0..R).rev() {
                     if k == f {
@@ -278,5 +359,45 @@ mod tests {
         let r = Region::rect([0], [9]);
         let a = DenseArray::from_fn(r, |p| p[0] as f64 * 2.0);
         assert_eq!(a.get(Point([9])), 18.0);
+    }
+
+    #[test]
+    fn clone_shares_until_write_then_isolates() {
+        let r = Region::rect([0, 0], [3, 3]);
+        let a = DenseArray::from_fn(r, |p| (p[0] * 4 + p[1]) as f64);
+        let mut b = a.clone();
+        assert!(a.shares_data(&b), "clone shares the buffer");
+
+        let before = cow_bytes_copied();
+        b.set(Point([1, 1]), 99.0);
+        assert!(!a.shares_data(&b), "first write breaks sharing");
+        assert!(
+            cow_bytes_copied() >= before + (r.len() * 8) as u64,
+            "the break bills the whole buffer"
+        );
+        assert_eq!(a.get(Point([1, 1])), 5.0, "the original is untouched");
+        assert_eq!(b.get(Point([1, 1])), 99.0);
+
+        // Further writes to the now-unique buffer are free.
+        let before = cow_bytes_copied();
+        b.fill(0.0);
+        b.set(Point([2, 2]), 1.0);
+        assert_eq!(cow_bytes_copied(), before);
+    }
+
+    #[test]
+    fn from_shared_wraps_without_copying() {
+        let r = Region::rect([0, 0], [2, 2]);
+        let a = DenseArray::from_fn(r, |p| (p[0] - p[1]) as f64);
+        let b = DenseArray::from_shared(r, a.layout(), a.shared_data());
+        assert!(a.shares_data(&b));
+        assert!(a.region_eq(&b, r));
+    }
+
+    #[test]
+    #[should_panic(expected = "shared buffer length")]
+    fn from_shared_rejects_wrong_length() {
+        let r = Region::rect([0, 0], [2, 2]);
+        let _ = DenseArray::from_shared(r, Layout::RowMajor, Arc::new(vec![0.0; 3]));
     }
 }

@@ -59,7 +59,7 @@ pub mod wysiwyg;
 
 /// Everything a typical user needs.
 pub mod prelude {
-    pub use crate::array::{DenseArray, Layout};
+    pub use crate::array::{cow_bytes_copied, DenseArray, Layout};
     pub use crate::contract::{compile_contracted, contract_program, contractible_ids};
     pub use crate::deps::{DepConstraint, DepKind};
     pub use crate::direction::{cardinal, Direction};

@@ -295,6 +295,15 @@ impl<const R: usize> Store<R> {
         Store { arrays }
     }
 
+    /// An eager deep copy: every array gets a uniquely-owned buffer, so
+    /// writes through the copy never pay a copy-on-write break (see
+    /// [`DenseArray::detached`]).
+    pub fn detached(&self) -> Self {
+        Store {
+            arrays: self.arrays.iter().map(DenseArray::detached).collect(),
+        }
+    }
+
     /// All arrays, id-ordered.
     pub fn arrays(&self) -> &[DenseArray<R>] {
         &self.arrays

@@ -114,6 +114,20 @@ pub enum PipelineError {
         /// The failed operation plus the OS error text.
         context: String,
     },
+    /// A submitted DAG contains a dependency cycle, so no topological
+    /// execution order exists. The payload names one cycle.
+    CyclicDag {
+        /// Node labels along the cycle, in edge order.
+        nodes: Vec<String>,
+    },
+    /// A job could not run because a predecessor it consumes an output
+    /// from failed (or its handle was dropped unresolved).
+    DependencyFailed {
+        /// The label (or output name) of the failed predecessor.
+        producer: String,
+        /// The predecessor's own error.
+        error: Box<PipelineError>,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -155,6 +169,14 @@ impl fmt::Display for PipelineError {
             }
             PipelineError::Remote { message } => write!(f, "server reported: {message}"),
             PipelineError::Io { context } => write!(f, "wire i/o failed: {context}"),
+            PipelineError::CyclicDag { nodes } => write!(
+                f,
+                "dag has a dependency cycle through [{}]",
+                nodes.join(" -> ")
+            ),
+            PipelineError::DependencyFailed { producer, error } => {
+                write!(f, "dependency `{producer}` failed: {error}")
+            }
         }
     }
 }
@@ -204,6 +226,13 @@ mod tests {
             },
             PipelineError::Io {
                 context: "read frame header: connection reset".into(),
+            },
+            PipelineError::CyclicDag {
+                nodes: vec!["a".into(), "b".into(), "a".into()],
+            },
+            PipelineError::DependencyFailed {
+                producer: "octant0".into(),
+                error: Box::new(PipelineError::EnginePanic("boom".into())),
             },
         ];
         for e in errs {

@@ -50,9 +50,13 @@ pub use plan::WavefrontPlan;
 pub use plan2d::WavefrontPlan2D;
 pub use schedule::{probe_block, AdaptiveConfig, BlockCtx, BlockPolicy, BlockSizer};
 pub use service::{
-    JobHandle, JobOutcome, JobSpec, JobSpecBuilder, JobTopology, ServeConfig, ServiceConfig,
-    ServiceStats, TenantConfig, TenantStats, WavefrontService, WireClient, WireCompiler,
-    WireProgram, WireRequest, WireResponse, WireServer, WireTopology, DEFAULT_TENANT,
+    CriticalPathScheduler, DagHandle, DagOutcome, DagSpec, DagSpecBuilder, DagStats, DagView,
+    DispatchDecision, FifoScheduler, InputSource, IntoInputSource, JobHandle, JobOutcome,
+    JobOutput, JobOutputs, JobSpec, JobSpecBuilder, JobTopology, LocalityScheduler, NodeId,
+    NodeRef, NodeResult, Scheduler, SchedulerKind, ServeConfig, ServiceConfig, ServiceStats,
+    TenantConfig, TenantStats, WavefrontService, WireClient, WireCompiler, WireDagNode,
+    WireDagRequest, WireDagResponse, WireProgram, WireRequest, WireResponse, WireServer,
+    WireTopology, DEFAULT_TENANT, PROTOCOL_VERSION,
 };
 pub use session::{
     Engine, EngineCtx, ProgramSession, RunOutcome, SeqEngine, Session, Session2D, SessionConfig,

@@ -1,0 +1,1333 @@
+//! Dependent job graphs: build a [`DagSpec`], submit it with
+//! [`crate::service::WavefrontService::submit_dag`], wait on the
+//! [`DagHandle`].
+//!
+//! A DAG is a set of jobs ([`DagSpecBuilder::add`]) whose edges are the
+//! [`crate::service::JobSpecBuilder::input_from`] bindings between
+//! them: a node naming a [`NodeRef`] as the producer of one of its
+//! arrays depends on that node, and at dispatch the producer's
+//! published [`crate::service::JobOutput`] buffer is installed into the
+//! consumer's store refcounted — zero copies between jobs, with
+//! copy-on-write preserving value semantics if both sides keep writing.
+//!
+//! Order among ready nodes is delegated to a pluggable
+//! [`Scheduler`] — FIFO, critical-path-first, or locality-aware
+//! ([`SchedulerKind`]), or any custom implementation via
+//! [`DagSpecBuilder::scheduler_boxed`]. Nodes still flow through the
+//! ordinary tenant queues, so per-tenant admission and fair share apply
+//! to DAG nodes exactly as to plain submissions.
+//!
+//! The same `DagSpec` runs two ways:
+//!
+//! * **real** (seq/threads engines): nodes execute on data, one at a
+//!   time in scheduler order, and [`DagStats`] reports wall-clock
+//!   makespan, the measured critical path, and the zero-copy counters;
+//! * **simulated** (every node on the sim engine): each node is probed
+//!   once for its model-units cost, then a discrete-event simulation
+//!   places nodes onto a virtual machine of [`DagSpecBuilder::sim_procs`]
+//!   processors — contiguous blocks, preferring a predecessor's block —
+//!   and charges the machine model's message cost for every
+//!   disjoint-placement edge. What-if scheduling at simulated scale,
+//!   with the same `Scheduler` deciding order.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use wavefront_core::array::cow_bytes_copied;
+use wavefront_core::program::Store;
+use wavefront_machine::MachineParams;
+
+use crate::error::PipelineError;
+use crate::service::job::{InputBinding, InputSource, IntoInputSource, JobOutcome, JobSpec, JobTopology, SourceKind};
+use crate::service::output::JobOutput;
+use crate::service::scheduler::{DagShape, DagView, NodeId, Scheduler, SchedulerKind};
+use crate::service::{install_input, panic_message, submit_on, Shared};
+use crate::telemetry::report::{jnum, jstr};
+use crate::telemetry::{EngineKind, TimeUnit};
+
+/// A node of a DAG being built: returned by [`DagSpecBuilder::add`] and
+/// usable as the producer side of
+/// [`crate::service::JobSpecBuilder::input_from`].
+#[derive(Debug, Clone, Copy)]
+pub struct NodeRef {
+    pub(crate) index: NodeId,
+}
+
+impl NodeRef {
+    /// The node's index within its DAG (the order it was added).
+    pub fn index(&self) -> NodeId {
+        self.index
+    }
+}
+
+impl<const R: usize> IntoInputSource<R> for NodeRef {
+    fn into_source(self) -> InputSource<R> {
+        InputSource {
+            kind: SourceKind::Node(self.index),
+        }
+    }
+}
+
+/// One dependency edge, derived from a node-sourced input binding.
+#[derive(Debug, Clone)]
+pub(crate) struct DagEdge {
+    pub(crate) from: NodeId,
+    pub(crate) to: NodeId,
+    /// The array name carried across the edge.
+    pub(crate) name: String,
+    /// Elements of that array (from the producer's declaration).
+    pub(crate) elems: u64,
+}
+
+/// How the DAG picks among ready nodes.
+pub(crate) enum SchedulerChoice {
+    Kind(SchedulerKind),
+    Custom(Box<dyn Scheduler>),
+}
+
+/// A validated job graph; build one with [`DagSpec::builder`], run it
+/// with [`crate::service::WavefrontService::submit_dag`].
+pub struct DagSpec<const R: usize> {
+    pub(crate) nodes: Vec<(String, JobSpec<R>)>,
+    pub(crate) edges: Vec<DagEdge>,
+    pub(crate) scheduler: SchedulerChoice,
+    pub(crate) sim_procs: Option<usize>,
+    /// Whether every node runs on the sim engine (the what-if mode).
+    pub(crate) sim: bool,
+}
+
+impl<const R: usize> DagSpec<R> {
+    /// Start building a DAG.
+    pub fn builder() -> DagSpecBuilder<R> {
+        DagSpecBuilder::new()
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the DAG has no nodes (never true for a built spec).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+/// Accumulates nodes and knobs for a [`DagSpec`]; see the module docs.
+///
+/// ```ignore
+/// let mut b = DagSpec::builder();
+/// let first = b.add(JobSpec::builder(prog.clone(), nest0.clone())
+///     .store(store).build()?);
+/// b.add(JobSpec::builder(prog.clone(), nest1.clone())
+///     .input_from(first, "phi")
+///     .build()?);
+/// let dag = b.scheduler(SchedulerKind::Locality).build()?;
+/// ```
+pub struct DagSpecBuilder<const R: usize> {
+    nodes: Vec<(String, JobSpec<R>)>,
+    scheduler: SchedulerChoice,
+    sim_procs: Option<usize>,
+}
+
+impl<const R: usize> Default for DagSpecBuilder<R> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const R: usize> DagSpecBuilder<R> {
+    /// An empty builder (FIFO scheduler by default).
+    pub fn new() -> Self {
+        DagSpecBuilder {
+            nodes: Vec::new(),
+            scheduler: SchedulerChoice::Kind(SchedulerKind::Fifo),
+            sim_procs: None,
+        }
+    }
+
+    /// Add a node labelled `node<i>`; the returned [`NodeRef`] feeds
+    /// later nodes' `input_from` bindings.
+    pub fn add(&mut self, spec: JobSpec<R>) -> NodeRef {
+        let label = format!("node{}", self.nodes.len());
+        self.add_labeled(label, spec)
+    }
+
+    /// Add a node with an explicit label (shown in [`DagStats`] and
+    /// addressable via [`DagOutcome::node`]).
+    pub fn add_labeled(&mut self, label: impl Into<String>, spec: JobSpec<R>) -> NodeRef {
+        let index = self.nodes.len();
+        self.nodes.push((label.into(), spec));
+        NodeRef { index }
+    }
+
+    /// Pick one of the built-in scheduling policies (default FIFO).
+    pub fn scheduler(&mut self, kind: SchedulerKind) -> &mut Self {
+        self.scheduler = SchedulerChoice::Kind(kind);
+        self
+    }
+
+    /// Plug in a custom [`Scheduler`] implementation.
+    pub fn scheduler_boxed(&mut self, sched: Box<dyn Scheduler>) -> &mut Self {
+        self.scheduler = SchedulerChoice::Custom(sched);
+        self
+    }
+
+    /// Size of the virtual machine a sim-engine DAG is placed onto
+    /// (default: the widest node's processor count). Ignored by real
+    /// runs.
+    pub fn sim_procs(&mut self, procs: usize) -> &mut Self {
+        self.sim_procs = Some(procs);
+        self
+    }
+
+    /// Validate the graph and produce the [`DagSpec`]: every
+    /// node-sourced input must reference a node of this DAG that
+    /// publishes the named array, the graph must be acyclic
+    /// ([`PipelineError::CyclicDag`] otherwise), and engines must be
+    /// all-sim or all-real.
+    pub fn build(self) -> Result<DagSpec<R>, PipelineError> {
+        let n = self.nodes.len();
+        if n == 0 {
+            return Err(PipelineError::InvalidJob {
+                reason: "a dag needs at least one node".into(),
+            });
+        }
+        let sims = self
+            .nodes
+            .iter()
+            .filter(|(_, s)| matches!(s.engine, EngineKind::Sim))
+            .count();
+        if sims != 0 && sims != n {
+            return Err(PipelineError::InvalidJob {
+                reason: "a dag must run either entirely on the sim engine or entirely on \
+                         real engines"
+                    .into(),
+            });
+        }
+        let mut edges = Vec::new();
+        for (to, (label, spec)) in self.nodes.iter().enumerate() {
+            for b in &spec.inputs {
+                let SourceKind::Node(from) = b.source else {
+                    continue;
+                };
+                if from >= n {
+                    return Err(PipelineError::InvalidJob {
+                        reason: format!(
+                            "node `{label}` consumes from node index {from}, but the dag \
+                             has only {n} nodes"
+                        ),
+                    });
+                }
+                let (p_label, p_spec) = &self.nodes[from];
+                let publishes = if p_spec.outputs.is_empty() {
+                    p_spec.program.find(&b.name).is_some()
+                } else {
+                    p_spec.outputs.iter().any(|o| o == &b.name)
+                };
+                if !publishes {
+                    return Err(PipelineError::InvalidJob {
+                        reason: format!(
+                            "node `{p_label}` does not publish an output named `{}`",
+                            b.name
+                        ),
+                    });
+                }
+                let id = p_spec.program.find(&b.name).expect("publish check passed");
+                let elems = p_spec.program.arrays()[id].bounds.len() as u64;
+                edges.push(DagEdge {
+                    from,
+                    to,
+                    name: b.name.clone(),
+                    elems,
+                });
+            }
+        }
+        reject_cycles(&self.nodes, &edges)?;
+        Ok(DagSpec {
+            sim: sims == n,
+            nodes: self.nodes,
+            edges,
+            scheduler: self.scheduler,
+            sim_procs: self.sim_procs,
+        })
+    }
+}
+
+/// Kahn's algorithm; any residue is a cycle, reported in edge order as
+/// [`PipelineError::CyclicDag`].
+fn reject_cycles<const R: usize>(
+    nodes: &[(String, JobSpec<R>)],
+    edges: &[DagEdge],
+) -> Result<(), PipelineError> {
+    let n = nodes.len();
+    let mut preds = vec![Vec::new(); n];
+    let mut in_deg = vec![0usize; n];
+    for e in edges {
+        preds[e.to].push(e.from);
+        in_deg[e.to] += 1;
+    }
+    let mut queue: VecDeque<NodeId> = (0..n).filter(|&v| in_deg[v] == 0).collect();
+    let mut remaining = n;
+    let mut alive = vec![true; n];
+    while let Some(v) = queue.pop_front() {
+        alive[v] = false;
+        remaining -= 1;
+        for e in edges.iter().filter(|e| e.from == v) {
+            in_deg[e.to] -= 1;
+            if in_deg[e.to] == 0 {
+                queue.push_back(e.to);
+            }
+        }
+    }
+    if remaining == 0 {
+        return Ok(());
+    }
+    // Walk predecessors inside the residue until a node repeats; the
+    // repeated stretch, reversed, is one cycle in edge order.
+    let start = (0..n).find(|&v| alive[v]).expect("residue is non-empty");
+    let mut pos = vec![usize::MAX; n];
+    let mut path = vec![start];
+    pos[start] = 0;
+    loop {
+        let cur = *path.last().expect("path is non-empty");
+        let p = *preds[cur]
+            .iter()
+            .find(|&&p| alive[p])
+            .expect("residue nodes keep a live predecessor");
+        if pos[p] != usize::MAX {
+            let mut cycle: Vec<String> = path[pos[p]..]
+                .iter()
+                .rev()
+                .map(|&v| nodes[v].0.clone())
+                .collect();
+            let first = cycle[0].clone();
+            cycle.push(first);
+            return Err(PipelineError::CyclicDag { nodes: cycle });
+        }
+        pos[p] = path.len();
+        path.push(p);
+    }
+}
+
+/// One scheduler dispatch, as recorded in [`DagStats::decisions`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DispatchDecision {
+    /// Dispatch sequence number (0-based).
+    pub order: usize,
+    /// The dispatched node.
+    pub node: NodeId,
+    /// Its label.
+    pub label: String,
+    /// Simulated placement as `(first processor, width)`; `None` on
+    /// real runs (the whole worker pool executes each node).
+    pub placement: Option<(usize, usize)>,
+    /// Elements this node received from its predecessors at dispatch.
+    pub transfer_elems: u64,
+}
+
+impl DispatchDecision {
+    fn to_json(&self) -> String {
+        let placement = match self.placement {
+            Some((start, len)) => format!("[{start},{len}]"),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"order\":{},\"node\":{},\"label\":{},\"placement\":{},\"transfer_elems\":{}}}",
+            self.order,
+            self.node,
+            jstr(&self.label),
+            placement,
+            self.transfer_elems,
+        )
+    }
+}
+
+/// What one DAG execution measured; exported through
+/// [`crate::service::WavefrontService::stats_json`] under `"dags"`.
+#[derive(Debug, Clone)]
+pub struct DagStats {
+    /// Service-lifetime DAG sequence number.
+    pub dag_id: u64,
+    /// Name of the scheduling policy that ordered the nodes.
+    pub scheduler: String,
+    /// Node count.
+    pub nodes: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// End-to-end time: wall seconds (real) or the final simulated
+    /// clock (sim).
+    pub makespan: f64,
+    /// Unit of `makespan`, `serial_time`, and `critical_path_time`.
+    pub time_unit: TimeUnit,
+    /// Sum of all node durations — what a one-node-at-a-time serial
+    /// execution would cost.
+    pub serial_time: f64,
+    /// Labels along the longest measured dependency chain.
+    pub critical_path: Vec<String>,
+    /// Duration of that chain.
+    pub critical_path_time: f64,
+    /// Every dispatch, in order.
+    pub decisions: Vec<DispatchDecision>,
+    /// Bytes handed between jobs by refcount (no copy).
+    pub bytes_shared: u64,
+    /// Copy-on-write bytes actually copied while the DAG ran (global
+    /// counter delta; 0 means fully zero-copy chaining).
+    pub cow_bytes_copied: u64,
+    /// Simulated inter-block transfers charged (always 0 on real runs).
+    pub transfers: u64,
+    /// Nodes that resolved to an error (own failure or a failed
+    /// dependency).
+    pub failed: usize,
+}
+
+impl DagStats {
+    /// Serialize as a self-contained JSON object.
+    pub fn to_json(&self) -> String {
+        let path: Vec<String> = self.critical_path.iter().map(|l| jstr(l)).collect();
+        let decisions: Vec<String> = self.decisions.iter().map(|d| d.to_json()).collect();
+        format!(
+            "{{\"dag_id\":{},\"scheduler\":{},\"nodes\":{},\"edges\":{},\
+             \"makespan\":{},\"time_unit\":{},\"serial_time\":{},\
+             \"critical_path\":[{}],\"critical_path_time\":{},\
+             \"decisions\":[{}],\"bytes_shared\":{},\"cow_bytes_copied\":{},\
+             \"transfers\":{},\"failed\":{}}}",
+            self.dag_id,
+            jstr(&self.scheduler),
+            self.nodes,
+            self.edges,
+            jnum(self.makespan),
+            jstr(self.time_unit.name()),
+            jnum(self.serial_time),
+            path.join(","),
+            jnum(self.critical_path_time),
+            decisions.join(","),
+            self.bytes_shared,
+            self.cow_bytes_copied,
+            self.transfers,
+            self.failed,
+        )
+    }
+}
+
+/// One node's terminal state inside a [`DagOutcome`].
+pub struct NodeResult<const R: usize> {
+    /// The node's label.
+    pub label: String,
+    /// Its outcome: the job's result, or the typed error that stopped
+    /// it (its own, or [`PipelineError::DependencyFailed`] when a
+    /// predecessor failed first).
+    pub result: Result<JobOutcome<R>, PipelineError>,
+}
+
+/// Everything a completed DAG resolves to.
+pub struct DagOutcome<const R: usize> {
+    /// Per-node results, in node order.
+    pub nodes: Vec<NodeResult<R>>,
+    /// The run's measurements.
+    pub stats: DagStats,
+}
+
+impl<const R: usize> DagOutcome<R> {
+    /// The result of the node labelled `label`.
+    pub fn node(&self, label: &str) -> Option<&NodeResult<R>> {
+        self.nodes.iter().find(|r| r.label == label)
+    }
+
+    /// Remove and return the output `name` of the node labelled
+    /// `label`; typed errors for an unknown node, a failed node, or a
+    /// missing output.
+    pub fn take_output(&mut self, label: &str, name: &str) -> Result<JobOutput<R>, PipelineError> {
+        let node = self
+            .nodes
+            .iter_mut()
+            .find(|r| r.label == label)
+            .ok_or_else(|| PipelineError::InvalidJob {
+                reason: format!("dag has no node labelled `{label}`"),
+            })?;
+        match &mut node.result {
+            Ok(out) => out.take_output(name),
+            Err(e) => Err(e.clone()),
+        }
+    }
+
+    /// Whether every node completed successfully.
+    pub fn all_ok(&self) -> bool {
+        self.stats.failed == 0
+    }
+}
+
+struct DagSlot<const R: usize> {
+    done: Mutex<Option<DagOutcome<R>>>,
+    ready: Condvar,
+}
+
+/// A ticket for one submitted DAG.
+pub struct DagHandle<const R: usize> {
+    slot: Arc<DagSlot<R>>,
+}
+
+impl<const R: usize> DagHandle<R> {
+    /// Block until every node resolved and take the [`DagOutcome`].
+    /// Node failures are carried per node, not raised here — inspect
+    /// [`DagOutcome::nodes`] / [`DagOutcome::all_ok`].
+    pub fn wait(self) -> DagOutcome<R> {
+        let mut done = self.slot.done.lock().unwrap();
+        loop {
+            if let Some(outcome) = done.take() {
+                return outcome;
+            }
+            done = self.slot.ready.wait(done).unwrap();
+        }
+    }
+
+    /// Whether the DAG has already completed (non-blocking).
+    pub fn is_done(&self) -> bool {
+        self.slot.done.lock().unwrap().is_some()
+    }
+}
+
+/// Start one DAG's runner thread; the service joins it at shutdown.
+pub(crate) fn spawn_dag<const R: usize>(
+    shared: Arc<Shared<R>>,
+    spec: DagSpec<R>,
+) -> (DagHandle<R>, JoinHandle<()>) {
+    let slot = Arc::new(DagSlot {
+        done: Mutex::new(None),
+        ready: Condvar::new(),
+    });
+    let handle = DagHandle {
+        slot: Arc::clone(&slot),
+    };
+    let runner = std::thread::spawn(move || {
+        let labels: Vec<String> = spec.nodes.iter().map(|(l, _)| l.clone()).collect();
+        let dag_id = shared.next_dag_id();
+        let sim = spec.sim;
+        let outcome = match catch_unwind(AssertUnwindSafe(|| {
+            if sim {
+                run_dag_sim(&shared, spec, dag_id)
+            } else {
+                run_dag_real(&shared, spec, dag_id)
+            }
+        })) {
+            Ok(o) => o,
+            Err(payload) => {
+                // The runner itself panicked (scheduler bug, internal
+                // error): fail every node typed, never hang the handle.
+                let e = PipelineError::EnginePanic(panic_message(&payload));
+                DagOutcome {
+                    stats: DagStats {
+                        dag_id,
+                        scheduler: "unknown".into(),
+                        nodes: labels.len(),
+                        edges: 0,
+                        makespan: 0.0,
+                        time_unit: if sim { TimeUnit::ModelUnits } else { TimeUnit::Seconds },
+                        serial_time: 0.0,
+                        critical_path: Vec::new(),
+                        critical_path_time: 0.0,
+                        decisions: Vec::new(),
+                        bytes_shared: 0,
+                        cow_bytes_copied: 0,
+                        transfers: 0,
+                        failed: labels.len(),
+                    },
+                    nodes: labels
+                        .into_iter()
+                        .map(|label| NodeResult {
+                            label,
+                            result: Err(e.clone()),
+                        })
+                        .collect(),
+                }
+            }
+        };
+        shared.record_dag_stats(outcome.stats.clone());
+        let mut done = slot.done.lock().unwrap();
+        *done = Some(outcome);
+        slot.ready.notify_all();
+    });
+    (handle, runner)
+}
+
+/// Move the node-sourced inputs of `spec` from their edge slots into
+/// its store (refcounted, zero-copy), then run it through the shared
+/// submission path and wait.
+#[allow(deprecated)] // clears JobOutcome.store to keep chaining zero-copy
+fn resolve_and_run<const R: usize>(
+    shared: &Shared<R>,
+    mut spec: JobSpec<R>,
+    v: NodeId,
+    edges: &[DagEdge],
+    edge_out: &mut [Option<JobOutput<R>>],
+    bytes_shared: &mut u64,
+    transfer_elems: &mut u64,
+) -> Result<JobOutcome<R>, PipelineError> {
+    let mut rest = Vec::new();
+    let mut node_bound = Vec::new();
+    for b in spec.inputs.drain(..) {
+        match b.source {
+            SourceKind::Node(p) => node_bound.push((p, b.name)),
+            source => rest.push(InputBinding {
+                source,
+                name: b.name,
+            }),
+        }
+    }
+    spec.inputs = rest;
+    let program = Arc::clone(&spec.program);
+    for (p, name) in node_bound {
+        let ei = edges
+            .iter()
+            .position(|e| e.from == p && e.to == v && e.name == name)
+            .expect("edge was derived from this binding at build");
+        let out = edge_out[ei].take().ok_or_else(|| PipelineError::InvalidJob {
+            reason: format!("internal: output `{name}` of node {p} was not published"),
+        })?;
+        let st = spec.store.get_or_insert_with(|| Store::new(&program));
+        install_input(st, &program, &out, &name)?;
+        *bytes_shared += (out.len() * 8) as u64;
+        *transfer_elems += out.len() as u64;
+        // `out` drops here: the consumer's store now holds the only
+        // DAG-side reference, so its writes stay copy-free.
+    }
+    let mut outcome = submit_on(shared, spec).wait()?;
+    // Drop the producer's own store handle: successors take the
+    // published outputs, and a retained store would keep every buffer
+    // doubly-referenced (turning the successor's first write into a
+    // copy).
+    outcome.store = None;
+    Ok(outcome)
+}
+
+/// Ask the scheduler for the next node, guarding the contract (no
+/// repeats, only ready nodes); falls back to a scan so a buggy custom
+/// scheduler cannot wedge the runner.
+fn pick_next(
+    sched: &mut dyn Scheduler,
+    view: &DagView<'_>,
+    dispatched: &[bool],
+    pending: &[usize],
+    resolved: &[bool],
+) -> Option<NodeId> {
+    let ok = |v: NodeId| !dispatched[v] && pending[v] == 0 && !resolved[v];
+    while let Some(v) = sched.next_job(view) {
+        if ok(v) {
+            return Some(v);
+        }
+    }
+    (0..dispatched.len()).find(|&v| ok(v))
+}
+
+/// Execute the DAG on real engines: one node at a time, in scheduler
+/// order, chaining outputs refcounted.
+fn run_dag_real<const R: usize>(
+    shared: &Arc<Shared<R>>,
+    spec: DagSpec<R>,
+    dag_id: u64,
+) -> DagOutcome<R> {
+    let DagSpec {
+        nodes,
+        edges,
+        scheduler,
+        ..
+    } = spec;
+    let n = nodes.len();
+    let labels: Vec<String> = nodes.iter().map(|(l, _)| l.clone()).collect();
+    let cost: Vec<f64> = nodes
+        .iter()
+        .map(|(_, s)| s.nest.region.len() as f64)
+        .collect();
+    let shape_edges: Vec<(NodeId, NodeId, u64)> =
+        edges.iter().map(|e| (e.from, e.to, e.elems)).collect();
+    let shape = DagShape::new(labels.clone(), cost, &shape_edges);
+    let mut sched: Box<dyn Scheduler> = match scheduler {
+        SchedulerChoice::Kind(k) => k.instantiate(),
+        SchedulerChoice::Custom(b) => b,
+    };
+    let sched_name = sched.name().to_string();
+
+    let mut specs: Vec<Option<JobSpec<R>>> = nodes.into_iter().map(|(_, s)| Some(s)).collect();
+    let mut results: Vec<Option<Result<JobOutcome<R>, PipelineError>>> =
+        (0..n).map(|_| None).collect();
+    let mut edge_out: Vec<Option<JobOutput<R>>> = (0..edges.len()).map(|_| None).collect();
+    let mut done_at: Vec<Option<u64>> = vec![None; n];
+    let mut durations = vec![0.0f64; n];
+    let mut pending: Vec<usize> = shape.preds.iter().map(Vec::len).collect();
+    let mut dispatched = vec![false; n];
+    let mut decisions = Vec::new();
+    let mut bytes_shared = 0u64;
+    let mut tick = 0u64;
+    let mut completed = 0usize;
+    let cow0 = cow_bytes_copied();
+    let wall0 = Instant::now();
+
+    {
+        let view = DagView {
+            shape: &shape,
+            done_at: &done_at,
+        };
+        for v in 0..n {
+            if pending[v] == 0 {
+                sched.on_job_ready(v, &view);
+            }
+        }
+    }
+
+    while completed < n {
+        let pick = {
+            let view = DagView {
+                shape: &shape,
+                done_at: &done_at,
+            };
+            let resolved: Vec<bool> = results.iter().map(Option::is_some).collect();
+            pick_next(sched.as_mut(), &view, &dispatched, &pending, &resolved)
+        };
+        let Some(v) = pick else {
+            // No dispatchable node but the DAG is not done: every
+            // remaining node waits on a predecessor — impossible in an
+            // acyclic graph unless bookkeeping broke. Fail what is left.
+            for (u, r) in results.iter_mut().enumerate() {
+                if r.is_none() {
+                    *r = Some(Err(PipelineError::InvalidJob {
+                        reason: format!("internal: node `{}` was never dispatched", labels[u]),
+                    }));
+                }
+            }
+            break;
+        };
+        dispatched[v] = true;
+        let spec_v = specs[v].take().expect("dispatched node still has its spec");
+        let mut transfer_elems = 0u64;
+        let mut result = resolve_and_run(
+            shared,
+            spec_v,
+            v,
+            &edges,
+            &mut edge_out,
+            &mut bytes_shared,
+            &mut transfer_elems,
+        );
+        decisions.push(DispatchDecision {
+            order: decisions.len(),
+            node: v,
+            label: labels[v].clone(),
+            placement: None,
+            transfer_elems,
+        });
+        if let Ok(outc) = result.as_mut() {
+            // Publish this node's outputs onto its outgoing edges:
+            // *taken* from the outcome (not cloned) so each buffer has
+            // exactly one DAG-side owner.
+            let mut taken: Vec<JobOutput<R>> = Vec::new();
+            for (ei, e) in edges.iter().enumerate() {
+                if e.from != v {
+                    continue;
+                }
+                let out = if let Some(prev) = taken.iter().find(|o| o.name() == e.name) {
+                    prev.clone()
+                } else {
+                    let Some(o) = outc.outputs.take(&e.name) else {
+                        continue; // validated at build; defensive
+                    };
+                    if edges.iter().filter(|e2| e2.from == v && e2.name == e.name).count() > 1 {
+                        taken.push(o.clone());
+                    }
+                    o
+                };
+                edge_out[ei] = Some(out);
+            }
+        }
+
+        // Completion worklist: the node itself, then the transitive
+        // dependency failures it may cause.
+        let mut work: Vec<(NodeId, Result<JobOutcome<R>, PipelineError>)> = vec![(v, result)];
+        while let Some((u, res)) = work.pop() {
+            durations[u] = match &res {
+                Ok(o) => o.outcome.makespan,
+                Err(_) => 0.0,
+            };
+            results[u] = Some(res);
+            done_at[u] = Some(tick);
+            tick += 1;
+            completed += 1;
+            {
+                let view = DagView {
+                    shape: &shape,
+                    done_at: &done_at,
+                };
+                sched.on_job_done(u, &view);
+            }
+            for &s in &shape.succs[u] {
+                pending[s] -= 1;
+                if pending[s] == 0 && results[s].is_none() {
+                    let failed_pred = shape.preds[s]
+                        .iter()
+                        .find(|&&(p, _)| matches!(results[p], Some(Err(_))))
+                        .map(|&(p, _)| p);
+                    if let Some(p) = failed_pred {
+                        let e = match &results[p] {
+                            Some(Err(e)) => e.clone(),
+                            _ => unreachable!("failed_pred found an Err"),
+                        };
+                        work.push((
+                            s,
+                            Err(PipelineError::DependencyFailed {
+                                producer: labels[p].clone(),
+                                error: Box::new(e),
+                            }),
+                        ));
+                    } else {
+                        let view = DagView {
+                            shape: &shape,
+                            done_at: &done_at,
+                        };
+                        sched.on_job_ready(s, &view);
+                    }
+                }
+            }
+        }
+    }
+
+    let makespan = wall0.elapsed().as_secs_f64();
+    let (critical_path, critical_path_time) =
+        measured_critical_path(&shape, &done_at, &durations, &labels);
+    let failed = results
+        .iter()
+        .filter(|r| matches!(r, Some(Err(_))))
+        .count();
+    let stats = DagStats {
+        dag_id,
+        scheduler: sched_name,
+        nodes: n,
+        edges: edges.len(),
+        makespan,
+        time_unit: TimeUnit::Seconds,
+        serial_time: durations.iter().sum(),
+        critical_path,
+        critical_path_time,
+        decisions,
+        bytes_shared,
+        cow_bytes_copied: cow_bytes_copied() - cow0,
+        transfers: 0,
+        failed,
+    };
+    DagOutcome {
+        nodes: labels
+            .into_iter()
+            .zip(results)
+            .map(|(label, r)| NodeResult {
+                label,
+                result: r.expect("every node resolved"),
+            })
+            .collect(),
+        stats,
+    }
+}
+
+/// Longest dependency chain over *measured* durations. Completion ticks
+/// give a valid topological order (a node only finishes after its
+/// predecessors).
+fn measured_critical_path(
+    shape: &DagShape,
+    done_at: &[Option<u64>],
+    durations: &[f64],
+    labels: &[String],
+) -> (Vec<String>, f64) {
+    let n = labels.len();
+    if n == 0 {
+        return (Vec::new(), 0.0);
+    }
+    let mut order: Vec<NodeId> = (0..n).collect();
+    order.sort_by_key(|&v| done_at[v].unwrap_or(u64::MAX));
+    let mut dist = durations.to_vec();
+    let mut best_pred: Vec<Option<NodeId>> = vec![None; n];
+    for &v in &order {
+        for &(p, _) in &shape.preds[v] {
+            if dist[p] + durations[v] > dist[v] {
+                dist[v] = dist[p] + durations[v];
+                best_pred[v] = Some(p);
+            }
+        }
+    }
+    let end = (0..n)
+        .max_by(|&a, &b| dist[a].total_cmp(&dist[b]))
+        .expect("n > 0");
+    let mut path = vec![end];
+    while let Some(p) = best_pred[*path.last().expect("path non-empty")] {
+        path.push(p);
+    }
+    path.reverse();
+    (
+        path.iter().map(|&v| labels[v].clone()).collect(),
+        dist[end],
+    )
+}
+
+/// Find a contiguous block of `len` free processors, preferring one
+/// starting at `prefer` (a predecessor's block) before first-fit.
+fn find_block(free: &[bool], len: usize, prefer: Option<usize>) -> Option<usize> {
+    let fits = |start: usize| (start..start + len).all(|i| free[i]);
+    if let Some(s) = prefer {
+        if s + len <= free.len() && fits(s) {
+            return Some(s);
+        }
+    }
+    (0..=free.len() - len).find(|&s| fits(s))
+}
+
+/// What-if mode: probe each node's model-units cost through the sim
+/// engine, then discrete-event-simulate the DAG on a virtual machine,
+/// charging the machine model's message cost whenever an edge crosses
+/// disjoint processor blocks. The same [`Scheduler`] orders dispatch.
+fn run_dag_sim<const R: usize>(
+    shared: &Arc<Shared<R>>,
+    spec: DagSpec<R>,
+    dag_id: u64,
+) -> DagOutcome<R> {
+    let DagSpec {
+        nodes,
+        edges,
+        scheduler,
+        sim_procs,
+        ..
+    } = spec;
+    let n = nodes.len();
+    let labels: Vec<String> = nodes.iter().map(|(l, _)| l.clone()).collect();
+    let cost: Vec<f64> = nodes
+        .iter()
+        .map(|(_, s)| s.nest.region.len() as f64)
+        .collect();
+    let procs_of: Vec<usize> = nodes
+        .iter()
+        .map(|(_, s)| match s.topology {
+            JobTopology::Line { procs, .. } => procs,
+            JobTopology::Mesh { mesh, .. } => mesh[0] * mesh[1],
+        })
+        .collect();
+    let machine_of: Vec<MachineParams> = nodes.iter().map(|(_, s)| s.cfg.machine).collect();
+    let shape_edges: Vec<(NodeId, NodeId, u64)> =
+        edges.iter().map(|e| (e.from, e.to, e.elems)).collect();
+    let shape = DagShape::new(labels.clone(), cost, &shape_edges);
+    let mut sched: Box<dyn Scheduler> = match scheduler {
+        SchedulerChoice::Kind(k) => k.instantiate(),
+        SchedulerChoice::Custom(b) => b,
+    };
+    let sched_name = sched.name().to_string();
+
+    // Probe every node once for its model-units makespan. Node inputs
+    // carry no data on the sim engine, so the probes are independent.
+    let mut probes: Vec<Option<Result<JobOutcome<R>, PipelineError>>> = Vec::with_capacity(n);
+    for (_, mut s) in nodes {
+        s.inputs.clear();
+        probes.push(Some(submit_on(shared, s).wait()));
+    }
+    let durations: Vec<f64> = probes
+        .iter()
+        .map(|r| match r {
+            Some(Ok(o)) => o.outcome.makespan,
+            _ => 0.0,
+        })
+        .collect();
+
+    let p_total = sim_procs
+        .unwrap_or_else(|| procs_of.iter().copied().max().unwrap_or(1))
+        .max(1);
+    let mut free = vec![true; p_total];
+    let mut block_of: Vec<Option<(usize, usize)>> = vec![None; n];
+    // Nodes running on the virtual machine: (finish clock, node).
+    let mut running: Vec<(f64, NodeId)> = Vec::new();
+    let mut pending_place: VecDeque<NodeId> = VecDeque::new();
+    let mut clock = 0.0f64;
+    let mut transfers = 0u64;
+
+    let mut results: Vec<Option<Result<JobOutcome<R>, PipelineError>>> =
+        (0..n).map(|_| None).collect();
+    let mut done_at: Vec<Option<u64>> = vec![None; n];
+    let mut pending: Vec<usize> = shape.preds.iter().map(Vec::len).collect();
+    let mut dispatched = vec![false; n];
+    let mut decisions = Vec::new();
+    let mut tick = 0u64;
+    let mut completed = 0usize;
+
+    {
+        let view = DagView {
+            shape: &shape,
+            done_at: &done_at,
+        };
+        for v in 0..n {
+            if pending[v] == 0 {
+                sched.on_job_ready(v, &view);
+            }
+        }
+    }
+
+    while completed < n {
+        // Place nodes until nothing fits (pending head first — it was
+        // already granted its dispatch slot).
+        loop {
+            let (v, from_pending) = if let Some(&head) = pending_place.front() {
+                (head, true)
+            } else {
+                let view = DagView {
+                    shape: &shape,
+                    done_at: &done_at,
+                };
+                let resolved: Vec<bool> = results.iter().map(Option::is_some).collect();
+                match pick_next(sched.as_mut(), &view, &dispatched, &pending, &resolved) {
+                    Some(v) => {
+                        dispatched[v] = true;
+                        (v, false)
+                    }
+                    None => break,
+                }
+            };
+            // A node whose probe failed completes immediately (its
+            // successors fail with DependencyFailed below).
+            if matches!(probes[v], Some(Err(_))) {
+                if from_pending {
+                    pending_place.pop_front();
+                }
+                let res = probes[v].take().expect("probe result present");
+                complete_sim_node(
+                    v,
+                    res,
+                    &shape,
+                    &labels,
+                    &mut probes,
+                    &mut results,
+                    &mut done_at,
+                    &mut pending,
+                    &mut tick,
+                    &mut completed,
+                    sched.as_mut(),
+                );
+                continue;
+            }
+            let len = procs_of[v].min(p_total);
+            let prefer = shape.preds[v]
+                .iter()
+                .filter_map(|&(p, _)| done_at[p].map(|t| (t, block_of[p])))
+                .max_by_key(|&(t, _)| t)
+                .and_then(|(_, b)| b.map(|(start, _)| start));
+            let Some(start) = find_block(&free, len, prefer) else {
+                if !from_pending {
+                    pending_place.push_back(v);
+                }
+                break;
+            };
+            if from_pending {
+                pending_place.pop_front();
+            }
+            for f in free.iter_mut().take(start + len).skip(start) {
+                *f = false;
+            }
+            // Charge the machine model for every edge whose producer
+            // ran on a disjoint block.
+            let mut xfer = 0.0f64;
+            let mut xelems = 0u64;
+            for &(p, elems) in &shape.preds[v] {
+                if let Some((ps, pl)) = block_of[p] {
+                    let overlap = ps < start + len && start < ps + pl;
+                    if !overlap {
+                        xfer += machine_of[v].msg_cost(elems as usize);
+                        xelems += elems;
+                        transfers += 1;
+                    }
+                }
+            }
+            block_of[v] = Some((start, len));
+            decisions.push(DispatchDecision {
+                order: decisions.len(),
+                node: v,
+                label: labels[v].clone(),
+                placement: Some((start, len)),
+                transfer_elems: xelems,
+            });
+            running.push((clock + xfer + durations[v], v));
+        }
+
+        if completed >= n {
+            break;
+        }
+        // Advance the clock to the next completion.
+        let Some(i) = running
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.0.total_cmp(&b.0))
+            .map(|(i, _)| i)
+        else {
+            // Nothing running and nothing placeable: only possible if
+            // bookkeeping broke — fail the remainder typed.
+            for (u, r) in results.iter_mut().enumerate() {
+                if r.is_none() {
+                    *r = Some(Err(PipelineError::InvalidJob {
+                        reason: format!("internal: node `{}` was never placed", labels[u]),
+                    }));
+                }
+            }
+            break;
+        };
+        let (finish, v) = running.swap_remove(i);
+        clock = clock.max(finish);
+        let (start, len) = block_of[v].expect("running node was placed");
+        for f in free.iter_mut().take(start + len).skip(start) {
+            *f = true;
+        }
+        let res = probes[v].take().expect("probe result present");
+        complete_sim_node(
+            v,
+            res,
+            &shape,
+            &labels,
+            &mut probes,
+            &mut results,
+            &mut done_at,
+            &mut pending,
+            &mut tick,
+            &mut completed,
+            sched.as_mut(),
+        );
+    }
+
+    let (critical_path, critical_path_time) =
+        measured_critical_path(&shape, &done_at, &durations, &labels);
+    let failed = results
+        .iter()
+        .filter(|r| matches!(r, Some(Err(_))))
+        .count();
+    let stats = DagStats {
+        dag_id,
+        scheduler: sched_name,
+        nodes: n,
+        edges: edges.len(),
+        makespan: clock,
+        time_unit: TimeUnit::ModelUnits,
+        serial_time: durations.iter().sum(),
+        critical_path,
+        critical_path_time,
+        decisions,
+        bytes_shared: 0,
+        cow_bytes_copied: 0,
+        transfers,
+        failed,
+    };
+    DagOutcome {
+        nodes: labels
+            .into_iter()
+            .zip(results)
+            .map(|(label, r)| NodeResult {
+                label,
+                result: r.expect("every node resolved"),
+            })
+            .collect(),
+        stats,
+    }
+}
+
+/// Record one simulated node's completion and propagate readiness /
+/// dependency failures — the sim-mode twin of the real runner's
+/// completion worklist.
+#[allow(clippy::too_many_arguments)]
+fn complete_sim_node<const R: usize>(
+    v: NodeId,
+    res: Result<JobOutcome<R>, PipelineError>,
+    shape: &DagShape,
+    labels: &[String],
+    probes: &mut [Option<Result<JobOutcome<R>, PipelineError>>],
+    results: &mut [Option<Result<JobOutcome<R>, PipelineError>>],
+    done_at: &mut [Option<u64>],
+    pending: &mut [usize],
+    tick: &mut u64,
+    completed: &mut usize,
+    sched: &mut dyn Scheduler,
+) {
+    let mut work = vec![(v, res)];
+    while let Some((u, res)) = work.pop() {
+        results[u] = Some(res);
+        done_at[u] = Some(*tick);
+        *tick += 1;
+        *completed += 1;
+        {
+            let view = DagView {
+                shape,
+                done_at,
+            };
+            sched.on_job_done(u, &view);
+        }
+        for &s in &shape.succs[u] {
+            pending[s] -= 1;
+            if pending[s] == 0 && results[s].is_none() {
+                let failed_pred = shape.preds[s]
+                    .iter()
+                    .find(|&&(p, _)| matches!(results[p], Some(Err(_))))
+                    .map(|&(p, _)| p);
+                if let Some(p) = failed_pred {
+                    let e = match &results[p] {
+                        Some(Err(e)) => e.clone(),
+                        _ => unreachable!("failed_pred found an Err"),
+                    };
+                    // The successor's probe is discarded; it never runs.
+                    probes[s] = None;
+                    work.push((
+                        s,
+                        Err(PipelineError::DependencyFailed {
+                            producer: labels[p].clone(),
+                            error: Box::new(e),
+                        }),
+                    ));
+                } else {
+                    let view = DagView {
+                        shape,
+                        done_at,
+                    };
+                    sched.on_job_ready(s, &view);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::WavefrontService;
+    use wavefront_core::expr::Expr;
+    use wavefront_core::program::Program;
+    use wavefront_core::region::Region;
+
+    fn trivial_spec(engine: EngineKind) -> JobSpec<2> {
+        let bounds = Region::rect([0, 0], [7, 7]);
+        let mut prog = Program::<2>::new();
+        let a = prog.array("a", bounds);
+        prog.stmt(
+            Region::rect([1, 1], [7, 7]),
+            a,
+            Expr::lit(1.0) + Expr::read_primed_at(a, [-1, 0]),
+        );
+        let compiled = wavefront_core::exec::compile(&prog).unwrap();
+        let nest = Arc::new(compiled.nest(0).clone());
+        let prog = Arc::new(prog);
+        let mut b = JobSpec::builder(Arc::clone(&prog), nest).engine(engine);
+        if !matches!(engine, EngineKind::Sim) {
+            b = b.store(Store::new(&prog));
+        }
+        b.build().unwrap()
+    }
+
+    /// `DagSpec` holds a boxed scheduler, so it is not `Debug`;
+    /// rejection tests unwrap the error by hand.
+    fn build_err<const R: usize>(b: DagSpecBuilder<R>) -> PipelineError {
+        match b.build() {
+            Err(e) => e,
+            Ok(_) => panic!("expected the build to be rejected"),
+        }
+    }
+
+    #[test]
+    fn empty_dag_is_rejected() {
+        let err = build_err(DagSpec::<2>::builder());
+        assert!(matches!(err, PipelineError::InvalidJob { .. }));
+    }
+
+    #[test]
+    fn mixed_engines_are_rejected() {
+        let mut b = DagSpec::<2>::builder();
+        b.add(trivial_spec(EngineKind::Sim));
+        b.add(trivial_spec(EngineKind::Threads));
+        let err = build_err(b);
+        assert!(err.to_string().contains("entirely"), "{err}");
+    }
+
+    #[test]
+    fn cycle_is_rejected_typed() {
+        // NodeRefs are forward-only within one builder, so a cycle
+        // needs refs minted elsewhere — which is exactly the misuse the
+        // validator must catch.
+        let r0 = NodeRef { index: 0 };
+        let r1 = NodeRef { index: 1 };
+        let bounds = Region::rect([0, 0], [3, 3]);
+        let mut prog = Program::<2>::new();
+        let a = prog.array("a", bounds);
+        prog.stmt(bounds, a, Expr::lit(1.0));
+        let compiled = wavefront_core::exec::compile(&prog).unwrap();
+        let nest = Arc::new(compiled.nest(0).clone());
+        let prog = Arc::new(prog);
+        let mut b = DagSpec::<2>::builder();
+        b.add_labeled(
+            "x",
+            JobSpec::builder(Arc::clone(&prog), Arc::clone(&nest))
+                .engine(EngineKind::Sim)
+                .input_from(r1, "a")
+                .build()
+                .unwrap(),
+        );
+        b.add_labeled(
+            "y",
+            JobSpec::builder(Arc::clone(&prog), nest)
+                .engine(EngineKind::Sim)
+                .input_from(r0, "a")
+                .build()
+                .unwrap(),
+        );
+        match b.build() {
+            Err(PipelineError::CyclicDag { nodes }) => {
+                assert_eq!(nodes.first(), nodes.last());
+                assert!(nodes.len() >= 3, "{nodes:?}");
+            }
+            other => panic!("expected CyclicDag, got {:?}", other.err()),
+        }
+    }
+
+    #[test]
+    fn out_of_range_node_ref_is_rejected() {
+        let ghost = NodeRef { index: 7 };
+        let bounds = Region::rect([0, 0], [3, 3]);
+        let mut prog = Program::<2>::new();
+        let a = prog.array("a", bounds);
+        prog.stmt(bounds, a, Expr::lit(1.0));
+        let compiled = wavefront_core::exec::compile(&prog).unwrap();
+        let nest = Arc::new(compiled.nest(0).clone());
+        let mut b = DagSpec::<2>::builder();
+        b.add(
+            JobSpec::builder(Arc::new(prog), nest)
+                .engine(EngineKind::Sim)
+                .input_from(ghost, "a")
+                .build()
+                .unwrap(),
+        );
+        let err = build_err(b);
+        assert!(err.to_string().contains("only 1 nodes"), "{err}");
+    }
+
+    #[test]
+    fn single_node_dag_runs_and_reports() {
+        let service = WavefrontService::<2>::new();
+        let mut b = DagSpec::<2>::builder();
+        b.add_labeled("only", trivial_spec(EngineKind::Threads));
+        let out = service.submit_dag(b.build().unwrap()).wait();
+        assert!(
+            out.all_ok(),
+            "node failed: {:?}",
+            out.nodes[0].result.as_ref().err()
+        );
+        assert_eq!(out.stats.nodes, 1);
+        assert_eq!(out.stats.critical_path, vec!["only".to_string()]);
+        assert_eq!(out.stats.decisions.len(), 1);
+        let json = out.stats.to_json();
+        assert!(json.contains("\"scheduler\":\"fifo\""), "{json}");
+        crate::telemetry::JsonValue::parse(&json).expect("valid json");
+    }
+
+    #[test]
+    fn find_block_prefers_and_falls_back() {
+        let mut free = vec![true; 8];
+        assert_eq!(find_block(&free, 4, Some(4)), Some(4));
+        free[5] = false;
+        assert_eq!(find_block(&free, 4, Some(4)), Some(0), "falls back to first fit");
+        assert_eq!(find_block(&free, 8, None), None);
+    }
+}

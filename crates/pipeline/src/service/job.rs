@@ -6,8 +6,14 @@
 //! [`crate::service::WavefrontService::submit`] and the wire decoder in
 //! [`crate::service::wire`]: both funnel through
 //! [`JobSpecBuilder::build`], so a spec that was never validated cannot
-//! reach the dispatcher. The pre-PR-6 chainable methods directly on
-//! `JobSpec` remain as `#[deprecated]` shims for one release.
+//! reach the dispatcher. (The pre-PR-6 chainable methods directly on
+//! `JobSpec` are gone; the builder is the only construction path.)
+//!
+//! Jobs declare named array outputs ([`JobSpecBuilder::output`]) and
+//! may consume a predecessor's output in place
+//! ([`JobSpecBuilder::input_from`]): the buffer is shared refcounted,
+//! never copied, and the successor only becomes dispatchable once the
+//! predecessor resolved.
 
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -16,6 +22,7 @@ use wavefront_core::program::{Program, Store};
 
 use crate::error::PipelineError;
 use crate::schedule::BlockPolicy;
+use crate::service::output::{JobOutput, JobOutputs};
 use crate::session::{RunOutcome, SessionConfig};
 use crate::telemetry::{EngineKind, ExecutionReport};
 
@@ -54,6 +61,46 @@ pub struct JobSpec<const R: usize> {
     pub(crate) trace: bool,
     pub(crate) tenant: Option<String>,
     pub(crate) priority: u8,
+    pub(crate) outputs: Vec<String>,
+    pub(crate) inputs: Vec<InputBinding<R>>,
+}
+
+/// Where a bound job input comes from. Produced by the conversions
+/// behind [`JobSpecBuilder::input_from`]; opaque to callers.
+pub struct InputSource<const R: usize> {
+    pub(crate) kind: SourceKind<R>,
+}
+
+pub(crate) enum SourceKind<const R: usize> {
+    /// A previously submitted job, by its handle's result slot.
+    Handle(Arc<Slot<R>>),
+    /// A node of the same DAG, by builder index (resolved by the DAG
+    /// runner, meaningless to the plain dispatcher).
+    Node(usize),
+}
+
+/// Types that can act as the producer in
+/// [`JobSpecBuilder::input_from`]: a `&JobHandle` (an already submitted
+/// job) or a [`crate::service::NodeRef`] (a node of the DAG being
+/// built).
+pub trait IntoInputSource<const R: usize> {
+    /// Convert to the internal source representation.
+    fn into_source(self) -> InputSource<R>;
+}
+
+impl<const R: usize> IntoInputSource<R> for &JobHandle<R> {
+    fn into_source(self) -> InputSource<R> {
+        InputSource {
+            kind: SourceKind::Handle(Arc::clone(&self.slot)),
+        }
+    }
+}
+
+/// One input binding: take the producer's output named `name` and
+/// install it under the same array name in the consumer's store.
+pub(crate) struct InputBinding<const R: usize> {
+    pub(crate) source: SourceKind<R>,
+    pub(crate) name: String,
 }
 
 /// Typed construction of a [`JobSpec`]: chain the knobs, then
@@ -78,6 +125,8 @@ pub struct JobSpecBuilder<const R: usize> {
     trace: bool,
     tenant: Option<String>,
     priority: u8,
+    outputs: Vec<String>,
+    inputs: Vec<InputBinding<R>>,
 }
 
 impl<const R: usize> JobSpecBuilder<R> {
@@ -95,6 +144,8 @@ impl<const R: usize> JobSpecBuilder<R> {
             trace: false,
             tenant: None,
             priority: 0,
+            outputs: Vec::new(),
+            inputs: Vec::new(),
         }
     }
 
@@ -186,6 +237,41 @@ impl<const R: usize> JobSpecBuilder<R> {
         self
     }
 
+    /// Declare the array named `name` as an output of this job. The
+    /// outcome publishes it as a refcounted [`JobOutput`] a successor
+    /// can consume without copying. When no outputs are declared, every
+    /// array of the program is published (sharing is free).
+    pub fn output(mut self, name: impl Into<String>) -> Self {
+        self.outputs.push(name.into());
+        self
+    }
+
+    /// Declare several named outputs at once (see
+    /// [`JobSpecBuilder::output`]).
+    pub fn outputs<I>(mut self, names: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<String>,
+    {
+        self.outputs.extend(names.into_iter().map(Into::into));
+        self
+    }
+
+    /// Consume the output named `name` of `from` — a `&JobHandle` for
+    /// an already-submitted job, or a [`crate::service::NodeRef`] for a
+    /// node of the DAG being built — as this job's initial value of the
+    /// array with the same name. The buffer is shared refcounted (zero
+    /// copies); the job only becomes dispatchable once the producer has
+    /// resolved, and a failed producer fails this job with
+    /// [`PipelineError::DependencyFailed`] instead of running it.
+    pub fn input_from(mut self, from: impl IntoInputSource<R>, name: impl Into<String>) -> Self {
+        self.inputs.push(InputBinding {
+            source: from.into_source().kind,
+            name: name.into(),
+        });
+        self
+    }
+
     /// Validate the combination and produce the [`JobSpec`].
     pub fn build(self) -> Result<JobSpec<R>, PipelineError> {
         match self.topology {
@@ -211,6 +297,13 @@ impl<const R: usize> JobSpecBuilder<R> {
                 });
             }
         }
+        for name in self.outputs.iter().chain(self.inputs.iter().map(|b| &b.name)) {
+            if self.program.find(name).is_none() {
+                return Err(PipelineError::InvalidJob {
+                    reason: format!("program declares no array named `{name}`"),
+                });
+            }
+        }
         Ok(JobSpec {
             program: self.program,
             nest: self.nest,
@@ -221,6 +314,8 @@ impl<const R: usize> JobSpecBuilder<R> {
             trace: self.trace,
             tenant: self.tenant,
             priority: self.priority,
+            outputs: self.outputs,
+            inputs: self.inputs,
         })
     }
 }
@@ -242,93 +337,6 @@ impl<const R: usize> JobSpec<R> {
     pub fn job_priority(&self) -> u8 {
         self.priority
     }
-
-    /// A job for `nest` of `program` with all defaults.
-    #[deprecated(since = "0.6.0", note = "use JobSpec::builder(..).build() instead")]
-    pub fn new(program: Arc<Program<R>>, nest: Arc<CompiledNest<R>>) -> Self {
-        JobSpecBuilder::new(program, nest)
-            .build()
-            .expect("default spec is always valid")
-    }
-
-    /// Run on a 1-D line of `procs` processors.
-    #[deprecated(since = "0.6.0", note = "use JobSpec::builder(..).line(..) instead")]
-    pub fn line(mut self, procs: usize) -> Self {
-        self.topology = JobTopology::Line {
-            procs,
-            dist_dim: None,
-        };
-        self
-    }
-
-    /// Run on a 2-D mesh of shape `[rows, cols]`.
-    #[deprecated(since = "0.6.0", note = "use JobSpec::builder(..).mesh(..) instead")]
-    pub fn mesh(mut self, mesh: [usize; 2]) -> Self {
-        self.topology = JobTopology::Mesh {
-            mesh,
-            wave_dims: None,
-        };
-        self
-    }
-
-    /// Set the full topology, including forced dimensions.
-    #[deprecated(
-        since = "0.6.0",
-        note = "use JobSpec::builder(..).topology(..) instead"
-    )]
-    pub fn topology(mut self, topology: JobTopology) -> Self {
-        self.topology = topology;
-        self
-    }
-
-    /// Replace the whole [`SessionConfig`] at once.
-    #[deprecated(since = "0.6.0", note = "use JobSpec::builder(..).config(..) instead")]
-    pub fn config(mut self, cfg: SessionConfig) -> Self {
-        self.cfg = cfg;
-        self
-    }
-
-    /// Block-size policy.
-    #[deprecated(since = "0.6.0", note = "use JobSpec::builder(..).block(..) instead")]
-    pub fn block(mut self, policy: BlockPolicy) -> Self {
-        self.cfg.block = policy;
-        self
-    }
-
-    /// Machine cost parameters.
-    #[deprecated(since = "0.6.0", note = "use JobSpec::builder(..).machine(..) instead")]
-    pub fn machine(mut self, params: wavefront_machine::MachineParams) -> Self {
-        self.cfg.machine = params;
-        self
-    }
-
-    /// Select compiled tile kernels or the reference interpreter.
-    #[deprecated(since = "0.6.0", note = "use JobSpec::builder(..).kernels(..) instead")]
-    pub fn kernels(mut self, on: bool) -> Self {
-        self.cfg.kernels = on;
-        self
-    }
-
-    /// Which engine runs the job.
-    #[deprecated(since = "0.6.0", note = "use JobSpec::builder(..).engine(..) instead")]
-    pub fn engine(mut self, kind: EngineKind) -> Self {
-        self.engine = kind;
-        self
-    }
-
-    /// Attach the data store the job computes on.
-    #[deprecated(since = "0.6.0", note = "use JobSpec::builder(..).store(..) instead")]
-    pub fn store(mut self, store: Store<R>) -> Self {
-        self.store = Some(store);
-        self
-    }
-
-    /// Record the job's telemetry stream.
-    #[deprecated(since = "0.6.0", note = "use JobSpec::builder(..).trace(..) instead")]
-    pub fn trace(mut self, on: bool) -> Self {
-        self.trace = on;
-        self
-    }
 }
 
 /// What one completed job returns.
@@ -338,10 +346,29 @@ pub struct JobOutcome<const R: usize> {
     pub outcome: RunOutcome,
     /// The data store moved in via [`JobSpecBuilder::store`], now
     /// holding the computed values.
+    #[deprecated(
+        since = "0.7.0",
+        note = "positional result access is deprecated; use \
+                JobOutcome::take_output / JobOutcome::outputs instead"
+    )]
     pub store: Option<Store<R>>,
+    /// The job's named array outputs (see [`JobSpecBuilder::output`]),
+    /// each sharing the job's buffer refcounted.
+    pub outputs: JobOutputs<R>,
     /// The aggregated telemetry report when [`JobSpecBuilder::trace`]
     /// was set.
     pub trace: Option<ExecutionReport>,
+}
+
+impl<const R: usize> JobOutcome<R> {
+    /// Remove and return the output named `name`, or an
+    /// [`PipelineError::InvalidJob`] if the job published no such
+    /// output (not declared, or already taken).
+    pub fn take_output(&mut self, name: &str) -> Result<JobOutput<R>, PipelineError> {
+        self.outputs.take(name).ok_or_else(|| PipelineError::InvalidJob {
+            reason: format!("job published no output named `{name}`"),
+        })
+    }
 }
 
 pub(crate) struct Slot<const R: usize> {
@@ -361,6 +388,35 @@ impl<const R: usize> Slot<R> {
         *self.done.lock().unwrap() = Some(result);
         self.ready.notify_all();
     }
+
+    /// Whether a result (either way) has been stored.
+    pub(crate) fn is_resolved(&self) -> bool {
+        self.done.lock().unwrap().is_some()
+    }
+
+    /// Non-blocking read of the output named `name` from a resolved
+    /// slot: `None` while the job is still pending; once resolved, the
+    /// output is *cloned out* (an `Arc` bump) so the handle's owner can
+    /// still `wait()`/`take_output()` later. A resolved failure maps to
+    /// [`PipelineError::DependencyFailed`].
+    pub(crate) fn peek_output(
+        &self,
+        name: &str,
+    ) -> Option<Result<JobOutput<R>, PipelineError>> {
+        let done = self.done.lock().unwrap();
+        match &*done {
+            None => None,
+            Some(Ok(outcome)) => Some(outcome.outputs.get(name).cloned().ok_or_else(|| {
+                PipelineError::InvalidJob {
+                    reason: format!("producer published no output named `{name}`"),
+                }
+            })),
+            Some(Err(e)) => Some(Err(PipelineError::DependencyFailed {
+                producer: name.to_string(),
+                error: Box::new(e.clone()),
+            })),
+        }
+    }
 }
 
 /// A ticket for one submitted job.
@@ -372,6 +428,11 @@ impl<const R: usize> JobHandle<R> {
     /// Block until the job completes and take its outcome. A worker
     /// panic during the job surfaces as [`PipelineError::EnginePanic`];
     /// the service itself survives and keeps serving.
+    ///
+    /// An admission rejection from
+    /// [`crate::service::WavefrontService::try_submit`] resolves the
+    /// handle immediately, so `wait()` returns the typed
+    /// [`PipelineError::AdmissionDenied`] without blocking.
     pub fn wait(self) -> Result<JobOutcome<R>, PipelineError> {
         let mut done = self.slot.done.lock().unwrap();
         loop {
@@ -385,5 +446,27 @@ impl<const R: usize> JobHandle<R> {
     /// Whether the job has already completed (non-blocking).
     pub fn is_done(&self) -> bool {
         self.slot.done.lock().unwrap().is_some()
+    }
+
+    /// Block until the job completes, then remove and return its output
+    /// named `name`. The rest of the outcome stays claimable: further
+    /// `take_output` calls return other outputs, and a final
+    /// [`JobHandle::wait`] returns the outcome minus what was taken.
+    /// Shared by single-job and DAG result handling.
+    pub fn take_output(&self, name: &str) -> Result<JobOutput<R>, PipelineError> {
+        let mut done = self.slot.done.lock().unwrap();
+        loop {
+            match &mut *done {
+                Some(Ok(outcome)) => {
+                    return outcome.outputs.take(name).ok_or_else(|| {
+                        PipelineError::InvalidJob {
+                            reason: format!("job published no output named `{name}`"),
+                        }
+                    })
+                }
+                Some(Err(e)) => return Err(e.clone()),
+                None => done = self.slot.ready.wait(done).unwrap(),
+            }
+        }
     }
 }

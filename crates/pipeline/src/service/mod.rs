@@ -30,7 +30,7 @@
 //!         .tenant("acme")
 //!         .store(store)
 //!         .build()?,
-//! )?;
+//! );
 //! let out = handle.wait()?;
 //! ```
 //!
@@ -45,21 +45,25 @@
 
 pub mod admission;
 pub(crate) mod cache;
+pub mod dag;
 pub(crate) mod fingerprint;
 pub mod job;
+pub mod output;
 pub(crate) mod pool;
+pub mod scheduler;
 pub mod tenant;
 pub mod wire;
 
 use std::any::Any;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::sync::{Condvar, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
+use wavefront_core::array::DenseArray;
 use wavefront_core::exec::CompiledNest;
 use wavefront_core::program::{Program, Store};
 
@@ -80,15 +84,26 @@ use crate::telemetry::{
 };
 
 pub use admission::TenantConfig;
-pub use job::{JobHandle, JobOutcome, JobSpec, JobSpecBuilder, JobTopology};
+pub use dag::{
+    DagHandle, DagOutcome, DagSpec, DagSpecBuilder, DagStats, DispatchDecision, NodeRef,
+    NodeResult,
+};
+pub use job::{
+    InputSource, IntoInputSource, JobHandle, JobOutcome, JobSpec, JobSpecBuilder, JobTopology,
+};
+pub use output::{JobOutput, JobOutputs};
+pub use scheduler::{
+    CriticalPathScheduler, DagView, FifoScheduler, LocalityScheduler, NodeId, Scheduler,
+    SchedulerKind,
+};
 pub use tenant::TenantStats;
 pub use wire::{
-    ServeConfig, WireClient, WireCompiler, WireProgram, WireRequest, WireResponse, WireServer,
-    WireTopology,
+    ServeConfig, WireClient, WireCompiler, WireDagNode, WireDagRequest, WireDagResponse,
+    WireProgram, WireRequest, WireResponse, WireServer, WireTopology, PROTOCOL_VERSION,
 };
 
 use cache::PlanCache;
-use job::Slot;
+use job::{Slot, SourceKind};
 use pool::WorkerPool;
 use tenant::{pick_min_pass, QueuedJob, TenantQueue};
 
@@ -560,6 +575,8 @@ pub struct ServiceStats {
     pub pool_spawns: u64,
     /// Worker threads currently alive (parked or busy).
     pub pool_workers: usize,
+    /// DAGs accepted by [`WavefrontService::submit_dag`].
+    pub dags_submitted: u64,
 }
 
 impl ServiceStats {
@@ -569,7 +586,8 @@ impl ServiceStats {
         format!(
             "{{\"jobs_submitted\":{},\"jobs_completed\":{},\"jobs_rejected\":{},\
              \"blocked_submits\":{},\"cache_hits\":{},\"cache_misses\":{},\
-             \"cache_entries\":{},\"pool_spawns\":{},\"pool_workers\":{}}}",
+             \"cache_entries\":{},\"pool_spawns\":{},\"pool_workers\":{},\
+             \"dags_submitted\":{}}}",
             self.jobs_submitted,
             self.jobs_completed,
             self.jobs_rejected,
@@ -579,6 +597,7 @@ impl ServiceStats {
             self.cache_entries,
             self.pool_spawns,
             self.pool_workers,
+            self.dags_submitted,
         )
     }
 }
@@ -620,17 +639,39 @@ impl<const R: usize> QueueState<R> {
     }
 }
 
-struct Shared<const R: usize> {
+/// Completed-DAG stats retained for [`WavefrontService::dag_stats`]
+/// (a bounded ring; oldest entries fall off).
+const DAG_STATS_CAP: usize = 32;
+
+pub(crate) struct Shared<const R: usize> {
     queue: Mutex<QueueState<R>>,
     not_full: Condvar,
     not_empty: Condvar,
     default_tenant: TenantConfig,
     auto_register: bool,
-    core: ExecCore,
+    pub(crate) core: ExecCore,
     jobs_submitted: AtomicU64,
     jobs_completed: AtomicU64,
     jobs_rejected: AtomicU64,
     blocked_submits: AtomicU64,
+    dags_submitted: AtomicU64,
+    dag_stats: Mutex<VecDeque<DagStats>>,
+}
+
+impl<const R: usize> Shared<R> {
+    /// Allocate the next DAG id (0-based, service lifetime).
+    pub(crate) fn next_dag_id(&self) -> u64 {
+        self.dags_submitted.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Record one completed DAG's stats into the bounded ring.
+    pub(crate) fn record_dag_stats(&self, stats: DagStats) {
+        let mut ds = self.dag_stats.lock().unwrap();
+        if ds.len() == DAG_STATS_CAP {
+            ds.pop_front();
+        }
+        ds.push_back(stats);
+    }
 }
 
 /// A persistent wavefront execution service: submit jobs, reuse threads
@@ -638,6 +679,8 @@ struct Shared<const R: usize> {
 pub struct WavefrontService<const R: usize> {
     shared: Arc<Shared<R>>,
     dispatcher: Option<JoinHandle<()>>,
+    /// DAG runner threads still owed a join at shutdown.
+    runners: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl<const R: usize> Default for WavefrontService<R> {
@@ -685,6 +728,8 @@ impl<const R: usize> WavefrontService<R> {
             jobs_completed: AtomicU64::new(0),
             jobs_rejected: AtomicU64::new(0),
             blocked_submits: AtomicU64::new(0),
+            dags_submitted: AtomicU64::new(0),
+            dag_stats: Mutex::new(VecDeque::new()),
         });
         let dispatcher = {
             let shared = Arc::clone(&shared);
@@ -693,6 +738,7 @@ impl<const R: usize> WavefrontService<R> {
         WavefrontService {
             shared,
             dispatcher: Some(dispatcher),
+            runners: Mutex::new(Vec::new()),
         }
     }
 
@@ -719,115 +765,41 @@ impl<const R: usize> WavefrontService<R> {
     /// [`PipelineError::AdmissionDenied`] rather than blocking forever.
     /// For the non-blocking door, see [`WavefrontService::try_submit`].
     pub fn submit(&self, spec: JobSpec<R>) -> JobHandle<R> {
-        let slot = Arc::new(Slot::new());
-        let tenant_name = spec
-            .tenant_name()
-            .unwrap_or(DEFAULT_TENANT)
-            .to_string();
-        let mut q = self.shared.queue.lock().unwrap();
-        let Some(idx) = q.resolve(
-            &tenant_name,
-            &self.shared.default_tenant,
-            self.shared.auto_register,
-        ) else {
-            drop(q);
-            self.shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
-            slot.fulfil(Err(PipelineError::AdmissionDenied {
-                tenant: tenant_name,
-                reason: AdmissionReason::UnknownTenant,
-            }));
-            return JobHandle { slot };
-        };
-        {
-            let t = &q.tenants[idx];
-            if admission::admit(&t.cfg, t.jobs.len(), t.in_flight).is_err() {
-                self.shared.blocked_submits.fetch_add(1, Ordering::Relaxed);
-                loop {
-                    let t = &q.tenants[idx];
-                    if admission::admit(&t.cfg, t.jobs.len(), t.in_flight).is_ok() {
-                        break;
-                    }
-                    q = self.shared.not_full.wait(q).unwrap();
-                }
-            }
-        }
-        self.enqueue(q, idx, spec, &slot);
-        JobHandle { slot }
+        submit_on(&self.shared, spec)
     }
 
     /// Enqueue one job without ever blocking: a full queue, a reached
-    /// in-flight limit, or an unknown tenant comes back immediately as
-    /// [`PipelineError::AdmissionDenied`] carrying the tenant and the
-    /// typed [`AdmissionReason`]. This is the admission door the wire
-    /// server uses.
-    pub fn try_submit(&self, spec: JobSpec<R>) -> Result<JobHandle<R>, PipelineError> {
-        let tenant_name = spec
-            .tenant_name()
-            .unwrap_or(DEFAULT_TENANT)
-            .to_string();
-        let mut q = self.shared.queue.lock().unwrap();
-        let Some(idx) = q.resolve(
-            &tenant_name,
-            &self.shared.default_tenant,
-            self.shared.auto_register,
-        ) else {
-            drop(q);
-            self.shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
-            return Err(PipelineError::AdmissionDenied {
-                tenant: tenant_name,
-                reason: AdmissionReason::UnknownTenant,
-            });
-        };
-        let t = &q.tenants[idx];
-        if let Err(reason) = admission::admit(&t.cfg, t.jobs.len(), t.in_flight) {
-            q.tenants[idx].rejected += 1;
-            drop(q);
-            self.shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
-            return Err(PipelineError::AdmissionDenied {
-                tenant: tenant_name,
-                reason,
-            });
-        }
-        let slot = Arc::new(Slot::new());
-        self.enqueue(q, idx, spec, &slot);
-        Ok(JobHandle { slot })
-    }
-
-    /// Append an admitted job to tenant `idx` and wake the dispatcher.
-    fn enqueue(
-        &self,
-        mut q: MutexGuard<'_, QueueState<R>>,
-        idx: usize,
-        spec: JobSpec<R>,
-        slot: &Arc<Slot<R>>,
-    ) {
-        let seq = q.next_seq;
-        q.next_seq += 1;
-        let global_pass = q.global_pass;
-        let priority = spec.job_priority();
-        let t = &mut q.tenants[idx];
-        if t.jobs.is_empty() {
-            // A queue waking from idle joins at the scheduler's current
-            // virtual time: unused idle credit must not starve others.
-            t.pass = t.pass.max(global_pass);
-        }
-        t.jobs.push_back(QueuedJob {
-            priority,
-            seq,
-            spec,
-            slot: Arc::clone(slot),
-        });
-        t.in_flight += 1;
-        t.submitted += 1;
-        drop(q);
-        self.shared.jobs_submitted.fetch_add(1, Ordering::Relaxed);
-        self.shared.not_empty.notify_one();
+    /// in-flight limit, or an unknown tenant resolves the returned
+    /// handle immediately to [`PipelineError::AdmissionDenied`] carrying
+    /// the tenant and the typed [`AdmissionReason`] — the same
+    /// `JobHandle` surface as [`WavefrontService::submit`], so callers
+    /// handle rejection and execution failure through one `wait()`.
+    /// This is the admission door the wire server uses.
+    pub fn try_submit(&self, spec: JobSpec<R>) -> JobHandle<R> {
+        try_submit_on(&self.shared, spec)
     }
 
     /// Submit several jobs, in order; blocks as [`WavefrontService::submit`]
     /// does when a queue fills mid-batch.
     pub fn submit_batch(&self, specs: impl IntoIterator<Item = JobSpec<R>>) -> Vec<JobHandle<R>> {
         specs.into_iter().map(|s| self.submit(s)).collect()
+    }
+
+    /// Submit a whole dependency graph (see [`DagSpec`]). Returns
+    /// immediately; the graph's nodes flow through the ordinary tenant
+    /// queues (admission and fair share apply per node) as their inputs
+    /// resolve, ordered by the DAG's [`Scheduler`]. Wait on the returned
+    /// [`DagHandle`] for the per-node outcomes and the [`DagStats`].
+    pub fn submit_dag(&self, spec: DagSpec<R>) -> DagHandle<R> {
+        let (handle, runner) = dag::spawn_dag(Arc::clone(&self.shared), spec);
+        self.runners.lock().unwrap().push(runner);
+        handle
+    }
+
+    /// Stats of recently completed DAGs, oldest first (a bounded ring —
+    /// the last [`DAG_STATS_CAP`] DAGs are retained).
+    pub fn dag_stats(&self) -> Vec<DagStats> {
+        self.shared.dag_stats.lock().unwrap().iter().cloned().collect()
     }
 
     /// Current counters (queue, cache, pool). Cheap; safe to poll.
@@ -843,6 +815,7 @@ impl<const R: usize> WavefrontService<R> {
             cache_entries: s.core.cache.lock().unwrap().len(),
             pool_spawns: s.core.pool().spawn_count(),
             pool_workers: s.core.pool().worker_count(),
+            dags_submitted: s.dags_submitted.load(Ordering::Relaxed),
         }
     }
 
@@ -854,28 +827,155 @@ impl<const R: usize> WavefrontService<R> {
     }
 
     /// The whole stats surface as one JSON object:
-    /// `{"service": {..}, "tenants": [..]}` — what `wlc serve --stats`
-    /// prints and the wire `STATS` frame carries.
+    /// `{"service": {..}, "tenants": [..], "dags": [..]}` — what
+    /// `wlc serve --stats` prints and the wire `STATS` frame carries.
     pub fn stats_json(&self) -> String {
         let tenants: Vec<String> = self.tenant_stats().iter().map(|t| t.to_json()).collect();
+        let dags: Vec<String> = self.dag_stats().iter().map(|d| d.to_json()).collect();
         format!(
-            "{{\"service\":{},\"tenants\":[{}]}}",
+            "{{\"service\":{},\"tenants\":[{}],\"dags\":[{}]}}",
             self.stats().to_json(),
-            tenants.join(",")
+            tenants.join(","),
+            dags.join(",")
         )
     }
 }
 
 impl<const R: usize> Drop for WavefrontService<R> {
-    /// Shut down: already-queued jobs still run (their handles resolve),
-    /// then the dispatcher and the worker pool exit.
+    /// Shut down: in-flight DAG runners finish first (they keep
+    /// submitting nodes), then already-queued jobs still run (their
+    /// handles resolve), then the dispatcher and the worker pool exit.
     fn drop(&mut self) {
+        let runners: Vec<JoinHandle<()>> =
+            self.runners.lock().unwrap().drain(..).collect();
+        for r in runners {
+            let _ = r.join();
+        }
         self.shared.queue.lock().unwrap().closed = true;
         self.shared.not_empty.notify_all();
         if let Some(h) = self.dispatcher.take() {
             let _ = h.join();
         }
     }
+}
+
+/// Reject a spec whose inputs reference DAG nodes by index: those are
+/// resolved by the DAG runner; through the plain doors they could never
+/// resolve and the job would wedge its queue.
+fn check_no_node_inputs<const R: usize>(spec: &JobSpec<R>) -> Result<(), PipelineError> {
+    if spec
+        .inputs
+        .iter()
+        .any(|b| matches!(b.source, SourceKind::Node(_)))
+    {
+        return Err(PipelineError::InvalidJob {
+            reason: "node-indexed inputs can only run inside submit_dag".into(),
+        });
+    }
+    Ok(())
+}
+
+/// The blocking submission door; see [`WavefrontService::submit`]. A
+/// free function over [`Shared`] so the DAG runner (which holds only the
+/// shared state, not the service) submits through the same path.
+pub(crate) fn submit_on<const R: usize>(shared: &Shared<R>, spec: JobSpec<R>) -> JobHandle<R> {
+    let slot = Arc::new(Slot::new());
+    if let Err(e) = check_no_node_inputs(&spec) {
+        slot.fulfil(Err(e));
+        return JobHandle { slot };
+    }
+    let tenant_name = spec.tenant_name().unwrap_or(DEFAULT_TENANT).to_string();
+    let mut q = shared.queue.lock().unwrap();
+    let Some(idx) = q.resolve(&tenant_name, &shared.default_tenant, shared.auto_register) else {
+        drop(q);
+        shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+        slot.fulfil(Err(PipelineError::AdmissionDenied {
+            tenant: tenant_name,
+            reason: AdmissionReason::UnknownTenant,
+        }));
+        return JobHandle { slot };
+    };
+    {
+        let t = &q.tenants[idx];
+        if admission::admit(&t.cfg, t.jobs.len(), t.in_flight).is_err() {
+            shared.blocked_submits.fetch_add(1, Ordering::Relaxed);
+            loop {
+                let t = &q.tenants[idx];
+                if admission::admit(&t.cfg, t.jobs.len(), t.in_flight).is_ok() {
+                    break;
+                }
+                q = shared.not_full.wait(q).unwrap();
+            }
+        }
+    }
+    enqueue_on(shared, q, idx, spec, &slot);
+    JobHandle { slot }
+}
+
+/// The non-blocking submission door; see
+/// [`WavefrontService::try_submit`]. Denials resolve the handle instead
+/// of blocking.
+pub(crate) fn try_submit_on<const R: usize>(shared: &Shared<R>, spec: JobSpec<R>) -> JobHandle<R> {
+    let slot = Arc::new(Slot::new());
+    if let Err(e) = check_no_node_inputs(&spec) {
+        slot.fulfil(Err(e));
+        return JobHandle { slot };
+    }
+    let tenant_name = spec.tenant_name().unwrap_or(DEFAULT_TENANT).to_string();
+    let mut q = shared.queue.lock().unwrap();
+    let Some(idx) = q.resolve(&tenant_name, &shared.default_tenant, shared.auto_register) else {
+        drop(q);
+        shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+        slot.fulfil(Err(PipelineError::AdmissionDenied {
+            tenant: tenant_name,
+            reason: AdmissionReason::UnknownTenant,
+        }));
+        return JobHandle { slot };
+    };
+    let t = &q.tenants[idx];
+    if let Err(reason) = admission::admit(&t.cfg, t.jobs.len(), t.in_flight) {
+        q.tenants[idx].rejected += 1;
+        drop(q);
+        shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+        slot.fulfil(Err(PipelineError::AdmissionDenied {
+            tenant: tenant_name,
+            reason,
+        }));
+        return JobHandle { slot };
+    }
+    enqueue_on(shared, q, idx, spec, &slot);
+    JobHandle { slot }
+}
+
+/// Append an admitted job to tenant `idx` and wake the dispatcher.
+fn enqueue_on<const R: usize>(
+    shared: &Shared<R>,
+    mut q: MutexGuard<'_, QueueState<R>>,
+    idx: usize,
+    spec: JobSpec<R>,
+    slot: &Arc<Slot<R>>,
+) {
+    let seq = q.next_seq;
+    q.next_seq += 1;
+    let global_pass = q.global_pass;
+    let priority = spec.job_priority();
+    let t = &mut q.tenants[idx];
+    if t.jobs.is_empty() {
+        // A queue waking from idle joins at the scheduler's current
+        // virtual time: unused idle credit must not starve others.
+        t.pass = t.pass.max(global_pass);
+    }
+    t.jobs.push_back(QueuedJob {
+        priority,
+        seq,
+        spec,
+        slot: Arc::clone(slot),
+    });
+    t.in_flight += 1;
+    t.submitted += 1;
+    drop(q);
+    shared.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+    shared.not_empty.notify_one();
 }
 
 fn dispatcher_loop<const R: usize>(shared: &Arc<Shared<R>>) {
@@ -889,13 +989,43 @@ fn dispatcher_loop<const R: usize>(shared: &Arc<Shared<R>>) {
                     // the queue then pays its stride for the slot.
                     q.global_pass = q.tenants[i].pass;
                     q.tenants[i].pass += stride;
-                    let job = q.tenants[i].take_next().expect("picked queue is non-empty");
+                    let job = q.tenants[i]
+                        .take_next_ready()
+                        .expect("picked queue has a ready job");
                     break (i, job);
                 }
+                let waiting: usize = q.tenants.iter().map(|t| t.jobs.len()).sum();
                 if q.closed {
+                    if waiting == 0 {
+                        return;
+                    }
+                    // Shutdown with jobs still waiting on inputs that can
+                    // no longer resolve: fail them typed instead of
+                    // hanging their handles.
+                    for t in q.tenants.iter_mut() {
+                        while let Some(j) = t.jobs.pop_front() {
+                            t.in_flight -= 1;
+                            j.slot.fulfil(Err(PipelineError::InvalidJob {
+                                reason: "service shut down before the job's bound inputs \
+                                         resolved"
+                                    .into(),
+                            }));
+                        }
+                    }
                     return;
                 }
-                q = shared.not_empty.wait(q).unwrap();
+                if waiting > 0 {
+                    // Jobs queued but none ready: their producers resolve
+                    // outside this queue (another service's handle), so
+                    // no notification is guaranteed — poll.
+                    let (guard, _) = shared
+                        .not_empty
+                        .wait_timeout(q, Duration::from_millis(5))
+                        .unwrap();
+                    q = guard;
+                } else {
+                    q = shared.not_empty.wait(q).unwrap();
+                }
             }
         };
         // Queue space freed; submitters blocked on capacity may retry.
@@ -930,7 +1060,7 @@ fn dispatcher_loop<const R: usize>(shared: &Arc<Shared<R>>) {
     }
 }
 
-fn panic_message(payload: &(dyn Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -940,10 +1070,71 @@ fn panic_message(payload: &(dyn Any + Send)) -> String {
     }
 }
 
+/// Install the producer output `out` as the consumer's initial value of
+/// the array named `name`: same layout shares the buffer refcounted (no
+/// copy, copy-on-write keeps value semantics); a layout mismatch is a
+/// real, counted copy. Shared by the plain dispatcher and the DAG
+/// runner.
+pub(crate) fn install_input<const R: usize>(
+    store: &mut Store<R>,
+    program: &Program<R>,
+    out: &JobOutput<R>,
+    name: &str,
+) -> Result<(), PipelineError> {
+    let id = program.find(name).ok_or_else(|| PipelineError::InvalidJob {
+        reason: format!("program declares no array named `{name}`"),
+    })?;
+    let declared = store.get(id);
+    if declared.bounds() != out.bounds() {
+        return Err(PipelineError::InvalidJob {
+            reason: format!(
+                "input `{name}` covers {} elements but the consumer declares {}",
+                out.len(),
+                declared.bounds().len()
+            ),
+        });
+    }
+    if declared.layout() == out.layout() {
+        *store.get_mut(id) = out.to_array();
+    } else {
+        let mut dst = DenseArray::with_layout(out.bounds(), declared.layout(), 0.0);
+        dst.copy_region_from(&out.to_array(), out.bounds());
+        *store.get_mut(id) = dst;
+    }
+    Ok(())
+}
+
+/// Publish the job's declared outputs (every array when none were
+/// declared) from the computed store — each an `Arc` bump, never a copy.
+fn collect_outputs<const R: usize>(
+    program: &Program<R>,
+    store: Option<&Store<R>>,
+    names: &[String],
+) -> JobOutputs<R> {
+    let mut outs = JobOutputs::new();
+    let Some(store) = store else {
+        return outs;
+    };
+    if names.is_empty() {
+        for id in 0..store.len() {
+            outs.insert(JobOutput::from_array(program.name_of(id), store.get(id)));
+        }
+    } else {
+        for name in names {
+            if let Some(id) = program.find(name) {
+                outs.insert(JobOutput::from_array(name.clone(), store.get(id)));
+            }
+        }
+    }
+    outs
+}
+
 /// Execute one job on the core. Adaptive-policy jobs run through the
 /// one-shot `Session` front doors (the tuner re-plans mid-run, so there
 /// is nothing cacheable); everything else goes through the core's cache
-/// and pool.
+/// and pool. Bound inputs are installed first; declared outputs are
+/// published after.
+#[allow(deprecated)] // constructs JobOutcome.store for transition callers
 fn run_job<const R: usize>(
     core: &ExecCore,
     spec: JobSpec<R>,
@@ -958,11 +1149,37 @@ fn run_job<const R: usize>(
         trace,
         tenant: _,
         priority: _,
+        outputs,
+        inputs,
     } = spec;
-    let mut trace_collector = trace.then(TraceCollector::new);
 
-    if matches!(cfg.block, BlockPolicy::Adaptive(_)) {
-        let outcome = match topology {
+    for b in &inputs {
+        let out = match &b.source {
+            SourceKind::Handle(slot) => match slot.peek_output(&b.name) {
+                Some(Ok(out)) => out,
+                Some(Err(e)) => return Err(e),
+                None => {
+                    return Err(PipelineError::InvalidJob {
+                        reason: format!(
+                            "input `{}` was dispatched before its producer resolved",
+                            b.name
+                        ),
+                    })
+                }
+            },
+            SourceKind::Node(_) => {
+                return Err(PipelineError::InvalidJob {
+                    reason: "node-indexed inputs can only run inside submit_dag".into(),
+                })
+            }
+        };
+        let st = store.get_or_insert_with(|| Store::new(&program));
+        install_input(st, &program, &out, &b.name)?;
+    }
+
+    let mut trace_collector = trace.then(TraceCollector::new);
+    let outcome = if matches!(cfg.block, BlockPolicy::Adaptive(_)) {
+        match topology {
             JobTopology::Line { procs, dist_dim } => {
                 let mut session = Session::new(&program, &nest).procs(procs).config(cfg);
                 if let Some(d) = dist_dim {
@@ -989,44 +1206,41 @@ fn run_job<const R: usize>(
                 }
                 session.run(engine)?
             }
+        }
+    } else {
+        let mut noop = NoopCollector;
+        let collector: &mut dyn Collector = match trace_collector.as_mut() {
+            Some(tc) => tc,
+            None => &mut noop,
         };
-        return Ok(JobOutcome {
-            outcome,
-            store,
-            trace: trace_collector.map(|tc| tc.report()),
-        });
-    }
-
-    let mut noop = NoopCollector;
-    let collector: &mut dyn Collector = match trace_collector.as_mut() {
-        Some(tc) => tc,
-        None => &mut noop,
+        match topology {
+            JobTopology::Line { procs, dist_dim } => core.run_line(
+                &program,
+                NestSource::Shared(&nest),
+                procs,
+                dist_dim,
+                &cfg,
+                store.as_mut(),
+                collector,
+                engine,
+            )?,
+            JobTopology::Mesh { mesh, wave_dims } => core.run_mesh(
+                &program,
+                NestSource::Shared(&nest),
+                mesh,
+                wave_dims,
+                &cfg,
+                store.as_mut(),
+                collector,
+                engine,
+            )?,
+        }
     };
-    let outcome = match topology {
-        JobTopology::Line { procs, dist_dim } => core.run_line(
-            &program,
-            NestSource::Shared(&nest),
-            procs,
-            dist_dim,
-            &cfg,
-            store.as_mut(),
-            collector,
-            engine,
-        )?,
-        JobTopology::Mesh { mesh, wave_dims } => core.run_mesh(
-            &program,
-            NestSource::Shared(&nest),
-            mesh,
-            wave_dims,
-            &cfg,
-            store.as_mut(),
-            collector,
-            engine,
-        )?,
-    };
+    let published = collect_outputs(&program, store.as_ref(), &outputs);
     Ok(JobOutcome {
         outcome,
         store,
+        outputs: published,
         trace: trace_collector.map(|tc| tc.report()),
     })
 }

@@ -27,6 +27,20 @@
 //! | 5 | server → client | `STATS` reply (JSON) |
 //! | 6 | client → server | `SHUTDOWN` (when enabled) |
 //! | 7 | server → client | `OK` acknowledgement |
+//! | 8 | client → server | `SUBMIT_DAG`: a job graph in one frame |
+//! | 9 | server → client | `DAG_RESULT`: per-node results + stats |
+//! | 10 | both | `HELLO` version handshake |
+//!
+//! ## Protocol version
+//!
+//! The protocol is versioned by [`PROTOCOL_VERSION`]. Version 1 is
+//! opcodes 1–7; version 2 added the DAG opcodes (8–9) and the `HELLO`
+//! handshake (10). A client opens with `HELLO` carrying its version as
+//! a `u16`; the server echoes a `HELLO` with its own version and both
+//! sides proceed at the smaller of the two. The handshake is optional —
+//! v1 frames work without it — and a v1 server answers `HELLO` with a
+//! typed "unknown opcode" `ERROR`, which a v2 client treats as
+//! "server speaks version 1" (see [`WireClient::hello`]).
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -40,10 +54,16 @@ use wavefront_core::program::{Program, Store};
 use crate::error::{AdmissionReason, PipelineError};
 use crate::schedule::BlockPolicy;
 use crate::service::cache::PlanCache;
+use crate::service::dag::{DagSpec, NodeRef};
 use crate::service::fingerprint::fnv1a;
 use crate::service::job::JobSpec;
+use crate::service::scheduler::SchedulerKind;
 use crate::service::{JobTopology, WavefrontService};
 use crate::telemetry::{EngineKind, TimeUnit};
+
+/// Version of the wire protocol this build speaks (see the module docs
+/// for the per-version opcode history).
+pub const PROTOCOL_VERSION: u16 = 2;
 
 const OP_SUBMIT: u8 = 1;
 const OP_RESULT: u8 = 2;
@@ -52,6 +72,9 @@ const OP_STATS_REQ: u8 = 4;
 const OP_STATS: u8 = 5;
 const OP_SHUTDOWN: u8 = 6;
 const OP_OK: u8 = 7;
+const OP_SUBMIT_DAG: u8 = 8;
+const OP_DAG_RESULT: u8 = 9;
+const OP_HELLO: u8 = 10;
 
 const ERR_ADMISSION: u8 = 1;
 const ERR_PROTOCOL: u8 = 2;
@@ -196,6 +219,44 @@ pub struct WireResponse {
     pub block: u32,
     /// The requested output arrays, values in canonical bounds order.
     pub arrays: Vec<(String, Vec<f64>)>,
+}
+
+/// One node of a [`WireDagRequest`]: an ordinary submit payload plus
+/// its dependency edges.
+#[derive(Debug, Clone)]
+pub struct WireDagNode {
+    /// Label the node is addressed by in the reply.
+    pub label: String,
+    /// The node's job (its `tenant` field is overridden by the
+    /// DAG-level tenant when that one is non-empty).
+    pub request: WireRequest,
+    /// Edges: `(producer node index, array name)` — the producer's
+    /// published array is installed into this node's store before it
+    /// runs.
+    pub inputs: Vec<(u32, String)>,
+}
+
+/// One `SUBMIT_DAG` request (protocol version 2).
+#[derive(Debug, Clone)]
+pub struct WireDagRequest {
+    /// Tenant the whole DAG is billed to (empty = per-node tenants).
+    pub tenant: String,
+    /// Scheduling policy name (`"fifo"`, `"critical-path"`,
+    /// `"locality"`).
+    pub scheduler: String,
+    /// The nodes, in index order.
+    pub nodes: Vec<WireDagNode>,
+}
+
+/// One `DAG_RESULT` reply: per-node typed results plus the run's
+/// [`crate::service::DagStats`] as JSON.
+#[derive(Debug)]
+pub struct WireDagResponse {
+    /// Per-node results in node order; failures are the same typed
+    /// [`PipelineError`] values the in-process API produces.
+    pub nodes: Vec<(String, Result<WireResponse, PipelineError>)>,
+    /// The DAG's stats object, serialized.
+    pub stats_json: String,
 }
 
 // ---------------------------------------------------------------------
@@ -372,6 +433,13 @@ impl<'a> Dec<'a> {
 
 fn encode_submit(req: &WireRequest) -> Result<Vec<u8>, PipelineError> {
     let mut e = Enc::new(OP_SUBMIT);
+    encode_submit_body(&mut e, req)?;
+    Ok(e.buf)
+}
+
+/// The `SUBMIT` payload minus the opcode — shared verbatim by
+/// `SUBMIT_DAG` nodes.
+fn encode_submit_body(e: &mut Enc, req: &WireRequest) -> Result<(), PipelineError> {
     e.str(&req.tenant);
     e.u8(req.priority);
     e.u8(req.rank);
@@ -425,10 +493,16 @@ fn encode_submit(req: &WireRequest) -> Result<Vec<u8>, PipelineError> {
     for name in &req.returns {
         e.str(name);
     }
-    Ok(e.buf)
+    Ok(())
 }
 
 fn decode_submit(d: &mut Dec<'_>) -> Result<WireRequest, PipelineError> {
+    let req = decode_submit_body(d)?;
+    d.done()?;
+    Ok(req)
+}
+
+fn decode_submit_body(d: &mut Dec<'_>) -> Result<WireRequest, PipelineError> {
     let tenant = d.str("tenant")?;
     let priority = d.u8("priority")?;
     let rank = d.u8("rank")?;
@@ -490,7 +564,6 @@ fn decode_submit(d: &mut Dec<'_>) -> Result<WireRequest, PipelineError> {
     for _ in 0..n_returns {
         returns.push(d.str("return name")?);
     }
-    d.done()?;
     Ok(WireRequest {
         tenant,
         priority,
@@ -510,6 +583,13 @@ fn decode_submit(d: &mut Dec<'_>) -> Result<WireRequest, PipelineError> {
 
 fn encode_result(resp: &WireResponse) -> Vec<u8> {
     let mut e = Enc::new(OP_RESULT);
+    encode_result_body(&mut e, resp);
+    e.buf
+}
+
+/// The `RESULT` payload minus the opcode — shared by `DAG_RESULT`
+/// node entries.
+fn encode_result_body(e: &mut Enc, resp: &WireResponse) {
     e.f64(resp.makespan);
     e.u8(match resp.time_unit {
         TimeUnit::ModelUnits => 0,
@@ -524,10 +604,15 @@ fn encode_result(resp: &WireResponse) -> Vec<u8> {
         e.str(name);
         e.floats(values);
     }
-    e.buf
 }
 
 fn decode_result(d: &mut Dec<'_>) -> Result<WireResponse, PipelineError> {
+    let resp = decode_result_body(d)?;
+    d.done()?;
+    Ok(resp)
+}
+
+fn decode_result_body(d: &mut Dec<'_>) -> Result<WireResponse, PipelineError> {
     let makespan = d.f64("makespan")?;
     let time_unit = match d.u8("time unit")? {
         0 => TimeUnit::ModelUnits,
@@ -549,7 +634,6 @@ fn decode_result(d: &mut Dec<'_>) -> Result<WireResponse, PipelineError> {
         let values = d.floats("array values")?;
         arrays.push((name, values));
     }
-    d.done()?;
     Ok(WireResponse {
         makespan,
         time_unit,
@@ -566,6 +650,13 @@ fn decode_result(d: &mut Dec<'_>) -> Result<WireResponse, PipelineError> {
 /// rejections round-trip exactly (tenant, reason, and limit).
 fn encode_error(err: &PipelineError) -> Vec<u8> {
     let mut e = Enc::new(OP_ERROR);
+    encode_error_body(&mut e, err);
+    e.buf
+}
+
+/// The `ERROR` payload minus the opcode — shared by `DAG_RESULT` node
+/// entries so per-node failures round-trip the same typed values.
+fn encode_error_body(e: &mut Enc, err: &PipelineError) {
     match err {
         PipelineError::AdmissionDenied { tenant, reason } => {
             e.u8(ERR_ADMISSION);
@@ -603,7 +694,6 @@ fn encode_error(err: &PipelineError) -> Vec<u8> {
             e.str(&other.to_string());
         }
     }
-    e.buf
 }
 
 fn decode_error(d: &mut Dec<'_>) -> Result<PipelineError, PipelineError> {
@@ -644,6 +734,88 @@ fn decode_error(d: &mut Dec<'_>) -> Result<PipelineError, PipelineError> {
             })
         }
     })
+}
+
+fn encode_submit_dag(req: &WireDagRequest) -> Result<Vec<u8>, PipelineError> {
+    let mut e = Enc::new(OP_SUBMIT_DAG);
+    e.str(&req.tenant);
+    e.str(&req.scheduler);
+    e.u16(req.nodes.len() as u16);
+    for node in &req.nodes {
+        e.str(&node.label);
+        e.u16(node.inputs.len() as u16);
+        for (from, name) in &node.inputs {
+            e.u32(*from);
+            e.str(name);
+        }
+        encode_submit_body(&mut e, &node.request)?;
+    }
+    Ok(e.buf)
+}
+
+fn decode_submit_dag(d: &mut Dec<'_>) -> Result<WireDagRequest, PipelineError> {
+    let tenant = d.str("dag tenant")?;
+    let scheduler = d.str("dag scheduler")?;
+    let n = d.u16("dag node count")?;
+    let mut nodes = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let label = d.str("node label")?;
+        let n_inputs = d.u16("node input count")?;
+        let mut inputs = Vec::with_capacity(n_inputs as usize);
+        for _ in 0..n_inputs {
+            let from = d.u32("input producer index")?;
+            let name = d.str("input array name")?;
+            inputs.push((from, name));
+        }
+        let request = decode_submit_body(d)?;
+        nodes.push(WireDagNode {
+            label,
+            request,
+            inputs,
+        });
+    }
+    d.done()?;
+    Ok(WireDagRequest {
+        tenant,
+        scheduler,
+        nodes,
+    })
+}
+
+fn encode_dag_result(resp: &WireDagResponse) -> Vec<u8> {
+    let mut e = Enc::new(OP_DAG_RESULT);
+    e.str(&resp.stats_json);
+    e.u16(resp.nodes.len() as u16);
+    for (label, result) in &resp.nodes {
+        e.str(label);
+        match result {
+            Ok(r) => {
+                e.u8(1);
+                encode_result_body(&mut e, r);
+            }
+            Err(err) => {
+                e.u8(0);
+                encode_error_body(&mut e, err);
+            }
+        }
+    }
+    e.buf
+}
+
+fn decode_dag_result(d: &mut Dec<'_>) -> Result<WireDagResponse, PipelineError> {
+    let stats_json = d.str("dag stats json")?;
+    let n = d.u16("dag node count")?;
+    let mut nodes = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let label = d.str("node label")?;
+        let result = match d.u8("node ok flag")? {
+            0 => Err(decode_error(d)?),
+            _ => Ok(decode_result_body(d)?),
+        };
+        nodes.push((label, result));
+    }
+    d.done()?;
+    Ok(WireDagResponse { stats_json, nodes })
 }
 
 // ---------------------------------------------------------------------
@@ -753,6 +925,25 @@ impl<const R: usize> WireServer<R> {
                     },
                     Err(e) => encode_error(&e),
                 },
+                Ok(OP_SUBMIT_DAG) => match decode_submit_dag(&mut d) {
+                    Ok(req) => match self.run_submit_dag(req) {
+                        Ok(resp) => encode_dag_result(&resp),
+                        Err(e) => encode_error(&e),
+                    },
+                    Err(e) => encode_error(&e),
+                },
+                Ok(OP_HELLO) => {
+                    // Accept any client version; reply with ours and let
+                    // the client pick the common subset (module docs).
+                    match d.u16("client protocol version") {
+                        Ok(_) => {
+                            let mut e = Enc::new(OP_HELLO);
+                            e.u16(PROTOCOL_VERSION);
+                            e.buf
+                        }
+                        Err(e) => encode_error(&e),
+                    }
+                }
                 Ok(OP_STATS_REQ) => {
                     let mut e = Enc::new(OP_STATS);
                     e.str(&self.service.stats_json());
@@ -788,15 +979,22 @@ impl<const R: usize> WireServer<R> {
         }
     }
 
-    /// Compile (with the source cache), bind arrays, submit through
-    /// admission, and wait for the outcome.
-    fn run_submit(&self, req: WireRequest) -> Result<WireResponse, PipelineError> {
+    /// Compile and bind one request into a [`JobSpec`] (shared by
+    /// `SUBMIT` and each `SUBMIT_DAG` node). `tenant_override`
+    /// (non-empty) replaces the request's own tenant; `inputs` become
+    /// node-indexed bindings resolved by the DAG runner.
+    fn prepare_spec(
+        &self,
+        req: &WireRequest,
+        tenant_override: &str,
+        inputs: &[(u32, String)],
+    ) -> Result<JobSpec<R>, PipelineError> {
         if req.rank as usize != R {
             return Err(PipelineError::ProtocolError {
                 reason: format!("server serves rank {R}, request is rank {}", req.rank),
             });
         }
-        let wire_prog = self.compiled(&req)?;
+        let wire_prog = self.compiled(req)?;
         let nest = self.select_nest(&wire_prog, req.nest)?;
 
         let mut store = Store::new(&wire_prog.program);
@@ -819,11 +1017,9 @@ impl<const R: usize> WireServer<R> {
         }
         // Resolve returns up front so an unknown name fails before the
         // job runs.
-        let returns: Vec<(String, ArrayId)> = req
-            .returns
-            .iter()
-            .map(|name| lookup_array(&wire_prog, name).map(|id| (name.clone(), id)))
-            .collect::<Result<_, _>>()?;
+        for name in &req.returns {
+            lookup_array(&wire_prog, name)?;
+        }
 
         let mut builder = JobSpec::builder(Arc::clone(&wire_prog.program), nest)
             .topology(match req.topology {
@@ -845,21 +1041,39 @@ impl<const R: usize> WireServer<R> {
             .engine(req.engine)
             .priority(req.priority)
             .store(store);
-        if !req.tenant.is_empty() {
-            builder = builder.tenant(req.tenant.clone());
+        let tenant = if tenant_override.is_empty() {
+            req.tenant.as_str()
+        } else {
+            tenant_override
+        };
+        if !tenant.is_empty() {
+            builder = builder.tenant(tenant.to_string());
         }
-        let handle = self.service.try_submit(builder.build()?)?;
-        let out = handle.wait()?;
+        for (from, name) in inputs {
+            builder = builder.input_from(
+                NodeRef {
+                    index: *from as usize,
+                },
+                name.clone(),
+            );
+        }
+        builder.build()
+    }
 
-        let store = out.store.expect("wire jobs always carry a store");
+    /// Marshal one job outcome's requested arrays into a reply.
+    fn marshal_response(
+        mut out: crate::service::JobOutcome<R>,
+        returns: &[String],
+    ) -> Result<WireResponse, PipelineError> {
         let arrays = returns
-            .into_iter()
-            .map(|(name, id)| {
-                let arr = store.get(id);
+            .iter()
+            .map(|name| {
+                let published = out.take_output(name)?;
+                let arr = published.to_array();
                 let values = arr.bounds().iter().map(|p| arr.get(p)).collect();
-                (name, values)
+                Ok((name.clone(), values))
             })
-            .collect();
+            .collect::<Result<_, PipelineError>>()?;
         Ok(WireResponse {
             makespan: out.outcome.makespan,
             time_unit: out.outcome.time_unit,
@@ -869,6 +1083,49 @@ impl<const R: usize> WireServer<R> {
             block: out.outcome.block as u32,
             arrays,
         })
+    }
+
+    /// Compile (with the source cache), bind arrays, submit through
+    /// admission, and wait for the outcome.
+    fn run_submit(&self, req: WireRequest) -> Result<WireResponse, PipelineError> {
+        let spec = self.prepare_spec(&req, "", &[])?;
+        let out = self.service.try_submit(spec).wait()?;
+        Self::marshal_response(out, &req.returns)
+    }
+
+    /// Compile every node, assemble the [`DagSpec`], run it through the
+    /// service's DAG runner, and marshal per-node results. Build-time
+    /// failures (unknown scheduler, cycle, bad edge) reject the whole
+    /// frame; per-node execution failures travel inside the reply.
+    fn run_submit_dag(&self, req: WireDagRequest) -> Result<WireDagResponse, PipelineError> {
+        let kind = SchedulerKind::from_name(&req.scheduler).ok_or_else(|| {
+            PipelineError::InvalidJob {
+                reason: format!(
+                    "unknown scheduler `{}` (expected fifo, critical-path, or locality)",
+                    req.scheduler
+                ),
+            }
+        })?;
+        let mut builder = DagSpec::builder();
+        builder.scheduler(kind);
+        for node in &req.nodes {
+            let spec = self.prepare_spec(&node.request, &req.tenant, &node.inputs)?;
+            builder.add_labeled(node.label.clone(), spec);
+        }
+        let outcome = self.service.submit_dag(builder.build()?).wait();
+        let stats_json = outcome.stats.to_json();
+        let nodes = outcome
+            .nodes
+            .into_iter()
+            .zip(&req.nodes)
+            .map(|(node, wire_node)| {
+                let result = node
+                    .result
+                    .and_then(|out| Self::marshal_response(out, &wire_node.request.returns));
+                (node.label, result)
+            })
+            .collect();
+        Ok(WireDagResponse { stats_json, nodes })
     }
 
     /// Fetch or compile the request's source (LRU keyed by source text
@@ -992,6 +1249,47 @@ impl<S: Read + Write> WireClient<S> {
         match d.u8("opcode")? {
             OP_RESULT => decode_result(&mut d),
             OP_ERROR => Err(decode_error(&mut d)?),
+            op => Err(PipelineError::ProtocolError {
+                reason: format!("unexpected reply opcode {op}"),
+            }),
+        }
+    }
+
+    /// Submit a whole job graph in one frame (protocol version 2) and
+    /// wait for every node. Graph-level rejections (unknown scheduler,
+    /// cycle, bad edge) surface as this call's error; per-node failures
+    /// come back typed inside [`WireDagResponse::nodes`].
+    pub fn submit_dag(&mut self, req: &WireDagRequest) -> Result<WireDagResponse, PipelineError> {
+        let reply = self.roundtrip(&encode_submit_dag(req)?)?;
+        let mut d = Dec::new(&reply);
+        match d.u8("opcode")? {
+            OP_DAG_RESULT => decode_dag_result(&mut d),
+            OP_ERROR => Err(decode_error(&mut d)?),
+            op => Err(PipelineError::ProtocolError {
+                reason: format!("unexpected reply opcode {op}"),
+            }),
+        }
+    }
+
+    /// Handshake: send our [`PROTOCOL_VERSION`], return the server's.
+    /// A version-1 server (no `HELLO` opcode) answers with a typed
+    /// protocol error — that maps to `Ok(1)` here, so callers can
+    /// always branch on the returned version.
+    pub fn hello(&mut self) -> Result<u16, PipelineError> {
+        let mut e = Enc::new(OP_HELLO);
+        e.u16(PROTOCOL_VERSION);
+        let reply = self.roundtrip(&e.buf)?;
+        let mut d = Dec::new(&reply);
+        match d.u8("opcode")? {
+            OP_HELLO => d.u16("server protocol version"),
+            OP_ERROR => match decode_error(&mut d)? {
+                PipelineError::ProtocolError { reason }
+                    if reason.contains("unknown opcode") =>
+                {
+                    Ok(1)
+                }
+                e => Err(e),
+            },
             op => Err(PipelineError::ProtocolError {
                 reason: format!("unexpected reply opcode {op}"),
             }),
@@ -1127,6 +1425,68 @@ mod tests {
             encode_submit(&req),
             Err(PipelineError::InvalidJob { .. })
         ));
+    }
+
+    #[test]
+    fn submit_dag_roundtrips_through_the_codec() {
+        let node = |label: &str, inputs: Vec<(u32, String)>| WireDagNode {
+            label: label.into(),
+            request: sample_request(),
+            inputs,
+        };
+        let req = WireDagRequest {
+            tenant: "acme".into(),
+            scheduler: "locality".into(),
+            nodes: vec![
+                node("first", vec![]),
+                node("second", vec![(0, "a".into())]),
+            ],
+        };
+        let frame = encode_submit_dag(&req).unwrap();
+        let mut d = Dec::new(&frame);
+        assert_eq!(d.u8("op").unwrap(), OP_SUBMIT_DAG);
+        let got = decode_submit_dag(&mut d).unwrap();
+        assert_eq!(got.tenant, "acme");
+        assert_eq!(got.scheduler, "locality");
+        assert_eq!(got.nodes.len(), 2);
+        assert_eq!(got.nodes[1].label, "second");
+        assert_eq!(got.nodes[1].inputs, vec![(0, "a".to_string())]);
+        assert_eq!(got.nodes[0].request.source, sample_request().source);
+    }
+
+    #[test]
+    fn dag_result_roundtrips_mixed_node_outcomes() {
+        let ok = WireResponse {
+            makespan: 12.5,
+            time_unit: TimeUnit::Seconds,
+            prep_seconds: 0.1,
+            run_seconds: 0.4,
+            messages: 9,
+            block: 4,
+            arrays: vec![("phi".into(), vec![1.0, 2.0])],
+        };
+        let err = PipelineError::DependencyFailed {
+            producer: "first".into(),
+            error: Box::new(PipelineError::InvalidJob {
+                reason: "boom".into(),
+            }),
+        };
+        let resp = WireDagResponse {
+            stats_json: "{\"nodes\":2}".into(),
+            nodes: vec![("first".into(), Ok(ok)), ("second".into(), Err(err))],
+        };
+        let frame = encode_dag_result(&resp);
+        let mut d = Dec::new(&frame);
+        assert_eq!(d.u8("op").unwrap(), OP_DAG_RESULT);
+        let got = decode_dag_result(&mut d).unwrap();
+        assert_eq!(got.stats_json, resp.stats_json);
+        let first = got.nodes[0].1.as_ref().unwrap();
+        assert_eq!(first.arrays[0].0, "phi");
+        assert_eq!(first.block, 4);
+        // Typed errors survive as errors (message-carrying kinds
+        // round-trip as Remote with the full display text).
+        let second = got.nodes[1].1.as_ref().unwrap_err();
+        assert!(second.to_string().contains("dependency `first` failed"));
     }
 
     #[test]

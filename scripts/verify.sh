@@ -74,6 +74,23 @@ done
 echo "tune JSON contains calibration / alpha_work / model_b / exhaustive_b / engines ✔"
 
 echo
+echo "== wlc dag smoke (chained jobs, real + simulated, JSON) =="
+out=$("$WLC" dag programs/tomcatv.wf --procs 4 --steps 3 --chains 2 --json)
+for key in '"scheduler"' '"makespan"' '"critical_path"' '"decisions"' '"bytes_shared"'; do
+    if ! grep -qF "$key" <<<"$out"; then
+        echo "dag output missing $key" >&2
+        exit 1
+    fi
+done
+out=$("$WLC" dag programs/tomcatv.wf --engine sim --sim-procs 8 --steps 3 --chains 2 \
+    --scheduler critical-path --json)
+if ! grep -qF '"time_unit":"model_units"' <<<"$out"; then
+    echo "sim dag did not report model-unit makespan" >&2
+    exit 1
+fi
+echo "dag JSON contains scheduler / makespan / critical_path, sim what-if in model units ✔"
+
+echo
 echo "== bench_diff self-check (same dir passes; perturbed copy fails) =="
 BENCH_DIFF=target/release/bench_diff
 "$BENCH_DIFF" results results
@@ -150,6 +167,40 @@ if "$BENCH_DIFF" results "$tmpdir"; then
 fi
 rm -rf "$tmpdir"
 echo "service_bench: halved warm-path speedup flagged ✔"
+
+echo
+echo "== dag bench: fresh quick run gated against the committed baseline =="
+tmpdir=$(mktemp -d)
+# The quick run also hard-asserts the zero-copy invariant: any COW byte
+# on a warm DAG edge aborts the bench itself.
+BENCH_OUT="$tmpdir" cargo run -q --release --offline -p wavefront-bench \
+    --bin dag_bench -- --quick
+# Wall-clock chain latencies on a shared box are noisy; 50% headroom
+# still catches the DAG path losing its edge over submit-and-wait.
+"$BENCH_DIFF" results "$tmpdir" --threshold 50
+rm -rf "$tmpdir"
+echo "dag_bench: zero-copy held, latencies within 50% of the baseline ✔"
+
+echo
+echo "== dag speedup gate self-check (halved speedup must fail) =="
+tmpdir=$(mktemp -d)
+cp results/BENCH_*.json "$tmpdir"/
+# Halve the DAG-vs-submit-and-wait speedup — the gate must catch the
+# dependent-job path losing its advantage.
+python3 - "$tmpdir/BENCH_dag.json" <<'EOF'
+import re, sys
+path = sys.argv[1]
+s = open(path).read()
+m = re.search(r'"dag_vs_submit_wait_speedup": ([0-9.]+)', s)
+v = float(m.group(1))
+open(path, 'w').write(s.replace(m.group(0), f'"dag_vs_submit_wait_speedup": {v * 0.5:.2f}', 1))
+EOF
+if "$BENCH_DIFF" results "$tmpdir"; then
+    echo "bench_diff failed to flag a halved dag speedup" >&2
+    exit 1
+fi
+rm -rf "$tmpdir"
+echo "dag_bench: halved dag speedup flagged ✔"
 
 echo
 echo "== wlc serve smoke (wire protocol, two tenants, gated bench) =="

@@ -13,6 +13,14 @@
 //!                                         ASCII Gantt chart per nest
 //! wlc tune  <file.wf> [options]           calibrate the host, compare
 //!                                         model/adaptive/exhaustive blocks
+//! wlc dag   <file.wf> [options]           replicate the program's scan nest
+//!                                         into --chains independent chains of
+//!                                         --steps dependent jobs, run the
+//!                                         graph through a WavefrontService
+//!                                         (zero-copy output handoff), print
+//!                                         the DAG stats; --engine sim runs
+//!                                         the same graph as a what-if
+//!                                         discrete-event simulation
 //! wlc serve [serve options]               accept `.wf` jobs over TCP and run
 //!                                         them through a multi-tenant
 //!                                         WavefrontService (no file argument)
@@ -42,6 +50,12 @@
 //!   --chrome FILE       `trace`/`timeline`: also export a Chrome
 //!                       trace-event JSON (open in https://ui.perfetto.dev)
 //!   --width N           `timeline`: chart width in columns (default 64)
+//!   --steps N           `dag`: dependent jobs per chain (default 4)
+//!   --chains N          `dag`: independent chains (default 2)
+//!   --scheduler S       `dag`: fifo | critical-path | locality (default
+//!                       locality)
+//!   --sim-procs N       `dag` with --engine sim: virtual machine size
+//!                       (default: the widest node)
 //!
 //! serve options:
 //!   --addr HOST:PORT    listen address (default 127.0.0.1:0; the chosen
@@ -71,9 +85,9 @@ use wavefront::core::prelude::*;
 use wavefront::lang::{compile_str, Lowered};
 use wavefront::machine::{cray_t3e, sgi_power_challenge, MachineParams};
 use wavefront::pipeline::{
-    ascii_timeline, calibrate_host, BlockPolicy, ChromeTraceBuilder, EngineKind, JobSpec,
-    ServeConfig, ServiceConfig, Session, TenantConfig, TraceAnalysis, TraceCollector,
-    WavefrontPlan, WavefrontService, WireServer,
+    ascii_timeline, calibrate_host, BlockPolicy, ChromeTraceBuilder, DagSpec, EngineKind,
+    JobSpec, NodeRef, SchedulerKind, ServeConfig, ServiceConfig, Session, TenantConfig,
+    TraceAnalysis, TraceCollector, WavefrontPlan, WavefrontService, WireServer,
 };
 use wavefront::serve::LangCompiler;
 
@@ -96,6 +110,11 @@ struct Opts {
     strict: bool,
     chrome: Option<String>,
     width: usize,
+    // dag options
+    steps: usize,
+    chains: usize,
+    scheduler: SchedulerKind,
+    sim_procs: usize,
     // serve options
     addr: String,
     cache: usize,
@@ -123,13 +142,15 @@ fn diag(context: &str, err: impl std::fmt::Display) {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: wlc <check|run|plan|trace|timeline|tune> <file.wf> [--rank N]");
+    eprintln!("usage: wlc <check|run|plan|trace|timeline|tune|dag> <file.wf> [--rank N]");
     eprintln!("           [-D name=value] [--fill name=V] [--fill-coords name] [--print name]");
     eprintln!("           [--procs P] [--repeat N]");
     eprintln!("           [--block fixed:<b>|model1|model2|naive|probe|adaptive]");
     eprintln!("           [--machine t3e|powerchallenge]");
     eprintln!("           [--engine threads|seq|sim] [--no-kernels] [--json] [--out FILE]");
     eprintln!("           [--strict] [--chrome FILE] [--width N]");
+    eprintln!("           [--steps N] [--chains N] [--scheduler fifo|critical-path|locality]");
+    eprintln!("           [--sim-procs N]");
     eprintln!("       wlc serve [--addr HOST:PORT] [--rank N] [--workers N] [--cache N]");
     eprintln!("           [--queue N] [--max-in-flight N] [--tenant name:weight:inflight:cap]");
     eprintln!("           [--no-auto-register] [--stats SECS] [--allow-shutdown]");
@@ -190,6 +211,10 @@ fn parse_args() -> std::result::Result<Opts, ExitCode> {
         strict: false,
         chrome: None,
         width: 64,
+        steps: 4,
+        chains: 2,
+        scheduler: SchedulerKind::Locality,
+        sim_procs: 0,
         addr: "127.0.0.1:0".to_string(),
         cache: 32,
         queue: 64,
@@ -262,6 +287,18 @@ fn parse_args() -> std::result::Result<Opts, ExitCode> {
             "--strict" => opts.strict = true,
             "--chrome" => opts.chrome = Some(need("--chrome")?),
             "--width" => opts.width = need("--width")?.parse().map_err(|_| usage())?,
+            "--steps" => opts.steps = need("--steps")?.parse().map_err(|_| usage())?,
+            "--chains" => opts.chains = need("--chains")?.parse().map_err(|_| usage())?,
+            "--scheduler" => {
+                let v = need("--scheduler")?;
+                opts.scheduler = SchedulerKind::from_name(&v).ok_or_else(|| {
+                    eprintln!("unknown scheduler {v} (fifo, critical-path, locality)");
+                    usage()
+                })?;
+            }
+            "--sim-procs" => {
+                opts.sim_procs = need("--sim-procs")?.parse().map_err(|_| usage())?;
+            }
             "--addr" => opts.addr = need("--addr")?,
             "--workers" => opts.procs = need("--workers")?.parse().map_err(|_| usage())?,
             "--cache" => opts.cache = need("--cache")?.parse().map_err(|_| usage())?,
@@ -401,10 +438,106 @@ fn drive<const R: usize>(opts: &Opts, src: &str) -> ExitCode {
         "trace" => trace::<R>(opts, &lowered, &compiled),
         "timeline" => timeline::<R>(opts, &lowered, &compiled),
         "tune" => tune::<R>(opts, &lowered, &compiled),
+        "dag" => dag_cmd::<R>(opts, &lowered, &compiled),
         other => {
             eprintln!("unknown command {other}");
             ExitCode::from(2)
         }
+    }
+}
+
+/// `wlc dag`: build a `--chains` × `--steps` grid of dependent jobs
+/// over the program's largest scan nest — node k+1 of a chain consumes
+/// every array node k published (refcounted, zero-copy) — run the graph
+/// through a WavefrontService with the chosen `--scheduler`, and report
+/// the DAG stats. With `--engine sim` the same graph is instead placed
+/// onto a virtual machine of `--sim-procs` processors (what-if
+/// scheduling at simulated scale).
+fn dag_cmd<const R: usize>(
+    opts: &Opts,
+    lowered: &Lowered<R>,
+    compiled: &CompiledProgram<R>,
+) -> ExitCode {
+    let Some(nest) = compiled
+        .nests()
+        .filter(|n| n.is_scan)
+        .max_by_key(|n| n.region.len())
+    else {
+        return fail(&opts.file, "program has no scan nest to pipeline");
+    };
+    let nest = Arc::new(nest.clone());
+    let program = Arc::new(lowered.program.clone());
+    let store0 = match init_store(opts, lowered) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let names: Vec<String> = program.arrays().iter().map(|d| d.name.clone()).collect();
+
+    let service: WavefrontService<R> = WavefrontService::with_config(ServiceConfig {
+        workers: opts.procs,
+        ..ServiceConfig::default()
+    });
+    let mut b = DagSpec::builder();
+    b.scheduler(opts.scheduler);
+    if opts.sim_procs > 0 {
+        b.sim_procs(opts.sim_procs);
+    }
+    for c in 0..opts.chains.max(1) {
+        let mut prev: Option<NodeRef> = None;
+        for k in 0..opts.steps.max(1) {
+            let mut spec = JobSpec::builder(Arc::clone(&program), Arc::clone(&nest))
+                .line(opts.procs)
+                .block(opts.block.clone())
+                .machine(opts.machine)
+                .kernels(opts.kernels)
+                .engine(opts.engine);
+            spec = match prev {
+                None => spec.store(store0.clone()),
+                Some(p) => names.iter().fold(spec, |s, n| s.input_from(p, n.clone())),
+            };
+            let spec = match spec.build() {
+                Ok(s) => s,
+                Err(e) => return fail(&opts.file, e),
+            };
+            prev = Some(b.add_labeled(format!("c{c}s{k}"), spec));
+        }
+    }
+    let dag = match b.build() {
+        Ok(d) => d,
+        Err(e) => return fail(&opts.file, e),
+    };
+    let out = service.submit_dag(dag).wait();
+    if opts.json {
+        println!("{}", out.stats.to_json());
+    } else {
+        let s = &out.stats;
+        println!(
+            "dag: {} nodes, {} edges, scheduler {}",
+            s.nodes, s.edges, s.scheduler
+        );
+        println!(
+            "makespan {:.6} {} (serial {:.6}, critical path {:.6} through {})",
+            s.makespan,
+            s.time_unit.name(),
+            s.serial_time,
+            s.critical_path_time,
+            s.critical_path.join(" -> ")
+        );
+        println!(
+            "zero-copy: {} bytes shared, {} cow bytes copied, {} simulated transfers",
+            s.bytes_shared, s.cow_bytes_copied, s.transfers
+        );
+        println!("nodes: {} ok, {} failed", s.nodes - s.failed, s.failed);
+    }
+    for node in &out.nodes {
+        if let Err(e) = &node.result {
+            diag(&node.label, e);
+        }
+    }
+    if out.all_ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 

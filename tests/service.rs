@@ -161,15 +161,21 @@ fn concurrent_submits_match_sequential_sessions() {
             let service = &service;
             scope.spawn(move || {
                 for (i, case) in chunk.iter().enumerate() {
-                    let out = service
+                    let mut out = service
                         .submit(spec_for(case))
                         .wait()
                         .unwrap_or_else(|e| panic!("thread {t} case {i}: job failed: {e}"));
-                    let got = out.store.expect("store round-trips through the job");
                     let region = case.nest.region;
                     for id in 0..case.reference.len() {
+                        let name = case.program.name_of(id);
+                        let got = out
+                            .take_output(&name)
+                            .unwrap_or_else(|e| {
+                                panic!("thread {t} case {i}: missing output `{name}`: {e}")
+                            })
+                            .to_array();
                         assert!(
-                            case.reference.get(id).region_eq(got.get(id), region),
+                            case.reference.get(id).region_eq(&got, region),
                             "thread {t} case {i}: array {id} differs from the \
                              sequential Session run ({:?})",
                             case.engine
@@ -326,19 +332,23 @@ fn steady_jobs_spawn_no_new_threads() {
     assert_eq!(stats.pool_workers, 4);
 }
 
-/// The deprecated chainable `JobSpec::new(..)` construction still works
-/// (it forwards to the builder) so downstream callers migrating to
-/// `JobSpec::builder` keep running during the deprecation window.
+/// `try_submit` shares `submit`'s surface: the returned handle resolves
+/// to the same typed result (here a success), never a second error
+/// channel.
 #[test]
-#[allow(deprecated)]
-fn deprecated_jobspec_chain_still_submits() {
+fn try_submit_resolves_through_the_handle() {
     let (program, nest, store) = tiny_case();
     let service: WavefrontService<2> = WavefrontService::new();
-    let spec = JobSpec::new(Arc::clone(&program), Arc::clone(&nest))
+    let spec = JobSpec::builder(Arc::clone(&program), Arc::clone(&nest))
         .line(2)
         .block(BlockPolicy::Fixed(2))
         .machine(cray_t3e())
-        .store(store);
-    let out = service.submit(spec).wait().expect("legacy spec still runs");
-    assert!(out.store.is_some());
+        .store(store)
+        .build()
+        .expect("valid spec");
+    let mut out = service
+        .try_submit(spec)
+        .wait()
+        .expect("admitted job runs to completion");
+    assert!(out.take_output("x").is_ok());
 }
