@@ -1,0 +1,157 @@
+//! Observability-overhead benchmark: the metrics registry must be
+//! close to free on the hot path.
+//!
+//! Two identical [`WavefrontService`]s run the same warm Tomcatv job
+//! stream — one with the metrics registry enabled (spans recorded,
+//! stage histograms fed, admission/fallback counters live), one with
+//! `ServiceConfig::metrics` off (every handle a no-op). Batches
+//! alternate between the two services so host noise hits both sides
+//! equally; the score is min-of-reps per-job latency on each side and
+//! the enabled-over-disabled overhead percentage, which this harness
+//! **gates at < 2%** (nonzero exit beyond it).
+//!
+//! `--inject-overhead` arms the registry's per-observation delay
+//! injector (a busy-wait inside `HistogramHandle::observe_ns`) before
+//! measuring, which must blow the 2% budget — `scripts/verify.sh` runs
+//! it to prove the gate can fail.
+//!
+//! Emits `obs_enabled_warm_latency_seconds`,
+//! `obs_disabled_warm_latency_seconds` (lower-is-better under
+//! `bench_diff`), and `obs_overhead_pct` (informational) into
+//! `results/BENCH_obs.json`.
+//!
+//! Run with `cargo run --release -p wavefront-bench --bin obs_bench`.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use wavefront_bench::{f2, json_object, json_str, write_artifact, Table};
+use wavefront_core::prelude::*;
+use wavefront_kernels::tomcatv;
+use wavefront_machine::cray_t3e;
+use wavefront_pipeline::{BlockPolicy, JobSpec, ServiceConfig, WavefrontService};
+
+const REPS: usize = 31;
+const PROCS: usize = 8;
+const BATCH: usize = 48;
+const GRID: i64 = 16;
+const BUDGET_PCT: f64 = 2.0;
+/// `--inject-overhead` busy-waits this long in every histogram
+/// observation — far beyond the budget on jobs this small.
+const INJECT_NS: u64 = 200_000;
+
+/// Format a latency as a JSON-safe scientific-notation number.
+fn f3e(v: f64) -> String {
+    format!("{v:.3e}")
+}
+
+fn service(metrics: bool) -> WavefrontService<2> {
+    WavefrontService::with_config(ServiceConfig {
+        workers: PROCS,
+        metrics,
+        ..Default::default()
+    })
+}
+
+/// Min-of-reps per-job latency of warm batches on `svc`, using the
+/// caller's spec factory.
+fn measure(svc: &WavefrontService<2>, spec: &dyn Fn() -> JobSpec<2>, reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let specs: Vec<_> = (0..BATCH).map(|_| spec()).collect();
+        let t0 = Instant::now();
+        for h in svc.submit_batch(specs) {
+            h.wait().expect("warm job runs");
+        }
+        best = best.min(t0.elapsed().as_secs_f64() / BATCH as f64);
+    }
+    best
+}
+
+fn main() -> ExitCode {
+    let inject = std::env::args().any(|a| a == "--inject-overhead");
+
+    let lo = tomcatv::build(GRID).expect("tomcatv builds");
+    let compiled = compile(&lo.program).expect("tomcatv compiles");
+    let nest = compiled
+        .nests()
+        .filter(|x| x.is_scan)
+        .max_by_key(|x| x.region.len())
+        .expect("tomcatv has a scan nest")
+        .clone();
+    let mut store = Store::new(&lo.program);
+    tomcatv::init(&lo, &mut store);
+    let (program, nest) = (Arc::new(lo.program), Arc::new(nest));
+    let spec = move || {
+        JobSpec::builder(Arc::clone(&program), Arc::clone(&nest))
+            .line(PROCS)
+            .block(BlockPolicy::Fixed(32))
+            .machine(cray_t3e())
+            .store(store.detached())
+            .build()
+            .expect("valid job spec")
+    };
+
+    let enabled = service(true);
+    let disabled = service(false);
+    if inject {
+        enabled.metrics().set_injected_delay_ns(INJECT_NS);
+        println!("## injected {INJECT_NS} ns per histogram observation (gate self-check)");
+    }
+
+    println!("## Metrics-registry overhead (Tomcatv {GRID}x{GRID}, threads engine)");
+    println!("   p = {PROCS}, batches of {BATCH}, min of {REPS} alternating reps\n");
+
+    // Warm both pools and plan caches outside the timed window.
+    measure(&enabled, &spec, 2);
+    measure(&disabled, &spec, 2);
+
+    // Alternate single reps so drift hits both services symmetrically.
+    let (mut t_on, mut t_off) = (f64::INFINITY, f64::INFINITY);
+    for _ in 0..REPS {
+        t_on = t_on.min(measure(&enabled, &spec, 1));
+        t_off = t_off.min(measure(&disabled, &spec, 1));
+    }
+    let overhead_pct = ((t_on - t_off) / t_off * 100.0).max(0.0);
+
+    let mut table = Table::new(&["metrics", "warm (s/job)", "overhead"]);
+    table.row(&["on".into(), f3e(t_on), format!("{overhead_pct:.2}%")]);
+    table.row(&["off".into(), f3e(t_off), "—".into()]);
+    table.print();
+
+    // The enabled service really recorded: its span ring must be
+    // non-empty and the stage histograms populated.
+    let traces = enabled.recent_traces();
+    assert!(!traces.is_empty(), "enabled service recorded no job traces");
+    assert!(
+        enabled.metrics_prometheus().contains("wavefront_stage_seconds_count"),
+        "enabled service exported no stage histograms"
+    );
+    assert!(
+        disabled.metrics_prometheus().is_empty(),
+        "disabled service must export nothing"
+    );
+
+    let fields: Vec<(&str, String)> = vec![
+        ("bench", json_str("obs")),
+        ("engine", json_str("threads")),
+        ("procs", PROCS.to_string()),
+        ("reps", REPS.to_string()),
+        ("batch", BATCH.to_string()),
+        ("obs_enabled_warm_latency_seconds", f3e(t_on)),
+        ("obs_disabled_warm_latency_seconds", f3e(t_off)),
+        ("obs_overhead_pct", f2(overhead_pct)),
+    ];
+    write_artifact("obs", &json_object(&fields));
+
+    if overhead_pct >= BUDGET_PCT {
+        eprintln!(
+            "FAIL: metrics overhead {overhead_pct:.2}% >= {BUDGET_PCT}% budget \
+             (enabled {t_on:.3e} s/job vs disabled {t_off:.3e} s/job)"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("\nmetrics overhead {overhead_pct:.2}% < {BUDGET_PCT}% budget ✔");
+    ExitCode::SUCCESS
+}

@@ -50,13 +50,14 @@ pub use plan::WavefrontPlan;
 pub use plan2d::WavefrontPlan2D;
 pub use schedule::{probe_block, AdaptiveConfig, BlockCtx, BlockPolicy, BlockSizer};
 pub use service::{
-    CriticalPathScheduler, DagHandle, DagOutcome, DagSpec, DagSpecBuilder, DagStats, DagView,
-    DispatchDecision, FifoScheduler, InputSource, IntoInputSource, JobHandle, JobOutcome,
-    JobOutput, JobOutputs, JobSpec, JobSpecBuilder, JobTopology, LocalityScheduler, NodeId,
-    NodeRef, NodeResult, Scheduler, SchedulerKind, ServeConfig, ServiceConfig, ServiceStats,
-    TenantConfig, TenantStats, WavefrontService, WireClient, WireCompiler, WireDagNode,
-    WireDagRequest, WireDagResponse, WireProgram, WireRequest, WireResponse, WireServer,
-    WireTopology, DEFAULT_TENANT, PROTOCOL_VERSION,
+    Counter, CriticalPathScheduler, DagHandle, DagOutcome, DagSpec, DagSpecBuilder, DagStats,
+    DagView, DispatchDecision, FifoScheduler, Gauge, HistogramHandle, InputSource,
+    IntoInputSource, JobHandle, JobOutcome, JobOutput, JobOutputs, JobSpec, JobSpecBuilder,
+    JobTopology, JobTrace, LocalityScheduler, Metrics, NodeId, NodeRef, NodeResult, Scheduler,
+    SchedulerKind, ServeConfig, ServiceConfig, ServiceStats, TenantConfig, TenantStats,
+    WavefrontService, WireClient, WireCompiler, WireDagNode, WireDagRequest, WireDagResponse,
+    WireProgram, WireRequest, WireResponse, WireServer, WireTopology, DEFAULT_TENANT,
+    PROTOCOL_VERSION,
 };
 pub use session::{
     Engine, EngineCtx, ProgramSession, RunOutcome, SeqEngine, Session, Session2D, SessionConfig,
@@ -64,7 +65,8 @@ pub use session::{
 };
 pub use telemetry::{
     ascii_timeline, chrome_trace, CacheEvent, CausalGraph, ChromeTraceBuilder, Collector,
-    CriticalPath, EngineKind, ExecutionReport, Histogram, JsonValue, NoopCollector, Prediction,
+    CriticalPath, EngineKind, ExecutionReport, Histogram, JsonObj, JsonValue, NoopCollector,
+    Prediction,
     RunMeta, TraceAnalysis, TraceCollector, TraceHistograms,
 };
 pub use tune::{calibrate_host, calibrate_with, AdaptiveReport, CalibrationConfig};

@@ -45,7 +45,8 @@ use crate::service::job::{InputBinding, InputSource, IntoInputSource, JobOutcome
 use crate::service::output::JobOutput;
 use crate::service::scheduler::{DagShape, DagView, NodeId, Scheduler, SchedulerKind};
 use crate::service::{install_input, panic_message, submit_on, Shared};
-use crate::telemetry::report::{jnum, jstr};
+use crate::telemetry::json::JsonObj;
+use crate::telemetry::report::jstr;
 use crate::telemetry::{EngineKind, TimeUnit};
 
 /// A node of a DAG being built: returned by [`DagSpecBuilder::add`] and
@@ -335,14 +336,13 @@ impl DispatchDecision {
             Some((start, len)) => format!("[{start},{len}]"),
             None => "null".to_string(),
         };
-        format!(
-            "{{\"order\":{},\"node\":{},\"label\":{},\"placement\":{},\"transfer_elems\":{}}}",
-            self.order,
-            self.node,
-            jstr(&self.label),
-            placement,
-            self.transfer_elems,
-        )
+        JsonObj::new()
+            .uint("order", self.order as u64)
+            .uint("node", self.node as u64)
+            .str("label", &self.label)
+            .raw("placement", &placement)
+            .uint("transfer_elems", self.transfer_elems)
+            .finish()
     }
 }
 
@@ -389,27 +389,22 @@ impl DagStats {
     pub fn to_json(&self) -> String {
         let path: Vec<String> = self.critical_path.iter().map(|l| jstr(l)).collect();
         let decisions: Vec<String> = self.decisions.iter().map(|d| d.to_json()).collect();
-        format!(
-            "{{\"dag_id\":{},\"scheduler\":{},\"nodes\":{},\"edges\":{},\
-             \"makespan\":{},\"time_unit\":{},\"serial_time\":{},\
-             \"critical_path\":[{}],\"critical_path_time\":{},\
-             \"decisions\":[{}],\"bytes_shared\":{},\"cow_bytes_copied\":{},\
-             \"transfers\":{},\"failed\":{}}}",
-            self.dag_id,
-            jstr(&self.scheduler),
-            self.nodes,
-            self.edges,
-            jnum(self.makespan),
-            jstr(self.time_unit.name()),
-            jnum(self.serial_time),
-            path.join(","),
-            jnum(self.critical_path_time),
-            decisions.join(","),
-            self.bytes_shared,
-            self.cow_bytes_copied,
-            self.transfers,
-            self.failed,
-        )
+        JsonObj::new()
+            .uint("dag_id", self.dag_id)
+            .str("scheduler", &self.scheduler)
+            .uint("nodes", self.nodes as u64)
+            .uint("edges", self.edges as u64)
+            .num("makespan", self.makespan)
+            .str("time_unit", self.time_unit.name())
+            .num("serial_time", self.serial_time)
+            .arr("critical_path", path)
+            .num("critical_path_time", self.critical_path_time)
+            .arr("decisions", decisions)
+            .uint("bytes_shared", self.bytes_shared)
+            .uint("cow_bytes_copied", self.cow_bytes_copied)
+            .uint("transfers", self.transfers)
+            .uint("failed", self.failed as u64)
+            .finish()
     }
 }
 

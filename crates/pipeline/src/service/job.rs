@@ -63,6 +63,10 @@ pub struct JobSpec<const R: usize> {
     pub(crate) priority: u8,
     pub(crate) outputs: Vec<String>,
     pub(crate) inputs: Vec<InputBinding<R>>,
+    pub(crate) trace_id: Option<u64>,
+    /// Stamped by the submission doors when the spec enters the
+    /// service; the origin of the job's [`JobTrace`].
+    pub(crate) submitted_at: Option<std::time::Instant>,
 }
 
 /// Where a bound job input comes from. Produced by the conversions
@@ -127,6 +131,7 @@ pub struct JobSpecBuilder<const R: usize> {
     priority: u8,
     outputs: Vec<String>,
     inputs: Vec<InputBinding<R>>,
+    trace_id: Option<u64>,
 }
 
 impl<const R: usize> JobSpecBuilder<R> {
@@ -146,6 +151,7 @@ impl<const R: usize> JobSpecBuilder<R> {
             priority: 0,
             outputs: Vec::new(),
             inputs: Vec::new(),
+            trace_id: None,
         }
     }
 
@@ -237,6 +243,15 @@ impl<const R: usize> JobSpecBuilder<R> {
         self
     }
 
+    /// Attach a client-supplied trace ID. It rides through the service
+    /// untouched and comes back inside the job's [`JobTrace`], so a
+    /// caller (or a wire client, protocol v3) can correlate its own
+    /// request with the service-side phase breakdown.
+    pub fn trace_id(mut self, id: u64) -> Self {
+        self.trace_id = Some(id);
+        self
+    }
+
     /// Declare the array named `name` as an output of this job. The
     /// outcome publishes it as a refcounted [`JobOutput`] a successor
     /// can consume without copying. When no outputs are declared, every
@@ -316,6 +331,8 @@ impl<const R: usize> JobSpecBuilder<R> {
             priority: self.priority,
             outputs: self.outputs,
             inputs: self.inputs,
+            trace_id: self.trace_id,
+            submitted_at: None,
         })
     }
 }
@@ -339,6 +356,63 @@ impl<const R: usize> JobSpec<R> {
     }
 }
 
+/// The lifecycle spans of one job, measured on the service's monotonic
+/// clock: submitted → admitted → (queued) → dispatched → run →
+/// drained. The stage durations telescope —
+/// `admit + queue + exec + drain == total` up to floating-point
+/// rounding (pinned by the property test in `tests/observability.rs`)
+/// — and `prep`/`run` break the `exec` span down further using the
+/// engine's own timers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobTrace {
+    /// The client-supplied trace ID ([`JobSpecBuilder::trace_id`]), if
+    /// any.
+    pub trace_id: Option<u64>,
+    /// Tenant the job was billed to.
+    pub tenant: String,
+    /// Submission time, seconds since the owning service started
+    /// (a stable per-service epoch for plotting).
+    pub start_seconds: f64,
+    /// Submitted → admitted: admission control, including any
+    /// backpressure blocking in `submit`.
+    pub admit_seconds: f64,
+    /// Admitted → dispatched: time waiting in the tenant queue.
+    pub queue_seconds: f64,
+    /// Dispatched → finished: everything the dispatcher did for the
+    /// job (cache lookup, prep, run).
+    pub exec_seconds: f64,
+    /// Planning/kernel-prep part of `exec` (collapses on cache hits).
+    pub prep_seconds: f64,
+    /// Engine execution part of `exec`.
+    pub run_seconds: f64,
+    /// Finished → handle fulfilled (bookkeeping and wake-up).
+    pub drain_seconds: f64,
+    /// Submitted → fulfilled, the job's wall latency inside the
+    /// service.
+    pub total_seconds: f64,
+}
+
+impl JobTrace {
+    /// Serialize as a self-contained JSON object.
+    pub fn to_json(&self) -> String {
+        let obj = crate::telemetry::json::JsonObj::new();
+        let obj = match self.trace_id {
+            Some(id) => obj.uint("trace_id", id),
+            None => obj.raw("trace_id", "null"),
+        };
+        obj.str("tenant", &self.tenant)
+            .num("start_seconds", self.start_seconds)
+            .num("admit_seconds", self.admit_seconds)
+            .num("queue_seconds", self.queue_seconds)
+            .num("exec_seconds", self.exec_seconds)
+            .num("prep_seconds", self.prep_seconds)
+            .num("run_seconds", self.run_seconds)
+            .num("drain_seconds", self.drain_seconds)
+            .num("total_seconds", self.total_seconds)
+            .finish()
+    }
+}
+
 /// What one completed job returns.
 pub struct JobOutcome<const R: usize> {
     /// The engine-independent run outcome (see [`RunOutcome`]); warm
@@ -358,6 +432,9 @@ pub struct JobOutcome<const R: usize> {
     /// The aggregated telemetry report when [`JobSpecBuilder::trace`]
     /// was set.
     pub trace: Option<ExecutionReport>,
+    /// The job's lifecycle spans. `Some` for jobs that went through a
+    /// service dispatcher; `None` for paths with no queue (none today).
+    pub spans: Option<JobTrace>,
 }
 
 impl<const R: usize> JobOutcome<R> {

@@ -48,6 +48,7 @@ pub(crate) mod cache;
 pub mod dag;
 pub(crate) mod fingerprint;
 pub mod job;
+pub mod metrics;
 pub mod output;
 pub(crate) mod pool;
 pub mod scheduler;
@@ -79,6 +80,8 @@ use crate::plan::WavefrontPlan;
 use crate::plan2d::WavefrontPlan2D;
 use crate::schedule::BlockPolicy;
 use crate::session::{RunOutcome, Session, Session2D, SessionConfig};
+use crate::telemetry::json::JsonObj;
+use crate::telemetry::report::jstr;
 use crate::telemetry::{
     CacheEvent, Collector, EngineKind, NoopCollector, TimeUnit, TraceCollector,
 };
@@ -90,7 +93,9 @@ pub use dag::{
 };
 pub use job::{
     InputSource, IntoInputSource, JobHandle, JobOutcome, JobSpec, JobSpecBuilder, JobTopology,
+    JobTrace,
 };
+pub use metrics::{Counter, Gauge, HistogramHandle, Metrics};
 pub use output::{JobOutput, JobOutputs};
 pub use scheduler::{
     CriticalPathScheduler, DagView, FifoScheduler, LocalityScheduler, NodeId, Scheduler,
@@ -183,18 +188,44 @@ pub(crate) struct ExecCore {
     caching: bool,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// The owning service's metrics registry (a disabled no-op registry
+    /// for `Session` cores, so the one-shot path pays nothing).
+    pub(crate) metrics: Arc<Metrics>,
 }
 
 impl ExecCore {
     /// A core whose plan cache holds `cache_capacity` entries
-    /// (0 disables caching and its telemetry entirely).
+    /// (0 disables caching and its telemetry entirely). Metrics are off;
+    /// services use [`ExecCore::with_metrics`].
     pub(crate) fn new(cache_capacity: usize) -> Self {
+        Self::with_metrics(cache_capacity, Arc::new(Metrics::new(false)))
+    }
+
+    /// A core wired to an existing metrics registry.
+    pub(crate) fn with_metrics(cache_capacity: usize, metrics: Arc<Metrics>) -> Self {
         ExecCore {
             pool: WorkerPool::new(),
             cache: Mutex::new(PlanCache::new(cache_capacity)),
             caching: cache_capacity > 0,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            metrics,
+        }
+    }
+
+    /// Count one run that executed through a kernel-lowering fallback
+    /// (interpreter path). Cheap when no fallback occurred — the common
+    /// warm case touches nothing.
+    fn count_fallback(&self, reason: Option<wavefront_core::kernel::FallbackReason>) {
+        if let Some(reason) = reason {
+            if self.metrics.enabled() {
+                self.metrics
+                    .counter(&format!(
+                        "wavefront_kernel_fallback_runs_total{{reason=\"{}\"}}",
+                        metrics::fallback_label(reason)
+                    ))
+                    .inc();
+            }
         }
     }
 
@@ -377,6 +408,7 @@ impl ExecCore {
             EngineKind::Seq => {
                 let store = store.ok_or(PipelineError::MissingStore)?;
                 let prep = entry.prep(program, cfg.kernels);
+                self.count_fallback(prep.runner.fallback());
                 let prep_seconds = prep_start.elapsed().as_secs_f64();
                 let run_start = Instant::now();
                 execute_plan_sequential_prepared(&entry.nest, plan, &prep.runner, store, collector);
@@ -391,6 +423,7 @@ impl ExecCore {
             EngineKind::Threads => {
                 let store = store.ok_or(PipelineError::MissingStore)?;
                 let prep = entry.prep(program, cfg.kernels);
+                self.count_fallback(prep.runner.fallback());
                 let prep_seconds = prep_start.elapsed().as_secs_f64();
                 let run_start = Instant::now();
                 let r = execute_prepared_threaded(
@@ -468,6 +501,7 @@ impl ExecCore {
             EngineKind::Seq => {
                 let store = store.ok_or(PipelineError::MissingStore)?;
                 let prep = entry.prep(program, cfg.kernels);
+                self.count_fallback(prep.runner.fallback());
                 let prep_seconds = prep_start.elapsed().as_secs_f64();
                 let run_start = Instant::now();
                 execute_plan2d_sequential_prepared(
@@ -488,6 +522,7 @@ impl ExecCore {
             EngineKind::Threads => {
                 let store = store.ok_or(PipelineError::MissingStore)?;
                 let prep = entry.prep(program, cfg.kernels);
+                self.count_fallback(prep.runner.fallback());
                 let prep_seconds = prep_start.elapsed().as_secs_f64();
                 let run_start = Instant::now();
                 let r = execute_prepared2d_threaded(
@@ -538,6 +573,11 @@ pub struct ServiceConfig {
     /// from `default_tenant` (`true`, the default) or is denied with
     /// [`AdmissionReason::UnknownTenant`].
     pub auto_register: bool,
+    /// Whether the [`Metrics`] registry records (counters, per-stage
+    /// latency histograms, the recent-trace ring). Off, every handle is
+    /// a no-op and jobs skip all registry work — the `obs_bench` bin
+    /// measures the difference and gates it under 2%.
+    pub metrics: bool,
 }
 
 impl Default for ServiceConfig {
@@ -548,6 +588,7 @@ impl Default for ServiceConfig {
             workers: 0,
             default_tenant: TenantConfig::default(),
             auto_register: true,
+            metrics: true,
         }
     }
 }
@@ -558,8 +599,15 @@ impl Default for ServiceConfig {
 pub struct ServiceStats {
     /// Jobs accepted across all tenants.
     pub jobs_submitted: u64,
-    /// Jobs whose handles have been fulfilled.
+    /// Jobs whose handles resolved successfully.
     pub jobs_completed: u64,
+    /// Jobs whose handles resolved to an error (execution failure or
+    /// shutdown before dispatch).
+    pub jobs_failed: u64,
+    /// Jobs waiting in tenant queues right now.
+    pub jobs_queued: u64,
+    /// Jobs dispatched and executing right now.
+    pub jobs_running: u64,
     /// Submissions denied by admission control (typed, never silent).
     pub jobs_rejected: u64,
     /// Submissions that found their tenant queue full and had to block.
@@ -580,25 +628,33 @@ pub struct ServiceStats {
 }
 
 impl ServiceStats {
+    /// The balance invariant a coherent snapshot satisfies exactly:
+    /// every admitted job is in exactly one of completed / failed /
+    /// queued / running. [`WavefrontService::stats`] reads all four
+    /// under the one queue lock, so this always holds.
+    pub fn balanced(&self) -> bool {
+        self.jobs_submitted
+            == self.jobs_completed + self.jobs_failed + self.jobs_queued + self.jobs_running
+    }
+
     /// Serialize as a self-contained JSON object (the one stats-export
     /// path shared by `wlc serve --stats` and the bench bins).
     pub fn to_json(&self) -> String {
-        format!(
-            "{{\"jobs_submitted\":{},\"jobs_completed\":{},\"jobs_rejected\":{},\
-             \"blocked_submits\":{},\"cache_hits\":{},\"cache_misses\":{},\
-             \"cache_entries\":{},\"pool_spawns\":{},\"pool_workers\":{},\
-             \"dags_submitted\":{}}}",
-            self.jobs_submitted,
-            self.jobs_completed,
-            self.jobs_rejected,
-            self.blocked_submits,
-            self.cache_hits,
-            self.cache_misses,
-            self.cache_entries,
-            self.pool_spawns,
-            self.pool_workers,
-            self.dags_submitted,
-        )
+        JsonObj::new()
+            .uint("jobs_submitted", self.jobs_submitted)
+            .uint("jobs_completed", self.jobs_completed)
+            .uint("jobs_failed", self.jobs_failed)
+            .uint("jobs_queued", self.jobs_queued)
+            .uint("jobs_running", self.jobs_running)
+            .uint("jobs_rejected", self.jobs_rejected)
+            .uint("blocked_submits", self.blocked_submits)
+            .uint("cache_hits", self.cache_hits)
+            .uint("cache_misses", self.cache_misses)
+            .uint("cache_entries", self.cache_entries as u64)
+            .uint("pool_spawns", self.pool_spawns)
+            .uint("pool_workers", self.pool_workers as u64)
+            .uint("dags_submitted", self.dags_submitted)
+            .finish()
     }
 }
 
@@ -610,6 +666,12 @@ struct QueueState<const R: usize> {
     global_pass: f64,
     next_seq: u64,
     closed: bool,
+    /// Rejections that never resolved to a tenant queue (unknown tenant
+    /// with auto-registration off). Kept under the queue lock so the
+    /// service-wide rejected total is part of the coherent snapshot.
+    unknown_rejected: u64,
+    /// Submissions that found their queue full and had to block.
+    blocked_submits: u64,
 }
 
 impl<const R: usize> QueueState<R> {
@@ -643,6 +705,10 @@ impl<const R: usize> QueueState<R> {
 /// (a bounded ring; oldest entries fall off).
 const DAG_STATS_CAP: usize = 32;
 
+/// Completed-job traces retained for [`WavefrontService::recent_traces`]
+/// (a bounded ring; oldest entries fall off).
+const TRACE_CAP: usize = 256;
+
 pub(crate) struct Shared<const R: usize> {
     queue: Mutex<QueueState<R>>,
     not_full: Condvar,
@@ -650,12 +716,14 @@ pub(crate) struct Shared<const R: usize> {
     default_tenant: TenantConfig,
     auto_register: bool,
     pub(crate) core: ExecCore,
-    jobs_submitted: AtomicU64,
-    jobs_completed: AtomicU64,
-    jobs_rejected: AtomicU64,
-    blocked_submits: AtomicU64,
     dags_submitted: AtomicU64,
     dag_stats: Mutex<VecDeque<DagStats>>,
+    /// The service's birth instant; span start times are reported
+    /// relative to it so traces from one service share a timeline.
+    epoch: Instant,
+    /// Lifecycle traces of recently completed jobs (recorded only while
+    /// metrics are enabled).
+    recent_traces: Mutex<VecDeque<JobTrace>>,
 }
 
 impl<const R: usize> Shared<R> {
@@ -664,13 +732,30 @@ impl<const R: usize> Shared<R> {
         self.dags_submitted.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Record one completed DAG's stats into the bounded ring.
+    /// Record one completed DAG's stats into the bounded ring (and the
+    /// registry's DAG data-movement counters).
     pub(crate) fn record_dag_stats(&self, stats: DagStats) {
+        if self.core.metrics.enabled() {
+            let m = &self.core.metrics;
+            m.counter("wavefront_dag_bytes_shared_total").add(stats.bytes_shared);
+            m.counter("wavefront_dag_cow_bytes_copied_total")
+                .add(stats.cow_bytes_copied);
+            m.counter("wavefront_dag_nodes_failed_total").add(stats.failed as u64);
+        }
         let mut ds = self.dag_stats.lock().unwrap();
         if ds.len() == DAG_STATS_CAP {
             ds.pop_front();
         }
         ds.push_back(stats);
+    }
+
+    /// Record one completed job's lifecycle trace into the bounded ring.
+    fn record_trace(&self, trace: JobTrace) {
+        let mut ts = self.recent_traces.lock().unwrap();
+        if ts.len() == TRACE_CAP {
+            ts.pop_front();
+        }
+        ts.push_back(trace);
     }
 }
 
@@ -697,7 +782,8 @@ impl<const R: usize> WavefrontService<R> {
 
     /// A service with explicit sizing.
     pub fn with_config(cfg: ServiceConfig) -> Self {
-        let core = ExecCore::new(cfg.cache_capacity);
+        let metrics = Arc::new(Metrics::new(cfg.metrics));
+        let core = ExecCore::with_metrics(cfg.cache_capacity, metrics);
         core.pool().ensure_workers(cfg.workers);
         let mut state = QueueState {
             tenants: Vec::new(),
@@ -705,6 +791,8 @@ impl<const R: usize> WavefrontService<R> {
             global_pass: 0.0,
             next_seq: 0,
             closed: false,
+            unknown_rejected: 0,
+            blocked_submits: 0,
         };
         // The default tenant always exists at index 0; its queue bound
         // is the service-level `queue_capacity` (the pre-tenant
@@ -724,12 +812,10 @@ impl<const R: usize> WavefrontService<R> {
             default_tenant: cfg.default_tenant,
             auto_register: cfg.auto_register,
             core,
-            jobs_submitted: AtomicU64::new(0),
-            jobs_completed: AtomicU64::new(0),
-            jobs_rejected: AtomicU64::new(0),
-            blocked_submits: AtomicU64::new(0),
             dags_submitted: AtomicU64::new(0),
             dag_stats: Mutex::new(VecDeque::new()),
+            epoch: Instant::now(),
+            recent_traces: Mutex::new(VecDeque::new()),
         });
         let dispatcher = {
             let shared = Arc::clone(&shared);
@@ -803,13 +889,46 @@ impl<const R: usize> WavefrontService<R> {
     }
 
     /// Current counters (queue, cache, pool). Cheap; safe to poll.
+    ///
+    /// The queue-side counters come from one pass under the queue lock,
+    /// so the snapshot is coherent: [`ServiceStats::balanced`] holds for
+    /// every call, however much traffic is in flight.
     pub fn stats(&self) -> ServiceStats {
         let s = &self.shared;
+        let (submitted, completed, failed, rejected, blocked, queued, running) = {
+            let q = s.queue.lock().unwrap();
+            let mut submitted = 0u64;
+            let mut completed = 0u64;
+            let mut failed = 0u64;
+            let mut rejected = q.unknown_rejected;
+            let mut queued = 0usize;
+            let mut in_flight = 0usize;
+            for t in &q.tenants {
+                submitted += t.submitted;
+                completed += t.completed;
+                failed += t.failed;
+                rejected += t.rejected;
+                queued += t.jobs.len();
+                in_flight += t.in_flight;
+            }
+            (
+                submitted,
+                completed,
+                failed,
+                rejected,
+                q.blocked_submits,
+                queued as u64,
+                (in_flight - queued) as u64,
+            )
+        };
         ServiceStats {
-            jobs_submitted: s.jobs_submitted.load(Ordering::Relaxed),
-            jobs_completed: s.jobs_completed.load(Ordering::Relaxed),
-            jobs_rejected: s.jobs_rejected.load(Ordering::Relaxed),
-            blocked_submits: s.blocked_submits.load(Ordering::Relaxed),
+            jobs_submitted: submitted,
+            jobs_completed: completed,
+            jobs_failed: failed,
+            jobs_queued: queued,
+            jobs_running: running,
+            jobs_rejected: rejected,
+            blocked_submits: blocked,
             cache_hits: s.core.hits.load(Ordering::Relaxed),
             cache_misses: s.core.misses.load(Ordering::Relaxed),
             cache_entries: s.core.cache.lock().unwrap().len(),
@@ -832,12 +951,72 @@ impl<const R: usize> WavefrontService<R> {
     pub fn stats_json(&self) -> String {
         let tenants: Vec<String> = self.tenant_stats().iter().map(|t| t.to_json()).collect();
         let dags: Vec<String> = self.dag_stats().iter().map(|d| d.to_json()).collect();
-        format!(
-            "{{\"service\":{},\"tenants\":[{}],\"dags\":[{}]}}",
-            self.stats().to_json(),
-            tenants.join(","),
-            dags.join(",")
-        )
+        JsonObj::new()
+            .raw("service", &self.stats().to_json())
+            .arr("tenants", tenants)
+            .arr("dags", dags)
+            .finish()
+    }
+
+    /// The service's metrics registry (counters, gauges, per-stage
+    /// latency histograms). Disabled — every handle a no-op — when
+    /// [`ServiceConfig::metrics`] is off.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.shared.core.metrics)
+    }
+
+    /// Lifecycle traces of recently completed jobs, oldest first (a
+    /// bounded ring — the last [`TRACE_CAP`] jobs are retained). Empty
+    /// while metrics are disabled.
+    pub fn recent_traces(&self) -> Vec<JobTrace> {
+        self.shared.recent_traces.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Refresh the registry's snapshot-style series (service and tenant
+    /// counters, queue-depth gauges) from one coherent [`stats`] read.
+    /// Called by the exporters below; per-job series (histograms, reject
+    /// and fallback counters) are recorded live and need no sync.
+    ///
+    /// [`stats`]: WavefrontService::stats
+    fn sync_metrics(&self) {
+        let m = self.metrics();
+        if !m.enabled() {
+            return;
+        }
+        let s = self.stats();
+        m.set_counter("wavefront_jobs_submitted_total", s.jobs_submitted);
+        m.set_counter("wavefront_jobs_completed_total", s.jobs_completed);
+        m.set_counter("wavefront_jobs_failed_total", s.jobs_failed);
+        m.set_counter("wavefront_jobs_rejected_total", s.jobs_rejected);
+        m.set_counter("wavefront_blocked_submits_total", s.blocked_submits);
+        m.set_counter("wavefront_cache_hits_total", s.cache_hits);
+        m.set_counter("wavefront_cache_misses_total", s.cache_misses);
+        m.set_counter("wavefront_pool_spawns_total", s.pool_spawns);
+        m.set_counter("wavefront_dags_submitted_total", s.dags_submitted);
+        m.gauge("wavefront_cache_entries").set(s.cache_entries as i64);
+        m.gauge("wavefront_pool_workers").set(s.pool_workers as i64);
+        m.gauge("wavefront_jobs_queued").set(s.jobs_queued as i64);
+        m.gauge("wavefront_jobs_running").set(s.jobs_running as i64);
+        for t in self.tenant_stats() {
+            m.gauge(&format!("wavefront_queue_depth{{tenant={}}}", jstr(&t.tenant)))
+                .set(t.queued as i64);
+            m.gauge(&format!("wavefront_in_flight{{tenant={}}}", jstr(&t.tenant)))
+                .set(t.in_flight as i64);
+        }
+    }
+
+    /// Prometheus-style text exposition of the whole registry (the wire
+    /// `METRICS` frame's first payload).
+    pub fn metrics_prometheus(&self) -> String {
+        self.sync_metrics();
+        self.metrics().prometheus()
+    }
+
+    /// JSON dump of the whole registry (the wire `METRICS` frame's
+    /// second payload).
+    pub fn metrics_json(&self) -> String {
+        self.sync_metrics();
+        self.metrics().to_json()
     }
 }
 
@@ -878,7 +1057,8 @@ fn check_no_node_inputs<const R: usize>(spec: &JobSpec<R>) -> Result<(), Pipelin
 /// The blocking submission door; see [`WavefrontService::submit`]. A
 /// free function over [`Shared`] so the DAG runner (which holds only the
 /// shared state, not the service) submits through the same path.
-pub(crate) fn submit_on<const R: usize>(shared: &Shared<R>, spec: JobSpec<R>) -> JobHandle<R> {
+pub(crate) fn submit_on<const R: usize>(shared: &Shared<R>, mut spec: JobSpec<R>) -> JobHandle<R> {
+    spec.submitted_at.get_or_insert_with(Instant::now);
     let slot = Arc::new(Slot::new());
     if let Err(e) = check_no_node_inputs(&spec) {
         slot.fulfil(Err(e));
@@ -887,18 +1067,13 @@ pub(crate) fn submit_on<const R: usize>(shared: &Shared<R>, spec: JobSpec<R>) ->
     let tenant_name = spec.tenant_name().unwrap_or(DEFAULT_TENANT).to_string();
     let mut q = shared.queue.lock().unwrap();
     let Some(idx) = q.resolve(&tenant_name, &shared.default_tenant, shared.auto_register) else {
-        drop(q);
-        shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
-        slot.fulfil(Err(PipelineError::AdmissionDenied {
-            tenant: tenant_name,
-            reason: AdmissionReason::UnknownTenant,
-        }));
+        reject_unknown(shared, q, &slot, tenant_name);
         return JobHandle { slot };
     };
     {
         let t = &q.tenants[idx];
         if admission::admit(&t.cfg, t.jobs.len(), t.in_flight).is_err() {
-            shared.blocked_submits.fetch_add(1, Ordering::Relaxed);
+            q.blocked_submits += 1;
             loop {
                 let t = &q.tenants[idx];
                 if admission::admit(&t.cfg, t.jobs.len(), t.in_flight).is_ok() {
@@ -912,10 +1087,52 @@ pub(crate) fn submit_on<const R: usize>(shared: &Shared<R>, spec: JobSpec<R>) ->
     JobHandle { slot }
 }
 
+/// Resolve a submission whose tenant does not exist (and cannot be
+/// auto-registered): count it, bump the reject counter, fulfil typed.
+fn reject_unknown<const R: usize>(
+    shared: &Shared<R>,
+    mut q: MutexGuard<'_, QueueState<R>>,
+    slot: &Arc<Slot<R>>,
+    tenant_name: String,
+) {
+    q.unknown_rejected += 1;
+    drop(q);
+    count_reject(shared, &tenant_name, &AdmissionReason::UnknownTenant);
+    slot.fulfil(Err(PipelineError::AdmissionDenied {
+        tenant: tenant_name,
+        reason: AdmissionReason::UnknownTenant,
+    }));
+}
+
+/// Bump the per-tenant, per-reason admission-reject counter. Rejects
+/// are rare, so the registry's name lookup is fine here.
+fn count_reject<const R: usize>(shared: &Shared<R>, tenant: &str, reason: &AdmissionReason) {
+    if !shared.core.metrics.enabled() {
+        return;
+    }
+    let reason = match reason {
+        AdmissionReason::QueueFull { .. } => "queue_full",
+        AdmissionReason::InFlightLimit { .. } => "in_flight_limit",
+        AdmissionReason::UnknownTenant => "unknown_tenant",
+    };
+    shared
+        .core
+        .metrics
+        .counter(&format!(
+            "wavefront_admission_rejects_total{{tenant={},reason=\"{reason}\"}}",
+            jstr(tenant)
+        ))
+        .inc();
+}
+
 /// The non-blocking submission door; see
 /// [`WavefrontService::try_submit`]. Denials resolve the handle instead
 /// of blocking.
-pub(crate) fn try_submit_on<const R: usize>(shared: &Shared<R>, spec: JobSpec<R>) -> JobHandle<R> {
+pub(crate) fn try_submit_on<const R: usize>(
+    shared: &Shared<R>,
+    mut spec: JobSpec<R>,
+) -> JobHandle<R> {
+    spec.submitted_at.get_or_insert_with(Instant::now);
     let slot = Arc::new(Slot::new());
     if let Err(e) = check_no_node_inputs(&spec) {
         slot.fulfil(Err(e));
@@ -924,19 +1141,14 @@ pub(crate) fn try_submit_on<const R: usize>(shared: &Shared<R>, spec: JobSpec<R>
     let tenant_name = spec.tenant_name().unwrap_or(DEFAULT_TENANT).to_string();
     let mut q = shared.queue.lock().unwrap();
     let Some(idx) = q.resolve(&tenant_name, &shared.default_tenant, shared.auto_register) else {
-        drop(q);
-        shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
-        slot.fulfil(Err(PipelineError::AdmissionDenied {
-            tenant: tenant_name,
-            reason: AdmissionReason::UnknownTenant,
-        }));
+        reject_unknown(shared, q, &slot, tenant_name);
         return JobHandle { slot };
     };
     let t = &q.tenants[idx];
     if let Err(reason) = admission::admit(&t.cfg, t.jobs.len(), t.in_flight) {
         q.tenants[idx].rejected += 1;
         drop(q);
-        shared.jobs_rejected.fetch_add(1, Ordering::Relaxed);
+        count_reject(shared, &tenant_name, &reason);
         slot.fulfil(Err(PipelineError::AdmissionDenied {
             tenant: tenant_name,
             reason,
@@ -970,15 +1182,59 @@ fn enqueue_on<const R: usize>(
         seq,
         spec,
         slot: Arc::clone(slot),
+        admitted_at: Instant::now(),
     });
     t.in_flight += 1;
     t.submitted += 1;
     drop(q);
-    shared.jobs_submitted.fetch_add(1, Ordering::Relaxed);
     shared.not_empty.notify_one();
 }
 
+/// One tenant's per-stage latency histogram handles, resolved once and
+/// cached by the dispatcher so the per-job cost is a hash lookup plus
+/// atomic adds — not a registry lock per stage.
+struct StageHists {
+    admit: HistogramHandle,
+    queue: HistogramHandle,
+    exec: HistogramHandle,
+    prep: HistogramHandle,
+    run: HistogramHandle,
+    drain: HistogramHandle,
+    total: HistogramHandle,
+}
+
+impl StageHists {
+    fn new(m: &Metrics, tenant: &str) -> Self {
+        let h = |stage: &str| {
+            m.histogram(&format!(
+                "wavefront_stage_seconds{{tenant={},stage=\"{stage}\"}}",
+                jstr(tenant)
+            ))
+        };
+        StageHists {
+            admit: h("admit"),
+            queue: h("queue"),
+            exec: h("exec"),
+            prep: h("prep"),
+            run: h("run"),
+            drain: h("drain"),
+            total: h("total"),
+        }
+    }
+
+    fn record(&self, t: &JobTrace) {
+        self.admit.observe_seconds(t.admit_seconds);
+        self.queue.observe_seconds(t.queue_seconds);
+        self.exec.observe_seconds(t.exec_seconds);
+        self.prep.observe_seconds(t.prep_seconds);
+        self.run.observe_seconds(t.run_seconds);
+        self.drain.observe_seconds(t.drain_seconds);
+        self.total.observe_seconds(t.total_seconds);
+    }
+}
+
 fn dispatcher_loop<const R: usize>(shared: &Arc<Shared<R>>) {
+    let mut stage_hists: HashMap<String, StageHists> = HashMap::new();
     loop {
         let (idx, job) = {
             let mut q = shared.queue.lock().unwrap();
@@ -1005,6 +1261,7 @@ fn dispatcher_loop<const R: usize>(shared: &Arc<Shared<R>>) {
                     for t in q.tenants.iter_mut() {
                         while let Some(j) = t.jobs.pop_front() {
                             t.in_flight -= 1;
+                            t.failed += 1;
                             j.slot.fulfil(Err(PipelineError::InvalidJob {
                                 reason: "service shut down before the job's bound inputs \
                                          resolved"
@@ -1035,12 +1292,17 @@ fn dispatcher_loop<const R: usize>(shared: &Arc<Shared<R>>) {
         // single dispatcher serializes jobs, so the deltas are exact.
         let hits0 = shared.core.hits.load(Ordering::Relaxed);
         let misses0 = shared.core.misses.load(Ordering::Relaxed);
-        let started = Instant::now();
-        let result = match catch_unwind(AssertUnwindSafe(|| run_job(&shared.core, job.spec))) {
+        let trace_id = job.spec.trace_id;
+        let admitted_at = job.admitted_at;
+        let submitted_at = job.spec.submitted_at.unwrap_or(admitted_at);
+        let tenant = job.spec.tenant_name().unwrap_or(DEFAULT_TENANT).to_string();
+        let dispatched = Instant::now();
+        let mut result = match catch_unwind(AssertUnwindSafe(|| run_job(&shared.core, job.spec))) {
             Ok(r) => r,
             Err(payload) => Err(PipelineError::EnginePanic(panic_message(&payload))),
         };
-        let busy = started.elapsed().as_secs_f64();
+        let finished = Instant::now();
+        let busy = (finished - dispatched).as_secs_f64();
         let dhits = shared.core.hits.load(Ordering::Relaxed) - hits0;
         let dmisses = shared.core.misses.load(Ordering::Relaxed) - misses0;
 
@@ -1048,14 +1310,53 @@ fn dispatcher_loop<const R: usize>(shared: &Arc<Shared<R>>) {
             let mut q = shared.queue.lock().unwrap();
             let t = &mut q.tenants[idx];
             t.in_flight -= 1;
-            t.completed += 1;
+            match &result {
+                Ok(_) => t.completed += 1,
+                Err(_) => t.failed += 1,
+            }
             t.cache_hits += dhits;
             t.cache_misses += dmisses;
             t.busy_seconds += busy;
         }
         // In-flight slot freed; submitters blocked on the limit may retry.
         shared.not_full.notify_all();
-        shared.jobs_completed.fetch_add(1, Ordering::Relaxed);
+
+        // The job's lifecycle trace: monotonic spans, telescoping so
+        // admit + queue + exec + drain == total up to FP rounding.
+        let (prep_seconds, run_seconds) = match &result {
+            Ok(out) => (out.outcome.prep_seconds, out.outcome.run_seconds),
+            Err(_) => (0.0, 0.0),
+        };
+        let done = Instant::now();
+        let trace = JobTrace {
+            trace_id,
+            tenant,
+            start_seconds: submitted_at
+                .saturating_duration_since(shared.epoch)
+                .as_secs_f64(),
+            admit_seconds: (admitted_at - submitted_at).as_secs_f64(),
+            queue_seconds: (dispatched - admitted_at).as_secs_f64(),
+            exec_seconds: (finished - dispatched).as_secs_f64(),
+            prep_seconds,
+            run_seconds,
+            drain_seconds: (done - finished).as_secs_f64(),
+            total_seconds: (done - submitted_at).as_secs_f64(),
+        };
+        if let Ok(out) = result.as_mut() {
+            out.spans = Some(trace.clone());
+        }
+        if shared.core.metrics.enabled() {
+            // Steady-state alloc-free: the per-tenant handle bundle is
+            // cloned-keyed only on first sight of the tenant.
+            if !stage_hists.contains_key(&trace.tenant) {
+                stage_hists.insert(
+                    trace.tenant.clone(),
+                    StageHists::new(&shared.core.metrics, &trace.tenant),
+                );
+            }
+            stage_hists[&trace.tenant].record(&trace);
+            shared.record_trace(trace);
+        }
         job.slot.fulfil(result);
     }
 }
@@ -1151,6 +1452,8 @@ fn run_job<const R: usize>(
         priority: _,
         outputs,
         inputs,
+        trace_id: _,
+        submitted_at: _,
     } = spec;
 
     for b in &inputs {
@@ -1242,5 +1545,6 @@ fn run_job<const R: usize>(
         store,
         outputs: published,
         trace: trace_collector.map(|tc| tc.report()),
+        spans: None,
     })
 }

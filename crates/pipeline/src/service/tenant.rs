@@ -18,7 +18,7 @@ use std::sync::Arc;
 
 use crate::service::admission::TenantConfig;
 use crate::service::job::{JobSpec, Slot, SourceKind};
-use crate::telemetry::report::{jnum, jstr};
+use crate::telemetry::json::JsonObj;
 
 /// One queued job: its intra-tenant priority, an admission sequence
 /// number (FIFO tiebreak), and the spec/slot pair.
@@ -27,6 +27,9 @@ pub(crate) struct QueuedJob<const R: usize> {
     pub seq: u64,
     pub spec: JobSpec<R>,
     pub slot: Arc<Slot<R>>,
+    /// When admission finished and the job entered the queue (the
+    /// admitted → dispatched span of its [`crate::service::JobTrace`]).
+    pub admitted_at: std::time::Instant,
 }
 
 impl<const R: usize> QueuedJob<R> {
@@ -55,6 +58,9 @@ pub(crate) struct TenantQueue<const R: usize> {
     pub submitted: u64,
     pub rejected: u64,
     pub completed: u64,
+    /// Jobs whose handles resolved to an error (execution failure,
+    /// dependency failure, or shutdown before dispatch).
+    pub failed: u64,
     pub cache_hits: u64,
     pub cache_misses: u64,
     /// Dispatcher seconds spent running this tenant's jobs.
@@ -72,6 +78,7 @@ impl<const R: usize> TenantQueue<R> {
             submitted: 0,
             rejected: 0,
             completed: 0,
+            failed: 0,
             cache_hits: 0,
             cache_misses: 0,
             busy_seconds: 0.0,
@@ -110,6 +117,7 @@ impl<const R: usize> TenantQueue<R> {
             jobs_submitted: self.submitted,
             jobs_rejected: self.rejected,
             jobs_completed: self.completed,
+            jobs_failed: self.failed,
             cache_hits: self.cache_hits,
             cache_misses: self.cache_misses,
             busy_seconds: self.busy_seconds,
@@ -148,8 +156,10 @@ pub struct TenantStats {
     pub jobs_submitted: u64,
     /// Submissions denied by admission control (typed, never silent).
     pub jobs_rejected: u64,
-    /// Jobs whose handles have been fulfilled.
+    /// Jobs whose handles resolved successfully.
     pub jobs_completed: u64,
+    /// Jobs whose handles resolved to an error.
+    pub jobs_failed: u64,
     /// Compiled-plan cache hits attributed to this tenant's jobs.
     pub cache_hits: u64,
     /// Compiled-plan cache misses attributed to this tenant's jobs.
@@ -162,21 +172,19 @@ impl TenantStats {
     /// Serialize as a self-contained JSON object (the one stats-export
     /// path shared by `wlc serve --stats` and the bench bins).
     pub fn to_json(&self) -> String {
-        format!(
-            "{{\"tenant\":{},\"weight\":{},\"queued\":{},\"in_flight\":{},\
-             \"jobs_submitted\":{},\"jobs_rejected\":{},\"jobs_completed\":{},\
-             \"cache_hits\":{},\"cache_misses\":{},\"busy_seconds\":{}}}",
-            jstr(&self.tenant),
-            jnum(self.weight),
-            self.queued,
-            self.in_flight,
-            self.jobs_submitted,
-            self.jobs_rejected,
-            self.jobs_completed,
-            self.cache_hits,
-            self.cache_misses,
-            jnum(self.busy_seconds),
-        )
+        JsonObj::new()
+            .str("tenant", &self.tenant)
+            .num("weight", self.weight)
+            .uint("queued", self.queued as u64)
+            .uint("in_flight", self.in_flight as u64)
+            .uint("jobs_submitted", self.jobs_submitted)
+            .uint("jobs_rejected", self.jobs_rejected)
+            .uint("jobs_completed", self.jobs_completed)
+            .uint("jobs_failed", self.jobs_failed)
+            .uint("cache_hits", self.cache_hits)
+            .uint("cache_misses", self.cache_misses)
+            .num("busy_seconds", self.busy_seconds)
+            .finish()
     }
 }
 
@@ -202,6 +210,7 @@ mod tests {
             seq,
             spec,
             slot: Arc::new(Slot::new()),
+            admitted_at: std::time::Instant::now(),
         }
     }
 

@@ -30,17 +30,26 @@
 //! | 8 | client → server | `SUBMIT_DAG`: a job graph in one frame |
 //! | 9 | server → client | `DAG_RESULT`: per-node results + stats |
 //! | 10 | both | `HELLO` version handshake |
+//! | 11 | client → server | `METRICS` request (protocol v3) |
+//! | 12 | server → client | `METRICS` reply: Prometheus text + JSON |
 //!
 //! ## Protocol version
 //!
 //! The protocol is versioned by [`PROTOCOL_VERSION`]. Version 1 is
 //! opcodes 1–7; version 2 added the DAG opcodes (8–9) and the `HELLO`
-//! handshake (10). A client opens with `HELLO` carrying its version as
-//! a `u16`; the server echoes a `HELLO` with its own version and both
-//! sides proceed at the smaller of the two. The handshake is optional —
-//! v1 frames work without it — and a v1 server answers `HELLO` with a
-//! typed "unknown opcode" `ERROR`, which a v2 client treats as
-//! "server speaks version 1" (see [`WireClient::hello`]).
+//! handshake (10). Version 3 adds observability: `SUBMIT`/`SUBMIT_DAG`
+//! carry an optional client trace ID, `RESULT`/`DAG_RESULT` append the
+//! job's lifecycle span breakdown ([`crate::service::JobTrace`]), and
+//! the `METRICS` opcodes (11–12) scrape the server's registry. A client
+//! opens with `HELLO` carrying its version as a `u16`; the server
+//! echoes a `HELLO` with its own version and both sides proceed at the
+//! smaller of the two. The handshake is optional — pre-v3 frames work
+//! without it, and a connection that never handshakes is treated as v2,
+//! so the version-gated fields stay off the wire. A v1 server answers
+//! `HELLO` with a typed "unknown opcode" `ERROR`, which a newer client
+//! treats as "server speaks version 1" (see [`WireClient::hello`]);
+//! likewise a v2 server answers `METRICS` with that typed error, so
+//! mixed-version pairs degrade gracefully instead of desyncing.
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -58,12 +67,12 @@ use crate::service::dag::{DagSpec, NodeRef};
 use crate::service::fingerprint::fnv1a;
 use crate::service::job::JobSpec;
 use crate::service::scheduler::SchedulerKind;
-use crate::service::{JobTopology, WavefrontService};
+use crate::service::{JobTopology, JobTrace, WavefrontService};
 use crate::telemetry::{EngineKind, TimeUnit};
 
 /// Version of the wire protocol this build speaks (see the module docs
 /// for the per-version opcode history).
-pub const PROTOCOL_VERSION: u16 = 2;
+pub const PROTOCOL_VERSION: u16 = 3;
 
 const OP_SUBMIT: u8 = 1;
 const OP_RESULT: u8 = 2;
@@ -75,6 +84,8 @@ const OP_OK: u8 = 7;
 const OP_SUBMIT_DAG: u8 = 8;
 const OP_DAG_RESULT: u8 = 9;
 const OP_HELLO: u8 = 10;
+const OP_METRICS_REQ: u8 = 11;
+const OP_METRICS: u8 = 12;
 
 const ERR_ADMISSION: u8 = 1;
 const ERR_PROTOCOL: u8 = 2;
@@ -99,6 +110,11 @@ pub struct ServeConfig {
     /// text + constant bindings) so repeated submissions skip the
     /// front end.
     pub program_cache: usize,
+    /// Highest protocol version this server speaks (capped at
+    /// [`PROTOCOL_VERSION`]). Lowering it to 2 makes the server behave
+    /// exactly like a pre-observability build — the compat tests use
+    /// this to pin the mixed-version degradation paths.
+    pub protocol_version: u16,
 }
 
 impl Default for ServeConfig {
@@ -107,6 +123,7 @@ impl Default for ServeConfig {
             max_frame: 64 << 20,
             allow_shutdown: false,
             program_cache: 32,
+            protocol_version: PROTOCOL_VERSION,
         }
     }
 }
@@ -176,6 +193,9 @@ pub struct WireRequest {
     pub arrays: Vec<(String, Vec<f64>)>,
     /// Names of the arrays to return after the run.
     pub returns: Vec<String>,
+    /// Client-supplied trace ID, echoed back inside the reply's span
+    /// breakdown (protocol v3; dropped silently on a v2 connection).
+    pub trace_id: Option<u64>,
 }
 
 impl WireRequest {
@@ -197,6 +217,7 @@ impl WireRequest {
             source: source.into(),
             arrays: Vec::new(),
             returns: Vec::new(),
+            trace_id: None,
         }
     }
 }
@@ -219,6 +240,9 @@ pub struct WireResponse {
     pub block: u32,
     /// The requested output arrays, values in canonical bounds order.
     pub arrays: Vec<(String, Vec<f64>)>,
+    /// The job's lifecycle span breakdown, carrying the client-supplied
+    /// trace ID (protocol v3; `None` on a v2 connection).
+    pub spans: Option<JobTrace>,
 }
 
 /// One node of a [`WireDagRequest`]: an ordinary submit payload plus
@@ -246,6 +270,9 @@ pub struct WireDagRequest {
     pub scheduler: String,
     /// The nodes, in index order.
     pub nodes: Vec<WireDagNode>,
+    /// Client-supplied trace ID applied to every node that carries no
+    /// trace ID of its own (protocol v3).
+    pub trace_id: Option<u64>,
 }
 
 /// One `DAG_RESULT` reply: per-node typed results plus the run's
@@ -431,15 +458,35 @@ impl<'a> Dec<'a> {
     }
 }
 
-fn encode_submit(req: &WireRequest) -> Result<Vec<u8>, PipelineError> {
+fn encode_submit(req: &WireRequest, version: u16) -> Result<Vec<u8>, PipelineError> {
     let mut e = Enc::new(OP_SUBMIT);
-    encode_submit_body(&mut e, req)?;
+    encode_submit_body(&mut e, req, version)?;
     Ok(e.buf)
 }
 
+/// Append a version-3 optional `u64` (presence flag, then the value).
+fn enc_opt_u64(e: &mut Enc, v: Option<u64>) {
+    match v {
+        Some(v) => {
+            e.u8(1);
+            e.u64(v);
+        }
+        None => e.u8(0),
+    }
+}
+
+/// Read a version-3 optional `u64`.
+fn dec_opt_u64(d: &mut Dec<'_>, what: &str) -> Result<Option<u64>, PipelineError> {
+    Ok(match d.u8(what)? {
+        0 => None,
+        _ => Some(d.u64(what)?),
+    })
+}
+
 /// The `SUBMIT` payload minus the opcode — shared verbatim by
-/// `SUBMIT_DAG` nodes.
-fn encode_submit_body(e: &mut Enc, req: &WireRequest) -> Result<(), PipelineError> {
+/// `SUBMIT_DAG` nodes. Fields added by protocol v3 are appended only
+/// when the negotiated `version` allows, so a v2 peer never sees them.
+fn encode_submit_body(e: &mut Enc, req: &WireRequest, version: u16) -> Result<(), PipelineError> {
     e.str(&req.tenant);
     e.u8(req.priority);
     e.u8(req.rank);
@@ -493,16 +540,19 @@ fn encode_submit_body(e: &mut Enc, req: &WireRequest) -> Result<(), PipelineErro
     for name in &req.returns {
         e.str(name);
     }
+    if version >= 3 {
+        enc_opt_u64(e, req.trace_id);
+    }
     Ok(())
 }
 
-fn decode_submit(d: &mut Dec<'_>) -> Result<WireRequest, PipelineError> {
-    let req = decode_submit_body(d)?;
+fn decode_submit(d: &mut Dec<'_>, version: u16) -> Result<WireRequest, PipelineError> {
+    let req = decode_submit_body(d, version)?;
     d.done()?;
     Ok(req)
 }
 
-fn decode_submit_body(d: &mut Dec<'_>) -> Result<WireRequest, PipelineError> {
+fn decode_submit_body(d: &mut Dec<'_>, version: u16) -> Result<WireRequest, PipelineError> {
     let tenant = d.str("tenant")?;
     let priority = d.u8("priority")?;
     let rank = d.u8("rank")?;
@@ -564,6 +614,11 @@ fn decode_submit_body(d: &mut Dec<'_>) -> Result<WireRequest, PipelineError> {
     for _ in 0..n_returns {
         returns.push(d.str("return name")?);
     }
+    let trace_id = if version >= 3 {
+        dec_opt_u64(d, "trace id")?
+    } else {
+        None
+    };
     Ok(WireRequest {
         tenant,
         priority,
@@ -578,18 +633,19 @@ fn decode_submit_body(d: &mut Dec<'_>) -> Result<WireRequest, PipelineError> {
         source,
         arrays,
         returns,
+        trace_id,
     })
 }
 
-fn encode_result(resp: &WireResponse) -> Vec<u8> {
+fn encode_result(resp: &WireResponse, version: u16) -> Vec<u8> {
     let mut e = Enc::new(OP_RESULT);
-    encode_result_body(&mut e, resp);
+    encode_result_body(&mut e, resp, version);
     e.buf
 }
 
 /// The `RESULT` payload minus the opcode — shared by `DAG_RESULT`
-/// node entries.
-fn encode_result_body(e: &mut Enc, resp: &WireResponse) {
+/// node entries. Protocol v3 appends the span breakdown.
+fn encode_result_body(e: &mut Enc, resp: &WireResponse, version: u16) {
     e.f64(resp.makespan);
     e.u8(match resp.time_unit {
         TimeUnit::ModelUnits => 0,
@@ -604,15 +660,37 @@ fn encode_result_body(e: &mut Enc, resp: &WireResponse) {
         e.str(name);
         e.floats(values);
     }
+    if version >= 3 {
+        match &resp.spans {
+            Some(t) => {
+                e.u8(1);
+                enc_opt_u64(e, t.trace_id);
+                e.str(&t.tenant);
+                for v in [
+                    t.start_seconds,
+                    t.admit_seconds,
+                    t.queue_seconds,
+                    t.exec_seconds,
+                    t.prep_seconds,
+                    t.run_seconds,
+                    t.drain_seconds,
+                    t.total_seconds,
+                ] {
+                    e.f64(v);
+                }
+            }
+            None => e.u8(0),
+        }
+    }
 }
 
-fn decode_result(d: &mut Dec<'_>) -> Result<WireResponse, PipelineError> {
-    let resp = decode_result_body(d)?;
+fn decode_result(d: &mut Dec<'_>, version: u16) -> Result<WireResponse, PipelineError> {
+    let resp = decode_result_body(d, version)?;
     d.done()?;
     Ok(resp)
 }
 
-fn decode_result_body(d: &mut Dec<'_>) -> Result<WireResponse, PipelineError> {
+fn decode_result_body(d: &mut Dec<'_>, version: u16) -> Result<WireResponse, PipelineError> {
     let makespan = d.f64("makespan")?;
     let time_unit = match d.u8("time unit")? {
         0 => TimeUnit::ModelUnits,
@@ -634,6 +712,31 @@ fn decode_result_body(d: &mut Dec<'_>) -> Result<WireResponse, PipelineError> {
         let values = d.floats("array values")?;
         arrays.push((name, values));
     }
+    let spans = if version >= 3 && d.u8("spans flag")? != 0 {
+        let trace_id = dec_opt_u64(d, "span trace id")?;
+        let tenant = d.str("span tenant")?;
+        let mut f = [0.0f64; 8];
+        for (v, what) in f.iter_mut().zip([
+            "span start", "span admit", "span queue", "span exec", "span prep", "span run",
+            "span drain", "span total",
+        ]) {
+            *v = d.f64(what)?;
+        }
+        Some(JobTrace {
+            trace_id,
+            tenant,
+            start_seconds: f[0],
+            admit_seconds: f[1],
+            queue_seconds: f[2],
+            exec_seconds: f[3],
+            prep_seconds: f[4],
+            run_seconds: f[5],
+            drain_seconds: f[6],
+            total_seconds: f[7],
+        })
+    } else {
+        None
+    };
     Ok(WireResponse {
         makespan,
         time_unit,
@@ -642,6 +745,7 @@ fn decode_result_body(d: &mut Dec<'_>) -> Result<WireResponse, PipelineError> {
         messages,
         block,
         arrays,
+        spans,
     })
 }
 
@@ -736,7 +840,7 @@ fn decode_error(d: &mut Dec<'_>) -> Result<PipelineError, PipelineError> {
     })
 }
 
-fn encode_submit_dag(req: &WireDagRequest) -> Result<Vec<u8>, PipelineError> {
+fn encode_submit_dag(req: &WireDagRequest, version: u16) -> Result<Vec<u8>, PipelineError> {
     let mut e = Enc::new(OP_SUBMIT_DAG);
     e.str(&req.tenant);
     e.str(&req.scheduler);
@@ -748,12 +852,15 @@ fn encode_submit_dag(req: &WireDagRequest) -> Result<Vec<u8>, PipelineError> {
             e.u32(*from);
             e.str(name);
         }
-        encode_submit_body(&mut e, &node.request)?;
+        encode_submit_body(&mut e, &node.request, version)?;
+    }
+    if version >= 3 {
+        enc_opt_u64(&mut e, req.trace_id);
     }
     Ok(e.buf)
 }
 
-fn decode_submit_dag(d: &mut Dec<'_>) -> Result<WireDagRequest, PipelineError> {
+fn decode_submit_dag(d: &mut Dec<'_>, version: u16) -> Result<WireDagRequest, PipelineError> {
     let tenant = d.str("dag tenant")?;
     let scheduler = d.str("dag scheduler")?;
     let n = d.u16("dag node count")?;
@@ -767,22 +874,28 @@ fn decode_submit_dag(d: &mut Dec<'_>) -> Result<WireDagRequest, PipelineError> {
             let name = d.str("input array name")?;
             inputs.push((from, name));
         }
-        let request = decode_submit_body(d)?;
+        let request = decode_submit_body(d, version)?;
         nodes.push(WireDagNode {
             label,
             request,
             inputs,
         });
     }
+    let trace_id = if version >= 3 {
+        dec_opt_u64(d, "dag trace id")?
+    } else {
+        None
+    };
     d.done()?;
     Ok(WireDagRequest {
         tenant,
         scheduler,
         nodes,
+        trace_id,
     })
 }
 
-fn encode_dag_result(resp: &WireDagResponse) -> Vec<u8> {
+fn encode_dag_result(resp: &WireDagResponse, version: u16) -> Vec<u8> {
     let mut e = Enc::new(OP_DAG_RESULT);
     e.str(&resp.stats_json);
     e.u16(resp.nodes.len() as u16);
@@ -791,7 +904,7 @@ fn encode_dag_result(resp: &WireDagResponse) -> Vec<u8> {
         match result {
             Ok(r) => {
                 e.u8(1);
-                encode_result_body(&mut e, r);
+                encode_result_body(&mut e, r, version);
             }
             Err(err) => {
                 e.u8(0);
@@ -802,7 +915,7 @@ fn encode_dag_result(resp: &WireDagResponse) -> Vec<u8> {
     e.buf
 }
 
-fn decode_dag_result(d: &mut Dec<'_>) -> Result<WireDagResponse, PipelineError> {
+fn decode_dag_result(d: &mut Dec<'_>, version: u16) -> Result<WireDagResponse, PipelineError> {
     let stats_json = d.str("dag stats json")?;
     let n = d.u16("dag node count")?;
     let mut nodes = Vec::with_capacity(n as usize);
@@ -810,7 +923,7 @@ fn decode_dag_result(d: &mut Dec<'_>) -> Result<WireDagResponse, PipelineError> 
         let label = d.str("node label")?;
         let result = match d.u8("node ok flag")? {
             0 => Err(decode_error(d)?),
-            _ => Ok(decode_result_body(d)?),
+            _ => Ok(decode_result_body(d, version)?),
         };
         nodes.push((label, result));
     }
@@ -878,6 +991,10 @@ impl<const R: usize> WireServer<R> {
                 }
                 match stream {
                     Ok(stream) => {
+                        // Request/response framing: Nagle would hold the
+                        // tail of any multi-segment reply hostage to the
+                        // peer's delayed ACK (~40 ms worst case).
+                        stream.set_nodelay(true).ok();
                         if let Ok(dup) = stream.try_clone() {
                             self.conns.lock().unwrap().push(dup);
                         }
@@ -903,7 +1020,17 @@ impl<const R: usize> WireServer<R> {
         }
     }
 
+    /// The highest version this server instance speaks: the configured
+    /// cap, never above what the build knows.
+    fn served_version(&self) -> u16 {
+        self.cfg.protocol_version.min(PROTOCOL_VERSION)
+    }
+
     fn drive_connection(&self, mut stream: TcpStream, local: std::net::SocketAddr) {
+        // Until a HELLO negotiates otherwise, the connection runs at v2:
+        // pre-v3 clients never handshake, and their frames must keep
+        // decoding without the v3 tail fields.
+        let mut version: u16 = self.served_version().min(2);
         loop {
             let payload = match read_frame(&mut stream, self.cfg.max_frame) {
                 Ok(Some(p)) => p,
@@ -918,31 +1045,39 @@ impl<const R: usize> WireServer<R> {
             };
             let mut d = Dec::new(&payload);
             let reply = match d.u8("opcode") {
-                Ok(OP_SUBMIT) => match decode_submit(&mut d) {
+                Ok(OP_SUBMIT) => match decode_submit(&mut d, version) {
                     Ok(req) => match self.run_submit(req) {
-                        Ok(resp) => encode_result(&resp),
+                        Ok(resp) => encode_result(&resp, version),
                         Err(e) => encode_error(&e),
                     },
                     Err(e) => encode_error(&e),
                 },
-                Ok(OP_SUBMIT_DAG) => match decode_submit_dag(&mut d) {
+                Ok(OP_SUBMIT_DAG) => match decode_submit_dag(&mut d, version) {
                     Ok(req) => match self.run_submit_dag(req) {
-                        Ok(resp) => encode_dag_result(&resp),
+                        Ok(resp) => encode_dag_result(&resp, version),
                         Err(e) => encode_error(&e),
                     },
                     Err(e) => encode_error(&e),
                 },
                 Ok(OP_HELLO) => {
-                    // Accept any client version; reply with ours and let
-                    // the client pick the common subset (module docs).
+                    // Accept any client version; reply with ours, and run
+                    // the rest of the connection at the smaller of the
+                    // two (module docs).
                     match d.u16("client protocol version") {
-                        Ok(_) => {
+                        Ok(client) => {
+                            version = client.min(self.served_version());
                             let mut e = Enc::new(OP_HELLO);
-                            e.u16(PROTOCOL_VERSION);
+                            e.u16(self.served_version());
                             e.buf
                         }
                         Err(e) => encode_error(&e),
                     }
+                }
+                Ok(OP_METRICS_REQ) if self.served_version() >= 3 => {
+                    let mut e = Enc::new(OP_METRICS);
+                    e.str(&self.service.metrics_prometheus());
+                    e.str(&self.service.metrics_json());
+                    e.buf
                 }
                 Ok(OP_STATS_REQ) => {
                     let mut e = Enc::new(OP_STATS);
@@ -982,12 +1117,15 @@ impl<const R: usize> WireServer<R> {
     /// Compile and bind one request into a [`JobSpec`] (shared by
     /// `SUBMIT` and each `SUBMIT_DAG` node). `tenant_override`
     /// (non-empty) replaces the request's own tenant; `inputs` become
-    /// node-indexed bindings resolved by the DAG runner.
+    /// node-indexed bindings resolved by the DAG runner; `trace_id`
+    /// (already resolved against any DAG-level fallback) tags the job's
+    /// lifecycle spans.
     fn prepare_spec(
         &self,
         req: &WireRequest,
         tenant_override: &str,
         inputs: &[(u32, String)],
+        trace_id: Option<u64>,
     ) -> Result<JobSpec<R>, PipelineError> {
         if req.rank as usize != R {
             return Err(PipelineError::ProtocolError {
@@ -1049,6 +1187,9 @@ impl<const R: usize> WireServer<R> {
         if !tenant.is_empty() {
             builder = builder.tenant(tenant.to_string());
         }
+        if let Some(id) = trace_id {
+            builder = builder.trace_id(id);
+        }
         for (from, name) in inputs {
             builder = builder.input_from(
                 NodeRef {
@@ -1082,13 +1223,14 @@ impl<const R: usize> WireServer<R> {
             messages: out.outcome.messages as u64,
             block: out.outcome.block as u32,
             arrays,
+            spans: out.spans.take(),
         })
     }
 
     /// Compile (with the source cache), bind arrays, submit through
     /// admission, and wait for the outcome.
     fn run_submit(&self, req: WireRequest) -> Result<WireResponse, PipelineError> {
-        let spec = self.prepare_spec(&req, "", &[])?;
+        let spec = self.prepare_spec(&req, "", &[], req.trace_id)?;
         let out = self.service.try_submit(spec).wait()?;
         Self::marshal_response(out, &req.returns)
     }
@@ -1109,7 +1251,10 @@ impl<const R: usize> WireServer<R> {
         let mut builder = DagSpec::builder();
         builder.scheduler(kind);
         for node in &req.nodes {
-            let spec = self.prepare_spec(&node.request, &req.tenant, &node.inputs)?;
+            // A node without its own trace ID inherits the DAG-level one,
+            // so one client ID tags every span in the graph.
+            let trace = node.request.trace_id.or(req.trace_id);
+            let spec = self.prepare_spec(&node.request, &req.tenant, &node.inputs, trace)?;
             builder.add_labeled(node.label.clone(), spec);
         }
         let outcome = self.service.submit_dag(builder.build()?).wait();
@@ -1209,6 +1354,10 @@ fn lookup_array<const R: usize>(
 pub struct WireClient<S: Read + Write> {
     stream: S,
     max_frame: u32,
+    /// The negotiated protocol version, `None` until the first
+    /// handshake. Submissions trigger one lazily so v3 fields are only
+    /// sent to servers that understand them.
+    version: Option<u16>,
 }
 
 impl WireClient<TcpStream> {
@@ -1219,6 +1368,7 @@ impl WireClient<TcpStream> {
         Ok(WireClient {
             stream,
             max_frame: ServeConfig::default().max_frame,
+            version: None,
         })
     }
 }
@@ -1230,6 +1380,7 @@ impl<S: Read + Write> WireClient<S> {
         WireClient {
             stream,
             max_frame: ServeConfig::default().max_frame,
+            version: None,
         }
     }
 
@@ -1240,14 +1391,33 @@ impl<S: Read + Write> WireClient<S> {
         })
     }
 
+    /// Pin the codec version without a handshake — the tests' hook for
+    /// emulating an old client against a new server (and vice versa).
+    pub fn force_version(&mut self, version: u16) {
+        self.version = Some(version.min(PROTOCOL_VERSION));
+    }
+
+    /// Negotiate once and cache the result: the smaller of our
+    /// [`PROTOCOL_VERSION`] and the server's.
+    fn ensure_hello(&mut self) -> Result<u16, PipelineError> {
+        if let Some(v) = self.version {
+            return Ok(v);
+        }
+        let server = self.hello()?;
+        let v = server.min(PROTOCOL_VERSION);
+        self.version = Some(v);
+        Ok(v)
+    }
+
     /// Submit one job and wait for its result. Server-side failures
     /// come back as the same typed [`PipelineError`] values the
     /// in-process API produces.
     pub fn submit(&mut self, req: &WireRequest) -> Result<WireResponse, PipelineError> {
-        let reply = self.roundtrip(&encode_submit(req)?)?;
+        let version = self.ensure_hello()?;
+        let reply = self.roundtrip(&encode_submit(req, version)?)?;
         let mut d = Dec::new(&reply);
         match d.u8("opcode")? {
-            OP_RESULT => decode_result(&mut d),
+            OP_RESULT => decode_result(&mut d, version),
             OP_ERROR => Err(decode_error(&mut d)?),
             op => Err(PipelineError::ProtocolError {
                 reason: format!("unexpected reply opcode {op}"),
@@ -1255,15 +1425,16 @@ impl<S: Read + Write> WireClient<S> {
         }
     }
 
-    /// Submit a whole job graph in one frame (protocol version 2) and
-    /// wait for every node. Graph-level rejections (unknown scheduler,
-    /// cycle, bad edge) surface as this call's error; per-node failures
-    /// come back typed inside [`WireDagResponse::nodes`].
+    /// Submit a whole job graph in one frame and wait for every node.
+    /// Graph-level rejections (unknown scheduler, cycle, bad edge)
+    /// surface as this call's error; per-node failures come back typed
+    /// inside [`WireDagResponse::nodes`].
     pub fn submit_dag(&mut self, req: &WireDagRequest) -> Result<WireDagResponse, PipelineError> {
-        let reply = self.roundtrip(&encode_submit_dag(req)?)?;
+        let version = self.ensure_hello()?;
+        let reply = self.roundtrip(&encode_submit_dag(req, version)?)?;
         let mut d = Dec::new(&reply);
         match d.u8("opcode")? {
-            OP_DAG_RESULT => decode_dag_result(&mut d),
+            OP_DAG_RESULT => decode_dag_result(&mut d, version),
             OP_ERROR => Err(decode_error(&mut d)?),
             op => Err(PipelineError::ProtocolError {
                 reason: format!("unexpected reply opcode {op}"),
@@ -1280,16 +1451,45 @@ impl<S: Read + Write> WireClient<S> {
         e.u16(PROTOCOL_VERSION);
         let reply = self.roundtrip(&e.buf)?;
         let mut d = Dec::new(&reply);
-        match d.u8("opcode")? {
-            OP_HELLO => d.u16("server protocol version"),
+        let server = match d.u8("opcode")? {
+            OP_HELLO => d.u16("server protocol version")?,
             OP_ERROR => match decode_error(&mut d)? {
                 PipelineError::ProtocolError { reason }
                     if reason.contains("unknown opcode") =>
                 {
-                    Ok(1)
+                    1
                 }
-                e => Err(e),
+                e => return Err(e),
             },
+            op => {
+                return Err(PipelineError::ProtocolError {
+                    reason: format!("unexpected reply opcode {op}"),
+                })
+            }
+        };
+        self.version = Some(server.min(PROTOCOL_VERSION));
+        Ok(server)
+    }
+
+    /// Fetch the server's metrics registry as a
+    /// `(prometheus_text, json)` pair. Requires a protocol-version-3
+    /// server; older servers answer with a typed protocol error.
+    pub fn metrics(&mut self) -> Result<(String, String), PipelineError> {
+        let version = self.ensure_hello()?;
+        if version < 3 {
+            return Err(PipelineError::ProtocolError {
+                reason: format!("server speaks protocol v{version}; METRICS needs v3"),
+            });
+        }
+        let reply = self.roundtrip(&[OP_METRICS_REQ])?;
+        let mut d = Dec::new(&reply);
+        match d.u8("opcode")? {
+            OP_METRICS => {
+                let prom = d.str("metrics prometheus text")?;
+                let json = d.str("metrics json")?;
+                Ok((prom, json))
+            }
+            OP_ERROR => Err(decode_error(&mut d)?),
             op => Err(PipelineError::ProtocolError {
                 reason: format!("unexpected reply opcode {op}"),
             }),
@@ -1349,16 +1549,33 @@ mod tests {
             source: "var a : [1..n] float;".into(),
             arrays: vec![("a".into(), vec![1.0, -2.5, f64::NAN])],
             returns: vec!["a".into()],
+            trace_id: Some(0xDEAD_BEEF_CAFE),
+        }
+    }
+
+    fn sample_trace() -> JobTrace {
+        JobTrace {
+            trace_id: Some(0xDEAD_BEEF_CAFE),
+            tenant: "acme".into(),
+            start_seconds: 1.5,
+            admit_seconds: 0.001,
+            queue_seconds: 0.002,
+            exec_seconds: 0.25,
+            prep_seconds: 0.05,
+            run_seconds: 0.2,
+            drain_seconds: 0.0005,
+            total_seconds: 0.2535,
         }
     }
 
     #[test]
     fn submit_roundtrips_through_the_codec() {
-        let frame = encode_submit(&sample_request()).unwrap();
+        let frame = encode_submit(&sample_request(), PROTOCOL_VERSION).unwrap();
         let mut d = Dec::new(&frame);
         assert_eq!(d.u8("op").unwrap(), OP_SUBMIT);
-        let got = decode_submit(&mut d).unwrap();
+        let got = decode_submit(&mut d, PROTOCOL_VERSION).unwrap();
         let want = sample_request();
+        assert_eq!(got.trace_id, want.trace_id);
         assert_eq!(got.tenant, want.tenant);
         assert_eq!(got.priority, want.priority);
         assert_eq!(got.rank, want.rank);
@@ -1376,12 +1593,36 @@ mod tests {
     }
 
     #[test]
+    fn v2_submit_frames_drop_the_trace_id() {
+        // A v3 client talking to a v2 server encodes at the negotiated
+        // version, so the trace ID never reaches the wire.
+        let frame = encode_submit(&sample_request(), 2).unwrap();
+        let mut d = Dec::new(&frame);
+        assert_eq!(d.u8("op").unwrap(), OP_SUBMIT);
+        let got = decode_submit(&mut d, 2).unwrap();
+        assert_eq!(got.trace_id, None);
+        assert_eq!(got.tenant, "acme");
+    }
+
+    #[test]
+    fn v3_submit_frames_reject_a_v2_decoder() {
+        // The trace-ID tail is trailing garbage to a version-2 reader —
+        // the decoder's exhaustiveness check catches the mismatch.
+        let frame = encode_submit(&sample_request(), 3).unwrap();
+        let mut d = Dec::new(&frame);
+        let _ = d.u8("op");
+        let err = decode_submit(&mut d, 2).expect_err("v3 tail must fail a v2 decode");
+        assert!(matches!(err, PipelineError::ProtocolError { .. }));
+    }
+
+    #[test]
     fn truncated_submit_is_a_typed_protocol_error() {
-        let frame = encode_submit(&sample_request()).unwrap();
+        let frame = encode_submit(&sample_request(), PROTOCOL_VERSION).unwrap();
         for cut in [1, 5, frame.len() / 2, frame.len() - 1] {
             let mut d = Dec::new(&frame[..cut]);
             let _ = d.u8("op");
-            let err = decode_submit(&mut d).expect_err("truncation must fail");
+            let err =
+                decode_submit(&mut d, PROTOCOL_VERSION).expect_err("truncation must fail");
             assert!(
                 matches!(err, PipelineError::ProtocolError { .. }),
                 "cut at {cut}: got {err:?}"
@@ -1391,11 +1632,12 @@ mod tests {
 
     #[test]
     fn trailing_garbage_is_rejected() {
-        let mut frame = encode_submit(&sample_request()).unwrap();
+        let mut frame = encode_submit(&sample_request(), PROTOCOL_VERSION).unwrap();
         frame.extend_from_slice(&[0xAB; 3]);
         let mut d = Dec::new(&frame);
         let _ = d.u8("op");
-        let err = decode_submit(&mut d).expect_err("trailing bytes must fail");
+        let err =
+            decode_submit(&mut d, PROTOCOL_VERSION).expect_err("trailing bytes must fail");
         assert!(matches!(err, PipelineError::ProtocolError { .. }));
     }
 
@@ -1422,9 +1664,35 @@ mod tests {
         let mut req = sample_request();
         req.block = BlockPolicy::Probe(vec![1, 2]);
         assert!(matches!(
-            encode_submit(&req),
+            encode_submit(&req, PROTOCOL_VERSION),
             Err(PipelineError::InvalidJob { .. })
         ));
+    }
+
+    #[test]
+    fn result_spans_roundtrip_at_v3_and_drop_at_v2() {
+        let resp = WireResponse {
+            makespan: 3.0,
+            time_unit: TimeUnit::Seconds,
+            prep_seconds: 0.05,
+            run_seconds: 0.2,
+            messages: 4,
+            block: 8,
+            arrays: vec![("a".into(), vec![1.0])],
+            spans: Some(sample_trace()),
+        };
+        let frame = encode_result(&resp, 3);
+        let mut d = Dec::new(&frame);
+        assert_eq!(d.u8("op").unwrap(), OP_RESULT);
+        let got = decode_result(&mut d, 3).unwrap();
+        assert_eq!(got.spans, Some(sample_trace()));
+
+        let frame = encode_result(&resp, 2);
+        let mut d = Dec::new(&frame);
+        assert_eq!(d.u8("op").unwrap(), OP_RESULT);
+        let got = decode_result(&mut d, 2).unwrap();
+        assert_eq!(got.spans, None, "v2 frames carry no spans");
+        assert_eq!(got.arrays[0].0, "a");
     }
 
     #[test]
@@ -1441,17 +1709,22 @@ mod tests {
                 node("first", vec![]),
                 node("second", vec![(0, "a".into())]),
             ],
+            trace_id: Some(77),
         };
-        let frame = encode_submit_dag(&req).unwrap();
-        let mut d = Dec::new(&frame);
-        assert_eq!(d.u8("op").unwrap(), OP_SUBMIT_DAG);
-        let got = decode_submit_dag(&mut d).unwrap();
-        assert_eq!(got.tenant, "acme");
-        assert_eq!(got.scheduler, "locality");
-        assert_eq!(got.nodes.len(), 2);
-        assert_eq!(got.nodes[1].label, "second");
-        assert_eq!(got.nodes[1].inputs, vec![(0, "a".to_string())]);
-        assert_eq!(got.nodes[0].request.source, sample_request().source);
+        for version in [2u16, PROTOCOL_VERSION] {
+            let frame = encode_submit_dag(&req, version).unwrap();
+            let mut d = Dec::new(&frame);
+            assert_eq!(d.u8("op").unwrap(), OP_SUBMIT_DAG);
+            let got = decode_submit_dag(&mut d, version).unwrap();
+            assert_eq!(got.tenant, "acme");
+            assert_eq!(got.scheduler, "locality");
+            assert_eq!(got.nodes.len(), 2);
+            assert_eq!(got.nodes[1].label, "second");
+            assert_eq!(got.nodes[1].inputs, vec![(0, "a".to_string())]);
+            assert_eq!(got.nodes[0].request.source, sample_request().source);
+            let want_trace = if version >= 3 { Some(77) } else { None };
+            assert_eq!(got.trace_id, want_trace);
+        }
     }
 
     #[test]
@@ -1464,6 +1737,7 @@ mod tests {
             messages: 9,
             block: 4,
             arrays: vec![("phi".into(), vec![1.0, 2.0])],
+            spans: Some(sample_trace()),
         };
         let err = PipelineError::DependencyFailed {
             producer: "first".into(),
@@ -1475,14 +1749,15 @@ mod tests {
             stats_json: "{\"nodes\":2}".into(),
             nodes: vec![("first".into(), Ok(ok)), ("second".into(), Err(err))],
         };
-        let frame = encode_dag_result(&resp);
+        let frame = encode_dag_result(&resp, PROTOCOL_VERSION);
         let mut d = Dec::new(&frame);
         assert_eq!(d.u8("op").unwrap(), OP_DAG_RESULT);
-        let got = decode_dag_result(&mut d).unwrap();
+        let got = decode_dag_result(&mut d, PROTOCOL_VERSION).unwrap();
         assert_eq!(got.stats_json, resp.stats_json);
         let first = got.nodes[0].1.as_ref().unwrap();
         assert_eq!(first.arrays[0].0, "phi");
         assert_eq!(first.block, 4);
+        assert_eq!(first.spans, Some(sample_trace()));
         // Typed errors survive as errors (message-carrying kinds
         // round-trip as Remote with the full display text).
         let second = got.nodes[1].1.as_ref().unwrap_err();

@@ -129,6 +129,68 @@ impl ChromeTraceBuilder {
         true
     }
 
+    /// Append a set of service job-lifecycle traces (see
+    /// [`crate::service::JobTrace`]) under one process id: one track per
+    /// job, one complete event per span phase (admit, queue, prep, run,
+    /// drain), all on the service's wall clock so concurrent jobs line
+    /// up vertically in Perfetto. Returns `false` (and appends nothing)
+    /// if `traces` is empty.
+    pub fn add_job_spans(&mut self, label: &str, traces: &[crate::service::JobTrace]) -> bool {
+        if traces.is_empty() {
+            return false;
+        }
+        let pid = self.next_pid;
+        self.next_pid += 1;
+        self.events.push((
+            f64::NEG_INFINITY,
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                 \"args\":{{\"name\":{}}}}}",
+                jstr(label)
+            ),
+        ));
+        for (tid, t) in traces.iter().enumerate() {
+            let track = match t.trace_id {
+                Some(id) => format!("{} trace {id:#x}", t.tenant),
+                None => format!("{} job {tid}", t.tenant),
+            };
+            self.events.push((
+                f64::NEG_INFINITY,
+                format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+                     \"args\":{{\"name\":{}}}}}",
+                    jstr(&track)
+                ),
+            ));
+            // Phases telescope off the submission instant; prep + run sit
+            // inside the exec window, and drain starts where exec ends
+            // (worker hand-back can leave a gap after run).
+            let admitted = t.start_seconds + t.admit_seconds;
+            let dispatched = admitted + t.queue_seconds;
+            let phases = [
+                ("admit", t.start_seconds, t.admit_seconds),
+                ("queue", admitted, t.queue_seconds),
+                ("prep", dispatched, t.prep_seconds),
+                ("run", dispatched + t.prep_seconds, t.run_seconds),
+                ("drain", dispatched + t.exec_seconds, t.drain_seconds),
+            ];
+            for (stage, at, dur) in phases {
+                let ts = at * 1e6;
+                self.events.push((
+                    ts,
+                    format!(
+                        "{{\"name\":{},\"cat\":\"job\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                         \"pid\":{pid},\"tid\":{tid}}}",
+                        jstr(stage),
+                        jnum(ts),
+                        jnum(dur.max(0.0) * 1e6)
+                    ),
+                ));
+            }
+        }
+        true
+    }
+
     /// Number of runs added so far.
     pub fn runs(&self) -> usize {
         self.next_pid
@@ -334,5 +396,64 @@ mod tests {
         assert!(chrome_trace("x", &c).is_none());
         assert!(ascii_timeline(&c, 40).is_none());
         assert!(!ChromeTraceBuilder::new().add_run("x", &c));
+    }
+
+    #[test]
+    fn job_spans_export_one_event_per_phase() {
+        use crate::service::JobTrace;
+        let trace = JobTrace {
+            trace_id: Some(0xAB),
+            tenant: "acme".into(),
+            start_seconds: 1.0,
+            admit_seconds: 0.1,
+            queue_seconds: 0.2,
+            exec_seconds: 0.5,
+            prep_seconds: 0.1,
+            run_seconds: 0.4,
+            drain_seconds: 0.05,
+            total_seconds: 0.85,
+        };
+        let mut b = ChromeTraceBuilder::new();
+        assert!(!b.add_job_spans("service", &[]), "empty set adds nothing");
+        assert!(b.add_job_spans("service", &[trace]));
+        let v = JsonValue::parse(&b.finish()).unwrap();
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        let phase = |name: &str| -> (f64, f64) {
+            let e = events
+                .iter()
+                .find(|e| {
+                    e.get("ph").and_then(|p| p.as_str()) == Some("X")
+                        && e.get("name").and_then(|n| n.as_str()) == Some(name)
+                })
+                .unwrap_or_else(|| panic!("phase {name} missing"));
+            (
+                e.get("ts").unwrap().as_f64().unwrap(),
+                e.get("dur").unwrap().as_f64().unwrap(),
+            )
+        };
+        // Microsecond axis; queue starts where admit ends, run where
+        // prep ends, drain where the exec window closes. Sub-microsecond
+        // float rounding from the second→µs scale is irrelevant.
+        let close = |got: (f64, f64), want: (f64, f64)| {
+            assert!(
+                (got.0 - want.0).abs() < 1.0 && (got.1 - want.1).abs() < 1.0,
+                "got {got:?}, want {want:?}"
+            );
+        };
+        close(phase("admit"), (1.0e6, 0.1e6));
+        close(phase("queue"), (1.1e6, 0.2e6));
+        close(phase("prep"), (1.3e6, 0.1e6));
+        close(phase("run"), (1.4e6, 0.4e6));
+        close(phase("drain"), (1.8e6, 0.05e6));
+        let track = events
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("thread_name"))
+            .unwrap();
+        let track_name = track
+            .get("args")
+            .and_then(|a| a.get("name"))
+            .and_then(|n| n.as_str())
+            .unwrap();
+        assert_eq!(track_name, "acme trace 0xab");
     }
 }

@@ -1,4 +1,4 @@
-//! A minimal, dependency-free JSON reader.
+//! A minimal, dependency-free JSON reader and object writer.
 //!
 //! The repository emits all of its JSON by hand (reports, benchmark
 //! artifacts, Chrome traces) and stays `std`-only, so this module
@@ -7,8 +7,94 @@
 //! validator and the `bench_diff` regression gate need. It is not a
 //! general-purpose JSON library — numbers are `f64`, object key order is
 //! preserved, and duplicate keys keep their first occurrence.
+//!
+//! [`JsonObj`] is the matching *writer* for compact single-line objects:
+//! the one formatting path shared by the service stats exports
+//! (`ServiceStats`, `TenantStats`, `DagStats`), job traces, and the
+//! metrics registry dump, so every emitter escapes and formats the same
+//! way.
 
 use std::fmt;
+
+use super::report::{jnum, jstr};
+
+/// Builds one compact JSON object (`{"k":v,...}`), fields in insertion
+/// order. Strings are escaped with the same rules the report writer
+/// uses; non-finite numbers render as `null`.
+#[derive(Debug, Default)]
+pub struct JsonObj {
+    body: String,
+}
+
+impl JsonObj {
+    /// An empty object builder.
+    pub fn new() -> JsonObj {
+        JsonObj::default()
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.body.is_empty() {
+            self.body.push(',');
+        }
+        self.body.push_str(&jstr(key));
+        self.body.push(':');
+    }
+
+    /// A field whose value is already valid JSON (nested object, array,
+    /// bare literal).
+    pub fn raw(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        self.body.push_str(value);
+        self
+    }
+
+    /// A string field, escaped.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        self.body.push_str(&jstr(value));
+        self
+    }
+
+    /// A numeric field (`null` when not finite). Whole numbers render
+    /// without a decimal point (`1`, not `1.0`).
+    pub fn num(mut self, key: &str, value: f64) -> Self {
+        self.key(key);
+        self.body.push_str(&jnum(value));
+        self
+    }
+
+    /// An unsigned integer field.
+    pub fn uint(mut self, key: &str, value: u64) -> Self {
+        self.key(key);
+        self.body.push_str(&value.to_string());
+        self
+    }
+
+    /// An array field of pre-serialized JSON values.
+    pub fn arr<I>(mut self, key: &str, items: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: AsRef<str>,
+    {
+        self.key(key);
+        self.body.push('[');
+        let mut first = true;
+        for item in items {
+            if !first {
+                self.body.push(',');
+            }
+            first = false;
+            self.body.push_str(item.as_ref());
+        }
+        self.body.push(']');
+        self
+    }
+
+    /// Close the object.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.body)
+    }
+}
 
 /// A parsed JSON document.
 #[derive(Debug, Clone, PartialEq)]
@@ -355,5 +441,32 @@ mod tests {
                 .as_f64(),
             Some(0.0)
         );
+    }
+
+    #[test]
+    fn writer_output_parses_and_preserves_order() {
+        let doc = JsonObj::new()
+            .str("name", "a\"b")
+            .uint("count", 7)
+            .num("weight", 1.0)
+            .num("bad", f64::NAN)
+            .raw("nested", "{\"x\":1}")
+            .arr("items", ["1", "\"two\""])
+            .finish();
+        assert_eq!(
+            doc,
+            "{\"name\":\"a\\\"b\",\"count\":7,\"weight\":1,\"bad\":null,\
+             \"nested\":{\"x\":1},\"items\":[1,\"two\"]}"
+        );
+        let v = JsonValue::parse(&doc).expect("writer output is valid JSON");
+        assert_eq!(v.get("name").unwrap().as_str(), Some("a\"b"));
+        assert_eq!(v.get("weight").unwrap().as_f64(), Some(1.0));
+        assert_eq!(v.get("bad"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn empty_writer_is_an_empty_object() {
+        assert_eq!(JsonObj::new().finish(), "{}");
+        assert!(JsonValue::parse(&JsonObj::new().finish()).is_ok());
     }
 }

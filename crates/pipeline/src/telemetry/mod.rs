@@ -34,7 +34,7 @@ pub use critical::{CriticalPath, Segment, SegmentKind, TraceAnalysis};
 pub use export::{ascii_timeline, chrome_trace, ChromeTraceBuilder};
 pub use graph::{CausalGraph, EdgeKind, GraphEdge, GraphNode};
 pub use histogram::{Histogram, TraceHistograms};
-pub use json::{JsonError, JsonValue};
+pub use json::{JsonError, JsonObj, JsonValue};
 pub use report::{ExecutionReport, PhaseBreakdown, ProcTimeline, TraceCollector};
 
 /// Which runtime executed the plan.

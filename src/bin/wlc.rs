@@ -24,6 +24,12 @@
 //! wlc serve [serve options]               accept `.wf` jobs over TCP and run
 //!                                         them through a multi-tenant
 //!                                         WavefrontService (no file argument)
+//! wlc top [top options]                   poll a running `wlc serve` over the
+//!                                         wire METRICS/STATS frames and render
+//!                                         a refreshing terminal dashboard:
+//!                                         service totals, throughput, cache
+//!                                         hit rate, per-tenant queues, and
+//!                                         per-stage latency percentiles
 //!
 //! options:
 //!   --rank N            program rank (1..=4; default 2)
@@ -73,7 +79,17 @@
 //!   --no-auto-register  deny submissions from unregistered tenants
 //!   --stats SECS        print the service stats JSON to stdout every
 //!                       SECS seconds
+//!   --no-metrics        disable the service metrics registry (spans and
+//!                       the wire METRICS frame report nothing)
+//!   --chrome FILE       on shutdown, export the most recent job
+//!                       lifecycle spans as Chrome trace-event JSON
 //!   --allow-shutdown    honour the wire SHUTDOWN frame (for harnesses)
+//!
+//! top options:
+//!   --addr HOST:PORT    server to poll (required)
+//!   --interval SECS     refresh period (default 2)
+//!   --once              print one dashboard frame and exit (no screen
+//!                       clearing — the CI smoke test path)
 //! ```
 
 use std::net::TcpListener;
@@ -124,6 +140,10 @@ struct Opts {
     auto_register: bool,
     stats_every: Option<f64>,
     allow_shutdown: bool,
+    metrics: bool,
+    // top options
+    interval: f64,
+    once: bool,
 }
 
 /// The one diagnostic shape every fatal `wlc` error renders through:
@@ -153,7 +173,9 @@ fn usage() -> ExitCode {
     eprintln!("           [--sim-procs N]");
     eprintln!("       wlc serve [--addr HOST:PORT] [--rank N] [--workers N] [--cache N]");
     eprintln!("           [--queue N] [--max-in-flight N] [--tenant name:weight:inflight:cap]");
-    eprintln!("           [--no-auto-register] [--stats SECS] [--allow-shutdown]");
+    eprintln!("           [--no-auto-register] [--stats SECS] [--no-metrics] [--chrome FILE]");
+    eprintln!("           [--allow-shutdown]");
+    eprintln!("       wlc top --addr HOST:PORT [--interval SECS] [--once]");
     ExitCode::from(2)
 }
 
@@ -186,8 +208,9 @@ fn parse_tenant(spec: &str) -> Option<(String, TenantConfig)> {
 fn parse_args() -> std::result::Result<Opts, ExitCode> {
     let mut args = std::env::args().skip(1);
     let cmd = args.next().ok_or_else(usage)?;
-    // `serve` listens on a socket; every other command takes a file.
-    let file = if cmd == "serve" {
+    // `serve` listens on a socket and `top` polls one; every other
+    // command takes a file.
+    let file = if cmd == "serve" || cmd == "top" {
         String::new()
     } else {
         args.next().ok_or_else(usage)?
@@ -223,6 +246,9 @@ fn parse_args() -> std::result::Result<Opts, ExitCode> {
         auto_register: true,
         stats_every: None,
         allow_shutdown: false,
+        metrics: true,
+        interval: 2.0,
+        once: false,
     };
     while let Some(a) = args.next() {
         let mut need = |what: &str| -> std::result::Result<String, ExitCode> {
@@ -323,6 +349,15 @@ fn parse_args() -> std::result::Result<Opts, ExitCode> {
                 opts.stats_every = Some(v);
             }
             "--allow-shutdown" => opts.allow_shutdown = true,
+            "--no-metrics" => opts.metrics = false,
+            "--interval" => {
+                let v: f64 = need("--interval")?.parse().map_err(|_| usage())?;
+                if v <= 0.0 || !v.is_finite() {
+                    return Err(usage());
+                }
+                opts.interval = v;
+            }
+            "--once" => opts.once = true,
             other => {
                 eprintln!("unknown option {other}");
                 return Err(usage());
@@ -345,6 +380,10 @@ fn main() -> ExitCode {
             4 => serve::<4>(&opts),
             r => fail("serve", format!("unsupported rank {r} (1..=4)")),
         };
+    }
+    if opts.cmd == "top" {
+        // The dashboard reads the server's wire frames — rank-agnostic.
+        return top(&opts);
     }
     let src = match std::fs::read_to_string(&opts.file) {
         Ok(s) => s,
@@ -381,6 +420,7 @@ fn serve<const R: usize>(opts: &Opts) -> ExitCode {
                 ..TenantConfig::default()
             },
             auto_register: opts.auto_register,
+            metrics: opts.metrics,
         }));
     for (name, cfg) in &opts.tenants {
         service.register_tenant(name.clone(), *cfg);
@@ -414,9 +454,191 @@ fn serve<const R: usize>(opts: &Opts) -> ExitCode {
             // Final stats on the way out (the shutdown path used by the
             // bench and CI harnesses).
             println!("{}", service.stats_json());
+            if let Some(path) = &opts.chrome {
+                let traces = service.recent_traces();
+                let mut chrome = ChromeTraceBuilder::new();
+                chrome.add_job_spans("wlc serve", &traces);
+                if !write_file(path, &chrome.finish()) {
+                    return ExitCode::FAILURE;
+                }
+            }
             ExitCode::SUCCESS
         }
         Err(e) => fail(&addr, e),
+    }
+}
+
+/// `wlc top`: poll a live `wlc serve` over its own wire protocol and
+/// render a terminal dashboard — service totals and throughput from the
+/// STATS frame, cache hit rate, a per-tenant queue table, and per-stage
+/// latency percentiles from the METRICS frame's registry dump. Redraws
+/// every `--interval` seconds with an ANSI clear; `--once` prints a
+/// single frame without touching the screen (the CI smoke path). A v2
+/// server (pre-observability build) still gets the stats half; the
+/// latency table degrades to a notice.
+fn top(opts: &Opts) -> ExitCode {
+    use wavefront::pipeline::{JsonValue, WireClient};
+
+    if opts.addr == "127.0.0.1:0" {
+        return fail("top", "--addr HOST:PORT is required (port 0 is the serve default)");
+    }
+    let mut client = match WireClient::connect(&opts.addr) {
+        Ok(c) => c,
+        Err(e) => return fail(&opts.addr, e),
+    };
+    let mut last: Option<(Instant, u64)> = None;
+    loop {
+        let stats = match client.stats() {
+            Ok(s) => s,
+            Err(e) => return fail(&opts.addr, e),
+        };
+        let stats = match JsonValue::parse(&stats) {
+            Ok(v) => v,
+            Err(e) => return fail(&opts.addr, format!("bad stats json: {e}")),
+        };
+        // METRICS needs a v3 server; keep the dashboard useful without.
+        let metrics = client.metrics().ok();
+        let metrics = metrics.and_then(|(_, json)| JsonValue::parse(&json).ok());
+
+        let mut frame = String::new();
+        render_top(&mut frame, &stats, metrics.as_ref(), &mut last);
+        if opts.once {
+            print!("{frame}");
+            return ExitCode::SUCCESS;
+        }
+        // Clear + home, then the frame, so the dashboard repaints in
+        // place like top(1).
+        print!("\x1b[2J\x1b[H{frame}");
+        use std::io::Write as _;
+        std::io::stdout().flush().ok();
+        std::thread::sleep(std::time::Duration::from_secs_f64(opts.interval));
+    }
+}
+
+/// Pull `path.to.key` out of a stats/metrics JSON tree as f64 (missing
+/// or non-numeric → 0).
+fn jget(v: &wavefront::pipeline::JsonValue, path: &[&str]) -> f64 {
+    let mut cur = v;
+    for k in path {
+        match cur.get(k) {
+            Some(next) => cur = next,
+            None => return 0.0,
+        }
+    }
+    cur.as_f64().unwrap_or(0.0)
+}
+
+/// Render one `wlc top` dashboard frame into `out`.
+fn render_top(
+    out: &mut String,
+    stats: &wavefront::pipeline::JsonValue,
+    metrics: Option<&wavefront::pipeline::JsonValue>,
+    last: &mut Option<(Instant, u64)>,
+) {
+    use std::fmt::Write as _;
+
+    let svc = |k: &str| jget(stats, &["service", k]);
+    let submitted = svc("jobs_submitted") as u64;
+    // Throughput over the poll delta (completed jobs / elapsed).
+    let completed = svc("jobs_completed") as u64;
+    let now = Instant::now();
+    let rate = match *last {
+        Some((t0, c0)) if completed >= c0 && now > t0 => {
+            (completed - c0) as f64 / (now - t0).as_secs_f64()
+        }
+        _ => 0.0,
+    };
+    *last = Some((now, completed));
+    let hits = svc("cache_hits");
+    let lookups = hits + svc("cache_misses");
+    let hit_rate = if lookups > 0.0 { 100.0 * hits / lookups } else { 0.0 };
+
+    let _ = writeln!(out, "wlc top — wavefront service");
+    let _ = writeln!(
+        out,
+        "jobs: {submitted} submitted, {completed} completed, {} failed, {} rejected \
+         | {} queued, {} running | {rate:.1} jobs/s",
+        svc("jobs_failed") as u64,
+        svc("jobs_rejected") as u64,
+        svc("jobs_queued") as u64,
+        svc("jobs_running") as u64,
+    );
+    let _ = writeln!(
+        out,
+        "cache: {:.1}% hit rate ({} entries) | workers: {} | dags: {}",
+        hit_rate,
+        svc("cache_entries") as u64,
+        svc("pool_workers") as u64,
+        svc("dags_submitted") as u64,
+    );
+
+    let _ = writeln!(
+        out,
+        "\n{:<12} {:>8} {:>8} {:>10} {:>10} {:>9} {:>9}",
+        "tenant", "queued", "running", "completed", "failed", "rejected", "weight"
+    );
+    if let Some(tenants) = stats.get("tenants").and_then(|t| t.as_array()) {
+        for t in tenants {
+            let g = |k: &str| jget(t, &[k]);
+            let name = t.get("tenant").and_then(|n| n.as_str()).unwrap_or("?");
+            let _ = writeln!(
+                out,
+                "{:<12} {:>8} {:>8} {:>10} {:>10} {:>9} {:>9.1}",
+                name,
+                g("queued") as u64,
+                g("in_flight") as u64,
+                g("jobs_completed") as u64,
+                g("jobs_failed") as u64,
+                g("jobs_rejected") as u64,
+                g("weight"),
+            );
+        }
+    }
+
+    let _ = writeln!(
+        out,
+        "\n{:<12} {:<7} {:>6} {:>12} {:>12} {:>12}",
+        "tenant", "stage", "count", "p50", "p90", "p99"
+    );
+    let mut rows = 0usize;
+    if let Some(hists) = metrics.and_then(|m| m.get("histograms")).and_then(|h| h.as_array()) {
+        for h in hists {
+            let name = h.get("name").and_then(|n| n.as_str()).unwrap_or("");
+            // wavefront_stage_seconds{tenant="acme",stage="run"}
+            let Some(rest) = name.strip_prefix("wavefront_stage_seconds{tenant=\"") else {
+                continue;
+            };
+            let Some((tenant, rest)) = rest.split_once("\",stage=\"") else {
+                continue;
+            };
+            let stage = rest.trim_end_matches("\"}");
+            let fmt_s = |sec: f64| {
+                if sec >= 1.0 {
+                    format!("{sec:.2} s")
+                } else if sec >= 1e-3 {
+                    format!("{:.2} ms", sec * 1e3)
+                } else {
+                    format!("{:.1} µs", sec * 1e6)
+                }
+            };
+            let _ = writeln!(
+                out,
+                "{:<12} {:<7} {:>6} {:>12} {:>12} {:>12}",
+                tenant,
+                stage,
+                jget(h, &["count"]) as u64,
+                fmt_s(jget(h, &["p50"])),
+                fmt_s(jget(h, &["p90"])),
+                fmt_s(jget(h, &["p99"])),
+            );
+            rows += 1;
+        }
+    }
+    if rows == 0 {
+        let _ = writeln!(
+            out,
+            "(no stage latency data — server predates protocol v3 or runs --no-metrics)"
+        );
     }
 }
 

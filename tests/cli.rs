@@ -236,3 +236,56 @@ fn run_without_print_summarizes_arrays() {
     assert!(stdout.contains("rx:"), "{stdout}");
     assert!(stdout.contains("mean"), "{stdout}");
 }
+
+/// `wlc top --once` against a live `wlc serve`: after one traced job,
+/// the dashboard frame shows the service totals, the tenant's row, and
+/// per-stage latency percentiles pulled over the wire METRICS frame.
+#[test]
+fn top_renders_live_stage_latencies() {
+    use std::io::{BufRead as _, BufReader};
+    use wavefront::pipeline::{WireClient, WireRequest, WireTopology};
+
+    let mut server = wlc()
+        .args(["serve", "--addr", "127.0.0.1:0", "--allow-shutdown"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("wlc serve spawns");
+    let mut lines = BufReader::new(server.stdout.take().unwrap()).lines();
+    let banner = lines.next().expect("serve prints its address").unwrap();
+    let addr = banner.strip_prefix("listening on ").expect(&banner).to_string();
+
+    // One traced job so every stage histogram has a sample.
+    let mut client = WireClient::connect(&*addr).expect("connect");
+    let mut req = WireRequest::new(
+        2,
+        "const n = 12;
+         var a : [1..n, 1..n] float;
+         direction north = (-1, 0);
+         [2..n, 1..n] a := 2.0 * a'@north;",
+    );
+    req.topology = WireTopology::Line(2);
+    req.arrays = vec![("a".to_string(), vec![1.0; 144])];
+    req.trace_id = Some(7);
+    let resp = client.submit(&req).expect("job runs");
+    assert!(resp.spans.is_some(), "v3 result carries spans");
+
+    let out = wlc()
+        .args(["top", "--addr", &addr, "--once"])
+        .output()
+        .expect("wlc top runs");
+    client.shutdown().expect("shutdown frame");
+    server.wait().expect("server exits");
+
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let dash = String::from_utf8_lossy(&out.stdout);
+    assert!(dash.contains("1 submitted, 1 completed"), "{dash}");
+    assert!(dash.contains("default"), "tenant row missing: {dash}");
+    for stage in ["admit", "queue", "run", "total"] {
+        assert!(dash.contains(stage), "stage {stage} row missing: {dash}");
+    }
+    assert!(dash.contains("p99"), "{dash}");
+    assert!(
+        !dash.contains("no stage latency data"),
+        "dashboard fell back to the v2 notice: {dash}"
+    );
+}

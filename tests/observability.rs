@@ -1,0 +1,203 @@
+//! Property contracts of the observability layer: job-lifecycle spans
+//! telescope to the job's wall latency, the registry's log-bucket
+//! histogram percentiles always bracket the exact nearest-rank
+//! percentile, and the service's JSON snapshot keeps its documented
+//! shape (one coherent `service` object whose books balance).
+//!
+//! Randomness comes from the crate's own [`SplitMix64`], so every run
+//! exercises the same deterministic case set.
+
+use std::sync::Arc;
+
+use wavefront::core::prelude::*;
+use wavefront::kernels::rng::SplitMix64;
+use wavefront::kernels::tomcatv;
+use wavefront::machine::cray_t3e;
+use wavefront::pipeline::{
+    BlockPolicy, JobSpec, JsonValue, Metrics, ServiceConfig, WavefrontService,
+};
+
+fn tomcatv_case(n: i64) -> (Arc<Program<2>>, Arc<CompiledNest<2>>, Store<2>) {
+    let lo = tomcatv::build(n).expect("tomcatv builds");
+    let compiled = compile(&lo.program).expect("tomcatv compiles");
+    let nest = compiled
+        .nests()
+        .filter(|x| x.is_scan)
+        .max_by_key(|x| x.region.len())
+        .expect("tomcatv has a scan nest")
+        .clone();
+    let mut store = Store::new(&lo.program);
+    tomcatv::init(&lo, &mut store);
+    (Arc::new(lo.program), Arc::new(nest), store)
+}
+
+/// Every job outcome carries spans whose phases telescope exactly:
+/// admit + queue + exec + drain == total (all measured off the same
+/// submission instant), prep + run fits inside the exec window, and no
+/// phase is negative — across randomized sizes, blocks, and tenants.
+#[test]
+fn span_phases_telescope_to_wall_latency() {
+    let mut rng = SplitMix64::new(0x0B5E_2ABE);
+    let service: WavefrontService<2> = WavefrontService::with_config(ServiceConfig {
+        workers: 4,
+        ..Default::default()
+    });
+    for round in 0..24 {
+        let n = 8 + rng.gen_range(10) as i64;
+        let (program, nest, store) = tomcatv_case(n);
+        let block = 1 + rng.gen_range(8);
+        let tenant = ["alpha", "beta", "gamma"][rng.gen_range(3)];
+        let spec = JobSpec::builder(program, nest)
+            .line(2 + rng.gen_range(3))
+            .block(BlockPolicy::Fixed(block))
+            .machine(cray_t3e())
+            .store(store)
+            .tenant(tenant)
+            .trace_id(round)
+            .build()
+            .expect("valid job spec");
+        let out = service.submit(spec).wait().expect("job runs");
+        let spans = out.spans.as_ref().expect("outcome carries spans");
+        assert_eq!(spans.trace_id, Some(round));
+        assert_eq!(spans.tenant, tenant);
+        for (phase, v) in [
+            ("admit", spans.admit_seconds),
+            ("queue", spans.queue_seconds),
+            ("exec", spans.exec_seconds),
+            ("prep", spans.prep_seconds),
+            ("run", spans.run_seconds),
+            ("drain", spans.drain_seconds),
+            ("total", spans.total_seconds),
+        ] {
+            assert!(v >= 0.0, "round {round}: negative {phase} span {v}");
+        }
+        let telescoped = spans.admit_seconds
+            + spans.queue_seconds
+            + spans.exec_seconds
+            + spans.drain_seconds;
+        let tol = 1e-9 * spans.total_seconds.max(1.0);
+        assert!(
+            (telescoped - spans.total_seconds).abs() <= tol,
+            "round {round}: phases {telescoped} != total {}",
+            spans.total_seconds
+        );
+        assert!(
+            spans.prep_seconds + spans.run_seconds <= spans.exec_seconds + tol,
+            "round {round}: prep+run {} exceeds the exec window {}",
+            spans.prep_seconds + spans.run_seconds,
+            spans.exec_seconds
+        );
+    }
+}
+
+/// The log-bucket histogram's reported quantile interval always
+/// brackets the exact nearest-rank percentile of the observed samples,
+/// across random sample sets spanning nanoseconds to seconds.
+#[test]
+fn histogram_quantile_bounds_bracket_exact_percentiles() {
+    let mut rng = SplitMix64::new(0x9024_7A1E);
+    for case in 0..40 {
+        let m = Metrics::new(true);
+        let h = m.histogram("lat");
+        let count = 1 + rng.gen_range(200);
+        let mut samples: Vec<u64> = (0..count)
+            .map(|_| {
+                // Log-uniform over ~9 decades so every bucket regime
+                // (including the exact-zero bucket) gets hit.
+                match rng.gen_range(12) {
+                    0 => 0,
+                    shift => rng.gen_range(1 << (3 * shift.min(10))) as u64,
+                }
+            })
+            .collect();
+        for &s in &samples {
+            h.observe_ns(s);
+        }
+        samples.sort_unstable();
+        for q in [0.5, 0.9, 0.99] {
+            let rank = ((q * count as f64).ceil() as usize).clamp(1, count);
+            let exact = samples[rank - 1] as f64 / 1e9;
+            let (lo, hi) = h.quantile_bounds(q).expect("non-empty histogram");
+            assert!(
+                lo <= exact && exact <= hi,
+                "case {case}, q={q}: exact percentile {exact} outside \
+                 reported bucket [{lo}, {hi}] (count {count})"
+            );
+        }
+        assert_eq!(h.count(), count as u64);
+        let sum: u64 = samples.iter().sum();
+        assert!((h.sum_seconds() - sum as f64 / 1e9).abs() < 1e-12);
+    }
+}
+
+/// The service stats snapshot keeps its documented JSON shape — a
+/// `service` object with balanced books, a `tenants` array, and a
+/// `dags` array — and the metrics dump parses with the three documented
+/// sections. Guards the shared `JsonObj` writer against shape drift.
+#[test]
+fn stats_and_metrics_json_keep_their_shape() {
+    let (program, nest, store) = tomcatv_case(10);
+    let service: WavefrontService<2> = WavefrontService::with_config(ServiceConfig {
+        workers: 2,
+        ..Default::default()
+    });
+    let spec = JobSpec::builder(program, nest)
+        .line(2)
+        .block(BlockPolicy::Fixed(4))
+        .machine(cray_t3e())
+        .store(store)
+        .tenant("acme")
+        .build()
+        .expect("valid spec");
+    service.submit(spec).wait().expect("job runs");
+
+    let v = JsonValue::parse(&service.stats_json()).expect("stats_json parses");
+    let svc = v.get("service").expect("service object");
+    for key in [
+        "jobs_submitted",
+        "jobs_completed",
+        "jobs_failed",
+        "jobs_queued",
+        "jobs_running",
+        "jobs_rejected",
+        "blocked_submits",
+        "cache_hits",
+        "cache_misses",
+        "cache_entries",
+        "pool_spawns",
+        "pool_workers",
+        "dags_submitted",
+    ] {
+        assert!(svc.get(key).is_some(), "service snapshot lost key {key}");
+    }
+    let num = |k: &str| svc.get(k).and_then(|x| x.as_f64()).unwrap() as u64;
+    assert_eq!(
+        num("jobs_submitted"),
+        num("jobs_completed") + num("jobs_failed") + num("jobs_queued") + num("jobs_running"),
+        "published snapshot must balance"
+    );
+    let tenants = v.get("tenants").and_then(|t| t.as_array()).expect("tenants array");
+    let acme = tenants
+        .iter()
+        .find(|t| t.get("tenant").and_then(|n| n.as_str()) == Some("acme"))
+        .expect("acme tenant row");
+    assert_eq!(acme.get("jobs_completed").and_then(|x| x.as_f64()), Some(1.0));
+    assert!(v.get("dags").and_then(|d| d.as_array()).is_some());
+
+    let m = JsonValue::parse(&service.metrics_json()).expect("metrics_json parses");
+    for section in ["counters", "gauges", "histograms"] {
+        assert!(
+            m.get(section).and_then(|s| s.as_array()).is_some(),
+            "metrics dump lost section {section}"
+        );
+    }
+    let hists = m.get("histograms").and_then(|h| h.as_array()).unwrap();
+    assert!(
+        hists.iter().any(|h| {
+            h.get("name").and_then(|n| n.as_str()).is_some_and(|n| {
+                n == "wavefront_stage_seconds{tenant=\"acme\",stage=\"total\"}"
+            })
+        }),
+        "stage histogram for acme missing from the dump"
+    );
+}

@@ -30,14 +30,24 @@ const SOURCE: &str = "
 /// socket. Returns the dial address; the server thread exits when the
 /// test sends `SHUTDOWN`.
 fn start_server(cfg: ServiceConfig) -> (String, std::thread::JoinHandle<()>) {
-    let service: Arc<WavefrontService<2>> = Arc::new(WavefrontService::with_config(cfg));
-    let server = Arc::new(WireServer::with_config(
-        service,
-        Arc::new(LangCompiler),
+    start_server_with(
+        cfg,
         ServeConfig {
             allow_shutdown: true,
             ..ServeConfig::default()
         },
+    )
+}
+
+fn start_server_with(
+    cfg: ServiceConfig,
+    serve_cfg: ServeConfig,
+) -> (String, std::thread::JoinHandle<()>) {
+    let service: Arc<WavefrontService<2>> = Arc::new(WavefrontService::with_config(cfg));
+    let server = Arc::new(WireServer::with_config(
+        service,
+        Arc::new(LangCompiler),
+        serve_cfg,
     ));
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
     let addr = listener.local_addr().unwrap().to_string();
@@ -177,6 +187,111 @@ fn typed_errors_round_trip_the_wire() {
         }
         other => panic!("expected a typed admission rejection, got {other:?}"),
     }
+    drop(client);
+    stop_server(&addr, handle);
+}
+
+/// A client-supplied trace ID rides the v3 wire into the job's
+/// lifecycle spans and comes back in the RESULT frame with the full
+/// phase breakdown — the phases telescope to the job's total wall
+/// latency.
+#[test]
+fn trace_ids_round_trip_with_phase_breakdown() {
+    let (addr, handle) = start_server(ServiceConfig::default());
+    let mut client = WireClient::connect(&*addr).expect("connect");
+
+    let mut req = WireRequest::new(2, SOURCE);
+    req.topology = WireTopology::Line(2);
+    req.engine = EngineKind::Threads;
+    req.block = BlockPolicy::Fixed(4);
+    req.arrays = vec![("a".to_string(), vec![1.0; 144])];
+    req.returns = vec!["a".to_string()];
+    req.trace_id = Some(0xFEED_F00D);
+
+    let resp = client.submit(&req).expect("job runs");
+    let spans = resp.spans.expect("v3 result carries spans");
+    assert_eq!(spans.trace_id, Some(0xFEED_F00D));
+    assert_eq!(spans.tenant, "default");
+    assert!(spans.total_seconds > 0.0);
+    let telescoped =
+        spans.admit_seconds + spans.queue_seconds + spans.exec_seconds + spans.drain_seconds;
+    assert!(
+        (telescoped - spans.total_seconds).abs() <= 1e-9 * spans.total_seconds.max(1.0),
+        "phases {telescoped} must telescope to total {}",
+        spans.total_seconds
+    );
+    assert!(spans.prep_seconds + spans.run_seconds <= spans.exec_seconds + 1e-9);
+
+    // The METRICS frame serves both expositions, and the trace shows up
+    // in the registry's stage histograms.
+    let (prom, json) = client.metrics().expect("metrics frame");
+    assert!(
+        prom.contains("wavefront_jobs_submitted_total 1"),
+        "prometheus text missing submit counter:\n{prom}"
+    );
+    assert!(
+        prom.contains("wavefront_stage_seconds_count{tenant=\"default\",stage=\"total\"} 1"),
+        "prometheus text missing stage histogram:\n{prom}"
+    );
+    assert!(
+        json.contains("\"histograms\""),
+        "json dump missing histograms: {json}"
+    );
+    drop(client);
+    stop_server(&addr, handle);
+}
+
+/// A v3 client against a v2 server (a pre-observability build, emulated
+/// by capping `ServeConfig::protocol_version`): HELLO negotiates down,
+/// submissions still run, spans and trace IDs are silently dropped, and
+/// METRICS is refused client-side.
+#[test]
+fn v3_client_degrades_against_a_v2_server() {
+    let (addr, handle) = start_server_with(
+        ServiceConfig::default(),
+        ServeConfig {
+            allow_shutdown: true,
+            protocol_version: 2,
+            ..ServeConfig::default()
+        },
+    );
+    let mut client = WireClient::connect(&*addr).expect("connect");
+    assert_eq!(client.hello().expect("hello"), 2, "server caps at v2");
+
+    let mut req = WireRequest::new(2, SOURCE);
+    req.topology = WireTopology::Line(2);
+    req.trace_id = Some(42);
+    let resp = client.submit(&req).expect("v2 submission still runs");
+    assert_eq!(resp.spans, None, "a v2 server sends no spans");
+    assert!(!resp.arrays.is_empty() || resp.run_seconds >= 0.0);
+
+    match client.metrics() {
+        Err(PipelineError::ProtocolError { reason }) => {
+            assert!(reason.contains("v2"), "unhelpful reason: {reason}")
+        }
+        other => panic!("METRICS against v2 must be a protocol error, got {other:?}"),
+    }
+    drop(client);
+    stop_server(&addr, handle);
+}
+
+/// A v2 client (an old build, emulated with `force_version`) against a
+/// v3 server: the connection never handshakes, so the server keeps
+/// speaking v2 — submissions run and the reply parses with no spans.
+#[test]
+fn v2_client_still_speaks_to_a_v3_server() {
+    let (addr, handle) = start_server(ServiceConfig::default());
+    let mut client = WireClient::connect(&*addr).expect("connect");
+    client.force_version(2);
+
+    let mut req = WireRequest::new(2, SOURCE);
+    req.topology = WireTopology::Line(2);
+    req.trace_id = Some(42);
+    req.returns = vec!["a".to_string()];
+    req.arrays = vec![("a".to_string(), vec![1.0; 144])];
+    let resp = client.submit(&req).expect("v2 framing against a v3 server");
+    assert_eq!(resp.spans, None, "v2 frames carry no spans");
+    assert_eq!(resp.arrays.len(), 1);
     drop(client);
     stop_server(&addr, handle);
 }

@@ -332,6 +332,72 @@ fn steady_jobs_spawn_no_new_threads() {
     assert_eq!(stats.pool_workers, 4);
 }
 
+/// The stats snapshot is cut under one lock, so at any instant —
+/// including mid-burst, with jobs queued and running — the books
+/// balance: submitted == completed + failed + queued + running. A
+/// sampler thread hammers `stats()` while bursts drain.
+#[test]
+fn stats_snapshot_balances_under_load() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let (program, nest, store) = tiny_case();
+    let service: Arc<WavefrontService<2>> =
+        Arc::new(WavefrontService::with_config(ServiceConfig {
+            workers: 4,
+            ..Default::default()
+        }));
+    let spec = || {
+        JobSpec::builder(Arc::clone(&program), Arc::clone(&nest))
+            .line(2)
+            .block(BlockPolicy::Fixed(2))
+            .machine(cray_t3e())
+            .store(store.clone())
+            .build()
+            .expect("valid job spec")
+    };
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let sampler = {
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut samples = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let s = service.stats();
+                assert!(
+                    s.balanced(),
+                    "unbalanced snapshot: submitted {} != completed {} + failed {} \
+                     + queued {} + running {}",
+                    s.jobs_submitted,
+                    s.jobs_completed,
+                    s.jobs_failed,
+                    s.jobs_queued,
+                    s.jobs_running
+                );
+                samples += 1;
+            }
+            samples
+        })
+    };
+
+    for _ in 0..8 {
+        for h in service.submit_batch((0..32).map(|_| spec())) {
+            h.wait().unwrap();
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    let samples = sampler.join().expect("sampler thread");
+    assert!(samples > 0, "sampler never got a snapshot in");
+
+    let s = service.stats();
+    assert!(s.balanced());
+    assert_eq!(s.jobs_submitted, 256);
+    assert_eq!(s.jobs_completed, 256);
+    assert_eq!(s.jobs_failed, 0);
+    assert_eq!(s.jobs_queued, 0);
+    assert_eq!(s.jobs_running, 0);
+}
+
 /// `try_submit` shares `submit`'s surface: the returned handle resolves
 /// to the same typed result (here a success), never a second error
 /// channel.
