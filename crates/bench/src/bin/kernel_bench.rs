@@ -1,16 +1,18 @@
-//! Compiled-tile-kernel benchmark: interpreter vs compiled kernels on
-//! the threads engine, one row per benchmark application.
+//! Compiled-tile-kernel benchmark: interpreter vs scalar tape vs lane
+//! tape on the threads engine, one row per benchmark application.
 //!
-//! Every benchmark runs twice through the same plan and the same
-//! threaded executor — once with the kernel tier disabled (the
-//! per-element expression interpreter) and once with it enabled — and
-//! reports the minimum over several repetitions as ns/element plus the
-//! resulting speedup. The `<name>_kernel_speedup` keys land in
+//! Every benchmark runs three times through the same plan and the same
+//! threaded executor — once per kernel tier (the per-element expression
+//! interpreter, the scalar register tape, and the lane-parallel tape) —
+//! and reports the minimum over several repetitions as ns/element plus
+//! the resulting speedups. The `<name>_kernel_speedup` and
+//! `<name>_lanes_over_scalar_speedup` keys land in
 //! `results/BENCH_kernels.json`, where `bench_diff` gates regressions.
 //!
 //! `--check-fastpath` skips the timing and instead verifies that every
-//! nest of every benchmark compiles to a fused kernel, exiting nonzero
-//! on any fallback (the smoke test `scripts/verify.sh` runs).
+//! nest of every benchmark compiles to a fused kernel AND that the main
+//! scan nest of each benchmark reaches the lane tier, exiting nonzero
+//! on any shortfall (the smoke test `scripts/verify.sh` runs).
 //!
 //! Run with `cargo run --release -p wavefront-bench --bin kernel_bench`.
 
@@ -18,7 +20,7 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use wavefront_bench::{f2, json_object, json_str, write_artifact, Table};
-use wavefront_core::kernel::TileKernel;
+use wavefront_core::kernel::{KernelMode, KernelTier, NestRunner};
 use wavefront_core::prelude::*;
 use wavefront_kernels::{smith_waterman, sor, sweep3d, tomcatv};
 use wavefront_machine::cray_t3e;
@@ -41,29 +43,38 @@ fn fig3(n: i64) -> (Program<2>, Store<2>) {
     (p, store)
 }
 
-/// Check that every nest of `compiled` hits the fused fast path,
-/// printing one line per nest.
+/// Check that every nest of `compiled` reaches the lane tier, printing
+/// one line per nest.
 fn check_nests<const R: usize>(name: &str, compiled: &CompiledProgram<R>) -> bool {
     let mut ok = true;
     for (i, nest) in compiled.nests().enumerate() {
-        match TileKernel::compile(nest) {
-            Ok(k) => println!(
-                "  {name} nest {i}: fastpath ({} instrs, {} regs, {} reads)",
+        let runner = NestRunner::auto(nest);
+        match (runner.kernel(), runner.lane_plan(), runner.fallback()) {
+            (Some(k), Some(plan), _) => println!(
+                "  {name} nest {i}: lanes ({} instrs, {} regs, {} reads, {})",
                 k.instr_count(),
                 k.reg_count(),
-                k.read_count()
+                k.read_count(),
+                plan.describe()
             ),
-            Err(reason) => {
+            (_, _, Some(reason)) => {
                 ok = false;
-                println!("  {name} nest {i}: FALLBACK ({reason})");
+                println!(
+                    "  {name} nest {i}: FALLBACK to {} ({reason})",
+                    runner.tier()
+                );
+            }
+            _ => {
+                ok = false;
+                println!("  {name} nest {i}: unexpected tier {}", runner.tier());
             }
         }
     }
     ok
 }
 
-/// Time the threaded engine over the scan nest of `compiled` with the
-/// kernel tier off and on; returns (interp ns/elem, kernel ns/elem).
+/// Time the threaded engine over the scan nest of `compiled` at each of
+/// the three kernel tiers; returns (interp, scalar, lanes) ns/elem.
 /// The measured nest is the largest scan nest — the benchmark's main
 /// sweep.
 fn measure<const R: usize>(
@@ -72,35 +83,40 @@ fn measure<const R: usize>(
     compiled: &CompiledProgram<R>,
     store: &Store<R>,
     procs: usize,
-) -> (f64, f64) {
+) -> (f64, f64, f64) {
     let nest = compiled
         .nests()
         .filter(|n| n.is_scan)
         .max_by_key(|n| n.region.len())
         .expect("benchmark has a scan nest");
-    if TileKernel::compile(nest).is_err() {
-        eprintln!("warning: {name} fell back to the interpreter; speedup will be ~1");
+    if NestRunner::auto(nest).tier() != KernelTier::Lanes {
+        eprintln!("warning: {name} fell back below the lane tier; speedup will be ~1");
     }
     let elems = nest.region.len() as f64;
-    // Interleave the two configurations so a frequency dip or a noisy
-    // neighbour hits both sides of the ratio equally.
-    let mut ns = [f64::INFINITY; 2];
+    // Interleave the three configurations so a frequency dip or a noisy
+    // neighbour hits every side of the ratios equally.
+    const MODES: [KernelMode; 3] = [
+        KernelMode::Interpreted,
+        KernelMode::Scalar,
+        KernelMode::Lanes,
+    ];
+    let mut ns = [f64::INFINITY; 3];
     for _ in 0..REPS {
-        for (slot, kernels) in [(0usize, false), (1, true)] {
+        for (slot, mode) in MODES.iter().enumerate() {
             let mut s = store.clone();
             let t0 = Instant::now();
             Session::new(program, nest)
                 .procs(procs)
                 .block(BlockPolicy::Model2)
                 .machine(cray_t3e())
-                .kernels(kernels)
+                .kernel_mode(*mode)
                 .store(&mut s)
                 .run(EngineKind::Threads)
                 .expect("threaded run");
             ns[slot] = ns[slot].min(t0.elapsed().as_secs_f64() * 1e9 / elems);
         }
     }
-    (ns[0], ns[1])
+    (ns[0], ns[1], ns[2])
 }
 
 fn main() -> ExitCode {
@@ -143,40 +159,47 @@ fn main() -> ExitCode {
         ok &= check_nests("smith_waterman", &sw_c);
         ok &= check_nests("sweep3d", &sw3_c);
         if !ok {
-            eprintln!("FAIL: at least one benchmark nest fell back to the interpreter");
+            eprintln!("FAIL: at least one benchmark nest fell below the lane tier");
             return ExitCode::FAILURE;
         }
-        println!("all benchmark nests compile to fused kernels");
+        println!("all benchmark nests compile to lane-parallel kernels");
         return ExitCode::SUCCESS;
     }
 
-    println!("## Compiled tile kernels vs interpreter (threads engine, p = {procs})");
+    println!("## Kernel tiers: interpreter vs scalar tape vs lanes (threads engine, p = {procs})");
     println!("   rank-2 grids n = {n2}, sweep3d n = {n3}, min of {REPS} reps\n");
 
-    let rows: Vec<(&str, f64, f64)> = vec![
+    let rows: Vec<(&str, f64, f64, f64)> = vec![
         {
-            let (i, k) = measure("fig3", &fig3_prog, &fig3_c, &fig3_store, procs);
-            ("fig3", i, k)
+            let (i, k, l) = measure("fig3", &fig3_prog, &fig3_c, &fig3_store, procs);
+            ("fig3", i, k, l)
         },
         {
-            let (i, k) = measure("sor", &sor_lo.program, &sor_c, &sor_store, procs);
-            ("sor", i, k)
+            let (i, k, l) = measure("sor", &sor_lo.program, &sor_c, &sor_store, procs);
+            ("sor", i, k, l)
         },
         {
-            let (i, k) = measure("tomcatv", &tom_lo.program, &tom_c, &tom_store, procs);
-            ("tomcatv", i, k)
+            let (i, k, l) = measure("tomcatv", &tom_lo.program, &tom_c, &tom_store, procs);
+            ("tomcatv", i, k, l)
         },
         {
-            let (i, k) = measure("smith_waterman", &sw_lo.program, &sw_c, &sw_store, procs);
-            ("smith_waterman", i, k)
+            let (i, k, l) = measure("smith_waterman", &sw_lo.program, &sw_c, &sw_store, procs);
+            ("smith_waterman", i, k, l)
         },
         {
-            let (i, k) = measure("sweep3d", &sw3_lo.program, &sw3_c, &sw3_store, procs);
-            ("sweep3d", i, k)
+            let (i, k, l) = measure("sweep3d", &sw3_lo.program, &sw3_c, &sw3_store, procs);
+            ("sweep3d", i, k, l)
         },
     ];
 
-    let mut table = Table::new(&["benchmark", "interp ns/elem", "kernel ns/elem", "speedup"]);
+    let mut table = Table::new(&[
+        "benchmark",
+        "interp ns/elem",
+        "scalar ns/elem",
+        "lanes ns/elem",
+        "scalar speedup",
+        "lanes/scalar",
+    ]);
     let mut fields: Vec<(&str, String)> = vec![
         ("bench", json_str("kernels")),
         ("engine", json_str("threads")),
@@ -186,12 +209,27 @@ fn main() -> ExitCode {
         ("reps", REPS.to_string()),
     ];
     let mut keys: Vec<(String, String)> = Vec::new();
-    for (name, interp, kernel) in &rows {
-        let speedup = interp / kernel;
-        table.row(&[name.to_string(), f2(*interp), f2(*kernel), f2(speedup)]);
+    for (name, interp, scalar, lanes) in &rows {
+        let scalar_speedup = interp / scalar;
+        let lanes_speedup = interp / lanes;
+        let lanes_over_scalar = scalar / lanes;
+        table.row(&[
+            name.to_string(),
+            f2(*interp),
+            f2(*scalar),
+            f2(*lanes),
+            f2(scalar_speedup),
+            f2(lanes_over_scalar),
+        ]);
         keys.push((format!("{name}_interp_ns_per_elem"), f2(*interp)));
-        keys.push((format!("{name}_kernel_ns_per_elem"), f2(*kernel)));
-        keys.push((format!("{name}_kernel_speedup"), f2(speedup)));
+        keys.push((format!("{name}_kernel_ns_per_elem"), f2(*scalar)));
+        keys.push((format!("{name}_kernel_speedup"), f2(scalar_speedup)));
+        keys.push((format!("{name}_lanes_ns_per_elem"), f2(*lanes)));
+        keys.push((format!("{name}_lanes_speedup"), f2(lanes_speedup)));
+        keys.push((
+            format!("{name}_lanes_over_scalar_speedup"),
+            f2(lanes_over_scalar),
+        ));
     }
     for (k, v) in &keys {
         fields.push((k.as_str(), v.clone()));

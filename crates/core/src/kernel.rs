@@ -16,9 +16,22 @@
 //! operands (constants, stride-resolved reads, loop coordinates)
 //! directly, so an affine-shift stencil like `0.25*u + 0.75*0.25*
 //! (u'@n + u'@w + u@s + u@e + f)` becomes a handful of fused
-//! load-and-apply ops. Anything the lowering cannot express (snapshot
-//! buffering, scalar contraction, absurd register pressure) falls back
-//! to the interpreter via [`NestRunner`] — same results, transparently.
+//! load-and-apply ops.
+//!
+//! There are **three tiers**, selected per nest by [`NestRunner`] under
+//! a [`KernelMode`] ceiling:
+//!
+//! 1. **Lanes** ([`crate::kernel_lanes`]) — the tape lowered a second
+//!    time into lane-blocked form, executing [`crate::kernel_lanes::LANES`]
+//!    independent grid points per tape step (along a dependence-free
+//!    axis, or in lockstep along a wavefront hyperplane).
+//! 2. **Scalar** — this module's register tape, one point at a time.
+//! 3. **Interpreted** — the reference expression interpreter.
+//!
+//! Anything a lowering cannot express (snapshot buffering, scalar
+//! contraction, absurd register pressure, lane-crossing dependences)
+//! falls back one tier at a time via [`NestRunner`] — same results,
+//! transparently, with the [`FallbackReason`] recorded.
 //!
 //! Bit-identity contract: lowering performs **no** algebraic rewrites —
 //! no constant folding, no re-association, no `mul_add` fusion. The tape
@@ -51,8 +64,96 @@ pub const MAX_TAPE: usize = 256;
 const REG_MASK: usize = MAX_REGS - 1;
 const _: () = assert!(MAX_REGS.is_power_of_two());
 
-/// Why a nest could not be lowered to a [`TileKernel`] and executes on
-/// the interpreter instead.
+/// Which kernel tiers an engine may use. This is a *ceiling*, not a
+/// guarantee: each nest lowers as far as the request and its own shape
+/// allow, dropping one tier at a time (lanes → scalar tape →
+/// interpreter) with the [`FallbackReason`] recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum KernelMode {
+    /// Reference expression interpreter only (baseline runs).
+    Interpreted,
+    /// At most the scalar register tape; never lane-parallel.
+    Scalar,
+    /// Lane-parallel kernels where the nest allows them, the scalar
+    /// tape otherwise (the default).
+    #[default]
+    Lanes,
+}
+
+impl KernelMode {
+    /// The historical boolean switch: `true` enables the full kernel
+    /// tiering (up to lanes), `false` forces the interpreter.
+    pub fn from_flag(kernels: bool) -> Self {
+        if kernels {
+            KernelMode::Lanes
+        } else {
+            KernelMode::Interpreted
+        }
+    }
+
+    /// Stable lowercase name (metrics labels, CLI output).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelMode::Interpreted => "interpreted",
+            KernelMode::Scalar => "scalar",
+            KernelMode::Lanes => "lanes",
+        }
+    }
+}
+
+/// The tier a nest actually executes at — what the lowering achieved
+/// under the requested [`KernelMode`] ceiling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelTier {
+    /// The reference expression interpreter.
+    Interpreted,
+    /// The scalar register tape of this module.
+    Scalar,
+    /// The lane-parallel tier of [`crate::kernel_lanes`].
+    Lanes,
+}
+
+impl KernelTier {
+    /// Stable lowercase name (metrics labels, CLI output).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelTier::Interpreted => "interpreted",
+            KernelTier::Scalar => "scalar",
+            KernelTier::Lanes => "lanes",
+        }
+    }
+}
+
+impl std::fmt::Display for KernelTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why the lane lowering refused a nest that the scalar tape accepts
+/// (the payload of [`FallbackReason::LaneUnsupported`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneCause {
+    /// Lane-crossing reads everywhere: every axis carries a dependence
+    /// and no wavefront-plane lane direction satisfies the dependence
+    /// constraints either.
+    Carried,
+    /// The tape is too wide for the lane register file — it needs more
+    /// than [`crate::kernel_lanes::MAX_LANE_REGS`] registers.
+    WideTape,
+}
+
+/// Why a nest could not be lowered to the next kernel tier and executes
+/// one tier down instead.
+///
+/// | Variant | Refused tier | Executes on |
+/// |---|---|---|
+/// | [`Buffered`](FallbackReason::Buffered) | scalar + lanes | interpreter |
+/// | [`Contracted`](FallbackReason::Contracted) | scalar + lanes | interpreter |
+/// | [`RegisterPressure`](FallbackReason::RegisterPressure) | scalar + lanes | interpreter |
+/// | [`TapeTooLong`](FallbackReason::TapeTooLong) | scalar + lanes | interpreter |
+/// | [`UnsupportedExpr`](FallbackReason::UnsupportedExpr) | scalar + lanes | interpreter |
+/// | [`LaneUnsupported`](FallbackReason::LaneUnsupported) | lanes only | scalar tape |
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FallbackReason {
     /// The nest snapshots an array (array-semantics fallback); reads
@@ -67,6 +168,9 @@ pub enum FallbackReason {
     /// An expression form the lowering does not support (e.g. an
     /// `IndexVar` naming a dimension outside the nest's rank).
     UnsupportedExpr,
+    /// The scalar tape compiled but the lane lowering refused; the nest
+    /// runs on the scalar tape.
+    LaneUnsupported(LaneCause),
 }
 
 impl std::fmt::Display for FallbackReason {
@@ -77,6 +181,12 @@ impl std::fmt::Display for FallbackReason {
             FallbackReason::RegisterPressure => "register pressure",
             FallbackReason::TapeTooLong => "tape too long",
             FallbackReason::UnsupportedExpr => "unsupported expression",
+            FallbackReason::LaneUnsupported(LaneCause::Carried) => {
+                "lanes unsupported (lane-crossing dependences)"
+            }
+            FallbackReason::LaneUnsupported(LaneCause::WideTape) => {
+                "lanes unsupported (tape too wide for lane registers)"
+            }
         };
         f.write_str(s)
     }
@@ -139,14 +249,14 @@ pub struct ReadSlot<const R: usize> {
 
 /// The lowered tape of one statement.
 #[derive(Debug, Clone, PartialEq)]
-struct StmtKernel {
+pub(crate) struct StmtKernel {
     /// Array slot written by the statement.
-    lhs: u16,
+    pub(crate) lhs: u16,
     /// The instruction tape (postorder of the expression tree).
-    instrs: Vec<Instr>,
+    pub(crate) instrs: Vec<Instr>,
     /// Where the statement's value lives after the tape runs (a leaf
     /// statement like `a := 2` has an empty tape and a `Const` result).
-    result: Src,
+    pub(crate) result: Src,
 }
 
 /// A compiled loop-nest body: every statement lowered to a flat tape,
@@ -159,15 +269,15 @@ struct StmtKernel {
 #[derive(Debug, Clone, PartialEq)]
 pub struct TileKernel<const R: usize> {
     /// Distinct arrays the nest touches, slot-indexed.
-    arrays: Vec<ArrayId>,
+    pub(crate) arrays: Vec<ArrayId>,
     /// Distinct (array, shift) read pairs, slot-indexed.
-    reads: Vec<ReadSlot<R>>,
+    pub(crate) reads: Vec<ReadSlot<R>>,
     /// Per-statement tapes, in statement order.
-    stmts: Vec<StmtKernel>,
+    pub(crate) stmts: Vec<StmtKernel>,
     /// Whether any statement references a loop coordinate (`IndexVar`).
-    uses_coords: bool,
+    pub(crate) uses_coords: bool,
     /// Number of registers the widest statement tape needs.
-    regs: usize,
+    pub(crate) regs: usize,
 }
 
 /// A [`TileKernel`] resolved against one store's array geometry:
@@ -178,19 +288,19 @@ pub struct TileKernel<const R: usize> {
 #[derive(Debug, Clone, PartialEq)]
 pub struct BoundKernel<const R: usize> {
     /// Element strides per array slot, indexed by dimension.
-    strides: Vec<[i64; R]>,
+    pub(crate) strides: Vec<[i64; R]>,
     /// Lower bounds per array slot.
-    lo: Vec<[i64; R]>,
+    pub(crate) lo: Vec<[i64; R]>,
     /// Per read slot: (array slot, linear element delta of the shift).
-    rd: Vec<(u32, i64)>,
+    pub(crate) rd: Vec<(u32, i64)>,
     /// One cursor step per read slot, then one per statement's written
     /// array (a single merged vector so the inner loop advances all
     /// cursors in one pass).
-    steps: Vec<i64>,
+    pub(crate) steps: Vec<i64>,
     /// The loop order the binding was made for.
-    order: [usize; R],
+    pub(crate) order: [usize; R],
     /// Iteration direction per dimension.
-    ascending: [bool; R],
+    pub(crate) ascending: [bool; R],
 }
 
 /// Element strides of an array with the given bounds and layout:
@@ -661,54 +771,88 @@ fn load<const R: usize>(
     }
 }
 
-/// Per-nest execution strategy, selected once at plan time: the compiled
-/// kernel when the nest lowers, the reference interpreter otherwise (or
-/// when kernels are disabled for an interpreter-baseline run).
+/// Per-nest execution strategy, selected once at plan time: the
+/// lane-parallel kernel when the second lowering succeeds, the scalar
+/// kernel when only the first does, the reference interpreter otherwise
+/// (or when kernels are disabled for an interpreter-baseline run).
 #[derive(Debug, Clone)]
 pub enum NestRunner<const R: usize> {
-    /// The nest lowered; tiles execute on the kernel.
-    Compiled(TileKernel<R>),
+    /// The nest lowered twice; tiles execute on the lane-blocked kernel.
+    Lanes(TileKernel<R>, crate::kernel_lanes::LanePlan),
+    /// The nest lowered to the scalar tape only. `Some(reason)` records
+    /// why the lane lowering refused; `None` means the ceiling was
+    /// [`KernelMode::Scalar`] by request.
+    Compiled(TileKernel<R>, Option<FallbackReason>),
     /// Tiles execute on the interpreter. `Some(reason)` records why the
     /// lowering refused; `None` means kernels were disabled by request.
     Interpreted(Option<FallbackReason>),
 }
 
 impl<const R: usize> NestRunner<R> {
-    /// Lower the nest if possible, fall back to the interpreter if not.
+    /// Lower the nest as far as it will go ([`KernelMode::Lanes`]
+    /// ceiling), falling back one tier at a time.
     pub fn auto(nest: &CompiledNest<R>) -> Self {
-        match TileKernel::compile(nest) {
-            Ok(k) => NestRunner::Compiled(k),
-            Err(r) => NestRunner::Interpreted(Some(r)),
-        }
+        Self::with_mode(nest, KernelMode::Lanes)
     }
 
-    /// [`NestRunner::auto`] when `kernels` is true, the interpreter
-    /// otherwise (used to measure the interpreter baseline).
-    pub fn with_mode(nest: &CompiledNest<R>, kernels: bool) -> Self {
-        if kernels {
-            Self::auto(nest)
-        } else {
-            NestRunner::Interpreted(None)
+    /// Lower the nest under a requested tier ceiling. The achieved tier
+    /// ([`NestRunner::tier`]) is at most `mode`; each refused lowering
+    /// drops one tier and records its [`FallbackReason`].
+    pub fn with_mode(nest: &CompiledNest<R>, mode: KernelMode) -> Self {
+        if mode == KernelMode::Interpreted {
+            return NestRunner::Interpreted(None);
+        }
+        let kernel = match TileKernel::compile(nest) {
+            Ok(k) => k,
+            Err(r) => return NestRunner::Interpreted(Some(r)),
+        };
+        if mode == KernelMode::Scalar {
+            return NestRunner::Compiled(kernel, None);
+        }
+        match crate::kernel_lanes::plan_lanes(nest, &kernel) {
+            Ok(plan) => NestRunner::Lanes(kernel, plan),
+            Err(cause) => {
+                NestRunner::Compiled(kernel, Some(FallbackReason::LaneUnsupported(cause)))
+            }
         }
     }
 
     /// The compiled kernel, when there is one.
     pub fn kernel(&self) -> Option<&TileKernel<R>> {
         match self {
-            NestRunner::Compiled(k) => Some(k),
+            NestRunner::Lanes(k, _) | NestRunner::Compiled(k, _) => Some(k),
             NestRunner::Interpreted(_) => None,
         }
     }
 
-    /// True when tiles execute on the compiled kernel.
-    pub fn is_compiled(&self) -> bool {
-        matches!(self, NestRunner::Compiled(_))
+    /// The lane plan, when the nest reached the lane tier.
+    pub fn lane_plan(&self) -> Option<&crate::kernel_lanes::LanePlan> {
+        match self {
+            NestRunner::Lanes(_, plan) => Some(plan),
+            _ => None,
+        }
     }
 
-    /// Why the interpreter is in use, when the lowering refused.
+    /// The tier tiles actually execute on.
+    pub fn tier(&self) -> KernelTier {
+        match self {
+            NestRunner::Lanes(..) => KernelTier::Lanes,
+            NestRunner::Compiled(..) => KernelTier::Scalar,
+            NestRunner::Interpreted(_) => KernelTier::Interpreted,
+        }
+    }
+
+    /// True when tiles execute on a compiled kernel (scalar or lanes).
+    pub fn is_compiled(&self) -> bool {
+        !matches!(self, NestRunner::Interpreted(_))
+    }
+
+    /// Why the runner sits below the requested ceiling, when a lowering
+    /// refused (`None` when the achieved tier *is* the ceiling).
     pub fn fallback(&self) -> Option<FallbackReason> {
         match self {
-            NestRunner::Compiled(_) => None,
+            NestRunner::Lanes(..) => None,
+            NestRunner::Compiled(_, r) => *r,
             NestRunner::Interpreted(r) => *r,
         }
     }
@@ -723,9 +867,10 @@ impl<const R: usize> NestRunner<R> {
         self.kernel().map(|k| k.bind(store, order))
     }
 
-    /// Execute one tile: the bound kernel when compiled, the reference
-    /// interpreter otherwise. `bound` must come from [`NestRunner::bind`]
-    /// on the same store geometry (pass `None` for interpreted runners).
+    /// Execute one tile: the lane kernel at the lane tier, the bound
+    /// scalar kernel when compiled, the reference interpreter otherwise.
+    /// `bound` must come from [`NestRunner::bind`] on the same store
+    /// geometry (pass `None` for interpreted runners).
     pub fn run_tile(
         &self,
         nest: &CompiledNest<R>,
@@ -735,8 +880,15 @@ impl<const R: usize> NestRunner<R> {
         store: &mut Store<R>,
     ) {
         match (self, bound) {
-            (NestRunner::Compiled(k), Some(b)) => k.run_bound(b, region, store),
-            (NestRunner::Compiled(k), None) => k.run_region(region, order, store),
+            (NestRunner::Lanes(k, plan), Some(b)) => {
+                crate::kernel_lanes::run_lanes(k, b, plan, region, store)
+            }
+            (NestRunner::Lanes(k, plan), None) => {
+                let b = k.bind(store, order);
+                crate::kernel_lanes::run_lanes(k, &b, plan, region, store)
+            }
+            (NestRunner::Compiled(k, _), Some(b)) => k.run_bound(b, region, store),
+            (NestRunner::Compiled(k, _), None) => k.run_region(region, order, store),
             (NestRunner::Interpreted(_), _) => {
                 crate::exec::run_nest_region_with_sink(nest, region, order, store, &mut NoSink);
             }

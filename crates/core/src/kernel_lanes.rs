@@ -1,0 +1,997 @@
+//! Lane-parallel tile kernels: the scalar register tape of
+//! [`crate::kernel`], lowered a second time into lane-blocked form that
+//! evaluates [`LANES`] independent grid points per tape step.
+//!
+//! The paper's wavefront sweeps always carry a free parallel direction
+//! inside every tile — either a whole dimension no dependence crosses,
+//! or (when every axis is carried) the anti-diagonal of the wavefront
+//! itself. The scalar tape leaves that parallelism on the table: its
+//! recurrence chains serialize on store→load forwarding, one element at
+//! a time. This module picks a *lane direction* per nest at plan time
+//! ([`plan_lanes`]) and executes the same tape over `[f64; LANES]` lane
+//! arrays in fixed-width unrolled loops — a shape the autovectorizer
+//! turns into SIMD when the lane stride is contiguous, and that still
+//! buys instruction-level parallelism (eight independent dependence
+//! chains in flight) when it is not.
+//!
+//! Two lane shapes exist, tried in order:
+//!
+//! - [`LaneShape::Axis`] — some dimension `d` has component 0 in every
+//!   dependence constraint. Points that differ only in `d` are mutually
+//!   independent, so the sweep blocks `d` by [`LANES`] (always ascending
+//!   — reversing or blocking a loop that carries nothing is legal) and
+//!   keeps every other loop exactly as the scalar sweep runs it. The
+//!   region's remainder slab (`extent % LANES`) runs on the scalar tape.
+//! - [`LaneShape::Wavefront`] — every axis is carried, but every
+//!   dependence lands on a strictly later anti-diagonal hyperplane: the
+//!   sum of each constraint's *normalized* components (flipped for
+//!   descending loops) is ≥ 1. Then all points on one hyperplane are
+//!   mutually independent; the sweep walks planes in dependence order
+//!   and blocks each plane's diagonal segments by [`LANES`], with a
+//!   per-point scalar remainder.
+//!
+//! Bit-identity contract (inherited from [`crate::kernel`]): the lane
+//! executor applies exactly the scalar tape's operator sequence to each
+//! point — no re-association, no fused multiply-add — and lane blocking
+//! only reorders *independent* points, so results are bitwise identical
+//! to the scalar tape and the interpreter. The differential fuzz harness
+//! in `tests/kernel_differential.rs` enforces this.
+//!
+//! A nest the lane lowering refuses (every direction carried, or a tape
+//! needing more than [`MAX_LANE_REGS`] registers) runs on the scalar
+//! tape with [`crate::kernel::FallbackReason::LaneUnsupported`] recorded
+//! — see [`crate::kernel::NestRunner`].
+
+use std::cell::Cell;
+
+use crate::exec::CompiledNest;
+use crate::expr::{BinOp, UnaryOp};
+use crate::kernel::{BoundKernel, Instr, LaneCause, Src, StmtKernel, TileKernel};
+use crate::program::Store;
+use crate::region::Region;
+
+/// Lane width: grid points evaluated per tape step. Eight `f64`s fill
+/// one AVX-512 register or two AVX2 registers — wide enough to hide the
+/// recurrence latency the scalar tape serializes on, small enough that
+/// diagonal segments and tile edges don't drown in remainder work.
+pub const LANES: usize = 8;
+
+/// Maximum registers a tape may use and still lane-lower. Each lane
+/// register is `LANES` f64s, so 16 of them is 1 KiB of hot state — kept
+/// deliberately below [`crate::kernel::MAX_REGS`] so register-heavy
+/// tapes stay scalar instead of spilling lane arrays to the stack.
+pub const MAX_LANE_REGS: usize = 16;
+
+/// See [`crate::kernel`]'s `REG_MASK`: lane register indices are `<
+/// MAX_LANE_REGS` by the [`plan_lanes`] width check, so masking is the
+/// identity and elides the bounds check.
+const LREG_MASK: usize = MAX_LANE_REGS - 1;
+const _: () = assert!(MAX_LANE_REGS.is_power_of_two());
+
+/// The lane direction a nest's sweep blocks by [`LANES`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneShape {
+    /// Lanes along dimension `dim`, which no dependence constraint
+    /// crosses. Contiguous SIMD when `dim` is the layout's unit-stride
+    /// dimension, strided lane gathers (still an ILP win) otherwise.
+    Axis {
+        /// The dependence-free dimension.
+        dim: usize,
+    },
+    /// Lanes along the anti-diagonal of the two innermost loops: lane
+    /// `l` sits at normalized position `(ĵ_p + l, ĵ_q − l)`. Legal
+    /// because every dependence crosses to a strictly later hyperplane
+    /// `d = Σ ĵ`.
+    Wavefront {
+        /// Loop *position* (outermost = 0) whose normalized coordinate
+        /// grows along the lane direction; always `R − 2`.
+        p: usize,
+        /// Loop position whose normalized coordinate shrinks; `R − 1`.
+        q: usize,
+    },
+}
+
+/// The lane lowering of one nest: which direction the sweep blocks.
+/// Pure data, `Send + Sync`, computed once per nest at plan time and
+/// shared by all workers (like the [`TileKernel`] it accompanies).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LanePlan {
+    /// The chosen lane direction.
+    pub shape: LaneShape,
+}
+
+impl LanePlan {
+    /// Short human-readable description for CLI output, e.g.
+    /// `"axis dim 1"` or `"wavefront diagonal"`.
+    pub fn describe(&self) -> String {
+        match self.shape {
+            LaneShape::Axis { dim } => format!("axis dim {dim}"),
+            LaneShape::Wavefront { .. } => "wavefront diagonal".to_string(),
+        }
+    }
+}
+
+/// Decide whether (and along which direction) a compiled nest can
+/// execute lane-parallel. `kernel` must be the scalar lowering of
+/// `nest`.
+///
+/// Rules, in order:
+/// 1. The tape must fit the lane register file
+///    ([`LaneCause::WideTape`] otherwise).
+/// 2. A dimension with component 0 in **every** dependence constraint
+///    (innermost loop preferred — its lanes are contiguous in the
+///    common row-major/trailing-dim case) → [`LaneShape::Axis`].
+/// 3. `R ≥ 2` and every constraint's normalized component sum ≥ 1 →
+///    [`LaneShape::Wavefront`] over the two innermost loop positions.
+/// 4. Otherwise [`LaneCause::Carried`]: some dependence would cross a
+///    lane block no matter the direction.
+pub fn plan_lanes<const R: usize>(
+    nest: &CompiledNest<R>,
+    kernel: &TileKernel<R>,
+) -> Result<LanePlan, LaneCause> {
+    if kernel.reg_count() > MAX_LANE_REGS {
+        return Err(LaneCause::WideTape);
+    }
+    let order = &nest.structure.order;
+    // Innermost loop position first: its dimension is usually the
+    // layout's unit-stride one, giving contiguous lane loads.
+    for pos in (0..R).rev() {
+        let d = order.order[pos];
+        if nest.constraints.iter().all(|c| c.vector[d] == 0) {
+            return Ok(LanePlan { shape: LaneShape::Axis { dim: d } });
+        }
+    }
+    if R >= 2 {
+        let plane_ok = nest.constraints.iter().all(|c| {
+            let s: i64 = (0..R)
+                .map(|pos| {
+                    let dim = order.order[pos];
+                    if order.ascending[dim] { c.vector[dim] } else { -c.vector[dim] }
+                })
+                .sum();
+            s >= 1
+        });
+        if plane_ok {
+            return Ok(LanePlan { shape: LaneShape::Wavefront { p: R - 2, q: R - 1 } });
+        }
+    }
+    Err(LaneCause::Carried)
+}
+
+/// Sweep `region` with the lane executor. `bk` must come from
+/// [`TileKernel::bind`] on the same store geometry, `plan` from
+/// [`plan_lanes`] on the same nest. Falls through to the scalar tape
+/// for remainder slabs and short diagonal segments; results are bitwise
+/// identical to [`TileKernel::run_bound`] either way.
+pub fn run_lanes<const R: usize>(
+    kernel: &TileKernel<R>,
+    bk: &BoundKernel<R>,
+    plan: &LanePlan,
+    region: Region<R>,
+    store: &mut Store<R>,
+) {
+    if region.is_empty() {
+        return;
+    }
+    match plan.shape {
+        LaneShape::Axis { dim } => run_axis(kernel, bk, dim, region, store),
+        LaneShape::Wavefront { p, q } => run_wavefront(kernel, bk, p, q, region, store),
+    }
+}
+
+/// Axis lanes: split the region along the free dimension into a
+/// `LANES`-aligned part for the lane sweep and a remainder slab for the
+/// scalar tape. The split is safe in any order — no dependence crosses
+/// `d`, so the two parts are independent.
+fn run_axis<const R: usize>(
+    kernel: &TileKernel<R>,
+    bk: &BoundKernel<R>,
+    d: usize,
+    region: Region<R>,
+    store: &mut Store<R>,
+) {
+    let ext = region.extent(d);
+    let full = ext - ext % LANES as i64;
+    let rlo = region.lo();
+    let rhi = region.hi();
+    if full > 0 {
+        axis_sweep(kernel, bk, d, region.slab(d, rlo[d], rlo[d] + full - 1), store);
+    }
+    if full < ext {
+        kernel.run_bound(bk, region.slab(d, rlo[d] + full, rhi[d]), store);
+    }
+}
+
+/// Read-slot and statement-write cell views, in that order.
+type SlotViews<'a> = (Vec<&'a [Cell<f64>]>, Vec<&'a [Cell<f64>]>);
+
+/// Per-slot cell views of the store, exactly as the scalar
+/// `run_bound` builds them: one aliased `Cell` view per array, then one
+/// slice per read slot and per written statement.
+fn cell_views<'a, const R: usize>(
+    kernel: &TileKernel<R>,
+    bk: &BoundKernel<R>,
+    store: &'a mut Store<R>,
+) -> SlotViews<'a> {
+    let all: Vec<&[Cell<f64>]> = store
+        .arrays_mut()
+        .iter_mut()
+        .map(|a| Cell::from_mut(a.as_mut_slice()).as_slice_of_cells())
+        .collect();
+    let cells: Vec<&[Cell<f64>]> = kernel.arrays.iter().map(|&id| all[id]).collect();
+    let rslices: Vec<&[Cell<f64>]> =
+        bk.rd.iter().map(|&(a, _)| cells[a as usize]).collect();
+    let wslices: Vec<&[Cell<f64>]> =
+        kernel.stmts.iter().map(|sk| cells[sk.lhs as usize]).collect();
+    (rslices, wslices)
+}
+
+/// The lane sweep proper. `region.extent(d)` must be a multiple of
+/// [`LANES`]. Loop structure is the scalar sweep's with two changes:
+/// the `d` loop always ascends (legal — it carries nothing) and steps
+/// by [`LANES`], and each visit evaluates the block `d .. d+LANES`.
+fn axis_sweep<const R: usize>(
+    kernel: &TileKernel<R>,
+    bk: &BoundKernel<R>,
+    d: usize,
+    region: Region<R>,
+    store: &mut Store<R>,
+) {
+    let rlo = region.lo();
+    let rhi = region.hi();
+    let inner = bk.order[R - 1];
+    let (rslices, wslices) = cell_views(kernel, bk, store);
+
+    // Lane `l` displaces the current point by `+l` along `d`.
+    let mut cdelta = [0.0f64; R];
+    cdelta[d] = 1.0;
+    let ldel_arr: Vec<i64> = bk.strides.iter().map(|s| s[d]).collect();
+    let ldel: Vec<i64> = bk.rd.iter().map(|&(a, _)| ldel_arr[a as usize]).collect();
+    let wdel: Vec<i64> =
+        kernel.stmts.iter().map(|sk| ldel_arr[sk.lhs as usize]).collect();
+
+    let nr = bk.rd.len();
+    let lane_inner = d == inner;
+    // The innermost sweep: over lane blocks of `d` when `d` is the
+    // inner loop, over the inner dimension (original direction,
+    // per-slot steps from the binding) otherwise.
+    let n_sweep = if lane_inner {
+        (region.extent(d) / LANES as i64) as usize
+    } else {
+        region.extent(inner) as usize
+    };
+    let istep: Vec<i64> = if lane_inner {
+        bk.rd
+            .iter()
+            .map(|&(a, _)| ldel_arr[a as usize] * LANES as i64)
+            .chain(kernel.stmts.iter().map(|sk| ldel_arr[sk.lhs as usize] * LANES as i64))
+            .collect()
+    } else {
+        bk.steps.clone()
+    };
+    let inner_start = if lane_inner {
+        rlo[d]
+    } else if bk.ascending[inner] {
+        rlo[inner]
+    } else {
+        rhi[inner]
+    };
+    let inner_dir: i64 = if lane_inner {
+        LANES as i64
+    } else if bk.ascending[inner] {
+        1
+    } else {
+        -1
+    };
+
+    let mut p = [0i64; R];
+    for k in 0..R {
+        p[k] = if bk.ascending[k] { rlo[k] } else { rhi[k] };
+    }
+    p[d] = rlo[d];
+    let mut coords = [0.0f64; R];
+    if kernel.uses_coords {
+        for k in 0..R {
+            coords[k] = p[k] as f64;
+        }
+    }
+
+    let n_arr = kernel.arrays.len();
+    let mut base = vec![0i64; n_arr];
+    let mut cur = vec![0i64; nr + kernel.stmts.len()];
+    let mut lregs = [[0.0f64; LANES]; MAX_LANE_REGS];
+
+    loop {
+        for ((b, s), l) in base.iter_mut().zip(&bk.strides).zip(&bk.lo) {
+            *b = (0..R).map(|k| s[k] * (p[k] - l[k])).sum();
+        }
+        for (c, (a, delta)) in cur.iter_mut().zip(&bk.rd) {
+            *c = base[*a as usize] + delta;
+        }
+        for (c, sk) in cur[nr..].iter_mut().zip(&kernel.stmts) {
+            *c = base[sk.lhs as usize];
+        }
+
+        let mut ci = inner_start;
+        for _ in 0..n_sweep {
+            if kernel.uses_coords {
+                coords[inner] = ci as f64;
+            }
+            for (j, sk) in kernel.stmts.iter().enumerate() {
+                let v = eval_stmt_lanes(
+                    sk, &mut lregs, &rslices, &cur, &ldel, &coords, &cdelta,
+                );
+                let ws = wslices[j];
+                let wc = cur[nr + j];
+                let wd = wdel[j];
+                for l in 0..LANES {
+                    ws[(wc + l as i64 * wd) as usize].set(v[l]);
+                }
+            }
+            for (c, s) in cur.iter_mut().zip(&istep) {
+                *c += *s;
+            }
+            ci += inner_dir;
+        }
+
+        // Outer odometer: like the scalar sweep's, except the lane
+        // dimension (when not innermost) ascends in blocks of `LANES` —
+        // the slab preparation made its extent divide evenly.
+        let mut advanced = false;
+        for pos in (0..R.saturating_sub(1)).rev() {
+            let k = bk.order[pos];
+            if k == d {
+                if p[k] + (LANES as i64) - 1 < rhi[k] {
+                    p[k] += LANES as i64;
+                    advanced = true;
+                } else {
+                    p[k] = rlo[k];
+                }
+            } else if bk.ascending[k] {
+                if p[k] < rhi[k] {
+                    p[k] += 1;
+                    advanced = true;
+                } else {
+                    p[k] = rlo[k];
+                }
+            } else if p[k] > rlo[k] {
+                p[k] -= 1;
+                advanced = true;
+            } else {
+                p[k] = rhi[k];
+            }
+            if kernel.uses_coords {
+                coords[k] = p[k] as f64;
+            }
+            if advanced {
+                break;
+            }
+        }
+        if !advanced {
+            break;
+        }
+    }
+}
+
+/// Wavefront lanes: walk the anti-diagonal hyperplanes `d = Σ ĵ` (ĵ =
+/// normalized loop coordinates, 0 at each loop's starting end) in
+/// increasing order — every dependence lands ≥ 1 plane later, so all
+/// points within a plane are independent. Within a plane, the two
+/// innermost loop positions (`pp`, `qq`) trade against each other along
+/// diagonal segments, blocked by [`LANES`] with a per-point scalar
+/// remainder; outer positions enumerate segments odometer-style.
+fn run_wavefront<const R: usize>(
+    kernel: &TileKernel<R>,
+    bk: &BoundKernel<R>,
+    pp: usize,
+    qq: usize,
+    region: Region<R>,
+    store: &mut Store<R>,
+) {
+    debug_assert!(R >= 2 && pp == R - 2 && qq == R - 1);
+    let rlo = region.lo();
+    let rhi = region.hi();
+    let dim_p = bk.order[pp];
+    let dim_q = bk.order[qq];
+    let dp: i64 = if bk.ascending[dim_p] { 1 } else { -1 };
+    let dq: i64 = if bk.ascending[dim_q] { 1 } else { -1 };
+    // Extents by loop *position*.
+    let ext: [i64; R] = std::array::from_fn(|pos| region.extent(bk.order[pos]));
+    let (rslices, wslices) = cell_views(kernel, bk, store);
+
+    // Lane `l` displaces the segment point by `+l` normalized along
+    // position `pp` and `−l` along `qq`.
+    let mut cdelta = [0.0f64; R];
+    cdelta[dim_p] = dp as f64;
+    cdelta[dim_q] = -(dq as f64);
+    let ldel_arr: Vec<i64> =
+        bk.strides.iter().map(|s| s[dim_p] * dp - s[dim_q] * dq).collect();
+    let ldel: Vec<i64> = bk.rd.iter().map(|&(a, _)| ldel_arr[a as usize]).collect();
+    let nr = bk.rd.len();
+    // Merged per-cursor lane step (read slots then statement writes),
+    // advancing one point along the segment.
+    let cstep: Vec<i64> = bk
+        .rd
+        .iter()
+        .map(|&(a, _)| ldel_arr[a as usize])
+        .chain(kernel.stmts.iter().map(|sk| ldel_arr[sk.lhs as usize]))
+        .collect();
+
+    let dmax: i64 = (0..R).map(|pos| ext[pos] - 1).sum();
+    let n_arr = kernel.arrays.len();
+    let mut base = vec![0i64; n_arr];
+    let mut cur = vec![0i64; nr + kernel.stmts.len()];
+    let mut lregs = [[0.0f64; LANES]; MAX_LANE_REGS];
+    let mut pregs = [0.0f64; MAX_LANE_REGS];
+
+    for dsum in 0..=dmax {
+        // Odometer over the outer positions' normalized coordinates.
+        let mut mids = [0i64; R];
+        loop {
+            let msum: i64 = (0..pp).map(|pos| mids[pos]).sum();
+            let s = dsum - msum;
+            let jp_lo = 0.max(s - (ext[qq] - 1));
+            let jp_hi = (ext[pp] - 1).min(s);
+            if jp_lo <= jp_hi {
+                // Actual coordinates of the segment's first point.
+                let mut x = [0i64; R];
+                for (pos, &m) in mids.iter().enumerate().take(pp) {
+                    let dim = bk.order[pos];
+                    x[dim] = if bk.ascending[dim] { rlo[dim] + m } else { rhi[dim] - m };
+                }
+                let jq0 = s - jp_lo;
+                x[dim_p] =
+                    if bk.ascending[dim_p] { rlo[dim_p] + jp_lo } else { rhi[dim_p] - jp_lo };
+                x[dim_q] =
+                    if bk.ascending[dim_q] { rlo[dim_q] + jq0 } else { rhi[dim_q] - jq0 };
+
+                for ((b, st), l) in base.iter_mut().zip(&bk.strides).zip(&bk.lo) {
+                    *b = (0..R).map(|k| st[k] * (x[k] - l[k])).sum();
+                }
+                for (c, (a, delta)) in cur.iter_mut().zip(&bk.rd) {
+                    *c = base[*a as usize] + delta;
+                }
+                for (c, sk) in cur[nr..].iter_mut().zip(&kernel.stmts) {
+                    *c = base[sk.lhs as usize];
+                }
+                let mut coords = [0.0f64; R];
+                if kernel.uses_coords {
+                    for k in 0..R {
+                        coords[k] = x[k] as f64;
+                    }
+                }
+
+                let seg = (jp_hi - jp_lo + 1) as usize;
+                for _ in 0..seg / LANES {
+                    for (j, sk) in kernel.stmts.iter().enumerate() {
+                        let v = eval_stmt_lanes(
+                            sk, &mut lregs, &rslices, &cur, &ldel, &coords, &cdelta,
+                        );
+                        let ws = wslices[j];
+                        let wc = cur[nr + j];
+                        let wd = ldel_arr[sk.lhs as usize];
+                        for l in 0..LANES {
+                            ws[(wc + l as i64 * wd) as usize].set(v[l]);
+                        }
+                    }
+                    for (c, st) in cur.iter_mut().zip(&cstep) {
+                        *c += *st * LANES as i64;
+                    }
+                    if kernel.uses_coords {
+                        coords[dim_p] += (LANES as i64 * dp) as f64;
+                        coords[dim_q] -= (LANES as i64 * dq) as f64;
+                    }
+                }
+                for _ in 0..seg % LANES {
+                    for (j, sk) in kernel.stmts.iter().enumerate() {
+                        let v = eval_stmt_point(sk, &mut pregs, &rslices, &cur, &coords);
+                        wslices[j][cur[nr + j] as usize].set(v);
+                    }
+                    for (c, st) in cur.iter_mut().zip(&cstep) {
+                        *c += *st;
+                    }
+                    if kernel.uses_coords {
+                        coords[dim_p] += dp as f64;
+                        coords[dim_q] -= dq as f64;
+                    }
+                }
+            }
+            let mut advanced = false;
+            for pos in (0..pp).rev() {
+                if mids[pos] + 1 < ext[pos] {
+                    mids[pos] += 1;
+                    advanced = true;
+                    break;
+                }
+                mids[pos] = 0;
+            }
+            if !advanced {
+                break;
+            }
+        }
+    }
+}
+
+/// Gather one read slot's value for all lanes. With `ldel == 1` (lane
+/// dimension is the layout's unit-stride one) this is a contiguous load
+/// the autovectorizer folds into vector registers.
+#[inline(always)]
+fn gather(slice: &[Cell<f64>], at: i64, ldel: i64) -> [f64; LANES] {
+    std::array::from_fn(|l| slice[(at + l as i64 * ldel) as usize].get())
+}
+
+/// Resolve one operand for all lanes. Mirrors the scalar executor's
+/// `load`, widened.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn load_lanes<const R: usize>(
+    s: Src,
+    lregs: &[[f64; LANES]; MAX_LANE_REGS],
+    rslices: &[&[Cell<f64>]],
+    cur: &[i64],
+    ldel: &[i64],
+    prev: &[f64; LANES],
+    coords: &[f64; R],
+    cdelta: &[f64; R],
+) -> [f64; LANES] {
+    match s {
+        Src::Reg(r) => lregs[r as usize & LREG_MASK],
+        Src::Prev => *prev,
+        Src::Const(c) => [c; LANES],
+        Src::Read(i) => gather(rslices[i as usize], cur[i as usize], ldel[i as usize]),
+        Src::Coord(k) => {
+            let b = coords[k as usize];
+            let dl = cdelta[k as usize];
+            std::array::from_fn(|l| b + l as f64 * dl)
+        }
+    }
+}
+
+/// Apply one binary operator lane-wise. The operator is matched **once**
+/// per instruction (not per lane); each arm is a fixed-width loop of the
+/// exact scalar operation [`BinOp::apply`] performs, so per-lane results
+/// are bitwise identical to the scalar tape.
+#[inline(always)]
+fn bin_lanes(op: BinOp, a: &[f64; LANES], b: &[f64; LANES]) -> [f64; LANES] {
+    let mut out = [0.0f64; LANES];
+    match op {
+        BinOp::Add => {
+            for l in 0..LANES {
+                out[l] = a[l] + b[l];
+            }
+        }
+        BinOp::Sub => {
+            for l in 0..LANES {
+                out[l] = a[l] - b[l];
+            }
+        }
+        BinOp::Mul => {
+            for l in 0..LANES {
+                out[l] = a[l] * b[l];
+            }
+        }
+        BinOp::Div => {
+            for l in 0..LANES {
+                out[l] = a[l] / b[l];
+            }
+        }
+        BinOp::Min => {
+            for l in 0..LANES {
+                out[l] = a[l].min(b[l]);
+            }
+        }
+        BinOp::Max => {
+            for l in 0..LANES {
+                out[l] = a[l].max(b[l]);
+            }
+        }
+        BinOp::Pow => {
+            for l in 0..LANES {
+                out[l] = a[l].powf(b[l]);
+            }
+        }
+    }
+    out
+}
+
+/// Apply one unary operator lane-wise; see [`bin_lanes`].
+#[inline(always)]
+fn un_lanes(op: UnaryOp, a: &[f64; LANES]) -> [f64; LANES] {
+    let mut out = [0.0f64; LANES];
+    match op {
+        UnaryOp::Neg => {
+            for l in 0..LANES {
+                out[l] = -a[l];
+            }
+        }
+        UnaryOp::Abs => {
+            for l in 0..LANES {
+                out[l] = a[l].abs();
+            }
+        }
+        UnaryOp::Sqrt => {
+            for l in 0..LANES {
+                out[l] = a[l].sqrt();
+            }
+        }
+        UnaryOp::Exp => {
+            for l in 0..LANES {
+                out[l] = a[l].exp();
+            }
+        }
+        UnaryOp::Ln => {
+            for l in 0..LANES {
+                out[l] = a[l].ln();
+            }
+        }
+        UnaryOp::Recip => {
+            for l in 0..LANES {
+                out[l] = 1.0 / a[l];
+            }
+        }
+        UnaryOp::Sin => {
+            for l in 0..LANES {
+                out[l] = a[l].sin();
+            }
+        }
+        UnaryOp::Cos => {
+            for l in 0..LANES {
+                out[l] = a[l].cos();
+            }
+        }
+    }
+    out
+}
+
+/// One statement tape over a whole lane block; the lane-wide analogue
+/// of the scalar executor's `eval_stmt!`, with the same final-node
+/// fusion (a non-empty tape's last instruction feeds the caller
+/// directly).
+#[inline(always)]
+fn eval_stmt_lanes<const R: usize>(
+    sk: &StmtKernel,
+    lregs: &mut [[f64; LANES]; MAX_LANE_REGS],
+    rslices: &[&[Cell<f64>]],
+    cur: &[i64],
+    ldel: &[i64],
+    coords: &[f64; R],
+    cdelta: &[f64; R],
+) -> [f64; LANES] {
+    match sk.instrs.split_last() {
+        Some((last, rest)) => {
+            let mut prev = [0.0f64; LANES];
+            for ins in rest {
+                let r = match *ins {
+                    Instr::Bin { op, dst, a, b } => {
+                        let va = load_lanes(a, lregs, rslices, cur, ldel, &prev, coords, cdelta);
+                        let vb = load_lanes(b, lregs, rslices, cur, ldel, &prev, coords, cdelta);
+                        let r = bin_lanes(op, &va, &vb);
+                        lregs[dst as usize & LREG_MASK] = r;
+                        r
+                    }
+                    Instr::Un { op, dst, a } => {
+                        let va = load_lanes(a, lregs, rslices, cur, ldel, &prev, coords, cdelta);
+                        let r = un_lanes(op, &va);
+                        lregs[dst as usize & LREG_MASK] = r;
+                        r
+                    }
+                };
+                prev = r;
+            }
+            match *last {
+                Instr::Bin { op, a, b, .. } => {
+                    let va = load_lanes(a, lregs, rslices, cur, ldel, &prev, coords, cdelta);
+                    let vb = load_lanes(b, lregs, rslices, cur, ldel, &prev, coords, cdelta);
+                    bin_lanes(op, &va, &vb)
+                }
+                Instr::Un { op, a, .. } => {
+                    let va = load_lanes(a, lregs, rslices, cur, ldel, &prev, coords, cdelta);
+                    un_lanes(op, &va)
+                }
+            }
+        }
+        None => load_lanes(
+            sk.result,
+            lregs,
+            rslices,
+            cur,
+            ldel,
+            &[0.0; LANES],
+            coords,
+            cdelta,
+        ),
+    }
+}
+
+/// One statement tape at one grid point — the scalar remainder path for
+/// diagonal segments shorter than a lane block. Registers fit
+/// [`MAX_LANE_REGS`] because [`plan_lanes`] checked the tape width.
+#[inline(always)]
+fn eval_stmt_point<const R: usize>(
+    sk: &StmtKernel,
+    regs: &mut [f64; MAX_LANE_REGS],
+    rslices: &[&[Cell<f64>]],
+    cur: &[i64],
+    coords: &[f64; R],
+) -> f64 {
+    #[inline(always)]
+    fn load_point<const R: usize>(
+        s: Src,
+        regs: &[f64; MAX_LANE_REGS],
+        rslices: &[&[Cell<f64>]],
+        cur: &[i64],
+        prev: f64,
+        coords: &[f64; R],
+    ) -> f64 {
+        match s {
+            Src::Reg(r) => regs[r as usize & LREG_MASK],
+            Src::Prev => prev,
+            Src::Const(c) => c,
+            Src::Read(i) => rslices[i as usize][cur[i as usize] as usize].get(),
+            Src::Coord(k) => coords[k as usize],
+        }
+    }
+    match sk.instrs.split_last() {
+        Some((last, rest)) => {
+            let mut prev = 0.0f64;
+            for ins in rest {
+                let r = match *ins {
+                    Instr::Bin { op, dst, a, b } => {
+                        let va = load_point(a, regs, rslices, cur, prev, coords);
+                        let vb = load_point(b, regs, rslices, cur, prev, coords);
+                        let r = op.apply(va, vb);
+                        regs[dst as usize & LREG_MASK] = r;
+                        r
+                    }
+                    Instr::Un { op, dst, a } => {
+                        let va = load_point(a, regs, rslices, cur, prev, coords);
+                        let r = op.apply(va);
+                        regs[dst as usize & LREG_MASK] = r;
+                        r
+                    }
+                };
+                prev = r;
+            }
+            match *last {
+                Instr::Bin { op, a, b, .. } => {
+                    let va = load_point(a, regs, rslices, cur, prev, coords);
+                    let vb = load_point(b, regs, rslices, cur, prev, coords);
+                    op.apply(va, vb)
+                }
+                Instr::Un { op, a, .. } => {
+                    let va = load_point(a, regs, rslices, cur, prev, coords);
+                    op.apply(va)
+                }
+            }
+        }
+        None => load_point(sk.result, regs, rslices, cur, 0.0, coords),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::array::DenseArray;
+    use crate::exec::compile;
+    use crate::expr::Expr;
+    use crate::kernel::{FallbackReason, KernelMode, KernelTier, NestRunner};
+    use crate::program::Program;
+    use crate::region::Region;
+    use crate::stmt::Statement;
+
+    /// Run every nest of `p` twice — scalar tape vs lane tier — and
+    /// assert bitwise identity plus the expected lane shapes.
+    fn scalar_vs_lanes<const R: usize>(
+        p: &Program<R>,
+        init: impl Fn(&mut Store<R>),
+        want: &[Option<LaneShape>],
+    ) {
+        let compiled = compile(p).unwrap();
+        let mut scalar = Store::new(p);
+        let mut lanes = Store::new(p);
+        init(&mut scalar);
+        init(&mut lanes);
+        let mut shapes = Vec::new();
+        for nest in compiled.nests() {
+            let sr = NestRunner::with_mode(nest, KernelMode::Scalar);
+            assert_eq!(sr.tier(), KernelTier::Scalar);
+            let sb = sr.bind(&scalar, &nest.structure.order);
+            sr.run_tile(nest, sb.as_ref(), nest.region, &nest.structure.order, &mut scalar);
+
+            let lr = NestRunner::auto(nest);
+            shapes.push(lr.lane_plan().map(|pl| pl.shape));
+            let lb = lr.bind(&lanes, &nest.structure.order);
+            lr.run_tile(nest, lb.as_ref(), nest.region, &nest.structure.order, &mut lanes);
+        }
+        assert_eq!(shapes, want, "lane shapes");
+        for (a, b) in scalar.arrays().iter().zip(lanes.arrays().iter()) {
+            let av = a.as_slice();
+            let bv = b.as_slice();
+            assert_eq!(av.len(), bv.len());
+            for (x, y) in av.iter().zip(bv) {
+                assert_eq!(x.to_bits(), y.to_bits(), "lane tier diverged from scalar");
+            }
+        }
+    }
+
+    #[test]
+    fn axis_lanes_inner_dim_with_remainder() {
+        // 21 columns: two full lane blocks + a 5-wide scalar remainder.
+        let mut p = Program::<2>::new();
+        let bounds = Region::rect([0, 0], [6, 20]);
+        let a = p.array("a", bounds);
+        let b = p.array("b", bounds);
+        p.stmt(
+            Region::rect([1, 0], [6, 20]),
+            b,
+            Expr::lit(0.5) * Expr::read_at(a, [-1, 0]) + Expr::read(b).sqrt(),
+        );
+        scalar_vs_lanes(
+            &p,
+            |s| {
+                for id in 0..2 {
+                    *s.get_mut(id) =
+                        DenseArray::from_fn(bounds, |q| 1.0 + 0.03 * (q[0] * 7 + q[1]) as f64);
+                }
+            },
+            // b is written and read at shift 0 only: dim 1 is free, and
+            // it is the inner (contiguous) dimension.
+            &[Some(LaneShape::Axis { dim: 1 })],
+        );
+    }
+
+    #[test]
+    fn axis_lanes_outer_dim() {
+        // fig3 shape: recurrence along dim 0, lanes along free dim 1,
+        // which the structure makes the *outer* loop.
+        let n = 19i64;
+        let mut p = Program::<2>::new();
+        let bounds = Region::rect([1, 1], [n, n]);
+        let a = p.array("a", bounds);
+        p.stmt(
+            Region::rect([2, 1], [n, n]),
+            a,
+            Expr::lit(1.5) * Expr::read_primed_at(a, [-1, 0]) + Expr::lit(0.25),
+        );
+        scalar_vs_lanes(
+            &p,
+            |s| {
+                *s.get_mut(0) =
+                    DenseArray::from_fn(bounds, |q| 0.5 + 0.01 * (q[0] + 3 * q[1]) as f64)
+            },
+            &[Some(LaneShape::Axis { dim: 1 })],
+        );
+    }
+
+    #[test]
+    fn wavefront_lanes_sor_shape() {
+        // Both dimensions carried (SOR five-point with primed north +
+        // west reads): only the anti-diagonal is dependence-free.
+        let n = 23i64;
+        let mut p = Program::<2>::new();
+        let bounds = Region::rect([0, 0], [n, n]);
+        let u = p.array("u", bounds);
+        p.stmt(
+            Region::rect([1, 1], [n - 1, n - 1]),
+            u,
+            Expr::lit(0.25)
+                * (Expr::read_primed_at(u, [-1, 0])
+                    + Expr::read_primed_at(u, [0, -1])
+                    + Expr::read_at(u, [1, 0])
+                    + Expr::read_at(u, [0, 1])),
+        );
+        scalar_vs_lanes(
+            &p,
+            |s| {
+                *s.get_mut(0) =
+                    DenseArray::from_fn(bounds, |q| ((q[0] * 31 + q[1] * 17) % 97) as f64 * 0.125)
+            },
+            &[Some(LaneShape::Wavefront { p: 0, q: 1 })],
+        );
+    }
+
+    #[test]
+    fn wavefront_lanes_three_dimensional() {
+        // Sweep3d shape: all three axes carried, plane sums all 1.
+        let mut p = Program::<3>::new();
+        let bounds = Region::rect([0, 0, 0], [9, 11, 13]);
+        let a = p.array("a", bounds);
+        p.stmt(
+            Region::rect([1, 1, 1], [9, 11, 13]),
+            a,
+            Expr::read_primed_at(a, [-1, 0, 0])
+                + Expr::read_primed_at(a, [0, -1, 0])
+                + Expr::read_primed_at(a, [0, 0, -1])
+                + Expr::lit(0.0625),
+        );
+        scalar_vs_lanes(
+            &p,
+            |s| {
+                *s.get_mut(0) = DenseArray::from_fn(bounds, |q| {
+                    0.001 * ((q[0] * 5 + q[1] * 3 + q[2]) % 53) as f64
+                })
+            },
+            &[Some(LaneShape::Wavefront { p: 1, q: 2 })],
+        );
+    }
+
+    #[test]
+    fn multi_statement_scan_keeps_same_point_chains() {
+        // Later statements read what earlier statements wrote at the
+        // same point; statement-major lane execution must preserve it.
+        let n = 17i64;
+        let bounds = Region::rect([1, 1], [n, n]);
+        let mut p = Program::<2>::new();
+        let r = p.array("r", bounds);
+        let aa = p.array("aa", bounds);
+        let d = p.array("d", bounds);
+        p.scan(
+            Region::rect([2, 2], [n - 1, n - 1]),
+            vec![
+                Statement::new(r, Expr::read(aa) * Expr::read_primed_at(d, [-1, 0])),
+                Statement::new(
+                    d,
+                    (Expr::lit(2.0) - Expr::read_at(aa, [-1, 0]) * Expr::read(r)).recip(),
+                ),
+            ],
+        );
+        scalar_vs_lanes(
+            &p,
+            |s| {
+                for id in 0..3 {
+                    *s.get_mut(id) = DenseArray::from_fn(bounds, |q| {
+                        1.5 + 0.01 * (q[0] * 13 + q[1] * 7 + id as i64) as f64
+                    });
+                }
+            },
+            // Recurrence along dim 0 only: dim 1 free.
+            &[Some(LaneShape::Axis { dim: 1 })],
+        );
+    }
+
+    #[test]
+    fn wide_tape_falls_back_to_scalar() {
+        // A deep left-held chain forces > MAX_LANE_REGS registers while
+        // staying within the scalar MAX_REGS.
+        let mut p = Program::<1>::new();
+        let bounds = Region::rect([0], [40]);
+        let a = p.array("a", bounds);
+        // Every level holds a computed left operand in a register while
+        // the right subtree evaluates, so depth ≈ live registers.
+        fn left_held(a: crate::expr::ArrayId, depth: usize) -> Expr<1> {
+            if depth == 0 {
+                Expr::read(a)
+            } else {
+                (Expr::read(a) + Expr::lit(1.0)).min(left_held(a, depth - 1))
+            }
+        }
+        p.stmt(bounds, a, left_held(a, MAX_LANE_REGS + 2));
+        let compiled = compile(&p).unwrap();
+        let nest = compiled.nests().next().unwrap();
+        let runner = NestRunner::auto(nest);
+        assert_eq!(runner.tier(), KernelTier::Scalar);
+        assert_eq!(
+            runner.fallback(),
+            Some(FallbackReason::LaneUnsupported(LaneCause::WideTape))
+        );
+    }
+
+    #[test]
+    fn interpreted_ceiling_is_respected() {
+        let mut p = Program::<1>::new();
+        let bounds = Region::rect([0], [9]);
+        let a = p.array("a", bounds);
+        p.stmt(bounds, a, Expr::read(a) + Expr::lit(1.0));
+        let compiled = compile(&p).unwrap();
+        let nest = compiled.nests().next().unwrap();
+        assert_eq!(
+            NestRunner::with_mode(nest, KernelMode::Interpreted).tier(),
+            KernelTier::Interpreted
+        );
+        assert_eq!(
+            NestRunner::with_mode(nest, KernelMode::Scalar).tier(),
+            KernelTier::Scalar
+        );
+        assert_eq!(NestRunner::auto(nest).tier(), KernelTier::Lanes);
+    }
+}

@@ -49,6 +49,7 @@ pub mod exec;
 pub mod expr;
 pub mod index;
 pub mod kernel;
+pub mod kernel_lanes;
 pub mod loops;
 pub mod program;
 pub mod region;
@@ -71,7 +72,10 @@ pub mod prelude {
     };
     pub use crate::expr::{ArrayId, BinOp, EvalCtx, Expr, ReadRef, UnaryOp};
     pub use crate::index::{Offset, Point};
-    pub use crate::kernel::{BoundKernel, FallbackReason, NestRunner, TileKernel};
+    pub use crate::kernel::{
+        BoundKernel, FallbackReason, KernelMode, KernelTier, LaneCause, NestRunner, TileKernel,
+    };
+    pub use crate::kernel_lanes::{LanePlan, LaneShape};
     pub use crate::loops::{find_structure, is_legal, LoopStructure};
     pub use crate::program::{ArrayDecl, Program, ProgramOp, Reduce, Store};
     pub use crate::region::{LoopStructureOrder, Region};

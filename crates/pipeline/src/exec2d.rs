@@ -9,7 +9,7 @@ use std::time::Instant;
 use wavefront_core::array::DenseArray;
 use wavefront_core::exec::CompiledNest;
 use wavefront_core::expr::ArrayId;
-use wavefront_core::kernel::NestRunner;
+use wavefront_core::kernel::{KernelMode, NestRunner};
 use wavefront_core::program::{Program, Store};
 use wavefront_core::region::Region;
 use wavefront_machine::{
@@ -180,7 +180,7 @@ pub(crate) fn execute_plan2d_sequential_collected<const R: usize>(
     store: &mut Store<R>,
     collector: &mut dyn Collector,
 ) {
-    execute_plan2d_sequential_collected_opts(nest, plan, store, collector, true);
+    execute_plan2d_sequential_collected_opts(nest, plan, store, collector, KernelMode::Lanes);
 }
 
 /// [`execute_plan2d_sequential_collected`] with explicit options:
@@ -191,9 +191,9 @@ pub(crate) fn execute_plan2d_sequential_collected_opts<const R: usize>(
     plan: &WavefrontPlan2D<R>,
     store: &mut Store<R>,
     collector: &mut dyn Collector,
-    kernels: bool,
+    kernel_mode: KernelMode,
 ) {
-    let runner = NestRunner::with_mode(nest, kernels);
+    let runner = NestRunner::with_mode(nest, kernel_mode);
     execute_plan2d_sequential_prepared(nest, plan, &runner, store, collector);
 }
 
@@ -273,7 +273,7 @@ pub(crate) struct MeshPrep<const R: usize> {
 pub(crate) fn prepare2d<const R: usize>(
     program: &Program<R>,
     nest: &CompiledNest<R>,
-    kernels: bool,
+    kernel_mode: KernelMode,
 ) -> MeshPrep<R> {
     let mut referenced = vec![false; program.arrays().len()];
     for s in &nest.stmts {
@@ -288,7 +288,7 @@ pub(crate) fn prepare2d<const R: usize>(
     MeshPrep {
         referenced,
         written,
-        runner: NestRunner::with_mode(nest, kernels),
+        runner: NestRunner::with_mode(nest, kernel_mode),
     }
 }
 
@@ -397,7 +397,7 @@ pub(crate) fn execute_plan2d_threaded_collected<const R: usize>(
     store: &mut Store<R>,
     collector: &mut dyn Collector,
 ) -> ThreadReport {
-    execute_plan2d_threaded_collected_opts(program, nest, plan, store, collector, true)
+    execute_plan2d_threaded_collected_opts(program, nest, plan, store, collector, KernelMode::Lanes)
 }
 
 /// [`execute_plan2d_threaded_collected`] with explicit options:
@@ -412,10 +412,10 @@ pub(crate) fn execute_plan2d_threaded_collected_opts<const R: usize>(
     plan: &WavefrontPlan2D<R>,
     store: &mut Store<R>,
     collector: &mut dyn Collector,
-    kernels: bool,
+    kernel_mode: KernelMode,
 ) -> ThreadReport {
     let workers = WorkerPool::new();
-    execute_plan2d_threaded_pooled_opts(&workers, program, nest, plan, store, collector, kernels)
+    execute_plan2d_threaded_pooled_opts(&workers, program, nest, plan, store, collector, kernel_mode)
 }
 
 /// [`execute_plan2d_threaded_collected_opts`] on a caller-provided
@@ -429,11 +429,11 @@ pub(crate) fn execute_plan2d_threaded_pooled_opts<const R: usize>(
     plan: &WavefrontPlan2D<R>,
     store: &mut Store<R>,
     collector: &mut dyn Collector,
-    kernels: bool,
+    kernel_mode: KernelMode,
 ) -> ThreadReport {
     let nest = Arc::new(nest.clone());
     let plan = Arc::new(plan.clone());
-    let prep = Arc::new(prepare2d(program, &nest, kernels));
+    let prep = Arc::new(prepare2d(program, &nest, kernel_mode));
     execute_prepared2d_threaded(workers, program, &nest, &plan, &prep, store, collector)
 }
 
@@ -851,7 +851,7 @@ mod tests {
             &plan,
             &mut store,
             &mut NoopCollector,
-            false,
+            KernelMode::Interpreted,
         );
         for id in 0..store.len() {
             assert!(store.get(id).region_eq(reference.get(id), nest.region));

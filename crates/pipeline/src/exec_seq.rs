@@ -9,7 +9,7 @@
 use std::time::Instant;
 
 use wavefront_core::exec::{run_nest_region_with_sink, CompiledNest};
-use wavefront_core::kernel::NestRunner;
+use wavefront_core::kernel::{KernelMode, NestRunner};
 use wavefront_core::program::Store;
 use wavefront_core::trace::AccessSink;
 
@@ -32,9 +32,9 @@ pub(crate) fn execute_plan_sequential_collected_opts<const R: usize>(
     plan: &WavefrontPlan<R>,
     store: &mut Store<R>,
     collector: &mut dyn Collector,
-    kernels: bool,
+    kernel_mode: KernelMode,
 ) {
-    let runner = NestRunner::with_mode(nest, kernels);
+    let runner = NestRunner::with_mode(nest, kernel_mode);
     execute_plan_sequential_prepared(nest, plan, &runner, store, collector);
 }
 

@@ -19,7 +19,7 @@ use std::time::{Duration, Instant};
 use wavefront_core::array::DenseArray;
 use wavefront_core::exec::CompiledNest;
 use wavefront_core::expr::ArrayId;
-use wavefront_core::kernel::NestRunner;
+use wavefront_core::kernel::{KernelMode, NestRunner};
 use wavefront_core::program::{Program, Store};
 use wavefront_core::region::Region;
 
@@ -107,7 +107,7 @@ pub(crate) struct NestPrep<const R: usize> {
 pub(crate) fn prepare<const R: usize>(
     program: &Program<R>,
     nest: &CompiledNest<R>,
-    kernels: bool,
+    kernel_mode: KernelMode,
 ) -> NestPrep<R> {
     let mut referenced = vec![false; program.arrays().len()];
     let mut written: Vec<ArrayId> = Vec::new();
@@ -124,7 +124,7 @@ pub(crate) fn prepare<const R: usize>(
         margins: margins(nest),
         referenced,
         written,
-        runner: NestRunner::with_mode(nest, kernels),
+        runner: NestRunner::with_mode(nest, kernel_mode),
     }
 }
 
@@ -221,7 +221,7 @@ pub(crate) fn execute_plan_threaded_collected<const R: usize>(
     store: &mut Store<R>,
     collector: &mut dyn Collector,
 ) -> ThreadReport {
-    execute_plan_threaded_collected_opts(program, nest, plan, store, collector, true)
+    execute_plan_threaded_collected_opts(program, nest, plan, store, collector, KernelMode::Lanes)
 }
 
 /// Depth of each inter-rank data channel. Bounding the in-flight message
@@ -245,10 +245,10 @@ pub(crate) fn execute_plan_threaded_collected_opts<const R: usize>(
     plan: &WavefrontPlan<R>,
     store: &mut Store<R>,
     collector: &mut dyn Collector,
-    kernels: bool,
+    kernel_mode: KernelMode,
 ) -> ThreadReport {
     let workers = WorkerPool::new();
-    execute_plan_threaded_pooled_opts(&workers, program, nest, plan, store, collector, kernels)
+    execute_plan_threaded_pooled_opts(&workers, program, nest, plan, store, collector, kernel_mode)
 }
 
 /// [`execute_plan_threaded_collected_opts`] on a caller-provided worker
@@ -262,11 +262,11 @@ pub(crate) fn execute_plan_threaded_pooled_opts<const R: usize>(
     plan: &WavefrontPlan<R>,
     store: &mut Store<R>,
     collector: &mut dyn Collector,
-    kernels: bool,
+    kernel_mode: KernelMode,
 ) -> ThreadReport {
     let nest = Arc::new(nest.clone());
     let plan = Arc::new(plan.clone());
-    let prep = Arc::new(prepare(program, &nest, kernels));
+    let prep = Arc::new(prepare(program, &nest, kernel_mode));
     execute_prepared_threaded(workers, program, &nest, &plan, &prep, store, collector)
 }
 
@@ -625,7 +625,7 @@ mod tests {
             &plan,
             &mut store,
             &mut NoopCollector,
-            false,
+            KernelMode::Interpreted,
         );
         for id in 0..store.len() {
             assert!(store.get(id).region_eq(reference.get(id), nest.region));

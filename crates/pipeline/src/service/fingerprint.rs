@@ -40,8 +40,8 @@ pub(crate) fn line_key<const R: usize>(
     let mut s = String::with_capacity(256);
     let _ = write!(
         s,
-        "line;R={R};p={procs};d={dist_dim:?};k={};{:?};{:?};{:?};{:?}",
-        cfg.kernels,
+        "line;R={R};p={procs};d={dist_dim:?};k={:?};{:?};{:?};{:?};{:?}",
+        cfg.kernel_mode,
         cfg.block,
         cfg.machine,
         program.arrays(),
@@ -62,8 +62,8 @@ pub(crate) fn mesh_key<const R: usize>(
     let mut s = String::with_capacity(256);
     let _ = write!(
         s,
-        "mesh;R={R};m={mesh:?};w={wave_dims:?};k={};{:?};{:?};{:?};{:?}",
-        cfg.kernels,
+        "mesh;R={R};m={mesh:?};w={wave_dims:?};k={:?};{:?};{:?};{:?};{:?}",
+        cfg.kernel_mode,
         cfg.block,
         cfg.machine,
         program.arrays(),

@@ -201,10 +201,18 @@ impl<const R: usize> JobSpecBuilder<R> {
         self
     }
 
-    /// Select compiled tile kernels (`true`, the default) or the
-    /// reference interpreter.
+    /// Select compiled tile kernels (`true`, the default, up to the
+    /// lane tier) or the reference interpreter.
     pub fn kernels(mut self, on: bool) -> Self {
-        self.cfg.kernels = on;
+        self.cfg = self.cfg.kernels(on);
+        self
+    }
+
+    /// Set the kernel-tier ceiling explicitly (see
+    /// [`wavefront_core::kernel::KernelMode`]); part of the plan-cache
+    /// fingerprint.
+    pub fn kernel_mode(mut self, mode: wavefront_core::kernel::KernelMode) -> Self {
+        self.cfg.kernel_mode = mode;
         self
     }
 

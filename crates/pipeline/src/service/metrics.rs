@@ -34,7 +34,7 @@
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use wavefront_core::kernel::FallbackReason;
+use wavefront_core::kernel::{FallbackReason, LaneCause};
 
 use crate::telemetry::json::JsonObj;
 
@@ -403,6 +403,8 @@ pub fn fallback_label(reason: FallbackReason) -> &'static str {
         FallbackReason::RegisterPressure => "register_pressure",
         FallbackReason::TapeTooLong => "tape_too_long",
         FallbackReason::UnsupportedExpr => "unsupported_expr",
+        FallbackReason::LaneUnsupported(LaneCause::Carried) => "lane_carried",
+        FallbackReason::LaneUnsupported(LaneCause::WideTape) => "lane_wide_tape",
     }
 }
 

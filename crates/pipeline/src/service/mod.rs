@@ -66,6 +66,7 @@ use std::time::{Duration, Instant};
 
 use wavefront_core::array::DenseArray;
 use wavefront_core::exec::CompiledNest;
+use wavefront_core::kernel::KernelMode;
 use wavefront_core::program::{Program, Store};
 
 use crate::error::{AdmissionReason, PipelineError};
@@ -152,12 +153,14 @@ struct Entry1D<const R: usize> {
 }
 
 impl<const R: usize> Entry1D<R> {
-    /// The kernel preparation, lowered on first use. `kernels` is part
-    /// of the cache fingerprint, so it is constant per entry.
-    fn prep(&self, program: &Program<R>, kernels: bool) -> Arc<NestPrep<R>> {
+    /// The kernel preparation, lowered on first use. The kernel-tier
+    /// ceiling is part of the cache fingerprint, so it is constant per
+    /// entry — a cached plan compiled at one tier never executes at
+    /// another.
+    fn prep(&self, program: &Program<R>, kernel_mode: KernelMode) -> Arc<NestPrep<R>> {
         Arc::clone(
             self.prep
-                .get_or_init(|| Arc::new(prepare(program, &self.nest, kernels))),
+                .get_or_init(|| Arc::new(prepare(program, &self.nest, kernel_mode))),
         )
     }
 }
@@ -170,10 +173,10 @@ struct Entry2D<const R: usize> {
 }
 
 impl<const R: usize> Entry2D<R> {
-    fn prep(&self, program: &Program<R>, kernels: bool) -> Arc<MeshPrep<R>> {
+    fn prep(&self, program: &Program<R>, kernel_mode: KernelMode) -> Arc<MeshPrep<R>> {
         Arc::clone(
             self.prep
-                .get_or_init(|| Arc::new(prepare2d(program, &self.nest, kernels))),
+                .get_or_init(|| Arc::new(prepare2d(program, &self.nest, kernel_mode))),
         )
     }
 }
@@ -213,19 +216,27 @@ impl ExecCore {
         }
     }
 
-    /// Count one run that executed through a kernel-lowering fallback
-    /// (interpreter path). Cheap when no fallback occurred — the common
-    /// warm case touches nothing.
-    fn count_fallback(&self, reason: Option<wavefront_core::kernel::FallbackReason>) {
-        if let Some(reason) = reason {
-            if self.metrics.enabled() {
-                self.metrics
-                    .counter(&format!(
-                        "wavefront_kernel_fallback_runs_total{{reason=\"{}\"}}",
-                        metrics::fallback_label(reason)
-                    ))
-                    .inc();
-            }
+    /// Count one executing-engine run's kernel lowering: which tier the
+    /// nest ran at, and — when a lowering refused — a per-reason
+    /// fallback breakdown. No-ops when metrics are disabled (`Session`
+    /// cores), so the one-shot path pays nothing.
+    fn count_kernel<const R: usize>(&self, runner: &wavefront_core::kernel::NestRunner<R>) {
+        if !self.metrics.enabled() {
+            return;
+        }
+        self.metrics
+            .counter(&format!(
+                "wavefront_kernel_runs_total{{tier=\"{}\"}}",
+                runner.tier().name()
+            ))
+            .inc();
+        if let Some(reason) = runner.fallback() {
+            self.metrics
+                .counter(&format!(
+                    "wavefront_kernel_fallback_runs_total{{reason=\"{}\"}}",
+                    metrics::fallback_label(reason)
+                ))
+                .inc();
         }
     }
 
@@ -390,6 +401,8 @@ impl ExecCore {
             pipelined: plan.is_pipelined(),
             prep_seconds: 0.0,
             run_seconds: 0.0,
+            kernel_tier: None,
+            kernel_fallback: None,
         };
         let outcome = match kind {
             EngineKind::Sim => {
@@ -407,8 +420,10 @@ impl ExecCore {
             }
             EngineKind::Seq => {
                 let store = store.ok_or(PipelineError::MissingStore)?;
-                let prep = entry.prep(program, cfg.kernels);
-                self.count_fallback(prep.runner.fallback());
+                let prep = entry.prep(program, cfg.kernel_mode);
+                self.count_kernel(&prep.runner);
+                let kernel_tier = Some(prep.runner.tier());
+                let kernel_fallback = prep.runner.fallback();
                 let prep_seconds = prep_start.elapsed().as_secs_f64();
                 let run_start = Instant::now();
                 execute_plan_sequential_prepared(&entry.nest, plan, &prep.runner, store, collector);
@@ -417,13 +432,17 @@ impl ExecCore {
                     makespan: run_seconds,
                     prep_seconds,
                     run_seconds,
+                    kernel_tier,
+                    kernel_fallback,
                     ..base
                 }
             }
             EngineKind::Threads => {
                 let store = store.ok_or(PipelineError::MissingStore)?;
-                let prep = entry.prep(program, cfg.kernels);
-                self.count_fallback(prep.runner.fallback());
+                let prep = entry.prep(program, cfg.kernel_mode);
+                self.count_kernel(&prep.runner);
+                let kernel_tier = Some(prep.runner.tier());
+                let kernel_fallback = prep.runner.fallback();
                 let prep_seconds = prep_start.elapsed().as_secs_f64();
                 let run_start = Instant::now();
                 let r = execute_prepared_threaded(
@@ -440,6 +459,8 @@ impl ExecCore {
                     messages: r.messages,
                     prep_seconds,
                     run_seconds: run_start.elapsed().as_secs_f64(),
+                    kernel_tier,
+                    kernel_fallback,
                     ..base
                 }
             }
@@ -483,6 +504,8 @@ impl ExecCore {
             pipelined: plan.is_pipelined(),
             prep_seconds: 0.0,
             run_seconds: 0.0,
+            kernel_tier: None,
+            kernel_fallback: None,
         };
         let outcome = match kind {
             EngineKind::Sim => {
@@ -500,8 +523,10 @@ impl ExecCore {
             }
             EngineKind::Seq => {
                 let store = store.ok_or(PipelineError::MissingStore)?;
-                let prep = entry.prep(program, cfg.kernels);
-                self.count_fallback(prep.runner.fallback());
+                let prep = entry.prep(program, cfg.kernel_mode);
+                self.count_kernel(&prep.runner);
+                let kernel_tier = Some(prep.runner.tier());
+                let kernel_fallback = prep.runner.fallback();
                 let prep_seconds = prep_start.elapsed().as_secs_f64();
                 let run_start = Instant::now();
                 execute_plan2d_sequential_prepared(
@@ -516,13 +541,17 @@ impl ExecCore {
                     makespan: run_seconds,
                     prep_seconds,
                     run_seconds,
+                    kernel_tier,
+                    kernel_fallback,
                     ..base
                 }
             }
             EngineKind::Threads => {
                 let store = store.ok_or(PipelineError::MissingStore)?;
-                let prep = entry.prep(program, cfg.kernels);
-                self.count_fallback(prep.runner.fallback());
+                let prep = entry.prep(program, cfg.kernel_mode);
+                self.count_kernel(&prep.runner);
+                let kernel_tier = Some(prep.runner.tier());
+                let kernel_fallback = prep.runner.fallback();
                 let prep_seconds = prep_start.elapsed().as_secs_f64();
                 let run_start = Instant::now();
                 let r = execute_prepared2d_threaded(
@@ -539,6 +568,8 @@ impl ExecCore {
                     messages: r.messages,
                     prep_seconds,
                     run_seconds: run_start.elapsed().as_secs_f64(),
+                    kernel_tier,
+                    kernel_fallback,
                     ..base
                 }
             }

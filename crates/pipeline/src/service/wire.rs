@@ -57,6 +57,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 use wavefront_core::exec::CompiledNest;
+use wavefront_core::kernel::KernelMode;
 use wavefront_core::expr::ArrayId;
 use wavefront_core::program::{Program, Store};
 
@@ -178,8 +179,11 @@ pub struct WireRequest {
     pub topology: WireTopology,
     /// Engine to run on.
     pub engine: EngineKind,
-    /// Compiled tile kernels (`true`) or the reference interpreter.
-    pub kernels: bool,
+    /// Requested kernel tier ceiling (interpreter, scalar tape, or
+    /// lane-parallel tape). Travels as a u8: 0 = interpreted, 1 = lanes,
+    /// 2 = scalar — tag 1 doubles as the legacy `kernels = true` flag, so
+    /// old clients land on the fastest tier.
+    pub kernel_mode: KernelMode,
     /// Block policy; only `Fixed`/`Model1`/`Model2`/`FullPortion`
     /// travel the wire (probe and adaptive are host-side policies).
     pub block: BlockPolicy,
@@ -200,7 +204,7 @@ pub struct WireRequest {
 
 impl WireRequest {
     /// A request with the common defaults: default tenant, priority 0,
-    /// auto nest, 4-processor line, threads engine, kernels on, Model2
+    /// auto nest, 4-processor line, threads engine, lane kernels, Model2
     /// blocks, Cray T3E costs.
     pub fn new(rank: u8, source: impl Into<String>) -> Self {
         WireRequest {
@@ -210,7 +214,7 @@ impl WireRequest {
             nest: NEST_AUTO,
             topology: WireTopology::Line(4),
             engine: EngineKind::Threads,
-            kernels: true,
+            kernel_mode: KernelMode::Lanes,
             block: BlockPolicy::Model2,
             machine: 0,
             consts: Vec::new(),
@@ -507,7 +511,11 @@ fn encode_submit_body(e: &mut Enc, req: &WireRequest, version: u16) -> Result<()
         EngineKind::Seq => 1,
         EngineKind::Threads => 2,
     });
-    e.u8(req.kernels as u8);
+    e.u8(match req.kernel_mode {
+        KernelMode::Interpreted => 0,
+        KernelMode::Lanes => 1,
+        KernelMode::Scalar => 2,
+    });
     match &req.block {
         BlockPolicy::Fixed(b) => {
             e.u8(0);
@@ -576,7 +584,16 @@ fn decode_submit_body(d: &mut Dec<'_>, version: u16) -> Result<WireRequest, Pipe
             })
         }
     };
-    let kernels = d.u8("kernels flag")? != 0;
+    let kernel_mode = match d.u8("kernel mode")? {
+        0 => KernelMode::Interpreted,
+        1 => KernelMode::Lanes,
+        2 => KernelMode::Scalar,
+        t => {
+            return Err(PipelineError::ProtocolError {
+                reason: format!("unknown kernel-mode tag {t}"),
+            })
+        }
+    };
     let block = match d.u8("block tag")? {
         0 => BlockPolicy::Fixed(d.u32("fixed block")? as usize),
         1 => BlockPolicy::Model1,
@@ -626,7 +643,7 @@ fn decode_submit_body(d: &mut Dec<'_>, version: u16) -> Result<WireRequest, Pipe
         nest,
         topology,
         engine,
-        kernels,
+        kernel_mode,
         block,
         machine,
         consts,
@@ -1175,7 +1192,7 @@ impl<const R: usize> WireServer<R> {
                 0 => wavefront_machine::cray_t3e(),
                 _ => wavefront_machine::sgi_power_challenge(),
             })
-            .kernels(req.kernels)
+            .kernel_mode(req.kernel_mode)
             .engine(req.engine)
             .priority(req.priority)
             .store(store);
@@ -1542,7 +1559,7 @@ mod tests {
             nest: NEST_AUTO,
             topology: WireTopology::Mesh([2, 3]),
             engine: EngineKind::Seq,
-            kernels: false,
+            kernel_mode: KernelMode::Scalar,
             block: BlockPolicy::Fixed(7),
             machine: 1,
             consts: vec![("n".into(), 32)],
@@ -1581,7 +1598,7 @@ mod tests {
         assert_eq!(got.rank, want.rank);
         assert_eq!(got.topology, want.topology);
         assert_eq!(got.engine, want.engine);
-        assert_eq!(got.kernels, want.kernels);
+        assert_eq!(got.kernel_mode, want.kernel_mode);
         assert_eq!(got.block, want.block);
         assert_eq!(got.machine, want.machine);
         assert_eq!(got.consts, want.consts);

@@ -33,6 +33,7 @@
 use std::time::Instant;
 
 use wavefront_core::exec::CompiledNest;
+use wavefront_core::kernel::{FallbackReason, KernelMode, KernelTier};
 use wavefront_core::program::{Program, Store};
 use wavefront_machine::{cray_t3e, MachineParams};
 
@@ -63,9 +64,10 @@ pub struct SessionConfig {
     pub block: BlockPolicy,
     /// Machine cost parameters (block-size models and the simulator).
     pub machine: MachineParams,
-    /// Whether executing engines use compiled tile kernels (`true`, the
-    /// default) or the reference expression interpreter.
-    pub kernels: bool,
+    /// The kernel-tier ceiling executing engines lower nests under:
+    /// lane-parallel kernels where legal (the default), at most the
+    /// scalar tape, or the reference expression interpreter.
+    pub kernel_mode: KernelMode,
 }
 
 impl Default for SessionConfig {
@@ -73,7 +75,7 @@ impl Default for SessionConfig {
         SessionConfig {
             block: BlockPolicy::Model2,
             machine: cray_t3e(),
-            kernels: true,
+            kernel_mode: KernelMode::Lanes,
         }
     }
 }
@@ -91,9 +93,16 @@ impl SessionConfig {
         self
     }
 
-    /// Select compiled tile kernels (`true`) or the interpreter (`false`).
+    /// Select compiled tile kernels (`true`, up to the lane tier) or
+    /// the interpreter (`false`) — the historical boolean switch.
     pub fn kernels(mut self, on: bool) -> Self {
-        self.kernels = on;
+        self.kernel_mode = KernelMode::from_flag(on);
+        self
+    }
+
+    /// Set the kernel-tier ceiling explicitly.
+    pub fn kernel_mode(mut self, mode: KernelMode) -> Self {
+        self.kernel_mode = mode;
         self
     }
 }
@@ -128,6 +137,14 @@ pub struct RunOutcome {
     /// the host time spent simulating (while `makespan` stays in model
     /// units).
     pub run_seconds: f64,
+    /// The kernel tier the nest actually executed at, when the path
+    /// that produced this outcome tracks it (service-run Seq/Threads
+    /// engines). `None` for the simulator and for paths that don't
+    /// surface the lowering.
+    pub kernel_tier: Option<KernelTier>,
+    /// Why the nest sits below the requested kernel-tier ceiling, when
+    /// it does (see [`NestRunner::fallback`]).
+    pub kernel_fallback: Option<FallbackReason>,
 }
 
 /// Everything an [`Engine`] needs, prepared by the session: the plan is
@@ -147,9 +164,9 @@ pub struct EngineCtx<'s, const R: usize> {
     pub store: Option<&'s mut Store<R>>,
     /// Telemetry sink (a [`NoopCollector`] when none was attached).
     pub collector: &'s mut dyn Collector,
-    /// Whether executing engines should use compiled tile kernels
-    /// (`true` by default) or the reference interpreter.
-    pub kernels: bool,
+    /// The kernel-tier ceiling executing engines lower nests under
+    /// (lane kernels by default).
+    pub kernel_mode: KernelMode,
 }
 
 /// A wavefront runtime that can execute a prepared plan. The three
@@ -173,6 +190,8 @@ fn outcome_base<const R: usize>(engine: EngineKind, plan: &WavefrontPlan<R>) -> 
         pipelined: plan.is_pipelined(),
         prep_seconds: 0.0,
         run_seconds: 0.0,
+        kernel_tier: None,
+        kernel_fallback: None,
     }
 }
 
@@ -211,7 +230,7 @@ impl<const R: usize> Engine<R> for SeqEngine {
             ctx.plan,
             store,
             ctx.collector,
-            ctx.kernels,
+            ctx.kernel_mode,
         );
         Ok(RunOutcome {
             makespan: start.elapsed().as_secs_f64(),
@@ -236,7 +255,7 @@ impl<const R: usize> Engine<R> for ThreadsEngine {
             ctx.plan,
             store,
             ctx.collector,
-            ctx.kernels,
+            ctx.kernel_mode,
         );
         Ok(RunOutcome {
             makespan: r.elapsed.as_secs_f64(),
@@ -317,10 +336,17 @@ impl<'a, const R: usize> Session<'a, R> {
         self
     }
 
-    /// Select compiled tile kernels (`true`, the default) or force the
-    /// reference interpreter (`false`) in the executing engines.
+    /// Select compiled tile kernels (`true`, the default, up to the
+    /// lane tier) or force the reference interpreter (`false`) in the
+    /// executing engines.
     pub fn kernels(mut self, on: bool) -> Self {
-        self.cfg.kernels = on;
+        self.cfg = self.cfg.kernels(on);
+        self
+    }
+
+    /// Set the kernel-tier ceiling explicitly (see [`KernelMode`]).
+    pub fn kernel_mode(mut self, mode: KernelMode) -> Self {
+        self.cfg.kernel_mode = mode;
         self
     }
 
@@ -407,7 +433,7 @@ impl<'a, const R: usize> Session<'a, R> {
             params: &self.cfg.machine,
             store: self.store,
             collector,
-            kernels: self.cfg.kernels,
+            kernel_mode: self.cfg.kernel_mode,
         })?;
         Ok(RunOutcome {
             prep_seconds,
@@ -573,10 +599,17 @@ impl<'a, const R: usize> Session2D<'a, R> {
         self
     }
 
-    /// Select compiled tile kernels (`true`, the default) or force the
-    /// reference interpreter (`false`) in the executing engines.
+    /// Select compiled tile kernels (`true`, the default, up to the
+    /// lane tier) or force the reference interpreter (`false`) in the
+    /// executing engines.
     pub fn kernels(mut self, on: bool) -> Self {
-        self.cfg.kernels = on;
+        self.cfg = self.cfg.kernels(on);
+        self
+    }
+
+    /// Set the kernel-tier ceiling explicitly (see [`KernelMode`]).
+    pub fn kernel_mode(mut self, mode: KernelMode) -> Self {
+        self.cfg.kernel_mode = mode;
         self
     }
 

@@ -392,6 +392,8 @@ fn outcome(
         pipelined: tiles > 1,
         prep_seconds,
         run_seconds,
+        kernel_tier: None,
+        kernel_fallback: None,
     }
 }
 
@@ -412,7 +414,7 @@ pub(crate) fn run_session_adaptive<const R: usize>(
         store,
         ..
     } = s;
-    let (machine, kernels) = (scfg.machine, scfg.kernels);
+    let (machine, kernel_mode) = (scfg.machine, scfg.kernel_mode);
     let mut noop = NoopCollector;
     let collector: &mut dyn Collector = match collector {
         Some(c) => c,
@@ -441,7 +443,7 @@ pub(crate) fn run_session_adaptive<const R: usize>(
             let store = store.ok_or(PipelineError::MissingStore)?;
             let (mk, msgs, tiles, rep) = adapt_host(&plan, machine, cfg, collector, |p, c| {
                 let t0 = Instant::now();
-                execute_plan_sequential_collected_opts(nest, p, store, c, kernels);
+                execute_plan_sequential_collected_opts(nest, p, store, c, kernel_mode);
                 (t0.elapsed().as_secs_f64(), 0)
             });
             let run_seconds = run_start.elapsed().as_secs_f64();
@@ -464,7 +466,7 @@ pub(crate) fn run_session_adaptive<const R: usize>(
             let workers = WorkerPool::new();
             let (mk, msgs, tiles, rep) = adapt_host(&plan, machine, cfg, collector, |p, c| {
                 let r = execute_plan_threaded_pooled_opts(
-                    &workers, program, nest, p, store, c, kernels,
+                    &workers, program, nest, p, store, c, kernel_mode,
                 );
                 (r.elapsed.as_secs_f64(), r.messages)
             });
@@ -500,7 +502,7 @@ pub(crate) fn run_session2d_adaptive<const R: usize>(
         store,
         ..
     } = s;
-    let (machine, kernels) = (scfg.machine, scfg.kernels);
+    let (machine, kernel_mode) = (scfg.machine, scfg.kernel_mode);
     let mut noop = NoopCollector;
     let collector: &mut dyn Collector = match collector {
         Some(c) => c,
@@ -529,7 +531,7 @@ pub(crate) fn run_session2d_adaptive<const R: usize>(
             let store = store.ok_or(PipelineError::MissingStore)?;
             let (mk, msgs, tiles, rep) = adapt_host(&plan, machine, cfg, collector, |p, c| {
                 let t0 = Instant::now();
-                execute_plan2d_sequential_collected_opts(nest, p, store, c, kernels);
+                execute_plan2d_sequential_collected_opts(nest, p, store, c, kernel_mode);
                 (t0.elapsed().as_secs_f64(), 0)
             });
             let run_seconds = run_start.elapsed().as_secs_f64();
@@ -549,7 +551,7 @@ pub(crate) fn run_session2d_adaptive<const R: usize>(
             let workers = WorkerPool::new();
             let (mk, msgs, tiles, rep) = adapt_host(&plan, machine, cfg, collector, |p, c| {
                 let r = execute_plan2d_threaded_pooled_opts(
-                    &workers, program, nest, p, store, c, kernels,
+                    &workers, program, nest, p, store, c, kernel_mode,
                 );
                 (r.elapsed.as_secs_f64(), r.messages)
             });

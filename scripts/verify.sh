@@ -121,7 +121,7 @@ rm -rf "$tmpdir"
 echo "bench_diff: self-diff clean, injected regression flagged ✔"
 
 echo
-echo "== kernel fast-path coverage (all five benchmarks, no fallback) =="
+echo "== kernel fast-path coverage (all five benchmarks reach the lane tier) =="
 cargo run -q --release --offline -p wavefront-bench --bin kernel_bench -- --check-fastpath
 
 echo
@@ -144,6 +144,28 @@ if "$BENCH_DIFF" results "$tmpdir"; then
 fi
 rm -rf "$tmpdir"
 echo "kernel_bench: fast-path coverage clean, speedup regression flagged ✔"
+
+echo
+echo "== lane speedup gate self-check (deflated lanes/scalar must fail) =="
+tmpdir=$(mktemp -d)
+cp results/BENCH_*.json "$tmpdir"/
+# Deflate one lanes-over-scalar speedup by 30% — the gate must catch
+# the lane tier losing its edge over the scalar tape.
+python3 - "$tmpdir/BENCH_kernels.json" <<'EOF'
+import re, sys
+path = sys.argv[1]
+s = open(path).read()
+m = re.search(r'"sor_lanes_over_scalar_speedup": ([0-9.]+)', s)
+v = float(m.group(1))
+open(path, 'w').write(
+    s.replace(m.group(0), f'"sor_lanes_over_scalar_speedup": {v * 0.7:.2f}', 1))
+EOF
+if "$BENCH_DIFF" results "$tmpdir"; then
+    echo "bench_diff failed to flag a deflated lane speedup" >&2
+    exit 1
+fi
+rm -rf "$tmpdir"
+echo "kernel_bench: deflated lanes-over-scalar speedup flagged ✔"
 
 echo
 echo "== service bench: fresh run gated against the committed baseline =="
@@ -286,7 +308,7 @@ wait "$serve_pid" 2>/dev/null || true
 rm -rf "$tmpdir" "$serve_log"
 # One frame must show service totals, both tenant rows, and per-stage
 # percentiles pulled over METRICS — proving the v3 round trip end-to-end.
-for key in 'submitted' 'alpha' 'beta' 'admit' 'queue' 'run' 'total' 'p99'; do
+for key in 'submitted' 'alpha' 'beta' 'kernels:' 'admit' 'queue' 'run' 'total' 'p99'; do
     if ! grep -qF "$key" <<<"$top_out"; then
         echo "wlc top frame missing $key:" >&2
         echo "$top_out" >&2

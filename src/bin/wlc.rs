@@ -47,7 +47,11 @@
 //!                       (default threads)
 //!   --no-kernels        `trace`/`timeline`/`tune`: execute nests on the
 //!                       reference expression interpreter instead of the
-//!                       compiled tile kernels
+//!                       compiled tile kernels (same as --kernel-tier
+//!                       interpreted)
+//!   --kernel-tier T     interpreted | scalar | lanes — ceiling on the
+//!                       kernel tier nests may compile to (default lanes;
+//!                       nests that cannot reach the ceiling fall back)
 //!   --json              emit the `trace`/`tune` report as JSON
 //!   --out FILE          `trace`: write the JSON report to FILE (implies
 //!                       --json)
@@ -120,7 +124,7 @@ struct Opts {
     block: BlockPolicy,
     machine: MachineParams,
     engine: EngineKind,
-    kernels: bool,
+    kernel_mode: KernelMode,
     json: bool,
     out: Option<String>,
     strict: bool,
@@ -167,7 +171,8 @@ fn usage() -> ExitCode {
     eprintln!("           [--procs P] [--repeat N]");
     eprintln!("           [--block fixed:<b>|model1|model2|naive|probe|adaptive]");
     eprintln!("           [--machine t3e|powerchallenge]");
-    eprintln!("           [--engine threads|seq|sim] [--no-kernels] [--json] [--out FILE]");
+    eprintln!("           [--engine threads|seq|sim] [--no-kernels] [--kernel-tier T]");
+    eprintln!("           [--json] [--out FILE]");
     eprintln!("           [--strict] [--chrome FILE] [--width N]");
     eprintln!("           [--steps N] [--chains N] [--scheduler fifo|critical-path|locality]");
     eprintln!("           [--sim-procs N]");
@@ -228,7 +233,7 @@ fn parse_args() -> std::result::Result<Opts, ExitCode> {
         block: BlockPolicy::Model2,
         machine: cray_t3e(),
         engine: EngineKind::Threads,
-        kernels: true,
+        kernel_mode: KernelMode::Lanes,
         json: false,
         out: None,
         strict: false,
@@ -304,7 +309,18 @@ fn parse_args() -> std::result::Result<Opts, ExitCode> {
                     usage()
                 })?;
             }
-            "--no-kernels" => opts.kernels = false,
+            "--no-kernels" => opts.kernel_mode = KernelMode::Interpreted,
+            "--kernel-tier" => {
+                opts.kernel_mode = match need("--kernel-tier")?.as_str() {
+                    "interpreted" => KernelMode::Interpreted,
+                    "scalar" => KernelMode::Scalar,
+                    "lanes" => KernelMode::Lanes,
+                    v => {
+                        eprintln!("unknown kernel tier {v} (interpreted, scalar, lanes)");
+                        return Err(usage());
+                    }
+                };
+            }
             "--json" => opts.json = true,
             "--out" => {
                 opts.out = Some(need("--out")?);
@@ -595,6 +611,34 @@ fn render_top(
         }
     }
 
+    // Kernel tier mix and per-reason fallback breakdown, from the
+    // labeled counters the service bumps on every nest preparation.
+    let mut tiers: Vec<(String, u64)> = Vec::new();
+    let mut reasons: Vec<(String, u64)> = Vec::new();
+    if let Some(counters) = metrics.and_then(|m| m.get("counters")).and_then(|c| c.as_array()) {
+        for c in counters {
+            let name = c.get("name").and_then(|n| n.as_str()).unwrap_or("");
+            let value = jget(c, &["value"]) as u64;
+            if let Some(rest) = name.strip_prefix("wavefront_kernel_runs_total{tier=\"") {
+                tiers.push((rest.trim_end_matches("\"}").to_string(), value));
+            } else if let Some(rest) =
+                name.strip_prefix("wavefront_kernel_fallback_runs_total{reason=\"")
+            {
+                reasons.push((rest.trim_end_matches("\"}").to_string(), value));
+            }
+        }
+    }
+    if !tiers.is_empty() {
+        let mix: Vec<String> = tiers.iter().map(|(t, v)| format!("{t} {v}")).collect();
+        let _ = writeln!(out, "\nkernels: {}", mix.join(", "));
+        if reasons.is_empty() {
+            let _ = writeln!(out, "  fallbacks: none");
+        } else {
+            let brk: Vec<String> = reasons.iter().map(|(r, v)| format!("{r} {v}")).collect();
+            let _ = writeln!(out, "  fallbacks: {}", brk.join(", "));
+        }
+    }
+
     let _ = writeln!(
         out,
         "\n{:<12} {:<7} {:>6} {:>12} {:>12} {:>12}",
@@ -654,7 +698,7 @@ fn drive<const R: usize>(opts: &Opts, src: &str) -> ExitCode {
     };
 
     match opts.cmd.as_str() {
-        "check" => check(&lowered, &compiled),
+        "check" => check(&lowered, &compiled, opts.kernel_mode),
         "run" => run(opts, &lowered, &compiled),
         "plan" => plan::<R>(opts, &lowered, &compiled),
         "trace" => trace::<R>(opts, &lowered, &compiled),
@@ -711,7 +755,7 @@ fn dag_cmd<const R: usize>(
                 .line(opts.procs)
                 .block(opts.block.clone())
                 .machine(opts.machine)
-                .kernels(opts.kernels)
+                .kernel_mode(opts.kernel_mode)
                 .engine(opts.engine);
             spec = match prev {
                 None => spec.store(store0.clone()),
@@ -763,7 +807,11 @@ fn dag_cmd<const R: usize>(
     }
 }
 
-fn check<const R: usize>(lowered: &Lowered<R>, compiled: &CompiledProgram<R>) -> ExitCode {
+fn check<const R: usize>(
+    lowered: &Lowered<R>,
+    compiled: &CompiledProgram<R>,
+    mode: KernelMode,
+) -> ExitCode {
     println!(
         "ok: {} arrays, {} operations, {} loop nests",
         lowered.program.arrays().len(),
@@ -788,15 +836,26 @@ fn check<const R: usize>(lowered: &Lowered<R>, compiled: &CompiledProgram<R>) ->
             nest.structure.wavefront_dims
         );
         println!("           WYSIWYG cost: {}", classify_nest(nest));
-        match wavefront::core::kernel::TileKernel::compile(nest) {
-            Ok(k) => println!(
-                "           kernel: fastpath ({} instrs, {} regs, {} reads)",
-                k.instr_count(),
-                k.reg_count(),
-                k.read_count()
-            ),
-            Err(reason) => println!("           kernel: interpreter fallback ({reason})"),
-        }
+        let runner = NestRunner::with_mode(nest, mode);
+        let shape = match (runner.kernel(), runner.lane_plan()) {
+            (Some(kern), plan) => {
+                let lanes = plan
+                    .map(|p| format!(", {}", p.describe()))
+                    .unwrap_or_default();
+                format!(
+                    " ({} instrs, {} regs, {} reads{lanes})",
+                    kern.instr_count(),
+                    kern.reg_count(),
+                    kern.read_count()
+                )
+            }
+            (None, _) => String::new(),
+        };
+        let why = match runner.fallback() {
+            Some(reason) => format!(" — fallback: {reason}"),
+            None => String::new(),
+        };
+        println!("           kernel: {} tier{shape}{why}", runner.tier());
     }
     ExitCode::SUCCESS
 }
@@ -855,6 +914,7 @@ fn run_repeat<const R: usize>(
         any = true;
         let nest = Arc::new(nest.clone());
         let mut reps: Vec<(f64, f64, f64)> = Vec::with_capacity(opts.repeat);
+        let mut tier_line = String::new();
         for _ in 0..opts.repeat {
             let store = match init_store(opts, lowered) {
                 Ok(s) => s,
@@ -865,7 +925,7 @@ fn run_repeat<const R: usize>(
                 .line(opts.procs)
                 .block(opts.block.clone())
                 .machine(opts.machine)
-                .kernels(opts.kernels)
+                .kernel_mode(opts.kernel_mode)
                 .engine(opts.engine)
                 .store(store)
                 .build()
@@ -874,11 +934,19 @@ fn run_repeat<const R: usize>(
                 Err(e) => return fail(&format!("nest {k}"), e),
             };
             match service.submit(spec).wait() {
-                Ok(out) => reps.push((
-                    start.elapsed().as_secs_f64(),
-                    out.outcome.prep_seconds,
-                    out.outcome.run_seconds,
-                )),
+                Ok(out) => {
+                    if let Some(tier) = out.outcome.kernel_tier {
+                        tier_line = match out.outcome.kernel_fallback {
+                            Some(reason) => format!("{tier} (fallback: {reason})"),
+                            None => tier.to_string(),
+                        };
+                    }
+                    reps.push((
+                        start.elapsed().as_secs_f64(),
+                        out.outcome.prep_seconds,
+                        out.outcome.run_seconds,
+                    ));
+                }
                 Err(e) => return fail(&format!("nest {k}"), e),
             }
         }
@@ -889,6 +957,9 @@ fn run_repeat<const R: usize>(
             opts.procs,
             opts.engine.name()
         );
+        if !tier_line.is_empty() {
+            println!("  kernel: {tier_line}");
+        }
         println!("  cold: {cold:.3e} s total ({cold_prep:.3e} s prep)");
         if reps.len() > 1 {
             let warm = &reps[1..];
@@ -923,6 +994,13 @@ fn run<const R: usize>(
         Ok(s) => s,
         Err(code) => return code,
     };
+    for (k, nest) in compiled.nests().enumerate() {
+        let runner = NestRunner::with_mode(nest, opts.kernel_mode);
+        match runner.fallback() {
+            Some(reason) => println!("nest {k}: kernel {} (fallback: {reason})", runner.tier()),
+            None => println!("nest {k}: kernel {}", runner.tier()),
+        }
+    }
     run_with_sink(compiled, &mut store, &mut NoSink);
     for name in &opts.prints {
         let Some(id) = lowered.array(name) else {
@@ -1076,7 +1154,7 @@ fn trace<const R: usize>(
             .procs(opts.procs)
             .block(opts.block.clone())
             .machine(opts.machine)
-            .kernels(opts.kernels)
+            .kernel_mode(opts.kernel_mode)
             .collector(&mut collector)
             .store(&mut store)
             .run(opts.engine);
@@ -1183,7 +1261,7 @@ fn timeline<const R: usize>(
             .procs(opts.procs)
             .block(opts.block.clone())
             .machine(opts.machine)
-            .kernels(opts.kernels)
+            .kernel_mode(opts.kernel_mode)
             .collector(&mut collector)
             .store(&mut store)
             .run(opts.engine);
@@ -1305,7 +1383,7 @@ fn tune<const R: usize>(
                 .procs(opts.procs)
                 .block(BlockPolicy::adaptive())
                 .machine(machine)
-                .kernels(opts.kernels);
+                .kernel_mode(opts.kernel_mode);
             if kind != EngineKind::Sim {
                 session = session.store(&mut store);
             }

@@ -1,21 +1,24 @@
 //! Differential fuzzing of the compiled tile kernels: for random legal
-//! scan programs, the kernel tier must be **bit-identical** to the
-//! reference expression interpreter — standalone, on the sequential
-//! engine, and on the threaded engine — and nests the lowering refuses
-//! must still execute correctly through the transparent interpreter
-//! fallback.
+//! scan programs, every kernel tier — the scalar tape and the
+//! lane-parallel tape — must be **bit-identical** to the reference
+//! expression interpreter — standalone, on the sequential engine, on
+//! the threaded engine, and on the 2-D mesh engines — and nests the
+//! lowering refuses must still execute correctly through the
+//! transparent fallback chain (lanes → scalar → interpreter).
 //!
 //! Sampled deterministically with the crate's own [`SplitMix64`] (the
 //! build is fully offline, so no property-testing dependency): every run
 //! exercises the same case set, and any failure message pins the exact
 //! configuration for replay.
 
-use wavefront::core::kernel::{FallbackReason, NestRunner, TileKernel};
+use wavefront::core::kernel::{
+    FallbackReason, KernelMode, KernelTier, LaneCause, NestRunner, TileKernel,
+};
 use wavefront::core::prelude::*;
 use wavefront::kernels::rng::SplitMix64;
 use wavefront::kernels::{smith_waterman, sor, sweep3d, tomcatv};
 use wavefront::machine::cray_t3e;
-use wavefront::pipeline::{BlockPolicy, EngineKind, Session};
+use wavefront::pipeline::{BlockPolicy, EngineKind, Session, Session2D};
 
 /// Primed directions that keep a single-assignment scan legal.
 const PRIMED: [[i64; 2]; 5] = [[-1, 0], [-1, -1], [-1, 1], [-2, 0], [-1, -2]];
@@ -74,6 +77,7 @@ fn init_store(p: &Program<2>, seed: u64) -> Store<2> {
 fn kernel_is_bit_identical_to_interpreter() {
     let mut rng = SplitMix64::new(0x7E_A9E5);
     let mut compiled_cases = 0usize;
+    let mut lane_cases = 0usize;
     for case in 0..64 {
         let n = 8 + rng.gen_range(12) as i64;
         let layout = if rng.next_u64() & 1 == 0 {
@@ -114,6 +118,9 @@ fn kernel_is_bit_identical_to_interpreter() {
             runner.fallback()
         );
         compiled_cases += 1;
+        if runner.tier() == KernelTier::Lanes {
+            lane_cases += 1;
+        }
         let mut kern = init_store(&prog, seed);
         let bound = runner.bind(&kern, &nest.structure.order);
         runner.run_tile(
@@ -122,6 +129,19 @@ fn kernel_is_bit_identical_to_interpreter() {
             nest.region,
             &nest.structure.order,
             &mut kern,
+        );
+
+        // The scalar tape standalone (the lane tier's own fallback).
+        let scalar_runner = NestRunner::with_mode(nest, KernelMode::Scalar);
+        assert_eq!(scalar_runner.tier(), KernelTier::Scalar, "case {case}");
+        let mut scal = init_store(&prog, seed);
+        let sbound = scalar_runner.bind(&scal, &nest.structure.order);
+        scalar_runner.run_tile(
+            nest,
+            sbound.as_ref(),
+            nest.region,
+            &nest.structure.order,
+            &mut scal,
         );
 
         let mut seq = init_store(&prog, seed);
@@ -142,7 +162,12 @@ fn kernel_is_bit_identical_to_interpreter() {
             .unwrap();
 
         for id in 0..reference.len() {
-            for (what, store) in [("kernel", &kern), ("seq", &seq), ("threads", &thr)] {
+            for (what, store) in [
+                ("kernel", &kern),
+                ("scalar", &scal),
+                ("seq", &seq),
+                ("threads", &thr),
+            ] {
                 assert!(
                     reference.get(id).region_eq(store.get(id), region),
                     "case {case}: {what} array {id} differs \
@@ -154,6 +179,198 @@ fn kernel_is_bit_identical_to_interpreter() {
     // The generator must actually exercise the fast path, not skip
     // everything through legality rejections.
     assert!(compiled_cases >= 48, "only {compiled_cases} cases compiled");
+    // The generator must also reach the lane tier often, not sit on the
+    // scalar fallback.
+    assert!(lane_cases >= 32, "only {lane_cases} cases reached lanes");
+}
+
+/// Lane blocking must survive every remainder width: sweep extents that
+/// leave 0..LANES-1 leftover points after the 8-wide blocks, on both an
+/// axis-laned nest (fig3's shape) and a wavefront-laned nest (SOR's
+/// five-point stencil), at every kernel tier.
+#[test]
+fn lane_remainders_are_bit_identical() {
+    for n in 9i64..=18 {
+        let bounds = Region::rect([0, 0], [n + 1, n + 1]);
+
+        // Axis lanes: the only dependence is along dim 0, so dim 1 is
+        // lane-free and its extent (n - 2) walks through every residue
+        // mod 8 as n varies.
+        let mut axis = Program::<2>::new();
+        let a = axis.array("a", bounds);
+        axis.stmt(
+            Region::rect([2, 2], [n - 1, n - 1]),
+            a,
+            Expr::lit(0.5) * Expr::read_primed_at(a, [-1, 0]) + Expr::IndexVar(1),
+        );
+
+        // Wavefront lanes: both dimensions carry, so lanes run along
+        // anti-diagonal segments whose lengths sweep 1..extent.
+        let mut wave = Program::<2>::new();
+        let w = wave.array("a", bounds);
+        wave.stmt(
+            Region::rect([2, 2], [n - 1, n - 1]),
+            w,
+            Expr::lit(0.3) * Expr::read_primed_at(w, [-1, 0])
+                + Expr::lit(0.3) * Expr::read_primed_at(w, [0, -1])
+                + Expr::read_at(w, [1, 1]),
+        );
+
+        for (what, prog) in [("axis", &axis), ("wave", &wave)] {
+            let compiled = compile(prog).unwrap();
+            let nest = compiled.nest(0);
+            let runner = NestRunner::auto(nest);
+            assert_eq!(runner.tier(), KernelTier::Lanes, "{what} n={n}");
+
+            let mut reference = init_store(prog, n as u64);
+            run_nest_with_sink(nest, &mut reference, &mut NoSink);
+
+            for mode in [KernelMode::Scalar, KernelMode::Lanes] {
+                let r = NestRunner::with_mode(nest, mode);
+                let mut got = init_store(prog, n as u64);
+                let bound = r.bind(&got, &nest.structure.order);
+                r.run_tile(
+                    nest,
+                    bound.as_ref(),
+                    nest.region,
+                    &nest.structure.order,
+                    &mut got,
+                );
+                let (a_ref, a_got) = (reference.get(0), got.get(0));
+                for p in nest.region.iter() {
+                    assert_eq!(
+                        a_ref.get(p).to_bits(),
+                        a_got.get(p).to_bits(),
+                        "{what} n={n} {mode:?} at {p}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// A tape too wide for the lane register file must fall back to the
+/// scalar tier — reported as `LaneUnsupported(WideTape)` — and still
+/// match the interpreter bit for bit on every engine.
+#[test]
+fn wide_tape_forces_scalar_tier_and_still_matches() {
+    fn left_held(depth: usize, a: usize) -> Expr<2> {
+        if depth == 0 {
+            Expr::read_primed_at(a, [-1, 0])
+        } else {
+            (Expr::read_primed_at(a, [-1, 0]) + Expr::lit(1.0)).min(left_held(depth - 1, a))
+        }
+    }
+    let n = 14i64;
+    let bounds = Region::rect([0, 0], [n + 1, n + 1]);
+    let mut prog = Program::<2>::new();
+    let a = prog.array("a", bounds);
+    let region = Region::rect([2, 2], [n - 1, n - 1]);
+    prog.stmt(
+        region,
+        a,
+        left_held(wavefront::core::kernel_lanes::MAX_LANE_REGS + 2, a),
+    );
+
+    let compiled = compile(&prog).unwrap();
+    let nest = compiled.nest(0);
+    let runner = NestRunner::auto(nest);
+    assert_eq!(runner.tier(), KernelTier::Scalar);
+    assert_eq!(
+        runner.fallback(),
+        Some(FallbackReason::LaneUnsupported(LaneCause::WideTape))
+    );
+
+    let mut reference = init_store(&prog, 23);
+    run_nest_with_sink(nest, &mut reference, &mut NoSink);
+
+    let mut direct = init_store(&prog, 23);
+    let bound = runner.bind(&direct, &nest.structure.order);
+    runner.run_tile(nest, bound.as_ref(), region, &nest.structure.order, &mut direct);
+    assert!(reference.get(0).region_eq(direct.get(0), region), "direct");
+
+    for kind in [EngineKind::Seq, EngineKind::Threads] {
+        let mut got = init_store(&prog, 23);
+        let out = Session::new(&prog, nest)
+            .procs(3)
+            .block(BlockPolicy::Fixed(4))
+            .machine(cray_t3e())
+            .store(&mut got)
+            .run(kind)
+            .unwrap();
+        assert_eq!(out.kernel_tier, Some(KernelTier::Scalar), "{kind:?}");
+        assert_eq!(
+            out.kernel_fallback,
+            Some(FallbackReason::LaneUnsupported(LaneCause::WideTape)),
+            "{kind:?}"
+        );
+        assert!(
+            reference.get(0).region_eq(got.get(0), region),
+            "{kind:?} differs"
+        );
+    }
+}
+
+/// The 2-D mesh engines at every kernel tier: a 3-D sweep decomposed
+/// over a processor mesh must agree with the interpreter bit for bit
+/// whether nests run interpreted, on the scalar tape, or lane-parallel.
+#[test]
+fn mesh_engines_bit_identical_across_tiers() {
+    let n = 11i64;
+    let bounds = Region::rect([0, 0, 0], [n + 1, n + 1, 6]);
+    let cells = Region::rect([2, 2, 1], [n - 1, n - 1, 5]);
+    let mut prog = Program::<3>::new();
+    let a = prog.array("a", bounds);
+    let src = prog.array("s", bounds);
+    prog.scan(
+        cells,
+        vec![Statement::new(
+            a,
+            Expr::read(src)
+                + Expr::lit(0.4) * Expr::read_primed_at(a, [-1, 0, 0])
+                + Expr::lit(0.3) * Expr::read_primed_at(a, [0, -1, 0]),
+        )],
+    );
+
+    let init = |seed: u64| {
+        let mut store = Store::new(&prog);
+        for id in 0..store.len() {
+            let b = store.get(id).bounds();
+            *store.get_mut(id) = DenseArray::from_fn(b, |q| {
+                let h = (q[0] as u64)
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add((q[1] as u64).wrapping_mul(seed | 1))
+                    .wrapping_add(q[2] as u64 * 77 + id as u64);
+                (h % 997) as f64 / 997.0
+            });
+        }
+        store
+    };
+
+    let compiled = compile(&prog).unwrap();
+    let nest = compiled.nest(0);
+    assert_eq!(NestRunner::auto(nest).tier(), KernelTier::Lanes);
+
+    let mut reference = init(5);
+    run_nest_with_sink(nest, &mut reference, &mut NoSink);
+
+    for mode in [KernelMode::Interpreted, KernelMode::Scalar, KernelMode::Lanes] {
+        for kind in [EngineKind::Seq, EngineKind::Threads] {
+            let mut got = init(5);
+            Session2D::new(&prog, nest)
+                .mesh([2, 2])
+                .block(BlockPolicy::Fixed(3))
+                .machine(cray_t3e())
+                .kernel_mode(mode)
+                .store(&mut got)
+                .run(kind)
+                .unwrap();
+            assert!(
+                reference.get(a).region_eq(got.get(a), cells),
+                "{mode:?} {kind:?} differs"
+            );
+        }
+    }
 }
 
 /// Nests the lowering refuses (snapshot semantics, register pressure)
@@ -254,7 +471,8 @@ fn fallback_nests_still_run_on_every_engine() {
 }
 
 /// The acceptance gate: every nest of all five benchmark programs
-/// lowers to a fused fast-path kernel — no silent interpreter fallback.
+/// lowers all the way to the lane-parallel tier — no silent fallback to
+/// the scalar tape or the interpreter.
 #[test]
 fn all_five_benchmarks_hit_the_fast_path() {
     let sor_lo = sor::build(24).unwrap();
@@ -279,6 +497,13 @@ fn all_five_benchmarks_hit_the_fast_path() {
                 Ok(k) => assert!(k.instr_count() > 0, "{name} nest {i}: empty tape"),
                 Err(r) => panic!("{name} nest {i}: fell back to the interpreter ({r})"),
             }
+            let runner = NestRunner::auto(nest);
+            assert_eq!(
+                runner.tier(),
+                KernelTier::Lanes,
+                "{name} nest {i}: stopped below the lane tier ({:?})",
+                runner.fallback()
+            );
         }
     }
     assert_fastpath("fig3", &fig3);

@@ -231,6 +231,52 @@ fn cache_hit_and_miss_accounting_is_exact() {
     assert_eq!(s.cache_hits, 5);
 }
 
+/// The kernel mode is part of the plan fingerprint: a plan prepared at
+/// one tier must never execute a job requesting another, and each job's
+/// outcome reports the tier its nest actually ran at.
+#[test]
+fn kernel_mode_is_a_distinct_fingerprint() {
+    use wavefront::core::kernel::{KernelMode, KernelTier};
+
+    let (program, nest, store) = tiny_case();
+    let service: WavefrontService<2> = WavefrontService::new();
+    let spec = |mode: KernelMode| {
+        JobSpec::builder(Arc::clone(&program), Arc::clone(&nest))
+            .line(4)
+            .block(BlockPolicy::Fixed(2))
+            .machine(cray_t3e())
+            .kernel_mode(mode)
+            .store(store.clone())
+            .build()
+            .expect("valid job spec")
+    };
+
+    let out = service.submit(spec(KernelMode::Lanes)).wait().unwrap();
+    assert_eq!(out.outcome.kernel_tier, Some(KernelTier::Lanes));
+    assert_eq!(out.outcome.kernel_fallback, None);
+    let out = service.submit(spec(KernelMode::Scalar)).wait().unwrap();
+    assert_eq!(out.outcome.kernel_tier, Some(KernelTier::Scalar));
+    let out = service.submit(spec(KernelMode::Interpreted)).wait().unwrap();
+    assert_eq!(out.outcome.kernel_tier, Some(KernelTier::Interpreted));
+
+    let s = service.stats();
+    assert_eq!(
+        s.cache_misses, 3,
+        "each kernel mode is its own cache entry — a plan compiled at \
+         one tier must never serve another"
+    );
+    assert_eq!(s.cache_hits, 0);
+    assert_eq!(s.cache_entries, 3);
+
+    // Resubmitting at an already-cached tier hits that tier's entry and
+    // still runs at the requested tier.
+    let out = service.submit(spec(KernelMode::Scalar)).wait().unwrap();
+    assert_eq!(out.outcome.kernel_tier, Some(KernelTier::Scalar));
+    let s = service.stats();
+    assert_eq!(s.cache_misses, 3);
+    assert_eq!(s.cache_hits, 1);
+}
+
 /// A full submission queue applies backpressure: submitters block until
 /// space frees, and every accepted job still completes — nothing is
 /// dropped on the floor.
