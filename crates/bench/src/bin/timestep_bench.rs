@@ -1,0 +1,338 @@
+//! Steady-state time-stepping benchmark: a resident-array loop
+//! (`WavefrontService::submit_loop` over handle-bound buffers with a
+//! `next`/`curr` swap rotation) vs the only way to run the same
+//! relaxation before handles existed — submit one store-owning job per
+//! step, wait, re-marshal every published array point by point into
+//! the next step's store, swap the buffers by hand, resubmit.
+//!
+//! The resident path wins three ways and the harness asserts all of
+//! them: the timed loop copies **zero** copy-on-write bytes (buffers
+//! stay checked out in place), spawns **zero** pool threads (workers
+//! persist across steps), and allocates **zero** new handles (steady
+//! state reuses the imported buffers). On top of that the fused chunk
+//! overlaps successive iterations — the tail of step k's wavefront
+//! runs under the head of step k+1 — reported as `overlap_efficiency`.
+//! Headline metric: `resident_vs_submit_speedup` (≥ 1.3x required),
+//! gated by `bench_diff` over `results/BENCH_timestep.json`.
+//!
+//! `--quick` shrinks the grid and rep count for CI smoke use.
+//! `--no-overlap` disables cross-iteration pipelining in the resident
+//! path — CI runs it to prove the `overlap_efficiency` gate actually
+//! fails when the overlap is gone.
+//!
+//! Run with `cargo run --release -p wavefront-bench --bin timestep_bench`.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use wavefront_bench::{f2, json_object, json_str, write_artifact, Table};
+use wavefront_core::array::cow_bytes_copied;
+use wavefront_core::prelude::*;
+use wavefront_machine::cray_t3e;
+use wavefront_pipeline::{
+    ArrayHandle, BlockPolicy, EngineKind, JobSpec, LoopSpec, ServiceConfig, WavefrontService,
+};
+
+/// Worker threads per job (and service pool width).
+const PROCS: usize = 4;
+
+struct Config {
+    n: i64,
+    steps: usize,
+    reps: usize,
+}
+
+/// The double-buffered relaxation: `next` is a scan over its own primed
+/// north value blended with the previous iterate `curr` and a constant
+/// `load` field. All reads of rotated buffers are pointwise, so the
+/// loop is eligible for fused rotation.
+struct Relax {
+    program: Arc<Program<2>>,
+    nest: Arc<CompiledNest<2>>,
+    initial: Store<2>,
+}
+
+fn relax_case(n: i64) -> Relax {
+    let bounds = Region::rect([0, 0], [n + 1, n + 1]);
+    let mut prog = Program::<2>::new();
+    let next = prog.array("next", bounds);
+    let curr = prog.array("curr", bounds);
+    let load = prog.array("load", bounds);
+    prog.stmt(
+        Region::rect([1, 1], [n, n]),
+        next,
+        Expr::lit(0.5) * Expr::read_primed_at(next, [-1, 0])
+            + Expr::lit(0.4) * Expr::read_at(curr, [0, 0])
+            + Expr::lit(0.1) * Expr::read_at(load, [0, 1]),
+    );
+    let compiled = compile(&prog).expect("relaxation compiles");
+    let nest = Arc::new(compiled.nest(0).clone());
+    let mut initial = Store::new(&prog);
+    for id in 0..initial.len() {
+        let b = initial.get(id).bounds();
+        *initial.get_mut(id) = DenseArray::from_fn(b, |q| {
+            let h = (q[0] as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(q[1] as u64)
+                .wrapping_mul(0x0071_57E9)
+                .wrapping_add(id as u64);
+            (h % 1009) as f64 / 1009.0
+        });
+    }
+    Relax {
+        program: Arc::new(prog),
+        nest,
+        initial,
+    }
+}
+
+fn body_spec(case: &Relax) -> wavefront_pipeline::JobSpecBuilder<2> {
+    JobSpec::builder(Arc::clone(&case.program), Arc::clone(&case.nest))
+        .line(PROCS)
+        .block(BlockPolicy::Model2)
+        .machine(cray_t3e())
+        .engine(EngineKind::Threads)
+}
+
+/// Baseline: what steady-state callers did before resident handles —
+/// one store-owning job per step, every published array re-marshalled
+/// point by point into the next step's store, buffers swapped by hand
+/// between steps. Returns the final (`next`, `curr`) pair.
+fn run_submit_per_step(
+    cfg: &Config,
+    case: &Relax,
+    service: &WavefrontService<2>,
+) -> (DenseArray<2>, DenseArray<2>) {
+    let names: Vec<String> = case
+        .program
+        .arrays()
+        .iter()
+        .map(|d| d.name.clone())
+        .collect();
+    let mut carried: Option<Vec<(String, DenseArray<2>)>> = None;
+    for step in 0..cfg.steps {
+        let store = match &carried {
+            None => case.initial.clone(),
+            Some(prev) => {
+                let mut store = Store::new(&case.program);
+                for (name, src) in prev {
+                    let id = case.program.find(name).expect("carried array exists");
+                    let dst = store.get_mut(id);
+                    for p in src.bounds().iter() {
+                        dst.set(p, src.get(p));
+                    }
+                }
+                store
+            }
+        };
+        let spec = body_spec(case)
+            .store(store)
+            .build()
+            .expect("valid step job");
+        let mut out = service.submit(spec).wait().expect("step job runs");
+        let mut next: Vec<(String, DenseArray<2>)> = names
+            .iter()
+            .map(|name| {
+                let arr = out.take_output(name).expect("output published").to_array();
+                (name.clone(), arr)
+            })
+            .collect();
+        if step + 1 < cfg.steps {
+            // The by-hand rotation: rename the buffers between steps.
+            for (name, _) in next.iter_mut() {
+                if name == "next" {
+                    *name = "curr".into();
+                } else if name == "curr" {
+                    *name = "next".into();
+                }
+            }
+        }
+        carried = Some(next);
+    }
+    let carried = carried.expect("loop ran");
+    let pick = |want: &str| {
+        carried
+            .iter()
+            .find(|(name, _)| name == want)
+            .expect("buffer carried")
+            .1
+            .clone()
+    };
+    (pick("next"), pick("curr"))
+}
+
+/// The same workload as one resident loop: buffers imported once,
+/// `submit_loop` with a swap rotation, results read in place. Returns
+/// the final (`next`, `curr`) pair under the loop's last assignment
+/// plus the max per-chunk overlap efficiency.
+fn run_resident(
+    cfg: &Config,
+    case: &Relax,
+    service: &WavefrontService<2>,
+    handles: &[(String, ArrayHandle<2>)],
+    pipelined: bool,
+) -> (DenseArray<2>, DenseArray<2>, f64) {
+    let mut body = body_spec(case);
+    for (name, h) in handles {
+        body = if name == "load" {
+            body.input_handle(name.clone(), h)
+        } else {
+            body.output_handle(name.clone(), h)
+        };
+    }
+    let spec = LoopSpec::builder()
+        .job(body.build().expect("valid loop body"))
+        .steps(cfg.steps)
+        .swap("next", "curr")
+        .pipelined(pipelined)
+        .build()
+        .expect("valid loop spec");
+    let out = service.submit_loop(spec).wait().expect("loop runs");
+    assert_eq!(out.steps_run, cfg.steps, "loop ran every step");
+    let read = |want: &str| {
+        let (_, h) = out
+            .final_bindings
+            .iter()
+            .find(|(name, _)| name == want)
+            .expect("binding published");
+        service.read(h).expect("handle readable")
+    };
+    (read("next"), read("curr"), out.stats.overlap_efficiency)
+}
+
+fn bitwise_eq(a: &DenseArray<2>, b: &DenseArray<2>) -> bool {
+    a.bounds() == b.bounds() && a.bounds().iter().all(|p| a.get(p).to_bits() == b.get(p).to_bits())
+}
+
+fn main() -> ExitCode {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let pipelined = !std::env::args().any(|a| a == "--no-overlap");
+    let cfg = if quick {
+        Config { n: 64, steps: 30, reps: 3 }
+    } else {
+        Config { n: 128, steps: 60, reps: 5 }
+    };
+
+    println!("## Resident-array loop vs submit-per-step re-marshalling (threads engine)");
+    println!(
+        "   {} steps over a {}x{} double-buffered relaxation, p = {PROCS}, min of {} reps{}\n",
+        cfg.steps,
+        cfg.n,
+        cfg.n,
+        cfg.reps,
+        if pipelined { "" } else { " [--no-overlap]" }
+    );
+
+    let case = relax_case(cfg.n);
+    let service: WavefrontService<2> = WavefrontService::with_config(ServiceConfig {
+        workers: PROCS,
+        ..Default::default()
+    });
+    let handles = service.import_store(&case.program, case.initial.clone());
+
+    // Warm-up: one run of each path primes the plan cache and the pool,
+    // and checks the two paths agree bit for bit before any timing.
+    // The resident warm-up starts from the same initial state as the
+    // baseline because `import_store` copied `case.initial` in.
+    {
+        // Scoped so the read-out arrays (which share the resident
+        // buffers) drop before timing — a live outside reference would
+        // force the first timed write to copy.
+        let (res_next, res_curr, _) = run_resident(&cfg, &case, &service, &handles, pipelined);
+        let (base_next, base_curr) = run_submit_per_step(&cfg, &case, &service);
+        assert!(
+            bitwise_eq(&base_next, &res_next) && bitwise_eq(&base_curr, &res_curr),
+            "resident loop differs from the submit-per-step baseline"
+        );
+    }
+
+    // Steady state starts here: every timed resident run must reuse the
+    // imported buffers (no handle churn), keep the pool parked between
+    // chunks (no spawns), and copy nothing (no COW).
+    let spawns0 = service.stats().pool_spawns;
+    let allocs0 = service.handle_allocs();
+
+    let mut baseline = f64::INFINITY;
+    let mut resident = f64::INFINITY;
+    let mut overlap_eff = 0.0f64;
+    for _ in 0..cfg.reps {
+        let t0 = Instant::now();
+        run_submit_per_step(&cfg, &case, &service);
+        baseline = baseline.min(t0.elapsed().as_secs_f64());
+
+        let cow0 = cow_bytes_copied();
+        let t0 = Instant::now();
+        let (_, _, eff) = run_resident(&cfg, &case, &service, &handles, pipelined);
+        resident = resident.min(t0.elapsed().as_secs_f64());
+        overlap_eff = overlap_eff.max(eff);
+        assert_eq!(
+            cow_bytes_copied() - cow0,
+            0,
+            "a steady-state resident loop must not copy a single COW byte"
+        );
+    }
+    assert_eq!(
+        service.stats().pool_spawns - spawns0,
+        0,
+        "steady-state loops run on the parked pool, never spawning"
+    );
+    assert_eq!(
+        service.handle_allocs() - allocs0,
+        0,
+        "steady-state loops reuse the imported handles, never allocating"
+    );
+
+    let speedup = baseline / resident;
+    let steps_per_sec = cfg.steps as f64 / resident;
+
+    let mut table = Table::new(&["path", "latency (s)", "steps/s", "speedup"]);
+    table.row(&[
+        "submit-per-step".into(),
+        format!("{baseline:.4}"),
+        format!("{:.1}", cfg.steps as f64 / baseline),
+        "1.00".into(),
+    ]);
+    table.row(&[
+        if pipelined { "resident loop" } else { "resident loop (no overlap)" }.into(),
+        format!("{resident:.4}"),
+        format!("{steps_per_sec:.1}"),
+        f2(speedup),
+    ]);
+    table.print();
+    println!(
+        "\n   steady-state invariants held: 0 cow bytes, 0 pool spawns, 0 handle allocs"
+    );
+    println!(
+        "   overlap efficiency {:.1}% ({} bytes resident)",
+        100.0 * overlap_eff,
+        service.resident_bytes()
+    );
+
+    let fields: Vec<(&str, String)> = vec![
+        ("bench", json_str("timestep")),
+        ("engine", json_str("threads")),
+        ("grid", cfg.n.to_string()),
+        ("steps", cfg.steps.to_string()),
+        ("procs", PROCS.to_string()),
+        ("reps", cfg.reps.to_string()),
+        ("pipelined", pipelined.to_string()),
+        ("submit_per_step_latency_seconds", format!("{baseline:.4}")),
+        ("resident_latency_seconds", format!("{resident:.4}")),
+        ("resident_vs_submit_speedup", f2(speedup)),
+        ("resident_steps_per_sec", format!("{steps_per_sec:.1}")),
+        ("overlap_efficiency", format!("{overlap_eff:.4}")),
+        ("cow_bytes_copied", "0".to_string()),
+        ("pool_spawns_steady", "0".to_string()),
+        ("handle_allocs_steady", "0".to_string()),
+    ];
+    write_artifact("timestep", &json_object(&fields));
+
+    if !quick && pipelined && speedup < 1.3 {
+        eprintln!(
+            "FAIL: resident loop is only {speedup:.2}x over submit-per-step (need >= 1.3x)"
+        );
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -128,6 +128,27 @@ pub enum PipelineError {
         /// The predecessor's own error.
         error: Box<PipelineError>,
     },
+    /// A resident-array handle does not resolve in this service: it was
+    /// freed, or it belongs to a different service instance. Use after
+    /// free is a typed error, never UB.
+    UnknownHandle {
+        /// The handle's id.
+        id: u64,
+    },
+    /// Two bindings of one job (or one rotation step) would alias the
+    /// same resident array, or a handle is already checked out by a job
+    /// in flight — granting both would break the in-place write fence.
+    HandleConflict {
+        /// What aliased what.
+        reason: String,
+    },
+    /// A [`crate::service::LoopSpec`] failed validation before
+    /// submission (empty rotation permutation, rotated name not bound
+    /// as an output handle, zero steps, …).
+    InvalidLoop {
+        /// What was wrong with the specification.
+        reason: String,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -177,6 +198,15 @@ impl fmt::Display for PipelineError {
             PipelineError::DependencyFailed { producer, error } => {
                 write!(f, "dependency `{producer}` failed: {error}")
             }
+            PipelineError::UnknownHandle { id } => write!(
+                f,
+                "resident-array handle #{id} does not resolve here \
+                 (freed, or from another service)"
+            ),
+            PipelineError::HandleConflict { reason } => {
+                write!(f, "resident-array handle conflict: {reason}")
+            }
+            PipelineError::InvalidLoop { reason } => write!(f, "invalid loop: {reason}"),
         }
     }
 }
@@ -229,6 +259,13 @@ mod tests {
             },
             PipelineError::CyclicDag {
                 nodes: vec!["a".into(), "b".into(), "a".into()],
+            },
+            PipelineError::UnknownHandle { id: 7 },
+            PipelineError::HandleConflict {
+                reason: "`curr` and `next` rotate onto the same handle".into(),
+            },
+            PipelineError::InvalidLoop {
+                reason: "rotation names `ghost`, which no binding declares".into(),
             },
             PipelineError::DependencyFailed {
                 producer: "octant0".into(),

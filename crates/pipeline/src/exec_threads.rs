@@ -469,6 +469,357 @@ pub(crate) fn execute_prepared_threaded<const R: usize>(
     }
 }
 
+/// Outcome of a fused multi-iteration (time-stepping) execution: the
+/// usual [`ThreadReport`] plus per-rank, per-iteration busy spans in
+/// seconds since the run's epoch, from which the caller derives the
+/// cross-iteration overlap metric.
+pub(crate) struct LoopReport {
+    pub(crate) report: ThreadReport,
+    /// `spans[rank_index][iteration] = (start, end)`.
+    pub(crate) spans: Vec<Vec<(f64, f64)>>,
+}
+
+/// [`prepare`] for a fused loop with slot rotation: buffers physically
+/// move between the slots of each rotation class, so the class members
+/// must share one local shape — ghost margins are unioned across each
+/// class, the referenced flags are or-ed, and the written set is
+/// extended to the whole class (the final gather must publish the
+/// buffer that rotated *into* a read-only slot too).
+pub(crate) fn prepare_rotated<const R: usize>(
+    program: &Program<R>,
+    nest: &CompiledNest<R>,
+    kernel_mode: KernelMode,
+    rotate: &[(ArrayId, ArrayId)],
+) -> NestPrep<R> {
+    let mut prep = prepare(program, nest, kernel_mode);
+    if rotate.is_empty() {
+        return prep;
+    }
+    // Union-find is overkill for a handful of pairs: iterate the
+    // closure until margins/flags stop changing (a permutation's
+    // cycles are short).
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &(a, b) in rotate {
+            for k in 0..R {
+                let m = prep.margins[a][k].max(prep.margins[b][k]);
+                if prep.margins[a][k] != m || prep.margins[b][k] != m {
+                    prep.margins[a][k] = m;
+                    prep.margins[b][k] = m;
+                    changed = true;
+                }
+            }
+            let r = prep.referenced[a] || prep.referenced[b];
+            if prep.referenced[a] != r || prep.referenced[b] != r {
+                prep.referenced[a] = r;
+                prep.referenced[b] = r;
+                changed = true;
+            }
+        }
+    }
+    for &(a, b) in rotate {
+        if prep.written.contains(&a) || prep.written.contains(&b) {
+            prep.written.push(a);
+            prep.written.push(b);
+        }
+    }
+    prep.written.sort_unstable();
+    prep.written.dedup();
+    prep
+}
+
+/// Whether a loop body (with its rotation, possibly empty) can run
+/// inside the fused multi-iteration engine invocation.
+///
+/// *Primed* reads are never a hazard: their ghost slabs are exactly what
+/// the per-tile messages refresh, every iteration. The staleness hazard
+/// is an **unprimed read at a non-zero shift of an array whose values
+/// change between iterations** (written by the nest, or swapped in by
+/// the rotation): iteration k+1 would read iteration-0 scatter data from
+/// a neighbour-owned halo row that nobody re-sends. Unprimed reads at
+/// shift zero stay inside the owned slab (always locally fresh), and
+/// arrays the loop never changes can be read at any shift.
+pub(crate) fn rotation_fusible<const R: usize>(
+    nest: &CompiledNest<R>,
+    rotate: &[(ArrayId, ArrayId)],
+) -> bool {
+    let mut hot: Vec<ArrayId> = nest.stmts.iter().map(|s| s.lhs).collect();
+    hot.extend(rotate.iter().flat_map(|&(a, b)| [a, b]));
+    hot.sort_unstable();
+    hot.dedup();
+    nest.stmts.iter().all(|s| {
+        s.rhs.reads().into_iter().all(|r| {
+            r.primed
+                || !hot.contains(&r.id)
+                || (0..R).all(|k| r.shift[k] == 0)
+        })
+    })
+}
+
+/// Apply one rotation step to a rank's local store: the buffer in slot
+/// `from` moves to slot `to` for every pair at once (the pairs form a
+/// permutation, validated upstream). Pure slot surgery — no copies.
+fn rotate_slots<const R: usize>(local: &mut Store<R>, rotate: &[(ArrayId, ArrayId)]) {
+    if rotate.is_empty() {
+        return;
+    }
+    let arrays = local.arrays_mut();
+    let taken: Vec<DenseArray<R>> = rotate
+        .iter()
+        .map(|&(from, _)| {
+            let layout = arrays[from].layout();
+            std::mem::replace(
+                &mut arrays[from],
+                DenseArray::with_layout(Region::empty(), layout, 0.0),
+            )
+        })
+        .collect();
+    for (&(_, to), arr) in rotate.iter().zip(taken) {
+        arrays[to] = arr;
+    }
+}
+
+/// The fused time-stepping core: run `iters` whole sweeps of `nest`
+/// inside **one** engine invocation — scatter once, iterate, gather
+/// once — with the paper's fill/steady/drain staircase lifted one level
+/// up. A rank that has drained its tiles of iteration *k* immediately
+/// starts iteration *k+1*: the bounded per-link channels carry the
+/// next iteration's boundary slabs right behind the current one (same
+/// order both ends, so no tagging is needed), waits still point only
+/// upstream, and `LINK_DEPTH` keeps memory bounded, so the schedule is
+/// deadlock-free for any `iters`.
+///
+/// Results are bit-identical to running the sweeps back to back
+/// sequentially: every cross-rank read of a written array is a primed
+/// (this-sweep) read along the distributed dimension — decomposability
+/// guarantees that — and each iteration's own messages re-deliver the
+/// boundary, so no extra inter-iteration halo exchange exists to get
+/// wrong. `rotate` swaps local buffers behind array ids between
+/// iterations (use [`prepare_rotated`] for the prep); `pipelined:
+/// false` inserts a full barrier between iterations, the ablation the
+/// timestep bench's overlap gate catches.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn execute_loop_threaded<const R: usize>(
+    workers: &WorkerPool,
+    program: &Program<R>,
+    nest: &Arc<CompiledNest<R>>,
+    plan: &Arc<WavefrontPlan<R>>,
+    prep: &Arc<NestPrep<R>>,
+    store: &mut Store<R>,
+    iters: usize,
+    rotate: &[(ArrayId, ArrayId)],
+    pipelined: bool,
+    collector: &mut dyn Collector,
+) -> LoopReport {
+    assert!(
+        nest.buffered.is_empty(),
+        "buffered nests carry no wavefront and are never planned"
+    );
+    assert!(iters >= 1, "a loop runs at least one iteration");
+    let enabled = collector.enabled();
+    let ranks: Vec<usize> = plan.active_ranks();
+    if enabled {
+        collector.begin(&RunMeta {
+            engine: EngineKind::Threads,
+            procs: plan.p,
+            active: ranks.clone(),
+            tiles: plan.tiles.len(),
+            block: plan.block,
+            pipelined: plan.is_pipelined(),
+            machine: "host".to_string(),
+            time_unit: TimeUnit::Seconds,
+            predicted: plan.predicted_traffic(),
+        });
+    }
+    if ranks.is_empty() {
+        if enabled {
+            collector.end(0.0);
+        }
+        return LoopReport {
+            report: ThreadReport {
+                elapsed: Duration::ZERO,
+                messages: 0,
+                buffer_allocs: 0,
+            },
+            spans: Vec::new(),
+        };
+    }
+
+    // Scatter once; the locals stay resident across all iterations.
+    let mut locals: Vec<Store<R>> = ranks
+        .iter()
+        .map(|&r| build_local(program, prep, store, plan.dist.owned(r)))
+        .collect();
+
+    let n = ranks.len();
+    let mut senders: Vec<Option<SyncSender<Vec<f64>>>> = vec![None; n];
+    let mut receivers: Vec<Option<Receiver<Vec<f64>>>> = (0..n).map(|_| None).collect();
+    let mut recycle_tx: Vec<Option<Sender<Vec<f64>>>> = vec![None; n];
+    let mut recycle_rx: Vec<Option<Receiver<Vec<f64>>>> = (0..n).map(|_| None).collect();
+    for i in 0..n.saturating_sub(1) {
+        let (tx, rx) = sync_channel(LINK_DEPTH);
+        senders[i] = Some(tx);
+        receivers[i + 1] = Some(rx);
+        let (rtx, rrx) = channel();
+        recycle_tx[i + 1] = Some(rtx);
+        recycle_rx[i] = Some(rrx);
+    }
+    workers.ensure_workers(n);
+    // The no-overlap ablation: every rank waits here after each
+    // iteration, flattening the staircase back to lock-step.
+    let barrier = (!pipelined).then(|| Arc::new(std::sync::Barrier::new(n)));
+
+    let mut message_count = 0usize;
+    let mut buffer_allocs = 0usize;
+    type LoopResult<const R: usize> = (usize, Store<R>, usize, usize, Vec<WorkerEv>, Vec<(f64, f64)>);
+    let (res_tx, res_rx) = channel::<LoopResult<R>>();
+    let epoch = Instant::now();
+    for (i, (&rank, mut local)) in ranks.iter().zip(locals.drain(..)).enumerate() {
+        let tx = senders[i].take();
+        let rx = receivers[i].take();
+        let pool = recycle_rx[i].take();
+        let ret = recycle_tx[i].take();
+        let upstream_owned = plan.upstream(rank).map(|u| plan.dist.owned(u));
+        let owned = plan.dist.owned(rank);
+        let plan = Arc::clone(plan);
+        let nest = Arc::clone(nest);
+        let prep = Arc::clone(prep);
+        let rotate = rotate.to_vec();
+        let barrier = barrier.clone();
+        let res_tx = res_tx.clone();
+        workers.execute(Box::new(move || {
+            let mut sent = 0usize;
+            let mut fresh = 0usize;
+            let mut evs: Vec<WorkerEv> = Vec::new();
+            let mut spans: Vec<(f64, f64)> = Vec::with_capacity(iters);
+            for it in 0..iters {
+                if it > 0 {
+                    if let Some(b) = &barrier {
+                        b.wait();
+                    }
+                    rotate_slots(&mut local, &rotate);
+                }
+                // Buffers may have moved between slots, so re-resolve
+                // the kernel binding each iteration (shapes within a
+                // rotation class are identical, but base addresses are
+                // not).
+                let bound = prep.runner.bind(&local, &plan.order);
+                let span_start = epoch.elapsed().as_secs_f64();
+                for (ti, tile) in plan.tiles.iter().enumerate() {
+                    let sub = owned.intersect(tile);
+                    if let (Some(rx), Some(up)) = (&rx, upstream_owned) {
+                        if !plan.comm_arrays.is_empty() {
+                            let wait_start = enabled.then(|| epoch.elapsed().as_secs_f64());
+                            let data = rx.recv().expect("upstream hung up mid-loop");
+                            if let Some(ws) = wait_start {
+                                evs.push(WorkerEv::Recv {
+                                    wait_start: ws,
+                                    at: epoch.elapsed().as_secs_f64(),
+                                });
+                            }
+                            decode(&plan, &mut local, up, tile, &data);
+                            if let Some(ret) = &ret {
+                                let _ = ret.send(data);
+                            }
+                        }
+                    }
+                    if !sub.is_empty() {
+                        let t0 = enabled.then(|| epoch.elapsed().as_secs_f64());
+                        prep.runner
+                            .run_tile(&nest, bound.as_ref(), sub, &plan.order, &mut local);
+                        if let Some(t0) = t0 {
+                            evs.push(WorkerEv::Block {
+                                tile: ti,
+                                start: t0,
+                                end: epoch.elapsed().as_secs_f64(),
+                                elems: sub.len(),
+                            });
+                        }
+                    }
+                    if let Some(tx) = &tx {
+                        if !plan.comm_arrays.is_empty() {
+                            let mut data = match pool.as_ref().and_then(|p| p.try_recv().ok()) {
+                                Some(buf) => buf,
+                                None => {
+                                    fresh += 1;
+                                    Vec::new()
+                                }
+                            };
+                            encode_into(&plan, &local, owned, tile, &mut data);
+                            if enabled {
+                                evs.push(WorkerEv::Sent {
+                                    tile: ti,
+                                    elems: data.len(),
+                                    at: epoch.elapsed().as_secs_f64(),
+                                });
+                            }
+                            tx.send(data).expect("downstream hung up mid-loop");
+                            sent += 1;
+                        }
+                    }
+                }
+                spans.push((span_start, epoch.elapsed().as_secs_f64()));
+            }
+            let _ = res_tx.send((i, local, sent, fresh, evs, spans));
+        }));
+    }
+    drop(res_tx);
+    // (local store, messages sent, fresh buffers, events, busy spans).
+    type RankReport<const R: usize> = (Store<R>, usize, usize, Vec<WorkerEv>, Vec<(f64, f64)>);
+    let mut slots: Vec<Option<RankReport<R>>> = (0..n).map(|_| None).collect();
+    for _ in 0..n {
+        let (i, local, sent, fresh, evs, spans) = res_rx.recv().expect("worker panicked");
+        message_count += sent;
+        buffer_allocs += fresh;
+        slots[i] = Some((local, sent, fresh, evs, spans));
+    }
+    let mut events: Vec<Vec<WorkerEv>> = Vec::with_capacity(n);
+    let mut all_spans: Vec<Vec<(f64, f64)>> = Vec::with_capacity(n);
+    locals = slots
+        .into_iter()
+        .map(|s| {
+            let (local, _, _, evs, spans) = s.expect("every rank reports exactly once");
+            events.push(evs);
+            all_spans.push(spans);
+            local
+        })
+        .collect();
+    let elapsed = epoch.elapsed();
+
+    if enabled {
+        replay(collector, &ranks, &events, elapsed.as_secs_f64());
+    }
+
+    // A rotation renames *whole buffers* — border cells the sweep never
+    // writes travel with their buffer, exactly as on the per-step path
+    // where the dispatcher re-binds physical buffers between jobs. The
+    // global slots therefore rotate in step with the locals before the
+    // gather overwrites the owned interiors with final-iteration data.
+    for _ in 1..iters {
+        rotate_slots(store, rotate);
+    }
+
+    // Gather once. `prep.written` includes every rotation-class member
+    // (see `prepare_rotated`), so the buffer that rotated into a
+    // read-only slot is published too.
+    for (&rank, local) in ranks.iter().zip(&locals) {
+        let owned = plan.dist.owned(rank);
+        for &id in &prep.written {
+            store.get_mut(id).copy_region_from(local.get(id), owned);
+        }
+    }
+
+    LoopReport {
+        report: ThreadReport {
+            elapsed,
+            messages: message_count,
+            buffer_allocs,
+        },
+        spans: all_spans,
+    }
+}
+
 /// Replay buffered worker events into the collector: blocks and waits
 /// directly, messages by pairing each link's sends with the downstream
 /// worker's receives (both are in tile order).

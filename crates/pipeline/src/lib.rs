@@ -50,14 +50,15 @@ pub use plan::WavefrontPlan;
 pub use plan2d::WavefrontPlan2D;
 pub use schedule::{probe_block, AdaptiveConfig, BlockCtx, BlockPolicy, BlockSizer};
 pub use service::{
-    Counter, CriticalPathScheduler, DagHandle, DagOutcome, DagSpec, DagSpecBuilder, DagStats,
-    DagView, DispatchDecision, FifoScheduler, Gauge, HistogramHandle, InputSource,
+    ArrayHandle, Counter, CriticalPathScheduler, DagHandle, DagOutcome, DagSpec, DagSpecBuilder,
+    DagStats, DagView, DispatchDecision, FifoScheduler, Gauge, HistogramHandle, InputSource,
     IntoInputSource, JobHandle, JobOutcome, JobOutput, JobOutputs, JobSpec, JobSpecBuilder,
-    JobTopology, JobTrace, LocalityScheduler, Metrics, NodeId, NodeRef, NodeResult, Scheduler,
+    JobTopology, JobTrace, LocalityScheduler, LoopChunkStats, LoopHandle, LoopOutcome, LoopSpec,
+    LoopSpecBuilder, LoopStats, LoopView, Metrics, NodeId, NodeRef, NodeResult, Scheduler,
     SchedulerKind, ServeConfig, ServiceConfig, ServiceStats, TenantConfig, TenantStats,
-    WavefrontService, WireClient, WireCompiler, WireDagNode, WireDagRequest, WireDagResponse,
-    WireProgram, WireRequest, WireResponse, WireServer, WireTopology, DEFAULT_TENANT,
-    PROTOCOL_VERSION,
+    WavefrontService, WireAllocRequest, WireClient, WireCompiler, WireDagNode, WireDagRequest,
+    WireDagResponse, WireHandle, WireLoopRequest, WireLoopResponse, WireProgram, WireRequest,
+    WireResponse, WireServer, WireTopology, DEFAULT_TENANT, PROTOCOL_VERSION,
 };
 pub use session::{
     Engine, EngineCtx, ProgramSession, RunOutcome, SeqEngine, Session, Session2D, SessionConfig,

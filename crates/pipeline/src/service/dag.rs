@@ -550,8 +550,9 @@ pub(crate) fn spawn_dag<const R: usize>(
 
 /// Move the node-sourced inputs of `spec` from their edge slots into
 /// its store (refcounted, zero-copy), then run it through the shared
-/// submission path and wait.
-#[allow(deprecated)] // clears JobOutcome.store to keep chaining zero-copy
+/// submission path and wait. The outcome carries no store (results flow
+/// through published outputs only), so chaining stays zero-copy by
+/// construction.
 fn resolve_and_run<const R: usize>(
     shared: &Shared<R>,
     mut spec: JobSpec<R>,
@@ -589,13 +590,7 @@ fn resolve_and_run<const R: usize>(
         // `out` drops here: the consumer's store now holds the only
         // DAG-side reference, so its writes stay copy-free.
     }
-    let mut outcome = submit_on(shared, spec).wait()?;
-    // Drop the producer's own store handle: successors take the
-    // published outputs, and a retained store would keep every buffer
-    // doubly-referenced (turning the successor's first write into a
-    // copy).
-    outcome.store = None;
-    Ok(outcome)
+    submit_on(shared, spec).wait()
 }
 
 /// Ask the scheduler for the next node, guarding the contract (no
@@ -618,8 +613,9 @@ fn pick_next(
 }
 
 /// Execute the DAG on real engines: one node at a time, in scheduler
-/// order, chaining outputs refcounted.
-fn run_dag_real<const R: usize>(
+/// order, chaining outputs refcounted. Also the loop runner's per-step
+/// body executor, hence `pub(crate)`.
+pub(crate) fn run_dag_real<const R: usize>(
     shared: &Arc<Shared<R>>,
     spec: DagSpec<R>,
     dag_id: u64,

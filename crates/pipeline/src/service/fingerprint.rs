@@ -28,19 +28,24 @@ pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
-/// Cache key for a 1-D line-topology job.
+/// Cache key for a 1-D line-topology job. `hsig` is the handle-shape
+/// signature: the *names* bound to resident handles (sorted in/out
+/// sets), never the handle ids — ids rotate every loop chunk and keying
+/// on them would turn the cache into a miss machine. Sessions pass
+/// `""`.
 pub(crate) fn line_key<const R: usize>(
     program: &Program<R>,
     nest: &CompiledNest<R>,
     procs: usize,
     dist_dim: Option<usize>,
     cfg: &SessionConfig,
+    hsig: &str,
 ) -> String {
     use std::fmt::Write;
     let mut s = String::with_capacity(256);
     let _ = write!(
         s,
-        "line;R={R};p={procs};d={dist_dim:?};k={:?};{:?};{:?};{:?};{:?}",
+        "line;R={R};p={procs};d={dist_dim:?};h={hsig};k={:?};{:?};{:?};{:?};{:?}",
         cfg.kernel_mode,
         cfg.block,
         cfg.machine,
@@ -50,19 +55,20 @@ pub(crate) fn line_key<const R: usize>(
     s
 }
 
-/// Cache key for a 2-D mesh-topology job.
+/// Cache key for a 2-D mesh-topology job. See [`line_key`] for `hsig`.
 pub(crate) fn mesh_key<const R: usize>(
     program: &Program<R>,
     nest: &CompiledNest<R>,
     mesh: [usize; 2],
     wave_dims: Option<[usize; 2]>,
     cfg: &SessionConfig,
+    hsig: &str,
 ) -> String {
     use std::fmt::Write;
     let mut s = String::with_capacity(256);
     let _ = write!(
         s,
-        "mesh;R={R};m={mesh:?};w={wave_dims:?};k={:?};{:?};{:?};{:?};{:?}",
+        "mesh;R={R};m={mesh:?};w={wave_dims:?};h={hsig};k={:?};{:?};{:?};{:?};{:?}",
         cfg.kernel_mode,
         cfg.block,
         cfg.machine,

@@ -1,0 +1,261 @@
+//! Resident arrays: service-owned buffers jobs read and write in place.
+//!
+//! A [`crate::service::WavefrontService`] can hold arrays *resident*
+//! across jobs: [`crate::service::WavefrontService::alloc`] (or
+//! `import`) puts a buffer into the service's handle table and returns
+//! an [`ArrayHandle`] token. A job binds the handle through
+//! [`crate::service::JobSpecBuilder::input_handle`] /
+//! [`crate::service::JobSpecBuilder::output_handle`] and the dispatcher
+//! installs the buffer into the job's store by *move* (output handles)
+//! or refcount (input handles) — an unbounded iteration loop over
+//! resident arrays does zero copying and zero allocation after
+//! warm-up, extending the flat-pool-spawn and flat-COW-bytes contracts
+//! to rolling time-stepping loops.
+//!
+//! ## Lifetime and epochs
+//!
+//! * A handle stays valid until [`crate::service::WavefrontService::free`]
+//!   returns its buffer. Binding a freed (or foreign) handle is a typed
+//!   [`PipelineError::UnknownHandle`] — use after free is an error, not
+//!   UB.
+//! * While a job holding the handle as an *output* is in flight, the
+//!   buffer is **checked out**: the slot is empty and a concurrent
+//!   job binding the same handle draws
+//!   [`PipelineError::HandleConflict`]. Check-out moves the buffer at
+//!   refcount 1, so engine writes never copy-on-write.
+//! * Every put-back bumps the slot's **epoch**. The epoch is the
+//!   write-after-read fence of the loop dispatcher: iteration k+1 only
+//!   observes a rotated handle once iteration k's put-back published
+//!   it, and [`crate::service::WavefrontService::handle_epoch`] lets
+//!   callers (and the differential tests) observe exactly how many
+//!   times a buffer was republished.
+
+use std::collections::HashMap;
+
+use wavefront_core::array::{DenseArray, Layout};
+use wavefront_core::region::Region;
+
+use crate::error::PipelineError;
+
+/// A token for one service-resident array. Cheap to clone; carries the
+/// array's shape so job builders can validate bindings without touching
+/// the service. The token does not keep the buffer alive — freeing the
+/// handle invalidates every clone (further use is a typed
+/// [`PipelineError::UnknownHandle`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrayHandle<const R: usize> {
+    pub(crate) id: u64,
+    pub(crate) bounds: Region<R>,
+    pub(crate) layout: Layout,
+}
+
+impl<const R: usize> ArrayHandle<R> {
+    /// The handle's service-unique id (stable across rotations).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The resident array's bounds.
+    pub fn bounds(&self) -> Region<R> {
+        self.bounds
+    }
+
+    /// The resident array's storage layout.
+    pub fn layout(&self) -> Layout {
+        self.layout
+    }
+}
+
+/// One resident slot: the buffer (or `None` while checked out by a job
+/// in flight) plus its shape and epoch.
+struct HandleSlot<const R: usize> {
+    array: Option<DenseArray<R>>,
+    bounds: Region<R>,
+    layout: Layout,
+    epoch: u64,
+}
+
+/// The service's resident-array table. All access goes through the
+/// service's `Mutex`; the table itself is plain data.
+pub(crate) struct HandleTable<const R: usize> {
+    slots: HashMap<u64, HandleSlot<R>>,
+    next: u64,
+    /// Total handles ever allocated/imported — the "zero handle
+    /// allocations after warm-up" assertions diff this counter.
+    allocs: u64,
+    /// Bytes currently resident (checked-out buffers still count; they
+    /// return at put-back).
+    resident_bytes: u64,
+}
+
+impl<const R: usize> HandleTable<R> {
+    pub(crate) fn new() -> Self {
+        HandleTable {
+            slots: HashMap::new(),
+            next: 1,
+            allocs: 0,
+            resident_bytes: 0,
+        }
+    }
+
+    pub(crate) fn insert(&mut self, array: DenseArray<R>) -> ArrayHandle<R> {
+        let id = self.next;
+        self.next += 1;
+        self.allocs += 1;
+        self.resident_bytes += (array.bounds().len() * std::mem::size_of::<f64>()) as u64;
+        let handle = ArrayHandle {
+            id,
+            bounds: array.bounds(),
+            layout: array.layout(),
+        };
+        self.slots.insert(
+            id,
+            HandleSlot {
+                bounds: array.bounds(),
+                layout: array.layout(),
+                array: Some(array),
+                epoch: 0,
+            },
+        );
+        handle
+    }
+
+    pub(crate) fn free(&mut self, id: u64) -> Result<DenseArray<R>, PipelineError> {
+        match self.slots.get(&id) {
+            None => Err(PipelineError::UnknownHandle { id }),
+            Some(slot) if slot.array.is_none() => Err(PipelineError::HandleConflict {
+                reason: format!("handle #{id} is checked out by a job in flight"),
+            }),
+            Some(_) => {
+                let slot = self.slots.remove(&id).expect("slot just observed");
+                let array = slot.array.expect("slot observed resident");
+                self.resident_bytes = self
+                    .resident_bytes
+                    .saturating_sub((array.bounds().len() * std::mem::size_of::<f64>()) as u64);
+                Ok(array)
+            }
+        }
+    }
+
+    /// Move the buffer out for an in-place (output) binding. The caller
+    /// owns it at refcount 1 until [`HandleTable::putback`].
+    pub(crate) fn checkout(&mut self, id: u64) -> Result<DenseArray<R>, PipelineError> {
+        let slot = self
+            .slots
+            .get_mut(&id)
+            .ok_or(PipelineError::UnknownHandle { id })?;
+        slot.array.take().ok_or_else(|| PipelineError::HandleConflict {
+            reason: format!("handle #{id} is already checked out by a job in flight"),
+        })
+    }
+
+    /// Return a checked-out buffer and bump the slot's epoch (the
+    /// write-after-read fence). `id` may differ from the checkout id —
+    /// that is exactly how loop rotation republishes a buffer under its
+    /// next binding.
+    pub(crate) fn putback(
+        &mut self,
+        id: u64,
+        array: DenseArray<R>,
+    ) -> Result<(), PipelineError> {
+        let slot = self
+            .slots
+            .get_mut(&id)
+            .ok_or(PipelineError::UnknownHandle { id })?;
+        if slot.array.is_some() {
+            return Err(PipelineError::HandleConflict {
+                reason: format!("put-back into handle #{id}, which is not checked out"),
+            });
+        }
+        slot.array = Some(array);
+        slot.epoch += 1;
+        Ok(())
+    }
+
+    /// Return a checked-out buffer *without* bumping the epoch — the
+    /// failure path: the job never ran, so nothing was republished and
+    /// the write-after-read fence must not advance.
+    pub(crate) fn restore(&mut self, id: u64, array: DenseArray<R>) {
+        if let Some(slot) = self.slots.get_mut(&id) {
+            if slot.array.is_none() {
+                slot.array = Some(array);
+            }
+        }
+    }
+
+    /// A read-only snapshot of the resident buffer (an `Arc` bump, no
+    /// copy). Fails while the handle is checked out.
+    pub(crate) fn snapshot(&self, id: u64) -> Result<DenseArray<R>, PipelineError> {
+        let slot = self.slots.get(&id).ok_or(PipelineError::UnknownHandle { id })?;
+        match &slot.array {
+            Some(a) => Ok(a.clone()),
+            None => Err(PipelineError::HandleConflict {
+                reason: format!("handle #{id} is checked out by a job in flight"),
+            }),
+        }
+    }
+
+    pub(crate) fn epoch(&self, id: u64) -> Result<u64, PipelineError> {
+        self.slots
+            .get(&id)
+            .map(|s| s.epoch)
+            .ok_or(PipelineError::UnknownHandle { id })
+    }
+
+    pub(crate) fn lookup(&self, id: u64) -> Result<ArrayHandle<R>, PipelineError> {
+        self.slots
+            .get(&id)
+            .map(|s| ArrayHandle {
+                id,
+                bounds: s.bounds,
+                layout: s.layout,
+            })
+            .ok_or(PipelineError::UnknownHandle { id })
+    }
+
+    pub(crate) fn resident_bytes(&self) -> u64 {
+        self.resident_bytes
+    }
+
+    pub(crate) fn allocs(&self) -> u64 {
+        self.allocs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkout_putback_cycle_bumps_epoch_and_keeps_refcount_one() {
+        let mut t: HandleTable<2> = HandleTable::new();
+        let h = t.insert(DenseArray::zeros(Region::rect([0, 0], [3, 3])));
+        assert_eq!(t.epoch(h.id()).unwrap(), 0);
+        let a = t.checkout(h.id()).unwrap();
+        assert_eq!(std::sync::Arc::strong_count(&a.shared_data()), 2); // a + this probe
+        assert!(matches!(
+            t.checkout(h.id()),
+            Err(PipelineError::HandleConflict { .. })
+        ));
+        t.putback(h.id(), a).unwrap();
+        assert_eq!(t.epoch(h.id()).unwrap(), 1);
+    }
+
+    #[test]
+    fn free_returns_buffer_and_invalidates() {
+        let mut t: HandleTable<1> = HandleTable::new();
+        let h = t.insert(DenseArray::filled(Region::rect([1], [8]), 2.5));
+        assert_eq!(t.resident_bytes(), 8 * 8);
+        let arr = t.free(h.id()).unwrap();
+        assert_eq!(arr.as_slice()[0], 2.5);
+        assert_eq!(t.resident_bytes(), 0);
+        assert!(matches!(
+            t.free(h.id()),
+            Err(PipelineError::UnknownHandle { id }) if id == h.id()
+        ));
+        assert!(matches!(
+            t.snapshot(h.id()),
+            Err(PipelineError::UnknownHandle { .. })
+        ));
+    }
+}

@@ -21,7 +21,9 @@ use wavefront_core::exec::CompiledNest;
 use wavefront_core::program::{Program, Store};
 
 use crate::error::PipelineError;
+use crate::exec_threads::NestPrep;
 use crate::schedule::BlockPolicy;
+use crate::service::handle::ArrayHandle;
 use crate::service::output::{JobOutput, JobOutputs};
 use crate::session::{RunOutcome, SessionConfig};
 use crate::telemetry::{EngineKind, ExecutionReport};
@@ -63,10 +65,53 @@ pub struct JobSpec<const R: usize> {
     pub(crate) priority: u8,
     pub(crate) outputs: Vec<String>,
     pub(crate) inputs: Vec<InputBinding<R>>,
+    pub(crate) handle_inputs: Vec<(String, u64)>,
+    pub(crate) handle_outputs: Vec<HandleBinding>,
+    /// Set only by the loop runner: execute the nest `iters` times in
+    /// one fused engine invocation (threads/line only).
+    pub(crate) loop_exec: Option<LoopExec<R>>,
     pub(crate) trace_id: Option<u64>,
     /// Stamped by the submission doors when the spec enters the
     /// service; the origin of the job's [`JobTrace`].
     pub(crate) submitted_at: Option<std::time::Instant>,
+}
+
+/// One in-place (read-write) binding of a resident array: check the
+/// buffer out of `checkout`, run on it at refcount 1, put it back into
+/// `putback`. The two ids differ only for loop-rotation chunks, where
+/// the put-back publishes the buffer under its next binding.
+#[derive(Debug, Clone)]
+pub(crate) struct HandleBinding {
+    pub(crate) name: String,
+    pub(crate) checkout: u64,
+    pub(crate) putback: u64,
+}
+
+/// Fused multi-iteration execution parameters, attached to a chunk job
+/// by the loop runner ([`crate::service::WavefrontService::submit_loop`]).
+pub(crate) struct LoopExec<const R: usize> {
+    /// Iterations to run inside one engine invocation.
+    pub(crate) iters: usize,
+    /// Local-store slot rotation applied between iterations, as
+    /// resolved `(from, to)` array-id pairs (a permutation).
+    pub(crate) rotate: Vec<(usize, usize)>,
+    /// `false` inserts an inter-iteration barrier (the overlap
+    /// ablation `timestep_bench --no-overlap` measures).
+    pub(crate) pipelined: bool,
+    /// Rotation-aware kernel prep built once per loop (margins unified
+    /// across each rotation class); `None` uses the plan cache's prep.
+    pub(crate) prep: Option<Arc<NestPrep<R>>>,
+}
+
+impl<const R: usize> Clone for LoopExec<R> {
+    fn clone(&self) -> Self {
+        LoopExec {
+            iters: self.iters,
+            rotate: self.rotate.clone(),
+            pipelined: self.pipelined,
+            prep: self.prep.clone(),
+        }
+    }
 }
 
 /// Where a bound job input comes from. Produced by the conversions
@@ -81,6 +126,15 @@ pub(crate) enum SourceKind<const R: usize> {
     /// A node of the same DAG, by builder index (resolved by the DAG
     /// runner, meaningless to the plain dispatcher).
     Node(usize),
+}
+
+impl<const R: usize> Clone for SourceKind<R> {
+    fn clone(&self) -> Self {
+        match self {
+            SourceKind::Handle(slot) => SourceKind::Handle(Arc::clone(slot)),
+            SourceKind::Node(i) => SourceKind::Node(*i),
+        }
+    }
 }
 
 /// Types that can act as the producer in
@@ -102,9 +156,36 @@ impl<const R: usize> IntoInputSource<R> for &JobHandle<R> {
 
 /// One input binding: take the producer's output named `name` and
 /// install it under the same array name in the consumer's store.
+#[derive(Clone)]
 pub(crate) struct InputBinding<const R: usize> {
     pub(crate) source: SourceKind<R>,
     pub(crate) name: String,
+}
+
+// The loop runner re-instantiates the body spec once per step (or per
+// fused chunk) with that step's handle assignment — everything else is
+// shared (`Arc`s) or small.
+impl<const R: usize> Clone for JobSpec<R> {
+    fn clone(&self) -> Self {
+        JobSpec {
+            program: Arc::clone(&self.program),
+            nest: Arc::clone(&self.nest),
+            topology: self.topology,
+            cfg: self.cfg.clone(),
+            engine: self.engine,
+            store: self.store.clone(),
+            trace: self.trace,
+            tenant: self.tenant.clone(),
+            priority: self.priority,
+            outputs: self.outputs.clone(),
+            inputs: self.inputs.clone(),
+            handle_inputs: self.handle_inputs.clone(),
+            handle_outputs: self.handle_outputs.clone(),
+            loop_exec: self.loop_exec.clone(),
+            trace_id: self.trace_id,
+            submitted_at: self.submitted_at,
+        }
+    }
 }
 
 /// Typed construction of a [`JobSpec`]: chain the knobs, then
@@ -131,6 +212,8 @@ pub struct JobSpecBuilder<const R: usize> {
     priority: u8,
     outputs: Vec<String>,
     inputs: Vec<InputBinding<R>>,
+    handle_inputs: Vec<(String, ArrayHandle<R>)>,
+    handle_outputs: Vec<(String, ArrayHandle<R>)>,
     trace_id: Option<u64>,
 }
 
@@ -151,6 +234,8 @@ impl<const R: usize> JobSpecBuilder<R> {
             priority: 0,
             outputs: Vec::new(),
             inputs: Vec::new(),
+            handle_inputs: Vec::new(),
+            handle_outputs: Vec::new(),
             trace_id: None,
         }
     }
@@ -203,8 +288,12 @@ impl<const R: usize> JobSpecBuilder<R> {
 
     /// Select compiled tile kernels (`true`, the default, up to the
     /// lane tier) or the reference interpreter.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use kernel_mode(KernelMode): false maps to Interpreted, true to Lanes"
+    )]
     pub fn kernels(mut self, on: bool) -> Self {
-        self.cfg = self.cfg.kernels(on);
+        self.cfg.kernel_mode = wavefront_core::kernel::KernelMode::from_flag(on);
         self
     }
 
@@ -295,6 +384,30 @@ impl<const R: usize> JobSpecBuilder<R> {
         self
     }
 
+    /// Bind the service-resident array behind `handle` as the
+    /// *read-only* initial value of the array named `name`: the buffer
+    /// is shared refcounted into the job's store, never copied. The
+    /// program must not write `name` (binding a written array here is a
+    /// typed error at dispatch — writes would silently land in a
+    /// copy-on-write shadow). See
+    /// [`crate::service::WavefrontService::alloc`].
+    pub fn input_handle(mut self, name: impl Into<String>, handle: &ArrayHandle<R>) -> Self {
+        self.handle_inputs.push((name.into(), *handle));
+        self
+    }
+
+    /// Bind the service-resident array behind `handle` as the array
+    /// named `name`, read **and written in place**: the dispatcher
+    /// checks the buffer out of the handle table (refcount 1, so engine
+    /// writes never copy-on-write), runs on it, and puts it back,
+    /// bumping the handle's epoch. While the job is in flight the
+    /// handle is checked out; a concurrent binding draws a typed
+    /// [`PipelineError::HandleConflict`].
+    pub fn output_handle(mut self, name: impl Into<String>, handle: &ArrayHandle<R>) -> Self {
+        self.handle_outputs.push((name.into(), *handle));
+        self
+    }
+
     /// Validate the combination and produce the [`JobSpec`].
     pub fn build(self) -> Result<JobSpec<R>, PipelineError> {
         match self.topology {
@@ -327,6 +440,49 @@ impl<const R: usize> JobSpecBuilder<R> {
                 });
             }
         }
+        // Handle bindings: names must resolve, shapes must match the
+        // declaration (in-place execution cannot reshape), and no two
+        // bindings may alias one resident buffer.
+        let mut seen_ids: Vec<(u64, &str)> = Vec::new();
+        let mut seen_names: Vec<&str> = Vec::new();
+        for (name, h) in self
+            .handle_inputs
+            .iter()
+            .chain(self.handle_outputs.iter())
+        {
+            let id = self.program.find(name).ok_or_else(|| PipelineError::InvalidJob {
+                reason: format!("program declares no array named `{name}`"),
+            })?;
+            let decl = &self.program.arrays()[id];
+            if decl.bounds != h.bounds() || decl.layout != h.layout() {
+                return Err(PipelineError::InvalidJob {
+                    reason: format!(
+                        "handle #{} bound to `{name}` covers {} ({:?}) but the \
+                         program declares {} ({:?})",
+                        h.id(),
+                        h.bounds(),
+                        h.layout(),
+                        decl.bounds,
+                        decl.layout
+                    ),
+                });
+            }
+            if seen_names.contains(&name.as_str()) {
+                return Err(PipelineError::InvalidJob {
+                    reason: format!("array `{name}` is bound to a handle twice"),
+                });
+            }
+            seen_names.push(name);
+            if let Some((_, other)) = seen_ids.iter().find(|(id, _)| *id == h.id()) {
+                return Err(PipelineError::HandleConflict {
+                    reason: format!(
+                        "handle #{} is bound to both `{other}` and `{name}` in one job",
+                        h.id()
+                    ),
+                });
+            }
+            seen_ids.push((h.id(), name));
+        }
         Ok(JobSpec {
             program: self.program,
             nest: self.nest,
@@ -339,6 +495,21 @@ impl<const R: usize> JobSpecBuilder<R> {
             priority: self.priority,
             outputs: self.outputs,
             inputs: self.inputs,
+            handle_inputs: self
+                .handle_inputs
+                .into_iter()
+                .map(|(n, h)| (n, h.id))
+                .collect(),
+            handle_outputs: self
+                .handle_outputs
+                .into_iter()
+                .map(|(n, h)| HandleBinding {
+                    name: n,
+                    checkout: h.id,
+                    putback: h.id,
+                })
+                .collect(),
+            loop_exec: None,
             trace_id: self.trace_id,
             submitted_at: None,
         })
@@ -426,17 +597,15 @@ pub struct JobOutcome<const R: usize> {
     /// The engine-independent run outcome (see [`RunOutcome`]); warm
     /// cache hits show up as `prep_seconds` collapsing.
     pub outcome: RunOutcome,
-    /// The data store moved in via [`JobSpecBuilder::store`], now
-    /// holding the computed values.
-    #[deprecated(
-        since = "0.7.0",
-        note = "positional result access is deprecated; use \
-                JobOutcome::take_output / JobOutcome::outputs instead"
-    )]
-    pub store: Option<Store<R>>,
     /// The job's named array outputs (see [`JobSpecBuilder::output`]),
-    /// each sharing the job's buffer refcounted.
+    /// each sharing the job's buffer refcounted. (The positional
+    /// `store` field deprecated in 0.7.0 is gone; results flow through
+    /// here or stay resident behind output handles.)
     pub outputs: JobOutputs<R>,
+    /// Per-chunk statistics when the job was a fused loop chunk
+    /// (iterations run, cross-iteration overlap); `None` for plain
+    /// jobs.
+    pub loop_stats: Option<crate::service::looping::LoopChunkStats>,
     /// The aggregated telemetry report when [`JobSpecBuilder::trace`]
     /// was set.
     pub trace: Option<ExecutionReport>,

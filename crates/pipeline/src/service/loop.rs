@@ -1,0 +1,729 @@
+//! Time-stepping loops over resident arrays: build a [`LoopSpec`],
+//! submit it with [`crate::service::WavefrontService::submit_loop`],
+//! wait on the [`LoopHandle`].
+//!
+//! A loop re-runs one *body* — a single job or a whole DAG whose arrays
+//! are bound to resident [`crate::service::ArrayHandle`]s — for a fixed
+//! number of steps or until a convergence callback fires, applying a
+//! **handle rotation map** between steps (`next` → `curr` is the
+//! classic double-buffer step). The rotation renames buffers, it never
+//! copies them.
+//!
+//! ## Cross-iteration pipelining
+//!
+//! Eligible bodies — a single job on the threads engine over a line
+//! topology — run **fused**: many iterations inside one engine
+//! invocation (see `execute_loop_threaded`), where a worker whose
+//! blocks have drained iteration *k* immediately starts iteration
+//! *k+1*'s fill. That lifts the paper's fill/steady/drain staircase one
+//! level up: the drain of one sweep overlaps the fill of the next, and
+//! the per-iteration busy spans the engine reports quantify the overlap
+//! ([`LoopStats::overlap_seconds`]). Rotations fuse only when the
+//! rotated arrays are read pointwise (no ghost margins along any
+//! dimension — a rotated-in buffer's halo would otherwise be stale) and
+//! every rotated name is bound as an *output* handle; anything else
+//! falls back to the always-correct per-step path, as do DAG bodies,
+//! other engines, and mesh topologies.
+//!
+//! ## Equivalence guarantee
+//!
+//! Loop results are bit-identical to running the body back to back
+//! sequentially. Two rules make that checkable at build time: every
+//! array the body's nest writes must be bound as an output handle (so
+//! state carries across steps through the handle table, exactly like a
+//! long-lived `Session` store), and the rotation map must be a
+//! permutation over handle-bound names. The differential harness in
+//! `tests/timestep.rs` pins the equivalence on Tomcatv and SWEEP3D.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+use wavefront_core::array::DenseArray;
+
+use crate::error::PipelineError;
+use crate::exec_threads::{prepare_rotated, rotation_fusible};
+use crate::schedule::BlockPolicy;
+use crate::service::dag::{run_dag_real, DagSpec, SchedulerChoice};
+use crate::service::handle::{ArrayHandle, HandleTable};
+use crate::service::job::{JobSpec, JobTopology, LoopExec};
+use crate::service::{panic_message, submit_on, Shared};
+use crate::telemetry::EngineKind;
+
+/// What a loop re-runs each step.
+// One body exists per running loop and is consumed by `run_loop`, so
+// boxing the big `JobSpec` variant would buy nothing.
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum LoopBody<const R: usize> {
+    /// One job (fusible when it runs threads over a line).
+    Job(JobSpec<R>),
+    /// A whole DAG per step (always the per-step path; nodes run in
+    /// scheduler order, sharing the loop's resident handles safely
+    /// because the runner serializes nodes).
+    Dag(DagSpec<R>),
+}
+
+/// The convergence callback: sees the completed step count and can
+/// snapshot resident arrays; returning `true` stops the loop.
+type UntilFn<const R: usize> = Box<dyn FnMut(&LoopView<'_, R>) -> bool + Send>;
+
+/// What the convergence callback sees after a (chunk of) step(s): the
+/// number of steps completed so far and read access to the loop's
+/// resident arrays *under their body names* — rotation is resolved, so
+/// `view.read("curr")` is whatever buffer currently plays the role of
+/// `curr`.
+pub struct LoopView<'a, const R: usize> {
+    step: usize,
+    handles: &'a Mutex<HandleTable<R>>,
+    assign: &'a HashMap<String, u64>,
+}
+
+impl<const R: usize> LoopView<'_, R> {
+    /// Steps completed so far (1-based after the first step).
+    pub fn step(&self) -> usize {
+        self.step
+    }
+
+    /// A read-only snapshot (an `Arc` bump) of the resident array
+    /// playing the role of `name` in the body right now. Drop it before
+    /// returning to keep the loop's writes copy-free.
+    pub fn read(&self, name: &str) -> Result<DenseArray<R>, PipelineError> {
+        let id = self
+            .assign
+            .get(name)
+            .copied()
+            .ok_or_else(|| PipelineError::InvalidLoop {
+                reason: format!("the loop body binds no handle under the name `{name}`"),
+            })?;
+        self.handles.lock().unwrap().snapshot(id)
+    }
+}
+
+/// A validated time-stepping loop; build one with [`LoopSpec::builder`],
+/// run it with [`crate::service::WavefrontService::submit_loop`].
+pub struct LoopSpec<const R: usize> {
+    pub(crate) body: LoopBody<R>,
+    pub(crate) steps: usize,
+    pub(crate) rotate: Vec<(String, String)>,
+    pub(crate) check_every: usize,
+    pub(crate) until: Option<UntilFn<R>>,
+    pub(crate) pipelined: bool,
+    /// Every handle-bound body name → the id it starts on (step 0).
+    pub(crate) base: HashMap<String, u64>,
+}
+
+impl<const R: usize> LoopSpec<R> {
+    /// Start building a loop.
+    pub fn builder() -> LoopSpecBuilder<R> {
+        LoopSpecBuilder::new()
+    }
+}
+
+/// Accumulates the body and knobs for a [`LoopSpec`]; see the module
+/// docs.
+pub struct LoopSpecBuilder<const R: usize> {
+    body: Option<LoopBody<R>>,
+    steps: Option<usize>,
+    rotate: Vec<(String, String)>,
+    check_every: usize,
+    until: Option<UntilFn<R>>,
+    pipelined: bool,
+}
+
+impl<const R: usize> Default for LoopSpecBuilder<R> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const R: usize> LoopSpecBuilder<R> {
+    fn new() -> Self {
+        LoopSpecBuilder {
+            body: None,
+            steps: None,
+            rotate: Vec::new(),
+            check_every: 1,
+            until: None,
+            pipelined: true,
+        }
+    }
+
+    /// The loop body: one job, re-run each step. Bind every array the
+    /// job writes with [`crate::service::JobSpecBuilder::output_handle`]
+    /// — that is how state carries across steps.
+    pub fn job(mut self, spec: JobSpec<R>) -> Self {
+        self.body = Some(LoopBody::Job(spec));
+        self
+    }
+
+    /// The loop body: a whole DAG, re-run each step (always the
+    /// per-step path — DAGs do not fuse).
+    pub fn dag(mut self, spec: DagSpec<R>) -> Self {
+        self.body = Some(LoopBody::Dag(spec));
+        self
+    }
+
+    /// How many steps to run. With a convergence callback this is the
+    /// hard cap; without one it is the exact count.
+    pub fn steps(mut self, steps: usize) -> Self {
+        self.steps = Some(steps);
+        self
+    }
+
+    /// After each step, the buffer playing `from` becomes `to`'s buffer
+    /// for the next step. Chain calls to build a permutation; use
+    /// [`LoopSpecBuilder::swap`] for the common double-buffer cycle.
+    pub fn rotate(mut self, from: impl Into<String>, to: impl Into<String>) -> Self {
+        self.rotate.push((from.into(), to.into()));
+        self
+    }
+
+    /// Double-buffer convenience: rotate `a` → `b` *and* `b` → `a`.
+    pub fn swap(self, a: impl Into<String>, b: impl Into<String>) -> Self {
+        let (a, b) = (a.into(), b.into());
+        self.rotate(a.clone(), b.clone()).rotate(b, a)
+    }
+
+    /// Stop early when `f` returns `true`. Checked every
+    /// [`LoopSpecBuilder::check_every`] steps; fused bodies chunk their
+    /// iterations to that granularity, so a rarely-checked loop keeps
+    /// more cross-iteration overlap.
+    pub fn until<F>(mut self, f: F) -> Self
+    where
+        F: FnMut(&LoopView<'_, R>) -> bool + Send + 'static,
+    {
+        self.until = Some(Box::new(f));
+        self
+    }
+
+    /// How often (in steps) the convergence callback runs (default 1;
+    /// ignored without [`LoopSpecBuilder::until`]).
+    pub fn check_every(mut self, every: usize) -> Self {
+        self.check_every = every.max(1);
+        self
+    }
+
+    /// `false` disables cross-iteration overlap: fused bodies insert a
+    /// full barrier between iterations. The ablation
+    /// `timestep_bench --no-overlap` measures (results are identical
+    /// either way; only the staircase overlap disappears).
+    pub fn pipelined(mut self, on: bool) -> Self {
+        self.pipelined = on;
+        self
+    }
+
+    /// Validate the combination and produce the [`LoopSpec`].
+    pub fn build(self) -> Result<LoopSpec<R>, PipelineError> {
+        let body = self.body.ok_or_else(|| PipelineError::InvalidLoop {
+            reason: "a loop needs a body: .job(spec) or .dag(spec)".into(),
+        })?;
+        let steps = self.steps.ok_or_else(|| PipelineError::InvalidLoop {
+            reason: "a loop needs .steps(n) — the exact count, or the hard cap \
+                     when a convergence callback is set"
+                .into(),
+        })?;
+        if steps == 0 {
+            return Err(PipelineError::InvalidLoop {
+                reason: "a loop runs at least one step".into(),
+            });
+        }
+        // Gather the body's handle bindings: name → id, names unique
+        // across the whole body (two nodes binding one name to
+        // different handles would make rotation ambiguous).
+        let mut base: HashMap<String, u64> = HashMap::new();
+        let mut bind = |name: &str, id: u64| -> Result<(), PipelineError> {
+            match base.get(name) {
+                Some(&prev) if prev != id => Err(PipelineError::InvalidLoop {
+                    reason: format!(
+                        "`{name}` is bound to handle #{prev} and #{id} in the same \
+                         loop body; a loop rotates one buffer per name"
+                    ),
+                }),
+                _ => {
+                    base.insert(name.to_string(), id);
+                    Ok(())
+                }
+            }
+        };
+        let mut body_specs: Vec<&JobSpec<R>> = Vec::new();
+        match &body {
+            LoopBody::Job(spec) => body_specs.push(spec),
+            LoopBody::Dag(dag) => {
+                if dag.sim {
+                    return Err(PipelineError::InvalidLoop {
+                        reason: "a loop body must run on real engines, not the \
+                                 what-if simulator"
+                            .into(),
+                    });
+                }
+                if matches!(dag.scheduler, SchedulerChoice::Custom(_)) {
+                    return Err(PipelineError::InvalidLoop {
+                        reason: "a DAG loop body needs a named scheduler kind \
+                                 (custom boxed schedulers cannot be re-instantiated \
+                                 per step)"
+                            .into(),
+                    });
+                }
+                body_specs.extend(dag.nodes.iter().map(|(_, s)| s));
+            }
+        }
+        let mut out_names: Vec<&str> = Vec::new();
+        for spec in &body_specs {
+            for (name, id) in &spec.handle_inputs {
+                bind(name, *id)?;
+            }
+            for hb in &spec.handle_outputs {
+                bind(&hb.name, hb.checkout)?;
+                out_names.push(&hb.name);
+            }
+        }
+        // Every array a body nest writes must be output-handle-bound:
+        // that is what makes per-step jobs, fused chunks, and a
+        // sequential back-to-back Session run all bit-identical (state
+        // carries only through the handle table).
+        for spec in &body_specs {
+            for stmt in &spec.nest.stmts {
+                let name = spec.program.name_of(stmt.lhs);
+                if !out_names.contains(&name.as_str()) {
+                    return Err(PipelineError::InvalidLoop {
+                        reason: format!(
+                            "the body writes `{name}` but does not bind it with \
+                             output_handle; written arrays must live in the \
+                             handle table for state to carry across steps"
+                        ),
+                    });
+                }
+            }
+        }
+        // The rotation must be a permutation over handle-bound names.
+        let mut froms: Vec<&str> = Vec::new();
+        let mut tos: Vec<&str> = Vec::new();
+        for (from, to) in &self.rotate {
+            if froms.contains(&from.as_str()) {
+                return Err(PipelineError::InvalidLoop {
+                    reason: format!("rotation names `{from}` as a source twice"),
+                });
+            }
+            if tos.contains(&to.as_str()) {
+                return Err(PipelineError::InvalidLoop {
+                    reason: format!("rotation names `{to}` as a target twice"),
+                });
+            }
+            froms.push(from);
+            tos.push(to);
+        }
+        for from in &froms {
+            if !tos.contains(from) {
+                return Err(PipelineError::InvalidLoop {
+                    reason: format!(
+                        "rotation is not a permutation: `{from}` is a source but \
+                         never a target (every rotated buffer must land somewhere)"
+                    ),
+                });
+            }
+        }
+        for name in froms.iter().chain(tos.iter()) {
+            if !base.contains_key(*name) {
+                return Err(PipelineError::InvalidLoop {
+                    reason: format!(
+                        "rotation names `{name}`, which no handle binding of the \
+                         body declares"
+                    ),
+                });
+            }
+        }
+        // Rotation aliasing: two rotated names starting on one buffer
+        // would merge their histories — a typed error, never UB.
+        let mut seen: Vec<(u64, &str)> = Vec::new();
+        for name in &froms {
+            let id = base[*name];
+            if let Some((_, other)) = seen.iter().find(|(i, _)| *i == id) {
+                return Err(PipelineError::HandleConflict {
+                    reason: format!(
+                        "`{other}` and `{name}` rotate the same resident handle \
+                         #{id}"
+                    ),
+                });
+            }
+            seen.push((id, name));
+        }
+        Ok(LoopSpec {
+            body,
+            steps,
+            rotate: self.rotate,
+            check_every: self.check_every,
+            until: self.until,
+            pipelined: self.pipelined,
+            base,
+        })
+    }
+}
+
+/// Aggregate measurements of one completed loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopStats {
+    /// Steps actually run (≤ the cap when a callback converged early).
+    pub steps: usize,
+    /// Engine invocations: fused chunks, or one per step on the
+    /// per-step path.
+    pub chunks: usize,
+    /// Whether the body ran fused (cross-iteration pipelining inside
+    /// one engine invocation).
+    pub fused: bool,
+    /// Whether cross-iteration overlap was enabled (`false` = the
+    /// barrier ablation).
+    pub pipelined: bool,
+    /// Total seconds by which an iteration's global start preceded its
+    /// predecessor's global end — the staircase overlap. Exactly 0 for
+    /// barrier runs and the per-step path.
+    pub overlap_seconds: f64,
+    /// Total per-iteration busy seconds (the denominator of
+    /// [`LoopStats::overlap_efficiency`]).
+    pub busy_seconds: f64,
+    /// `overlap_seconds / busy_seconds` — the fraction of iteration
+    /// time hidden under neighbouring iterations.
+    pub overlap_efficiency: f64,
+    /// Total engine run seconds across all chunks/steps.
+    pub engine_seconds: f64,
+    /// Total engine messages across all chunks/steps.
+    pub messages: usize,
+}
+
+/// Per-chunk statistics a fused loop chunk reports back through its
+/// [`crate::service::JobOutcome`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoopChunkStats {
+    /// Iterations fused into the chunk's single engine invocation.
+    pub iters: usize,
+    /// Cross-iteration overlap seconds within the chunk.
+    pub overlap_seconds: f64,
+    /// Summed per-iteration global busy seconds within the chunk.
+    pub busy_seconds: f64,
+    /// `overlap_seconds / busy_seconds` for the chunk.
+    pub overlap_efficiency: f64,
+    /// Whether cross-iteration overlap was enabled.
+    pub pipelined: bool,
+}
+
+/// Everything a completed loop resolves to.
+pub struct LoopOutcome<const R: usize> {
+    /// Steps actually run.
+    pub steps_run: usize,
+    /// Whether the convergence callback stopped the loop before the
+    /// step cap.
+    pub converged: bool,
+    /// For every handle-bound body name, the handle whose buffer plays
+    /// that role after the final step (rotation resolved), sorted by
+    /// name. Read them with [`crate::service::WavefrontService::read`].
+    pub final_bindings: Vec<(String, ArrayHandle<R>)>,
+    /// The loop's aggregate measurements.
+    pub stats: LoopStats,
+}
+
+struct LoopSlot<const R: usize> {
+    done: Mutex<Option<Result<LoopOutcome<R>, PipelineError>>>,
+    ready: Condvar,
+}
+
+/// A ticket for one submitted loop.
+pub struct LoopHandle<const R: usize> {
+    slot: Arc<LoopSlot<R>>,
+}
+
+impl<const R: usize> LoopHandle<R> {
+    /// Block until the loop completes and take its outcome. A body
+    /// failure at any step surfaces here typed; buffers checked out by
+    /// the failing step were restored, so the resident arrays hold the
+    /// last *completed* step's state.
+    pub fn wait(self) -> Result<LoopOutcome<R>, PipelineError> {
+        let mut done = self.slot.done.lock().unwrap();
+        loop {
+            if let Some(result) = done.take() {
+                return result;
+            }
+            done = self.slot.ready.wait(done).unwrap();
+        }
+    }
+
+    /// Whether the loop has already completed (non-blocking).
+    pub fn is_done(&self) -> bool {
+        self.slot.done.lock().unwrap().is_some()
+    }
+}
+
+/// Start one loop's runner thread; the service joins it at shutdown.
+pub(crate) fn spawn_loop<const R: usize>(
+    shared: Arc<Shared<R>>,
+    spec: LoopSpec<R>,
+) -> (LoopHandle<R>, JoinHandle<()>) {
+    let slot = Arc::new(LoopSlot {
+        done: Mutex::new(None),
+        ready: Condvar::new(),
+    });
+    let handle = LoopHandle {
+        slot: Arc::clone(&slot),
+    };
+    let runner = std::thread::spawn(move || {
+        let result = match catch_unwind(AssertUnwindSafe(|| run_loop(&shared, spec))) {
+            Ok(r) => r,
+            Err(payload) => Err(PipelineError::EnginePanic(panic_message(&payload))),
+        };
+        let mut done = slot.done.lock().unwrap();
+        *done = Some(result);
+        slot.ready.notify_all();
+    });
+    (handle, runner)
+}
+
+/// One rotation step at the assignment level:
+/// `next[to] = current[from]` for every pair; untouched names keep
+/// their ids. The engine applies the same permutation to its local
+/// slots inside fused chunks.
+fn rotate_assign(
+    assign: &HashMap<String, u64>,
+    rotate: &[(String, String)],
+) -> HashMap<String, u64> {
+    let mut next = assign.clone();
+    for (from, to) in rotate {
+        next.insert(to.clone(), assign[from]);
+    }
+    next
+}
+
+/// Rewrite a body spec's handle bindings for one step (or fused chunk):
+/// inputs and checkouts come from the step's assignment `now`, putbacks
+/// land in the assignment after the chunk's last in-engine rotation
+/// (`end`; equal to `now` on the per-step path).
+fn remap_bindings<const R: usize>(
+    spec: &mut JobSpec<R>,
+    now: &HashMap<String, u64>,
+    end: &HashMap<String, u64>,
+) {
+    for (name, id) in spec.handle_inputs.iter_mut() {
+        if let Some(&i) = now.get(name) {
+            *id = i;
+        }
+    }
+    for hb in spec.handle_outputs.iter_mut() {
+        if let Some(&i) = now.get(&hb.name) {
+            hb.checkout = i;
+        }
+        if let Some(&i) = end.get(&hb.name) {
+            hb.putback = i;
+        }
+    }
+}
+
+/// The loop driver: chunked fused execution when the body is eligible,
+/// per-step submission otherwise.
+fn run_loop<const R: usize>(
+    shared: &Arc<Shared<R>>,
+    spec: LoopSpec<R>,
+) -> Result<LoopOutcome<R>, PipelineError> {
+    let LoopSpec {
+        body,
+        steps,
+        rotate,
+        check_every,
+        mut until,
+        pipelined,
+        base,
+    } = spec;
+
+    let mut assign = base;
+    let mut last_assign = assign.clone();
+    let mut steps_run = 0usize;
+    let mut converged = false;
+    let mut chunks = 0usize;
+    let mut overlap_seconds = 0.0f64;
+    let mut busy_seconds = 0.0f64;
+    let mut engine_seconds = 0.0f64;
+    let mut messages = 0usize;
+    let metrics = Arc::clone(&shared.core.metrics);
+    let overlap_hist = metrics
+        .enabled()
+        .then(|| metrics.histogram("wavefront_loop_overlap"));
+
+    let mut fused = false;
+    match body {
+        LoopBody::Job(spec0) => {
+            // Fused eligibility: threads engine over a line with a fixed
+            // block policy, and — when rotating — pointwise rotation
+            // classes whose every name is output-handle-bound (see the
+            // module docs for why both are required for correctness).
+            let rot_ids: Vec<(usize, usize)> = rotate
+                .iter()
+                .map(|(f, t)| {
+                    (
+                        spec0.program.find(f).expect("rotated name validated at build"),
+                        spec0.program.find(t).expect("rotated name validated at build"),
+                    )
+                })
+                .collect();
+            fused = matches!(spec0.engine, EngineKind::Threads)
+                && matches!(spec0.topology, JobTopology::Line { .. })
+                && !matches!(spec0.cfg.block, BlockPolicy::Adaptive(_))
+                && spec0.nest.buffered.is_empty()
+                && rotation_fusible(&spec0.nest, &rot_ids);
+            if fused && !rot_ids.is_empty() {
+                // Fused rotation additionally needs every rotated name
+                // output-handle-bound, so the chunk's put-backs can
+                // republish each buffer under its rotated-to binding.
+                fused = rotate.iter().all(|(f, t)| {
+                    [f, t].into_iter().all(|n| {
+                        spec0.handle_outputs.iter().any(|hb| &hb.name == n)
+                    })
+                });
+            }
+            let prep_override = (fused && !rot_ids.is_empty()).then(|| {
+                Arc::new(prepare_rotated(
+                    &spec0.program,
+                    &spec0.nest,
+                    spec0.cfg.kernel_mode,
+                    &rot_ids,
+                ))
+            });
+            let chunk_len = if until.is_some() {
+                check_every
+            } else {
+                steps
+            };
+            while steps_run < steps && !converged {
+                let todo = if fused {
+                    chunk_len.min(steps - steps_run)
+                } else {
+                    1
+                };
+                // The assignment after the chunk's last iteration: the
+                // engine rotates `todo - 1` times in-place, so putbacks
+                // land there; the service-level rotation to the *next*
+                // step's assignment happens after the chunk returns.
+                let mut a_end = assign.clone();
+                for _ in 1..todo {
+                    a_end = rotate_assign(&a_end, &rotate);
+                }
+                let mut step_spec = spec0.clone();
+                remap_bindings(&mut step_spec, &assign, &a_end);
+                if fused {
+                    step_spec.loop_exec = Some(LoopExec {
+                        iters: todo,
+                        rotate: rot_ids.clone(),
+                        pipelined,
+                        prep: prep_override.clone(),
+                    });
+                }
+                let out = submit_on(shared, step_spec).wait()?;
+                engine_seconds += out.outcome.run_seconds;
+                messages += out.outcome.messages;
+                chunks += 1;
+                if let Some(cs) = &out.loop_stats {
+                    overlap_seconds += cs.overlap_seconds;
+                    busy_seconds += cs.busy_seconds;
+                    if let Some(h) = &overlap_hist {
+                        h.observe_seconds(cs.overlap_seconds);
+                    }
+                }
+                steps_run += todo;
+                last_assign = a_end.clone();
+                assign = rotate_assign(&a_end, &rotate);
+                if let Some(cb) = until.as_mut() {
+                    if steps_run.is_multiple_of(check_every) || steps_run >= steps {
+                        let view = LoopView {
+                            step: steps_run,
+                            handles: &shared.handles,
+                            assign: &last_assign,
+                        };
+                        if cb(&view) {
+                            converged = true;
+                        }
+                    }
+                }
+            }
+        }
+        LoopBody::Dag(dag0) => {
+            let SchedulerChoice::Kind(kind) = dag0.scheduler else {
+                unreachable!("custom schedulers rejected at build")
+            };
+            // One DAG id for the whole loop: steps re-run the same
+            // graph, and per-step stats would flood the bounded ring.
+            let dag_id = shared.next_dag_id();
+            while steps_run < steps && !converged {
+                let nodes: Vec<(String, JobSpec<R>)> = dag0
+                    .nodes
+                    .iter()
+                    .map(|(label, s)| {
+                        let mut s = s.clone();
+                        remap_bindings(&mut s, &assign, &assign);
+                        (label.clone(), s)
+                    })
+                    .collect();
+                let step_spec = DagSpec {
+                    nodes,
+                    edges: dag0.edges.clone(),
+                    scheduler: SchedulerChoice::Kind(kind),
+                    sim_procs: dag0.sim_procs,
+                    sim: false,
+                };
+                let outcome = run_dag_real(shared, step_spec, dag_id);
+                for node in outcome.nodes {
+                    node.result?;
+                }
+                engine_seconds += outcome.stats.makespan;
+                chunks += 1;
+                steps_run += 1;
+                last_assign = assign.clone();
+                assign = rotate_assign(&assign, &rotate);
+                if let Some(cb) = until.as_mut() {
+                    if steps_run.is_multiple_of(check_every) || steps_run >= steps {
+                        let view = LoopView {
+                            step: steps_run,
+                            handles: &shared.handles,
+                            assign: &last_assign,
+                        };
+                        if cb(&view) {
+                            converged = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let final_bindings: Vec<(String, ArrayHandle<R>)> = {
+        let table = shared.handles.lock().unwrap();
+        let mut names: Vec<(&String, u64)> =
+            last_assign.iter().map(|(n, i)| (n, *i)).collect();
+        names.sort();
+        names
+            .into_iter()
+            .filter_map(|(n, i)| table.lookup(i).ok().map(|h| (n.clone(), h)))
+            .collect()
+    };
+    if metrics.enabled() {
+        metrics.counter("wavefront_loops_total").inc();
+        metrics
+            .counter("wavefront_loop_steps_total")
+            .add(steps_run as u64);
+    }
+    Ok(LoopOutcome {
+        steps_run,
+        converged,
+        final_bindings,
+        stats: LoopStats {
+            steps: steps_run,
+            chunks,
+            fused,
+            pipelined,
+            overlap_seconds,
+            busy_seconds,
+            overlap_efficiency: if busy_seconds > 0.0 {
+                overlap_seconds / busy_seconds
+            } else {
+                0.0
+            },
+            engine_seconds,
+            messages,
+        },
+    })
+}

@@ -47,7 +47,12 @@ pub mod admission;
 pub(crate) mod cache;
 pub mod dag;
 pub(crate) mod fingerprint;
+pub mod handle;
 pub mod job;
+// `loop` is a keyword, so the module lives in `loop.rs` under the name
+// `looping`.
+#[path = "loop.rs"]
+pub mod looping;
 pub mod metrics;
 pub mod output;
 pub(crate) mod pool;
@@ -68,6 +73,7 @@ use wavefront_core::array::DenseArray;
 use wavefront_core::exec::CompiledNest;
 use wavefront_core::kernel::KernelMode;
 use wavefront_core::program::{Program, Store};
+use wavefront_core::region::Region;
 
 use crate::error::{AdmissionReason, PipelineError};
 use crate::exec2d::{
@@ -76,7 +82,7 @@ use crate::exec2d::{
 };
 use crate::exec_seq::execute_plan_sequential_prepared;
 use crate::exec_sim::simulate_plan_collected;
-use crate::exec_threads::{execute_prepared_threaded, prepare, NestPrep};
+use crate::exec_threads::{execute_loop_threaded, execute_prepared_threaded, prepare, NestPrep};
 use crate::plan::WavefrontPlan;
 use crate::plan2d::WavefrontPlan2D;
 use crate::schedule::BlockPolicy;
@@ -92,9 +98,13 @@ pub use dag::{
     DagHandle, DagOutcome, DagSpec, DagSpecBuilder, DagStats, DispatchDecision, NodeRef,
     NodeResult,
 };
+pub use handle::ArrayHandle;
 pub use job::{
     InputSource, IntoInputSource, JobHandle, JobOutcome, JobSpec, JobSpecBuilder, JobTopology,
     JobTrace,
+};
+pub use looping::{
+    LoopChunkStats, LoopHandle, LoopOutcome, LoopSpec, LoopSpecBuilder, LoopStats, LoopView,
 };
 pub use metrics::{Counter, Gauge, HistogramHandle, Metrics};
 pub use output::{JobOutput, JobOutputs};
@@ -104,12 +114,14 @@ pub use scheduler::{
 };
 pub use tenant::TenantStats;
 pub use wire::{
-    ServeConfig, WireClient, WireCompiler, WireDagNode, WireDagRequest, WireDagResponse,
-    WireProgram, WireRequest, WireResponse, WireServer, WireTopology, PROTOCOL_VERSION,
+    ServeConfig, WireAllocRequest, WireClient, WireCompiler, WireDagNode, WireDagRequest,
+    WireDagResponse, WireHandle, WireLoopRequest, WireLoopResponse, WireProgram, WireRequest,
+    WireResponse, WireServer, WireTopology, PROTOCOL_VERSION,
 };
 
 use cache::PlanCache;
-use job::{Slot, SourceKind};
+use handle::HandleTable;
+use job::{LoopExec, Slot, SourceKind};
 use pool::WorkerPool;
 use tenant::{pick_min_pass, QueuedJob, TenantQueue};
 
@@ -276,6 +288,7 @@ impl ExecCore {
         procs: usize,
         dist_dim: Option<usize>,
         cfg: &SessionConfig,
+        hsig: &str,
     ) -> Result<(Arc<Entry1D<R>>, Option<CacheEvent>), PipelineError> {
         let build = |nest: Arc<CompiledNest<R>>| -> Result<Arc<Entry1D<R>>, PipelineError> {
             let plan = Arc::new(WavefrontPlan::build(
@@ -294,7 +307,7 @@ impl ExecCore {
         if !self.caching {
             return Ok((build(nest.to_arc())?, None));
         }
-        let key = fingerprint::line_key(program, nest.get(), procs, dist_dim, cfg);
+        let key = fingerprint::line_key(program, nest.get(), procs, dist_dim, cfg, hsig);
         let cached = self
             .cache
             .lock()
@@ -327,6 +340,7 @@ impl ExecCore {
         mesh: [usize; 2],
         wave_dims: Option<[usize; 2]>,
         cfg: &SessionConfig,
+        hsig: &str,
     ) -> Result<(Arc<Entry2D<R>>, Option<CacheEvent>), PipelineError> {
         let build = |nest: Arc<CompiledNest<R>>| -> Result<Arc<Entry2D<R>>, PipelineError> {
             let plan = Arc::new(WavefrontPlan2D::build(
@@ -345,7 +359,7 @@ impl ExecCore {
         if !self.caching {
             return Ok((build(nest.to_arc())?, None));
         }
-        let key = fingerprint::mesh_key(program, nest.get(), mesh, wave_dims, cfg);
+        let key = fingerprint::mesh_key(program, nest.get(), mesh, wave_dims, cfg, hsig);
         let cached = self
             .cache
             .lock()
@@ -380,6 +394,7 @@ impl ExecCore {
         procs: usize,
         dist_dim: Option<usize>,
         cfg: &SessionConfig,
+        hsig: &str,
         store: Option<&mut Store<R>>,
         collector: &mut dyn Collector,
         kind: EngineKind,
@@ -389,7 +404,7 @@ impl ExecCore {
             "adaptive runs route through the tuner, never the core"
         );
         let prep_start = Instant::now();
-        let (entry, cache_ev) = self.entry_line(program, &nest, procs, dist_dim, cfg)?;
+        let (entry, cache_ev) = self.entry_line(program, &nest, procs, dist_dim, cfg, hsig)?;
         let plan = &entry.plan;
         let base = RunOutcome {
             engine: kind,
@@ -483,6 +498,7 @@ impl ExecCore {
         mesh: [usize; 2],
         wave_dims: Option<[usize; 2]>,
         cfg: &SessionConfig,
+        hsig: &str,
         store: Option<&mut Store<R>>,
         collector: &mut dyn Collector,
         kind: EngineKind,
@@ -492,7 +508,7 @@ impl ExecCore {
             "adaptive runs route through the tuner, never the core"
         );
         let prep_start = Instant::now();
-        let (entry, cache_ev) = self.entry_mesh(program, &nest, mesh, wave_dims, cfg)?;
+        let (entry, cache_ev) = self.entry_mesh(program, &nest, mesh, wave_dims, cfg, hsig)?;
         let plan = &entry.plan;
         let base = RunOutcome {
             engine: kind,
@@ -580,6 +596,111 @@ impl ExecCore {
             }
         }
         Ok(outcome)
+    }
+
+    /// Plan (or fetch) and execute one fused multi-iteration loop chunk:
+    /// `lx.iters` whole sweeps inside one threads-engine invocation —
+    /// scatter once, iterate with cross-iteration pipelining (see
+    /// [`execute_loop_threaded`]), gather once. Only the threads engine
+    /// over a line topology fuses; the loop runner routes everything
+    /// else through per-step jobs.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn run_line_loop<const R: usize>(
+        &self,
+        program: &Program<R>,
+        nest: NestSource<'_, R>,
+        procs: usize,
+        dist_dim: Option<usize>,
+        cfg: &SessionConfig,
+        hsig: &str,
+        store: &mut Store<R>,
+        lx: &LoopExec<R>,
+        collector: &mut dyn Collector,
+    ) -> Result<(RunOutcome, LoopChunkStats), PipelineError> {
+        debug_assert!(
+            !matches!(cfg.block, BlockPolicy::Adaptive(_)),
+            "adaptive runs route through the tuner, never the core"
+        );
+        let prep_start = Instant::now();
+        let (entry, cache_ev) = self.entry_line(program, &nest, procs, dist_dim, cfg, hsig)?;
+        let plan = &entry.plan;
+        // Rotating loops carry their own prep (margins unified across
+        // each rotation class by `prepare_rotated`); rotation-free loops
+        // use the cache entry's.
+        let prep = match &lx.prep {
+            Some(p) => Arc::clone(p),
+            None => entry.prep(program, cfg.kernel_mode),
+        };
+        self.count_kernel(&prep.runner);
+        let kernel_tier = Some(prep.runner.tier());
+        let kernel_fallback = prep.runner.fallback();
+        let prep_seconds = prep_start.elapsed().as_secs_f64();
+        let run_start = Instant::now();
+        let r = execute_loop_threaded(
+            &self.pool,
+            program,
+            &entry.nest,
+            plan,
+            &prep,
+            store,
+            lx.iters,
+            &lx.rotate,
+            lx.pipelined,
+            collector,
+        );
+        let run_seconds = run_start.elapsed().as_secs_f64();
+        // Cross-iteration overlap: per iteration, the global span is
+        // [min start, max end] across ranks; overlap is how far each
+        // iteration's global start precedes its predecessor's global
+        // end. The barrier ablation yields exactly zero (every span
+        // starts after the previous iteration's last rank finished).
+        let mut overlap = 0.0f64;
+        let mut busy = 0.0f64;
+        let mut prev_end: Option<f64> = None;
+        for k in 0..lx.iters {
+            let mut s = f64::INFINITY;
+            let mut e = f64::NEG_INFINITY;
+            for rank_spans in &r.spans {
+                if let Some(&(a, b)) = rank_spans.get(k) {
+                    s = s.min(a);
+                    e = e.max(b);
+                }
+            }
+            if !s.is_finite() || !e.is_finite() {
+                continue;
+            }
+            busy += e - s;
+            if let Some(pe) = prev_end {
+                overlap += (pe - s).max(0.0);
+            }
+            prev_end = Some(e);
+        }
+        let stats = LoopChunkStats {
+            iters: lx.iters,
+            overlap_seconds: overlap,
+            busy_seconds: busy,
+            overlap_efficiency: if busy > 0.0 { overlap / busy } else { 0.0 },
+            pipelined: lx.pipelined,
+        };
+        let outcome = RunOutcome {
+            engine: EngineKind::Threads,
+            makespan: r.report.elapsed.as_secs_f64(),
+            time_unit: TimeUnit::Seconds,
+            messages: r.report.messages,
+            block: plan.block,
+            tiles: plan.tiles.len(),
+            pipelined: plan.is_pipelined(),
+            prep_seconds,
+            run_seconds,
+            kernel_tier,
+            kernel_fallback,
+        };
+        if let Some(ev) = cache_ev {
+            if collector.enabled() {
+                collector.cache(ev);
+            }
+        }
+        Ok((outcome, stats))
     }
 }
 
@@ -755,6 +876,9 @@ pub(crate) struct Shared<const R: usize> {
     /// Lifecycle traces of recently completed jobs (recorded only while
     /// metrics are enabled).
     recent_traces: Mutex<VecDeque<JobTrace>>,
+    /// The resident-array table (see [`handle::HandleTable`]): buffers
+    /// jobs bind by [`ArrayHandle`] and read/write in place.
+    pub(crate) handles: Mutex<HandleTable<R>>,
 }
 
 impl<const R: usize> Shared<R> {
@@ -847,6 +971,7 @@ impl<const R: usize> WavefrontService<R> {
             dag_stats: Mutex::new(VecDeque::new()),
             epoch: Instant::now(),
             recent_traces: Mutex::new(VecDeque::new()),
+            handles: Mutex::new(HandleTable::new()),
         });
         let dispatcher = {
             let shared = Arc::clone(&shared);
@@ -911,6 +1036,118 @@ impl<const R: usize> WavefrontService<R> {
         let (handle, runner) = dag::spawn_dag(Arc::clone(&self.shared), spec);
         self.runners.lock().unwrap().push(runner);
         handle
+    }
+
+    /// Allocate a zero-filled resident array of `bounds` inside the
+    /// service and return its [`ArrayHandle`]. Jobs bind it with
+    /// [`JobSpecBuilder::input_handle`] /
+    /// [`JobSpecBuilder::output_handle`] and read/write the buffer in
+    /// place — an iteration loop over resident arrays does zero copying
+    /// and zero allocation after warm-up. Free it with
+    /// [`WavefrontService::free`].
+    pub fn alloc(&self, bounds: Region<R>) -> ArrayHandle<R> {
+        self.import(DenseArray::zeros(bounds))
+    }
+
+    /// Move an existing array into the service as a resident array (no
+    /// copy — the buffer is adopted at its current refcount; hand over
+    /// the only reference to keep in-place writes copy-free).
+    pub fn import(&self, array: DenseArray<R>) -> ArrayHandle<R> {
+        let h = self.shared.handles.lock().unwrap().insert(array);
+        self.sync_resident_gauge();
+        h
+    }
+
+    /// Move every array of `store` into the service, returning
+    /// `(name, handle)` pairs in declaration order — the one-call way to
+    /// make a whole program's working set resident before a
+    /// [`WavefrontService::submit_loop`].
+    pub fn import_store(
+        &self,
+        program: &Program<R>,
+        mut store: Store<R>,
+    ) -> Vec<(String, ArrayHandle<R>)> {
+        let mut out = Vec::new();
+        {
+            let mut table = self.shared.handles.lock().unwrap();
+            let arrays = store.arrays_mut();
+            for id in 0..arrays.len() {
+                let layout = arrays[id].layout();
+                let arr = std::mem::replace(
+                    &mut arrays[id],
+                    DenseArray::with_layout(Region::empty(), layout, 0.0),
+                );
+                out.push((program.name_of(id), table.insert(arr)));
+            }
+        }
+        self.sync_resident_gauge();
+        out
+    }
+
+    /// Remove a resident array from the service and return its buffer.
+    /// Fails typed while a job holding the handle is in flight
+    /// ([`PipelineError::HandleConflict`]) or if the handle was already
+    /// freed ([`PipelineError::UnknownHandle`]).
+    pub fn free(&self, handle: &ArrayHandle<R>) -> Result<DenseArray<R>, PipelineError> {
+        let r = self.shared.handles.lock().unwrap().free(handle.id());
+        self.sync_resident_gauge();
+        r
+    }
+
+    /// A read-only snapshot of a resident array (an `Arc` bump, not a
+    /// copy). Fails while the handle is checked out by a job in flight.
+    pub fn read(&self, handle: &ArrayHandle<R>) -> Result<DenseArray<R>, PipelineError> {
+        self.shared.handles.lock().unwrap().snapshot(handle.id())
+    }
+
+    /// How many times the resident array behind `handle` has been
+    /// republished by a put-back — the loop dispatcher's
+    /// write-after-read fence, observable.
+    pub fn handle_epoch(&self, handle: &ArrayHandle<R>) -> Result<u64, PipelineError> {
+        self.shared.handles.lock().unwrap().epoch(handle.id())
+    }
+
+    /// Re-derive an [`ArrayHandle`] token from a raw id (the wire
+    /// server's path from an `ALLOC` reply back to a token).
+    pub fn lookup_handle(&self, id: u64) -> Result<ArrayHandle<R>, PipelineError> {
+        self.shared.handles.lock().unwrap().lookup(id)
+    }
+
+    /// Bytes currently resident in the handle table (checked-out buffers
+    /// included — they return at put-back).
+    pub fn resident_bytes(&self) -> u64 {
+        self.shared.handles.lock().unwrap().resident_bytes()
+    }
+
+    /// Total resident-array allocations/imports over the service's life
+    /// — flat after warm-up in a well-formed time-stepping loop (the
+    /// differential tests assert the delta is zero).
+    pub fn handle_allocs(&self) -> u64 {
+        self.shared.handles.lock().unwrap().allocs()
+    }
+
+    /// Run a time-stepping loop over resident arrays (see [`LoopSpec`]):
+    /// the body job (or DAG) re-runs for `steps` iterations — or until
+    /// the convergence callback fires — with the handle rotation map
+    /// applied between steps. Eligible bodies (threads engine, line
+    /// topology) run *fused*: many iterations inside one engine
+    /// invocation, iteration k+1's fill starting on each worker the
+    /// moment its block drained iteration k. Returns immediately; wait
+    /// on the [`LoopHandle`].
+    pub fn submit_loop(&self, spec: LoopSpec<R>) -> LoopHandle<R> {
+        let (handle, runner) = looping::spawn_loop(Arc::clone(&self.shared), spec);
+        self.runners.lock().unwrap().push(runner);
+        handle
+    }
+
+    /// Refresh the `wavefront_resident_bytes` gauge after a table
+    /// mutation (no-op while metrics are off).
+    fn sync_resident_gauge(&self) {
+        let m = &self.shared.core.metrics;
+        if m.enabled() {
+            m.gauge("wavefront_resident_bytes")
+                .set(self.shared.handles.lock().unwrap().resident_bytes() as i64);
+        }
     }
 
     /// Stats of recently completed DAGs, oldest first (a bounded ring —
@@ -1328,7 +1565,9 @@ fn dispatcher_loop<const R: usize>(shared: &Arc<Shared<R>>) {
         let submitted_at = job.spec.submitted_at.unwrap_or(admitted_at);
         let tenant = job.spec.tenant_name().unwrap_or(DEFAULT_TENANT).to_string();
         let dispatched = Instant::now();
-        let mut result = match catch_unwind(AssertUnwindSafe(|| run_job(&shared.core, job.spec))) {
+        let mut result = match catch_unwind(AssertUnwindSafe(|| {
+            run_job(&shared.core, &shared.handles, job.spec)
+        })) {
             Ok(r) => r,
             Err(payload) => Err(PipelineError::EnginePanic(panic_message(&payload))),
         };
@@ -1438,10 +1677,17 @@ pub(crate) fn install_input<const R: usize>(
 
 /// Publish the job's declared outputs (every array when none were
 /// declared) from the computed store — each an `Arc` bump, never a copy.
+/// *Output*-handle-bound array ids are in `skip`: their buffers went
+/// back into the handle table before publication (the slot is empty by
+/// now), so resident results are read through
+/// [`WavefrontService::read`] instead. Input-handle arrays publish
+/// normally — their snapshots are `Arc` clones already, and nothing
+/// writes them, so the extra refcount never costs a copy.
 fn collect_outputs<const R: usize>(
     program: &Program<R>,
     store: Option<&Store<R>>,
     names: &[String],
+    skip: &[usize],
 ) -> JobOutputs<R> {
     let mut outs = JobOutputs::new();
     let Some(store) = store else {
@@ -1449,11 +1695,17 @@ fn collect_outputs<const R: usize>(
     };
     if names.is_empty() {
         for id in 0..store.len() {
+            if skip.contains(&id) {
+                continue;
+            }
             outs.insert(JobOutput::from_array(program.name_of(id), store.get(id)));
         }
     } else {
         for name in names {
             if let Some(id) = program.find(name) {
+                if skip.contains(&id) {
+                    continue;
+                }
                 outs.insert(JobOutput::from_array(name.clone(), store.get(id)));
             }
         }
@@ -1461,14 +1713,52 @@ fn collect_outputs<const R: usize>(
     outs
 }
 
+/// Undo the checkouts of a job that failed before (or during) its run:
+/// every buffer goes back into its *checkout* slot with no epoch bump —
+/// the job never ran, so nothing was republished and the
+/// write-after-read fence must not advance.
+fn restore_checked_out<const R: usize>(
+    handles: &Mutex<HandleTable<R>>,
+    store: Option<&mut Store<R>>,
+    checked_out: &[(job::HandleBinding, usize)],
+) {
+    let Some(st) = store else { return };
+    let mut table = handles.lock().unwrap();
+    for (hb, id) in checked_out {
+        let layout = st.get(*id).layout();
+        let arr = std::mem::replace(
+            st.get_mut(*id),
+            DenseArray::with_layout(Region::empty(), layout, 0.0),
+        );
+        table.restore(hb.checkout, arr);
+    }
+}
+
+/// The handle-shape signature entering the plan-cache fingerprint: the
+/// *names* bound to resident handles (sorted input and output sets),
+/// never the handle ids — ids rotate every loop chunk and keying on
+/// them would defeat the cache entirely.
+fn handles_sig(spec_inputs: &[(String, u64)], spec_outputs: &[job::HandleBinding]) -> String {
+    if spec_inputs.is_empty() && spec_outputs.is_empty() {
+        return String::new();
+    }
+    let mut ins: Vec<&str> = spec_inputs.iter().map(|(n, _)| n.as_str()).collect();
+    ins.sort_unstable();
+    let mut outs: Vec<&str> = spec_outputs.iter().map(|b| b.name.as_str()).collect();
+    outs.sort_unstable();
+    format!("in:{};out:{}", ins.join(","), outs.join(","))
+}
+
 /// Execute one job on the core. Adaptive-policy jobs run through the
 /// one-shot `Session` front doors (the tuner re-plans mid-run, so there
 /// is nothing cacheable); everything else goes through the core's cache
-/// and pool. Bound inputs are installed first; declared outputs are
-/// published after.
-#[allow(deprecated)] // constructs JobOutcome.store for transition callers
+/// and pool. Bound inputs and resident-handle bindings are installed
+/// first (output handles by *move*, so engine writes never
+/// copy-on-write); declared outputs are published and checked-out
+/// buffers put back after.
 fn run_job<const R: usize>(
     core: &ExecCore,
+    handles: &Mutex<HandleTable<R>>,
     spec: JobSpec<R>,
 ) -> Result<JobOutcome<R>, PipelineError> {
     let JobSpec {
@@ -1483,6 +1773,9 @@ fn run_job<const R: usize>(
         priority: _,
         outputs,
         inputs,
+        handle_inputs,
+        handle_outputs,
+        loop_exec,
         trace_id: _,
         submitted_at: _,
     } = spec;
@@ -1511,70 +1804,183 @@ fn run_job<const R: usize>(
         install_input(st, &program, &out, &b.name)?;
     }
 
-    let mut trace_collector = trace.then(TraceCollector::new);
-    let outcome = if matches!(cfg.block, BlockPolicy::Adaptive(_)) {
-        match topology {
-            JobTopology::Line { procs, dist_dim } => {
-                let mut session = Session::new(&program, &nest).procs(procs).config(cfg);
-                if let Some(d) = dist_dim {
-                    session = session.dist_dim(d);
-                }
-                if let Some(st) = store.as_mut() {
-                    session = session.store(st);
-                }
-                if let Some(tc) = trace_collector.as_mut() {
-                    session = session.collector(tc);
-                }
-                session.run(engine)?
+    let hsig = handles_sig(&handle_inputs, &handle_outputs);
+
+    // Input handles: read-only snapshots (an `Arc` bump). The nest must
+    // not write them — writes would land in a copy-on-write shadow and
+    // silently never reach the resident buffer.
+    let mut skip_ids: Vec<usize> = Vec::new();
+    for (name, hid) in &handle_inputs {
+        let id = program.find(name).ok_or_else(|| PipelineError::InvalidJob {
+            reason: format!("program declares no array named `{name}`"),
+        })?;
+        if nest.stmts.iter().any(|s| s.lhs == id) {
+            return Err(PipelineError::InvalidJob {
+                reason: format!(
+                    "the nest writes `{name}`; bind it with output_handle, not \
+                     input_handle (in-place writes need the buffer checked out)"
+                ),
+            });
+        }
+        let snap = handles.lock().unwrap().snapshot(*hid)?;
+        let st = store.get_or_insert_with(|| Store::new(&program));
+        *st.get_mut(id) = snap;
+    }
+
+    // Output handles: move each buffer out of the table (refcount 1, so
+    // engine writes go straight in) and into the job's store. A failure
+    // part-way restores what was already taken.
+    let mut checked_out: Vec<(job::HandleBinding, usize)> = Vec::new();
+    let mut checkout_err: Option<PipelineError> = None;
+    for hb in &handle_outputs {
+        let Some(id) = program.find(&hb.name) else {
+            checkout_err = Some(PipelineError::InvalidJob {
+                reason: format!("program declares no array named `{}`", hb.name),
+            });
+            break;
+        };
+        match handles.lock().unwrap().checkout(hb.checkout) {
+            Ok(arr) => {
+                let st = store.get_or_insert_with(|| Store::new(&program));
+                *st.get_mut(id) = arr;
+                checked_out.push((hb.clone(), id));
+                skip_ids.push(id);
             }
-            JobTopology::Mesh { mesh, wave_dims } => {
-                let mut session = Session2D::new(&program, &nest).mesh(mesh).config(cfg);
-                if let Some(w) = wave_dims {
-                    session = session.wave_dims(w);
-                }
-                if let Some(st) = store.as_mut() {
-                    session = session.store(st);
-                }
-                if let Some(tc) = trace_collector.as_mut() {
-                    session = session.collector(tc);
-                }
-                session.run(engine)?
+            Err(e) => {
+                checkout_err = Some(e);
+                break;
             }
         }
-    } else {
-        let mut noop = NoopCollector;
-        let collector: &mut dyn Collector = match trace_collector.as_mut() {
-            Some(tc) => tc,
-            None => &mut noop,
-        };
-        match topology {
-            JobTopology::Line { procs, dist_dim } => core.run_line(
+    }
+    if let Some(e) = checkout_err {
+        restore_checked_out(handles, store.as_mut(), &checked_out);
+        return Err(e);
+    }
+
+    let mut trace_collector = trace.then(TraceCollector::new);
+    let run_result: Result<(RunOutcome, Option<LoopChunkStats>), PipelineError> = (|| {
+        if let Some(lx) = &loop_exec {
+            if !matches!(engine, EngineKind::Threads)
+                || matches!(cfg.block, BlockPolicy::Adaptive(_))
+            {
+                return Err(PipelineError::InvalidLoop {
+                    reason: "fused loop chunks run only on the threads engine with a \
+                             fixed block policy"
+                        .into(),
+                });
+            }
+            let JobTopology::Line { procs, dist_dim } = topology else {
+                return Err(PipelineError::InvalidLoop {
+                    reason: "fused loop chunks run only on a line topology".into(),
+                });
+            };
+            let st = store.as_mut().ok_or(PipelineError::MissingStore)?;
+            let mut noop = NoopCollector;
+            let collector: &mut dyn Collector = match trace_collector.as_mut() {
+                Some(tc) => tc,
+                None => &mut noop,
+            };
+            let (outcome, stats) = core.run_line_loop(
                 &program,
                 NestSource::Shared(&nest),
                 procs,
                 dist_dim,
                 &cfg,
-                store.as_mut(),
+                &hsig,
+                st,
+                lx,
                 collector,
-                engine,
-            )?,
-            JobTopology::Mesh { mesh, wave_dims } => core.run_mesh(
-                &program,
-                NestSource::Shared(&nest),
-                mesh,
-                wave_dims,
-                &cfg,
-                store.as_mut(),
-                collector,
-                engine,
-            )?,
+            )?;
+            return Ok((outcome, Some(stats)));
         }
-    };
-    let published = collect_outputs(&program, store.as_ref(), &outputs);
+        let outcome = if matches!(cfg.block, BlockPolicy::Adaptive(_)) {
+            match topology {
+                JobTopology::Line { procs, dist_dim } => {
+                    let mut session = Session::new(&program, &nest).procs(procs).config(cfg);
+                    if let Some(d) = dist_dim {
+                        session = session.dist_dim(d);
+                    }
+                    if let Some(st) = store.as_mut() {
+                        session = session.store(st);
+                    }
+                    if let Some(tc) = trace_collector.as_mut() {
+                        session = session.collector(tc);
+                    }
+                    session.run(engine)?
+                }
+                JobTopology::Mesh { mesh, wave_dims } => {
+                    let mut session = Session2D::new(&program, &nest).mesh(mesh).config(cfg);
+                    if let Some(w) = wave_dims {
+                        session = session.wave_dims(w);
+                    }
+                    if let Some(st) = store.as_mut() {
+                        session = session.store(st);
+                    }
+                    if let Some(tc) = trace_collector.as_mut() {
+                        session = session.collector(tc);
+                    }
+                    session.run(engine)?
+                }
+            }
+        } else {
+            let mut noop = NoopCollector;
+            let collector: &mut dyn Collector = match trace_collector.as_mut() {
+                Some(tc) => tc,
+                None => &mut noop,
+            };
+            match topology {
+                JobTopology::Line { procs, dist_dim } => core.run_line(
+                    &program,
+                    NestSource::Shared(&nest),
+                    procs,
+                    dist_dim,
+                    &cfg,
+                    &hsig,
+                    store.as_mut(),
+                    collector,
+                    engine,
+                )?,
+                JobTopology::Mesh { mesh, wave_dims } => core.run_mesh(
+                    &program,
+                    NestSource::Shared(&nest),
+                    mesh,
+                    wave_dims,
+                    &cfg,
+                    &hsig,
+                    store.as_mut(),
+                    collector,
+                    engine,
+                )?,
+            }
+        };
+        Ok((outcome, None))
+    })();
+
+    if run_result.is_ok() {
+        // Put every checked-out buffer back — into its *putback* slot,
+        // which differs from the checkout slot exactly for loop-rotation
+        // chunks — bumping the slot's epoch (the write-after-read
+        // fence).
+        if let Some(st) = store.as_mut() {
+            let mut table = handles.lock().unwrap();
+            for (hb, id) in &checked_out {
+                let layout = st.get(*id).layout();
+                let arr = std::mem::replace(
+                    st.get_mut(*id),
+                    DenseArray::with_layout(Region::empty(), layout, 0.0),
+                );
+                table.putback(hb.putback, arr)?;
+            }
+        }
+    } else {
+        restore_checked_out(handles, store.as_mut(), &checked_out);
+    }
+    let (outcome, loop_stats) = run_result?;
+    let published = collect_outputs(&program, store.as_ref(), &outputs, &skip_ids);
     Ok(JobOutcome {
         outcome,
-        store,
         outputs: published,
+        loop_stats,
         trace: trace_collector.map(|tc| tc.report()),
         spans: None,
     })

@@ -32,6 +32,11 @@
 //! | 10 | both | `HELLO` version handshake |
 //! | 11 | client → server | `METRICS` request (protocol v3) |
 //! | 12 | server → client | `METRICS` reply: Prometheus text + JSON |
+//! | 13 | client → server | `ALLOC` a server-resident array (protocol v4) |
+//! | 14 | server → client | `HANDLE`: resident-array id, epoch, values |
+//! | 15 | client → server | `SUBMIT_LOOP`: a time-stepping loop over handles |
+//! | 16 | server → client | `LOOP_RESULT`: steps run + overlap stats |
+//! | 17 | client → server | `FREE` a resident array (reply returns its values) |
 //!
 //! ## Protocol version
 //!
@@ -50,16 +55,31 @@
 //! treats as "server speaks version 1" (see [`WireClient::hello`]);
 //! likewise a v2 server answers `METRICS` with that typed error, so
 //! mixed-version pairs degrade gracefully instead of desyncing.
+//!
+//! Version 4 adds resident arrays and time-stepping loops: `ALLOC`
+//! (13) parks an array server-side and `HANDLE` (14) returns its id,
+//! `SUBMIT_LOOP` (15) runs a job body for N steps over handle-bound
+//! arrays with optional buffer rotation and `LOOP_RESULT` (16) reports
+//! the steps run, the cross-iteration overlap stats, and the final
+//! name → handle bindings, and `FREE` (17) retires a handle, returning
+//! the buffer's values in the `HANDLE` reply. Three error codes (6–8)
+//! round-trip the new typed failures ([`PipelineError::UnknownHandle`],
+//! [`PipelineError::HandleConflict`], [`PipelineError::InvalidLoop`]);
+//! only v4 opcodes can produce them, so old clients never see an
+//! unknown code. Convergence callbacks are host-side closures and do
+//! not travel the wire — a wire loop always runs a fixed step count.
 
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
+use wavefront_core::array::{DenseArray, Layout};
 use wavefront_core::exec::CompiledNest;
 use wavefront_core::kernel::KernelMode;
 use wavefront_core::expr::ArrayId;
 use wavefront_core::program::{Program, Store};
+use wavefront_core::region::Region;
 
 use crate::error::{AdmissionReason, PipelineError};
 use crate::schedule::BlockPolicy;
@@ -67,13 +87,14 @@ use crate::service::cache::PlanCache;
 use crate::service::dag::{DagSpec, NodeRef};
 use crate::service::fingerprint::fnv1a;
 use crate::service::job::JobSpec;
+use crate::service::looping::LoopSpec;
 use crate::service::scheduler::SchedulerKind;
 use crate::service::{JobTopology, JobTrace, WavefrontService};
 use crate::telemetry::{EngineKind, TimeUnit};
 
 /// Version of the wire protocol this build speaks (see the module docs
 /// for the per-version opcode history).
-pub const PROTOCOL_VERSION: u16 = 3;
+pub const PROTOCOL_VERSION: u16 = 4;
 
 const OP_SUBMIT: u8 = 1;
 const OP_RESULT: u8 = 2;
@@ -87,12 +108,20 @@ const OP_DAG_RESULT: u8 = 9;
 const OP_HELLO: u8 = 10;
 const OP_METRICS_REQ: u8 = 11;
 const OP_METRICS: u8 = 12;
+const OP_ALLOC: u8 = 13;
+const OP_HANDLE: u8 = 14;
+const OP_SUBMIT_LOOP: u8 = 15;
+const OP_LOOP_RESULT: u8 = 16;
+const OP_FREE: u8 = 17;
 
 const ERR_ADMISSION: u8 = 1;
 const ERR_PROTOCOL: u8 = 2;
 const ERR_COMPILE: u8 = 3;
 const ERR_EXECUTION: u8 = 4;
 const ERR_INVALID_JOB: u8 = 5;
+const ERR_UNKNOWN_HANDLE: u8 = 6;
+const ERR_HANDLE_CONFLICT: u8 = 7;
+const ERR_INVALID_LOOP: u8 = 8;
 
 /// Sentinel nest index meaning "largest scan nest" (the common case for
 /// one-scan programs).
@@ -288,6 +317,99 @@ pub struct WireDagResponse {
     pub nodes: Vec<(String, Result<WireResponse, PipelineError>)>,
     /// The DAG's stats object, serialized.
     pub stats_json: String,
+}
+
+/// One `ALLOC` request (protocol version 4): park an array server-side
+/// and get back a resident handle for zero-copy loop bindings.
+#[derive(Debug, Clone)]
+pub struct WireAllocRequest {
+    /// Rank of the region (must match the server's).
+    pub rank: u8,
+    /// Inclusive lower corner, one coordinate per dimension.
+    pub lo: Vec<i64>,
+    /// Inclusive upper corner, one coordinate per dimension.
+    pub hi: Vec<i64>,
+    /// Storage layout: 0 = row-major, 1 = column-major. Handle bindings
+    /// must match the program declaration's layout, and the `.wf` front
+    /// end compiles declarations column-major — so handles feeding wire
+    /// loops normally use 1 (the [`WireAllocRequest::col_major`]
+    /// constructor's choice).
+    pub layout: u8,
+    /// Initial values in canonical bounds order; empty means zeros.
+    pub values: Vec<f64>,
+}
+
+impl WireAllocRequest {
+    /// An alloc request matching the `.wf` front end's column-major
+    /// array declarations. Empty `values` allocate zeros.
+    pub fn col_major(lo: Vec<i64>, hi: Vec<i64>, values: Vec<f64>) -> Self {
+        WireAllocRequest {
+            rank: lo.len() as u8,
+            lo,
+            hi,
+            layout: 1,
+            values,
+        }
+    }
+}
+
+/// One `HANDLE` reply (protocol version 4): the resident array's id and
+/// epoch, plus its values when the request retires the buffer (`FREE`).
+/// `ALLOC` replies carry no values — the client just sent them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireHandle {
+    /// Service-unique handle id (stable across loop rotations).
+    pub id: u64,
+    /// Times the buffer has been republished by a job put-back — the
+    /// write-after-read fence counter ([`crate::service::WavefrontService::handle_epoch`]).
+    pub epoch: u64,
+    /// The buffer's values in canonical bounds order (`FREE` only).
+    pub values: Vec<f64>,
+}
+
+/// One `SUBMIT_LOOP` request (protocol version 4): run `request` as the
+/// body of a time-stepping loop over server-resident arrays.
+#[derive(Debug, Clone)]
+pub struct WireLoopRequest {
+    /// The body job. Its `arrays` payload seeds the *non-resident*
+    /// arrays; resident arrays bind through the handle lists below.
+    pub request: WireRequest,
+    /// Read-only handle bindings: `(array name, handle id)`.
+    pub input_handles: Vec<(String, u64)>,
+    /// In-place read/write handle bindings: `(array name, handle id)`.
+    /// Every array the body's nest writes must appear here.
+    pub output_handles: Vec<(String, u64)>,
+    /// Steps to run (convergence callbacks are host-side closures and
+    /// do not travel the wire).
+    pub steps: u64,
+    /// Handle rotation applied between steps: after each step the
+    /// buffer bound to `from` is republished under `to`'s binding.
+    /// `[("next","curr"), ("curr","next")]` is the classic
+    /// double-buffer swap.
+    pub rotate: Vec<(String, String)>,
+    /// Whether the dispatcher may pipeline across iterations (on by
+    /// default; off forces a barrier between steps — the ablation knob).
+    pub pipelined: bool,
+}
+
+/// One `LOOP_RESULT` reply (protocol version 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireLoopResponse {
+    /// Steps actually run.
+    pub steps_run: u64,
+    /// Whether the loop fused whole chunks into single engine runs.
+    pub fused: bool,
+    /// Dispatch chunks the steps were grouped into.
+    pub chunks: u64,
+    /// Seconds of cross-iteration overlap harvested by pipelining.
+    pub overlap_seconds: f64,
+    /// Seconds of per-rank busy time across the loop.
+    pub busy_seconds: f64,
+    /// `overlap_seconds / busy_seconds`.
+    pub overlap_efficiency: f64,
+    /// Final `name → handle id` bindings after all rotations — the ids
+    /// to `FREE` (or keep looping on) for each logical array.
+    pub final_bindings: Vec<(String, u64)>,
 }
 
 // ---------------------------------------------------------------------
@@ -810,6 +932,20 @@ fn encode_error_body(e: &mut Enc, err: &PipelineError) {
             e.u8(ERR_INVALID_JOB);
             e.str(reason);
         }
+        // Codes 6–8 only arise from v4 opcodes (handles cannot exist on
+        // older connections), so pre-v4 clients never see them.
+        PipelineError::UnknownHandle { id } => {
+            e.u8(ERR_UNKNOWN_HANDLE);
+            e.u64(*id);
+        }
+        PipelineError::HandleConflict { reason } => {
+            e.u8(ERR_HANDLE_CONFLICT);
+            e.str(reason);
+        }
+        PipelineError::InvalidLoop { reason } => {
+            e.u8(ERR_INVALID_LOOP);
+            e.str(reason);
+        }
         other => {
             e.u8(ERR_EXECUTION);
             e.str(&other.to_string());
@@ -848,6 +984,15 @@ fn decode_error(d: &mut Dec<'_>) -> Result<PipelineError, PipelineError> {
         },
         ERR_EXECUTION => PipelineError::Remote {
             message: d.str("error message")?,
+        },
+        ERR_UNKNOWN_HANDLE => PipelineError::UnknownHandle {
+            id: d.u64("handle id")?,
+        },
+        ERR_HANDLE_CONFLICT => PipelineError::HandleConflict {
+            reason: d.str("error message")?,
+        },
+        ERR_INVALID_LOOP => PipelineError::InvalidLoop {
+            reason: d.str("error message")?,
         },
         t => {
             return Err(PipelineError::ProtocolError {
@@ -948,9 +1093,177 @@ fn decode_dag_result(d: &mut Dec<'_>, version: u16) -> Result<WireDagResponse, P
     Ok(WireDagResponse { stats_json, nodes })
 }
 
+fn encode_alloc(req: &WireAllocRequest) -> Vec<u8> {
+    let mut e = Enc::new(OP_ALLOC);
+    e.u8(req.rank);
+    for v in req.lo.iter().chain(req.hi.iter()) {
+        e.i64(*v);
+    }
+    e.u8(req.layout);
+    e.floats(&req.values);
+    e.buf
+}
+
+fn decode_alloc(d: &mut Dec<'_>) -> Result<WireAllocRequest, PipelineError> {
+    let rank = d.u8("alloc rank")?;
+    let mut corner = |what| -> Result<Vec<i64>, PipelineError> {
+        (0..rank).map(|_| d.i64(what)).collect()
+    };
+    let lo = corner("alloc lower corner")?;
+    let hi = corner("alloc upper corner")?;
+    let layout = d.u8("alloc layout")?;
+    if layout > 1 {
+        return Err(PipelineError::ProtocolError {
+            reason: format!("unknown layout tag {layout}"),
+        });
+    }
+    let values = d.floats("alloc values")?;
+    d.done()?;
+    Ok(WireAllocRequest {
+        rank,
+        lo,
+        hi,
+        layout,
+        values,
+    })
+}
+
+fn encode_handle(h: &WireHandle) -> Vec<u8> {
+    let mut e = Enc::new(OP_HANDLE);
+    e.u64(h.id);
+    e.u64(h.epoch);
+    e.floats(&h.values);
+    e.buf
+}
+
+fn decode_handle(d: &mut Dec<'_>) -> Result<WireHandle, PipelineError> {
+    let id = d.u64("handle id")?;
+    let epoch = d.u64("handle epoch")?;
+    let values = d.floats("handle values")?;
+    d.done()?;
+    Ok(WireHandle { id, epoch, values })
+}
+
+fn encode_free(id: u64) -> Vec<u8> {
+    let mut e = Enc::new(OP_FREE);
+    e.u64(id);
+    e.buf
+}
+
+fn encode_submit_loop(
+    req: &WireLoopRequest,
+    version: u16,
+) -> Result<Vec<u8>, PipelineError> {
+    let mut e = Enc::new(OP_SUBMIT_LOOP);
+    encode_submit_body(&mut e, &req.request, version)?;
+    for list in [&req.input_handles, &req.output_handles] {
+        e.u16(list.len() as u16);
+        for (name, id) in list {
+            e.str(name);
+            e.u64(*id);
+        }
+    }
+    e.u64(req.steps);
+    e.u16(req.rotate.len() as u16);
+    for (from, to) in &req.rotate {
+        e.str(from);
+        e.str(to);
+    }
+    e.u8(req.pipelined as u8);
+    Ok(e.buf)
+}
+
+fn decode_submit_loop(
+    d: &mut Dec<'_>,
+    version: u16,
+) -> Result<WireLoopRequest, PipelineError> {
+    let request = decode_submit_body(d, version)?;
+    let mut handles = |what| -> Result<Vec<(String, u64)>, PipelineError> {
+        let n = d.u16(what)?;
+        (0..n)
+            .map(|_| Ok((d.str(what)?, d.u64(what)?)))
+            .collect()
+    };
+    let input_handles = handles("loop input handles")?;
+    let output_handles = handles("loop output handles")?;
+    let steps = d.u64("loop steps")?;
+    let n = d.u16("loop rotation count")?;
+    let mut rotate = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let from = d.str("rotation source")?;
+        let to = d.str("rotation target")?;
+        rotate.push((from, to));
+    }
+    let pipelined = d.u8("loop pipelined flag")? != 0;
+    d.done()?;
+    Ok(WireLoopRequest {
+        request,
+        input_handles,
+        output_handles,
+        steps,
+        rotate,
+        pipelined,
+    })
+}
+
+fn encode_loop_result(resp: &WireLoopResponse) -> Vec<u8> {
+    let mut e = Enc::new(OP_LOOP_RESULT);
+    e.u64(resp.steps_run);
+    e.u8(resp.fused as u8);
+    e.u64(resp.chunks);
+    e.f64(resp.overlap_seconds);
+    e.f64(resp.busy_seconds);
+    e.f64(resp.overlap_efficiency);
+    e.u16(resp.final_bindings.len() as u16);
+    for (name, id) in &resp.final_bindings {
+        e.str(name);
+        e.u64(*id);
+    }
+    e.buf
+}
+
+fn decode_loop_result(d: &mut Dec<'_>) -> Result<WireLoopResponse, PipelineError> {
+    let steps_run = d.u64("loop steps run")?;
+    let fused = d.u8("loop fused flag")? != 0;
+    let chunks = d.u64("loop chunks")?;
+    let overlap_seconds = d.f64("loop overlap seconds")?;
+    let busy_seconds = d.f64("loop busy seconds")?;
+    let overlap_efficiency = d.f64("loop overlap efficiency")?;
+    let n = d.u16("loop binding count")?;
+    let mut final_bindings = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let name = d.str("binding name")?;
+        let id = d.u64("binding handle id")?;
+        final_bindings.push((name, id));
+    }
+    d.done()?;
+    Ok(WireLoopResponse {
+        steps_run,
+        fused,
+        chunks,
+        overlap_seconds,
+        busy_seconds,
+        overlap_efficiency,
+        final_bindings,
+    })
+}
+
 // ---------------------------------------------------------------------
 // Server
 // ---------------------------------------------------------------------
+
+/// The resident-array bindings of a loop body, borrowed from the
+/// decoded request; the plain `SUBMIT`/`SUBMIT_DAG` paths pass
+/// [`NO_HANDLES`].
+struct WireLoopHandles<'a> {
+    inputs: &'a [(String, u64)],
+    outputs: &'a [(String, u64)],
+}
+
+const NO_HANDLES: WireLoopHandles<'static> = WireLoopHandles {
+    inputs: &[],
+    outputs: &[],
+};
 
 /// A TCP front end over a [`WavefrontService`]: thread-per-connection,
 /// non-blocking admission via [`WavefrontService::try_submit`], and a
@@ -1096,6 +1409,34 @@ impl<const R: usize> WireServer<R> {
                     e.str(&self.service.metrics_json());
                     e.buf
                 }
+                Ok(OP_ALLOC) if self.served_version() >= 4 => match decode_alloc(&mut d) {
+                    Ok(req) => match self.run_alloc(req) {
+                        Ok(h) => encode_handle(&h),
+                        Err(e) => encode_error(&e),
+                    },
+                    Err(e) => encode_error(&e),
+                },
+                Ok(OP_FREE) if self.served_version() >= 4 => {
+                    match d.u64("handle id").and_then(|id| {
+                        d.done()?;
+                        Ok(id)
+                    }) {
+                        Ok(id) => match self.run_free(id) {
+                            Ok(h) => encode_handle(&h),
+                            Err(e) => encode_error(&e),
+                        },
+                        Err(e) => encode_error(&e),
+                    }
+                }
+                Ok(OP_SUBMIT_LOOP) if self.served_version() >= 4 => {
+                    match decode_submit_loop(&mut d, version) {
+                        Ok(req) => match self.run_submit_loop(req) {
+                            Ok(resp) => encode_loop_result(&resp),
+                            Err(e) => encode_error(&e),
+                        },
+                        Err(e) => encode_error(&e),
+                    }
+                }
                 Ok(OP_STATS_REQ) => {
                     let mut e = Enc::new(OP_STATS);
                     e.str(&self.service.stats_json());
@@ -1132,17 +1473,21 @@ impl<const R: usize> WireServer<R> {
     }
 
     /// Compile and bind one request into a [`JobSpec`] (shared by
-    /// `SUBMIT` and each `SUBMIT_DAG` node). `tenant_override`
-    /// (non-empty) replaces the request's own tenant; `inputs` become
-    /// node-indexed bindings resolved by the DAG runner; `trace_id`
-    /// (already resolved against any DAG-level fallback) tags the job's
-    /// lifecycle spans.
+    /// `SUBMIT`, each `SUBMIT_DAG` node, and the `SUBMIT_LOOP` body).
+    /// `tenant_override` (non-empty) replaces the request's own tenant;
+    /// `inputs` become node-indexed bindings resolved by the DAG
+    /// runner; `trace_id` (already resolved against any DAG-level
+    /// fallback) tags the job's lifecycle spans; `handles` are the
+    /// loop body's resident-array bindings, resolved against the
+    /// service's live handle table (a stale id is a typed
+    /// [`PipelineError::UnknownHandle`]).
     fn prepare_spec(
         &self,
         req: &WireRequest,
         tenant_override: &str,
         inputs: &[(u32, String)],
         trace_id: Option<u64>,
+        handles: &WireLoopHandles<'_>,
     ) -> Result<JobSpec<R>, PipelineError> {
         if req.rank as usize != R {
             return Err(PipelineError::ProtocolError {
@@ -1215,7 +1560,103 @@ impl<const R: usize> WireServer<R> {
                 name.clone(),
             );
         }
+        for (name, id) in handles.inputs {
+            let h = self.service.lookup_handle(*id)?;
+            builder = builder.input_handle(name.clone(), &h);
+        }
+        for (name, id) in handles.outputs {
+            let h = self.service.lookup_handle(*id)?;
+            builder = builder.output_handle(name.clone(), &h);
+        }
         builder.build()
+    }
+
+    /// Allocate (or import, when the payload carries values) one
+    /// resident array and reply with its handle.
+    fn run_alloc(&self, req: WireAllocRequest) -> Result<WireHandle, PipelineError> {
+        if req.rank as usize != R {
+            return Err(PipelineError::ProtocolError {
+                reason: format!("server serves rank {R}, alloc is rank {}", req.rank),
+            });
+        }
+        let lo: [i64; R] = req.lo.as_slice().try_into().expect("rank just checked");
+        let hi: [i64; R] = req.hi.as_slice().try_into().expect("rank just checked");
+        let bounds = Region::rect(lo, hi);
+        if !req.values.is_empty() && req.values.len() != bounds.len() {
+            return Err(PipelineError::InvalidJob {
+                reason: format!(
+                    "alloc payload has {} values but the bounds hold {}",
+                    req.values.len(),
+                    bounds.len()
+                ),
+            });
+        }
+        let layout = if req.layout == 0 {
+            Layout::RowMajor
+        } else {
+            Layout::ColMajor
+        };
+        let mut arr = DenseArray::with_layout(bounds, layout, 0.0);
+        for (p, &v) in bounds.iter().zip(req.values.iter()) {
+            arr.set(p, v);
+        }
+        let handle = self.service.import(arr);
+        Ok(WireHandle {
+            id: handle.id(),
+            epoch: 0,
+            values: Vec::new(),
+        })
+    }
+
+    /// Retire one resident array, replying with its final epoch and
+    /// values — the wire counterpart of
+    /// [`WavefrontService::free`], and the only way loop results leave
+    /// the server (the `LOOP_RESULT` frame carries bindings, not data).
+    fn run_free(&self, id: u64) -> Result<WireHandle, PipelineError> {
+        let handle = self.service.lookup_handle(id)?;
+        let epoch = self.service.handle_epoch(&handle)?;
+        let array = self.service.free(&handle)?;
+        let values = array.bounds().iter().map(|p| array.get(p)).collect();
+        Ok(WireHandle { id, epoch, values })
+    }
+
+    /// Build the body spec over live handles, run the loop through the
+    /// service's dispatcher, and marshal the stats + final bindings.
+    fn run_submit_loop(
+        &self,
+        req: WireLoopRequest,
+    ) -> Result<WireLoopResponse, PipelineError> {
+        let spec = self.prepare_spec(
+            &req.request,
+            "",
+            &[],
+            req.request.trace_id,
+            &WireLoopHandles {
+                inputs: &req.input_handles,
+                outputs: &req.output_handles,
+            },
+        )?;
+        let mut builder = LoopSpec::builder()
+            .job(spec)
+            .steps(req.steps as usize)
+            .pipelined(req.pipelined);
+        for (from, to) in &req.rotate {
+            builder = builder.rotate(from.clone(), to.clone());
+        }
+        let out = self.service.submit_loop(builder.build()?).wait()?;
+        Ok(WireLoopResponse {
+            steps_run: out.steps_run as u64,
+            fused: out.stats.fused,
+            chunks: out.stats.chunks as u64,
+            overlap_seconds: out.stats.overlap_seconds,
+            busy_seconds: out.stats.busy_seconds,
+            overlap_efficiency: out.stats.overlap_efficiency,
+            final_bindings: out
+                .final_bindings
+                .iter()
+                .map(|(name, h)| (name.clone(), h.id()))
+                .collect(),
+        })
     }
 
     /// Marshal one job outcome's requested arrays into a reply.
@@ -1247,7 +1688,7 @@ impl<const R: usize> WireServer<R> {
     /// Compile (with the source cache), bind arrays, submit through
     /// admission, and wait for the outcome.
     fn run_submit(&self, req: WireRequest) -> Result<WireResponse, PipelineError> {
-        let spec = self.prepare_spec(&req, "", &[], req.trace_id)?;
+        let spec = self.prepare_spec(&req, "", &[], req.trace_id, &NO_HANDLES)?;
         let out = self.service.try_submit(spec).wait()?;
         Self::marshal_response(out, &req.returns)
     }
@@ -1271,7 +1712,8 @@ impl<const R: usize> WireServer<R> {
             // A node without its own trace ID inherits the DAG-level one,
             // so one client ID tags every span in the graph.
             let trace = node.request.trace_id.or(req.trace_id);
-            let spec = self.prepare_spec(&node.request, &req.tenant, &node.inputs, trace)?;
+            let spec =
+                self.prepare_spec(&node.request, &req.tenant, &node.inputs, trace, &NO_HANDLES)?;
             builder.add_labeled(node.label.clone(), spec);
         }
         let outcome = self.service.submit_dag(builder.build()?).wait();
@@ -1488,16 +1930,25 @@ impl<S: Read + Write> WireClient<S> {
         Ok(server)
     }
 
+    /// Negotiate (once) and require at least `min` — the client-side
+    /// gate for opcodes an older server would reject anyway, so the
+    /// failure is a typed error naming the missing version instead of
+    /// an "unknown opcode" round trip.
+    fn need_version(&mut self, min: u16, what: &str) -> Result<u16, PipelineError> {
+        let version = self.ensure_hello()?;
+        if version < min {
+            return Err(PipelineError::ProtocolError {
+                reason: format!("server speaks protocol v{version}; {what} needs v{min}"),
+            });
+        }
+        Ok(version)
+    }
+
     /// Fetch the server's metrics registry as a
     /// `(prometheus_text, json)` pair. Requires a protocol-version-3
     /// server; older servers answer with a typed protocol error.
     pub fn metrics(&mut self) -> Result<(String, String), PipelineError> {
-        let version = self.ensure_hello()?;
-        if version < 3 {
-            return Err(PipelineError::ProtocolError {
-                reason: format!("server speaks protocol v{version}; METRICS needs v3"),
-            });
-        }
+        self.need_version(3, "METRICS")?;
         let reply = self.roundtrip(&[OP_METRICS_REQ])?;
         let mut d = Dec::new(&reply);
         match d.u8("opcode")? {
@@ -1533,6 +1984,58 @@ impl<S: Read + Write> WireClient<S> {
         let mut d = Dec::new(&reply);
         match d.u8("opcode")? {
             OP_OK => Ok(()),
+            OP_ERROR => Err(decode_error(&mut d)?),
+            op => Err(PipelineError::ProtocolError {
+                reason: format!("unexpected reply opcode {op}"),
+            }),
+        }
+    }
+
+    /// Park an array server-side and get back its resident handle
+    /// (protocol v4). Empty `values` allocate zeros. The handle id
+    /// plugs into [`WireLoopRequest`] bindings and [`WireClient::free`].
+    pub fn alloc(&mut self, req: &WireAllocRequest) -> Result<WireHandle, PipelineError> {
+        self.need_version(4, "ALLOC")?;
+        let reply = self.roundtrip(&encode_alloc(req))?;
+        let mut d = Dec::new(&reply);
+        match d.u8("opcode")? {
+            OP_HANDLE => decode_handle(&mut d),
+            OP_ERROR => Err(decode_error(&mut d)?),
+            op => Err(PipelineError::ProtocolError {
+                reason: format!("unexpected reply opcode {op}"),
+            }),
+        }
+    }
+
+    /// Retire a resident array (protocol v4). The reply carries the
+    /// buffer's final values and epoch — this is how loop results come
+    /// home, since `LOOP_RESULT` frames carry bindings, not data.
+    pub fn free(&mut self, id: u64) -> Result<WireHandle, PipelineError> {
+        self.need_version(4, "FREE")?;
+        let reply = self.roundtrip(&encode_free(id))?;
+        let mut d = Dec::new(&reply);
+        match d.u8("opcode")? {
+            OP_HANDLE => decode_handle(&mut d),
+            OP_ERROR => Err(decode_error(&mut d)?),
+            op => Err(PipelineError::ProtocolError {
+                reason: format!("unexpected reply opcode {op}"),
+            }),
+        }
+    }
+
+    /// Run a time-stepping loop over server-resident arrays (protocol
+    /// v4) and wait for its stats. Server-side failures — a stale
+    /// handle, an invalid loop shape, a conflict — come back as the
+    /// same typed [`PipelineError`] values the in-process API produces.
+    pub fn submit_loop(
+        &mut self,
+        req: &WireLoopRequest,
+    ) -> Result<WireLoopResponse, PipelineError> {
+        let version = self.need_version(4, "SUBMIT_LOOP")?;
+        let reply = self.roundtrip(&encode_submit_loop(req, version)?)?;
+        let mut d = Dec::new(&reply);
+        match d.u8("opcode")? {
+            OP_LOOP_RESULT => decode_loop_result(&mut d),
             OP_ERROR => Err(decode_error(&mut d)?),
             op => Err(PipelineError::ProtocolError {
                 reason: format!("unexpected reply opcode {op}"),
@@ -1779,6 +2282,111 @@ mod tests {
         // round-trip as Remote with the full display text).
         let second = got.nodes[1].1.as_ref().unwrap_err();
         assert!(second.to_string().contains("dependency `first` failed"));
+    }
+
+    #[test]
+    fn alloc_and_handle_frames_roundtrip_through_the_codec() {
+        let req = WireAllocRequest::col_major(vec![0, -3], vec![7, 4], vec![1.5, -2.25, f64::NAN]);
+        let frame = encode_alloc(&req);
+        let mut d = Dec::new(&frame);
+        assert_eq!(d.u8("op").unwrap(), OP_ALLOC);
+        let got = decode_alloc(&mut d).unwrap();
+        assert_eq!(got.rank, 2);
+        assert_eq!(got.lo, vec![0, -3]);
+        assert_eq!(got.hi, vec![7, 4]);
+        assert_eq!(got.layout, 1);
+        assert_eq!(got.values[1], -2.25);
+        assert!(got.values[2].is_nan());
+
+        // Zero-fill allocs travel with an empty value list.
+        let zeros = WireAllocRequest {
+            rank: 1,
+            lo: vec![1],
+            hi: vec![8],
+            layout: 0,
+            values: Vec::new(),
+        };
+        let frame = encode_alloc(&zeros);
+        let mut d = Dec::new(&frame);
+        let _ = d.u8("op");
+        assert!(decode_alloc(&mut d).unwrap().values.is_empty());
+
+        let h = WireHandle {
+            id: 42,
+            epoch: 7,
+            values: vec![0.5, 0.25],
+        };
+        let frame = encode_handle(&h);
+        let mut d = Dec::new(&frame);
+        assert_eq!(d.u8("op").unwrap(), OP_HANDLE);
+        assert_eq!(decode_handle(&mut d).unwrap(), h);
+    }
+
+    #[test]
+    fn submit_loop_frames_roundtrip_through_the_codec() {
+        let req = WireLoopRequest {
+            request: sample_request(),
+            input_handles: vec![("load".into(), 3)],
+            output_handles: vec![("next".into(), 1), ("curr".into(), 2)],
+            steps: 12,
+            rotate: vec![("next".into(), "curr".into()), ("curr".into(), "next".into())],
+            pipelined: false,
+        };
+        let frame = encode_submit_loop(&req, PROTOCOL_VERSION).unwrap();
+        let mut d = Dec::new(&frame);
+        assert_eq!(d.u8("op").unwrap(), OP_SUBMIT_LOOP);
+        let got = decode_submit_loop(&mut d, PROTOCOL_VERSION).unwrap();
+        assert_eq!(got.request.source, sample_request().source);
+        assert_eq!(got.request.trace_id, sample_request().trace_id);
+        assert_eq!(got.input_handles, req.input_handles);
+        assert_eq!(got.output_handles, req.output_handles);
+        assert_eq!(got.steps, 12);
+        assert_eq!(got.rotate, req.rotate);
+        assert!(!got.pipelined);
+
+        // Truncations anywhere in the loop tail are typed errors.
+        for cut in [frame.len() - 1, frame.len() - 10] {
+            let mut d = Dec::new(&frame[..cut]);
+            let _ = d.u8("op");
+            let err = decode_submit_loop(&mut d, PROTOCOL_VERSION)
+                .expect_err("truncation must fail");
+            assert!(matches!(err, PipelineError::ProtocolError { .. }));
+        }
+    }
+
+    #[test]
+    fn loop_result_frames_roundtrip_through_the_codec() {
+        let resp = WireLoopResponse {
+            steps_run: 40,
+            fused: true,
+            chunks: 5,
+            overlap_seconds: 0.125,
+            busy_seconds: 0.5,
+            overlap_efficiency: 0.25,
+            final_bindings: vec![("next".into(), 2), ("curr".into(), 1)],
+        };
+        let frame = encode_loop_result(&resp);
+        let mut d = Dec::new(&frame);
+        assert_eq!(d.u8("op").unwrap(), OP_LOOP_RESULT);
+        assert_eq!(decode_loop_result(&mut d).unwrap(), resp);
+    }
+
+    #[test]
+    fn handle_errors_roundtrip_typed() {
+        for err in [
+            PipelineError::UnknownHandle { id: 99 },
+            PipelineError::HandleConflict {
+                reason: "handle #7 is checked out by a job in flight".into(),
+            },
+            PipelineError::InvalidLoop {
+                reason: "a loop needs at least one step".into(),
+            },
+        ] {
+            let frame = encode_error(&err);
+            let mut d = Dec::new(&frame);
+            assert_eq!(d.u8("op").unwrap(), OP_ERROR);
+            assert_eq!(decode_error(&mut d).unwrap(), err);
+        }
     }
 
     #[test]

@@ -95,6 +95,10 @@ impl SessionConfig {
 
     /// Select compiled tile kernels (`true`, up to the lane tier) or
     /// the interpreter (`false`) — the historical boolean switch.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use kernel_mode(KernelMode): false maps to Interpreted, true to Lanes"
+    )]
     pub fn kernels(mut self, on: bool) -> Self {
         self.kernel_mode = KernelMode::from_flag(on);
         self
@@ -339,8 +343,12 @@ impl<'a, const R: usize> Session<'a, R> {
     /// Select compiled tile kernels (`true`, the default, up to the
     /// lane tier) or force the reference interpreter (`false`) in the
     /// executing engines.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use kernel_mode(KernelMode): false maps to Interpreted, true to Lanes"
+    )]
     pub fn kernels(mut self, on: bool) -> Self {
-        self.cfg = self.cfg.kernels(on);
+        self.cfg.kernel_mode = KernelMode::from_flag(on);
         self
     }
 
@@ -409,6 +417,7 @@ impl<'a, const R: usize> Session<'a, R> {
             procs,
             dist_dim,
             &cfg,
+            "",
             store,
             collector,
             kind,
@@ -602,8 +611,12 @@ impl<'a, const R: usize> Session2D<'a, R> {
     /// Select compiled tile kernels (`true`, the default, up to the
     /// lane tier) or force the reference interpreter (`false`) in the
     /// executing engines.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use kernel_mode(KernelMode): false maps to Interpreted, true to Lanes"
+    )]
     pub fn kernels(mut self, on: bool) -> Self {
-        self.cfg = self.cfg.kernels(on);
+        self.cfg.kernel_mode = KernelMode::from_flag(on);
         self
     }
 
@@ -653,6 +666,7 @@ impl<'a, const R: usize> Session2D<'a, R> {
             mesh,
             wave_dims,
             &cfg,
+            "",
             store,
             collector,
             kind,
@@ -791,5 +805,50 @@ mod tests {
             .run(EngineKind::Sim)
             .unwrap();
         assert_eq!(sim.messages, out.messages);
+    }
+
+    /// Pins the historical boolean switch's mapping while the
+    /// deprecated shims remain: `kernels(false)` is the interpreter,
+    /// `kernels(true)` the lane tier — on the config, both session
+    /// builders, and the job builder.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_kernels_flag_maps_to_interpreted_and_lanes() {
+        use wavefront_core::kernel::KernelMode;
+        assert_eq!(
+            SessionConfig::default().kernels(false).kernel_mode,
+            KernelMode::Interpreted
+        );
+        assert_eq!(
+            SessionConfig::default().kernels(true).kernel_mode,
+            KernelMode::Lanes
+        );
+
+        let n = 8;
+        let (program, nest) = tomcatv_nest(n);
+        assert_eq!(
+            Session::new(&program, &nest).kernels(false).cfg.kernel_mode,
+            KernelMode::Interpreted
+        );
+        assert_eq!(
+            Session::new(&program, &nest).kernels(true).cfg.kernel_mode,
+            KernelMode::Lanes
+        );
+
+        let (program2, nest2) = crate::plan2d::tests::sweep_nest(n);
+        assert_eq!(
+            Session2D::new(&program2, &nest2)
+                .kernels(false)
+                .cfg
+                .kernel_mode,
+            KernelMode::Interpreted
+        );
+        assert_eq!(
+            Session2D::new(&program2, &nest2)
+                .kernels(true)
+                .cfg
+                .kernel_mode,
+            KernelMode::Lanes
+        );
     }
 }

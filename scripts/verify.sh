@@ -30,6 +30,7 @@ echo "== wlc check programs/*.wf =="
 "$WLC" check programs/fig3.wf
 "$WLC" check programs/tomcatv.wf
 "$WLC" check programs/sweep_octant.wf --rank 3 -D n=8
+"$WLC" check programs/relax.wf
 
 echo
 echo "== wlc trace smoke (threads engine, JSON) =="
@@ -236,6 +237,58 @@ if "$BENCH_DIFF" results "$tmpdir"; then
 fi
 rm -rf "$tmpdir"
 echo "dag_bench: halved dag speedup flagged ✔"
+
+echo
+echo "== wlc timestep smoke (resident loop, fused rotation, JSON) =="
+out=$("$WLC" timestep programs/relax.wf --steps 8 --swap next:curr \
+    --fill-coords curr --json)
+for key in '"steps":8' '"fused":true' '"chunks":1' '"overlap_efficiency"' \
+    '"resident_bytes"' '"final_bindings"'; do
+    if ! grep -qF "$key" <<<"$out"; then
+        echo "timestep output missing $key:" >&2
+        echo "$out" >&2
+        exit 1
+    fi
+done
+# The overlap ablation must still fuse but harvest zero overlap.
+out=$("$WLC" timestep programs/relax.wf --steps 8 --swap next:curr \
+    --fill-coords curr --no-pipeline --json)
+if ! grep -qF '"overlap_seconds":0.000000' <<<"$out"; then
+    echo "timestep --no-pipeline still reported overlap:" >&2
+    echo "$out" >&2
+    exit 1
+fi
+echo "wlc timestep: fused single-chunk loop, --no-pipeline kills the overlap ✔"
+
+echo
+echo "== timestep bench: fresh quick run gated against the committed baseline =="
+cooldown
+tmpdir=$(mktemp -d)
+# The quick run also hard-asserts the steady-state invariants: any COW
+# byte, pool spawn, or handle alloc in a timed resident loop aborts the
+# bench itself.
+BENCH_OUT="$tmpdir" cargo run -q --release --offline -p wavefront-bench \
+    --bin timestep_bench -- --quick
+# Wall-clock loop latencies share the dag gate's 50% headroom; that
+# still catches the resident path losing its edge over per-step submit.
+"$BENCH_DIFF" results "$tmpdir" --threshold 50
+rm -rf "$tmpdir"
+echo "timestep_bench: invariants held, latencies within 50% of the baseline ✔"
+
+echo
+echo "== timestep overlap gate self-check (--no-overlap must fail) =="
+tmpdir=$(mktemp -d)
+# With cross-iteration pipelining disabled the loop's overlap efficiency
+# collapses to zero — the bench_diff gate must flag the -100% drop, or
+# the overlap metric is not actually being gated.
+BENCH_OUT="$tmpdir" cargo run -q --release --offline -p wavefront-bench \
+    --bin timestep_bench -- --quick --no-overlap
+if "$BENCH_DIFF" results "$tmpdir" --threshold 50; then
+    echo "bench_diff failed to flag the zeroed overlap efficiency" >&2
+    exit 1
+fi
+rm -rf "$tmpdir"
+echo "timestep_bench: zeroed overlap efficiency flagged ✔"
 
 echo
 echo "== wlc serve smoke (wire protocol, two tenants, gated bench) =="

@@ -21,6 +21,14 @@
 //!                                         the DAG stats; --engine sim runs
 //!                                         the same graph as a what-if
 //!                                         discrete-event simulation
+//! wlc timestep <file.wf> [options]        make the program's arrays resident
+//!                                         in a WavefrontService, run its scan
+//!                                         nest as a --steps time-stepping loop
+//!                                         (optionally rotating buffers between
+//!                                         steps with --swap/--rotate), and
+//!                                         report steady-state steps/sec plus
+//!                                         the cross-iteration overlap the
+//!                                         pipelined dispatcher harvested
 //! wlc serve [serve options]               accept `.wf` jobs over TCP and run
 //!                                         them through a multi-tenant
 //!                                         WavefrontService (no file argument)
@@ -60,7 +68,16 @@
 //!   --chrome FILE       `trace`/`timeline`: also export a Chrome
 //!                       trace-event JSON (open in https://ui.perfetto.dev)
 //!   --width N           `timeline`: chart width in columns (default 64)
-//!   --steps N           `dag`: dependent jobs per chain (default 4)
+//!   --steps N           `dag`: dependent jobs per chain; `timestep`:
+//!                       loop iterations (default 4)
+//!   --swap a:b          `timestep`: double-buffer the two arrays — after
+//!                       each step the buffers trade names (sugar for
+//!                       --rotate a:b --rotate b:a)
+//!   --rotate a:b        `timestep`: after each step, republish the
+//!                       buffer bound to `a` under `b` (repeatable; the
+//!                       pairs must form a permutation)
+//!   --no-pipeline       `timestep`: barrier between iterations instead
+//!                       of cross-iteration pipelining (the ablation)
 //!   --chains N          `dag`: independent chains (default 2)
 //!   --scheduler S       `dag`: fifo | critical-path | locality (default
 //!                       locality)
@@ -106,8 +123,8 @@ use wavefront::lang::{compile_str, Lowered};
 use wavefront::machine::{cray_t3e, sgi_power_challenge, MachineParams};
 use wavefront::pipeline::{
     ascii_timeline, calibrate_host, BlockPolicy, ChromeTraceBuilder, DagSpec, EngineKind,
-    JobSpec, NodeRef, SchedulerKind, ServeConfig, ServiceConfig, Session, TenantConfig,
-    TraceAnalysis, TraceCollector, WavefrontPlan, WavefrontService, WireServer,
+    JobSpec, LoopSpec, NodeRef, SchedulerKind, ServeConfig, ServiceConfig, Session,
+    TenantConfig, TraceAnalysis, TraceCollector, WavefrontPlan, WavefrontService, WireServer,
 };
 use wavefront::serve::LangCompiler;
 
@@ -135,6 +152,9 @@ struct Opts {
     chains: usize,
     scheduler: SchedulerKind,
     sim_procs: usize,
+    // timestep options
+    rotate: Vec<(String, String)>,
+    pipelined: bool,
     // serve options
     addr: String,
     cache: usize,
@@ -166,7 +186,7 @@ fn diag(context: &str, err: impl std::fmt::Display) {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: wlc <check|run|plan|trace|timeline|tune|dag> <file.wf> [--rank N]");
+    eprintln!("usage: wlc <check|run|plan|trace|timeline|tune|dag|timestep> <file.wf> [--rank N]");
     eprintln!("           [-D name=value] [--fill name=V] [--fill-coords name] [--print name]");
     eprintln!("           [--procs P] [--repeat N]");
     eprintln!("           [--block fixed:<b>|model1|model2|naive|probe|adaptive]");
@@ -176,6 +196,7 @@ fn usage() -> ExitCode {
     eprintln!("           [--strict] [--chrome FILE] [--width N]");
     eprintln!("           [--steps N] [--chains N] [--scheduler fifo|critical-path|locality]");
     eprintln!("           [--sim-procs N]");
+    eprintln!("           [--swap a:b] [--rotate a:b] [--no-pipeline]");
     eprintln!("       wlc serve [--addr HOST:PORT] [--rank N] [--workers N] [--cache N]");
     eprintln!("           [--queue N] [--max-in-flight N] [--tenant name:weight:inflight:cap]");
     eprintln!("           [--no-auto-register] [--stats SECS] [--no-metrics] [--chrome FILE]");
@@ -243,6 +264,8 @@ fn parse_args() -> std::result::Result<Opts, ExitCode> {
         chains: 2,
         scheduler: SchedulerKind::Locality,
         sim_procs: 0,
+        rotate: vec![],
+        pipelined: true,
         addr: "127.0.0.1:0".to_string(),
         cache: 32,
         queue: 64,
@@ -341,6 +364,18 @@ fn parse_args() -> std::result::Result<Opts, ExitCode> {
             "--sim-procs" => {
                 opts.sim_procs = need("--sim-procs")?.parse().map_err(|_| usage())?;
             }
+            "--rotate" => {
+                let kv = need("--rotate")?;
+                let (from, to) = kv.split_once(':').ok_or_else(usage)?;
+                opts.rotate.push((from.to_string(), to.to_string()));
+            }
+            "--swap" => {
+                let kv = need("--swap")?;
+                let (a, b) = kv.split_once(':').ok_or_else(usage)?;
+                opts.rotate.push((a.to_string(), b.to_string()));
+                opts.rotate.push((b.to_string(), a.to_string()));
+            }
+            "--no-pipeline" => opts.pipelined = false,
             "--addr" => opts.addr = need("--addr")?,
             "--workers" => opts.procs = need("--workers")?.parse().map_err(|_| usage())?,
             "--cache" => opts.cache = need("--cache")?.parse().map_err(|_| usage())?,
@@ -705,6 +740,7 @@ fn drive<const R: usize>(opts: &Opts, src: &str) -> ExitCode {
         "timeline" => timeline::<R>(opts, &lowered, &compiled),
         "tune" => tune::<R>(opts, &lowered, &compiled),
         "dag" => dag_cmd::<R>(opts, &lowered, &compiled),
+        "timestep" => timestep_cmd::<R>(opts, &lowered, &compiled),
         other => {
             eprintln!("unknown command {other}");
             ExitCode::from(2)
@@ -807,6 +843,152 @@ fn dag_cmd<const R: usize>(
     }
 }
 
+/// `wlc timestep`: import the program's arrays into a
+/// [`WavefrontService`] as resident buffers, run the largest scan nest
+/// as a `--steps` time-stepping loop (with `--swap`/`--rotate` buffer
+/// rotation between steps), and report steady-state throughput plus the
+/// cross-iteration overlap the pipelined dispatcher harvested. Arrays
+/// the nest writes (and every rotated name) bind in place; the rest are
+/// shared read-only — after the first step the loop copies nothing and
+/// allocates nothing.
+fn timestep_cmd<const R: usize>(
+    opts: &Opts,
+    lowered: &Lowered<R>,
+    compiled: &CompiledProgram<R>,
+) -> ExitCode {
+    let Some(nest) = compiled
+        .nests()
+        .filter(|n| n.is_scan)
+        .max_by_key(|n| n.region.len())
+    else {
+        return fail(&opts.file, "program has no scan nest to pipeline");
+    };
+    let nest = Arc::new(nest.clone());
+    let program = Arc::new(lowered.program.clone());
+    let store = match init_store(opts, lowered) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+
+    // In-place bindings: everything the nest writes, plus every rotated
+    // name (a rotation republishes buffers across bindings, so all of
+    // its members must be output handles).
+    let mut in_place: Vec<String> = Vec::new();
+    for stmt in &nest.stmts {
+        let name = program.name_of(stmt.lhs);
+        if !in_place.contains(&name) {
+            in_place.push(name);
+        }
+    }
+    for (from, to) in &opts.rotate {
+        for name in [from, to] {
+            if lowered.array(name).is_none() {
+                return fail("timestep", format!("unknown array `{name}` in rotation"));
+            }
+            if !in_place.contains(name) {
+                in_place.push(name.clone());
+            }
+        }
+    }
+
+    let service: WavefrontService<R> = WavefrontService::with_config(ServiceConfig {
+        workers: opts.procs,
+        ..ServiceConfig::default()
+    });
+    let handles = service.import_store(&program, store);
+    let mut body = JobSpec::builder(Arc::clone(&program), nest)
+        .line(opts.procs)
+        .block(opts.block.clone())
+        .machine(opts.machine)
+        .kernel_mode(opts.kernel_mode)
+        .engine(opts.engine);
+    for (name, h) in &handles {
+        body = if in_place.contains(name) {
+            body.output_handle(name.clone(), h)
+        } else {
+            body.input_handle(name.clone(), h)
+        };
+    }
+    let mut builder = LoopSpec::builder()
+        .steps(opts.steps.max(1))
+        .pipelined(opts.pipelined);
+    builder = match body.build() {
+        Ok(spec) => builder.job(spec),
+        Err(e) => return fail("timestep", e),
+    };
+    for (from, to) in &opts.rotate {
+        builder = builder.rotate(from.clone(), to.clone());
+    }
+    let spec = match builder.build() {
+        Ok(s) => s,
+        Err(e) => return fail("timestep", e),
+    };
+    let t0 = Instant::now();
+    let out = match service.submit_loop(spec).wait() {
+        Ok(o) => o,
+        Err(e) => return fail("timestep", e),
+    };
+    let wall = t0.elapsed().as_secs_f64();
+    let steps_per_sec = out.steps_run as f64 / wall.max(1e-12);
+
+    if opts.json {
+        let bindings: Vec<String> = out
+            .final_bindings
+            .iter()
+            .map(|(n, h)| format!("\"{n}\":{}", h.id()))
+            .collect();
+        println!(
+            "{{\"steps\":{},\"fused\":{},\"chunks\":{},\"wall_seconds\":{:.6},\
+             \"steps_per_second\":{:.3},\"overlap_seconds\":{:.6},\"busy_seconds\":{:.6},\
+             \"overlap_efficiency\":{:.4},\"resident_bytes\":{},\"final_bindings\":{{{}}}}}",
+            out.steps_run,
+            out.stats.fused,
+            out.stats.chunks,
+            wall,
+            steps_per_sec,
+            out.stats.overlap_seconds,
+            out.stats.busy_seconds,
+            out.stats.overlap_efficiency,
+            service.resident_bytes(),
+            bindings.join(",")
+        );
+    } else {
+        println!(
+            "timestep: {} steps in {:.3}s ({:.1} steps/sec), {} bytes resident",
+            out.steps_run,
+            wall,
+            steps_per_sec,
+            service.resident_bytes()
+        );
+        println!(
+            "loop: {} in {} chunk{}, overlap {:.6}s of {:.6}s busy ({:.1}%)",
+            if out.stats.fused { "fused" } else { "per-step" },
+            out.stats.chunks,
+            if out.stats.chunks == 1 { "" } else { "s" },
+            out.stats.overlap_seconds,
+            out.stats.busy_seconds,
+            100.0 * out.stats.overlap_efficiency
+        );
+        let names: Vec<String> = out
+            .final_bindings
+            .iter()
+            .map(|(n, h)| format!("{n}=#{}", h.id()))
+            .collect();
+        println!("final bindings: {}", names.join(" "));
+    }
+    for name in &opts.prints {
+        let Some((_, h)) = out.final_bindings.iter().find(|(n, _)| n == name) else {
+            eprintln!("--print: unknown array `{name}`");
+            return ExitCode::FAILURE;
+        };
+        match service.read(h) {
+            Ok(arr) => print_array(name, &arr),
+            Err(e) => return fail(name, e),
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn check<const R: usize>(
     lowered: &Lowered<R>,
     compiled: &CompiledProgram<R>,
@@ -878,10 +1060,12 @@ fn init_store<const R: usize>(
     for name in &opts.fill_coords {
         match lowered.array(name) {
             Some(id) => {
-                let bounds = store.get(id).bounds();
-                *store.get_mut(id) = DenseArray::from_fn(bounds, |p| {
-                    (0..R).map(|k| p[k] as f64 * 100f64.powi(k as i32)).sum()
-                });
+                // Fill in place: replacing the array would lose the
+                // layout the front end declared it with.
+                let arr = store.get_mut(id);
+                for p in arr.bounds().iter() {
+                    arr.set(p, (0..R).map(|k| p[k] as f64 * 100f64.powi(k as i32)).sum());
+                }
             }
             None => {
                 eprintln!("--fill-coords: unknown array `{name}`");

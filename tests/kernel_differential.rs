@@ -40,7 +40,11 @@ fn random_expr(rng: &mut SplitMix64, a: usize, b: usize, depth: usize) -> Expr<2
     let lhs = random_expr(rng, a, b, depth - 1);
     match rng.gen_range(8) {
         0 => -lhs,
-        1 => lhs.sqrt(),
+        // Keep radicands non-negative: sqrt of a negative is NaN, and
+        // NaN sign/payload propagation through mul/min/max is not
+        // IEEE-specified — a bit comparison would then pin the
+        // compiler's operand ordering, not kernel correctness.
+        1 => (lhs.clone() * lhs).sqrt(),
         2 => lhs + random_expr(rng, a, b, depth - 1),
         3 => lhs - random_expr(rng, a, b, depth - 1),
         4 => lhs * random_expr(rng, a, b, depth - 1),

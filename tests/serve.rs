@@ -15,7 +15,8 @@ use wavefront::lang::compile_str;
 use wavefront::machine::cray_t3e;
 use wavefront::pipeline::{
     BlockPolicy, EngineKind, JobSpec, PipelineError, ServeConfig, ServiceConfig, TenantConfig,
-    WavefrontService, WireClient, WireRequest, WireServer, WireTopology,
+    WavefrontService, WireAllocRequest, WireClient, WireLoopRequest, WireRequest, WireServer,
+    WireTopology,
 };
 use wavefront::serve::LangCompiler;
 
@@ -271,6 +272,12 @@ fn v3_client_degrades_against_a_v2_server() {
         }
         other => panic!("METRICS against v2 must be a protocol error, got {other:?}"),
     }
+    match client.alloc(&WireAllocRequest::col_major(vec![0], vec![3], vec![])) {
+        Err(PipelineError::ProtocolError { reason }) => {
+            assert!(reason.contains("v4"), "unhelpful reason: {reason}")
+        }
+        other => panic!("ALLOC against v2 must be a protocol error, got {other:?}"),
+    }
     drop(client);
     stop_server(&addr, handle);
 }
@@ -292,6 +299,124 @@ fn v2_client_still_speaks_to_a_v3_server() {
     let resp = client.submit(&req).expect("v2 framing against a v3 server");
     assert_eq!(resp.spans, None, "v2 frames carry no spans");
     assert_eq!(resp.arrays.len(), 1);
+    drop(client);
+    stop_server(&addr, handle);
+}
+
+const LOOP_SOURCE: &str = "
+    const n = 10;
+    var next, curr : [0..n, 0..n] float;
+    direction north = (-1, 0);
+    [1..n, 0..n] next := 0.5 * next'@north + 0.5 * curr;
+";
+
+/// Protocol v4 end to end: `ALLOC` parks both buffers server-side,
+/// `SUBMIT_LOOP` time-steps the body with a double-buffer swap, and
+/// `FREE` brings the final values home — bit-identical to running the
+/// same steps in-process with a store swap between iterations. Typed
+/// handle errors round-trip the live wire.
+#[test]
+fn wire_loops_run_over_resident_handles_and_free_returns_results() {
+    let steps = 5;
+
+    // In-process reference: interpreter steps with a buffer swap
+    // *between* steps (the last step's write stays under its own name).
+    let lo = compile_str::<2>(LOOP_SOURCE, &[], Layout::ColMajor).unwrap();
+    let next = lo.array("next").unwrap();
+    let curr = lo.array("curr").unwrap();
+    let mut store = Store::new(&lo.program);
+    let seed = |id: ArrayId, k: f64| -> Vec<f64> {
+        let bounds = store.get(id).bounds();
+        bounds
+            .iter()
+            .map(|p| 0.3 * p[0] as f64 + 0.7 * p[1] as f64 + k)
+            .collect()
+    };
+    let (seed_next, seed_curr) = (seed(next, 1.0), seed(curr, 2.0));
+    for (id, values) in [(next, &seed_next), (curr, &seed_curr)] {
+        let bounds = store.get(id).bounds();
+        for (p, &v) in bounds.iter().zip(values.iter()) {
+            store.get_mut(id).set(p, v);
+        }
+    }
+    for step in 0..steps {
+        execute(&lo.program, &mut store).unwrap();
+        if step + 1 < steps {
+            store.arrays_mut().swap(next, curr);
+        }
+    }
+    let bounds = store.get(next).bounds();
+    let expected: Vec<f64> = bounds.iter().map(|p| store.get(next).get(p)).collect();
+
+    let (addr, handle) = start_server(ServiceConfig::default());
+    let mut client = WireClient::connect(&*addr).expect("connect");
+
+    let alloc = |client: &mut WireClient<std::net::TcpStream>, values: Vec<f64>| {
+        client
+            .alloc(&WireAllocRequest::col_major(
+                vec![0, 0],
+                vec![10, 10],
+                values,
+            ))
+            .expect("alloc")
+    };
+    let h_next = alloc(&mut client, seed_next);
+    let h_curr = alloc(&mut client, seed_curr);
+    assert_ne!(h_next.id, h_curr.id);
+    assert_eq!(h_next.epoch, 0);
+
+    let mut body = WireRequest::new(2, LOOP_SOURCE);
+    body.topology = WireTopology::Line(2);
+    body.engine = EngineKind::Threads;
+    body.block = BlockPolicy::Fixed(4);
+    let resp = client
+        .submit_loop(&WireLoopRequest {
+            request: body,
+            input_handles: vec![],
+            output_handles: vec![
+                ("next".to_string(), h_next.id),
+                ("curr".to_string(), h_curr.id),
+            ],
+            steps: steps as u64,
+            rotate: vec![
+                ("next".to_string(), "curr".to_string()),
+                ("curr".to_string(), "next".to_string()),
+            ],
+            pipelined: true,
+        })
+        .expect("loop runs");
+    assert_eq!(resp.steps_run, steps as u64);
+    assert!(resp.fused, "a pointwise-coupled swap loop must fuse");
+    assert_eq!(resp.chunks, 1, "no callback, so one fused chunk");
+    assert!(resp.busy_seconds > 0.0);
+
+    // The loop's data never travelled: results come home by FREE-ing
+    // the buffer that ended up bound to `next`.
+    let final_next = resp
+        .final_bindings
+        .iter()
+        .find(|(name, _)| name == "next")
+        .expect("final binding for next")
+        .1;
+    let freed = client.free(final_next).expect("free");
+    assert_eq!(freed.epoch, 1, "one fused chunk = one put-back");
+    assert_eq!(
+        freed.values, expected,
+        "wire loop result differs from the in-process reference"
+    );
+
+    // Typed handle errors round-trip the live connection.
+    match client.free(final_next) {
+        Err(PipelineError::UnknownHandle { id }) => assert_eq!(id, final_next),
+        other => panic!("double free must be UnknownHandle, got {other:?}"),
+    }
+    let other_id = resp
+        .final_bindings
+        .iter()
+        .find(|(name, _)| name == "curr")
+        .expect("final binding for curr")
+        .1;
+    client.free(other_id).expect("free the second buffer");
     drop(client);
     stop_server(&addr, handle);
 }
